@@ -1,0 +1,271 @@
+#![warn(missing_docs)]
+
+//! # ccdb-baseline
+//!
+//! The **copy-based composition** baseline — the conventional approach the
+//! paper describes (and criticizes) in §2:
+//!
+//! > "One possibility to transport the information of a component C into the
+//! > superior object O is to define a local subobject in O into which C is
+//! > copied."
+//!
+//! and its two problems:
+//!
+//! 1. *no connection*: when the component is updated, composites holding
+//!    copies silently go stale until an explicit re-copy pass visits them;
+//! 2. *no selectivity*: the copy carries the component's data wholesale
+//!    (here: optionally restricted, so E3 can compare selective copying too).
+//!
+//! The experiments in `ccdb-bench` run the same workloads against this
+//! baseline and against the value-inheritance store of `ccdb-core`,
+//! reproducing the paper's qualitative argument quantitatively (E1, E3, E9).
+
+use std::collections::{BTreeMap, HashMap};
+
+use ccdb_core::Value;
+
+/// Identifier of a component in the baseline library.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ComponentId(pub u64);
+
+/// Identifier of a composite.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct CompositeId(pub u64);
+
+/// One embedded copy of a component inside a composite.
+#[derive(Clone, Debug)]
+pub struct EmbeddedCopy {
+    /// Which component this copy was taken from.
+    pub component: ComponentId,
+    /// The copied attribute values (frozen at copy time).
+    pub data: BTreeMap<String, Value>,
+    /// Copy-generation: which component version the copy reflects.
+    pub copied_at_version: u64,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Component {
+    attrs: BTreeMap<String, Value>,
+    /// Bumped on every update; lets us count stale copies.
+    version: u64,
+}
+
+/// The copy-based store.
+#[derive(Clone, Debug, Default)]
+pub struct CopyBaseline {
+    components: HashMap<ComponentId, Component>,
+    composites: HashMap<CompositeId, Vec<EmbeddedCopy>>,
+    next_component: u64,
+    next_composite: u64,
+    /// Attribute copies performed (propagation work; for E1).
+    pub copy_ops: u64,
+}
+
+impl CopyBaseline {
+    /// Empty store.
+    pub fn new() -> Self {
+        CopyBaseline::default()
+    }
+
+    /// Add a library component with its attribute values.
+    pub fn add_component(&mut self, attrs: Vec<(&str, Value)>) -> ComponentId {
+        self.next_component += 1;
+        let id = ComponentId(self.next_component);
+        let attrs = attrs.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+        self.components.insert(id, Component { attrs, version: 1 });
+        id
+    }
+
+    /// Read a component attribute (library side).
+    pub fn component_attr(&self, id: ComponentId, attr: &str) -> Option<&Value> {
+        self.components.get(&id)?.attrs.get(attr)
+    }
+
+    /// Build a composite embedding copies of the given components. `select`
+    /// restricts which attributes are copied (`None` = all — the paper's
+    /// wholesale copy).
+    pub fn build_composite(
+        &mut self,
+        components: &[ComponentId],
+        select: Option<&[&str]>,
+    ) -> CompositeId {
+        self.next_composite += 1;
+        let id = CompositeId(self.next_composite);
+        let mut copies = Vec::with_capacity(components.len());
+        for c in components {
+            if let Some(comp) = self.components.get(c) {
+                let data: BTreeMap<String, Value> = comp
+                    .attrs
+                    .iter()
+                    .filter(|(k, _)| select.is_none_or(|sel| sel.contains(&k.as_str())))
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
+                self.copy_ops += data.len() as u64;
+                copies.push(EmbeddedCopy {
+                    component: *c,
+                    data,
+                    copied_at_version: comp.version,
+                });
+            }
+        }
+        self.composites.insert(id, copies);
+        id
+    }
+
+    /// Update a component attribute. Copies are NOT touched — they go stale
+    /// (the paper's problem 1).
+    pub fn update_component(&mut self, id: ComponentId, attr: &str, value: Value) {
+        if let Some(c) = self.components.get_mut(&id) {
+            c.attrs.insert(attr.to_string(), value);
+            c.version += 1;
+        }
+    }
+
+    /// Read an attribute out of a composite's embedded copy (always local —
+    /// the baseline's one advantage).
+    pub fn composite_attr(
+        &self,
+        id: CompositeId,
+        component: ComponentId,
+        attr: &str,
+    ) -> Option<&Value> {
+        self.composites
+            .get(&id)?
+            .iter()
+            .find(|c| c.component == component)
+            .and_then(|c| c.data.get(attr))
+    }
+
+    /// Count embedded copies that no longer reflect their component.
+    pub fn stale_copies(&self) -> usize {
+        self.composites
+            .values()
+            .flatten()
+            .filter(|copy| {
+                self.components
+                    .get(&copy.component)
+                    .map(|c| c.version != copy.copied_at_version)
+                    .unwrap_or(true)
+            })
+            .count()
+    }
+
+    /// Re-copy every stale embedded copy from its component (the explicit
+    /// propagation pass the copy approach needs). Returns copies refreshed.
+    pub fn propagate(&mut self) -> usize {
+        let mut refreshed = 0;
+        for copies in self.composites.values_mut() {
+            for copy in copies.iter_mut() {
+                let Some(comp) = self.components.get(&copy.component) else { continue };
+                if comp.version == copy.copied_at_version {
+                    continue;
+                }
+                for (k, v) in copy.data.iter_mut() {
+                    if let Some(new) = comp.attrs.get(k) {
+                        *v = new.clone();
+                        self.copy_ops += 1;
+                    }
+                }
+                copy.copied_at_version = comp.version;
+                refreshed += 1;
+            }
+        }
+        refreshed
+    }
+
+    /// Total bytes held in embedded copies (duplication cost; for E9).
+    pub fn copied_bytes(&self) -> usize {
+        self.composites
+            .values()
+            .flatten()
+            .map(|c| c.data.iter().map(|(k, v)| k.len() + v.byte_size()).sum::<usize>())
+            .sum()
+    }
+
+    /// Total bytes held in the component library itself.
+    pub fn library_bytes(&self) -> usize {
+        self.components
+            .values()
+            .map(|c| c.attrs.iter().map(|(k, v)| k.len() + v.byte_size()).sum::<usize>())
+            .sum()
+    }
+
+    /// Number of composites.
+    pub fn composite_count(&self) -> usize {
+        self.composites.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(v: i64) -> Value {
+        Value::Int(v)
+    }
+
+    #[test]
+    fn copies_freeze_component_state() {
+        let mut b = CopyBaseline::new();
+        let c = b.add_component(vec![("Length", int(10)), ("Width", int(4))]);
+        let comp = b.build_composite(&[c], None);
+        assert_eq!(b.composite_attr(comp, c, "Length"), Some(&int(10)));
+        // Component changes; the copy stays stale.
+        b.update_component(c, "Length", int(42));
+        assert_eq!(b.composite_attr(comp, c, "Length"), Some(&int(10)));
+        assert_eq!(b.stale_copies(), 1);
+        // Propagation fixes it at a cost.
+        let ops_before = b.copy_ops;
+        assert_eq!(b.propagate(), 1);
+        assert_eq!(b.composite_attr(comp, c, "Length"), Some(&int(42)));
+        assert_eq!(b.stale_copies(), 0);
+        assert!(b.copy_ops > ops_before);
+    }
+
+    #[test]
+    fn propagation_cost_scales_with_users() {
+        let mut b = CopyBaseline::new();
+        let c = b.add_component(vec![("Length", int(1))]);
+        for _ in 0..100 {
+            b.build_composite(&[c], None);
+        }
+        b.update_component(c, "Length", int(2));
+        assert_eq!(b.stale_copies(), 100);
+        assert_eq!(b.propagate(), 100, "every composite must be visited");
+    }
+
+    #[test]
+    fn selective_copy_restricts_data() {
+        let mut b = CopyBaseline::new();
+        let c = b.add_component(vec![
+            ("Length", int(1)),
+            ("Width", int(2)),
+            ("Internal", int(3)),
+        ]);
+        let full = b.build_composite(&[c], None);
+        let slim = b.build_composite(&[c], Some(&["Length"]));
+        assert!(b.composite_attr(full, c, "Internal").is_some());
+        assert!(b.composite_attr(slim, c, "Internal").is_none());
+        assert!(b.composite_attr(slim, c, "Length").is_some());
+    }
+
+    #[test]
+    fn copied_bytes_grow_with_reuse() {
+        let mut b = CopyBaseline::new();
+        let c = b.add_component(vec![("Blob", Value::Str("x".repeat(100)))]);
+        let lib = b.library_bytes();
+        for _ in 0..10 {
+            b.build_composite(&[c], None);
+        }
+        assert!(b.copied_bytes() >= 10 * (lib - 8), "duplication ~ reuse count");
+    }
+
+    #[test]
+    fn deleting_nothing_missing_component_is_harmless() {
+        let mut b = CopyBaseline::new();
+        let ghost = ComponentId(99);
+        let comp = b.build_composite(&[ghost], None);
+        assert_eq!(b.composite_attr(comp, ghost, "X"), None);
+        assert_eq!(b.propagate(), 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Criterion bench for E10: configuration capture and apply.
+
+use ccdb_bench::workload::reuse_dag;
+use ccdb_version::Configuration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_configuration");
+    g.sample_size(20);
+    for n in [20usize, 100, 500] {
+        g.bench_with_input(BenchmarkId::new("capture", n), &n, |b, &n| {
+            let dag = reuse_dag(20, 1, n, 4, 11);
+            let asm = dag
+                .store
+                .object(dag.composites[0][0])
+                .unwrap()
+                .owner
+                .as_ref()
+                .unwrap()
+                .parent;
+            b.iter(|| black_box(Configuration::capture("r", &dag.store, asm).unwrap()));
+        });
+        g.bench_with_input(BenchmarkId::new("apply_unchanged", n), &n, |b, &n| {
+            let mut dag = reuse_dag(20, 1, n, 4, 11);
+            let asm = dag
+                .store
+                .object(dag.composites[0][0])
+                .unwrap()
+                .owner
+                .as_ref()
+                .unwrap()
+                .parent;
+            let cfg = Configuration::capture("r", &dag.store, asm).unwrap();
+            b.iter(|| black_box(cfg.apply(&mut dag.store)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

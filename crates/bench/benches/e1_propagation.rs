@@ -1,0 +1,43 @@
+//! Criterion bench for E1: one transmitter update with N dependent
+//! inheritors (view) vs. update + re-copy pass (baseline).
+
+use ccdb_baseline::CopyBaseline;
+use ccdb_bench::workload::fanout_store;
+use ccdb_core::Value;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_propagation");
+    for n in [1usize, 10, 100, 1000] {
+        g.bench_with_input(BenchmarkId::new("inheritance_update", n), &n, |b, &n| {
+            let (mut st, interface, _) = fanout_store(n, 4, 4);
+            let mut tick = 0i64;
+            b.iter(|| {
+                tick += 1;
+                st.set_attr(interface, "A0", Value::Int(tick)).unwrap();
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("copy_update_propagate", n), &n, |b, &n| {
+            let mut cb = CopyBaseline::new();
+            let comp = cb.add_component(vec![
+                ("A0", Value::Int(0)),
+                ("A1", Value::Int(1)),
+                ("A2", Value::Int(2)),
+                ("A3", Value::Int(3)),
+            ]);
+            for _ in 0..n {
+                cb.build_composite(&[comp], None);
+            }
+            let mut tick = 0i64;
+            b.iter(|| {
+                tick += 1;
+                cb.update_component(comp, "A0", Value::Int(tick));
+                cb.propagate();
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for E2: inherited-attribute reads across chain depths,
+//! with the effective-schema memo on/off.
+
+use ccdb_bench::workload::chain_store;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_resolution");
+    for depth in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("read_cached", depth), &depth, |b, &d| {
+            let (st, leaf, _) = chain_store(d);
+            b.iter(|| black_box(st.attr(leaf, "X").unwrap()));
+        });
+        g.bench_with_input(BenchmarkId::new("read_uncached", depth), &depth, |b, &d| {
+            let (st, leaf, _) = chain_store(d);
+            st.set_schema_cache(false);
+            b.iter(|| black_box(st.attr(leaf, "X").unwrap()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for E3: enumerating the visible (permeable) attributes
+//! of a 64-attribute component at varying permeability.
+
+use ccdb_bench::workload::fanout_store;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_permeability");
+    for k in [1usize, 8, 32, 64] {
+        g.bench_with_input(BenchmarkId::new("enumerate_view", k), &k, |b, &k| {
+            let (st, _, imps) = fanout_store(1, 64, k);
+            let names: Vec<String> = (0..k).map(|i| format!("A{i}")).collect();
+            b.iter(|| {
+                for n in &names {
+                    black_box(st.attr(imps[0], n).unwrap());
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

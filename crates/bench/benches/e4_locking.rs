@@ -1,0 +1,44 @@
+//! Criterion bench for E4: cost of a lock-inheritance read (chain locking)
+//! vs. a plain local read under the transaction layer.
+
+use ccdb_bench::workload::fanout_store;
+use ccdb_txn::txn::Database;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_locking");
+    g.bench_function("txn_read_inherited_attr", |b| {
+        let (st, _, imps) = fanout_store(1, 8, 4);
+        let db = Database::new(st);
+        b.iter(|| {
+            let tx = db.begin("u");
+            black_box(db.read_attr(&tx, imps[0], "A0").unwrap());
+            db.commit(tx);
+        });
+    });
+    g.bench_function("txn_read_local_attr", |b| {
+        let (st, _, imps) = fanout_store(1, 8, 4);
+        let db = Database::new(st);
+        b.iter(|| {
+            let tx = db.begin("u");
+            black_box(db.read_attr(&tx, imps[0], "Local").unwrap());
+            db.commit(tx);
+        });
+    });
+    g.bench_function("txn_write_attr", |b| {
+        let (st, interface, _) = fanout_store(1, 8, 4);
+        let db = Database::new(st);
+        let mut n = 0;
+        b.iter(|| {
+            n += 1;
+            let tx = db.begin("u");
+            db.write_attr(&tx, interface, "A7", ccdb_core::Value::Int(n)).unwrap();
+            db.commit(tx);
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion bench for E5: generic-reference refresh over version sets.
+
+use ccdb_core::domain::Domain;
+use ccdb_core::schema::{AttrDef, Catalog, InherRelTypeDef, ObjectTypeDef};
+use ccdb_core::store::ObjectStore;
+use ccdb_core::Value;
+use ccdb_version::{EnvironmentRegistry, GenericBindings, GenericRef, Selector, VersionManager};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn setup(versions: usize, composites: usize) -> (ObjectStore, VersionManager, GenericBindings) {
+    let mut c = Catalog::new();
+    c.register_object_type(ObjectTypeDef {
+        name: "If".into(),
+        attributes: vec![AttrDef::new("Length", Domain::Int)],
+        ..Default::default()
+    })
+    .unwrap();
+    c.register_inher_rel_type(InherRelTypeDef {
+        name: "AllOf_If".into(),
+        transmitter_type: "If".into(),
+        inheritor_type: None,
+        inheriting: vec!["Length".into()],
+        attributes: vec![],
+        constraints: vec![],
+    })
+    .unwrap();
+    c.register_object_type(ObjectTypeDef {
+        name: "Impl".into(),
+        inheritor_in: vec!["AllOf_If".into()],
+        ..Default::default()
+    })
+    .unwrap();
+    let mut st = ObjectStore::new(c).unwrap();
+    let mut mgr = VersionManager::new();
+    mgr.create_set("Gate").unwrap();
+    let mut prev = vec![];
+    for v in 0..versions {
+        let o = st.create_object("If", vec![("Length", Value::Int(v as i64))]).unwrap();
+        let id = mgr.add_version("Gate", o, &prev).unwrap();
+        prev = vec![id];
+    }
+    let mut gb = GenericBindings::new();
+    for _ in 0..composites {
+        let imp = st.create_object("Impl", vec![]).unwrap();
+        gb.register(GenericRef {
+            inheritor: imp,
+            rel_type: "AllOf_If".into(),
+            set: "Gate".into(),
+            selector: Selector::Latest,
+        });
+    }
+    (st, mgr, gb)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_versions");
+    for (v, n) in [(8usize, 100usize), (64, 100), (8, 1000)] {
+        g.bench_with_input(
+            BenchmarkId::new("refresh_latest", format!("v{v}_c{n}")),
+            &(v, n),
+            |b, &(v, n)| {
+                let (mut st, mgr, gb) = setup(v, n);
+                let envs = EnvironmentRegistry::new();
+                gb.refresh(&mut st, &mgr, &envs); // initial bind
+                b.iter(|| gb.refresh(&mut st, &mgr, &envs));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for E6: expansion and footprint computation of nested
+//! composites.
+
+use ccdb_bench::workload::nested_tree;
+use ccdb_core::expand::{expand, expansion_footprint};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_expansion");
+    for (depth, fanout) in [(4usize, 2usize), (6, 2), (4, 4)] {
+        let label = format!("d{depth}_f{fanout}");
+        g.bench_with_input(BenchmarkId::new("expand", &label), &(depth, fanout), |b, &(d, f)| {
+            let (st, root, _) = nested_tree(d, f);
+            b.iter(|| black_box(expand(&st, root, usize::MAX).unwrap()));
+        });
+        g.bench_with_input(
+            BenchmarkId::new("footprint", &label),
+            &(depth, fanout),
+            |b, &(d, f)| {
+                let (st, root, _) = nested_tree(d, f);
+                b.iter(|| black_box(expansion_footprint(&st, root).unwrap()));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench for E7: checking the §5 steel-construction constraints.
+
+use ccdb_bench::workload::steel_structure;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_constraints");
+    g.sample_size(20);
+    for n in [2usize, 8, 32] {
+        g.bench_with_input(BenchmarkId::new("check_all", n), &n, |b, &n| {
+            let (st, _) = steel_structure(n);
+            b.iter(|| black_box(st.check_all().unwrap()));
+        });
+        g.bench_with_input(BenchmarkId::new("check_structure_only", n), &n, |b, &n| {
+            let (st, structure) = steel_structure(n);
+            b.iter(|| black_box(st.check_constraints(structure).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

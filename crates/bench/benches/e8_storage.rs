@@ -1,0 +1,43 @@
+//! Criterion bench for E8: WAL-backed commit latency of the durable KV
+//! substrate.
+
+use ccdb_storage::kv::DurableKv;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_storage");
+    g.sample_size(20);
+    for size in [64usize, 1024, 4096] {
+        g.bench_with_input(BenchmarkId::new("commit", size), &size, |b, &size| {
+            let dir = tempfile::tempdir().unwrap();
+            let kv = DurableKv::open(dir.path()).unwrap();
+            let payload = vec![0xCCu8; size];
+            let mut k = 100u64;
+            b.iter(|| {
+                k += 1;
+                let tx = kv.begin().unwrap();
+                kv.put(tx, k, &payload).unwrap();
+                kv.commit(tx).unwrap();
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("read", size), &size, |b, &size| {
+            let dir = tempfile::tempdir().unwrap();
+            let kv = DurableKv::open(dir.path()).unwrap();
+            let payload = vec![0xCCu8; size];
+            let tx = kv.begin().unwrap();
+            for k in 0..100 {
+                kv.put(tx, k, &payload).unwrap();
+            }
+            kv.commit(tx).unwrap();
+            let mut k = 0;
+            b.iter(|| {
+                k = (k + 1) % 100;
+                std::hint::black_box(kv.get(k).unwrap());
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

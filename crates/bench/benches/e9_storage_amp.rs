@@ -1,0 +1,41 @@
+//! Criterion bench for E9: building reuse-heavy designs — shared
+//! (inheritance) vs duplicated (copy) component data.
+
+use ccdb_baseline::CopyBaseline;
+use ccdb_bench::workload::{reuse_dag, rng, zipf_sample};
+use ccdb_core::Value;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_storage_amp");
+    g.sample_size(20);
+    for n in [50usize, 200] {
+        g.bench_with_input(BenchmarkId::new("build_inheritance", n), &n, |b, &n| {
+            b.iter(|| reuse_dag(20, n, 8, 16, 7));
+        });
+        g.bench_with_input(BenchmarkId::new("build_copy", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut cb = CopyBaseline::new();
+                let mut lib = Vec::new();
+                for k in 0..20 {
+                    let attrs: Vec<(String, Value)> = (0..16)
+                        .map(|i| (format!("A{i}"), Value::Int((k * 1000 + i) as i64)))
+                        .collect();
+                    let refs: Vec<(&str, Value)> =
+                        attrs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+                    lib.push(cb.add_component(refs));
+                }
+                let mut r = rng(7);
+                for _ in 0..n {
+                    let picks: Vec<_> = (0..8).map(|_| lib[zipf_sample(&mut r, 20)]).collect();
+                    cb.build_composite(&picks, None);
+                }
+                cb
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

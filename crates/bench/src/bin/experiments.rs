@@ -1,0 +1,27 @@
+//! Run the E1–E10 experiment suite and print the result tables.
+//!
+//! Usage: `experiments [--quick] [--json]`
+
+use std::io::Write;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let json = std::env::args().any(|a| a == "--json");
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let tables = ccdb_bench::experiments::run_all(quick);
+    if json {
+        let all: Vec<serde_json::Value> = tables.iter().map(|t| t.to_json()).collect();
+        writeln!(out, "{}", serde_json::to_string_pretty(&all).unwrap()).unwrap();
+        return;
+    }
+    writeln!(
+        out,
+        "ccdb experiment suite (E1–E10){}\n",
+        if quick { " — quick mode" } else { "" }
+    )
+    .unwrap();
+    for table in tables {
+        writeln!(out, "{}", table.render()).unwrap();
+    }
+}

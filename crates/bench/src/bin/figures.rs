@@ -1,0 +1,13 @@
+//! Print the reproductions of the paper's five figures.
+
+use std::io::Write;
+
+fn main() {
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for (id, text) in ccdb_bench::figures::all_figures() {
+        writeln!(out, "==================== {id} ====================").unwrap();
+        writeln!(out, "{text}").unwrap();
+    }
+    writeln!(out, "All figure checks passed.").unwrap();
+}

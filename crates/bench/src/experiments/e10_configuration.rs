@@ -1,0 +1,79 @@
+//! E10 — configuration control: capture / diff / apply over component
+//! closures.
+//!
+//! Paper §2 (aspect 1): configuration control "is concerned with the
+//! problem of providing all components of an object"; §6 adds change
+//! management ("composite objects may use old versions of interfaces").
+//! Measured: cost of capturing a composite's binding snapshot, diffing two
+//! snapshots after a partial redesign, and applying a snapshot back
+//! (restoring a shipped state), as the number of component slots grows.
+
+use ccdb_version::Configuration;
+
+use crate::table::{fmt_nanos, Table};
+use crate::workload::reuse_dag;
+
+/// Run E10.
+pub fn run(quick: bool) -> Table {
+    let sweep: &[usize] = if quick { &[5, 20] } else { &[10, 50, 200, 1000] };
+    let mut t = Table::new(
+        "E10: configuration control — capture/diff/apply over component closures",
+        &["slots", "capture", "diff (10% rebound)", "apply (restore)", "rebound"],
+    );
+    for &n in sweep {
+        // One composite with n component slots bound into a 20-part library.
+        let mut dag = reuse_dag(20, 1, n, 4, 11);
+        let asm_parts = dag.composites[0].clone();
+        let asm = dag.store.object(asm_parts[0]).unwrap().owner.as_ref().unwrap().parent;
+
+        let start = std::time::Instant::now();
+        let release = Configuration::capture("release", &dag.store, asm).unwrap();
+        let capture_ns = start.elapsed().as_nanos() as f64;
+        assert_eq!(release.entries.len(), n);
+
+        // Redesign 10% of the slots to a different library part.
+        let rebound_slots = (n / 10).max(1);
+        for part in asm_parts.iter().take(rebound_slots) {
+            let rel = dag.store.binding_of(*part, "AllOf_If").unwrap();
+            let old = dag.store.object(rel).unwrap().transmitter().unwrap();
+            let new = *dag.store.object(old).ok().and_then(|_| {
+                dag.library.iter().find(|l| **l != old)
+            }).unwrap();
+            dag.store.unbind(rel).unwrap();
+            dag.store.bind("AllOf_If", new, *part, vec![]).unwrap();
+        }
+
+        let start = std::time::Instant::now();
+        let current = Configuration::capture("current", &dag.store, asm).unwrap();
+        let deltas = release.diff(&current);
+        let diff_ns = start.elapsed().as_nanos() as f64;
+        assert_eq!(deltas.len(), rebound_slots);
+
+        let start = std::time::Instant::now();
+        let report = release.apply(&mut dag.store);
+        let apply_ns = start.elapsed().as_nanos() as f64;
+        assert_eq!(report.rebound, rebound_slots);
+        assert!(report.failed.is_empty());
+
+        t.row(vec![
+            n.to_string(),
+            fmt_nanos(capture_ns),
+            fmt_nanos(diff_ns),
+            fmt_nanos(apply_ns),
+            format!("{rebound_slots}/{n}"),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_restores_exactly_the_rebound_slots() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[1][4], "2/20");
+    }
+}

@@ -1,0 +1,62 @@
+//! E2 — read overhead of value resolution through inheritance chains.
+//!
+//! The price of the paper's view semantics: an inherited read walks the
+//! binding chain (interface hierarchies make it multi-hop, §4.2). Measured:
+//! ns per attribute read at chain depth d (d = 1 is a plain local read),
+//! with the effective-schema memo on and off (ablation: the memo is our
+//! implementation device, not part of the model).
+
+use super::time_per_iter;
+use crate::table::{fmt_nanos, Table};
+use crate::workload::chain_store;
+
+/// Run E2.
+pub fn run(quick: bool) -> Table {
+    let depths: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 3, 4, 6, 8] };
+    let iters = if quick { 2_000 } else { 100_000 };
+    let mut t = Table::new(
+        "E2: attribute-read latency vs inheritance-chain depth",
+        &["chain depth d", "hops", "read (cached schema)", "read (uncached)", "local read"],
+    );
+    for &d in depths {
+        let (st, leaf, root) = chain_store(d);
+        st.reset_stats();
+        st.attr(leaf, "X").unwrap();
+        let hops = st.stats().hops;
+
+        let cached = time_per_iter(iters, || {
+            std::hint::black_box(st.attr(leaf, "X").unwrap());
+        });
+        st.set_schema_cache(false);
+        let uncached = time_per_iter(iters, || {
+            std::hint::black_box(st.attr(leaf, "X").unwrap());
+        });
+        st.set_schema_cache(true);
+        let local = time_per_iter(iters, || {
+            std::hint::black_box(st.attr(root, "X").unwrap());
+        });
+        t.row(vec![
+            d.to_string(),
+            hops.to_string(),
+            fmt_nanos(cached),
+            fmt_nanos(uncached),
+            fmt_nanos(local),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hops_equal_depth_minus_one() {
+        let t = run(true);
+        for row in &t.rows {
+            let d: u64 = row[0].parse().unwrap();
+            let hops: u64 = row[1].parse().unwrap();
+            assert_eq!(hops, d - 1);
+        }
+    }
+}

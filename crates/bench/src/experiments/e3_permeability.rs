@@ -1,0 +1,84 @@
+//! E3 — selective permeability: visible data scales with the `inheriting:`
+//! clause, not with the component.
+//!
+//! Paper claim (§2 problem 2, §4.3): "the inheritance relationship is
+//! selective: only the explicitly specified parts of data are transferred";
+//! a wholesale copy instead always carries the full component. Measured:
+//! bytes visible in one inheritor and enumeration time, as the permeability
+//! k grows, against the baseline's full copy of a 64-attribute component.
+
+use ccdb_baseline::CopyBaseline;
+use ccdb_core::Value;
+
+use super::time_per_iter;
+use crate::table::{fmt_bytes, fmt_nanos, Table};
+use crate::workload::fanout_store;
+
+const N_ATTRS: usize = 64;
+
+/// Run E3.
+pub fn run(quick: bool) -> Table {
+    let ks: &[usize] = if quick { &[1, 8, 64] } else { &[1, 2, 4, 8, 16, 32, 64] };
+    let iters = if quick { 200 } else { 5_000 };
+    let mut t = Table::new(
+        "E3: selective permeability — visible bytes & enumeration time vs k (component: 64 attrs)",
+        &["permeable k", "view bytes", "view enumerate", "full-copy bytes", "copy bytes (selective)"],
+    );
+    for &k in ks {
+        let (st, _interface, imps) = fanout_store(1, N_ATTRS, k);
+        let imp = imps[0];
+        // Bytes visible through the view = sum over permeable attrs.
+        let view_bytes: usize = (0..k)
+            .map(|i| {
+                let v = st.attr(imp, &format!("A{i}")).unwrap();
+                format!("A{i}").len() + v.byte_size()
+            })
+            .sum();
+        let names: Vec<String> = (0..k).map(|i| format!("A{i}")).collect();
+        let enumerate_ns = time_per_iter(iters, || {
+            for n in &names {
+                std::hint::black_box(st.attr(imp, n).unwrap());
+            }
+        });
+
+        // Baseline: wholesale copy vs selective copy.
+        let mut full = CopyBaseline::new();
+        let attrs: Vec<(String, Value)> =
+            (0..N_ATTRS).map(|i| (format!("A{i}"), Value::Int(i as i64))).collect();
+        let refs: Vec<(&str, Value)> =
+            attrs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+        let c = full.add_component(refs.clone());
+        full.build_composite(&[c], None);
+        let full_bytes = full.copied_bytes();
+
+        let mut selective = CopyBaseline::new();
+        let c2 = selective.add_component(refs);
+        let sel: Vec<&str> = names.iter().map(String::as_str).collect();
+        selective.build_composite(&[c2], Some(&sel));
+        let sel_bytes = selective.copied_bytes();
+
+        t.row(vec![
+            k.to_string(),
+            fmt_bytes(view_bytes),
+            fmt_nanos(enumerate_ns),
+            fmt_bytes(full_bytes),
+            fmt_bytes(sel_bytes),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_bytes_scale_with_k_copy_stays_flat() {
+        let t = run(true);
+        // Full copy column identical across rows (always 64 attrs).
+        let full: Vec<&String> = t.rows.iter().map(|r| &r[3]).collect();
+        assert!(full.windows(2).all(|w| w[0] == w[1]));
+        // View bytes strictly grow with k.
+        assert_ne!(t.rows[0][1], t.rows[2][1]);
+    }
+}

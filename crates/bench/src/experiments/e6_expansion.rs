@@ -1,0 +1,58 @@
+//! E6 — expansion and cascade delete of deep composites.
+//!
+//! §3: "all subobjects depend on the complex object, they are deleted with
+//! the complex object"; §6: expansion materializes a composite with its
+//! components. Measured: expansion time, expansion-locking footprint size,
+//! and cascade-delete time over depth/fan-out sweeps.
+
+use ccdb_core::expand::{expand, expansion_footprint};
+
+use crate::table::{fmt_nanos, Table};
+use crate::workload::nested_tree;
+
+/// Run E6.
+pub fn run(quick: bool) -> Table {
+    let sweeps: &[(usize, usize)] =
+        if quick { &[(3, 2), (2, 4)] } else { &[(3, 2), (6, 2), (3, 4), (8, 2), (4, 6)] };
+    let mut t = Table::new(
+        "E6: expansion & cascade delete over nested composites",
+        &["depth", "fanout", "objects", "expand", "footprint size", "cascade delete"],
+    );
+    for &(depth, fanout) in sweeps {
+        let (st, root, count) = nested_tree(depth, fanout);
+        let start = std::time::Instant::now();
+        let e = expand(&st, root, usize::MAX).unwrap();
+        let expand_ns = start.elapsed().as_nanos() as f64;
+        assert_eq!(e.object_count(), count);
+        let fp = expansion_footprint(&st, root).unwrap();
+
+        let (mut st2, root2, _) = nested_tree(depth, fanout);
+        let start = std::time::Instant::now();
+        st2.delete(root2).unwrap();
+        let delete_ns = start.elapsed().as_nanos() as f64;
+        assert_eq!(st2.object_count(), 0);
+
+        t.row(vec![
+            depth.to_string(),
+            fanout.to_string(),
+            count.to_string(),
+            fmt_nanos(expand_ns),
+            fp.len().to_string(),
+            fmt_nanos(delete_ns),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_covers_all_objects() {
+        let t = run(true);
+        for row in &t.rows {
+            assert_eq!(row[2], row[4], "footprint = whole tree for pure nesting");
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! E7 — integrity-constraint checking cost on the §5 steel scenario.
+//!
+//! The paper argues complex relationship types like `ScrewingType` "allow
+//! the implementation of mechanisms for advanced consistency control";
+//! its constraints quantify over bolts, nuts and bores. Measured: the cost
+//! of checking every constraint in a weight-carrying structure as the
+//! number of screwings grows, and the cost of catching an injected fault.
+
+use ccdb_core::Value;
+
+use crate::table::{fmt_nanos, Table};
+use crate::workload::steel_structure;
+
+/// Run E7.
+pub fn run(quick: bool) -> Table {
+    let sweep: &[usize] = if quick { &[2, 8] } else { &[1, 4, 16, 64, 128] };
+    let mut t = Table::new(
+        "E7: constraint checking on WeightCarrying_Structure (paper §5)",
+        &["screwings", "objects", "check_all (clean)", "violations", "check_all (1 fault)", "caught"],
+    );
+    for &n in sweep {
+        let (st, _structure) = steel_structure(n);
+        let objects = st.object_count();
+        let start = std::time::Instant::now();
+        let clean = st.check_all().unwrap();
+        let clean_ns = start.elapsed().as_nanos() as f64;
+
+        // Inject a fault: shrink the shared bolt so every screwing breaks.
+        let (mut st2, _) = steel_structure(n);
+        let bolt = st2
+            .surrogates()
+            .find(|s| st2.object(*s).unwrap().type_name == "BoltType")
+            .unwrap();
+        st2.set_attr(bolt, "Length", Value::Int(1)).unwrap();
+        let start = std::time::Instant::now();
+        let faulty = st2.check_all().unwrap();
+        let fault_ns = start.elapsed().as_nanos() as f64;
+
+        t.row(vec![
+            n.to_string(),
+            objects.to_string(),
+            fmt_nanos(clean_ns),
+            clean.len().to_string(),
+            fmt_nanos(fault_ns),
+            (!faulty.is_empty()).to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_structures_have_zero_violations_faults_are_caught() {
+        let t = run(true);
+        for row in &t.rows {
+            assert_eq!(row[3], "0");
+            assert_eq!(row[5], "true");
+        }
+    }
+}

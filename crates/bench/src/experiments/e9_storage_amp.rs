@@ -1,0 +1,71 @@
+//! E9 — storage amplification under component reuse.
+//!
+//! §2: reusability of designed parts is the point of composition; copies
+//! duplicate component data per use, the inheritance relationship shares it.
+//! Measured: attribute bytes held by the inheritance store vs. the copy
+//! baseline (library + embedded copies) on a Zipf-reuse workload, sweeping
+//! the number of composites.
+
+use ccdb_baseline::CopyBaseline;
+use ccdb_core::Value;
+
+use crate::table::{fmt_bytes, Table};
+use crate::workload::{reuse_dag, rng, store_attr_bytes, zipf_sample};
+
+const LIB: usize = 20;
+const PER_COMPOSITE: usize = 8;
+const N_ATTRS: usize = 16;
+
+/// Run E9.
+pub fn run(quick: bool) -> Table {
+    let sweep: &[usize] = if quick { &[10, 50] } else { &[10, 100, 500, 2000] };
+    let mut t = Table::new(
+        "E9: storage amplification — shared (inheritance) vs duplicated (copy) component data",
+        &["composites", "inherit bytes", "copy bytes", "amplification", "component uses"],
+    );
+    for &n in sweep {
+        let dag = reuse_dag(LIB, n, PER_COMPOSITE, N_ATTRS, 7);
+        let inherit_bytes = store_attr_bytes(&dag.store);
+
+        // Equivalent copy-baseline population (same Zipf draw).
+        let mut cb = CopyBaseline::new();
+        let mut lib = Vec::new();
+        for k in 0..LIB {
+            let attrs: Vec<(String, Value)> = (0..N_ATTRS)
+                .map(|i| (format!("A{i}"), Value::Int((k * 1000 + i) as i64)))
+                .collect();
+            let refs: Vec<(&str, Value)> =
+                attrs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+            lib.push(cb.add_component(refs));
+        }
+        let mut r = rng(7);
+        for _ in 0..n {
+            let picks: Vec<_> =
+                (0..PER_COMPOSITE).map(|_| lib[zipf_sample(&mut r, LIB)]).collect();
+            cb.build_composite(&picks, None);
+        }
+        let copy_bytes = cb.library_bytes() + cb.copied_bytes();
+        let uses = n * PER_COMPOSITE;
+        t.row(vec![
+            n.to_string(),
+            fmt_bytes(inherit_bytes),
+            fmt_bytes(copy_bytes),
+            format!("{:.1}x", copy_bytes as f64 / inherit_bytes as f64),
+            uses.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_approach_amplifies_storage() {
+        let t = run(true);
+        let last = t.rows.last().unwrap();
+        let amp: f64 = last[3].trim_end_matches('x').parse().unwrap();
+        assert!(amp > 2.0, "copying should clearly amplify storage, got {amp}");
+    }
+}

@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! # ccdb-bench
+//!
+//! Evaluation harness for the ccdb reproduction: seeded workload generators
+//! ([`workload`]), the paper's five figure scenarios ([`figures`]), the
+//! quantitative experiment suite E1–E10 ([`experiments`]), and a small table
+//! printer ([`table`]).
+//!
+//! Binaries:
+//! - `figures` — builds and prints the five figure reproductions;
+//! - `experiments` — runs E1–E10 and prints their result tables
+//!   (`--quick` for a fast pass).
+//!
+//! Criterion benches (one per experiment) live under `benches/`.
+
+pub mod experiments;
+pub mod figures;
+pub mod table;
+pub mod workload;
+
+pub use table::Table;

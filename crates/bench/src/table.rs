@@ -1,0 +1,134 @@
+//! Minimal aligned-column table printer for experiment output.
+
+/// A printable results table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Table title (experiment id + question).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (cells stringified by the caller).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                s.push_str(&format!("{:>width$}  ", c, width = widths[i]));
+            }
+            s.trim_end().to_string()
+        };
+        out.push_str(&line(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Table {
+    /// Machine-readable form: `{"title", "headers", "rows"}`.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "title": self.title,
+            "headers": self.headers,
+            "rows": self.rows,
+        })
+    }
+}
+
+/// Format a duration in adaptive units.
+pub fn fmt_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Format a byte count in adaptive units.
+pub fn fmt_bytes(b: usize) -> String {
+    if b < 1024 {
+        format!("{b} B")
+    } else if b < 1024 * 1024 {
+        format!("{:.1} KiB", b as f64 / 1024.0)
+    } else {
+        format!("{:.1} MiB", b as f64 / (1024.0 * 1024.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("E0: demo", &["n", "value"]);
+        t.row(vec!["1".into(), "short".into()]);
+        t.row(vec!["1000".into(), "longer-cell".into()]);
+        let s = t.render();
+        assert!(s.contains("## E0: demo"));
+        assert!(s.contains("n"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn json_form_is_complete() {
+        let mut t = Table::new("E0: demo", &["n", "value"]);
+        t.row(vec!["1".into(), "x".into()]);
+        let j = t.to_json();
+        assert_eq!(j["title"], "E0: demo");
+        assert_eq!(j["rows"][0][1], "x");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_nanos(500.0), "500 ns");
+        assert_eq!(fmt_nanos(1500.0), "1.50 µs");
+        assert_eq!(fmt_nanos(2_500_000.0), "2.50 ms");
+        assert_eq!(fmt_bytes(100), "100 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KiB");
+    }
+}

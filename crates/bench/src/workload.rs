@@ -1,0 +1,456 @@
+//! Workload generators shared by the experiment binaries and the Criterion
+//! benches. All randomness is seeded; all schemas come from the paper
+//! ([`ccdb_lang::paper`]) or small purpose-built catalogs.
+
+use ccdb_core::domain::Domain;
+use ccdb_core::schema::{AttrDef, Catalog, InherRelTypeDef, ObjectTypeDef};
+use ccdb_core::store::ObjectStore;
+use ccdb_core::{Surrogate, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG for workloads.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A catalog with one interface type (`If`, `n_attrs` integer attributes
+/// named `A0..`), an inheritance relationship `AllOf_If` letting the first
+/// `permeable` of them through, and an implementation type `Impl`.
+pub fn fanout_catalog(n_attrs: usize, permeable: usize) -> Catalog {
+    assert!(permeable <= n_attrs);
+    let mut c = Catalog::new();
+    let attrs: Vec<AttrDef> =
+        (0..n_attrs).map(|i| AttrDef::new(&format!("A{i}"), Domain::Int)).collect();
+    c.register_object_type(ObjectTypeDef {
+        name: "If".into(),
+        attributes: attrs,
+        ..Default::default()
+    })
+    .unwrap();
+    c.register_inher_rel_type(InherRelTypeDef {
+        name: "AllOf_If".into(),
+        transmitter_type: "If".into(),
+        inheritor_type: None,
+        inheriting: (0..permeable).map(|i| format!("A{i}")).collect(),
+        attributes: vec![],
+        constraints: vec![],
+    })
+    .unwrap();
+    c.register_object_type(ObjectTypeDef {
+        name: "Impl".into(),
+        inheritor_in: vec!["AllOf_If".into()],
+        attributes: vec![AttrDef::new("Local", Domain::Int)],
+        ..Default::default()
+    })
+    .unwrap();
+    c
+}
+
+/// One interface with `n` bound implementations. Returns
+/// `(store, interface, implementations)`.
+pub fn fanout_store(n: usize, n_attrs: usize, permeable: usize) -> (ObjectStore, Surrogate, Vec<Surrogate>) {
+    let mut st = ObjectStore::new(fanout_catalog(n_attrs, permeable)).unwrap();
+    let attrs: Vec<(String, Value)> =
+        (0..n_attrs).map(|i| (format!("A{i}"), Value::Int(i as i64))).collect();
+    let attr_refs: Vec<(&str, Value)> =
+        attrs.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+    let interface = st.create_object("If", attr_refs).unwrap();
+    let mut imps = Vec::with_capacity(n);
+    for k in 0..n {
+        let imp = st.create_object("Impl", vec![("Local", Value::Int(k as i64))]).unwrap();
+        st.bind("AllOf_If", interface, imp, vec![]).unwrap();
+        imps.push(imp);
+    }
+    (st, interface, imps)
+}
+
+/// A catalog forming an abstraction *chain* of `depth` levels: `L0` is the
+/// most abstract; each `L{i+1}` inherits attribute `X` from `L{i}` through
+/// `AllOf_L{i}`.
+pub fn chain_catalog(depth: usize) -> Catalog {
+    assert!(depth >= 1);
+    let mut c = Catalog::new();
+    c.register_object_type(ObjectTypeDef {
+        name: "L0".into(),
+        attributes: vec![AttrDef::new("X", Domain::Int)],
+        ..Default::default()
+    })
+    .unwrap();
+    for i in 1..depth {
+        c.register_inher_rel_type(InherRelTypeDef {
+            name: format!("AllOf_L{}", i - 1),
+            transmitter_type: format!("L{}", i - 1),
+            inheritor_type: None,
+            inheriting: vec!["X".into()],
+            attributes: vec![],
+            constraints: vec![],
+        })
+        .unwrap();
+        c.register_object_type(ObjectTypeDef {
+            name: format!("L{i}"),
+            inheritor_in: vec![format!("AllOf_L{}", i - 1)],
+            ..Default::default()
+        })
+        .unwrap();
+    }
+    c
+}
+
+/// A bound chain of `depth` objects; reading `X` on the last object walks
+/// `depth - 1` hops. Returns `(store, leaf, root)`.
+pub fn chain_store(depth: usize) -> (ObjectStore, Surrogate, Surrogate) {
+    let mut st = ObjectStore::new(chain_catalog(depth)).unwrap();
+    let root = st.create_object("L0", vec![("X", Value::Int(7))]).unwrap();
+    let mut prev = root;
+    let mut leaf = root;
+    for i in 1..depth {
+        let o = st.create_object(&format!("L{i}"), vec![]).unwrap();
+        st.bind(&format!("AllOf_L{}", i - 1), prev, o, vec![]).unwrap();
+        prev = o;
+        leaf = o;
+    }
+    (st, leaf, root)
+}
+
+/// Zipf-ish popularity sampler over `n` items (rank-1/r weights).
+pub fn zipf_sample(r: &mut StdRng, n: usize) -> usize {
+    let total: f64 = (1..=n).map(|k| 1.0 / k as f64).sum();
+    let mut x = r.gen::<f64>() * total;
+    for k in 1..=n {
+        x -= 1.0 / k as f64;
+        if x <= 0.0 {
+            return k - 1;
+        }
+    }
+    n - 1
+}
+
+/// A reuse workload: `lib_size` library interfaces (each with `n_attrs`
+/// attributes) and `n_composites` composites, each using `per_composite`
+/// components drawn with Zipf popularity. Returns the store plus the
+/// composite inheritor surrogates.
+pub struct ReuseDag {
+    /// The populated store.
+    pub store: ObjectStore,
+    /// Library interfaces.
+    pub library: Vec<Surrogate>,
+    /// All component subobjects (inheritors), grouped by composite.
+    pub composites: Vec<Vec<Surrogate>>,
+}
+
+/// Build a reuse DAG (see [`ReuseDag`]). `seed` fixes the draw.
+pub fn reuse_dag(
+    lib_size: usize,
+    n_composites: usize,
+    per_composite: usize,
+    n_attrs: usize,
+    seed: u64,
+) -> ReuseDag {
+    let mut c = Catalog::new();
+    let attrs: Vec<AttrDef> =
+        (0..n_attrs).map(|i| AttrDef::new(&format!("A{i}"), Domain::Int)).collect();
+    c.register_object_type(ObjectTypeDef {
+        name: "If".into(),
+        attributes: attrs,
+        ..Default::default()
+    })
+    .unwrap();
+    c.register_inher_rel_type(InherRelTypeDef {
+        name: "AllOf_If".into(),
+        transmitter_type: "If".into(),
+        inheritor_type: None,
+        inheriting: (0..n_attrs).map(|i| format!("A{i}")).collect(),
+        attributes: vec![],
+        constraints: vec![],
+    })
+    .unwrap();
+    // A composite owns component subobjects which are the inheritors.
+    c.register_object_type(ObjectTypeDef {
+        name: "Component".into(),
+        inheritor_in: vec!["AllOf_If".into()],
+        attributes: vec![AttrDef::new("Pos", Domain::Point)],
+        ..Default::default()
+    })
+    .unwrap();
+    c.register_object_type(ObjectTypeDef {
+        name: "Assembly".into(),
+        attributes: vec![AttrDef::new("Name", Domain::Text)],
+        subclasses: vec![ccdb_core::schema::SubclassSpec {
+            name: "Parts".into(),
+            element_type: "Component".into(),
+        }],
+        ..Default::default()
+    })
+    .unwrap();
+
+    let mut st = ObjectStore::new(c).unwrap();
+    let mut r = rng(seed);
+    let mut library = Vec::with_capacity(lib_size);
+    for k in 0..lib_size {
+        let attrs: Vec<(String, Value)> = (0..n_attrs)
+            .map(|i| (format!("A{i}"), Value::Int((k * 1000 + i) as i64)))
+            .collect();
+        let refs: Vec<(&str, Value)> =
+            attrs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+        library.push(st.create_object("If", refs).unwrap());
+    }
+    let mut composites = Vec::with_capacity(n_composites);
+    for a in 0..n_composites {
+        let asm = st
+            .create_object("Assembly", vec![("Name", Value::Str(format!("asm-{a}")))])
+            .unwrap();
+        let mut parts = Vec::with_capacity(per_composite);
+        for p in 0..per_composite {
+            let comp = st
+                .create_subobject(
+                    asm,
+                    "Parts",
+                    vec![("Pos", Value::Point { x: p as i64, y: a as i64 })],
+                )
+                .unwrap();
+            let lib_idx = zipf_sample(&mut r, lib_size);
+            st.bind("AllOf_If", library[lib_idx], comp, vec![]).unwrap();
+            parts.push(comp);
+        }
+        composites.push(parts);
+    }
+    ReuseDag { store: st, library, composites }
+}
+
+/// A nested composite tree: each node is a complex object with `fanout`
+/// subobjects down to `depth`. Returns `(store, root, object_count)`.
+pub fn nested_tree(depth: usize, fanout: usize) -> (ObjectStore, Surrogate, usize) {
+    let mut c = Catalog::new();
+    c.register_object_type(ObjectTypeDef {
+        name: "Node".into(),
+        attributes: vec![AttrDef::new("Tag", Domain::Int)],
+        subclasses: vec![ccdb_core::schema::SubclassSpec {
+            name: "Children".into(),
+            element_type: "Node".into(),
+        }],
+        ..Default::default()
+    })
+    .unwrap();
+    let mut st = ObjectStore::new(c).unwrap();
+    let root = st.create_object("Node", vec![("Tag", Value::Int(0))]).unwrap();
+    let mut count = 1usize;
+    let mut frontier = vec![root];
+    for d in 1..=depth {
+        let mut next = Vec::new();
+        for parent in frontier {
+            for k in 0..fanout {
+                let child = st
+                    .create_subobject(
+                        parent,
+                        "Children",
+                        vec![("Tag", Value::Int((d * 1000 + k) as i64))],
+                    )
+                    .unwrap();
+                count += 1;
+                next.push(child);
+            }
+        }
+        frontier = next;
+    }
+    (st, root, count)
+}
+
+/// A complete §5 steel scenario: one weight-carrying structure assembled
+/// from one girder and one plate (each bound to its interface) with
+/// `n_screwings` screwing relationships, every constraint satisfiable.
+/// Returns `(store, structure)`.
+pub fn steel_structure(n_screwings: usize) -> (ObjectStore, Surrogate) {
+    let catalog = ccdb_lang::paper::steel_catalog().expect("paper schema compiles");
+    let mut st = ObjectStore::new(catalog).unwrap();
+
+    // Interfaces with one bore per screwing each.
+    let girder_if = st
+        .create_object(
+            "GirderInterface",
+            vec![
+                ("Length", Value::Int(400)),
+                ("Height", Value::Int(20)),
+                ("Width", Value::Int(10)),
+            ],
+        )
+        .unwrap();
+    let plate_if = st
+        .create_object(
+            "PlateInterface",
+            vec![
+                ("Thickness", Value::Int(5)),
+                (
+                    "Area",
+                    Value::record(vec![
+                        ("Length".into(), Value::Int(100)),
+                        ("Width".into(), Value::Int(50)),
+                    ]),
+                ),
+            ],
+        )
+        .unwrap();
+    let mut girder_bores = Vec::new();
+    let mut plate_bores = Vec::new();
+    for i in 0..n_screwings {
+        girder_bores.push(
+            st.create_subobject(
+                girder_if,
+                "Bores",
+                vec![
+                    ("Diameter", Value::Int(8)),
+                    ("Length", Value::Int(10)),
+                    ("Position", Value::Point { x: i as i64, y: 0 }),
+                ],
+            )
+            .unwrap(),
+        );
+        plate_bores.push(
+            st.create_subobject(
+                plate_if,
+                "Bores",
+                vec![
+                    ("Diameter", Value::Int(8)),
+                    ("Length", Value::Int(5)),
+                    ("Position", Value::Point { x: i as i64, y: 1 }),
+                ],
+            )
+            .unwrap(),
+        );
+    }
+
+    // Bolt/nut library parts: bolt long enough for both bores + nut.
+    let bolt = st
+        .create_object("BoltType", vec![("Length", Value::Int(19)), ("Diameter", Value::Int(8))])
+        .unwrap();
+    let nut = st
+        .create_object("NutType", vec![("Length", Value::Int(4)), ("Diameter", Value::Int(8))])
+        .unwrap();
+
+    // The structure with its component subobjects.
+    let structure = st
+        .create_object(
+            "WeightCarrying_Structure",
+            vec![
+                ("Designer", Value::Str("G. Pegels".into())),
+                ("Description", Value::Str("frame".into())),
+            ],
+        )
+        .unwrap();
+    let g = st.create_subobject(structure, "Girders", vec![]).unwrap();
+    st.bind("AllOf_GirderIf", girder_if, g, vec![]).unwrap();
+    let p = st.create_subobject(structure, "Plates", vec![]).unwrap();
+    st.bind("AllOf_PlateIf", plate_if, p, vec![]).unwrap();
+
+    // Screwings: each joins one girder bore with one plate bore and embeds
+    // a bolt + nut (as subobjects of the relationship, §5).
+    for i in 0..n_screwings {
+        let screwing = st
+            .create_subrel(
+                structure,
+                "Screwings",
+                vec![("Bores", vec![girder_bores[i], plate_bores[i]])],
+                vec![("Strength", Value::Int(100))],
+            )
+            .unwrap();
+        let b = st.create_rel_subobject(screwing, "Bolt", vec![]).unwrap();
+        st.bind("AllOf_BoltType", bolt, b, vec![]).unwrap();
+        let n = st.create_rel_subobject(screwing, "Nut", vec![]).unwrap();
+        st.bind("AllOf_NutType", nut, n, vec![]).unwrap();
+    }
+    (st, structure)
+}
+
+/// Bytes of attribute payload held by live objects in a store (for E9).
+pub fn store_attr_bytes(st: &ObjectStore) -> usize {
+    st.surrogates()
+        .map(|s| {
+            let o = st.object(s).unwrap();
+            o.attrs.iter().map(|(k, v)| k.len() + v.byte_size()).sum::<usize>()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fanout_store_binds_all() {
+        let (st, interface, imps) = fanout_store(10, 4, 2);
+        assert_eq!(imps.len(), 10);
+        assert_eq!(st.inheritance_rels_of(interface).len(), 10);
+        assert_eq!(st.attr(imps[3], "A1").unwrap(), Value::Int(1));
+        // Non-permeable attr invisible.
+        assert!(st.attr(imps[3], "A2").is_err());
+    }
+
+    #[test]
+    fn chain_store_resolves_to_root() {
+        let (st, leaf, root) = chain_store(5);
+        st.reset_stats();
+        assert_eq!(st.attr(leaf, "X").unwrap(), Value::Int(7));
+        assert_eq!(st.stats().hops, 4);
+        assert_ne!(leaf, root);
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let mut r = rng(1);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..10_000 {
+            counts[zipf_sample(&mut r, 10)] += 1;
+        }
+        assert!(counts[0] > counts[9] * 3, "{counts:?}");
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn reuse_dag_shapes() {
+        let dag = reuse_dag(5, 20, 3, 4, 42);
+        assert_eq!(dag.library.len(), 5);
+        assert_eq!(dag.composites.len(), 20);
+        assert!(dag.composites.iter().all(|c| c.len() == 3));
+        // Every part resolves its inherited attributes.
+        let part = dag.composites[0][0];
+        assert!(dag.store.attr(part, "A0").is_ok());
+        // Determinism.
+        let dag2 = reuse_dag(5, 20, 3, 4, 42);
+        let a = dag.store.attr(part, "A0").unwrap();
+        let b = dag2.store.attr(dag2.composites[0][0], "A0").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn steel_structure_satisfies_all_constraints() {
+        let (st, structure) = steel_structure(2);
+        let violations = st.check_all().unwrap();
+        assert!(violations.is_empty(), "{violations:?}");
+        // Bolt length = nut length + sum of bore lengths: 4 + 10 + 5 = 19.
+        let screwings = st.subclass_members(structure, "Screwings").unwrap();
+        assert_eq!(screwings.len(), 2);
+        let bolts = st.subclass_members(screwings[0], "Bolt").unwrap();
+        assert_eq!(st.attr(bolts[0], "Length").unwrap(), Value::Int(19));
+    }
+
+    #[test]
+    fn steel_structure_detects_bad_bolt() {
+        let (mut st, _structure) = steel_structure(1);
+        // Shorten the library bolt: the screwing constraint must fail.
+        let bolt = st
+            .surrogates()
+            .find(|s| st.object(*s).unwrap().type_name == "BoltType")
+            .unwrap();
+        st.set_attr(bolt, "Length", Value::Int(3)).unwrap();
+        let violations = st.check_all().unwrap();
+        assert!(!violations.is_empty());
+    }
+
+    #[test]
+    fn nested_tree_counts() {
+        let (st, root, count) = nested_tree(3, 2);
+        assert_eq!(count, 1 + 2 + 4 + 8);
+        assert_eq!(st.object_count(), count);
+        assert_eq!(st.subclass_members(root, "Children").unwrap().len(), 2);
+    }
+}

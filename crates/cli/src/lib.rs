@@ -1,0 +1,226 @@
+#![warn(missing_docs)]
+
+//! # ccdb-cli
+//!
+//! Schema tooling for the paper's definition language:
+//!
+//! - `ccdb check <file>` — parse, compile, and validate a schema; print a
+//!   summary of the declared types;
+//! - `ccdb effective <file> <type>` — show a type's *effective schema*
+//!   (local + inherited items with their provenance);
+//! - `ccdb render <file>` — normalize: compile and render back to source.
+//!
+//! The functions are exposed as a library so they are unit-testable; the
+//! binary is a thin wrapper.
+
+use ccdb_core::schema::{Catalog, ItemSource};
+use ccdb_lang::{compile_str, render};
+
+/// CLI failure: message for stderr + suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn fail<T>(message: impl Into<String>, code: i32) -> Result<T, CliError> {
+    Err(CliError { message: message.into(), code })
+}
+
+/// Compile and validate schema text into a catalog.
+pub fn load_catalog(source: &str) -> Result<Catalog, CliError> {
+    let mut catalog = Catalog::new();
+    compile_str(source, &mut catalog).map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+    catalog.validate().map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+    Ok(catalog)
+}
+
+/// `check`: validate and summarize.
+pub fn cmd_check(source: &str) -> Result<String, CliError> {
+    let catalog = load_catalog(source)?;
+    let mut out = String::from("schema OK\n");
+    let obj_names: Vec<&str> =
+        catalog.object_type_names().into_iter().filter(|n| !n.contains('.')).collect();
+    out.push_str(&format!("  object types        : {}\n", obj_names.len()));
+    for n in &obj_names {
+        let def = catalog.object_type(n).expect("listed");
+        let mut notes = Vec::new();
+        if !def.inheritor_in.is_empty() {
+            notes.push(format!("inheritor-in {}", def.inheritor_in.join(", ")));
+        }
+        if !def.subclasses.is_empty() {
+            notes.push(format!("{} subclass(es)", def.subclasses.len()));
+        }
+        if !def.subrels.is_empty() {
+            notes.push(format!("{} subrel(s)", def.subrels.len()));
+        }
+        if !def.constraints.is_empty() {
+            notes.push(format!("{} constraint(s)", def.constraints.len()));
+        }
+        let suffix = if notes.is_empty() { String::new() } else { format!(" — {}", notes.join(", ")) };
+        out.push_str(&format!("    {n}{suffix}\n"));
+    }
+    out.push_str(&format!(
+        "  relationship types  : {}\n",
+        catalog.rel_type_names().len()
+    ));
+    for n in catalog.rel_type_names() {
+        out.push_str(&format!("    {n}\n"));
+    }
+    out.push_str(&format!(
+        "  inheritance rels    : {}\n",
+        catalog.inher_rel_type_names().len()
+    ));
+    for n in catalog.inher_rel_type_names() {
+        let def = catalog.inher_rel_type(n).expect("listed");
+        out.push_str(&format!(
+            "    {n}: {} ─▶ inheritor ({} item(s) permeable)\n",
+            def.transmitter_type,
+            def.inheriting.len()
+        ));
+    }
+    Ok(out)
+}
+
+/// `effective`: print a type's effective schema with provenance.
+pub fn cmd_effective(source: &str, type_name: &str) -> Result<String, CliError> {
+    let catalog = load_catalog(source)?;
+    let eff = catalog
+        .effective_schema(type_name)
+        .map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+    let mut out = format!("effective schema of {type_name}:\n");
+    out.push_str("  attributes:\n");
+    for (name, domain, source) in &eff.attrs {
+        out.push_str(&format!(
+            "    {name}: {} {}\n",
+            domain.describe(),
+            provenance(source)
+        ));
+    }
+    if !eff.subclasses.is_empty() {
+        out.push_str("  subclasses:\n");
+        for (name, elem, source) in &eff.subclasses {
+            out.push_str(&format!("    {name}: {elem} {}\n", provenance(source)));
+        }
+    }
+    Ok(out)
+}
+
+fn provenance(s: &ItemSource) -> String {
+    match s {
+        ItemSource::Local => "(local)".to_string(),
+        ItemSource::Inherited { via_rel, from_type } => {
+            format!("(inherited from {from_type} via {via_rel})")
+        }
+    }
+}
+
+/// `render`: compile then render back to normalized source.
+pub fn cmd_render(source: &str) -> Result<String, CliError> {
+    let catalog = load_catalog(source)?;
+    render(&catalog).map_err(|e| CliError { message: e.to_string(), code: 1 })
+}
+
+/// Dispatch `argv[1..]`; returns the stdout text.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let usage = "usage: ccdb <check|effective|render> <schema-file> [type]";
+    let cmd = args.first().map(String::as_str).unwrap_or("");
+    let read = |path: &str| -> Result<String, CliError> {
+        std::fs::read_to_string(path)
+            .map_err(|e| CliError { message: format!("cannot read `{path}`: {e}"), code: 2 })
+    };
+    match cmd {
+        "check" => {
+            let path = args.get(1).map(String::as_str);
+            let Some(path) = path else { return fail(usage, 2) };
+            cmd_check(&read(path)?)
+        }
+        "effective" => {
+            let (Some(path), Some(ty)) = (args.get(1), args.get(2)) else {
+                return fail(usage, 2);
+            };
+            cmd_effective(&read(path)?, ty)
+        }
+        "render" => {
+            let Some(path) = args.get(1) else { return fail(usage, 2) };
+            cmd_render(&read(path)?)
+        }
+        _ => fail(usage, 2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCHEMA: &str = r#"
+        obj-type If =
+            attributes: Length: integer;
+        end If;
+        inher-rel-type AllOf_If =
+            transmitter: object-of-type If;
+            inheritor: object;
+            inheriting: Length;
+        end AllOf_If;
+        obj-type Impl =
+            inheritor-in: AllOf_If;
+            attributes: Cost: integer;
+        end Impl;
+    "#;
+
+    #[test]
+    fn check_summarizes() {
+        let out = cmd_check(SCHEMA).unwrap();
+        assert!(out.contains("schema OK"));
+        assert!(out.contains("Impl — inheritor-in AllOf_If"), "{out}");
+        assert!(out.contains("AllOf_If: If"), "{out}");
+    }
+
+    #[test]
+    fn check_reports_invalid_schema() {
+        let err = cmd_check("obj-type Broken = attributes: X: NoDomain; end Broken;").unwrap_err();
+        assert!(err.message.contains("NoDomain"));
+        assert_eq!(err.code, 1);
+    }
+
+    #[test]
+    fn effective_shows_provenance() {
+        let out = cmd_effective(SCHEMA, "Impl").unwrap();
+        assert!(out.contains("Cost: integer (local)"), "{out}");
+        assert!(out.contains("Length: integer (inherited from If via AllOf_If)"), "{out}");
+        assert!(cmd_effective(SCHEMA, "Ghost").is_err());
+    }
+
+    #[test]
+    fn render_roundtrips_through_cli() {
+        let rendered = cmd_render(SCHEMA).unwrap();
+        let again = cmd_check(&rendered).unwrap();
+        assert!(again.contains("schema OK"));
+    }
+
+    #[test]
+    fn run_dispatches_and_validates_args() {
+        let dir = tempfile::tempdir().unwrap();
+        let file = dir.path().join("s.ccdb");
+        std::fs::write(&file, SCHEMA).unwrap();
+        let path = file.to_str().unwrap().to_string();
+        assert!(run(&["check".into(), path.clone()]).unwrap().contains("schema OK"));
+        assert!(run(&["effective".into(), path.clone(), "Impl".into()])
+            .unwrap()
+            .contains("(local)"));
+        assert!(run(&["render".into(), path]).is_ok());
+        assert_eq!(run(&["bogus".into()]).unwrap_err().code, 2);
+        assert_eq!(run(&[]).unwrap_err().code, 2);
+        assert_eq!(run(&["check".into(), "/no/such/file".into()]).unwrap_err().code, 2);
+    }
+}

@@ -1,0 +1,12 @@
+//! The `ccdb` schema tool. See [`ccdb_cli`] for the commands.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match ccdb_cli::run(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("ccdb: {e}");
+            std::process::exit(e.code);
+        }
+    }
+}

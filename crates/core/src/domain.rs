@@ -1,0 +1,93 @@
+//! Domains: the types of attribute values (§3).
+//!
+//! "Attribute values belong to a particular domain. Domains may be simple
+//! (integer, string, etc.) or structured (using constructors as record,
+//! list-of, set-of, etc.)." The paper's examples add enumeration domains
+//! (`(AND, OR, NOR, NAND)`), `Point`, and `matrix-of boolean`.
+
+use serde::{Deserialize, Serialize};
+
+/// The domain of an attribute.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Domain {
+    /// Signed integers.
+    Int,
+    /// Floating-point numbers (not used by the paper's examples but natural
+    /// for mechanical-engineering attributes).
+    Real,
+    /// Booleans.
+    Bool,
+    /// Character strings (the paper's `char`).
+    Text,
+    /// Enumeration of literal symbols, e.g. `(AND, OR, NOR, NAND)`.
+    Enum(Vec<String>),
+    /// 2-d integer point, e.g. `domain Point = (X, Y: integer)`.
+    Point,
+    /// Record with named, typed fields, e.g. `AreaDom`.
+    Record(Vec<(String, Domain)>),
+    /// Ordered list, e.g. `Corners: list-of Point`.
+    ListOf(Box<Domain>),
+    /// Unordered collection without duplicates, e.g. `Pins: set-of (...)`.
+    SetOf(Box<Domain>),
+    /// Rectangular matrix, e.g. `Function: matrix-of boolean`.
+    MatrixOf(Box<Domain>),
+    /// Reference to another object, optionally restricted to a type.
+    Ref(Option<String>),
+}
+
+impl Domain {
+    /// Human-readable rendering used in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Domain::Int => "integer".to_string(),
+            Domain::Real => "real".to_string(),
+            Domain::Bool => "boolean".to_string(),
+            Domain::Text => "char".to_string(),
+            Domain::Enum(items) => format!("({})", items.join(", ")),
+            Domain::Point => "Point".to_string(),
+            Domain::Record(fields) => {
+                let inner: Vec<String> =
+                    fields.iter().map(|(n, d)| format!("{n}: {}", d.describe())).collect();
+                format!("record ({})", inner.join("; "))
+            }
+            Domain::ListOf(d) => format!("list-of {}", d.describe()),
+            Domain::SetOf(d) => format!("set-of {}", d.describe()),
+            Domain::MatrixOf(d) => format!("matrix-of {}", d.describe()),
+            Domain::Ref(Some(t)) => format!("object-of-type {t}"),
+            Domain::Ref(None) => "object".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_is_paper_flavoured() {
+        assert_eq!(Domain::Int.describe(), "integer");
+        assert_eq!(
+            Domain::Enum(vec!["AND".into(), "OR".into()]).describe(),
+            "(AND, OR)"
+        );
+        assert_eq!(Domain::SetOf(Box::new(Domain::Point)).describe(), "set-of Point");
+        assert_eq!(
+            Domain::MatrixOf(Box::new(Domain::Bool)).describe(),
+            "matrix-of boolean"
+        );
+        assert_eq!(Domain::Ref(Some("PinType".into())).describe(), "object-of-type PinType");
+        let area = Domain::Record(vec![("Length".into(), Domain::Int), ("Width".into(), Domain::Int)]);
+        assert!(area.describe().contains("Length: integer"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = Domain::ListOf(Box::new(Domain::Record(vec![(
+            "Pos".into(),
+            Domain::Point,
+        )])));
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Domain = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

@@ -1,0 +1,197 @@
+//! Error type for the object model.
+
+use std::fmt;
+
+use crate::surrogate::Surrogate;
+
+/// Result alias used throughout the core crate.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+/// Errors surfaced by the schema catalog and object store.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A named type/domain/class was not found in the catalog or store.
+    Unknown {
+        /// What kind of name failed to resolve ("domain", "class", …).
+        kind: &'static str,
+        /// The unresolved name.
+        name: String,
+    },
+    /// A type, domain, or class name was registered twice.
+    Duplicate {
+        /// What kind of name collided.
+        kind: &'static str,
+        /// The colliding name.
+        name: String,
+    },
+    /// A schema definition failed validation.
+    InvalidSchema {
+        /// The offending type.
+        type_name: String,
+        /// Why it is invalid.
+        reason: String,
+    },
+    /// A surrogate did not resolve to a live object.
+    NoSuchObject(Surrogate),
+    /// An attribute is not part of an object's effective type.
+    NoSuchAttribute {
+        /// The queried object.
+        object: Surrogate,
+        /// The unknown attribute.
+        attr: String,
+    },
+    /// A subclass name is not part of an object's effective type.
+    NoSuchSubclass {
+        /// The queried object.
+        object: Surrogate,
+        /// The unknown subclass.
+        subclass: String,
+    },
+    /// A value did not conform to the attribute's domain.
+    DomainMismatch {
+        /// The attribute being written.
+        attr: String,
+        /// The declared domain.
+        expected: String,
+        /// The rejected value.
+        got: String,
+    },
+    /// Attempted update of data reaching the object only through an
+    /// inheritance relationship (paper §2: inherited data is read-only in
+    /// the inheritor).
+    InheritedReadOnly {
+        /// The inheritor that was written to.
+        object: Surrogate,
+        /// The inherited (read-only) item.
+        attr: String,
+    },
+    /// An object offered as participant/transmitter/inheritor has the wrong
+    /// type for the relationship definition.
+    TypeMismatch {
+        /// The required type.
+        expected: String,
+        /// The offered type.
+        got: String,
+        /// The role being filled.
+        role: String,
+    },
+    /// Binding would create an inheritance cycle at the object level.
+    InheritanceCycle {
+        /// The inheritor whose binding would close the cycle.
+        object: Surrogate,
+    },
+    /// The object is already bound as inheritor in this relationship type.
+    AlreadyBound {
+        /// The already-bound inheritor.
+        object: Surrogate,
+        /// The inheritance-relationship type.
+        rel_type: String,
+    },
+    /// The object type is not declared `inheritor-in` the relationship type.
+    NotAnInheritor {
+        /// The offending object type.
+        type_name: String,
+        /// The inheritance-relationship type.
+        rel_type: String,
+    },
+    /// Deleting a transmitter that still has bound inheritors.
+    TransmitterInUse {
+        /// The protected transmitter.
+        object: Surrogate,
+        /// How many inheritors still depend on it.
+        inheritors: usize,
+    },
+    /// An integrity constraint failed at check time.
+    ConstraintViolated {
+        /// The violating object.
+        object: Surrogate,
+        /// The constraint label.
+        constraint: String,
+    },
+    /// An expression could not be evaluated against an object.
+    EvalError(String),
+    /// Persistence layer failure.
+    Storage(String),
+    /// Serialization failure when persisting objects.
+    Codec(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Unknown { kind, name } => write!(f, "unknown {kind} `{name}`"),
+            CoreError::Duplicate { kind, name } => write!(f, "duplicate {kind} `{name}`"),
+            CoreError::InvalidSchema { type_name, reason } => {
+                write!(f, "invalid schema for `{type_name}`: {reason}")
+            }
+            CoreError::NoSuchObject(s) => write!(f, "no object with surrogate {s}"),
+            CoreError::NoSuchAttribute { object, attr } => {
+                write!(f, "object {object} has no attribute `{attr}`")
+            }
+            CoreError::NoSuchSubclass { object, subclass } => {
+                write!(f, "object {object} has no subclass `{subclass}`")
+            }
+            CoreError::DomainMismatch { attr, expected, got } => {
+                write!(f, "attribute `{attr}` expects {expected}, got {got}")
+            }
+            CoreError::InheritedReadOnly { object, attr } => write!(
+                f,
+                "attribute `{attr}` of object {object} is inherited and read-only in the inheritor"
+            ),
+            CoreError::TypeMismatch { expected, got, role } => {
+                write!(f, "{role} must be of type `{expected}`, got `{got}`")
+            }
+            CoreError::InheritanceCycle { object } => {
+                write!(f, "binding object {object} would create an inheritance cycle")
+            }
+            CoreError::AlreadyBound { object, rel_type } => {
+                write!(f, "object {object} is already bound as inheritor in `{rel_type}`")
+            }
+            CoreError::NotAnInheritor { type_name, rel_type } => {
+                write!(f, "type `{type_name}` is not declared inheritor-in `{rel_type}`")
+            }
+            CoreError::TransmitterInUse { object, inheritors } => write!(
+                f,
+                "object {object} still transmits to {inheritors} inheritor(s); unbind them first"
+            ),
+            CoreError::ConstraintViolated { object, constraint } => {
+                write!(f, "object {object} violates constraint: {constraint}")
+            }
+            CoreError::EvalError(msg) => write!(f, "expression evaluation failed: {msg}"),
+            CoreError::Storage(msg) => write!(f, "storage error: {msg}"),
+            CoreError::Codec(msg) => write!(f, "codec error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<ccdb_storage::StorageError> for CoreError {
+    fn from(e: ccdb_storage::StorageError) -> Self {
+        CoreError::Storage(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_facts() {
+        let e = CoreError::InheritedReadOnly { object: Surrogate(9), attr: "Pins".into() };
+        let s = e.to_string();
+        assert!(s.contains("Pins") && s.contains("read-only"));
+        let e = CoreError::NotAnInheritor {
+            type_name: "Plate".into(),
+            rel_type: "AllOf_GirderIf".into(),
+        };
+        assert!(e.to_string().contains("inheritor-in"));
+    }
+
+    #[test]
+    fn storage_error_converts() {
+        let se = ccdb_storage::StorageError::KeyNotFound(3);
+        let ce: CoreError = se.into();
+        assert!(matches!(ce, CoreError::Storage(_)));
+    }
+}

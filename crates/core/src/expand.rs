@@ -1,0 +1,272 @@
+//! Expansion of composite objects (§6): a materialized view of an object
+//! with all inherited attributes resolved and all components expanded.
+//!
+//! Expansion serves two purposes in the paper: presenting a composite with
+//! its components materialized during design, and defining the footprint of
+//! *expansion locking* — the set of objects whose data is visible in the
+//! expansion and therefore must be read-locked (`ccdb-txn` uses
+//! [`expansion_footprint`]).
+
+use std::collections::BTreeSet;
+
+use crate::error::CoreResult;
+use crate::object::ObjectKind;
+use crate::schema::ItemSource;
+use crate::store::ObjectStore;
+use crate::surrogate::Surrogate;
+use crate::value::Value;
+
+/// A materialized (snapshot) view of an object.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExpandedObject {
+    /// The expanded object.
+    pub surrogate: Surrogate,
+    /// Its type.
+    pub type_name: String,
+    /// Attribute name → (resolved value, came-through-inheritance flag).
+    pub attrs: Vec<(String, Value, bool)>,
+    /// Subclass name → (expanded members, inherited flag).
+    pub subclasses: Vec<(String, Vec<ExpandedObject>, bool)>,
+}
+
+impl ExpandedObject {
+    /// Total number of objects in this expansion (including self).
+    pub fn object_count(&self) -> usize {
+        1 + self
+            .subclasses
+            .iter()
+            .flat_map(|(_, members, _)| members.iter())
+            .map(ExpandedObject::object_count)
+            .sum::<usize>()
+    }
+
+    /// Approximate materialized size in bytes (attribute payloads).
+    pub fn byte_size(&self) -> usize {
+        self.attrs.iter().map(|(n, v, _)| n.len() + v.byte_size()).sum::<usize>()
+            + self
+                .subclasses
+                .iter()
+                .flat_map(|(_, members, _)| members.iter())
+                .map(ExpandedObject::byte_size)
+                .sum::<usize>()
+    }
+
+    /// Render as an indented tree (used by the figure reproductions).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        out.push_str(&format!("{pad}{} : {}\n", self.surrogate, self.type_name));
+        for (name, value, inherited) in &self.attrs {
+            let marker = if *inherited { " (inherited)" } else { "" };
+            out.push_str(&format!("{pad}  .{name} = {value}{marker}\n"));
+        }
+        for (name, members, inherited) in &self.subclasses {
+            let marker = if *inherited { " (inherited)" } else { "" };
+            out.push_str(&format!("{pad}  [{name}]{marker}\n"));
+            for m in members {
+                m.render_into(out, indent + 2);
+            }
+        }
+    }
+}
+
+/// Expand `obj` down to `max_depth` nesting levels (`usize::MAX` for full).
+pub fn expand(store: &ObjectStore, obj: Surrogate, max_depth: usize) -> CoreResult<ExpandedObject> {
+    let o = store.object(obj)?;
+    let type_name = o.type_name.clone();
+    let mut attrs = Vec::new();
+    let mut subclasses = Vec::new();
+
+    // Attribute names: local (declared on the object's own type) followed by
+    // inherited (from the effective schema).
+    let (attr_names, subclass_names) = declared_items(store, &type_name)?;
+    for (name, inherited) in attr_names {
+        let value = store.attr(obj, &name)?;
+        attrs.push((name, value, inherited));
+    }
+    if max_depth > 0 {
+        for (name, inherited) in subclass_names {
+            let members = store.subclass_members(obj, &name)?;
+            let mut expanded = Vec::with_capacity(members.len());
+            for m in members {
+                expanded.push(expand(store, m, max_depth - 1)?);
+            }
+            subclasses.push((name, expanded, inherited));
+        }
+    }
+    Ok(ExpandedObject { surrogate: obj, type_name, attrs, subclasses })
+}
+
+/// All objects whose data is visible in the full expansion of `obj`: the
+/// object itself, its (transitive) subobjects, and every (transitive)
+/// transmitter reached through inheritance bindings. This is exactly the
+/// read-lock footprint of §6's lock inheritance.
+pub fn expansion_footprint(store: &ObjectStore, obj: Surrogate) -> CoreResult<BTreeSet<Surrogate>> {
+    let mut seen = BTreeSet::new();
+    let mut stack = vec![obj];
+    while let Some(s) = stack.pop() {
+        if !seen.insert(s) {
+            continue;
+        }
+        let o = store.object(s)?;
+        stack.extend(o.all_subclass_members());
+        for rel in o.bindings.values() {
+            if let Some(t) = store.object(*rel)?.transmitter() {
+                stack.push(t);
+            }
+        }
+        // Relationship members among subobjects pull in their participants'
+        // visibility only if those participants are already in the tree;
+        // participants outside the tree are not part of the object's data.
+        if let ObjectKind::Relationship { .. } = o.kind {
+            // nothing extra: participants are referenced, not contained
+        }
+    }
+    Ok(seen)
+}
+
+/// `(name, inherited?)` pairs for attributes and subclasses of a type.
+type NamedItems = Vec<(String, bool)>;
+
+fn declared_items(
+    store: &ObjectStore,
+    type_name: &str,
+) -> CoreResult<(NamedItems, NamedItems)> {
+    let catalog = store.catalog();
+    // Plain object types have effective schemas; relationship types only
+    // local items.
+    if catalog.object_type(type_name).is_ok() {
+        let eff = catalog.effective_schema(type_name)?;
+        let attrs = eff
+            .attrs
+            .iter()
+            .map(|(n, _, s)| (n.clone(), s != &ItemSource::Local))
+            .collect();
+        let mut subclasses: Vec<(String, bool)> = eff
+            .subclasses
+            .iter()
+            .map(|(n, _, s)| (n.clone(), s != &ItemSource::Local))
+            .collect();
+        // Subrels are local-only.
+        for sr in &catalog.object_type(type_name)?.subrels {
+            subclasses.push((sr.name.clone(), false));
+        }
+        Ok((attrs, subclasses))
+    } else if let Ok(def) = catalog.rel_type(type_name) {
+        Ok((
+            def.attributes.iter().map(|a| (a.name.clone(), false)).collect(),
+            def.subclasses.iter().map(|sc| (sc.name.clone(), false)).collect(),
+        ))
+    } else {
+        let def = catalog.inher_rel_type(type_name)?;
+        Ok((def.attributes.iter().map(|a| (a.name.clone(), false)).collect(), vec![]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::schema::{AttrDef, Catalog, InherRelTypeDef, ObjectTypeDef, SubclassSpec};
+
+    /// Interface with pins; implementation inherits; composite holds
+    /// sub-implementations.
+    fn setup() -> (ObjectStore, Surrogate, Surrogate) {
+        let mut c = Catalog::new();
+        c.register_object_type(ObjectTypeDef {
+            name: "Pin".into(),
+            attributes: vec![AttrDef::new("Id", Domain::Int)],
+            ..Default::default()
+        })
+        .unwrap();
+        c.register_object_type(ObjectTypeDef {
+            name: "If".into(),
+            attributes: vec![AttrDef::new("Length", Domain::Int)],
+            subclasses: vec![SubclassSpec { name: "Pins".into(), element_type: "Pin".into() }],
+            ..Default::default()
+        })
+        .unwrap();
+        c.register_inher_rel_type(InherRelTypeDef {
+            name: "AllOf_If".into(),
+            transmitter_type: "If".into(),
+            inheritor_type: None,
+            inheriting: vec!["Length".into(), "Pins".into()],
+            attributes: vec![],
+            constraints: vec![],
+        })
+        .unwrap();
+        c.register_object_type(ObjectTypeDef {
+            name: "Impl".into(),
+            inheritor_in: vec!["AllOf_If".into()],
+            attributes: vec![AttrDef::new("Cost", Domain::Int)],
+            ..Default::default()
+        })
+        .unwrap();
+        let mut store = ObjectStore::new(c).unwrap();
+        let interface = store.create_object("If", vec![("Length", Value::Int(7))]).unwrap();
+        store.create_subobject(interface, "Pins", vec![("Id", Value::Int(1))]).unwrap();
+        store.create_subobject(interface, "Pins", vec![("Id", Value::Int(2))]).unwrap();
+        let implementation = store.create_object("Impl", vec![("Cost", Value::Int(3))]).unwrap();
+        store.bind("AllOf_If", interface, implementation, vec![]).unwrap();
+        (store, interface, implementation)
+    }
+
+    #[test]
+    fn expansion_materializes_inherited_data() {
+        let (store, _if_, impl_) = setup();
+        let e = expand(&store, impl_, usize::MAX).unwrap();
+        assert_eq!(e.type_name, "Impl");
+        let (_, cost, inh) = e.attrs.iter().find(|(n, _, _)| n == "Cost").unwrap();
+        assert_eq!((cost, *inh), (&Value::Int(3), false));
+        let (_, len, inh) = e.attrs.iter().find(|(n, _, _)| n == "Length").unwrap();
+        assert_eq!((len, *inh), (&Value::Int(7), true));
+        let (_, pins, inh) = e.subclasses.iter().find(|(n, _, _)| n == "Pins").unwrap();
+        assert!(inh);
+        assert_eq!(pins.len(), 2);
+        assert_eq!(e.object_count(), 3);
+        assert!(e.byte_size() > 0);
+    }
+
+    #[test]
+    fn depth_limit_cuts_subtrees() {
+        let (store, interface, _) = setup();
+        let shallow = expand(&store, interface, 0).unwrap();
+        assert!(shallow.subclasses.is_empty());
+        assert_eq!(shallow.object_count(), 1);
+    }
+
+    #[test]
+    fn footprint_includes_transmitters_and_subobjects() {
+        let (store, interface, impl_) = setup();
+        let fp = expansion_footprint(&store, impl_).unwrap();
+        assert!(fp.contains(&impl_));
+        assert!(fp.contains(&interface), "transmitter is read when expanding");
+        // The interface's pins are in the footprint too.
+        assert_eq!(fp.len(), 4, "impl + if + 2 pins, got {fp:?}");
+    }
+
+    #[test]
+    fn render_marks_inherited_items() {
+        let (store, _, impl_) = setup();
+        let text = expand(&store, impl_, usize::MAX).unwrap().render();
+        assert!(text.contains("Length = 7 (inherited)"), "{text}");
+        assert!(text.contains(".Cost = 3\n"), "{text}");
+        assert!(text.contains("[Pins] (inherited)"), "{text}");
+    }
+
+    #[test]
+    fn unbound_inheritor_expands_with_missing_values() {
+        let (mut store, _, _) = setup();
+        let unbound = store.create_object("Impl", vec![("Cost", Value::Int(1))]).unwrap();
+        let e = expand(&store, unbound, usize::MAX).unwrap();
+        let (_, len, _) = e.attrs.iter().find(|(n, _, _)| n == "Length").unwrap();
+        assert_eq!(len, &Value::Missing);
+        let (_, pins, _) = e.subclasses.iter().find(|(n, _, _)| n == "Pins").unwrap();
+        assert!(pins.is_empty());
+    }
+}

@@ -1,0 +1,245 @@
+//! Persistence bridge: save/load an [`ObjectStore`] to the durable,
+//! WAL-protected KV store of `ccdb-storage`.
+//!
+//! Layout: key 0 holds the serialized catalog, key 1 the class directory,
+//! and each object lives at `OBJ_BASE + surrogate`. Objects are serialized
+//! as JSON (one record per object), so individual object updates map to
+//! individual transactional KV writes — [`save_object`] is what an
+//! application calls after mutating one object inside a transaction.
+
+use ccdb_storage::kv::{DurableKv, KvTx};
+
+use crate::error::{CoreError, CoreResult};
+use crate::object::ObjectData;
+use crate::schema::Catalog;
+use crate::store::ObjectStore;
+use crate::surrogate::Surrogate;
+
+/// Key of the catalog record.
+pub const KEY_CATALOG: u64 = 0;
+/// Key of the class-directory record.
+pub const KEY_CLASSES: u64 = 1;
+/// Objects are stored at `OBJ_BASE + surrogate`.
+pub const OBJ_BASE: u64 = 16;
+
+fn codec_err<E: std::fmt::Display>(e: E) -> CoreError {
+    CoreError::Codec(e.to_string())
+}
+
+/// Key under which `surrogate`'s object record is stored.
+pub fn object_key(surrogate: Surrogate) -> u64 {
+    OBJ_BASE + surrogate.0
+}
+
+/// Serialized class directory entry.
+type ClassRow = (String, String, Vec<Surrogate>);
+
+/// Write the complete store (catalog, classes, all objects) in one
+/// transaction.
+pub fn save_store(store: &ObjectStore, kv: &DurableKv) -> CoreResult<()> {
+    let tx = kv.begin()?;
+    let cat = serde_json::to_vec(store.catalog()).map_err(codec_err)?;
+    kv.put(tx, KEY_CATALOG, &cat)?;
+    let classes: Vec<ClassRow> = store
+        .classes_map()
+        .iter()
+        .map(|(name, def)| (name.clone(), def.type_name.clone(), def.members.clone()))
+        .collect();
+    kv.put(tx, KEY_CLASSES, &serde_json::to_vec(&classes).map_err(codec_err)?)?;
+    for (s, obj) in store.objects_map() {
+        kv.put(tx, object_key(*s), &serde_json::to_vec(obj).map_err(codec_err)?)?;
+    }
+    kv.commit(tx)?;
+    Ok(())
+}
+
+/// Write one object record inside an existing transaction.
+pub fn save_object(store: &ObjectStore, kv: &DurableKv, tx: KvTx, s: Surrogate) -> CoreResult<()> {
+    let obj = store.object(s)?;
+    kv.put(tx, object_key(s), &serde_json::to_vec(obj).map_err(codec_err)?)?;
+    Ok(())
+}
+
+/// Delete one object record inside an existing transaction.
+pub fn delete_object(kv: &DurableKv, tx: KvTx, s: Surrogate) -> CoreResult<()> {
+    kv.delete(tx, object_key(s))?;
+    Ok(())
+}
+
+/// Load a complete store from the KV store.
+pub fn load_store(kv: &DurableKv) -> CoreResult<ObjectStore> {
+    let cat_bytes = kv
+        .get(KEY_CATALOG)?
+        .ok_or_else(|| CoreError::Storage("no catalog record; store never saved".into()))?;
+    let catalog: Catalog = serde_json::from_slice(&cat_bytes).map_err(codec_err)?;
+    let classes: Vec<ClassRow> = match kv.get(KEY_CLASSES)? {
+        Some(bytes) => serde_json::from_slice(&bytes).map_err(codec_err)?,
+        None => vec![],
+    };
+    let mut objects = Vec::new();
+    for (key, bytes) in kv.scan()? {
+        if key < OBJ_BASE {
+            continue;
+        }
+        let obj: ObjectData = serde_json::from_slice(&bytes).map_err(codec_err)?;
+        objects.push(obj);
+    }
+    ObjectStore::restore(catalog, objects, classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::schema::{AttrDef, InherRelTypeDef, ObjectTypeDef, SubclassSpec};
+    use crate::value::Value;
+
+    fn sample_store() -> (ObjectStore, Surrogate, Surrogate) {
+        let mut c = Catalog::new();
+        c.register_object_type(ObjectTypeDef {
+            name: "Pin".into(),
+            attributes: vec![AttrDef::new("Id", Domain::Int)],
+            ..Default::default()
+        })
+        .unwrap();
+        c.register_object_type(ObjectTypeDef {
+            name: "If".into(),
+            attributes: vec![AttrDef::new("Length", Domain::Int)],
+            subclasses: vec![SubclassSpec { name: "Pins".into(), element_type: "Pin".into() }],
+            ..Default::default()
+        })
+        .unwrap();
+        c.register_inher_rel_type(InherRelTypeDef {
+            name: "AllOf_If".into(),
+            transmitter_type: "If".into(),
+            inheritor_type: None,
+            inheriting: vec!["Length".into(), "Pins".into()],
+            attributes: vec![],
+            constraints: vec![],
+        })
+        .unwrap();
+        c.register_object_type(ObjectTypeDef {
+            name: "Impl".into(),
+            inheritor_in: vec!["AllOf_If".into()],
+            ..Default::default()
+        })
+        .unwrap();
+        let mut store = ObjectStore::new(c).unwrap();
+        store.create_class("Interfaces", "If").unwrap();
+        let interface =
+            store.create_in_class("Interfaces", vec![("Length", Value::Int(5))]).unwrap();
+        store.create_subobject(interface, "Pins", vec![("Id", Value::Int(1))]).unwrap();
+        let implementation = store.create_object("Impl", vec![]).unwrap();
+        store.bind("AllOf_If", interface, implementation, vec![]).unwrap();
+        (store, interface, implementation)
+    }
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let (store, interface, implementation) = sample_store();
+        let dir = tempfile::tempdir().unwrap();
+        let kv = DurableKv::open(dir.path()).unwrap();
+        save_store(&store, &kv).unwrap();
+
+        let loaded = load_store(&kv).unwrap();
+        assert_eq!(loaded.object_count(), store.object_count());
+        // Inheritance still resolves after reload.
+        assert_eq!(loaded.attr(implementation, "Length").unwrap(), Value::Int(5));
+        assert_eq!(loaded.subclass_members(implementation, "Pins").unwrap().len(), 1);
+        // Classes restored.
+        assert_eq!(loaded.class_members("Interfaces").unwrap(), &[interface]);
+        // Indexes restored: transmitter still protected from deletion.
+        let mut loaded = loaded;
+        assert!(matches!(
+            loaded.delete(interface),
+            Err(CoreError::TransmitterInUse { .. })
+        ));
+    }
+
+    #[test]
+    fn surrogates_continue_after_reload() {
+        let (store, ..) = sample_store();
+        let dir = tempfile::tempdir().unwrap();
+        let kv = DurableKv::open(dir.path()).unwrap();
+        save_store(&store, &kv).unwrap();
+        let mut loaded = load_store(&kv).unwrap();
+        let fresh = loaded.create_object("If", vec![]).unwrap();
+        assert!(
+            store.surrogates().all(|s| s != fresh),
+            "new surrogate must not collide with persisted ones"
+        );
+    }
+
+    #[test]
+    fn incremental_object_save() {
+        let (mut store, interface, _) = sample_store();
+        let dir = tempfile::tempdir().unwrap();
+        let kv = DurableKv::open(dir.path()).unwrap();
+        save_store(&store, &kv).unwrap();
+
+        store.set_attr(interface, "Length", Value::Int(99)).unwrap();
+        let tx = kv.begin().unwrap();
+        save_object(&store, &kv, tx, interface).unwrap();
+        kv.commit(tx).unwrap();
+
+        let loaded = load_store(&kv).unwrap();
+        assert_eq!(loaded.attr(interface, "Length").unwrap(), Value::Int(99));
+    }
+
+    #[test]
+    fn load_without_catalog_fails_cleanly() {
+        let dir = tempfile::tempdir().unwrap();
+        let kv = DurableKv::open(dir.path()).unwrap();
+        assert!(matches!(load_store(&kv), Err(CoreError::Storage(_))));
+    }
+
+    #[test]
+    fn survives_crash_via_wal() {
+        let (store, interface, implementation) = sample_store();
+        let dir = tempfile::tempdir().unwrap();
+        {
+            let kv = DurableKv::open(dir.path()).unwrap();
+            save_store(&store, &kv).unwrap();
+            // no checkpoint: drop simulates crash after commit
+        }
+        let kv = DurableKv::open(dir.path()).unwrap();
+        let loaded = load_store(&kv).unwrap();
+        assert_eq!(loaded.attr(implementation, "Length").unwrap(), Value::Int(5));
+        assert_eq!(loaded.class_members("Interfaces").unwrap(), &[interface]);
+    }
+}
+
+#[cfg(test)]
+mod large_object_tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::schema::{AttrDef, ObjectTypeDef};
+    use crate::value::Value;
+
+    #[test]
+    fn objects_exceeding_a_page_persist() {
+        let mut c = Catalog::new();
+        c.register_object_type(ObjectTypeDef {
+            name: "Polyline".into(),
+            attributes: vec![AttrDef::new(
+                "Points",
+                Domain::ListOf(Box::new(Domain::Point)),
+            )],
+            ..Default::default()
+        })
+        .unwrap();
+        let mut store = ObjectStore::new(c).unwrap();
+        // ~5000 points ≈ 100+ KiB of JSON — far beyond one 8 KiB page.
+        let points: Vec<Value> =
+            (0..5000).map(|i| Value::Point { x: i, y: -i }).collect();
+        let poly = store
+            .create_object("Polyline", vec![("Points", Value::List(points.clone()))])
+            .unwrap();
+
+        let dir = tempfile::tempdir().unwrap();
+        let kv = DurableKv::open(dir.path()).unwrap();
+        save_store(&store, &kv).unwrap();
+        let reloaded = load_store(&kv).unwrap();
+        assert_eq!(reloaded.attr(poly, "Points").unwrap(), Value::List(points));
+    }
+}

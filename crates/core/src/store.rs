@@ -1,0 +1,1382 @@
+//! The object store: objects, classes, complex objects, relationship
+//! objects, and the **value-inheritance engine** (§4).
+//!
+//! Value inheritance is *resolved, not materialized*: reading an attribute
+//! that reaches an object through an inheritance binding walks to the
+//! transmitter (transitively, through interface hierarchies), so transmitter
+//! updates are instantly visible in every inheritor and the data exists once
+//! (§2: "a view to the component is granted to the composite object").
+//! Inherited data is **read-only in the inheritor**; transmitter-side
+//! updates raise the `needs_adaptation` flag on every affected
+//! inheritance-relationship object and append to the adaptation log — the
+//! paper's consistency-control bookkeeping on the relationship.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::{CoreError, CoreResult};
+use crate::expr::{eval, Env, Expr, ObjectView, REL_VAR};
+use crate::object::{ObjectData, ObjectKind, Owner};
+use crate::schema::{Catalog, Constraint, EffectiveSchema, ItemSource, ParticipantSpec, SubrelSpec};
+use crate::surrogate::{Surrogate, SurrogateGen};
+use crate::value::Value;
+
+/// A named class: a set of objects of one type (§3; several classes may hold
+/// objects of the same type).
+#[derive(Clone, Debug)]
+pub struct ClassDef {
+    /// Object type of the members.
+    pub type_name: String,
+    /// Member surrogates in insertion order.
+    pub members: Vec<Surrogate>,
+}
+
+/// A recorded transmitter-side update affecting an inheritance binding.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AdaptationEvent {
+    /// The inheritance-relationship object whose flag was raised.
+    pub rel_object: Surrogate,
+    /// The transmitter that changed.
+    pub transmitter: Surrogate,
+    /// The inheritor that may need manual adaptation.
+    pub inheritor: Surrogate,
+    /// The permeable attribute or subclass that changed.
+    pub item: String,
+    /// Logical timestamp (store-wide monotonic counter).
+    pub at: u64,
+}
+
+/// Counters for the resolution experiments (E2).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of attribute reads answered locally.
+    pub local_reads: u64,
+    /// Number of attribute reads that walked at least one inheritance hop.
+    pub inherited_reads: u64,
+    /// Total inheritance hops walked.
+    pub hops: u64,
+}
+
+/// A failed integrity constraint.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    /// The object the constraint was checked on.
+    pub object: Surrogate,
+    /// Constraint label.
+    pub constraint: String,
+    /// Extra detail (e.g. an evaluation error).
+    pub detail: Option<String>,
+}
+
+/// Everything one cascade delete removed, for [`ObjectStore::undelete`].
+#[derive(Clone, Debug, Default)]
+pub struct DeletionRecord {
+    /// Full snapshots of every removed object (subobjects, relationship
+    /// objects, and inheritance-relationship objects alike).
+    pub objects: Vec<ObjectData>,
+    /// `(class, member)` named-class memberships that were removed.
+    pub classes: Vec<(String, Surrogate)>,
+}
+
+impl DeletionRecord {
+    /// Surrogates of the removed objects (deduplicated, sorted).
+    pub fn surrogates(&self) -> Vec<Surrogate> {
+        let mut v: Vec<Surrogate> = self.objects.iter().map(|o| o.surrogate).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+}
+
+/// The in-memory object store. Persistence is provided by
+/// [`crate::persist`]; concurrency control by `ccdb-txn` on top.
+pub struct ObjectStore {
+    catalog: Catalog,
+    gen: SurrogateGen,
+    objects: HashMap<Surrogate, ObjectData>,
+    classes: BTreeMap<String, ClassDef>,
+    /// transmitter → inheritance-relationship objects it feeds.
+    inheritors_of: HashMap<Surrogate, Vec<Surrogate>>,
+    /// object → relationship objects having it as a participant.
+    participant_in: HashMap<Surrogate, Vec<Surrogate>>,
+    adaptation_log: Vec<AdaptationEvent>,
+    clock: u64,
+    /// Memoized effective schemas (the catalog is immutable once the store
+    /// exists). Disable with [`ObjectStore::set_schema_cache`] for the E2
+    /// ablation.
+    eff_cache: Mutex<HashMap<String, Arc<EffectiveSchema>>>,
+    cache_enabled: AtomicBool,
+    /// Ablation switch for E1: when off, transmitter updates skip the
+    /// adaptation-flag walk (losing the paper's notification semantics).
+    adaptation_enabled: bool,
+    local_reads: AtomicU64,
+    inherited_reads: AtomicU64,
+    hops: AtomicU64,
+}
+
+impl ObjectStore {
+    /// Create a store over a validated catalog.
+    pub fn new(catalog: Catalog) -> CoreResult<Self> {
+        catalog.validate()?;
+        Ok(ObjectStore {
+            catalog,
+            gen: SurrogateGen::new(),
+            objects: HashMap::new(),
+            classes: BTreeMap::new(),
+            inheritors_of: HashMap::new(),
+            participant_in: HashMap::new(),
+            adaptation_log: Vec::new(),
+            clock: 0,
+            eff_cache: Mutex::new(HashMap::new()),
+            cache_enabled: AtomicBool::new(true),
+            adaptation_enabled: true,
+            local_reads: AtomicU64::new(0),
+            inherited_reads: AtomicU64::new(0),
+            hops: AtomicU64::new(0),
+        })
+    }
+
+    /// The catalog this store was created with.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Enable/disable the effective-schema memo (ablation for experiment E2).
+    pub fn set_schema_cache(&self, enabled: bool) {
+        self.cache_enabled.store(enabled, Ordering::Relaxed);
+        if !enabled {
+            self.eff_cache.lock().clear();
+        }
+    }
+
+    /// Effective schema of a type, memoized.
+    fn effective(&self, type_name: &str) -> CoreResult<Arc<EffectiveSchema>> {
+        if self.cache_enabled.load(Ordering::Relaxed) {
+            if let Some(e) = self.eff_cache.lock().get(type_name) {
+                return Ok(Arc::clone(e));
+            }
+        }
+        let eff = Arc::new(self.catalog.effective_schema(type_name)?);
+        if self.cache_enabled.load(Ordering::Relaxed) {
+            self.eff_cache.lock().insert(type_name.to_string(), Arc::clone(&eff));
+        }
+        Ok(eff)
+    }
+
+    /// Snapshot the resolution counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            local_reads: self.local_reads.load(Ordering::Relaxed),
+            inherited_reads: self.inherited_reads.load(Ordering::Relaxed),
+            hops: self.hops.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset the resolution counters.
+    pub fn reset_stats(&self) {
+        self.local_reads.store(0, Ordering::Relaxed);
+        self.inherited_reads.store(0, Ordering::Relaxed);
+        self.hops.store(0, Ordering::Relaxed);
+    }
+
+    /// Number of live objects (of all kinds).
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Raw object access.
+    pub fn object(&self, s: Surrogate) -> CoreResult<&ObjectData> {
+        self.objects.get(&s).ok_or(CoreError::NoSuchObject(s))
+    }
+
+    fn object_mut(&mut self, s: Surrogate) -> CoreResult<&mut ObjectData> {
+        self.objects.get_mut(&s).ok_or(CoreError::NoSuchObject(s))
+    }
+
+    /// All live surrogates (unordered).
+    pub fn surrogates(&self) -> impl Iterator<Item = Surrogate> + '_ {
+        self.objects.keys().copied()
+    }
+
+    // ------------------------------------------------------------------
+    // Classes
+    // ------------------------------------------------------------------
+
+    /// Create a named class for objects of `type_name`.
+    pub fn create_class(&mut self, name: &str, type_name: &str) -> CoreResult<()> {
+        self.catalog.object_type(type_name)?;
+        if self.classes.contains_key(name) {
+            return Err(CoreError::Duplicate { kind: "class", name: name.into() });
+        }
+        self.classes
+            .insert(name.to_string(), ClassDef { type_name: type_name.into(), members: vec![] });
+        Ok(())
+    }
+
+    /// Members of a named class.
+    pub fn class_members(&self, name: &str) -> CoreResult<&[Surrogate]> {
+        self.classes
+            .get(name)
+            .map(|c| c.members.as_slice())
+            .ok_or_else(|| CoreError::Unknown { kind: "class", name: name.into() })
+    }
+
+    /// Names of the classes `obj` is a member of (sorted by class name).
+    pub fn classes_of(&self, obj: Surrogate) -> Vec<&str> {
+        self.classes
+            .iter()
+            .filter(|(_, def)| def.members.contains(&obj))
+            .map(|(name, _)| name.as_str())
+            .collect()
+    }
+
+    /// Add an existing top-level object to a class of matching type.
+    pub fn add_to_class(&mut self, class: &str, obj: Surrogate) -> CoreResult<()> {
+        let ty = self.object(obj)?.type_name.clone();
+        let c = self
+            .classes
+            .get_mut(class)
+            .ok_or_else(|| CoreError::Unknown { kind: "class", name: class.into() })?;
+        if c.type_name != ty {
+            return Err(CoreError::TypeMismatch {
+                expected: c.type_name.clone(),
+                got: ty,
+                role: format!("member of class `{class}`"),
+            });
+        }
+        if !c.members.contains(&obj) {
+            c.members.push(obj);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Object creation
+    // ------------------------------------------------------------------
+
+    /// Create a top-level object of `type_name` with initial local
+    /// attribute values.
+    pub fn create_object(
+        &mut self,
+        type_name: &str,
+        attrs: Vec<(&str, Value)>,
+    ) -> CoreResult<Surrogate> {
+        self.catalog.object_type(type_name)?;
+        let s = self.gen.issue();
+        let obj = ObjectData::plain(s, type_name);
+        self.objects.insert(s, obj);
+        for (name, value) in attrs {
+            self.set_attr(s, name, value)?;
+        }
+        Ok(s)
+    }
+
+    /// Create an object directly into a named class.
+    pub fn create_in_class(
+        &mut self,
+        class: &str,
+        attrs: Vec<(&str, Value)>,
+    ) -> CoreResult<Surrogate> {
+        let ty = self
+            .classes
+            .get(class)
+            .map(|c| c.type_name.clone())
+            .ok_or_else(|| CoreError::Unknown { kind: "class", name: class.into() })?;
+        let s = self.create_object(&ty, attrs)?;
+        self.add_to_class(class, s)?;
+        Ok(s)
+    }
+
+    /// Create a subobject in a **local** subclass of `parent`. Members of
+    /// inherited subclasses belong to the transmitter and cannot be created
+    /// here (read-only view).
+    pub fn create_subobject(
+        &mut self,
+        parent: Surrogate,
+        subclass: &str,
+        attrs: Vec<(&str, Value)>,
+    ) -> CoreResult<Surrogate> {
+        let parent_ty = self.object(parent)?.type_name.clone();
+        let spec = self
+            .local_subclass_spec(&parent_ty, subclass)
+            .map(|s| s.element_type.clone());
+        let elem_ty = match spec {
+            Some(t) => t,
+            None => {
+                // Is it inherited? Then it is read-only in this object.
+                let eff = self.effective(&parent_ty).ok();
+                if eff.as_ref().and_then(|e| e.subclass(subclass)).is_some() {
+                    return Err(CoreError::InheritedReadOnly {
+                        object: parent,
+                        attr: subclass.into(),
+                    });
+                }
+                return Err(CoreError::NoSuchSubclass { object: parent, subclass: subclass.into() });
+            }
+        };
+        let s = self.gen.issue();
+        let mut obj = ObjectData::plain(s, &elem_ty);
+        obj.owner = Some(Owner { parent, subclass: subclass.to_string() });
+        self.objects.insert(s, obj);
+        self.object_mut(parent)?.subclasses.entry(subclass.to_string()).or_default().push(s);
+        for (name, value) in attrs {
+            self.set_attr(s, name, value)?;
+        }
+        Ok(s)
+    }
+
+    /// Create a top-level relationship object.
+    pub fn create_rel(
+        &mut self,
+        rel_type: &str,
+        participants: Vec<(&str, Vec<Surrogate>)>,
+        attrs: Vec<(&str, Value)>,
+    ) -> CoreResult<Surrogate> {
+        let specs = self.catalog.rel_type(rel_type)?.participants.clone();
+        let mut map = BTreeMap::new();
+        for (role, members) in &participants {
+            map.insert(role.to_string(), members.clone());
+        }
+        self.check_participants(rel_type, &specs, &map)?;
+        let s = self.gen.issue();
+        let obj = ObjectData::relationship(s, rel_type, map.clone());
+        self.objects.insert(s, obj);
+        for members in map.values() {
+            for m in members {
+                self.participant_in.entry(*m).or_default().push(s);
+            }
+        }
+        for (name, value) in attrs {
+            self.set_attr(s, name, value)?;
+        }
+        Ok(s)
+    }
+
+    /// Create a relationship object inside a local subrel class of `parent`
+    /// (e.g. a `Wires` member of a `Gate`).
+    pub fn create_subrel(
+        &mut self,
+        parent: Surrogate,
+        subrel: &str,
+        participants: Vec<(&str, Vec<Surrogate>)>,
+        attrs: Vec<(&str, Value)>,
+    ) -> CoreResult<Surrogate> {
+        let parent_ty = self.object(parent)?.type_name.clone();
+        let spec = self
+            .local_subrel_spec(&parent_ty, subrel)
+            .ok_or_else(|| CoreError::NoSuchSubclass { object: parent, subclass: subrel.into() })?
+            .clone();
+        let s = self.create_rel(&spec.rel_type, participants, attrs)?;
+        self.object_mut(s)?.owner = Some(Owner { parent, subclass: subrel.to_string() });
+        self.object_mut(parent)?.subclasses.entry(subrel.to_string()).or_default().push(s);
+        Ok(s)
+    }
+
+    /// Create a subobject in a local subclass of a **relationship** object
+    /// (§5: `ScrewingType` embeds `Bolt` and `Nut` subclasses).
+    pub fn create_rel_subobject(
+        &mut self,
+        rel_obj: Surrogate,
+        subclass: &str,
+        attrs: Vec<(&str, Value)>,
+    ) -> CoreResult<Surrogate> {
+        let rel_ty = self.object(rel_obj)?.type_name.clone();
+        let def = self.catalog.rel_type(&rel_ty)?;
+        let elem_ty = def
+            .subclasses
+            .iter()
+            .find(|sc| sc.name == subclass)
+            .map(|sc| sc.element_type.clone())
+            .ok_or_else(|| CoreError::NoSuchSubclass {
+                object: rel_obj,
+                subclass: subclass.into(),
+            })?;
+        let s = self.gen.issue();
+        let mut obj = ObjectData::plain(s, &elem_ty);
+        obj.owner = Some(Owner { parent: rel_obj, subclass: subclass.to_string() });
+        self.objects.insert(s, obj);
+        self.object_mut(rel_obj)?.subclasses.entry(subclass.to_string()).or_default().push(s);
+        for (name, value) in attrs {
+            self.set_attr(s, name, value)?;
+        }
+        Ok(s)
+    }
+
+    fn check_participants(
+        &self,
+        rel_type: &str,
+        specs: &[ParticipantSpec],
+        provided: &BTreeMap<String, Vec<Surrogate>>,
+    ) -> CoreResult<()> {
+        for spec in specs {
+            let members = provided.get(&spec.name).map(Vec::as_slice).unwrap_or(&[]);
+            if !spec.many && members.len() != 1 {
+                return Err(CoreError::InvalidSchema {
+                    type_name: rel_type.into(),
+                    reason: format!(
+                        "participant `{}` needs exactly one object, got {}",
+                        spec.name,
+                        members.len()
+                    ),
+                });
+            }
+            if let Some(required) = &spec.required_type {
+                for m in members {
+                    let got = &self.object(*m)?.type_name;
+                    if got != required {
+                        return Err(CoreError::TypeMismatch {
+                            expected: required.clone(),
+                            got: got.clone(),
+                            role: format!("participant `{}` of `{rel_type}`", spec.name),
+                        });
+                    }
+                }
+            } else {
+                for m in members {
+                    self.object(*m)?;
+                }
+            }
+        }
+        for role in provided.keys() {
+            if !specs.iter().any(|s| &s.name == role) {
+                return Err(CoreError::InvalidSchema {
+                    type_name: rel_type.into(),
+                    reason: format!("unknown participant role `{role}`"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Inheritance bindings
+    // ------------------------------------------------------------------
+
+    /// Bind `inheritor` to `transmitter` through inheritance-relationship
+    /// type `rel_type`, creating the relationship object (returned).
+    pub fn bind(
+        &mut self,
+        rel_type: &str,
+        transmitter: Surrogate,
+        inheritor: Surrogate,
+        rel_attrs: Vec<(&str, Value)>,
+    ) -> CoreResult<Surrogate> {
+        let def = self.catalog.inher_rel_type(rel_type)?.clone();
+        let trans_ty = self.object(transmitter)?.type_name.clone();
+        if trans_ty != def.transmitter_type {
+            return Err(CoreError::TypeMismatch {
+                expected: def.transmitter_type.clone(),
+                got: trans_ty,
+                role: format!("transmitter of `{rel_type}`"),
+            });
+        }
+        // The declared `inheritor:` type is the *canonical* inheritor; any
+        // type that explicitly states `inheritor-in:` may bind (the paper's
+        // §5 WeightCarrying_Structure embeds anonymous Girders/Plates member
+        // types as further inheritors of AllOf_GirderIf/AllOf_PlateIf).
+        let inh_ty = self.object(inheritor)?.type_name.clone();
+        let inh_def = self.catalog.object_type(&inh_ty)?;
+        if !inh_def.inheritor_in.iter().any(|r| r == rel_type) {
+            return Err(CoreError::NotAnInheritor { type_name: inh_ty, rel_type: rel_type.into() });
+        }
+        if self.object(inheritor)?.bindings.contains_key(rel_type) {
+            return Err(CoreError::AlreadyBound { object: inheritor, rel_type: rel_type.into() });
+        }
+        // Object-level cycle check: does `transmitter` (transitively)
+        // inherit from `inheritor`?
+        if transmitter == inheritor || self.transitively_inherits_from(transmitter, inheritor)? {
+            return Err(CoreError::InheritanceCycle { object: inheritor });
+        }
+        let s = self.gen.issue();
+        let obj = ObjectData::inheritance(s, rel_type, transmitter, inheritor);
+        self.objects.insert(s, obj);
+        self.object_mut(inheritor)?.bindings.insert(rel_type.to_string(), s);
+        self.inheritors_of.entry(transmitter).or_default().push(s);
+        for (name, value) in rel_attrs {
+            self.set_attr(s, name, value)?;
+        }
+        Ok(s)
+    }
+
+    /// Remove an inheritance binding given its relationship object.
+    pub fn unbind(&mut self, rel_obj: Surrogate) -> CoreResult<()> {
+        let (transmitter, inheritor, rel_ty) = {
+            let o = self.object(rel_obj)?;
+            match &o.kind {
+                ObjectKind::InheritanceRel { transmitter, inheritor, .. } => {
+                    (*transmitter, *inheritor, o.type_name.clone())
+                }
+                _ => {
+                    return Err(CoreError::TypeMismatch {
+                        expected: "inheritance relationship".into(),
+                        got: o.type_name.clone(),
+                        role: "unbind target".into(),
+                    })
+                }
+            }
+        };
+        if let Some(list) = self.inheritors_of.get_mut(&transmitter) {
+            list.retain(|r| *r != rel_obj);
+            if list.is_empty() {
+                self.inheritors_of.remove(&transmitter);
+            }
+        }
+        if let Some(inh) = self.objects.get_mut(&inheritor) {
+            inh.bindings.remove(&rel_ty);
+        }
+        self.objects.remove(&rel_obj);
+        Ok(())
+    }
+
+    fn transitively_inherits_from(
+        &self,
+        from: Surrogate,
+        target: Surrogate,
+    ) -> CoreResult<bool> {
+        let mut stack = vec![from];
+        let mut seen = HashSet::new();
+        while let Some(cur) = stack.pop() {
+            if !seen.insert(cur) {
+                continue;
+            }
+            let obj = self.object(cur)?;
+            for rel in obj.bindings.values() {
+                if let Some(t) = self.object(*rel)?.transmitter() {
+                    if t == target {
+                        return Ok(true);
+                    }
+                    stack.push(t);
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// The inheritance-relationship objects fed by `transmitter`.
+    pub fn inheritance_rels_of(&self, transmitter: Surrogate) -> &[Surrogate] {
+        self.inheritors_of.get(&transmitter).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The relationship objects in which `obj` participates (any role).
+    pub fn relationships_of(&self, obj: Surrogate) -> &[Surrogate] {
+        self.participant_in.get(&obj).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The binding relationship object of `inheritor` in `rel_type`, if any.
+    pub fn binding_of(&self, inheritor: Surrogate, rel_type: &str) -> Option<Surrogate> {
+        self.objects.get(&inheritor).and_then(|o| o.bindings.get(rel_type)).copied()
+    }
+
+    // ------------------------------------------------------------------
+    // Attribute access (value inheritance lives here)
+    // ------------------------------------------------------------------
+
+    fn local_attr_domain(&self, type_name: &str, attr: &str) -> Option<crate::domain::Domain> {
+        if let Ok(def) = self.catalog.object_type(type_name) {
+            return def.attributes.iter().find(|a| a.name == attr).map(|a| a.domain.clone());
+        }
+        if let Ok(def) = self.catalog.rel_type(type_name) {
+            return def.attributes.iter().find(|a| a.name == attr).map(|a| a.domain.clone());
+        }
+        if let Ok(def) = self.catalog.inher_rel_type(type_name) {
+            return def.attributes.iter().find(|a| a.name == attr).map(|a| a.domain.clone());
+        }
+        None
+    }
+
+    fn local_subclass_spec(
+        &self,
+        type_name: &str,
+        name: &str,
+    ) -> Option<&crate::schema::SubclassSpec> {
+        if let Ok(def) = self.catalog.object_type(type_name) {
+            if let Some(sc) = def.subclasses.iter().find(|sc| sc.name == name) {
+                return Some(sc);
+            }
+        }
+        if let Ok(def) = self.catalog.rel_type(type_name) {
+            if let Some(sc) = def.subclasses.iter().find(|sc| sc.name == name) {
+                return Some(sc);
+            }
+        }
+        None
+    }
+
+    fn local_subrel_spec(&self, type_name: &str, name: &str) -> Option<&SubrelSpec> {
+        self.catalog
+            .object_type(type_name)
+            .ok()
+            .and_then(|def| def.subrels.iter().find(|sr| sr.name == name))
+    }
+
+    /// Effective attribute read with value-inheritance resolution.
+    ///
+    /// Local attributes answer directly; inherited attributes walk the
+    /// binding chain to the transmitter. An *unbound* inheritor yields
+    /// [`Value::Missing`] — it inherits only the structure (§4.1).
+    pub fn attr(&self, obj: Surrogate, name: &str) -> CoreResult<Value> {
+        self.attr_with_hops(obj, name, 0)
+    }
+
+    fn attr_with_hops(&self, obj: Surrogate, name: &str, depth: u64) -> CoreResult<Value> {
+        let o = self.object(obj)?;
+        if self.local_attr_domain(&o.type_name, name).is_some() {
+            if depth == 0 {
+                self.local_reads.fetch_add(1, Ordering::Relaxed);
+            }
+            return Ok(o.attrs.get(name).cloned().unwrap_or(Value::Missing));
+        }
+        // Not local: find the inheritance source in the effective schema.
+        let eff = self.effective(&o.type_name)?;
+        match eff.attr(name) {
+            Some((_, ItemSource::Inherited { via_rel, .. })) => {
+                if depth == 0 {
+                    self.inherited_reads.fetch_add(1, Ordering::Relaxed);
+                }
+                match o.bindings.get(via_rel) {
+                    Some(rel_obj) => {
+                        let transmitter = self
+                            .object(*rel_obj)?
+                            .transmitter()
+                            .ok_or_else(|| CoreError::EvalError("corrupt binding".into()))?;
+                        self.hops.fetch_add(1, Ordering::Relaxed);
+                        self.attr_with_hops(transmitter, name, depth + 1)
+                    }
+                    None => Ok(Value::Missing), // unbound inheritor
+                }
+            }
+            Some((_, ItemSource::Local)) => unreachable!("local handled above"),
+            None => Err(CoreError::NoSuchAttribute { object: obj, attr: name.into() }),
+        }
+    }
+
+    /// The chain of `(object, item)` pairs consulted when resolving `item`
+    /// (attribute or subclass) on `obj`: starts at `obj` and follows
+    /// inheritance bindings to the providing transmitter. This is exactly
+    /// the set a transaction must read-lock (§6 lock inheritance —
+    /// "the parts of the component which are visible in the composite
+    /// object have to be read-locked").
+    pub fn resolution_chain(
+        &self,
+        obj: Surrogate,
+        item: &str,
+    ) -> CoreResult<Vec<(Surrogate, String)>> {
+        let mut chain = vec![(obj, item.to_string())];
+        let mut cur = obj;
+        loop {
+            let o = self.object(cur)?;
+            if self.local_attr_domain(&o.type_name, item).is_some()
+                || self.local_subclass_spec(&o.type_name, item).is_some()
+                || self.local_subrel_spec(&o.type_name, item).is_some()
+            {
+                return Ok(chain);
+            }
+            let eff = self.effective(&o.type_name)?;
+            let via = match (eff.attr(item), eff.subclass(item)) {
+                (Some((_, ItemSource::Inherited { via_rel, .. })), _) => via_rel.clone(),
+                (_, Some((_, ItemSource::Inherited { via_rel, .. }))) => via_rel.clone(),
+                _ => {
+                    return Err(CoreError::NoSuchAttribute { object: cur, attr: item.into() })
+                }
+            };
+            match o.bindings.get(&via) {
+                Some(rel_obj) => {
+                    let t = self
+                        .object(*rel_obj)?
+                        .transmitter()
+                        .ok_or_else(|| CoreError::EvalError("corrupt binding".into()))?;
+                    chain.push((t, item.to_string()));
+                    cur = t;
+                }
+                None => return Ok(chain), // unbound: chain ends here
+            }
+        }
+    }
+
+    /// Write a **local** attribute. Writing an inherited attribute is
+    /// rejected ([`CoreError::InheritedReadOnly`]); a successful write to a
+    /// permeable attribute of a transmitter marks every (transitively)
+    /// affected inheritance-relationship object as needing adaptation.
+    pub fn set_attr(&mut self, obj: Surrogate, name: &str, value: Value) -> CoreResult<()> {
+        let ty = self.object(obj)?.type_name.clone();
+        match self.local_attr_domain(&ty, name) {
+            Some(domain) => {
+                if !value.conforms_to(&domain) {
+                    return Err(CoreError::DomainMismatch {
+                        attr: name.into(),
+                        expected: domain.describe(),
+                        got: format!("{value}"),
+                    });
+                }
+                self.object_mut(obj)?.attrs.insert(name.to_string(), value);
+                self.propagate_adaptation(obj, name)?;
+                Ok(())
+            }
+            None => {
+                // Inherited → read-only; unknown → no such attribute.
+                if let Ok(eff) = self.effective(&ty) {
+                    if eff.attr(name).is_some() {
+                        return Err(CoreError::InheritedReadOnly { object: obj, attr: name.into() });
+                    }
+                }
+                Err(CoreError::NoSuchAttribute { object: obj, attr: name.into() })
+            }
+        }
+    }
+
+    /// Enable/disable adaptation tracking (ablation for experiment E1).
+    /// With tracking off, inheritors still see updates instantly (view
+    /// semantics are resolution-based) but no flags/events are recorded.
+    pub fn set_adaptation_tracking(&mut self, enabled: bool) {
+        self.adaptation_enabled = enabled;
+    }
+
+    /// Raise `needs_adaptation` on every inheritance-relationship object
+    /// through which `item` of `transmitter` is (transitively) visible.
+    fn propagate_adaptation(&mut self, transmitter: Surrogate, item: &str) -> CoreResult<()> {
+        if !self.adaptation_enabled {
+            return Ok(());
+        }
+        let mut frontier = vec![transmitter];
+        let mut seen = HashSet::new();
+        while let Some(t) = frontier.pop() {
+            if !seen.insert(t) {
+                continue;
+            }
+            let rels: Vec<Surrogate> =
+                self.inheritors_of.get(&t).cloned().unwrap_or_default();
+            for rel in rels {
+                let (rel_ty, inheritor) = {
+                    let o = self.object(rel)?;
+                    (o.type_name.clone(), o.inheritor().unwrap_or_default())
+                };
+                if !self.catalog.is_permeable(&rel_ty, item) {
+                    continue;
+                }
+                self.clock += 1;
+                let at = self.clock;
+                if let Some(o) = self.objects.get_mut(&rel) {
+                    if let ObjectKind::InheritanceRel { needs_adaptation, .. } = &mut o.kind {
+                        *needs_adaptation = true;
+                    }
+                }
+                self.adaptation_log.push(AdaptationEvent {
+                    rel_object: rel,
+                    transmitter: t,
+                    inheritor,
+                    item: item.to_string(),
+                    at,
+                });
+                // The inheritor may re-transmit the same item further up.
+                frontier.push(inheritor);
+            }
+        }
+        Ok(())
+    }
+
+    /// Adaptation events since a given logical time.
+    pub fn adaptation_events_since(&self, at: u64) -> &[AdaptationEvent] {
+        let idx = self.adaptation_log.partition_point(|e| e.at <= at);
+        &self.adaptation_log[idx..]
+    }
+
+    /// All adaptation events.
+    pub fn adaptation_log(&self) -> &[AdaptationEvent] {
+        &self.adaptation_log
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Does this inheritance-relationship object currently flag a needed
+    /// adaptation?
+    pub fn needs_adaptation(&self, rel_obj: Surrogate) -> CoreResult<bool> {
+        match &self.object(rel_obj)?.kind {
+            ObjectKind::InheritanceRel { needs_adaptation, .. } => Ok(*needs_adaptation),
+            _ => Err(CoreError::TypeMismatch {
+                expected: "inheritance relationship".into(),
+                got: self.object(rel_obj)?.type_name.clone(),
+                role: "adaptation flag".into(),
+            }),
+        }
+    }
+
+    /// Clear the adaptation flag after the inheritor was (manually) adapted.
+    pub fn acknowledge_adaptation(&mut self, rel_obj: Surrogate) -> CoreResult<()> {
+        match &mut self.object_mut(rel_obj)?.kind {
+            ObjectKind::InheritanceRel { needs_adaptation, .. } => {
+                *needs_adaptation = false;
+                Ok(())
+            }
+            _ => Err(CoreError::TypeMismatch {
+                expected: "inheritance relationship".into(),
+                got: "other".into(),
+                role: "adaptation flag".into(),
+            }),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Subclass access (with inheritance)
+    // ------------------------------------------------------------------
+
+    /// Effective subclass members: local members, or — for an inherited
+    /// subclass — the transmitter's members (a read-only view).
+    pub fn subclass_members(&self, obj: Surrogate, name: &str) -> CoreResult<Vec<Surrogate>> {
+        let o = self.object(obj)?;
+        if self.local_subclass_spec(&o.type_name, name).is_some()
+            || self.local_subrel_spec(&o.type_name, name).is_some()
+        {
+            return Ok(o.subclasses.get(name).cloned().unwrap_or_default());
+        }
+        let eff = self.effective(&o.type_name)?;
+        match eff.subclass(name) {
+            Some((_, ItemSource::Inherited { via_rel, .. })) => match o.bindings.get(via_rel) {
+                Some(rel_obj) => {
+                    let transmitter = self
+                        .object(*rel_obj)?
+                        .transmitter()
+                        .ok_or_else(|| CoreError::EvalError("corrupt binding".into()))?;
+                    self.hops.fetch_add(1, Ordering::Relaxed);
+                    self.subclass_members(transmitter, name)
+                }
+                None => Ok(vec![]), // unbound inheritor: structure only
+            },
+            Some((_, ItemSource::Local)) => unreachable!("local handled above"),
+            None => Err(CoreError::NoSuchSubclass { object: obj, subclass: name.into() }),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Deletion
+    // ------------------------------------------------------------------
+
+    /// Delete an object and cascade over its subobjects/subrels (§3: "all
+    /// subobjects depend on the complex object, they are deleted with the
+    /// complex object"). Relationship objects referencing a deleted object
+    /// are deleted too. A transmitter with live inheritors is protected —
+    /// unbind first or use [`ObjectStore::delete_force`].
+    pub fn delete(&mut self, obj: Surrogate) -> CoreResult<()> {
+        self.check_deletable(obj)?;
+        self.delete_unchecked_rec(obj, &mut None)
+    }
+
+    /// Like [`ObjectStore::delete`], but returns a [`DeletionRecord`] from
+    /// which [`ObjectStore::undelete`] can restore everything removed —
+    /// the basis of transactional cascade delete in `ccdb-txn`.
+    pub fn delete_recorded(&mut self, obj: Surrogate) -> CoreResult<DeletionRecord> {
+        self.check_deletable(obj)?;
+        let mut rec = DeletionRecord::default();
+        {
+            let mut sink = Some(&mut rec);
+            self.delete_unchecked_rec(obj, &mut sink)?;
+        }
+        Ok(rec)
+    }
+
+    /// Restore everything a [`DeletionRecord`] removed: the objects, their
+    /// memberships in surviving owners and classes, inheritance bindings,
+    /// and relationship back-references. Membership *order* within a
+    /// surviving owner's subclass is not preserved (restored members are
+    /// appended).
+    pub fn undelete(&mut self, rec: DeletionRecord) -> CoreResult<()> {
+        let mut restored: Vec<Surrogate> = Vec::new();
+        for o in &rec.objects {
+            if let std::collections::hash_map::Entry::Vacant(e) =
+                self.objects.entry(o.surrogate)
+            {
+                e.insert(o.clone());
+                restored.push(o.surrogate);
+            }
+        }
+        for s in &restored {
+            let o = self.objects.get(s).expect("just restored").clone();
+            match &o.kind {
+                ObjectKind::InheritanceRel { transmitter, inheritor, .. } => {
+                    let list = self.inheritors_of.entry(*transmitter).or_default();
+                    if !list.contains(s) {
+                        list.push(*s);
+                    }
+                    if let Some(inh) = self.objects.get_mut(inheritor) {
+                        inh.bindings.insert(o.type_name.clone(), *s);
+                    }
+                }
+                ObjectKind::Relationship { participants } => {
+                    for members in participants.values() {
+                        for m in members {
+                            let list = self.participant_in.entry(*m).or_default();
+                            if !list.contains(s) {
+                                list.push(*s);
+                            }
+                        }
+                    }
+                }
+                ObjectKind::Plain => {}
+            }
+            if let Some(owner) = &o.owner {
+                if let Some(p) = self.objects.get_mut(&owner.parent) {
+                    let list = p.subclasses.entry(owner.subclass.clone()).or_default();
+                    if !list.contains(s) {
+                        list.push(*s);
+                    }
+                }
+            }
+        }
+        for (class, member) in &rec.classes {
+            if let Some(c) = self.classes.get_mut(class) {
+                if !c.members.contains(member) {
+                    c.members.push(*member);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_deletable(&self, obj: Surrogate) -> CoreResult<()> {
+        // Protect transmitters anywhere in the doomed subtree.
+        let doomed = self.collect_subtree(obj)?;
+        for d in &doomed {
+            let ext: Vec<Surrogate> = self
+                .inheritance_rels_of(*d)
+                .iter()
+                .filter(|r| {
+                    // An inheritor inside the same doomed subtree is fine.
+                    self.objects
+                        .get(r)
+                        .and_then(|o| o.inheritor())
+                        .map(|i| !doomed.contains(&i))
+                        .unwrap_or(false)
+                })
+                .copied()
+                .collect();
+            if !ext.is_empty() {
+                return Err(CoreError::TransmitterInUse { object: *d, inheritors: ext.len() });
+            }
+        }
+        Ok(())
+    }
+
+    /// Delete even if the object (or a subobject) still transmits: bindings
+    /// are dissolved and the affected inheritors are flagged for adaptation.
+    pub fn delete_force(&mut self, obj: Surrogate) -> CoreResult<()> {
+        let doomed = self.collect_subtree(obj)?;
+        for d in doomed {
+            for rel in self.inheritance_rels_of(d).to_vec() {
+                let inheritor = self.object(rel)?.inheritor().unwrap_or_default();
+                self.clock += 1;
+                self.adaptation_log.push(AdaptationEvent {
+                    rel_object: rel,
+                    transmitter: d,
+                    inheritor,
+                    item: "<deleted>".to_string(),
+                    at: self.clock,
+                });
+                self.unbind(rel)?;
+            }
+        }
+        self.delete_unchecked_rec(obj, &mut None)
+    }
+
+    fn collect_subtree(&self, root: Surrogate) -> CoreResult<Vec<Surrogate>> {
+        let mut out = Vec::new();
+        let mut stack = vec![root];
+        while let Some(s) = stack.pop() {
+            let o = self.object(s)?;
+            out.push(s);
+            stack.extend(o.all_subclass_members());
+        }
+        Ok(out)
+    }
+
+    fn delete_unchecked_rec(
+        &mut self,
+        obj: Surrogate,
+        rec: &mut Option<&mut DeletionRecord>,
+    ) -> CoreResult<()> {
+        let o = self.object(obj)?.clone();
+        if let Some(r) = rec.as_deref_mut() {
+            // Snapshot before any mutation (children detach from `o`'s
+            // clone-source later, but this clone keeps the full lists).
+            r.objects.push(o.clone());
+            for (name, c) in &self.classes {
+                if c.members.contains(&obj) {
+                    r.classes.push((name.clone(), obj));
+                }
+            }
+        }
+
+        // Cascade into subobjects and subrels first.
+        for member in o.all_subclass_members().collect::<Vec<_>>() {
+            if self.objects.contains_key(&member) {
+                self.delete_unchecked_rec(member, rec)?;
+            }
+        }
+        // Dissolve own inheritance bindings (this object as inheritor).
+        for rel in o.bindings.values().copied().collect::<Vec<_>>() {
+            if self.objects.contains_key(&rel) {
+                if let Some(r) = rec.as_deref_mut() {
+                    r.objects.push(self.object(rel)?.clone());
+                }
+                self.unbind(rel)?;
+            }
+        }
+        // Delete relationship objects having this object as a participant.
+        for rel in self.participant_in.remove(&obj).unwrap_or_default() {
+            if self.objects.contains_key(&rel) {
+                self.delete_unchecked_rec(rel, rec)?;
+            }
+        }
+        // If this *is* an inheritance-relationship object, unbind cleanly.
+        if matches!(o.kind, ObjectKind::InheritanceRel { .. }) {
+            if self.objects.contains_key(&obj) {
+                self.unbind(obj)?;
+            }
+            return Ok(());
+        }
+        // If a relationship object: drop participant back-references.
+        if let ObjectKind::Relationship { participants } = &o.kind {
+            for members in participants.values() {
+                for m in members {
+                    if let Some(list) = self.participant_in.get_mut(m) {
+                        list.retain(|r| *r != obj);
+                    }
+                }
+            }
+        }
+        // Detach from owner.
+        if let Some(owner) = &o.owner {
+            if let Some(p) = self.objects.get_mut(&owner.parent) {
+                if let Some(list) = p.subclasses.get_mut(&owner.subclass) {
+                    list.retain(|m| *m != obj);
+                }
+            }
+        }
+        // Detach from classes.
+        for c in self.classes.values_mut() {
+            c.members.retain(|m| *m != obj);
+        }
+        self.objects.remove(&obj);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Constraint checking
+    // ------------------------------------------------------------------
+
+    /// Check all constraints applying to `obj`: its type's constraints, the
+    /// `where` clauses of subrel members it owns, and — for relationship
+    /// objects — the relationship type's constraints.
+    pub fn check_constraints(&self, obj: Surrogate) -> CoreResult<Vec<Violation>> {
+        let o = self.object(obj)?;
+        let mut out = Vec::new();
+        let constraints: Vec<Constraint> = if let Ok(def) = self.catalog.object_type(&o.type_name)
+        {
+            def.constraints.clone()
+        } else if let Ok(def) = self.catalog.rel_type(&o.type_name) {
+            def.constraints.clone()
+        } else if let Ok(def) = self.catalog.inher_rel_type(&o.type_name) {
+            def.constraints.clone()
+        } else {
+            vec![]
+        };
+        for c in &constraints {
+            self.check_one(obj, c, &mut Env::new(), &mut out);
+        }
+        // Subrel member `where` clauses.
+        if let Ok(def) = self.catalog.object_type(&o.type_name) {
+            for sr in &def.subrels {
+                for member in o.subclasses.get(&sr.name).cloned().unwrap_or_default() {
+                    for c in &sr.member_constraints {
+                        let mut env = Env::with(REL_VAR, member);
+                        self.check_one(obj, c, &mut env, &mut out);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn check_one(
+        &self,
+        obj: Surrogate,
+        constraint: &Constraint,
+        env: &mut Env,
+        out: &mut Vec<Violation>,
+    ) {
+        match eval(self, obj, env, &constraint.expr) {
+            Ok(Value::Bool(true)) => {}
+            Ok(Value::Bool(false)) => out.push(Violation {
+                object: obj,
+                constraint: constraint.name.clone(),
+                detail: None,
+            }),
+            Ok(other) => out.push(Violation {
+                object: obj,
+                constraint: constraint.name.clone(),
+                detail: Some(format!("constraint evaluated to non-boolean {other}")),
+            }),
+            Err(e) => out.push(Violation {
+                object: obj,
+                constraint: constraint.name.clone(),
+                detail: Some(e.to_string()),
+            }),
+        }
+    }
+
+    /// All objects of `type_name` whose effective data satisfies the
+    /// boolean predicate (used for top-down component selection, §6, and
+    /// ad-hoc queries). Results are in surrogate order.
+    pub fn select(&self, type_name: &str, predicate: &Expr) -> CoreResult<Vec<Surrogate>> {
+        self.catalog.object_type(type_name)?;
+        let mut hits: Vec<Surrogate> = Vec::new();
+        for (s, o) in &self.objects {
+            if o.type_name != type_name {
+                continue;
+            }
+            if let Value::Bool(true) = eval(self, *s, &mut Env::new(), predicate)? {
+                hits.push(*s);
+            }
+        }
+        hits.sort();
+        Ok(hits)
+    }
+
+    /// Check every object in the store; returns all violations.
+    pub fn check_all(&self) -> CoreResult<Vec<Violation>> {
+        let mut surrogates: Vec<Surrogate> = self.objects.keys().copied().collect();
+        surrogates.sort();
+        let mut out = Vec::new();
+        for s in surrogates {
+            out.extend(self.check_constraints(s)?);
+        }
+        Ok(out)
+    }
+
+    /// Verify the store's structural invariants; returns human-readable
+    /// descriptions of any violations (empty = healthy). Checked:
+    /// subclass members exist and back-link their owner; bindings point to
+    /// live inheritance-relationship objects naming this object as
+    /// inheritor; the `inheritors_of`/`participant_in` indexes agree with
+    /// the objects; class members exist and have the class's type.
+    pub fn verify_integrity(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for (s, o) in &self.objects {
+            for (subclass, members) in &o.subclasses {
+                for m in members {
+                    match self.objects.get(m) {
+                        None => problems.push(format!("{s}.{subclass} lists dead member {m}")),
+                        Some(mo) => {
+                            let ok = mo
+                                .owner
+                                .as_ref()
+                                .map(|w| w.parent == *s && &w.subclass == subclass)
+                                .unwrap_or(false);
+                            if !ok {
+                                problems.push(format!(
+                                    "{m} does not back-link owner {s}.{subclass}"
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            for (rel_type, rel) in &o.bindings {
+                match self.objects.get(rel) {
+                    None => problems.push(format!("{s} binding {rel_type} → dead {rel}")),
+                    Some(r) => {
+                        if r.inheritor() != Some(*s) {
+                            problems.push(format!(
+                                "{s} binding {rel_type} → {rel} names a different inheritor"
+                            ));
+                        }
+                        match r.transmitter() {
+                            Some(t) if self.objects.contains_key(&t) => {
+                                let indexed = self
+                                    .inheritors_of
+                                    .get(&t)
+                                    .map(|l| l.contains(rel))
+                                    .unwrap_or(false);
+                                if !indexed {
+                                    problems.push(format!(
+                                        "inheritors_of[{t}] misses rel {rel}"
+                                    ));
+                                }
+                            }
+                            _ => problems.push(format!("{rel} has a dead transmitter")),
+                        }
+                    }
+                }
+            }
+            if let ObjectKind::Relationship { participants } = &o.kind {
+                for members in participants.values() {
+                    for m in members {
+                        if !self.objects.contains_key(m) {
+                            problems.push(format!("{s} references dead participant {m}"));
+                        } else if !self
+                            .participant_in
+                            .get(m)
+                            .map(|l| l.contains(s))
+                            .unwrap_or(false)
+                        {
+                            problems.push(format!("participant_in[{m}] misses rel {s}"));
+                        }
+                    }
+                }
+            }
+        }
+        for (t, rels) in &self.inheritors_of {
+            for rel in rels {
+                let ok = self
+                    .objects
+                    .get(rel)
+                    .and_then(ObjectData::transmitter)
+                    .map(|tt| tt == *t)
+                    .unwrap_or(false);
+                if !ok {
+                    problems.push(format!("inheritors_of[{t}] lists stale rel {rel}"));
+                }
+            }
+        }
+        for (name, class) in &self.classes {
+            for m in &class.members {
+                match self.objects.get(m) {
+                    None => problems.push(format!("class `{name}` lists dead member {m}")),
+                    Some(o) if o.type_name != class.type_name => {
+                        problems.push(format!("class `{name}` member {m} has wrong type"))
+                    }
+                    _ => {}
+                }
+            }
+        }
+        problems
+    }
+
+    // ------------------------------------------------------------------
+    // Internals shared with persistence
+    // ------------------------------------------------------------------
+
+    pub(crate) fn objects_map(&self) -> &HashMap<Surrogate, ObjectData> {
+        &self.objects
+    }
+
+    pub(crate) fn classes_map(&self) -> &BTreeMap<String, ClassDef> {
+        &self.classes
+    }
+
+    pub(crate) fn restore(
+        catalog: Catalog,
+        objects: Vec<ObjectData>,
+        classes: Vec<(String, String, Vec<Surrogate>)>,
+    ) -> CoreResult<Self> {
+        let mut store = ObjectStore::new(catalog)?;
+        let mut max = 0;
+        for o in objects {
+            max = max.max(o.surrogate.0);
+            // Rebuild indexes.
+            match &o.kind {
+                ObjectKind::InheritanceRel { transmitter, .. } => {
+                    store.inheritors_of.entry(*transmitter).or_default().push(o.surrogate);
+                }
+                ObjectKind::Relationship { participants } => {
+                    for members in participants.values() {
+                        for m in members {
+                            store.participant_in.entry(*m).or_default().push(o.surrogate);
+                        }
+                    }
+                }
+                ObjectKind::Plain => {}
+            }
+            store.objects.insert(o.surrogate, o);
+        }
+        for (name, type_name, members) in classes {
+            store.classes.insert(name, ClassDef { type_name, members });
+        }
+        store.gen = SurrogateGen::resume_after(max);
+        Ok(store)
+    }
+}
+
+impl ObjectView for ObjectStore {
+    fn view_attr(&self, obj: Surrogate, name: &str) -> CoreResult<Value> {
+        self.attr(obj, name)
+    }
+
+    fn view_subclass(&self, obj: Surrogate, name: &str) -> CoreResult<Vec<Surrogate>> {
+        self.subclass_members(obj, name)
+    }
+
+    fn view_participants(&self, obj: Surrogate, role: &str) -> CoreResult<Vec<Surrogate>> {
+        let o = self.object(obj)?;
+        // Inheritance-relationship objects expose their two ends as the
+        // implicit roles `transmitter` and `inheritor`, so constraints on
+        // inher-rel types can navigate both sides.
+        if let ObjectKind::InheritanceRel { transmitter, inheritor, .. } = &o.kind {
+            match role {
+                "transmitter" => return Ok(vec![*transmitter]),
+                "inheritor" => return Ok(vec![*inheritor]),
+                _ => {
+                    return Err(CoreError::EvalError(format!(
+                        "no participant role `{role}` on {obj}"
+                    )))
+                }
+            }
+        }
+        match o.participants(role) {
+            Some(m) => Ok(m.to_vec()),
+            None => {
+                // Role declared but unset → empty.
+                if let Ok(def) = self.catalog.rel_type(&o.type_name) {
+                    if def.participants.iter().any(|p| p.name == role) {
+                        return Ok(vec![]);
+                    }
+                }
+                Err(CoreError::EvalError(format!("no participant role `{role}` on {obj}")))
+            }
+        }
+    }
+
+    fn view_has_attr(&self, obj: Surrogate, name: &str) -> bool {
+        let Some(o) = self.objects.get(&obj) else { return false };
+        if self.local_attr_domain(&o.type_name, name).is_some() {
+            return true;
+        }
+        self.effective(&o.type_name).map(|e| e.attr(name).is_some()).unwrap_or(false)
+    }
+
+    fn view_has_subclass(&self, obj: Surrogate, name: &str) -> bool {
+        let Some(o) = self.objects.get(&obj) else { return false };
+        if self.local_subclass_spec(&o.type_name, name).is_some()
+            || self.local_subrel_spec(&o.type_name, name).is_some()
+        {
+            return true;
+        }
+        self.effective(&o.type_name).map(|e| e.subclass(name).is_some()).unwrap_or(false)
+    }
+
+    fn view_has_participant(&self, obj: Surrogate, name: &str) -> bool {
+        let Some(o) = self.objects.get(&obj) else { return false };
+        match &o.kind {
+            ObjectKind::Relationship { participants } => {
+                participants.contains_key(name)
+                    || self
+                        .catalog
+                        .rel_type(&o.type_name)
+                        .map(|d| d.participants.iter().any(|p| p.name == name))
+                        .unwrap_or(false)
+            }
+            ObjectKind::InheritanceRel { .. } => {
+                matches!(name, "transmitter" | "inheritor")
+            }
+            ObjectKind::Plain => false,
+        }
+    }
+}
+
+#[cfg(test)]
+#[path = "store_tests.rs"]
+mod tests;

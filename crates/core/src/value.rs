@@ -1,0 +1,374 @@
+//! Runtime attribute values and their conformance to [`Domain`]s.
+
+use serde::{Deserialize, Serialize};
+
+use crate::domain::Domain;
+use crate::surrogate::Surrogate;
+
+/// A runtime value stored in (or computed from) an object attribute.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Value {
+    /// Absent value: unset attribute, or a permeable attribute read through
+    /// an *unbound* inheritor (paper §4.1: the special case in which only
+    /// the attribute structure is inherited).
+    Missing,
+    /// Integer.
+    Int(i64),
+    /// Real number.
+    Real(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+    /// Enumeration literal, e.g. `IN`, `NAND`, `wood`.
+    Enum(String),
+    /// 2-d point.
+    Point {
+        /// X coordinate.
+        x: i64,
+        /// Y coordinate.
+        y: i64,
+    },
+    /// Ordered list.
+    List(Vec<Value>),
+    /// Set (stored sorted by canonical order, duplicates removed).
+    Set(Vec<Value>),
+    /// Record with named fields (sorted by name).
+    Record(Vec<(String, Value)>),
+    /// Rectangular matrix.
+    Matrix(Vec<Vec<Value>>),
+    /// Reference to another object.
+    Ref(Surrogate),
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Missing, Missing) => true,
+            (Int(a), Int(b)) => a == b,
+            (Real(a), Real(b)) => a.to_bits() == b.to_bits(),
+            (Bool(a), Bool(b)) => a == b,
+            (Str(a), Str(b)) => a == b,
+            (Enum(a), Enum(b)) => a == b,
+            (Point { x: ax, y: ay }, Point { x: bx, y: by }) => ax == bx && ay == by,
+            (List(a), List(b)) => a == b,
+            (Set(a), Set(b)) => a == b,
+            (Record(a), Record(b)) => a == b,
+            (Matrix(a), Matrix(b)) => a == b,
+            (Ref(a), Ref(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Value {
+    /// Construct a set value: sorts canonically and removes duplicates.
+    pub fn set(mut items: Vec<Value>) -> Value {
+        items.sort_by(|a, b| a.canonical_cmp(b));
+        items.dedup();
+        Value::Set(items)
+    }
+
+    /// Construct a record value with fields sorted by name.
+    pub fn record(mut fields: Vec<(String, Value)>) -> Value {
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Record(fields)
+    }
+
+    /// Total order used to canonicalize sets and compare values in
+    /// constraint expressions. Cross-variant comparisons order by variant.
+    pub fn canonical_cmp(&self, other: &Value) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        use Value::*;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Missing => 0,
+                Int(_) => 1,
+                Real(_) => 2,
+                Bool(_) => 3,
+                Str(_) => 4,
+                Enum(_) => 5,
+                Point { .. } => 6,
+                List(_) => 7,
+                Set(_) => 8,
+                Record(_) => 9,
+                Matrix(_) => 10,
+                Ref(_) => 11,
+            }
+        }
+        match (self, other) {
+            (Int(a), Int(b)) => a.cmp(b),
+            (Real(a), Real(b)) => a.total_cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Enum(a), Enum(b)) => a.cmp(b),
+            (Point { x: ax, y: ay }, Point { x: bx, y: by }) => (ax, ay).cmp(&(bx, by)),
+            (List(a), List(b)) | (Set(a), Set(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let o = x.canonical_cmp(y);
+                    if o != Ordering::Equal {
+                        return o;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (Record(a), Record(b)) => {
+                for ((na, va), (nb, vb)) in a.iter().zip(b.iter()) {
+                    let o = na.cmp(nb).then_with(|| va.canonical_cmp(vb));
+                    if o != Ordering::Equal {
+                        return o;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (Matrix(a), Matrix(b)) => {
+                for (ra, rb) in a.iter().zip(b.iter()) {
+                    for (x, y) in ra.iter().zip(rb.iter()) {
+                        let o = x.canonical_cmp(y);
+                        if o != Ordering::Equal {
+                            return o;
+                        }
+                    }
+                    let o = ra.len().cmp(&rb.len());
+                    if o != Ordering::Equal {
+                        return o;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (Ref(a), Ref(b)) => a.cmp(b),
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+
+    /// Does this value conform to `domain`? [`Value::Missing`] conforms to
+    /// every domain (attributes may be unset).
+    pub fn conforms_to(&self, domain: &Domain) -> bool {
+        match (self, domain) {
+            (Value::Missing, _) => true,
+            (Value::Int(_), Domain::Int) => true,
+            (Value::Real(_), Domain::Real) => true,
+            (Value::Int(_), Domain::Real) => true, // integers widen to real
+            (Value::Bool(_), Domain::Bool) => true,
+            (Value::Str(_), Domain::Text) => true,
+            (Value::Enum(lit), Domain::Enum(lits)) => lits.iter().any(|l| l == lit),
+            (Value::Point { .. }, Domain::Point) => true,
+            (Value::Record(fields), Domain::Record(defs)) => {
+                // Every value field must be declared and conform; declared
+                // fields may be absent (treated as Missing).
+                fields.iter().all(|(name, v)| {
+                    defs.iter().any(|(dn, dd)| dn == name && v.conforms_to(dd))
+                })
+            }
+            (Value::List(items), Domain::ListOf(d)) => items.iter().all(|v| v.conforms_to(d)),
+            (Value::Set(items), Domain::SetOf(d)) => items.iter().all(|v| v.conforms_to(d)),
+            (Value::Matrix(rows), Domain::MatrixOf(d)) => {
+                let rect = rows.windows(2).all(|w| w[0].len() == w[1].len());
+                rect && rows.iter().flatten().all(|v| v.conforms_to(d))
+            }
+            (Value::Ref(_), Domain::Ref(_)) => true, // type checked by the store
+            _ => false,
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes, used by the permeability
+    /// and storage-amplification experiments (E3, E9).
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Value::Missing => 1,
+            Value::Int(_) | Value::Real(_) => 8,
+            Value::Bool(_) => 1,
+            Value::Str(s) | Value::Enum(s) => s.len() + 8,
+            Value::Point { .. } => 16,
+            Value::List(v) | Value::Set(v) => 8 + v.iter().map(Value::byte_size).sum::<usize>(),
+            Value::Record(fs) => {
+                8 + fs.iter().map(|(n, v)| n.len() + v.byte_size()).sum::<usize>()
+            }
+            Value::Matrix(rows) => {
+                8 + rows.iter().flatten().map(Value::byte_size).sum::<usize>()
+            }
+            Value::Ref(_) => 8,
+        }
+    }
+
+    /// Integer view (used by the expression evaluator).
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Reference view.
+    pub fn as_ref_surrogate(&self) -> Option<Surrogate> {
+        match self {
+            Value::Ref(s) => Some(*s),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Missing => write!(f, "⊥"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Real(r) => write!(f, "{r}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Enum(e) => write!(f, "{e}"),
+            Value::Point { x, y } => write!(f, "({x}, {y})"),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Set(items) => {
+                write!(f, "{{")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Record(fields) => {
+                write!(f, "(")?;
+                for (i, (n, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{n}: {v}")?;
+                }
+                write!(f, ")")
+            }
+            Value::Matrix(rows) => write!(f, "matrix[{}x{}]", rows.len(), rows.first().map_or(0, Vec::len)),
+            Value::Ref(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conformance_simple() {
+        assert!(Value::Int(3).conforms_to(&Domain::Int));
+        assert!(!Value::Int(3).conforms_to(&Domain::Bool));
+        assert!(Value::Int(3).conforms_to(&Domain::Real), "ints widen to real");
+        assert!(!Value::Real(3.0).conforms_to(&Domain::Int));
+        assert!(Value::Missing.conforms_to(&Domain::Int));
+        assert!(Value::Str("x".into()).conforms_to(&Domain::Text));
+    }
+
+    #[test]
+    fn conformance_enum() {
+        let d = Domain::Enum(vec!["IN".into(), "OUT".into()]);
+        assert!(Value::Enum("IN".into()).conforms_to(&d));
+        assert!(!Value::Enum("SIDEWAYS".into()).conforms_to(&d));
+        assert!(!Value::Str("IN".into()).conforms_to(&d));
+    }
+
+    #[test]
+    fn conformance_structured() {
+        let pins = Domain::SetOf(Box::new(Domain::Record(vec![
+            ("PinId".into(), Domain::Int),
+            ("InOut".into(), Domain::Enum(vec!["IN".into(), "OUT".into()])),
+        ])));
+        let v = Value::set(vec![
+            Value::record(vec![
+                ("PinId".into(), Value::Int(1)),
+                ("InOut".into(), Value::Enum("IN".into())),
+            ]),
+            Value::record(vec![
+                ("PinId".into(), Value::Int(2)),
+                ("InOut".into(), Value::Enum("OUT".into())),
+            ]),
+        ]);
+        assert!(v.conforms_to(&pins));
+        let bad = Value::set(vec![Value::record(vec![("PinId".into(), Value::Bool(true))])]);
+        assert!(!bad.conforms_to(&pins));
+    }
+
+    #[test]
+    fn matrix_must_be_rectangular() {
+        let d = Domain::MatrixOf(Box::new(Domain::Bool));
+        let rect = Value::Matrix(vec![
+            vec![Value::Bool(true), Value::Bool(false)],
+            vec![Value::Bool(false), Value::Bool(true)],
+        ]);
+        assert!(rect.conforms_to(&d));
+        let ragged = Value::Matrix(vec![vec![Value::Bool(true)], vec![]]);
+        assert!(!ragged.conforms_to(&d));
+    }
+
+    #[test]
+    fn set_constructor_sorts_and_dedups() {
+        let s = Value::set(vec![Value::Int(3), Value::Int(1), Value::Int(3)]);
+        assert_eq!(s, Value::Set(vec![Value::Int(1), Value::Int(3)]));
+    }
+
+    #[test]
+    fn record_constructor_sorts_fields() {
+        let r = Value::record(vec![
+            ("b".into(), Value::Int(2)),
+            ("a".into(), Value::Int(1)),
+        ]);
+        assert_eq!(
+            r,
+            Value::Record(vec![("a".into(), Value::Int(1)), ("b".into(), Value::Int(2))])
+        );
+    }
+
+    #[test]
+    fn equality_and_ordering() {
+        assert_eq!(Value::Real(1.5), Value::Real(1.5));
+        assert_ne!(Value::Real(1.5), Value::Real(1.6));
+        assert_ne!(Value::Int(1), Value::Real(1.0), "no cross-variant equality");
+        assert!(Value::Int(1).canonical_cmp(&Value::Int(2)).is_lt());
+        assert!(Value::Str("a".into()).canonical_cmp(&Value::Str("b".into())).is_lt());
+    }
+
+    #[test]
+    fn byte_size_grows_with_content() {
+        let small = Value::Int(1);
+        let big = Value::List(vec![Value::Int(1); 100]);
+        assert!(big.byte_size() > small.byte_size() * 50);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let v = Value::record(vec![
+            ("Pins".into(), Value::set(vec![Value::Ref(Surrogate(3))])),
+            ("Pos".into(), Value::Point { x: 1, y: -2 }),
+        ]);
+        let json = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Point { x: 1, y: 2 }.to_string(), "(1, 2)");
+        assert_eq!(Value::set(vec![Value::Int(2), Value::Int(1)]).to_string(), "{1, 2}");
+        assert_eq!(Value::Missing.to_string(), "⊥");
+    }
+}

@@ -1,0 +1,278 @@
+//! Abstract syntax tree for the paper's definition language.
+//!
+//! The AST stays close to the concrete syntax; name/variable resolution and
+//! enum-literal disambiguation happen in [`mod@crate::compile`].
+
+/// A top-level declaration.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Decl {
+    /// `domain <name> = …`
+    Domain {
+        /// Domain name (may contain `/`, e.g. `I/O`).
+        name: String,
+        /// Body.
+        body: DomainExpr,
+    },
+    /// `obj-type <name> = … end`
+    ObjType(ObjTypeDecl),
+    /// `rel-type <name> = … end`
+    RelType(RelTypeDecl),
+    /// `inher-rel-type <name> = … end`
+    InherRelType(InherRelDecl),
+}
+
+/// A domain expression.
+#[derive(Clone, PartialEq, Debug)]
+pub enum DomainExpr {
+    /// `integer`
+    Int,
+    /// `boolean`
+    Bool,
+    /// `char`
+    Text,
+    /// Reference to a named domain (or the built-in `Point`).
+    Named(String),
+    /// `(IN, OUT)`
+    Enum(Vec<String>),
+    /// `(X, Y: integer)` or `record: … end-domain` — grouped fields.
+    Record(Vec<(Vec<String>, DomainExpr)>),
+    /// `set-of D`
+    SetOf(Box<DomainExpr>),
+    /// `list-of D`
+    ListOf(Box<DomainExpr>),
+    /// `matrix-of D`
+    MatrixOf(Box<DomainExpr>),
+}
+
+/// `Length, Width: integer;` — one attribute group.
+#[derive(Clone, PartialEq, Debug)]
+pub struct AttrGroup {
+    /// Attribute names sharing the domain.
+    pub names: Vec<String>,
+    /// The shared domain.
+    pub domain: DomainExpr,
+}
+
+/// One `types-of-subclasses:` entry.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SubclassDecl {
+    /// `Pins: PinType;`
+    Named {
+        /// Subclass name.
+        name: String,
+        /// Element type name.
+        element_type: String,
+    },
+    /// Inline member-type declaration, e.g. the paper's
+    /// `SubGates: inheritor-in: AllOf_GateInterface; attributes: GateLocation: Point;`
+    Inline {
+        /// Subclass name.
+        name: String,
+        /// `inheritor-in:` relationships of the member type.
+        inheritor_in: Vec<String>,
+        /// Extra attributes of the member type.
+        attributes: Vec<AttrGroup>,
+    },
+}
+
+/// One `types-of-subrels:` entry: `Wires: WireType where <expr>;`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SubrelDecl {
+    /// Subrel name.
+    pub name: String,
+    /// Relationship type of the members.
+    pub rel_type: String,
+    /// The member-level `where` clause.
+    pub where_expr: Option<LExpr>,
+}
+
+/// An `obj-type` declaration.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct ObjTypeDecl {
+    /// Type name.
+    pub name: String,
+    /// `inheritor-in:` list.
+    pub inheritor_in: Vec<String>,
+    /// `attributes:` groups.
+    pub attributes: Vec<AttrGroup>,
+    /// `types-of-subclasses:` entries.
+    pub subclasses: Vec<SubclassDecl>,
+    /// `types-of-subrels:` entries.
+    pub subrels: Vec<SubrelDecl>,
+    /// `constraints:` entries.
+    pub constraints: Vec<ConstraintDecl>,
+}
+
+/// One `relates:` entry: `Pin1, Pin2: object-of-type PinType;`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ParticipantDecl {
+    /// Role names sharing the spec.
+    pub names: Vec<String>,
+    /// `set-of` prefix present?
+    pub many: bool,
+    /// `object-of-type T` gives `Some(T)`; plain `object` gives `None`.
+    pub of_type: Option<String>,
+}
+
+/// A `rel-type` declaration.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct RelTypeDecl {
+    /// Type name.
+    pub name: String,
+    /// `relates:` entries.
+    pub participants: Vec<ParticipantDecl>,
+    /// `attributes:` groups.
+    pub attributes: Vec<AttrGroup>,
+    /// `types-of-subclasses:` entries (e.g. ScrewingType's Bolt/Nut).
+    pub subclasses: Vec<SubclassDecl>,
+    /// `constraints:` entries.
+    pub constraints: Vec<ConstraintDecl>,
+}
+
+/// An `inher-rel-type` declaration.
+#[derive(Clone, PartialEq, Debug)]
+pub struct InherRelDecl {
+    /// Type name.
+    pub name: String,
+    /// `transmitter: object-of-type T;`
+    pub transmitter_type: String,
+    /// `inheritor: object;` → `None`; `inheritor: object-of-type T;` → `Some`.
+    pub inheritor_type: Option<String>,
+    /// `inheriting:` item names.
+    pub inheriting: Vec<String>,
+    /// Own attributes of the relationship.
+    pub attributes: Vec<AttrGroup>,
+}
+
+/// A constraint in a `constraints:` block.
+///
+/// Per the paper's §5 listing, `for` bindings accumulate over the rest of
+/// the block: each constraint carries the bindings visible at its position
+/// and is implicitly universally quantified over them.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ConstraintDecl {
+    /// Accumulated `for` bindings (variable, class path).
+    pub bindings: Vec<(String, Vec<String>)>,
+    /// The boolean expression.
+    pub expr: LExpr,
+    /// Trailing `where` filter (the paper's
+    /// `count (Pins) = 2 where Pins.InOut = IN` form) — attached to the
+    /// `count` during lowering.
+    pub where_expr: Option<LExpr>,
+}
+
+/// Binary operators at the language level.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LBinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+}
+
+/// Aggregate functions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LAgg {
+    /// `sum (path)`
+    Sum,
+    /// `min (path)`
+    Min,
+    /// `max (path)`
+    Max,
+}
+
+/// Language-level expressions (paths unresolved).
+#[derive(Clone, PartialEq, Debug)]
+pub enum LExpr {
+    /// Integer literal.
+    Int(i64),
+    /// String literal.
+    Str(String),
+    /// Dotted path, e.g. `SubGates.Pins` or `s.Diameter` or a bare
+    /// identifier (maybe an enum literal — resolved at compile time).
+    Path(Vec<String>),
+    /// `count (path)`.
+    Count(Vec<String>),
+    /// `#v in path` — cardinality of a class.
+    HashCount {
+        /// The counting variable (unused semantically).
+        var: String,
+        /// The class path.
+        path: Vec<String>,
+    },
+    /// `sum`/`min`/`max` over a path.
+    Agg {
+        /// Which aggregate.
+        op: LAgg,
+        /// The path.
+        path: Vec<String>,
+    },
+    /// Unary minus.
+    Neg(Box<LExpr>),
+    /// `not`.
+    Not(Box<LExpr>),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: LBinOp,
+        /// Left operand.
+        lhs: Box<LExpr>,
+        /// Right operand.
+        rhs: Box<LExpr>,
+    },
+    /// `item in path` (membership).
+    In {
+        /// Tested expression.
+        item: Box<LExpr>,
+        /// Class path.
+        path: Vec<String>,
+    },
+    /// Inline `for (v in path, …): body` quantifier.
+    ForAll {
+        /// Bindings.
+        bindings: Vec<(String, Vec<String>)>,
+        /// Body.
+        body: Box<LExpr>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ast_nodes_construct_and_compare() {
+        let a = LExpr::Binary {
+            op: LBinOp::Eq,
+            lhs: Box::new(LExpr::Path(vec!["s".into(), "Diameter".into()])),
+            rhs: Box::new(LExpr::Path(vec!["n".into(), "Diameter".into()])),
+        };
+        let b = a.clone();
+        assert_eq!(a, b);
+        let d = DomainExpr::SetOf(Box::new(DomainExpr::Record(vec![(
+            vec!["PinId".into()],
+            DomainExpr::Int,
+        )])));
+        assert_ne!(d, DomainExpr::Int);
+    }
+}

@@ -1,0 +1,115 @@
+#![warn(missing_docs)]
+
+//! # ccdb-lang
+//!
+//! The definition language of *Complex and Composite Objects in CAD/CAM
+//! Databases* (Wilkes/Klahold/Schlageter 1988), in the paper's concrete
+//! syntax: `domain`, `obj-type`, `rel-type`, and `inher-rel-type`
+//! declarations with `attributes:`, `types-of-subclasses:`,
+//! `types-of-subrels:`/`connections:`, `constraints:`, `inheritor-in:`,
+//! `transmitter:`/`inheritor:`/`inheriting:` sections — so that the
+//! listings in the paper compile verbatim into a [`Catalog`].
+//!
+//! ```
+//! use ccdb_core::schema::Catalog;
+//! use ccdb_lang::compile_str;
+//!
+//! let mut catalog = Catalog::new();
+//! compile_str(r#"
+//!     obj-type GateInterface =
+//!         attributes:
+//!             Length, Width: integer;
+//!     end GateInterface;
+//!
+//!     inher-rel-type AllOf_GateInterface =
+//!         transmitter: object-of-type GateInterface;
+//!         inheritor:   object;
+//!         inheriting:  Length, Width;
+//!     end AllOf_GateInterface;
+//!
+//!     obj-type GateImplementation =
+//!         inheritor-in: AllOf_GateInterface;
+//!         attributes:
+//!             Function: matrix-of boolean;
+//!     end GateImplementation;
+//! "#, &mut catalog).unwrap();
+//! catalog.validate().unwrap();
+//! ```
+
+pub mod ast;
+pub mod paper;
+pub mod compile;
+pub mod parser;
+pub mod render;
+pub mod token;
+
+use ccdb_core::schema::Catalog;
+
+pub use compile::{compile, CompileError};
+pub use parser::{parse, parse_expr, ParseError};
+pub use render::render;
+pub use token::{lex, LexError};
+
+/// Any error from the language pipeline.
+#[derive(Clone, PartialEq, Debug)]
+pub enum LangError {
+    /// Lexing/parsing failed.
+    Parse(ParseError),
+    /// Lowering to the catalog failed.
+    Compile(CompileError),
+}
+
+impl std::fmt::Display for LangError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LangError::Parse(e) => write!(f, "{e}"),
+            LangError::Compile(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+impl From<ParseError> for LangError {
+    fn from(e: ParseError) -> Self {
+        LangError::Parse(e)
+    }
+}
+
+impl From<CompileError> for LangError {
+    fn from(e: CompileError) -> Self {
+        LangError::Compile(e)
+    }
+}
+
+/// Parse and compile `src` into `catalog`. May be called repeatedly to
+/// compile schema chunks incrementally; call [`Catalog::validate`] when all
+/// chunks are in.
+pub fn compile_str(src: &str, catalog: &mut Catalog) -> Result<(), LangError> {
+    let decls = parser::parse(src)?;
+    compile::compile(&decls, catalog)?;
+    Ok(())
+}
+
+/// Parse and lower a stand-alone boolean expression (paper syntax) against
+/// an existing catalog — bare identifiers that name enum literals of the
+/// catalog resolve to literals, everything else roots at the queried
+/// object. Used for top-down version-selection queries and ad-hoc
+/// [`ObjectStore::select`](ccdb_core::store::ObjectStore::select) calls.
+///
+/// ```
+/// use ccdb_core::schema::Catalog;
+/// use ccdb_lang::{compile_str, compile_expr};
+///
+/// let mut catalog = Catalog::new();
+/// compile_str("obj-type Gate = attributes: Length: integer; end Gate;", &mut catalog).unwrap();
+/// let q = compile_expr("Length >= 10 and Length < 20", &catalog).unwrap();
+/// assert!(q.to_string().contains("Length"));
+/// ```
+pub fn compile_expr(
+    src: &str,
+    catalog: &Catalog,
+) -> Result<ccdb_core::expr::Expr, LangError> {
+    let ast = parser::parse_expr(src)?;
+    compile::lower_query_expr(&ast, catalog).map_err(LangError::Compile)
+}

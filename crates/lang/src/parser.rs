@@ -1,0 +1,987 @@
+//! Recursive-descent parser for the paper's definition language.
+//!
+//! Syntax notes (documented deviations are in DESIGN.md):
+//!
+//! - `connections:` is accepted as a synonym of `types-of-subrels:` (the
+//!   paper's `GateImplementation` listing uses it).
+//! - In a `constraints:` block, `for` bindings accumulate for the remaining
+//!   constraints of the block (the paper's §5 `ScrewingType` relies on this).
+//! - An *inline* subclass declaration (with `inheritor-in:`/`attributes:`)
+//!   ends at the next section keyword or at the next inline subclass; a
+//!   *named* subclass entry after an inline one is not distinguishable from
+//!   an attribute and is therefore not supported (the paper never does it).
+//! - Trailing semicolons/commas are tolerated where the paper is
+//!   inconsistent.
+
+use crate::ast::*;
+use crate::token::{lex, LexError, Token, TokenKind};
+
+/// Parse error with source line.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ParseError {
+    /// Description.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, line: e.line }
+    }
+}
+
+/// Section keywords that terminate entry lists.
+const SECTIONS: &[&str] = &[
+    "attributes",
+    "constraints",
+    "types-of-subclasses",
+    "types-of-subrels",
+    "connections",
+    "relates",
+    "transmitter",
+    "inheritor",
+    "inheriting",
+    "inheritor-in",
+    "end",
+];
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+/// Parse a whole source text into declarations.
+pub fn parse(src: &str) -> Result<Vec<Decl>, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut decls = Vec::new();
+    while !p.at_eof() {
+        decls.push(p.decl()?);
+    }
+    Ok(decls)
+}
+
+/// Parse a single expression (used by tests and the version-selection DSL).
+pub fn parse_expr(src: &str) -> Result<LExpr, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.expr()?;
+    if !p.at_eof() {
+        return Err(p.err("trailing input after expression"));
+    }
+    Ok(e)
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].kind
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].line
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError { message: format!("{msg} (found {})", self.peek()), line: self.line() }
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), ParseError> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {what}")))
+        }
+    }
+
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{kw}`")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            _ => Err(self.err(&format!("expected {what}"))),
+        }
+    }
+
+    fn at_section(&self) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if SECTIONS.contains(&s.as_str()))
+    }
+
+    // ------------------------------------------------------------------
+    // Declarations
+    // ------------------------------------------------------------------
+
+    fn decl(&mut self) -> Result<Decl, ParseError> {
+        if self.eat_kw("domain") {
+            return self.domain_decl();
+        }
+        if self.eat_kw("obj-type") {
+            return self.obj_type_decl();
+        }
+        if self.eat_kw("rel-type") {
+            return self.rel_type_decl();
+        }
+        if self.eat_kw("inher-rel-type") || self.eat_kw("inher-rel-typ") {
+            // (the paper's §5 contains the typo `inher-rel-typ`)
+            return self.inher_rel_decl();
+        }
+        Err(self.err("expected `domain`, `obj-type`, `rel-type`, or `inher-rel-type`"))
+    }
+
+    fn domain_decl(&mut self) -> Result<Decl, ParseError> {
+        let name = self.ident("domain name")?;
+        self.expect(&TokenKind::Eq, "`=`")?;
+        let body = if self.eat_kw("record") {
+            // `record: fields… end-domain <name>;`
+            self.expect(&TokenKind::Colon, "`:`")?;
+            let mut fields = Vec::new();
+            while !self.is_kw("end-domain") {
+                fields.push(self.record_field()?);
+            }
+            self.expect_kw("end-domain")?;
+            let _ = self.ident("domain name after end-domain");
+            DomainExpr::Record(fields)
+        } else {
+            self.domain_expr()?
+        };
+        self.eat(&TokenKind::Semi);
+        Ok(Decl::Domain { name, body })
+    }
+
+    /// `names… : domain ;` — one record field group.
+    fn record_field(&mut self) -> Result<(Vec<String>, DomainExpr), ParseError> {
+        let mut names = vec![self.ident("field name")?];
+        while self.eat(&TokenKind::Comma) {
+            names.push(self.ident("field name")?);
+        }
+        self.expect(&TokenKind::Colon, "`:`")?;
+        let d = self.domain_expr()?;
+        self.eat(&TokenKind::Semi);
+        Ok((names, d))
+    }
+
+    fn domain_expr(&mut self) -> Result<DomainExpr, ParseError> {
+        if self.eat_kw("integer") {
+            return Ok(DomainExpr::Int);
+        }
+        if self.eat_kw("boolean") {
+            return Ok(DomainExpr::Bool);
+        }
+        if self.eat_kw("char") {
+            return Ok(DomainExpr::Text);
+        }
+        if self.eat_kw("set-of") {
+            return Ok(DomainExpr::SetOf(Box::new(self.domain_expr()?)));
+        }
+        if self.eat_kw("list-of") {
+            return Ok(DomainExpr::ListOf(Box::new(self.domain_expr()?)));
+        }
+        if self.eat_kw("matrix-of") {
+            return Ok(DomainExpr::MatrixOf(Box::new(self.domain_expr()?)));
+        }
+        if self.eat(&TokenKind::LParen) {
+            // Enum `(IN, OUT)` or record `(X, Y: integer; …)`.
+            let mut names = vec![self.ident("identifier")?];
+            while self.eat(&TokenKind::Comma) {
+                names.push(self.ident("identifier")?);
+            }
+            if self.eat(&TokenKind::RParen) {
+                return Ok(DomainExpr::Enum(names));
+            }
+            self.expect(&TokenKind::Colon, "`,`, `)`, or `:`")?;
+            let d = self.domain_expr()?;
+            self.eat(&TokenKind::Semi);
+            let mut fields = vec![(names, d)];
+            while !self.eat(&TokenKind::RParen) {
+                fields.push(self.record_field()?);
+            }
+            return Ok(DomainExpr::Record(fields));
+        }
+        let name = self.ident("domain")?;
+        Ok(DomainExpr::Named(name))
+    }
+
+    fn obj_type_decl(&mut self) -> Result<Decl, ParseError> {
+        let name = self.ident("type name")?;
+        self.expect(&TokenKind::Eq, "`=`")?;
+        let mut d = ObjTypeDecl { name, ..Default::default() };
+        loop {
+            if self.eat_kw("end") {
+                break;
+            }
+            if self.eat_kw("inheritor-in") || self.eat_kw("inheritor") {
+                // `inheritor-in: R;` (the §5 Girder listing writes
+                // `inheritor: AllOf_GirderIf;` — tolerated).
+                self.expect(&TokenKind::Colon, "`:`")?;
+                d.inheritor_in.push(self.ident("inheritance relationship name")?);
+                while self.eat(&TokenKind::Comma) {
+                    d.inheritor_in.push(self.ident("inheritance relationship name")?);
+                }
+                self.eat(&TokenKind::Semi);
+                continue;
+            }
+            if self.eat_kw("attributes") {
+                self.expect(&TokenKind::Colon, "`:`")?;
+                d.attributes.extend(self.attr_groups()?);
+                continue;
+            }
+            if self.eat_kw("types-of-subclasses") {
+                self.expect(&TokenKind::Colon, "`:`")?;
+                d.subclasses.extend(self.subclass_entries()?);
+                continue;
+            }
+            if self.eat_kw("types-of-subrels") || self.eat_kw("connections") {
+                self.expect(&TokenKind::Colon, "`:`")?;
+                d.subrels.extend(self.subrel_entries()?);
+                continue;
+            }
+            if self.eat_kw("constraints") {
+                self.expect(&TokenKind::Colon, "`:`")?;
+                d.constraints.extend(self.constraint_entries()?);
+                continue;
+            }
+            return Err(self.err("expected a section or `end`"));
+        }
+        let _ = self.ident("type name after end");
+        self.eat(&TokenKind::Semi);
+        Ok(Decl::ObjType(d))
+    }
+
+    fn rel_type_decl(&mut self) -> Result<Decl, ParseError> {
+        let name = self.ident("type name")?;
+        self.expect(&TokenKind::Eq, "`=`")?;
+        let mut d = RelTypeDecl { name, ..Default::default() };
+        loop {
+            if self.eat_kw("end") {
+                break;
+            }
+            if self.eat_kw("relates") {
+                self.expect(&TokenKind::Colon, "`:`")?;
+                while !self.at_section() {
+                    d.participants.push(self.participant()?);
+                }
+                continue;
+            }
+            if self.eat_kw("attributes") {
+                self.expect(&TokenKind::Colon, "`:`")?;
+                d.attributes.extend(self.attr_groups()?);
+                continue;
+            }
+            if self.eat_kw("types-of-subclasses") {
+                self.expect(&TokenKind::Colon, "`:`")?;
+                d.subclasses.extend(self.subclass_entries()?);
+                continue;
+            }
+            if self.eat_kw("constraints") {
+                self.expect(&TokenKind::Colon, "`:`")?;
+                d.constraints.extend(self.constraint_entries()?);
+                continue;
+            }
+            return Err(self.err("expected a section or `end`"));
+        }
+        let _ = self.ident("type name after end");
+        self.eat(&TokenKind::Semi);
+        Ok(Decl::RelType(d))
+    }
+
+    fn participant(&mut self) -> Result<ParticipantDecl, ParseError> {
+        let mut names = vec![self.ident("participant role")?];
+        while self.eat(&TokenKind::Comma) {
+            names.push(self.ident("participant role")?);
+        }
+        self.expect(&TokenKind::Colon, "`:`")?;
+        let many = self.eat_kw("set-of");
+        let of_type = if self.eat_kw("object-of-type") {
+            Some(self.ident("participant type")?)
+        } else if self.eat_kw("object") {
+            None
+        } else {
+            return Err(self.err("expected `object` or `object-of-type`"));
+        };
+        self.eat(&TokenKind::Semi);
+        Ok(ParticipantDecl { names, many, of_type })
+    }
+
+    fn inher_rel_decl(&mut self) -> Result<Decl, ParseError> {
+        let name = self.ident("type name")?;
+        self.expect(&TokenKind::Eq, "`=`")?;
+        let mut transmitter_type = None;
+        let mut inheritor_type: Option<String> = None;
+        let mut inheriting = Vec::new();
+        let mut attributes = Vec::new();
+        loop {
+            if self.eat_kw("end") {
+                break;
+            }
+            if self.eat_kw("transmitter") {
+                self.expect(&TokenKind::Colon, "`:`")?;
+                self.expect_kw("object-of-type")?;
+                transmitter_type = Some(self.ident("transmitter type")?);
+                self.eat(&TokenKind::Semi);
+                continue;
+            }
+            if self.eat_kw("inheritor") {
+                self.expect(&TokenKind::Colon, "`:`")?;
+                if self.eat_kw("object-of-type") {
+                    inheritor_type = Some(self.ident("inheritor type")?);
+                } else {
+                    self.expect_kw("object")?;
+                }
+                // The paper writes `object;` and also `object-of-type X
+                // object;` variants; tolerate a trailing `/ object` list.
+                self.eat(&TokenKind::Semi);
+                continue;
+            }
+            if self.eat_kw("inheriting") {
+                self.expect(&TokenKind::Colon, "`:`")?;
+                loop {
+                    if self.is_kw("end") || self.at_section() {
+                        break;
+                    }
+                    inheriting.push(self.ident("inherited item")?);
+                    if self.eat(&TokenKind::Comma) {
+                        continue;
+                    }
+                    self.eat(&TokenKind::Semi);
+                    if self.at_section() || self.is_kw("end") {
+                        break;
+                    }
+                }
+                continue;
+            }
+            if self.eat_kw("attributes") {
+                self.expect(&TokenKind::Colon, "`:`")?;
+                attributes.extend(self.attr_groups()?);
+                continue;
+            }
+            return Err(self.err("expected a section or `end`"));
+        }
+        let _ = self.ident("type name after end");
+        self.eat(&TokenKind::Semi);
+        let transmitter_type =
+            transmitter_type.ok_or_else(|| self.err("inher-rel-type needs a transmitter"))?;
+        Ok(Decl::InherRelType(InherRelDecl {
+            name,
+            transmitter_type,
+            inheritor_type,
+            inheriting,
+            attributes,
+        }))
+    }
+
+    // ------------------------------------------------------------------
+    // Sections
+    // ------------------------------------------------------------------
+
+    fn attr_groups(&mut self) -> Result<Vec<AttrGroup>, ParseError> {
+        let mut out = Vec::new();
+        while !self.at_section() && !self.at_eof() {
+            // Stop at an inline-subclass start (`Name:` then `inheritor-in`).
+            if matches!(self.peek(), TokenKind::Ident(_))
+                && matches!(self.peek2(), TokenKind::Colon)
+            {
+                // fine: attr groups look the same; inline detection happens
+                // in subclass_entries, not here.
+            }
+            let mut names = vec![self.ident("attribute name")?];
+            while self.eat(&TokenKind::Comma) {
+                names.push(self.ident("attribute name")?);
+            }
+            self.expect(&TokenKind::Colon, "`:`")?;
+            let domain = self.domain_expr()?;
+            self.eat(&TokenKind::Semi);
+            out.push(AttrGroup { names, domain });
+        }
+        Ok(out)
+    }
+
+    fn subclass_entries(&mut self) -> Result<Vec<SubclassDecl>, ParseError> {
+        let mut out = Vec::new();
+        while !self.at_section() && !self.at_eof() {
+            let name = self.ident("subclass name")?;
+            self.expect(&TokenKind::Colon, "`:`")?;
+            if self.is_kw("inheritor-in") || self.is_kw("attributes") {
+                // Inline member-type declaration.
+                let mut inheritor_in = Vec::new();
+                let mut attributes = Vec::new();
+                loop {
+                    if self.eat_kw("inheritor-in") {
+                        self.expect(&TokenKind::Colon, "`:`")?;
+                        inheritor_in.push(self.ident("inheritance relationship name")?);
+                        self.eat(&TokenKind::Semi);
+                        continue;
+                    }
+                    if self.is_kw("attributes") && !self.inline_section_done() {
+                        self.bump();
+                        self.expect(&TokenKind::Colon, "`:`")?;
+                        attributes.extend(self.inline_attr_groups()?);
+                        continue;
+                    }
+                    break;
+                }
+                out.push(SubclassDecl::Inline { name, inheritor_in, attributes });
+                // The next entry may be another inline subclass.
+                continue;
+            }
+            let element_type = self.ident("element type")?;
+            self.eat(&TokenKind::Semi);
+            out.push(SubclassDecl::Named { name, element_type });
+        }
+        Ok(out)
+    }
+
+    /// Is the upcoming `attributes` actually the start of an *outer*
+    /// section? (It never is: outer `attributes` cannot follow
+    /// `types-of-subclasses` mid-type in the paper's grammar; inline wins.)
+    fn inline_section_done(&self) -> bool {
+        false
+    }
+
+    /// Attribute groups inside an inline subclass: stop at section keywords
+    /// or at the start of the next inline subclass (`Name:` + `inheritor-in`).
+    fn inline_attr_groups(&mut self) -> Result<Vec<AttrGroup>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            if self.at_section() || self.at_eof() {
+                break;
+            }
+            // Next inline subclass?
+            if matches!(self.peek(), TokenKind::Ident(_))
+                && matches!(self.peek2(), TokenKind::Colon)
+            {
+                let save = self.pos;
+                let _ = self.bump();
+                let _ = self.bump();
+                let next_is_inline = self.is_kw("inheritor-in");
+                self.pos = save;
+                if next_is_inline {
+                    break;
+                }
+            }
+            let mut names = vec![self.ident("attribute name")?];
+            while self.eat(&TokenKind::Comma) {
+                names.push(self.ident("attribute name")?);
+            }
+            self.expect(&TokenKind::Colon, "`:`")?;
+            let domain = self.domain_expr()?;
+            self.eat(&TokenKind::Semi);
+            out.push(AttrGroup { names, domain });
+        }
+        Ok(out)
+    }
+
+    fn subrel_entries(&mut self) -> Result<Vec<SubrelDecl>, ParseError> {
+        let mut out = Vec::new();
+        while !self.at_section() && !self.at_eof() {
+            let name = self.ident("subrel name")?;
+            self.expect(&TokenKind::Colon, "`:`")?;
+            let rel_type = self.ident("relationship type")?;
+            let where_expr =
+                if self.eat_kw("where") { Some(self.expr()?) } else { None };
+            self.eat(&TokenKind::Semi);
+            out.push(SubrelDecl { name, rel_type, where_expr });
+        }
+        Ok(out)
+    }
+
+    fn constraint_entries(&mut self) -> Result<Vec<ConstraintDecl>, ParseError> {
+        let mut out = Vec::new();
+        let mut bindings: Vec<(String, Vec<String>)> = Vec::new();
+        while !self.at_section() && !self.at_eof() {
+            if self.eat_kw("for") {
+                // `for (s in Bolt, n in Nut):` or `for b in Bores:` — the
+                // bindings accumulate for the remaining constraints; a
+                // re-declared variable shadows (replaces) its prior binding.
+                let parens = self.eat(&TokenKind::LParen);
+                loop {
+                    let var = self.ident("binding variable")?;
+                    self.expect_kw("in")?;
+                    let path = self.path()?;
+                    bindings.retain(|(v, _)| v != &var);
+                    bindings.push((var, path));
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                if parens {
+                    self.expect(&TokenKind::RParen, "`)`")?;
+                }
+                self.expect(&TokenKind::Colon, "`:`")?;
+                continue;
+            }
+            let expr = self.expr()?;
+            let where_expr =
+                if self.eat_kw("where") { Some(self.expr()?) } else { None };
+            self.eat(&TokenKind::Semi);
+            out.push(ConstraintDecl { bindings: bindings.clone(), expr, where_expr });
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    fn path(&mut self) -> Result<Vec<String>, ParseError> {
+        let mut segs = vec![self.ident("path")?];
+        while self.eat(&TokenKind::Dot) {
+            segs.push(self.ident("path segment")?);
+        }
+        Ok(segs)
+    }
+
+    fn expr(&mut self) -> Result<LExpr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<LExpr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("or") {
+            let rhs = self.and_expr()?;
+            lhs = LExpr::Binary { op: LBinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<LExpr, ParseError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw("and") {
+            let rhs = self.not_expr()?;
+            lhs = LExpr::Binary { op: LBinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<LExpr, ParseError> {
+        if self.eat_kw("not") {
+            return Ok(LExpr::Not(Box::new(self.not_expr()?)));
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<LExpr, ParseError> {
+        let lhs = self.additive()?;
+        let op = match self.peek() {
+            TokenKind::Eq => LBinOp::Eq,
+            TokenKind::Ne => LBinOp::Ne,
+            TokenKind::Lt => LBinOp::Lt,
+            TokenKind::Le => LBinOp::Le,
+            TokenKind::Gt => LBinOp::Gt,
+            TokenKind::Ge => LBinOp::Ge,
+            TokenKind::Ident(s) if s == "in" => {
+                self.bump();
+                let path = self.path()?;
+                return Ok(LExpr::In { item: Box::new(lhs), path });
+            }
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.additive()?;
+        Ok(LExpr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+    }
+
+    fn additive(&mut self) -> Result<LExpr, ParseError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => LBinOp::Add,
+                TokenKind::Minus => LBinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.multiplicative()?;
+            lhs = LExpr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<LExpr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => LBinOp::Mul,
+                TokenKind::Slash => LBinOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = LExpr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn unary(&mut self) -> Result<LExpr, ParseError> {
+        if self.eat(&TokenKind::Minus) {
+            return Ok(LExpr::Neg(Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<LExpr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Int(i) => {
+                self.bump();
+                Ok(LExpr::Int(i))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(LExpr::Str(s))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            TokenKind::Hash => {
+                // `#s in Bolt` — cardinality.
+                self.bump();
+                let var = self.ident("counting variable")?;
+                self.expect_kw("in")?;
+                let path = self.path()?;
+                Ok(LExpr::HashCount { var, path })
+            }
+            TokenKind::Ident(s) if s == "count" && matches!(self.peek2(), TokenKind::LParen) => {
+                self.bump();
+                self.expect(&TokenKind::LParen, "`(`")?;
+                let path = self.path()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(LExpr::Count(path))
+            }
+            TokenKind::Ident(s)
+                if matches!(s.as_str(), "sum" | "min" | "max")
+                    && matches!(self.peek2(), TokenKind::LParen) =>
+            {
+                self.bump();
+                let op = match s.as_str() {
+                    "sum" => LAgg::Sum,
+                    "min" => LAgg::Min,
+                    _ => LAgg::Max,
+                };
+                self.expect(&TokenKind::LParen, "`(`")?;
+                let path = self.path()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(LExpr::Agg { op, path })
+            }
+            TokenKind::Ident(s) if s == "for" => {
+                // Inline quantifier: `for (b in Bores): expr` / `for b in B: expr`.
+                self.bump();
+                let parens = self.eat(&TokenKind::LParen);
+                let mut bindings = Vec::new();
+                loop {
+                    let var = self.ident("binding variable")?;
+                    self.expect_kw("in")?;
+                    bindings.push((var, self.path()?));
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                if parens {
+                    self.expect(&TokenKind::RParen, "`)`")?;
+                }
+                self.expect(&TokenKind::Colon, "`:`")?;
+                let body = self.expr()?;
+                Ok(LExpr::ForAll { bindings, body: Box::new(body) })
+            }
+            TokenKind::Ident(_) => Ok(LExpr::Path(self.path()?)),
+            _ => Err(self.err("expected an expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_gate_from_paper() {
+        let src = r#"
+            domain I/O = (IN, OUT);
+            domain Point = (X, Y: integer);
+
+            obj-type SimpleGate =
+                attributes:
+                    Length, Width: integer;
+                    Function: (AND, OR, NOR, NAND);
+                    Pins: set-of ( PinId: integer;
+                                   InOut: I/O;
+                                 );
+                constraints:
+                    count (Pins) = 2 where Pins.InOut = IN;
+                    count (Pins) = 1 where Pins.InOut = OUT;
+            end SimpleGate;
+        "#;
+        let decls = parse(src).unwrap();
+        assert_eq!(decls.len(), 3);
+        let Decl::ObjType(g) = &decls[2] else { panic!("expected obj-type") };
+        assert_eq!(g.name, "SimpleGate");
+        assert_eq!(g.attributes.len(), 3);
+        assert_eq!(g.attributes[0].names, vec!["Length", "Width"]);
+        assert!(matches!(g.attributes[1].domain, DomainExpr::Enum(_)));
+        assert!(matches!(g.attributes[2].domain, DomainExpr::SetOf(_)));
+        assert_eq!(g.constraints.len(), 2);
+        assert!(g.constraints[0].where_expr.is_some());
+    }
+
+    #[test]
+    fn parses_rel_type_with_typed_participants() {
+        let src = r#"
+            rel-type WireType =
+                relates:
+                    Pin1,
+                    Pin2: object-of-type PinType;
+                attributes:
+                    Corners: list-of Point;
+            end WireType;
+        "#;
+        let decls = parse(src).unwrap();
+        let Decl::RelType(r) = &decls[0] else { panic!() };
+        assert_eq!(r.participants.len(), 1);
+        assert_eq!(r.participants[0].names, vec!["Pin1", "Pin2"]);
+        assert_eq!(r.participants[0].of_type.as_deref(), Some("PinType"));
+        assert!(!r.participants[0].many);
+    }
+
+    #[test]
+    fn parses_inher_rel_type() {
+        let src = r#"
+            inher-rel-type AllOf_GateInterface =
+                transmitter: object-of-type GateInterface
+                inheritor: object;
+                inheriting:
+                    Length, Width, Pins;
+            end AllOf_GateInterface;
+        "#;
+        let decls = parse(src).unwrap();
+        let Decl::InherRelType(r) = &decls[0] else { panic!() };
+        assert_eq!(r.transmitter_type, "GateInterface");
+        assert_eq!(r.inheritor_type, None);
+        assert_eq!(r.inheriting, vec!["Length", "Width", "Pins"]);
+    }
+
+    #[test]
+    fn parses_typed_inheritor_and_trailing_comma() {
+        // §5 has `inheriting: Length, Diameter,` with a trailing comma.
+        let src = r#"
+            inher-rel-type AllOf_BoltType =
+                transmitter: object-of-type BoltType;
+                inheritor: object;
+                inheriting:
+                    Length, Diameter,
+            end AllOf_BoltType;
+        "#;
+        let decls = parse(src).unwrap();
+        let Decl::InherRelType(r) = &decls[0] else { panic!() };
+        assert_eq!(r.inheriting, vec!["Length", "Diameter"]);
+    }
+
+    #[test]
+    fn parses_inline_subclass_with_inheritor_and_attrs() {
+        let src = r#"
+            obj-type GateImplementation =
+                inheritor-in: AllOf_GateInterface;
+                attributes:
+                    Function: matrix-of boolean;
+                types-of-subclasses:
+                    SubGates:
+                        inheritor-in: AllOf_GateInterface;
+                        attributes:
+                            GateLocation: Point;
+                types-of-subrels:
+                    Wire: WireType
+                        where (Wire.Pin1 in Pins or Wire.Pin1 in SubGates.Pins)
+                          and (Wire.Pin2 in Pins or Wire.Pin2 in SubGates.Pins);
+            end GateImplementation;
+        "#;
+        let decls = parse(src).unwrap();
+        let Decl::ObjType(g) = &decls[0] else { panic!() };
+        assert_eq!(g.inheritor_in, vec!["AllOf_GateInterface"]);
+        let SubclassDecl::Inline { name, inheritor_in, attributes } = &g.subclasses[0] else {
+            panic!("expected inline subclass")
+        };
+        assert_eq!(name, "SubGates");
+        assert_eq!(inheritor_in, &vec!["AllOf_GateInterface".to_string()]);
+        assert_eq!(attributes[0].names, vec!["GateLocation"]);
+        assert_eq!(g.subrels.len(), 1);
+        assert_eq!(g.subrels[0].rel_type, "WireType");
+        assert!(g.subrels[0].where_expr.is_some());
+    }
+
+    #[test]
+    fn parses_screwing_type_with_embedded_bolt_and_nut() {
+        let src = r#"
+            rel-type ScrewingType =
+                relates:
+                    Bores: set-of object-of-type BoreType;
+                attributes:
+                    Strength: integer;
+                types-of-subclasses:
+                    Bolt:
+                        inheritor-in: AllOf_BoltType;
+                    Nut:
+                        inheritor-in: AllOf_NutType;
+                constraints:
+                    #s in Bolt = 1;
+                    #n in Nut = 1;
+                    for (s in Bolt, n in Nut):
+                        s.Diameter = n.Diameter;
+                    for b in Bores:
+                        s.Diameter <= b.Diameter;
+                        s.Length = n.Length + sum (Bores.Length)
+            end ScrewingType;
+        "#;
+        let decls = parse(src).unwrap();
+        let Decl::RelType(r) = &decls[0] else { panic!() };
+        assert!(r.participants[0].many);
+        assert_eq!(r.subclasses.len(), 2);
+        assert_eq!(r.constraints.len(), 5);
+        // Binding accumulation: the last two constraints see s, n, and b.
+        assert_eq!(r.constraints[2].bindings.len(), 2);
+        assert_eq!(r.constraints[3].bindings.len(), 3);
+        assert_eq!(r.constraints[4].bindings.len(), 3);
+        assert!(matches!(r.constraints[0].expr, LExpr::Binary { op: LBinOp::Eq, .. }));
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let e = parse_expr("Length < 100*Height*Width").unwrap();
+        let LExpr::Binary { op: LBinOp::Lt, rhs, .. } = e else { panic!() };
+        assert!(matches!(*rhs, LExpr::Binary { op: LBinOp::Mul, .. }));
+        let e = parse_expr("a + b * c").unwrap();
+        let LExpr::Binary { op: LBinOp::Add, rhs, .. } = e else { panic!() };
+        assert!(matches!(*rhs, LExpr::Binary { op: LBinOp::Mul, .. }));
+        let e = parse_expr("a = b or c = d and e = f").unwrap();
+        assert!(matches!(e, LExpr::Binary { op: LBinOp::Or, .. }));
+    }
+
+    #[test]
+    fn membership_and_aggregates() {
+        let e = parse_expr("Wire.Pin1 in SubGates.Pins").unwrap();
+        let LExpr::In { item, path } = e else { panic!() };
+        assert!(matches!(*item, LExpr::Path(_)));
+        assert_eq!(path, vec!["SubGates", "Pins"]);
+        let e = parse_expr("s.Length = n.Length + sum (Bores.Length)").unwrap();
+        assert!(matches!(e, LExpr::Binary { op: LBinOp::Eq, .. }));
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = parse("obj-type = end").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+        let err = parse("obj-type T = bogus-section: x; end T;").unwrap_err();
+        assert!(err.message.contains("section"), "{err}");
+        assert!(parse_expr("1 +").is_err());
+        assert!(parse_expr("a b").is_err(), "trailing input");
+    }
+
+    #[test]
+    fn girder_interface_with_constraint() {
+        let src = r#"
+            obj-type GirderInterface =
+                attributes:
+                    Length,Height,Width: integer;
+                types-of-subclasses:
+                    Bores: BoreType;
+                constraints:
+                    Length < 100*Height*Width;
+            end GirderInterface;
+        "#;
+        let decls = parse(src).unwrap();
+        let Decl::ObjType(g) = &decls[0] else { panic!() };
+        assert_eq!(g.attributes[0].names, vec!["Length", "Height", "Width"]);
+        assert!(matches!(&g.subclasses[0], SubclassDecl::Named { element_type, .. } if element_type == "BoreType"));
+        assert_eq!(g.constraints.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod fuzz {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The parser must never panic, whatever bytes come in.
+        #[test]
+        fn parse_is_total_on_arbitrary_text(src in "\\PC{0,200}") {
+            let _ = parse(&src);
+            let _ = parse_expr(&src);
+        }
+
+        /// Token soup assembled from the language's own vocabulary — more
+        /// likely to reach deep parser states than raw unicode.
+        #[test]
+        fn parse_is_total_on_token_soup(words in proptest::collection::vec(
+            prop_oneof![
+                Just("obj-type"), Just("rel-type"), Just("inher-rel-type"),
+                Just("end"), Just("attributes"), Just("constraints"),
+                Just("types-of-subclasses"), Just("types-of-subrels"),
+                Just("relates"), Just("transmitter"), Just("inheritor"),
+                Just("inheriting"), Just("inheritor-in"), Just("where"),
+                Just("for"), Just("in"), Just("count"), Just("sum"),
+                Just("integer"), Just("set-of"), Just("object-of-type"),
+                Just("="), Just(":"), Just(";"), Just(","), Just("("),
+                Just(")"), Just("<"), Just("#"), Just("X"), Just("Y"),
+                Just("1"), Just("2"),
+            ],
+            0..60,
+        )) {
+            let src = words.join(" ");
+            let _ = parse(&src);
+        }
+    }
+}

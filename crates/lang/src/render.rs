@@ -1,0 +1,586 @@
+//! Rendering a compiled [`Catalog`] back to the paper's concrete syntax.
+//!
+//! `render(catalog)` produces source text that [`compile_str`](crate::compile_str)
+//! accepts again; the round-trip is semantics-preserving (checked for the
+//! paper's full §3–§5 schemas in the tests). Named domains referenced by
+//! attributes were structurally resolved at compile time, so they are
+//! re-emitted inline — equivalent, if less pretty.
+//!
+//! Limitations (returned as errors, never silently dropped): constraint
+//! expressions using forms outside the paper grammar (e.g. boolean
+//! literals) cannot be rendered.
+
+use ccdb_core::domain::Domain;
+use ccdb_core::expr::{BinOp, Expr, PathExpr, PathRoot, ELEM_VAR, REL_VAR};
+use ccdb_core::schema::{Catalog, Constraint, ObjectTypeDef, RelTypeDef};
+use ccdb_core::value::Value;
+
+use crate::compile::CompileError;
+
+fn rerr<T>(msg: impl Into<String>) -> Result<T, CompileError> {
+    Err(CompileError { message: format!("render: {}", msg.into()) })
+}
+
+/// Render the whole catalog as compilable source text.
+pub fn render(catalog: &Catalog) -> Result<String, CompileError> {
+    let mut out = String::new();
+    // Object types first (inheritance relationships may reference them),
+    // but inheritance-relationship types must appear before the types that
+    // declare `inheritor-in` them. Easiest dependency-safe order: emit
+    // object types and inher-rel types interleaved by need. A simple two
+    // pass scheme works because the compiler resolves names lazily except
+    // for `inheriting:` items (validated later) — so emit: all plain object
+    // types WITHOUT inheritor-in first? Those may still inherit. In
+    // practice `compile` never needs forward declarations except the
+    // `rel_type` lookup for subrel member aliases, so order: object types
+    // (topologically by inheritance), inher-rel types interleaved, rel
+    // types, then complex owners. We reuse the registration order proxy:
+    // alphabetical with dependency fixup is overkill — the compiler only
+    // *requires* that (a) a subrel's rel-type exists when the owner is
+    // compiled (for member-item aliases) and (b) domains exist. We therefore
+    // emit: inher-rel types have no ordering constraint at compile time, so:
+    // 1. leaf object types (no subrels), 2. inher-rel types, 3. rel types,
+    // 4. object types with subrels.
+    let mut leafs = Vec::new();
+    let mut owners = Vec::new();
+    for name in catalog.object_type_names() {
+        if name.contains('.') {
+            continue; // anonymous member types render inline
+        }
+        let def = catalog.object_type(name).expect("listed");
+        if def.subrels.is_empty() {
+            leafs.push(def);
+        } else {
+            owners.push(def);
+        }
+    }
+    for def in leafs {
+        out.push_str(&render_obj_type(catalog, def)?);
+        out.push('\n');
+    }
+    for name in catalog.inher_rel_type_names() {
+        let def = catalog.inher_rel_type(name).expect("listed");
+        out.push_str(&format!(
+            "inher-rel-type {} =\n    transmitter: object-of-type {};\n    inheritor: {};\n    inheriting:\n        {};\n",
+            def.name,
+            def.transmitter_type,
+            match &def.inheritor_type {
+                Some(t) => format!("object-of-type {t}"),
+                None => "object".to_string(),
+            },
+            def.inheriting.join(", "),
+        ));
+        if !def.attributes.is_empty() {
+            out.push_str("    attributes:\n");
+            for a in &def.attributes {
+                out.push_str(&format!("        {}: {};\n", a.name, render_domain(&a.domain)?));
+            }
+        }
+        out.push_str(&format!("end {};\n\n", def.name));
+    }
+    for name in catalog.rel_type_names() {
+        out.push_str(&render_rel_type(catalog, catalog.rel_type(name).expect("listed"))?);
+        out.push('\n');
+    }
+    for def in owners {
+        out.push_str(&render_obj_type(catalog, def)?);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn render_domain(d: &Domain) -> Result<String, CompileError> {
+    Ok(match d {
+        Domain::Int => "integer".into(),
+        Domain::Real => return rerr("`real` domains are not part of the paper grammar"),
+        Domain::Bool => "boolean".into(),
+        Domain::Text => "char".into(),
+        Domain::Enum(lits) => format!("({})", lits.join(", ")),
+        Domain::Point => "Point".into(),
+        Domain::Record(fields) => {
+            let mut inner = String::new();
+            for (n, fd) in fields {
+                inner.push_str(&format!("{}: {}; ", n, render_domain(fd)?));
+            }
+            format!("( {inner})")
+        }
+        Domain::ListOf(i) => format!("list-of {}", render_domain(i)?),
+        Domain::SetOf(i) => format!("set-of {}", render_domain(i)?),
+        Domain::MatrixOf(i) => format!("matrix-of {}", render_domain(i)?),
+        Domain::Ref(_) => return rerr("object references are not attribute domains"),
+    })
+}
+
+fn render_obj_type(catalog: &Catalog, def: &ObjectTypeDef) -> Result<String, CompileError> {
+    let mut out = format!("obj-type {} =\n", def.name);
+    for rel in &def.inheritor_in {
+        out.push_str(&format!("    inheritor-in: {rel};\n"));
+    }
+    if !def.attributes.is_empty() {
+        out.push_str("    attributes:\n");
+        for a in &def.attributes {
+            out.push_str(&format!("        {}: {};\n", a.name, render_domain(&a.domain)?));
+        }
+    }
+    if !def.subclasses.is_empty() {
+        out.push_str("    types-of-subclasses:\n");
+        for sc in &def.subclasses {
+            if sc.element_type.contains('.') {
+                // Inline member type.
+                let member = catalog.object_type(&sc.element_type).map_err(|e| {
+                    CompileError { message: e.to_string() }
+                })?;
+                out.push_str(&format!("        {}:\n", sc.name));
+                for rel in &member.inheritor_in {
+                    out.push_str(&format!("            inheritor-in: {rel};\n"));
+                }
+                if !member.attributes.is_empty() {
+                    out.push_str("            attributes:\n");
+                    for a in &member.attributes {
+                        out.push_str(&format!(
+                            "                {}: {};\n",
+                            a.name,
+                            render_domain(&a.domain)?
+                        ));
+                    }
+                }
+            } else {
+                out.push_str(&format!("        {}: {};\n", sc.name, sc.element_type));
+            }
+        }
+    }
+    if !def.subrels.is_empty() {
+        out.push_str("    types-of-subrels:\n");
+        for sr in &def.subrels {
+            out.push_str(&format!("        {}: {}", sr.name, sr.rel_type));
+            match sr.member_constraints.len() {
+                0 => {}
+                1 => {
+                    let alias = rel_alias(&sr.rel_type);
+                    out.push_str(&format!(
+                        "\n            where {}",
+                        render_expr(&sr.member_constraints[0].expr, &Cx::subrel(&alias))?
+                    ));
+                }
+                _ => return rerr("multiple where-clauses per subrel"),
+            }
+            out.push_str(";\n");
+        }
+    }
+    if !def.constraints.is_empty() {
+        out.push_str("    constraints:\n");
+        for c in &def.constraints {
+            out.push_str(&format!("        {};\n", render_constraint(c)?));
+        }
+    }
+    out.push_str(&format!("end {};\n", def.name));
+    Ok(out)
+}
+
+fn render_rel_type(catalog: &Catalog, def: &RelTypeDef) -> Result<String, CompileError> {
+    let mut out = format!("rel-type {} =\n", def.name);
+    if !def.participants.is_empty() {
+        out.push_str("    relates:\n");
+        for p in &def.participants {
+            let ty = match (&p.required_type, p.many) {
+                (Some(t), true) => format!("set-of object-of-type {t}"),
+                (Some(t), false) => format!("object-of-type {t}"),
+                (None, true) => "set-of object".into(),
+                (None, false) => "object".into(),
+            };
+            out.push_str(&format!("        {}: {};\n", p.name, ty));
+        }
+    }
+    if !def.attributes.is_empty() {
+        out.push_str("    attributes:\n");
+        for a in &def.attributes {
+            out.push_str(&format!("        {}: {};\n", a.name, render_domain(&a.domain)?));
+        }
+    }
+    if !def.subclasses.is_empty() {
+        out.push_str("    types-of-subclasses:\n");
+        for sc in &def.subclasses {
+            if sc.element_type.contains('.') {
+                let member = catalog.object_type(&sc.element_type).map_err(|e| {
+                    CompileError { message: e.to_string() }
+                })?;
+                out.push_str(&format!("        {}:\n", sc.name));
+                for rel in &member.inheritor_in {
+                    out.push_str(&format!("            inheritor-in: {rel};\n"));
+                }
+                if !member.attributes.is_empty() {
+                    out.push_str("            attributes:\n");
+                    for a in &member.attributes {
+                        out.push_str(&format!(
+                            "                {}: {};\n",
+                            a.name,
+                            render_domain(&a.domain)?
+                        ));
+                    }
+                }
+            } else {
+                out.push_str(&format!("        {}: {};\n", sc.name, sc.element_type));
+            }
+        }
+    }
+    if !def.constraints.is_empty() {
+        out.push_str("    constraints:\n");
+        for c in &def.constraints {
+            out.push_str(&format!("        {};\n", render_constraint(c)?));
+        }
+    }
+    out.push_str(&format!("end {};\n", def.name));
+    Ok(out)
+}
+
+/// Rendering context: how to spell the special variables.
+struct Cx {
+    /// Spelling for [`REL_VAR`] (subrel member alias).
+    rel_alias: Option<String>,
+    /// Spelling for [`ELEM_VAR`] (count filter element).
+    elem_alias: Option<String>,
+}
+
+impl Cx {
+    fn plain() -> Self {
+        Cx { rel_alias: None, elem_alias: None }
+    }
+    fn subrel(alias: &str) -> Self {
+        Cx { rel_alias: Some(alias.to_string()), elem_alias: None }
+    }
+}
+
+fn rel_alias(rel_type: &str) -> String {
+    rel_type
+        .strip_suffix("Type")
+        .or_else(|| rel_type.strip_suffix("type"))
+        .filter(|s| !s.is_empty())
+        .unwrap_or(rel_type)
+        .to_string()
+}
+
+/// Render a top-level constraint, re-sugaring `count … where` and top-level
+/// `for` quantifiers.
+fn render_constraint(c: &Constraint) -> Result<String, CompileError> {
+    render_top(&c.expr, &Cx::plain())
+}
+
+fn render_top(e: &Expr, cx: &Cx) -> Result<String, CompileError> {
+    match e {
+        Expr::ForAll { bindings, body } => {
+            let bs: Vec<String> = bindings
+                .iter()
+                .map(|(v, p)| Ok(format!("{v} in {}", render_path(p, cx)?)))
+                .collect::<Result<_, CompileError>>()?;
+            Ok(format!("for ({}): {}", bs.join(", "), render_top(body, cx)?))
+        }
+        // `count (P) = n  where F` — re-sugar a filtered count inside a
+        // comparison into the paper's trailing-where form.
+        Expr::Binary { op, lhs, rhs } => {
+            if let Expr::Count { path, filter: Some(f) } = lhs.as_ref() {
+                let elem = path
+                    .segments
+                    .last()
+                    .cloned()
+                    .ok_or(CompileError { message: "render: count over empty path".into() })?;
+                let inner = Cx {
+                    rel_alias: cx.rel_alias.clone(),
+                    elem_alias: Some(elem),
+                };
+                return Ok(format!(
+                    "count ({}) {} {} where {}",
+                    render_path(path, cx)?,
+                    render_op(*op),
+                    render_expr(rhs, cx)?,
+                    render_expr(f, &inner)?
+                ));
+            }
+            render_expr(e, cx)
+        }
+        _ => render_expr(e, cx),
+    }
+}
+
+fn render_op(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Eq => "=",
+        BinOp::Ne => "<>",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+    }
+}
+
+fn render_path(p: &PathExpr, cx: &Cx) -> Result<String, CompileError> {
+    let mut segs: Vec<String> = Vec::new();
+    match &p.root {
+        PathRoot::SelfObject => {}
+        PathRoot::Var(v) if v == REL_VAR => match &cx.rel_alias {
+            Some(a) => segs.push(a.clone()),
+            None => return rerr("member variable outside a subrel where-clause"),
+        },
+        PathRoot::Var(v) if v == ELEM_VAR => match &cx.elem_alias {
+            Some(a) => segs.push(a.clone()),
+            None => return rerr("count element variable outside a count filter"),
+        },
+        PathRoot::Var(v) => segs.push(v.clone()),
+    }
+    segs.extend(p.segments.iter().cloned());
+    if segs.is_empty() {
+        return rerr("empty path");
+    }
+    Ok(segs.join("."))
+}
+
+fn render_expr(e: &Expr, cx: &Cx) -> Result<String, CompileError> {
+    Ok(match e {
+        Expr::Lit(Value::Int(i)) => i.to_string(),
+        Expr::Lit(Value::Str(s)) => format!("{s:?}"),
+        Expr::Lit(Value::Enum(s)) => s.clone(),
+        Expr::Lit(v) => return rerr(format!("literal {v} has no source form")),
+        Expr::Path(p) => render_path(p, cx)?,
+        Expr::Count { path, filter: None } => format!("count ({})", render_path(path, cx)?),
+        Expr::Count { .. } => {
+            return rerr("filtered count outside a `count (…) = n where …` comparison")
+        }
+        Expr::Sum(p) => format!("sum ({})", render_path(p, cx)?),
+        Expr::Min(p) => format!("min ({})", render_path(p, cx)?),
+        Expr::Max(p) => format!("max ({})", render_path(p, cx)?),
+        Expr::Neg(i) => format!("- ({})", render_expr(i, cx)?),
+        Expr::Not(i) => format!("not ({})", render_expr(i, cx)?),
+        Expr::Binary { op, lhs, rhs } => format!(
+            "({} {} {})",
+            render_expr(lhs, cx)?,
+            render_op(*op),
+            render_expr(rhs, cx)?
+        ),
+        Expr::ForAll { bindings, body } => {
+            let bs: Vec<String> = bindings
+                .iter()
+                .map(|(v, p)| Ok(format!("{v} in {}", render_path(p, cx)?)))
+                .collect::<Result<_, CompileError>>()?;
+            format!("for ({}): ({})", bs.join(", "), render_expr(body, cx)?)
+        }
+        Expr::Exists { .. } => return rerr("`exists` has no paper-syntax form"),
+        Expr::InClass { item, class } => {
+            format!("{} in {}", render_expr(item, cx)?, render_path(class, cx)?)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::{chip_catalog, steel_catalog, CHIP_SCHEMA, STEEL_SCHEMA};
+    use crate::{compile_str, parse};
+
+    fn roundtrip(src: &str) -> (Catalog, Catalog) {
+        let mut c1 = Catalog::new();
+        compile_str(src, &mut c1).unwrap();
+        c1.validate().unwrap();
+        let rendered = render(&c1).unwrap();
+        let mut c2 = Catalog::new();
+        compile_str(&rendered, &mut c2)
+            .unwrap_or_else(|e| panic!("re-compile failed: {e}\n---\n{rendered}"));
+        c2.validate().unwrap();
+        (c1, c2)
+    }
+
+    fn assert_equivalent(c1: &Catalog, c2: &Catalog) {
+        assert_eq!(c1.object_type_names(), c2.object_type_names());
+        assert_eq!(c1.rel_type_names(), c2.rel_type_names());
+        assert_eq!(c1.inher_rel_type_names(), c2.inher_rel_type_names());
+        for name in c1.object_type_names() {
+            let a = c1.object_type(name).unwrap();
+            let b = c2.object_type(name).unwrap();
+            assert_eq!(a.attributes, b.attributes, "attrs of {name}");
+            assert_eq!(a.subclasses, b.subclasses, "subclasses of {name}");
+            assert_eq!(a.inheritor_in, b.inheritor_in, "inheritor-in of {name}");
+            assert_eq!(
+                a.constraints.len(),
+                b.constraints.len(),
+                "constraint count of {name}"
+            );
+            for (ca, cb) in a.constraints.iter().zip(&b.constraints) {
+                assert_eq!(ca.expr, cb.expr, "constraint of {name}");
+            }
+            for (sa, sb) in a.subrels.iter().zip(&b.subrels) {
+                assert_eq!(sa.name, sb.name);
+                assert_eq!(sa.rel_type, sb.rel_type);
+                assert_eq!(
+                    sa.member_constraints.len(),
+                    sb.member_constraints.len(),
+                    "where-clauses of {name}.{}",
+                    sa.name
+                );
+                for (ca, cb) in sa.member_constraints.iter().zip(&sb.member_constraints) {
+                    assert_eq!(ca.expr, cb.expr, "where-clause of {name}.{}", sa.name);
+                }
+            }
+        }
+        for name in c1.rel_type_names() {
+            let a = c1.rel_type(name).unwrap();
+            let b = c2.rel_type(name).unwrap();
+            assert_eq!(a.participants, b.participants);
+            assert_eq!(a.attributes, b.attributes);
+            assert_eq!(a.subclasses, b.subclasses);
+            for (ca, cb) in a.constraints.iter().zip(&b.constraints) {
+                assert_eq!(ca.expr, cb.expr, "constraint of {name}");
+            }
+        }
+        for name in c1.inher_rel_type_names() {
+            let a = c1.inher_rel_type(name).unwrap();
+            let b = c2.inher_rel_type(name).unwrap();
+            assert_eq!(a.transmitter_type, b.transmitter_type);
+            assert_eq!(a.inheriting, b.inheriting);
+        }
+    }
+
+    #[test]
+    fn chip_schema_roundtrips() {
+        let (c1, c2) = roundtrip(CHIP_SCHEMA);
+        assert_equivalent(&c1, &c2);
+    }
+
+    #[test]
+    fn steel_schema_roundtrips() {
+        let (c1, c2) = roundtrip(STEEL_SCHEMA);
+        assert_equivalent(&c1, &c2);
+    }
+
+    #[test]
+    fn rendered_source_parses_standalone() {
+        let c = chip_catalog().unwrap();
+        let rendered = render(&c).unwrap();
+        assert!(parse(&rendered).is_ok());
+        let c = steel_catalog().unwrap();
+        let rendered = render(&c).unwrap();
+        assert!(rendered.contains("inher-rel-type AllOf_BoltType"));
+        assert!(rendered.contains("count (") || rendered.contains("#"));
+    }
+}
+
+#[cfg(test)]
+mod property {
+    use super::*;
+    use crate::compile_str;
+    use ccdb_core::domain::Domain as D;
+    use ccdb_core::schema::{AttrDef, InherRelTypeDef, ObjectTypeDef, SubclassSpec};
+    use proptest::prelude::*;
+
+    fn domain_strategy() -> impl Strategy<Value = D> {
+        let leaf = prop_oneof![
+            Just(D::Int),
+            Just(D::Bool),
+            Just(D::Text),
+            Just(D::Point),
+            proptest::collection::vec("[A-Z]{2,6}", 1..4)
+                .prop_map(|ls| D::Enum(ls.into_iter().collect())),
+        ];
+        leaf.prop_recursive(2, 8, 3, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(|d| D::SetOf(Box::new(d))),
+                inner.clone().prop_map(|d| D::ListOf(Box::new(d))),
+                inner.clone().prop_map(|d| D::MatrixOf(Box::new(d))),
+                proptest::collection::vec(("[A-Z][a-z]{1,5}", inner), 1..3).prop_map(|fs| {
+                    let mut fields: Vec<(String, D)> = Vec::new();
+                    for (n, d) in fs {
+                        if !fields.iter().any(|(en, _)| en == &n) {
+                            fields.push((n, d));
+                        }
+                    }
+                    D::Record(fields)
+                }),
+            ]
+        })
+    }
+
+    /// A random, *valid* catalog: a base type with random attributes, an
+    /// inheritance relationship letting a random prefix through, and an
+    /// inheritor type with its own attributes and a subclass of the base.
+    fn catalog_strategy() -> impl Strategy<Value = Catalog> {
+        (
+            proptest::collection::vec(("[A-Z][a-z]{2,8}", domain_strategy()), 1..6),
+            proptest::collection::vec(("[A-Z][a-z]{2,8}", domain_strategy()), 0..4),
+            any::<usize>(),
+        )
+            .prop_map(|(base_attrs, extra_attrs, k)| {
+                // Dedup attr names within and across the two types.
+                let mut seen = std::collections::HashSet::new();
+                let base: Vec<AttrDef> = base_attrs
+                    .into_iter()
+                    .filter(|(n, _)| seen.insert(n.clone()))
+                    .map(|(n, d)| AttrDef { name: n, domain: d })
+                    .collect();
+                let extra: Vec<AttrDef> = extra_attrs
+                    .into_iter()
+                    .filter(|(n, _)| seen.insert(n.clone()))
+                    .map(|(n, d)| AttrDef { name: n, domain: d })
+                    .collect();
+                let permeable: Vec<String> = base
+                    .iter()
+                    .take((k % (base.len() + 1)).max(1).min(base.len()))
+                    .map(|a| a.name.clone())
+                    .collect();
+                let mut c = Catalog::new();
+                c.register_object_type(ObjectTypeDef {
+                    name: "Base".into(),
+                    attributes: base,
+                    ..Default::default()
+                })
+                .unwrap();
+                c.register_inher_rel_type(InherRelTypeDef {
+                    name: "AllOf_Base".into(),
+                    transmitter_type: "Base".into(),
+                    inheritor_type: None,
+                    inheriting: permeable,
+                    attributes: vec![],
+                    constraints: vec![],
+                })
+                .unwrap();
+                c.register_object_type(ObjectTypeDef {
+                    name: "User".into(),
+                    inheritor_in: vec!["AllOf_Base".into()],
+                    attributes: extra,
+                    subclasses: vec![SubclassSpec {
+                        name: "Parts".into(),
+                        element_type: "Base".into(),
+                    }],
+                    ..Default::default()
+                })
+                .unwrap();
+                c
+            })
+            .prop_filter("catalog must validate", |c| c.validate().is_ok())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn random_catalogs_roundtrip(c1 in catalog_strategy()) {
+            let rendered = render(&c1).unwrap();
+            let mut c2 = Catalog::new();
+            compile_str(&rendered, &mut c2)
+                .unwrap_or_else(|e| panic!("re-compile failed: {e}\n---\n{rendered}"));
+            c2.validate().unwrap();
+            prop_assert_eq!(c1.object_type_names(), c2.object_type_names());
+            for name in c1.object_type_names() {
+                let a = c1.object_type(name).unwrap();
+                let b = c2.object_type(name).unwrap();
+                prop_assert_eq!(&a.attributes, &b.attributes, "attrs of {}", name);
+                prop_assert_eq!(&a.subclasses, &b.subclasses);
+                prop_assert_eq!(&a.inheritor_in, &b.inheritor_in);
+            }
+            let a = c1.inher_rel_type("AllOf_Base").unwrap();
+            let b = c2.inher_rel_type("AllOf_Base").unwrap();
+            prop_assert_eq!(&a.inheriting, &b.inheriting);
+        }
+    }
+}

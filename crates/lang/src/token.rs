@@ -1,0 +1,421 @@
+//! Lexer for the paper's concrete syntax.
+//!
+//! Identifier rules accommodate the paper's names: `-` and `/` continue an
+//! identifier when immediately followed by a letter (so `obj-type`,
+//! `inher-rel-type`, `I/O`, `AllOf_GateInterface` lex as single tokens).
+//! Consequently, binary minus/division in expressions must be surrounded by
+//! whitespace or non-letter characters — which matches how the paper writes
+//! them (`100*Height*Width`, `n.Length + sum (…)`).
+
+use std::fmt;
+
+/// A lexical token with its source line (1-based) for error reporting.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Token {
+    /// The token proper.
+    pub kind: TokenKind,
+    /// Source line the token starts on.
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are matched contextually by the
+    /// parser against the exact spelling, e.g. `obj-type`).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Quoted string literal.
+    Str(String),
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-` (standalone)
+    Minus,
+    /// `*`
+    Star,
+    /// `/` (standalone)
+    Slash,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `#`
+    Hash,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Int(i) => write!(f, "{i}"),
+            TokenKind::Str(s) => write!(f, "{s:?}"),
+            TokenKind::Eq => write!(f, "`=`"),
+            TokenKind::Ne => write!(f, "`<>`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::Hash => write!(f, "`#`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Lexing error with line information.
+#[derive(Clone, PartialEq, Debug)]
+pub struct LexError {
+    /// Description.
+    pub message: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize `src`, stripping `/* … */` comments.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Block comment.
+                let start_line = line;
+                i += 2;
+                loop {
+                    match (chars.get(i), chars.get(i + 1)) {
+                        (Some('*'), Some('/')) => {
+                            i += 2;
+                            break;
+                        }
+                        (Some('\n'), _) => {
+                            line += 1;
+                            i += 1;
+                        }
+                        (Some(_), _) => i += 1,
+                        (None, _) => {
+                            return Err(LexError {
+                                message: "unterminated comment".into(),
+                                line: start_line,
+                            })
+                        }
+                    }
+                }
+            }
+            '"' => {
+                let start_line = line;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.get(i) {
+                        Some('"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some('\n') => {
+                            return Err(LexError {
+                                message: "unterminated string".into(),
+                                line: start_line,
+                            })
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(LexError {
+                                message: "unterminated string".into(),
+                                line: start_line,
+                            })
+                        }
+                    }
+                }
+                out.push(Token { kind: TokenKind::Str(s), line: start_line });
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let value = text.parse::<i64>().map_err(|_| LexError {
+                    message: format!("integer literal `{text}` out of range"),
+                    line,
+                })?;
+                out.push(Token { kind: TokenKind::Int(value), line });
+            }
+            _ if is_ident_start(c) => {
+                let start = i;
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        Some(&ch) if is_ident_continue(ch) => i += 1,
+                        // `-` or `/` joined to a following letter continues
+                        // the identifier: obj-type, I/O, end-domain.
+                        Some(&('-' | '/'))
+                            if chars.get(i + 1).map(|c| c.is_alphabetic()).unwrap_or(false) =>
+                        {
+                            i += 2;
+                        }
+                        _ => break,
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                out.push(Token { kind: TokenKind::Ident(text), line });
+            }
+            '=' => {
+                out.push(Token { kind: TokenKind::Eq, line });
+                i += 1;
+            }
+            '<' => match chars.get(i + 1) {
+                Some('=') => {
+                    out.push(Token { kind: TokenKind::Le, line });
+                    i += 2;
+                }
+                Some('>') => {
+                    out.push(Token { kind: TokenKind::Ne, line });
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token { kind: TokenKind::Lt, line });
+                    i += 1;
+                }
+            },
+            '>' => match chars.get(i + 1) {
+                Some('=') => {
+                    out.push(Token { kind: TokenKind::Ge, line });
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token { kind: TokenKind::Gt, line });
+                    i += 1;
+                }
+            },
+            '+' => {
+                out.push(Token { kind: TokenKind::Plus, line });
+                i += 1;
+            }
+            '-' => {
+                out.push(Token { kind: TokenKind::Minus, line });
+                i += 1;
+            }
+            '*' => {
+                out.push(Token { kind: TokenKind::Star, line });
+                i += 1;
+            }
+            '/' => {
+                out.push(Token { kind: TokenKind::Slash, line });
+                i += 1;
+            }
+            '(' => {
+                out.push(Token { kind: TokenKind::LParen, line });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token { kind: TokenKind::RParen, line });
+                i += 1;
+            }
+            ':' => {
+                out.push(Token { kind: TokenKind::Colon, line });
+                i += 1;
+            }
+            ';' => {
+                out.push(Token { kind: TokenKind::Semi, line });
+                i += 1;
+            }
+            ',' => {
+                out.push(Token { kind: TokenKind::Comma, line });
+                i += 1;
+            }
+            '.' => {
+                out.push(Token { kind: TokenKind::Dot, line });
+                i += 1;
+            }
+            '#' => {
+                out.push(Token { kind: TokenKind::Hash, line });
+                i += 1;
+            }
+            other => {
+                return Err(LexError { message: format!("unexpected character `{other}`"), line })
+            }
+        }
+    }
+    out.push(Token { kind: TokenKind::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_with_hyphens_are_single_tokens() {
+        let k = kinds("obj-type inher-rel-type end-domain set-of list-of matrix-of object-of-type");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("obj-type".into()),
+                TokenKind::Ident("inher-rel-type".into()),
+                TokenKind::Ident("end-domain".into()),
+                TokenKind::Ident("set-of".into()),
+                TokenKind::Ident("list-of".into()),
+                TokenKind::Ident("matrix-of".into()),
+                TokenKind::Ident("object-of-type".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn slash_identifier_vs_division() {
+        assert_eq!(
+            kinds("I/O"),
+            vec![TokenKind::Ident("I/O".into()), TokenKind::Eof]
+        );
+        assert_eq!(
+            kinds("a / 2"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Slash,
+                TokenKind::Int(2),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn minus_binds_into_identifier_only_before_letters() {
+        assert_eq!(
+            kinds("Length - 1"),
+            vec![
+                TokenKind::Ident("Length".into()),
+                TokenKind::Minus,
+                TokenKind::Int(1),
+                TokenKind::Eof
+            ]
+        );
+        assert_eq!(kinds("end-domain"), vec![TokenKind::Ident("end-domain".into()), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn operators_and_punctuation() {
+        let k = kinds("= <> < <= > >= + * ( ) : ; , . #");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Plus,
+                TokenKind::Star,
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::Colon,
+                TokenKind::Semi,
+                TokenKind::Comma,
+                TokenKind::Dot,
+                TokenKind::Hash,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_stripped_and_lines_tracked() {
+        let toks = lex("a /* comment\nspanning lines */ b").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].kind, TokenKind::Ident("b".into()));
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn paper_snippet_lexes() {
+        let src = "count (Pins) = 2 where Pins.InOut = IN;";
+        let k = kinds(src);
+        assert_eq!(k[0], TokenKind::Ident("count".into()));
+        assert_eq!(k[1], TokenKind::LParen);
+        assert!(k.contains(&TokenKind::Ident("where".into())));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = lex("ok\n  @").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("@"));
+        let err = lex("\"unterminated").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        let err = lex("/* no end").unwrap_err();
+        assert!(err.message.contains("comment"));
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        assert_eq!(
+            kinds("42 \"hello\""),
+            vec![TokenKind::Int(42), TokenKind::Str("hello".into()), TokenKind::Eof]
+        );
+        assert!(lex("99999999999999999999").is_err());
+    }
+}

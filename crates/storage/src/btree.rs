@@ -1,0 +1,563 @@
+//! On-disk B+-tree mapping `u64` keys to `u64` values.
+//!
+//! Used by the object store to map surrogates to heap [`RecordId`]s (packed
+//! via [`RecordId::to_u64`]). The tree lives in its own page file: page 0 is
+//! a meta page holding the root pointer; all other pages are leaf or internal
+//! nodes. Leaves are linked for range scans.
+//!
+//! Deletion is *lazy*: keys are removed from leaves without rebalancing.
+//! Underfull (even empty) leaves remain linked and are skipped by scans —
+//! a standard simplification that preserves correctness; space is reclaimed
+//! when the index is rebuilt at checkpoint compaction.
+//!
+//! [`RecordId`]: crate::heap::RecordId
+//! [`RecordId::to_u64`]: crate::heap::RecordId::to_u64
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::buffer::BufferPool;
+use crate::error::{StorageError, StorageResult};
+use crate::page::{PageId, PAGE_SIZE};
+
+const MAGIC: &[u8; 8] = b"CCDBBTR1";
+const NO_PAGE: u32 = u32::MAX;
+
+/// Body offsets (the first 16 bytes of every page are the generic header).
+const OFF_KIND: usize = 16;
+const OFF_NKEYS: usize = 17;
+const OFF_LINK: usize = 19; // leaf: next-leaf; internal: child[0]
+const OFF_ENTRIES: usize = 23;
+
+const LEAF_ENTRY: usize = 16; // key u64 + val u64
+const INTERNAL_ENTRY: usize = 12; // key u64 + child u32
+
+/// Default fanouts derived from the page size.
+const LEAF_CAP: usize = (PAGE_SIZE - OFF_ENTRIES) / LEAF_ENTRY;
+const INTERNAL_CAP: usize = (PAGE_SIZE - OFF_ENTRIES) / INTERNAL_ENTRY;
+
+#[derive(Clone, Debug, PartialEq)]
+enum Node {
+    Leaf { keys: Vec<u64>, vals: Vec<u64>, next: u32 },
+    Internal { keys: Vec<u64>, children: Vec<u32> },
+}
+
+/// A B+-tree over a dedicated page file.
+pub struct BTree {
+    pool: Arc<BufferPool>,
+    root: Mutex<PageId>,
+    leaf_cap: usize,
+    internal_cap: usize,
+}
+
+impl BTree {
+    /// Open (creating if empty) a B+-tree over `pool` with default fanout.
+    pub fn open(pool: Arc<BufferPool>) -> StorageResult<Self> {
+        Self::open_with_caps(pool, LEAF_CAP, INTERNAL_CAP)
+    }
+
+    /// Open with explicit fanout caps (small caps exercise splits in tests).
+    pub fn open_with_caps(
+        pool: Arc<BufferPool>,
+        leaf_cap: usize,
+        internal_cap: usize,
+    ) -> StorageResult<Self> {
+        assert!(leaf_cap >= 2 && internal_cap >= 2, "caps must allow splitting");
+        let root = if pool.disk().num_pages() == 0 {
+            // Fresh file: meta page + empty root leaf.
+            let meta = pool.allocate()?;
+            debug_assert_eq!(meta, PageId(0));
+            let root = pool.allocate()?;
+            let tree = BTree { pool, root: Mutex::new(root), leaf_cap, internal_cap };
+            tree.write_node(root, &Node::Leaf { keys: vec![], vals: vec![], next: NO_PAGE })?;
+            tree.write_meta(root)?;
+            return Ok(tree);
+        } else {
+            let (magic_ok, root) = pool.with_page(PageId(0), |p| {
+                let b = p.as_bytes();
+                let ok = &b[16..24] == MAGIC;
+                let root = u32::from_le_bytes(b[24..28].try_into().unwrap());
+                (ok, root)
+            })?;
+            if !magic_ok {
+                return Err(StorageError::Corrupt("btree meta page magic mismatch".into()));
+            }
+            PageId(root)
+        };
+        Ok(BTree { pool, root: Mutex::new(root), leaf_cap, internal_cap })
+    }
+
+    /// The buffer pool backing this tree.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    fn write_meta(&self, root: PageId) -> StorageResult<()> {
+        self.pool.with_page_mut(PageId(0), |p| {
+            let b = p.as_bytes_mut();
+            b[16..24].copy_from_slice(MAGIC);
+            b[24..28].copy_from_slice(&root.0.to_le_bytes());
+        })
+    }
+
+    fn read_node(&self, id: PageId) -> StorageResult<Node> {
+        self.pool.with_page(id, |p| {
+            let b = p.as_bytes();
+            let kind = b[OFF_KIND];
+            let nkeys = u16::from_le_bytes(b[OFF_NKEYS..OFF_NKEYS + 2].try_into().unwrap()) as usize;
+            let link = u32::from_le_bytes(b[OFF_LINK..OFF_LINK + 4].try_into().unwrap());
+            match kind {
+                1 => {
+                    let mut keys = Vec::with_capacity(nkeys);
+                    let mut vals = Vec::with_capacity(nkeys);
+                    for i in 0..nkeys {
+                        let e = OFF_ENTRIES + i * LEAF_ENTRY;
+                        keys.push(u64::from_le_bytes(b[e..e + 8].try_into().unwrap()));
+                        vals.push(u64::from_le_bytes(b[e + 8..e + 16].try_into().unwrap()));
+                    }
+                    Ok(Node::Leaf { keys, vals, next: link })
+                }
+                2 => {
+                    let mut keys = Vec::with_capacity(nkeys);
+                    let mut children = Vec::with_capacity(nkeys + 1);
+                    children.push(link);
+                    for i in 0..nkeys {
+                        let e = OFF_ENTRIES + i * INTERNAL_ENTRY;
+                        keys.push(u64::from_le_bytes(b[e..e + 8].try_into().unwrap()));
+                        children.push(u32::from_le_bytes(b[e + 8..e + 12].try_into().unwrap()));
+                    }
+                    Ok(Node::Internal { keys, children })
+                }
+                k => Err(StorageError::Corrupt(format!("btree node kind {k} at {id}"))),
+            }
+        })?
+    }
+
+    fn write_node(&self, id: PageId, node: &Node) -> StorageResult<()> {
+        self.pool.with_page_mut(id, |p| {
+            let b = p.as_bytes_mut();
+            match node {
+                Node::Leaf { keys, vals, next } => {
+                    b[OFF_KIND] = 1;
+                    b[OFF_NKEYS..OFF_NKEYS + 2]
+                        .copy_from_slice(&(keys.len() as u16).to_le_bytes());
+                    b[OFF_LINK..OFF_LINK + 4].copy_from_slice(&next.to_le_bytes());
+                    for (i, (k, v)) in keys.iter().zip(vals).enumerate() {
+                        let e = OFF_ENTRIES + i * LEAF_ENTRY;
+                        b[e..e + 8].copy_from_slice(&k.to_le_bytes());
+                        b[e + 8..e + 16].copy_from_slice(&v.to_le_bytes());
+                    }
+                }
+                Node::Internal { keys, children } => {
+                    debug_assert_eq!(children.len(), keys.len() + 1);
+                    b[OFF_KIND] = 2;
+                    b[OFF_NKEYS..OFF_NKEYS + 2]
+                        .copy_from_slice(&(keys.len() as u16).to_le_bytes());
+                    b[OFF_LINK..OFF_LINK + 4].copy_from_slice(&children[0].to_le_bytes());
+                    for (i, k) in keys.iter().enumerate() {
+                        let e = OFF_ENTRIES + i * INTERNAL_ENTRY;
+                        b[e..e + 8].copy_from_slice(&k.to_le_bytes());
+                        b[e + 8..e + 12].copy_from_slice(&children[i + 1].to_le_bytes());
+                    }
+                }
+            }
+        })
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: u64) -> StorageResult<Option<u64>> {
+        let mut cur = *self.root.lock();
+        loop {
+            match self.read_node(cur)? {
+                Node::Leaf { keys, vals, .. } => {
+                    return Ok(keys.binary_search(&key).ok().map(|i| vals[i]));
+                }
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|&k| k <= key);
+                    cur = PageId(children[idx]);
+                }
+            }
+        }
+    }
+
+    /// Insert a key; errors with [`StorageError::DuplicateKey`] if present.
+    pub fn insert(&self, key: u64, val: u64) -> StorageResult<()> {
+        self.put_impl(key, val, false)
+    }
+
+    /// Insert or overwrite a key.
+    pub fn put(&self, key: u64, val: u64) -> StorageResult<()> {
+        self.put_impl(key, val, true)
+    }
+
+    fn put_impl(&self, key: u64, val: u64, overwrite: bool) -> StorageResult<()> {
+        let mut root_guard = self.root.lock();
+        let mut path: Vec<(PageId, usize)> = Vec::new();
+        let mut cur = *root_guard;
+        let leaf_id = loop {
+            match self.read_node(cur)? {
+                Node::Leaf { .. } => break cur,
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|&k| k <= key);
+                    path.push((cur, idx));
+                    cur = PageId(children[idx]);
+                }
+            }
+        };
+        let Node::Leaf { mut keys, mut vals, next } = self.read_node(leaf_id)? else {
+            unreachable!()
+        };
+        match keys.binary_search(&key) {
+            Ok(i) => {
+                if !overwrite {
+                    return Err(StorageError::DuplicateKey(key));
+                }
+                vals[i] = val;
+                return self.write_node(leaf_id, &Node::Leaf { keys, vals, next });
+            }
+            Err(i) => {
+                keys.insert(i, key);
+                vals.insert(i, val);
+            }
+        }
+        if keys.len() <= self.leaf_cap {
+            return self.write_node(leaf_id, &Node::Leaf { keys, vals, next });
+        }
+        // Split the leaf.
+        let mid = keys.len() / 2;
+        let right_keys = keys.split_off(mid);
+        let right_vals = vals.split_off(mid);
+        let sep = right_keys[0];
+        let right_id = self.pool.allocate()?;
+        self.write_node(right_id, &Node::Leaf { keys: right_keys, vals: right_vals, next })?;
+        self.write_node(leaf_id, &Node::Leaf { keys, vals, next: right_id.0 })?;
+        // Propagate the separator upward.
+        let mut insert_key = sep;
+        let mut insert_child = right_id;
+        loop {
+            match path.pop() {
+                Some((pid, idx)) => {
+                    let Node::Internal { mut keys, mut children } = self.read_node(pid)? else {
+                        return Err(StorageError::Corrupt("leaf on internal path".into()));
+                    };
+                    keys.insert(idx, insert_key);
+                    children.insert(idx + 1, insert_child.0);
+                    if keys.len() <= self.internal_cap {
+                        return self.write_node(pid, &Node::Internal { keys, children });
+                    }
+                    let mid = keys.len() / 2;
+                    let promote = keys[mid];
+                    let right_keys = keys.split_off(mid + 1);
+                    keys.pop(); // the promoted key moves up
+                    let right_children = children.split_off(mid + 1);
+                    let right_id = self.pool.allocate()?;
+                    self.write_node(
+                        right_id,
+                        &Node::Internal { keys: right_keys, children: right_children },
+                    )?;
+                    self.write_node(pid, &Node::Internal { keys, children })?;
+                    insert_key = promote;
+                    insert_child = right_id;
+                }
+                None => {
+                    // Root split: grow the tree.
+                    let old_root = *root_guard;
+                    let new_root = self.pool.allocate()?;
+                    self.write_node(
+                        new_root,
+                        &Node::Internal {
+                            keys: vec![insert_key],
+                            children: vec![old_root.0, insert_child.0],
+                        },
+                    )?;
+                    *root_guard = new_root;
+                    self.write_meta(new_root)?;
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Remove a key; errors with [`StorageError::KeyNotFound`] if absent.
+    pub fn delete(&self, key: u64) -> StorageResult<()> {
+        let mut cur = *self.root.lock();
+        loop {
+            match self.read_node(cur)? {
+                Node::Leaf { mut keys, mut vals, next } => {
+                    let Ok(i) = keys.binary_search(&key) else {
+                        return Err(StorageError::KeyNotFound(key));
+                    };
+                    keys.remove(i);
+                    vals.remove(i);
+                    return self.write_node(cur, &Node::Leaf { keys, vals, next });
+                }
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|&k| k <= key);
+                    cur = PageId(children[idx]);
+                }
+            }
+        }
+    }
+
+    /// All entries with `key >= from`, in key order, at most `limit`.
+    pub fn scan_from(&self, from: u64, limit: usize) -> StorageResult<Vec<(u64, u64)>> {
+        let mut cur = *self.root.lock();
+        // Descend to the leaf that may contain `from`.
+        let mut leaf = loop {
+            match self.read_node(cur)? {
+                Node::Leaf { .. } => break cur,
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|&k| k <= from);
+                    cur = PageId(children[idx]);
+                }
+            }
+        };
+        let mut out = Vec::new();
+        loop {
+            let Node::Leaf { keys, vals, next } = self.read_node(leaf)? else { unreachable!() };
+            for (k, v) in keys.iter().zip(vals.iter()) {
+                if *k >= from {
+                    out.push((*k, *v));
+                    if out.len() >= limit {
+                        return Ok(out);
+                    }
+                }
+            }
+            if next == NO_PAGE {
+                return Ok(out);
+            }
+            leaf = PageId(next);
+        }
+    }
+
+    /// All entries in key order.
+    pub fn scan_all(&self) -> StorageResult<Vec<(u64, u64)>> {
+        self.scan_from(0, usize::MAX)
+    }
+
+    /// Number of entries (walks the leaf chain).
+    pub fn len(&self) -> StorageResult<usize> {
+        Ok(self.scan_all()?.len())
+    }
+
+    /// True when the tree holds no entries.
+    pub fn is_empty(&self) -> StorageResult<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Height of the tree (1 = just a root leaf) — used by tests/benches.
+    pub fn height(&self) -> StorageResult<usize> {
+        let mut cur = *self.root.lock();
+        let mut h = 1;
+        loop {
+            match self.read_node(cur)? {
+                Node::Leaf { .. } => return Ok(h),
+                Node::Internal { children, .. } => {
+                    h += 1;
+                    cur = PageId(children[0]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskManager;
+
+    fn tree_with_caps(leaf: usize, internal: usize) -> (tempfile::NamedTempFile, BTree) {
+        let f = tempfile::NamedTempFile::new().unwrap();
+        let dm = Arc::new(DiskManager::open(f.path()).unwrap());
+        let pool = Arc::new(BufferPool::new(dm, 64));
+        (f, BTree::open_with_caps(pool, leaf, internal).unwrap())
+    }
+
+    fn small_tree() -> (tempfile::NamedTempFile, BTree) {
+        tree_with_caps(4, 4)
+    }
+
+    #[test]
+    fn empty_tree_lookups() {
+        let (_f, t) = small_tree();
+        assert_eq!(t.get(1).unwrap(), None);
+        assert!(t.is_empty().unwrap());
+        assert!(matches!(t.delete(1), Err(StorageError::KeyNotFound(1))));
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let (_f, t) = small_tree();
+        t.insert(10, 100).unwrap();
+        t.insert(5, 50).unwrap();
+        t.insert(20, 200).unwrap();
+        assert_eq!(t.get(10).unwrap(), Some(100));
+        assert_eq!(t.get(5).unwrap(), Some(50));
+        assert_eq!(t.get(20).unwrap(), Some(200));
+        assert_eq!(t.get(7).unwrap(), None);
+    }
+
+    #[test]
+    fn duplicate_insert_rejected_put_overwrites() {
+        let (_f, t) = small_tree();
+        t.insert(1, 10).unwrap();
+        assert!(matches!(t.insert(1, 11), Err(StorageError::DuplicateKey(1))));
+        t.put(1, 12).unwrap();
+        assert_eq!(t.get(1).unwrap(), Some(12));
+    }
+
+    #[test]
+    fn splits_grow_tree_and_preserve_order() {
+        let (_f, t) = small_tree();
+        for k in 0..200u64 {
+            t.insert(k * 3, k).unwrap();
+        }
+        assert!(t.height().unwrap() >= 3, "small caps must force multiple levels");
+        for k in 0..200u64 {
+            assert_eq!(t.get(k * 3).unwrap(), Some(k), "key {}", k * 3);
+        }
+        let all = t.scan_all().unwrap();
+        assert_eq!(all.len(), 200);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "scan in key order");
+    }
+
+    #[test]
+    fn reverse_and_random_insert_orders() {
+        let (_f, t) = small_tree();
+        let mut keys: Vec<u64> = (0..150).collect();
+        // Deterministic shuffle.
+        let mut s = 0x9E3779B97F4A7C15u64;
+        for i in (1..keys.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s % (i as u64 + 1)) as usize;
+            keys.swap(i, j);
+        }
+        for &k in &keys {
+            t.insert(k, k + 1000).unwrap();
+        }
+        for k in 0..150u64 {
+            assert_eq!(t.get(k).unwrap(), Some(k + 1000));
+        }
+    }
+
+    #[test]
+    fn delete_then_reinsert() {
+        let (_f, t) = small_tree();
+        for k in 0..50u64 {
+            t.insert(k, k).unwrap();
+        }
+        for k in (0..50u64).step_by(2) {
+            t.delete(k).unwrap();
+        }
+        for k in 0..50u64 {
+            assert_eq!(t.get(k).unwrap(), if k % 2 == 0 { None } else { Some(k) });
+        }
+        assert_eq!(t.len().unwrap(), 25);
+        // Reinsert deleted keys.
+        for k in (0..50u64).step_by(2) {
+            t.insert(k, k * 2).unwrap();
+        }
+        assert_eq!(t.len().unwrap(), 50);
+        assert_eq!(t.get(4).unwrap(), Some(8));
+    }
+
+    #[test]
+    fn scan_from_midpoint() {
+        let (_f, t) = small_tree();
+        for k in 0..100u64 {
+            t.insert(k, k).unwrap();
+        }
+        let part = t.scan_from(90, usize::MAX).unwrap();
+        assert_eq!(part.len(), 10);
+        assert_eq!(part[0], (90, 90));
+        let limited = t.scan_from(0, 5).unwrap();
+        assert_eq!(limited.len(), 5);
+    }
+
+    #[test]
+    fn persists_across_reopen() {
+        let f = tempfile::NamedTempFile::new().unwrap();
+        {
+            let dm = Arc::new(DiskManager::open(f.path()).unwrap());
+            let pool = Arc::new(BufferPool::new(dm, 64));
+            let t = BTree::open_with_caps(pool.clone(), 4, 4).unwrap();
+            for k in 0..100u64 {
+                t.insert(k, k * 7).unwrap();
+            }
+            pool.flush_all().unwrap();
+        }
+        let dm = Arc::new(DiskManager::open(f.path()).unwrap());
+        let pool = Arc::new(BufferPool::new(dm, 64));
+        let t = BTree::open_with_caps(pool, 4, 4).unwrap();
+        for k in 0..100u64 {
+            assert_eq!(t.get(k).unwrap(), Some(k * 7));
+        }
+    }
+
+    #[test]
+    fn default_caps_handle_large_volume() {
+        let (_f, t) = tree_with_caps(LEAF_CAP, INTERNAL_CAP);
+        for k in 0..5000u64 {
+            t.insert(k, !k).unwrap();
+        }
+        assert_eq!(t.len().unwrap(), 5000);
+        assert_eq!(t.get(4999).unwrap(), Some(!4999u64));
+        assert!(t.height().unwrap() <= 3);
+    }
+
+    #[test]
+    fn extreme_keys() {
+        let (_f, t) = small_tree();
+        t.insert(0, 1).unwrap();
+        t.insert(u64::MAX, 2).unwrap();
+        assert_eq!(t.get(0).unwrap(), Some(1));
+        assert_eq!(t.get(u64::MAX).unwrap(), Some(2));
+        assert_eq!(t.scan_all().unwrap(), vec![(0, 1), (u64::MAX, 2)]);
+    }
+
+    mod property {
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::BTreeMap;
+
+        #[derive(Debug, Clone)]
+        enum Op {
+            Put(u64, u64),
+            Delete(u64),
+        }
+
+        fn op_strategy() -> impl Strategy<Value = Op> {
+            // Narrow key space to provoke collisions and deletes of present keys.
+            prop_oneof![
+                3 => (0u64..200, any::<u64>()).prop_map(|(k, v)| Op::Put(k, v)),
+                1 => (0u64..200).prop_map(Op::Delete),
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+            #[test]
+            fn btree_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+                let (_f, t) = small_tree();
+                let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+                for op in ops {
+                    match op {
+                        Op::Put(k, v) => {
+                            t.put(k, v).unwrap();
+                            model.insert(k, v);
+                        }
+                        Op::Delete(k) => {
+                            let expect = model.remove(&k);
+                            let got = t.delete(k);
+                            prop_assert_eq!(expect.is_some(), got.is_ok());
+                        }
+                    }
+                }
+                let scanned = t.scan_all().unwrap();
+                let expected: Vec<(u64, u64)> = model.into_iter().collect();
+                prop_assert_eq!(scanned, expected);
+            }
+        }
+    }
+}

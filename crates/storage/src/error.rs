@@ -1,0 +1,112 @@
+//! Error type for the storage layer.
+
+use std::fmt;
+use std::io;
+
+/// Result alias used throughout the storage crate.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// Errors surfaced by the storage engine.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// A page id was outside the allocated file.
+    PageOutOfBounds {
+        /// The requested page.
+        page: u32,
+        /// Pages currently in the file.
+        npages: u64,
+    },
+    /// A record id referred to a missing or deleted slot.
+    RecordNotFound {
+        /// Page of the failed lookup.
+        page: u32,
+        /// Slot of the failed lookup.
+        slot: u16,
+    },
+    /// A record was too large to ever fit in a page.
+    RecordTooLarge {
+        /// Size of the offending record.
+        len: usize,
+        /// Maximum record size.
+        max: usize,
+    },
+    /// The buffer pool had no evictable frame (all pages pinned).
+    PoolExhausted,
+    /// A stored checksum did not match the recomputed one.
+    ChecksumMismatch {
+        /// Checksum found in the stored data.
+        expected: u32,
+        /// Checksum recomputed from the content.
+        actual: u32,
+    },
+    /// The WAL or a page contained bytes that could not be decoded.
+    Corrupt(String),
+    /// A B+-tree key was not present.
+    KeyNotFound(u64),
+    /// A B+-tree key was inserted twice.
+    DuplicateKey(u64),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+            StorageError::PageOutOfBounds { page, npages } => {
+                write!(f, "page {page} out of bounds (file has {npages} pages)")
+            }
+            StorageError::RecordNotFound { page, slot } => {
+                write!(f, "record not found at page {page} slot {slot}")
+            }
+            StorageError::RecordTooLarge { len, max } => {
+                write!(f, "record of {len} bytes exceeds page capacity {max}")
+            }
+            StorageError::PoolExhausted => write!(f, "buffer pool exhausted: all frames pinned"),
+            StorageError::ChecksumMismatch { expected, actual } => {
+                write!(f, "checksum mismatch: expected {expected:#010x}, got {actual:#010x}")
+            }
+            StorageError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            StorageError::KeyNotFound(k) => write!(f, "key {k} not found"),
+            StorageError::DuplicateKey(k) => write!(f, "key {k} already present"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = StorageError::PageOutOfBounds { page: 9, npages: 4 };
+        assert!(e.to_string().contains("page 9"));
+        let e = StorageError::RecordNotFound { page: 1, slot: 2 };
+        assert!(e.to_string().contains("slot 2"));
+        let e = StorageError::ChecksumMismatch { expected: 1, actual: 2 };
+        assert!(e.to_string().contains("mismatch"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = io::Error::other("boom");
+        let e: StorageError = io.into();
+        assert!(matches!(e, StorageError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

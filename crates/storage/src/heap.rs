@@ -1,0 +1,425 @@
+//! Heap files: collections of variable-length records with **stable record
+//! ids** across updates.
+//!
+//! A record that outgrows its page is moved and a *redirect* (forwarding
+//! address) is stored under its original slot, so a [`RecordId`] handed out
+//! by [`HeapFile::insert`] remains valid for the record's lifetime. Redirect
+//! chains are collapsed: moving an already-moved record updates the original
+//! redirect rather than chaining a second hop.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::buffer::BufferPool;
+use crate::error::{StorageError, StorageResult};
+use crate::page::{Page, PageId, SlotKind};
+
+/// Stable address of a record in a heap file.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct RecordId {
+    /// Page holding (or originally holding) the record.
+    pub page: PageId,
+    /// Slot within the page.
+    pub slot: u16,
+}
+
+impl RecordId {
+    /// Pack into a `u64` for storing in the B+-tree.
+    pub fn to_u64(self) -> u64 {
+        (self.page.0 as u64) << 16 | self.slot as u64
+    }
+
+    /// Unpack from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        RecordId { page: PageId((v >> 16) as u32), slot: (v & 0xFFFF) as u16 }
+    }
+}
+
+impl std::fmt::Display for RecordId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.page, self.slot)
+    }
+}
+
+fn encode_rid(rid: RecordId) -> [u8; 6] {
+    let mut b = [0u8; 6];
+    b[0..4].copy_from_slice(&rid.page.0.to_le_bytes());
+    b[4..6].copy_from_slice(&rid.slot.to_le_bytes());
+    b
+}
+
+fn decode_rid(bytes: &[u8]) -> StorageResult<RecordId> {
+    if bytes.len() != 6 {
+        return Err(StorageError::Corrupt(format!("redirect of {} bytes", bytes.len())));
+    }
+    Ok(RecordId {
+        page: PageId(u32::from_le_bytes(bytes[0..4].try_into().unwrap())),
+        slot: u16::from_le_bytes(bytes[4..6].try_into().unwrap()),
+    })
+}
+
+/// A heap file of records over a buffer pool.
+pub struct HeapFile {
+    pool: Arc<BufferPool>,
+    /// Approximate free bytes per heap page, for placement decisions.
+    fsm: Mutex<BTreeMap<PageId, usize>>,
+}
+
+impl HeapFile {
+    /// Open a heap over `pool`, scanning existing pages to rebuild the
+    /// free-space map.
+    pub fn open(pool: Arc<BufferPool>) -> StorageResult<Self> {
+        let mut fsm = BTreeMap::new();
+        let npages = pool.disk().num_pages();
+        for i in 0..npages {
+            let id = PageId(i as u32);
+            let free = pool.with_page(id, |p| p.free_space_for_new())?;
+            fsm.insert(id, free);
+        }
+        Ok(HeapFile { pool, fsm: Mutex::new(fsm) })
+    }
+
+    /// The buffer pool backing this heap.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    fn find_page_with(&self, needed: usize) -> StorageResult<PageId> {
+        {
+            let fsm = self.fsm.lock();
+            if let Some((&id, _)) = fsm.iter().find(|(_, &free)| free >= needed) {
+                return Ok(id);
+            }
+        }
+        let id = self.pool.allocate()?;
+        self.fsm.lock().insert(id, Page::max_record_len());
+        Ok(id)
+    }
+
+    fn refresh_fsm(&self, id: PageId) -> StorageResult<()> {
+        let free = self.pool.with_page(id, |p| p.free_space_for_new())?;
+        self.fsm.lock().insert(id, free);
+        Ok(())
+    }
+
+    /// Insert a record; returns its stable id.
+    pub fn insert(&self, payload: &[u8]) -> StorageResult<RecordId> {
+        if payload.len() > Page::max_record_len() {
+            return Err(StorageError::RecordTooLarge {
+                len: payload.len(),
+                max: Page::max_record_len(),
+            });
+        }
+        // Try pages with enough space; page-level fragmentation can still make
+        // an insert fail, so retry with a fresh page in that case.
+        loop {
+            let id = self.find_page_with(payload.len() + 8)?;
+            let slot = self.pool.with_page_mut(id, |p| p.insert(payload))?;
+            self.refresh_fsm(id)?;
+            if let Some(slot) = slot {
+                return Ok(RecordId { page: id, slot });
+            }
+            // Mark the page full so we don't pick it again for this size.
+            self.fsm.lock().insert(id, 0);
+        }
+    }
+
+    /// Resolve a possibly-redirected rid to the physical location, together
+    /// with a flag telling whether a redirect was followed.
+    fn resolve(&self, rid: RecordId) -> StorageResult<(RecordId, bool)> {
+        let kind = self.pool.with_page(rid.page, |p| p.slot_kind(rid.slot))?;
+        match kind {
+            SlotKind::Free => Err(StorageError::RecordNotFound { page: rid.page.0, slot: rid.slot }),
+            SlotKind::Record => Ok((rid, false)),
+            SlotKind::Redirect => {
+                let target = self
+                    .pool
+                    .with_page(rid.page, |p| p.get(rid.slot).map(decode_rid))??;
+                let target = target?;
+                Ok((target, true))
+            }
+        }
+    }
+
+    /// Read a record.
+    pub fn get(&self, rid: RecordId) -> StorageResult<Vec<u8>> {
+        let (loc, _) = self.resolve(rid)?;
+        self.pool
+            .with_page(loc.page, |p| p.get(loc.slot).map(|b| b.to_vec()))?
+            .map_err(|_| StorageError::RecordNotFound { page: loc.page.0, slot: loc.slot })
+    }
+
+    /// Update a record in place when possible, moving it (and installing a
+    /// redirect) otherwise. The original `rid` stays valid either way.
+    pub fn update(&self, rid: RecordId, payload: &[u8]) -> StorageResult<()> {
+        if payload.len() > Page::max_record_len() {
+            return Err(StorageError::RecordTooLarge {
+                len: payload.len(),
+                max: Page::max_record_len(),
+            });
+        }
+        let (loc, redirected) = self.resolve(rid)?;
+        let fitted = self.pool.with_page_mut(loc.page, |p| p.update(loc.slot, payload, false))??;
+        self.refresh_fsm(loc.page)?;
+        if fitted {
+            return Ok(());
+        }
+        // Does not fit at its current location: place elsewhere.
+        let new_loc = self.insert(payload)?;
+        if redirected {
+            // rid.slot already holds a redirect: retarget it and free the old copy.
+            self.pool.with_page_mut(loc.page, |p| p.delete(loc.slot))??;
+            self.refresh_fsm(loc.page)?;
+            let ok = self
+                .pool
+                .with_page_mut(rid.page, |p| p.update(rid.slot, &encode_rid(new_loc), true))??;
+            debug_assert!(ok, "6-byte redirect always fits in place of a redirect");
+        } else {
+            // Replace the record with a redirect in place.
+            let ok = self
+                .pool
+                .with_page_mut(rid.page, |p| p.update(rid.slot, &encode_rid(new_loc), true))??;
+            debug_assert!(ok, "6-byte redirect is never larger than page capacity");
+        }
+        self.refresh_fsm(rid.page)?;
+        Ok(())
+    }
+
+    /// Delete a record (and its redirect target, if moved).
+    pub fn delete(&self, rid: RecordId) -> StorageResult<()> {
+        let (loc, redirected) = self.resolve(rid)?;
+        self.pool.with_page_mut(loc.page, |p| p.delete(loc.slot))??;
+        self.refresh_fsm(loc.page)?;
+        if redirected {
+            self.pool.with_page_mut(rid.page, |p| p.delete(rid.slot))??;
+            self.refresh_fsm(rid.page)?;
+        }
+        Ok(())
+    }
+
+    /// Scan every live record (skipping redirect markers so each record is
+    /// reported exactly once, under its *physical* location).
+    pub fn scan(&self) -> StorageResult<Vec<(RecordId, Vec<u8>)>> {
+        let mut out = Vec::new();
+        let npages = self.pool.disk().num_pages();
+        for i in 0..npages {
+            let id = PageId(i as u32);
+            let rows: Vec<(u16, Vec<u8>)> = self.pool.with_page(id, |p| {
+                p.live_slots()
+                    .filter(|&s| p.slot_kind(s) == SlotKind::Record)
+                    .map(|s| (s, p.get(s).expect("live").to_vec()))
+                    .collect()
+            })?;
+            for (slot, bytes) in rows {
+                out.push((RecordId { page: id, slot }, bytes));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskManager;
+
+    fn heap() -> (tempfile::NamedTempFile, HeapFile) {
+        let f = tempfile::NamedTempFile::new().unwrap();
+        let dm = Arc::new(DiskManager::open(f.path()).unwrap());
+        let pool = Arc::new(BufferPool::new(dm, 16));
+        (f, HeapFile::open(pool).unwrap())
+    }
+
+    #[test]
+    fn rid_u64_roundtrip() {
+        let rid = RecordId { page: PageId(123456), slot: 789 };
+        assert_eq!(RecordId::from_u64(rid.to_u64()), rid);
+    }
+
+    #[test]
+    fn insert_get_delete() {
+        let (_f, h) = heap();
+        let a = h.insert(b"alpha").unwrap();
+        let b = h.insert(b"beta").unwrap();
+        assert_eq!(h.get(a).unwrap(), b"alpha");
+        assert_eq!(h.get(b).unwrap(), b"beta");
+        h.delete(a).unwrap();
+        assert!(h.get(a).is_err());
+        assert_eq!(h.get(b).unwrap(), b"beta");
+    }
+
+    #[test]
+    fn spills_to_multiple_pages() {
+        let (_f, h) = heap();
+        let rec = vec![5u8; 3000];
+        let rids: Vec<RecordId> = (0..10).map(|_| h.insert(&rec).unwrap()).collect();
+        let pages: std::collections::HashSet<PageId> = rids.iter().map(|r| r.page).collect();
+        assert!(pages.len() >= 4, "3000-byte records: ≤2 per page");
+        for rid in &rids {
+            assert_eq!(h.get(*rid).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn update_in_place() {
+        let (_f, h) = heap();
+        let rid = h.insert(b"original value").unwrap();
+        h.update(rid, b"short").unwrap();
+        assert_eq!(h.get(rid).unwrap(), b"short");
+    }
+
+    #[test]
+    fn update_with_move_keeps_rid_stable() {
+        let (_f, h) = heap();
+        // Fill a page almost completely so growth forces a move.
+        let filler = vec![1u8; 3900];
+        let a = h.insert(&filler).unwrap();
+        let b = h.insert(&filler).unwrap();
+        assert_eq!(a.page, b.page);
+        let big = vec![2u8; 6000];
+        h.update(a, &big).unwrap();
+        assert_eq!(h.get(a).unwrap(), big, "old rid must still resolve");
+        assert_eq!(h.get(b).unwrap(), filler);
+    }
+
+    #[test]
+    fn double_move_does_not_chain_redirects() {
+        let (_f, h) = heap();
+        let filler = vec![1u8; 3900];
+        let a = h.insert(&filler).unwrap();
+        let _b = h.insert(&filler).unwrap();
+        let big = vec![2u8; 6000];
+        h.update(a, &big).unwrap(); // first move
+        let bigger = vec![3u8; 7000];
+        h.update(a, &bigger).unwrap(); // may move again
+        assert_eq!(h.get(a).unwrap(), bigger);
+        // The original slot is a single redirect directly to the final spot.
+        let (loc, redirected) = h.resolve(a).unwrap();
+        assert!(redirected);
+        let kind = h.pool.with_page(loc.page, |p| p.slot_kind(loc.slot)).unwrap();
+        assert_eq!(kind, SlotKind::Record, "no redirect-to-redirect chains");
+    }
+
+    #[test]
+    fn delete_moved_record_cleans_both_slots() {
+        let (_f, h) = heap();
+        let filler = vec![1u8; 3900];
+        let a = h.insert(&filler).unwrap();
+        let _b = h.insert(&filler).unwrap();
+        h.update(a, &vec![2u8; 6000]).unwrap();
+        h.delete(a).unwrap();
+        assert!(h.get(a).is_err());
+        // Scan sees only the remaining record.
+        assert_eq!(h.scan().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn scan_reports_each_record_once() {
+        let (_f, h) = heap();
+        let mut expected = Vec::new();
+        for i in 0..50u32 {
+            let data = i.to_le_bytes().repeat(50);
+            h.insert(&data).unwrap();
+            expected.push(data);
+        }
+        let mut scanned: Vec<Vec<u8>> = h.scan().unwrap().into_iter().map(|(_, b)| b).collect();
+        scanned.sort();
+        expected.sort();
+        assert_eq!(scanned, expected);
+    }
+
+    #[test]
+    fn too_large_record_rejected() {
+        let (_f, h) = heap();
+        let res = h.insert(&vec![0u8; Page::max_record_len() + 1]);
+        assert!(matches!(res, Err(StorageError::RecordTooLarge { .. })));
+        let rid = h.insert(b"small").unwrap();
+        let res = h.update(rid, &vec![0u8; Page::max_record_len() + 1]);
+        assert!(matches!(res, Err(StorageError::RecordTooLarge { .. })));
+        assert_eq!(h.get(rid).unwrap(), b"small");
+    }
+
+    #[test]
+    fn reopen_rebuilds_free_space_map() {
+        let f = tempfile::NamedTempFile::new().unwrap();
+        let rid;
+        {
+            let dm = Arc::new(DiskManager::open(f.path()).unwrap());
+            let pool = Arc::new(BufferPool::new(dm, 16));
+            let h = HeapFile::open(pool).unwrap();
+            rid = h.insert(b"persisted record").unwrap();
+            h.pool().flush_all().unwrap();
+        }
+        let dm = Arc::new(DiskManager::open(f.path()).unwrap());
+        let pool = Arc::new(BufferPool::new(dm, 16));
+        let h = HeapFile::open(pool).unwrap();
+        assert_eq!(h.get(rid).unwrap(), b"persisted record");
+        // New inserts go into remaining space of the same page.
+        let rid2 = h.insert(b"second").unwrap();
+        assert_eq!(rid2.page, rid.page);
+    }
+
+    mod property {
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::HashMap;
+
+        #[derive(Debug, Clone)]
+        enum Op {
+            Insert(Vec<u8>),
+            Update(usize, Vec<u8>),
+            Delete(usize),
+        }
+
+        fn op_strategy() -> impl Strategy<Value = Op> {
+            let payload = || proptest::collection::vec(any::<u8>(), 0..2000);
+            prop_oneof![
+                3 => payload().prop_map(Op::Insert),
+                2 => (any::<usize>(), payload()).prop_map(|(i, p)| Op::Update(i, p)),
+                1 => any::<usize>().prop_map(Op::Delete),
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+            #[test]
+            fn heap_matches_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+                let (_f, h) = heap();
+                let mut model: HashMap<RecordId, Vec<u8>> = HashMap::new();
+                let mut order: Vec<RecordId> = Vec::new();
+                for op in ops {
+                    match op {
+                        Op::Insert(p) => {
+                            let rid = h.insert(&p).unwrap();
+                            prop_assert!(!model.contains_key(&rid));
+                            model.insert(rid, p);
+                            order.push(rid);
+                        }
+                        Op::Update(i, p) => {
+                            if order.is_empty() { continue; }
+                            let rid = order[i % order.len()];
+                            if model.contains_key(&rid) {
+                                h.update(rid, &p).unwrap();
+                                model.insert(rid, p);
+                            }
+                        }
+                        Op::Delete(i) => {
+                            if order.is_empty() { continue; }
+                            let rid = order[i % order.len()];
+                            if model.remove(&rid).is_some() {
+                                h.delete(rid).unwrap();
+                            }
+                        }
+                    }
+                }
+                for (rid, data) in &model {
+                    prop_assert_eq!(h.get(*rid).unwrap(), data.clone());
+                }
+                // Scan count matches the model (each exactly once).
+                prop_assert_eq!(h.scan().unwrap().len(), model.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,802 @@
+//! Durable key-value store: the composition of heap file, B+-tree index and
+//! WAL that the object layer persists into.
+//!
+//! [`KvStore`] is the non-transactional map (`u64` key → bytes) built from a
+//! [`HeapFile`] and a [`BTree`]. [`DurableKv`] adds write-ahead logging with
+//! transactions, checkpoints and crash recovery; `ccdb-core` stores one
+//! serialized object per surrogate key through this interface.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::btree::BTree;
+use crate::buffer::BufferPool;
+use crate::disk::DiskManager;
+use crate::error::{StorageError, StorageResult};
+use crate::heap::{HeapFile, RecordId};
+use crate::recovery;
+use crate::wal::{TxId, Wal, WalRecord};
+
+/// A persistent map from `u64` keys to byte strings (no logging).
+///
+/// Values of any size are supported: values beyond what fits in one heap
+/// record are split into overflow chunks (each its own heap record); the
+/// primary record then stores the chunk directory instead of the payload.
+pub struct KvStore {
+    heap: HeapFile,
+    index: BTree,
+}
+
+/// Record-format tags.
+const TAG_INLINE: u8 = 0;
+const TAG_CHUNKED: u8 = 1;
+
+/// Payload bytes per chunk/inline record (leaves headroom for the tag and
+/// the page's slot bookkeeping).
+const CHUNK: usize = 7000;
+
+impl KvStore {
+    /// Build over existing heap and index structures.
+    pub fn new(heap: HeapFile, index: BTree) -> Self {
+        KvStore { heap, index }
+    }
+
+    fn read_value(&self, rid: RecordId) -> StorageResult<Vec<u8>> {
+        let rec = self.heap.get(rid)?;
+        match rec.split_first() {
+            Some((&TAG_INLINE, payload)) => Ok(payload.to_vec()),
+            Some((&TAG_CHUNKED, dir)) => {
+                if dir.len() % 8 != 0 {
+                    return Err(StorageError::Corrupt("bad chunk directory".into()));
+                }
+                let mut out = Vec::new();
+                for packed in dir.chunks_exact(8) {
+                    let chunk_rid =
+                        RecordId::from_u64(u64::from_le_bytes(packed.try_into().unwrap()));
+                    out.extend_from_slice(&self.heap.get(chunk_rid)?);
+                }
+                Ok(out)
+            }
+            _ => Err(StorageError::Corrupt("empty kv record".into())),
+        }
+    }
+
+    /// Delete the overflow chunks (if any) behind a primary record.
+    fn free_chunks(&self, rid: RecordId) -> StorageResult<()> {
+        let rec = self.heap.get(rid)?;
+        if let Some((&TAG_CHUNKED, dir)) = rec.split_first() {
+            for packed in dir.chunks_exact(8) {
+                let chunk_rid =
+                    RecordId::from_u64(u64::from_le_bytes(packed.try_into().unwrap()));
+                self.heap.delete(chunk_rid)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Build the primary record bytes for `value`, inserting overflow
+    /// chunks as needed.
+    fn encode_value(&self, value: &[u8]) -> StorageResult<Vec<u8>> {
+        if value.len() <= CHUNK {
+            let mut rec = Vec::with_capacity(value.len() + 1);
+            rec.push(TAG_INLINE);
+            rec.extend_from_slice(value);
+            return Ok(rec);
+        }
+        let mut dir = Vec::with_capacity(1 + (value.len() / CHUNK + 1) * 8);
+        dir.push(TAG_CHUNKED);
+        for chunk in value.chunks(CHUNK) {
+            let rid = self.heap.insert(chunk)?;
+            dir.extend_from_slice(&rid.to_u64().to_le_bytes());
+        }
+        Ok(dir)
+    }
+
+    /// Read a value.
+    pub fn get(&self, key: u64) -> StorageResult<Option<Vec<u8>>> {
+        match self.index.get(key)? {
+            None => Ok(None),
+            Some(packed) => Ok(Some(self.read_value(RecordId::from_u64(packed))?)),
+        }
+    }
+
+    /// Insert or overwrite a value; returns the previous value if any.
+    pub fn put(&self, key: u64, value: &[u8]) -> StorageResult<Option<Vec<u8>>> {
+        match self.index.get(key)? {
+            Some(packed) => {
+                let rid = RecordId::from_u64(packed);
+                let old = self.read_value(rid)?;
+                self.free_chunks(rid)?;
+                let rec = self.encode_value(value)?;
+                self.heap.update(rid, &rec)?;
+                Ok(Some(old))
+            }
+            None => {
+                let rec = self.encode_value(value)?;
+                let rid = self.heap.insert(&rec)?;
+                self.index.insert(key, rid.to_u64())?;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Delete a key; returns the previous value if it existed.
+    pub fn delete(&self, key: u64) -> StorageResult<Option<Vec<u8>>> {
+        match self.index.get(key)? {
+            None => Ok(None),
+            Some(packed) => {
+                let rid = RecordId::from_u64(packed);
+                let old = self.read_value(rid)?;
+                self.free_chunks(rid)?;
+                self.heap.delete(rid)?;
+                self.index.delete(key)?;
+                Ok(Some(old))
+            }
+        }
+    }
+
+    /// All `(key, value)` pairs in key order.
+    pub fn scan(&self) -> StorageResult<Vec<(u64, Vec<u8>)>> {
+        let mut out = Vec::new();
+        for (key, packed) in self.index.scan_all()? {
+            out.push((key, self.read_value(RecordId::from_u64(packed))?));
+        }
+        Ok(out)
+    }
+
+    /// Number of keys present.
+    pub fn len(&self) -> StorageResult<usize> {
+        self.index.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> StorageResult<bool> {
+        self.index.is_empty()
+    }
+
+    /// Flush all dirty pages of heap and index to disk.
+    pub fn flush(&self) -> StorageResult<()> {
+        self.heap.pool().flush_all()?;
+        self.index.pool().flush_all()
+    }
+}
+
+/// A write-ahead-logged, transactional [`KvStore`] living in a directory:
+/// `heap.db`, `index.db`, `wal.log` plus checkpoint snapshots
+/// (`heap.db.ckpt`, `index.db.ckpt`).
+///
+/// Crash-consistency scheme: the WAL is *logical* (key-level), so the heap
+/// and index page files are only guaranteed structurally consistent at
+/// checkpoint boundaries. [`DurableKv::checkpoint`] flushes all pages and
+/// snapshots the two data files; recovery at open time restores the last
+/// snapshot and replays the log tail ([`crate::recovery`]). A non-empty WAL
+/// at open time is the crash indicator.
+pub struct DurableKv {
+    dir: std::path::PathBuf,
+    kv: KvStore,
+    wal: Wal,
+    heap_pool: Arc<BufferPool>,
+    index_pool: Arc<BufferPool>,
+    next_tx: Mutex<u64>,
+    active: Mutex<Vec<TxId>>,
+}
+
+/// Handle to an open transaction on a [`DurableKv`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KvTx(pub TxId);
+
+impl DurableKv {
+    /// Open the store in `dir` (created if needed), running crash recovery
+    /// against any left-over WAL.
+    pub fn open(dir: impl AsRef<Path>) -> StorageResult<Self> {
+        Self::open_with_pool_size(dir, 256)
+    }
+
+    /// Open with an explicit buffer-pool size per file (pages).
+    pub fn open_with_pool_size(dir: impl AsRef<Path>, pool_pages: usize) -> StorageResult<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let heap_path = dir.join("heap.db");
+        let index_path = dir.join("index.db");
+        let wal_path = dir.join("wal.log");
+
+        // A non-empty WAL means the last shutdown was not a clean checkpoint:
+        // the page files may be torn. Restore the last checkpoint snapshot
+        // (or start from empty files if none exists) before opening them.
+        let wal_len = std::fs::metadata(&wal_path).map(|m| m.len()).unwrap_or(0);
+        let crashed = wal_len > 0;
+        if crashed {
+            for (live, ckpt) in
+                [(&heap_path, dir.join("heap.db.ckpt")), (&index_path, dir.join("index.db.ckpt"))]
+            {
+                if ckpt.exists() {
+                    std::fs::copy(&ckpt, live)?;
+                } else if live.exists() {
+                    std::fs::OpenOptions::new().write(true).open(live)?.set_len(0)?;
+                }
+            }
+        }
+
+        let heap_disk = Arc::new(DiskManager::open(&heap_path)?);
+        let index_disk = Arc::new(DiskManager::open(&index_path)?);
+        let heap_pool = Arc::new(BufferPool::new(heap_disk, pool_pages));
+        let index_pool = Arc::new(BufferPool::new(index_disk, pool_pages));
+        let heap = HeapFile::open(Arc::clone(&heap_pool))?;
+        let index = BTree::open(Arc::clone(&index_pool))?;
+        let kv = KvStore::new(heap, index);
+        let wal = Wal::open(&wal_path)?;
+        let store = DurableKv {
+            dir,
+            kv,
+            wal,
+            heap_pool,
+            index_pool,
+            next_tx: Mutex::new(1),
+            active: Mutex::new(Vec::new()),
+        };
+        let stats = recovery::recover(&store.wal, &store.kv)?;
+        // Continue tx numbering above anything seen in the log.
+        *store.next_tx.lock() = stats.max_tx + 1;
+        if crashed {
+            // Make the recovered state the new checkpoint and empty the log.
+            store.checkpoint()?;
+        } else {
+            // Fresh or cleanly-checkpointed store: persist the (possibly just
+            // created) page files so an immediate crash finds them intact.
+            store.flush_data()?;
+        }
+        Ok(store)
+    }
+
+    fn flush_data(&self) -> StorageResult<()> {
+        self.heap_pool.flush_all()?;
+        self.index_pool.flush_all()
+    }
+
+    fn snapshot_data(&self) -> StorageResult<()> {
+        std::fs::copy(self.dir.join("heap.db"), self.dir.join("heap.db.ckpt"))?;
+        std::fs::copy(self.dir.join("index.db"), self.dir.join("index.db.ckpt"))?;
+        Ok(())
+    }
+
+    /// Begin a transaction.
+    pub fn begin(&self) -> StorageResult<KvTx> {
+        let mut next = self.next_tx.lock();
+        let tx = TxId(*next);
+        *next += 1;
+        self.wal.append(&WalRecord::Begin { tx })?;
+        self.active.lock().push(tx);
+        Ok(KvTx(tx))
+    }
+
+    /// Read a key (reads are not logged).
+    pub fn get(&self, key: u64) -> StorageResult<Option<Vec<u8>>> {
+        self.kv.get(key)
+    }
+
+    /// Transactional write.
+    pub fn put(&self, tx: KvTx, key: u64, value: &[u8]) -> StorageResult<()> {
+        let before = self.kv.put(key, value)?;
+        self.wal.append(&WalRecord::Put { tx: tx.0, key, before, after: value.to_vec() })?;
+        Ok(())
+    }
+
+    /// Transactional delete; deleting an absent key is a no-op.
+    pub fn delete(&self, tx: KvTx, key: u64) -> StorageResult<()> {
+        if let Some(before) = self.kv.delete(key)? {
+            self.wal.append(&WalRecord::Delete { tx: tx.0, key, before })?;
+        }
+        Ok(())
+    }
+
+    /// Commit: force the log, then acknowledge.
+    pub fn commit(&self, tx: KvTx) -> StorageResult<()> {
+        self.wal.append(&WalRecord::Commit { tx: tx.0 })?;
+        self.wal.sync()?;
+        self.active.lock().retain(|t| *t != tx.0);
+        Ok(())
+    }
+
+    /// Abort: roll back this transaction's effects from its own log records,
+    /// newest first, logging each rollback as a *compensation* record (so
+    /// redo-after-crash repeats the rollback too), then log the abort.
+    pub fn abort(&self, tx: KvTx) -> StorageResult<()> {
+        let records = self.wal.records()?;
+        for (_, rec) in records.iter().rev() {
+            if rec.tx() != Some(tx.0) {
+                continue;
+            }
+            match rec {
+                WalRecord::Put { key, before, after, .. } => match before {
+                    Some(b) => {
+                        self.kv.put(*key, b)?;
+                        self.wal.append(&WalRecord::Put {
+                            tx: tx.0,
+                            key: *key,
+                            before: Some(after.clone()),
+                            after: b.clone(),
+                        })?;
+                    }
+                    None => {
+                        self.kv.delete(*key)?;
+                        self.wal.append(&WalRecord::Delete {
+                            tx: tx.0,
+                            key: *key,
+                            before: after.clone(),
+                        })?;
+                    }
+                },
+                WalRecord::Delete { key, before, .. } => {
+                    self.kv.put(*key, before)?;
+                    self.wal.append(&WalRecord::Put {
+                        tx: tx.0,
+                        key: *key,
+                        before: None,
+                        after: before.clone(),
+                    })?;
+                }
+                _ => {}
+            }
+        }
+        self.wal.append(&WalRecord::Abort { tx: tx.0 })?;
+        self.wal.sync()?;
+        self.active.lock().retain(|t| *t != tx.0);
+        Ok(())
+    }
+
+    /// Checkpoint: flush all data pages, snapshot the data files, then (if no
+    /// transaction is active) truncate the log; otherwise write a fuzzy
+    /// checkpoint record.
+    ///
+    /// The snapshot is what recovery restores after a crash, so the data
+    /// files only ever need to be structurally consistent here.
+    pub fn checkpoint(&self) -> StorageResult<()> {
+        self.wal.sync()?;
+        self.flush_data()?;
+        let active = self.active.lock().clone();
+        if active.is_empty() {
+            self.snapshot_data()?;
+            self.wal.reset()?;
+        } else {
+            self.snapshot_data()?;
+            self.wal.append(&WalRecord::Checkpoint { active })?;
+            self.wal.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Non-transactional scan of all pairs.
+    pub fn scan(&self) -> StorageResult<Vec<(u64, Vec<u8>)>> {
+        self.kv.scan()
+    }
+
+    /// Compact the store: rewrite heap and index into fresh files, dropping
+    /// dead records (lazy B+-tree deletions, freed overflow chunks, page
+    /// fragmentation). Requires no active transactions; finishes with a
+    /// checkpoint. Returns `(bytes_before, bytes_after)` of the data files.
+    pub fn compact(&mut self) -> StorageResult<(u64, u64)> {
+        assert!(
+            self.active.lock().is_empty(),
+            "compact requires quiescence (no active transactions)"
+        );
+        let file_bytes = |dir: &std::path::Path| -> u64 {
+            ["heap.db", "index.db"]
+                .iter()
+                .filter_map(|f| std::fs::metadata(dir.join(f)).ok())
+                .map(|m| m.len())
+                .sum()
+        };
+        self.wal.sync()?;
+        self.flush_data()?;
+        let before = file_bytes(&self.dir);
+        let rows = self.kv.scan()?;
+
+        // Build fresh files next to the live ones.
+        let new_heap_path = self.dir.join("heap.db.new");
+        let new_index_path = self.dir.join("index.db.new");
+        let _ = std::fs::remove_file(&new_heap_path);
+        let _ = std::fs::remove_file(&new_index_path);
+        {
+            let heap_disk = Arc::new(DiskManager::open(&new_heap_path)?);
+            let index_disk = Arc::new(DiskManager::open(&new_index_path)?);
+            let heap_pool = Arc::new(BufferPool::new(heap_disk, 256));
+            let index_pool = Arc::new(BufferPool::new(index_disk, 256));
+            let heap = HeapFile::open(Arc::clone(&heap_pool))?;
+            let index = BTree::open(Arc::clone(&index_pool))?;
+            let fresh = KvStore::new(heap, index);
+            for (k, v) in &rows {
+                fresh.put(*k, v)?;
+            }
+            fresh.flush()?;
+        }
+        // Swap in the compacted files and reopen the working structures.
+        std::fs::rename(&new_heap_path, self.dir.join("heap.db"))?;
+        std::fs::rename(&new_index_path, self.dir.join("index.db"))?;
+        let heap_disk = Arc::new(DiskManager::open(self.dir.join("heap.db"))?);
+        let index_disk = Arc::new(DiskManager::open(self.dir.join("index.db"))?);
+        self.heap_pool = Arc::new(BufferPool::new(heap_disk, 256));
+        self.index_pool = Arc::new(BufferPool::new(index_disk, 256));
+        self.kv = KvStore::new(
+            HeapFile::open(Arc::clone(&self.heap_pool))?,
+            BTree::open(Arc::clone(&self.index_pool))?,
+        );
+        self.checkpoint()?;
+        Ok((before, file_bytes(&self.dir)))
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> StorageResult<usize> {
+        self.kv.len()
+    }
+
+    /// Whether the store holds no keys.
+    pub fn is_empty(&self) -> StorageResult<bool> {
+        self.kv.is_empty()
+    }
+
+    /// Bytes currently in the WAL (for experiments).
+    pub fn wal_len(&self) -> u64 {
+        self.wal.end_lsn().0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open_tmp() -> (tempfile::TempDir, DurableKv) {
+        let d = tempfile::tempdir().unwrap();
+        let kv = DurableKv::open(d.path()).unwrap();
+        (d, kv)
+    }
+
+    #[test]
+    fn basic_transactional_flow() {
+        let (_d, kv) = open_tmp();
+        let tx = kv.begin().unwrap();
+        kv.put(tx, 1, b"one").unwrap();
+        kv.put(tx, 2, b"two").unwrap();
+        kv.commit(tx).unwrap();
+        assert_eq!(kv.get(1).unwrap().unwrap(), b"one");
+        assert_eq!(kv.len().unwrap(), 2);
+    }
+
+    #[test]
+    fn abort_rolls_back() {
+        let (_d, kv) = open_tmp();
+        let t1 = kv.begin().unwrap();
+        kv.put(t1, 1, b"committed").unwrap();
+        kv.commit(t1).unwrap();
+
+        let t2 = kv.begin().unwrap();
+        kv.put(t2, 1, b"overwritten").unwrap();
+        kv.put(t2, 2, b"fresh").unwrap();
+        kv.delete(t2, 1).unwrap();
+        kv.abort(t2).unwrap();
+
+        assert_eq!(kv.get(1).unwrap().unwrap(), b"committed");
+        assert_eq!(kv.get(2).unwrap(), None);
+    }
+
+    #[test]
+    fn committed_data_survives_crash() {
+        let d = tempfile::tempdir().unwrap();
+        {
+            let kv = DurableKv::open(d.path()).unwrap();
+            let tx = kv.begin().unwrap();
+            kv.put(tx, 7, b"durable").unwrap();
+            kv.commit(tx).unwrap();
+            // Crash: drop without checkpoint/flush.
+        }
+        let kv = DurableKv::open(d.path()).unwrap();
+        assert_eq!(kv.get(7).unwrap().unwrap(), b"durable");
+    }
+
+    #[test]
+    fn uncommitted_data_rolled_back_on_recovery() {
+        let d = tempfile::tempdir().unwrap();
+        {
+            let kv = DurableKv::open(d.path()).unwrap();
+            let t1 = kv.begin().unwrap();
+            kv.put(t1, 1, b"keep").unwrap();
+            kv.commit(t1).unwrap();
+            let t2 = kv.begin().unwrap();
+            kv.put(t2, 1, b"lose-update").unwrap();
+            kv.put(t2, 2, b"lose-insert").unwrap();
+            // Make the loser's dirty pages reach disk (steal), then crash.
+            kv.flush_data().unwrap();
+            kv.wal.sync().unwrap();
+        }
+        let kv = DurableKv::open(d.path()).unwrap();
+        assert_eq!(kv.get(1).unwrap().unwrap(), b"keep", "loser update undone");
+        assert_eq!(kv.get(2).unwrap(), None, "loser insert undone");
+    }
+
+    #[test]
+    fn checkpoint_truncates_log() {
+        let (_d, kv) = open_tmp();
+        let tx = kv.begin().unwrap();
+        for k in 0..50 {
+            kv.put(tx, k, &k.to_le_bytes()).unwrap();
+        }
+        kv.commit(tx).unwrap();
+        assert!(kv.wal_len() > 0);
+        kv.checkpoint().unwrap();
+        assert_eq!(kv.wal_len(), 0);
+        // Data still there after reopen.
+        drop(kv);
+    }
+
+    #[test]
+    fn recovery_after_checkpoint_only_replays_tail() {
+        let d = tempfile::tempdir().unwrap();
+        {
+            let kv = DurableKv::open(d.path()).unwrap();
+            let t = kv.begin().unwrap();
+            kv.put(t, 1, b"pre-checkpoint").unwrap();
+            kv.commit(t).unwrap();
+            kv.checkpoint().unwrap();
+            let t = kv.begin().unwrap();
+            kv.put(t, 2, b"post-checkpoint").unwrap();
+            kv.commit(t).unwrap();
+        }
+        let kv = DurableKv::open(d.path()).unwrap();
+        assert_eq!(kv.get(1).unwrap().unwrap(), b"pre-checkpoint");
+        assert_eq!(kv.get(2).unwrap().unwrap(), b"post-checkpoint");
+    }
+
+    #[test]
+    fn tx_ids_continue_after_recovery() {
+        let d = tempfile::tempdir().unwrap();
+        let tx_before;
+        {
+            let kv = DurableKv::open(d.path()).unwrap();
+            let t = kv.begin().unwrap();
+            tx_before = t.0 .0;
+            kv.put(t, 1, b"x").unwrap();
+            kv.commit(t).unwrap();
+        }
+        let kv = DurableKv::open(d.path()).unwrap();
+        let t = kv.begin().unwrap();
+        assert!(t.0 .0 > tx_before, "tx ids must not repeat after restart");
+    }
+
+    #[test]
+    fn interleaved_transactions() {
+        let (_d, kv) = open_tmp();
+        let a = kv.begin().unwrap();
+        let b = kv.begin().unwrap();
+        kv.put(a, 1, b"from-a").unwrap();
+        kv.put(b, 2, b"from-b").unwrap();
+        kv.commit(a).unwrap();
+        kv.abort(b).unwrap();
+        assert_eq!(kv.get(1).unwrap().unwrap(), b"from-a");
+        assert_eq!(kv.get(2).unwrap(), None);
+    }
+
+    #[test]
+    fn large_values_roundtrip() {
+        let (_d, kv) = open_tmp();
+        let tx = kv.begin().unwrap();
+        let big = vec![0xCD; 7000];
+        kv.put(tx, 1, &big).unwrap();
+        kv.commit(tx).unwrap();
+        assert_eq!(kv.get(1).unwrap().unwrap(), big);
+    }
+}
+
+#[cfg(test)]
+mod overflow_tests {
+    use super::*;
+
+    fn open_tmp() -> (tempfile::TempDir, DurableKv) {
+        let d = tempfile::tempdir().unwrap();
+        let kv = DurableKv::open(d.path()).unwrap();
+        (d, kv)
+    }
+
+    #[test]
+    fn values_larger_than_a_page_roundtrip() {
+        let (_d, kv) = open_tmp();
+        let big: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let tx = kv.begin().unwrap();
+        kv.put(tx, 1, &big).unwrap();
+        kv.commit(tx).unwrap();
+        assert_eq!(kv.get(1).unwrap().unwrap(), big);
+    }
+
+    #[test]
+    fn large_values_update_and_shrink() {
+        let (_d, kv) = open_tmp();
+        let big = vec![7u8; 50_000];
+        let tx = kv.begin().unwrap();
+        kv.put(tx, 1, &big).unwrap();
+        kv.put(tx, 1, b"tiny now").unwrap();
+        kv.commit(tx).unwrap();
+        assert_eq!(kv.get(1).unwrap().unwrap(), b"tiny now");
+        // Growing again works too.
+        let bigger = vec![9u8; 80_000];
+        let tx = kv.begin().unwrap();
+        kv.put(tx, 1, &bigger).unwrap();
+        kv.commit(tx).unwrap();
+        assert_eq!(kv.get(1).unwrap().unwrap(), bigger);
+    }
+
+    #[test]
+    fn deleting_large_values_frees_chunks() {
+        let (_d, kv) = open_tmp();
+        let big = vec![1u8; 60_000];
+        let tx = kv.begin().unwrap();
+        kv.put(tx, 1, &big).unwrap();
+        kv.delete(tx, 1).unwrap();
+        kv.commit(tx).unwrap();
+        assert_eq!(kv.get(1).unwrap(), None);
+        // The freed space is reused: many more large values fit without the
+        // file exploding.
+        for k in 0..5 {
+            let tx = kv.begin().unwrap();
+            kv.put(tx, 100 + k, &big).unwrap();
+            kv.delete(tx, 100 + k).unwrap();
+            kv.commit(tx).unwrap();
+        }
+        assert!(kv.is_empty().unwrap());
+    }
+
+    #[test]
+    fn large_values_survive_crash_recovery() {
+        let d = tempfile::tempdir().unwrap();
+        let big: Vec<u8> = (0..40_000u32).map(|i| (i % 13) as u8).collect();
+        {
+            let kv = DurableKv::open(d.path()).unwrap();
+            let tx = kv.begin().unwrap();
+            kv.put(tx, 5, &big).unwrap();
+            kv.commit(tx).unwrap();
+        }
+        let kv = DurableKv::open(d.path()).unwrap();
+        assert_eq!(kv.get(5).unwrap().unwrap(), big);
+    }
+
+    #[test]
+    fn mixed_sizes_scan_in_order() {
+        let (_d, kv) = open_tmp();
+        let tx = kv.begin().unwrap();
+        kv.put(tx, 2, &vec![2u8; 20_000]).unwrap();
+        kv.put(tx, 1, b"small").unwrap();
+        kv.put(tx, 3, &vec![3u8; 9_000]).unwrap();
+        kv.commit(tx).unwrap();
+        let rows = kv.scan().unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].0, 1);
+        assert_eq!(rows[1].1.len(), 20_000);
+        assert_eq!(rows[2].1.len(), 9_000);
+    }
+}
+
+
+#[cfg(test)]
+mod compact_tests {
+    use super::*;
+
+    #[test]
+    fn compaction_reclaims_space_and_preserves_data() {
+        let d = tempfile::tempdir().unwrap();
+        let mut kv = DurableKv::open(d.path()).unwrap();
+        // Heavy churn: create and delete lots of large values.
+        for round in 0..5u64 {
+            let tx = kv.begin().unwrap();
+            for k in 0..20u64 {
+                kv.put(tx, 1000 + k, &vec![round as u8; 20_000]).unwrap();
+            }
+            for k in 0..19u64 {
+                kv.delete(tx, 1000 + k).unwrap();
+            }
+            kv.commit(tx).unwrap();
+        }
+        // Survivor per round: key 1019 with the last round's bytes.
+        let survivor = kv.get(1019).unwrap().unwrap();
+        let (before, after) = kv.compact().unwrap();
+        assert!(after < before, "compaction should shrink: {before} -> {after}");
+        assert_eq!(kv.get(1019).unwrap().unwrap(), survivor);
+        assert_eq!(kv.len().unwrap(), 1);
+        // Still fully functional and durable afterwards.
+        let tx = kv.begin().unwrap();
+        kv.put(tx, 7, b"post-compact").unwrap();
+        kv.commit(tx).unwrap();
+        drop(kv);
+        let kv = DurableKv::open(d.path()).unwrap();
+        assert_eq!(kv.get(7).unwrap().unwrap(), b"post-compact");
+        assert_eq!(kv.get(1019).unwrap().unwrap(), survivor);
+    }
+
+    #[test]
+    fn compacting_empty_store_is_fine() {
+        let d = tempfile::tempdir().unwrap();
+        let mut kv = DurableKv::open(d.path()).unwrap();
+        let (_, after) = kv.compact().unwrap();
+        assert!(after > 0, "meta pages remain");
+        assert!(kv.is_empty().unwrap());
+    }
+}
+
+#[cfg(test)]
+mod crash_property_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Put(u64, Vec<u8>),
+        Delete(u64),
+        CommitTxn,
+        AbortTxn,
+        Checkpoint,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            4 => (0u64..20, proptest::collection::vec(any::<u8>(), 0..64))
+                .prop_map(|(k, v)| Op::Put(k, v)),
+            2 => (0u64..20).prop_map(Op::Delete),
+            2 => Just(Op::CommitTxn),
+            1 => Just(Op::AbortTxn),
+            1 => Just(Op::Checkpoint),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Whatever transaction mix ran, a crash-and-reopen shows exactly
+        /// the committed prefix: committed effects present, open/aborted
+        /// transaction effects absent.
+        #[test]
+        fn crash_recovery_matches_committed_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+            let dir = tempfile::tempdir().unwrap();
+            // `committed` mirrors only committed state; `pending` the open txn.
+            let mut committed: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+            let mut pending: BTreeMap<u64, Option<Vec<u8>>> = BTreeMap::new();
+            {
+                let kv = DurableKv::open(dir.path()).unwrap();
+                let mut tx = kv.begin().unwrap();
+                for op in ops {
+                    match op {
+                        Op::Put(k, v) => {
+                            kv.put(tx, k, &v).unwrap();
+                            pending.insert(k, Some(v));
+                        }
+                        Op::Delete(k) => {
+                            kv.delete(tx, k).unwrap();
+                            pending.insert(k, None);
+                        }
+                        Op::CommitTxn => {
+                            kv.commit(tx).unwrap();
+                            for (k, v) in std::mem::take(&mut pending) {
+                                match v {
+                                    Some(v) => { committed.insert(k, v); }
+                                    None => { committed.remove(&k); }
+                                }
+                            }
+                            tx = kv.begin().unwrap();
+                        }
+                        Op::AbortTxn => {
+                            kv.abort(tx).unwrap();
+                            pending.clear();
+                            tx = kv.begin().unwrap();
+                        }
+                        Op::Checkpoint => {
+                            // Fuzzy checkpoint mid-transaction.
+                            kv.checkpoint().unwrap();
+                        }
+                    }
+                }
+                // Crash with `tx` still open: its effects must vanish.
+            }
+            let kv = DurableKv::open(dir.path()).unwrap();
+            let survived: BTreeMap<u64, Vec<u8>> = kv.scan().unwrap().into_iter().collect();
+            prop_assert_eq!(survived, committed);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! # ccdb-storage
+//!
+//! The storage substrate for the ccdb object database: a small but complete
+//! database kernel layer providing
+//!
+//! - fixed-size **slotted pages** ([`page`]) with record-level insert, delete,
+//!   update, in-page compaction and redirect (forwarding) slots,
+//! - a file-backed **disk manager** ([`disk`]) and a pin-counted **buffer
+//!   pool** with LRU eviction ([`buffer`]),
+//! - a **write-ahead log** with physical before/after images, checksums and
+//!   checkpoints ([`wal`]), plus ARIES-style **recovery** ([`recovery`]),
+//! - **heap files** with stable record ids ([`heap`]), and
+//! - an on-disk **B+-tree** index mapping surrogates to record ids
+//!   ([`btree`]).
+//!
+//! The object model in `ccdb-core` persists objects through [`heap::HeapFile`]
+//! and locates them via [`btree::BTree`]; transactional durability is obtained
+//! by pairing updates with [`wal::Wal`] records.
+//!
+//! The layer is deliberately free of any knowledge of the object model: it
+//! stores opaque byte records. This mirrors the paper's call for "a database
+//! kernel supporting the basic mechanisms of the object model" (section 1).
+
+pub mod btree;
+pub mod buffer;
+pub mod checksum;
+pub mod disk;
+pub mod error;
+pub mod heap;
+pub mod kv;
+pub mod page;
+pub mod recovery;
+pub mod wal;
+
+pub use btree::BTree;
+pub use buffer::BufferPool;
+pub use disk::DiskManager;
+pub use error::{StorageError, StorageResult};
+pub use heap::{HeapFile, RecordId};
+pub use kv::{DurableKv, KvStore, KvTx};
+pub use page::{Page, PageId, PAGE_SIZE};
+pub use recovery::recover;
+pub use wal::{Lsn, TxId, Wal, WalRecord};

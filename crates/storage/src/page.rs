@@ -1,0 +1,546 @@
+//! Slotted pages: the unit of disk transfer and the container for records.
+//!
+//! A page is a fixed [`PAGE_SIZE`] byte array with the classic slotted
+//! layout: a header, a slot directory growing downward from the header, and
+//! record payloads growing upward from the end of the page. Deleting and
+//! updating records leaves holes that [`Page::compact`] removes; the slot
+//! directory gives records stable in-page ids across compaction.
+//!
+//! A slot can be *redirecting*: when an updated record no longer fits in its
+//! page, the heap layer moves the payload elsewhere and stores the forwarding
+//! address under the original slot so that [`crate::heap::RecordId`]s stay
+//! stable (see `heap.rs`).
+
+use crate::error::{StorageError, StorageResult};
+
+/// Size of every page, in bytes.
+pub const PAGE_SIZE: usize = 8192;
+
+/// Byte size of the page header.
+const HEADER: usize = 16;
+/// Byte size of one slot directory entry.
+const SLOT: usize = 4;
+/// Slot offset value marking a free (vacated) slot.
+const OFFSET_FREE: u16 = 0xFFFF;
+/// Bit in the slot length marking a redirect record.
+const LEN_REDIRECT: u16 = 0x8000;
+/// Mask extracting the payload length from the slot length field.
+const LEN_MASK: u16 = 0x7FFF;
+
+/// Identifier of a page within a single file.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// Byte offset of this page within its file.
+    pub fn byte_offset(self) -> u64 {
+        self.0 as u64 * PAGE_SIZE as u64
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// What a slot directory entry currently holds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SlotKind {
+    /// The slot is vacant and may be reused.
+    Free,
+    /// The slot holds an ordinary record payload.
+    Record,
+    /// The slot holds a forwarding address written by the heap layer.
+    Redirect,
+}
+
+/// A fixed-size slotted page.
+///
+/// Layout:
+/// ```text
+/// [0..8)   page LSN (u64 LE)   — recovery bookkeeping
+/// [8..10)  slot count (u16 LE)
+/// [10..12) free-end (u16 LE)   — offset one past the free region
+/// [12..16) reserved
+/// [16..)   slot directory, 4 bytes per slot: offset u16, len u16
+/// [...end) record payloads, allocated from the end downward
+/// ```
+pub struct Page {
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for Page {
+    fn clone(&self) -> Self {
+        Page { data: self.data.clone() }
+    }
+}
+
+impl Page {
+    /// Create an empty, formatted page.
+    pub fn new() -> Self {
+        let mut p = Page { data: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap() };
+        p.set_slot_count(0);
+        p.set_free_end(PAGE_SIZE as u16);
+        p
+    }
+
+    /// Wrap a raw page image read from disk.
+    pub fn from_bytes(bytes: [u8; PAGE_SIZE]) -> Self {
+        Page { data: Box::new(bytes) }
+    }
+
+    /// The raw page image, e.g. for writing to disk.
+    pub fn as_bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.data
+    }
+
+    /// Mutable access to the raw image (used by recovery to apply images).
+    pub fn as_bytes_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        &mut self.data
+    }
+
+    /// Recovery LSN of the last update applied to this page.
+    pub fn lsn(&self) -> u64 {
+        u64::from_le_bytes(self.data[0..8].try_into().unwrap())
+    }
+
+    /// Set the recovery LSN.
+    pub fn set_lsn(&mut self, lsn: u64) {
+        self.data[0..8].copy_from_slice(&lsn.to_le_bytes());
+    }
+
+    /// Number of slots in the directory (including free ones).
+    pub fn slot_count(&self) -> u16 {
+        u16::from_le_bytes(self.data[8..10].try_into().unwrap())
+    }
+
+    fn set_slot_count(&mut self, n: u16) {
+        self.data[8..10].copy_from_slice(&n.to_le_bytes());
+    }
+
+    fn free_end(&self) -> u16 {
+        u16::from_le_bytes(self.data[10..12].try_into().unwrap())
+    }
+
+    fn set_free_end(&mut self, v: u16) {
+        self.data[10..12].copy_from_slice(&v.to_le_bytes());
+    }
+
+    fn slot_pos(slot: u16) -> usize {
+        HEADER + slot as usize * SLOT
+    }
+
+    fn slot_raw(&self, slot: u16) -> (u16, u16) {
+        let pos = Self::slot_pos(slot);
+        let off = u16::from_le_bytes(self.data[pos..pos + 2].try_into().unwrap());
+        let len = u16::from_le_bytes(self.data[pos + 2..pos + 4].try_into().unwrap());
+        (off, len)
+    }
+
+    fn set_slot_raw(&mut self, slot: u16, off: u16, len: u16) {
+        let pos = Self::slot_pos(slot);
+        self.data[pos..pos + 2].copy_from_slice(&off.to_le_bytes());
+        self.data[pos + 2..pos + 4].copy_from_slice(&len.to_le_bytes());
+    }
+
+    /// Classify a slot. Out-of-range slots are reported as free.
+    pub fn slot_kind(&self, slot: u16) -> SlotKind {
+        if slot >= self.slot_count() {
+            return SlotKind::Free;
+        }
+        let (off, len) = self.slot_raw(slot);
+        if off == OFFSET_FREE {
+            SlotKind::Free
+        } else if len & LEN_REDIRECT != 0 {
+            SlotKind::Redirect
+        } else {
+            SlotKind::Record
+        }
+    }
+
+    /// Maximum payload that can ever fit in an empty page with one slot.
+    pub fn max_record_len() -> usize {
+        PAGE_SIZE - HEADER - SLOT
+    }
+
+    /// Contiguous free bytes available right now (between directory and data),
+    /// assuming a new slot entry is needed.
+    pub fn free_space_for_new(&self) -> usize {
+        let dir_end = HEADER + self.slot_count() as usize * SLOT;
+        let free_end = self.free_end() as usize;
+        free_end.saturating_sub(dir_end).saturating_sub(SLOT)
+    }
+
+    /// Free bytes usable when reusing an existing free slot (no new entry).
+    pub fn free_space_for_reuse(&self) -> usize {
+        let dir_end = HEADER + self.slot_count() as usize * SLOT;
+        (self.free_end() as usize).saturating_sub(dir_end)
+    }
+
+    /// Total reclaimable bytes (live free + holes from deleted payloads).
+    pub fn reclaimable_space(&self) -> usize {
+        let live: usize = (0..self.slot_count())
+            .filter(|&s| self.slot_kind(s) != SlotKind::Free)
+            .map(|s| (self.slot_raw(s).1 & LEN_MASK) as usize)
+            .sum();
+        let dir_end = HEADER + self.slot_count() as usize * SLOT;
+        PAGE_SIZE - dir_end - live
+    }
+
+    fn first_free_slot(&self) -> Option<u16> {
+        (0..self.slot_count()).find(|&s| self.slot_kind(s) == SlotKind::Free)
+    }
+
+    /// Insert a record payload; returns the slot id, or `None` if it does not
+    /// fit even after compaction.
+    pub fn insert(&mut self, payload: &[u8]) -> Option<u16> {
+        self.insert_flagged(payload, false)
+    }
+
+    /// Insert a redirect payload (the heap layer's forwarding address).
+    pub fn insert_redirect(&mut self, payload: &[u8]) -> Option<u16> {
+        self.insert_flagged(payload, true)
+    }
+
+    fn insert_flagged(&mut self, payload: &[u8], redirect: bool) -> Option<u16> {
+        if payload.len() > Self::max_record_len() || payload.len() > LEN_MASK as usize {
+            return None;
+        }
+        let reuse = self.first_free_slot();
+        let avail =
+            if reuse.is_some() { self.free_space_for_reuse() } else { self.free_space_for_new() };
+        if payload.len() > avail {
+            if payload.len() > self.reclaimable_if(reuse.is_none()) {
+                return None;
+            }
+            self.compact();
+        }
+        let slot = match reuse {
+            Some(s) => s,
+            None => {
+                let s = self.slot_count();
+                self.set_slot_count(s + 1);
+                s
+            }
+        };
+        let new_end = self.free_end() as usize - payload.len();
+        self.data[new_end..new_end + payload.len()].copy_from_slice(payload);
+        self.set_free_end(new_end as u16);
+        let len = payload.len() as u16 | if redirect { LEN_REDIRECT } else { 0 };
+        self.set_slot_raw(slot, new_end as u16, len);
+        Some(slot)
+    }
+
+    fn reclaimable_if(&self, needs_new_slot: bool) -> usize {
+        self.reclaimable_space().saturating_sub(if needs_new_slot { SLOT } else { 0 })
+    }
+
+    /// Read a record (or redirect) payload.
+    pub fn get(&self, slot: u16) -> StorageResult<&[u8]> {
+        if self.slot_kind(slot) == SlotKind::Free {
+            return Err(StorageError::RecordNotFound { page: 0, slot });
+        }
+        let (off, len) = self.slot_raw(slot);
+        let len = (len & LEN_MASK) as usize;
+        Ok(&self.data[off as usize..off as usize + len])
+    }
+
+    /// Delete a record, vacating the slot for reuse.
+    pub fn delete(&mut self, slot: u16) -> StorageResult<()> {
+        if self.slot_kind(slot) == SlotKind::Free {
+            return Err(StorageError::RecordNotFound { page: 0, slot });
+        }
+        self.set_slot_raw(slot, OFFSET_FREE, 0);
+        // Trim trailing free slots so the directory can shrink.
+        let mut n = self.slot_count();
+        while n > 0 && self.slot_kind(n - 1) == SlotKind::Free {
+            n -= 1;
+        }
+        self.set_slot_count(n);
+        Ok(())
+    }
+
+    /// Update a record in place if possible.
+    ///
+    /// Returns `Ok(true)` when the new payload was stored under the same
+    /// slot, `Ok(false)` when it does not fit in this page (caller must move
+    /// the record and leave a redirect).
+    pub fn update(&mut self, slot: u16, payload: &[u8], redirect: bool) -> StorageResult<bool> {
+        if self.slot_kind(slot) == SlotKind::Free {
+            return Err(StorageError::RecordNotFound { page: 0, slot });
+        }
+        let (off, oldlen_raw) = self.slot_raw(slot);
+        let oldlen = (oldlen_raw & LEN_MASK) as usize;
+        let flag = if redirect { LEN_REDIRECT } else { 0 };
+        if payload.len() <= oldlen {
+            // Shrinking (or equal): overwrite the tail of the old region.
+            let start = off as usize + oldlen - payload.len();
+            self.data[start..start + payload.len()].copy_from_slice(payload);
+            self.set_slot_raw(slot, start as u16, payload.len() as u16 | flag);
+            return Ok(true);
+        }
+        // Growing: try to place a fresh copy; reclaim the old region first by
+        // freeing the slot logically, then compacting if required.
+        self.set_slot_raw(slot, OFFSET_FREE, 0);
+        if payload.len() > self.free_space_for_reuse() {
+            if payload.len() > self.reclaimable_if(false) || payload.len() > LEN_MASK as usize {
+                // Restore and report "does not fit".
+                self.set_slot_raw(slot, off, oldlen_raw);
+                return Ok(false);
+            }
+            self.compact();
+        }
+        let new_end = self.free_end() as usize - payload.len();
+        self.data[new_end..new_end + payload.len()].copy_from_slice(payload);
+        self.set_free_end(new_end as u16);
+        self.set_slot_raw(slot, new_end as u16, payload.len() as u16 | flag);
+        Ok(true)
+    }
+
+    /// Defragment the payload area, preserving slot ids.
+    pub fn compact(&mut self) {
+        let n = self.slot_count();
+        let mut live: Vec<(u16, u16, Vec<u8>)> = Vec::with_capacity(n as usize);
+        for s in 0..n {
+            if self.slot_kind(s) != SlotKind::Free {
+                let (_, len_raw) = self.slot_raw(s);
+                live.push((s, len_raw, self.get(s).expect("live slot").to_vec()));
+            }
+        }
+        let mut end = PAGE_SIZE;
+        for (s, len_raw, payload) in live {
+            end -= payload.len();
+            self.data[end..end + payload.len()].copy_from_slice(&payload);
+            self.set_slot_raw(s, end as u16, len_raw);
+        }
+        self.set_free_end(end as u16);
+    }
+
+    /// Iterate over live (non-free) slots.
+    pub fn live_slots(&self) -> impl Iterator<Item = u16> + '_ {
+        (0..self.slot_count()).filter(move |&s| self.slot_kind(s) != SlotKind::Free)
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Page")
+            .field("lsn", &self.lsn())
+            .field("slots", &self.slot_count())
+            .field("free_end", &self.free_end())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get_roundtrip() {
+        let mut p = Page::new();
+        let a = p.insert(b"hello").unwrap();
+        let b = p.insert(b"world!").unwrap();
+        assert_ne!(a, b);
+        assert_eq!(p.get(a).unwrap(), b"hello");
+        assert_eq!(p.get(b).unwrap(), b"world!");
+        assert_eq!(p.slot_kind(a), SlotKind::Record);
+    }
+
+    #[test]
+    fn delete_frees_slot_for_reuse() {
+        let mut p = Page::new();
+        let a = p.insert(b"abc").unwrap();
+        let _b = p.insert(b"def").unwrap();
+        p.delete(a).unwrap();
+        assert_eq!(p.slot_kind(a), SlotKind::Free);
+        assert!(p.get(a).is_err());
+        let c = p.insert(b"ghi").unwrap();
+        assert_eq!(c, a, "freed slot should be reused");
+        assert_eq!(p.get(c).unwrap(), b"ghi");
+    }
+
+    #[test]
+    fn delete_trailing_slot_shrinks_directory() {
+        let mut p = Page::new();
+        let a = p.insert(b"x").unwrap();
+        let b = p.insert(b"y").unwrap();
+        p.delete(b).unwrap();
+        assert_eq!(p.slot_count(), 1);
+        p.delete(a).unwrap();
+        assert_eq!(p.slot_count(), 0);
+    }
+
+    #[test]
+    fn update_shrink_and_grow_in_place() {
+        let mut p = Page::new();
+        let a = p.insert(b"long payload here").unwrap();
+        assert!(p.update(a, b"tiny", false).unwrap());
+        assert_eq!(p.get(a).unwrap(), b"tiny");
+        assert!(p.update(a, b"now much much longer than before", false).unwrap());
+        assert_eq!(p.get(a).unwrap(), b"now much much longer than before".as_slice());
+    }
+
+    #[test]
+    fn update_that_cannot_fit_reports_false_and_keeps_old() {
+        let mut p = Page::new();
+        let filler = vec![7u8; 4000];
+        let a = p.insert(&filler).unwrap();
+        let _b = p.insert(&filler).unwrap();
+        let huge = vec![9u8; 5000];
+        assert!(!p.update(a, &huge, false).unwrap());
+        assert_eq!(p.get(a).unwrap(), filler.as_slice(), "old value must survive");
+    }
+
+    #[test]
+    fn fills_up_and_rejects_when_full() {
+        let mut p = Page::new();
+        let rec = vec![1u8; 100];
+        let mut n = 0;
+        while p.insert(&rec).is_some() {
+            n += 1;
+        }
+        assert!(n >= 70, "should fit many 100-byte records, got {n}");
+        assert!(p.insert(&rec).is_none());
+        // But a small record may still fit.
+        assert!(p.free_space_for_new() < 104 + SLOT);
+    }
+
+    #[test]
+    fn compaction_reclaims_holes() {
+        let mut p = Page::new();
+        let rec = vec![2u8; 1000];
+        let mut slots = Vec::new();
+        while let Some(s) = p.insert(&rec) {
+            slots.push(s);
+        }
+        // Delete every other record: holes are scattered.
+        for (i, s) in slots.iter().enumerate() {
+            if i % 2 == 0 {
+                p.delete(*s).unwrap();
+            }
+        }
+        // A 2000-byte record only fits after compaction.
+        let big = vec![3u8; 2000];
+        let s = p.insert(&big).expect("compaction should make room");
+        assert_eq!(p.get(s).unwrap(), big.as_slice());
+        // Survivors unaffected.
+        for (i, s) in slots.iter().enumerate() {
+            if i % 2 == 1 {
+                assert_eq!(p.get(*s).unwrap(), rec.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn redirect_slots_are_flagged() {
+        let mut p = Page::new();
+        let s = p.insert_redirect(&[1, 2, 3, 4, 5, 6]).unwrap();
+        assert_eq!(p.slot_kind(s), SlotKind::Redirect);
+        assert_eq!(p.get(s).unwrap(), &[1, 2, 3, 4, 5, 6]);
+        // Updating to a plain record clears the flag.
+        assert!(p.update(s, b"plain", false).unwrap());
+        assert_eq!(p.slot_kind(s), SlotKind::Record);
+    }
+
+    #[test]
+    fn max_record_fits_exactly() {
+        let mut p = Page::new();
+        let max = Page::max_record_len();
+        let rec = vec![0xAB; max];
+        let s = p.insert(&rec).expect("max-size record must fit in empty page");
+        assert_eq!(p.get(s).unwrap().len(), max);
+        assert!(p.insert(b"x").is_none());
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let mut p = Page::new();
+        assert!(p.insert(&vec![0; Page::max_record_len() + 1]).is_none());
+    }
+
+    #[test]
+    fn lsn_roundtrip_through_bytes() {
+        let mut p = Page::new();
+        p.set_lsn(0xDEAD_BEEF_1234);
+        let s = p.insert(b"payload").unwrap();
+        let img = *p.as_bytes();
+        let q = Page::from_bytes(img);
+        assert_eq!(q.lsn(), 0xDEAD_BEEF_1234);
+        assert_eq!(q.get(s).unwrap(), b"payload");
+    }
+
+    #[test]
+    fn empty_page_has_expected_capacity() {
+        let p = Page::new();
+        assert_eq!(p.free_space_for_new(), PAGE_SIZE - HEADER - SLOT);
+        assert_eq!(p.reclaimable_space(), PAGE_SIZE - HEADER);
+    }
+
+    mod property {
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::HashMap;
+
+        #[derive(Debug, Clone)]
+        enum Op {
+            Insert(Vec<u8>),
+            Delete(usize),
+            Update(usize, Vec<u8>),
+        }
+
+        fn op_strategy() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                3 => proptest::collection::vec(any::<u8>(), 0..600).prop_map(Op::Insert),
+                1 => any::<usize>().prop_map(Op::Delete),
+                2 => (any::<usize>(), proptest::collection::vec(any::<u8>(), 0..600))
+                    .prop_map(|(i, v)| Op::Update(i, v)),
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn page_matches_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+                let mut page = Page::new();
+                let mut model: HashMap<u16, Vec<u8>> = HashMap::new();
+                for op in ops {
+                    match op {
+                        Op::Insert(data) => {
+                            if let Some(slot) = page.insert(&data) {
+                                prop_assert!(!model.contains_key(&slot));
+                                model.insert(slot, data);
+                            }
+                        }
+                        Op::Delete(i) => {
+                            let keys: Vec<u16> = model.keys().copied().collect();
+                            if keys.is_empty() { continue; }
+                            let slot = keys[i % keys.len()];
+                            page.delete(slot).unwrap();
+                            model.remove(&slot);
+                        }
+                        Op::Update(i, data) => {
+                            let keys: Vec<u16> = model.keys().copied().collect();
+                            if keys.is_empty() { continue; }
+                            let slot = keys[i % keys.len()];
+                            if page.update(slot, &data, false).unwrap() {
+                                model.insert(slot, data);
+                            }
+                        }
+                    }
+                    // Invariant: every model entry readable and equal.
+                    for (slot, data) in &model {
+                        prop_assert_eq!(page.get(*slot).unwrap(), data.as_slice());
+                    }
+                }
+            }
+        }
+    }
+}

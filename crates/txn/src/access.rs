@@ -1,0 +1,139 @@
+//! Access control manager (§6).
+//!
+//! The paper requires a *tight connection* between access control and
+//! locking: "if objects are to be locked implicitly by complex operations
+//! the access control manager should be consulted to grant no lock which
+//! allows more operations than the access control admits" — e.g. a user
+//! expanding a chip gets only read locks on customized standard cells.
+//!
+//! Rights are granted per user on individual objects, on named classes, or
+//! as a default; object grants override class grants override the default.
+
+use std::collections::HashMap;
+
+use ccdb_core::Surrogate;
+
+use crate::lock::LockMode;
+
+/// What a user may do with an object.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Right {
+    /// No access at all.
+    None,
+    /// Read-only access (the paper's protected "standard objects").
+    Read,
+    /// Full read/update access.
+    Update,
+}
+
+impl Right {
+    /// The strongest lock mode this right admits.
+    pub fn max_mode(self) -> Option<LockMode> {
+        match self {
+            Right::None => None,
+            Right::Read => Some(LockMode::S),
+            Right::Update => Some(LockMode::X),
+        }
+    }
+
+    /// Cap a requested mode to this right. `None` = not even readable.
+    pub fn cap(self, requested: LockMode) -> Option<LockMode> {
+        match self {
+            Right::None => None,
+            Right::Update => Some(requested),
+            Right::Read => Some(match requested {
+                LockMode::X | LockMode::SIX | LockMode::S => LockMode::S,
+                LockMode::IX | LockMode::IS => LockMode::IS,
+            }),
+        }
+    }
+}
+
+/// Per-user rights registry.
+#[derive(Clone, Debug, Default)]
+pub struct AccessControl {
+    default_right: HashMap<String, Right>,
+    class_rights: HashMap<(String, String), Right>,
+    object_rights: HashMap<(String, Surrogate), Right>,
+}
+
+impl AccessControl {
+    /// Empty registry: unknown users get [`Right::Update`] everywhere
+    /// (access control is opt-in, as in the paper's scenario where only
+    /// standard cells are protected).
+    pub fn new() -> Self {
+        AccessControl::default()
+    }
+
+    /// Set a user's default right.
+    pub fn set_default(&mut self, user: &str, right: Right) {
+        self.default_right.insert(user.to_string(), right);
+    }
+
+    /// Grant a right on all members of a named class.
+    pub fn grant_class(&mut self, user: &str, class: &str, right: Right) {
+        self.class_rights.insert((user.to_string(), class.to_string()), right);
+    }
+
+    /// Grant a right on one object.
+    pub fn grant_object(&mut self, user: &str, obj: Surrogate, right: Right) {
+        self.object_rights.insert((user.to_string(), obj), right);
+    }
+
+    /// Effective right of `user` on `obj` (member of `classes`).
+    pub fn right(&self, user: &str, obj: Surrogate, classes: &[&str]) -> Right {
+        if let Some(r) = self.object_rights.get(&(user.to_string(), obj)) {
+            return *r;
+        }
+        let mut best: Option<Right> = None;
+        for c in classes {
+            if let Some(r) = self.class_rights.get(&(user.to_string(), c.to_string())) {
+                best = Some(best.map_or(*r, |b| b.max(*r)));
+            }
+        }
+        if let Some(r) = best {
+            return r;
+        }
+        self.default_right.get(user).copied().unwrap_or(Right::Update)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rights_cap_lock_modes() {
+        assert_eq!(Right::Read.cap(LockMode::X), Some(LockMode::S));
+        assert_eq!(Right::Read.cap(LockMode::S), Some(LockMode::S));
+        assert_eq!(Right::Read.cap(LockMode::IX), Some(LockMode::IS));
+        assert_eq!(Right::Update.cap(LockMode::X), Some(LockMode::X));
+        assert_eq!(Right::None.cap(LockMode::S), None);
+        assert_eq!(Right::Read.max_mode(), Some(LockMode::S));
+    }
+
+    #[test]
+    fn precedence_object_over_class_over_default() {
+        let mut ac = AccessControl::new();
+        ac.set_default("eve", Right::None);
+        ac.grant_class("eve", "StandardCells", Right::Read);
+        ac.grant_object("eve", Surrogate(7), Right::Update);
+        assert_eq!(ac.right("eve", Surrogate(1), &[]), Right::None);
+        assert_eq!(ac.right("eve", Surrogate(2), &["StandardCells"]), Right::Read);
+        assert_eq!(ac.right("eve", Surrogate(7), &["StandardCells"]), Right::Update);
+    }
+
+    #[test]
+    fn unknown_users_default_to_update() {
+        let ac = AccessControl::new();
+        assert_eq!(ac.right("nobody", Surrogate(1), &[]), Right::Update);
+    }
+
+    #[test]
+    fn strongest_class_right_wins() {
+        let mut ac = AccessControl::new();
+        ac.grant_class("amy", "A", Right::Read);
+        ac.grant_class("amy", "B", Right::Update);
+        assert_eq!(ac.right("amy", Surrogate(1), &["A", "B"]), Right::Update);
+    }
+}

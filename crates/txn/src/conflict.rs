@@ -1,0 +1,224 @@
+//! Relationship-based conflict detection (§6).
+//!
+//! "The explicitly defined relationships between objects can be used to
+//! identify potential conflicts (two update transactions are working on
+//! objects which are related to each other)." Given the write sets of two
+//! transactions, [`potential_conflicts`] reports pairs of written objects
+//! that are connected by a model edge — the same object, an inheritance
+//! binding, a relationship participation, or complex-object ownership.
+
+use std::collections::HashSet;
+
+use ccdb_core::object::ObjectKind;
+use ccdb_core::store::ObjectStore;
+use ccdb_core::Surrogate;
+
+/// Why two written objects are considered related.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConflictKind {
+    /// The very same object.
+    SameObject,
+    /// Transmitter/inheritor of one inheritance relationship.
+    InheritanceEdge,
+    /// Participants of (or participant + the relationship object itself of)
+    /// one relationship.
+    RelationshipEdge,
+    /// Owner and subobject of one complex object.
+    OwnershipEdge,
+}
+
+/// A reported potential conflict.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PotentialConflict {
+    /// Object written by the first transaction.
+    pub a: Surrogate,
+    /// Object written by the second transaction.
+    pub b: Surrogate,
+    /// The connecting edge.
+    pub kind: ConflictKind,
+}
+
+/// Objects adjacent to `s` via model edges, each tagged with the edge kind.
+fn neighbours(store: &ObjectStore, s: Surrogate) -> Vec<(Surrogate, ConflictKind)> {
+    let mut out = Vec::new();
+    let Ok(o) = store.object(s) else { return out };
+    // Ownership edges (both directions).
+    if let Some(owner) = &o.owner {
+        out.push((owner.parent, ConflictKind::OwnershipEdge));
+    }
+    for m in o.all_subclass_members() {
+        out.push((m, ConflictKind::OwnershipEdge));
+    }
+    // Inheritance edges: this object as inheritor…
+    for rel in o.bindings.values() {
+        if let Ok(r) = store.object(*rel) {
+            if let Some(t) = r.transmitter() {
+                out.push((t, ConflictKind::InheritanceEdge));
+            }
+        }
+    }
+    // …and as transmitter.
+    for rel in store.inheritance_rels_of(s) {
+        if let Ok(r) = store.object(*rel) {
+            if let Some(i) = r.inheritor() {
+                out.push((i, ConflictKind::InheritanceEdge));
+            }
+        }
+    }
+    // Relationship edges: the relationship object's participants, and — for
+    // plain objects — co-participants through every relationship they are
+    // part of (two bolts joined by one screwing are potential conflicts).
+    match &o.kind {
+        ObjectKind::Relationship { participants } => {
+            for members in participants.values() {
+                for m in members {
+                    out.push((*m, ConflictKind::RelationshipEdge));
+                }
+            }
+        }
+        _ => {
+            for rel in store.relationships_of(s) {
+                out.push((*rel, ConflictKind::RelationshipEdge));
+                if let Ok(r) = store.object(*rel) {
+                    if let ObjectKind::Relationship { participants } = &r.kind {
+                        for members in participants.values() {
+                            for m in members {
+                                if *m != s {
+                                    out.push((*m, ConflictKind::RelationshipEdge));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Report written-object pairs of `writes_a` × `writes_b` connected by a
+/// model edge (directly, or via one shared relationship object).
+pub fn potential_conflicts(
+    store: &ObjectStore,
+    writes_a: &[Surrogate],
+    writes_b: &[Surrogate],
+) -> Vec<PotentialConflict> {
+    let set_b: HashSet<Surrogate> = writes_b.iter().copied().collect();
+    let mut out = Vec::new();
+    for &a in writes_a {
+        if set_b.contains(&a) {
+            out.push(PotentialConflict { a, b: a, kind: ConflictKind::SameObject });
+        }
+        for (n, kind) in neighbours(store, a) {
+            if set_b.contains(&n) {
+                out.push(PotentialConflict { a, b: n, kind });
+            }
+        }
+    }
+    out.sort_by_key(|c| (c.a, c.b));
+    out.dedup_by_key(|c| (c.a, c.b));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccdb_core::domain::Domain;
+    use ccdb_core::schema::{
+        AttrDef, Catalog, InherRelTypeDef, ObjectTypeDef, ParticipantSpec, RelTypeDef,
+        SubclassSpec,
+    };
+
+    fn setup() -> (ObjectStore, Surrogate, Surrogate, Surrogate, Surrogate) {
+        let mut c = Catalog::new();
+        c.register_object_type(ObjectTypeDef {
+            name: "Part".into(),
+            attributes: vec![AttrDef::new("X", Domain::Int)],
+            subclasses: vec![SubclassSpec { name: "Subs".into(), element_type: "Part".into() }],
+            ..Default::default()
+        })
+        .unwrap();
+        c.register_inher_rel_type(InherRelTypeDef {
+            name: "AllOf_Part".into(),
+            transmitter_type: "Part".into(),
+            inheritor_type: None,
+            inheriting: vec!["X".into()],
+            attributes: vec![],
+            constraints: vec![],
+        })
+        .unwrap();
+        c.register_object_type(ObjectTypeDef {
+            name: "User".into(),
+            inheritor_in: vec!["AllOf_Part".into()],
+            ..Default::default()
+        })
+        .unwrap();
+        c.register_rel_type(RelTypeDef {
+            name: "Link".into(),
+            participants: vec![ParticipantSpec::one("A", "Part"), ParticipantSpec::one("B", "Part")],
+            ..Default::default()
+        })
+        .unwrap();
+        let mut st = ObjectStore::new(c).unwrap();
+        let part = st.create_object("Part", vec![]).unwrap();
+        let sub = st.create_subobject(part, "Subs", vec![]).unwrap();
+        let user = st.create_object("User", vec![]).unwrap();
+        st.bind("AllOf_Part", part, user, vec![]).unwrap();
+        let other = st.create_object("Part", vec![]).unwrap();
+        (st, part, sub, user, other)
+    }
+
+    #[test]
+    fn same_object_conflict() {
+        let (st, part, ..) = setup();
+        let cs = potential_conflicts(&st, &[part], &[part]);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].kind, ConflictKind::SameObject);
+    }
+
+    #[test]
+    fn inheritance_edge_conflict() {
+        let (st, part, _, user, _) = setup();
+        let cs = potential_conflicts(&st, &[part], &[user]);
+        assert!(cs.iter().any(|c| c.kind == ConflictKind::InheritanceEdge), "{cs:?}");
+        // Symmetric.
+        let cs = potential_conflicts(&st, &[user], &[part]);
+        assert!(cs.iter().any(|c| c.kind == ConflictKind::InheritanceEdge));
+    }
+
+    #[test]
+    fn ownership_edge_conflict() {
+        let (st, part, sub, ..) = setup();
+        let cs = potential_conflicts(&st, &[sub], &[part]);
+        assert!(cs.iter().any(|c| c.kind == ConflictKind::OwnershipEdge));
+    }
+
+    #[test]
+    fn relationship_edge_via_rel_object() {
+        let (mut st, part, _, _, other) = setup();
+        let link = st
+            .create_rel("Link", vec![("A", vec![part]), ("B", vec![other])], vec![])
+            .unwrap();
+        // A txn writing the relationship object conflicts with one writing
+        // a participant.
+        let cs = potential_conflicts(&st, &[link], &[other]);
+        assert!(cs.iter().any(|c| c.kind == ConflictKind::RelationshipEdge), "{cs:?}");
+    }
+
+    #[test]
+    fn co_participants_conflict_through_the_relationship() {
+        let (mut st, part, _, _, other) = setup();
+        st.create_rel("Link", vec![("A", vec![part]), ("B", vec![other])], vec![]).unwrap();
+        // Neither write set contains the relationship object itself, but the
+        // two participants are still related through it.
+        let cs = potential_conflicts(&st, &[part], &[other]);
+        assert!(cs.iter().any(|c| c.kind == ConflictKind::RelationshipEdge), "{cs:?}");
+    }
+
+    #[test]
+    fn unrelated_objects_do_not_conflict() {
+        let (st, part, _, _, other) = setup();
+        assert!(potential_conflicts(&st, &[part], &[other]).is_empty());
+        assert!(potential_conflicts(&st, &[], &[part]).is_empty());
+    }
+}

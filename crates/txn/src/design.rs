@@ -1,0 +1,236 @@
+//! Long design transactions (§6, after \[KSUW85\]/\[KLMP84\]).
+//!
+//! A designer *checks out* a set of objects into a private workspace, works
+//! on the copies for an arbitrarily long time (days, in CAD practice),
+//! and *checks in* the result. Check-in is optimistic: it fails if another
+//! check-in modified one of the same objects meanwhile — short 2PL locks
+//! would be disastrous at design-session granularity, as the paper notes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ccdb_core::object::ObjectData;
+use ccdb_core::store::ObjectStore;
+use ccdb_core::{CoreError, Surrogate, Value};
+use parking_lot::Mutex;
+
+/// Errors of the design-transaction layer.
+#[derive(Debug)]
+pub enum DesignError {
+    /// The object changed since checkout; the workspace must be rebased.
+    StaleCheckin {
+        /// The conflicting object.
+        object: Surrogate,
+    },
+    /// The object was not part of this checkout.
+    NotCheckedOut(Surrogate),
+    /// Underlying model error.
+    Core(CoreError),
+}
+
+impl std::fmt::Display for DesignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DesignError::StaleCheckin { object } => {
+                write!(f, "stale check-in: {object} changed since checkout")
+            }
+            DesignError::NotCheckedOut(s) => write!(f, "object {s} is not checked out"),
+            DesignError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DesignError {}
+
+impl From<CoreError> for DesignError {
+    fn from(e: CoreError) -> Self {
+        DesignError::Core(e)
+    }
+}
+
+/// Version stamps for optimistic check-in.
+#[derive(Default)]
+pub struct StampRegistry {
+    stamps: Mutex<HashMap<Surrogate, u64>>,
+    clock: AtomicU64,
+}
+
+impl StampRegistry {
+    /// Fresh registry.
+    pub fn new() -> Self {
+        StampRegistry::default()
+    }
+
+    /// Current stamp of an object (0 = never stamped).
+    pub fn stamp(&self, s: Surrogate) -> u64 {
+        self.stamps.lock().get(&s).copied().unwrap_or(0)
+    }
+
+    /// Bump an object's stamp (called on every check-in write).
+    pub fn bump(&self, s: Surrogate) -> u64 {
+        let t = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        self.stamps.lock().insert(s, t);
+        t
+    }
+}
+
+/// A private workspace holding checked-out copies.
+pub struct DesignTxn {
+    /// Designer name (for reports).
+    pub designer: String,
+    base: HashMap<Surrogate, u64>,
+    workspace: HashMap<Surrogate, ObjectData>,
+}
+
+impl DesignTxn {
+    /// Check the given objects out of `store` into a private workspace.
+    pub fn checkout(
+        designer: &str,
+        store: &ObjectStore,
+        stamps: &StampRegistry,
+        objects: &[Surrogate],
+    ) -> Result<Self, DesignError> {
+        let mut base = HashMap::new();
+        let mut workspace = HashMap::new();
+        for &s in objects {
+            let data = store.object(s)?.clone();
+            base.insert(s, stamps.stamp(s));
+            workspace.insert(s, data);
+        }
+        Ok(DesignTxn { designer: designer.to_string(), base, workspace })
+    }
+
+    /// Objects in this workspace.
+    pub fn objects(&self) -> impl Iterator<Item = Surrogate> + '_ {
+        self.workspace.keys().copied()
+    }
+
+    /// Read an attribute from the private copy.
+    pub fn attr(&self, obj: Surrogate, name: &str) -> Result<Value, DesignError> {
+        let o = self.workspace.get(&obj).ok_or(DesignError::NotCheckedOut(obj))?;
+        Ok(o.attrs.get(name).cloned().unwrap_or(Value::Missing))
+    }
+
+    /// Update an attribute on the private copy (no locks held meanwhile).
+    pub fn set_attr(
+        &mut self,
+        obj: Surrogate,
+        name: &str,
+        value: Value,
+    ) -> Result<(), DesignError> {
+        let o = self.workspace.get_mut(&obj).ok_or(DesignError::NotCheckedOut(obj))?;
+        o.attrs.insert(name.to_string(), value);
+        Ok(())
+    }
+
+    /// Optimistic check-in: verify stamps, then write modified attributes
+    /// back through the store's normal (validated) write path.
+    pub fn checkin(
+        self,
+        store: &mut ObjectStore,
+        stamps: &StampRegistry,
+    ) -> Result<(), DesignError> {
+        // Validate first — all-or-nothing.
+        for (&s, &base_stamp) in &self.base {
+            if stamps.stamp(s) != base_stamp {
+                return Err(DesignError::StaleCheckin { object: s });
+            }
+            store.object(s)?; // still alive?
+        }
+        for (&s, copy) in &self.workspace {
+            let current = store.object(s)?.clone();
+            for (attr, value) in &copy.attrs {
+                if current.attrs.get(attr) != Some(value) {
+                    store.set_attr(s, attr, value.clone())?;
+                }
+            }
+            stamps.bump(s);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccdb_core::domain::Domain;
+    use ccdb_core::schema::{AttrDef, Catalog, ObjectTypeDef};
+
+    fn store_with_part() -> (ObjectStore, Surrogate) {
+        let mut c = Catalog::new();
+        c.register_object_type(ObjectTypeDef {
+            name: "Part".into(),
+            attributes: vec![AttrDef::new("X", Domain::Int), AttrDef::new("Y", Domain::Int)],
+            ..Default::default()
+        })
+        .unwrap();
+        let mut st = ObjectStore::new(c).unwrap();
+        let p = st.create_object("Part", vec![("X", Value::Int(1))]).unwrap();
+        (st, p)
+    }
+
+    #[test]
+    fn checkout_modify_checkin() {
+        let (mut st, p) = store_with_part();
+        let stamps = StampRegistry::new();
+        let mut txn = DesignTxn::checkout("alice", &st, &stamps, &[p]).unwrap();
+        txn.set_attr(p, "X", Value::Int(42)).unwrap();
+        assert_eq!(txn.attr(p, "X").unwrap(), Value::Int(42));
+        // The store is untouched while the designer works.
+        assert_eq!(st.attr(p, "X").unwrap(), Value::Int(1));
+        txn.checkin(&mut st, &stamps).unwrap();
+        assert_eq!(st.attr(p, "X").unwrap(), Value::Int(42));
+    }
+
+    #[test]
+    fn concurrent_designers_first_wins() {
+        let (mut st, p) = store_with_part();
+        let stamps = StampRegistry::new();
+        let mut alice = DesignTxn::checkout("alice", &st, &stamps, &[p]).unwrap();
+        let mut bob = DesignTxn::checkout("bob", &st, &stamps, &[p]).unwrap();
+        alice.set_attr(p, "X", Value::Int(10)).unwrap();
+        bob.set_attr(p, "X", Value::Int(20)).unwrap();
+        alice.checkin(&mut st, &stamps).unwrap();
+        let err = bob.checkin(&mut st, &stamps).unwrap_err();
+        assert!(matches!(err, DesignError::StaleCheckin { object } if object == p));
+        assert_eq!(st.attr(p, "X").unwrap(), Value::Int(10));
+    }
+
+    #[test]
+    fn disjoint_checkouts_do_not_conflict() {
+        let (mut st, p) = store_with_part();
+        let q = st.create_object("Part", vec![]).unwrap();
+        let stamps = StampRegistry::new();
+        let mut alice = DesignTxn::checkout("alice", &st, &stamps, &[p]).unwrap();
+        let mut bob = DesignTxn::checkout("bob", &st, &stamps, &[q]).unwrap();
+        alice.set_attr(p, "X", Value::Int(10)).unwrap();
+        bob.set_attr(q, "X", Value::Int(20)).unwrap();
+        alice.checkin(&mut st, &stamps).unwrap();
+        bob.checkin(&mut st, &stamps).unwrap();
+        assert_eq!(st.attr(p, "X").unwrap(), Value::Int(10));
+        assert_eq!(st.attr(q, "X").unwrap(), Value::Int(20));
+    }
+
+    #[test]
+    fn touching_foreign_objects_rejected() {
+        let (st, p) = store_with_part();
+        let stamps = StampRegistry::new();
+        let mut txn = DesignTxn::checkout("alice", &st, &stamps, &[]).unwrap();
+        assert!(matches!(
+            txn.set_attr(p, "X", Value::Int(1)),
+            Err(DesignError::NotCheckedOut(_))
+        ));
+        assert!(matches!(txn.attr(p, "X"), Err(DesignError::NotCheckedOut(_))));
+    }
+
+    #[test]
+    fn checkin_goes_through_validated_write_path() {
+        let (mut st, p) = store_with_part();
+        let stamps = StampRegistry::new();
+        let mut txn = DesignTxn::checkout("alice", &st, &stamps, &[p]).unwrap();
+        // A domain-violating private edit is caught at check-in.
+        txn.set_attr(p, "X", Value::Bool(true)).unwrap();
+        let err = txn.checkin(&mut st, &stamps).unwrap_err();
+        assert!(matches!(err, DesignError::Core(CoreError::DomainMismatch { .. })));
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # ccdb-txn
+//!
+//! Transaction management for the ccdb object model, implementing §6 of
+//! *Complex and Composite Objects in CAD/CAM Databases*:
+//!
+//! - a hierarchical [`lock::LockManager`] with attribute-group granularity
+//!   and deadlock detection;
+//! - a [`txn::Database`] running strict 2PL transactions with **lock
+//!   inheritance** (reading inherited data read-locks the permeable items of
+//!   the transmitters along the resolution chain) and **expansion locking**;
+//! - an [`access::AccessControl`] manager coupled to the lock manager, so
+//!   implicit expansion locks never exceed a user's rights (the paper's
+//!   protected standard cells);
+//! - relationship-based [`conflict`] detection between update transactions;
+//! - optimistic long **design transactions** with private workspaces
+//!   ([`design`]).
+
+pub mod access;
+pub mod conflict;
+pub mod design;
+pub mod lock;
+pub mod persistent;
+pub mod txn;
+
+pub use access::{AccessControl, Right};
+pub use conflict::{potential_conflicts, ConflictKind, PotentialConflict};
+pub use design::{DesignError, DesignTxn, StampRegistry};
+pub use lock::{LockError, LockManager, LockMode, LockStats, Resource, TxnId};
+pub use persistent::PersistentDatabase;
+pub use txn::{Database, PersistenceDelta, TxnError, TxnHandle, TxnResult};

@@ -1,0 +1,614 @@
+//! Hierarchical lock manager with attribute-group granularity.
+//!
+//! Resources form a two-level hierarchy: a *whole object* and its *items*
+//! (attributes or subclasses). Locking an item takes an intention lock on
+//! the object first — so a whole-object `X` conflicts with any item lock,
+//! while two writers on different items of one object do not conflict.
+//! This granularity is what makes the paper's §6 **lock inheritance** cheap:
+//! a composite reading inherited data read-locks only the *permeable items*
+//! of the transmitter, leaving its non-permeable items writable by others.
+//!
+//! Deadlocks are detected at wait time via a waits-for graph; the requester
+//! whose wait would close a cycle is refused with [`LockError::Deadlock`].
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ccdb_core::Surrogate;
+use parking_lot::{Condvar, Mutex};
+
+/// Lock modes (classic multi-granularity set).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LockMode {
+    /// Intention shared.
+    IS,
+    /// Intention exclusive.
+    IX,
+    /// Shared.
+    S,
+    /// Shared + intention exclusive.
+    SIX,
+    /// Exclusive.
+    X,
+}
+
+impl LockMode {
+    /// Standard compatibility matrix.
+    pub fn compatible(self, other: LockMode) -> bool {
+        use LockMode::*;
+        matches!(
+            (self, other),
+            (IS, IS) | (IS, IX) | (IS, S) | (IS, SIX)
+                | (IX, IS) | (IX, IX)
+                | (S, IS) | (S, S)
+                | (SIX, IS)
+        )
+    }
+
+    /// Is `self` at least as strong as `other` (upgrade not needed)?
+    pub fn covers(self, other: LockMode) -> bool {
+        use LockMode::*;
+        match (self, other) {
+            (X, _) => true,
+            (SIX, IS) | (SIX, IX) | (SIX, S) | (SIX, SIX) => true,
+            (S, S) | (S, IS) => true,
+            (IX, IX) | (IX, IS) => true,
+            (IS, IS) => true,
+            _ => self == other,
+        }
+    }
+
+    /// Least upper bound of two modes (for upgrades).
+    pub fn join(self, other: LockMode) -> LockMode {
+        use LockMode::*;
+        if self.covers(other) {
+            return self;
+        }
+        if other.covers(self) {
+            return other;
+        }
+        match (self, other) {
+            (S, IX) | (IX, S) | (SIX, _) | (_, SIX) => SIX,
+            _ => X,
+        }
+    }
+}
+
+/// A lockable resource.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Resource {
+    /// The whole object.
+    Object(Surrogate),
+    /// One attribute or subclass of an object.
+    Item(Surrogate, String),
+}
+
+impl Resource {
+    /// The object this resource belongs to.
+    pub fn object(&self) -> Surrogate {
+        match self {
+            Resource::Object(s) | Resource::Item(s, _) => *s,
+        }
+    }
+
+    /// Parent resource in the hierarchy (items → object).
+    pub fn parent(&self) -> Option<Resource> {
+        match self {
+            Resource::Object(_) => None,
+            Resource::Item(s, _) => Some(Resource::Object(*s)),
+        }
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resource::Object(s) => write!(f, "{s}"),
+            Resource::Item(s, i) => write!(f, "{s}.{i}"),
+        }
+    }
+}
+
+/// Transaction identifier used by the lock manager.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TxnId(pub u64);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Lock acquisition failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LockError {
+    /// Granting the wait would create a deadlock; the requester should abort.
+    Deadlock {
+        /// The refused requester.
+        txn: TxnId,
+        /// The contended resource.
+        on: String,
+    },
+    /// The wait exceeded the configured timeout.
+    Timeout {
+        /// The timed-out requester.
+        txn: TxnId,
+        /// The contended resource.
+        on: String,
+    },
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::Deadlock { txn, on } => write!(f, "deadlock: {txn} waiting on {on}"),
+            LockError::Timeout { txn, on } => write!(f, "lock timeout: {txn} waiting on {on}"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+#[derive(Default)]
+struct LmState {
+    /// resource → holder → mode.
+    held: HashMap<Resource, HashMap<TxnId, LockMode>>,
+    /// txn → resources it holds (for release).
+    by_txn: HashMap<TxnId, HashSet<Resource>>,
+    /// txn → txns it currently waits for.
+    waits_for: HashMap<TxnId, HashSet<TxnId>>,
+    /// Counters for experiments.
+    grants: u64,
+    waits: u64,
+    deadlocks: u64,
+}
+
+impl LmState {
+    fn conflicts(&self, res: &Resource, txn: TxnId, mode: LockMode) -> Vec<TxnId> {
+        self.held
+            .get(res)
+            .map(|holders| {
+                holders
+                    .iter()
+                    .filter(|(t, m)| **t != txn && !mode.compatible(**m))
+                    .map(|(t, _)| *t)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    fn would_deadlock(&self, from: TxnId, blockers: &[TxnId]) -> bool {
+        // DFS over waits-for ∪ the proposed new edges.
+        let mut stack: Vec<TxnId> = blockers.to_vec();
+        let mut seen = HashSet::new();
+        while let Some(t) = stack.pop() {
+            if t == from {
+                return true;
+            }
+            if !seen.insert(t) {
+                continue;
+            }
+            if let Some(next) = self.waits_for.get(&t) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    }
+
+    fn grant(&mut self, res: &Resource, txn: TxnId, mode: LockMode) {
+        let holders = self.held.entry(res.clone()).or_default();
+        let entry = holders.entry(txn).or_insert(mode);
+        *entry = entry.join(mode);
+        self.by_txn.entry(txn).or_default().insert(res.clone());
+        self.grants += 1;
+    }
+}
+
+/// The lock manager. Cheap to clone via [`Arc`].
+pub struct LockManager {
+    state: Mutex<LmState>,
+    cond: Condvar,
+    timeout: Duration,
+}
+
+/// Counters exposed for experiment E4.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LockStats {
+    /// Locks granted (including upgrades and re-grants).
+    pub grants: u64,
+    /// Requests that had to wait at least once.
+    pub waits: u64,
+    /// Requests refused because of deadlock.
+    pub deadlocks: u64,
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LockManager {
+    /// Lock manager with the default 5 s wait timeout.
+    pub fn new() -> Self {
+        Self::with_timeout(Duration::from_secs(5))
+    }
+
+    /// Lock manager with an explicit wait timeout.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        LockManager { state: Mutex::new(LmState::default()), cond: Condvar::new(), timeout }
+    }
+
+    /// Shared handle.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Acquire `mode` on `res` for `txn`, taking the required intention lock
+    /// on the parent first. Blocks until granted, deadlock, or timeout.
+    pub fn acquire(&self, txn: TxnId, res: Resource, mode: LockMode) -> Result<(), LockError> {
+        if let Some(parent) = res.parent() {
+            let intent = match mode {
+                LockMode::S | LockMode::IS => LockMode::IS,
+                _ => LockMode::IX,
+            };
+            self.acquire_flat(txn, parent, intent)?;
+        }
+        self.acquire_flat(txn, res, mode)
+    }
+
+    fn acquire_flat(&self, txn: TxnId, res: Resource, mode: LockMode) -> Result<(), LockError> {
+        let mut st = self.state.lock();
+        // Already strong enough?
+        if let Some(m) = st.held.get(&res).and_then(|h| h.get(&txn)) {
+            if m.covers(mode) {
+                return Ok(());
+            }
+        }
+        let mut waited = false;
+        loop {
+            let request = match st.held.get(&res).and_then(|h| h.get(&txn)) {
+                Some(m) => m.join(mode), // upgrade
+                None => mode,
+            };
+            let blockers = st.conflicts(&res, txn, request);
+            if blockers.is_empty() {
+                st.grant(&res, txn, request);
+                st.waits_for.remove(&txn);
+                return Ok(());
+            }
+            if st.would_deadlock(txn, &blockers) {
+                st.deadlocks += 1;
+                st.waits_for.remove(&txn);
+                return Err(LockError::Deadlock { txn, on: res.to_string() });
+            }
+            if !waited {
+                st.waits += 1;
+                waited = true;
+            }
+            st.waits_for.insert(txn, blockers.into_iter().collect());
+            let timed_out = self.cond.wait_for(&mut st, self.timeout).timed_out();
+            if timed_out {
+                st.waits_for.remove(&txn);
+                return Err(LockError::Timeout { txn, on: res.to_string() });
+            }
+        }
+    }
+
+    /// Try to acquire without blocking; `Err(blockers)` lists the holders.
+    pub fn try_acquire(
+        &self,
+        txn: TxnId,
+        res: Resource,
+        mode: LockMode,
+    ) -> Result<(), Vec<TxnId>> {
+        if let Some(parent) = res.parent() {
+            let intent = match mode {
+                LockMode::S | LockMode::IS => LockMode::IS,
+                _ => LockMode::IX,
+            };
+            self.try_acquire_flat(txn, parent, intent)?;
+        }
+        self.try_acquire_flat(txn, res, mode)
+    }
+
+    fn try_acquire_flat(
+        &self,
+        txn: TxnId,
+        res: Resource,
+        mode: LockMode,
+    ) -> Result<(), Vec<TxnId>> {
+        let mut st = self.state.lock();
+        let request = match st.held.get(&res).and_then(|h| h.get(&txn)) {
+            Some(m) => {
+                if m.covers(mode) {
+                    return Ok(());
+                }
+                m.join(mode)
+            }
+            None => mode,
+        };
+        let blockers = st.conflicts(&res, txn, request);
+        if blockers.is_empty() {
+            st.grant(&res, txn, request);
+            Ok(())
+        } else {
+            Err(blockers)
+        }
+    }
+
+    /// Release every lock of `txn` and wake waiters.
+    pub fn release_all(&self, txn: TxnId) {
+        let mut st = self.state.lock();
+        if let Some(resources) = st.by_txn.remove(&txn) {
+            for res in resources {
+                if let Some(holders) = st.held.get_mut(&res) {
+                    holders.remove(&txn);
+                    if holders.is_empty() {
+                        st.held.remove(&res);
+                    }
+                }
+            }
+        }
+        st.waits_for.remove(&txn);
+        drop(st);
+        self.cond.notify_all();
+    }
+
+    /// Mode `txn` currently holds on `res`, if any.
+    pub fn held_mode(&self, txn: TxnId, res: &Resource) -> Option<LockMode> {
+        self.state.lock().held.get(res).and_then(|h| h.get(&txn)).copied()
+    }
+
+    /// Number of resources `txn` currently holds locks on.
+    pub fn held_count(&self, txn: TxnId) -> usize {
+        self.state.lock().by_txn.get(&txn).map(HashSet::len).unwrap_or(0)
+    }
+
+    /// Experiment counters.
+    pub fn stats(&self) -> LockStats {
+        let st = self.state.lock();
+        LockStats { grants: st.grants, waits: st.waits, deadlocks: st.deadlocks }
+    }
+
+    /// Invariant check (tests): no resource may be held in pairwise
+    /// incompatible modes by two transactions, and the per-transaction
+    /// index must match the holder table. Returns the violations found.
+    pub fn validate_invariants(&self) -> Vec<String> {
+        let st = self.state.lock();
+        let mut problems = Vec::new();
+        for (res, holders) in &st.held {
+            let hs: Vec<(&TxnId, &LockMode)> = holders.iter().collect();
+            for i in 0..hs.len() {
+                for j in (i + 1)..hs.len() {
+                    let (ta, ma) = hs[i];
+                    let (tb, mb) = hs[j];
+                    if !ma.compatible(*mb) {
+                        problems.push(format!(
+                            "{res}: {ta} holds {ma:?} while {tb} holds {mb:?}"
+                        ));
+                    }
+                }
+            }
+            for t in holders.keys() {
+                if !st.by_txn.get(t).map(|s| s.contains(res)).unwrap_or(false) {
+                    problems.push(format!("{res}: holder {t} missing from index"));
+                }
+            }
+        }
+        for (t, resources) in &st.by_txn {
+            for res in resources {
+                if !st.held.get(res).map(|h| h.contains_key(t)).unwrap_or(false) {
+                    problems.push(format!("index lists {t} on {res} without a lock"));
+                }
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    const A: Surrogate = Surrogate(1);
+
+    fn obj(s: u64) -> Resource {
+        Resource::Object(Surrogate(s))
+    }
+
+    fn item(s: u64, n: &str) -> Resource {
+        Resource::Item(Surrogate(s), n.to_string())
+    }
+
+    #[test]
+    fn compatibility_matrix() {
+        use LockMode::*;
+        assert!(S.compatible(S));
+        assert!(!S.compatible(X));
+        assert!(!X.compatible(X));
+        assert!(IS.compatible(IX));
+        assert!(!IX.compatible(S));
+        assert!(SIX.compatible(IS));
+        assert!(!SIX.compatible(IX));
+        assert!(!SIX.compatible(S));
+    }
+
+    #[test]
+    fn join_and_covers() {
+        use LockMode::*;
+        assert_eq!(S.join(IX), SIX);
+        assert_eq!(IS.join(IX), IX);
+        assert_eq!(S.join(X), X);
+        assert!(X.covers(S));
+        assert!(SIX.covers(S));
+        assert!(!S.covers(X));
+    }
+
+    #[test]
+    fn shared_locks_coexist_exclusive_blocks() {
+        let lm = LockManager::with_timeout(Duration::from_millis(50));
+        lm.acquire(TxnId(1), obj(1), LockMode::S).unwrap();
+        lm.acquire(TxnId(2), obj(1), LockMode::S).unwrap();
+        let err = lm.acquire(TxnId(3), obj(1), LockMode::X).unwrap_err();
+        assert!(matches!(err, LockError::Timeout { .. }));
+        lm.release_all(TxnId(1));
+        lm.release_all(TxnId(2));
+        lm.acquire(TxnId(3), obj(1), LockMode::X).unwrap();
+    }
+
+    #[test]
+    fn item_locks_on_different_items_do_not_conflict() {
+        let lm = LockManager::with_timeout(Duration::from_millis(50));
+        lm.acquire(TxnId(1), item(1, "Length"), LockMode::X).unwrap();
+        // Different item of the same object: fine (IX + IX on the object).
+        lm.acquire(TxnId(2), item(1, "Width"), LockMode::X).unwrap();
+        // Same item conflicts.
+        assert!(lm.acquire(TxnId(3), item(1, "Length"), LockMode::S).is_err());
+    }
+
+    #[test]
+    fn whole_object_x_blocks_item_locks() {
+        let lm = LockManager::with_timeout(Duration::from_millis(50));
+        lm.acquire(TxnId(1), obj(1), LockMode::X).unwrap();
+        // The IS intent on the object cannot be granted.
+        assert!(lm.acquire(TxnId(2), item(1, "Length"), LockMode::S).is_err());
+        lm.release_all(TxnId(1));
+        lm.acquire(TxnId(2), item(1, "Length"), LockMode::S).unwrap();
+    }
+
+    #[test]
+    fn item_s_blocks_whole_object_x() {
+        let lm = LockManager::with_timeout(Duration::from_millis(50));
+        lm.acquire(TxnId(1), item(1, "Length"), LockMode::S).unwrap();
+        // Whole-object X conflicts with the IS intent held by T1.
+        assert!(lm.acquire(TxnId(2), obj(1), LockMode::X).is_err());
+        // Whole-object S is fine (S vs IS compatible).
+        lm.acquire(TxnId(3), obj(1), LockMode::S).unwrap();
+    }
+
+    #[test]
+    fn reacquire_and_upgrade() {
+        let lm = LockManager::with_timeout(Duration::from_millis(50));
+        lm.acquire(TxnId(1), obj(1), LockMode::S).unwrap();
+        lm.acquire(TxnId(1), obj(1), LockMode::S).unwrap(); // no-op
+        lm.acquire(TxnId(1), obj(1), LockMode::X).unwrap(); // upgrade, no other holders
+        assert_eq!(lm.held_mode(TxnId(1), &obj(1)), Some(LockMode::X));
+        // Upgrade blocked by another S holder.
+        let lm2 = LockManager::with_timeout(Duration::from_millis(50));
+        lm2.acquire(TxnId(1), obj(1), LockMode::S).unwrap();
+        lm2.acquire(TxnId(2), obj(1), LockMode::S).unwrap();
+        assert!(lm2.acquire(TxnId(1), obj(1), LockMode::X).is_err());
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let lm = Arc::new(LockManager::with_timeout(Duration::from_secs(10)));
+        lm.acquire(TxnId(1), obj(1), LockMode::X).unwrap();
+        lm.acquire(TxnId(2), obj(2), LockMode::X).unwrap();
+        // T1 waits for obj2 in a thread; T2 then requests obj1 → cycle.
+        let lm1 = Arc::clone(&lm);
+        let h = thread::spawn(move || lm1.acquire(TxnId(1), obj(2), LockMode::X));
+        // Give T1 time to start waiting.
+        thread::sleep(Duration::from_millis(100));
+        let err = lm.acquire(TxnId(2), obj(1), LockMode::X).unwrap_err();
+        assert!(matches!(err, LockError::Deadlock { txn: TxnId(2), .. }), "{err}");
+        // T2 aborts, releasing its locks lets T1 proceed.
+        lm.release_all(TxnId(2));
+        h.join().unwrap().unwrap();
+        assert!(lm.stats().deadlocks >= 1);
+    }
+
+    #[test]
+    fn waiters_wake_on_release() {
+        let lm = Arc::new(LockManager::new());
+        lm.acquire(TxnId(1), obj(1), LockMode::X).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let h = thread::spawn(move || lm2.acquire(TxnId(2), obj(1), LockMode::S));
+        thread::sleep(Duration::from_millis(50));
+        lm.release_all(TxnId(1));
+        h.join().unwrap().unwrap();
+        assert_eq!(lm.held_mode(TxnId(2), &obj(1)), Some(LockMode::S));
+        assert!(lm.stats().waits >= 1);
+    }
+
+    #[test]
+    fn try_acquire_reports_blockers() {
+        let lm = LockManager::new();
+        lm.acquire(TxnId(1), obj(1), LockMode::X).unwrap();
+        let blockers = lm.try_acquire(TxnId(2), obj(1), LockMode::S).unwrap_err();
+        assert_eq!(blockers, vec![TxnId(1)]);
+        assert!(lm.try_acquire(TxnId(2), obj(2), LockMode::S).is_ok());
+    }
+
+    #[test]
+    fn release_clears_everything() {
+        let lm = LockManager::new();
+        lm.acquire(TxnId(1), item(1, "A"), LockMode::X).unwrap();
+        lm.acquire(TxnId(1), obj(2), LockMode::S).unwrap();
+        assert!(lm.held_count(TxnId(1)) >= 3); // item + parent intent + obj2
+        lm.release_all(TxnId(1));
+        assert_eq!(lm.held_count(TxnId(1)), 0);
+        assert_eq!(lm.held_mode(TxnId(1), &obj(2)), None);
+    }
+
+    #[test]
+    fn invariants_hold_under_concurrent_contention() {
+        let lm = Arc::new(LockManager::with_timeout(Duration::from_millis(20)));
+        let mut handles = Vec::new();
+        for t in 0..6u64 {
+            let lm = Arc::clone(&lm);
+            handles.push(thread::spawn(move || {
+                // Deterministic per-thread op mix over a small resource set.
+                let mut x = t.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+                for i in 0..200u64 {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let txn = TxnId(t * 10_000 + i);
+                    let target = x % 4;
+                    let mode = match (x >> 8) % 4 {
+                        0 => LockMode::S,
+                        1 => LockMode::X,
+                        2 => LockMode::IS,
+                        _ => LockMode::IX,
+                    };
+                    let res = if (x >> 16) % 2 == 0 {
+                        obj(target)
+                    } else {
+                        item(target, if (x >> 17) % 2 == 0 { "A" } else { "B" })
+                    };
+                    let _ = lm.acquire(txn, res, mode); // deadlock/timeout ok
+                    let problems = lm.validate_invariants();
+                    assert!(problems.is_empty(), "{problems:?}");
+                    lm.release_all(txn);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(lm.validate_invariants().is_empty());
+    }
+
+    #[test]
+    fn stress_many_threads_disjoint_objects() {
+        let lm = Arc::new(LockManager::new());
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let lm = Arc::clone(&lm);
+            handles.push(thread::spawn(move || {
+                for i in 0..100u64 {
+                    let txn = TxnId(t * 1000 + i);
+                    lm.acquire(txn, obj(t), LockMode::X).unwrap();
+                    lm.release_all(txn);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let _ = A;
+    }
+}

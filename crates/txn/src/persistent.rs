@@ -1,0 +1,326 @@
+//! Write-through persistent database: the transaction layer coupled to the
+//! WAL-protected KV store, so every committed transaction is durable.
+//!
+//! [`PersistentDatabase`] wraps a [`Database`] and a
+//! [`DurableKv`](ccdb_storage::kv::DurableKv): commits write the
+//! transaction's [`PersistenceDelta`](crate::txn::PersistenceDelta) in one
+//! KV transaction *before* releasing locks, so a crash after commit replays
+//! the change and a crash before commit leaves no trace.
+
+use std::path::Path;
+
+use ccdb_core::persist::{self, load_store};
+use ccdb_core::store::ObjectStore;
+use ccdb_core::{CoreError, Surrogate, Value};
+use ccdb_storage::kv::DurableKv;
+
+use crate::txn::{Database, TxnError, TxnHandle, TxnResult};
+
+/// A durable, multi-user object database in a directory.
+pub struct PersistentDatabase {
+    db: Database,
+    kv: DurableKv,
+}
+
+impl PersistentDatabase {
+    /// Create a fresh database in `dir` from a store (fails over whatever
+    /// was there: the full store is written as the initial state).
+    pub fn create(dir: impl AsRef<Path>, store: ObjectStore) -> TxnResult<Self> {
+        let kv = DurableKv::open(dir).map_err(CoreError::from)?;
+        persist::save_store(&store, &kv)?;
+        Ok(PersistentDatabase { db: Database::new(store), kv })
+    }
+
+    /// Open an existing database from `dir` (running crash recovery).
+    pub fn open(dir: impl AsRef<Path>) -> TxnResult<Self> {
+        let kv = DurableKv::open(dir).map_err(CoreError::from)?;
+        let store = load_store(&kv)?;
+        Ok(PersistentDatabase { db: Database::new(store), kv })
+    }
+
+    /// The in-memory transaction layer (all reads/writes go through it).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Begin a transaction.
+    pub fn begin(&self, user: &str) -> TxnHandle {
+        self.db.begin(user)
+    }
+
+    /// Durable commit: persist the transaction's delta in one KV
+    /// transaction, then release locks. On persistence failure the
+    /// transaction is aborted (in-memory effects rolled back) and the error
+    /// returned.
+    pub fn commit(&self, tx: TxnHandle) -> TxnResult<()> {
+        let delta = self.db.persistence_delta(&tx);
+        let result: Result<(), TxnError> = (|| {
+            let kv_tx = self.kv.begin().map_err(CoreError::from)?;
+            self.db.with_store(|st| -> TxnResult<()> {
+                for s in &delta.save {
+                    persist::save_object(st, &self.kv, kv_tx, *s)?;
+                }
+                Ok(())
+            })?;
+            for s in &delta.delete {
+                persist::delete_object(&self.kv, kv_tx, *s)?;
+            }
+            self.kv.commit(kv_tx).map_err(CoreError::from)?;
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                self.db.commit(tx);
+                Ok(())
+            }
+            Err(e) => {
+                self.db.abort(tx);
+                Err(e)
+            }
+        }
+    }
+
+    /// Abort: in-memory rollback; nothing was persisted.
+    pub fn abort(&self, tx: TxnHandle) {
+        self.db.abort(tx);
+    }
+
+    /// Checkpoint the underlying KV store (truncates the WAL).
+    pub fn checkpoint(&self) -> TxnResult<()> {
+        self.kv.checkpoint().map_err(CoreError::from)?;
+        Ok(())
+    }
+
+    // Convenience pass-throughs for the common operations.
+
+    /// See [`Database::read_attr`].
+    pub fn read_attr(&self, tx: &TxnHandle, obj: Surrogate, attr: &str) -> TxnResult<Value> {
+        self.db.read_attr(tx, obj, attr)
+    }
+
+    /// See [`Database::write_attr`].
+    pub fn write_attr(
+        &self,
+        tx: &TxnHandle,
+        obj: Surrogate,
+        attr: &str,
+        value: Value,
+    ) -> TxnResult<()> {
+        self.db.write_attr(tx, obj, attr, value)
+    }
+
+    /// See [`Database::create_object`].
+    pub fn create_object(
+        &self,
+        tx: &TxnHandle,
+        type_name: &str,
+        attrs: Vec<(&str, Value)>,
+    ) -> TxnResult<Surrogate> {
+        self.db.create_object(tx, type_name, attrs)
+    }
+
+    /// See [`Database::create_subobject`].
+    pub fn create_subobject(
+        &self,
+        tx: &TxnHandle,
+        parent: Surrogate,
+        subclass: &str,
+        attrs: Vec<(&str, Value)>,
+    ) -> TxnResult<Surrogate> {
+        self.db.create_subobject(tx, parent, subclass, attrs)
+    }
+
+    /// See [`Database::bind`].
+    pub fn bind(
+        &self,
+        tx: &TxnHandle,
+        rel_type: &str,
+        transmitter: Surrogate,
+        inheritor: Surrogate,
+    ) -> TxnResult<Surrogate> {
+        self.db.bind(tx, rel_type, transmitter, inheritor)
+    }
+
+    /// See [`Database::unbind`].
+    pub fn unbind(&self, tx: &TxnHandle, rel_obj: Surrogate) -> TxnResult<()> {
+        self.db.unbind(tx, rel_obj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccdb_core::domain::Domain;
+    use ccdb_core::schema::{AttrDef, Catalog, InherRelTypeDef, ObjectTypeDef, SubclassSpec};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register_object_type(ObjectTypeDef {
+            name: "Pin".into(),
+            attributes: vec![AttrDef::new("Id", Domain::Int)],
+            ..Default::default()
+        })
+        .unwrap();
+        c.register_object_type(ObjectTypeDef {
+            name: "If".into(),
+            attributes: vec![AttrDef::new("Length", Domain::Int)],
+            subclasses: vec![SubclassSpec { name: "Pins".into(), element_type: "Pin".into() }],
+            ..Default::default()
+        })
+        .unwrap();
+        c.register_inher_rel_type(InherRelTypeDef {
+            name: "AllOf_If".into(),
+            transmitter_type: "If".into(),
+            inheritor_type: None,
+            inheriting: vec!["Length".into()],
+            attributes: vec![],
+            constraints: vec![],
+        })
+        .unwrap();
+        c.register_object_type(ObjectTypeDef {
+            name: "Impl".into(),
+            inheritor_in: vec!["AllOf_If".into()],
+            ..Default::default()
+        })
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn committed_transactions_survive_restart() {
+        let dir = tempfile::tempdir().unwrap();
+        let (interface, imp);
+        {
+            let pdb =
+                PersistentDatabase::create(dir.path(), ObjectStore::new(catalog()).unwrap())
+                    .unwrap();
+            let tx = pdb.begin("alice");
+            interface = pdb.create_object(&tx, "If", vec![("Length", Value::Int(5))]).unwrap();
+            imp = pdb.create_object(&tx, "Impl", vec![]).unwrap();
+            pdb.bind(&tx, "AllOf_If", interface, imp).unwrap();
+            pdb.commit(tx).unwrap();
+            // Crash (no checkpoint).
+        }
+        let pdb = PersistentDatabase::open(dir.path()).unwrap();
+        let tx = pdb.begin("bob");
+        assert_eq!(pdb.read_attr(&tx, imp, "Length").unwrap(), Value::Int(5));
+        pdb.db().commit(tx);
+    }
+
+    #[test]
+    fn aborted_transactions_leave_no_trace() {
+        let dir = tempfile::tempdir().unwrap();
+        let interface;
+        {
+            let pdb =
+                PersistentDatabase::create(dir.path(), ObjectStore::new(catalog()).unwrap())
+                    .unwrap();
+            let tx = pdb.begin("alice");
+            interface = pdb.create_object(&tx, "If", vec![("Length", Value::Int(5))]).unwrap();
+            pdb.commit(tx).unwrap();
+            let tx = pdb.begin("alice");
+            pdb.write_attr(&tx, interface, "Length", Value::Int(99)).unwrap();
+            let ghost = pdb.create_object(&tx, "If", vec![]).unwrap();
+            pdb.abort(tx);
+            assert!(pdb.db().with_store(|st| st.object(ghost).is_err()));
+        }
+        let pdb = PersistentDatabase::open(dir.path()).unwrap();
+        assert_eq!(
+            pdb.db().with_store(|st| st.attr(interface, "Length").unwrap()),
+            Value::Int(5)
+        );
+        assert_eq!(pdb.db().with_store(|st| st.object_count()), 1);
+    }
+
+    #[test]
+    fn unbind_deletes_the_relationship_record() {
+        let dir = tempfile::tempdir().unwrap();
+        let (interface, imp);
+        {
+            let pdb =
+                PersistentDatabase::create(dir.path(), ObjectStore::new(catalog()).unwrap())
+                    .unwrap();
+            let tx = pdb.begin("alice");
+            interface = pdb.create_object(&tx, "If", vec![("Length", Value::Int(5))]).unwrap();
+            imp = pdb.create_object(&tx, "Impl", vec![]).unwrap();
+            pdb.bind(&tx, "AllOf_If", interface, imp).unwrap();
+            pdb.commit(tx).unwrap();
+            let rel = pdb.db().with_store(|st| st.binding_of(imp, "AllOf_If").unwrap());
+            let tx = pdb.begin("alice");
+            pdb.unbind(&tx, rel).unwrap();
+            pdb.commit(tx).unwrap();
+        }
+        let pdb = PersistentDatabase::open(dir.path()).unwrap();
+        pdb.db().with_store(|st| {
+            assert_eq!(st.attr(imp, "Length").unwrap(), Value::Missing, "binding gone");
+            assert!(st.binding_of(imp, "AllOf_If").is_none());
+            assert!(st.object(interface).is_ok());
+        });
+    }
+
+    #[test]
+    fn subobject_creation_persists_the_parent_membership() {
+        let dir = tempfile::tempdir().unwrap();
+        let (interface, pin);
+        {
+            let pdb =
+                PersistentDatabase::create(dir.path(), ObjectStore::new(catalog()).unwrap())
+                    .unwrap();
+            let tx = pdb.begin("alice");
+            interface = pdb.create_object(&tx, "If", vec![]).unwrap();
+            pdb.commit(tx).unwrap();
+            pdb.checkpoint().unwrap();
+            let tx = pdb.begin("alice");
+            pin = pdb.create_subobject(&tx, interface, "Pins", vec![("Id", Value::Int(1))]).unwrap();
+            pdb.commit(tx).unwrap();
+        }
+        let pdb = PersistentDatabase::open(dir.path()).unwrap();
+        pdb.db().with_store(|st| {
+            assert_eq!(st.subclass_members(interface, "Pins").unwrap(), vec![pin]);
+        });
+    }
+}
+
+#[cfg(test)]
+mod delete_tests {
+    use super::*;
+    use ccdb_core::domain::Domain;
+    use ccdb_core::schema::{AttrDef, Catalog, ObjectTypeDef, SubclassSpec};
+
+    #[test]
+    fn committed_deletes_are_durable() {
+        let mut c = Catalog::new();
+        c.register_object_type(ObjectTypeDef {
+            name: "Pin".into(),
+            attributes: vec![AttrDef::new("Id", Domain::Int)],
+            ..Default::default()
+        })
+        .unwrap();
+        c.register_object_type(ObjectTypeDef {
+            name: "Gate".into(),
+            subclasses: vec![SubclassSpec { name: "Pins".into(), element_type: "Pin".into() }],
+            ..Default::default()
+        })
+        .unwrap();
+        let dir = tempfile::tempdir().unwrap();
+        let (gate, pin, survivor);
+        {
+            let pdb =
+                PersistentDatabase::create(dir.path(), ObjectStore::new(c).unwrap()).unwrap();
+            let tx = pdb.begin("alice");
+            gate = pdb.create_object(&tx, "Gate", vec![]).unwrap();
+            pin = pdb.create_subobject(&tx, gate, "Pins", vec![("Id", Value::Int(1))]).unwrap();
+            survivor = pdb.create_object(&tx, "Gate", vec![]).unwrap();
+            pdb.commit(tx).unwrap();
+            let tx = pdb.begin("alice");
+            pdb.db().delete(&tx, gate).unwrap();
+            pdb.commit(tx).unwrap();
+        }
+        let pdb = PersistentDatabase::open(dir.path()).unwrap();
+        pdb.db().with_store(|st| {
+            assert!(st.object(gate).is_err());
+            assert!(st.object(pin).is_err(), "cascade persisted");
+            assert!(st.object(survivor).is_ok());
+        });
+    }
+}

@@ -1,0 +1,576 @@
+//! The transaction manager: strict two-phase locking over an
+//! [`ObjectStore`], with the paper's §6 specifics —
+//!
+//! - **lock inheritance** opposite to data inheritance: reading an inherited
+//!   item read-locks the *(transmitter, item)* pairs along the resolution
+//!   chain, not whole transmitters;
+//! - **expansion locking**: one operation locks a composite's whole
+//!   visibility footprint;
+//! - **access-control coupling**: implicit locks taken by expansion are
+//!   capped to what the access-control manager admits (standard parts stay
+//!   read-locked even inside an update expansion).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ccdb_core::expand::{expand, expansion_footprint, ExpandedObject};
+use ccdb_core::object::ObjectData;
+use ccdb_core::store::DeletionRecord;
+use ccdb_core::store::ObjectStore;
+use ccdb_core::{CoreError, Surrogate, Value};
+use parking_lot::{Mutex, RwLock};
+
+use crate::access::{AccessControl, Right};
+use crate::lock::{LockError, LockManager, LockMode, Resource, TxnId};
+
+/// Transaction-layer errors.
+#[derive(Debug)]
+pub enum TxnError {
+    /// Locking failed (deadlock/timeout) — caller should abort and retry.
+    Lock(LockError),
+    /// Object-model error.
+    Core(CoreError),
+    /// Access control refused the operation.
+    AccessDenied {
+        /// The requesting user.
+        user: String,
+        /// The protected object.
+        object: Surrogate,
+    },
+}
+
+impl std::fmt::Display for TxnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TxnError::Lock(e) => write!(f, "{e}"),
+            TxnError::Core(e) => write!(f, "{e}"),
+            TxnError::AccessDenied { user, object } => {
+                write!(f, "access denied: user `{user}` may not update {object}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+impl From<LockError> for TxnError {
+    fn from(e: LockError) -> Self {
+        TxnError::Lock(e)
+    }
+}
+
+impl From<CoreError> for TxnError {
+    fn from(e: CoreError) -> Self {
+        TxnError::Core(e)
+    }
+}
+
+/// Result alias.
+pub type TxnResult<T> = Result<T, TxnError>;
+
+/// What a persistence layer must do at commit (see
+/// [`Database::persistence_delta`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PersistenceDelta {
+    /// Live objects whose records must be (re)written.
+    pub save: Vec<Surrogate>,
+    /// Surrogates whose records must be removed.
+    pub delete: Vec<Surrogate>,
+}
+
+/// Handle of an open transaction.
+#[derive(Clone, Debug)]
+pub struct TxnHandle {
+    /// Lock-manager id.
+    pub id: TxnId,
+    /// The user on whose behalf the transaction runs.
+    pub user: String,
+}
+
+enum UndoOp {
+    SetAttr { obj: Surrogate, attr: String, old: Value },
+    Created { obj: Surrogate },
+    Bound { rel_obj: Surrogate },
+    Unbound { rel: Box<ObjectData> },
+    DeletedTree { rec: Box<DeletionRecord>, parent: Option<Surrogate> },
+}
+
+/// A multi-user database: object store + lock manager + access control.
+pub struct Database {
+    store: RwLock<ObjectStore>,
+    locks: LockManager,
+    access: RwLock<AccessControl>,
+    next_txn: AtomicU64,
+    undo: Mutex<HashMap<TxnId, Vec<UndoOp>>>,
+}
+
+impl Database {
+    /// Wrap a store.
+    pub fn new(store: ObjectStore) -> Self {
+        Database {
+            store: RwLock::new(store),
+            locks: LockManager::new(),
+            access: RwLock::new(AccessControl::new()),
+            next_txn: AtomicU64::new(1),
+            undo: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Use a pre-configured lock manager (e.g. short timeouts in tests).
+    pub fn with_lock_manager(store: ObjectStore, locks: LockManager) -> Self {
+        Database { locks, ..Self::new(store) }
+    }
+
+    /// The lock manager (for stats).
+    pub fn locks(&self) -> &LockManager {
+        &self.locks
+    }
+
+    /// Run read-only logic against the store (no locking — for setup and
+    /// verification code outside transactions).
+    pub fn with_store<R>(&self, f: impl FnOnce(&ObjectStore) -> R) -> R {
+        f(&self.store.read())
+    }
+
+    /// Run mutating logic against the store outside any transaction (setup).
+    pub fn with_store_mut<R>(&self, f: impl FnOnce(&mut ObjectStore) -> R) -> R {
+        f(&mut self.store.write())
+    }
+
+    /// Configure access control.
+    pub fn with_access_mut<R>(&self, f: impl FnOnce(&mut AccessControl) -> R) -> R {
+        f(&mut self.access.write())
+    }
+
+    /// Begin a transaction for `user`.
+    pub fn begin(&self, user: &str) -> TxnHandle {
+        let id = TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed));
+        TxnHandle { id, user: user.to_string() }
+    }
+
+    fn push_undo(&self, tx: &TxnHandle, op: UndoOp) {
+        self.undo.lock().entry(tx.id).or_default().push(op);
+    }
+
+    fn right_of(&self, tx: &TxnHandle, obj: Surrogate) -> Right {
+        let store = self.store.read();
+        let classes = store.classes_of(obj);
+        self.access.read().right(&tx.user, obj, &classes)
+    }
+
+    fn acquire_capped(
+        &self,
+        tx: &TxnHandle,
+        res: Resource,
+        requested: LockMode,
+    ) -> TxnResult<LockMode> {
+        let right = self.right_of(tx, res.object());
+        let Some(mode) = right.cap(requested) else {
+            return Err(TxnError::AccessDenied { user: tx.user.clone(), object: res.object() });
+        };
+        self.locks.acquire(tx.id, res, mode)?;
+        Ok(mode)
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    /// Read an attribute under lock inheritance: S-locks each
+    /// `(object, item)` pair of the resolution chain.
+    pub fn read_attr(&self, tx: &TxnHandle, obj: Surrogate, attr: &str) -> TxnResult<Value> {
+        let chain = self.store.read().resolution_chain(obj, attr)?;
+        for (o, item) in &chain {
+            self.acquire_capped(tx, Resource::Item(*o, item.clone()), LockMode::S)?;
+        }
+        Ok(self.store.read().attr(obj, attr)?)
+    }
+
+    /// Read subclass members under lock inheritance.
+    pub fn read_subclass(
+        &self,
+        tx: &TxnHandle,
+        obj: Surrogate,
+        name: &str,
+    ) -> TxnResult<Vec<Surrogate>> {
+        let chain = self.store.read().resolution_chain(obj, name)?;
+        for (o, item) in &chain {
+            self.acquire_capped(tx, Resource::Item(*o, item.clone()), LockMode::S)?;
+        }
+        Ok(self.store.read().subclass_members(obj, name)?)
+    }
+
+    // ------------------------------------------------------------------
+    // Writes
+    // ------------------------------------------------------------------
+
+    /// Write a local attribute under an X item lock.
+    pub fn write_attr(
+        &self,
+        tx: &TxnHandle,
+        obj: Surrogate,
+        attr: &str,
+        value: Value,
+    ) -> TxnResult<()> {
+        let right = self.right_of(tx, obj);
+        if right != Right::Update {
+            return Err(TxnError::AccessDenied { user: tx.user.clone(), object: obj });
+        }
+        self.locks.acquire(tx.id, Resource::Item(obj, attr.to_string()), LockMode::X)?;
+        let mut store = self.store.write();
+        let old = store
+            .object(obj)?
+            .attrs
+            .get(attr)
+            .cloned()
+            .unwrap_or(Value::Missing);
+        store.set_attr(obj, attr, value)?;
+        drop(store);
+        self.push_undo(tx, UndoOp::SetAttr { obj, attr: attr.to_string(), old });
+        Ok(())
+    }
+
+    /// Create a top-level object (X on the new object).
+    pub fn create_object(
+        &self,
+        tx: &TxnHandle,
+        type_name: &str,
+        attrs: Vec<(&str, Value)>,
+    ) -> TxnResult<Surrogate> {
+        let s = self.store.write().create_object(type_name, attrs)?;
+        self.locks.acquire(tx.id, Resource::Object(s), LockMode::X)?;
+        self.push_undo(tx, UndoOp::Created { obj: s });
+        Ok(s)
+    }
+
+    /// Create a subobject (X on the new object, IX+item X on the parent
+    /// subclass).
+    pub fn create_subobject(
+        &self,
+        tx: &TxnHandle,
+        parent: Surrogate,
+        subclass: &str,
+        attrs: Vec<(&str, Value)>,
+    ) -> TxnResult<Surrogate> {
+        self.acquire_capped(tx, Resource::Item(parent, subclass.to_string()), LockMode::X)?;
+        let s = self.store.write().create_subobject(parent, subclass, attrs)?;
+        self.locks.acquire(tx.id, Resource::Object(s), LockMode::X)?;
+        self.push_undo(tx, UndoOp::Created { obj: s });
+        Ok(s)
+    }
+
+    /// Create a top-level relationship object (X on it; S on participants
+    /// so they cannot vanish mid-transaction).
+    pub fn create_rel(
+        &self,
+        tx: &TxnHandle,
+        rel_type: &str,
+        participants: Vec<(&str, Vec<Surrogate>)>,
+        attrs: Vec<(&str, Value)>,
+    ) -> TxnResult<Surrogate> {
+        for (_, members) in &participants {
+            for m in members {
+                self.acquire_capped(tx, Resource::Object(*m), LockMode::S)?;
+            }
+        }
+        let s = self.store.write().create_rel(rel_type, participants, attrs)?;
+        self.locks.acquire(tx.id, Resource::Object(s), LockMode::X)?;
+        self.push_undo(tx, UndoOp::Created { obj: s });
+        Ok(s)
+    }
+
+    /// Create a relationship member in a local subrel class of `parent`.
+    pub fn create_subrel(
+        &self,
+        tx: &TxnHandle,
+        parent: Surrogate,
+        subrel: &str,
+        participants: Vec<(&str, Vec<Surrogate>)>,
+        attrs: Vec<(&str, Value)>,
+    ) -> TxnResult<Surrogate> {
+        self.acquire_capped(tx, Resource::Item(parent, subrel.to_string()), LockMode::X)?;
+        for (_, members) in &participants {
+            for m in members {
+                self.acquire_capped(tx, Resource::Object(*m), LockMode::S)?;
+            }
+        }
+        let s = self.store.write().create_subrel(parent, subrel, participants, attrs)?;
+        self.locks.acquire(tx.id, Resource::Object(s), LockMode::X)?;
+        self.push_undo(tx, UndoOp::Created { obj: s });
+        Ok(s)
+    }
+
+    /// Bind an inheritor to a transmitter (X on the inheritor's binding
+    /// slot, S on the transmitter's permeable items).
+    pub fn bind(
+        &self,
+        tx: &TxnHandle,
+        rel_type: &str,
+        transmitter: Surrogate,
+        inheritor: Surrogate,
+    ) -> TxnResult<Surrogate> {
+        let permeable: Vec<String> = self
+            .store
+            .read()
+            .catalog()
+            .inher_rel_type(rel_type)
+            .map(|d| d.inheriting.clone())?;
+        self.acquire_capped(tx, Resource::Item(inheritor, format!("@{rel_type}")), LockMode::X)?;
+        for item in &permeable {
+            self.acquire_capped(tx, Resource::Item(transmitter, item.clone()), LockMode::S)?;
+        }
+        let rel = self.store.write().bind(rel_type, transmitter, inheritor, vec![])?;
+        self.push_undo(tx, UndoOp::Bound { rel_obj: rel });
+        Ok(rel)
+    }
+
+    /// Transactional cascade delete (§3): X-locks the whole subtree, removes
+    /// it, and can restore it exactly on abort. Transmitters with live
+    /// external inheritors are protected, as in
+    /// [`ObjectStore::delete`](ccdb_core::store::ObjectStore::delete).
+    pub fn delete(&self, tx: &TxnHandle, obj: Surrogate) -> TxnResult<()> {
+        // Lock the subtree (and implicitly protect concurrent readers).
+        let subtree: Vec<Surrogate> = {
+            let store = self.store.read();
+            let mut out = Vec::new();
+            let mut stack = vec![obj];
+            while let Some(s) = stack.pop() {
+                let o = store.object(s)?;
+                out.push(s);
+                stack.extend(o.all_subclass_members());
+            }
+            out
+        };
+        for s in &subtree {
+            let right = self.right_of(tx, *s);
+            if right != Right::Update {
+                return Err(TxnError::AccessDenied { user: tx.user.clone(), object: *s });
+            }
+            self.locks.acquire(tx.id, Resource::Object(*s), LockMode::X)?;
+        }
+        let parent = self.store.read().object(obj)?.owner.as_ref().map(|o| o.parent);
+        let rec = self.store.write().delete_recorded(obj)?;
+        self.push_undo(tx, UndoOp::DeletedTree { rec: Box::new(rec), parent });
+        Ok(())
+    }
+
+    /// Dissolve a binding.
+    pub fn unbind(&self, tx: &TxnHandle, rel_obj: Surrogate) -> TxnResult<()> {
+        let snapshot = self.store.read().object(rel_obj)?.clone();
+        self.acquire_capped(
+            tx,
+            Resource::Item(
+                snapshot.inheritor().ok_or(CoreError::NoSuchObject(rel_obj)).map_err(TxnError::Core)?,
+                format!("@{}", snapshot.type_name),
+            ),
+            LockMode::X,
+        )?;
+        self.store.write().unbind(rel_obj)?;
+        self.push_undo(tx, UndoOp::Unbound { rel: Box::new(snapshot) });
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Expansion locking (§6)
+    // ------------------------------------------------------------------
+
+    /// Expand a composite for reading: S-locks every object in the
+    /// visibility footprint, then materializes the expansion.
+    pub fn expand_read(&self, tx: &TxnHandle, obj: Surrogate) -> TxnResult<ExpandedObject> {
+        let store = self.store.read();
+        let footprint = expansion_footprint(&store, obj)?;
+        drop(store);
+        for s in &footprint {
+            self.acquire_capped(tx, Resource::Object(*s), LockMode::S)?;
+        }
+        Ok(expand(&self.store.read(), obj, usize::MAX)?)
+    }
+
+    /// Expand a composite for update: requests X on every object in the
+    /// footprint but — following the paper — consults access control and
+    /// silently degrades to S on objects the user may only read (standard
+    /// cells). Returns the objects actually granted X.
+    pub fn expand_update(&self, tx: &TxnHandle, obj: Surrogate) -> TxnResult<Vec<Surrogate>> {
+        let store = self.store.read();
+        let footprint = expansion_footprint(&store, obj)?;
+        drop(store);
+        let mut writable = Vec::new();
+        for s in &footprint {
+            let granted = self.acquire_capped(tx, Resource::Object(*s), LockMode::X)?;
+            if granted == LockMode::X {
+                writable.push(*s);
+            }
+        }
+        Ok(writable)
+    }
+
+    // ------------------------------------------------------------------
+    // Commit / abort
+    // ------------------------------------------------------------------
+
+    /// Commit: drop the undo log and release all locks.
+    pub fn commit(&self, tx: TxnHandle) {
+        self.undo.lock().remove(&tx.id);
+        self.locks.release_all(tx.id);
+    }
+
+    /// Objects this transaction has written so far (from its undo log).
+    pub fn write_set(&self, tx: &TxnHandle) -> Vec<Surrogate> {
+        let undo = self.undo.lock();
+        let mut out: Vec<Surrogate> = undo
+            .get(&tx.id)
+            .map(|ops| {
+                ops.iter()
+                    .flat_map(|op| match op {
+                        UndoOp::SetAttr { obj, .. } | UndoOp::Created { obj } => vec![*obj],
+                        UndoOp::Bound { rel_obj } => vec![*rel_obj],
+                        UndoOp::Unbound { rel } => vec![rel.surrogate],
+                        UndoOp::DeletedTree { parent, .. } => parent.iter().copied().collect(),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The records a persistence layer must write and delete to make this
+    /// transaction's effects durable: every written/created object, owners
+    /// whose subclass lists changed, inheritors whose bindings changed, and
+    /// the KV records of dissolved inheritance-relationship objects.
+    pub fn persistence_delta(&self, tx: &TxnHandle) -> PersistenceDelta {
+        let undo = self.undo.lock();
+        let store = self.store.read();
+        let mut save = Vec::new();
+        let mut delete = Vec::new();
+        for op in undo.get(&tx.id).map(Vec::as_slice).unwrap_or(&[]) {
+            match op {
+                UndoOp::SetAttr { obj, .. } => save.push(*obj),
+                UndoOp::Created { obj } => {
+                    save.push(*obj);
+                    if let Ok(o) = store.object(*obj) {
+                        if let Some(owner) = &o.owner {
+                            save.push(owner.parent);
+                        }
+                    }
+                }
+                UndoOp::Bound { rel_obj } => {
+                    save.push(*rel_obj);
+                    if let Ok(o) = store.object(*rel_obj) {
+                        if let Some(i) = o.inheritor() {
+                            save.push(i);
+                        }
+                    }
+                }
+                UndoOp::Unbound { rel } => {
+                    delete.push(rel.surrogate);
+                    if let Some(i) = rel.inheritor() {
+                        save.push(i);
+                    }
+                }
+                UndoOp::DeletedTree { rec, parent } => {
+                    delete.extend(rec.surrogates());
+                    if let Some(p) = parent {
+                        save.push(*p);
+                    }
+                }
+            }
+        }
+        // An object both created-then-unbound etc.: keep only live ones in
+        // `save`; a surrogate that no longer exists must be deleted instead.
+        save.sort();
+        save.dedup();
+        let (live, gone): (Vec<_>, Vec<_>) =
+            save.into_iter().partition(|s| store.object(*s).is_ok());
+        delete.extend(gone);
+        delete.sort();
+        delete.dedup();
+        PersistenceDelta { save: live, delete }
+    }
+
+    /// Deferred integrity checking (§3: constraints are conditions the
+    /// objects have to obey): validate every written object — and, for
+    /// subobjects, the owning complex objects whose constraints may span
+    /// them — then commit; on violation the transaction is aborted and the
+    /// violations returned.
+    pub fn commit_checked(
+        &self,
+        tx: TxnHandle,
+    ) -> Result<(), Vec<ccdb_core::store::Violation>> {
+        let mut to_check = self.write_set(&tx);
+        {
+            let store = self.store.read();
+            // Pull in owner chains: a wire write must re-check its gate.
+            let mut extra = Vec::new();
+            for s in &to_check {
+                let mut cur = *s;
+                while let Some(owner) =
+                    store.object(cur).ok().and_then(|o| o.owner.as_ref().map(|w| w.parent))
+                {
+                    extra.push(owner);
+                    cur = owner;
+                }
+            }
+            to_check.extend(extra);
+            to_check.sort();
+            to_check.dedup();
+        }
+        let mut violations = Vec::new();
+        {
+            let store = self.store.read();
+            for s in &to_check {
+                if store.object(*s).is_ok() {
+                    match store.check_constraints(*s) {
+                        Ok(v) => violations.extend(v),
+                        Err(e) => violations.push(ccdb_core::store::Violation {
+                            object: *s,
+                            constraint: "<check failed>".into(),
+                            detail: Some(e.to_string()),
+                        }),
+                    }
+                }
+            }
+        }
+        if violations.is_empty() {
+            self.commit(tx);
+            Ok(())
+        } else {
+            self.abort(tx);
+            Err(violations)
+        }
+    }
+
+    /// Abort: undo this transaction's effects newest-first, release locks.
+    pub fn abort(&self, tx: TxnHandle) {
+        let ops = self.undo.lock().remove(&tx.id).unwrap_or_default();
+        let mut store = self.store.write();
+        for op in ops.into_iter().rev() {
+            match op {
+                UndoOp::SetAttr { obj, attr, old } => {
+                    let _ = store.set_attr(obj, &attr, old);
+                }
+                UndoOp::Created { obj } => {
+                    let _ = store.delete_force(obj);
+                }
+                UndoOp::Bound { rel_obj } => {
+                    let _ = store.unbind(rel_obj);
+                }
+                UndoOp::Unbound { rel } => {
+                    if let (Some(t), Some(i)) = (rel.transmitter(), rel.inheritor()) {
+                        let _ = store.bind(&rel.type_name, t, i, vec![]);
+                    }
+                }
+                UndoOp::DeletedTree { rec, .. } => {
+                    let _ = store.undelete(*rec);
+                }
+            }
+        }
+        drop(store);
+        self.locks.release_all(tx.id);
+    }
+}
+
+#[cfg(test)]
+#[path = "txn_tests.rs"]
+mod tests;

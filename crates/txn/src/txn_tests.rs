@@ -1,0 +1,484 @@
+//! Tests for the transaction manager, centred on §6's lock inheritance,
+//! expansion locking, and access-control coupling.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ccdb_core::domain::Domain;
+use ccdb_core::schema::{AttrDef, Catalog, InherRelTypeDef, ObjectTypeDef, SubclassSpec};
+
+use super::*;
+use crate::access::Right;
+use crate::lock::LockManager;
+
+/// Interface/implementation schema with two attributes, only one permeable.
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.register_object_type(ObjectTypeDef {
+        name: "Pin".into(),
+        attributes: vec![AttrDef::new("Id", Domain::Int)],
+        ..Default::default()
+    })
+    .unwrap();
+    c.register_object_type(ObjectTypeDef {
+        name: "If".into(),
+        attributes: vec![
+            AttrDef::new("Length", Domain::Int),   // permeable
+            AttrDef::new("Internal", Domain::Int), // NOT permeable
+        ],
+        subclasses: vec![SubclassSpec { name: "Pins".into(), element_type: "Pin".into() }],
+        ..Default::default()
+    })
+    .unwrap();
+    c.register_inher_rel_type(InherRelTypeDef {
+        name: "AllOf_If".into(),
+        transmitter_type: "If".into(),
+        inheritor_type: None,
+        inheriting: vec!["Length".into(), "Pins".into()],
+        attributes: vec![],
+        constraints: vec![],
+    })
+    .unwrap();
+    c.register_object_type(ObjectTypeDef {
+        name: "Impl".into(),
+        inheritor_in: vec!["AllOf_If".into()],
+        attributes: vec![AttrDef::new("Cost", Domain::Int)],
+        ..Default::default()
+    })
+    .unwrap();
+    c
+}
+
+fn quick_db() -> Database {
+    let store = ObjectStore::new(catalog()).unwrap();
+    Database::with_lock_manager(store, LockManager::with_timeout(Duration::from_millis(80)))
+}
+
+/// (interface, implementation) with the implementation bound.
+fn bound_pair(db: &Database) -> (Surrogate, Surrogate) {
+    db.with_store_mut(|st| {
+        let i = st
+            .create_object("If", vec![("Length", Value::Int(5)), ("Internal", Value::Int(1))])
+            .unwrap();
+        st.create_subobject(i, "Pins", vec![("Id", Value::Int(1))]).unwrap();
+        let imp = st.create_object("Impl", vec![("Cost", Value::Int(3))]).unwrap();
+        st.bind("AllOf_If", i, imp, vec![]).unwrap();
+        (i, imp)
+    })
+}
+
+#[test]
+fn read_write_commit_cycle() {
+    let db = quick_db();
+    let (i, _) = bound_pair(&db);
+    let tx = db.begin("alice");
+    assert_eq!(db.read_attr(&tx, i, "Length").unwrap(), Value::Int(5));
+    db.write_attr(&tx, i, "Length", Value::Int(6)).unwrap();
+    db.commit(tx);
+    assert_eq!(db.with_store(|st| st.attr(i, "Length").unwrap()), Value::Int(6));
+}
+
+#[test]
+fn abort_undoes_writes_and_creates() {
+    let db = quick_db();
+    let (i, _) = bound_pair(&db);
+    let tx = db.begin("alice");
+    db.write_attr(&tx, i, "Length", Value::Int(99)).unwrap();
+    let fresh = db.create_object(&tx, "If", vec![("Length", Value::Int(1))]).unwrap();
+    db.abort(tx);
+    assert_eq!(db.with_store(|st| st.attr(i, "Length").unwrap()), Value::Int(5));
+    assert!(db.with_store(|st| st.object(fresh).is_err()));
+}
+
+#[test]
+fn abort_undoes_bind_and_unbind() {
+    let db = quick_db();
+    let (i, imp) = bound_pair(&db);
+    // Unbind inside a txn, then abort → binding restored.
+    let rel = db.with_store(|st| st.binding_of(imp, "AllOf_If").unwrap());
+    let tx = db.begin("alice");
+    db.unbind(&tx, rel).unwrap();
+    assert_eq!(db.with_store(|st| st.attr(imp, "Length").unwrap()), Value::Missing);
+    db.abort(tx);
+    assert_eq!(db.with_store(|st| st.attr(imp, "Length").unwrap()), Value::Int(5));
+    // Bind a second implementation inside a txn, abort → gone.
+    let imp2 = db.with_store_mut(|st| st.create_object("Impl", vec![]).unwrap());
+    let tx = db.begin("alice");
+    db.bind(&tx, "AllOf_If", i, imp2).unwrap();
+    assert_eq!(db.with_store(|st| st.attr(imp2, "Length").unwrap()), Value::Int(5));
+    db.abort(tx);
+    assert_eq!(db.with_store(|st| st.attr(imp2, "Length").unwrap()), Value::Missing);
+}
+
+#[test]
+fn lock_inheritance_read_locks_the_permeable_item() {
+    let db = quick_db();
+    let (i, imp) = bound_pair(&db);
+    let reader = db.begin("reader");
+    // Reading the *inherited* Length locks (imp, Length) and (i, Length).
+    assert_eq!(db.read_attr(&reader, imp, "Length").unwrap(), Value::Int(5));
+    // A writer on the transmitter's permeable item blocks…
+    let writer = db.begin("writer");
+    let err = db.write_attr(&writer, i, "Length", Value::Int(7)).unwrap_err();
+    assert!(matches!(err, TxnError::Lock(_)), "{err}");
+    db.abort(writer);
+    // …but a writer on the transmitter's NON-permeable item does not —
+    // this is the point of item-granular lock inheritance.
+    let writer2 = db.begin("writer2");
+    db.write_attr(&writer2, i, "Internal", Value::Int(8)).unwrap();
+    db.commit(writer2);
+    db.commit(reader);
+}
+
+#[test]
+fn writer_on_transmitter_blocks_inherited_reader() {
+    let db = quick_db();
+    let (i, imp) = bound_pair(&db);
+    let writer = db.begin("writer");
+    db.write_attr(&writer, i, "Length", Value::Int(7)).unwrap();
+    let reader = db.begin("reader");
+    let err = db.read_attr(&reader, imp, "Length").unwrap_err();
+    assert!(matches!(err, TxnError::Lock(_)));
+    db.commit(writer);
+    assert_eq!(db.read_attr(&reader, imp, "Length").unwrap(), Value::Int(7));
+    db.commit(reader);
+}
+
+#[test]
+fn expansion_read_locks_footprint() {
+    let db = quick_db();
+    let (i, imp) = bound_pair(&db);
+    let tx = db.begin("alice");
+    let expanded = db.expand_read(&tx, imp).unwrap();
+    assert_eq!(expanded.type_name, "Impl");
+    // The transmitter is S-locked whole: updates elsewhere block.
+    let writer = db.begin("bob");
+    let err = db.write_attr(&writer, i, "Internal", Value::Int(9)).unwrap_err();
+    assert!(matches!(err, TxnError::Lock(_)));
+    db.commit(tx);
+    db.write_attr(&writer, i, "Internal", Value::Int(9)).unwrap();
+    db.commit(writer);
+}
+
+#[test]
+fn expansion_update_respects_access_control() {
+    let db = quick_db();
+    let (i, imp) = bound_pair(&db);
+    // The interface is a protected standard part: bob may only read it.
+    db.with_access_mut(|ac| ac.grant_object("bob", i, Right::Read));
+    let tx = db.begin("bob");
+    let writable = db.expand_update(&tx, imp).unwrap();
+    assert!(writable.contains(&imp), "own composite is writable");
+    assert!(!writable.contains(&i), "standard part capped to S");
+    // A concurrent reader of the standard part is NOT blocked (S vs S)…
+    let tx2 = db.begin("carol");
+    assert_eq!(db.read_attr(&tx2, i, "Length").unwrap(), Value::Int(5));
+    db.commit(tx2);
+    // …and bob cannot write it either (access denied, not just unlocked).
+    let err = db.write_attr(&tx, i, "Length", Value::Int(0)).unwrap_err();
+    assert!(matches!(err, TxnError::AccessDenied { .. }));
+    db.commit(tx);
+}
+
+#[test]
+fn no_access_at_all_fails_expansion() {
+    let db = quick_db();
+    let (i, imp) = bound_pair(&db);
+    db.with_access_mut(|ac| ac.grant_object("mallory", i, Right::None));
+    let tx = db.begin("mallory");
+    let err = db.expand_read(&tx, imp).unwrap_err();
+    assert!(matches!(err, TxnError::AccessDenied { object, .. } if object == i));
+    db.abort(tx);
+}
+
+#[test]
+fn concurrent_writers_on_different_implementations() {
+    let db = Arc::new(quick_db());
+    let (i, _) = bound_pair(&db);
+    // Many implementations of one interface; concurrent writers on their
+    // local attrs never conflict.
+    let imps: Vec<Surrogate> = (0..4)
+        .map(|_| {
+            db.with_store_mut(|st| {
+                let imp = st.create_object("Impl", vec![("Cost", Value::Int(0))]).unwrap();
+                st.bind("AllOf_If", i, imp, vec![]).unwrap();
+                imp
+            })
+        })
+        .collect();
+    let mut handles = Vec::new();
+    for (k, imp) in imps.iter().enumerate() {
+        let db = Arc::clone(&db);
+        let imp = *imp;
+        handles.push(std::thread::spawn(move || {
+            for n in 0..50 {
+                let tx = db.begin(&format!("user{k}"));
+                db.write_attr(&tx, imp, "Cost", Value::Int(n)).unwrap();
+                db.commit(tx);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    for imp in imps {
+        assert_eq!(db.with_store(|st| st.attr(imp, "Cost").unwrap()), Value::Int(49));
+    }
+}
+
+#[test]
+fn create_subobject_under_txn() {
+    let db = quick_db();
+    let (i, _) = bound_pair(&db);
+    let tx = db.begin("alice");
+    let pin = db.create_subobject(&tx, i, "Pins", vec![("Id", Value::Int(2))]).unwrap();
+    db.abort(tx);
+    assert!(db.with_store(|st| st.object(pin).is_err()), "aborted create rolled back");
+    let tx = db.begin("alice");
+    let pin = db.create_subobject(&tx, i, "Pins", vec![("Id", Value::Int(2))]).unwrap();
+    db.commit(tx);
+    assert!(db.with_store(|st| st.object(pin).is_ok()));
+}
+
+#[test]
+fn write_set_tracks_all_mutations() {
+    let db = quick_db();
+    let (i, imp) = bound_pair(&db);
+    let tx = db.begin("alice");
+    db.write_attr(&tx, i, "Length", Value::Int(7)).unwrap();
+    let fresh = db.create_object(&tx, "If", vec![]).unwrap();
+    let ws = db.write_set(&tx);
+    assert!(ws.contains(&i) && ws.contains(&fresh));
+    assert!(!ws.contains(&imp));
+    db.abort(tx);
+}
+
+#[test]
+fn commit_checked_rejects_constraint_violations() {
+    // Schema with a constraint: Length < 100.
+    let mut c = ccdb_core::schema::Catalog::new();
+    c.register_object_type(ccdb_core::schema::ObjectTypeDef {
+        name: "Part".into(),
+        attributes: vec![ccdb_core::schema::AttrDef::new("Length", Domain::Int)],
+        constraints: vec![ccdb_core::schema::Constraint::named(
+            "Length < 100",
+            ccdb_core::expr::Expr::bin(
+                ccdb_core::expr::BinOp::Lt,
+                ccdb_core::expr::Expr::Path(ccdb_core::expr::PathExpr::self_path(&["Length"])),
+                ccdb_core::expr::Expr::int(100),
+            ),
+        )],
+        ..Default::default()
+    })
+    .unwrap();
+    let db = Database::new(ObjectStore::new(c).unwrap());
+    let part = db.with_store_mut(|st| st.create_object("Part", vec![("Length", Value::Int(10))]).unwrap());
+
+    // A valid write commits.
+    let tx = db.begin("alice");
+    db.write_attr(&tx, part, "Length", Value::Int(50)).unwrap();
+    db.commit_checked(tx).unwrap();
+    assert_eq!(db.with_store(|st| st.attr(part, "Length").unwrap()), Value::Int(50));
+
+    // An invalid write is rejected AND rolled back.
+    let tx = db.begin("alice");
+    db.write_attr(&tx, part, "Length", Value::Int(200)).unwrap();
+    let violations = db.commit_checked(tx).unwrap_err();
+    assert_eq!(violations.len(), 1);
+    assert_eq!(violations[0].constraint, "Length < 100");
+    assert_eq!(
+        db.with_store(|st| st.attr(part, "Length").unwrap()),
+        Value::Int(50),
+        "violating txn rolled back"
+    );
+}
+
+#[test]
+fn commit_checked_walks_owner_chain() {
+    // Owner constraint: count (Children) <= 1; writing a child subobject
+    // must re-check the parent.
+    let mut c = ccdb_core::schema::Catalog::new();
+    c.register_object_type(ccdb_core::schema::ObjectTypeDef {
+        name: "Child".into(),
+        attributes: vec![ccdb_core::schema::AttrDef::new("X", Domain::Int)],
+        ..Default::default()
+    })
+    .unwrap();
+    c.register_object_type(ccdb_core::schema::ObjectTypeDef {
+        name: "Parent".into(),
+        subclasses: vec![ccdb_core::schema::SubclassSpec {
+            name: "Children".into(),
+            element_type: "Child".into(),
+        }],
+        constraints: vec![ccdb_core::schema::Constraint::named(
+            "at most one child",
+            ccdb_core::expr::Expr::bin(
+                ccdb_core::expr::BinOp::Le,
+                ccdb_core::expr::Expr::Count {
+                    path: ccdb_core::expr::PathExpr::self_path(&["Children"]),
+                    filter: None,
+                },
+                ccdb_core::expr::Expr::int(1),
+            ),
+        )],
+        ..Default::default()
+    })
+    .unwrap();
+    let db = Database::new(ObjectStore::new(c).unwrap());
+    let parent = db.with_store_mut(|st| st.create_object("Parent", vec![]).unwrap());
+
+    let tx = db.begin("alice");
+    db.create_subobject(&tx, parent, "Children", vec![]).unwrap();
+    db.commit_checked(tx).unwrap();
+
+    let tx = db.begin("alice");
+    let second = db.create_subobject(&tx, parent, "Children", vec![]).unwrap();
+    let violations = db.commit_checked(tx).unwrap_err();
+    assert_eq!(violations[0].constraint, "at most one child");
+    assert!(db.with_store(|st| st.object(second).is_err()), "second child rolled back");
+    assert_eq!(
+        db.with_store(|st| st.subclass_members(parent, "Children").unwrap().len()),
+        1
+    );
+}
+
+#[test]
+fn class_level_access_grants_apply() {
+    let db = quick_db();
+    let (i, imp) = bound_pair(&db);
+    // Put the interface into a "StandardCells" class; eve may only read
+    // members of that class but updates everything else.
+    db.with_store_mut(|st| {
+        st.create_class("StandardCells", "If").unwrap();
+        st.add_to_class("StandardCells", i).unwrap();
+    });
+    db.with_access_mut(|ac| {
+        ac.grant_class("eve", "StandardCells", crate::access::Right::Read);
+    });
+    let tx = db.begin("eve");
+    // Class members: read ok, write denied.
+    assert_eq!(db.read_attr(&tx, i, "Length").unwrap(), Value::Int(5));
+    assert!(matches!(
+        db.write_attr(&tx, i, "Length", Value::Int(9)),
+        Err(TxnError::AccessDenied { .. })
+    ));
+    // Non-members unaffected.
+    db.write_attr(&tx, imp, "Cost", Value::Int(4)).unwrap();
+    db.commit(tx);
+}
+
+#[test]
+fn transactional_delete_commits_and_aborts() {
+    let db = quick_db();
+    let (i, imp) = bound_pair(&db);
+    // Abort: the implementation (and its binding) come back exactly.
+    let tx = db.begin("alice");
+    db.delete(&tx, imp).unwrap();
+    assert!(db.with_store(|st| st.object(imp).is_err()));
+    db.abort(tx);
+    assert!(db.with_store(|st| st.object(imp).is_ok()));
+    assert_eq!(db.with_store(|st| st.attr(imp, "Length").unwrap()), Value::Int(5));
+    // Commit: gone for good; the interface no longer transmits.
+    let tx = db.begin("alice");
+    db.delete(&tx, imp).unwrap();
+    db.commit(tx);
+    assert!(db.with_store(|st| st.object(imp).is_err()));
+    assert!(db.with_store(|st| st.inheritance_rels_of(i).is_empty()));
+}
+
+#[test]
+fn transactional_delete_respects_transmitter_protection_and_acl() {
+    let db = quick_db();
+    let (i, _imp) = bound_pair(&db);
+    // The interface still transmits → delete refused, nothing locked burns.
+    let tx = db.begin("alice");
+    let err = db.delete(&tx, i).unwrap_err();
+    assert!(matches!(err, TxnError::Core(CoreError::TransmitterInUse { .. })));
+    db.abort(tx);
+    // A read-only user cannot delete.
+    db.with_access_mut(|ac| ac.grant_object("eve", i, Right::Read));
+    let tx = db.begin("eve");
+    let err = db.delete(&tx, i).unwrap_err();
+    assert!(matches!(err, TxnError::AccessDenied { .. }));
+    db.abort(tx);
+}
+
+#[test]
+fn delete_blocks_concurrent_readers_until_commit() {
+    let db = quick_db();
+    let (_i, imp) = bound_pair(&db);
+    let tx = db.begin("alice");
+    db.delete(&tx, imp).unwrap();
+    // Another txn cannot even read the doomed object (X held) — and after
+    // commit the object is simply gone.
+    let tx2 = db.begin("bob");
+    let err = db.read_attr(&tx2, imp, "Cost").unwrap_err();
+    assert!(matches!(err, TxnError::Lock(_) | TxnError::Core(_)));
+    db.commit(tx);
+    let err = db.read_attr(&tx2, imp, "Cost").unwrap_err();
+    assert!(matches!(err, TxnError::Core(CoreError::NoSuchObject(_))));
+    db.abort(tx2);
+}
+
+#[test]
+fn transactional_relationship_creation() {
+    // WireType-like schema local to this test.
+    let mut c = Catalog::new();
+    c.register_object_type(ObjectTypeDef {
+        name: "Pin2".into(),
+        attributes: vec![AttrDef::new("Id", Domain::Int)],
+        ..Default::default()
+    })
+    .unwrap();
+    c.register_object_type(ObjectTypeDef {
+        name: "Board".into(),
+        subclasses: vec![SubclassSpec { name: "Pins".into(), element_type: "Pin2".into() }],
+        subrels: vec![ccdb_core::schema::SubrelSpec {
+            name: "Wires".into(),
+            rel_type: "Wire2".into(),
+            member_constraints: vec![],
+        }],
+        ..Default::default()
+    })
+    .unwrap();
+    c.register_rel_type(ccdb_core::schema::RelTypeDef {
+        name: "Wire2".into(),
+        participants: vec![
+            ccdb_core::schema::ParticipantSpec::one("A", "Pin2"),
+            ccdb_core::schema::ParticipantSpec::one("B", "Pin2"),
+        ],
+        ..Default::default()
+    })
+    .unwrap();
+    let db = Database::new(ObjectStore::new(c).unwrap());
+    let (board, p1, p2) = db.with_store_mut(|st| {
+        let b = st.create_object("Board", vec![]).unwrap();
+        let p1 = st.create_subobject(b, "Pins", vec![("Id", Value::Int(1))]).unwrap();
+        let p2 = st.create_subobject(b, "Pins", vec![("Id", Value::Int(2))]).unwrap();
+        (b, p1, p2)
+    });
+    // Abort removes both the top-level rel and the subrel member.
+    let tx = db.begin("alice");
+    let rel = db
+        .create_rel(&tx, "Wire2", vec![("A", vec![p1]), ("B", vec![p2])], vec![])
+        .unwrap();
+    let wire = db
+        .create_subrel(&tx, board, "Wires", vec![("A", vec![p1]), ("B", vec![p2])], vec![])
+        .unwrap();
+    db.abort(tx);
+    db.with_store(|st| {
+        assert!(st.object(rel).is_err());
+        assert!(st.object(wire).is_err());
+        assert!(st.subclass_members(board, "Wires").unwrap().is_empty());
+    });
+    // Commit keeps them; participants hold S locks during the txn.
+    let tx = db.begin("alice");
+    let wire = db
+        .create_subrel(&tx, board, "Wires", vec![("A", vec![p1]), ("B", vec![p2])], vec![])
+        .unwrap();
+    db.commit(tx);
+    db.with_store(|st| {
+        assert_eq!(st.subclass_members(board, "Wires").unwrap(), vec![wire]);
+        assert_eq!(st.object(wire).unwrap().participants("A"), Some(&[p1][..]));
+    });
+}

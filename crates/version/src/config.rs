@@ -1,0 +1,298 @@
+//! Configuration control (§2 aspect 1, after \[KaCB86\]/\[DiLo85\]/\[SVCC88\]).
+//!
+//! "Which components does a composite object have, which components do its
+//! components have, etc.? … configuration control … is concerned with the
+//! problem of providing all components of an object."
+//!
+//! A [`Configuration`] is a named snapshot of every inheritance binding in
+//! a composite's component closure — which transmitter each inheritor was
+//! bound to, transitively. Configurations can be **captured** from a live
+//! store, **diffed** against each other (what changed between two released
+//! states?), and **applied** back (rebinding the composite to a recorded
+//! state — e.g. reproducing the exact component versions of a shipped
+//! product).
+
+use serde::{Deserialize, Serialize};
+
+use ccdb_core::expand::expansion_footprint;
+use ccdb_core::store::ObjectStore;
+use ccdb_core::{CoreError, Surrogate};
+
+/// One recorded binding: `inheritor` was bound to `transmitter` through
+/// `rel_type`.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ConfigEntry {
+    /// The inheritor (component subobject, implementation, …).
+    pub inheritor: Surrogate,
+    /// The inheritance-relationship type.
+    pub rel_type: String,
+    /// The transmitter it was bound to at capture time.
+    pub transmitter: Surrogate,
+}
+
+/// A difference between two configurations for one `(inheritor, rel_type)`
+/// slot.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConfigDelta {
+    /// The inheritor whose binding differs.
+    pub inheritor: Surrogate,
+    /// The relationship type.
+    pub rel_type: String,
+    /// Transmitter in `self` (None = slot absent).
+    pub before: Option<Surrogate>,
+    /// Transmitter in `other` (None = slot absent).
+    pub after: Option<Surrogate>,
+}
+
+/// What [`Configuration::apply`] did.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ApplyReport {
+    /// Bindings already as recorded.
+    pub unchanged: usize,
+    /// Bindings re-pointed to the recorded transmitter.
+    pub rebound: usize,
+    /// Entries that could not be applied (objects gone, bind failed).
+    pub failed: Vec<ConfigEntry>,
+}
+
+/// A named, serializable snapshot of a composite's component bindings.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Configuration {
+    /// Configuration name (e.g. "release-1.2").
+    pub name: String,
+    /// The composite whose closure was captured.
+    pub root: Surrogate,
+    /// All bindings, sorted by (inheritor, rel_type).
+    pub entries: Vec<ConfigEntry>,
+}
+
+impl Configuration {
+    /// Capture the bindings of every object in `root`'s expansion footprint
+    /// (the component closure — subobjects and transmitters, transitively).
+    pub fn capture(
+        name: &str,
+        store: &ObjectStore,
+        root: Surrogate,
+    ) -> Result<Self, CoreError> {
+        let mut entries = Vec::new();
+        for s in expansion_footprint(store, root)? {
+            let o = store.object(s)?;
+            for (rel_type, rel_obj) in &o.bindings {
+                if let Some(t) = store.object(*rel_obj)?.transmitter() {
+                    entries.push(ConfigEntry {
+                        inheritor: s,
+                        rel_type: rel_type.clone(),
+                        transmitter: t,
+                    });
+                }
+            }
+        }
+        entries.sort_by(|a, b| {
+            (a.inheritor, &a.rel_type).cmp(&(b.inheritor, &b.rel_type))
+        });
+        Ok(Configuration { name: name.to_string(), root, entries })
+    }
+
+    /// Look up the recorded transmitter for a slot.
+    pub fn transmitter_of(&self, inheritor: Surrogate, rel_type: &str) -> Option<Surrogate> {
+        self.entries
+            .iter()
+            .find(|e| e.inheritor == inheritor && e.rel_type == rel_type)
+            .map(|e| e.transmitter)
+    }
+
+    /// Rebind the store to this configuration. Bindings not mentioned are
+    /// left alone; missing objects are reported, not fatal.
+    pub fn apply(&self, store: &mut ObjectStore) -> ApplyReport {
+        let mut report = ApplyReport::default();
+        for e in &self.entries {
+            let current = store
+                .binding_of(e.inheritor, &e.rel_type)
+                .and_then(|rel| store.object(rel).ok().and_then(|o| o.transmitter()));
+            if current == Some(e.transmitter) {
+                report.unchanged += 1;
+                continue;
+            }
+            if let Some(rel) = store.binding_of(e.inheritor, &e.rel_type) {
+                if store.unbind(rel).is_err() {
+                    report.failed.push(e.clone());
+                    continue;
+                }
+            }
+            match store.bind(&e.rel_type, e.transmitter, e.inheritor, vec![]) {
+                Ok(_) => report.rebound += 1,
+                Err(_) => report.failed.push(e.clone()),
+            }
+        }
+        report
+    }
+
+    /// Slot-wise difference `self → other`.
+    pub fn diff(&self, other: &Configuration) -> Vec<ConfigDelta> {
+        let mut out = Vec::new();
+        for e in &self.entries {
+            let after = other.transmitter_of(e.inheritor, &e.rel_type);
+            if after != Some(e.transmitter) {
+                out.push(ConfigDelta {
+                    inheritor: e.inheritor,
+                    rel_type: e.rel_type.clone(),
+                    before: Some(e.transmitter),
+                    after,
+                });
+            }
+        }
+        for e in &other.entries {
+            if self.transmitter_of(e.inheritor, &e.rel_type).is_none() {
+                out.push(ConfigDelta {
+                    inheritor: e.inheritor,
+                    rel_type: e.rel_type.clone(),
+                    before: None,
+                    after: Some(e.transmitter),
+                });
+            }
+        }
+        out.sort_by(|a, b| (a.inheritor, &a.rel_type).cmp(&(b.inheritor, &b.rel_type)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccdb_core::domain::Domain;
+    use ccdb_core::schema::{AttrDef, Catalog, InherRelTypeDef, ObjectTypeDef, SubclassSpec};
+    use ccdb_core::Value;
+
+    /// Assembly with two component slots; two library interfaces to choose
+    /// from per slot.
+    fn setup() -> (ObjectStore, Surrogate, Vec<Surrogate>, Vec<Surrogate>) {
+        let mut c = Catalog::new();
+        c.register_object_type(ObjectTypeDef {
+            name: "If".into(),
+            attributes: vec![AttrDef::new("Length", Domain::Int)],
+            ..Default::default()
+        })
+        .unwrap();
+        c.register_inher_rel_type(InherRelTypeDef {
+            name: "AllOf_If".into(),
+            transmitter_type: "If".into(),
+            inheritor_type: None,
+            inheriting: vec!["Length".into()],
+            attributes: vec![],
+            constraints: vec![],
+        })
+        .unwrap();
+        c.register_object_type(ObjectTypeDef {
+            name: "Slot".into(),
+            inheritor_in: vec!["AllOf_If".into()],
+            attributes: vec![AttrDef::new("Pos", Domain::Int)],
+            ..Default::default()
+        })
+        .unwrap();
+        c.register_object_type(ObjectTypeDef {
+            name: "Assembly".into(),
+            subclasses: vec![SubclassSpec { name: "Slots".into(), element_type: "Slot".into() }],
+            ..Default::default()
+        })
+        .unwrap();
+        let mut st = ObjectStore::new(c).unwrap();
+        let lib: Vec<Surrogate> = (0..2)
+            .map(|k| st.create_object("If", vec![("Length", Value::Int(10 + k))]).unwrap())
+            .collect();
+        let asm = st.create_object("Assembly", vec![]).unwrap();
+        let slots: Vec<Surrogate> = (0..2)
+            .map(|p| {
+                let s = st.create_subobject(asm, "Slots", vec![("Pos", Value::Int(p))]).unwrap();
+                st.bind("AllOf_If", lib[0], s, vec![]).unwrap();
+                s
+            })
+            .collect();
+        (st, asm, slots, lib)
+    }
+
+    #[test]
+    fn capture_records_the_component_closure() {
+        let (st, asm, slots, lib) = setup();
+        let cfg = Configuration::capture("r1", &st, asm).unwrap();
+        assert_eq!(cfg.entries.len(), 2);
+        for s in &slots {
+            assert_eq!(cfg.transmitter_of(*s, "AllOf_If"), Some(lib[0]));
+        }
+    }
+
+    #[test]
+    fn apply_restores_a_recorded_state() {
+        let (mut st, asm, slots, lib) = setup();
+        let release = Configuration::capture("release", &st, asm).unwrap();
+        // Design moves on: slot 0 is rebound to the newer interface.
+        let rel = st.binding_of(slots[0], "AllOf_If").unwrap();
+        st.unbind(rel).unwrap();
+        st.bind("AllOf_If", lib[1], slots[0], vec![]).unwrap();
+        assert_eq!(st.attr(slots[0], "Length").unwrap(), Value::Int(11));
+        // Applying the release configuration restores the shipped state.
+        let report = release.apply(&mut st);
+        assert_eq!(report.rebound, 1);
+        assert_eq!(report.unchanged, 1);
+        assert!(report.failed.is_empty());
+        assert_eq!(st.attr(slots[0], "Length").unwrap(), Value::Int(10));
+    }
+
+    #[test]
+    fn diff_reports_rebound_slots() {
+        let (mut st, asm, slots, lib) = setup();
+        let before = Configuration::capture("before", &st, asm).unwrap();
+        let rel = st.binding_of(slots[1], "AllOf_If").unwrap();
+        st.unbind(rel).unwrap();
+        st.bind("AllOf_If", lib[1], slots[1], vec![]).unwrap();
+        let after = Configuration::capture("after", &st, asm).unwrap();
+        let deltas = before.diff(&after);
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].inheritor, slots[1]);
+        assert_eq!(deltas[0].before, Some(lib[0]));
+        assert_eq!(deltas[0].after, Some(lib[1]));
+        // Self-diff is empty.
+        assert!(before.diff(&before).is_empty());
+    }
+
+    #[test]
+    fn diff_sees_added_and_removed_slots() {
+        let (mut st, asm, _slots, lib) = setup();
+        let before = Configuration::capture("b", &st, asm).unwrap();
+        let extra = st.create_subobject(asm, "Slots", vec![("Pos", Value::Int(9))]).unwrap();
+        st.bind("AllOf_If", lib[1], extra, vec![]).unwrap();
+        let after = Configuration::capture("a", &st, asm).unwrap();
+        let deltas = before.diff(&after);
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].before, None);
+        assert_eq!(deltas[0].after, Some(lib[1]));
+        // Reverse direction: the slot is "removed".
+        let deltas = after.diff(&before);
+        assert_eq!(deltas[0].after, None);
+    }
+
+    #[test]
+    fn apply_reports_unfixable_entries() {
+        let (mut st, asm, slots, _lib) = setup();
+        let cfg = Configuration::capture("r", &st, asm).unwrap();
+        // Destroy the library component the config points at.
+        let rel = st.binding_of(slots[0], "AllOf_If").unwrap();
+        let t = st.object(rel).unwrap().transmitter().unwrap();
+        // Unbind everything first so delete succeeds.
+        for s in &slots {
+            let rel = st.binding_of(*s, "AllOf_If").unwrap();
+            st.unbind(rel).unwrap();
+        }
+        st.delete(t).unwrap();
+        let report = cfg.apply(&mut st);
+        assert_eq!(report.failed.len(), 2, "both slots referenced the deleted interface");
+    }
+
+    #[test]
+    fn configurations_serialize() {
+        let (st, asm, ..) = setup();
+        let cfg = Configuration::capture("r1", &st, asm).unwrap();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: Configuration = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

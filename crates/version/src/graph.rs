@@ -1,0 +1,472 @@
+//! Version graphs (§6, after \[KSWi86\]/\[Wilk87\]).
+//!
+//! Each *design object* (identified by name) owns a [`VersionSet`]: a DAG of
+//! versions connected by derivation edges. Alternatives are siblings derived
+//! from the same parent; merges have several parents. Versions carry a
+//! status classification ("degree of correctness") with forward-only
+//! transitions, and a set may nominate a *default version* (the bottom-up
+//! selection target).
+//!
+//! Combined with the interface hierarchies of §4.2 this yields the paper's
+//! "versioned versions": versions of interfaces whose implementations are
+//! versions again.
+
+use std::collections::HashMap;
+
+use ccdb_core::Surrogate;
+use serde::{Deserialize, Serialize};
+
+/// Version identifier within one version set.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct VersionId(pub u32);
+
+impl std::fmt::Display for VersionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Degree-of-correctness classification.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub enum VersionStatus {
+    /// Being designed; freely mutable.
+    InDesign,
+    /// Passed validation.
+    Tested,
+    /// Released for use as a component.
+    Released,
+    /// Archived; must never change again.
+    Frozen,
+}
+
+impl VersionStatus {
+    /// Transitions move forward only.
+    pub fn can_transition_to(self, next: VersionStatus) -> bool {
+        next > self
+    }
+}
+
+/// Errors of the version layer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VersionError {
+    /// Unknown version set.
+    UnknownSet(String),
+    /// Unknown version id in a set.
+    UnknownVersion(String, VersionId),
+    /// A parent reference did not resolve.
+    UnknownParent(VersionId),
+    /// Illegal status transition.
+    BadTransition {
+        /// From.
+        from: VersionStatus,
+        /// To.
+        to: VersionStatus,
+    },
+    /// Set already exists.
+    DuplicateSet(String),
+    /// No version matched a selection.
+    NoMatch(String),
+}
+
+impl std::fmt::Display for VersionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VersionError::UnknownSet(s) => write!(f, "unknown version set `{s}`"),
+            VersionError::UnknownVersion(s, v) => write!(f, "unknown version {v} in `{s}`"),
+            VersionError::UnknownParent(v) => write!(f, "unknown parent version {v}"),
+            VersionError::BadTransition { from, to } => {
+                write!(f, "illegal status transition {from:?} → {to:?}")
+            }
+            VersionError::DuplicateSet(s) => write!(f, "version set `{s}` already exists"),
+            VersionError::NoMatch(s) => write!(f, "no version of `{s}` matches the selection"),
+        }
+    }
+}
+
+impl std::error::Error for VersionError {}
+
+/// One version: a database object plus graph metadata.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct VersionEntry {
+    /// Version id within the set.
+    pub id: VersionId,
+    /// The database object realizing this version.
+    pub object: Surrogate,
+    /// Derivation parents (empty for the initial version).
+    pub parents: Vec<VersionId>,
+    /// Status classification.
+    pub status: VersionStatus,
+    /// Logical creation time (manager-wide counter).
+    pub created_at: u64,
+}
+
+/// The version DAG of one design object.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct VersionSet {
+    versions: Vec<VersionEntry>,
+    default: Option<VersionId>,
+}
+
+impl VersionSet {
+    /// Entry lookup.
+    pub fn entry(&self, id: VersionId) -> Option<&VersionEntry> {
+        self.versions.iter().find(|v| v.id == id)
+    }
+
+    /// All entries in creation order.
+    pub fn entries(&self) -> &[VersionEntry] {
+        &self.versions
+    }
+
+    /// The declared default version (bottom-up selection target).
+    pub fn default_version(&self) -> Option<VersionId> {
+        self.default
+    }
+
+    /// Versions without children (current design frontier).
+    pub fn leaves(&self) -> Vec<VersionId> {
+        self.versions
+            .iter()
+            .filter(|v| !self.versions.iter().any(|c| c.parents.contains(&v.id)))
+            .map(|v| v.id)
+            .collect()
+    }
+
+    /// The newest version by creation time.
+    pub fn latest(&self) -> Option<VersionId> {
+        self.versions.iter().max_by_key(|v| v.created_at).map(|v| v.id)
+    }
+
+    /// Alternatives of `id`: other versions sharing at least one parent.
+    pub fn alternatives(&self, id: VersionId) -> Vec<VersionId> {
+        let Some(me) = self.entry(id) else { return vec![] };
+        self.versions
+            .iter()
+            .filter(|v| v.id != id && v.parents.iter().any(|p| me.parents.contains(p)))
+            .map(|v| v.id)
+            .collect()
+    }
+
+    /// Derivation history of `id` back to the roots (ancestors, oldest
+    /// first, deduplicated).
+    pub fn history(&self, id: VersionId) -> Vec<VersionId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(v) = stack.pop() {
+            if out.contains(&v) {
+                continue;
+            }
+            out.push(v);
+            if let Some(e) = self.entry(v) {
+                stack.extend(e.parents.iter().copied());
+            }
+        }
+        out.reverse();
+        out
+    }
+}
+
+/// Manager of all version sets in a database.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct VersionManager {
+    sets: HashMap<String, VersionSet>,
+    clock: u64,
+    next_id: u32,
+}
+
+impl VersionManager {
+    /// Empty manager.
+    pub fn new() -> Self {
+        VersionManager::default()
+    }
+
+    /// Create a version set for a design object.
+    pub fn create_set(&mut self, name: &str) -> Result<(), VersionError> {
+        if self.sets.contains_key(name) {
+            return Err(VersionError::DuplicateSet(name.into()));
+        }
+        self.sets.insert(name.to_string(), VersionSet::default());
+        Ok(())
+    }
+
+    /// Set lookup.
+    pub fn set(&self, name: &str) -> Result<&VersionSet, VersionError> {
+        self.sets.get(name).ok_or_else(|| VersionError::UnknownSet(name.into()))
+    }
+
+    fn set_mut(&mut self, name: &str) -> Result<&mut VersionSet, VersionError> {
+        self.sets.get_mut(name).ok_or_else(|| VersionError::UnknownSet(name.into()))
+    }
+
+    /// Names of all sets (sorted).
+    pub fn set_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.sets.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Add a version realized by `object`, derived from `parents`.
+    pub fn add_version(
+        &mut self,
+        set_name: &str,
+        object: Surrogate,
+        parents: &[VersionId],
+    ) -> Result<VersionId, VersionError> {
+        self.clock += 1;
+        self.next_id += 1;
+        let id = VersionId(self.next_id);
+        let created_at = self.clock;
+        let set = self.set_mut(set_name)?;
+        for p in parents {
+            if set.entry(*p).is_none() {
+                return Err(VersionError::UnknownParent(*p));
+            }
+        }
+        set.versions.push(VersionEntry {
+            id,
+            object,
+            parents: parents.to_vec(),
+            status: VersionStatus::InDesign,
+            created_at,
+        });
+        // First version becomes the default automatically.
+        if set.default.is_none() {
+            set.default = Some(id);
+        }
+        Ok(id)
+    }
+
+    /// Advance a version's status (forward-only).
+    pub fn set_status(
+        &mut self,
+        set_name: &str,
+        id: VersionId,
+        status: VersionStatus,
+    ) -> Result<(), VersionError> {
+        let set = self.set_mut(set_name)?;
+        let entry = set
+            .versions
+            .iter_mut()
+            .find(|v| v.id == id)
+            .ok_or_else(|| VersionError::UnknownVersion(set_name.into(), id))?;
+        if !entry.status.can_transition_to(status) {
+            return Err(VersionError::BadTransition { from: entry.status, to: status });
+        }
+        entry.status = status;
+        Ok(())
+    }
+
+    /// Nominate the default version (bottom-up selection, §6 item 2).
+    pub fn set_default(&mut self, set_name: &str, id: VersionId) -> Result<(), VersionError> {
+        let set = self.set_mut(set_name)?;
+        if set.entry(id).is_none() {
+            return Err(VersionError::UnknownVersion(set_name.into(), id));
+        }
+        set.default = Some(id);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr_with_chain() -> (VersionManager, Vec<VersionId>) {
+        let mut m = VersionManager::new();
+        m.create_set("NAND-Gate").unwrap();
+        let v1 = m.add_version("NAND-Gate", Surrogate(1), &[]).unwrap();
+        let v2 = m.add_version("NAND-Gate", Surrogate(2), &[v1]).unwrap();
+        let v3 = m.add_version("NAND-Gate", Surrogate(3), &[v2]).unwrap();
+        (m, vec![v1, v2, v3])
+    }
+
+    #[test]
+    fn linear_history() {
+        let (m, v) = mgr_with_chain();
+        let set = m.set("NAND-Gate").unwrap();
+        assert_eq!(set.history(v[2]), v);
+        assert_eq!(set.latest(), Some(v[2]));
+        assert_eq!(set.leaves(), vec![v[2]]);
+        assert_eq!(set.default_version(), Some(v[0]), "first version is default");
+    }
+
+    #[test]
+    fn alternatives_are_siblings() {
+        let (mut m, v) = mgr_with_chain();
+        let alt = m.add_version("NAND-Gate", Surrogate(4), &[v[1]]).unwrap();
+        let set = m.set("NAND-Gate").unwrap();
+        assert_eq!(set.alternatives(v[2]), vec![alt]);
+        assert_eq!(set.alternatives(alt), vec![v[2]]);
+        let mut leaves = set.leaves();
+        leaves.sort();
+        assert_eq!(leaves, vec![v[2], alt]);
+    }
+
+    #[test]
+    fn merge_has_two_parents() {
+        let (mut m, v) = mgr_with_chain();
+        let alt = m.add_version("NAND-Gate", Surrogate(4), &[v[1]]).unwrap();
+        let merged = m.add_version("NAND-Gate", Surrogate(5), &[v[2], alt]).unwrap();
+        let set = m.set("NAND-Gate").unwrap();
+        let hist = set.history(merged);
+        assert!(hist.contains(&v[2]) && hist.contains(&alt) && hist.contains(&v[0]));
+        assert_eq!(set.leaves(), vec![merged]);
+    }
+
+    #[test]
+    fn status_transitions_forward_only() {
+        let (mut m, v) = mgr_with_chain();
+        m.set_status("NAND-Gate", v[0], VersionStatus::Tested).unwrap();
+        m.set_status("NAND-Gate", v[0], VersionStatus::Released).unwrap();
+        let err = m.set_status("NAND-Gate", v[0], VersionStatus::InDesign).unwrap_err();
+        assert!(matches!(err, VersionError::BadTransition { .. }));
+        m.set_status("NAND-Gate", v[0], VersionStatus::Frozen).unwrap();
+        let err = m.set_status("NAND-Gate", v[0], VersionStatus::Frozen).unwrap_err();
+        assert!(matches!(err, VersionError::BadTransition { .. }));
+    }
+
+    #[test]
+    fn unknown_references_rejected() {
+        let (mut m, _) = mgr_with_chain();
+        assert!(matches!(m.set("Ghost"), Err(VersionError::UnknownSet(_))));
+        assert!(matches!(m.create_set("NAND-Gate"), Err(VersionError::DuplicateSet(_))));
+        assert!(matches!(
+            m.add_version("NAND-Gate", Surrogate(9), &[VersionId(999)]),
+            Err(VersionError::UnknownParent(_))
+        ));
+        assert!(matches!(
+            m.set_default("NAND-Gate", VersionId(999)),
+            Err(VersionError::UnknownVersion(..))
+        ));
+    }
+
+    #[test]
+    fn default_can_be_renominated() {
+        let (mut m, v) = mgr_with_chain();
+        m.set_default("NAND-Gate", v[2]).unwrap();
+        assert_eq!(m.set("NAND-Gate").unwrap().default_version(), Some(v[2]));
+    }
+
+    #[test]
+    fn ids_unique_across_sets() {
+        let mut m = VersionManager::new();
+        m.create_set("A").unwrap();
+        m.create_set("B").unwrap();
+        let a = m.add_version("A", Surrogate(1), &[]).unwrap();
+        let b = m.add_version("B", Surrogate(2), &[]).unwrap();
+        assert_ne!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod property {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Add { parent_picks: Vec<usize> },
+        Status(usize, u8),
+        SetDefault(usize),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            3 => proptest::collection::vec(any::<usize>(), 0..3)
+                .prop_map(|parent_picks| Op::Add { parent_picks }),
+            1 => (any::<usize>(), 0u8..4).prop_map(|(i, s)| Op::Status(i, s)),
+            1 => any::<usize>().prop_map(Op::SetDefault),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn graph_invariants(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+            let mut m = VersionManager::new();
+            m.create_set("S").unwrap();
+            let mut ids: Vec<VersionId> = Vec::new();
+            for (n, op) in ops.into_iter().enumerate() {
+                match op {
+                    Op::Add { parent_picks } => {
+                        let parents: Vec<VersionId> = parent_picks
+                            .iter()
+                            .filter(|_| !ids.is_empty())
+                            .map(|p| ids[p % ids.len()])
+                            .collect();
+                        let mut parents = parents;
+                        parents.dedup();
+                        let id = m.add_version("S", Surrogate(n as u64), &parents).unwrap();
+                        ids.push(id);
+                    }
+                    Op::Status(i, s) => {
+                        if ids.is_empty() { continue; }
+                        let id = ids[i % ids.len()];
+                        let status = [
+                            VersionStatus::InDesign,
+                            VersionStatus::Tested,
+                            VersionStatus::Released,
+                            VersionStatus::Frozen,
+                        ][s as usize];
+                        let before = m.set("S").unwrap().entry(id).unwrap().status;
+                        let res = m.set_status("S", id, status);
+                        // Transition succeeds iff strictly forward.
+                        prop_assert_eq!(res.is_ok(), status > before);
+                    }
+                    Op::SetDefault(i) => {
+                        if ids.is_empty() { continue; }
+                        m.set_default("S", ids[i % ids.len()]).unwrap();
+                    }
+                }
+                let set = m.set("S").unwrap();
+                // Invariants:
+                // 1. history of any version starts at a root and contains it.
+                for id in &ids {
+                    let h = set.history(*id);
+                    prop_assert!(h.contains(id));
+                    prop_assert_eq!(h.last(), Some(id), "history ends at self");
+                }
+                // 2. every leaf really has no children.
+                for leaf in set.leaves() {
+                    prop_assert!(!set
+                        .entries()
+                        .iter()
+                        .any(|e| e.parents.contains(&leaf)));
+                }
+                // 3. default (if set) resolves.
+                if let Some(d) = set.default_version() {
+                    prop_assert!(set.entry(d).is_some());
+                }
+                // 4. latest is the max creation time.
+                if let Some(l) = set.latest() {
+                    let lt = set.entry(l).unwrap().created_at;
+                    prop_assert!(set.entries().iter().all(|e| e.created_at <= lt));
+                }
+            }
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod serde_tests {
+    use super::*;
+
+    #[test]
+    fn version_manager_roundtrips_through_json() {
+        let mut m = VersionManager::new();
+        m.create_set("Gate").unwrap();
+        let v1 = m.add_version("Gate", Surrogate(1), &[]).unwrap();
+        let v2 = m.add_version("Gate", Surrogate(2), &[v1]).unwrap();
+        m.set_status("Gate", v1, VersionStatus::Released).unwrap();
+        m.set_default("Gate", v2).unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: VersionManager = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.set("Gate").unwrap().default_version(), Some(v2));
+        assert_eq!(back.set("Gate").unwrap().entry(v1).unwrap().status, VersionStatus::Released);
+        // Id issuing continues correctly after reload.
+        let mut back = back;
+        let v3 = back.add_version("Gate", Surrogate(3), &[v2]).unwrap();
+        assert!(v3 > v2);
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! # ccdb-version
+//!
+//! Version management for the ccdb object model (§6 of the paper, following
+//! its references \[KSWi86\]/\[Wilk87\]/\[DiLo85\]):
+//!
+//! - [`graph`]: per-design-object version DAGs with derivation edges,
+//!   alternatives, merges, forward-only status classification
+//!   (in-design → tested → released → frozen), and default versions —
+//!   together with §4.2's interface hierarchies this realizes the paper's
+//!   "versioned versions";
+//! - [`select`]: **generic relationships** whose concrete component version
+//!   is chosen at assembly time by the paper's three strategies (top-down
+//!   query, bottom-up default, environment), plus re-resolution that rebinds
+//!   composites when new versions appear.
+
+pub mod config;
+pub mod graph;
+pub mod select;
+
+pub use config::{ApplyReport, ConfigDelta, ConfigEntry, Configuration};
+pub use graph::{VersionEntry, VersionError, VersionId, VersionManager, VersionSet, VersionStatus};
+pub use select::{
+    resolve, EnvironmentRegistry, GenericBindings, GenericRef, RebindOutcome, Selector,
+};

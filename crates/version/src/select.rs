@@ -1,0 +1,352 @@
+//! Generic relationships and component-version selection (§6).
+//!
+//! With several versions of a component, a composite can use a **generic
+//! relationship**: the concrete version is chosen at assembly time by one of
+//! the paper's three strategies —
+//!
+//! 1. **top-down**: a query associated with the composite gives the required
+//!    properties ([`Selector::Query`]);
+//! 2. **bottom-up**: the design object nominates a default version
+//!    ([`Selector::Default`]);
+//! 3. **environment**: the choice comes from outside both, e.g. a named
+//!    configuration pinning versions ([`Selector::Environment`], after
+//!    \[DiLo85\]).
+//!
+//! [`GenericBindings`] keeps composite → design-object references and can
+//! re-resolve them when new versions appear, rebinding the underlying
+//! inheritance relationships and reporting what changed.
+
+use std::collections::HashMap;
+
+use ccdb_core::expr::{eval, Env, Expr};
+use ccdb_core::store::ObjectStore;
+use ccdb_core::{Surrogate, Value};
+
+use crate::graph::{VersionError, VersionId, VersionManager, VersionStatus};
+
+/// How to choose among the versions of a design object.
+#[derive(Clone, Debug)]
+pub enum Selector {
+    /// The set's nominated default version (bottom-up).
+    Default,
+    /// The newest version (by creation time).
+    Latest,
+    /// The newest version with at least this status.
+    LatestWithStatus(VersionStatus),
+    /// Top-down: the newest version whose object satisfies the predicate.
+    Query(Expr),
+    /// The version pinned by a named environment.
+    Environment(String),
+}
+
+/// Named environments pinning versions per design object (e.g. a release
+/// configuration).
+#[derive(Clone, Debug, Default)]
+pub struct EnvironmentRegistry {
+    pins: HashMap<(String, String), VersionId>,
+}
+
+impl EnvironmentRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        EnvironmentRegistry::default()
+    }
+
+    /// Pin `set` to `version` within environment `env`.
+    pub fn pin(&mut self, env: &str, set: &str, version: VersionId) {
+        self.pins.insert((env.to_string(), set.to_string()), version);
+    }
+
+    /// The pinned version, if any.
+    pub fn pinned(&self, env: &str, set: &str) -> Option<VersionId> {
+        self.pins.get(&(env.to_string(), set.to_string())).copied()
+    }
+}
+
+/// Resolve a selector against a version set. Returns the chosen version.
+pub fn resolve(
+    mgr: &VersionManager,
+    store: &ObjectStore,
+    envs: &EnvironmentRegistry,
+    set_name: &str,
+    selector: &Selector,
+) -> Result<VersionId, VersionError> {
+    let set = mgr.set(set_name)?;
+    let chosen = match selector {
+        Selector::Default => set.default_version(),
+        Selector::Latest => set.latest(),
+        Selector::LatestWithStatus(min) => set
+            .entries()
+            .iter()
+            .filter(|e| e.status >= *min)
+            .max_by_key(|e| e.created_at)
+            .map(|e| e.id),
+        Selector::Query(pred) => set
+            .entries()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    eval(store, e.object, &mut Env::new(), pred),
+                    Ok(Value::Bool(true))
+                )
+            })
+            .max_by_key(|e| e.created_at)
+            .map(|e| e.id),
+        Selector::Environment(env) => envs.pinned(env, set_name),
+    };
+    chosen.ok_or_else(|| VersionError::NoMatch(set_name.into()))
+}
+
+/// One generic component reference: `inheritor` uses some version of
+/// `set` as its transmitter through `rel_type`.
+#[derive(Clone, Debug)]
+pub struct GenericRef {
+    /// The component-subobject (or implementation) that inherits.
+    pub inheritor: Surrogate,
+    /// The inheritance-relationship type realizing the composition.
+    pub rel_type: String,
+    /// The design object (version set) referenced generically.
+    pub set: String,
+    /// The selection strategy.
+    pub selector: Selector,
+}
+
+/// What a refresh did to one generic reference.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RebindOutcome {
+    /// Already bound to the selected version.
+    Unchanged,
+    /// Rebound from the old to the new transmitter.
+    Rebound {
+        /// Previous transmitter (None = was unbound).
+        from: Option<Surrogate>,
+        /// New transmitter.
+        to: Surrogate,
+    },
+    /// Selection failed; the old binding (if any) was left alone.
+    NoMatch,
+}
+
+/// Registry of generic references with re-resolution.
+#[derive(Clone, Debug, Default)]
+pub struct GenericBindings {
+    refs: Vec<GenericRef>,
+}
+
+impl GenericBindings {
+    /// Empty registry.
+    pub fn new() -> Self {
+        GenericBindings::default()
+    }
+
+    /// Register a generic reference (no binding happens yet).
+    pub fn register(&mut self, r: GenericRef) {
+        self.refs.push(r);
+    }
+
+    /// Registered references.
+    pub fn refs(&self) -> &[GenericRef] {
+        &self.refs
+    }
+
+    /// Re-resolve every reference and (re)bind inheritors whose selected
+    /// version changed. Returns one outcome per reference, in order.
+    pub fn refresh(
+        &self,
+        store: &mut ObjectStore,
+        mgr: &VersionManager,
+        envs: &EnvironmentRegistry,
+    ) -> Vec<(Surrogate, RebindOutcome)> {
+        let mut out = Vec::with_capacity(self.refs.len());
+        for r in &self.refs {
+            let outcome = match resolve(mgr, store, envs, &r.set, &r.selector) {
+                Err(_) => RebindOutcome::NoMatch,
+                Ok(vid) => {
+                    let target = mgr
+                        .set(&r.set)
+                        .ok()
+                        .and_then(|s| s.entry(vid))
+                        .map(|e| e.object);
+                    match target {
+                        None => RebindOutcome::NoMatch,
+                        Some(to) => {
+                            let current = store.binding_of(r.inheritor, &r.rel_type).and_then(
+                                |rel| store.object(rel).ok().and_then(|o| o.transmitter()),
+                            );
+                            if current == Some(to) {
+                                RebindOutcome::Unchanged
+                            } else {
+                                // Unbind (if bound), then bind to the target.
+                                if let Some(rel) = store.binding_of(r.inheritor, &r.rel_type) {
+                                    let _ = store.unbind(rel);
+                                }
+                                match store.bind(&r.rel_type, to, r.inheritor, vec![]) {
+                                    Ok(_) => RebindOutcome::Rebound { from: current, to },
+                                    Err(_) => RebindOutcome::NoMatch,
+                                }
+                            }
+                        }
+                    }
+                }
+            };
+            out.push((r.inheritor, outcome));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccdb_core::domain::Domain;
+    use ccdb_core::expr::{BinOp, PathExpr};
+    use ccdb_core::schema::{AttrDef, Catalog, InherRelTypeDef, ObjectTypeDef};
+
+    /// Interface versions with increasing Length; an implementation that
+    /// binds generically.
+    fn setup() -> (ObjectStore, VersionManager, Vec<VersionId>, Surrogate) {
+        let mut c = Catalog::new();
+        c.register_object_type(ObjectTypeDef {
+            name: "If".into(),
+            attributes: vec![AttrDef::new("Length", Domain::Int)],
+            ..Default::default()
+        })
+        .unwrap();
+        c.register_inher_rel_type(InherRelTypeDef {
+            name: "AllOf_If".into(),
+            transmitter_type: "If".into(),
+            inheritor_type: None,
+            inheriting: vec!["Length".into()],
+            attributes: vec![],
+            constraints: vec![],
+        })
+        .unwrap();
+        c.register_object_type(ObjectTypeDef {
+            name: "Impl".into(),
+            inheritor_in: vec!["AllOf_If".into()],
+            ..Default::default()
+        })
+        .unwrap();
+        let mut st = ObjectStore::new(c).unwrap();
+        let mut mgr = VersionManager::new();
+        mgr.create_set("Gate").unwrap();
+        let mut ids = Vec::new();
+        let mut prev: Vec<VersionId> = vec![];
+        for len in [10, 20, 30] {
+            let o = st.create_object("If", vec![("Length", Value::Int(len))]).unwrap();
+            let id = mgr.add_version("Gate", o, &prev).unwrap();
+            prev = vec![id];
+            ids.push(id);
+        }
+        let imp = st.create_object("Impl", vec![]).unwrap();
+        (st, mgr, ids, imp)
+    }
+
+    #[test]
+    fn default_and_latest_selection() {
+        let (st, mgr, ids, _) = setup();
+        let envs = EnvironmentRegistry::new();
+        assert_eq!(resolve(&mgr, &st, &envs, "Gate", &Selector::Default).unwrap(), ids[0]);
+        assert_eq!(resolve(&mgr, &st, &envs, "Gate", &Selector::Latest).unwrap(), ids[2]);
+    }
+
+    #[test]
+    fn status_filtered_selection() {
+        let (st, mut mgr, ids, _) = setup();
+        let envs = EnvironmentRegistry::new();
+        mgr.set_status("Gate", ids[0], VersionStatus::Released).unwrap();
+        mgr.set_status("Gate", ids[1], VersionStatus::Tested).unwrap();
+        let sel = Selector::LatestWithStatus(VersionStatus::Released);
+        assert_eq!(resolve(&mgr, &st, &envs, "Gate", &sel).unwrap(), ids[0]);
+        // Release a newer one; the selection moves.
+        mgr.set_status("Gate", ids[1], VersionStatus::Released).unwrap();
+        assert_eq!(resolve(&mgr, &st, &envs, "Gate", &sel).unwrap(), ids[1]);
+    }
+
+    #[test]
+    fn top_down_query_selection() {
+        let (st, mgr, ids, _) = setup();
+        let envs = EnvironmentRegistry::new();
+        // Require Length <= 20: newest satisfying is v2.
+        let pred = Expr::bin(
+            BinOp::Le,
+            Expr::Path(PathExpr::self_path(&["Length"])),
+            Expr::int(20),
+        );
+        assert_eq!(
+            resolve(&mgr, &st, &envs, "Gate", &Selector::Query(pred)).unwrap(),
+            ids[1]
+        );
+        // Impossible query → NoMatch.
+        let never = Expr::bin(
+            BinOp::Lt,
+            Expr::Path(PathExpr::self_path(&["Length"])),
+            Expr::int(0),
+        );
+        assert!(matches!(
+            resolve(&mgr, &st, &envs, "Gate", &Selector::Query(never)),
+            Err(VersionError::NoMatch(_))
+        ));
+    }
+
+    #[test]
+    fn environment_selection() {
+        let (st, mgr, ids, _) = setup();
+        let mut envs = EnvironmentRegistry::new();
+        envs.pin("release-1", "Gate", ids[1]);
+        assert_eq!(
+            resolve(&mgr, &st, &envs, "Gate", &Selector::Environment("release-1".into()))
+                .unwrap(),
+            ids[1]
+        );
+        assert!(resolve(&mgr, &st, &envs, "Gate", &Selector::Environment("other".into())).is_err());
+    }
+
+    #[test]
+    fn refresh_binds_and_rebinds() {
+        let (mut st, mut mgr, _, imp) = setup();
+        let envs = EnvironmentRegistry::new();
+        let mut gb = GenericBindings::new();
+        gb.register(GenericRef {
+            inheritor: imp,
+            rel_type: "AllOf_If".into(),
+            set: "Gate".into(),
+            selector: Selector::Latest,
+        });
+        // First refresh: binds to v3 (Length 30).
+        let report = gb.refresh(&mut st, &mgr, &envs);
+        assert!(matches!(report[0].1, RebindOutcome::Rebound { from: None, .. }));
+        assert_eq!(st.attr(imp, "Length").unwrap(), Value::Int(30));
+        // Second refresh: nothing to do.
+        let report = gb.refresh(&mut st, &mgr, &envs);
+        assert_eq!(report[0].1, RebindOutcome::Unchanged);
+        // A new version appears; refresh rebinds and the new value is live.
+        let v4obj = st.create_object("If", vec![("Length", Value::Int(40))]).unwrap();
+        let latest = mgr.set("Gate").unwrap().latest().unwrap();
+        mgr.add_version("Gate", v4obj, &[latest]).unwrap();
+        let report = gb.refresh(&mut st, &mgr, &envs);
+        assert!(matches!(report[0].1, RebindOutcome::Rebound { from: Some(_), .. }));
+        assert_eq!(st.attr(imp, "Length").unwrap(), Value::Int(40));
+    }
+
+    #[test]
+    fn refresh_reports_no_match_and_keeps_binding() {
+        let (mut st, mgr, ids, imp) = setup();
+        let mut envs = EnvironmentRegistry::new();
+        envs.pin("cfg", "Gate", ids[0]);
+        let mut gb = GenericBindings::new();
+        gb.register(GenericRef {
+            inheritor: imp,
+            rel_type: "AllOf_If".into(),
+            set: "Gate".into(),
+            selector: Selector::Environment("cfg".into()),
+        });
+        gb.refresh(&mut st, &mgr, &envs);
+        assert_eq!(st.attr(imp, "Length").unwrap(), Value::Int(10));
+        // Unpin: NoMatch, binding untouched.
+        let empty_envs = EnvironmentRegistry::new();
+        let report = gb.refresh(&mut st, &mgr, &empty_envs);
+        assert_eq!(report[0].1, RebindOutcome::NoMatch);
+        assert_eq!(st.attr(imp, "Length").unwrap(), Value::Int(10));
+    }
+}

@@ -1,0 +1,118 @@
+//! Durable operation: a design database that survives restarts.
+//!
+//! Opens (or creates) a `PersistentDatabase` in a directory, runs
+//! transactions whose commits are WAL-durable, simulates a crash, reopens,
+//! and shows the committed state — including a transactional cascade
+//! delete rolled back by abort.
+//!
+//! Run with: `cargo run -p ccdb-examples --bin persistent_db`
+
+use ccdb_core::prelude::*;
+use ccdb_lang::compile_str;
+use ccdb_txn::PersistentDatabase;
+
+fn fresh_store() -> ObjectStore {
+    let mut catalog = Catalog::new();
+    compile_str(
+        r#"
+        obj-type PadType =
+            attributes: Size: integer;
+        end PadType;
+
+        obj-type Module =
+            attributes:
+                Name: char;
+                Revision: integer;
+            types-of-subclasses:
+                Pads: PadType;
+        end Module;
+
+        inher-rel-type AllOf_Module =
+            transmitter: object-of-type Module;
+            inheritor: object;
+            inheriting: Name, Revision, Pads;
+        end AllOf_Module;
+
+        obj-type Placement =
+            inheritor-in: AllOf_Module;
+            attributes: Pos: Point;
+        end Placement;
+        "#,
+        &mut catalog,
+    )
+    .unwrap();
+    ObjectStore::new(catalog).unwrap()
+}
+
+fn main() {
+    let dir = tempfile::tempdir().unwrap();
+    println!("database directory: {}", dir.path().display());
+
+    // Session 1: create, commit, crash.
+    let (module, placement, doomed);
+    {
+        let pdb = PersistentDatabase::create(dir.path(), fresh_store()).unwrap();
+        let tx = pdb.begin("alice");
+        module = pdb
+            .create_object(
+                &tx,
+                "Module",
+                vec![("Name", Value::Str("CPU".into())), ("Revision", Value::Int(1))],
+            )
+            .unwrap();
+        pdb.create_subobject(&tx, module, "Pads", vec![("Size", Value::Int(3))]).unwrap();
+        placement = pdb
+            .create_object(&tx, "Placement", vec![("Pos", Value::Point { x: 10, y: 20 })])
+            .unwrap();
+        pdb.bind(&tx, "AllOf_Module", module, placement).unwrap();
+        pdb.commit(tx).unwrap();
+        println!("session 1: committed module + placement (binding inherited Revision = 1)");
+
+        // A transaction that never commits: its effects must not survive.
+        let tx = pdb.begin("alice");
+        doomed = pdb.create_object(&tx, "Module", vec![("Revision", Value::Int(666))]).unwrap();
+        pdb.write_attr(&tx, module, "Revision", Value::Int(999)).unwrap();
+        // Crash before commit: drop everything.
+    }
+
+    // Session 2: reopen — recovery replays exactly the committed state.
+    {
+        let pdb = PersistentDatabase::open(dir.path()).unwrap();
+        pdb.db().with_store(|st| {
+            assert_eq!(st.attr(placement, "Revision").unwrap(), Value::Int(1));
+            assert!(st.object(doomed).is_err(), "uncommitted module gone");
+            println!(
+                "session 2: recovered — placement sees Revision = {} through the binding; \
+                 uncommitted work absent",
+                st.attr(placement, "Revision").unwrap()
+            );
+        });
+
+        // Transactional cascade delete: abort restores the module tree.
+        let tx = pdb.begin("bob");
+        pdb.db().unbind(&tx, pdb.db().with_store(|st| st.binding_of(placement, "AllOf_Module").unwrap())).unwrap();
+        pdb.db().delete(&tx, module).unwrap();
+        assert!(pdb.db().with_store(|st| st.object(module).is_err()));
+        pdb.abort(tx);
+        assert!(pdb.db().with_store(|st| st.object(module).is_ok()));
+        println!("session 2: cascade delete aborted — module (and pads, binding) restored");
+
+        // Now delete for real and make it durable.
+        let tx = pdb.begin("bob");
+        let rel = pdb.db().with_store(|st| st.binding_of(placement, "AllOf_Module").unwrap());
+        pdb.unbind(&tx, rel).unwrap();
+        pdb.db().delete(&tx, module).unwrap();
+        pdb.commit(tx).unwrap();
+        pdb.checkpoint().unwrap();
+    }
+
+    // Session 3: the delete survived.
+    let pdb = PersistentDatabase::open(dir.path()).unwrap();
+    pdb.db().with_store(|st| {
+        assert!(st.object(module).is_err());
+        assert!(st.object(placement).is_ok(), "placement survives, unbound");
+        assert_eq!(st.attr(placement, "Revision").unwrap(), Value::Missing);
+    });
+    println!("session 3: committed delete is durable; placement is an unbound inheritor");
+    println!("persistent_db OK");
+}

@@ -1,0 +1,147 @@
+//! Steel construction: the paper's §5 scenario end to end.
+//!
+//! Compiles the §5 listings verbatim, assembles a weight-carrying structure
+//! from girder/plate interfaces with screwings (bolt + nut embedded in the
+//! relationship), checks every constraint, demonstrates a violation being
+//! caught, and shows the component-update workflow with adaptation flags.
+//!
+//! Run with: `cargo run -p ccdb-examples --bin steel_construction`
+
+use ccdb_core::expand::{expand, expansion_footprint};
+use ccdb_core::store::ObjectStore;
+use ccdb_core::Value;
+use ccdb_lang::paper::steel_catalog;
+
+fn main() {
+    let mut st = ObjectStore::new(steel_catalog().expect("paper schema compiles")).unwrap();
+
+    // ---------------------------------------------------------------
+    // Component library: a girder interface and a plate interface, each
+    // with bores; a bolt and a nut.
+    // ---------------------------------------------------------------
+    let girder_if = st
+        .create_object(
+            "GirderInterface",
+            vec![("Length", Value::Int(600)), ("Height", Value::Int(30)), ("Width", Value::Int(15))],
+        )
+        .unwrap();
+    let g_bore = st
+        .create_subobject(
+            girder_if,
+            "Bores",
+            vec![
+                ("Diameter", Value::Int(10)),
+                ("Length", Value::Int(12)),
+                ("Position", Value::Point { x: 50, y: 0 }),
+            ],
+        )
+        .unwrap();
+    let plate_if = st
+        .create_object(
+            "PlateInterface",
+            vec![
+                ("Thickness", Value::Int(8)),
+                (
+                    "Area",
+                    Value::record(vec![
+                        ("Length".into(), Value::Int(200)),
+                        ("Width".into(), Value::Int(100)),
+                    ]),
+                ),
+            ],
+        )
+        .unwrap();
+    let p_bore = st
+        .create_subobject(
+            plate_if,
+            "Bores",
+            vec![
+                ("Diameter", Value::Int(10)),
+                ("Length", Value::Int(8)),
+                ("Position", Value::Point { x: 50, y: 0 }),
+            ],
+        )
+        .unwrap();
+    let bolt = st
+        .create_object("BoltType", vec![("Length", Value::Int(26)), ("Diameter", Value::Int(10))])
+        .unwrap();
+    let nut = st
+        .create_object("NutType", vec![("Length", Value::Int(6)), ("Diameter", Value::Int(10))])
+        .unwrap();
+
+    // The girder interface itself carries a constraint (§5):
+    // Length < 100*Height*Width. Check it directly.
+    assert!(st.check_constraints(girder_if).unwrap().is_empty());
+
+    // ---------------------------------------------------------------
+    // The structure: component subobjects inherit the interfaces' data;
+    // a screwing joins a girder bore with a plate bore and embeds its
+    // bolt and nut as subobjects of the relationship.
+    // ---------------------------------------------------------------
+    let structure = st
+        .create_object(
+            "WeightCarrying_Structure",
+            vec![
+                ("Designer", Value::Str("W. Wilkes".into())),
+                ("Description", Value::Str("demo frame".into())),
+            ],
+        )
+        .unwrap();
+    let g = st.create_subobject(structure, "Girders", vec![]).unwrap();
+    st.bind("AllOf_GirderIf", girder_if, g, vec![]).unwrap();
+    let p = st.create_subobject(structure, "Plates", vec![]).unwrap();
+    st.bind("AllOf_PlateIf", plate_if, p, vec![]).unwrap();
+
+    let screwing = st
+        .create_subrel(
+            structure,
+            "Screwings",
+            vec![("Bores", vec![g_bore, p_bore])],
+            vec![("Strength", Value::Int(250))],
+        )
+        .unwrap();
+    let b = st.create_rel_subobject(screwing, "Bolt", vec![]).unwrap();
+    st.bind("AllOf_BoltType", bolt, b, vec![]).unwrap();
+    let n = st.create_rel_subobject(screwing, "Nut", vec![]).unwrap();
+    st.bind("AllOf_NutType", nut, n, vec![]).unwrap();
+
+    println!("Structure expansion:\n{}", expand(&st, structure, usize::MAX).unwrap().render());
+
+    // ---------------------------------------------------------------
+    // Constraints: all of §5's rules hold — one bolt & one nut per
+    // screwing, matching diameters, bolt fits the bores, bolt length =
+    // nut length + bore lengths (26 = 6 + 12 + 8), screwing bores belong
+    // to the structure's components.
+    // ---------------------------------------------------------------
+    let violations = st.check_all().unwrap();
+    println!("violations in the consistent design: {}", violations.len());
+    assert!(violations.is_empty(), "{violations:?}");
+
+    // Engineering change: the plate gets thicker bores — the bolt no longer
+    // fits; the constraint system catches it.
+    st.set_attr(p_bore, "Length", Value::Int(20)).unwrap();
+    let violations = st.check_all().unwrap();
+    println!("after lengthening the plate bore: {} violation(s):", violations.len());
+    for v in &violations {
+        println!("  {} violates `{}`", v.object, v.constraint);
+    }
+    assert!(!violations.is_empty());
+    st.set_attr(p_bore, "Length", Value::Int(8)).unwrap();
+
+    // ---------------------------------------------------------------
+    // Component update & adaptation: changing the girder interface flags
+    // the structure's component binding for manual adaptation.
+    // ---------------------------------------------------------------
+    st.set_attr(girder_if, "Length", Value::Int(650)).unwrap();
+    let rel = st.binding_of(g, "AllOf_GirderIf").unwrap();
+    println!(
+        "after girder change: structure sees Length = {}, needs_adaptation = {}",
+        st.attr(g, "Length").unwrap(),
+        st.needs_adaptation(rel).unwrap()
+    );
+
+    // Expansion footprint = what a transaction would read-lock (§6).
+    let fp = expansion_footprint(&st, structure).unwrap();
+    println!("expansion footprint of the structure: {} objects", fp.len());
+    println!("steel_construction OK");
+}

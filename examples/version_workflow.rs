@@ -1,0 +1,162 @@
+//! Multi-designer workflow: transactions, lock inheritance, access control,
+//! long design transactions, and version management together (paper §6).
+//!
+//! Run with: `cargo run -p ccdb-examples --bin version_workflow`
+
+use std::time::Duration;
+
+use ccdb_core::domain::Domain;
+use ccdb_core::schema::{AttrDef, Catalog, InherRelTypeDef, ObjectTypeDef};
+use ccdb_core::store::ObjectStore;
+use ccdb_core::Value;
+use ccdb_txn::lock::LockManager;
+use ccdb_txn::txn::{Database, TxnError};
+use ccdb_txn::{DesignTxn, Right, StampRegistry};
+use ccdb_version::{
+    Configuration, EnvironmentRegistry, GenericBindings, GenericRef, RebindOutcome, Selector,
+    VersionManager, VersionStatus,
+};
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.register_object_type(ObjectTypeDef {
+        name: "CellInterface".into(),
+        attributes: vec![AttrDef::new("Area", Domain::Int), AttrDef::new("Delay", Domain::Int)],
+        ..Default::default()
+    })
+    .unwrap();
+    c.register_inher_rel_type(InherRelTypeDef {
+        name: "AllOf_Cell".into(),
+        transmitter_type: "CellInterface".into(),
+        inheritor_type: None,
+        inheriting: vec!["Area".into()],
+        attributes: vec![],
+        constraints: vec![],
+    })
+    .unwrap();
+    c.register_object_type(ObjectTypeDef {
+        name: "ChipPart".into(),
+        inheritor_in: vec!["AllOf_Cell".into()],
+        attributes: vec![AttrDef::new("Placement", Domain::Point)],
+        ..Default::default()
+    })
+    .unwrap();
+    c
+}
+
+fn main() {
+    // ---------------------------------------------------------------
+    // Setup: a standard-cell library (versioned) and a chip using it.
+    // ---------------------------------------------------------------
+    let mut store = ObjectStore::new(catalog()).unwrap();
+    let mut vm = VersionManager::new();
+    vm.create_set("StdCell").unwrap();
+    let cell_v1 = store
+        .create_object("CellInterface", vec![("Area", Value::Int(100)), ("Delay", Value::Int(9))])
+        .unwrap();
+    let v1 = vm.add_version("StdCell", cell_v1, &[]).unwrap();
+    vm.set_status("StdCell", v1, VersionStatus::Released).unwrap();
+
+    let part = store
+        .create_object("ChipPart", vec![("Placement", Value::Point { x: 1, y: 2 })])
+        .unwrap();
+    store.bind("AllOf_Cell", cell_v1, part, vec![]).unwrap();
+
+    let db = Database::with_lock_manager(store, LockManager::with_timeout(Duration::from_millis(50)));
+
+    // ---------------------------------------------------------------
+    // Lock inheritance: alice reads the part's inherited Area — this
+    // read-locks only (cell, Area). bob can still update Delay, but not
+    // Area, until alice commits.
+    // ---------------------------------------------------------------
+    let alice = db.begin("alice");
+    let area = db.read_attr(&alice, part, "Area").unwrap();
+    println!("alice reads part.Area = {area} (inherited; locks the permeable item)");
+
+    let bob = db.begin("bob");
+    db.write_attr(&bob, cell_v1, "Delay", Value::Int(8)).unwrap();
+    println!("bob updates cell.Delay concurrently: OK (not permeable)");
+    match db.write_attr(&bob, cell_v1, "Area", Value::Int(120)) {
+        Err(TxnError::Lock(e)) => println!("bob updates cell.Area: blocked ({e})"),
+        other => panic!("expected lock conflict, got {other:?}"),
+    }
+    db.abort(bob);
+    db.commit(alice);
+
+    // ---------------------------------------------------------------
+    // Access control: the standard cell is read-only for designers; an
+    // expansion-for-update degrades its lock to S instead of failing.
+    // ---------------------------------------------------------------
+    db.with_access_mut(|ac| ac.grant_object("carol", cell_v1, Right::Read));
+    let carol = db.begin("carol");
+    let writable = db.expand_update(&carol, part).unwrap();
+    println!(
+        "carol expands the part for update: {} writable object(s); the standard cell is protected",
+        writable.len()
+    );
+    assert!(!writable.contains(&cell_v1));
+    db.commit(carol);
+
+    // ---------------------------------------------------------------
+    // Long design transaction: dave designs a new cell version in a
+    // private workspace (optimistic; no locks held for the session).
+    // ---------------------------------------------------------------
+    let stamps = StampRegistry::new();
+    let cell_v2 = db.with_store_mut(|st| {
+        st.create_object("CellInterface", vec![("Area", Value::Int(90)), ("Delay", Value::Int(7))])
+            .unwrap()
+    });
+    let mut session = db.with_store(|st| {
+        DesignTxn::checkout("dave", st, &stamps, &[cell_v2]).unwrap()
+    });
+    session.set_attr(cell_v2, "Area", Value::Int(85)).unwrap();
+    db.with_store_mut(|st| session.checkin(st, &stamps)).unwrap();
+    println!("dave's design session checked in: new cell Area = 85");
+
+    // ---------------------------------------------------------------
+    // Version release + generic rebinding: the chip part follows the
+    // latest released cell.
+    // ---------------------------------------------------------------
+    let v2 = vm.add_version("StdCell", cell_v2, &[v1]).unwrap();
+    vm.set_status("StdCell", v2, VersionStatus::Released).unwrap();
+    let mut gb = GenericBindings::new();
+    gb.register(GenericRef {
+        inheritor: part,
+        rel_type: "AllOf_Cell".into(),
+        set: "StdCell".into(),
+        selector: Selector::LatestWithStatus(VersionStatus::Released),
+    });
+    let envs = EnvironmentRegistry::new();
+    let report = db.with_store_mut(|st| gb.refresh(st, &vm, &envs));
+    match &report[0].1 {
+        RebindOutcome::Rebound { from, to } => {
+            println!("part rebound from {from:?} to {to} (new released version)")
+        }
+        other => panic!("expected rebind, got {other:?}"),
+    }
+    let new_area = db.with_store(|st| st.attr(part, "Area").unwrap());
+    println!("part.Area now = {new_area} (inherited from the new version)");
+    assert_eq!(new_area, Value::Int(85));
+
+    // ---------------------------------------------------------------
+    // Configuration control: snapshot the shipped binding state, move the
+    // design forward, then restore the shipped configuration exactly.
+    // ---------------------------------------------------------------
+    let shipped = db.with_store(|st| Configuration::capture("ship-1", st, part).unwrap());
+    // Design marches on: rebind the part back to v1.
+    db.with_store_mut(|st| {
+        let rel = st.binding_of(part, "AllOf_Cell").unwrap();
+        st.unbind(rel).unwrap();
+        st.bind("AllOf_Cell", cell_v1, part, vec![]).unwrap();
+    });
+    assert_eq!(db.with_store(|st| st.attr(part, "Area").unwrap()), Value::Int(100));
+    let report = db.with_store_mut(|st| shipped.apply(st));
+    println!(
+        "configuration `{}` re-applied: {} slot(s) rebound — part.Area = {}",
+        shipped.name,
+        report.rebound,
+        db.with_store(|st| st.attr(part, "Area").unwrap())
+    );
+    assert_eq!(db.with_store(|st| st.attr(part, "Area").unwrap()), Value::Int(85));
+    println!("version_workflow OK");
+}

@@ -1,0 +1,1 @@
+pub const DOC: &str = "integration test host crate";

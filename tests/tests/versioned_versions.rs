@@ -1,0 +1,146 @@
+//! "Versioned versions" (paper §6): by generalizing interfaces into an
+//! abstraction hierarchy, interfaces themselves get versions whose versions
+//! are the implementations — two version dimensions organized by the
+//! inheritance relationship.
+
+use ccdb_core::store::ObjectStore;
+use ccdb_core::{Surrogate, Value};
+use ccdb_lang::paper::chip_catalog;
+use ccdb_version::{VersionId, VersionManager, VersionStatus};
+
+struct World {
+    st: ObjectStore,
+    vm: VersionManager,
+    /// Interface versions (of the abstract design object "NAND").
+    if_versions: Vec<(VersionId, Surrogate)>,
+    /// Implementation versions per interface version.
+    impl_versions: Vec<Vec<(VersionId, Surrogate)>>,
+}
+
+fn build() -> World {
+    let mut st = ObjectStore::new(chip_catalog().unwrap()).unwrap();
+    let mut vm = VersionManager::new();
+
+    // The most abstract level: the pin layout, shared by all interface
+    // versions (GateInterface_I).
+    let pins = st.create_object("GateInterface_I", vec![]).unwrap();
+    for io in ["IN", "IN", "OUT"] {
+        st.create_subobject(
+            pins,
+            "Pins",
+            vec![("InOut", Value::Enum(io.into())), ("PinLocation", Value::Point { x: 0, y: 0 })],
+        )
+        .unwrap();
+    }
+
+    // Interface versions: same pins, different expansions (§4.2: "interfaces
+    // of gates may possess the same pins, but their expansion may be
+    // different").
+    vm.create_set("NAND-interface").unwrap();
+    let mut if_versions = Vec::new();
+    let mut prev: Vec<VersionId> = vec![];
+    for len in [4i64, 5] {
+        let iface = st
+            .create_object(
+                "GateInterface",
+                vec![("Length", Value::Int(len)), ("Width", Value::Int(2))],
+            )
+            .unwrap();
+        st.bind("AllOf_GateInterface_I", pins, iface, vec![]).unwrap();
+        let vid = vm.add_version("NAND-interface", iface, &prev).unwrap();
+        prev = vec![vid];
+        if_versions.push((vid, iface));
+    }
+
+    // Implementation versions per interface version: each interface version
+    // has its own set of realizations — the versions of versions.
+    let mut impl_versions = Vec::new();
+    for (i, (_, iface)) in if_versions.iter().enumerate() {
+        let set = format!("NAND-impl-of-ifv{}", i + 1);
+        vm.create_set(&set).unwrap();
+        let mut impls = Vec::new();
+        let mut prev: Vec<VersionId> = vec![];
+        for tb in [10i64, 7] {
+            let imp = st
+                .create_object(
+                    "GateImplementation",
+                    vec![
+                        ("Function", Value::Matrix(vec![vec![Value::Bool(true)]])),
+                        ("TimeBehavior", Value::Int(tb)),
+                    ],
+                )
+                .unwrap();
+            st.bind("AllOf_GateInterface", *iface, imp, vec![]).unwrap();
+            let vid = vm.add_version(&set, imp, &prev).unwrap();
+            prev = vec![vid];
+            impls.push((vid, imp));
+        }
+        impl_versions.push(impls);
+    }
+    World { st, vm, if_versions, impl_versions }
+}
+
+#[test]
+fn two_version_dimensions_coexist() {
+    let w = build();
+    // 1 pin level + 2 interface versions + 2×2 implementation versions.
+    assert_eq!(w.vm.set_names().len(), 3);
+    assert_eq!(w.vm.set("NAND-interface").unwrap().entries().len(), 2);
+    for i in 0..2 {
+        let set = format!("NAND-impl-of-ifv{}", i + 1);
+        assert_eq!(w.vm.set(&set).unwrap().entries().len(), 2);
+    }
+    // Every implementation sees its interface version's expansion AND the
+    // shared abstract pins, through two inheritance hops.
+    for (i, impls) in w.impl_versions.iter().enumerate() {
+        let expected_len = [4i64, 5][i];
+        for (_, imp) in impls {
+            assert_eq!(w.st.attr(*imp, "Length").unwrap(), Value::Int(expected_len));
+            assert_eq!(w.st.subclass_members(*imp, "Pins").unwrap().len(), 3);
+        }
+    }
+}
+
+#[test]
+fn abstract_level_update_reaches_every_version() {
+    let mut w = build();
+    // Adding a pin at the most abstract level becomes visible in all 2
+    // interface versions and all 4 implementation versions instantly.
+    let pins_owner = w
+        .st
+        .surrogates()
+        .find(|s| w.st.object(*s).unwrap().type_name == "GateInterface_I")
+        .unwrap();
+    w.st.create_subobject(
+        pins_owner,
+        "Pins",
+        vec![
+            ("InOut", Value::Enum("OUT".into())),
+            ("PinLocation", Value::Point { x: 9, y: 9 }),
+        ],
+    )
+    .unwrap();
+    for (_, iface) in &w.if_versions {
+        assert_eq!(w.st.subclass_members(*iface, "Pins").unwrap().len(), 4);
+    }
+    for impls in &w.impl_versions {
+        for (_, imp) in impls {
+            assert_eq!(w.st.subclass_members(*imp, "Pins").unwrap().len(), 4);
+        }
+    }
+}
+
+#[test]
+fn statuses_progress_independently_per_dimension() {
+    let mut w = build();
+    let (if_v1, _) = w.if_versions[0];
+    w.vm.set_status("NAND-interface", if_v1, VersionStatus::Frozen).unwrap();
+    // Freezing an interface version does not constrain its implementations'
+    // lifecycle (managed per set).
+    let (impl_v1, _) = w.impl_versions[0][0];
+    w.vm.set_status("NAND-impl-of-ifv1", impl_v1, VersionStatus::Released).unwrap();
+    assert_eq!(
+        w.vm.set("NAND-impl-of-ifv1").unwrap().entry(impl_v1).unwrap().status,
+        VersionStatus::Released
+    );
+}
