@@ -156,7 +156,9 @@ impl CopyBaseline {
         let mut refreshed = 0;
         for copies in self.composites.values_mut() {
             for copy in copies.iter_mut() {
-                let Some(comp) = self.components.get(&copy.component) else { continue };
+                let Some(comp) = self.components.get(&copy.component) else {
+                    continue;
+                };
                 if comp.version == copy.copied_at_version {
                     continue;
                 }
@@ -178,7 +180,12 @@ impl CopyBaseline {
         self.composites
             .values()
             .flatten()
-            .map(|c| c.data.iter().map(|(k, v)| k.len() + v.byte_size()).sum::<usize>())
+            .map(|c| {
+                c.data
+                    .iter()
+                    .map(|(k, v)| k.len() + v.byte_size())
+                    .sum::<usize>()
+            })
             .sum()
     }
 
@@ -186,7 +193,12 @@ impl CopyBaseline {
     pub fn library_bytes(&self) -> usize {
         self.components
             .values()
-            .map(|c| c.attrs.iter().map(|(k, v)| k.len() + v.byte_size()).sum::<usize>())
+            .map(|c| {
+                c.attrs
+                    .iter()
+                    .map(|(k, v)| k.len() + v.byte_size())
+                    .sum::<usize>()
+            })
             .sum()
     }
 
@@ -257,7 +269,10 @@ mod tests {
         for _ in 0..10 {
             b.build_composite(&[c], None);
         }
-        assert!(b.copied_bytes() >= 10 * (lib - 8), "duplication ~ reuse count");
+        assert!(
+            b.copied_bytes() >= 10 * (lib - 8),
+            "duplication ~ reuse count"
+        );
     }
 
     #[test]

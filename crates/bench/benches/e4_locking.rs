@@ -33,7 +33,8 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             n += 1;
             let tx = db.begin("u");
-            db.write_attr(&tx, interface, "A7", ccdb_core::Value::Int(n)).unwrap();
+            db.write_attr(&tx, interface, "A7", ccdb_core::Value::Int(n))
+                .unwrap();
             db.commit(tx);
         });
     });

@@ -35,7 +35,9 @@ fn setup(versions: usize, composites: usize) -> (ObjectStore, VersionManager, Ge
     mgr.create_set("Gate").unwrap();
     let mut prev = vec![];
     for v in 0..versions {
-        let o = st.create_object("If", vec![("Length", Value::Int(v as i64))]).unwrap();
+        let o = st
+            .create_object("If", vec![("Length", Value::Int(v as i64))])
+            .unwrap();
         let id = mgr.add_version("Gate", o, &prev).unwrap();
         prev = vec![id];
     }

@@ -10,10 +10,14 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e6_expansion");
     for (depth, fanout) in [(4usize, 2usize), (6, 2), (4, 4)] {
         let label = format!("d{depth}_f{fanout}");
-        g.bench_with_input(BenchmarkId::new("expand", &label), &(depth, fanout), |b, &(d, f)| {
-            let (st, root, _) = nested_tree(d, f);
-            b.iter(|| black_box(expand(&st, root, usize::MAX).unwrap()));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("expand", &label),
+            &(depth, fanout),
+            |b, &(d, f)| {
+                let (st, root, _) = nested_tree(d, f);
+                b.iter(|| black_box(expand(&st, root, usize::MAX).unwrap()));
+            },
+        );
         g.bench_with_input(
             BenchmarkId::new("footprint", &label),
             &(depth, fanout),

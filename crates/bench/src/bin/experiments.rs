@@ -1,17 +1,54 @@
 //! Run the E1–E10 experiment suite and print the result tables.
 //!
-//! Usage: `experiments [--quick] [--json]`
+//! Usage: `experiments [--quick] [--json] [--out <dir>]`
+//!
+//! With `--out <dir>`, the suite additionally writes `<dir>/experiments.json`
+//! (the result tables) and a `<dir>/metrics.json` sidecar holding the
+//! process-global [`ccdb_obs`] metrics snapshot accumulated while the
+//! experiments ran — so every result file ships with the observability
+//! counters (resolution, locking, WAL, buffer pool) that produced it.
 
 use std::io::Write;
+use std::path::PathBuf;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let json = std::env::args().any(|a| a == "--json");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let out_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
+
+    ccdb_obs::global().reset_all();
     let tables = ccdb_bench::experiments::run_all(quick);
+    let all: Vec<serde_json::Value> = tables.iter().map(|t| t.to_json()).collect();
+
+    if let Some(dir) = &out_dir {
+        let write_results = || -> std::io::Result<()> {
+            std::fs::create_dir_all(dir)?;
+            std::fs::write(
+                dir.join("experiments.json"),
+                serde_json::to_string_pretty(&all).unwrap(),
+            )?;
+            std::fs::write(dir.join("metrics.json"), ccdb_obs::global().render_json())
+        };
+        if let Err(e) = write_results() {
+            eprintln!("experiments: cannot write --out {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+        writeln!(
+            out,
+            "wrote {}/experiments.json and metrics.json",
+            dir.display()
+        )
+        .unwrap();
+    }
+
     if json {
-        let all: Vec<serde_json::Value> = tables.iter().map(|t| t.to_json()).collect();
         writeln!(out, "{}", serde_json::to_string_pretty(&all).unwrap()).unwrap();
         return;
     }

@@ -15,16 +15,33 @@ use crate::workload::reuse_dag;
 
 /// Run E10.
 pub fn run(quick: bool) -> Table {
-    let sweep: &[usize] = if quick { &[5, 20] } else { &[10, 50, 200, 1000] };
+    let sweep: &[usize] = if quick {
+        &[5, 20]
+    } else {
+        &[10, 50, 200, 1000]
+    };
     let mut t = Table::new(
         "E10: configuration control — capture/diff/apply over component closures",
-        &["slots", "capture", "diff (10% rebound)", "apply (restore)", "rebound"],
+        &[
+            "slots",
+            "capture",
+            "diff (10% rebound)",
+            "apply (restore)",
+            "rebound",
+        ],
     );
     for &n in sweep {
         // One composite with n component slots bound into a 20-part library.
         let mut dag = reuse_dag(20, 1, n, 4, 11);
         let asm_parts = dag.composites[0].clone();
-        let asm = dag.store.object(asm_parts[0]).unwrap().owner.as_ref().unwrap().parent;
+        let asm = dag
+            .store
+            .object(asm_parts[0])
+            .unwrap()
+            .owner
+            .as_ref()
+            .unwrap()
+            .parent;
 
         let start = std::time::Instant::now();
         let release = Configuration::capture("release", &dag.store, asm).unwrap();
@@ -36,9 +53,12 @@ pub fn run(quick: bool) -> Table {
         for part in asm_parts.iter().take(rebound_slots) {
             let rel = dag.store.binding_of(*part, "AllOf_If").unwrap();
             let old = dag.store.object(rel).unwrap().transmitter().unwrap();
-            let new = *dag.store.object(old).ok().and_then(|_| {
-                dag.library.iter().find(|l| **l != old)
-            }).unwrap();
+            let new = *dag
+                .store
+                .object(old)
+                .ok()
+                .and_then(|_| dag.library.iter().find(|l| **l != old))
+                .unwrap();
             dag.store.unbind(rel).unwrap();
             dag.store.bind("AllOf_If", new, *part, vec![]).unwrap();
         }

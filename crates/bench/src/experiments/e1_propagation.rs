@@ -20,7 +20,11 @@ use crate::workload::fanout_store;
 
 /// Run E1.
 pub fn run(quick: bool) -> Table {
-    let sweep: &[usize] = if quick { &[1, 10, 50] } else { &[1, 10, 100, 1000, 5000] };
+    let sweep: &[usize] = if quick {
+        &[1, 10, 50]
+    } else {
+        &[1, 10, 100, 1000, 5000]
+    };
     let iters = if quick { 20 } else { 200 };
     let mut t = Table::new(
         "E1: update propagation — inheritance (view) vs copy baseline",

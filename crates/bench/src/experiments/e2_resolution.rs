@@ -12,11 +12,21 @@ use crate::workload::chain_store;
 
 /// Run E2.
 pub fn run(quick: bool) -> Table {
-    let depths: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 3, 4, 6, 8] };
+    let depths: &[usize] = if quick {
+        &[1, 2, 4]
+    } else {
+        &[1, 2, 3, 4, 6, 8]
+    };
     let iters = if quick { 2_000 } else { 100_000 };
     let mut t = Table::new(
         "E2: attribute-read latency vs inheritance-chain depth",
-        &["chain depth d", "hops", "read (cached schema)", "read (uncached)", "local read"],
+        &[
+            "chain depth d",
+            "hops",
+            "read (cached schema)",
+            "read (uncached)",
+            "local read",
+        ],
     );
     for &d in depths {
         let (st, leaf, root) = chain_store(d);

@@ -18,11 +18,21 @@ const N_ATTRS: usize = 64;
 
 /// Run E3.
 pub fn run(quick: bool) -> Table {
-    let ks: &[usize] = if quick { &[1, 8, 64] } else { &[1, 2, 4, 8, 16, 32, 64] };
+    let ks: &[usize] = if quick {
+        &[1, 8, 64]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 64]
+    };
     let iters = if quick { 200 } else { 5_000 };
     let mut t = Table::new(
         "E3: selective permeability — visible bytes & enumeration time vs k (component: 64 attrs)",
-        &["permeable k", "view bytes", "view enumerate", "full-copy bytes", "copy bytes (selective)"],
+        &[
+            "permeable k",
+            "view bytes",
+            "view enumerate",
+            "full-copy bytes",
+            "copy bytes (selective)",
+        ],
     );
     for &k in ks {
         let (st, _interface, imps) = fanout_store(1, N_ATTRS, k);
@@ -43,10 +53,10 @@ pub fn run(quick: bool) -> Table {
 
         // Baseline: wholesale copy vs selective copy.
         let mut full = CopyBaseline::new();
-        let attrs: Vec<(String, Value)> =
-            (0..N_ATTRS).map(|i| (format!("A{i}"), Value::Int(i as i64))).collect();
-        let refs: Vec<(&str, Value)> =
-            attrs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+        let attrs: Vec<(String, Value)> = (0..N_ATTRS)
+            .map(|i| (format!("A{i}"), Value::Int(i as i64)))
+            .collect();
+        let refs: Vec<(&str, Value)> = attrs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
         let c = full.add_component(refs.clone());
         full.build_composite(&[c], None);
         let full_bytes = full.copied_bytes();

@@ -37,10 +37,8 @@ pub fn run(quick: bool) -> Table {
         // --- item-granular (the paper's lock inheritance) ---
         let (st, interface, imps) = fanout_store(1, N_ATTRS, k);
         let imp = imps[0];
-        let db = Database::with_lock_manager(
-            st,
-            LockManager::with_timeout(Duration::from_millis(10)),
-        );
+        let db =
+            Database::with_lock_manager(st, LockManager::with_timeout(Duration::from_millis(10)));
         let reader = db.begin("reader");
         // Read every inherited attribute: locks (imp, Ai) and (interface, Ai)
         // for i < k.
@@ -112,7 +110,11 @@ fn measure_writer_throughput(k: usize, quick: bool) -> f64 {
                 let mut done = 0u64;
                 for n in 0..per_thread {
                     let tx = db.begin(&format!("w{w}"));
-                    let target = if k < N_ATTRS { attr.clone() } else { format!("A{w}") };
+                    let target = if k < N_ATTRS {
+                        attr.clone()
+                    } else {
+                        format!("A{w}")
+                    };
                     match db.write_attr(&tx, interface, &target, Value::Int(n)) {
                         Ok(()) => {
                             db.commit(tx);

@@ -46,7 +46,9 @@ fn setup(versions: usize, composites: usize) -> (ObjectStore, VersionManager, Ge
     mgr.create_set("Gate").unwrap();
     let mut prev = vec![];
     for v in 0..versions {
-        let o = st.create_object("If", vec![("Length", Value::Int(v as i64))]).unwrap();
+        let o = st
+            .create_object("If", vec![("Length", Value::Int(v as i64))])
+            .unwrap();
         let id = mgr.add_version("Gate", o, &prev).unwrap();
         mgr.set_status("Gate", id, VersionStatus::Released).unwrap();
         prev = vec![id];
@@ -66,11 +68,22 @@ fn setup(versions: usize, composites: usize) -> (ObjectStore, VersionManager, Ge
 
 /// Run E5.
 pub fn run(quick: bool) -> Table {
-    let sweeps: &[(usize, usize)] =
-        if quick { &[(4, 10)] } else { &[(4, 100), (16, 100), (64, 100), (16, 1000)] };
+    let sweeps: &[(usize, usize)] = if quick {
+        &[(4, 10)]
+    } else {
+        &[(4, 100), (16, 100), (64, 100), (16, 1000)]
+    };
     let mut t = Table::new(
         "E5: generic-relationship refresh — selection strategies (V versions, C composites)",
-        &["V", "C", "bottom-up default", "latest", "top-down query", "environment", "rebinds on new release"],
+        &[
+            "V",
+            "C",
+            "bottom-up default",
+            "latest",
+            "top-down query",
+            "environment",
+            "rebinds on new release",
+        ],
     );
     for &(v, c) in sweeps {
         let (mut st, mgr, gb) = setup(v, c);
@@ -85,7 +98,10 @@ pub fn run(quick: bool) -> Table {
         let time_selector = |st: &mut ObjectStore, selector: Selector| {
             let mut gb2 = GenericBindings::new();
             for r in gb.refs() {
-                gb2.register(GenericRef { selector: selector.clone(), ..r.clone() });
+                gb2.register(GenericRef {
+                    selector: selector.clone(),
+                    ..r.clone()
+                });
             }
             let start = std::time::Instant::now();
             gb2.refresh(st, &mgr, &envs);
@@ -105,7 +121,9 @@ pub fn run(quick: bool) -> Table {
         let (mut st2, mut mgr2, gb2) = setup(v, c);
         let envs2 = EnvironmentRegistry::new();
         gb2.refresh(&mut st2, &mgr2, &envs2);
-        let newest = st2.create_object("If", vec![("Length", Value::Int(999))]).unwrap();
+        let newest = st2
+            .create_object("If", vec![("Length", Value::Int(999))])
+            .unwrap();
         let latest = mgr2.set("Gate").unwrap().latest().unwrap();
         mgr2.add_version("Gate", newest, &[latest]).unwrap();
         let rebinds = gb2

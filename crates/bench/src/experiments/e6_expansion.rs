@@ -12,11 +12,21 @@ use crate::workload::nested_tree;
 
 /// Run E6.
 pub fn run(quick: bool) -> Table {
-    let sweeps: &[(usize, usize)] =
-        if quick { &[(3, 2), (2, 4)] } else { &[(3, 2), (6, 2), (3, 4), (8, 2), (4, 6)] };
+    let sweeps: &[(usize, usize)] = if quick {
+        &[(3, 2), (2, 4)]
+    } else {
+        &[(3, 2), (6, 2), (3, 4), (8, 2), (4, 6)]
+    };
     let mut t = Table::new(
         "E6: expansion & cascade delete over nested composites",
-        &["depth", "fanout", "objects", "expand", "footprint size", "cascade delete"],
+        &[
+            "depth",
+            "fanout",
+            "objects",
+            "expand",
+            "footprint size",
+            "cascade delete",
+        ],
     );
     for &(depth, fanout) in sweeps {
         let (st, root, count) = nested_tree(depth, fanout);

@@ -16,7 +16,14 @@ pub fn run(quick: bool) -> Table {
     let sweep: &[usize] = if quick { &[2, 8] } else { &[1, 4, 16, 64, 128] };
     let mut t = Table::new(
         "E7: constraint checking on WeightCarrying_Structure (paper §5)",
-        &["screwings", "objects", "check_all (clean)", "violations", "check_all (1 fault)", "caught"],
+        &[
+            "screwings",
+            "objects",
+            "check_all (clean)",
+            "violations",
+            "check_all (1 fault)",
+            "caught",
+        ],
     );
     for &n in sweep {
         let (st, _structure) = steel_structure(n);

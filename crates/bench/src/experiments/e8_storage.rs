@@ -11,11 +11,22 @@ use crate::table::{fmt_bytes, fmt_nanos, Table};
 
 /// Run E8.
 pub fn run(quick: bool) -> Table {
-    let sizes: &[usize] = if quick { &[64, 1024] } else { &[64, 256, 1024, 4096] };
+    let sizes: &[usize] = if quick {
+        &[64, 1024]
+    } else {
+        &[64, 256, 1024, 4096]
+    };
     let commits = if quick { 50 } else { 1_000 };
     let mut t = Table::new(
         "E8: durable KV substrate — commit latency & recovery time",
-        &["record size", "commits", "commit latency", "wal bytes", "recovery", "recovered keys"],
+        &[
+            "record size",
+            "commits",
+            "commit latency",
+            "wal bytes",
+            "recovery",
+            "recovered keys",
+        ],
     );
     for &size in sizes {
         let dir = tempfile::tempdir().unwrap();

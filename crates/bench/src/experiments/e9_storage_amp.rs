@@ -18,10 +18,20 @@ const N_ATTRS: usize = 16;
 
 /// Run E9.
 pub fn run(quick: bool) -> Table {
-    let sweep: &[usize] = if quick { &[10, 50] } else { &[10, 100, 500, 2000] };
+    let sweep: &[usize] = if quick {
+        &[10, 50]
+    } else {
+        &[10, 100, 500, 2000]
+    };
     let mut t = Table::new(
         "E9: storage amplification — shared (inheritance) vs duplicated (copy) component data",
-        &["composites", "inherit bytes", "copy bytes", "amplification", "component uses"],
+        &[
+            "composites",
+            "inherit bytes",
+            "copy bytes",
+            "amplification",
+            "component uses",
+        ],
     );
     for &n in sweep {
         let dag = reuse_dag(LIB, n, PER_COMPOSITE, N_ATTRS, 7);
@@ -40,8 +50,9 @@ pub fn run(quick: bool) -> Table {
         }
         let mut r = rng(7);
         for _ in 0..n {
-            let picks: Vec<_> =
-                (0..PER_COMPOSITE).map(|_| lib[zipf_sample(&mut r, LIB)]).collect();
+            let picks: Vec<_> = (0..PER_COMPOSITE)
+                .map(|_| lib[zipf_sample(&mut r, LIB)])
+                .collect();
             cb.build_composite(&picks, None);
         }
         let copy_bytes = cb.library_bytes() + cb.copied_bytes();
@@ -66,6 +77,9 @@ mod tests {
         let t = run(true);
         let last = t.rows.last().unwrap();
         let amp: f64 = last[3].trim_end_matches('x').parse().unwrap();
-        assert!(amp > 2.0, "copying should clearly amplify storage, got {amp}");
+        assert!(
+            amp > 2.0,
+            "copying should clearly amplify storage, got {amp}"
+        );
     }
 }

@@ -75,7 +75,13 @@ pub fn figure1() -> String {
     // Wires: R→g1.i1, S→g2.i2, cross-coupling g1.o→g2.i1, g2.o→g1.i2,
     // and g1.o→Q (pins of gates related to pins of subgates, as in the
     // figure).
-    for (a, b) in [(r_in, g1_i1), (s_in, g2_i2), (g1_o, g2_i1), (g2_o, g1_i2), (g1_o, q_out)] {
+    for (a, b) in [
+        (r_in, g1_i1),
+        (s_in, g2_i2),
+        (g1_o, g2_i1),
+        (g2_o, g1_i2),
+        (g1_o, q_out),
+    ] {
         st.create_subrel(
             ff,
             "Wires",
@@ -111,9 +117,13 @@ pub fn figure2() -> String {
     pin(&mut st, if_i, "Pins", "IN", 1);
     pin(&mut st, if_i, "Pins", "OUT", 2);
     let gate_if = st
-        .create_object("GateInterface", vec![("Length", Value::Int(10)), ("Width", Value::Int(4))])
+        .create_object(
+            "GateInterface",
+            vec![("Length", Value::Int(10)), ("Width", Value::Int(4))],
+        )
         .unwrap();
-    st.bind("AllOf_GateInterface_I", if_i, gate_if, vec![]).unwrap();
+    st.bind("AllOf_GateInterface_I", if_i, gate_if, vec![])
+        .unwrap();
 
     // Two implementations (versions) of the same interface.
     let imp = |st: &mut ObjectStore, tb: i64| {
@@ -152,9 +162,8 @@ pub fn figure2() -> String {
         .count();
     assert_eq!(flagged, 2);
 
-    let mut out = String::from(
-        "Figure 2: GateInterface and GateImplementation via AllOf_GateInterface\n\n",
-    );
+    let mut out =
+        String::from("Figure 2: GateInterface and GateImplementation via AllOf_GateInterface\n\n");
     out.push_str(&expand(&st, imp1, usize::MAX).unwrap().render());
     out.push_str(
         "\nChecks: values inherited ✓  read-only in inheritor ✓  update instantly visible ✓\n\
@@ -169,12 +178,18 @@ pub fn figure3() -> String {
     let mut st = ObjectStore::new(chip_catalog().unwrap()).unwrap();
     // The component: a previously designed gate with its interface.
     let nand_if = st
-        .create_object("GateInterface", vec![("Length", Value::Int(3)), ("Width", Value::Int(2))])
+        .create_object(
+            "GateInterface",
+            vec![("Length", Value::Int(3)), ("Width", Value::Int(2))],
+        )
         .unwrap();
     // The composite: its own interface + an implementation whose SubGates
     // member inherits from the *component's* interface.
     let comp_if = st
-        .create_object("GateInterface", vec![("Length", Value::Int(20)), ("Width", Value::Int(8))])
+        .create_object(
+            "GateInterface",
+            vec![("Length", Value::Int(20)), ("Width", Value::Int(8))],
+        )
         .unwrap();
     let comp_impl = st
         .create_object(
@@ -183,7 +198,8 @@ pub fn figure3() -> String {
         )
         .unwrap();
     // Interface relationship (composite ↔ its interface).
-    st.bind("AllOf_GateInterface", comp_if, comp_impl, vec![]).unwrap();
+    st.bind("AllOf_GateInterface", comp_if, comp_impl, vec![])
+        .unwrap();
     // Component relationship (subobject ↔ component interface).
     let sub = st
         .create_subobject(
@@ -192,13 +208,17 @@ pub fn figure3() -> String {
             vec![("GateLocation", Value::Point { x: 4, y: 2 })],
         )
         .unwrap();
-    st.bind("AllOf_GateInterface", nand_if, sub, vec![]).unwrap();
+    st.bind("AllOf_GateInterface", nand_if, sub, vec![])
+        .unwrap();
 
     // The composite sees its interface's data; the subobject sees the
     // component's data *plus* its own placement.
     assert_eq!(st.attr(comp_impl, "Length").unwrap(), Value::Int(20));
     assert_eq!(st.attr(sub, "Length").unwrap(), Value::Int(3));
-    assert_eq!(st.attr(sub, "GateLocation").unwrap(), Value::Point { x: 4, y: 2 });
+    assert_eq!(
+        st.attr(sub, "GateLocation").unwrap(),
+        Value::Point { x: 4, y: 2 }
+    );
     // Updating the component updates the view inside the composite.
     st.set_attr(nand_if, "Length", Value::Int(4)).unwrap();
     assert_eq!(st.attr(sub, "Length").unwrap(), Value::Int(4));
@@ -218,7 +238,10 @@ pub fn figure3() -> String {
 pub fn figure4() -> String {
     let mut st = ObjectStore::new(chip_catalog().unwrap()).unwrap();
     let gate1_if = st
-        .create_object("GateInterface", vec![("Length", Value::Int(5)), ("Width", Value::Int(3))])
+        .create_object(
+            "GateInterface",
+            vec![("Length", Value::Int(5)), ("Width", Value::Int(3))],
+        )
         .unwrap();
     // Role 1: interface of its own implementation.
     let gate1_impl = st
@@ -227,7 +250,8 @@ pub fn figure4() -> String {
             vec![("Function", Value::Matrix(vec![vec![Value::Bool(false)]]))],
         )
         .unwrap();
-    st.bind("AllOf_GateInterface", gate1_if, gate1_impl, vec![]).unwrap();
+    st.bind("AllOf_GateInterface", gate1_if, gate1_impl, vec![])
+        .unwrap();
     // Role 2: component of a different implementation.
     let other_impl = st
         .create_object(
@@ -236,9 +260,14 @@ pub fn figure4() -> String {
         )
         .unwrap();
     let sub = st
-        .create_subobject(other_impl, "SubGates", vec![("GateLocation", Value::Point { x: 1, y: 1 })])
+        .create_subobject(
+            other_impl,
+            "SubGates",
+            vec![("GateLocation", Value::Point { x: 1, y: 1 })],
+        )
         .unwrap();
-    st.bind("AllOf_GateInterface", gate1_if, sub, vec![]).unwrap();
+    st.bind("AllOf_GateInterface", gate1_if, sub, vec![])
+        .unwrap();
 
     // One transmitter, two inheritance relationships of the same type.
     assert_eq!(st.inheritance_rels_of(gate1_if).len(), 2);
@@ -276,9 +305,8 @@ pub fn figure5() -> String {
     let broken = st2.check_all().unwrap();
     assert!(!broken.is_empty());
 
-    let mut out = String::from(
-        "Figure 5: weight-carrying structure (steel construction, section 5)\n\n",
-    );
+    let mut out =
+        String::from("Figure 5: weight-carrying structure (steel construction, section 5)\n\n");
     out.push_str(&expand(&st, structure, usize::MAX).unwrap().render());
     out.push_str(&format!(
         "\nChecks: all ScrewingType/WeightCarrying_Structure constraints hold ✓\n\

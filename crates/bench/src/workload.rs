@@ -20,8 +20,9 @@ pub fn rng(seed: u64) -> StdRng {
 pub fn fanout_catalog(n_attrs: usize, permeable: usize) -> Catalog {
     assert!(permeable <= n_attrs);
     let mut c = Catalog::new();
-    let attrs: Vec<AttrDef> =
-        (0..n_attrs).map(|i| AttrDef::new(&format!("A{i}"), Domain::Int)).collect();
+    let attrs: Vec<AttrDef> = (0..n_attrs)
+        .map(|i| AttrDef::new(&format!("A{i}"), Domain::Int))
+        .collect();
     c.register_object_type(ObjectTypeDef {
         name: "If".into(),
         attributes: attrs,
@@ -49,16 +50,23 @@ pub fn fanout_catalog(n_attrs: usize, permeable: usize) -> Catalog {
 
 /// One interface with `n` bound implementations. Returns
 /// `(store, interface, implementations)`.
-pub fn fanout_store(n: usize, n_attrs: usize, permeable: usize) -> (ObjectStore, Surrogate, Vec<Surrogate>) {
+pub fn fanout_store(
+    n: usize,
+    n_attrs: usize,
+    permeable: usize,
+) -> (ObjectStore, Surrogate, Vec<Surrogate>) {
     let mut st = ObjectStore::new(fanout_catalog(n_attrs, permeable)).unwrap();
-    let attrs: Vec<(String, Value)> =
-        (0..n_attrs).map(|i| (format!("A{i}"), Value::Int(i as i64))).collect();
+    let attrs: Vec<(String, Value)> = (0..n_attrs)
+        .map(|i| (format!("A{i}"), Value::Int(i as i64)))
+        .collect();
     let attr_refs: Vec<(&str, Value)> =
         attrs.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
     let interface = st.create_object("If", attr_refs).unwrap();
     let mut imps = Vec::with_capacity(n);
     for k in 0..n {
-        let imp = st.create_object("Impl", vec![("Local", Value::Int(k as i64))]).unwrap();
+        let imp = st
+            .create_object("Impl", vec![("Local", Value::Int(k as i64))])
+            .unwrap();
         st.bind("AllOf_If", interface, imp, vec![]).unwrap();
         imps.push(imp);
     }
@@ -106,7 +114,8 @@ pub fn chain_store(depth: usize) -> (ObjectStore, Surrogate, Surrogate) {
     let mut leaf = root;
     for i in 1..depth {
         let o = st.create_object(&format!("L{i}"), vec![]).unwrap();
-        st.bind(&format!("AllOf_L{}", i - 1), prev, o, vec![]).unwrap();
+        st.bind(&format!("AllOf_L{}", i - 1), prev, o, vec![])
+            .unwrap();
         prev = o;
         leaf = o;
     }
@@ -148,8 +157,9 @@ pub fn reuse_dag(
     seed: u64,
 ) -> ReuseDag {
     let mut c = Catalog::new();
-    let attrs: Vec<AttrDef> =
-        (0..n_attrs).map(|i| AttrDef::new(&format!("A{i}"), Domain::Int)).collect();
+    let attrs: Vec<AttrDef> = (0..n_attrs)
+        .map(|i| AttrDef::new(&format!("A{i}"), Domain::Int))
+        .collect();
     c.register_object_type(ObjectTypeDef {
         name: "If".into(),
         attributes: attrs,
@@ -191,8 +201,7 @@ pub fn reuse_dag(
         let attrs: Vec<(String, Value)> = (0..n_attrs)
             .map(|i| (format!("A{i}"), Value::Int((k * 1000 + i) as i64)))
             .collect();
-        let refs: Vec<(&str, Value)> =
-            attrs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+        let refs: Vec<(&str, Value)> = attrs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
         library.push(st.create_object("If", refs).unwrap());
     }
     let mut composites = Vec::with_capacity(n_composites);
@@ -206,7 +215,13 @@ pub fn reuse_dag(
                 .create_subobject(
                     asm,
                     "Parts",
-                    vec![("Pos", Value::Point { x: p as i64, y: a as i64 })],
+                    vec![(
+                        "Pos",
+                        Value::Point {
+                            x: p as i64,
+                            y: a as i64,
+                        },
+                    )],
                 )
                 .unwrap();
             let lib_idx = zipf_sample(&mut r, lib_size);
@@ -215,7 +230,11 @@ pub fn reuse_dag(
         }
         composites.push(parts);
     }
-    ReuseDag { store: st, library, composites }
+    ReuseDag {
+        store: st,
+        library,
+        composites,
+    }
 }
 
 /// A nested composite tree: each node is a complex object with `fanout`
@@ -233,7 +252,9 @@ pub fn nested_tree(depth: usize, fanout: usize) -> (ObjectStore, Surrogate, usiz
     })
     .unwrap();
     let mut st = ObjectStore::new(c).unwrap();
-    let root = st.create_object("Node", vec![("Tag", Value::Int(0))]).unwrap();
+    let root = st
+        .create_object("Node", vec![("Tag", Value::Int(0))])
+        .unwrap();
     let mut count = 1usize;
     let mut frontier = vec![root];
     for d in 1..=depth {
@@ -321,10 +342,16 @@ pub fn steel_structure(n_screwings: usize) -> (ObjectStore, Surrogate) {
 
     // Bolt/nut library parts: bolt long enough for both bores + nut.
     let bolt = st
-        .create_object("BoltType", vec![("Length", Value::Int(19)), ("Diameter", Value::Int(8))])
+        .create_object(
+            "BoltType",
+            vec![("Length", Value::Int(19)), ("Diameter", Value::Int(8))],
+        )
         .unwrap();
     let nut = st
-        .create_object("NutType", vec![("Length", Value::Int(4)), ("Diameter", Value::Int(8))])
+        .create_object(
+            "NutType",
+            vec![("Length", Value::Int(4)), ("Diameter", Value::Int(8))],
+        )
         .unwrap();
 
     // The structure with its component subobjects.
@@ -366,7 +393,10 @@ pub fn store_attr_bytes(st: &ObjectStore) -> usize {
     st.surrogates()
         .map(|s| {
             let o = st.object(s).unwrap();
-            o.attrs.iter().map(|(k, v)| k.len() + v.byte_size()).sum::<usize>()
+            o.attrs
+                .iter()
+                .map(|(k, v)| k.len() + v.byte_size())
+                .sum::<usize>()
         })
         .sum()
 }

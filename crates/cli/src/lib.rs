@@ -8,13 +8,18 @@
 //!   summary of the declared types;
 //! - `ccdb effective <file> <type>` — show a type's *effective schema*
 //!   (local + inherited items with their provenance);
-//! - `ccdb render <file>` — normalize: compile and render back to source.
+//! - `ccdb render <file>` — normalize: compile and render back to source;
+//! - `ccdb stats <file> [--json]` — run a synthetic workload over the schema
+//!   and dump the process-global metrics snapshot ([`stats`]).
 //!
 //! The functions are exposed as a library so they are unit-testable; the
 //! binary is a thin wrapper.
 
 use ccdb_core::schema::{Catalog, ItemSource};
 use ccdb_lang::{compile_str, render};
+
+pub mod stats;
+pub use stats::cmd_stats;
 
 /// CLI failure: message for stderr + suggested exit code.
 #[derive(Debug)]
@@ -34,14 +39,23 @@ impl std::fmt::Display for CliError {
 impl std::error::Error for CliError {}
 
 fn fail<T>(message: impl Into<String>, code: i32) -> Result<T, CliError> {
-    Err(CliError { message: message.into(), code })
+    Err(CliError {
+        message: message.into(),
+        code,
+    })
 }
 
 /// Compile and validate schema text into a catalog.
 pub fn load_catalog(source: &str) -> Result<Catalog, CliError> {
     let mut catalog = Catalog::new();
-    compile_str(source, &mut catalog).map_err(|e| CliError { message: e.to_string(), code: 1 })?;
-    catalog.validate().map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+    compile_str(source, &mut catalog).map_err(|e| CliError {
+        message: e.to_string(),
+        code: 1,
+    })?;
+    catalog.validate().map_err(|e| CliError {
+        message: e.to_string(),
+        code: 1,
+    })?;
     Ok(catalog)
 }
 
@@ -49,8 +63,11 @@ pub fn load_catalog(source: &str) -> Result<Catalog, CliError> {
 pub fn cmd_check(source: &str) -> Result<String, CliError> {
     let catalog = load_catalog(source)?;
     let mut out = String::from("schema OK\n");
-    let obj_names: Vec<&str> =
-        catalog.object_type_names().into_iter().filter(|n| !n.contains('.')).collect();
+    let obj_names: Vec<&str> = catalog
+        .object_type_names()
+        .into_iter()
+        .filter(|n| !n.contains('.'))
+        .collect();
     out.push_str(&format!("  object types        : {}\n", obj_names.len()));
     for n in &obj_names {
         let def = catalog.object_type(n).expect("listed");
@@ -67,7 +84,11 @@ pub fn cmd_check(source: &str) -> Result<String, CliError> {
         if !def.constraints.is_empty() {
             notes.push(format!("{} constraint(s)", def.constraints.len()));
         }
-        let suffix = if notes.is_empty() { String::new() } else { format!(" — {}", notes.join(", ")) };
+        let suffix = if notes.is_empty() {
+            String::new()
+        } else {
+            format!(" — {}", notes.join(", "))
+        };
         out.push_str(&format!("    {n}{suffix}\n"));
     }
     out.push_str(&format!(
@@ -95,9 +116,10 @@ pub fn cmd_check(source: &str) -> Result<String, CliError> {
 /// `effective`: print a type's effective schema with provenance.
 pub fn cmd_effective(source: &str, type_name: &str) -> Result<String, CliError> {
     let catalog = load_catalog(source)?;
-    let eff = catalog
-        .effective_schema(type_name)
-        .map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+    let eff = catalog.effective_schema(type_name).map_err(|e| CliError {
+        message: e.to_string(),
+        code: 1,
+    })?;
     let mut out = format!("effective schema of {type_name}:\n");
     out.push_str("  attributes:\n");
     for (name, domain, source) in &eff.attrs {
@@ -128,21 +150,28 @@ fn provenance(s: &ItemSource) -> String {
 /// `render`: compile then render back to normalized source.
 pub fn cmd_render(source: &str) -> Result<String, CliError> {
     let catalog = load_catalog(source)?;
-    render(&catalog).map_err(|e| CliError { message: e.to_string(), code: 1 })
+    render(&catalog).map_err(|e| CliError {
+        message: e.to_string(),
+        code: 1,
+    })
 }
 
 /// Dispatch `argv[1..]`; returns the stdout text.
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    let usage = "usage: ccdb <check|effective|render> <schema-file> [type]";
+    let usage = "usage: ccdb <check|effective|render|stats> <schema-file> [type|--json]";
     let cmd = args.first().map(String::as_str).unwrap_or("");
     let read = |path: &str| -> Result<String, CliError> {
-        std::fs::read_to_string(path)
-            .map_err(|e| CliError { message: format!("cannot read `{path}`: {e}"), code: 2 })
+        std::fs::read_to_string(path).map_err(|e| CliError {
+            message: format!("cannot read `{path}`: {e}"),
+            code: 2,
+        })
     };
     match cmd {
         "check" => {
             let path = args.get(1).map(String::as_str);
-            let Some(path) = path else { return fail(usage, 2) };
+            let Some(path) = path else {
+                return fail(usage, 2);
+            };
             cmd_check(&read(path)?)
         }
         "effective" => {
@@ -152,8 +181,21 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             cmd_effective(&read(path)?, ty)
         }
         "render" => {
-            let Some(path) = args.get(1) else { return fail(usage, 2) };
+            let Some(path) = args.get(1) else {
+                return fail(usage, 2);
+            };
             cmd_render(&read(path)?)
+        }
+        "stats" => {
+            let Some(path) = args.get(1) else {
+                return fail(usage, 2);
+            };
+            let json = match args.get(2).map(String::as_str) {
+                None => false,
+                Some("--json") => true,
+                Some(_) => return fail(usage, 2),
+            };
+            cmd_stats(&read(path)?, json)
         }
         _ => fail(usage, 2),
     }
@@ -197,7 +239,10 @@ mod tests {
     fn effective_shows_provenance() {
         let out = cmd_effective(SCHEMA, "Impl").unwrap();
         assert!(out.contains("Cost: integer (local)"), "{out}");
-        assert!(out.contains("Length: integer (inherited from If via AllOf_If)"), "{out}");
+        assert!(
+            out.contains("Length: integer (inherited from If via AllOf_If)"),
+            "{out}"
+        );
         assert!(cmd_effective(SCHEMA, "Ghost").is_err());
     }
 
@@ -214,13 +259,20 @@ mod tests {
         let file = dir.path().join("s.ccdb");
         std::fs::write(&file, SCHEMA).unwrap();
         let path = file.to_str().unwrap().to_string();
-        assert!(run(&["check".into(), path.clone()]).unwrap().contains("schema OK"));
+        assert!(run(&["check".into(), path.clone()])
+            .unwrap()
+            .contains("schema OK"));
         assert!(run(&["effective".into(), path.clone(), "Impl".into()])
             .unwrap()
             .contains("(local)"));
         assert!(run(&["render".into(), path]).is_ok());
         assert_eq!(run(&["bogus".into()]).unwrap_err().code, 2);
         assert_eq!(run(&[]).unwrap_err().code, 2);
-        assert_eq!(run(&["check".into(), "/no/such/file".into()]).unwrap_err().code, 2);
+        assert_eq!(
+            run(&["check".into(), "/no/such/file".into()])
+                .unwrap_err()
+                .code,
+            2
+        );
     }
 }

@@ -46,8 +46,10 @@ impl Domain {
             Domain::Enum(items) => format!("({})", items.join(", ")),
             Domain::Point => "Point".to_string(),
             Domain::Record(fields) => {
-                let inner: Vec<String> =
-                    fields.iter().map(|(n, d)| format!("{n}: {}", d.describe())).collect();
+                let inner: Vec<String> = fields
+                    .iter()
+                    .map(|(n, d)| format!("{n}: {}", d.describe()))
+                    .collect();
                 format!("record ({})", inner.join("; "))
             }
             Domain::ListOf(d) => format!("list-of {}", d.describe()),
@@ -70,13 +72,22 @@ mod tests {
             Domain::Enum(vec!["AND".into(), "OR".into()]).describe(),
             "(AND, OR)"
         );
-        assert_eq!(Domain::SetOf(Box::new(Domain::Point)).describe(), "set-of Point");
+        assert_eq!(
+            Domain::SetOf(Box::new(Domain::Point)).describe(),
+            "set-of Point"
+        );
         assert_eq!(
             Domain::MatrixOf(Box::new(Domain::Bool)).describe(),
             "matrix-of boolean"
         );
-        assert_eq!(Domain::Ref(Some("PinType".into())).describe(), "object-of-type PinType");
-        let area = Domain::Record(vec![("Length".into(), Domain::Int), ("Width".into(), Domain::Int)]);
+        assert_eq!(
+            Domain::Ref(Some("PinType".into())).describe(),
+            "object-of-type PinType"
+        );
+        let area = Domain::Record(vec![
+            ("Length".into(), Domain::Int),
+            ("Width".into(), Domain::Int),
+        ]);
         assert!(area.describe().contains("Length: integer"));
     }
 

@@ -131,24 +131,44 @@ impl fmt::Display for CoreError {
             CoreError::NoSuchSubclass { object, subclass } => {
                 write!(f, "object {object} has no subclass `{subclass}`")
             }
-            CoreError::DomainMismatch { attr, expected, got } => {
+            CoreError::DomainMismatch {
+                attr,
+                expected,
+                got,
+            } => {
                 write!(f, "attribute `{attr}` expects {expected}, got {got}")
             }
             CoreError::InheritedReadOnly { object, attr } => write!(
                 f,
                 "attribute `{attr}` of object {object} is inherited and read-only in the inheritor"
             ),
-            CoreError::TypeMismatch { expected, got, role } => {
+            CoreError::TypeMismatch {
+                expected,
+                got,
+                role,
+            } => {
                 write!(f, "{role} must be of type `{expected}`, got `{got}`")
             }
             CoreError::InheritanceCycle { object } => {
-                write!(f, "binding object {object} would create an inheritance cycle")
+                write!(
+                    f,
+                    "binding object {object} would create an inheritance cycle"
+                )
             }
             CoreError::AlreadyBound { object, rel_type } => {
-                write!(f, "object {object} is already bound as inheritor in `{rel_type}`")
+                write!(
+                    f,
+                    "object {object} is already bound as inheritor in `{rel_type}`"
+                )
             }
-            CoreError::NotAnInheritor { type_name, rel_type } => {
-                write!(f, "type `{type_name}` is not declared inheritor-in `{rel_type}`")
+            CoreError::NotAnInheritor {
+                type_name,
+                rel_type,
+            } => {
+                write!(
+                    f,
+                    "type `{type_name}` is not declared inheritor-in `{rel_type}`"
+                )
             }
             CoreError::TransmitterInUse { object, inheritors } => write!(
                 f,
@@ -178,7 +198,10 @@ mod tests {
 
     #[test]
     fn display_mentions_key_facts() {
-        let e = CoreError::InheritedReadOnly { object: Surrogate(9), attr: "Pins".into() };
+        let e = CoreError::InheritedReadOnly {
+            object: Surrogate(9),
+            attr: "Pins".into(),
+        };
         let s = e.to_string();
         assert!(s.contains("Pins") && s.contains("read-only"));
         let e = CoreError::NotAnInheritor {

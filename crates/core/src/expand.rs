@@ -42,7 +42,10 @@ impl ExpandedObject {
 
     /// Approximate materialized size in bytes (attribute payloads).
     pub fn byte_size(&self) -> usize {
-        self.attrs.iter().map(|(n, v, _)| n.len() + v.byte_size()).sum::<usize>()
+        self.attrs
+            .iter()
+            .map(|(n, v, _)| n.len() + v.byte_size())
+            .sum::<usize>()
             + self
                 .subclasses
                 .iter()
@@ -99,7 +102,12 @@ pub fn expand(store: &ObjectStore, obj: Surrogate, max_depth: usize) -> CoreResu
             subclasses.push((name, expanded, inherited));
         }
     }
-    Ok(ExpandedObject { surrogate: obj, type_name, attrs, subclasses })
+    Ok(ExpandedObject {
+        surrogate: obj,
+        type_name,
+        attrs,
+        subclasses,
+    })
 }
 
 /// All objects whose data is visible in the full expansion of `obj`: the
@@ -133,10 +141,7 @@ pub fn expansion_footprint(store: &ObjectStore, obj: Surrogate) -> CoreResult<BT
 /// `(name, inherited?)` pairs for attributes and subclasses of a type.
 type NamedItems = Vec<(String, bool)>;
 
-fn declared_items(
-    store: &ObjectStore,
-    type_name: &str,
-) -> CoreResult<(NamedItems, NamedItems)> {
+fn declared_items(store: &ObjectStore, type_name: &str) -> CoreResult<(NamedItems, NamedItems)> {
     let catalog = store.catalog();
     // Plain object types have effective schemas; relationship types only
     // local items.
@@ -159,12 +164,24 @@ fn declared_items(
         Ok((attrs, subclasses))
     } else if let Ok(def) = catalog.rel_type(type_name) {
         Ok((
-            def.attributes.iter().map(|a| (a.name.clone(), false)).collect(),
-            def.subclasses.iter().map(|sc| (sc.name.clone(), false)).collect(),
+            def.attributes
+                .iter()
+                .map(|a| (a.name.clone(), false))
+                .collect(),
+            def.subclasses
+                .iter()
+                .map(|sc| (sc.name.clone(), false))
+                .collect(),
         ))
     } else {
         let def = catalog.inher_rel_type(type_name)?;
-        Ok((def.attributes.iter().map(|a| (a.name.clone(), false)).collect(), vec![]))
+        Ok((
+            def.attributes
+                .iter()
+                .map(|a| (a.name.clone(), false))
+                .collect(),
+            vec![],
+        ))
     }
 }
 
@@ -187,7 +204,10 @@ mod tests {
         c.register_object_type(ObjectTypeDef {
             name: "If".into(),
             attributes: vec![AttrDef::new("Length", Domain::Int)],
-            subclasses: vec![SubclassSpec { name: "Pins".into(), element_type: "Pin".into() }],
+            subclasses: vec![SubclassSpec {
+                name: "Pins".into(),
+                element_type: "Pin".into(),
+            }],
             ..Default::default()
         })
         .unwrap();
@@ -208,11 +228,21 @@ mod tests {
         })
         .unwrap();
         let mut store = ObjectStore::new(c).unwrap();
-        let interface = store.create_object("If", vec![("Length", Value::Int(7))]).unwrap();
-        store.create_subobject(interface, "Pins", vec![("Id", Value::Int(1))]).unwrap();
-        store.create_subobject(interface, "Pins", vec![("Id", Value::Int(2))]).unwrap();
-        let implementation = store.create_object("Impl", vec![("Cost", Value::Int(3))]).unwrap();
-        store.bind("AllOf_If", interface, implementation, vec![]).unwrap();
+        let interface = store
+            .create_object("If", vec![("Length", Value::Int(7))])
+            .unwrap();
+        store
+            .create_subobject(interface, "Pins", vec![("Id", Value::Int(1))])
+            .unwrap();
+        store
+            .create_subobject(interface, "Pins", vec![("Id", Value::Int(2))])
+            .unwrap();
+        let implementation = store
+            .create_object("Impl", vec![("Cost", Value::Int(3))])
+            .unwrap();
+        store
+            .bind("AllOf_If", interface, implementation, vec![])
+            .unwrap();
         (store, interface, implementation)
     }
 
@@ -245,7 +275,10 @@ mod tests {
         let (store, interface, impl_) = setup();
         let fp = expansion_footprint(&store, impl_).unwrap();
         assert!(fp.contains(&impl_));
-        assert!(fp.contains(&interface), "transmitter is read when expanding");
+        assert!(
+            fp.contains(&interface),
+            "transmitter is read when expanding"
+        );
         // The interface's pins are in the footprint too.
         assert_eq!(fp.len(), 4, "impl + if + 2 pins, got {fp:?}");
     }
@@ -262,7 +295,9 @@ mod tests {
     #[test]
     fn unbound_inheritor_expands_with_missing_values() {
         let (mut store, _, _) = setup();
-        let unbound = store.create_object("Impl", vec![("Cost", Value::Int(1))]).unwrap();
+        let unbound = store
+            .create_object("Impl", vec![("Cost", Value::Int(1))])
+            .unwrap();
         let e = expand(&store, unbound, usize::MAX).unwrap();
         let (_, len, _) = e.attrs.iter().find(|(n, _, _)| n == "Length").unwrap();
         assert_eq!(len, &Value::Missing);

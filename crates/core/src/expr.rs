@@ -204,7 +204,11 @@ impl Expr {
 
     /// Shorthand: binary op.
     pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
-        Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// Shorthand: equality.
@@ -232,13 +236,17 @@ impl std::fmt::Display for Expr {
             Expr::Not(e) => write!(f, "not ({e})"),
             Expr::Binary { op, lhs, rhs } => write!(f, "({lhs} {op} {rhs})"),
             Expr::ForAll { bindings, body } => {
-                let bs: Vec<String> =
-                    bindings.iter().map(|(v, p)| format!("{v} in {p}")).collect();
+                let bs: Vec<String> = bindings
+                    .iter()
+                    .map(|(v, p)| format!("{v} in {p}"))
+                    .collect();
                 write!(f, "for ({}) : {body}", bs.join(", "))
             }
             Expr::Exists { bindings, body } => {
-                let bs: Vec<String> =
-                    bindings.iter().map(|(v, p)| format!("{v} in {p}")).collect();
+                let bs: Vec<String> = bindings
+                    .iter()
+                    .map(|(v, p)| format!("{v} in {p}"))
+                    .collect();
                 write!(f, "exists ({}) : {body}", bs.join(", "))
             }
             Expr::InClass { item, class } => write!(f, "{item} in {class}"),
@@ -279,7 +287,9 @@ impl Env {
 
     /// Environment with one binding.
     pub fn with(var: &str, obj: Surrogate) -> Self {
-        Env { vars: vec![(var.to_string(), obj)] }
+        Env {
+            vars: vec![(var.to_string(), obj)],
+        }
     }
 
     /// Add or shadow a binding.
@@ -293,7 +303,11 @@ impl Env {
     }
 
     fn lookup(&self, var: &str) -> Option<Surrogate> {
-        self.vars.iter().rev().find(|(v, _)| v == var).map(|(_, s)| *s)
+        self.vars
+            .iter()
+            .rev()
+            .find(|(v, _)| v == var)
+            .map(|(_, s)| *s)
     }
 }
 
@@ -339,31 +353,25 @@ pub fn eval_path<V: ObjectView>(
                         )));
                     }
                 }
-                Item::Val(Value::Record(fields)) => {
-                    match fields.iter().find(|(n, _)| n == seg) {
-                        Some((_, v)) => next.push(Item::Val(v.clone())),
-                        None => {
-                            return Err(CoreError::EvalError(format!(
-                                "record has no field `{seg}`"
-                            )))
-                        }
+                Item::Val(Value::Record(fields)) => match fields.iter().find(|(n, _)| n == seg) {
+                    Some((_, v)) => next.push(Item::Val(v.clone())),
+                    None => {
+                        return Err(CoreError::EvalError(format!("record has no field `{seg}`")))
                     }
-                }
+                },
                 Item::Val(Value::Set(items)) | Item::Val(Value::List(items)) => {
                     // Fan out into the collection, then resolve the segment
                     // on each element (records or refs).
                     for v in items {
                         match v {
-                            Value::Record(fields) => {
-                                match fields.iter().find(|(n, _)| n == seg) {
-                                    Some((_, fv)) => next.push(Item::Val(fv.clone())),
-                                    None => {
-                                        return Err(CoreError::EvalError(format!(
-                                            "record has no field `{seg}`"
-                                        )))
-                                    }
+                            Value::Record(fields) => match fields.iter().find(|(n, _)| n == seg) {
+                                Some((_, fv)) => next.push(Item::Val(fv.clone())),
+                                None => {
+                                    return Err(CoreError::EvalError(format!(
+                                        "record has no field `{seg}`"
+                                    )))
                                 }
-                            }
+                            },
                             Value::Ref(s) => {
                                 // Defer: resolve segment on the referenced object.
                                 let sub = PathExpr {
@@ -383,8 +391,10 @@ pub fn eval_path<V: ObjectView>(
                     }
                 }
                 Item::Val(Value::Ref(s)) => {
-                    let sub =
-                        PathExpr { root: PathRoot::SelfObject, segments: vec![seg.clone()] };
+                    let sub = PathExpr {
+                        root: PathRoot::SelfObject,
+                        segments: vec![seg.clone()],
+                    };
                     next.extend(eval_path(view, s, env, &sub)?.into_iter().map(Item::Val));
                 }
                 Item::Val(other) => {
@@ -521,12 +531,8 @@ pub fn eval<V: ObjectView>(
             let r = eval(view, subject, env, rhs)?;
             apply_binop(*op, l, r)
         }
-        Expr::ForAll { bindings, body } => {
-            quantify(view, subject, env, bindings, body, true)
-        }
-        Expr::Exists { bindings, body } => {
-            quantify(view, subject, env, bindings, body, false)
-        }
+        Expr::ForAll { bindings, body } => quantify(view, subject, env, bindings, body, true),
+        Expr::Exists { bindings, body } => quantify(view, subject, env, bindings, body, false),
         Expr::InClass { item, class } => {
             let v = eval(view, subject, env, item)?;
             let s = v.as_ref_surrogate().ok_or_else(|| {
@@ -550,7 +556,10 @@ fn record_filter_matches<V: ObjectView>(
     // Substitute VarPath(ELEM_VAR, [f]) with the record field value, then eval.
     fn subst(e: &Expr, fields: &[(String, Value)]) -> CoreResult<Expr> {
         Ok(match e {
-            Expr::Path(PathExpr { root: PathRoot::Var(v), segments }) if v == ELEM_VAR => {
+            Expr::Path(PathExpr {
+                root: PathRoot::Var(v),
+                segments,
+            }) if v == ELEM_VAR => {
                 if segments.len() != 1 {
                     return Err(CoreError::EvalError(
                         "record filters support single-field access".into(),
@@ -621,7 +630,9 @@ fn fold_nonempty<V: ObjectView>(
 ) -> CoreResult<Value> {
     let vals = flatten_collection(eval_path(view, subject, env, path)?);
     if vals.is_empty() {
-        return Err(CoreError::EvalError(format!("{what} over empty path {path}")));
+        return Err(CoreError::EvalError(format!(
+            "{what} over empty path {path}"
+        )));
     }
     let mut acc: Option<i64> = None;
     for v in vals {
@@ -670,11 +681,7 @@ fn apply_binop(op: BinOp, l: Value, r: Value) -> CoreResult<Value> {
                 (Value::Int(a), Value::Int(b)) => a.cmp(b),
                 (Value::Str(a), Value::Str(b)) => a.cmp(b),
                 (Value::Real(a), Value::Real(b)) => a.total_cmp(b),
-                _ => {
-                    return Err(CoreError::EvalError(format!(
-                        "cannot order {l} {op} {r}"
-                    )))
-                }
+                _ => return Err(CoreError::EvalError(format!("cannot order {l} {op} {r}"))),
             };
             let b = match op {
                 Lt => ord.is_lt(),
@@ -772,17 +779,27 @@ pub(crate) mod mock {
             self.attrs
                 .get(&(obj, name.to_string()))
                 .cloned()
-                .ok_or_else(|| CoreError::NoSuchAttribute { object: obj, attr: name.into() })
+                .ok_or_else(|| CoreError::NoSuchAttribute {
+                    object: obj,
+                    attr: name.into(),
+                })
         }
         fn view_subclass(&self, obj: Surrogate, name: &str) -> CoreResult<Vec<Surrogate>> {
-            self.subclasses.get(&(obj, name.to_string())).cloned().ok_or_else(|| {
-                CoreError::NoSuchSubclass { object: obj, subclass: name.into() }
-            })
+            self.subclasses
+                .get(&(obj, name.to_string()))
+                .cloned()
+                .ok_or_else(|| CoreError::NoSuchSubclass {
+                    object: obj,
+                    subclass: name.into(),
+                })
         }
         fn view_participants(&self, obj: Surrogate, role: &str) -> CoreResult<Vec<Surrogate>> {
-            self.participants.get(&(obj, role.to_string())).cloned().ok_or_else(|| {
-                CoreError::EvalError(format!("no participant role `{role}` on {obj}"))
-            })
+            self.participants
+                .get(&(obj, role.to_string()))
+                .cloned()
+                .ok_or_else(|| {
+                    CoreError::EvalError(format!("no participant role `{role}` on {obj}"))
+                })
         }
         fn view_has_attr(&self, obj: Surrogate, name: &str) -> bool {
             self.attrs.contains_key(&(obj, name.to_string()))
@@ -895,7 +912,11 @@ mod tests {
                 ("InOut".into(), Value::Enum(io.into())),
             ])
         };
-        v.attr(S, "Pins", Value::set(vec![pin(1, "IN"), pin(2, "IN"), pin(3, "OUT")]));
+        v.attr(
+            S,
+            "Pins",
+            Value::set(vec![pin(1, "IN"), pin(2, "IN"), pin(3, "OUT")]),
+        );
         // The path fans out into the set; records are filtered structurally.
         let count_in = Expr::Count {
             path: PathExpr::self_path(&["Pins"]),
@@ -927,8 +948,14 @@ mod tests {
         v.subclass(S, "Empty", vec![]);
         v.attr(Surrogate(20), "D", Value::Int(5));
         v.attr(Surrogate(21), "D", Value::Int(7));
-        assert_eq!(ev(&v, &Expr::Min(PathExpr::self_path(&["Bores", "D"]))), Value::Int(5));
-        assert_eq!(ev(&v, &Expr::Max(PathExpr::self_path(&["Bores", "D"]))), Value::Int(7));
+        assert_eq!(
+            ev(&v, &Expr::Min(PathExpr::self_path(&["Bores", "D"]))),
+            Value::Int(5)
+        );
+        assert_eq!(
+            ev(&v, &Expr::Max(PathExpr::self_path(&["Bores", "D"]))),
+            Value::Int(7)
+        );
         assert!(eval(
             &v,
             S,
@@ -936,7 +963,10 @@ mod tests {
             &Expr::Min(PathExpr::self_path(&["Empty", "D"]))
         )
         .is_err());
-        assert_eq!(ev(&v, &Expr::Sum(PathExpr::self_path(&["Empty", "D"]))), Value::Int(0));
+        assert_eq!(
+            ev(&v, &Expr::Sum(PathExpr::self_path(&["Empty", "D"]))),
+            Value::Int(0)
+        );
     }
 
     #[test]
@@ -1076,7 +1106,10 @@ mod tests {
     fn overflow_is_an_error_not_a_panic() {
         let v = MockView::default();
         let e = Expr::bin(BinOp::Mul, Expr::int(i64::MAX), Expr::int(2));
-        assert!(matches!(eval(&v, S, &mut Env::new(), &e), Err(CoreError::EvalError(_))));
+        assert!(matches!(
+            eval(&v, S, &mut Env::new(), &e),
+            Err(CoreError::EvalError(_))
+        ));
     }
 }
 
@@ -1098,7 +1131,10 @@ mod property {
             Just(Expr::Path(PathExpr::self_path(&["Kids"]))),
             Just(Expr::Path(PathExpr::self_path(&["Kids", "A"]))),
             Just(Expr::Path(PathExpr::var_path("v", &["A"]))),
-            Just(Expr::Count { path: PathExpr::self_path(&["Kids"]), filter: None }),
+            Just(Expr::Count {
+                path: PathExpr::self_path(&["Kids"]),
+                filter: None
+            }),
             Just(Expr::Sum(PathExpr::self_path(&["Kids", "A"]))),
             Just(Expr::Min(PathExpr::self_path(&["Kids", "A"]))),
         ];

@@ -71,6 +71,7 @@ pub mod domain;
 pub mod error;
 pub mod expand;
 pub mod expr;
+pub(crate) mod metrics;
 pub mod object;
 pub mod persist;
 pub mod schema;
@@ -86,12 +87,12 @@ pub mod prelude {
     pub use crate::expr::{BinOp, Env, Expr, ObjectView, PathExpr, PathRoot, ELEM_VAR, REL_VAR};
     pub use crate::object::{ObjectData, ObjectKind, Owner};
     pub use crate::schema::{
-        AttrDef, Catalog, Constraint, InherRelTypeDef, ItemSource, ObjectTypeDef,
-        ParticipantSpec, RelTypeDef, SubclassSpec, SubrelSpec,
+        AttrDef, Catalog, Constraint, InherRelTypeDef, ItemSource, ObjectTypeDef, ParticipantSpec,
+        RelTypeDef, SubclassSpec, SubrelSpec,
     };
     pub use crate::store::{AdaptationEvent, ObjectStore, StoreStats, Violation};
-    pub use crate::trigger::{ProcessReport, TriggerOutcome, TriggerRegistry};
     pub use crate::surrogate::Surrogate;
+    pub use crate::trigger::{ProcessReport, TriggerOutcome, TriggerRegistry};
     pub use crate::value::Value;
 }
 

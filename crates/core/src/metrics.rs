@@ -1,0 +1,54 @@
+//! Process-global metric handles for ccdb-core, registered in the
+//! [`ccdb_obs::global`] registry under `ccdb_core_*` names.
+//!
+//! Per-[`crate::store::ObjectStore`] counters (the [`crate::store::StoreStats`]
+//! view) stay per-instance so concurrent stores — e.g. parallel tests —
+//! don't cross-talk; the handles here aggregate across all stores in the
+//! process and feed the `ccdb stats` snapshot and bench sidecars.
+
+use std::sync::{Arc, OnceLock};
+
+use ccdb_obs::{metrics::HOP_BUCKETS, Counter, Histogram};
+
+pub(crate) struct CoreMetrics {
+    /// `ccdb_core_resolution_local_reads_total`
+    pub local_reads: Arc<Counter>,
+    /// `ccdb_core_resolution_inherited_reads_total`
+    pub inherited_reads: Arc<Counter>,
+    /// `ccdb_core_resolution_hops_total`
+    pub hops: Arc<Counter>,
+    /// `ccdb_core_resolution_hops` — hops walked per top-level resolution.
+    pub hop_hist: Arc<Histogram>,
+    /// `ccdb_core_resolution_chains_total`
+    pub resolution_chains: Arc<Counter>,
+    /// `ccdb_core_store_set_attr_total`
+    pub set_attr: Arc<Counter>,
+    /// `ccdb_core_store_bind_total`
+    pub bind: Arc<Counter>,
+    /// `ccdb_core_store_unbind_total`
+    pub unbind: Arc<Counter>,
+    /// `ccdb_core_adaptation_events_total`
+    pub adaptation_events: Arc<Counter>,
+    /// `ccdb_core_adaptation_fanout` — relationship objects flagged per
+    /// transmitter update that flagged at least one.
+    pub adaptation_fanout: Arc<Histogram>,
+}
+
+pub(crate) fn core_metrics() -> &'static CoreMetrics {
+    static METRICS: OnceLock<CoreMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = ccdb_obs::global();
+        CoreMetrics {
+            local_reads: r.counter("ccdb_core_resolution_local_reads_total"),
+            inherited_reads: r.counter("ccdb_core_resolution_inherited_reads_total"),
+            hops: r.counter("ccdb_core_resolution_hops_total"),
+            hop_hist: r.histogram("ccdb_core_resolution_hops", HOP_BUCKETS),
+            resolution_chains: r.counter("ccdb_core_resolution_chains_total"),
+            set_attr: r.counter("ccdb_core_store_set_attr_total"),
+            bind: r.counter("ccdb_core_store_bind_total"),
+            unbind: r.counter("ccdb_core_store_unbind_total"),
+            adaptation_events: r.counter("ccdb_core_adaptation_events_total"),
+            adaptation_fanout: r.histogram("ccdb_core_adaptation_fanout", HOP_BUCKETS),
+        }
+    })
+}

@@ -111,7 +111,11 @@ impl ObjectData {
         ObjectData {
             surrogate,
             type_name: type_name.to_string(),
-            kind: ObjectKind::InheritanceRel { transmitter, inheritor, needs_adaptation: false },
+            kind: ObjectKind::InheritanceRel {
+                transmitter,
+                inheritor,
+                needs_adaptation: false,
+            },
             owner: None,
             attrs: BTreeMap::new(),
             subclasses: BTreeMap::new(),
@@ -138,9 +142,7 @@ impl ObjectData {
     /// Participants under `role`, for relationship objects.
     pub fn participants(&self, role: &str) -> Option<&[Surrogate]> {
         match &self.kind {
-            ObjectKind::Relationship { participants } => {
-                participants.get(role).map(Vec::as_slice)
-            }
+            ObjectKind::Relationship { participants } => participants.get(role).map(Vec::as_slice),
             _ => None,
         }
     }
@@ -177,7 +179,8 @@ mod tests {
     #[test]
     fn subclass_member_iteration() {
         let mut o = ObjectData::plain(Surrogate(1), "Gate");
-        o.subclasses.insert("Pins".into(), vec![Surrogate(2), Surrogate(3)]);
+        o.subclasses
+            .insert("Pins".into(), vec![Surrogate(2), Surrogate(3)]);
         o.subclasses.insert("SubGates".into(), vec![Surrogate(4)]);
         let mut all: Vec<Surrogate> = o.all_subclass_members().collect();
         all.sort();
@@ -189,7 +192,10 @@ mod tests {
         let mut o = ObjectData::plain(Surrogate(1), "Gate");
         o.attrs.insert("Length".into(), Value::Int(5));
         o.bindings.insert("AllOf_If".into(), Surrogate(9));
-        o.owner = Some(Owner { parent: Surrogate(8), subclass: "SubGates".into() });
+        o.owner = Some(Owner {
+            parent: Surrogate(8),
+            subclass: "SubGates".into(),
+        });
         let json = serde_json::to_string(&o).unwrap();
         let back: ObjectData = serde_json::from_str(&json).unwrap();
         assert_eq!(o, back);

@@ -45,9 +45,17 @@ pub fn save_store(store: &ObjectStore, kv: &DurableKv) -> CoreResult<()> {
         .iter()
         .map(|(name, def)| (name.clone(), def.type_name.clone(), def.members.clone()))
         .collect();
-    kv.put(tx, KEY_CLASSES, &serde_json::to_vec(&classes).map_err(codec_err)?)?;
+    kv.put(
+        tx,
+        KEY_CLASSES,
+        &serde_json::to_vec(&classes).map_err(codec_err)?,
+    )?;
     for (s, obj) in store.objects_map() {
-        kv.put(tx, object_key(*s), &serde_json::to_vec(obj).map_err(codec_err)?)?;
+        kv.put(
+            tx,
+            object_key(*s),
+            &serde_json::to_vec(obj).map_err(codec_err)?,
+        )?;
     }
     kv.commit(tx)?;
     Ok(())
@@ -56,7 +64,11 @@ pub fn save_store(store: &ObjectStore, kv: &DurableKv) -> CoreResult<()> {
 /// Write one object record inside an existing transaction.
 pub fn save_object(store: &ObjectStore, kv: &DurableKv, tx: KvTx, s: Surrogate) -> CoreResult<()> {
     let obj = store.object(s)?;
-    kv.put(tx, object_key(s), &serde_json::to_vec(obj).map_err(codec_err)?)?;
+    kv.put(
+        tx,
+        object_key(s),
+        &serde_json::to_vec(obj).map_err(codec_err)?,
+    )?;
     Ok(())
 }
 
@@ -105,7 +117,10 @@ mod tests {
         c.register_object_type(ObjectTypeDef {
             name: "If".into(),
             attributes: vec![AttrDef::new("Length", Domain::Int)],
-            subclasses: vec![SubclassSpec { name: "Pins".into(), element_type: "Pin".into() }],
+            subclasses: vec![SubclassSpec {
+                name: "Pins".into(),
+                element_type: "Pin".into(),
+            }],
             ..Default::default()
         })
         .unwrap();
@@ -126,11 +141,16 @@ mod tests {
         .unwrap();
         let mut store = ObjectStore::new(c).unwrap();
         store.create_class("Interfaces", "If").unwrap();
-        let interface =
-            store.create_in_class("Interfaces", vec![("Length", Value::Int(5))]).unwrap();
-        store.create_subobject(interface, "Pins", vec![("Id", Value::Int(1))]).unwrap();
+        let interface = store
+            .create_in_class("Interfaces", vec![("Length", Value::Int(5))])
+            .unwrap();
+        store
+            .create_subobject(interface, "Pins", vec![("Id", Value::Int(1))])
+            .unwrap();
         let implementation = store.create_object("Impl", vec![]).unwrap();
-        store.bind("AllOf_If", interface, implementation, vec![]).unwrap();
+        store
+            .bind("AllOf_If", interface, implementation, vec![])
+            .unwrap();
         (store, interface, implementation)
     }
 
@@ -144,8 +164,17 @@ mod tests {
         let loaded = load_store(&kv).unwrap();
         assert_eq!(loaded.object_count(), store.object_count());
         // Inheritance still resolves after reload.
-        assert_eq!(loaded.attr(implementation, "Length").unwrap(), Value::Int(5));
-        assert_eq!(loaded.subclass_members(implementation, "Pins").unwrap().len(), 1);
+        assert_eq!(
+            loaded.attr(implementation, "Length").unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            loaded
+                .subclass_members(implementation, "Pins")
+                .unwrap()
+                .len(),
+            1
+        );
         // Classes restored.
         assert_eq!(loaded.class_members("Interfaces").unwrap(), &[interface]);
         // Indexes restored: transmitter still protected from deletion.
@@ -204,7 +233,10 @@ mod tests {
         }
         let kv = DurableKv::open(dir.path()).unwrap();
         let loaded = load_store(&kv).unwrap();
-        assert_eq!(loaded.attr(implementation, "Length").unwrap(), Value::Int(5));
+        assert_eq!(
+            loaded.attr(implementation, "Length").unwrap(),
+            Value::Int(5)
+        );
         assert_eq!(loaded.class_members("Interfaces").unwrap(), &[interface]);
     }
 }
@@ -230,8 +262,7 @@ mod large_object_tests {
         .unwrap();
         let mut store = ObjectStore::new(c).unwrap();
         // ~5000 points ≈ 100+ KiB of JSON — far beyond one 8 KiB page.
-        let points: Vec<Value> =
-            (0..5000).map(|i| Value::Point { x: i, y: -i }).collect();
+        let points: Vec<Value> = (0..5000).map(|i| Value::Point { x: i, y: -i }).collect();
         let poly = store
             .create_object("Polyline", vec![("Points", Value::List(points.clone()))])
             .unwrap();

@@ -27,12 +27,18 @@ pub struct Constraint {
 impl Constraint {
     /// Constraint named after its own rendering.
     pub fn new(expr: Expr) -> Self {
-        Constraint { name: expr.to_string(), expr }
+        Constraint {
+            name: expr.to_string(),
+            expr,
+        }
     }
 
     /// Constraint with an explicit label.
     pub fn named(name: &str, expr: Expr) -> Self {
-        Constraint { name: name.to_string(), expr }
+        Constraint {
+            name: name.to_string(),
+            expr,
+        }
     }
 }
 
@@ -48,7 +54,10 @@ pub struct AttrDef {
 impl AttrDef {
     /// Convenience constructor.
     pub fn new(name: &str, domain: Domain) -> Self {
-        AttrDef { name: name.to_string(), domain }
+        AttrDef {
+            name: name.to_string(),
+            domain,
+        }
     }
 }
 
@@ -109,17 +118,29 @@ pub struct ParticipantSpec {
 impl ParticipantSpec {
     /// Single typed participant (`Pin1: object-of-type PinType`).
     pub fn one(name: &str, ty: &str) -> Self {
-        ParticipantSpec { name: name.into(), many: false, required_type: Some(ty.into()) }
+        ParticipantSpec {
+            name: name.into(),
+            many: false,
+            required_type: Some(ty.into()),
+        }
     }
 
     /// Single untyped participant (`<name>: object`).
     pub fn one_any(name: &str) -> Self {
-        ParticipantSpec { name: name.into(), many: false, required_type: None }
+        ParticipantSpec {
+            name: name.into(),
+            many: false,
+            required_type: None,
+        }
     }
 
     /// Set-valued typed participant (`Bores: set-of object-of-type BoreType`).
     pub fn many(name: &str, ty: &str) -> Self {
-        ParticipantSpec { name: name.into(), many: true, required_type: Some(ty.into()) }
+        ParticipantSpec {
+            name: name.into(),
+            many: true,
+            required_type: Some(ty.into()),
+        }
     }
 }
 
@@ -190,7 +211,10 @@ pub struct EffectiveSchema {
 impl EffectiveSchema {
     /// Find an attribute by name.
     pub fn attr(&self, name: &str) -> Option<(&Domain, &ItemSource)> {
-        self.attrs.iter().find(|(n, _, _)| n == name).map(|(_, d, s)| (d, s))
+        self.attrs
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, d, s)| (d, s))
     }
 
     /// Find a subclass by name.
@@ -203,8 +227,13 @@ impl EffectiveSchema {
 
     /// Is this item (attribute or subclass) inherited rather than local?
     pub fn is_inherited(&self, name: &str) -> bool {
-        self.attr(name).map(|(_, s)| s != &ItemSource::Local).unwrap_or(false)
-            || self.subclass(name).map(|(_, s)| s != &ItemSource::Local).unwrap_or(false)
+        self.attr(name)
+            .map(|(_, s)| s != &ItemSource::Local)
+            .unwrap_or(false)
+            || self
+                .subclass(name)
+                .map(|(_, s)| s != &ItemSource::Local)
+                .unwrap_or(false)
     }
 }
 
@@ -227,7 +256,10 @@ impl Catalog {
     /// Register a named domain (`domain Point = …`).
     pub fn register_domain(&mut self, name: &str, domain: Domain) -> CoreResult<()> {
         if self.domains.contains_key(name) {
-            return Err(CoreError::Duplicate { kind: "domain", name: name.into() });
+            return Err(CoreError::Duplicate {
+                kind: "domain",
+                name: name.into(),
+            });
         }
         self.domains.insert(name.to_string(), domain);
         Ok(())
@@ -235,9 +267,10 @@ impl Catalog {
 
     /// Look up a named domain.
     pub fn domain(&self, name: &str) -> CoreResult<&Domain> {
-        self.domains
-            .get(name)
-            .ok_or_else(|| CoreError::Unknown { kind: "domain", name: name.into() })
+        self.domains.get(name).ok_or_else(|| CoreError::Unknown {
+            kind: "domain",
+            name: name.into(),
+        })
     }
 
     /// Register an object type.
@@ -246,7 +279,10 @@ impl Catalog {
             || self.rel_types.contains_key(&def.name)
             || self.inher_rel_types.contains_key(&def.name)
         {
-            return Err(CoreError::Duplicate { kind: "type", name: def.name });
+            return Err(CoreError::Duplicate {
+                kind: "type",
+                name: def.name,
+            });
         }
         self.object_types.insert(def.name.clone(), def);
         Ok(())
@@ -258,7 +294,10 @@ impl Catalog {
             || self.rel_types.contains_key(&def.name)
             || self.inher_rel_types.contains_key(&def.name)
         {
-            return Err(CoreError::Duplicate { kind: "type", name: def.name });
+            return Err(CoreError::Duplicate {
+                kind: "type",
+                name: def.name,
+            });
         }
         self.rel_types.insert(def.name.clone(), def);
         Ok(())
@@ -270,7 +309,10 @@ impl Catalog {
             || self.rel_types.contains_key(&def.name)
             || self.inher_rel_types.contains_key(&def.name)
         {
-            return Err(CoreError::Duplicate { kind: "type", name: def.name });
+            return Err(CoreError::Duplicate {
+                kind: "type",
+                name: def.name,
+            });
         }
         self.inher_rel_types.insert(def.name.clone(), def);
         Ok(())
@@ -303,22 +345,28 @@ impl Catalog {
     pub fn object_type(&self, name: &str) -> CoreResult<&ObjectTypeDef> {
         self.object_types
             .get(name)
-            .ok_or_else(|| CoreError::Unknown { kind: "object type", name: name.into() })
+            .ok_or_else(|| CoreError::Unknown {
+                kind: "object type",
+                name: name.into(),
+            })
     }
 
     /// Relationship-type lookup.
     pub fn rel_type(&self, name: &str) -> CoreResult<&RelTypeDef> {
-        self.rel_types
-            .get(name)
-            .ok_or_else(|| CoreError::Unknown { kind: "relationship type", name: name.into() })
+        self.rel_types.get(name).ok_or_else(|| CoreError::Unknown {
+            kind: "relationship type",
+            name: name.into(),
+        })
     }
 
     /// Inheritance-relationship-type lookup.
     pub fn inher_rel_type(&self, name: &str) -> CoreResult<&InherRelTypeDef> {
-        self.inher_rel_types.get(name).ok_or_else(|| CoreError::Unknown {
-            kind: "inheritance relationship type",
-            name: name.into(),
-        })
+        self.inher_rel_types
+            .get(name)
+            .ok_or_else(|| CoreError::Unknown {
+                kind: "inheritance relationship type",
+                name: name.into(),
+            })
     }
 
     /// Names of all registered domains (sorted).
@@ -372,10 +420,12 @@ impl Catalog {
         let def = self.object_type(type_name)?;
         let mut eff = EffectiveSchema::default();
         for a in &def.attributes {
-            eff.attrs.push((a.name.clone(), a.domain.clone(), ItemSource::Local));
+            eff.attrs
+                .push((a.name.clone(), a.domain.clone(), ItemSource::Local));
         }
         for sc in &def.subclasses {
-            eff.subclasses.push((sc.name.clone(), sc.element_type.clone(), ItemSource::Local));
+            eff.subclasses
+                .push((sc.name.clone(), sc.element_type.clone(), ItemSource::Local));
         }
         for rel_name in &def.inheritor_in {
             let rel = self.inher_rel_type(rel_name)?;
@@ -426,32 +476,35 @@ impl Catalog {
     pub fn validate(&self) -> CoreResult<()> {
         for (name, def) in &self.object_types {
             for sc in &def.subclasses {
-                self.object_type(&sc.element_type).map_err(|_| CoreError::InvalidSchema {
-                    type_name: name.clone(),
-                    reason: format!(
-                        "subclass `{}` references unknown element type `{}`",
-                        sc.name, sc.element_type
-                    ),
-                })?;
+                self.object_type(&sc.element_type)
+                    .map_err(|_| CoreError::InvalidSchema {
+                        type_name: name.clone(),
+                        reason: format!(
+                            "subclass `{}` references unknown element type `{}`",
+                            sc.name, sc.element_type
+                        ),
+                    })?;
             }
             for sr in &def.subrels {
-                self.rel_type(&sr.rel_type).map_err(|_| CoreError::InvalidSchema {
-                    type_name: name.clone(),
-                    reason: format!(
-                        "subrel `{}` references unknown relationship type `{}`",
-                        sr.name, sr.rel_type
-                    ),
-                })?;
+                self.rel_type(&sr.rel_type)
+                    .map_err(|_| CoreError::InvalidSchema {
+                        type_name: name.clone(),
+                        reason: format!(
+                            "subrel `{}` references unknown relationship type `{}`",
+                            sr.name, sr.rel_type
+                        ),
+                    })?;
             }
             for rel_name in &def.inheritor_in {
                 // Any type may declare itself an inheritor; a relationship's
                 // declared `inheritor:` type is the canonical one, not an
                 // exclusive restriction (see §5: WeightCarrying_Structure's
                 // inline member types join AllOf_GirderIf as inheritors).
-                self.inher_rel_type(rel_name).map_err(|_| CoreError::InvalidSchema {
-                    type_name: name.clone(),
-                    reason: format!("inheritor-in references unknown `{rel_name}`"),
-                })?;
+                self.inher_rel_type(rel_name)
+                    .map_err(|_| CoreError::InvalidSchema {
+                        type_name: name.clone(),
+                        reason: format!("inheritor-in references unknown `{rel_name}`"),
+                    })?;
             }
             // Computes inherited items, catching cycles and bad `inheriting`
             // clauses.
@@ -480,28 +533,27 @@ impl Catalog {
                 if let Some(t) = &p.required_type {
                     self.object_type(t).map_err(|_| CoreError::InvalidSchema {
                         type_name: name.clone(),
-                        reason: format!(
-                            "participant `{}` references unknown type `{t}`",
-                            p.name
-                        ),
+                        reason: format!("participant `{}` references unknown type `{t}`", p.name),
                     })?;
                 }
             }
             for sc in &def.subclasses {
-                self.object_type(&sc.element_type).map_err(|_| CoreError::InvalidSchema {
-                    type_name: name.clone(),
-                    reason: format!(
-                        "subclass `{}` references unknown element type `{}`",
-                        sc.name, sc.element_type
-                    ),
-                })?;
+                self.object_type(&sc.element_type)
+                    .map_err(|_| CoreError::InvalidSchema {
+                        type_name: name.clone(),
+                        reason: format!(
+                            "subclass `{}` references unknown element type `{}`",
+                            sc.name, sc.element_type
+                        ),
+                    })?;
             }
         }
         for (name, def) in &self.inher_rel_types {
-            self.object_type(&def.transmitter_type).map_err(|_| CoreError::InvalidSchema {
-                type_name: name.clone(),
-                reason: format!("unknown transmitter type `{}`", def.transmitter_type),
-            })?;
+            self.object_type(&def.transmitter_type)
+                .map_err(|_| CoreError::InvalidSchema {
+                    type_name: name.clone(),
+                    reason: format!("unknown transmitter type `{}`", def.transmitter_type),
+                })?;
             if let Some(t) = &def.inheritor_type {
                 let inheritor = self.object_type(t).map_err(|_| CoreError::InvalidSchema {
                     type_name: name.clone(),
@@ -562,7 +614,10 @@ mod tests {
         .unwrap();
         c.register_object_type(ObjectTypeDef {
             name: "GateInterface_I".into(),
-            subclasses: vec![SubclassSpec { name: "Pins".into(), element_type: "PinType".into() }],
+            subclasses: vec![SubclassSpec {
+                name: "Pins".into(),
+                element_type: "PinType".into(),
+            }],
             ..Default::default()
         })
         .unwrap();
@@ -760,13 +815,22 @@ mod tests {
     #[test]
     fn duplicate_names_rejected_across_kinds() {
         let mut c = Catalog::new();
-        c.register_object_type(ObjectTypeDef { name: "T".into(), ..Default::default() })
-            .unwrap();
+        c.register_object_type(ObjectTypeDef {
+            name: "T".into(),
+            ..Default::default()
+        })
+        .unwrap();
         assert!(c
-            .register_rel_type(RelTypeDef { name: "T".into(), ..Default::default() })
+            .register_rel_type(RelTypeDef {
+                name: "T".into(),
+                ..Default::default()
+            })
             .is_err());
         assert!(c
-            .register_object_type(ObjectTypeDef { name: "T".into(), ..Default::default() })
+            .register_object_type(ObjectTypeDef {
+                name: "T".into(),
+                ..Default::default()
+            })
             .is_err());
     }
 
@@ -800,7 +864,8 @@ mod tests {
     #[test]
     fn domains_register_and_resolve() {
         let mut c = Catalog::new();
-        c.register_domain("IO", Domain::Enum(vec!["IN".into(), "OUT".into()])).unwrap();
+        c.register_domain("IO", Domain::Enum(vec!["IN".into(), "OUT".into()]))
+            .unwrap();
         assert!(c.domain("IO").is_ok());
         assert!(c.register_domain("IO", Domain::Int).is_err());
         assert!(c.domain("Nope").is_err());

@@ -12,15 +12,19 @@
 //! paper's consistency-control bookkeeping on the relationship.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use ccdb_obs::{event, Counter, Event, FieldValue};
 use parking_lot::Mutex;
 
 use crate::error::{CoreError, CoreResult};
 use crate::expr::{eval, Env, Expr, ObjectView, REL_VAR};
+use crate::metrics::core_metrics;
 use crate::object::{ObjectData, ObjectKind, Owner};
-use crate::schema::{Catalog, Constraint, EffectiveSchema, ItemSource, ParticipantSpec, SubrelSpec};
+use crate::schema::{
+    Catalog, Constraint, EffectiveSchema, ItemSource, ParticipantSpec, SubrelSpec,
+};
 use crate::surrogate::{Surrogate, SurrogateGen};
 use crate::value::Value;
 
@@ -112,9 +116,11 @@ pub struct ObjectStore {
     /// Ablation switch for E1: when off, transmitter updates skip the
     /// adaptation-flag walk (losing the paper's notification semantics).
     adaptation_enabled: bool,
-    local_reads: AtomicU64,
-    inherited_reads: AtomicU64,
-    hops: AtomicU64,
+    // Per-instance resolution counters (the `StoreStats` view). Global
+    // `ccdb_core_*` registry metrics are dual-written via `core_metrics()`.
+    local_reads: Counter,
+    inherited_reads: Counter,
+    hops: Counter,
 }
 
 impl ObjectStore {
@@ -133,9 +139,9 @@ impl ObjectStore {
             eff_cache: Mutex::new(HashMap::new()),
             cache_enabled: AtomicBool::new(true),
             adaptation_enabled: true,
-            local_reads: AtomicU64::new(0),
-            inherited_reads: AtomicU64::new(0),
-            hops: AtomicU64::new(0),
+            local_reads: Counter::new(),
+            inherited_reads: Counter::new(),
+            hops: Counter::new(),
         })
     }
 
@@ -161,25 +167,29 @@ impl ObjectStore {
         }
         let eff = Arc::new(self.catalog.effective_schema(type_name)?);
         if self.cache_enabled.load(Ordering::Relaxed) {
-            self.eff_cache.lock().insert(type_name.to_string(), Arc::clone(&eff));
+            self.eff_cache
+                .lock()
+                .insert(type_name.to_string(), Arc::clone(&eff));
         }
         Ok(eff)
     }
 
-    /// Snapshot the resolution counters.
+    /// Snapshot the resolution counters (this store only; the process-wide
+    /// aggregates live in the `ccdb-obs` global registry).
     pub fn stats(&self) -> StoreStats {
         StoreStats {
-            local_reads: self.local_reads.load(Ordering::Relaxed),
-            inherited_reads: self.inherited_reads.load(Ordering::Relaxed),
-            hops: self.hops.load(Ordering::Relaxed),
+            local_reads: self.local_reads.get(),
+            inherited_reads: self.inherited_reads.get(),
+            hops: self.hops.get(),
         }
     }
 
-    /// Reset the resolution counters.
+    /// Reset the resolution counters (this store only; the global registry
+    /// is untouched).
     pub fn reset_stats(&self) {
-        self.local_reads.store(0, Ordering::Relaxed);
-        self.inherited_reads.store(0, Ordering::Relaxed);
-        self.hops.store(0, Ordering::Relaxed);
+        self.local_reads.reset();
+        self.inherited_reads.reset();
+        self.hops.reset();
     }
 
     /// Number of live objects (of all kinds).
@@ -209,10 +219,18 @@ impl ObjectStore {
     pub fn create_class(&mut self, name: &str, type_name: &str) -> CoreResult<()> {
         self.catalog.object_type(type_name)?;
         if self.classes.contains_key(name) {
-            return Err(CoreError::Duplicate { kind: "class", name: name.into() });
+            return Err(CoreError::Duplicate {
+                kind: "class",
+                name: name.into(),
+            });
         }
-        self.classes
-            .insert(name.to_string(), ClassDef { type_name: type_name.into(), members: vec![] });
+        self.classes.insert(
+            name.to_string(),
+            ClassDef {
+                type_name: type_name.into(),
+                members: vec![],
+            },
+        );
         Ok(())
     }
 
@@ -221,7 +239,10 @@ impl ObjectStore {
         self.classes
             .get(name)
             .map(|c| c.members.as_slice())
-            .ok_or_else(|| CoreError::Unknown { kind: "class", name: name.into() })
+            .ok_or_else(|| CoreError::Unknown {
+                kind: "class",
+                name: name.into(),
+            })
     }
 
     /// Names of the classes `obj` is a member of (sorted by class name).
@@ -239,7 +260,10 @@ impl ObjectStore {
         let c = self
             .classes
             .get_mut(class)
-            .ok_or_else(|| CoreError::Unknown { kind: "class", name: class.into() })?;
+            .ok_or_else(|| CoreError::Unknown {
+                kind: "class",
+                name: class.into(),
+            })?;
         if c.type_name != ty {
             return Err(CoreError::TypeMismatch {
                 expected: c.type_name.clone(),
@@ -284,7 +308,10 @@ impl ObjectStore {
             .classes
             .get(class)
             .map(|c| c.type_name.clone())
-            .ok_or_else(|| CoreError::Unknown { kind: "class", name: class.into() })?;
+            .ok_or_else(|| CoreError::Unknown {
+                kind: "class",
+                name: class.into(),
+            })?;
         let s = self.create_object(&ty, attrs)?;
         self.add_to_class(class, s)?;
         Ok(s)
@@ -314,14 +341,24 @@ impl ObjectStore {
                         attr: subclass.into(),
                     });
                 }
-                return Err(CoreError::NoSuchSubclass { object: parent, subclass: subclass.into() });
+                return Err(CoreError::NoSuchSubclass {
+                    object: parent,
+                    subclass: subclass.into(),
+                });
             }
         };
         let s = self.gen.issue();
         let mut obj = ObjectData::plain(s, &elem_ty);
-        obj.owner = Some(Owner { parent, subclass: subclass.to_string() });
+        obj.owner = Some(Owner {
+            parent,
+            subclass: subclass.to_string(),
+        });
         self.objects.insert(s, obj);
-        self.object_mut(parent)?.subclasses.entry(subclass.to_string()).or_default().push(s);
+        self.object_mut(parent)?
+            .subclasses
+            .entry(subclass.to_string())
+            .or_default()
+            .push(s);
         for (name, value) in attrs {
             self.set_attr(s, name, value)?;
         }
@@ -367,11 +404,21 @@ impl ObjectStore {
         let parent_ty = self.object(parent)?.type_name.clone();
         let spec = self
             .local_subrel_spec(&parent_ty, subrel)
-            .ok_or_else(|| CoreError::NoSuchSubclass { object: parent, subclass: subrel.into() })?
+            .ok_or_else(|| CoreError::NoSuchSubclass {
+                object: parent,
+                subclass: subrel.into(),
+            })?
             .clone();
         let s = self.create_rel(&spec.rel_type, participants, attrs)?;
-        self.object_mut(s)?.owner = Some(Owner { parent, subclass: subrel.to_string() });
-        self.object_mut(parent)?.subclasses.entry(subrel.to_string()).or_default().push(s);
+        self.object_mut(s)?.owner = Some(Owner {
+            parent,
+            subclass: subrel.to_string(),
+        });
+        self.object_mut(parent)?
+            .subclasses
+            .entry(subrel.to_string())
+            .or_default()
+            .push(s);
         Ok(s)
     }
 
@@ -396,9 +443,16 @@ impl ObjectStore {
             })?;
         let s = self.gen.issue();
         let mut obj = ObjectData::plain(s, &elem_ty);
-        obj.owner = Some(Owner { parent: rel_obj, subclass: subclass.to_string() });
+        obj.owner = Some(Owner {
+            parent: rel_obj,
+            subclass: subclass.to_string(),
+        });
         self.objects.insert(s, obj);
-        self.object_mut(rel_obj)?.subclasses.entry(subclass.to_string()).or_default().push(s);
+        self.object_mut(rel_obj)?
+            .subclasses
+            .entry(subclass.to_string())
+            .or_default()
+            .push(s);
         for (name, value) in attrs {
             self.set_attr(s, name, value)?;
         }
@@ -480,10 +534,16 @@ impl ObjectStore {
         let inh_ty = self.object(inheritor)?.type_name.clone();
         let inh_def = self.catalog.object_type(&inh_ty)?;
         if !inh_def.inheritor_in.iter().any(|r| r == rel_type) {
-            return Err(CoreError::NotAnInheritor { type_name: inh_ty, rel_type: rel_type.into() });
+            return Err(CoreError::NotAnInheritor {
+                type_name: inh_ty,
+                rel_type: rel_type.into(),
+            });
         }
         if self.object(inheritor)?.bindings.contains_key(rel_type) {
-            return Err(CoreError::AlreadyBound { object: inheritor, rel_type: rel_type.into() });
+            return Err(CoreError::AlreadyBound {
+                object: inheritor,
+                rel_type: rel_type.into(),
+            });
         }
         // Object-level cycle check: does `transmitter` (transitively)
         // inherit from `inheritor`?
@@ -493,11 +553,24 @@ impl ObjectStore {
         let s = self.gen.issue();
         let obj = ObjectData::inheritance(s, rel_type, transmitter, inheritor);
         self.objects.insert(s, obj);
-        self.object_mut(inheritor)?.bindings.insert(rel_type.to_string(), s);
+        self.object_mut(inheritor)?
+            .bindings
+            .insert(rel_type.to_string(), s);
         self.inheritors_of.entry(transmitter).or_default().push(s);
         for (name, value) in rel_attrs {
             self.set_attr(s, name, value)?;
         }
+        core_metrics().bind.inc();
+        event::emit(|| {
+            Event::now(
+                "core.bind",
+                vec![
+                    ("rel", FieldValue::U64(s.0)),
+                    ("transmitter", FieldValue::U64(transmitter.0)),
+                    ("inheritor", FieldValue::U64(inheritor.0)),
+                ],
+            )
+        });
         Ok(s)
     }
 
@@ -506,9 +579,11 @@ impl ObjectStore {
         let (transmitter, inheritor, rel_ty) = {
             let o = self.object(rel_obj)?;
             match &o.kind {
-                ObjectKind::InheritanceRel { transmitter, inheritor, .. } => {
-                    (*transmitter, *inheritor, o.type_name.clone())
-                }
+                ObjectKind::InheritanceRel {
+                    transmitter,
+                    inheritor,
+                    ..
+                } => (*transmitter, *inheritor, o.type_name.clone()),
                 _ => {
                     return Err(CoreError::TypeMismatch {
                         expected: "inheritance relationship".into(),
@@ -528,14 +603,21 @@ impl ObjectStore {
             inh.bindings.remove(&rel_ty);
         }
         self.objects.remove(&rel_obj);
+        core_metrics().unbind.inc();
+        event::emit(|| {
+            Event::now(
+                "core.unbind",
+                vec![
+                    ("rel", FieldValue::U64(rel_obj.0)),
+                    ("transmitter", FieldValue::U64(transmitter.0)),
+                    ("inheritor", FieldValue::U64(inheritor.0)),
+                ],
+            )
+        });
         Ok(())
     }
 
-    fn transitively_inherits_from(
-        &self,
-        from: Surrogate,
-        target: Surrogate,
-    ) -> CoreResult<bool> {
+    fn transitively_inherits_from(&self, from: Surrogate, target: Surrogate) -> CoreResult<bool> {
         let mut stack = vec![from];
         let mut seen = HashSet::new();
         while let Some(cur) = stack.pop() {
@@ -557,17 +639,26 @@ impl ObjectStore {
 
     /// The inheritance-relationship objects fed by `transmitter`.
     pub fn inheritance_rels_of(&self, transmitter: Surrogate) -> &[Surrogate] {
-        self.inheritors_of.get(&transmitter).map(Vec::as_slice).unwrap_or(&[])
+        self.inheritors_of
+            .get(&transmitter)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// The relationship objects in which `obj` participates (any role).
     pub fn relationships_of(&self, obj: Surrogate) -> &[Surrogate] {
-        self.participant_in.get(&obj).map(Vec::as_slice).unwrap_or(&[])
+        self.participant_in
+            .get(&obj)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// The binding relationship object of `inheritor` in `rel_type`, if any.
     pub fn binding_of(&self, inheritor: Surrogate, rel_type: &str) -> Option<Surrogate> {
-        self.objects.get(&inheritor).and_then(|o| o.bindings.get(rel_type)).copied()
+        self.objects
+            .get(&inheritor)
+            .and_then(|o| o.bindings.get(rel_type))
+            .copied()
     }
 
     // ------------------------------------------------------------------
@@ -576,13 +667,25 @@ impl ObjectStore {
 
     fn local_attr_domain(&self, type_name: &str, attr: &str) -> Option<crate::domain::Domain> {
         if let Ok(def) = self.catalog.object_type(type_name) {
-            return def.attributes.iter().find(|a| a.name == attr).map(|a| a.domain.clone());
+            return def
+                .attributes
+                .iter()
+                .find(|a| a.name == attr)
+                .map(|a| a.domain.clone());
         }
         if let Ok(def) = self.catalog.rel_type(type_name) {
-            return def.attributes.iter().find(|a| a.name == attr).map(|a| a.domain.clone());
+            return def
+                .attributes
+                .iter()
+                .find(|a| a.name == attr)
+                .map(|a| a.domain.clone());
         }
         if let Ok(def) = self.catalog.inher_rel_type(type_name) {
-            return def.attributes.iter().find(|a| a.name == attr).map(|a| a.domain.clone());
+            return def
+                .attributes
+                .iter()
+                .find(|a| a.name == attr)
+                .map(|a| a.domain.clone());
         }
         None
     }
@@ -618,39 +721,58 @@ impl ObjectStore {
     /// binding chain to the transmitter. An *unbound* inheritor yields
     /// [`Value::Missing`] — it inherits only the structure (§4.1).
     pub fn attr(&self, obj: Surrogate, name: &str) -> CoreResult<Value> {
-        self.attr_with_hops(obj, name, 0)
-    }
-
-    fn attr_with_hops(&self, obj: Surrogate, name: &str, depth: u64) -> CoreResult<Value> {
-        let o = self.object(obj)?;
-        if self.local_attr_domain(&o.type_name, name).is_some() {
-            if depth == 0 {
-                self.local_reads.fetch_add(1, Ordering::Relaxed);
+        // Iterative chain walk with *batched* counter updates: bookkeeping
+        // happens once per read, not once per hop, keeping instrumentation
+        // overhead on the resolution hot path within noise.
+        let mut cur = obj;
+        let mut depth = 0u64;
+        let mut inherited = false;
+        let value = loop {
+            let o = self.object(cur)?;
+            if self.local_attr_domain(&o.type_name, name).is_some() {
+                break o.attrs.get(name).cloned().unwrap_or(Value::Missing);
             }
-            return Ok(o.attrs.get(name).cloned().unwrap_or(Value::Missing));
-        }
-        // Not local: find the inheritance source in the effective schema.
-        let eff = self.effective(&o.type_name)?;
-        match eff.attr(name) {
-            Some((_, ItemSource::Inherited { via_rel, .. })) => {
-                if depth == 0 {
-                    self.inherited_reads.fetch_add(1, Ordering::Relaxed);
-                }
-                match o.bindings.get(via_rel) {
-                    Some(rel_obj) => {
-                        let transmitter = self
-                            .object(*rel_obj)?
-                            .transmitter()
-                            .ok_or_else(|| CoreError::EvalError("corrupt binding".into()))?;
-                        self.hops.fetch_add(1, Ordering::Relaxed);
-                        self.attr_with_hops(transmitter, name, depth + 1)
+            // Not local: find the inheritance source in the effective schema.
+            let eff = self.effective(&o.type_name)?;
+            match eff.attr(name) {
+                Some((_, ItemSource::Inherited { via_rel, .. })) => {
+                    inherited = true;
+                    match o.bindings.get(via_rel) {
+                        Some(rel_obj) => {
+                            cur = self
+                                .object(*rel_obj)?
+                                .transmitter()
+                                .ok_or_else(|| CoreError::EvalError("corrupt binding".into()))?;
+                            depth += 1;
+                        }
+                        None => break Value::Missing, // unbound inheritor (§4.1)
                     }
-                    None => Ok(Value::Missing), // unbound inheritor
+                }
+                Some((_, ItemSource::Local)) => unreachable!("local handled above"),
+                None => {
+                    return Err(CoreError::NoSuchAttribute {
+                        object: cur,
+                        attr: name.into(),
+                    })
                 }
             }
-            Some((_, ItemSource::Local)) => unreachable!("local handled above"),
-            None => Err(CoreError::NoSuchAttribute { object: obj, attr: name.into() }),
+        };
+        let m = core_metrics();
+        if inherited {
+            self.inherited_reads.inc();
+            m.inherited_reads.inc();
+            if depth > 0 {
+                self.hops.add(depth);
+                m.hops.add(depth);
+            }
+        } else {
+            self.local_reads.inc();
+            m.local_reads.inc();
         }
+        if ccdb_obs::enabled() {
+            m.hop_hist.observe(depth);
+        }
+        Ok(value)
     }
 
     /// The chain of `(object, item)` pairs consulted when resolving `item`
@@ -660,6 +782,30 @@ impl ObjectStore {
     /// "the parts of the component which are visible in the composite
     /// object have to be read-locked").
     pub fn resolution_chain(
+        &self,
+        obj: Surrogate,
+        item: &str,
+    ) -> CoreResult<Vec<(Surrogate, String)>> {
+        let chain = self.resolution_chain_inner(obj, item)?;
+        core_metrics().resolution_chains.inc();
+        if ccdb_obs::enabled() {
+            let hops = (chain.len() - 1) as u64;
+            core_metrics().hop_hist.observe(hops);
+            event::emit(|| {
+                Event::now(
+                    "core.resolution.chain",
+                    vec![
+                        ("object", FieldValue::U64(obj.0)),
+                        ("item", FieldValue::Owned(item.to_string())),
+                        ("hops", FieldValue::U64(hops)),
+                    ],
+                )
+            });
+        }
+        Ok(chain)
+    }
+
+    fn resolution_chain_inner(
         &self,
         obj: Surrogate,
         item: &str,
@@ -679,7 +825,10 @@ impl ObjectStore {
                 (Some((_, ItemSource::Inherited { via_rel, .. })), _) => via_rel.clone(),
                 (_, Some((_, ItemSource::Inherited { via_rel, .. }))) => via_rel.clone(),
                 _ => {
-                    return Err(CoreError::NoSuchAttribute { object: cur, attr: item.into() })
+                    return Err(CoreError::NoSuchAttribute {
+                        object: cur,
+                        attr: item.into(),
+                    })
                 }
             };
             match o.bindings.get(&via) {
@@ -712,6 +861,7 @@ impl ObjectStore {
                     });
                 }
                 self.object_mut(obj)?.attrs.insert(name.to_string(), value);
+                core_metrics().set_attr.inc();
                 self.propagate_adaptation(obj, name)?;
                 Ok(())
             }
@@ -719,10 +869,16 @@ impl ObjectStore {
                 // Inherited → read-only; unknown → no such attribute.
                 if let Ok(eff) = self.effective(&ty) {
                     if eff.attr(name).is_some() {
-                        return Err(CoreError::InheritedReadOnly { object: obj, attr: name.into() });
+                        return Err(CoreError::InheritedReadOnly {
+                            object: obj,
+                            attr: name.into(),
+                        });
                     }
                 }
-                Err(CoreError::NoSuchAttribute { object: obj, attr: name.into() })
+                Err(CoreError::NoSuchAttribute {
+                    object: obj,
+                    attr: name.into(),
+                })
             }
         }
     }
@@ -740,14 +896,14 @@ impl ObjectStore {
         if !self.adaptation_enabled {
             return Ok(());
         }
+        let mut flagged = 0u64;
         let mut frontier = vec![transmitter];
         let mut seen = HashSet::new();
         while let Some(t) = frontier.pop() {
             if !seen.insert(t) {
                 continue;
             }
-            let rels: Vec<Surrogate> =
-                self.inheritors_of.get(&t).cloned().unwrap_or_default();
+            let rels: Vec<Surrogate> = self.inheritors_of.get(&t).cloned().unwrap_or_default();
             for rel in rels {
                 let (rel_ty, inheritor) = {
                     let o = self.object(rel)?;
@@ -759,7 +915,10 @@ impl ObjectStore {
                 self.clock += 1;
                 let at = self.clock;
                 if let Some(o) = self.objects.get_mut(&rel) {
-                    if let ObjectKind::InheritanceRel { needs_adaptation, .. } = &mut o.kind {
+                    if let ObjectKind::InheritanceRel {
+                        needs_adaptation, ..
+                    } = &mut o.kind
+                    {
                         *needs_adaptation = true;
                     }
                 }
@@ -770,9 +929,24 @@ impl ObjectStore {
                     item: item.to_string(),
                     at,
                 });
+                core_metrics().adaptation_events.inc();
+                flagged += 1;
                 // The inheritor may re-transmit the same item further up.
                 frontier.push(inheritor);
             }
+        }
+        if flagged > 0 && ccdb_obs::enabled() {
+            core_metrics().adaptation_fanout.observe(flagged);
+            event::emit(|| {
+                Event::now(
+                    "core.adaptation.propagate",
+                    vec![
+                        ("transmitter", FieldValue::U64(transmitter.0)),
+                        ("item", FieldValue::Owned(item.to_string())),
+                        ("fanout", FieldValue::U64(flagged)),
+                    ],
+                )
+            });
         }
         Ok(())
     }
@@ -797,7 +971,9 @@ impl ObjectStore {
     /// adaptation?
     pub fn needs_adaptation(&self, rel_obj: Surrogate) -> CoreResult<bool> {
         match &self.object(rel_obj)?.kind {
-            ObjectKind::InheritanceRel { needs_adaptation, .. } => Ok(*needs_adaptation),
+            ObjectKind::InheritanceRel {
+                needs_adaptation, ..
+            } => Ok(*needs_adaptation),
             _ => Err(CoreError::TypeMismatch {
                 expected: "inheritance relationship".into(),
                 got: self.object(rel_obj)?.type_name.clone(),
@@ -809,7 +985,9 @@ impl ObjectStore {
     /// Clear the adaptation flag after the inheritor was (manually) adapted.
     pub fn acknowledge_adaptation(&mut self, rel_obj: Surrogate) -> CoreResult<()> {
         match &mut self.object_mut(rel_obj)?.kind {
-            ObjectKind::InheritanceRel { needs_adaptation, .. } => {
+            ObjectKind::InheritanceRel {
+                needs_adaptation, ..
+            } => {
                 *needs_adaptation = false;
                 Ok(())
             }
@@ -842,13 +1020,17 @@ impl ObjectStore {
                         .object(*rel_obj)?
                         .transmitter()
                         .ok_or_else(|| CoreError::EvalError("corrupt binding".into()))?;
-                    self.hops.fetch_add(1, Ordering::Relaxed);
+                    self.hops.inc();
+                    core_metrics().hops.inc();
                     self.subclass_members(transmitter, name)
                 }
                 None => Ok(vec![]), // unbound inheritor: structure only
             },
             Some((_, ItemSource::Local)) => unreachable!("local handled above"),
-            None => Err(CoreError::NoSuchSubclass { object: obj, subclass: name.into() }),
+            None => Err(CoreError::NoSuchSubclass {
+                object: obj,
+                subclass: name.into(),
+            }),
         }
     }
 
@@ -887,9 +1069,7 @@ impl ObjectStore {
     pub fn undelete(&mut self, rec: DeletionRecord) -> CoreResult<()> {
         let mut restored: Vec<Surrogate> = Vec::new();
         for o in &rec.objects {
-            if let std::collections::hash_map::Entry::Vacant(e) =
-                self.objects.entry(o.surrogate)
-            {
+            if let std::collections::hash_map::Entry::Vacant(e) = self.objects.entry(o.surrogate) {
                 e.insert(o.clone());
                 restored.push(o.surrogate);
             }
@@ -897,7 +1077,11 @@ impl ObjectStore {
         for s in &restored {
             let o = self.objects.get(s).expect("just restored").clone();
             match &o.kind {
-                ObjectKind::InheritanceRel { transmitter, inheritor, .. } => {
+                ObjectKind::InheritanceRel {
+                    transmitter,
+                    inheritor,
+                    ..
+                } => {
                     let list = self.inheritors_of.entry(*transmitter).or_default();
                     if !list.contains(s) {
                         list.push(*s);
@@ -955,7 +1139,10 @@ impl ObjectStore {
                 .copied()
                 .collect();
             if !ext.is_empty() {
-                return Err(CoreError::TransmitterInUse { object: *d, inheritors: ext.len() });
+                return Err(CoreError::TransmitterInUse {
+                    object: *d,
+                    inheritors: ext.len(),
+                });
             }
         }
         Ok(())
@@ -976,6 +1163,7 @@ impl ObjectStore {
                     item: "<deleted>".to_string(),
                     at: self.clock,
                 });
+                core_metrics().adaptation_events.inc();
                 self.unbind(rel)?;
             }
         }
@@ -1074,8 +1262,7 @@ impl ObjectStore {
     pub fn check_constraints(&self, obj: Surrogate) -> CoreResult<Vec<Violation>> {
         let o = self.object(obj)?;
         let mut out = Vec::new();
-        let constraints: Vec<Constraint> = if let Ok(def) = self.catalog.object_type(&o.type_name)
-        {
+        let constraints: Vec<Constraint> = if let Ok(def) = self.catalog.object_type(&o.type_name) {
             def.constraints.clone()
         } else if let Ok(def) = self.catalog.rel_type(&o.type_name) {
             def.constraints.clone()
@@ -1177,9 +1364,8 @@ impl ObjectStore {
                                 .map(|w| w.parent == *s && &w.subclass == subclass)
                                 .unwrap_or(false);
                             if !ok {
-                                problems.push(format!(
-                                    "{m} does not back-link owner {s}.{subclass}"
-                                ));
+                                problems
+                                    .push(format!("{m} does not back-link owner {s}.{subclass}"));
                             }
                         }
                     }
@@ -1202,9 +1388,7 @@ impl ObjectStore {
                                     .map(|l| l.contains(rel))
                                     .unwrap_or(false);
                                 if !indexed {
-                                    problems.push(format!(
-                                        "inheritors_of[{t}] misses rel {rel}"
-                                    ));
+                                    problems.push(format!("inheritors_of[{t}] misses rel {rel}"));
                                 }
                             }
                             _ => problems.push(format!("{rel} has a dead transmitter")),
@@ -1280,12 +1464,20 @@ impl ObjectStore {
             // Rebuild indexes.
             match &o.kind {
                 ObjectKind::InheritanceRel { transmitter, .. } => {
-                    store.inheritors_of.entry(*transmitter).or_default().push(o.surrogate);
+                    store
+                        .inheritors_of
+                        .entry(*transmitter)
+                        .or_default()
+                        .push(o.surrogate);
                 }
                 ObjectKind::Relationship { participants } => {
                     for members in participants.values() {
                         for m in members {
-                            store.participant_in.entry(*m).or_default().push(o.surrogate);
+                            store
+                                .participant_in
+                                .entry(*m)
+                                .or_default()
+                                .push(o.surrogate);
                         }
                     }
                 }
@@ -1315,7 +1507,12 @@ impl ObjectView for ObjectStore {
         // Inheritance-relationship objects expose their two ends as the
         // implicit roles `transmitter` and `inheritor`, so constraints on
         // inher-rel types can navigate both sides.
-        if let ObjectKind::InheritanceRel { transmitter, inheritor, .. } = &o.kind {
+        if let ObjectKind::InheritanceRel {
+            transmitter,
+            inheritor,
+            ..
+        } = &o.kind
+        {
             match role {
                 "transmitter" => return Ok(vec![*transmitter]),
                 "inheritor" => return Ok(vec![*inheritor]),
@@ -1335,31 +1532,43 @@ impl ObjectView for ObjectStore {
                         return Ok(vec![]);
                     }
                 }
-                Err(CoreError::EvalError(format!("no participant role `{role}` on {obj}")))
+                Err(CoreError::EvalError(format!(
+                    "no participant role `{role}` on {obj}"
+                )))
             }
         }
     }
 
     fn view_has_attr(&self, obj: Surrogate, name: &str) -> bool {
-        let Some(o) = self.objects.get(&obj) else { return false };
+        let Some(o) = self.objects.get(&obj) else {
+            return false;
+        };
         if self.local_attr_domain(&o.type_name, name).is_some() {
             return true;
         }
-        self.effective(&o.type_name).map(|e| e.attr(name).is_some()).unwrap_or(false)
+        self.effective(&o.type_name)
+            .map(|e| e.attr(name).is_some())
+            .unwrap_or(false)
     }
 
     fn view_has_subclass(&self, obj: Surrogate, name: &str) -> bool {
-        let Some(o) = self.objects.get(&obj) else { return false };
+        let Some(o) = self.objects.get(&obj) else {
+            return false;
+        };
         if self.local_subclass_spec(&o.type_name, name).is_some()
             || self.local_subrel_spec(&o.type_name, name).is_some()
         {
             return true;
         }
-        self.effective(&o.type_name).map(|e| e.subclass(name).is_some()).unwrap_or(false)
+        self.effective(&o.type_name)
+            .map(|e| e.subclass(name).is_some())
+            .unwrap_or(false)
     }
 
     fn view_has_participant(&self, obj: Surrogate, name: &str) -> bool {
-        let Some(o) = self.objects.get(&obj) else { return false };
+        let Some(o) = self.objects.get(&obj) else {
+            return false;
+        };
         match &o.kind {
             ObjectKind::Relationship { participants } => {
                 participants.contains_key(name)

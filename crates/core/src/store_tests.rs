@@ -27,7 +27,10 @@ fn chip_catalog() -> Catalog {
     // Interface hierarchy level 1: pins only.
     c.register_object_type(ObjectTypeDef {
         name: "GateInterface_I".into(),
-        subclasses: vec![SubclassSpec { name: "Pins".into(), element_type: "PinType".into() }],
+        subclasses: vec![SubclassSpec {
+            name: "Pins".into(),
+            element_type: "PinType".into(),
+        }],
         ..Default::default()
     })
     .unwrap();
@@ -44,7 +47,10 @@ fn chip_catalog() -> Catalog {
     c.register_object_type(ObjectTypeDef {
         name: "GateInterface".into(),
         inheritor_in: vec!["AllOf_GateInterface_I".into()],
-        attributes: vec![AttrDef::new("Length", Domain::Int), AttrDef::new("Width", Domain::Int)],
+        attributes: vec![
+            AttrDef::new("Length", Domain::Int),
+            AttrDef::new("Width", Domain::Int),
+        ],
         ..Default::default()
     })
     .unwrap();
@@ -75,7 +81,10 @@ fn chip_catalog() -> Catalog {
             crate::schema::ParticipantSpec::one("Pin1", "PinType"),
             crate::schema::ParticipantSpec::one("Pin2", "PinType"),
         ],
-        attributes: vec![AttrDef::new("Corners", Domain::ListOf(Box::new(Domain::Point)))],
+        attributes: vec![AttrDef::new(
+            "Corners",
+            Domain::ListOf(Box::new(Domain::Point)),
+        )],
         subclasses: vec![],
         constraints: vec![],
     })
@@ -167,12 +176,21 @@ fn make_interface(st: &mut ObjectStore, len: i64) -> (Surrogate, Surrogate, Surr
     // own hierarchy parent with pins.
     let abstract_if = st.create_object("GateInterface_I", vec![]).unwrap();
     let pin_in = st
-        .create_subobject(abstract_if, "Pins", vec![("InOut", Value::Enum("IN".into()))])
+        .create_subobject(
+            abstract_if,
+            "Pins",
+            vec![("InOut", Value::Enum("IN".into()))],
+        )
         .unwrap();
     let pin_out = st
-        .create_subobject(abstract_if, "Pins", vec![("InOut", Value::Enum("OUT".into()))])
+        .create_subobject(
+            abstract_if,
+            "Pins",
+            vec![("InOut", Value::Enum("OUT".into()))],
+        )
         .unwrap();
-    st.bind("AllOf_GateInterface_I", abstract_if, i, vec![]).unwrap();
+    st.bind("AllOf_GateInterface_I", abstract_if, i, vec![])
+        .unwrap();
     (i, pin_in, pin_out)
 }
 
@@ -187,7 +205,11 @@ fn create_and_read_plain_object() {
         .create_object("GateInterface", vec![("Length", Value::Int(9))])
         .unwrap();
     assert_eq!(st.attr(g, "Length").unwrap(), Value::Int(9));
-    assert_eq!(st.attr(g, "Width").unwrap(), Value::Missing, "unset local attr");
+    assert_eq!(
+        st.attr(g, "Width").unwrap(),
+        Value::Missing,
+        "unset local attr"
+    );
     assert!(matches!(
         st.attr(g, "Bogus"),
         Err(CoreError::NoSuchAttribute { .. })
@@ -237,7 +259,8 @@ fn inheritor_sees_transmitter_values() {
     let mut st = store();
     let (interface, ..) = make_interface(&mut st, 10);
     let imp = st.create_object("GateImplementation", vec![]).unwrap();
-    st.bind("AllOf_GateInterface", interface, imp, vec![]).unwrap();
+    st.bind("AllOf_GateInterface", interface, imp, vec![])
+        .unwrap();
     assert_eq!(st.attr(imp, "Length").unwrap(), Value::Int(10));
     assert_eq!(st.attr(imp, "Width").unwrap(), Value::Int(4));
 }
@@ -247,7 +270,8 @@ fn transmitter_update_instantly_visible() {
     let mut st = store();
     let (interface, ..) = make_interface(&mut st, 10);
     let imp = st.create_object("GateImplementation", vec![]).unwrap();
-    st.bind("AllOf_GateInterface", interface, imp, vec![]).unwrap();
+    st.bind("AllOf_GateInterface", interface, imp, vec![])
+        .unwrap();
     st.set_attr(interface, "Length", Value::Int(42)).unwrap();
     assert_eq!(st.attr(imp, "Length").unwrap(), Value::Int(42));
 }
@@ -257,7 +281,8 @@ fn inherited_attr_is_read_only() {
     let mut st = store();
     let (interface, ..) = make_interface(&mut st, 10);
     let imp = st.create_object("GateImplementation", vec![]).unwrap();
-    st.bind("AllOf_GateInterface", interface, imp, vec![]).unwrap();
+    st.bind("AllOf_GateInterface", interface, imp, vec![])
+        .unwrap();
     let err = st.set_attr(imp, "Length", Value::Int(1)).unwrap_err();
     assert!(matches!(err, CoreError::InheritedReadOnly { .. }));
     // ...even when unbound: the attribute still is not local.
@@ -279,7 +304,8 @@ fn two_level_hierarchy_resolves_transitively() {
     let mut st = store();
     let (interface, pin_in, pin_out) = make_interface(&mut st, 10);
     let imp = st.create_object("GateImplementation", vec![]).unwrap();
-    st.bind("AllOf_GateInterface", interface, imp, vec![]).unwrap();
+    st.bind("AllOf_GateInterface", interface, imp, vec![])
+        .unwrap();
     // Pins flow GateInterface_I → GateInterface → GateImplementation.
     let pins = st.subclass_members(imp, "Pins").unwrap();
     assert_eq!(pins, vec![pin_in, pin_out]);
@@ -295,14 +321,19 @@ fn permeability_is_selective() {
     let imp = st
         .create_object("GateImplementation", vec![("TimeBehavior", Value::Int(7))])
         .unwrap();
-    st.bind("AllOf_GateInterface", interface, imp, vec![]).unwrap();
+    st.bind("AllOf_GateInterface", interface, imp, vec![])
+        .unwrap();
     // Function/TimeBehavior are NOT in AllOf_GateInterface's inheriting
     // clause, so a composite bound via SomeOf_Gate sees TimeBehavior but a
     // plain interface user cannot; and nothing flows backwards.
     let composite = st.create_object("TimedComposite", vec![]).unwrap();
     st.bind("SomeOf_Gate", imp, composite, vec![]).unwrap();
     assert_eq!(st.attr(composite, "TimeBehavior").unwrap(), Value::Int(7));
-    assert_eq!(st.attr(composite, "Length").unwrap(), Value::Int(10), "re-exported");
+    assert_eq!(
+        st.attr(composite, "Length").unwrap(),
+        Value::Int(10),
+        "re-exported"
+    );
     // `Function` is not permeable through SomeOf_Gate.
     assert!(matches!(
         st.attr(composite, "Function"),
@@ -316,16 +347,23 @@ fn binding_validations() {
     let (interface, ..) = make_interface(&mut st, 10);
     let imp = st.create_object("GateImplementation", vec![]).unwrap();
     // Wrong transmitter type.
-    let err = st.bind("AllOf_GateInterface", imp, imp, vec![]).unwrap_err();
+    let err = st
+        .bind("AllOf_GateInterface", imp, imp, vec![])
+        .unwrap_err();
     assert!(matches!(err, CoreError::TypeMismatch { .. }));
     // Inheritor type must declare inheritor-in.
     let iface2 = st.create_object("GateInterface", vec![]).unwrap();
-    let err = st.bind("AllOf_GateInterface", interface, iface2, vec![]).unwrap_err();
+    let err = st
+        .bind("AllOf_GateInterface", interface, iface2, vec![])
+        .unwrap_err();
     assert!(matches!(err, CoreError::NotAnInheritor { .. }));
     // Double binding rejected.
-    st.bind("AllOf_GateInterface", interface, imp, vec![]).unwrap();
+    st.bind("AllOf_GateInterface", interface, imp, vec![])
+        .unwrap();
     let (interface2, ..) = make_interface(&mut st, 11);
-    let err = st.bind("AllOf_GateInterface", interface2, imp, vec![]).unwrap_err();
+    let err = st
+        .bind("AllOf_GateInterface", interface2, imp, vec![])
+        .unwrap_err();
     assert!(matches!(err, CoreError::AlreadyBound { .. }));
 }
 
@@ -367,7 +405,10 @@ fn binding_carries_relationship_attributes() {
             vec![("Note", Value::Str("v1 binding".into()))],
         )
         .unwrap();
-    assert_eq!(st.attr(rel, "Note").unwrap(), Value::Str("v1 binding".into()));
+    assert_eq!(
+        st.attr(rel, "Note").unwrap(),
+        Value::Str("v1 binding".into())
+    );
     // The relationship object is typed and navigable.
     let o = st.object(rel).unwrap();
     assert_eq!(o.type_name, "AllOf_GateInterface");
@@ -380,7 +421,9 @@ fn unbind_restores_structure_only_view() {
     let mut st = store();
     let (interface, ..) = make_interface(&mut st, 10);
     let imp = st.create_object("GateImplementation", vec![]).unwrap();
-    let rel = st.bind("AllOf_GateInterface", interface, imp, vec![]).unwrap();
+    let rel = st
+        .bind("AllOf_GateInterface", interface, imp, vec![])
+        .unwrap();
     assert_eq!(st.attr(imp, "Length").unwrap(), Value::Int(10));
     st.unbind(rel).unwrap();
     assert_eq!(st.attr(imp, "Length").unwrap(), Value::Missing);
@@ -388,7 +431,8 @@ fn unbind_restores_structure_only_view() {
     assert!(st.inheritance_rels_of(interface).is_empty());
     // Rebinding to another transmitter now works.
     let (interface2, ..) = make_interface(&mut st, 20);
-    st.bind("AllOf_GateInterface", interface2, imp, vec![]).unwrap();
+    st.bind("AllOf_GateInterface", interface2, imp, vec![])
+        .unwrap();
     assert_eq!(st.attr(imp, "Length").unwrap(), Value::Int(20));
 }
 
@@ -401,7 +445,9 @@ fn transmitter_update_flags_adaptation() {
     let mut st = store();
     let (interface, ..) = make_interface(&mut st, 10);
     let imp = st.create_object("GateImplementation", vec![]).unwrap();
-    let rel = st.bind("AllOf_GateInterface", interface, imp, vec![]).unwrap();
+    let rel = st
+        .bind("AllOf_GateInterface", interface, imp, vec![])
+        .unwrap();
     assert!(!st.needs_adaptation(rel).unwrap());
     st.set_attr(interface, "Length", Value::Int(11)).unwrap();
     assert!(st.needs_adaptation(rel).unwrap());
@@ -420,7 +466,9 @@ fn non_permeable_update_does_not_flag() {
     let imp = st
         .create_object("GateImplementation", vec![("TimeBehavior", Value::Int(1))])
         .unwrap();
-    let rel = st.bind("AllOf_GateInterface", interface, imp, vec![]).unwrap();
+    let rel = st
+        .bind("AllOf_GateInterface", interface, imp, vec![])
+        .unwrap();
     // TimeBehavior is local to the implementation; updating it flags nothing.
     st.set_attr(imp, "TimeBehavior", Value::Int(2)).unwrap();
     assert!(!st.needs_adaptation(rel).unwrap());
@@ -432,7 +480,9 @@ fn adaptation_propagates_through_hierarchy() {
     let mut st = store();
     let (interface, ..) = make_interface(&mut st, 10);
     let imp = st.create_object("GateImplementation", vec![]).unwrap();
-    let rel1 = st.bind("AllOf_GateInterface", interface, imp, vec![]).unwrap();
+    let rel1 = st
+        .bind("AllOf_GateInterface", interface, imp, vec![])
+        .unwrap();
     let composite = st.create_object("TimedComposite", vec![]).unwrap();
     let rel2 = st.bind("SomeOf_Gate", imp, composite, vec![]).unwrap();
     // Length flows interface → imp → composite; both bindings are flagged.
@@ -469,7 +519,8 @@ fn cannot_create_into_inherited_subclass() {
     let mut st = store();
     let (interface, ..) = make_interface(&mut st, 10);
     let imp = st.create_object("GateImplementation", vec![]).unwrap();
-    st.bind("AllOf_GateInterface", interface, imp, vec![]).unwrap();
+    st.bind("AllOf_GateInterface", interface, imp, vec![])
+        .unwrap();
     // Pins is inherited in GateImplementation — read-only view.
     let err = st.create_subobject(imp, "Pins", vec![]).unwrap_err();
     assert!(matches!(err, CoreError::InheritedReadOnly { .. }));
@@ -482,14 +533,20 @@ fn wires_relate_pins_across_nesting_levels() {
     // their pins (Figure 1b).
     let (interface, ..) = make_interface(&mut st, 10);
     let ff = st.create_object("GateImplementation", vec![]).unwrap();
-    st.bind("AllOf_GateInterface", interface, ff, vec![]).unwrap();
+    st.bind("AllOf_GateInterface", interface, ff, vec![])
+        .unwrap();
 
     // Two NOR subgates, each bound to its own interface with pins.
     let (nor_if, nor_in, nor_out) = make_interface(&mut st, 3);
     let sub1 = st
-        .create_subobject(ff, "SubGates", vec![("GateLocation", Value::Point { x: 0, y: 0 })])
+        .create_subobject(
+            ff,
+            "SubGates",
+            vec![("GateLocation", Value::Point { x: 0, y: 0 })],
+        )
         .unwrap();
-    st.bind("AllOf_GateInterface", nor_if, sub1, vec![]).unwrap();
+    st.bind("AllOf_GateInterface", nor_if, sub1, vec![])
+        .unwrap();
 
     // Wire from the subgate's output pin to its input pin (silly but legal).
     let wire = st
@@ -497,22 +554,30 @@ fn wires_relate_pins_across_nesting_levels() {
             ff,
             "Wires",
             vec![("Pin1", vec![nor_out]), ("Pin2", vec![nor_in])],
-            vec![(
-                "Corners",
-                Value::List(vec![Value::Point { x: 1, y: 1 }]),
-            )],
+            vec![("Corners", Value::List(vec![Value::Point { x: 1, y: 1 }]))],
         )
         .unwrap();
-    assert_eq!(st.object(wire).unwrap().participants("Pin1"), Some(&[nor_out][..]));
+    assert_eq!(
+        st.object(wire).unwrap().participants("Pin1"),
+        Some(&[nor_out][..])
+    );
 
     // Constraint: endpoints must be in Pins or SubGates.Pins of the owner.
     let violations = st.check_constraints(ff).unwrap();
-    assert!(violations.is_empty(), "wire endpoints are subgate pins: {violations:?}");
+    assert!(
+        violations.is_empty(),
+        "wire endpoints are subgate pins: {violations:?}"
+    );
 
     // A wire to a foreign pin violates the `where` clause.
     let (_, foreign_pin, _) = make_interface(&mut st, 9);
-    st.create_subrel(ff, "Wires", vec![("Pin1", vec![foreign_pin]), ("Pin2", vec![nor_in])], vec![])
-        .unwrap();
+    st.create_subrel(
+        ff,
+        "Wires",
+        vec![("Pin1", vec![foreign_pin]), ("Pin2", vec![nor_in])],
+        vec![],
+    )
+    .unwrap();
     let violations = st.check_constraints(ff).unwrap();
     assert_eq!(violations.len(), 1);
     assert_eq!(violations[0].constraint, "wire endpoints in pins");
@@ -523,19 +588,29 @@ fn participant_validation() {
     let mut st = store();
     let (_, pin_in, pin_out) = make_interface(&mut st, 10);
     // Wrong cardinality.
-    let err = st.create_rel("WireType", vec![("Pin1", vec![pin_in])], vec![]).unwrap_err();
+    let err = st
+        .create_rel("WireType", vec![("Pin1", vec![pin_in])], vec![])
+        .unwrap_err();
     assert!(err.to_string().contains("Pin2"), "{err}");
     // Wrong participant type.
     let iface = st.create_object("GateInterface", vec![]).unwrap();
     let err = st
-        .create_rel("WireType", vec![("Pin1", vec![pin_in]), ("Pin2", vec![iface])], vec![])
+        .create_rel(
+            "WireType",
+            vec![("Pin1", vec![pin_in]), ("Pin2", vec![iface])],
+            vec![],
+        )
         .unwrap_err();
     assert!(matches!(err, CoreError::TypeMismatch { .. }));
     // Unknown role.
     let err = st
         .create_rel(
             "WireType",
-            vec![("Pin1", vec![pin_in]), ("Pin2", vec![pin_out]), ("Pin3", vec![pin_in])],
+            vec![
+                ("Pin1", vec![pin_in]),
+                ("Pin2", vec![pin_out]),
+                ("Pin3", vec![pin_in]),
+            ],
             vec![],
         )
         .unwrap_err();
@@ -553,7 +628,11 @@ fn deleting_participant_deletes_relationship() {
         (a, p1, p2)
     };
     let wire = st
-        .create_rel("WireType", vec![("Pin1", vec![pin_in]), ("Pin2", vec![pin_out])], vec![])
+        .create_rel(
+            "WireType",
+            vec![("Pin1", vec![pin_in]), ("Pin2", vec![pin_out])],
+            vec![],
+        )
         .unwrap();
     assert!(st.object(wire).is_ok());
     // Deleting the interface cascades to pins, which deletes the wire.
@@ -571,7 +650,8 @@ fn transmitter_protected_from_delete() {
     let mut st = store();
     let (interface, ..) = make_interface(&mut st, 10);
     let imp = st.create_object("GateImplementation", vec![]).unwrap();
-    st.bind("AllOf_GateInterface", interface, imp, vec![]).unwrap();
+    st.bind("AllOf_GateInterface", interface, imp, vec![])
+        .unwrap();
     let err = st.delete(interface).unwrap_err();
     assert!(matches!(err, CoreError::TransmitterInUse { .. }));
     // The inheritor can always be deleted.
@@ -585,10 +665,15 @@ fn delete_force_dissolves_bindings_with_notification() {
     let mut st = store();
     let (interface, ..) = make_interface(&mut st, 10);
     let imp = st.create_object("GateImplementation", vec![]).unwrap();
-    st.bind("AllOf_GateInterface", interface, imp, vec![]).unwrap();
+    st.bind("AllOf_GateInterface", interface, imp, vec![])
+        .unwrap();
     st.delete_force(interface).unwrap();
     assert!(st.object(imp).is_ok(), "inheritor survives");
-    assert_eq!(st.attr(imp, "Length").unwrap(), Value::Missing, "now unbound");
+    assert_eq!(
+        st.attr(imp, "Length").unwrap(),
+        Value::Missing,
+        "now unbound"
+    );
     let last = st.adaptation_log().last().unwrap();
     assert_eq!(last.item, "<deleted>");
     assert_eq!(last.inheritor, imp);
@@ -604,9 +689,14 @@ fn delete_subtree_containing_both_sides_is_allowed() {
     let (interface, ..) = make_interface(&mut st, 10);
     let ff = st.create_object("GateImplementation", vec![]).unwrap();
     let sub = st
-        .create_subobject(ff, "SubGates", vec![("GateLocation", Value::Point { x: 1, y: 2 })])
+        .create_subobject(
+            ff,
+            "SubGates",
+            vec![("GateLocation", Value::Point { x: 1, y: 2 })],
+        )
         .unwrap();
-    st.bind("AllOf_GateInterface", interface, sub, vec![]).unwrap();
+    st.bind("AllOf_GateInterface", interface, sub, vec![])
+        .unwrap();
     st.delete(ff).unwrap();
     assert!(st.object(sub).is_err());
     // Binding dissolved: interface no longer transmits.
@@ -623,7 +713,8 @@ fn stats_count_local_vs_inherited_reads() {
     let mut st = store();
     let (interface, ..) = make_interface(&mut st, 10);
     let imp = st.create_object("GateImplementation", vec![]).unwrap();
-    st.bind("AllOf_GateInterface", interface, imp, vec![]).unwrap();
+    st.bind("AllOf_GateInterface", interface, imp, vec![])
+        .unwrap();
     st.reset_stats();
     st.attr(interface, "Length").unwrap(); // local
     st.attr(imp, "Length").unwrap(); // 1 hop
@@ -638,7 +729,8 @@ fn schema_cache_toggle_preserves_semantics() {
     let mut st = store();
     let (interface, ..) = make_interface(&mut st, 10);
     let imp = st.create_object("GateImplementation", vec![]).unwrap();
-    st.bind("AllOf_GateInterface", interface, imp, vec![]).unwrap();
+    st.bind("AllOf_GateInterface", interface, imp, vec![])
+        .unwrap();
     let with_cache = st.attr(imp, "Length").unwrap();
     st.set_schema_cache(false);
     let without_cache = st.attr(imp, "Length").unwrap();
@@ -731,7 +823,9 @@ fn adaptation_tracking_can_be_disabled() {
     let mut st = store();
     let (interface, ..) = make_interface(&mut st, 10);
     let imp = st.create_object("GateImplementation", vec![]).unwrap();
-    let rel = st.bind("AllOf_GateInterface", interface, imp, vec![]).unwrap();
+    let rel = st
+        .bind("AllOf_GateInterface", interface, imp, vec![])
+        .unwrap();
     st.set_adaptation_tracking(false);
     st.set_attr(interface, "Length", Value::Int(11)).unwrap();
     // View semantics unaffected; no flag, no event.
@@ -814,7 +908,9 @@ fn inheritance_rel_constraints_can_navigate_both_ends() {
     })
     .unwrap();
     let mut st = ObjectStore::new(c).unwrap();
-    let small = st.create_object("If", vec![("Length", Value::Int(50))]).unwrap();
+    let small = st
+        .create_object("If", vec![("Length", Value::Int(50))])
+        .unwrap();
     let user = st.create_object("User", vec![]).unwrap();
     let rel = st.bind("AllOf_SmallIf", small, user, vec![]).unwrap();
     assert!(st.check_constraints(rel).unwrap().is_empty());
@@ -836,11 +932,21 @@ fn undelete_restores_a_complex_subtree_exactly() {
     let (interface, pin_in, pin_out) = make_interface(&mut st, 10);
     let ff = st.create_object("GateImplementation", vec![]).unwrap();
     let sub = st
-        .create_subobject(ff, "SubGates", vec![("GateLocation", Value::Point { x: 1, y: 2 })])
+        .create_subobject(
+            ff,
+            "SubGates",
+            vec![("GateLocation", Value::Point { x: 1, y: 2 })],
+        )
         .unwrap();
-    st.bind("AllOf_GateInterface", interface, sub, vec![]).unwrap();
+    st.bind("AllOf_GateInterface", interface, sub, vec![])
+        .unwrap();
     let wire = st
-        .create_subrel(ff, "Wires", vec![("Pin1", vec![pin_in]), ("Pin2", vec![pin_out])], vec![])
+        .create_subrel(
+            ff,
+            "Wires",
+            vec![("Pin1", vec![pin_in]), ("Pin2", vec![pin_out])],
+            vec![],
+        )
         .unwrap();
     let count_before = st.object_count();
 
@@ -848,21 +954,41 @@ fn undelete_restores_a_complex_subtree_exactly() {
     assert!(st.object(ff).is_err());
     assert!(st.object(sub).is_err());
     assert!(st.object(wire).is_err(), "subrel member deleted with owner");
-    assert!(st.inheritance_rels_of(interface).is_empty(), "binding dissolved");
+    assert!(
+        st.inheritance_rels_of(interface).is_empty(),
+        "binding dissolved"
+    );
 
     st.undelete(rec).unwrap();
     assert_eq!(st.object_count(), count_before);
     // Structure restored: subclass membership, placement, inherited view,
     // wire participants.
     assert_eq!(st.subclass_members(ff, "SubGates").unwrap(), vec![sub]);
-    assert_eq!(st.attr(sub, "GateLocation").unwrap(), Value::Point { x: 1, y: 2 });
-    assert_eq!(st.attr(sub, "Length").unwrap(), Value::Int(10), "binding restored");
-    assert_eq!(st.object(wire).unwrap().participants("Pin1"), Some(&[pin_in][..]));
+    assert_eq!(
+        st.attr(sub, "GateLocation").unwrap(),
+        Value::Point { x: 1, y: 2 }
+    );
+    assert_eq!(
+        st.attr(sub, "Length").unwrap(),
+        Value::Int(10),
+        "binding restored"
+    );
+    assert_eq!(
+        st.object(wire).unwrap().participants("Pin1"),
+        Some(&[pin_in][..])
+    );
     // Relationship index restored: deleting a pin kills the wire again.
     assert_eq!(st.relationships_of(pin_in), &[wire]);
     // Transmitter protection restored.
-    assert!(matches!(st.delete(interface), Err(CoreError::TransmitterInUse { .. })));
-    assert!(st.verify_integrity().is_empty(), "{:?}", st.verify_integrity());
+    assert!(matches!(
+        st.delete(interface),
+        Err(CoreError::TransmitterInUse { .. })
+    ));
+    assert!(
+        st.verify_integrity().is_empty(),
+        "{:?}",
+        st.verify_integrity()
+    );
 }
 
 #[test]
@@ -891,7 +1017,9 @@ fn deleting_an_inheritance_rel_object_directly_is_undeletable() {
     let mut st = store();
     let (interface, ..) = make_interface(&mut st, 10);
     let imp = st.create_object("GateImplementation", vec![]).unwrap();
-    let rel = st.bind("AllOf_GateInterface", interface, imp, vec![]).unwrap();
+    let rel = st
+        .bind("AllOf_GateInterface", interface, imp, vec![])
+        .unwrap();
     let rec = st.delete_recorded(rel).unwrap();
     assert_eq!(st.attr(imp, "Length").unwrap(), Value::Missing);
     st.undelete(rec).unwrap();
@@ -908,10 +1036,19 @@ fn operations_on_deleted_objects_error_cleanly() {
     let mut st = store();
     let g = st.create_object("GateInterface", vec![]).unwrap();
     st.delete(g).unwrap();
-    assert!(matches!(st.attr(g, "Length"), Err(CoreError::NoSuchObject(_))));
-    assert!(matches!(st.set_attr(g, "Length", Value::Int(1)), Err(CoreError::NoSuchObject(_))));
+    assert!(matches!(
+        st.attr(g, "Length"),
+        Err(CoreError::NoSuchObject(_))
+    ));
+    assert!(matches!(
+        st.set_attr(g, "Length", Value::Int(1)),
+        Err(CoreError::NoSuchObject(_))
+    ));
     assert!(matches!(st.delete(g), Err(CoreError::NoSuchObject(_))));
-    assert!(matches!(st.check_constraints(g), Err(CoreError::NoSuchObject(_))));
+    assert!(matches!(
+        st.check_constraints(g),
+        Err(CoreError::NoSuchObject(_))
+    ));
 }
 
 #[test]
@@ -924,7 +1061,11 @@ fn unknown_subrel_and_rel_subclass_names_rejected() {
     ));
     let (_, p1, p2) = make_interface(&mut st, 3);
     let wire = st
-        .create_rel("WireType", vec![("Pin1", vec![p1]), ("Pin2", vec![p2])], vec![])
+        .create_rel(
+            "WireType",
+            vec![("Pin1", vec![p1]), ("Pin2", vec![p2])],
+            vec![],
+        )
         .unwrap();
     assert!(matches!(
         st.create_rel_subobject(wire, "Bolts", vec![]),
@@ -937,10 +1078,19 @@ fn relationship_object_attributes_are_domain_checked() {
     let mut st = store();
     let (_, p1, p2) = make_interface(&mut st, 3);
     let wire = st
-        .create_rel("WireType", vec![("Pin1", vec![p1]), ("Pin2", vec![p2])], vec![])
+        .create_rel(
+            "WireType",
+            vec![("Pin1", vec![p1]), ("Pin2", vec![p2])],
+            vec![],
+        )
         .unwrap();
     // Corners is list-of Point.
-    st.set_attr(wire, "Corners", Value::List(vec![Value::Point { x: 1, y: 1 }])).unwrap();
+    st.set_attr(
+        wire,
+        "Corners",
+        Value::List(vec![Value::Point { x: 1, y: 1 }]),
+    )
+    .unwrap();
     assert!(matches!(
         st.set_attr(wire, "Corners", Value::List(vec![Value::Int(1)])),
         Err(CoreError::DomainMismatch { .. })
@@ -965,7 +1115,11 @@ fn healthy_steel_store_passes_integrity_check() {
     let (i, p_in, p_out) = make_interface(&mut st, 4);
     let imp = st.create_object("GateImplementation", vec![]).unwrap();
     st.bind("AllOf_GateInterface", i, imp, vec![]).unwrap();
-    st.create_rel("WireType", vec![("Pin1", vec![p_in]), ("Pin2", vec![p_out])], vec![])
-        .unwrap();
+    st.create_rel(
+        "WireType",
+        vec![("Pin1", vec![p_in]), ("Pin2", vec![p_out])],
+        vec![],
+    )
+    .unwrap();
     assert!(st.verify_integrity().is_empty());
 }

@@ -57,7 +57,10 @@ impl TriggerRegistry {
 
     /// Start consuming only events after the store's current logical time.
     pub fn from_now(store: &ObjectStore) -> Self {
-        TriggerRegistry { cursor: store.now(), handlers: HashMap::new() }
+        TriggerRegistry {
+            cursor: store.now(),
+            handlers: HashMap::new(),
+        }
     }
 
     /// Register (or replace) the handler for one inheritance-relationship
@@ -69,16 +72,19 @@ impl TriggerRegistry {
             + Send
             + 'static,
     ) {
-        self.handlers.insert(rel_type.to_string(), Box::new(handler));
+        self.handlers
+            .insert(rel_type.to_string(), Box::new(handler));
     }
 
     /// Consume all adaptation events since the last run, dispatching each to
     /// the handler registered for its relationship type.
     pub fn process(&mut self, store: &mut ObjectStore) -> CoreResult<ProcessReport> {
-        let events: Vec<AdaptationEvent> =
-            store.adaptation_events_since(self.cursor).to_vec();
+        let events: Vec<AdaptationEvent> = store.adaptation_events_since(self.cursor).to_vec();
         self.cursor = store.now();
-        let mut report = ProcessReport { events: events.len(), ..Default::default() };
+        let mut report = ProcessReport {
+            events: events.len(),
+            ..Default::default()
+        };
         for ev in events {
             // The relationship object may have been unbound meanwhile.
             let Ok(rel) = store.object(ev.rel_object) else {
@@ -136,7 +142,9 @@ mod tests {
         })
         .unwrap();
         let mut st = ObjectStore::new(c).unwrap();
-        let interface = st.create_object("If", vec![("Length", Value::Int(4))]).unwrap();
+        let interface = st
+            .create_object("If", vec![("Length", Value::Int(4))])
+            .unwrap();
         let imp = st
             .create_object("Impl", vec![("DoubledLength", Value::Int(8))])
             .unwrap();
@@ -161,7 +169,14 @@ mod tests {
         let rel = st.binding_of(imp, "AllOf_If").unwrap();
         assert!(st.needs_adaptation(rel).unwrap());
         let report = triggers.process(&mut st).unwrap();
-        assert_eq!(report, ProcessReport { events: 1, handled: 1, unhandled: 0 });
+        assert_eq!(
+            report,
+            ProcessReport {
+                events: 1,
+                handled: 1,
+                unhandled: 0
+            }
+        );
         assert_eq!(st.attr(imp, "DoubledLength").unwrap(), Value::Int(20));
         assert!(!st.needs_adaptation(rel).unwrap(), "flag auto-cleared");
     }

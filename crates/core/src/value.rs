@@ -159,9 +159,9 @@ impl Value {
             (Value::Record(fields), Domain::Record(defs)) => {
                 // Every value field must be declared and conform; declared
                 // fields may be absent (treated as Missing).
-                fields.iter().all(|(name, v)| {
-                    defs.iter().any(|(dn, dd)| dn == name && v.conforms_to(dd))
-                })
+                fields
+                    .iter()
+                    .all(|(name, v)| defs.iter().any(|(dn, dd)| dn == name && v.conforms_to(dd)))
             }
             (Value::List(items), Domain::ListOf(d)) => items.iter().all(|v| v.conforms_to(d)),
             (Value::Set(items), Domain::SetOf(d)) => items.iter().all(|v| v.conforms_to(d)),
@@ -185,11 +185,12 @@ impl Value {
             Value::Point { .. } => 16,
             Value::List(v) | Value::Set(v) => 8 + v.iter().map(Value::byte_size).sum::<usize>(),
             Value::Record(fs) => {
-                8 + fs.iter().map(|(n, v)| n.len() + v.byte_size()).sum::<usize>()
+                8 + fs
+                    .iter()
+                    .map(|(n, v)| n.len() + v.byte_size())
+                    .sum::<usize>()
             }
-            Value::Matrix(rows) => {
-                8 + rows.iter().flatten().map(Value::byte_size).sum::<usize>()
-            }
+            Value::Matrix(rows) => 8 + rows.iter().flatten().map(Value::byte_size).sum::<usize>(),
             Value::Ref(_) => 8,
         }
     }
@@ -259,7 +260,12 @@ impl std::fmt::Display for Value {
                 }
                 write!(f, ")")
             }
-            Value::Matrix(rows) => write!(f, "matrix[{}x{}]", rows.len(), rows.first().map_or(0, Vec::len)),
+            Value::Matrix(rows) => write!(
+                f,
+                "matrix[{}x{}]",
+                rows.len(),
+                rows.first().map_or(0, Vec::len)
+            ),
             Value::Ref(s) => write!(f, "{s}"),
         }
     }
@@ -273,7 +279,10 @@ mod tests {
     fn conformance_simple() {
         assert!(Value::Int(3).conforms_to(&Domain::Int));
         assert!(!Value::Int(3).conforms_to(&Domain::Bool));
-        assert!(Value::Int(3).conforms_to(&Domain::Real), "ints widen to real");
+        assert!(
+            Value::Int(3).conforms_to(&Domain::Real),
+            "ints widen to real"
+        );
         assert!(!Value::Real(3.0).conforms_to(&Domain::Int));
         assert!(Value::Missing.conforms_to(&Domain::Int));
         assert!(Value::Str("x".into()).conforms_to(&Domain::Text));
@@ -291,7 +300,10 @@ mod tests {
     fn conformance_structured() {
         let pins = Domain::SetOf(Box::new(Domain::Record(vec![
             ("PinId".into(), Domain::Int),
-            ("InOut".into(), Domain::Enum(vec!["IN".into(), "OUT".into()])),
+            (
+                "InOut".into(),
+                Domain::Enum(vec!["IN".into(), "OUT".into()]),
+            ),
         ])));
         let v = Value::set(vec![
             Value::record(vec![
@@ -304,7 +316,10 @@ mod tests {
             ]),
         ]);
         assert!(v.conforms_to(&pins));
-        let bad = Value::set(vec![Value::record(vec![("PinId".into(), Value::Bool(true))])]);
+        let bad = Value::set(vec![Value::record(vec![(
+            "PinId".into(),
+            Value::Bool(true),
+        )])]);
         assert!(!bad.conforms_to(&pins));
     }
 
@@ -334,7 +349,10 @@ mod tests {
         ]);
         assert_eq!(
             r,
-            Value::Record(vec![("a".into(), Value::Int(1)), ("b".into(), Value::Int(2))])
+            Value::Record(vec![
+                ("a".into(), Value::Int(1)),
+                ("b".into(), Value::Int(2))
+            ])
         );
     }
 
@@ -344,7 +362,9 @@ mod tests {
         assert_ne!(Value::Real(1.5), Value::Real(1.6));
         assert_ne!(Value::Int(1), Value::Real(1.0), "no cross-variant equality");
         assert!(Value::Int(1).canonical_cmp(&Value::Int(2)).is_lt());
-        assert!(Value::Str("a".into()).canonical_cmp(&Value::Str("b".into())).is_lt());
+        assert!(Value::Str("a".into())
+            .canonical_cmp(&Value::Str("b".into()))
+            .is_lt());
     }
 
     #[test]
@@ -368,7 +388,10 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(Value::Point { x: 1, y: 2 }.to_string(), "(1, 2)");
-        assert_eq!(Value::set(vec![Value::Int(2), Value::Int(1)]).to_string(), "{1, 2}");
+        assert_eq!(
+            Value::set(vec![Value::Int(2), Value::Int(1)]).to_string(),
+            "{1, 2}"
+        );
         assert_eq!(Value::Missing.to_string(), "⊥");
     }
 }

@@ -43,13 +43,18 @@ impl std::fmt::Display for CompileError {
 impl std::error::Error for CompileError {}
 
 fn cerr<T>(msg: impl Into<String>) -> Result<T, CompileError> {
-    Err(CompileError { message: msg.into() })
+    Err(CompileError {
+        message: msg.into(),
+    })
 }
 
 /// Compile parsed declarations into `catalog`. Call
 /// [`Catalog::validate`] (or build an `ObjectStore`) afterwards.
 pub fn compile(decls: &[Decl], catalog: &mut Catalog) -> Result<(), CompileError> {
-    let mut cx = Cx { catalog, enum_literals: HashSet::new() };
+    let mut cx = Cx {
+        catalog,
+        enum_literals: HashSet::new(),
+    };
     cx.harvest_existing_literals();
     // Pre-scan the whole chunk for enum literals so constraint lowering is
     // insensitive to declaration order.
@@ -67,9 +72,7 @@ fn prescan_literals(d: &Decl, out: &mut HashSet<String>) {
         match d {
             DomainExpr::Enum(lits) => out.extend(lits.iter().cloned()),
             DomainExpr::Record(groups) => groups.iter().for_each(|(_, fd)| walk(fd, out)),
-            DomainExpr::SetOf(i) | DomainExpr::ListOf(i) | DomainExpr::MatrixOf(i) => {
-                walk(i, out)
-            }
+            DomainExpr::SetOf(i) | DomainExpr::ListOf(i) | DomainExpr::MatrixOf(i) => walk(i, out),
             _ => {}
         }
     }
@@ -152,7 +155,9 @@ impl<'a> Cx<'a> {
                 };
                 self.catalog
                     .register_domain(name, domain)
-                    .map_err(|e| CompileError { message: e.to_string() })
+                    .map_err(|e| CompileError {
+                        message: e.to_string(),
+                    })
             }
             Decl::ObjType(t) => self.obj_type(t),
             Decl::RelType(t) => self.rel_type(t),
@@ -200,7 +205,10 @@ impl<'a> Cx<'a> {
         for g in groups {
             let d = self.domain(&g.domain)?;
             for n in &g.names {
-                out.push(AttrDef { name: n.clone(), domain: d.clone() });
+                out.push(AttrDef {
+                    name: n.clone(),
+                    domain: d.clone(),
+                });
             }
         }
         Ok(out)
@@ -218,13 +226,22 @@ impl<'a> Cx<'a> {
                     name: name.clone(),
                     element_type: element_type.clone(),
                 }),
-                SubclassDecl::Inline { name, inheritor_in, attributes } => {
+                SubclassDecl::Inline {
+                    name,
+                    inheritor_in,
+                    attributes,
+                } => {
                     let attrs = self.attrs(attributes)?;
                     let member_type = self
                         .catalog
                         .register_inline_member_type(owner, name, inheritor_in.clone(), attrs)
-                        .map_err(|e| CompileError { message: e.to_string() })?;
-                    out.push(SubclassSpec { name: name.clone(), element_type: member_type });
+                        .map_err(|e| CompileError {
+                            message: e.to_string(),
+                        })?;
+                    out.push(SubclassSpec {
+                        name: name.clone(),
+                        element_type: member_type,
+                    });
                 }
             }
         }
@@ -246,9 +263,16 @@ impl<'a> Cx<'a> {
                         member_items.extend(rt.attributes.iter().map(|a| a.name.clone()));
                         member_items.extend(rt.subclasses.iter().map(|sc| sc.name.clone()));
                     }
-                    let scope = Scope { vars: HashSet::new(), aliases, member_items };
+                    let scope = Scope {
+                        vars: HashSet::new(),
+                        aliases,
+                        member_items,
+                    };
                     let expr = self.expr(w, &scope)?;
-                    vec![Constraint::named(&format!("{} where-clause", sr.name), expr)]
+                    vec![Constraint::named(
+                        &format!("{} where-clause", sr.name),
+                        expr,
+                    )]
                 }
             };
             subrels.push(SubrelSpec {
@@ -267,7 +291,9 @@ impl<'a> Cx<'a> {
                 subrels,
                 constraints,
             })
-            .map_err(|e| CompileError { message: e.to_string() })
+            .map_err(|e| CompileError {
+                message: e.to_string(),
+            })
     }
 
     fn rel_type(&mut self, t: &RelTypeDecl) -> Result<(), CompileError> {
@@ -292,7 +318,9 @@ impl<'a> Cx<'a> {
                 subclasses,
                 constraints,
             })
-            .map_err(|e| CompileError { message: e.to_string() })
+            .map_err(|e| CompileError {
+                message: e.to_string(),
+            })
     }
 
     fn inher_rel_type(&mut self, t: &InherRelDecl) -> Result<(), CompileError> {
@@ -306,7 +334,9 @@ impl<'a> Cx<'a> {
                 attributes,
                 constraints: vec![],
             })
-            .map_err(|e| CompileError { message: e.to_string() })
+            .map_err(|e| CompileError {
+                message: e.to_string(),
+            })
     }
 
     fn constraints(&mut self, decls: &[ConstraintDecl]) -> Result<Vec<Constraint>, CompileError> {
@@ -327,7 +357,10 @@ impl<'a> Cx<'a> {
                 for (v, p) in &c.bindings {
                     bindings.push((v.clone(), self.class_path(p, &outer)));
                 }
-                expr = Expr::ForAll { bindings, body: Box::new(expr) };
+                expr = Expr::ForAll {
+                    bindings,
+                    body: Box::new(expr),
+                };
             }
             out.push(Constraint::new(expr));
         }
@@ -354,25 +387,32 @@ impl<'a> Cx<'a> {
         let Some(count_path) = find_count(&expr) else {
             return cerr("`where` filter without a count(...) to attach it to");
         };
-        let elem_alias = count_path
-            .segments
-            .last()
-            .cloned()
-            .ok_or(CompileError { message: "count over empty path".into() })?;
+        let elem_alias = count_path.segments.last().cloned().ok_or(CompileError {
+            message: "count over empty path".into(),
+        })?;
         let mut filter_scope = scope.clone();
-        filter_scope.aliases.insert(elem_alias, ELEM_VAR.to_string());
+        filter_scope
+            .aliases
+            .insert(elem_alias, ELEM_VAR.to_string());
         let lowered = self.expr(filter, &filter_scope)?;
 
         fn attach(e: Expr, filter: &Expr, done: &mut bool) -> Expr {
             match e {
                 Expr::Count { path, filter: None } if !*done => {
                     *done = true;
-                    Expr::Count { path, filter: Some(Box::new(filter.clone())) }
+                    Expr::Count {
+                        path,
+                        filter: Some(Box::new(filter.clone())),
+                    }
                 }
                 Expr::Binary { op, lhs, rhs } => {
                     let lhs = attach(*lhs, filter, done);
                     let rhs = attach(*rhs, filter, done);
-                    Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+                    Expr::Binary {
+                        op,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    }
                 }
                 Expr::Not(i) => Expr::Not(Box::new(attach(*i, filter, done))),
                 Expr::Neg(i) => Expr::Neg(Box::new(attach(*i, filter, done))),
@@ -402,9 +442,15 @@ impl<'a> Cx<'a> {
             };
         }
         if scope.member_items.contains(first) {
-            return PathExpr { root: PathRoot::Var(REL_VAR.into()), segments: segs.to_vec() };
+            return PathExpr {
+                root: PathRoot::Var(REL_VAR.into()),
+                segments: segs.to_vec(),
+            };
         }
-        PathExpr { root: PathRoot::SelfObject, segments: segs.to_vec() }
+        PathExpr {
+            root: PathRoot::SelfObject,
+            segments: segs.to_vec(),
+        }
     }
 
     fn expr(&mut self, e: &LExpr, scope: &Scope) -> Result<Expr, CompileError> {
@@ -423,12 +469,14 @@ impl<'a> Cx<'a> {
                     Expr::Path(self.lower_path(segs, scope))
                 }
             }
-            LExpr::Count(path) => {
-                Expr::Count { path: self.lower_path(path, scope), filter: None }
-            }
-            LExpr::HashCount { path, .. } => {
-                Expr::Count { path: self.lower_path(path, scope), filter: None }
-            }
+            LExpr::Count(path) => Expr::Count {
+                path: self.lower_path(path, scope),
+                filter: None,
+            },
+            LExpr::HashCount { path, .. } => Expr::Count {
+                path: self.lower_path(path, scope),
+                filter: None,
+            },
             LExpr::Agg { op, path } => {
                 let p = self.lower_path(path, scope);
                 match op {
@@ -556,13 +604,24 @@ mod tests {
         assert_eq!(def.attributes[0].name, "Length");
         assert!(matches!(def.attributes[3].domain, Domain::SetOf(_)));
         // Constraint: count with attached filter comparing to enum literal.
-        let Expr::Binary { op: BinOp::Eq, lhs, .. } = &def.constraints[0].expr else {
+        let Expr::Binary {
+            op: BinOp::Eq, lhs, ..
+        } = &def.constraints[0].expr
+        else {
             panic!("expected comparison")
         };
-        let Expr::Count { filter: Some(f), .. } = lhs.as_ref() else {
+        let Expr::Count {
+            filter: Some(f), ..
+        } = lhs.as_ref()
+        else {
             panic!("expected count with filter: {lhs:?}")
         };
-        let Expr::Binary { lhs: fl, rhs: fr, .. } = f.as_ref() else { panic!() };
+        let Expr::Binary {
+            lhs: fl, rhs: fr, ..
+        } = f.as_ref()
+        else {
+            panic!()
+        };
         assert!(
             matches!(fl.as_ref(), Expr::Path(p) if p.root == PathRoot::Var(ELEM_VAR.into())),
             "{fl:?}"
@@ -596,10 +655,20 @@ mod tests {
         let def = c.object_type("Gate").unwrap();
         let sr = &def.subrels[0];
         assert_eq!(sr.rel_type, "WireType");
-        let Expr::Binary { lhs, .. } = &sr.member_constraints[0].expr else { panic!() };
-        let Expr::InClass { item, class } = lhs.as_ref() else { panic!("{lhs:?}") };
-        let Expr::Path(p) = item.as_ref() else { panic!() };
-        assert_eq!(p.root, PathRoot::Var(REL_VAR.into()), "`Wire.` → member var");
+        let Expr::Binary { lhs, .. } = &sr.member_constraints[0].expr else {
+            panic!()
+        };
+        let Expr::InClass { item, class } = lhs.as_ref() else {
+            panic!("{lhs:?}")
+        };
+        let Expr::Path(p) = item.as_ref() else {
+            panic!()
+        };
+        assert_eq!(
+            p.root,
+            PathRoot::Var(REL_VAR.into()),
+            "`Wire.` → member var"
+        );
         assert_eq!(p.segments, vec!["Pin1"]);
         assert_eq!(class.root, PathRoot::SelfObject);
     }
@@ -632,7 +701,10 @@ mod tests {
         assert_eq!(member.attributes[0].name, "GateLocation");
         assert_eq!(member.attributes[0].domain, Domain::Point);
         let owner = c.object_type("GateImplementation").unwrap();
-        assert_eq!(owner.subclasses[0].element_type, "GateImplementation.SubGates");
+        assert_eq!(
+            owner.subclasses[0].element_type,
+            "GateImplementation.SubGates"
+        );
     }
 
     #[test]
@@ -658,12 +730,23 @@ mod tests {
         // First: plain count.
         assert!(matches!(&def.constraints[0].expr, Expr::Binary { .. }));
         // Second: ForAll over (s, n).
-        let Expr::ForAll { bindings, .. } = &def.constraints[1].expr else { panic!() };
+        let Expr::ForAll { bindings, .. } = &def.constraints[1].expr else {
+            panic!()
+        };
         assert_eq!(bindings.len(), 2);
         // Third: ForAll over (s, n, b).
-        let Expr::ForAll { bindings, body } = &def.constraints[2].expr else { panic!() };
+        let Expr::ForAll { bindings, body } = &def.constraints[2].expr else {
+            panic!()
+        };
         assert_eq!(bindings.len(), 3);
-        let Expr::Binary { op: BinOp::Le, lhs, rhs } = body.as_ref() else { panic!() };
+        let Expr::Binary {
+            op: BinOp::Le,
+            lhs,
+            rhs,
+        } = body.as_ref()
+        else {
+            panic!()
+        };
         assert!(matches!(lhs.as_ref(), Expr::Path(p) if p.root == PathRoot::Var("s".into())));
         assert!(matches!(rhs.as_ref(), Expr::Path(p) if p.root == PathRoot::Var("b".into())));
     }
@@ -686,7 +769,9 @@ mod tests {
         )
         .unwrap();
         let def = c.object_type("Check").unwrap();
-        let Expr::Binary { rhs, .. } = &def.constraints[0].expr else { panic!() };
+        let Expr::Binary { rhs, .. } = &def.constraints[0].expr else {
+            panic!()
+        };
         assert_eq!(rhs.as_ref(), &Expr::Lit(Value::Enum("wood".into())));
     }
 
@@ -718,7 +803,10 @@ pub fn lower_query_expr(
     // Cx needs &mut Catalog only to register things; queries never register,
     // so work on a clone of the catalog handle via an owned copy.
     let mut scratch = catalog.clone();
-    let mut cx = Cx { catalog: &mut scratch, enum_literals: HashSet::new() };
+    let mut cx = Cx {
+        catalog: &mut scratch,
+        enum_literals: HashSet::new(),
+    };
     cx.harvest_existing_literals();
     cx.expr(ast, &Scope::default())
 }
@@ -740,8 +828,12 @@ mod query_tests {
         )
         .unwrap();
         let q = compile_expr("InOut = IN and Id > 3", &c).unwrap();
-        let Expr::Binary { lhs, .. } = &q else { panic!() };
-        let Expr::Binary { rhs, .. } = lhs.as_ref() else { panic!() };
+        let Expr::Binary { lhs, .. } = &q else {
+            panic!()
+        };
+        let Expr::Binary { rhs, .. } = lhs.as_ref() else {
+            panic!()
+        };
         assert_eq!(rhs.as_ref(), &Expr::Lit(Value::Enum("IN".into())));
     }
 
@@ -749,8 +841,12 @@ mod query_tests {
     fn query_expr_paths_root_at_subject() {
         let c = Catalog::new();
         let q = compile_expr("Length >= 10", &c).unwrap();
-        let Expr::Binary { lhs, .. } = &q else { panic!() };
-        let Expr::Path(p) = lhs.as_ref() else { panic!() };
+        let Expr::Binary { lhs, .. } = &q else {
+            panic!()
+        };
+        let Expr::Path(p) = lhs.as_ref() else {
+            panic!()
+        };
         assert_eq!(p.root, PathRoot::SelfObject);
     }
 

@@ -37,8 +37,8 @@
 //! ```
 
 pub mod ast;
-pub mod paper;
 pub mod compile;
+pub mod paper;
 pub mod parser;
 pub mod render;
 pub mod token;
@@ -106,10 +106,7 @@ pub fn compile_str(src: &str, catalog: &mut Catalog) -> Result<(), LangError> {
 /// let q = compile_expr("Length >= 10 and Length < 20", &catalog).unwrap();
 /// assert!(q.to_string().contains("Length"));
 /// ```
-pub fn compile_expr(
-    src: &str,
-    catalog: &Catalog,
-) -> Result<ccdb_core::expr::Expr, LangError> {
+pub fn compile_expr(src: &str, catalog: &Catalog) -> Result<ccdb_core::expr::Expr, LangError> {
     let ast = parser::parse_expr(src)?;
     compile::lower_query_expr(&ast, catalog).map_err(LangError::Compile)
 }

@@ -263,7 +263,9 @@ pub fn chip_catalog() -> Result<Catalog, LangError> {
     let mut c = Catalog::new();
     compile_str(CHIP_SCHEMA, &mut c)?;
     c.validate().map_err(|e| {
-        LangError::Compile(crate::CompileError { message: e.to_string() })
+        LangError::Compile(crate::CompileError {
+            message: e.to_string(),
+        })
     })?;
     Ok(c)
 }
@@ -273,7 +275,9 @@ pub fn steel_catalog() -> Result<Catalog, LangError> {
     let mut c = Catalog::new();
     compile_str(STEEL_SCHEMA, &mut c)?;
     c.validate().map_err(|e| {
-        LangError::Compile(crate::CompileError { message: e.to_string() })
+        LangError::Compile(crate::CompileError {
+            message: e.to_string(),
+        })
     })?;
     Ok(c)
 }
@@ -315,7 +319,9 @@ mod tests {
         // ScrewingType got all five constraints.
         assert_eq!(c.rel_type("ScrewingType").unwrap().constraints.len(), 5);
         // Structure members inherit the interfaces' items.
-        let eff = c.effective_schema("WeightCarrying_Structure.Girders").unwrap();
+        let eff = c
+            .effective_schema("WeightCarrying_Structure.Girders")
+            .unwrap();
         assert!(eff.attr("Height").is_some());
         assert!(eff.subclass("Bores").is_some());
     }

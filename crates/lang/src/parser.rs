@@ -35,7 +35,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, line: e.line }
+        ParseError {
+            message: e.message,
+            line: e.line,
+        }
     }
 }
 
@@ -99,7 +102,10 @@ impl Parser {
     }
 
     fn err(&self, msg: &str) -> ParseError {
-        ParseError { message: format!("{msg} (found {})", self.peek()), line: self.line() }
+        ParseError {
+            message: format!("{msg} (found {})", self.peek()),
+            line: self.line(),
+        }
     }
 
     fn bump(&mut self) -> TokenKind {
@@ -259,7 +265,10 @@ impl Parser {
     fn obj_type_decl(&mut self) -> Result<Decl, ParseError> {
         let name = self.ident("type name")?;
         self.expect(&TokenKind::Eq, "`=`")?;
-        let mut d = ObjTypeDecl { name, ..Default::default() };
+        let mut d = ObjTypeDecl {
+            name,
+            ..Default::default()
+        };
         loop {
             if self.eat_kw("end") {
                 break;
@@ -268,9 +277,11 @@ impl Parser {
                 // `inheritor-in: R;` (the §5 Girder listing writes
                 // `inheritor: AllOf_GirderIf;` — tolerated).
                 self.expect(&TokenKind::Colon, "`:`")?;
-                d.inheritor_in.push(self.ident("inheritance relationship name")?);
+                d.inheritor_in
+                    .push(self.ident("inheritance relationship name")?);
                 while self.eat(&TokenKind::Comma) {
-                    d.inheritor_in.push(self.ident("inheritance relationship name")?);
+                    d.inheritor_in
+                        .push(self.ident("inheritance relationship name")?);
                 }
                 self.eat(&TokenKind::Semi);
                 continue;
@@ -305,7 +316,10 @@ impl Parser {
     fn rel_type_decl(&mut self) -> Result<Decl, ParseError> {
         let name = self.ident("type name")?;
         self.expect(&TokenKind::Eq, "`=`")?;
-        let mut d = RelTypeDecl { name, ..Default::default() };
+        let mut d = RelTypeDecl {
+            name,
+            ..Default::default()
+        };
         loop {
             if self.eat_kw("end") {
                 break;
@@ -354,7 +368,11 @@ impl Parser {
             return Err(self.err("expected `object` or `object-of-type`"));
         };
         self.eat(&TokenKind::Semi);
-        Ok(ParticipantDecl { names, many, of_type })
+        Ok(ParticipantDecl {
+            names,
+            many,
+            of_type,
+        })
     }
 
     fn inher_rel_decl(&mut self) -> Result<Decl, ParseError> {
@@ -474,7 +492,11 @@ impl Parser {
                     }
                     break;
                 }
-                out.push(SubclassDecl::Inline { name, inheritor_in, attributes });
+                out.push(SubclassDecl::Inline {
+                    name,
+                    inheritor_in,
+                    attributes,
+                });
                 // The next entry may be another inline subclass.
                 continue;
             }
@@ -531,10 +553,17 @@ impl Parser {
             let name = self.ident("subrel name")?;
             self.expect(&TokenKind::Colon, "`:`")?;
             let rel_type = self.ident("relationship type")?;
-            let where_expr =
-                if self.eat_kw("where") { Some(self.expr()?) } else { None };
+            let where_expr = if self.eat_kw("where") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
             self.eat(&TokenKind::Semi);
-            out.push(SubrelDecl { name, rel_type, where_expr });
+            out.push(SubrelDecl {
+                name,
+                rel_type,
+                where_expr,
+            });
         }
         Ok(out)
     }
@@ -565,10 +594,17 @@ impl Parser {
                 continue;
             }
             let expr = self.expr()?;
-            let where_expr =
-                if self.eat_kw("where") { Some(self.expr()?) } else { None };
+            let where_expr = if self.eat_kw("where") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
             self.eat(&TokenKind::Semi);
-            out.push(ConstraintDecl { bindings: bindings.clone(), expr, where_expr });
+            out.push(ConstraintDecl {
+                bindings: bindings.clone(),
+                expr,
+                where_expr,
+            });
         }
         Ok(out)
     }
@@ -593,7 +629,11 @@ impl Parser {
         let mut lhs = self.and_expr()?;
         while self.eat_kw("or") {
             let rhs = self.and_expr()?;
-            lhs = LExpr::Binary { op: LBinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = LExpr::Binary {
+                op: LBinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -602,7 +642,11 @@ impl Parser {
         let mut lhs = self.not_expr()?;
         while self.eat_kw("and") {
             let rhs = self.not_expr()?;
-            lhs = LExpr::Binary { op: LBinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = LExpr::Binary {
+                op: LBinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -626,13 +670,20 @@ impl Parser {
             TokenKind::Ident(s) if s == "in" => {
                 self.bump();
                 let path = self.path()?;
-                return Ok(LExpr::In { item: Box::new(lhs), path });
+                return Ok(LExpr::In {
+                    item: Box::new(lhs),
+                    path,
+                });
             }
             _ => return Ok(lhs),
         };
         self.bump();
         let rhs = self.additive()?;
-        Ok(LExpr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+        Ok(LExpr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
     }
 
     fn additive(&mut self) -> Result<LExpr, ParseError> {
@@ -645,7 +696,11 @@ impl Parser {
             };
             self.bump();
             let rhs = self.multiplicative()?;
-            lhs = LExpr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = LExpr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -659,7 +714,11 @@ impl Parser {
             };
             self.bump();
             let rhs = self.unary()?;
-            lhs = LExpr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = LExpr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -734,7 +793,10 @@ impl Parser {
                 }
                 self.expect(&TokenKind::Colon, "`:`")?;
                 let body = self.expr()?;
-                Ok(LExpr::ForAll { bindings, body: Box::new(body) })
+                Ok(LExpr::ForAll {
+                    bindings,
+                    body: Box::new(body),
+                })
             }
             TokenKind::Ident(_) => Ok(LExpr::Path(self.path()?)),
             _ => Err(self.err("expected an expression")),
@@ -766,7 +828,9 @@ mod tests {
         "#;
         let decls = parse(src).unwrap();
         assert_eq!(decls.len(), 3);
-        let Decl::ObjType(g) = &decls[2] else { panic!("expected obj-type") };
+        let Decl::ObjType(g) = &decls[2] else {
+            panic!("expected obj-type")
+        };
         assert_eq!(g.name, "SimpleGate");
         assert_eq!(g.attributes.len(), 3);
         assert_eq!(g.attributes[0].names, vec!["Length", "Width"]);
@@ -788,7 +852,9 @@ mod tests {
             end WireType;
         "#;
         let decls = parse(src).unwrap();
-        let Decl::RelType(r) = &decls[0] else { panic!() };
+        let Decl::RelType(r) = &decls[0] else {
+            panic!()
+        };
         assert_eq!(r.participants.len(), 1);
         assert_eq!(r.participants[0].names, vec!["Pin1", "Pin2"]);
         assert_eq!(r.participants[0].of_type.as_deref(), Some("PinType"));
@@ -806,7 +872,9 @@ mod tests {
             end AllOf_GateInterface;
         "#;
         let decls = parse(src).unwrap();
-        let Decl::InherRelType(r) = &decls[0] else { panic!() };
+        let Decl::InherRelType(r) = &decls[0] else {
+            panic!()
+        };
         assert_eq!(r.transmitter_type, "GateInterface");
         assert_eq!(r.inheritor_type, None);
         assert_eq!(r.inheriting, vec!["Length", "Width", "Pins"]);
@@ -824,7 +892,9 @@ mod tests {
             end AllOf_BoltType;
         "#;
         let decls = parse(src).unwrap();
-        let Decl::InherRelType(r) = &decls[0] else { panic!() };
+        let Decl::InherRelType(r) = &decls[0] else {
+            panic!()
+        };
         assert_eq!(r.inheriting, vec!["Length", "Diameter"]);
     }
 
@@ -847,9 +917,16 @@ mod tests {
             end GateImplementation;
         "#;
         let decls = parse(src).unwrap();
-        let Decl::ObjType(g) = &decls[0] else { panic!() };
+        let Decl::ObjType(g) = &decls[0] else {
+            panic!()
+        };
         assert_eq!(g.inheritor_in, vec!["AllOf_GateInterface"]);
-        let SubclassDecl::Inline { name, inheritor_in, attributes } = &g.subclasses[0] else {
+        let SubclassDecl::Inline {
+            name,
+            inheritor_in,
+            attributes,
+        } = &g.subclasses[0]
+        else {
             panic!("expected inline subclass")
         };
         assert_eq!(name, "SubGates");
@@ -884,7 +961,9 @@ mod tests {
             end ScrewingType;
         "#;
         let decls = parse(src).unwrap();
-        let Decl::RelType(r) = &decls[0] else { panic!() };
+        let Decl::RelType(r) = &decls[0] else {
+            panic!()
+        };
         assert!(r.participants[0].many);
         assert_eq!(r.subclasses.len(), 2);
         assert_eq!(r.constraints.len(), 5);
@@ -892,17 +971,46 @@ mod tests {
         assert_eq!(r.constraints[2].bindings.len(), 2);
         assert_eq!(r.constraints[3].bindings.len(), 3);
         assert_eq!(r.constraints[4].bindings.len(), 3);
-        assert!(matches!(r.constraints[0].expr, LExpr::Binary { op: LBinOp::Eq, .. }));
+        assert!(matches!(
+            r.constraints[0].expr,
+            LExpr::Binary { op: LBinOp::Eq, .. }
+        ));
     }
 
     #[test]
     fn expression_precedence() {
         let e = parse_expr("Length < 100*Height*Width").unwrap();
-        let LExpr::Binary { op: LBinOp::Lt, rhs, .. } = e else { panic!() };
-        assert!(matches!(*rhs, LExpr::Binary { op: LBinOp::Mul, .. }));
+        let LExpr::Binary {
+            op: LBinOp::Lt,
+            rhs,
+            ..
+        } = e
+        else {
+            panic!()
+        };
+        assert!(matches!(
+            *rhs,
+            LExpr::Binary {
+                op: LBinOp::Mul,
+                ..
+            }
+        ));
         let e = parse_expr("a + b * c").unwrap();
-        let LExpr::Binary { op: LBinOp::Add, rhs, .. } = e else { panic!() };
-        assert!(matches!(*rhs, LExpr::Binary { op: LBinOp::Mul, .. }));
+        let LExpr::Binary {
+            op: LBinOp::Add,
+            rhs,
+            ..
+        } = e
+        else {
+            panic!()
+        };
+        assert!(matches!(
+            *rhs,
+            LExpr::Binary {
+                op: LBinOp::Mul,
+                ..
+            }
+        ));
         let e = parse_expr("a = b or c = d and e = f").unwrap();
         assert!(matches!(e, LExpr::Binary { op: LBinOp::Or, .. }));
     }
@@ -910,7 +1018,9 @@ mod tests {
     #[test]
     fn membership_and_aggregates() {
         let e = parse_expr("Wire.Pin1 in SubGates.Pins").unwrap();
-        let LExpr::In { item, path } = e else { panic!() };
+        let LExpr::In { item, path } = e else {
+            panic!()
+        };
         assert!(matches!(*item, LExpr::Path(_)));
         assert_eq!(path, vec!["SubGates", "Pins"]);
         let e = parse_expr("s.Length = n.Length + sum (Bores.Length)").unwrap();
@@ -940,9 +1050,13 @@ mod tests {
             end GirderInterface;
         "#;
         let decls = parse(src).unwrap();
-        let Decl::ObjType(g) = &decls[0] else { panic!() };
+        let Decl::ObjType(g) = &decls[0] else {
+            panic!()
+        };
         assert_eq!(g.attributes[0].names, vec!["Length", "Height", "Width"]);
-        assert!(matches!(&g.subclasses[0], SubclassDecl::Named { element_type, .. } if element_type == "BoreType"));
+        assert!(
+            matches!(&g.subclasses[0], SubclassDecl::Named { element_type, .. } if element_type == "BoreType")
+        );
         assert_eq!(g.constraints.len(), 1);
     }
 }

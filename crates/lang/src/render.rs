@@ -18,7 +18,9 @@ use ccdb_core::value::Value;
 use crate::compile::CompileError;
 
 fn rerr<T>(msg: impl Into<String>) -> Result<T, CompileError> {
-    Err(CompileError { message: format!("render: {}", msg.into()) })
+    Err(CompileError {
+        message: format!("render: {}", msg.into()),
+    })
 }
 
 /// Render the whole catalog as compilable source text.
@@ -73,13 +75,20 @@ pub fn render(catalog: &Catalog) -> Result<String, CompileError> {
         if !def.attributes.is_empty() {
             out.push_str("    attributes:\n");
             for a in &def.attributes {
-                out.push_str(&format!("        {}: {};\n", a.name, render_domain(&a.domain)?));
+                out.push_str(&format!(
+                    "        {}: {};\n",
+                    a.name,
+                    render_domain(&a.domain)?
+                ));
             }
         }
         out.push_str(&format!("end {};\n\n", def.name));
     }
     for name in catalog.rel_type_names() {
-        out.push_str(&render_rel_type(catalog, catalog.rel_type(name).expect("listed"))?);
+        out.push_str(&render_rel_type(
+            catalog,
+            catalog.rel_type(name).expect("listed"),
+        )?);
         out.push('\n');
     }
     for def in owners {
@@ -119,7 +128,11 @@ fn render_obj_type(catalog: &Catalog, def: &ObjectTypeDef) -> Result<String, Com
     if !def.attributes.is_empty() {
         out.push_str("    attributes:\n");
         for a in &def.attributes {
-            out.push_str(&format!("        {}: {};\n", a.name, render_domain(&a.domain)?));
+            out.push_str(&format!(
+                "        {}: {};\n",
+                a.name,
+                render_domain(&a.domain)?
+            ));
         }
     }
     if !def.subclasses.is_empty() {
@@ -127,9 +140,11 @@ fn render_obj_type(catalog: &Catalog, def: &ObjectTypeDef) -> Result<String, Com
         for sc in &def.subclasses {
             if sc.element_type.contains('.') {
                 // Inline member type.
-                let member = catalog.object_type(&sc.element_type).map_err(|e| {
-                    CompileError { message: e.to_string() }
-                })?;
+                let member = catalog
+                    .object_type(&sc.element_type)
+                    .map_err(|e| CompileError {
+                        message: e.to_string(),
+                    })?;
                 out.push_str(&format!("        {}:\n", sc.name));
                 for rel in &member.inheritor_in {
                     out.push_str(&format!("            inheritor-in: {rel};\n"));
@@ -194,16 +209,22 @@ fn render_rel_type(catalog: &Catalog, def: &RelTypeDef) -> Result<String, Compil
     if !def.attributes.is_empty() {
         out.push_str("    attributes:\n");
         for a in &def.attributes {
-            out.push_str(&format!("        {}: {};\n", a.name, render_domain(&a.domain)?));
+            out.push_str(&format!(
+                "        {}: {};\n",
+                a.name,
+                render_domain(&a.domain)?
+            ));
         }
     }
     if !def.subclasses.is_empty() {
         out.push_str("    types-of-subclasses:\n");
         for sc in &def.subclasses {
             if sc.element_type.contains('.') {
-                let member = catalog.object_type(&sc.element_type).map_err(|e| {
-                    CompileError { message: e.to_string() }
-                })?;
+                let member = catalog
+                    .object_type(&sc.element_type)
+                    .map_err(|e| CompileError {
+                        message: e.to_string(),
+                    })?;
                 out.push_str(&format!("        {}:\n", sc.name));
                 for rel in &member.inheritor_in {
                     out.push_str(&format!("            inheritor-in: {rel};\n"));
@@ -243,10 +264,16 @@ struct Cx {
 
 impl Cx {
     fn plain() -> Self {
-        Cx { rel_alias: None, elem_alias: None }
+        Cx {
+            rel_alias: None,
+            elem_alias: None,
+        }
     }
     fn subrel(alias: &str) -> Self {
-        Cx { rel_alias: Some(alias.to_string()), elem_alias: None }
+        Cx {
+            rel_alias: Some(alias.to_string()),
+            elem_alias: None,
+        }
     }
 }
 
@@ -272,17 +299,23 @@ fn render_top(e: &Expr, cx: &Cx) -> Result<String, CompileError> {
                 .iter()
                 .map(|(v, p)| Ok(format!("{v} in {}", render_path(p, cx)?)))
                 .collect::<Result<_, CompileError>>()?;
-            Ok(format!("for ({}): {}", bs.join(", "), render_top(body, cx)?))
+            Ok(format!(
+                "for ({}): {}",
+                bs.join(", "),
+                render_top(body, cx)?
+            ))
         }
         // `count (P) = n  where F` — re-sugar a filtered count inside a
         // comparison into the paper's trailing-where form.
         Expr::Binary { op, lhs, rhs } => {
-            if let Expr::Count { path, filter: Some(f) } = lhs.as_ref() {
-                let elem = path
-                    .segments
-                    .last()
-                    .cloned()
-                    .ok_or(CompileError { message: "render: count over empty path".into() })?;
+            if let Expr::Count {
+                path,
+                filter: Some(f),
+            } = lhs.as_ref()
+            {
+                let elem = path.segments.last().cloned().ok_or(CompileError {
+                    message: "render: count over empty path".into(),
+                })?;
                 let inner = Cx {
                     rel_alias: cx.rel_alias.clone(),
                     elem_alias: Some(elem),

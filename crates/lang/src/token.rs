@@ -185,7 +185,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                         }
                     }
                 }
-                out.push(Token { kind: TokenKind::Str(s), line: start_line });
+                out.push(Token {
+                    kind: TokenKind::Str(s),
+                    line: start_line,
+                });
             }
             _ if c.is_ascii_digit() => {
                 let start = i;
@@ -197,7 +200,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     message: format!("integer literal `{text}` out of range"),
                     line,
                 })?;
-                out.push(Token { kind: TokenKind::Int(value), line });
+                out.push(Token {
+                    kind: TokenKind::Int(value),
+                    line,
+                });
             }
             _ if is_ident_start(c) => {
                 let start = i;
@@ -216,86 +222,146 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     }
                 }
                 let text: String = chars[start..i].iter().collect();
-                out.push(Token { kind: TokenKind::Ident(text), line });
+                out.push(Token {
+                    kind: TokenKind::Ident(text),
+                    line,
+                });
             }
             '=' => {
-                out.push(Token { kind: TokenKind::Eq, line });
+                out.push(Token {
+                    kind: TokenKind::Eq,
+                    line,
+                });
                 i += 1;
             }
             '<' => match chars.get(i + 1) {
                 Some('=') => {
-                    out.push(Token { kind: TokenKind::Le, line });
+                    out.push(Token {
+                        kind: TokenKind::Le,
+                        line,
+                    });
                     i += 2;
                 }
                 Some('>') => {
-                    out.push(Token { kind: TokenKind::Ne, line });
+                    out.push(Token {
+                        kind: TokenKind::Ne,
+                        line,
+                    });
                     i += 2;
                 }
                 _ => {
-                    out.push(Token { kind: TokenKind::Lt, line });
+                    out.push(Token {
+                        kind: TokenKind::Lt,
+                        line,
+                    });
                     i += 1;
                 }
             },
             '>' => match chars.get(i + 1) {
                 Some('=') => {
-                    out.push(Token { kind: TokenKind::Ge, line });
+                    out.push(Token {
+                        kind: TokenKind::Ge,
+                        line,
+                    });
                     i += 2;
                 }
                 _ => {
-                    out.push(Token { kind: TokenKind::Gt, line });
+                    out.push(Token {
+                        kind: TokenKind::Gt,
+                        line,
+                    });
                     i += 1;
                 }
             },
             '+' => {
-                out.push(Token { kind: TokenKind::Plus, line });
+                out.push(Token {
+                    kind: TokenKind::Plus,
+                    line,
+                });
                 i += 1;
             }
             '-' => {
-                out.push(Token { kind: TokenKind::Minus, line });
+                out.push(Token {
+                    kind: TokenKind::Minus,
+                    line,
+                });
                 i += 1;
             }
             '*' => {
-                out.push(Token { kind: TokenKind::Star, line });
+                out.push(Token {
+                    kind: TokenKind::Star,
+                    line,
+                });
                 i += 1;
             }
             '/' => {
-                out.push(Token { kind: TokenKind::Slash, line });
+                out.push(Token {
+                    kind: TokenKind::Slash,
+                    line,
+                });
                 i += 1;
             }
             '(' => {
-                out.push(Token { kind: TokenKind::LParen, line });
+                out.push(Token {
+                    kind: TokenKind::LParen,
+                    line,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Token { kind: TokenKind::RParen, line });
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    line,
+                });
                 i += 1;
             }
             ':' => {
-                out.push(Token { kind: TokenKind::Colon, line });
+                out.push(Token {
+                    kind: TokenKind::Colon,
+                    line,
+                });
                 i += 1;
             }
             ';' => {
-                out.push(Token { kind: TokenKind::Semi, line });
+                out.push(Token {
+                    kind: TokenKind::Semi,
+                    line,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Token { kind: TokenKind::Comma, line });
+                out.push(Token {
+                    kind: TokenKind::Comma,
+                    line,
+                });
                 i += 1;
             }
             '.' => {
-                out.push(Token { kind: TokenKind::Dot, line });
+                out.push(Token {
+                    kind: TokenKind::Dot,
+                    line,
+                });
                 i += 1;
             }
             '#' => {
-                out.push(Token { kind: TokenKind::Hash, line });
+                out.push(Token {
+                    kind: TokenKind::Hash,
+                    line,
+                });
                 i += 1;
             }
             other => {
-                return Err(LexError { message: format!("unexpected character `{other}`"), line })
+                return Err(LexError {
+                    message: format!("unexpected character `{other}`"),
+                    line,
+                })
             }
         }
     }
-    out.push(Token { kind: TokenKind::Eof, line });
+    out.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
     Ok(out)
 }
 
@@ -353,7 +419,10 @@ mod tests {
                 TokenKind::Eof
             ]
         );
-        assert_eq!(kinds("end-domain"), vec![TokenKind::Ident("end-domain".into()), TokenKind::Eof]);
+        assert_eq!(
+            kinds("end-domain"),
+            vec![TokenKind::Ident("end-domain".into()), TokenKind::Eof]
+        );
     }
 
     #[test]
@@ -414,7 +483,11 @@ mod tests {
     fn numbers_and_strings() {
         assert_eq!(
             kinds("42 \"hello\""),
-            vec![TokenKind::Int(42), TokenKind::Str("hello".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Str("hello".into()),
+                TokenKind::Eof
+            ]
         );
         assert!(lex("99999999999999999999").is_err());
     }

@@ -1,0 +1,71 @@
+#![warn(missing_docs)]
+
+//! # ccdb-obs
+//!
+//! Zero-dependency observability layer for the ccdb workspace:
+//!
+//! - [`metrics`] — atomic [`Counter`]s, [`Gauge`]s, and fixed-bucket
+//!   [`Histogram`]s, usable standalone (per-instance stats views) or
+//!   through the process-global [`Registry`];
+//! - [`registry`] — named metric registry with Prometheus-text and JSON
+//!   exporters;
+//! - [`span`] — RAII timers recording elapsed nanoseconds into histograms;
+//! - [`event`] — optional structured-event sink (ring buffer, pluggable
+//!   [`Subscriber`]) for tracing resolution chains, lock waits, WAL syncs,
+//!   buffer-pool evictions, and recovery replay.
+//!
+//! ## Naming scheme
+//!
+//! Registry metrics follow `ccdb_<crate>_<subsystem>_<name>`, e.g.
+//! `ccdb_core_resolution_hops`, `ccdb_txn_lock_acquire_latency_ns`,
+//! `ccdb_storage_wal_appends_total`.
+//!
+//! ## Cost model
+//!
+//! Counter updates are single relaxed atomic adds. Latency measurement
+//! (which needs `Instant::now`) and event emission are gated behind
+//! [`enabled`], a relaxed atomic load; [`set_enabled`]`(false)` reduces
+//! instrumented hot paths to a load-and-branch. Compiling the crate
+//! without the `enabled` feature folds the gate to constant `false`.
+
+pub mod event;
+pub mod metrics;
+pub mod registry;
+pub mod span;
+
+pub use event::{Event, FieldValue, RingBuffer, Subscriber};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::{global, Registry};
+pub use span::SpanTimer;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Whether runtime instrumentation is active.
+///
+/// Always `false` when built without the `enabled` feature, letting the
+/// compiler eliminate instrumented branches.
+#[inline(always)]
+pub fn enabled() -> bool {
+    cfg!(feature = "enabled") && ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns runtime instrumentation on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enabled_toggle_roundtrips() {
+        assert!(enabled());
+        set_enabled(false);
+        assert!(!enabled());
+        set_enabled(true);
+        assert!(enabled());
+    }
+}

@@ -1,0 +1,296 @@
+//! Metric primitives: [`Counter`], [`Gauge`], and fixed-bucket
+//! [`Histogram`]. All are lock-free (relaxed atomics) and usable either
+//! standalone — e.g. as the backing store of a per-instance stats struct —
+//! or registered under a canonical name in a [`crate::Registry`].
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// New counter at zero.
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero. Prometheus counters are monotonic; this exists for
+    /// per-instance stats views (`reset_stats`-style APIs) and tests.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Gauge: a value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// New gauge at zero.
+    pub const fn new() -> Self {
+        Gauge {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Default latency bucket upper bounds, in nanoseconds: 250ns … 1s.
+pub const LATENCY_BUCKETS_NS: &[u64] = &[
+    250,
+    500,
+    1_000,
+    2_500,
+    5_000,
+    10_000,
+    25_000,
+    50_000,
+    100_000,
+    250_000,
+    500_000,
+    1_000_000,
+    2_500_000,
+    5_000_000,
+    10_000_000,
+    50_000_000,
+    100_000_000,
+    500_000_000,
+    1_000_000_000,
+];
+
+/// Small-integer bucket bounds for resolution hop / fan-out counts.
+pub const HOP_BUCKETS: &[u64] = &[0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64];
+
+/// Fixed-bucket histogram with cumulative-on-export semantics.
+///
+/// `bounds` are inclusive upper bounds per bucket; an implicit `+Inf`
+/// bucket catches the rest. Observation is two relaxed adds plus a binary
+/// search over a short bounds slice.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+}
+
+/// Point-in-time copy of a histogram's state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bound per bucket (without the `+Inf` bucket).
+    pub bounds: Vec<u64>,
+    /// Per-bucket observation counts (len = bounds.len() + 1; last is `+Inf`).
+    pub buckets: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given inclusive upper bounds, which
+    /// must be strictly increasing and non-empty.
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(
+            !bounds.is_empty(),
+            "histogram needs at least one bucket bound"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must increase"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Latency histogram over [`LATENCY_BUCKETS_NS`].
+    pub fn latency_ns() -> Self {
+        Histogram::new(LATENCY_BUCKETS_NS)
+    }
+
+    /// Records one observation. Two relaxed adds: the observation count is
+    /// not stored separately but derived as the sum of the buckets, keeping
+    /// the hot path as cheap as possible. A linear scan beats binary search
+    /// here: bound lists are short (≤ ~20) and repeated observations of
+    /// similar values make every comparison branch-predictable.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        let mut idx = 0;
+        while idx < self.bounds.len() && self.bounds[idx] < value {
+            idx += 1;
+        }
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far (sum of all buckets; under concurrent
+    /// observation this may transiently lag `sum` by in-flight updates).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of observed values so far.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The configured bucket bounds (without `+Inf`).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Copies out the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets,
+            sum: self.sum(),
+            count,
+        }
+    }
+
+    /// Resets all buckets (for per-instance views and tests).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_inc_add_reset() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.inc();
+        g.add(10);
+        g.dec();
+        assert_eq!(g.get(), 10);
+        g.set(-3);
+        assert_eq!(g.get(), -3);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive() {
+        let h = Histogram::new(&[10, 20, 30]);
+        // Exactly on a bound lands in that bucket (le semantics).
+        h.observe(10);
+        h.observe(20);
+        h.observe(30);
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![1, 1, 1, 0]);
+
+        // One past a bound falls into the next bucket.
+        h.observe(11);
+        h.observe(21);
+        h.observe(31); // past the last bound → +Inf bucket
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![1, 2, 2, 1]);
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 10 + 20 + 30 + 11 + 21 + 31);
+    }
+
+    #[test]
+    fn histogram_zero_lands_in_first_bucket() {
+        let h = Histogram::new(&[0, 5]);
+        h.observe(0);
+        assert_eq!(h.snapshot().buckets, vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn histogram_above_all_bounds_goes_to_inf() {
+        let h = Histogram::new(&[1]);
+        h.observe(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must increase")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::new(&[5, 5]);
+    }
+
+    #[test]
+    fn latency_histogram_spans_defaults() {
+        let h = Histogram::latency_ns();
+        h.observe(1); // fastest bucket
+        h.observe(2_000_000_000); // beyond 1s → +Inf
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(*s.buckets.last().unwrap(), 1);
+    }
+}

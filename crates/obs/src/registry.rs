@@ -1,0 +1,254 @@
+//! Named metric registry with Prometheus-text and JSON exporters.
+//!
+//! The [`global`] registry is the process-wide sink instrumented crates
+//! report into. Metrics are created lazily on first access and live for
+//! the process lifetime; handles are `Arc`s, so instrumented code caches
+//! them in statics and pays only the atomic update on the hot path.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::metrics::{Counter, Gauge, Histogram};
+
+/// A process-global (or test-local) collection of named metrics.
+///
+/// Names follow `ccdb_<crate>_<subsystem>_<name>`; counters end in
+/// `_total`, latency histograms in `_ns`.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry (tests; production code uses [`global`]).
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it if absent.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap();
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::new());
+        map.insert(name.to_string(), Arc::clone(&c));
+        c
+    }
+
+    /// Returns the gauge registered under `name`, creating it if absent.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap();
+        if let Some(g) = map.get(name) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::new());
+        map.insert(name.to_string(), Arc::clone(&g));
+        g
+    }
+
+    /// Returns the histogram registered under `name`, creating it with
+    /// `bounds` if absent. Bounds are fixed at first registration; later
+    /// callers get the existing histogram regardless of the bounds they
+    /// pass.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap();
+        if let Some(h) = map.get(name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new(bounds));
+        map.insert(name.to_string(), Arc::clone(&h));
+        h
+    }
+
+    /// Looks up an existing counter without creating it.
+    pub fn find_counter(&self, name: &str) -> Option<Arc<Counter>> {
+        self.counters.lock().unwrap().get(name).cloned()
+    }
+
+    /// Looks up an existing gauge without creating it.
+    pub fn find_gauge(&self, name: &str) -> Option<Arc<Gauge>> {
+        self.gauges.lock().unwrap().get(name).cloned()
+    }
+
+    /// Looks up an existing histogram without creating it.
+    pub fn find_histogram(&self, name: &str) -> Option<Arc<Histogram>> {
+        self.histograms.lock().unwrap().get(name).cloned()
+    }
+
+    /// Zeroes every registered metric. Handles held by instrumented code
+    /// stay valid; only the values reset. Used by the CLI and benches to
+    /// scope a snapshot to one workload.
+    pub fn reset_all(&self) {
+        for c in self.counters.lock().unwrap().values() {
+            c.reset();
+        }
+        for g in self.gauges.lock().unwrap().values() {
+            g.set(0);
+        }
+        for h in self.histograms.lock().unwrap().values() {
+            h.reset();
+        }
+    }
+
+    /// Renders every metric in the Prometheus text exposition format.
+    ///
+    /// Histograms render cumulative `_bucket{le="..."}` series plus
+    /// `_sum` and `_count`, matching what a Prometheus scraper expects.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, c) in self.counters.lock().unwrap().iter() {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", c.get());
+        }
+        for (name, g) in self.gauges.lock().unwrap().iter() {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", g.get());
+        }
+        for (name, h) in self.histograms.lock().unwrap().iter() {
+            let s = h.snapshot();
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (bound, n) in s.bounds.iter().zip(&s.buckets) {
+                cumulative += n;
+                let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+            }
+            cumulative += s.buckets.last().copied().unwrap_or(0);
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+            let _ = writeln!(out, "{name}_sum {}", s.sum);
+            let _ = writeln!(out, "{name}_count {}", s.count);
+        }
+        out
+    }
+
+    /// Renders every metric as a JSON object:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}` with
+    /// each histogram as `{"bounds": [...], "buckets": [...], "sum": n,
+    /// "count": n}`. Keys are sorted (BTreeMap order), so output is
+    /// deterministic. Hand-rolled to keep this crate dependency-free.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        let counters = self.counters.lock().unwrap();
+        for (i, (name, c)) in counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{name}\": {}", c.get());
+        }
+        drop(counters);
+        out.push_str("\n  },\n  \"gauges\": {");
+        let gauges = self.gauges.lock().unwrap();
+        for (i, (name, g)) in gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{name}\": {}", g.get());
+        }
+        drop(gauges);
+        out.push_str("\n  },\n  \"histograms\": {");
+        let histograms = self.histograms.lock().unwrap();
+        for (i, (name, h)) in histograms.iter().enumerate() {
+            let s = h.snapshot();
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{name}\": {{\"bounds\": [");
+            for (j, b) in s.bounds.iter().enumerate() {
+                let _ = write!(out, "{}{b}", if j == 0 { "" } else { ", " });
+            }
+            out.push_str("], \"buckets\": [");
+            for (j, n) in s.buckets.iter().enumerate() {
+                let _ = write!(out, "{}{n}", if j == 0 { "" } else { ", " });
+            }
+            let _ = write!(out, "], \"sum\": {}, \"count\": {}}}", s.sum, s.count);
+        }
+        drop(histograms);
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+/// The process-global registry all ccdb crates report into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_are_shared() {
+        let r = Registry::new();
+        let a = r.counter("ccdb_test_x_total");
+        let b = r.counter("ccdb_test_x_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter("ccdb_test_x_total").get(), 3);
+    }
+
+    #[test]
+    fn histogram_bounds_fixed_at_first_registration() {
+        let r = Registry::new();
+        let a = r.histogram("ccdb_test_h", &[1, 2]);
+        let b = r.histogram("ccdb_test_h", &[99]);
+        assert_eq!(b.bounds(), &[1, 2]);
+        a.observe(2);
+        assert_eq!(b.count(), 1);
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let r = Registry::new();
+        r.counter("ccdb_test_ops_total").add(7);
+        r.gauge("ccdb_test_depth").set(-2);
+        let h = r.histogram("ccdb_test_lat_ns", &[10, 20]);
+        h.observe(5);
+        h.observe(15);
+        h.observe(100);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE ccdb_test_ops_total counter"));
+        assert!(text.contains("ccdb_test_ops_total 7"));
+        assert!(text.contains("ccdb_test_depth -2"));
+        // Cumulative buckets: le=10 → 1, le=20 → 2, +Inf → 3.
+        assert!(text.contains("ccdb_test_lat_ns_bucket{le=\"10\"} 1"));
+        assert!(text.contains("ccdb_test_lat_ns_bucket{le=\"20\"} 2"));
+        assert!(text.contains("ccdb_test_lat_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("ccdb_test_lat_ns_sum 120"));
+        assert!(text.contains("ccdb_test_lat_ns_count 3"));
+    }
+
+    #[test]
+    fn json_rendering_is_valid_and_complete() {
+        let r = Registry::new();
+        r.counter("a_total").inc();
+        r.gauge("g").set(4);
+        r.histogram("h", &[1]).observe(9);
+        let json = r.render_json();
+        assert!(json.contains("\"a_total\": 1"));
+        assert!(json.contains("\"g\": 4"));
+        assert!(json.contains("\"bounds\": [1], \"buckets\": [0, 1], \"sum\": 9, \"count\": 1"));
+        // Must parse as JSON (via the workspace serde shim in integration
+        // tests; here a structural sanity check suffices).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn reset_all_zeroes_but_keeps_handles() {
+        let r = Registry::new();
+        let c = r.counter("c_total");
+        let h = r.histogram("h", &[1]);
+        c.add(5);
+        h.observe(1);
+        r.reset_all();
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        c.inc();
+        assert_eq!(r.counter("c_total").get(), 1);
+    }
+
+    #[test]
+    fn global_is_a_singleton() {
+        let a = global().counter("ccdb_test_global_total");
+        global().counter("ccdb_test_global_total").add(2);
+        assert!(a.get() >= 2);
+    }
+}

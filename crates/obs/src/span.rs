@@ -1,0 +1,92 @@
+//! RAII span timers: measure a scope's wall-clock duration and record it
+//! into a [`Histogram`] in nanoseconds on drop.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+/// Times a scope and records elapsed nanoseconds into a histogram when
+/// dropped.
+///
+/// [`SpanTimer::start`] returns `None` when instrumentation is disabled
+/// ([`crate::enabled`] is `false`), so the hot-path cost collapses to one
+/// relaxed atomic load and a branch:
+///
+/// ```
+/// let hist = std::sync::Arc::new(ccdb_obs::Histogram::latency_ns());
+/// {
+///     let _span = ccdb_obs::SpanTimer::start(&hist);
+///     // ... timed work ...
+/// }
+/// assert!(hist.count() <= 1);
+/// ```
+#[derive(Debug)]
+pub struct SpanTimer {
+    start: Instant,
+    hist: Arc<Histogram>,
+}
+
+impl SpanTimer {
+    /// Starts a timer over `hist`, or returns `None` when instrumentation
+    /// is disabled.
+    #[inline]
+    pub fn start(hist: &Arc<Histogram>) -> Option<SpanTimer> {
+        if crate::enabled() {
+            Some(SpanTimer {
+                start: Instant::now(),
+                hist: Arc::clone(hist),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Starts a timer unconditionally, ignoring the global enable gate.
+    /// Useful in tests and in code that has already checked the gate.
+    pub fn start_always(hist: &Arc<Histogram>) -> SpanTimer {
+        SpanTimer {
+            start: Instant::now(),
+            hist: Arc::clone(hist),
+        }
+    }
+
+    /// Elapsed time since the timer started, in nanoseconds (saturating).
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        self.hist.observe(self.elapsed_ns());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_one_observation_on_drop() {
+        let hist = Arc::new(Histogram::latency_ns());
+        {
+            let _span = SpanTimer::start_always(&hist);
+            std::hint::black_box(42);
+        }
+        assert_eq!(hist.count(), 1);
+        assert!(hist.sum() < 1_000_000_000, "span should be well under 1s");
+    }
+
+    #[test]
+    fn nested_spans_record_independently() {
+        let outer = Arc::new(Histogram::latency_ns());
+        let inner = Arc::new(Histogram::latency_ns());
+        {
+            let _o = SpanTimer::start_always(&outer);
+            let _i = SpanTimer::start_always(&inner);
+        }
+        assert_eq!(outer.count(), 1);
+        assert_eq!(inner.count(), 1);
+    }
+}

@@ -39,8 +39,15 @@ const INTERNAL_CAP: usize = (PAGE_SIZE - OFF_ENTRIES) / INTERNAL_ENTRY;
 
 #[derive(Clone, Debug, PartialEq)]
 enum Node {
-    Leaf { keys: Vec<u64>, vals: Vec<u64>, next: u32 },
-    Internal { keys: Vec<u64>, children: Vec<u32> },
+    Leaf {
+        keys: Vec<u64>,
+        vals: Vec<u64>,
+        next: u32,
+    },
+    Internal {
+        keys: Vec<u64>,
+        children: Vec<u32>,
+    },
 }
 
 /// A B+-tree over a dedicated page file.
@@ -63,14 +70,29 @@ impl BTree {
         leaf_cap: usize,
         internal_cap: usize,
     ) -> StorageResult<Self> {
-        assert!(leaf_cap >= 2 && internal_cap >= 2, "caps must allow splitting");
+        assert!(
+            leaf_cap >= 2 && internal_cap >= 2,
+            "caps must allow splitting"
+        );
         let root = if pool.disk().num_pages() == 0 {
             // Fresh file: meta page + empty root leaf.
             let meta = pool.allocate()?;
             debug_assert_eq!(meta, PageId(0));
             let root = pool.allocate()?;
-            let tree = BTree { pool, root: Mutex::new(root), leaf_cap, internal_cap };
-            tree.write_node(root, &Node::Leaf { keys: vec![], vals: vec![], next: NO_PAGE })?;
+            let tree = BTree {
+                pool,
+                root: Mutex::new(root),
+                leaf_cap,
+                internal_cap,
+            };
+            tree.write_node(
+                root,
+                &Node::Leaf {
+                    keys: vec![],
+                    vals: vec![],
+                    next: NO_PAGE,
+                },
+            )?;
             tree.write_meta(root)?;
             return Ok(tree);
         } else {
@@ -81,11 +103,18 @@ impl BTree {
                 (ok, root)
             })?;
             if !magic_ok {
-                return Err(StorageError::Corrupt("btree meta page magic mismatch".into()));
+                return Err(StorageError::Corrupt(
+                    "btree meta page magic mismatch".into(),
+                ));
             }
             PageId(root)
         };
-        Ok(BTree { pool, root: Mutex::new(root), leaf_cap, internal_cap })
+        Ok(BTree {
+            pool,
+            root: Mutex::new(root),
+            leaf_cap,
+            internal_cap,
+        })
     }
 
     /// The buffer pool backing this tree.
@@ -105,7 +134,8 @@ impl BTree {
         self.pool.with_page(id, |p| {
             let b = p.as_bytes();
             let kind = b[OFF_KIND];
-            let nkeys = u16::from_le_bytes(b[OFF_NKEYS..OFF_NKEYS + 2].try_into().unwrap()) as usize;
+            let nkeys =
+                u16::from_le_bytes(b[OFF_NKEYS..OFF_NKEYS + 2].try_into().unwrap()) as usize;
             let link = u32::from_le_bytes(b[OFF_LINK..OFF_LINK + 4].try_into().unwrap());
             match kind {
                 1 => {
@@ -116,7 +146,11 @@ impl BTree {
                         keys.push(u64::from_le_bytes(b[e..e + 8].try_into().unwrap()));
                         vals.push(u64::from_le_bytes(b[e + 8..e + 16].try_into().unwrap()));
                     }
-                    Ok(Node::Leaf { keys, vals, next: link })
+                    Ok(Node::Leaf {
+                        keys,
+                        vals,
+                        next: link,
+                    })
                 }
                 2 => {
                     let mut keys = Vec::with_capacity(nkeys);
@@ -129,7 +163,9 @@ impl BTree {
                     }
                     Ok(Node::Internal { keys, children })
                 }
-                k => Err(StorageError::Corrupt(format!("btree node kind {k} at {id}"))),
+                k => Err(StorageError::Corrupt(format!(
+                    "btree node kind {k} at {id}"
+                ))),
             }
         })?
     }
@@ -140,8 +176,7 @@ impl BTree {
             match node {
                 Node::Leaf { keys, vals, next } => {
                     b[OFF_KIND] = 1;
-                    b[OFF_NKEYS..OFF_NKEYS + 2]
-                        .copy_from_slice(&(keys.len() as u16).to_le_bytes());
+                    b[OFF_NKEYS..OFF_NKEYS + 2].copy_from_slice(&(keys.len() as u16).to_le_bytes());
                     b[OFF_LINK..OFF_LINK + 4].copy_from_slice(&next.to_le_bytes());
                     for (i, (k, v)) in keys.iter().zip(vals).enumerate() {
                         let e = OFF_ENTRIES + i * LEAF_ENTRY;
@@ -152,8 +187,7 @@ impl BTree {
                 Node::Internal { keys, children } => {
                     debug_assert_eq!(children.len(), keys.len() + 1);
                     b[OFF_KIND] = 2;
-                    b[OFF_NKEYS..OFF_NKEYS + 2]
-                        .copy_from_slice(&(keys.len() as u16).to_le_bytes());
+                    b[OFF_NKEYS..OFF_NKEYS + 2].copy_from_slice(&(keys.len() as u16).to_le_bytes());
                     b[OFF_LINK..OFF_LINK + 4].copy_from_slice(&children[0].to_le_bytes());
                     for (i, k) in keys.iter().enumerate() {
                         let e = OFF_ENTRIES + i * INTERNAL_ENTRY;
@@ -205,7 +239,12 @@ impl BTree {
                 }
             }
         };
-        let Node::Leaf { mut keys, mut vals, next } = self.read_node(leaf_id)? else {
+        let Node::Leaf {
+            mut keys,
+            mut vals,
+            next,
+        } = self.read_node(leaf_id)?
+        else {
             unreachable!()
         };
         match keys.binary_search(&key) {
@@ -230,15 +269,33 @@ impl BTree {
         let right_vals = vals.split_off(mid);
         let sep = right_keys[0];
         let right_id = self.pool.allocate()?;
-        self.write_node(right_id, &Node::Leaf { keys: right_keys, vals: right_vals, next })?;
-        self.write_node(leaf_id, &Node::Leaf { keys, vals, next: right_id.0 })?;
+        self.write_node(
+            right_id,
+            &Node::Leaf {
+                keys: right_keys,
+                vals: right_vals,
+                next,
+            },
+        )?;
+        self.write_node(
+            leaf_id,
+            &Node::Leaf {
+                keys,
+                vals,
+                next: right_id.0,
+            },
+        )?;
         // Propagate the separator upward.
         let mut insert_key = sep;
         let mut insert_child = right_id;
         loop {
             match path.pop() {
                 Some((pid, idx)) => {
-                    let Node::Internal { mut keys, mut children } = self.read_node(pid)? else {
+                    let Node::Internal {
+                        mut keys,
+                        mut children,
+                    } = self.read_node(pid)?
+                    else {
                         return Err(StorageError::Corrupt("leaf on internal path".into()));
                     };
                     keys.insert(idx, insert_key);
@@ -254,7 +311,10 @@ impl BTree {
                     let right_id = self.pool.allocate()?;
                     self.write_node(
                         right_id,
-                        &Node::Internal { keys: right_keys, children: right_children },
+                        &Node::Internal {
+                            keys: right_keys,
+                            children: right_children,
+                        },
                     )?;
                     self.write_node(pid, &Node::Internal { keys, children })?;
                     insert_key = promote;
@@ -284,7 +344,11 @@ impl BTree {
         let mut cur = *self.root.lock();
         loop {
             match self.read_node(cur)? {
-                Node::Leaf { mut keys, mut vals, next } => {
+                Node::Leaf {
+                    mut keys,
+                    mut vals,
+                    next,
+                } => {
                     let Ok(i) = keys.binary_search(&key) else {
                         return Err(StorageError::KeyNotFound(key));
                     };
@@ -315,7 +379,9 @@ impl BTree {
         };
         let mut out = Vec::new();
         loop {
-            let Node::Leaf { keys, vals, next } = self.read_node(leaf)? else { unreachable!() };
+            let Node::Leaf { keys, vals, next } = self.read_node(leaf)? else {
+                unreachable!()
+            };
             for (k, v) in keys.iter().zip(vals.iter()) {
                 if *k >= from {
                     out.push((*k, *v));
@@ -402,7 +468,10 @@ mod tests {
     fn duplicate_insert_rejected_put_overwrites() {
         let (_f, t) = small_tree();
         t.insert(1, 10).unwrap();
-        assert!(matches!(t.insert(1, 11), Err(StorageError::DuplicateKey(1))));
+        assert!(matches!(
+            t.insert(1, 11),
+            Err(StorageError::DuplicateKey(1))
+        ));
         t.put(1, 12).unwrap();
         assert_eq!(t.get(1).unwrap(), Some(12));
     }
@@ -413,7 +482,10 @@ mod tests {
         for k in 0..200u64 {
             t.insert(k * 3, k).unwrap();
         }
-        assert!(t.height().unwrap() >= 3, "small caps must force multiple levels");
+        assert!(
+            t.height().unwrap() >= 3,
+            "small caps must force multiple levels"
+        );
         for k in 0..200u64 {
             assert_eq!(t.get(k * 3).unwrap(), Some(k), "key {}", k * 3);
         }
@@ -429,7 +501,9 @@ mod tests {
         // Deterministic shuffle.
         let mut s = 0x9E3779B97F4A7C15u64;
         for i in (1..keys.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (s % (i as u64 + 1)) as usize;
             keys.swap(i, j);
         }

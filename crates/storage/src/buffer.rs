@@ -6,10 +6,12 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use ccdb_obs::{event, Counter, Event, FieldValue};
 use parking_lot::{Mutex, RwLock};
 
 use crate::disk::DiskManager;
 use crate::error::{StorageError, StorageResult};
+use crate::metrics::storage_metrics;
 use crate::page::{Page, PageId};
 
 struct Frame {
@@ -29,8 +31,12 @@ pub struct BufferPool {
     capacity: usize,
     frames: Mutex<HashMap<PageId, Arc<Frame>>>,
     tick: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    // Per-pool counters (accessor methods below). Process-wide aggregates
+    // are dual-written to the ccdb_storage_buffer_* registry metrics.
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    flushes: Counter,
 }
 
 impl BufferPool {
@@ -42,8 +48,10 @@ impl BufferPool {
             capacity,
             frames: Mutex::new(HashMap::with_capacity(capacity)),
             tick: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            evictions: Counter::new(),
+            flushes: Counter::new(),
         }
     }
 
@@ -54,12 +62,24 @@ impl BufferPool {
 
     /// Cache hits so far (for experiments).
     pub fn hit_count(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Cache misses so far (for experiments).
     pub fn miss_count(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
+    }
+
+    /// Frames evicted so far (whether or not they were dirty).
+    pub fn eviction_count(&self) -> u64 {
+        self.evictions.get()
+    }
+
+    /// Dirty pages written back by [`BufferPool::flush_page`] /
+    /// [`BufferPool::flush_all`] so far (eviction write-backs count as
+    /// evictions, not flushes).
+    pub fn flush_count(&self) -> u64 {
+        self.flushes.get()
     }
 
     /// Allocate a fresh page on disk and return its id.
@@ -77,12 +97,14 @@ impl BufferPool {
     fn pin(&self, id: PageId) -> StorageResult<Arc<Frame>> {
         let mut map = self.frames.lock();
         if let Some(frame) = map.get(&id) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
+            storage_metrics().buffer_hits.inc();
             frame.pins.fetch_add(1, Ordering::Relaxed);
             self.touch(frame);
             return Ok(Arc::clone(frame));
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
+        storage_metrics().buffer_misses.inc();
         if map.len() >= self.capacity {
             self.evict_one(&mut map)?;
         }
@@ -107,11 +129,28 @@ impl BufferPool {
         let Some(vid) = victim else {
             return Err(StorageError::PoolExhausted);
         };
-        let frame = map.remove(&vid).expect("victim present");
-        if frame.dirty.load(Ordering::Relaxed) {
+        let frame = Arc::clone(map.get(&vid).expect("victim present"));
+        let was_dirty = frame.dirty.load(Ordering::Relaxed);
+        if was_dirty {
+            // Write back *before* dropping the frame — on failure the
+            // victim stays resident and dirty instead of losing the page.
             let page = frame.page.read();
             self.disk.write(vid, &page)?;
+            frame.dirty.store(false, Ordering::Relaxed);
+            storage_metrics().buffer_dirty_pages.dec();
         }
+        map.remove(&vid);
+        self.evictions.inc();
+        storage_metrics().buffer_evictions.inc();
+        event::emit(|| {
+            Event::now(
+                "storage.buffer.evict",
+                vec![
+                    ("page", FieldValue::U64(u64::from(vid.0))),
+                    ("dirty", FieldValue::U64(u64::from(was_dirty))),
+                ],
+            )
+        });
         Ok(())
     }
 
@@ -133,30 +172,46 @@ impl BufferPool {
             let mut page = frame.page.write();
             f(&mut page)
         };
-        frame.dirty.store(true, Ordering::Relaxed);
+        if !frame.dirty.swap(true, Ordering::Relaxed) {
+            storage_metrics().buffer_dirty_pages.inc();
+        }
         frame.pins.fetch_sub(1, Ordering::Relaxed);
         Ok(r)
     }
 
-    /// Write a single dirty page back (no eviction).
+    /// Write a single dirty page back (no eviction). On a failed disk
+    /// write the frame stays marked dirty, so a later flush retries it.
     pub fn flush_page(&self, id: PageId) -> StorageResult<()> {
         let map = self.frames.lock();
         if let Some(frame) = map.get(&id) {
             if frame.dirty.swap(false, Ordering::Relaxed) {
                 let page = frame.page.read();
-                self.disk.write(id, &page)?;
+                if let Err(e) = self.disk.write(id, &page) {
+                    frame.dirty.store(true, Ordering::Relaxed);
+                    return Err(e);
+                }
+                self.flushes.inc();
+                storage_metrics().buffer_flushes.inc();
+                storage_metrics().buffer_dirty_pages.dec();
             }
         }
         Ok(())
     }
 
-    /// Write every dirty page back and sync the file.
+    /// Write every dirty page back and sync the file. On a failed disk
+    /// write the failing frame stays marked dirty and the flush stops.
     pub fn flush_all(&self) -> StorageResult<()> {
         let map = self.frames.lock();
         for (id, frame) in map.iter() {
             if frame.dirty.swap(false, Ordering::Relaxed) {
                 let page = frame.page.read();
-                self.disk.write(*id, &page)?;
+                if let Err(e) = self.disk.write(*id, &page) {
+                    frame.dirty.store(true, Ordering::Relaxed);
+                    return Err(e);
+                }
+                self.flushes.inc();
+                storage_metrics().buffer_flushes.inc();
+                storage_metrics().buffer_dirty_pages.dec();
             }
         }
         drop(map);
@@ -170,6 +225,21 @@ impl BufferPool {
             .filter(|(_, f)| f.dirty.load(Ordering::Relaxed))
             .map(|(id, _)| *id)
             .collect()
+    }
+}
+
+impl Drop for BufferPool {
+    fn drop(&mut self) {
+        // Keep the process-wide dirty-page gauge balanced when a pool is
+        // dropped with unflushed frames.
+        let map = self.frames.get_mut();
+        let dirty = map
+            .values()
+            .filter(|f| f.dirty.load(Ordering::Relaxed))
+            .count();
+        if dirty > 0 {
+            storage_metrics().buffer_dirty_pages.add(-(dirty as i64));
+        }
     }
 }
 
@@ -216,7 +286,9 @@ mod tests {
         let p0 = pool.disk().read(ids[0]).unwrap();
         assert_eq!(p0.get(0).unwrap(), b"page-0");
         // And refetching goes through the pool transparently.
-        let got = pool.with_page(ids[1], |p| p.get(0).unwrap().to_vec()).unwrap();
+        let got = pool
+            .with_page(ids[1], |p| p.get(0).unwrap().to_vec())
+            .unwrap();
         assert_eq!(got, b"page-1");
     }
 
@@ -248,6 +320,46 @@ mod tests {
     }
 
     #[test]
+    fn eviction_and_flush_counters() {
+        let (_f, pool) = pool(2);
+        let ids: Vec<PageId> = (0..3).map(|_| pool.allocate().unwrap()).collect();
+        for id in &ids {
+            pool.with_page_mut(*id, |p| {
+                p.insert(b"x").unwrap();
+            })
+            .unwrap();
+        }
+        // Capacity 2, three pages touched: at least one eviction.
+        assert!(pool.eviction_count() >= 1);
+        assert_eq!(pool.flush_count(), 0, "eviction write-back is not a flush");
+        let dirty_before = pool.dirty_pages().len();
+        assert!(dirty_before > 0);
+        pool.flush_all().unwrap();
+        assert_eq!(pool.flush_count(), dirty_before as u64);
+        assert!(pool.dirty_pages().is_empty());
+        // Flushing clean pages is a no-op.
+        pool.flush_all().unwrap();
+        assert_eq!(pool.flush_count(), dirty_before as u64);
+    }
+
+    #[test]
+    fn flush_page_counts_only_dirty_pages() {
+        let (_f, pool) = pool(4);
+        let id = pool.allocate().unwrap();
+        pool.flush_page(id).unwrap(); // never loaded: no-op
+        assert_eq!(pool.flush_count(), 0);
+        pool.with_page(id, |_| ()).unwrap();
+        pool.flush_page(id).unwrap(); // resident but clean: no-op
+        assert_eq!(pool.flush_count(), 0);
+        pool.with_page_mut(id, |p| {
+            p.insert(b"d").unwrap();
+        })
+        .unwrap();
+        pool.flush_page(id).unwrap();
+        assert_eq!(pool.flush_count(), 1);
+    }
+
+    #[test]
     fn concurrent_access_is_safe() {
         let (_f, pool) = pool(8);
         let pool = Arc::new(pool);
@@ -262,8 +374,7 @@ mod tests {
                 std::thread::spawn(move || {
                     for _ in 0..100 {
                         pool.with_page_mut(id, |p| {
-                            let cur =
-                                u64::from_le_bytes(p.get(0).unwrap().try_into().unwrap());
+                            let cur = u64::from_le_bytes(p.get(0).unwrap().try_into().unwrap());
                             p.update(0, &(cur + 1).to_le_bytes(), false).unwrap();
                         })
                         .unwrap();
@@ -275,7 +386,9 @@ mod tests {
             t.join().unwrap();
         }
         let v = pool
-            .with_page(id, |p| u64::from_le_bytes(p.get(0).unwrap().try_into().unwrap()))
+            .with_page(id, |p| {
+                u64::from_le_bytes(p.get(0).unwrap().try_into().unwrap())
+            })
             .unwrap();
         assert_eq!(v, 400);
     }

@@ -26,15 +26,24 @@ struct Inner {
 impl DiskManager {
     /// Open (or create) the page file at `path`.
     pub fn open(path: impl AsRef<Path>) -> StorageResult<Self> {
-        let file =
-            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
         let len = file.metadata()?.len();
         if len % PAGE_SIZE as u64 != 0 {
             return Err(StorageError::Corrupt(format!(
                 "file length {len} is not a multiple of the page size"
             )));
         }
-        Ok(DiskManager { inner: Mutex::new(Inner { file, npages: len / PAGE_SIZE as u64 }) })
+        Ok(DiskManager {
+            inner: Mutex::new(Inner {
+                file,
+                npages: len / PAGE_SIZE as u64,
+            }),
+        })
     }
 
     /// Number of pages currently allocated in the file.
@@ -45,9 +54,10 @@ impl DiskManager {
     /// Allocate a fresh zeroed page at the end of the file.
     pub fn allocate(&self) -> StorageResult<PageId> {
         let mut g = self.inner.lock();
-        let id = PageId(u32::try_from(g.npages).map_err(|_| {
-            StorageError::Corrupt("page file exceeds 2^32 pages".to_string())
-        })?);
+        let id = PageId(
+            u32::try_from(g.npages)
+                .map_err(|_| StorageError::Corrupt("page file exceeds 2^32 pages".to_string()))?,
+        );
         let page = Page::new();
         g.file.seek(SeekFrom::Start(id.byte_offset()))?;
         g.file.write_all(page.as_bytes())?;
@@ -61,7 +71,10 @@ impl DiskManager {
     pub fn read(&self, id: PageId) -> StorageResult<Page> {
         let mut g = self.inner.lock();
         if id.0 as u64 >= g.npages {
-            return Err(StorageError::PageOutOfBounds { page: id.0, npages: g.npages });
+            return Err(StorageError::PageOutOfBounds {
+                page: id.0,
+                npages: g.npages,
+            });
         }
         let mut buf = [0u8; PAGE_SIZE];
         g.file.seek(SeekFrom::Start(id.byte_offset()))?;
@@ -71,7 +84,10 @@ impl DiskManager {
         if stored != 0 {
             let actual = crc32(&buf[16..]);
             if actual != stored {
-                return Err(StorageError::ChecksumMismatch { expected: stored, actual });
+                return Err(StorageError::ChecksumMismatch {
+                    expected: stored,
+                    actual,
+                });
             }
         }
         Ok(Page::from_bytes(buf))
@@ -88,7 +104,10 @@ impl DiskManager {
         buf[12..16].copy_from_slice(&crc.to_le_bytes());
         let mut g = self.inner.lock();
         if id.0 as u64 >= g.npages {
-            return Err(StorageError::PageOutOfBounds { page: id.0, npages: g.npages });
+            return Err(StorageError::PageOutOfBounds {
+                page: id.0,
+                npages: g.npages,
+            });
         }
         g.file.seek(SeekFrom::Start(id.byte_offset()))?;
         g.file.write_all(&buf)?;
@@ -135,7 +154,10 @@ mod tests {
     fn out_of_bounds_rejected() {
         let f = tmp();
         let dm = DiskManager::open(f.path()).unwrap();
-        assert!(matches!(dm.read(PageId(0)), Err(StorageError::PageOutOfBounds { .. })));
+        assert!(matches!(
+            dm.read(PageId(0)),
+            Err(StorageError::PageOutOfBounds { .. })
+        ));
         dm.allocate().unwrap();
         assert!(dm.read(PageId(0)).is_ok());
         assert!(dm.write(PageId(5), &Page::new()).is_err());
@@ -162,7 +184,10 @@ mod tests {
     fn corrupt_length_detected() {
         let f = tmp();
         std::fs::write(f.path(), vec![0u8; 100]).unwrap();
-        assert!(matches!(DiskManager::open(f.path()), Err(StorageError::Corrupt(_))));
+        assert!(matches!(
+            DiskManager::open(f.path()),
+            Err(StorageError::Corrupt(_))
+        ));
     }
 }
 
@@ -184,7 +209,10 @@ mod checksum_tests {
         bytes[PAGE_SIZE - 10] ^= 0x40;
         std::fs::write(f.path(), &bytes).unwrap();
         let dm = DiskManager::open(f.path()).unwrap();
-        assert!(matches!(dm.read(id), Err(StorageError::ChecksumMismatch { .. })));
+        assert!(matches!(
+            dm.read(id),
+            Err(StorageError::ChecksumMismatch { .. })
+        ));
     }
 
     #[test]

@@ -64,7 +64,10 @@ impl fmt::Display for StorageError {
             }
             StorageError::PoolExhausted => write!(f, "buffer pool exhausted: all frames pinned"),
             StorageError::ChecksumMismatch { expected, actual } => {
-                write!(f, "checksum mismatch: expected {expected:#010x}, got {actual:#010x}")
+                write!(
+                    f,
+                    "checksum mismatch: expected {expected:#010x}, got {actual:#010x}"
+                )
             }
             StorageError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
             StorageError::KeyNotFound(k) => write!(f, "key {k} not found"),
@@ -98,7 +101,10 @@ mod tests {
         assert!(e.to_string().contains("page 9"));
         let e = StorageError::RecordNotFound { page: 1, slot: 2 };
         assert!(e.to_string().contains("slot 2"));
-        let e = StorageError::ChecksumMismatch { expected: 1, actual: 2 };
+        let e = StorageError::ChecksumMismatch {
+            expected: 1,
+            actual: 2,
+        };
         assert!(e.to_string().contains("mismatch"));
     }
 

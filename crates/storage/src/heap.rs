@@ -33,7 +33,10 @@ impl RecordId {
 
     /// Unpack from a `u64`.
     pub fn from_u64(v: u64) -> Self {
-        RecordId { page: PageId((v >> 16) as u32), slot: (v & 0xFFFF) as u16 }
+        RecordId {
+            page: PageId((v >> 16) as u32),
+            slot: (v & 0xFFFF) as u16,
+        }
     }
 }
 
@@ -52,7 +55,10 @@ fn encode_rid(rid: RecordId) -> [u8; 6] {
 
 fn decode_rid(bytes: &[u8]) -> StorageResult<RecordId> {
     if bytes.len() != 6 {
-        return Err(StorageError::Corrupt(format!("redirect of {} bytes", bytes.len())));
+        return Err(StorageError::Corrupt(format!(
+            "redirect of {} bytes",
+            bytes.len()
+        )));
     }
     Ok(RecordId {
         page: PageId(u32::from_le_bytes(bytes[0..4].try_into().unwrap())),
@@ -78,7 +84,10 @@ impl HeapFile {
             let free = pool.with_page(id, |p| p.free_space_for_new())?;
             fsm.insert(id, free);
         }
-        Ok(HeapFile { pool, fsm: Mutex::new(fsm) })
+        Ok(HeapFile {
+            pool,
+            fsm: Mutex::new(fsm),
+        })
     }
 
     /// The buffer pool backing this heap.
@@ -131,7 +140,10 @@ impl HeapFile {
     fn resolve(&self, rid: RecordId) -> StorageResult<(RecordId, bool)> {
         let kind = self.pool.with_page(rid.page, |p| p.slot_kind(rid.slot))?;
         match kind {
-            SlotKind::Free => Err(StorageError::RecordNotFound { page: rid.page.0, slot: rid.slot }),
+            SlotKind::Free => Err(StorageError::RecordNotFound {
+                page: rid.page.0,
+                slot: rid.slot,
+            }),
             SlotKind::Record => Ok((rid, false)),
             SlotKind::Redirect => {
                 let target = self
@@ -148,7 +160,10 @@ impl HeapFile {
         let (loc, _) = self.resolve(rid)?;
         self.pool
             .with_page(loc.page, |p| p.get(loc.slot).map(|b| b.to_vec()))?
-            .map_err(|_| StorageError::RecordNotFound { page: loc.page.0, slot: loc.slot })
+            .map_err(|_| StorageError::RecordNotFound {
+                page: loc.page.0,
+                slot: loc.slot,
+            })
     }
 
     /// Update a record in place when possible, moving it (and installing a
@@ -161,7 +176,9 @@ impl HeapFile {
             });
         }
         let (loc, redirected) = self.resolve(rid)?;
-        let fitted = self.pool.with_page_mut(loc.page, |p| p.update(loc.slot, payload, false))??;
+        let fitted = self
+            .pool
+            .with_page_mut(loc.page, |p| p.update(loc.slot, payload, false))??;
         self.refresh_fsm(loc.page)?;
         if fitted {
             return Ok(());
@@ -170,7 +187,8 @@ impl HeapFile {
         let new_loc = self.insert(payload)?;
         if redirected {
             // rid.slot already holds a redirect: retarget it and free the old copy.
-            self.pool.with_page_mut(loc.page, |p| p.delete(loc.slot))??;
+            self.pool
+                .with_page_mut(loc.page, |p| p.delete(loc.slot))??;
             self.refresh_fsm(loc.page)?;
             let ok = self
                 .pool
@@ -190,10 +208,12 @@ impl HeapFile {
     /// Delete a record (and its redirect target, if moved).
     pub fn delete(&self, rid: RecordId) -> StorageResult<()> {
         let (loc, redirected) = self.resolve(rid)?;
-        self.pool.with_page_mut(loc.page, |p| p.delete(loc.slot))??;
+        self.pool
+            .with_page_mut(loc.page, |p| p.delete(loc.slot))??;
         self.refresh_fsm(loc.page)?;
         if redirected {
-            self.pool.with_page_mut(rid.page, |p| p.delete(rid.slot))??;
+            self.pool
+                .with_page_mut(rid.page, |p| p.delete(rid.slot))??;
             self.refresh_fsm(rid.page)?;
         }
         Ok(())
@@ -234,7 +254,10 @@ mod tests {
 
     #[test]
     fn rid_u64_roundtrip() {
-        let rid = RecordId { page: PageId(123456), slot: 789 };
+        let rid = RecordId {
+            page: PageId(123456),
+            slot: 789,
+        };
         assert_eq!(RecordId::from_u64(rid.to_u64()), rid);
     }
 
@@ -298,7 +321,10 @@ mod tests {
         // The original slot is a single redirect directly to the final spot.
         let (loc, redirected) = h.resolve(a).unwrap();
         assert!(redirected);
-        let kind = h.pool.with_page(loc.page, |p| p.slot_kind(loc.slot)).unwrap();
+        let kind = h
+            .pool
+            .with_page(loc.page, |p| p.slot_kind(loc.slot))
+            .unwrap();
         assert_eq!(kind, SlotKind::Record, "no redirect-to-redirect chains");
     }
 

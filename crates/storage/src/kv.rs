@@ -68,8 +68,7 @@ impl KvStore {
         let rec = self.heap.get(rid)?;
         if let Some((&TAG_CHUNKED, dir)) = rec.split_first() {
             for packed in dir.chunks_exact(8) {
-                let chunk_rid =
-                    RecordId::from_u64(u64::from_le_bytes(packed.try_into().unwrap()));
+                let chunk_rid = RecordId::from_u64(u64::from_le_bytes(packed.try_into().unwrap()));
                 self.heap.delete(chunk_rid)?;
             }
         }
@@ -208,13 +207,17 @@ impl DurableKv {
         let wal_len = std::fs::metadata(&wal_path).map(|m| m.len()).unwrap_or(0);
         let crashed = wal_len > 0;
         if crashed {
-            for (live, ckpt) in
-                [(&heap_path, dir.join("heap.db.ckpt")), (&index_path, dir.join("index.db.ckpt"))]
-            {
+            for (live, ckpt) in [
+                (&heap_path, dir.join("heap.db.ckpt")),
+                (&index_path, dir.join("index.db.ckpt")),
+            ] {
                 if ckpt.exists() {
                     std::fs::copy(&ckpt, live)?;
                 } else if live.exists() {
-                    std::fs::OpenOptions::new().write(true).open(live)?.set_len(0)?;
+                    std::fs::OpenOptions::new()
+                        .write(true)
+                        .open(live)?
+                        .set_len(0)?;
                 }
             }
         }
@@ -279,14 +282,23 @@ impl DurableKv {
     /// Transactional write.
     pub fn put(&self, tx: KvTx, key: u64, value: &[u8]) -> StorageResult<()> {
         let before = self.kv.put(key, value)?;
-        self.wal.append(&WalRecord::Put { tx: tx.0, key, before, after: value.to_vec() })?;
+        self.wal.append(&WalRecord::Put {
+            tx: tx.0,
+            key,
+            before,
+            after: value.to_vec(),
+        })?;
         Ok(())
     }
 
     /// Transactional delete; deleting an absent key is a no-op.
     pub fn delete(&self, tx: KvTx, key: u64) -> StorageResult<()> {
         if let Some(before) = self.kv.delete(key)? {
-            self.wal.append(&WalRecord::Delete { tx: tx.0, key, before })?;
+            self.wal.append(&WalRecord::Delete {
+                tx: tx.0,
+                key,
+                before,
+            })?;
         }
         Ok(())
     }
@@ -309,7 +321,9 @@ impl DurableKv {
                 continue;
             }
             match rec {
-                WalRecord::Put { key, before, after, .. } => match before {
+                WalRecord::Put {
+                    key, before, after, ..
+                } => match before {
                     Some(b) => {
                         self.kv.put(*key, b)?;
                         self.wal.append(&WalRecord::Put {
@@ -674,7 +688,6 @@ mod overflow_tests {
     }
 }
 
-
 #[cfg(test)]
 mod compact_tests {
     use super::*;
@@ -697,7 +710,10 @@ mod compact_tests {
         // Survivor per round: key 1019 with the last round's bytes.
         let survivor = kv.get(1019).unwrap().unwrap();
         let (before, after) = kv.compact().unwrap();
-        assert!(after < before, "compaction should shrink: {before} -> {after}");
+        assert!(
+            after < before,
+            "compaction should shrink: {before} -> {after}"
+        );
         assert_eq!(kv.get(1019).unwrap().unwrap(), survivor);
         assert_eq!(kv.len().unwrap(), 1);
         // Still fully functional and durable afterwards.

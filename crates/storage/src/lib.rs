@@ -30,6 +30,7 @@ pub mod disk;
 pub mod error;
 pub mod heap;
 pub mod kv;
+pub(crate) mod metrics;
 pub mod page;
 pub mod recovery;
 pub mod wal;

@@ -1,0 +1,65 @@
+//! Process-global metric handles for ccdb-storage, registered in the
+//! [`ccdb_obs::global`] registry under `ccdb_storage_*` names.
+//!
+//! Per-instance counters (e.g. [`crate::buffer::BufferPool`] hit/miss
+//! accessors) stay per-instance; the handles here aggregate across every
+//! pool / WAL / recovery run in the process.
+
+use std::sync::{Arc, OnceLock};
+
+use ccdb_obs::{Counter, Gauge, Histogram};
+
+pub(crate) struct StorageMetrics {
+    /// `ccdb_storage_buffer_hits_total`
+    pub buffer_hits: Arc<Counter>,
+    /// `ccdb_storage_buffer_misses_total`
+    pub buffer_misses: Arc<Counter>,
+    /// `ccdb_storage_buffer_evictions_total`
+    pub buffer_evictions: Arc<Counter>,
+    /// `ccdb_storage_buffer_flushes_total`
+    pub buffer_flushes: Arc<Counter>,
+    /// `ccdb_storage_buffer_dirty_pages` — dirty frames resident across
+    /// all live pools.
+    pub buffer_dirty_pages: Arc<Gauge>,
+    /// `ccdb_storage_wal_appends_total`
+    pub wal_appends: Arc<Counter>,
+    /// `ccdb_storage_wal_appended_bytes_total`
+    pub wal_appended_bytes: Arc<Counter>,
+    /// `ccdb_storage_wal_syncs_total`
+    pub wal_syncs: Arc<Counter>,
+    /// `ccdb_storage_wal_sync_latency_ns`
+    pub wal_sync_latency: Arc<Histogram>,
+    /// `ccdb_storage_recovery_replays_total`
+    pub recovery_replays: Arc<Counter>,
+    /// `ccdb_storage_recovery_redone_total`
+    pub recovery_redone: Arc<Counter>,
+    /// `ccdb_storage_recovery_undone_total`
+    pub recovery_undone: Arc<Counter>,
+    /// `ccdb_storage_recovery_losers_total`
+    pub recovery_losers: Arc<Counter>,
+}
+
+pub(crate) fn storage_metrics() -> &'static StorageMetrics {
+    static METRICS: OnceLock<StorageMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = ccdb_obs::global();
+        StorageMetrics {
+            buffer_hits: r.counter("ccdb_storage_buffer_hits_total"),
+            buffer_misses: r.counter("ccdb_storage_buffer_misses_total"),
+            buffer_evictions: r.counter("ccdb_storage_buffer_evictions_total"),
+            buffer_flushes: r.counter("ccdb_storage_buffer_flushes_total"),
+            buffer_dirty_pages: r.gauge("ccdb_storage_buffer_dirty_pages"),
+            wal_appends: r.counter("ccdb_storage_wal_appends_total"),
+            wal_appended_bytes: r.counter("ccdb_storage_wal_appended_bytes_total"),
+            wal_syncs: r.counter("ccdb_storage_wal_syncs_total"),
+            wal_sync_latency: r.histogram(
+                "ccdb_storage_wal_sync_latency_ns",
+                ccdb_obs::metrics::LATENCY_BUCKETS_NS,
+            ),
+            recovery_replays: r.counter("ccdb_storage_recovery_replays_total"),
+            recovery_redone: r.counter("ccdb_storage_recovery_redone_total"),
+            recovery_undone: r.counter("ccdb_storage_recovery_undone_total"),
+            recovery_losers: r.counter("ccdb_storage_recovery_losers_total"),
+        }
+    })
+}

@@ -78,14 +78,18 @@ impl Default for Page {
 
 impl Clone for Page {
     fn clone(&self) -> Self {
-        Page { data: self.data.clone() }
+        Page {
+            data: self.data.clone(),
+        }
     }
 }
 
 impl Page {
     /// Create an empty, formatted page.
     pub fn new() -> Self {
-        let mut p = Page { data: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap() };
+        let mut p = Page {
+            data: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap(),
+        };
         p.set_slot_count(0);
         p.set_free_end(PAGE_SIZE as u16);
         p
@@ -93,7 +97,9 @@ impl Page {
 
     /// Wrap a raw page image read from disk.
     pub fn from_bytes(bytes: [u8; PAGE_SIZE]) -> Self {
-        Page { data: Box::new(bytes) }
+        Page {
+            data: Box::new(bytes),
+        }
     }
 
     /// The raw page image, e.g. for writing to disk.
@@ -214,8 +220,11 @@ impl Page {
             return None;
         }
         let reuse = self.first_free_slot();
-        let avail =
-            if reuse.is_some() { self.free_space_for_reuse() } else { self.free_space_for_new() };
+        let avail = if reuse.is_some() {
+            self.free_space_for_reuse()
+        } else {
+            self.free_space_for_new()
+        };
         if payload.len() > avail {
             if payload.len() > self.reclaimable_if(reuse.is_none()) {
                 return None;
@@ -239,7 +248,8 @@ impl Page {
     }
 
     fn reclaimable_if(&self, needs_new_slot: bool) -> usize {
-        self.reclaimable_space().saturating_sub(if needs_new_slot { SLOT } else { 0 })
+        self.reclaimable_space()
+            .saturating_sub(if needs_new_slot { SLOT } else { 0 })
     }
 
     /// Read a record (or redirect) payload.
@@ -384,8 +394,13 @@ mod tests {
         let a = p.insert(b"long payload here").unwrap();
         assert!(p.update(a, b"tiny", false).unwrap());
         assert_eq!(p.get(a).unwrap(), b"tiny");
-        assert!(p.update(a, b"now much much longer than before", false).unwrap());
-        assert_eq!(p.get(a).unwrap(), b"now much much longer than before".as_slice());
+        assert!(p
+            .update(a, b"now much much longer than before", false)
+            .unwrap());
+        assert_eq!(
+            p.get(a).unwrap(),
+            b"now much much longer than before".as_slice()
+        );
     }
 
     #[test]
@@ -396,7 +411,11 @@ mod tests {
         let _b = p.insert(&filler).unwrap();
         let huge = vec![9u8; 5000];
         assert!(!p.update(a, &huge, false).unwrap());
-        assert_eq!(p.get(a).unwrap(), filler.as_slice(), "old value must survive");
+        assert_eq!(
+            p.get(a).unwrap(),
+            filler.as_slice(),
+            "old value must survive"
+        );
     }
 
     #[test]
@@ -455,7 +474,9 @@ mod tests {
         let mut p = Page::new();
         let max = Page::max_record_len();
         let rec = vec![0xAB; max];
-        let s = p.insert(&rec).expect("max-size record must fit in empty page");
+        let s = p
+            .insert(&rec)
+            .expect("max-size record must fit in empty page");
         assert_eq!(p.get(s).unwrap().len(), max);
         assert!(p.insert(b"x").is_none());
     }

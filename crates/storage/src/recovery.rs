@@ -20,8 +20,11 @@
 
 use std::collections::{HashMap, HashSet};
 
+use ccdb_obs::{event, Event, FieldValue};
+
 use crate::error::StorageResult;
 use crate::kv::KvStore;
+use crate::metrics::storage_metrics;
 use crate::wal::{TxId, Wal, WalRecord};
 
 /// Counters describing what recovery did.
@@ -42,6 +45,7 @@ pub struct RecoveryStats {
 pub fn recover(wal: &Wal, kv: &KvStore) -> StorageResult<RecoveryStats> {
     let records = wal.records()?;
     let mut stats = RecoveryStats::default();
+    storage_metrics().recovery_replays.inc();
     if records.is_empty() {
         return Ok(stats);
     }
@@ -122,6 +126,20 @@ pub fn recover(wal: &Wal, kv: &KvStore) -> StorageResult<RecoveryStats> {
         }
     }
 
+    let m = storage_metrics();
+    m.recovery_redone.add(stats.redone as u64);
+    m.recovery_undone.add(stats.undone as u64);
+    m.recovery_losers.add(stats.losers as u64);
+    event::emit(|| {
+        Event::now(
+            "storage.recovery.replay",
+            vec![
+                ("redone", FieldValue::U64(stats.redone as u64)),
+                ("undone", FieldValue::U64(stats.undone as u64)),
+                ("losers", FieldValue::U64(stats.losers as u64)),
+            ],
+        )
+    });
     Ok(stats)
 }
 
@@ -156,8 +174,13 @@ mod tests {
         let (_d, wal, kv) = fresh();
         // Log a committed transaction whose effects never reached the store.
         wal.append(&WalRecord::Begin { tx: TxId(1) }).unwrap();
-        wal.append(&WalRecord::Put { tx: TxId(1), key: 1, before: None, after: b"v".to_vec() })
-            .unwrap();
+        wal.append(&WalRecord::Put {
+            tx: TxId(1),
+            key: 1,
+            before: None,
+            after: b"v".to_vec(),
+        })
+        .unwrap();
         wal.append(&WalRecord::Commit { tx: TxId(1) }).unwrap();
         let stats = recover(&wal, &kv).unwrap();
         assert_eq!(stats.redone, 1);
@@ -170,8 +193,13 @@ mod tests {
         let (_d, wal, kv) = fresh();
         // Committed base value.
         wal.append(&WalRecord::Begin { tx: TxId(1) }).unwrap();
-        wal.append(&WalRecord::Put { tx: TxId(1), key: 1, before: None, after: b"base".to_vec() })
-            .unwrap();
+        wal.append(&WalRecord::Put {
+            tx: TxId(1),
+            key: 1,
+            before: None,
+            after: b"base".to_vec(),
+        })
+        .unwrap();
         wal.append(&WalRecord::Commit { tx: TxId(1) }).unwrap();
         // Loser overwrites it and inserts another key.
         wal.append(&WalRecord::Begin { tx: TxId(2) }).unwrap();
@@ -182,8 +210,13 @@ mod tests {
             after: b"loser".to_vec(),
         })
         .unwrap();
-        wal.append(&WalRecord::Put { tx: TxId(2), key: 2, before: None, after: b"new".to_vec() })
-            .unwrap();
+        wal.append(&WalRecord::Put {
+            tx: TxId(2),
+            key: 2,
+            before: None,
+            after: b"new".to_vec(),
+        })
+        .unwrap();
         let stats = recover(&wal, &kv).unwrap();
         assert_eq!(stats.losers, 1);
         assert_eq!(kv.get(1).unwrap().unwrap(), b"base");
@@ -195,8 +228,12 @@ mod tests {
         let (_d, wal, kv) = fresh();
         kv.put(5, b"precious").unwrap();
         wal.append(&WalRecord::Begin { tx: TxId(3) }).unwrap();
-        wal.append(&WalRecord::Delete { tx: TxId(3), key: 5, before: b"precious".to_vec() })
-            .unwrap();
+        wal.append(&WalRecord::Delete {
+            tx: TxId(3),
+            key: 5,
+            before: b"precious".to_vec(),
+        })
+        .unwrap();
         // Apply the delete as if it happened pre-crash.
         kv.delete(5).unwrap();
         recover(&wal, &kv).unwrap();
@@ -207,15 +244,29 @@ mod tests {
     fn aborted_tx_with_compensations_needs_no_undo() {
         let (_d, wal, kv) = fresh();
         wal.append(&WalRecord::Begin { tx: TxId(1) }).unwrap();
-        wal.append(&WalRecord::Put { tx: TxId(1), key: 1, before: None, after: b"x".to_vec() })
-            .unwrap();
+        wal.append(&WalRecord::Put {
+            tx: TxId(1),
+            key: 1,
+            before: None,
+            after: b"x".to_vec(),
+        })
+        .unwrap();
         // Compensation (logged by DurableKv::abort) followed by the abort marker.
-        wal.append(&WalRecord::Delete { tx: TxId(1), key: 1, before: b"x".to_vec() }).unwrap();
+        wal.append(&WalRecord::Delete {
+            tx: TxId(1),
+            key: 1,
+            before: b"x".to_vec(),
+        })
+        .unwrap();
         wal.append(&WalRecord::Abort { tx: TxId(1) }).unwrap();
         let stats = recover(&wal, &kv).unwrap();
         assert_eq!(stats.losers, 0);
         assert_eq!(stats.undone, 0);
-        assert_eq!(kv.get(1).unwrap(), None, "redo of fwd + compensation nets out");
+        assert_eq!(
+            kv.get(1).unwrap(),
+            None,
+            "redo of fwd + compensation nets out"
+        );
     }
 
     #[test]
@@ -241,7 +292,10 @@ mod tests {
             after: b"loser-dirt".to_vec(),
         })
         .unwrap();
-        wal.append(&WalRecord::Checkpoint { active: vec![TxId(2)] }).unwrap();
+        wal.append(&WalRecord::Checkpoint {
+            active: vec![TxId(2)],
+        })
+        .unwrap();
         let stats = recover(&wal, &kv).unwrap();
         assert_eq!(stats.redone, 0, "nothing after the checkpoint to redo");
         assert!(stats.undone >= 1, "loser's pre-checkpoint write undone");
@@ -253,8 +307,13 @@ mod tests {
     fn recovery_is_idempotent() {
         let (_d, wal, kv) = fresh();
         wal.append(&WalRecord::Begin { tx: TxId(1) }).unwrap();
-        wal.append(&WalRecord::Put { tx: TxId(1), key: 1, before: None, after: b"a".to_vec() })
-            .unwrap();
+        wal.append(&WalRecord::Put {
+            tx: TxId(1),
+            key: 1,
+            before: None,
+            after: b"a".to_vec(),
+        })
+        .unwrap();
         wal.append(&WalRecord::Commit { tx: TxId(1) }).unwrap();
         wal.append(&WalRecord::Begin { tx: TxId(2) }).unwrap();
         wal.append(&WalRecord::Put {

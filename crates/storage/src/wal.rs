@@ -14,10 +14,12 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
+use ccdb_obs::SpanTimer;
 use parking_lot::Mutex;
 
 use crate::checksum::crc32;
 use crate::error::{StorageError, StorageResult};
+use crate::metrics::storage_metrics;
 
 /// Log sequence number: byte offset of a record's frame in the log file.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -92,7 +94,12 @@ impl WalRecord {
                 out.push(1);
                 out.extend_from_slice(&tx.0.to_le_bytes());
             }
-            WalRecord::Put { tx, key, before, after } => {
+            WalRecord::Put {
+                tx,
+                key,
+                before,
+                after,
+            } => {
                 out.push(2);
                 out.extend_from_slice(&tx.0.to_le_bytes());
                 out.extend_from_slice(&key.to_le_bytes());
@@ -151,7 +158,9 @@ impl WalRecord {
             Ok(u32::from_le_bytes(take(pos, 4)?.try_into().unwrap()))
         };
         let rec = match tag {
-            1 => WalRecord::Begin { tx: TxId(read_u64(&mut pos)?) },
+            1 => WalRecord::Begin {
+                tx: TxId(read_u64(&mut pos)?),
+            },
             2 => {
                 let tx = TxId(read_u64(&mut pos)?);
                 let key = read_u64(&mut pos)?;
@@ -163,7 +172,12 @@ impl WalRecord {
                 };
                 let alen = read_u32(&mut pos)? as usize;
                 let after = take(&mut pos, alen)?.to_vec();
-                WalRecord::Put { tx, key, before, after }
+                WalRecord::Put {
+                    tx,
+                    key,
+                    before,
+                    after,
+                }
             }
             3 => {
                 let tx = TxId(read_u64(&mut pos)?);
@@ -172,8 +186,12 @@ impl WalRecord {
                 let before = take(&mut pos, blen)?.to_vec();
                 WalRecord::Delete { tx, key, before }
             }
-            4 => WalRecord::Commit { tx: TxId(read_u64(&mut pos)?) },
-            5 => WalRecord::Abort { tx: TxId(read_u64(&mut pos)?) },
+            4 => WalRecord::Commit {
+                tx: TxId(read_u64(&mut pos)?),
+            },
+            5 => WalRecord::Abort {
+                tx: TxId(read_u64(&mut pos)?),
+            },
             6 => {
                 let n = read_u32(&mut pos)? as usize;
                 let mut active = Vec::with_capacity(n);
@@ -206,9 +224,19 @@ impl Wal {
     /// Open (or create) the log at `path`, positioned for appending.
     pub fn open(path: impl AsRef<Path>) -> StorageResult<Self> {
         let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new().read(true).append(true).create(true).open(&path)?;
+        let file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&path)?;
         let end = file.metadata()?.len();
-        Ok(Wal { path, inner: Mutex::new(WalInner { writer: BufWriter::new(file), end }) })
+        Ok(Wal {
+            path,
+            inner: Mutex::new(WalInner {
+                writer: BufWriter::new(file),
+                end,
+            }),
+        })
     }
 
     /// Append a record; returns its LSN. The record is buffered; call
@@ -221,14 +249,22 @@ impl Wal {
         g.writer.write_all(&crc32(&payload).to_le_bytes())?;
         g.writer.write_all(&payload)?;
         g.end += 8 + payload.len() as u64;
+        storage_metrics().wal_appends.inc();
+        storage_metrics()
+            .wal_appended_bytes
+            .add(8 + payload.len() as u64);
         Ok(lsn)
     }
 
     /// Flush buffered records and fsync.
     pub fn sync(&self) -> StorageResult<()> {
+        // Records into ccdb_storage_wal_sync_latency_ns on drop; None when
+        // instrumentation is disabled.
+        let _latency = SpanTimer::start(&storage_metrics().wal_sync_latency);
         let mut g = self.inner.lock();
         g.writer.flush()?;
         g.writer.get_ref().sync_data()?;
+        storage_metrics().wal_syncs.inc();
         Ok(())
     }
 
@@ -279,7 +315,11 @@ impl Wal {
         let file = OpenOptions::new().write(true).open(&self.path)?;
         file.set_len(0)?;
         file.sync_data()?;
-        let file = OpenOptions::new().read(true).append(true).create(true).open(&self.path)?;
+        let file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&self.path)?;
         g.writer = BufWriter::new(file);
         g.end = 0;
         Ok(())
@@ -293,17 +333,28 @@ mod tests {
     fn sample_records() -> Vec<WalRecord> {
         vec![
             WalRecord::Begin { tx: TxId(7) },
-            WalRecord::Put { tx: TxId(7), key: 42, before: None, after: b"v1".to_vec() },
+            WalRecord::Put {
+                tx: TxId(7),
+                key: 42,
+                before: None,
+                after: b"v1".to_vec(),
+            },
             WalRecord::Put {
                 tx: TxId(7),
                 key: 42,
                 before: Some(b"v1".to_vec()),
                 after: b"v2".to_vec(),
             },
-            WalRecord::Delete { tx: TxId(7), key: 42, before: b"v2".to_vec() },
+            WalRecord::Delete {
+                tx: TxId(7),
+                key: 42,
+                before: b"v2".to_vec(),
+            },
             WalRecord::Commit { tx: TxId(7) },
             WalRecord::Abort { tx: TxId(8) },
-            WalRecord::Checkpoint { active: vec![TxId(9), TxId(10)] },
+            WalRecord::Checkpoint {
+                active: vec![TxId(9), TxId(10)],
+            },
         ]
     }
 
@@ -406,9 +457,18 @@ mod tests {
             let bytes = || proptest::collection::vec(any::<u8>(), 0..64);
             prop_oneof![
                 any::<u64>().prop_map(|t| WalRecord::Begin { tx: TxId(t) }),
-                (any::<u64>(), any::<u64>(), proptest::option::of(bytes()), bytes()).prop_map(
-                    |(t, k, b, a)| WalRecord::Put { tx: TxId(t), key: k, before: b, after: a }
-                ),
+                (
+                    any::<u64>(),
+                    any::<u64>(),
+                    proptest::option::of(bytes()),
+                    bytes()
+                )
+                    .prop_map(|(t, k, b, a)| WalRecord::Put {
+                        tx: TxId(t),
+                        key: k,
+                        before: b,
+                        after: a
+                    }),
                 (any::<u64>(), any::<u64>(), bytes()).prop_map(|(t, k, b)| WalRecord::Delete {
                     tx: TxId(t),
                     key: k,
@@ -416,10 +476,9 @@ mod tests {
                 }),
                 any::<u64>().prop_map(|t| WalRecord::Commit { tx: TxId(t) }),
                 any::<u64>().prop_map(|t| WalRecord::Abort { tx: TxId(t) }),
-                proptest::collection::vec(any::<u64>(), 0..8)
-                    .prop_map(|v| WalRecord::Checkpoint {
-                        active: v.into_iter().map(TxId).collect()
-                    }),
+                proptest::collection::vec(any::<u64>(), 0..8).prop_map(|v| WalRecord::Checkpoint {
+                    active: v.into_iter().map(TxId).collect()
+                }),
             ]
         }
 

@@ -72,7 +72,8 @@ impl AccessControl {
 
     /// Grant a right on all members of a named class.
     pub fn grant_class(&mut self, user: &str, class: &str, right: Right) {
-        self.class_rights.insert((user.to_string(), class.to_string()), right);
+        self.class_rights
+            .insert((user.to_string(), class.to_string()), right);
     }
 
     /// Grant a right on one object.
@@ -94,7 +95,10 @@ impl AccessControl {
         if let Some(r) = best {
             return r;
         }
-        self.default_right.get(user).copied().unwrap_or(Right::Update)
+        self.default_right
+            .get(user)
+            .copied()
+            .unwrap_or(Right::Update)
     }
 }
 
@@ -119,8 +123,14 @@ mod tests {
         ac.grant_class("eve", "StandardCells", Right::Read);
         ac.grant_object("eve", Surrogate(7), Right::Update);
         assert_eq!(ac.right("eve", Surrogate(1), &[]), Right::None);
-        assert_eq!(ac.right("eve", Surrogate(2), &["StandardCells"]), Right::Read);
-        assert_eq!(ac.right("eve", Surrogate(7), &["StandardCells"]), Right::Update);
+        assert_eq!(
+            ac.right("eve", Surrogate(2), &["StandardCells"]),
+            Right::Read
+        );
+        assert_eq!(
+            ac.right("eve", Surrogate(7), &["StandardCells"]),
+            Right::Update
+        );
     }
 
     #[test]

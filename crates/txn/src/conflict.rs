@@ -107,7 +107,11 @@ pub fn potential_conflicts(
     let mut out = Vec::new();
     for &a in writes_a {
         if set_b.contains(&a) {
-            out.push(PotentialConflict { a, b: a, kind: ConflictKind::SameObject });
+            out.push(PotentialConflict {
+                a,
+                b: a,
+                kind: ConflictKind::SameObject,
+            });
         }
         for (n, kind) in neighbours(store, a) {
             if set_b.contains(&n) {
@@ -125,8 +129,7 @@ mod tests {
     use super::*;
     use ccdb_core::domain::Domain;
     use ccdb_core::schema::{
-        AttrDef, Catalog, InherRelTypeDef, ObjectTypeDef, ParticipantSpec, RelTypeDef,
-        SubclassSpec,
+        AttrDef, Catalog, InherRelTypeDef, ObjectTypeDef, ParticipantSpec, RelTypeDef, SubclassSpec,
     };
 
     fn setup() -> (ObjectStore, Surrogate, Surrogate, Surrogate, Surrogate) {
@@ -134,7 +137,10 @@ mod tests {
         c.register_object_type(ObjectTypeDef {
             name: "Part".into(),
             attributes: vec![AttrDef::new("X", Domain::Int)],
-            subclasses: vec![SubclassSpec { name: "Subs".into(), element_type: "Part".into() }],
+            subclasses: vec![SubclassSpec {
+                name: "Subs".into(),
+                element_type: "Part".into(),
+            }],
             ..Default::default()
         })
         .unwrap();
@@ -155,7 +161,10 @@ mod tests {
         .unwrap();
         c.register_rel_type(RelTypeDef {
             name: "Link".into(),
-            participants: vec![ParticipantSpec::one("A", "Part"), ParticipantSpec::one("B", "Part")],
+            participants: vec![
+                ParticipantSpec::one("A", "Part"),
+                ParticipantSpec::one("B", "Part"),
+            ],
             ..Default::default()
         })
         .unwrap();
@@ -180,7 +189,10 @@ mod tests {
     fn inheritance_edge_conflict() {
         let (st, part, _, user, _) = setup();
         let cs = potential_conflicts(&st, &[part], &[user]);
-        assert!(cs.iter().any(|c| c.kind == ConflictKind::InheritanceEdge), "{cs:?}");
+        assert!(
+            cs.iter().any(|c| c.kind == ConflictKind::InheritanceEdge),
+            "{cs:?}"
+        );
         // Symmetric.
         let cs = potential_conflicts(&st, &[user], &[part]);
         assert!(cs.iter().any(|c| c.kind == ConflictKind::InheritanceEdge));
@@ -202,17 +214,24 @@ mod tests {
         // A txn writing the relationship object conflicts with one writing
         // a participant.
         let cs = potential_conflicts(&st, &[link], &[other]);
-        assert!(cs.iter().any(|c| c.kind == ConflictKind::RelationshipEdge), "{cs:?}");
+        assert!(
+            cs.iter().any(|c| c.kind == ConflictKind::RelationshipEdge),
+            "{cs:?}"
+        );
     }
 
     #[test]
     fn co_participants_conflict_through_the_relationship() {
         let (mut st, part, _, _, other) = setup();
-        st.create_rel("Link", vec![("A", vec![part]), ("B", vec![other])], vec![]).unwrap();
+        st.create_rel("Link", vec![("A", vec![part]), ("B", vec![other])], vec![])
+            .unwrap();
         // Neither write set contains the relationship object itself, but the
         // two participants are still related through it.
         let cs = potential_conflicts(&st, &[part], &[other]);
-        assert!(cs.iter().any(|c| c.kind == ConflictKind::RelationshipEdge), "{cs:?}");
+        assert!(
+            cs.iter().any(|c| c.kind == ConflictKind::RelationshipEdge),
+            "{cs:?}"
+        );
     }
 
     #[test]

@@ -97,7 +97,11 @@ impl DesignTxn {
             base.insert(s, stamps.stamp(s));
             workspace.insert(s, data);
         }
-        Ok(DesignTxn { designer: designer.to_string(), base, workspace })
+        Ok(DesignTxn {
+            designer: designer.to_string(),
+            base,
+            workspace,
+        })
     }
 
     /// Objects in this workspace.
@@ -107,7 +111,10 @@ impl DesignTxn {
 
     /// Read an attribute from the private copy.
     pub fn attr(&self, obj: Surrogate, name: &str) -> Result<Value, DesignError> {
-        let o = self.workspace.get(&obj).ok_or(DesignError::NotCheckedOut(obj))?;
+        let o = self
+            .workspace
+            .get(&obj)
+            .ok_or(DesignError::NotCheckedOut(obj))?;
         Ok(o.attrs.get(name).cloned().unwrap_or(Value::Missing))
     }
 
@@ -118,7 +125,10 @@ impl DesignTxn {
         name: &str,
         value: Value,
     ) -> Result<(), DesignError> {
-        let o = self.workspace.get_mut(&obj).ok_or(DesignError::NotCheckedOut(obj))?;
+        let o = self
+            .workspace
+            .get_mut(&obj)
+            .ok_or(DesignError::NotCheckedOut(obj))?;
         o.attrs.insert(name.to_string(), value);
         Ok(())
     }
@@ -160,12 +170,17 @@ mod tests {
         let mut c = Catalog::new();
         c.register_object_type(ObjectTypeDef {
             name: "Part".into(),
-            attributes: vec![AttrDef::new("X", Domain::Int), AttrDef::new("Y", Domain::Int)],
+            attributes: vec![
+                AttrDef::new("X", Domain::Int),
+                AttrDef::new("Y", Domain::Int),
+            ],
             ..Default::default()
         })
         .unwrap();
         let mut st = ObjectStore::new(c).unwrap();
-        let p = st.create_object("Part", vec![("X", Value::Int(1))]).unwrap();
+        let p = st
+            .create_object("Part", vec![("X", Value::Int(1))])
+            .unwrap();
         (st, p)
     }
 
@@ -220,7 +235,10 @@ mod tests {
             txn.set_attr(p, "X", Value::Int(1)),
             Err(DesignError::NotCheckedOut(_))
         ));
-        assert!(matches!(txn.attr(p, "X"), Err(DesignError::NotCheckedOut(_))));
+        assert!(matches!(
+            txn.attr(p, "X"),
+            Err(DesignError::NotCheckedOut(_))
+        ));
     }
 
     #[test]
@@ -231,6 +249,9 @@ mod tests {
         // A domain-violating private edit is caught at check-in.
         txn.set_attr(p, "X", Value::Bool(true)).unwrap();
         let err = txn.checkin(&mut st, &stamps).unwrap_err();
-        assert!(matches!(err, DesignError::Core(CoreError::DomainMismatch { .. })));
+        assert!(matches!(
+            err,
+            DesignError::Core(CoreError::DomainMismatch { .. })
+        ));
     }
 }

@@ -21,6 +21,7 @@ pub mod access;
 pub mod conflict;
 pub mod design;
 pub mod lock;
+pub(crate) mod metrics;
 pub mod persistent;
 pub mod txn;
 

@@ -17,7 +17,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use ccdb_core::Surrogate;
+use ccdb_obs::{event, Event, FieldValue, SpanTimer};
 use parking_lot::{Condvar, Mutex};
+
+use crate::metrics::txn_metrics;
 
 /// Lock modes (classic multi-granularity set).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -40,9 +43,14 @@ impl LockMode {
         use LockMode::*;
         matches!(
             (self, other),
-            (IS, IS) | (IS, IX) | (IS, S) | (IS, SIX)
-                | (IX, IS) | (IX, IX)
-                | (S, IS) | (S, S)
+            (IS, IS)
+                | (IS, IX)
+                | (IS, S)
+                | (IS, SIX)
+                | (IX, IS)
+                | (IX, IX)
+                | (S, IS)
+                | (S, S)
                 | (SIX, IS)
         )
     }
@@ -163,6 +171,7 @@ struct LmState {
     grants: u64,
     waits: u64,
     deadlocks: u64,
+    timeouts: u64,
 }
 
 impl LmState {
@@ -203,6 +212,7 @@ impl LmState {
         *entry = entry.join(mode);
         self.by_txn.entry(txn).or_default().insert(res.clone());
         self.grants += 1;
+        txn_metrics().grants.inc();
     }
 }
 
@@ -222,6 +232,8 @@ pub struct LockStats {
     pub waits: u64,
     /// Requests refused because of deadlock.
     pub deadlocks: u64,
+    /// Requests refused because the wait timed out.
+    pub timeouts: u64,
 }
 
 impl Default for LockManager {
@@ -238,7 +250,11 @@ impl LockManager {
 
     /// Lock manager with an explicit wait timeout.
     pub fn with_timeout(timeout: Duration) -> Self {
-        LockManager { state: Mutex::new(LmState::default()), cond: Condvar::new(), timeout }
+        LockManager {
+            state: Mutex::new(LmState::default()),
+            cond: Condvar::new(),
+            timeout,
+        }
     }
 
     /// Shared handle.
@@ -249,6 +265,9 @@ impl LockManager {
     /// Acquire `mode` on `res` for `txn`, taking the required intention lock
     /// on the parent first. Blocks until granted, deadlock, or timeout.
     pub fn acquire(&self, txn: TxnId, res: Resource, mode: LockMode) -> Result<(), LockError> {
+        // Records into ccdb_txn_lock_acquire_latency_ns on drop (both
+        // outcomes); None when instrumentation is disabled.
+        let _latency = SpanTimer::start(&txn_metrics().acquire_latency);
         if let Some(parent) = res.parent() {
             let intent = match mode {
                 LockMode::S | LockMode::IS => LockMode::IS,
@@ -282,28 +301,60 @@ impl LockManager {
             if st.would_deadlock(txn, &blockers) {
                 st.deadlocks += 1;
                 st.waits_for.remove(&txn);
-                return Err(LockError::Deadlock { txn, on: res.to_string() });
+                txn_metrics().deadlocks.inc();
+                event::emit(|| {
+                    Event::now(
+                        "txn.lock.deadlock",
+                        vec![
+                            ("txn", FieldValue::U64(txn.0)),
+                            ("resource", FieldValue::Owned(res.to_string())),
+                        ],
+                    )
+                });
+                return Err(LockError::Deadlock {
+                    txn,
+                    on: res.to_string(),
+                });
             }
             if !waited {
                 st.waits += 1;
                 waited = true;
+                txn_metrics().waits.inc();
+                event::emit(|| {
+                    Event::now(
+                        "txn.lock.wait",
+                        vec![
+                            ("txn", FieldValue::U64(txn.0)),
+                            ("resource", FieldValue::Owned(res.to_string())),
+                        ],
+                    )
+                });
             }
             st.waits_for.insert(txn, blockers.into_iter().collect());
             let timed_out = self.cond.wait_for(&mut st, self.timeout).timed_out();
             if timed_out {
                 st.waits_for.remove(&txn);
-                return Err(LockError::Timeout { txn, on: res.to_string() });
+                st.timeouts += 1;
+                txn_metrics().timeouts.inc();
+                event::emit(|| {
+                    Event::now(
+                        "txn.lock.timeout",
+                        vec![
+                            ("txn", FieldValue::U64(txn.0)),
+                            ("resource", FieldValue::Owned(res.to_string())),
+                        ],
+                    )
+                });
+                return Err(LockError::Timeout {
+                    txn,
+                    on: res.to_string(),
+                });
             }
         }
     }
 
     /// Try to acquire without blocking; `Err(blockers)` lists the holders.
-    pub fn try_acquire(
-        &self,
-        txn: TxnId,
-        res: Resource,
-        mode: LockMode,
-    ) -> Result<(), Vec<TxnId>> {
+    pub fn try_acquire(&self, txn: TxnId, res: Resource, mode: LockMode) -> Result<(), Vec<TxnId>> {
         if let Some(parent) = res.parent() {
             let intent = match mode {
                 LockMode::S | LockMode::IS => LockMode::IS,
@@ -354,23 +405,39 @@ impl LockManager {
         }
         st.waits_for.remove(&txn);
         drop(st);
+        txn_metrics().released.inc();
         self.cond.notify_all();
     }
 
     /// Mode `txn` currently holds on `res`, if any.
     pub fn held_mode(&self, txn: TxnId, res: &Resource) -> Option<LockMode> {
-        self.state.lock().held.get(res).and_then(|h| h.get(&txn)).copied()
+        self.state
+            .lock()
+            .held
+            .get(res)
+            .and_then(|h| h.get(&txn))
+            .copied()
     }
 
     /// Number of resources `txn` currently holds locks on.
     pub fn held_count(&self, txn: TxnId) -> usize {
-        self.state.lock().by_txn.get(&txn).map(HashSet::len).unwrap_or(0)
+        self.state
+            .lock()
+            .by_txn
+            .get(&txn)
+            .map(HashSet::len)
+            .unwrap_or(0)
     }
 
     /// Experiment counters.
     pub fn stats(&self) -> LockStats {
         let st = self.state.lock();
-        LockStats { grants: st.grants, waits: st.waits, deadlocks: st.deadlocks }
+        LockStats {
+            grants: st.grants,
+            waits: st.waits,
+            deadlocks: st.deadlocks,
+            timeouts: st.timeouts,
+        }
     }
 
     /// Invariant check (tests): no resource may be held in pairwise
@@ -386,9 +453,7 @@ impl LockManager {
                     let (ta, ma) = hs[i];
                     let (tb, mb) = hs[j];
                     if !ma.compatible(*mb) {
-                        problems.push(format!(
-                            "{res}: {ta} holds {ma:?} while {tb} holds {mb:?}"
-                        ));
+                        problems.push(format!("{res}: {ta} holds {ma:?} while {tb} holds {mb:?}"));
                     }
                 }
             }
@@ -463,11 +528,14 @@ mod tests {
     #[test]
     fn item_locks_on_different_items_do_not_conflict() {
         let lm = LockManager::with_timeout(Duration::from_millis(50));
-        lm.acquire(TxnId(1), item(1, "Length"), LockMode::X).unwrap();
+        lm.acquire(TxnId(1), item(1, "Length"), LockMode::X)
+            .unwrap();
         // Different item of the same object: fine (IX + IX on the object).
         lm.acquire(TxnId(2), item(1, "Width"), LockMode::X).unwrap();
         // Same item conflicts.
-        assert!(lm.acquire(TxnId(3), item(1, "Length"), LockMode::S).is_err());
+        assert!(lm
+            .acquire(TxnId(3), item(1, "Length"), LockMode::S)
+            .is_err());
     }
 
     #[test]
@@ -475,15 +543,19 @@ mod tests {
         let lm = LockManager::with_timeout(Duration::from_millis(50));
         lm.acquire(TxnId(1), obj(1), LockMode::X).unwrap();
         // The IS intent on the object cannot be granted.
-        assert!(lm.acquire(TxnId(2), item(1, "Length"), LockMode::S).is_err());
+        assert!(lm
+            .acquire(TxnId(2), item(1, "Length"), LockMode::S)
+            .is_err());
         lm.release_all(TxnId(1));
-        lm.acquire(TxnId(2), item(1, "Length"), LockMode::S).unwrap();
+        lm.acquire(TxnId(2), item(1, "Length"), LockMode::S)
+            .unwrap();
     }
 
     #[test]
     fn item_s_blocks_whole_object_x() {
         let lm = LockManager::with_timeout(Duration::from_millis(50));
-        lm.acquire(TxnId(1), item(1, "Length"), LockMode::S).unwrap();
+        lm.acquire(TxnId(1), item(1, "Length"), LockMode::S)
+            .unwrap();
         // Whole-object X conflicts with the IS intent held by T1.
         assert!(lm.acquire(TxnId(2), obj(1), LockMode::X).is_err());
         // Whole-object S is fine (S vs IS compatible).
@@ -515,7 +587,10 @@ mod tests {
         // Give T1 time to start waiting.
         thread::sleep(Duration::from_millis(100));
         let err = lm.acquire(TxnId(2), obj(1), LockMode::X).unwrap_err();
-        assert!(matches!(err, LockError::Deadlock { txn: TxnId(2), .. }), "{err}");
+        assert!(
+            matches!(err, LockError::Deadlock { txn: TxnId(2), .. }),
+            "{err}"
+        );
         // T2 aborts, releasing its locks lets T1 proceed.
         lm.release_all(TxnId(2));
         h.join().unwrap().unwrap();
@@ -565,7 +640,9 @@ mod tests {
                 // Deterministic per-thread op mix over a small resource set.
                 let mut x = t.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
                 for i in 0..200u64 {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     let txn = TxnId(t * 10_000 + i);
                     let target = x % 4;
                     let mode = match (x >> 8) % 4 {
@@ -589,6 +666,39 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+        assert!(lm.validate_invariants().is_empty());
+    }
+
+    #[test]
+    fn stats_lose_no_updates_under_contention() {
+        // Disjoint per-thread resources make every outcome deterministic:
+        // each iteration grants exactly two locks (IX on the object, X on
+        // the item) and nothing ever waits. If the counters were updated
+        // non-atomically, 8 threads hammering them would lose increments.
+        const THREADS: u64 = 8;
+        const ITERS: u64 = 250;
+        let lm = Arc::new(LockManager::new());
+        let before = lm.stats();
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let lm = Arc::clone(&lm);
+            handles.push(thread::spawn(move || {
+                for i in 0..ITERS {
+                    let txn = TxnId(t * 10_000 + i);
+                    lm.acquire(txn, obj(t), LockMode::IX).unwrap();
+                    lm.acquire(txn, item(t, "A"), LockMode::X).unwrap();
+                    lm.release_all(txn);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let after = lm.stats();
+        assert_eq!(after.grants - before.grants, THREADS * ITERS * 2);
+        assert_eq!(after.waits, before.waits);
+        assert_eq!(after.deadlocks, before.deadlocks);
+        assert_eq!(after.timeouts, before.timeouts);
         assert!(lm.validate_invariants().is_empty());
     }
 

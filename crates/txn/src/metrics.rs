@@ -1,0 +1,43 @@
+//! Process-global metric handles for ccdb-txn, registered in the
+//! [`ccdb_obs::global`] registry under `ccdb_txn_*` names.
+//!
+//! Per-[`crate::LockManager`] counters (the [`crate::LockStats`] view)
+//! stay per-instance; these handles aggregate across every lock manager
+//! in the process.
+
+use std::sync::{Arc, OnceLock};
+
+use ccdb_obs::{Counter, Histogram};
+
+pub(crate) struct TxnMetrics {
+    /// `ccdb_txn_lock_grants_total`
+    pub grants: Arc<Counter>,
+    /// `ccdb_txn_lock_waits_total`
+    pub waits: Arc<Counter>,
+    /// `ccdb_txn_lock_deadlocks_total`
+    pub deadlocks: Arc<Counter>,
+    /// `ccdb_txn_lock_timeouts_total`
+    pub timeouts: Arc<Counter>,
+    /// `ccdb_txn_lock_released_total` — release_all calls.
+    pub released: Arc<Counter>,
+    /// `ccdb_txn_lock_acquire_latency_ns` — blocking acquire() latency.
+    pub acquire_latency: Arc<Histogram>,
+}
+
+pub(crate) fn txn_metrics() -> &'static TxnMetrics {
+    static METRICS: OnceLock<TxnMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = ccdb_obs::global();
+        TxnMetrics {
+            grants: r.counter("ccdb_txn_lock_grants_total"),
+            waits: r.counter("ccdb_txn_lock_waits_total"),
+            deadlocks: r.counter("ccdb_txn_lock_deadlocks_total"),
+            timeouts: r.counter("ccdb_txn_lock_timeouts_total"),
+            released: r.counter("ccdb_txn_lock_released_total"),
+            acquire_latency: r.histogram(
+                "ccdb_txn_lock_acquire_latency_ns",
+                ccdb_obs::metrics::LATENCY_BUCKETS_NS,
+            ),
+        }
+    })
+}

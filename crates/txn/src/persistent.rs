@@ -28,14 +28,20 @@ impl PersistentDatabase {
     pub fn create(dir: impl AsRef<Path>, store: ObjectStore) -> TxnResult<Self> {
         let kv = DurableKv::open(dir).map_err(CoreError::from)?;
         persist::save_store(&store, &kv)?;
-        Ok(PersistentDatabase { db: Database::new(store), kv })
+        Ok(PersistentDatabase {
+            db: Database::new(store),
+            kv,
+        })
     }
 
     /// Open an existing database from `dir` (running crash recovery).
     pub fn open(dir: impl AsRef<Path>) -> TxnResult<Self> {
         let kv = DurableKv::open(dir).map_err(CoreError::from)?;
         let store = load_store(&kv)?;
-        Ok(PersistentDatabase { db: Database::new(store), kv })
+        Ok(PersistentDatabase {
+            db: Database::new(store),
+            kv,
+        })
     }
 
     /// The in-memory transaction layer (all reads/writes go through it).
@@ -164,7 +170,10 @@ mod tests {
         c.register_object_type(ObjectTypeDef {
             name: "If".into(),
             attributes: vec![AttrDef::new("Length", Domain::Int)],
-            subclasses: vec![SubclassSpec { name: "Pins".into(), element_type: "Pin".into() }],
+            subclasses: vec![SubclassSpec {
+                name: "Pins".into(),
+                element_type: "Pin".into(),
+            }],
             ..Default::default()
         })
         .unwrap();
@@ -191,11 +200,12 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         let (interface, imp);
         {
-            let pdb =
-                PersistentDatabase::create(dir.path(), ObjectStore::new(catalog()).unwrap())
-                    .unwrap();
+            let pdb = PersistentDatabase::create(dir.path(), ObjectStore::new(catalog()).unwrap())
+                .unwrap();
             let tx = pdb.begin("alice");
-            interface = pdb.create_object(&tx, "If", vec![("Length", Value::Int(5))]).unwrap();
+            interface = pdb
+                .create_object(&tx, "If", vec![("Length", Value::Int(5))])
+                .unwrap();
             imp = pdb.create_object(&tx, "Impl", vec![]).unwrap();
             pdb.bind(&tx, "AllOf_If", interface, imp).unwrap();
             pdb.commit(tx).unwrap();
@@ -212,21 +222,24 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         let interface;
         {
-            let pdb =
-                PersistentDatabase::create(dir.path(), ObjectStore::new(catalog()).unwrap())
-                    .unwrap();
+            let pdb = PersistentDatabase::create(dir.path(), ObjectStore::new(catalog()).unwrap())
+                .unwrap();
             let tx = pdb.begin("alice");
-            interface = pdb.create_object(&tx, "If", vec![("Length", Value::Int(5))]).unwrap();
+            interface = pdb
+                .create_object(&tx, "If", vec![("Length", Value::Int(5))])
+                .unwrap();
             pdb.commit(tx).unwrap();
             let tx = pdb.begin("alice");
-            pdb.write_attr(&tx, interface, "Length", Value::Int(99)).unwrap();
+            pdb.write_attr(&tx, interface, "Length", Value::Int(99))
+                .unwrap();
             let ghost = pdb.create_object(&tx, "If", vec![]).unwrap();
             pdb.abort(tx);
             assert!(pdb.db().with_store(|st| st.object(ghost).is_err()));
         }
         let pdb = PersistentDatabase::open(dir.path()).unwrap();
         assert_eq!(
-            pdb.db().with_store(|st| st.attr(interface, "Length").unwrap()),
+            pdb.db()
+                .with_store(|st| st.attr(interface, "Length").unwrap()),
             Value::Int(5)
         );
         assert_eq!(pdb.db().with_store(|st| st.object_count()), 1);
@@ -237,22 +250,29 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         let (interface, imp);
         {
-            let pdb =
-                PersistentDatabase::create(dir.path(), ObjectStore::new(catalog()).unwrap())
-                    .unwrap();
+            let pdb = PersistentDatabase::create(dir.path(), ObjectStore::new(catalog()).unwrap())
+                .unwrap();
             let tx = pdb.begin("alice");
-            interface = pdb.create_object(&tx, "If", vec![("Length", Value::Int(5))]).unwrap();
+            interface = pdb
+                .create_object(&tx, "If", vec![("Length", Value::Int(5))])
+                .unwrap();
             imp = pdb.create_object(&tx, "Impl", vec![]).unwrap();
             pdb.bind(&tx, "AllOf_If", interface, imp).unwrap();
             pdb.commit(tx).unwrap();
-            let rel = pdb.db().with_store(|st| st.binding_of(imp, "AllOf_If").unwrap());
+            let rel = pdb
+                .db()
+                .with_store(|st| st.binding_of(imp, "AllOf_If").unwrap());
             let tx = pdb.begin("alice");
             pdb.unbind(&tx, rel).unwrap();
             pdb.commit(tx).unwrap();
         }
         let pdb = PersistentDatabase::open(dir.path()).unwrap();
         pdb.db().with_store(|st| {
-            assert_eq!(st.attr(imp, "Length").unwrap(), Value::Missing, "binding gone");
+            assert_eq!(
+                st.attr(imp, "Length").unwrap(),
+                Value::Missing,
+                "binding gone"
+            );
             assert!(st.binding_of(imp, "AllOf_If").is_none());
             assert!(st.object(interface).is_ok());
         });
@@ -263,15 +283,16 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         let (interface, pin);
         {
-            let pdb =
-                PersistentDatabase::create(dir.path(), ObjectStore::new(catalog()).unwrap())
-                    .unwrap();
+            let pdb = PersistentDatabase::create(dir.path(), ObjectStore::new(catalog()).unwrap())
+                .unwrap();
             let tx = pdb.begin("alice");
             interface = pdb.create_object(&tx, "If", vec![]).unwrap();
             pdb.commit(tx).unwrap();
             pdb.checkpoint().unwrap();
             let tx = pdb.begin("alice");
-            pin = pdb.create_subobject(&tx, interface, "Pins", vec![("Id", Value::Int(1))]).unwrap();
+            pin = pdb
+                .create_subobject(&tx, interface, "Pins", vec![("Id", Value::Int(1))])
+                .unwrap();
             pdb.commit(tx).unwrap();
         }
         let pdb = PersistentDatabase::open(dir.path()).unwrap();
@@ -298,18 +319,22 @@ mod delete_tests {
         .unwrap();
         c.register_object_type(ObjectTypeDef {
             name: "Gate".into(),
-            subclasses: vec![SubclassSpec { name: "Pins".into(), element_type: "Pin".into() }],
+            subclasses: vec![SubclassSpec {
+                name: "Pins".into(),
+                element_type: "Pin".into(),
+            }],
             ..Default::default()
         })
         .unwrap();
         let dir = tempfile::tempdir().unwrap();
         let (gate, pin, survivor);
         {
-            let pdb =
-                PersistentDatabase::create(dir.path(), ObjectStore::new(c).unwrap()).unwrap();
+            let pdb = PersistentDatabase::create(dir.path(), ObjectStore::new(c).unwrap()).unwrap();
             let tx = pdb.begin("alice");
             gate = pdb.create_object(&tx, "Gate", vec![]).unwrap();
-            pin = pdb.create_subobject(&tx, gate, "Pins", vec![("Id", Value::Int(1))]).unwrap();
+            pin = pdb
+                .create_subobject(&tx, gate, "Pins", vec![("Id", Value::Int(1))])
+                .unwrap();
             survivor = pdb.create_object(&tx, "Gate", vec![]).unwrap();
             pdb.commit(tx).unwrap();
             let tx = pdb.begin("alice");

@@ -88,11 +88,24 @@ pub struct TxnHandle {
 }
 
 enum UndoOp {
-    SetAttr { obj: Surrogate, attr: String, old: Value },
-    Created { obj: Surrogate },
-    Bound { rel_obj: Surrogate },
-    Unbound { rel: Box<ObjectData> },
-    DeletedTree { rec: Box<DeletionRecord>, parent: Option<Surrogate> },
+    SetAttr {
+        obj: Surrogate,
+        attr: String,
+        old: Value,
+    },
+    Created {
+        obj: Surrogate,
+    },
+    Bound {
+        rel_obj: Surrogate,
+    },
+    Unbound {
+        rel: Box<ObjectData>,
+    },
+    DeletedTree {
+        rec: Box<DeletionRecord>,
+        parent: Option<Surrogate>,
+    },
 }
 
 /// A multi-user database: object store + lock manager + access control.
@@ -118,7 +131,10 @@ impl Database {
 
     /// Use a pre-configured lock manager (e.g. short timeouts in tests).
     pub fn with_lock_manager(store: ObjectStore, locks: LockManager) -> Self {
-        Database { locks, ..Self::new(store) }
+        Database {
+            locks,
+            ..Self::new(store)
+        }
     }
 
     /// The lock manager (for stats).
@@ -145,7 +161,10 @@ impl Database {
     /// Begin a transaction for `user`.
     pub fn begin(&self, user: &str) -> TxnHandle {
         let id = TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed));
-        TxnHandle { id, user: user.to_string() }
+        TxnHandle {
+            id,
+            user: user.to_string(),
+        }
     }
 
     fn push_undo(&self, tx: &TxnHandle, op: UndoOp) {
@@ -166,7 +185,10 @@ impl Database {
     ) -> TxnResult<LockMode> {
         let right = self.right_of(tx, res.object());
         let Some(mode) = right.cap(requested) else {
-            return Err(TxnError::AccessDenied { user: tx.user.clone(), object: res.object() });
+            return Err(TxnError::AccessDenied {
+                user: tx.user.clone(),
+                object: res.object(),
+            });
         };
         self.locks.acquire(tx.id, res, mode)?;
         Ok(mode)
@@ -214,9 +236,13 @@ impl Database {
     ) -> TxnResult<()> {
         let right = self.right_of(tx, obj);
         if right != Right::Update {
-            return Err(TxnError::AccessDenied { user: tx.user.clone(), object: obj });
+            return Err(TxnError::AccessDenied {
+                user: tx.user.clone(),
+                object: obj,
+            });
         }
-        self.locks.acquire(tx.id, Resource::Item(obj, attr.to_string()), LockMode::X)?;
+        self.locks
+            .acquire(tx.id, Resource::Item(obj, attr.to_string()), LockMode::X)?;
         let mut store = self.store.write();
         let old = store
             .object(obj)?
@@ -226,7 +252,14 @@ impl Database {
             .unwrap_or(Value::Missing);
         store.set_attr(obj, attr, value)?;
         drop(store);
-        self.push_undo(tx, UndoOp::SetAttr { obj, attr: attr.to_string(), old });
+        self.push_undo(
+            tx,
+            UndoOp::SetAttr {
+                obj,
+                attr: attr.to_string(),
+                old,
+            },
+        );
         Ok(())
     }
 
@@ -238,7 +271,8 @@ impl Database {
         attrs: Vec<(&str, Value)>,
     ) -> TxnResult<Surrogate> {
         let s = self.store.write().create_object(type_name, attrs)?;
-        self.locks.acquire(tx.id, Resource::Object(s), LockMode::X)?;
+        self.locks
+            .acquire(tx.id, Resource::Object(s), LockMode::X)?;
         self.push_undo(tx, UndoOp::Created { obj: s });
         Ok(s)
     }
@@ -252,9 +286,17 @@ impl Database {
         subclass: &str,
         attrs: Vec<(&str, Value)>,
     ) -> TxnResult<Surrogate> {
-        self.acquire_capped(tx, Resource::Item(parent, subclass.to_string()), LockMode::X)?;
-        let s = self.store.write().create_subobject(parent, subclass, attrs)?;
-        self.locks.acquire(tx.id, Resource::Object(s), LockMode::X)?;
+        self.acquire_capped(
+            tx,
+            Resource::Item(parent, subclass.to_string()),
+            LockMode::X,
+        )?;
+        let s = self
+            .store
+            .write()
+            .create_subobject(parent, subclass, attrs)?;
+        self.locks
+            .acquire(tx.id, Resource::Object(s), LockMode::X)?;
         self.push_undo(tx, UndoOp::Created { obj: s });
         Ok(s)
     }
@@ -273,8 +315,12 @@ impl Database {
                 self.acquire_capped(tx, Resource::Object(*m), LockMode::S)?;
             }
         }
-        let s = self.store.write().create_rel(rel_type, participants, attrs)?;
-        self.locks.acquire(tx.id, Resource::Object(s), LockMode::X)?;
+        let s = self
+            .store
+            .write()
+            .create_rel(rel_type, participants, attrs)?;
+        self.locks
+            .acquire(tx.id, Resource::Object(s), LockMode::X)?;
         self.push_undo(tx, UndoOp::Created { obj: s });
         Ok(s)
     }
@@ -294,8 +340,12 @@ impl Database {
                 self.acquire_capped(tx, Resource::Object(*m), LockMode::S)?;
             }
         }
-        let s = self.store.write().create_subrel(parent, subrel, participants, attrs)?;
-        self.locks.acquire(tx.id, Resource::Object(s), LockMode::X)?;
+        let s = self
+            .store
+            .write()
+            .create_subrel(parent, subrel, participants, attrs)?;
+        self.locks
+            .acquire(tx.id, Resource::Object(s), LockMode::X)?;
         self.push_undo(tx, UndoOp::Created { obj: s });
         Ok(s)
     }
@@ -315,11 +365,18 @@ impl Database {
             .catalog()
             .inher_rel_type(rel_type)
             .map(|d| d.inheriting.clone())?;
-        self.acquire_capped(tx, Resource::Item(inheritor, format!("@{rel_type}")), LockMode::X)?;
+        self.acquire_capped(
+            tx,
+            Resource::Item(inheritor, format!("@{rel_type}")),
+            LockMode::X,
+        )?;
         for item in &permeable {
             self.acquire_capped(tx, Resource::Item(transmitter, item.clone()), LockMode::S)?;
         }
-        let rel = self.store.write().bind(rel_type, transmitter, inheritor, vec![])?;
+        let rel = self
+            .store
+            .write()
+            .bind(rel_type, transmitter, inheritor, vec![])?;
         self.push_undo(tx, UndoOp::Bound { rel_obj: rel });
         Ok(rel)
     }
@@ -344,13 +401,29 @@ impl Database {
         for s in &subtree {
             let right = self.right_of(tx, *s);
             if right != Right::Update {
-                return Err(TxnError::AccessDenied { user: tx.user.clone(), object: *s });
+                return Err(TxnError::AccessDenied {
+                    user: tx.user.clone(),
+                    object: *s,
+                });
             }
-            self.locks.acquire(tx.id, Resource::Object(*s), LockMode::X)?;
+            self.locks
+                .acquire(tx.id, Resource::Object(*s), LockMode::X)?;
         }
-        let parent = self.store.read().object(obj)?.owner.as_ref().map(|o| o.parent);
+        let parent = self
+            .store
+            .read()
+            .object(obj)?
+            .owner
+            .as_ref()
+            .map(|o| o.parent);
         let rec = self.store.write().delete_recorded(obj)?;
-        self.push_undo(tx, UndoOp::DeletedTree { rec: Box::new(rec), parent });
+        self.push_undo(
+            tx,
+            UndoOp::DeletedTree {
+                rec: Box::new(rec),
+                parent,
+            },
+        );
         Ok(())
     }
 
@@ -360,13 +433,21 @@ impl Database {
         self.acquire_capped(
             tx,
             Resource::Item(
-                snapshot.inheritor().ok_or(CoreError::NoSuchObject(rel_obj)).map_err(TxnError::Core)?,
+                snapshot
+                    .inheritor()
+                    .ok_or(CoreError::NoSuchObject(rel_obj))
+                    .map_err(TxnError::Core)?,
                 format!("@{}", snapshot.type_name),
             ),
             LockMode::X,
         )?;
         self.store.write().unbind(rel_obj)?;
-        self.push_undo(tx, UndoOp::Unbound { rel: Box::new(snapshot) });
+        self.push_undo(
+            tx,
+            UndoOp::Unbound {
+                rel: Box::new(snapshot),
+            },
+        );
         Ok(())
     }
 
@@ -494,10 +575,7 @@ impl Database {
     /// subobjects, the owning complex objects whose constraints may span
     /// them — then commit; on violation the transaction is aborted and the
     /// violations returned.
-    pub fn commit_checked(
-        &self,
-        tx: TxnHandle,
-    ) -> Result<(), Vec<ccdb_core::store::Violation>> {
+    pub fn commit_checked(&self, tx: TxnHandle) -> Result<(), Vec<ccdb_core::store::Violation>> {
         let mut to_check = self.write_set(&tx);
         {
             let store = self.store.read();
@@ -505,8 +583,10 @@ impl Database {
             let mut extra = Vec::new();
             for s in &to_check {
                 let mut cur = *s;
-                while let Some(owner) =
-                    store.object(cur).ok().and_then(|o| o.owner.as_ref().map(|w| w.parent))
+                while let Some(owner) = store
+                    .object(cur)
+                    .ok()
+                    .and_then(|o| o.owner.as_ref().map(|w| w.parent))
                 {
                     extra.push(owner);
                     cur = owner;

@@ -26,7 +26,10 @@ fn catalog() -> Catalog {
             AttrDef::new("Length", Domain::Int),   // permeable
             AttrDef::new("Internal", Domain::Int), // NOT permeable
         ],
-        subclasses: vec![SubclassSpec { name: "Pins".into(), element_type: "Pin".into() }],
+        subclasses: vec![SubclassSpec {
+            name: "Pins".into(),
+            element_type: "Pin".into(),
+        }],
         ..Default::default()
     })
     .unwrap();
@@ -58,10 +61,16 @@ fn quick_db() -> Database {
 fn bound_pair(db: &Database) -> (Surrogate, Surrogate) {
     db.with_store_mut(|st| {
         let i = st
-            .create_object("If", vec![("Length", Value::Int(5)), ("Internal", Value::Int(1))])
+            .create_object(
+                "If",
+                vec![("Length", Value::Int(5)), ("Internal", Value::Int(1))],
+            )
             .unwrap();
-        st.create_subobject(i, "Pins", vec![("Id", Value::Int(1))]).unwrap();
-        let imp = st.create_object("Impl", vec![("Cost", Value::Int(3))]).unwrap();
+        st.create_subobject(i, "Pins", vec![("Id", Value::Int(1))])
+            .unwrap();
+        let imp = st
+            .create_object("Impl", vec![("Cost", Value::Int(3))])
+            .unwrap();
         st.bind("AllOf_If", i, imp, vec![]).unwrap();
         (i, imp)
     })
@@ -75,7 +84,10 @@ fn read_write_commit_cycle() {
     assert_eq!(db.read_attr(&tx, i, "Length").unwrap(), Value::Int(5));
     db.write_attr(&tx, i, "Length", Value::Int(6)).unwrap();
     db.commit(tx);
-    assert_eq!(db.with_store(|st| st.attr(i, "Length").unwrap()), Value::Int(6));
+    assert_eq!(
+        db.with_store(|st| st.attr(i, "Length").unwrap()),
+        Value::Int(6)
+    );
 }
 
 #[test]
@@ -84,9 +96,14 @@ fn abort_undoes_writes_and_creates() {
     let (i, _) = bound_pair(&db);
     let tx = db.begin("alice");
     db.write_attr(&tx, i, "Length", Value::Int(99)).unwrap();
-    let fresh = db.create_object(&tx, "If", vec![("Length", Value::Int(1))]).unwrap();
+    let fresh = db
+        .create_object(&tx, "If", vec![("Length", Value::Int(1))])
+        .unwrap();
     db.abort(tx);
-    assert_eq!(db.with_store(|st| st.attr(i, "Length").unwrap()), Value::Int(5));
+    assert_eq!(
+        db.with_store(|st| st.attr(i, "Length").unwrap()),
+        Value::Int(5)
+    );
     assert!(db.with_store(|st| st.object(fresh).is_err()));
 }
 
@@ -98,16 +115,28 @@ fn abort_undoes_bind_and_unbind() {
     let rel = db.with_store(|st| st.binding_of(imp, "AllOf_If").unwrap());
     let tx = db.begin("alice");
     db.unbind(&tx, rel).unwrap();
-    assert_eq!(db.with_store(|st| st.attr(imp, "Length").unwrap()), Value::Missing);
+    assert_eq!(
+        db.with_store(|st| st.attr(imp, "Length").unwrap()),
+        Value::Missing
+    );
     db.abort(tx);
-    assert_eq!(db.with_store(|st| st.attr(imp, "Length").unwrap()), Value::Int(5));
+    assert_eq!(
+        db.with_store(|st| st.attr(imp, "Length").unwrap()),
+        Value::Int(5)
+    );
     // Bind a second implementation inside a txn, abort → gone.
     let imp2 = db.with_store_mut(|st| st.create_object("Impl", vec![]).unwrap());
     let tx = db.begin("alice");
     db.bind(&tx, "AllOf_If", i, imp2).unwrap();
-    assert_eq!(db.with_store(|st| st.attr(imp2, "Length").unwrap()), Value::Int(5));
+    assert_eq!(
+        db.with_store(|st| st.attr(imp2, "Length").unwrap()),
+        Value::Int(5)
+    );
     db.abort(tx);
-    assert_eq!(db.with_store(|st| st.attr(imp2, "Length").unwrap()), Value::Missing);
+    assert_eq!(
+        db.with_store(|st| st.attr(imp2, "Length").unwrap()),
+        Value::Missing
+    );
 }
 
 #[test]
@@ -119,13 +148,16 @@ fn lock_inheritance_read_locks_the_permeable_item() {
     assert_eq!(db.read_attr(&reader, imp, "Length").unwrap(), Value::Int(5));
     // A writer on the transmitter's permeable item blocks…
     let writer = db.begin("writer");
-    let err = db.write_attr(&writer, i, "Length", Value::Int(7)).unwrap_err();
+    let err = db
+        .write_attr(&writer, i, "Length", Value::Int(7))
+        .unwrap_err();
     assert!(matches!(err, TxnError::Lock(_)), "{err}");
     db.abort(writer);
     // …but a writer on the transmitter's NON-permeable item does not —
     // this is the point of item-granular lock inheritance.
     let writer2 = db.begin("writer2");
-    db.write_attr(&writer2, i, "Internal", Value::Int(8)).unwrap();
+    db.write_attr(&writer2, i, "Internal", Value::Int(8))
+        .unwrap();
     db.commit(writer2);
     db.commit(reader);
 }
@@ -153,10 +185,13 @@ fn expansion_read_locks_footprint() {
     assert_eq!(expanded.type_name, "Impl");
     // The transmitter is S-locked whole: updates elsewhere block.
     let writer = db.begin("bob");
-    let err = db.write_attr(&writer, i, "Internal", Value::Int(9)).unwrap_err();
+    let err = db
+        .write_attr(&writer, i, "Internal", Value::Int(9))
+        .unwrap_err();
     assert!(matches!(err, TxnError::Lock(_)));
     db.commit(tx);
-    db.write_attr(&writer, i, "Internal", Value::Int(9)).unwrap();
+    db.write_attr(&writer, i, "Internal", Value::Int(9))
+        .unwrap();
     db.commit(writer);
 }
 
@@ -200,7 +235,9 @@ fn concurrent_writers_on_different_implementations() {
     let imps: Vec<Surrogate> = (0..4)
         .map(|_| {
             db.with_store_mut(|st| {
-                let imp = st.create_object("Impl", vec![("Cost", Value::Int(0))]).unwrap();
+                let imp = st
+                    .create_object("Impl", vec![("Cost", Value::Int(0))])
+                    .unwrap();
                 st.bind("AllOf_If", i, imp, vec![]).unwrap();
                 imp
             })
@@ -222,7 +259,10 @@ fn concurrent_writers_on_different_implementations() {
         h.join().unwrap();
     }
     for imp in imps {
-        assert_eq!(db.with_store(|st| st.attr(imp, "Cost").unwrap()), Value::Int(49));
+        assert_eq!(
+            db.with_store(|st| st.attr(imp, "Cost").unwrap()),
+            Value::Int(49)
+        );
     }
 }
 
@@ -231,11 +271,18 @@ fn create_subobject_under_txn() {
     let db = quick_db();
     let (i, _) = bound_pair(&db);
     let tx = db.begin("alice");
-    let pin = db.create_subobject(&tx, i, "Pins", vec![("Id", Value::Int(2))]).unwrap();
+    let pin = db
+        .create_subobject(&tx, i, "Pins", vec![("Id", Value::Int(2))])
+        .unwrap();
     db.abort(tx);
-    assert!(db.with_store(|st| st.object(pin).is_err()), "aborted create rolled back");
+    assert!(
+        db.with_store(|st| st.object(pin).is_err()),
+        "aborted create rolled back"
+    );
     let tx = db.begin("alice");
-    let pin = db.create_subobject(&tx, i, "Pins", vec![("Id", Value::Int(2))]).unwrap();
+    let pin = db
+        .create_subobject(&tx, i, "Pins", vec![("Id", Value::Int(2))])
+        .unwrap();
     db.commit(tx);
     assert!(db.with_store(|st| st.object(pin).is_ok()));
 }
@@ -272,13 +319,19 @@ fn commit_checked_rejects_constraint_violations() {
     })
     .unwrap();
     let db = Database::new(ObjectStore::new(c).unwrap());
-    let part = db.with_store_mut(|st| st.create_object("Part", vec![("Length", Value::Int(10))]).unwrap());
+    let part = db.with_store_mut(|st| {
+        st.create_object("Part", vec![("Length", Value::Int(10))])
+            .unwrap()
+    });
 
     // A valid write commits.
     let tx = db.begin("alice");
     db.write_attr(&tx, part, "Length", Value::Int(50)).unwrap();
     db.commit_checked(tx).unwrap();
-    assert_eq!(db.with_store(|st| st.attr(part, "Length").unwrap()), Value::Int(50));
+    assert_eq!(
+        db.with_store(|st| st.attr(part, "Length").unwrap()),
+        Value::Int(50)
+    );
 
     // An invalid write is rejected AND rolled back.
     let tx = db.begin("alice");
@@ -328,14 +381,20 @@ fn commit_checked_walks_owner_chain() {
     let parent = db.with_store_mut(|st| st.create_object("Parent", vec![]).unwrap());
 
     let tx = db.begin("alice");
-    db.create_subobject(&tx, parent, "Children", vec![]).unwrap();
+    db.create_subobject(&tx, parent, "Children", vec![])
+        .unwrap();
     db.commit_checked(tx).unwrap();
 
     let tx = db.begin("alice");
-    let second = db.create_subobject(&tx, parent, "Children", vec![]).unwrap();
+    let second = db
+        .create_subobject(&tx, parent, "Children", vec![])
+        .unwrap();
     let violations = db.commit_checked(tx).unwrap_err();
     assert_eq!(violations[0].constraint, "at most one child");
-    assert!(db.with_store(|st| st.object(second).is_err()), "second child rolled back");
+    assert!(
+        db.with_store(|st| st.object(second).is_err()),
+        "second child rolled back"
+    );
     assert_eq!(
         db.with_store(|st| st.subclass_members(parent, "Children").unwrap().len()),
         1
@@ -377,7 +436,10 @@ fn transactional_delete_commits_and_aborts() {
     assert!(db.with_store(|st| st.object(imp).is_err()));
     db.abort(tx);
     assert!(db.with_store(|st| st.object(imp).is_ok()));
-    assert_eq!(db.with_store(|st| st.attr(imp, "Length").unwrap()), Value::Int(5));
+    assert_eq!(
+        db.with_store(|st| st.attr(imp, "Length").unwrap()),
+        Value::Int(5)
+    );
     // Commit: gone for good; the interface no longer transmits.
     let tx = db.begin("alice");
     db.delete(&tx, imp).unwrap();
@@ -393,7 +455,10 @@ fn transactional_delete_respects_transmitter_protection_and_acl() {
     // The interface still transmits → delete refused, nothing locked burns.
     let tx = db.begin("alice");
     let err = db.delete(&tx, i).unwrap_err();
-    assert!(matches!(err, TxnError::Core(CoreError::TransmitterInUse { .. })));
+    assert!(matches!(
+        err,
+        TxnError::Core(CoreError::TransmitterInUse { .. })
+    ));
     db.abort(tx);
     // A read-only user cannot delete.
     db.with_access_mut(|ac| ac.grant_object("eve", i, Right::Read));
@@ -432,7 +497,10 @@ fn transactional_relationship_creation() {
     .unwrap();
     c.register_object_type(ObjectTypeDef {
         name: "Board".into(),
-        subclasses: vec![SubclassSpec { name: "Pins".into(), element_type: "Pin2".into() }],
+        subclasses: vec![SubclassSpec {
+            name: "Pins".into(),
+            element_type: "Pin2".into(),
+        }],
         subrels: vec![ccdb_core::schema::SubrelSpec {
             name: "Wires".into(),
             rel_type: "Wire2".into(),
@@ -453,8 +521,12 @@ fn transactional_relationship_creation() {
     let db = Database::new(ObjectStore::new(c).unwrap());
     let (board, p1, p2) = db.with_store_mut(|st| {
         let b = st.create_object("Board", vec![]).unwrap();
-        let p1 = st.create_subobject(b, "Pins", vec![("Id", Value::Int(1))]).unwrap();
-        let p2 = st.create_subobject(b, "Pins", vec![("Id", Value::Int(2))]).unwrap();
+        let p1 = st
+            .create_subobject(b, "Pins", vec![("Id", Value::Int(1))])
+            .unwrap();
+        let p2 = st
+            .create_subobject(b, "Pins", vec![("Id", Value::Int(2))])
+            .unwrap();
         (b, p1, p2)
     });
     // Abort removes both the top-level rel and the subrel member.
@@ -463,7 +535,13 @@ fn transactional_relationship_creation() {
         .create_rel(&tx, "Wire2", vec![("A", vec![p1]), ("B", vec![p2])], vec![])
         .unwrap();
     let wire = db
-        .create_subrel(&tx, board, "Wires", vec![("A", vec![p1]), ("B", vec![p2])], vec![])
+        .create_subrel(
+            &tx,
+            board,
+            "Wires",
+            vec![("A", vec![p1]), ("B", vec![p2])],
+            vec![],
+        )
         .unwrap();
     db.abort(tx);
     db.with_store(|st| {
@@ -474,7 +552,13 @@ fn transactional_relationship_creation() {
     // Commit keeps them; participants hold S locks during the txn.
     let tx = db.begin("alice");
     let wire = db
-        .create_subrel(&tx, board, "Wires", vec![("A", vec![p1]), ("B", vec![p2])], vec![])
+        .create_subrel(
+            &tx,
+            board,
+            "Wires",
+            vec![("A", vec![p1]), ("B", vec![p2])],
+            vec![],
+        )
         .unwrap();
     db.commit(tx);
     db.with_store(|st| {

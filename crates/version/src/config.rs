@@ -69,11 +69,7 @@ pub struct Configuration {
 impl Configuration {
     /// Capture the bindings of every object in `root`'s expansion footprint
     /// (the component closure — subobjects and transmitters, transitively).
-    pub fn capture(
-        name: &str,
-        store: &ObjectStore,
-        root: Surrogate,
-    ) -> Result<Self, CoreError> {
+    pub fn capture(name: &str, store: &ObjectStore, root: Surrogate) -> Result<Self, CoreError> {
         let mut entries = Vec::new();
         for s in expansion_footprint(store, root)? {
             let o = store.object(s)?;
@@ -87,10 +83,12 @@ impl Configuration {
                 }
             }
         }
-        entries.sort_by(|a, b| {
-            (a.inheritor, &a.rel_type).cmp(&(b.inheritor, &b.rel_type))
-        });
-        Ok(Configuration { name: name.to_string(), root, entries })
+        entries.sort_by(|a, b| (a.inheritor, &a.rel_type).cmp(&(b.inheritor, &b.rel_type)));
+        Ok(Configuration {
+            name: name.to_string(),
+            root,
+            entries,
+        })
     }
 
     /// Look up the recorded transmitter for a slot.
@@ -191,18 +189,26 @@ mod tests {
         .unwrap();
         c.register_object_type(ObjectTypeDef {
             name: "Assembly".into(),
-            subclasses: vec![SubclassSpec { name: "Slots".into(), element_type: "Slot".into() }],
+            subclasses: vec![SubclassSpec {
+                name: "Slots".into(),
+                element_type: "Slot".into(),
+            }],
             ..Default::default()
         })
         .unwrap();
         let mut st = ObjectStore::new(c).unwrap();
         let lib: Vec<Surrogate> = (0..2)
-            .map(|k| st.create_object("If", vec![("Length", Value::Int(10 + k))]).unwrap())
+            .map(|k| {
+                st.create_object("If", vec![("Length", Value::Int(10 + k))])
+                    .unwrap()
+            })
             .collect();
         let asm = st.create_object("Assembly", vec![]).unwrap();
         let slots: Vec<Surrogate> = (0..2)
             .map(|p| {
-                let s = st.create_subobject(asm, "Slots", vec![("Pos", Value::Int(p))]).unwrap();
+                let s = st
+                    .create_subobject(asm, "Slots", vec![("Pos", Value::Int(p))])
+                    .unwrap();
                 st.bind("AllOf_If", lib[0], s, vec![]).unwrap();
                 s
             })
@@ -258,7 +264,9 @@ mod tests {
     fn diff_sees_added_and_removed_slots() {
         let (mut st, asm, _slots, lib) = setup();
         let before = Configuration::capture("b", &st, asm).unwrap();
-        let extra = st.create_subobject(asm, "Slots", vec![("Pos", Value::Int(9))]).unwrap();
+        let extra = st
+            .create_subobject(asm, "Slots", vec![("Pos", Value::Int(9))])
+            .unwrap();
         st.bind("AllOf_If", lib[1], extra, vec![]).unwrap();
         let after = Configuration::capture("a", &st, asm).unwrap();
         let deltas = before.diff(&after);
@@ -284,7 +292,11 @@ mod tests {
         }
         st.delete(t).unwrap();
         let report = cfg.apply(&mut st);
-        assert_eq!(report.failed.len(), 2, "both slots referenced the deleted interface");
+        assert_eq!(
+            report.failed.len(),
+            2,
+            "both slots referenced the deleted interface"
+        );
     }
 
     #[test]

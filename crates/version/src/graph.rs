@@ -134,12 +134,17 @@ impl VersionSet {
 
     /// The newest version by creation time.
     pub fn latest(&self) -> Option<VersionId> {
-        self.versions.iter().max_by_key(|v| v.created_at).map(|v| v.id)
+        self.versions
+            .iter()
+            .max_by_key(|v| v.created_at)
+            .map(|v| v.id)
     }
 
     /// Alternatives of `id`: other versions sharing at least one parent.
     pub fn alternatives(&self, id: VersionId) -> Vec<VersionId> {
-        let Some(me) = self.entry(id) else { return vec![] };
+        let Some(me) = self.entry(id) else {
+            return vec![];
+        };
         self.versions
             .iter()
             .filter(|v| v.id != id && v.parents.iter().any(|p| me.parents.contains(p)))
@@ -191,11 +196,15 @@ impl VersionManager {
 
     /// Set lookup.
     pub fn set(&self, name: &str) -> Result<&VersionSet, VersionError> {
-        self.sets.get(name).ok_or_else(|| VersionError::UnknownSet(name.into()))
+        self.sets
+            .get(name)
+            .ok_or_else(|| VersionError::UnknownSet(name.into()))
     }
 
     fn set_mut(&mut self, name: &str) -> Result<&mut VersionSet, VersionError> {
-        self.sets.get_mut(name).ok_or_else(|| VersionError::UnknownSet(name.into()))
+        self.sets
+            .get_mut(name)
+            .ok_or_else(|| VersionError::UnknownSet(name.into()))
     }
 
     /// Names of all sets (sorted).
@@ -250,7 +259,10 @@ impl VersionManager {
             .find(|v| v.id == id)
             .ok_or_else(|| VersionError::UnknownVersion(set_name.into(), id))?;
         if !entry.status.can_transition_to(status) {
-            return Err(VersionError::BadTransition { from: entry.status, to: status });
+            return Err(VersionError::BadTransition {
+                from: entry.status,
+                to: status,
+            });
         }
         entry.status = status;
         Ok(())
@@ -287,7 +299,11 @@ mod tests {
         assert_eq!(set.history(v[2]), v);
         assert_eq!(set.latest(), Some(v[2]));
         assert_eq!(set.leaves(), vec![v[2]]);
-        assert_eq!(set.default_version(), Some(v[0]), "first version is default");
+        assert_eq!(
+            set.default_version(),
+            Some(v[0]),
+            "first version is default"
+        );
     }
 
     #[test]
@@ -306,7 +322,9 @@ mod tests {
     fn merge_has_two_parents() {
         let (mut m, v) = mgr_with_chain();
         let alt = m.add_version("NAND-Gate", Surrogate(4), &[v[1]]).unwrap();
-        let merged = m.add_version("NAND-Gate", Surrogate(5), &[v[2], alt]).unwrap();
+        let merged = m
+            .add_version("NAND-Gate", Surrogate(5), &[v[2], alt])
+            .unwrap();
         let set = m.set("NAND-Gate").unwrap();
         let hist = set.history(merged);
         assert!(hist.contains(&v[2]) && hist.contains(&alt) && hist.contains(&v[0]));
@@ -316,12 +334,19 @@ mod tests {
     #[test]
     fn status_transitions_forward_only() {
         let (mut m, v) = mgr_with_chain();
-        m.set_status("NAND-Gate", v[0], VersionStatus::Tested).unwrap();
-        m.set_status("NAND-Gate", v[0], VersionStatus::Released).unwrap();
-        let err = m.set_status("NAND-Gate", v[0], VersionStatus::InDesign).unwrap_err();
+        m.set_status("NAND-Gate", v[0], VersionStatus::Tested)
+            .unwrap();
+        m.set_status("NAND-Gate", v[0], VersionStatus::Released)
+            .unwrap();
+        let err = m
+            .set_status("NAND-Gate", v[0], VersionStatus::InDesign)
+            .unwrap_err();
         assert!(matches!(err, VersionError::BadTransition { .. }));
-        m.set_status("NAND-Gate", v[0], VersionStatus::Frozen).unwrap();
-        let err = m.set_status("NAND-Gate", v[0], VersionStatus::Frozen).unwrap_err();
+        m.set_status("NAND-Gate", v[0], VersionStatus::Frozen)
+            .unwrap();
+        let err = m
+            .set_status("NAND-Gate", v[0], VersionStatus::Frozen)
+            .unwrap_err();
         assert!(matches!(err, VersionError::BadTransition { .. }));
     }
 
@@ -329,7 +354,10 @@ mod tests {
     fn unknown_references_rejected() {
         let (mut m, _) = mgr_with_chain();
         assert!(matches!(m.set("Ghost"), Err(VersionError::UnknownSet(_))));
-        assert!(matches!(m.create_set("NAND-Gate"), Err(VersionError::DuplicateSet(_))));
+        assert!(matches!(
+            m.create_set("NAND-Gate"),
+            Err(VersionError::DuplicateSet(_))
+        ));
         assert!(matches!(
             m.add_version("NAND-Gate", Surrogate(9), &[VersionId(999)]),
             Err(VersionError::UnknownParent(_))
@@ -447,7 +475,6 @@ mod property {
     }
 }
 
-
 #[cfg(test)]
 mod serde_tests {
     use super::*;
@@ -463,7 +490,10 @@ mod serde_tests {
         let json = serde_json::to_string(&m).unwrap();
         let back: VersionManager = serde_json::from_str(&json).unwrap();
         assert_eq!(back.set("Gate").unwrap().default_version(), Some(v2));
-        assert_eq!(back.set("Gate").unwrap().entry(v1).unwrap().status, VersionStatus::Released);
+        assert_eq!(
+            back.set("Gate").unwrap().entry(v1).unwrap().status,
+            VersionStatus::Released
+        );
         // Id issuing continues correctly after reload.
         let mut back = back;
         let v3 = back.add_version("Gate", Surrogate(3), &[v2]).unwrap();

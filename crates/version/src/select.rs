@@ -54,7 +54,8 @@ impl EnvironmentRegistry {
 
     /// Pin `set` to `version` within environment `env`.
     pub fn pin(&mut self, env: &str, set: &str, version: VersionId) {
-        self.pins.insert((env.to_string(), set.to_string()), version);
+        self.pins
+            .insert((env.to_string(), set.to_string()), version);
     }
 
     /// The pinned version, if any.
@@ -170,9 +171,10 @@ impl GenericBindings {
                     match target {
                         None => RebindOutcome::NoMatch,
                         Some(to) => {
-                            let current = store.binding_of(r.inheritor, &r.rel_type).and_then(
-                                |rel| store.object(rel).ok().and_then(|o| o.transmitter()),
-                            );
+                            let current =
+                                store.binding_of(r.inheritor, &r.rel_type).and_then(|rel| {
+                                    store.object(rel).ok().and_then(|o| o.transmitter())
+                                });
                             if current == Some(to) {
                                 RebindOutcome::Unchanged
                             } else {
@@ -233,7 +235,9 @@ mod tests {
         let mut ids = Vec::new();
         let mut prev: Vec<VersionId> = vec![];
         for len in [10, 20, 30] {
-            let o = st.create_object("If", vec![("Length", Value::Int(len))]).unwrap();
+            let o = st
+                .create_object("If", vec![("Length", Value::Int(len))])
+                .unwrap();
             let id = mgr.add_version("Gate", o, &prev).unwrap();
             prev = vec![id];
             ids.push(id);
@@ -246,20 +250,29 @@ mod tests {
     fn default_and_latest_selection() {
         let (st, mgr, ids, _) = setup();
         let envs = EnvironmentRegistry::new();
-        assert_eq!(resolve(&mgr, &st, &envs, "Gate", &Selector::Default).unwrap(), ids[0]);
-        assert_eq!(resolve(&mgr, &st, &envs, "Gate", &Selector::Latest).unwrap(), ids[2]);
+        assert_eq!(
+            resolve(&mgr, &st, &envs, "Gate", &Selector::Default).unwrap(),
+            ids[0]
+        );
+        assert_eq!(
+            resolve(&mgr, &st, &envs, "Gate", &Selector::Latest).unwrap(),
+            ids[2]
+        );
     }
 
     #[test]
     fn status_filtered_selection() {
         let (st, mut mgr, ids, _) = setup();
         let envs = EnvironmentRegistry::new();
-        mgr.set_status("Gate", ids[0], VersionStatus::Released).unwrap();
-        mgr.set_status("Gate", ids[1], VersionStatus::Tested).unwrap();
+        mgr.set_status("Gate", ids[0], VersionStatus::Released)
+            .unwrap();
+        mgr.set_status("Gate", ids[1], VersionStatus::Tested)
+            .unwrap();
         let sel = Selector::LatestWithStatus(VersionStatus::Released);
         assert_eq!(resolve(&mgr, &st, &envs, "Gate", &sel).unwrap(), ids[0]);
         // Release a newer one; the selection moves.
-        mgr.set_status("Gate", ids[1], VersionStatus::Released).unwrap();
+        mgr.set_status("Gate", ids[1], VersionStatus::Released)
+            .unwrap();
         assert_eq!(resolve(&mgr, &st, &envs, "Gate", &sel).unwrap(), ids[1]);
     }
 
@@ -295,11 +308,24 @@ mod tests {
         let mut envs = EnvironmentRegistry::new();
         envs.pin("release-1", "Gate", ids[1]);
         assert_eq!(
-            resolve(&mgr, &st, &envs, "Gate", &Selector::Environment("release-1".into()))
-                .unwrap(),
+            resolve(
+                &mgr,
+                &st,
+                &envs,
+                "Gate",
+                &Selector::Environment("release-1".into())
+            )
+            .unwrap(),
             ids[1]
         );
-        assert!(resolve(&mgr, &st, &envs, "Gate", &Selector::Environment("other".into())).is_err());
+        assert!(resolve(
+            &mgr,
+            &st,
+            &envs,
+            "Gate",
+            &Selector::Environment("other".into())
+        )
+        .is_err());
     }
 
     #[test]
@@ -315,17 +341,25 @@ mod tests {
         });
         // First refresh: binds to v3 (Length 30).
         let report = gb.refresh(&mut st, &mgr, &envs);
-        assert!(matches!(report[0].1, RebindOutcome::Rebound { from: None, .. }));
+        assert!(matches!(
+            report[0].1,
+            RebindOutcome::Rebound { from: None, .. }
+        ));
         assert_eq!(st.attr(imp, "Length").unwrap(), Value::Int(30));
         // Second refresh: nothing to do.
         let report = gb.refresh(&mut st, &mgr, &envs);
         assert_eq!(report[0].1, RebindOutcome::Unchanged);
         // A new version appears; refresh rebinds and the new value is live.
-        let v4obj = st.create_object("If", vec![("Length", Value::Int(40))]).unwrap();
+        let v4obj = st
+            .create_object("If", vec![("Length", Value::Int(40))])
+            .unwrap();
         let latest = mgr.set("Gate").unwrap().latest().unwrap();
         mgr.add_version("Gate", v4obj, &[latest]).unwrap();
         let report = gb.refresh(&mut st, &mgr, &envs);
-        assert!(matches!(report[0].1, RebindOutcome::Rebound { from: Some(_), .. }));
+        assert!(matches!(
+            report[0].1,
+            RebindOutcome::Rebound { from: Some(_), .. }
+        ));
         assert_eq!(st.attr(imp, "Length").unwrap(), Value::Int(40));
     }
 

@@ -19,7 +19,10 @@ fn make_pin(st: &mut ObjectStore, owner: Surrogate, io: &str, x: i64) -> Surroga
     st.create_subobject(
         owner,
         "Pins",
-        vec![("InOut", Value::Enum(io.into())), ("PinLocation", Value::Point { x, y: 0 })],
+        vec![
+            ("InOut", Value::Enum(io.into())),
+            ("PinLocation", Value::Point { x, y: 0 }),
+        ],
     )
     .unwrap()
 }
@@ -38,11 +41,17 @@ fn main() {
     make_pin(&mut st, nand_pins, "OUT", 2);
 
     let nand_if = st
-        .create_object("GateInterface", vec![("Length", Value::Int(4)), ("Width", Value::Int(2))])
+        .create_object(
+            "GateInterface",
+            vec![("Length", Value::Int(4)), ("Width", Value::Int(2))],
+        )
         .unwrap();
-    st.bind("AllOf_GateInterface_I", nand_pins, nand_if, vec![]).unwrap();
-    println!("NAND interface inherits {} pins from the abstract level",
-             st.subclass_members(nand_if, "Pins").unwrap().len());
+    st.bind("AllOf_GateInterface_I", nand_pins, nand_if, vec![])
+        .unwrap();
+    println!(
+        "NAND interface inherits {} pins from the abstract level",
+        st.subclass_members(nand_if, "Pins").unwrap().len()
+    );
 
     // Two NAND implementations (realizations of the same interface).
     let implementation = |st: &mut ObjectStore, tb: i64| {
@@ -50,7 +59,10 @@ fn main() {
             .create_object(
                 "GateImplementation",
                 vec![
-                    ("Function", Value::Matrix(vec![vec![Value::Bool(true), Value::Bool(false)]])),
+                    (
+                        "Function",
+                        Value::Matrix(vec![vec![Value::Bool(true), Value::Bool(false)]]),
+                    ),
                     ("TimeBehavior", Value::Int(tb)),
                 ],
             )
@@ -77,10 +89,17 @@ fn main() {
             .create_subobject(
                 circuit,
                 "SubGates",
-                vec![("GateLocation", Value::Point { x: pos.0, y: pos.1 + i })],
+                vec![(
+                    "GateLocation",
+                    Value::Point {
+                        x: pos.0,
+                        y: pos.1 + i,
+                    },
+                )],
             )
             .unwrap();
-        st.bind("AllOf_GateInterface", nand_if, sub, vec![]).unwrap();
+        st.bind("AllOf_GateInterface", nand_if, sub, vec![])
+            .unwrap();
     }
     println!("\nComposite circuit expansion:");
     println!("{}", expand(&st, circuit, 2).unwrap().render());
@@ -96,7 +115,10 @@ fn main() {
     assert!(timing_eff.attr("TimeBehavior").is_some());
     println!(
         "SomeOf_Gate permeability: {:?}",
-        st.catalog().inher_rel_type("SomeOf_Gate").unwrap().inheriting
+        st.catalog()
+            .inher_rel_type("SomeOf_Gate")
+            .unwrap()
+            .inheriting
     );
 
     // ---------------------------------------------------------------
@@ -110,20 +132,35 @@ fn main() {
     vm.set_status("NAND", v1, VersionStatus::Released).unwrap();
     println!(
         "\nNAND versions: {:?} (default {:?}, latest {:?})",
-        vm.set("NAND").unwrap().entries().iter().map(|e| e.id).collect::<Vec<_>>(),
+        vm.set("NAND")
+            .unwrap()
+            .entries()
+            .iter()
+            .map(|e| e.id)
+            .collect::<Vec<_>>(),
         vm.set("NAND").unwrap().default_version(),
         vm.set("NAND").unwrap().latest(),
     );
     // Selection strategies at work:
     let envs = EnvironmentRegistry::new();
-    let released =
-        ccdb_version::resolve(&vm, &st, &envs, "NAND", &Selector::LatestWithStatus(VersionStatus::Released))
-            .unwrap();
+    let released = ccdb_version::resolve(
+        &vm,
+        &st,
+        &envs,
+        "NAND",
+        &Selector::LatestWithStatus(VersionStatus::Released),
+    )
+    .unwrap();
     println!("top-down 'latest released' selects {released}");
     vm.set_status("NAND", v2, VersionStatus::Released).unwrap();
-    let released =
-        ccdb_version::resolve(&vm, &st, &envs, "NAND", &Selector::LatestWithStatus(VersionStatus::Released))
-            .unwrap();
+    let released = ccdb_version::resolve(
+        &vm,
+        &st,
+        &envs,
+        "NAND",
+        &Selector::LatestWithStatus(VersionStatus::Released),
+    )
+    .unwrap();
     println!("after releasing v2 it selects       {released}");
 
     // Generic references auto-rebinding is exercised in version_workflow.rs;
@@ -139,7 +176,10 @@ fn main() {
 
     // Constraint check across the whole design.
     let violations = st.check_all().unwrap();
-    println!("\nconstraint violations in the design: {}", violations.len());
+    println!(
+        "\nconstraint violations in the design: {}",
+        violations.len()
+    );
     assert!(violations.is_empty());
     println!("chip_design OK");
 }

@@ -47,9 +47,11 @@ fn main() {
 
     // A small girder library.
     let mut girders = Vec::new();
-    for (len, h, w, grade) in
-        [(300, 20, 10, "S235"), (500, 30, 12, "S355"), (800, 40, 20, "S355")]
-    {
+    for (len, h, w, grade) in [
+        (300, 20, 10, "S235"),
+        (500, 30, 12, "S355"),
+        (800, 40, 20, "S355"),
+    ] {
         girders.push(
             store
                 .create_object(
@@ -65,15 +67,23 @@ fn main() {
         );
     }
     // A use site bound to the middle girder, with a derived margin.
-    let use_site = store.create_object("GirderUse", vec![("SafetyMargin", Value::Int(50))]).unwrap();
-    store.bind("AllOf_GirderIf", girders[1], use_site, vec![]).unwrap();
+    let use_site = store
+        .create_object("GirderUse", vec![("SafetyMargin", Value::Int(50))])
+        .unwrap();
+    store
+        .bind("AllOf_GirderIf", girders[1], use_site, vec![])
+        .unwrap();
 
     // -------------------------------------------------------------
     // Textual queries in paper syntax (top-down selection, §6).
     // -------------------------------------------------------------
     let q = compile_expr("Grade = S355 and Length >= 500", store.catalog()).unwrap();
     let hits = store.select("GirderInterface", &q).unwrap();
-    println!("query `Grade = S355 and Length >= 500` → {} girder(s): {:?}", hits.len(), hits);
+    println!(
+        "query `Grade = S355 and Length >= 500` → {} girder(s): {:?}",
+        hits.len(),
+        hits
+    );
     assert_eq!(hits.len(), 2);
 
     // Queries see *inherited* data on use sites too.
@@ -97,7 +107,9 @@ fn main() {
         Ok(TriggerOutcome::Handled)
     });
 
-    store.set_attr(girders[1], "Length", Value::Int(620)).unwrap();
+    store
+        .set_attr(girders[1], "Length", Value::Int(620))
+        .unwrap();
     let report = triggers.process(&mut store).unwrap();
     println!(
         "girder updated: {} event(s), {} auto-adapted; SafetyMargin now = {}",
@@ -105,15 +117,24 @@ fn main() {
         report.handled,
         store.attr(use_site, "SafetyMargin").unwrap()
     );
-    assert_eq!(store.attr(use_site, "SafetyMargin").unwrap(), Value::Int(62));
+    assert_eq!(
+        store.attr(use_site, "SafetyMargin").unwrap(),
+        Value::Int(62)
+    );
     let rel = store.binding_of(use_site, "AllOf_GirderIf").unwrap();
-    assert!(!store.needs_adaptation(rel).unwrap(), "trigger cleared the flag");
+    assert!(
+        !store.needs_adaptation(rel).unwrap(),
+        "trigger cleared the flag"
+    );
 
     // The schema constraint still guards the library.
     let err = store.set_attr(girders[0], "Length", Value::Int(1_000_000));
     assert!(err.is_ok(), "writes are not blocked eagerly…");
     let violations = store.check_constraints(girders[0]).unwrap();
-    println!("…but check_constraints reports {} violation(s) for the oversized girder", violations.len());
+    println!(
+        "…but check_constraints reports {} violation(s) for the oversized girder",
+        violations.len()
+    );
     assert_eq!(violations.len(), 1);
     println!("design_rules OK");
 }

@@ -57,12 +57,20 @@ fn main() {
             .create_object(
                 &tx,
                 "Module",
-                vec![("Name", Value::Str("CPU".into())), ("Revision", Value::Int(1))],
+                vec![
+                    ("Name", Value::Str("CPU".into())),
+                    ("Revision", Value::Int(1)),
+                ],
             )
             .unwrap();
-        pdb.create_subobject(&tx, module, "Pads", vec![("Size", Value::Int(3))]).unwrap();
+        pdb.create_subobject(&tx, module, "Pads", vec![("Size", Value::Int(3))])
+            .unwrap();
         placement = pdb
-            .create_object(&tx, "Placement", vec![("Pos", Value::Point { x: 10, y: 20 })])
+            .create_object(
+                &tx,
+                "Placement",
+                vec![("Pos", Value::Point { x: 10, y: 20 })],
+            )
             .unwrap();
         pdb.bind(&tx, "AllOf_Module", module, placement).unwrap();
         pdb.commit(tx).unwrap();
@@ -70,8 +78,11 @@ fn main() {
 
         // A transaction that never commits: its effects must not survive.
         let tx = pdb.begin("alice");
-        doomed = pdb.create_object(&tx, "Module", vec![("Revision", Value::Int(666))]).unwrap();
-        pdb.write_attr(&tx, module, "Revision", Value::Int(999)).unwrap();
+        doomed = pdb
+            .create_object(&tx, "Module", vec![("Revision", Value::Int(666))])
+            .unwrap();
+        pdb.write_attr(&tx, module, "Revision", Value::Int(999))
+            .unwrap();
         // Crash before commit: drop everything.
     }
 
@@ -90,7 +101,13 @@ fn main() {
 
         // Transactional cascade delete: abort restores the module tree.
         let tx = pdb.begin("bob");
-        pdb.db().unbind(&tx, pdb.db().with_store(|st| st.binding_of(placement, "AllOf_Module").unwrap())).unwrap();
+        pdb.db()
+            .unbind(
+                &tx,
+                pdb.db()
+                    .with_store(|st| st.binding_of(placement, "AllOf_Module").unwrap()),
+            )
+            .unwrap();
         pdb.db().delete(&tx, module).unwrap();
         assert!(pdb.db().with_store(|st| st.object(module).is_err()));
         pdb.abort(tx);
@@ -99,7 +116,9 @@ fn main() {
 
         // Now delete for real and make it durable.
         let tx = pdb.begin("bob");
-        let rel = pdb.db().with_store(|st| st.binding_of(placement, "AllOf_Module").unwrap());
+        let rel = pdb
+            .db()
+            .with_store(|st| st.binding_of(placement, "AllOf_Module").unwrap());
         pdb.unbind(&tx, rel).unwrap();
         pdb.db().delete(&tx, module).unwrap();
         pdb.commit(tx).unwrap();

@@ -69,8 +69,12 @@ fn main() {
     let small = store
         .create_object("GateImplementation", vec![("TimeBehavior", Value::Int(9))])
         .unwrap();
-    let rel_fast = store.bind("AllOf_GateInterface", interface, fast, vec![]).unwrap();
-    store.bind("AllOf_GateInterface", interface, small, vec![]).unwrap();
+    let rel_fast = store
+        .bind("AllOf_GateInterface", interface, fast, vec![])
+        .unwrap();
+    store
+        .bind("AllOf_GateInterface", interface, small, vec![])
+        .unwrap();
 
     // Value inheritance: the implementations SEE the interface data.
     println!("fast.Length  = {}", store.attr(fast, "Length").unwrap());

@@ -22,7 +22,11 @@ fn main() {
     let girder_if = st
         .create_object(
             "GirderInterface",
-            vec![("Length", Value::Int(600)), ("Height", Value::Int(30)), ("Width", Value::Int(15))],
+            vec![
+                ("Length", Value::Int(600)),
+                ("Height", Value::Int(30)),
+                ("Width", Value::Int(15)),
+            ],
         )
         .unwrap();
     let g_bore = st
@@ -63,10 +67,16 @@ fn main() {
         )
         .unwrap();
     let bolt = st
-        .create_object("BoltType", vec![("Length", Value::Int(26)), ("Diameter", Value::Int(10))])
+        .create_object(
+            "BoltType",
+            vec![("Length", Value::Int(26)), ("Diameter", Value::Int(10))],
+        )
         .unwrap();
     let nut = st
-        .create_object("NutType", vec![("Length", Value::Int(6)), ("Diameter", Value::Int(10))])
+        .create_object(
+            "NutType",
+            vec![("Length", Value::Int(6)), ("Diameter", Value::Int(10))],
+        )
         .unwrap();
 
     // The girder interface itself carries a constraint (§5):
@@ -105,7 +115,10 @@ fn main() {
     let n = st.create_rel_subobject(screwing, "Nut", vec![]).unwrap();
     st.bind("AllOf_NutType", nut, n, vec![]).unwrap();
 
-    println!("Structure expansion:\n{}", expand(&st, structure, usize::MAX).unwrap().render());
+    println!(
+        "Structure expansion:\n{}",
+        expand(&st, structure, usize::MAX).unwrap().render()
+    );
 
     // ---------------------------------------------------------------
     // Constraints: all of §5's rules hold — one bolt & one nut per
@@ -121,7 +134,10 @@ fn main() {
     // fits; the constraint system catches it.
     st.set_attr(p_bore, "Length", Value::Int(20)).unwrap();
     let violations = st.check_all().unwrap();
-    println!("after lengthening the plate bore: {} violation(s):", violations.len());
+    println!(
+        "after lengthening the plate bore: {} violation(s):",
+        violations.len()
+    );
     for v in &violations {
         println!("  {} violates `{}`", v.object, v.constraint);
     }

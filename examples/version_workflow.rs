@@ -21,7 +21,10 @@ fn catalog() -> Catalog {
     let mut c = Catalog::new();
     c.register_object_type(ObjectTypeDef {
         name: "CellInterface".into(),
-        attributes: vec![AttrDef::new("Area", Domain::Int), AttrDef::new("Delay", Domain::Int)],
+        attributes: vec![
+            AttrDef::new("Area", Domain::Int),
+            AttrDef::new("Delay", Domain::Int),
+        ],
         ..Default::default()
     })
     .unwrap();
@@ -52,17 +55,22 @@ fn main() {
     let mut vm = VersionManager::new();
     vm.create_set("StdCell").unwrap();
     let cell_v1 = store
-        .create_object("CellInterface", vec![("Area", Value::Int(100)), ("Delay", Value::Int(9))])
+        .create_object(
+            "CellInterface",
+            vec![("Area", Value::Int(100)), ("Delay", Value::Int(9))],
+        )
         .unwrap();
     let v1 = vm.add_version("StdCell", cell_v1, &[]).unwrap();
-    vm.set_status("StdCell", v1, VersionStatus::Released).unwrap();
+    vm.set_status("StdCell", v1, VersionStatus::Released)
+        .unwrap();
 
     let part = store
         .create_object("ChipPart", vec![("Placement", Value::Point { x: 1, y: 2 })])
         .unwrap();
     store.bind("AllOf_Cell", cell_v1, part, vec![]).unwrap();
 
-    let db = Database::with_lock_manager(store, LockManager::with_timeout(Duration::from_millis(50)));
+    let db =
+        Database::with_lock_manager(store, LockManager::with_timeout(Duration::from_millis(50)));
 
     // ---------------------------------------------------------------
     // Lock inheritance: alice reads the part's inherited Area — this
@@ -74,7 +82,8 @@ fn main() {
     println!("alice reads part.Area = {area} (inherited; locks the permeable item)");
 
     let bob = db.begin("bob");
-    db.write_attr(&bob, cell_v1, "Delay", Value::Int(8)).unwrap();
+    db.write_attr(&bob, cell_v1, "Delay", Value::Int(8))
+        .unwrap();
     println!("bob updates cell.Delay concurrently: OK (not permeable)");
     match db.write_attr(&bob, cell_v1, "Area", Value::Int(120)) {
         Err(TxnError::Lock(e)) => println!("bob updates cell.Area: blocked ({e})"),
@@ -103,14 +112,17 @@ fn main() {
     // ---------------------------------------------------------------
     let stamps = StampRegistry::new();
     let cell_v2 = db.with_store_mut(|st| {
-        st.create_object("CellInterface", vec![("Area", Value::Int(90)), ("Delay", Value::Int(7))])
-            .unwrap()
+        st.create_object(
+            "CellInterface",
+            vec![("Area", Value::Int(90)), ("Delay", Value::Int(7))],
+        )
+        .unwrap()
     });
-    let mut session = db.with_store(|st| {
-        DesignTxn::checkout("dave", st, &stamps, &[cell_v2]).unwrap()
-    });
+    let mut session =
+        db.with_store(|st| DesignTxn::checkout("dave", st, &stamps, &[cell_v2]).unwrap());
     session.set_attr(cell_v2, "Area", Value::Int(85)).unwrap();
-    db.with_store_mut(|st| session.checkin(st, &stamps)).unwrap();
+    db.with_store_mut(|st| session.checkin(st, &stamps))
+        .unwrap();
     println!("dave's design session checked in: new cell Area = 85");
 
     // ---------------------------------------------------------------
@@ -118,7 +130,8 @@ fn main() {
     // latest released cell.
     // ---------------------------------------------------------------
     let v2 = vm.add_version("StdCell", cell_v2, &[v1]).unwrap();
-    vm.set_status("StdCell", v2, VersionStatus::Released).unwrap();
+    vm.set_status("StdCell", v2, VersionStatus::Released)
+        .unwrap();
     let mut gb = GenericBindings::new();
     gb.register(GenericRef {
         inheritor: part,
@@ -149,7 +162,10 @@ fn main() {
         st.unbind(rel).unwrap();
         st.bind("AllOf_Cell", cell_v1, part, vec![]).unwrap();
     });
-    assert_eq!(db.with_store(|st| st.attr(part, "Area").unwrap()), Value::Int(100));
+    assert_eq!(
+        db.with_store(|st| st.attr(part, "Area").unwrap()),
+        Value::Int(100)
+    );
     let report = db.with_store_mut(|st| shipped.apply(st));
     println!(
         "configuration `{}` re-applied: {} slot(s) rebound — part.Area = {}",
@@ -157,6 +173,9 @@ fn main() {
         report.rebound,
         db.with_store(|st| st.attr(part, "Area").unwrap())
     );
-    assert_eq!(db.with_store(|st| st.attr(part, "Area").unwrap()), Value::Int(85));
+    assert_eq!(
+        db.with_store(|st| st.attr(part, "Area").unwrap()),
+        Value::Int(85)
+    );
     println!("version_workflow OK");
 }

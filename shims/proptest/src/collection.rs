@@ -1,0 +1,76 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use crate::strategy::{BoxedStrategy, Strategy};
+
+/// Inclusive length bounds for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+/// Generates `Vec`s whose length falls in `size` and whose elements come
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BoxedStrategy<Vec<S::Value>> {
+    let size = size.into();
+    BoxedStrategy::from_fn(move |rng| {
+        let len = rng.in_inclusive_range(size.lo as i128, size.hi as i128) as usize;
+        (0..len).map(|_| element.generate(rng)).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn vec_respects_bounds() {
+        let s = vec(0u64..5, 2..6);
+        let mut rng = TestRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|x| *x < 5));
+        }
+    }
+
+    #[test]
+    fn zero_length_allowed() {
+        let s = vec(0u64..5, 0..2);
+        let mut rng = TestRng::seed_from_u64(6);
+        let mut saw_empty = false;
+        for _ in 0..50 {
+            if s.generate(&mut rng).is_empty() {
+                saw_empty = true;
+            }
+        }
+        assert!(saw_empty);
+    }
+}

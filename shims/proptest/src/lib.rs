@@ -1,0 +1,163 @@
+//! Offline stand-in for `proptest`: deterministic, seeded random testing
+//! with the same macro surface (`proptest!`, `prop_oneof!`,
+//! `prop_assert!`, `prop_assert_eq!`) and the strategy combinators this
+//! workspace uses. Differences from the real crate:
+//!
+//! - no shrinking — failures report the case number and seed instead;
+//! - string "regex" strategies support the subset actually used
+//!   (character classes, `{m,n}` quantifiers, `\PC`);
+//! - every combinator returns a [`BoxedStrategy`], so strategy types
+//!   compose without the real crate's zoo of adapter types.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Runs one property-test body across `config.cases` seeded cases.
+///
+/// Used by the `proptest!` macro; not part of the public proptest API.
+pub fn run_cases<F>(config: ProptestConfig, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    for case in 0..config.cases {
+        // Deterministic per-case seed: stable across runs, different per case.
+        let seed = 0xccdb_0b5e_0000_0000u64 ^ u64::from(case);
+        let mut rng = TestRng::seed_from_u64(seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut rng)));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => panic!("property failed at case {case} (seed {seed:#x}): {e}"),
+            Err(payload) => {
+                eprintln!("property panicked at case {case} (seed {seed:#x})");
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Boxes a strategy; helper for `prop_oneof!` arms of differing types.
+pub fn boxed<S: Strategy>(s: S) -> BoxedStrategy<S::Value> {
+    s.boxed()
+}
+
+/// Weighted union over boxed strategies; backs `prop_oneof!`.
+pub fn union<T: 'static>(arms: Vec<(u32, BoxedStrategy<T>)>) -> BoxedStrategy<T> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+    assert!(total > 0, "prop_oneof! weights must not all be zero");
+    let arms = Arc::new(arms);
+    BoxedStrategy::from_fn(move |rng| {
+        let mut pick = rng.below(total);
+        for (w, strat) in arms.iter() {
+            let w = u64::from(*w);
+            if pick < w {
+                return strat.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weight selection out of range")
+    })
+}
+
+/// Defines property tests over generated inputs.
+///
+/// Supports the `#![proptest_config(..)]` header, multiple `#[test]`
+/// functions per block, and `pattern in strategy` argument lists.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    (@funcs ($cfg:expr)
+        $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases($cfg, |__ccdb_rng| {
+                    $(
+                        let $pat = $crate::Strategy::generate(&($strat), __ccdb_rng);
+                    )*
+                    let __ccdb_out: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    __ccdb_out
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Non-fatal assertion inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Non-fatal equality assertion inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                __l,
+                __r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Picks among strategies, optionally weighted (`weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::union(::std::vec![
+            $( (($weight) as u32, $crate::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::union(::std::vec![
+            $( (1u32, $crate::boxed($strat)) ),+
+        ])
+    };
+}

@@ -1,0 +1,36 @@
+//! Option strategies, mirroring `proptest::option`.
+
+use crate::strategy::{BoxedStrategy, Strategy};
+
+/// Generates `None` about a quarter of the time, otherwise `Some` of the
+/// inner strategy's value.
+pub fn of<S: Strategy>(inner: S) -> BoxedStrategy<Option<S::Value>> {
+    BoxedStrategy::from_fn(move |rng| {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(inner.generate(rng))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn generates_both_variants() {
+        let s = of(0u64..10);
+        let mut rng = TestRng::seed_from_u64(11);
+        let mut some = 0;
+        let mut none = 0;
+        for _ in 0..200 {
+            match s.generate(&mut rng) {
+                Some(_) => some += 1,
+                None => none += 1,
+            }
+        }
+        assert!(some > 0 && none > 0);
+    }
+}

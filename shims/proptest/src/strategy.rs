@@ -1,0 +1,282 @@
+//! The [`Strategy`] trait and core strategies: [`Just`], [`any`],
+//! integer ranges, tuples, string patterns, and [`BoxedStrategy`].
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+/// A generator of random values of type `Self::Value`.
+///
+/// Unlike the real crate, all combinators return [`BoxedStrategy`], which
+/// keeps composite strategy types writable and clonable.
+pub trait Strategy: Clone + 'static {
+    /// The generated value type.
+    type Value: 'static;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erases this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        let s = self;
+        BoxedStrategy::from_fn(move |rng| s.generate(rng))
+    }
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: 'static, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        let s = self;
+        BoxedStrategy::from_fn(move |rng| f(s.generate(rng)))
+    }
+
+    /// Keeps only values satisfying `pred`, retrying up to a bound.
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        let s = self;
+        let reason = reason.into();
+        BoxedStrategy::from_fn(move |rng| {
+            for _ in 0..1_000 {
+                let v = s.generate(rng);
+                if pred(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter gave up after 1000 rejections: {reason}");
+        })
+    }
+
+    /// Builds recursive values: `self` is the leaf strategy, and `recurse`
+    /// wraps an inner strategy into a composite one, applied up to `depth`
+    /// levels. The size/branch hints are accepted for API compatibility.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        R: Strategy<Value = Self::Value>,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(current).boxed();
+            // Mix leaves back in so generated trees vary in depth.
+            current = crate::union(vec![(1, leaf.clone()), (2, deeper)]);
+        }
+        current
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<T> {
+    generator: Arc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Builds a strategy from a generator closure.
+    pub fn from_fn(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        BoxedStrategy {
+            generator: Arc::new(f),
+        }
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            generator: Arc::clone(&self.generator),
+        }
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.generator)(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical full-range strategy, mirroring `Arbitrary`.
+pub trait Arbitrary: Sized + 'static {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Printable-biased to keep generated text debuggable.
+        crate::string::printable_char(rng)
+    }
+}
+
+/// The full-range strategy for `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    BoxedStrategy::from_fn(|rng| T::arbitrary(rng))
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.in_inclusive_range(self.start as i128, self.end as i128 - 1) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                rng.in_inclusive_range(*self.start() as i128, *self.end() as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// String "regex" strategies: a `&'static str` pattern generates matching
+/// strings (subset of proptest's regex support — see [`crate::string`]).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        crate::string::sample_pattern(self, rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn just_clones() {
+        assert_eq!(Just(41).generate(&mut rng()), 41);
+    }
+
+    #[test]
+    fn range_strategy_in_bounds() {
+        let s = 5u64..10;
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!((5..10).contains(&v));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let s = (1u32..2).prop_map(|v| v * 10);
+        assert_eq!(s.generate(&mut rng()), 10);
+    }
+
+    #[test]
+    fn prop_filter_retries() {
+        let s = (0u64..100).prop_filter("even", |v| v % 2 == 0);
+        let mut r = rng();
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut r) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn prop_recursive_nests_and_terminates() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0u64..8)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 2, |inner| {
+                crate::collection::vec(inner, 1..3).prop_map(Tree::Node)
+            });
+        let mut r = rng();
+        let mut max_seen = 0;
+        for _ in 0..200 {
+            let t = strat.generate(&mut r);
+            max_seen = max_seen.max(depth(&t));
+            assert!(depth(&t) <= 3);
+        }
+        assert!(max_seen >= 1, "recursion never fired");
+    }
+
+    #[test]
+    fn tuple_strategy_combines() {
+        let s = (0u64..4, 10u64..14);
+        let (a, b) = s.generate(&mut rng());
+        assert!(a < 4 && (10..14).contains(&b));
+    }
+}

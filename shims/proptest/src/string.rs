@@ -1,0 +1,212 @@
+//! Pattern-string sampling: generates strings matching the regex subset
+//! the workspace's `&str` strategies use — literal characters, `[a-z]`
+//! style character classes, `\PC` (any printable character), and the
+//! quantifiers `{m}`, `{m,n}`, `?`, `*`, `+`.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// Inclusive character ranges, e.g. `[A-Za-z0-9_]`.
+    Class(Vec<(char, char)>),
+    /// `\PC`: any printable (non-control) character.
+    Printable,
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(
+                    i < chars.len(),
+                    "unterminated character class in {pattern:?}"
+                );
+                i += 1; // ']'
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                // Only the escapes this workspace's patterns need.
+                let rest: String = chars[i..].iter().collect();
+                if rest.starts_with("\\PC") {
+                    i += 3;
+                    Atom::Printable
+                } else if chars.len() > i + 1 {
+                    let c = chars[i + 1];
+                    i += 2;
+                    Atom::Literal(match c {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => other,
+                    })
+                } else {
+                    panic!("dangling escape in pattern {pattern:?}");
+                }
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|c| *c == '}')
+                        .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"))
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.parse().expect("bad quantifier"),
+                            hi.parse().expect("bad quantifier"),
+                        ),
+                        None => {
+                            let n = body.parse().expect("bad quantifier");
+                            (n, n)
+                        }
+                    }
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// A printable char: ASCII-biased with occasional multibyte characters, so
+/// parser fuzzing exercises UTF-8 boundaries without emitting controls.
+pub(crate) fn printable_char(rng: &mut TestRng) -> char {
+    const EXOTIC: &[char] = &['é', 'ß', 'λ', 'Ж', 'あ', '中', '€', '∑', '😀', '—'];
+    if rng.below(8) == 0 {
+        EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+    } else {
+        // Printable ASCII: 0x20..=0x7E.
+        char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap()
+    }
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Printable => printable_char(rng),
+        Atom::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                .sum();
+            let mut pick = rng.below(total.max(1));
+            for (lo, hi) in ranges {
+                let span = (*hi as u64) - (*lo as u64) + 1;
+                if pick < span {
+                    return char::from_u32(*lo as u32 + pick as u32).unwrap_or(*lo);
+                }
+                pick -= span;
+            }
+            ranges[0].0
+        }
+    }
+}
+
+/// Generates a string matching `pattern`.
+pub fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse_pattern(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let n = if piece.min == piece.max {
+            piece.min
+        } else {
+            rng.in_inclusive_range(piece.min as i128, piece.max as i128) as usize
+        };
+        for _ in 0..n {
+            out.push(sample_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(13)
+    }
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = sample_pattern("[A-Z]{2,6}", &mut r);
+            assert!((2..=6).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_uppercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn leading_upper_then_lowers() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = sample_pattern("[A-Z][a-z]{1,5}", &mut r);
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_uppercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn printable_never_emits_controls() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = sample_pattern("\\PC{0,200}", &mut r);
+            assert!(s.chars().count() <= 200);
+            assert!(!s.chars().any(char::is_control), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        assert_eq!(sample_pattern("abc", &mut rng()), "abc");
+    }
+}

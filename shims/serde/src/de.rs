@@ -1,0 +1,60 @@
+//! Deserialization error type and the small helper surface the derive
+//! macro generates calls against.
+
+use crate::json::Value;
+use std::fmt;
+
+/// Deserialization / parse error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+
+    /// "expected X, found Y" error.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        Error::new(format!("expected {what}, found {}", found.type_name()))
+    }
+
+    /// Unknown enum variant error.
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        Error::new(format!("unknown variant `{variant}` for {ty}"))
+    }
+
+    /// Missing struct field error.
+    pub fn missing_field(field: &str, ty: &str) -> Self {
+        Error::new(format!("missing field `{field}` for {ty}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Looks up a struct field in an object's pairs.
+pub fn field<'v>(pairs: &'v [(String, Value)], name: &str, ty: &str) -> Result<&'v Value, Error> {
+    pairs
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::missing_field(name, ty))
+}
+
+/// Views a value as an externally-tagged enum variant: a single-key object.
+pub fn variant(v: &Value) -> Option<(&str, &Value)> {
+    match v {
+        Value::Object(pairs) if pairs.len() == 1 => Some((pairs[0].0.as_str(), &pairs[0].1)),
+        _ => None,
+    }
+}

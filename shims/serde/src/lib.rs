@@ -1,0 +1,375 @@
+//! Offline stand-in for `serde`. Instead of the visitor-based data model,
+//! this shim serializes through a concrete JSON-shaped [`json::Value`]:
+//!
+//! - [`Serialize`] renders a value into a [`json::Value`];
+//! - [`Deserialize`] reconstructs a value from a [`json::Value`].
+//!
+//! The derive macros (feature `derive`, crate `serde_derive`) generate
+//! impls that follow serde's JSON conventions: structs become objects,
+//! newtype structs unwrap to their inner value, unit enum variants become
+//! strings, and data-carrying variants become single-key objects.
+
+pub mod json;
+
+pub mod de;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use json::Value;
+
+/// Render `self` into the JSON-shaped data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn serialize_value(&self) -> Value;
+}
+
+/// Reconstruct `Self` from the JSON-shaped data model.
+pub trait Deserialize: Sized {
+    /// Converts a [`Value`] back into `Self`.
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+ser_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+impl Serialize for u64 {
+    fn serialize_value(&self) -> Value {
+        if *self <= i64::MAX as u64 {
+            Value::Int(*self as i64)
+        } else {
+            Value::UInt(*self)
+        }
+    }
+}
+
+impl Serialize for usize {
+    fn serialize_value(&self) -> Value {
+        (*self as u64).serialize_value()
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_value(&self) -> Value {
+        Value::Array(vec![self.0.serialize_value(), self.1.serialize_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.serialize_value(),
+            self.1.serialize_value(),
+            self.2.serialize_value(),
+        ])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize, D: Serialize> Serialize for (A, B, C, D) {
+    fn serialize_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.serialize_value(),
+            self.1.serialize_value(),
+            self.2.serialize_value(),
+            self.3.serialize_value(),
+        ])
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn serialize_value(&self) -> Value {
+        // Deterministic output: sort keys like serde_json's BTreeMap-backed map.
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.serialize_value()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(pairs)
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+fn int_from(v: &Value, ty: &str) -> Result<i64, de::Error> {
+    match v {
+        Value::Int(i) => Ok(*i),
+        Value::UInt(u) => i64::try_from(*u).map_err(|_| de::Error::expected(ty, v)),
+        _ => Err(de::Error::expected(ty, v)),
+    }
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+                let i = int_from(v, stringify!($t))?;
+                <$t>::try_from(i).map_err(|_| de::Error::expected(stringify!($t), v))
+            }
+        }
+    )*};
+}
+
+de_int!(i8, i16, i32, isize, u8, u16, u32);
+
+impl Deserialize for i64 {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        int_from(v, "i64")
+    }
+}
+
+impl Deserialize for u64 {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Int(i) if *i >= 0 => Ok(*i as u64),
+            Value::UInt(u) => Ok(*u),
+            _ => Err(de::Error::expected("u64", v)),
+        }
+    }
+}
+
+impl Deserialize for usize {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        let u = u64::deserialize_value(v)?;
+        usize::try_from(u).map_err(|_| de::Error::expected("usize", v))
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            // Non-finite floats serialize as null (like serde_json).
+            Value::Null => Ok(f64::NAN),
+            _ => Err(de::Error::expected("f64", v)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        f64::deserialize_value(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(de::Error::expected("bool", v)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(de::Error::expected("string", v)),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(de::Error::expected("char", v)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        T::deserialize_value(v).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            _ => Err(de::Error::expected("array", v)),
+        }
+    }
+}
+
+fn fixed_array(v: &Value, len: usize) -> Result<&[Value], de::Error> {
+    match v {
+        Value::Array(items) if items.len() == len => Ok(items),
+        _ => Err(de::Error::expected("tuple array", v)),
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        let items = fixed_array(v, 2)?;
+        Ok((
+            A::deserialize_value(&items[0])?,
+            B::deserialize_value(&items[1])?,
+        ))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        let items = fixed_array(v, 3)?;
+        Ok((
+            A::deserialize_value(&items[0])?,
+            B::deserialize_value(&items[1])?,
+            C::deserialize_value(&items[2])?,
+        ))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize, D: Deserialize> Deserialize for (A, B, C, D) {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        let items = fixed_array(v, 4)?;
+        Ok((
+            A::deserialize_value(&items[0])?,
+            B::deserialize_value(&items[1])?,
+            C::deserialize_value(&items[2])?,
+            D::deserialize_value(&items[3])?,
+        ))
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::deserialize_value(val)?)))
+                .collect(),
+            _ => Err(de::Error::expected("object", v)),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::deserialize_value(val)?)))
+                .collect(),
+            _ => Err(de::Error::expected("object", v)),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(v.clone())
+    }
+}

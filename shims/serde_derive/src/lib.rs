@@ -1,0 +1,545 @@
+//! Offline stand-in for `serde_derive`, written against raw
+//! `proc_macro::TokenStream` (no `syn`/`quote`). It supports exactly the
+//! shapes this workspace derives on:
+//!
+//! - structs with named fields (any visibility) → JSON objects;
+//! - tuple structs (newtypes unwrap, wider tuples become arrays);
+//! - enums with unit / newtype / tuple / struct variants, encoded
+//!   externally tagged like serde: `"Variant"`, `{"Variant": inner}`,
+//!   `{"Variant": [..]}`, `{"Variant": {..}}`.
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally unsupported
+//! and produce a compile error naming this shim.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Item shape model
+// ---------------------------------------------------------------------------
+
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skips `#[...]` attributes and visibility modifiers.
+    fn skip_attrs_and_vis(&mut self) {
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.pos += 1; // '#'
+                    self.pos += 1; // the [...] group
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    self.pos += 1;
+                    // pub(crate) / pub(super) / pub(in ...)
+                    if let Some(TokenTree::Group(g)) = self.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            self.pos += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Skips a type expression up to a top-level `,`; consumes the comma.
+    /// Returns false when the cursor is exhausted.
+    fn skip_type_to_comma(&mut self) -> bool {
+        let mut angle_depth: i32 = 0;
+        while let Some(tt) = self.next() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => return true,
+                    _ => {}
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Parses named fields (the inside of a struct / struct-variant brace group).
+fn parse_named_fields(ts: TokenStream) -> Result<Vec<String>, String> {
+    let mut c = Cursor::new(ts);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attrs_and_vis();
+        let name = match c.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected field name, found `{other}`")),
+            None => break,
+        };
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        fields.push(name);
+        if !c.skip_type_to_comma() {
+            break;
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple struct / tuple variant paren group.
+fn tuple_arity(ts: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut saw_token = false;
+    let mut angle_depth: i32 = 0;
+    for tt in ts {
+        match &tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => {
+                    angle_depth += 1;
+                    saw_token = true;
+                }
+                '>' => {
+                    angle_depth -= 1;
+                    saw_token = true;
+                }
+                ',' if angle_depth == 0 => {
+                    if saw_token {
+                        arity += 1;
+                    }
+                    saw_token = false;
+                }
+                _ => saw_token = true,
+            },
+            _ => saw_token = true,
+        }
+    }
+    if saw_token {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(ts: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(ts);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs_and_vis();
+        let name = match c.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected variant name, found `{other}`")),
+            None => break,
+        };
+        let kind = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                c.pos += 1;
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                c.pos += 1;
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err("explicit discriminants are not supported".into());
+            }
+            Some(other) => return Err(format!("expected `,` between variants, found `{other}`")),
+            None => break,
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attrs_and_vis();
+    let keyword = match c.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found `{other:?}`")),
+    };
+    let name = match c.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found `{other:?}`")),
+    };
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "the offline serde_derive shim does not support generics (type `{name}`)"
+            ));
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Shape::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream())?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Shape::TupleStruct {
+                    name,
+                    arity: tuple_arity(g.stream()),
+                })
+            }
+            other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Shape::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("unsupported enum body for `{name}`: {other:?}")),
+        },
+        kw => Err(format!("cannot derive for `{kw}` items")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+const VALUE: &str = "::serde::json::Value";
+const SER: &str = "::serde::Serialize";
+const DE: &str = "::serde::Deserialize";
+const ERR: &str = "::serde::de::Error";
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         {SER}::serialize_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl {SER} for {name} {{\n\
+                   fn serialize_value(&self) -> {VALUE} {{\n\
+                     {VALUE}::Object(::std::vec![{}])\n\
+                   }}\n\
+                 }}",
+                pairs.join(", ")
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "#[automatically_derived]\n\
+             impl {SER} for {name} {{\n\
+               fn serialize_value(&self) -> {VALUE} {{\n\
+                 {SER}::serialize_value(&self.0)\n\
+               }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("{SER}::serialize_value(&self.{i})"))
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl {SER} for {name} {{\n\
+                   fn serialize_value(&self) -> {VALUE} {{\n\
+                     {VALUE}::Array(::std::vec![{}])\n\
+                   }}\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => \
+                             {VALUE}::String(::std::string::String::from({vname:?})),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => {VALUE}::Object(::std::vec![\
+                             (::std::string::String::from({vname:?}), \
+                              {SER}::serialize_value(__f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("{SER}::serialize_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => {VALUE}::Object(::std::vec![\
+                                 (::std::string::String::from({vname:?}), \
+                                  {VALUE}::Array(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         {SER}::serialize_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => {VALUE}::Object(::std::vec![\
+                                 (::std::string::String::from({vname:?}), \
+                                  {VALUE}::Object(::std::vec![{}]))]),",
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl {SER} for {name} {{\n\
+                   fn serialize_value(&self) -> {VALUE} {{\n\
+                     match self {{\n{}\n}}\n\
+                   }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_named_field_inits(ty: &str, fields: &[String], obj_var: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: {DE}::deserialize_value(\
+                 ::serde::de::field({obj_var}, {f:?}, {ty:?})?)?,"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits = gen_named_field_inits(name, fields, "__obj");
+            format!(
+                "#[automatically_derived]\n\
+                 impl {DE} for {name} {{\n\
+                   fn deserialize_value(__v: &{VALUE}) -> ::std::result::Result<Self, {ERR}> {{\n\
+                     let __obj = __v.as_object_slice()\
+                       .ok_or_else(|| {ERR}::expected(\"object\", __v))?;\n\
+                     ::std::result::Result::Ok({name} {{\n{inits}\n}})\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "#[automatically_derived]\n\
+             impl {DE} for {name} {{\n\
+               fn deserialize_value(__v: &{VALUE}) -> ::std::result::Result<Self, {ERR}> {{\n\
+                 ::std::result::Result::Ok({name}({DE}::deserialize_value(__v)?))\n\
+               }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("{DE}::deserialize_value(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl {DE} for {name} {{\n\
+                   fn deserialize_value(__v: &{VALUE}) -> ::std::result::Result<Self, {ERR}> {{\n\
+                     let __arr = __v.as_array()\
+                       .ok_or_else(|| {ERR}::expected(\"array\", __v))?;\n\
+                     if __arr.len() != {arity} {{\n\
+                       return ::std::result::Result::Err({ERR}::expected(\
+                         \"{arity}-element array\", __v));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}({}))\n\
+                   }}\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let has_unit = variants.iter().any(|v| matches!(v.kind, VariantKind::Unit));
+            let has_data = variants
+                .iter()
+                .any(|v| !matches!(v.kind, VariantKind::Unit));
+            let mut body = String::new();
+            if has_unit {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .filter(|v| matches!(v.kind, VariantKind::Unit))
+                    .map(|v| {
+                        format!(
+                            "{:?} => ::std::result::Result::Ok({name}::{}),",
+                            v.name, v.name
+                        )
+                    })
+                    .collect();
+                body.push_str(&format!(
+                    "if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                       return match __s {{\n{}\n\
+                         __other => ::std::result::Result::Err(\
+                           {ERR}::unknown_variant(__other, {name:?})),\n\
+                       }};\n\
+                     }}\n",
+                    arms.join("\n")
+                ));
+            }
+            if has_data {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .filter_map(|v| {
+                        let vname = &v.name;
+                        match &v.kind {
+                            VariantKind::Unit => None,
+                            VariantKind::Tuple(1) => Some(format!(
+                                "{vname:?} => ::std::result::Result::Ok(\
+                                 {name}::{vname}({DE}::deserialize_value(__inner)?)),"
+                            )),
+                            VariantKind::Tuple(n) => {
+                                let items: Vec<String> = (0..*n)
+                                    .map(|i| format!("{DE}::deserialize_value(&__arr[{i}])?"))
+                                    .collect();
+                                Some(format!(
+                                    "{vname:?} => {{\n\
+                                       let __arr = __inner.as_array()\
+                                         .ok_or_else(|| {ERR}::expected(\"array\", __inner))?;\n\
+                                       if __arr.len() != {n} {{\n\
+                                         return ::std::result::Result::Err({ERR}::expected(\
+                                           \"{n}-element array\", __inner));\n\
+                                       }}\n\
+                                       ::std::result::Result::Ok({name}::{vname}({}))\n\
+                                     }}",
+                                    items.join(", ")
+                                ))
+                            }
+                            VariantKind::Named(fields) => {
+                                let inits = gen_named_field_inits(name, fields, "__obj");
+                                Some(format!(
+                                    "{vname:?} => {{\n\
+                                       let __obj = __inner.as_object_slice()\
+                                         .ok_or_else(|| {ERR}::expected(\"object\", __inner))?;\n\
+                                       ::std::result::Result::Ok({name}::{vname} {{\n{inits}\n}})\n\
+                                     }}",
+                                ))
+                            }
+                        }
+                    })
+                    .collect();
+                body.push_str(&format!(
+                    "if let ::std::option::Option::Some((__k, __inner)) = \
+                       ::serde::de::variant(__v) {{\n\
+                       return match __k {{\n{}\n\
+                         __other => ::std::result::Result::Err(\
+                           {ERR}::unknown_variant(__other, {name:?})),\n\
+                       }};\n\
+                     }}\n",
+                    arms.join("\n")
+                ));
+            }
+            body.push_str(&format!(
+                "::std::result::Result::Err({ERR}::expected(\"enum variant\", __v))\n"
+            ));
+            format!(
+                "#[automatically_derived]\n\
+                 impl {DE} for {name} {{\n\
+                   fn deserialize_value(__v: &{VALUE}) -> ::std::result::Result<Self, {ERR}> {{\n\
+                     {body}\
+                   }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Derives the shim's `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen_serialize(&shape)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive shim codegen error: {e}"))),
+        Err(e) => compile_error(&format!("serde_derive shim: {e}")),
+    }
+}
+
+/// Derives the shim's `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen_deserialize(&shape)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive shim codegen error: {e}"))),
+        Err(e) => compile_error(&format!("serde_derive shim: {e}")),
+    }
+}

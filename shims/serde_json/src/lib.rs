@@ -1,0 +1,124 @@
+//! Offline stand-in for `serde_json`, layered over the `serde` shim's
+//! JSON-shaped data model: [`Value`], text (de)serialization, and a
+//! simplified [`json!`] macro.
+
+pub use serde::de::Error;
+pub use serde::json::Value;
+
+use serde::{Deserialize, Serialize};
+
+/// `Result` alias matching serde_json's.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize_value()
+}
+
+/// Reconstructs a typed value from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T> {
+    T::deserialize_value(value)
+}
+
+/// Serializes to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.serialize_value().to_json_string())
+}
+
+/// Serializes to pretty JSON text (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.serialize_value().to_json_string_pretty())
+}
+
+/// Serializes to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserializes a typed value from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    T::deserialize_value(&serde::json::parse(s)?)
+}
+
+/// Deserializes a typed value from JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Builds a [`Value`] from JSON-like syntax.
+///
+/// Simplified relative to serde_json: object keys must be string
+/// literals, and values are either nested `{...}` / `[...]` literals or
+/// arbitrary serializable expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:tt),* $(,)? }) => {
+        $crate::Value::Object(::std::vec![
+            $( (::std::string::String::from($key), $crate::json!($val)) ),*
+        ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(::std::vec![
+            $( (::std::string::String::from($key), $crate::to_value(&$val)) ),*
+        ])
+    };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $( $crate::json!($elem) ),* ])
+    };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $( $crate::to_value(&$elem) ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_object_of_exprs() {
+        let title = String::from("E0: demo");
+        let rows = vec![vec![String::from("a"), String::from("x")]];
+        let j = json!({"title": title, "rows": rows});
+        assert!(j["title"] == "E0: demo");
+        assert!(j["rows"][0][1] == "x");
+    }
+
+    #[test]
+    fn json_macro_nested_literals() {
+        let j = json!({"a": {"b": [1, 2, 3]}, "c": null});
+        assert_eq!(j["a"]["b"][2].as_i64(), Some(3));
+        assert!(j["c"].is_null());
+    }
+
+    #[test]
+    fn string_roundtrip_typed() {
+        let v: Vec<(String, u64)> = vec![("x".into(), 1), ("y".into(), u64::MAX)];
+        let s = to_string(&v).unwrap();
+        let back: Vec<(String, u64)> = from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn pretty_is_parseable() {
+        let v = json!({"k": [true, false]});
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains('\n'));
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn from_slice_works() {
+        let n: i64 = from_slice(b"-42").unwrap();
+        assert_eq!(n, -42);
+    }
+
+    #[test]
+    fn errors_are_displayable() {
+        let e = from_str::<i64>("true").unwrap_err();
+        assert!(e.to_string().contains("expected"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Offline stand-in for the `tempfile` crate. Provides [`TempDir`] /
+//! [`tempdir`] and [`NamedTempFile`] with recursive cleanup on drop.
+//! Names are made unique with the process id plus a global counter, so
+//! concurrent tests never collide.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn unique_path(prefix: &str) -> PathBuf {
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let pid = std::process::id();
+    std::env::temp_dir().join(format!("{prefix}-{pid}-{n}"))
+}
+
+/// A directory that is removed (recursively) when dropped.
+#[derive(Debug)]
+pub struct TempDir {
+    path: Option<PathBuf>,
+}
+
+impl TempDir {
+    /// Creates a fresh temporary directory.
+    pub fn new() -> io::Result<TempDir> {
+        let path = unique_path("ccdb-tmpdir");
+        fs::create_dir_all(&path)?;
+        Ok(TempDir { path: Some(path) })
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        self.path.as_deref().expect("TempDir already closed")
+    }
+
+    /// Removes the directory now, reporting any error.
+    pub fn close(mut self) -> io::Result<()> {
+        if let Some(p) = self.path.take() {
+            fs::remove_dir_all(p)?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        if let Some(p) = self.path.take() {
+            let _ = fs::remove_dir_all(p);
+        }
+    }
+}
+
+/// Creates a fresh [`TempDir`].
+pub fn tempdir() -> io::Result<TempDir> {
+    TempDir::new()
+}
+
+/// A file that is removed when dropped.
+#[derive(Debug)]
+pub struct NamedTempFile {
+    path: Option<PathBuf>,
+}
+
+impl NamedTempFile {
+    /// Creates a fresh, empty temporary file.
+    pub fn new() -> io::Result<NamedTempFile> {
+        let path = unique_path("ccdb-tmpfile");
+        fs::File::create(&path)?;
+        Ok(NamedTempFile { path: Some(path) })
+    }
+
+    /// The file's path.
+    pub fn path(&self) -> &Path {
+        self.path.as_deref().expect("NamedTempFile already closed")
+    }
+}
+
+impl Drop for NamedTempFile {
+    fn drop(&mut self) {
+        if let Some(p) = self.path.take() {
+            let _ = fs::remove_file(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tempdir_is_usable_and_cleaned() {
+        let d = tempdir().unwrap();
+        let inner = d.path().join("x.txt");
+        fs::write(&inner, b"hi").unwrap();
+        assert!(inner.exists());
+        let kept = d.path().to_path_buf();
+        drop(d);
+        assert!(!kept.exists());
+    }
+
+    #[test]
+    fn named_temp_file_exists_then_removed() {
+        let f = NamedTempFile::new().unwrap();
+        assert!(f.path().exists());
+        let kept = f.path().to_path_buf();
+        drop(f);
+        assert!(!kept.exists());
+    }
+
+    #[test]
+    fn paths_are_unique() {
+        let a = NamedTempFile::new().unwrap();
+        let b = NamedTempFile::new().unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}

@@ -16,7 +16,10 @@ fn catalog() -> Catalog {
     let mut c = Catalog::new();
     c.register_object_type(ObjectTypeDef {
         name: "If".into(),
-        attributes: vec![AttrDef::new("A", Domain::Int), AttrDef::new("B", Domain::Int)],
+        attributes: vec![
+            AttrDef::new("A", Domain::Int),
+            AttrDef::new("B", Domain::Int),
+        ],
         ..Default::default()
     })
     .unwrap();
@@ -46,13 +49,14 @@ fn setup(n_impls: usize) -> (Database, Surrogate, Vec<Surrogate>) {
         .unwrap();
     let imps: Vec<Surrogate> = (0..n_impls)
         .map(|_| {
-            let i = st.create_object("Impl", vec![("Counter", Value::Int(0))]).unwrap();
+            let i = st
+                .create_object("Impl", vec![("Counter", Value::Int(0))])
+                .unwrap();
             st.bind("AllOf_If", interface, i, vec![]).unwrap();
             i
         })
         .collect();
-    let db =
-        Database::with_lock_manager(st, LockManager::with_timeout(Duration::from_millis(200)));
+    let db = Database::with_lock_manager(st, LockManager::with_timeout(Duration::from_millis(200)));
     (db, interface, imps)
 }
 
@@ -185,7 +189,10 @@ fn lock_inheritance_allows_disjoint_parallelism() {
     });
     reader.join().unwrap();
     let failures = writer.join().unwrap();
-    assert_eq!(failures, 0, "non-permeable writes never conflict with view readers");
+    assert_eq!(
+        failures, 0,
+        "non-permeable writes never conflict with view readers"
+    );
 }
 
 /// Durable concurrent workload: several writers through a
@@ -203,7 +210,9 @@ fn persistent_database_durability_under_concurrency() {
             .unwrap();
         imps = (0..4)
             .map(|_| {
-                let i = st.create_object("Impl", vec![("Counter", Value::Int(0))]).unwrap();
+                let i = st
+                    .create_object("Impl", vec![("Counter", Value::Int(0))])
+                    .unwrap();
                 st.bind("AllOf_If", interface, i, vec![]).unwrap();
                 i
             })

@@ -34,8 +34,12 @@ fn schema() -> ccdb_core::schema::Catalog {
 
 fn populated() -> (ObjectStore, Surrogate, Surrogate) {
     let mut st = ObjectStore::new(schema()).unwrap();
-    let interface = st.create_object("If", vec![("Length", Value::Int(5))]).unwrap();
-    let imp = st.create_object("Impl", vec![("Cost", Value::Int(1))]).unwrap();
+    let interface = st
+        .create_object("If", vec![("Length", Value::Int(5))])
+        .unwrap();
+    let imp = st
+        .create_object("Impl", vec![("Cost", Value::Int(1))])
+        .unwrap();
     st.bind("AllOf_If", interface, imp, vec![]).unwrap();
     (st, interface, imp)
 }
@@ -57,7 +61,11 @@ fn committed_incremental_updates_survive_crash() {
     let kv = DurableKv::open(dir.path()).unwrap();
     let reloaded = load_store(&kv).unwrap();
     assert_eq!(reloaded.attr(interface, "Length").unwrap(), Value::Int(42));
-    assert_eq!(reloaded.attr(imp, "Length").unwrap(), Value::Int(42), "inheritance survives");
+    assert_eq!(
+        reloaded.attr(imp, "Length").unwrap(),
+        Value::Int(42),
+        "inheritance survives"
+    );
 }
 
 #[test]

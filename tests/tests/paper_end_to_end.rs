@@ -17,7 +17,10 @@ fn pin(st: &mut ObjectStore, owner: Surrogate, io: &str) -> Surrogate {
     st.create_subobject(
         owner,
         "Pins",
-        vec![("InOut", Value::Enum(io.into())), ("PinLocation", Value::Point { x: 0, y: 0 })],
+        vec![
+            ("InOut", Value::Enum(io.into())),
+            ("PinLocation", Value::Point { x: 0, y: 0 }),
+        ],
     )
     .unwrap()
 }
@@ -29,9 +32,13 @@ fn interface_with_impl(st: &mut ObjectStore, len: i64) -> (Surrogate, Surrogate)
     pin(st, abstract_if, "IN");
     pin(st, abstract_if, "OUT");
     let iface = st
-        .create_object("GateInterface", vec![("Length", Value::Int(len)), ("Width", Value::Int(2))])
+        .create_object(
+            "GateInterface",
+            vec![("Length", Value::Int(len)), ("Width", Value::Int(2))],
+        )
         .unwrap();
-    st.bind("AllOf_GateInterface_I", abstract_if, iface, vec![]).unwrap();
+    st.bind("AllOf_GateInterface_I", abstract_if, iface, vec![])
+        .unwrap();
     let imp = st
         .create_object(
             "GateImplementation",
@@ -63,9 +70,14 @@ fn full_chip_pipeline() {
         )
         .unwrap();
     let sub = st
-        .create_subobject(circuit, "SubGates", vec![("GateLocation", Value::Point { x: 3, y: 3 })])
+        .create_subobject(
+            circuit,
+            "SubGates",
+            vec![("GateLocation", Value::Point { x: 3, y: 3 })],
+        )
         .unwrap();
-    st.bind("AllOf_GateInterface", nand_if, sub, vec![]).unwrap();
+    st.bind("AllOf_GateInterface", nand_if, sub, vec![])
+        .unwrap();
     // Transitive inheritance: the component's pins (2 levels up) are visible.
     assert_eq!(st.subclass_members(sub, "Pins").unwrap().len(), 3);
 
@@ -76,9 +88,13 @@ fn full_chip_pipeline() {
     let db = Database::new(st);
     let tx = db.begin("designer");
     assert_eq!(db.read_attr(&tx, sub, "Length").unwrap(), Value::Int(4));
-    db.write_attr(&tx, nand_if, "Length", Value::Int(6)).unwrap();
+    db.write_attr(&tx, nand_if, "Length", Value::Int(6))
+        .unwrap();
     db.commit(tx);
-    assert_eq!(db.with_store(|s| s.attr(sub, "Length").unwrap()), Value::Int(6));
+    assert_eq!(
+        db.with_store(|s| s.attr(sub, "Length").unwrap()),
+        Value::Int(6)
+    );
     // The adaptation flag was raised by the transactional write too.
     let rel = db.with_store(|s| s.binding_of(sub, "AllOf_GateInterface").unwrap());
     assert!(db.with_store(|s| s.needs_adaptation(rel).unwrap()));
@@ -95,7 +111,8 @@ fn full_chip_pipeline() {
     let mut vm = VersionManager::new();
     vm.create_set("NAND-impl").unwrap();
     let v1 = vm.add_version("NAND-impl", nand_impl_v1, &[]).unwrap();
-    vm.set_status("NAND-impl", v1, VersionStatus::Released).unwrap();
+    vm.set_status("NAND-impl", v1, VersionStatus::Released)
+        .unwrap();
     let faster = st
         .create_object(
             "GateImplementation",
@@ -106,7 +123,8 @@ fn full_chip_pipeline() {
         )
         .unwrap();
     let v2 = vm.add_version("NAND-impl", faster, &[v1]).unwrap();
-    vm.set_status("NAND-impl", v2, VersionStatus::Released).unwrap();
+    vm.set_status("NAND-impl", v2, VersionStatus::Released)
+        .unwrap();
 
     // A timing composite follows the latest released implementation through
     // SomeOf_Gate (TimeBehavior is permeable there).
@@ -157,7 +175,11 @@ fn generic_rebind_through_reload() {
         )
         .unwrap();
     let sub = st
-        .create_subobject(circuit, "SubGates", vec![("GateLocation", Value::Point { x: 0, y: 0 })])
+        .create_subobject(
+            circuit,
+            "SubGates",
+            vec![("GateLocation", Value::Point { x: 0, y: 0 })],
+        )
         .unwrap();
 
     let mut vm = VersionManager::new();
@@ -182,17 +204,23 @@ fn generic_rebind_through_reload() {
     save_store(&st, &kv).unwrap();
     let mut reloaded = load_store(&kv).unwrap();
     let report = gb.refresh(&mut reloaded, &vm, &envs);
-    assert!(matches!(report[0].1, ccdb_version::RebindOutcome::Unchanged));
+    assert!(matches!(
+        report[0].1,
+        ccdb_version::RebindOutcome::Unchanged
+    ));
     assert_eq!(reloaded.attr(sub, "Length").unwrap(), Value::Int(9));
 }
 
 #[test]
 fn shipped_schema_files_match_the_embedded_paper_schemas() {
-    let chip = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../schemas/chip.ccdb"))
-        .expect("schemas/chip.ccdb present");
-    let steel =
-        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../schemas/steel.ccdb"))
-            .expect("schemas/steel.ccdb present");
+    let chip =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../schemas/chip.ccdb"))
+            .expect("schemas/chip.ccdb present");
+    let steel = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../schemas/steel.ccdb"
+    ))
+    .expect("schemas/steel.ccdb present");
     assert_eq!(chip.trim(), ccdb_lang::paper::CHIP_SCHEMA.trim());
     assert_eq!(steel.trim(), ccdb_lang::paper::STEEL_SCHEMA.trim());
     // And they compile standalone.

@@ -13,7 +13,11 @@ fn build() -> (ObjectStore, Surrogate, Surrogate, Surrogate) {
     let girder_if = st
         .create_object(
             "GirderInterface",
-            vec![("Length", Value::Int(100)), ("Height", Value::Int(10)), ("Width", Value::Int(5))],
+            vec![
+                ("Length", Value::Int(100)),
+                ("Height", Value::Int(10)),
+                ("Width", Value::Int(5)),
+            ],
         )
         .unwrap();
     let g_bore = st
@@ -54,15 +58,24 @@ fn build() -> (ObjectStore, Surrogate, Surrogate, Surrogate) {
         )
         .unwrap();
     let bolt = st
-        .create_object("BoltType", vec![("Length", Value::Int(12)), ("Diameter", Value::Int(6))])
+        .create_object(
+            "BoltType",
+            vec![("Length", Value::Int(12)), ("Diameter", Value::Int(6))],
+        )
         .unwrap();
     let nut = st
-        .create_object("NutType", vec![("Length", Value::Int(2)), ("Diameter", Value::Int(6))])
+        .create_object(
+            "NutType",
+            vec![("Length", Value::Int(2)), ("Diameter", Value::Int(6))],
+        )
         .unwrap();
     let structure = st
         .create_object(
             "WeightCarrying_Structure",
-            vec![("Designer", Value::Str("test".into())), ("Description", Value::Str("t".into()))],
+            vec![
+                ("Designer", Value::Str("test".into())),
+                ("Description", Value::Str("t".into())),
+            ],
         )
         .unwrap();
     let g = st.create_subobject(structure, "Girders", vec![]).unwrap();
@@ -120,7 +133,10 @@ fn structure_is_consistent_and_constraints_localize_faults() {
         .unwrap()
     };
     let nut2 = st
-        .create_object("NutType", vec![("Length", Value::Int(5)), ("Diameter", Value::Int(6))])
+        .create_object(
+            "NutType",
+            vec![("Length", Value::Int(5)), ("Diameter", Value::Int(6))],
+        )
         .unwrap();
     let bad_screwing = st
         .create_subrel(
@@ -130,13 +146,18 @@ fn structure_is_consistent_and_constraints_localize_faults() {
             vec![("Strength", Value::Int(1))],
         )
         .unwrap();
-    let b2 = st.create_rel_subobject(bad_screwing, "Bolt", vec![]).unwrap();
+    let b2 = st
+        .create_rel_subobject(bad_screwing, "Bolt", vec![])
+        .unwrap();
     st.bind("AllOf_BoltType", bolt, b2, vec![]).unwrap();
-    let n2 = st.create_rel_subobject(bad_screwing, "Nut", vec![]).unwrap();
+    let n2 = st
+        .create_rel_subobject(bad_screwing, "Nut", vec![])
+        .unwrap();
     st.bind("AllOf_NutType", nut2, n2, vec![]).unwrap();
     let v = st.check_constraints(structure).unwrap();
     assert!(
-        v.iter().any(|x| x.constraint.contains("Screwings where-clause")),
+        v.iter()
+            .any(|x| x.constraint.contains("Screwings where-clause")),
         "the `x in Girders.Bores or x in Plates.Bores` clause must fire: {v:?}"
     );
 }
@@ -161,10 +182,14 @@ fn design_sessions_and_conflict_detection() {
     // conflicts with one updating the component.
     let g_component = st.subclass_members(structure, "Girders").unwrap()[0];
     let conflicts = potential_conflicts(&st, &[girder_if], &[g_component]);
-    assert!(conflicts.iter().any(|c| c.kind == ConflictKind::InheritanceEdge));
+    assert!(conflicts
+        .iter()
+        .any(|c| c.kind == ConflictKind::InheritanceEdge));
 
     // Optimistic check-in: alice lands, bob's overlapping session is stale.
-    alice.set_attr(girder_if, "Length", Value::Int(120)).unwrap();
+    alice
+        .set_attr(girder_if, "Length", Value::Int(120))
+        .unwrap();
     alice.checkin(&mut st, &stamps).unwrap();
     bob.set_attr(girder_if, "Length", Value::Int(130)).unwrap();
     assert!(bob.checkin(&mut st, &stamps).is_err());

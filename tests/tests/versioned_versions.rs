@@ -28,7 +28,10 @@ fn build() -> World {
         st.create_subobject(
             pins,
             "Pins",
-            vec![("InOut", Value::Enum(io.into())), ("PinLocation", Value::Point { x: 0, y: 0 })],
+            vec![
+                ("InOut", Value::Enum(io.into())),
+                ("PinLocation", Value::Point { x: 0, y: 0 }),
+            ],
         )
         .unwrap();
     }
@@ -46,7 +49,8 @@ fn build() -> World {
                 vec![("Length", Value::Int(len)), ("Width", Value::Int(2))],
             )
             .unwrap();
-        st.bind("AllOf_GateInterface_I", pins, iface, vec![]).unwrap();
+        st.bind("AllOf_GateInterface_I", pins, iface, vec![])
+            .unwrap();
         let vid = vm.add_version("NAND-interface", iface, &prev).unwrap();
         prev = vec![vid];
         if_versions.push((vid, iface));
@@ -77,7 +81,12 @@ fn build() -> World {
         }
         impl_versions.push(impls);
     }
-    World { st, vm, if_versions, impl_versions }
+    World {
+        st,
+        vm,
+        if_versions,
+        impl_versions,
+    }
 }
 
 #[test]
@@ -106,11 +115,10 @@ fn abstract_level_update_reaches_every_version() {
     let mut w = build();
     // Adding a pin at the most abstract level becomes visible in all 2
     // interface versions and all 4 implementation versions instantly.
-    let pins_owner = w
-        .st
-        .surrogates()
-        .find(|s| w.st.object(*s).unwrap().type_name == "GateInterface_I")
-        .unwrap();
+    let pins_owner =
+        w.st.surrogates()
+            .find(|s| w.st.object(*s).unwrap().type_name == "GateInterface_I")
+            .unwrap();
     w.st.create_subobject(
         pins_owner,
         "Pins",
@@ -134,13 +142,19 @@ fn abstract_level_update_reaches_every_version() {
 fn statuses_progress_independently_per_dimension() {
     let mut w = build();
     let (if_v1, _) = w.if_versions[0];
-    w.vm.set_status("NAND-interface", if_v1, VersionStatus::Frozen).unwrap();
+    w.vm.set_status("NAND-interface", if_v1, VersionStatus::Frozen)
+        .unwrap();
     // Freezing an interface version does not constrain its implementations'
     // lifecycle (managed per set).
     let (impl_v1, _) = w.impl_versions[0][0];
-    w.vm.set_status("NAND-impl-of-ifv1", impl_v1, VersionStatus::Released).unwrap();
+    w.vm.set_status("NAND-impl-of-ifv1", impl_v1, VersionStatus::Released)
+        .unwrap();
     assert_eq!(
-        w.vm.set("NAND-impl-of-ifv1").unwrap().entry(impl_v1).unwrap().status,
+        w.vm.set("NAND-impl-of-ifv1")
+            .unwrap()
+            .entry(impl_v1)
+            .unwrap()
+            .status,
         VersionStatus::Released
     );
 }
