@@ -1,0 +1,145 @@
+//! E11 — resolution value cache: memoized vs walked reads, and the
+//! concurrent shared-store read path.
+//!
+//! Part A sweeps chain depth and compares a repeated `attr()` read with the
+//! memo on (O(1) map lookup after the first walk) against the memo off
+//! (re-walks d−1 hops every time). The gap must *grow* with depth — that is
+//! the cache's whole case.
+//!
+//! Part B drives [`ccdb_core::shared::SharedStore`] with 1/2/4/8 reader
+//! threads over a fan-out store (one interface, many bound implementations)
+//! and reports aggregate read throughput. Cached reads take the shared lock
+//! only, so throughput should scale with readers until memory bandwidth.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+use std::time::Instant;
+
+use ccdb_core::shared::SharedStore;
+
+use crate::table::{fmt_nanos, Table};
+use crate::workload::{chain_store, fanout_store};
+
+/// Run E11 part A: cached vs uncached repeated reads over chain depth.
+pub fn run(quick: bool) -> Table {
+    let depths: &[usize] = if quick {
+        &[1, 4, 8]
+    } else {
+        &[1, 2, 4, 8, 16, 32]
+    };
+    let iters = if quick { 2_000 } else { 200_000 };
+    let mut t = Table::new(
+        "E11a: repeated read latency — resolution cache on vs off",
+        &[
+            "chain depth d",
+            "uncached (walk)",
+            "cached (memo)",
+            "speedup",
+        ],
+    );
+    for &d in depths {
+        let (st, leaf, _root) = chain_store(d);
+        st.set_resolution_cache(false);
+        let uncached = super::time_per_iter(iters, || {
+            std::hint::black_box(st.attr(leaf, "X").unwrap());
+        });
+        st.set_resolution_cache(true);
+        st.attr(leaf, "X").unwrap(); // warm: the one real walk
+        let cached = super::time_per_iter(iters, || {
+            std::hint::black_box(st.attr(leaf, "X").unwrap());
+        });
+        t.row(vec![
+            d.to_string(),
+            fmt_nanos(uncached),
+            fmt_nanos(cached),
+            format!("{:.1}x", uncached / cached.max(f64::MIN_POSITIVE)),
+        ]);
+    }
+    t
+}
+
+/// Run E11 part B: shared-store read throughput vs reader-thread count.
+pub fn run_threads(quick: bool) -> Table {
+    let n_imps = if quick { 64 } else { 1024 };
+    let reads_per_thread = if quick { 5_000 } else { 200_000 };
+    let (st, _interface, imps) = fanout_store(n_imps, 4, 4);
+    let shared = SharedStore::from_store(st);
+    // Warm every implementation's entries once.
+    for &i in &imps {
+        shared.attr(i, "A0").unwrap();
+    }
+    let mut t = Table::new(
+        "E11b: shared-store cached read throughput vs reader threads",
+        &["threads", "total reads", "elapsed", "reads/s"],
+    );
+    for threads in [1usize, 2, 4, 8] {
+        let done = AtomicU64::new(0);
+        let start = Instant::now();
+        thread::scope(|scope| {
+            for w in 0..threads {
+                let shared = shared.clone();
+                let imps = &imps;
+                let done = &done;
+                scope.spawn(move || {
+                    // Stagger start offsets per worker.
+                    for k in w..w + reads_per_thread {
+                        let s = imps[k % imps.len()];
+                        std::hint::black_box(shared.attr(s, "A0").unwrap());
+                    }
+                    done.fetch_add(reads_per_thread as u64, Ordering::Relaxed);
+                });
+            }
+        });
+        let elapsed = start.elapsed();
+        let total = done.load(Ordering::Relaxed);
+        let per_sec = total as f64 / elapsed.as_secs_f64();
+        t.row(vec![
+            threads.to_string(),
+            total.to_string(),
+            fmt_nanos(elapsed.as_nanos() as f64),
+            format!("{:.2} M", per_sec / 1e6),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nanos_of(cell: &str) -> f64 {
+        let (num, unit) = cell.split_once(' ').unwrap();
+        let v: f64 = num.parse().unwrap();
+        match unit {
+            "ns" => v,
+            "µs" => v * 1e3,
+            "ms" => v * 1e6,
+            "s" => v * 1e9,
+            u => panic!("unit {u}"),
+        }
+    }
+
+    #[test]
+    fn cached_read_beats_walk_on_deep_chains() {
+        let t = run(true);
+        let deep = t.rows.last().unwrap();
+        let uncached = nanos_of(&deep[1]);
+        let cached = nanos_of(&deep[2]);
+        assert!(
+            cached < uncached,
+            "memoized read ({cached} ns) must beat the {}-hop walk ({uncached} ns)",
+            deep[0]
+        );
+    }
+
+    #[test]
+    fn thread_sweep_completes_all_reads() {
+        let t = run_threads(true);
+        assert_eq!(t.rows.len(), 4);
+        for row in &t.rows {
+            let threads: u64 = row[0].parse().unwrap();
+            let total: u64 = row[1].parse().unwrap();
+            assert_eq!(total, threads * 5_000);
+        }
+    }
+}

@@ -26,10 +26,15 @@ pub fn run(quick: bool) -> Table {
             "read (cached schema)",
             "read (uncached)",
             "local read",
+            "read (memoized)",
         ],
     );
     for &d in depths {
         let (st, leaf, root) = chain_store(d);
+        // This experiment measures the *walk*; the resolution value cache
+        // would answer every repeat in O(1) and flatten the curve (that
+        // effect is E11's subject). Switch it off for the walk columns.
+        st.set_resolution_cache(false);
         st.reset_stats();
         st.attr(leaf, "X").unwrap();
         let hops = st.stats().hops;
@@ -45,12 +50,17 @@ pub fn run(quick: bool) -> Table {
         let local = time_per_iter(iters, || {
             std::hint::black_box(st.attr(root, "X").unwrap());
         });
+        st.set_resolution_cache(true);
+        let memoized = time_per_iter(iters, || {
+            std::hint::black_box(st.attr(leaf, "X").unwrap());
+        });
         t.row(vec![
             d.to_string(),
             hops.to_string(),
             fmt_nanos(cached),
             fmt_nanos(uncached),
             fmt_nanos(local),
+            fmt_nanos(memoized),
         ]);
     }
     t

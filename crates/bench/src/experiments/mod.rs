@@ -1,4 +1,4 @@
-//! The quantitative experiment suite (E1–E10).
+//! The quantitative experiment suite (E1–E11).
 //!
 //! The paper presents no measurements (it is a data-model paper), so each
 //! experiment operationalizes one of its *qualitative* claims; the mapping
@@ -7,6 +7,7 @@
 //! `experiments` binary prints the full suite.
 
 pub mod e10_configuration;
+pub mod e11_rescache;
 pub mod e1_propagation;
 pub mod e2_resolution;
 pub mod e3_permeability;
@@ -32,6 +33,8 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e8_storage::run(quick),
         e9_storage_amp::run(quick),
         e10_configuration::run(quick),
+        e11_rescache::run(quick),
+        e11_rescache::run_threads(quick),
     ]
 }
 

@@ -4,12 +4,12 @@
 //!
 //! Evaluation harness for the ccdb reproduction: seeded workload generators
 //! ([`workload`]), the paper's five figure scenarios ([`figures`]), the
-//! quantitative experiment suite E1–E10 ([`experiments`]), and a small table
+//! quantitative experiment suite E1–E11 ([`experiments`]), and a small table
 //! printer ([`table`]).
 //!
 //! Binaries:
 //! - `figures` — builds and prints the five figure reproductions;
-//! - `experiments` — runs E1–E10 and prints their result tables
+//! - `experiments` — runs E1–E11 and prints their result tables
 //!   (`--quick` for a fast pass).
 //!
 //! Criterion benches (one per experiment) live under `benches/`.

@@ -133,6 +133,20 @@ fn core_workload(catalog: &Catalog) -> Result<(), CliError> {
                 let _ = store.attr(i, name);
                 let _ = store.resolution_chain(i, name);
             }
+            // Second pass answers from the resolution value cache (hits);
+            // a permeable rewrite then drops the memos (invalidations) so
+            // the closing pass re-walks and refills (misses).
+            for (name, _, _) in &eff.attrs {
+                let _ = store.attr(i, name);
+            }
+            for item in &def.inheriting {
+                if let Some(a) = t_def.attributes.iter().find(|a| &a.name == item) {
+                    let _ = store.set_attr(t, item, synth(&a.domain, n + 20));
+                }
+            }
+            for (name, _, _) in &eff.attrs {
+                let _ = store.attr(i, name);
+            }
         }
     }
     Ok(())
@@ -273,6 +287,9 @@ mod tests {
             "ccdb_core_resolution_local_reads_total",
             "ccdb_core_resolution_inherited_reads_total",
             "ccdb_core_resolution_hops_bucket",
+            "ccdb_core_rescache_hits_total",
+            "ccdb_core_rescache_misses_total",
+            "ccdb_core_rescache_invalidations_total",
             "ccdb_txn_lock_acquire_latency_ns_bucket",
             "ccdb_txn_lock_timeouts_total",
             "ccdb_storage_wal_appends_total",
@@ -302,6 +319,12 @@ mod tests {
         };
         assert!(
             value("ccdb_core_resolution_inherited_reads_total") >= 1.0,
+            "{out}"
+        );
+        assert!(value("ccdb_core_rescache_hits_total") >= 1.0, "{out}");
+        assert!(value("ccdb_core_rescache_misses_total") >= 1.0, "{out}");
+        assert!(
+            value("ccdb_core_rescache_invalidations_total") >= 1.0,
             "{out}"
         );
         assert!(value("ccdb_txn_lock_timeouts_total") >= 1.0, "{out}");

@@ -75,6 +75,7 @@ pub(crate) mod metrics;
 pub mod object;
 pub mod persist;
 pub mod schema;
+pub mod shared;
 pub mod store;
 pub mod surrogate;
 pub mod trigger;
@@ -90,6 +91,7 @@ pub mod prelude {
         AttrDef, Catalog, Constraint, InherRelTypeDef, ItemSource, ObjectTypeDef, ParticipantSpec,
         RelTypeDef, SubclassSpec, SubrelSpec,
     };
+    pub use crate::shared::SharedStore;
     pub use crate::store::{AdaptationEvent, ObjectStore, StoreStats, Violation};
     pub use crate::surrogate::Surrogate;
     pub use crate::trigger::{ProcessReport, TriggerOutcome, TriggerRegistry};

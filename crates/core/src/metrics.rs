@@ -32,6 +32,15 @@ pub(crate) struct CoreMetrics {
     /// `ccdb_core_adaptation_fanout` — relationship objects flagged per
     /// transmitter update that flagged at least one.
     pub adaptation_fanout: Arc<Histogram>,
+    /// `ccdb_core_rescache_hits_total` — attr reads answered from the
+    /// resolution value cache.
+    pub rescache_hits: Arc<Counter>,
+    /// `ccdb_core_rescache_misses_total` — attr reads that walked the chain
+    /// and filled the cache.
+    pub rescache_misses: Arc<Counter>,
+    /// `ccdb_core_rescache_invalidations_total` — cache entries dropped by
+    /// write-path invalidation.
+    pub rescache_invalidations: Arc<Counter>,
 }
 
 pub(crate) fn core_metrics() -> &'static CoreMetrics {
@@ -49,6 +58,9 @@ pub(crate) fn core_metrics() -> &'static CoreMetrics {
             unbind: r.counter("ccdb_core_store_unbind_total"),
             adaptation_events: r.counter("ccdb_core_adaptation_events_total"),
             adaptation_fanout: r.histogram("ccdb_core_adaptation_fanout", HOP_BUCKETS),
+            rescache_hits: r.counter("ccdb_core_rescache_hits_total"),
+            rescache_misses: r.counter("ccdb_core_rescache_misses_total"),
+            rescache_invalidations: r.counter("ccdb_core_rescache_invalidations_total"),
         }
     })
 }

@@ -96,7 +96,19 @@ pub fn load_store(kv: &DurableKv) -> CoreResult<ObjectStore> {
         let obj: ObjectData = serde_json::from_slice(&bytes).map_err(codec_err)?;
         objects.push(obj);
     }
-    ObjectStore::restore(catalog, objects, classes)
+    let store = ObjectStore::restore(catalog, objects, classes)?;
+    // A persisted store may have been edited (or corrupted) outside this
+    // process; re-verify the structural invariants — notably the absence of
+    // binding cycles — before handing it to resolution.
+    let problems = store.verify_integrity();
+    if !problems.is_empty() {
+        return Err(CoreError::Storage(format!(
+            "persisted store fails integrity verification ({} problem(s)): {}",
+            problems.len(),
+            problems.join("; ")
+        )));
+    }
+    Ok(store)
 }
 
 #[cfg(test)]
@@ -220,6 +232,55 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         let kv = DurableKv::open(dir.path()).unwrap();
         assert!(matches!(load_store(&kv), Err(CoreError::Storage(_))));
+    }
+
+    #[test]
+    fn corrupted_store_with_binding_cycle_refused_on_load() {
+        use crate::object::ObjectKind;
+
+        let (store, ..) = sample_store();
+        let dir = tempfile::tempdir().unwrap();
+        let kv = DurableKv::open(dir.path()).unwrap();
+        save_store(&store, &kv).unwrap();
+
+        // Forge two records that form an inheritance-binding cycle — the
+        // kind of damage an external editor (or bit rot) could introduce.
+        let imp = Surrogate(100);
+        let rel = Surrogate(101);
+        let mut imp_obj = ObjectData::plain(imp, "Impl");
+        imp_obj.bindings.insert("AllOf_If".into(), rel);
+        let rel_obj = ObjectData {
+            surrogate: rel,
+            type_name: "AllOf_If".into(),
+            kind: ObjectKind::InheritanceRel {
+                transmitter: imp,
+                inheritor: imp,
+                needs_adaptation: false,
+            },
+            owner: None,
+            attrs: Default::default(),
+            subclasses: Default::default(),
+            bindings: Default::default(),
+        };
+        let tx = kv.begin().unwrap();
+        for obj in [&imp_obj, &rel_obj] {
+            kv.put(
+                tx,
+                object_key(obj.surrogate),
+                &serde_json::to_vec(obj).unwrap(),
+            )
+            .unwrap();
+        }
+        kv.commit(tx).unwrap();
+
+        let err = match load_store(&kv) {
+            Err(e) => e,
+            Ok(_) => panic!("corrupted store loaded successfully"),
+        };
+        assert!(
+            matches!(&err, CoreError::Storage(msg) if msg.contains("integrity")),
+            "got {err:?}"
+        );
     }
 
     #[test]

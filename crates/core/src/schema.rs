@@ -157,6 +157,9 @@ pub struct RelTypeDef {
     pub attributes: Vec<AttrDef>,
     /// Own subclasses of the relationship object.
     pub subclasses: Vec<SubclassSpec>,
+    /// Own relationship subclasses of the relationship object (symmetric
+    /// with [`ObjectTypeDef::subrels`]).
+    pub subrels: Vec<SubrelSpec>,
     /// Constraints over participants, attributes and subclasses.
     pub constraints: Vec<Constraint>,
 }
@@ -544,6 +547,16 @@ impl Catalog {
                         reason: format!(
                             "subclass `{}` references unknown element type `{}`",
                             sc.name, sc.element_type
+                        ),
+                    })?;
+            }
+            for sr in &def.subrels {
+                self.rel_type(&sr.rel_type)
+                    .map_err(|_| CoreError::InvalidSchema {
+                        type_name: name.clone(),
+                        reason: format!(
+                            "subrel `{}` references unknown relationship type `{}`",
+                            sr.name, sr.rel_type
                         ),
                     })?;
             }

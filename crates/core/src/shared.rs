@@ -1,0 +1,318 @@
+//! A thread-safe, shareable front-end over [`ObjectStore`].
+//!
+//! The paper's value-inheritance model is read-dominated: every `attr()`
+//! read walks the binding chain (§4), while writes are comparatively rare
+//! transmitter updates. [`SharedStore`] exploits that shape:
+//!
+//! - the store lives behind an `Arc<RwLock<_>>`, so **readers run fully in
+//!   parallel** (shared lock) and writers serialize (exclusive lock);
+//! - reads go through the store's resolution value cache
+//!   ([`ObjectStore::attr`] memoization), so a hot cached read under the
+//!   shared lock costs one map lookup — the store-level lock itself is
+//!   never exclusive on the read path;
+//! - cache **invalidation happens inside the store's write methods**, under
+//!   the same exclusive lock as the write, so no reader can observe a stale
+//!   value after a writer's lock is released.
+//!
+//! [`SharedStore::par_select`] and [`SharedStore::par_check_all`] fan a
+//! scan out over scoped threads, each holding its own shared guard — the
+//! multi-threaded read path measured by experiment E11.
+
+use std::sync::Arc;
+use std::thread;
+
+use parking_lot::RwLock;
+
+use crate::error::CoreResult;
+use crate::expr::{eval, Env, Expr};
+use crate::schema::Catalog;
+use crate::store::{ObjectStore, Violation};
+use crate::surrogate::Surrogate;
+use crate::value::Value;
+
+/// A cloneable handle to a store shared across threads. All clones see the
+/// same store; dropping the last clone drops the store.
+#[derive(Clone)]
+pub struct SharedStore {
+    inner: Arc<RwLock<ObjectStore>>,
+}
+
+impl SharedStore {
+    /// Create a shared store over a validated catalog.
+    pub fn new(catalog: Catalog) -> CoreResult<Self> {
+        Ok(SharedStore::from_store(ObjectStore::new(catalog)?))
+    }
+
+    /// Wrap an already-populated store.
+    pub fn from_store(store: ObjectStore) -> Self {
+        SharedStore {
+            inner: Arc::new(RwLock::new(store)),
+        }
+    }
+
+    /// Run `f` with shared (read) access. Many readers proceed in parallel.
+    pub fn read<R>(&self, f: impl FnOnce(&ObjectStore) -> R) -> R {
+        f(&self.inner.read())
+    }
+
+    /// Run `f` with exclusive (write) access.
+    pub fn write<R>(&self, f: impl FnOnce(&mut ObjectStore) -> R) -> R {
+        f(&mut self.inner.write())
+    }
+
+    /// Recover the inner store if this is the last handle.
+    pub fn try_into_inner(self) -> Result<ObjectStore, SharedStore> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(lock) => Ok(lock.into_inner()),
+            Err(inner) => Err(SharedStore { inner }),
+        }
+    }
+
+    /// Resolved attribute read (shared lock; cached reads cost one lookup).
+    pub fn attr(&self, obj: Surrogate, name: &str) -> CoreResult<Value> {
+        self.inner.read().attr(obj, name)
+    }
+
+    /// Local attribute write (exclusive lock; invalidates the resolution
+    /// cache for the written object and its inheritor closure before the
+    /// lock is released).
+    pub fn set_attr(&self, obj: Surrogate, name: &str, value: Value) -> CoreResult<()> {
+        self.inner.write().set_attr(obj, name, value)
+    }
+
+    /// Bind an inheritor to a transmitter (exclusive lock).
+    pub fn bind(
+        &self,
+        rel_type: &str,
+        transmitter: Surrogate,
+        inheritor: Surrogate,
+        rel_attrs: Vec<(&str, Value)>,
+    ) -> CoreResult<Surrogate> {
+        self.inner
+            .write()
+            .bind(rel_type, transmitter, inheritor, rel_attrs)
+    }
+
+    /// Dissolve an inheritance binding (exclusive lock).
+    pub fn unbind(&self, rel_obj: Surrogate) -> CoreResult<()> {
+        self.inner.write().unbind(rel_obj)
+    }
+
+    /// Parallel [`ObjectStore::select`]: evaluate `predicate` over all
+    /// objects of `type_name` on up to `threads` scoped threads, each under
+    /// its own shared guard. Results are in surrogate order, identical to
+    /// the sequential scan.
+    pub fn par_select(
+        &self,
+        type_name: &str,
+        predicate: &Expr,
+        threads: usize,
+    ) -> CoreResult<Vec<Surrogate>> {
+        let candidates: Vec<Surrogate> = {
+            let g = self.inner.read();
+            g.catalog().object_type(type_name)?;
+            g.surrogates()
+                .filter(|s| {
+                    g.object(*s)
+                        .map(|o| o.type_name == type_name)
+                        .unwrap_or(false)
+                })
+                .collect()
+            // Guard dropped before fan-out: a queued writer must not be able
+            // to wedge itself between this guard and the workers' guards.
+        };
+        let chunks = partition(&candidates, threads);
+        let mut hits: Vec<Surrogate> = thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|part| {
+                    scope.spawn(move || -> CoreResult<Vec<Surrogate>> {
+                        let g = self.inner.read();
+                        let mut out = Vec::new();
+                        for s in part {
+                            if let Value::Bool(true) = eval(&*g, s, &mut Env::new(), predicate)? {
+                                out.push(s);
+                            }
+                        }
+                        Ok(out)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("select worker panicked"))
+                .collect::<CoreResult<Vec<_>>>()
+        })?
+        .into_iter()
+        .flatten()
+        .collect();
+        hits.sort();
+        Ok(hits)
+    }
+
+    /// Parallel [`ObjectStore::check_all`]: constraint-check every object on
+    /// up to `threads` scoped threads. Violations come back in the same
+    /// (surrogate) order as the sequential check.
+    pub fn par_check_all(&self, threads: usize) -> CoreResult<Vec<Violation>> {
+        let mut surrogates: Vec<Surrogate> = {
+            let g = self.inner.read();
+            g.surrogates().collect()
+        };
+        surrogates.sort();
+        let chunks = partition(&surrogates, threads);
+        let out = thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|part| {
+                    scope.spawn(move || -> CoreResult<Vec<Violation>> {
+                        let g = self.inner.read();
+                        let mut out = Vec::new();
+                        for s in part {
+                            out.extend(g.check_constraints(s)?);
+                        }
+                        Ok(out)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("check worker panicked"))
+                .collect::<CoreResult<Vec<_>>>()
+        })?;
+        Ok(out.into_iter().flatten().collect())
+    }
+}
+
+/// Split `items` into at most `threads` contiguous, order-preserving chunks.
+fn partition(items: &[Surrogate], threads: usize) -> Vec<Vec<Surrogate>> {
+    let threads = threads.max(1);
+    if items.is_empty() {
+        return vec![];
+    }
+    let chunk = items.len().div_ceil(threads);
+    items.chunks(chunk).map(<[Surrogate]>::to_vec).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::expr::{BinOp, PathExpr};
+    use crate::schema::{AttrDef, InherRelTypeDef, ObjectTypeDef};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register_object_type(ObjectTypeDef {
+            name: "If".into(),
+            attributes: vec![AttrDef::new("X", Domain::Int)],
+            ..Default::default()
+        })
+        .unwrap();
+        c.register_inher_rel_type(InherRelTypeDef {
+            name: "AllOf_If".into(),
+            transmitter_type: "If".into(),
+            inheritor_type: None,
+            inheriting: vec!["X".into()],
+            attributes: vec![],
+            constraints: vec![],
+        })
+        .unwrap();
+        c.register_object_type(ObjectTypeDef {
+            name: "Impl".into(),
+            inheritor_in: vec!["AllOf_If".into()],
+            attributes: vec![AttrDef::new("Local", Domain::Int)],
+            ..Default::default()
+        })
+        .unwrap();
+        c
+    }
+
+    fn populated(n: usize) -> (SharedStore, Surrogate, Vec<Surrogate>) {
+        let mut st = ObjectStore::new(catalog()).unwrap();
+        let interface = st.create_object("If", vec![("X", Value::Int(7))]).unwrap();
+        let imps: Vec<Surrogate> = (0..n)
+            .map(|k| {
+                let i = st
+                    .create_object("Impl", vec![("Local", Value::Int(k as i64))])
+                    .unwrap();
+                st.bind("AllOf_If", interface, i, vec![]).unwrap();
+                i
+            })
+            .collect();
+        (SharedStore::from_store(st), interface, imps)
+    }
+
+    fn local_lt(limit: i64) -> Expr {
+        Expr::bin(
+            BinOp::Lt,
+            Expr::Path(PathExpr::self_path(&["Local"])),
+            Expr::int(limit),
+        )
+    }
+
+    #[test]
+    fn par_select_matches_sequential() {
+        let (shared, _, _) = populated(64);
+        let pred = local_lt(20);
+        let seq = shared.read(|st| st.select("Impl", &pred)).unwrap();
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(shared.par_select("Impl", &pred, threads).unwrap(), seq);
+        }
+        assert_eq!(seq.len(), 20);
+    }
+
+    #[test]
+    fn par_check_all_matches_sequential() {
+        let (shared, _, _) = populated(16);
+        let seq = shared.read(|st| st.check_all()).unwrap();
+        for threads in [1, 3, 8] {
+            assert_eq!(shared.par_check_all(threads).unwrap(), seq);
+        }
+    }
+
+    #[test]
+    fn concurrent_reads_see_writer_updates_instantly() {
+        let (shared, interface, imps) = populated(8);
+        // Warm the cache so readers start on the hit path.
+        for &i in &imps {
+            assert_eq!(shared.attr(i, "X").unwrap(), Value::Int(7));
+        }
+        thread::scope(|scope| {
+            let writer = {
+                let shared = shared.clone();
+                scope.spawn(move || {
+                    for v in 0..200 {
+                        shared.set_attr(interface, "X", Value::Int(v)).unwrap();
+                    }
+                })
+            };
+            for &i in &imps[..4] {
+                let shared = shared.clone();
+                scope.spawn(move || {
+                    for _ in 0..200 {
+                        // Any interleaving must observe some written value.
+                        match shared.attr(i, "X").unwrap() {
+                            Value::Int(v) => assert!((0..200).contains(&v) || v == 7),
+                            other => panic!("unexpected {other}"),
+                        }
+                    }
+                });
+            }
+            writer.join().unwrap();
+        });
+        // After the writer finished, every inheritor resolves the final
+        // value — the invalidation left no stale entry behind.
+        for &i in &imps {
+            assert_eq!(shared.attr(i, "X").unwrap(), Value::Int(199));
+        }
+    }
+
+    #[test]
+    fn try_into_inner_roundtrip() {
+        let (shared, interface, _) = populated(2);
+        let clone = shared.clone();
+        assert!(clone.try_into_inner().is_err(), "two handles alive");
+        let st = shared.try_into_inner().ok().expect("last handle unwraps");
+        assert_eq!(st.attr(interface, "X").unwrap(), Value::Int(7));
+    }
+}

@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use ccdb_obs::{event, Counter, Event, FieldValue};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::error::{CoreError, CoreResult};
 use crate::expr::{eval, Env, Expr, ObjectView, REL_VAR};
@@ -62,7 +62,19 @@ pub struct StoreStats {
     pub inherited_reads: u64,
     /// Total inheritance hops walked.
     pub hops: u64,
+    /// Attribute reads answered from the resolution value cache.
+    pub rescache_hits: u64,
+    /// Attribute reads that walked the chain and filled the cache.
+    pub rescache_misses: u64,
+    /// Cache entries dropped by write-path invalidation.
+    pub rescache_invalidations: u64,
 }
+
+/// Upper bound on inheritance hops walked by one resolution. `bind` refuses
+/// to create object-level cycles, so a healthy store never comes close; the
+/// cap turns a corrupt or hand-edited persisted store (loaded through a
+/// side channel) into a clean [`CoreError::EvalError`] instead of a hang.
+pub const MAX_RESOLUTION_DEPTH: u64 = 512;
 
 /// A failed integrity constraint.
 #[derive(Clone, Debug, PartialEq)]
@@ -113,6 +125,14 @@ pub struct ObjectStore {
     /// ablation.
     eff_cache: Mutex<HashMap<String, Arc<EffectiveSchema>>>,
     cache_enabled: AtomicBool,
+    /// Memoized [`ObjectStore::attr`] results: surrogate → attr → value.
+    /// Invalidated *precisely* on writes — the written object's entries plus
+    /// the transitive inheritor closure, the same traversal
+    /// [`ObjectStore::propagate_adaptation`] walks — so transmitter updates
+    /// stay instantly visible (§4 view semantics). Disable with
+    /// [`ObjectStore::set_resolution_cache`] for the E11 ablation.
+    res_cache: RwLock<HashMap<Surrogate, HashMap<String, Value>>>,
+    res_cache_enabled: AtomicBool,
     /// Ablation switch for E1: when off, transmitter updates skip the
     /// adaptation-flag walk (losing the paper's notification semantics).
     adaptation_enabled: bool,
@@ -121,6 +141,9 @@ pub struct ObjectStore {
     local_reads: Counter,
     inherited_reads: Counter,
     hops: Counter,
+    rescache_hits: Counter,
+    rescache_misses: Counter,
+    rescache_invalidations: Counter,
 }
 
 impl ObjectStore {
@@ -138,10 +161,15 @@ impl ObjectStore {
             clock: 0,
             eff_cache: Mutex::new(HashMap::new()),
             cache_enabled: AtomicBool::new(true),
+            res_cache: RwLock::new(HashMap::new()),
+            res_cache_enabled: AtomicBool::new(true),
             adaptation_enabled: true,
             local_reads: Counter::new(),
             inherited_reads: Counter::new(),
             hops: Counter::new(),
+            rescache_hits: Counter::new(),
+            rescache_misses: Counter::new(),
+            rescache_invalidations: Counter::new(),
         })
     }
 
@@ -155,6 +183,88 @@ impl ObjectStore {
         self.cache_enabled.store(enabled, Ordering::Relaxed);
         if !enabled {
             self.eff_cache.lock().clear();
+        }
+    }
+
+    /// Enable/disable the resolution value cache (ablation for experiment
+    /// E11). Disabling clears it; re-enabling starts cold. Correctness is
+    /// unaffected either way — with the cache off every read walks the
+    /// binding chain, exactly the paper's resolved-not-materialized model.
+    pub fn set_resolution_cache(&self, enabled: bool) {
+        self.res_cache_enabled.store(enabled, Ordering::Relaxed);
+        if !enabled {
+            self.res_cache.write().clear();
+        }
+    }
+
+    /// Is the resolution value cache currently enabled?
+    pub fn resolution_cache_enabled(&self) -> bool {
+        self.res_cache_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Number of memoized resolution entries (tests/diagnostics).
+    pub fn resolution_cache_len(&self) -> usize {
+        self.res_cache.read().values().map(HashMap::len).sum()
+    }
+
+    /// Drop the memoized resolutions of `root` and of every object that
+    /// (transitively) inherits through it. With `item: Some(name)` the sweep
+    /// follows only relationships permeable for `name` and drops only that
+    /// attribute's entries — the exact traversal
+    /// [`ObjectStore::propagate_adaptation`] walks for a transmitter update.
+    /// With `None` (bind/unbind/delete/undelete: whole-object resolution
+    /// changed) it follows every binding and drops every entry of the
+    /// closure.
+    fn invalidate_resolution(&self, root: Surrogate, item: Option<&str>) {
+        if !self.res_cache_enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut cache = self.res_cache.write();
+        if cache.is_empty() {
+            return;
+        }
+        let mut removed = 0u64;
+        let mut frontier = vec![root];
+        let mut seen = HashSet::new();
+        while let Some(t) = frontier.pop() {
+            if !seen.insert(t) {
+                continue;
+            }
+            match item {
+                Some(name) => {
+                    if let Some(per_obj) = cache.get_mut(&t) {
+                        if per_obj.remove(name).is_some() {
+                            removed += 1;
+                        }
+                        if per_obj.is_empty() {
+                            cache.remove(&t);
+                        }
+                    }
+                }
+                None => {
+                    if let Some(per_obj) = cache.remove(&t) {
+                        removed += per_obj.len() as u64;
+                    }
+                }
+            }
+            for rel in self.inheritors_of.get(&t).map(Vec::as_slice).unwrap_or(&[]) {
+                let Some(o) = self.objects.get(rel) else {
+                    continue;
+                };
+                if let Some(name) = item {
+                    if !self.catalog.is_permeable(&o.type_name, name) {
+                        continue;
+                    }
+                }
+                if let Some(i) = o.inheritor() {
+                    frontier.push(i);
+                }
+            }
+        }
+        drop(cache);
+        if removed > 0 {
+            self.rescache_invalidations.add(removed);
+            core_metrics().rescache_invalidations.add(removed);
         }
     }
 
@@ -181,6 +291,9 @@ impl ObjectStore {
             local_reads: self.local_reads.get(),
             inherited_reads: self.inherited_reads.get(),
             hops: self.hops.get(),
+            rescache_hits: self.rescache_hits.get(),
+            rescache_misses: self.rescache_misses.get(),
+            rescache_invalidations: self.rescache_invalidations.get(),
         }
     }
 
@@ -190,6 +303,9 @@ impl ObjectStore {
         self.local_reads.reset();
         self.inherited_reads.reset();
         self.hops.reset();
+        self.rescache_hits.reset();
+        self.rescache_misses.reset();
+        self.rescache_invalidations.reset();
     }
 
     /// Number of live objects (of all kinds).
@@ -550,6 +666,23 @@ impl ObjectStore {
         if transmitter == inheritor || self.transitively_inherits_from(transmitter, inheritor)? {
             return Err(CoreError::InheritanceCycle { object: inheritor });
         }
+        // Validate the relationship attributes *before* mutating anything:
+        // an invalid attribute must not leave a half-created binding behind.
+        for (name, value) in &rel_attrs {
+            let Some(a) = def.attributes.iter().find(|a| a.name.as_str() == *name) else {
+                return Err(CoreError::NoSuchAttribute {
+                    object: inheritor,
+                    attr: (*name).into(),
+                });
+            };
+            if !value.conforms_to(&a.domain) {
+                return Err(CoreError::DomainMismatch {
+                    attr: (*name).into(),
+                    expected: a.domain.describe(),
+                    got: format!("{value}"),
+                });
+            }
+        }
         let s = self.gen.issue();
         let obj = ObjectData::inheritance(s, rel_type, transmitter, inheritor);
         self.objects.insert(s, obj);
@@ -560,6 +693,9 @@ impl ObjectStore {
         for (name, value) in rel_attrs {
             self.set_attr(s, name, value)?;
         }
+        // The inheritor (and anything inheriting through it) now resolves
+        // through the new binding.
+        self.invalidate_resolution(inheritor, None);
         core_metrics().bind.inc();
         event::emit(|| {
             Event::now(
@@ -603,6 +739,10 @@ impl ObjectStore {
             inh.bindings.remove(&rel_ty);
         }
         self.objects.remove(&rel_obj);
+        // The inheritor (and its transitive inheritors) lost a resolution
+        // path; the relationship object's own attrs are gone too.
+        self.invalidate_resolution(inheritor, None);
+        self.invalidate_resolution(rel_obj, None);
         core_metrics().unbind.inc();
         event::emit(|| {
             Event::now(
@@ -709,10 +849,19 @@ impl ObjectStore {
     }
 
     fn local_subrel_spec(&self, type_name: &str, name: &str) -> Option<&SubrelSpec> {
-        self.catalog
-            .object_type(type_name)
-            .ok()
-            .and_then(|def| def.subrels.iter().find(|sr| sr.name == name))
+        // Mirror `local_subclass_spec`: relationship types may own subrels
+        // too (a relationship object is a full object, §3/§5).
+        if let Ok(def) = self.catalog.object_type(type_name) {
+            if let Some(sr) = def.subrels.iter().find(|sr| sr.name == name) {
+                return Some(sr);
+            }
+        }
+        if let Ok(def) = self.catalog.rel_type(type_name) {
+            if let Some(sr) = def.subrels.iter().find(|sr| sr.name == name) {
+                return Some(sr);
+            }
+        }
+        None
     }
 
     /// Effective attribute read with value-inheritance resolution.
@@ -721,6 +870,21 @@ impl ObjectStore {
     /// binding chain to the transmitter. An *unbound* inheritor yields
     /// [`Value::Missing`] — it inherits only the structure (§4.1).
     pub fn attr(&self, obj: Surrogate, name: &str) -> CoreResult<Value> {
+        let caching = self.res_cache_enabled.load(Ordering::Relaxed);
+        if caching {
+            // Hits take only the shared lock, so concurrent cached readers
+            // (SharedStore::par_select, E11b) proceed without serializing.
+            if let Some(v) = self
+                .res_cache
+                .read()
+                .get(&obj)
+                .and_then(|per_obj| per_obj.get(name))
+            {
+                self.rescache_hits.inc();
+                core_metrics().rescache_hits.inc();
+                return Ok(v.clone());
+            }
+        }
         // Iterative chain walk with *batched* counter updates: bookkeeping
         // happens once per read, not once per hop, keeping instrumentation
         // overhead on the resolution hot path within noise.
@@ -744,6 +908,13 @@ impl ObjectStore {
                                 .transmitter()
                                 .ok_or_else(|| CoreError::EvalError("corrupt binding".into()))?;
                             depth += 1;
+                            if depth > MAX_RESOLUTION_DEPTH {
+                                return Err(CoreError::EvalError(format!(
+                                    "resolution of `{name}` on {obj} exceeded \
+                                     {MAX_RESOLUTION_DEPTH} hops — binding cycle in a corrupt \
+                                     store?"
+                                )));
+                            }
                         }
                         None => break Value::Missing, // unbound inheritor (§4.1)
                     }
@@ -757,6 +928,15 @@ impl ObjectStore {
                 }
             }
         };
+        if caching {
+            self.rescache_misses.inc();
+            core_metrics().rescache_misses.inc();
+            self.res_cache
+                .write()
+                .entry(obj)
+                .or_default()
+                .insert(name.to_string(), value.clone());
+        }
         let m = core_metrics();
         if inherited {
             self.inherited_reads.inc();
@@ -839,6 +1019,12 @@ impl ObjectStore {
                         .ok_or_else(|| CoreError::EvalError("corrupt binding".into()))?;
                     chain.push((t, item.to_string()));
                     cur = t;
+                    if chain.len() as u64 > MAX_RESOLUTION_DEPTH {
+                        return Err(CoreError::EvalError(format!(
+                            "resolution chain of `{item}` on {obj} exceeded \
+                             {MAX_RESOLUTION_DEPTH} hops — binding cycle in a corrupt store?"
+                        )));
+                    }
                 }
                 None => return Ok(chain), // unbound: chain ends here
             }
@@ -862,6 +1048,7 @@ impl ObjectStore {
                 }
                 self.object_mut(obj)?.attrs.insert(name.to_string(), value);
                 core_metrics().set_attr.inc();
+                self.invalidate_resolution(obj, Some(name));
                 self.propagate_adaptation(obj, name)?;
                 Ok(())
             }
@@ -1089,6 +1276,9 @@ impl ObjectStore {
                     if let Some(inh) = self.objects.get_mut(inheritor) {
                         inh.bindings.insert(o.type_name.clone(), *s);
                     }
+                    // A surviving inheritor may have cached `Missing` while
+                    // unbound; the restored binding re-routes its reads.
+                    self.invalidate_resolution(*inheritor, None);
                 }
                 ObjectKind::Relationship { participants } => {
                     for members in participants.values() {
@@ -1249,6 +1439,7 @@ impl ObjectStore {
             c.members.retain(|m| *m != obj);
         }
         self.objects.remove(&obj);
+        self.invalidate_resolution(obj, None);
         Ok(())
     }
 
@@ -1274,14 +1465,21 @@ impl ObjectStore {
         for c in &constraints {
             self.check_one(obj, c, &mut Env::new(), &mut out);
         }
-        // Subrel member `where` clauses.
-        if let Ok(def) = self.catalog.object_type(&o.type_name) {
-            for sr in &def.subrels {
-                for member in o.subclasses.get(&sr.name).cloned().unwrap_or_default() {
-                    for c in &sr.member_constraints {
-                        let mut env = Env::with(REL_VAR, member);
-                        self.check_one(obj, c, &mut env, &mut out);
-                    }
+        // Subrel member `where` clauses (object-type and rel-type owners
+        // alike — relationship objects may own subrels too).
+        let subrel_specs: Vec<SubrelSpec> = if let Ok(def) = self.catalog.object_type(&o.type_name)
+        {
+            def.subrels.clone()
+        } else if let Ok(def) = self.catalog.rel_type(&o.type_name) {
+            def.subrels.clone()
+        } else {
+            vec![]
+        };
+        for sr in &subrel_specs {
+            for member in o.subclasses.get(&sr.name).cloned().unwrap_or_default() {
+                for c in &sr.member_constraints {
+                    let mut env = Env::with(REL_VAR, member);
+                    self.check_one(obj, c, &mut env, &mut out);
                 }
             }
         }
@@ -1435,6 +1633,14 @@ impl ObjectStore {
                     }
                     _ => {}
                 }
+            }
+        }
+        // Object-level binding cycles: `bind` refuses to create them, but a
+        // corrupt or hand-edited persisted store can contain one, which
+        // would (absent the resolution depth cap) loop reads forever.
+        for (s, o) in &self.objects {
+            if !o.bindings.is_empty() && self.transitively_inherits_from(*s, *s).unwrap_or(false) {
+                problems.push(format!("{s} lies on an inheritance-binding cycle"));
             }
         }
         problems

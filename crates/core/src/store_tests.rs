@@ -86,6 +86,7 @@ fn chip_catalog() -> Catalog {
             Domain::ListOf(Box::new(Domain::Point)),
         )],
         subclasses: vec![],
+        subrels: vec![],
         constraints: vec![],
     })
     .unwrap();
@@ -1106,6 +1107,323 @@ fn unbind_rejects_non_relationship_objects() {
     let mut st = store();
     let g = st.create_object("GateInterface", vec![]).unwrap();
     assert!(matches!(st.unbind(g), Err(CoreError::TypeMismatch { .. })));
+}
+
+// ----------------------------------------------------------------------
+// Resolution value cache
+// ----------------------------------------------------------------------
+
+#[test]
+fn resolution_cache_memoizes_repeated_reads() {
+    let mut st = store();
+    let (interface, ..) = make_interface(&mut st, 10);
+    let imp = st.create_object("GateImplementation", vec![]).unwrap();
+    st.bind("AllOf_GateInterface", interface, imp, vec![])
+        .unwrap();
+    st.reset_stats();
+    assert_eq!(st.attr(imp, "Length").unwrap(), Value::Int(10));
+    assert_eq!(st.attr(imp, "Length").unwrap(), Value::Int(10));
+    assert_eq!(st.attr(imp, "Length").unwrap(), Value::Int(10));
+    let stats = st.stats();
+    assert_eq!(stats.rescache_misses, 1, "first read walks the chain");
+    assert_eq!(stats.rescache_hits, 2, "repeats answer from the cache");
+    // The cached read does not re-walk: hop accounting stays at one walk.
+    assert_eq!(stats.hops, 1);
+}
+
+#[test]
+fn set_attr_invalidates_only_the_written_attribute() {
+    let mut st = store();
+    let (interface, ..) = make_interface(&mut st, 10);
+    let imp = st.create_object("GateImplementation", vec![]).unwrap();
+    st.bind("AllOf_GateInterface", interface, imp, vec![])
+        .unwrap();
+    // Fill two inherited entries.
+    assert_eq!(st.attr(imp, "Length").unwrap(), Value::Int(10));
+    assert_eq!(st.attr(imp, "Width").unwrap(), Value::Int(4));
+    let filled = st.resolution_cache_len();
+    st.set_attr(interface, "Length", Value::Int(11)).unwrap();
+    // Instant visibility through the cache (§4.1 view semantics)...
+    assert_eq!(st.attr(imp, "Length").unwrap(), Value::Int(11));
+    // ...while the untouched Width entry survived the invalidation.
+    st.reset_stats();
+    assert_eq!(st.attr(imp, "Width").unwrap(), Value::Int(4));
+    assert_eq!(st.stats().rescache_hits, 1, "Width entry was not dropped");
+    assert!(st.resolution_cache_len() >= filled - 1);
+}
+
+#[test]
+fn non_permeable_write_does_not_invalidate_inheritors() {
+    let mut st = store();
+    let imp = st
+        .create_object("GateImplementation", vec![("TimeBehavior", Value::Int(3))])
+        .unwrap();
+    let composite = st.create_object("TimedComposite", vec![]).unwrap();
+    st.bind("SomeOf_Gate", imp, composite, vec![]).unwrap();
+    assert_eq!(st.attr(composite, "TimeBehavior").unwrap(), Value::Int(3));
+    st.reset_stats();
+    // `Function` is NOT in SomeOf_Gate's permeability list: the sweep must
+    // not cross the relationship, so the composite's entry stays cached.
+    st.set_attr(imp, "Function", Value::Matrix(vec![])).unwrap();
+    assert_eq!(st.stats().rescache_invalidations, 0);
+    assert_eq!(st.attr(composite, "TimeBehavior").unwrap(), Value::Int(3));
+    assert_eq!(st.stats().rescache_hits, 1);
+    // A permeable write does cross and drop the entry.
+    st.set_attr(imp, "TimeBehavior", Value::Int(4)).unwrap();
+    assert!(st.stats().rescache_invalidations >= 1);
+    assert_eq!(st.attr(composite, "TimeBehavior").unwrap(), Value::Int(4));
+}
+
+#[test]
+fn bind_unbind_undelete_keep_cache_coherent() {
+    let mut st = store();
+    let (interface, ..) = make_interface(&mut st, 10);
+    let imp = st.create_object("GateImplementation", vec![]).unwrap();
+    // Unbound inheritor: Missing is cached too.
+    assert_eq!(st.attr(imp, "Length").unwrap(), Value::Missing);
+    let rel = st
+        .bind("AllOf_GateInterface", interface, imp, vec![])
+        .unwrap();
+    assert_eq!(
+        st.attr(imp, "Length").unwrap(),
+        Value::Int(10),
+        "bind dropped the cached Missing"
+    );
+    st.unbind(rel).unwrap();
+    assert_eq!(
+        st.attr(imp, "Length").unwrap(),
+        Value::Missing,
+        "unbind dropped the cached resolution"
+    );
+    st.bind("AllOf_GateInterface", interface, imp, vec![])
+        .unwrap();
+    assert_eq!(st.attr(imp, "Length").unwrap(), Value::Int(10));
+    // Recorded delete of the transmitter subtree, then restore.
+    let rec = st.delete_recorded(imp).unwrap();
+    st.undelete(rec).unwrap();
+    assert_eq!(st.attr(imp, "Length").unwrap(), Value::Int(10));
+    st.set_attr(interface, "Length", Value::Int(12)).unwrap();
+    assert_eq!(st.attr(imp, "Length").unwrap(), Value::Int(12));
+}
+
+#[test]
+fn resolution_cache_toggle_preserves_semantics() {
+    let mut st = store();
+    let (interface, ..) = make_interface(&mut st, 10);
+    let imp = st.create_object("GateImplementation", vec![]).unwrap();
+    st.bind("AllOf_GateInterface", interface, imp, vec![])
+        .unwrap();
+    assert!(st.resolution_cache_enabled());
+    let with_cache = st.attr(imp, "Length").unwrap();
+    assert!(st.resolution_cache_len() > 0);
+    st.set_resolution_cache(false);
+    assert_eq!(st.resolution_cache_len(), 0, "disable clears the cache");
+    let without_cache = st.attr(imp, "Length").unwrap();
+    assert_eq!(with_cache, without_cache);
+    st.reset_stats();
+    st.attr(imp, "Length").unwrap();
+    st.attr(imp, "Length").unwrap();
+    let stats = st.stats();
+    assert_eq!(stats.rescache_hits, 0, "disabled cache never answers");
+    assert_eq!(stats.rescache_misses, 0, "disabled cache never fills");
+    st.set_resolution_cache(true);
+    assert_eq!(st.attr(imp, "Length").unwrap(), with_cache);
+}
+
+// ----------------------------------------------------------------------
+// Bind atomicity (regression: failed rel-attr validation used to leave a
+// half-applied binding behind)
+// ----------------------------------------------------------------------
+
+#[test]
+fn failed_bind_leaves_store_unchanged() {
+    let mut st = store();
+    let (interface, ..) = make_interface(&mut st, 10);
+    let imp = st.create_object("GateImplementation", vec![]).unwrap();
+    let count_before = st.object_count();
+
+    // Unknown relationship attribute.
+    let err = st
+        .bind(
+            "AllOf_GateInterface",
+            interface,
+            imp,
+            vec![("Bogus", Value::Int(1))],
+        )
+        .unwrap_err();
+    assert!(matches!(err, CoreError::NoSuchAttribute { .. }));
+    // Domain mismatch on a known relationship attribute (Note: text).
+    let err = st
+        .bind(
+            "AllOf_GateInterface",
+            interface,
+            imp,
+            vec![("Note", Value::Int(1))],
+        )
+        .unwrap_err();
+    assert!(matches!(err, CoreError::DomainMismatch { .. }));
+
+    // Nothing happened: no rel object, no binding, no index entry.
+    assert_eq!(st.object_count(), count_before);
+    assert!(st.inheritance_rels_of(interface).is_empty());
+    assert_eq!(st.binding_of(imp, "AllOf_GateInterface"), None);
+    assert_eq!(st.attr(imp, "Length").unwrap(), Value::Missing);
+    assert!(st.verify_integrity().is_empty());
+
+    // And the store still accepts a correct bind afterwards.
+    st.bind(
+        "AllOf_GateInterface",
+        interface,
+        imp,
+        vec![("Note", Value::Str("ok".into()))],
+    )
+    .unwrap();
+    assert_eq!(st.attr(imp, "Length").unwrap(), Value::Int(10));
+}
+
+// ----------------------------------------------------------------------
+// Cycle guard (regression: resolution used to spin forever on a corrupt
+// store with a binding cycle)
+// ----------------------------------------------------------------------
+
+#[test]
+fn corrupt_binding_cycle_errors_instead_of_hanging() {
+    // `bind` rejects cycles, so forge one the way a corrupted persisted
+    // image would present it: restore hand-crafted records.
+    let imp = Surrogate(1);
+    let rel = Surrogate(2);
+    let mut imp_obj = ObjectData::plain(imp, "GateImplementation");
+    imp_obj.bindings.insert("AllOf_GateInterface".into(), rel);
+    let rel_obj = ObjectData {
+        surrogate: rel,
+        type_name: "AllOf_GateInterface".into(),
+        kind: ObjectKind::InheritanceRel {
+            transmitter: imp, // cycle: imp transmits to itself
+            inheritor: imp,
+            needs_adaptation: false,
+        },
+        owner: None,
+        attrs: Default::default(),
+        subclasses: Default::default(),
+        bindings: Default::default(),
+    };
+    let st = ObjectStore::restore(chip_catalog(), vec![imp_obj, rel_obj], vec![]).unwrap();
+
+    let err = st.attr(imp, "Length").unwrap_err();
+    assert!(
+        matches!(&err, CoreError::EvalError(msg) if msg.contains("cycle")),
+        "got {err:?}"
+    );
+    let err = st.resolution_chain(imp, "Length").unwrap_err();
+    assert!(matches!(err, CoreError::EvalError(_)));
+    // Integrity verification names the cycle.
+    let problems = st.verify_integrity();
+    assert!(problems.iter().any(|p| p.contains("cycle")), "{problems:?}");
+}
+
+// ----------------------------------------------------------------------
+// Subrels on relationship types (regression: `local_subrel_spec` ignored
+// relationship types, asymmetric with `local_subclass_spec`)
+// ----------------------------------------------------------------------
+
+fn bus_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.register_object_type(ObjectTypeDef {
+        name: "PinType".into(),
+        attributes: vec![AttrDef::new("Id", Domain::Int)],
+        ..Default::default()
+    })
+    .unwrap();
+    c.register_rel_type(RelTypeDef {
+        name: "WireType".into(),
+        participants: vec![
+            crate::schema::ParticipantSpec::one("Pin1", "PinType"),
+            crate::schema::ParticipantSpec::one("Pin2", "PinType"),
+        ],
+        attributes: vec![],
+        subclasses: vec![],
+        subrels: vec![],
+        constraints: vec![],
+    })
+    .unwrap();
+    // A bus is itself a relationship — and owns its segment wires in a
+    // local subrel, exactly as a complex object would.
+    c.register_rel_type(RelTypeDef {
+        name: "BusType".into(),
+        participants: vec![
+            crate::schema::ParticipantSpec::one("From", "PinType"),
+            crate::schema::ParticipantSpec::one("To", "PinType"),
+        ],
+        attributes: vec![],
+        subclasses: vec![],
+        subrels: vec![SubrelSpec {
+            name: "Segments".into(),
+            rel_type: "WireType".into(),
+            member_constraints: vec![],
+        }],
+        constraints: vec![],
+    })
+    .unwrap();
+    c
+}
+
+#[test]
+fn relationship_types_can_own_subrels() {
+    let mut st = ObjectStore::new(bus_catalog()).unwrap();
+    let p1 = st
+        .create_object("PinType", vec![("Id", Value::Int(1))])
+        .unwrap();
+    let p2 = st
+        .create_object("PinType", vec![("Id", Value::Int(2))])
+        .unwrap();
+    let bus = st
+        .create_rel(
+            "BusType",
+            vec![("From", vec![p1]), ("To", vec![p2])],
+            vec![],
+        )
+        .unwrap();
+    // Before the fix this failed with NoSuchSubclass: the spec lookup only
+    // consulted object types.
+    let seg = st
+        .create_subrel(
+            bus,
+            "Segments",
+            vec![("Pin1", vec![p1]), ("Pin2", vec![p2])],
+            vec![],
+        )
+        .unwrap();
+    let owner = st.object(seg).unwrap().owner.clone().unwrap();
+    assert_eq!(owner.parent, bus);
+    assert_eq!(owner.subclass, "Segments");
+    assert_eq!(st.subclass_members(bus, "Segments").unwrap(), vec![seg]);
+    // Member and owner check clean; cascade delete still applies.
+    assert!(st.check_all().unwrap().is_empty());
+    st.delete(bus).unwrap();
+    assert!(st.object(seg).is_err(), "segment deleted with owning bus");
+    assert!(st.verify_integrity().is_empty());
+}
+
+#[test]
+fn rel_type_subrel_referencing_unknown_rel_type_rejected() {
+    let mut c = bus_catalog();
+    c.register_rel_type(RelTypeDef {
+        name: "BrokenBus".into(),
+        participants: vec![crate::schema::ParticipantSpec::one("From", "PinType")],
+        attributes: vec![],
+        subclasses: vec![],
+        subrels: vec![SubrelSpec {
+            name: "Segments".into(),
+            rel_type: "NoSuchWire".into(),
+            member_constraints: vec![],
+        }],
+        constraints: vec![],
+    })
+    .unwrap();
+    assert!(matches!(
+        ObjectStore::new(c),
+        Err(CoreError::InvalidSchema { .. })
+    ));
 }
 
 #[test]

@@ -316,6 +316,7 @@ impl<'a> Cx<'a> {
                 participants,
                 attributes,
                 subclasses,
+                subrels: vec![],
                 constraints,
             })
             .map_err(|e| CompileError {

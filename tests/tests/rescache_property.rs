@@ -1,0 +1,164 @@
+//! Property test for the resolution value cache: a cached store and a
+//! cache-disabled shadow store receive the same random operation stream,
+//! and after every operation every resolvable attribute must read the same
+//! through both. This is the §4.1 instant-visibility guarantee — the memo
+//! may never serve a stale value past a write, a (re)bind, an unbind, or a
+//! delete/undelete.
+
+use ccdb_core::domain::Domain;
+use ccdb_core::schema::{AttrDef, Catalog, InherRelTypeDef, ObjectTypeDef};
+use ccdb_core::store::ObjectStore;
+use ccdb_core::{Surrogate, Value};
+use proptest::prelude::*;
+
+/// Two-hop abstraction chain: `If` transmits X/Y to `Mid`, which re-exports
+/// both to `Leaf`.
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.register_object_type(ObjectTypeDef {
+        name: "If".into(),
+        attributes: vec![
+            AttrDef::new("X", Domain::Int),
+            AttrDef::new("Y", Domain::Int),
+        ],
+        ..Default::default()
+    })
+    .unwrap();
+    c.register_inher_rel_type(InherRelTypeDef {
+        name: "AllOf_If".into(),
+        transmitter_type: "If".into(),
+        inheritor_type: None,
+        inheriting: vec!["X".into(), "Y".into()],
+        attributes: vec![],
+        constraints: vec![],
+    })
+    .unwrap();
+    c.register_object_type(ObjectTypeDef {
+        name: "Mid".into(),
+        inheritor_in: vec!["AllOf_If".into()],
+        ..Default::default()
+    })
+    .unwrap();
+    c.register_inher_rel_type(InherRelTypeDef {
+        name: "AllOf_Mid".into(),
+        transmitter_type: "Mid".into(),
+        inheritor_type: None,
+        inheriting: vec!["X".into(), "Y".into()],
+        attributes: vec![],
+        constraints: vec![],
+    })
+    .unwrap();
+    c.register_object_type(ObjectTypeDef {
+        name: "Leaf".into(),
+        inheritor_in: vec!["AllOf_Mid".into()],
+        ..Default::default()
+    })
+    .unwrap();
+    c
+}
+
+struct Population {
+    ifs: Vec<Surrogate>,
+    mids: Vec<Surrogate>,
+    leafs: Vec<Surrogate>,
+}
+
+fn populate(st: &mut ObjectStore) -> Population {
+    let ifs: Vec<Surrogate> = (0..2)
+        .map(|k| {
+            st.create_object("If", vec![("X", Value::Int(k)), ("Y", Value::Int(k + 10))])
+                .unwrap()
+        })
+        .collect();
+    let mids: Vec<Surrogate> = (0..2)
+        .map(|_| st.create_object("Mid", vec![]).unwrap())
+        .collect();
+    let leafs: Vec<Surrogate> = (0..2)
+        .map(|_| st.create_object("Leaf", vec![]).unwrap())
+        .collect();
+    for k in 0..2 {
+        st.bind("AllOf_If", ifs[k], mids[k], vec![]).unwrap();
+        st.bind("AllOf_Mid", mids[k], leafs[k], vec![]).unwrap();
+    }
+    Population { ifs, mids, leafs }
+}
+
+/// Apply one op to a store. Decisions (e.g. bind vs unbind) depend only on
+/// store state, which is identical in both stores by induction.
+fn apply(st: &mut ObjectStore, p: &Population, op: usize, t: usize, v: i64) {
+    match op {
+        0 => st.set_attr(p.ifs[t], "X", Value::Int(v)).unwrap(),
+        1 => st.set_attr(p.ifs[t], "Y", Value::Int(v)).unwrap(),
+        2 => {
+            // Toggle the mid-level binding (invalidate the whole sub-chain).
+            match st.binding_of(p.mids[t], "AllOf_If") {
+                Some(rel) => st.unbind(rel).unwrap(),
+                None => {
+                    st.bind("AllOf_If", p.ifs[t], p.mids[t], vec![]).unwrap();
+                }
+            }
+        }
+        3 => {
+            // Toggle the leaf-level binding.
+            match st.binding_of(p.leafs[t], "AllOf_Mid") {
+                Some(rel) => st.unbind(rel).unwrap(),
+                None => {
+                    st.bind("AllOf_Mid", p.mids[t], p.leafs[t], vec![]).unwrap();
+                }
+            }
+        }
+        _ => {
+            // Recorded delete + undelete of a leaf: the restored binding
+            // must resolve the *current* transmitter values afterwards.
+            let rec = st.delete_recorded(p.leafs[t]).unwrap();
+            st.undelete(rec).unwrap();
+        }
+    }
+}
+
+/// Read every attribute of every object, as comparable values (errors are
+/// part of the observable behavior and must match too).
+fn observe(st: &ObjectStore, p: &Population) -> Vec<Result<Value, String>> {
+    let mut out = Vec::new();
+    for s in p.ifs.iter().chain(&p.mids).chain(&p.leafs) {
+        for name in ["X", "Y"] {
+            out.push(st.attr(*s, name).map_err(|e| e.to_string()));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cached_store_always_agrees_with_uncached(
+        ops in proptest::collection::vec((0usize..5, 0usize..2, -100i64..100), 1..50)
+    ) {
+        let mut cached = ObjectStore::new(catalog()).unwrap();
+        let mut shadow = ObjectStore::new(catalog()).unwrap();
+        shadow.set_resolution_cache(false);
+        prop_assert!(cached.resolution_cache_enabled());
+
+        // Deterministic surrogate generation keeps the two populations
+        // aligned: the k-th create in each store yields the same surrogate.
+        let p_cached = populate(&mut cached);
+        let p_shadow = populate(&mut shadow);
+        prop_assert_eq!(&p_cached.ifs, &p_shadow.ifs);
+        prop_assert_eq!(&p_cached.leafs, &p_shadow.leafs);
+
+        for (op, t, v) in ops {
+            apply(&mut cached, &p_cached, op, t, v);
+            apply(&mut shadow, &p_shadow, op, t, v);
+            prop_assert_eq!(
+                observe(&cached, &p_cached),
+                observe(&shadow, &p_shadow),
+                "divergence after op {} on target {}", op, t
+            );
+        }
+        prop_assert!(cached.verify_integrity().is_empty());
+        // The shadow never cached anything; the cached store's stats add up.
+        prop_assert_eq!(shadow.stats().rescache_hits, 0);
+        prop_assert_eq!(shadow.stats().rescache_misses, 0);
+    }
+}
