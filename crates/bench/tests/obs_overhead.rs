@@ -47,3 +47,49 @@ fn resolution_overhead_within_five_percent() {
         overhead * 100.0
     );
 }
+
+/// Paired check for the tracing-disabled configuration (the production
+/// default: metrics on, trace collection off). Every `trace::span` call
+/// site on the resolution path is reached and must fold to its one relaxed
+/// load and branch — so resolution latency in this configuration stays
+/// within 5% of the fully quiescent floor (all instrumentation off), even
+/// with the resolution cache disabled so each read passes *all* call
+/// sites, not just the cached-read root span.
+#[test]
+#[ignore = "timing measurement; run in release mode on a quiet machine"]
+fn tracing_disabled_overhead_within_five_percent() {
+    let (st, leaf, _root) = chain_store(4);
+    st.set_resolution_cache(false);
+    let iters = 100_000;
+    let run = || {
+        time_per_iter(iters, || {
+            std::hint::black_box(st.attr(leaf, "X").unwrap());
+        })
+    };
+    ccdb_obs::trace::set_tracing(false);
+    for enabled in [false, true] {
+        ccdb_obs::set_enabled(enabled);
+        run();
+    }
+    let mut ratios = Vec::new();
+    for _ in 0..15 {
+        ccdb_obs::set_enabled(false);
+        let floor = run();
+        ccdb_obs::set_enabled(true);
+        let disabled_tracing = run();
+        ratios.push(disabled_tracing / floor);
+    }
+    ccdb_obs::set_enabled(true);
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let overhead = ratios[ratios.len() / 2] - 1.0;
+    println!(
+        "median paired tracing-disabled overhead over {} rounds: {:.2}%",
+        ratios.len(),
+        overhead * 100.0
+    );
+    assert!(
+        overhead <= 0.05,
+        "tracing-disabled overhead {:.2}% > 5%",
+        overhead * 100.0
+    );
+}

@@ -1,0 +1,268 @@
+//! `ccdb explain`: resolve one attribute with tracing forced on and
+//! pretty-print the causal span tree — every inheritance hop with its
+//! transmitter, the permeability decision, and the resolution-cache
+//! outcome.
+//!
+//! The command builds a minimal instance chain for the requested type by
+//! walking the *effective schema*: starting from an instance of the type,
+//! each `Inherited { via_rel }` step creates a transmitter of the
+//! relationship's declared transmitter type and binds it, until the
+//! attribute is local to the chain head, where a synthetic value is set.
+//! The attribute is then resolved twice — a **cold** read that walks the
+//! binding chain (one `core.attr.hop` span per hop) and a **warm** read
+//! answered by the resolution cache — and both traces are printed.
+
+use ccdb_core::schema::{Catalog, ItemSource};
+use ccdb_core::{ObjectStore, Surrogate};
+use ccdb_obs::trace::{self, SpanRecord, TraceNode};
+
+use crate::stats::synth;
+use crate::{load_catalog, CliError};
+
+fn internal(e: impl std::fmt::Display) -> CliError {
+    CliError {
+        message: format!("explain failed: {e}"),
+        code: 1,
+    }
+}
+
+/// The instance chain built for the demonstration: the leaf object plus
+/// one `(via_rel, transmitter)` entry per inheritance hop.
+struct Chain {
+    leaf: Surrogate,
+    hops: Vec<(String, Surrogate)>,
+}
+
+/// Create an instance of `type_name` and the transmitter chain that makes
+/// `attr` resolvable on it, setting a synthetic value at the chain head.
+fn build_chain(
+    store: &mut ObjectStore,
+    catalog: &Catalog,
+    type_name: &str,
+    attr: &str,
+) -> Result<Chain, CliError> {
+    let leaf = store
+        .create_object(type_name, Vec::new())
+        .map_err(internal)?;
+    let mut hops = Vec::new();
+    let mut cur_ty = type_name.to_string();
+    let mut cur_obj = leaf;
+    loop {
+        let eff = catalog.effective_schema(&cur_ty).map_err(internal)?;
+        match eff.attr(attr) {
+            None => {
+                return Err(CliError {
+                    message: format!("type `{cur_ty}` has no attribute `{attr}`"),
+                    code: 1,
+                })
+            }
+            Some((domain, ItemSource::Local)) => {
+                store
+                    .set_attr(cur_obj, attr, synth(domain, 7))
+                    .map_err(internal)?;
+                return Ok(Chain { leaf, hops });
+            }
+            Some((_, ItemSource::Inherited { via_rel, .. })) => {
+                let via_rel = via_rel.clone();
+                let rel_def = catalog.inher_rel_type(&via_rel).map_err(internal)?;
+                let trans_ty = rel_def.transmitter_type.clone();
+                let t = store
+                    .create_object(&trans_ty, Vec::new())
+                    .map_err(internal)?;
+                store
+                    .bind(&via_rel, t, cur_obj, Vec::new())
+                    .map_err(internal)?;
+                hops.push((via_rel, t));
+                cur_obj = t;
+                cur_ty = trans_ty;
+            }
+        }
+    }
+}
+
+/// Formats a nanosecond duration adaptively (ns / µs / ms).
+fn fmt_dur(ns: u64) -> String {
+    if ns < 10_000 {
+        format!("{ns}ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else {
+        format!("{:.1}ms", ns as f64 / 1_000_000.0)
+    }
+}
+
+fn render_node(node: &TraceNode, indent: usize, out: &mut String) {
+    let pad = "   ".repeat(indent);
+    out.push_str(&format!(
+        "{pad}└─ {} ({})",
+        node.record.name,
+        fmt_dur(node.record.dur_ns)
+    ));
+    for (k, v) in &node.record.fields {
+        out.push_str(&format!(" {k}={v}"));
+    }
+    out.push('\n');
+    for child in &node.children {
+        render_node(child, indent + 1, out);
+    }
+}
+
+fn render_trees(spans: &[SpanRecord], out: &mut String) {
+    for tree in trace::build_trees(spans) {
+        render_node(&tree, 0, out);
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::new();
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn spans_json(spans: &[SpanRecord]) -> String {
+    let mut out = String::from("[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&trace::span_to_json(s));
+    }
+    out.push(']');
+    out
+}
+
+/// `explain`: trace one attribute resolution and print the span tree.
+pub fn cmd_explain(
+    source: &str,
+    type_name: &str,
+    attr: &str,
+    json: bool,
+) -> Result<String, CliError> {
+    let catalog = load_catalog(source)?;
+    let mut store = ObjectStore::new(catalog.clone()).map_err(internal)?;
+    let chain = build_chain(&mut store, &catalog, type_name, attr)?;
+
+    // Force tracing on, unsampled, with a clean buffer: `explain` exists to
+    // show the trace, so the production sampling knobs don't apply here.
+    let was_tracing = trace::tracing();
+    let prev_rate = trace::sample_rate();
+    trace::set_sample_rate(1.0);
+    trace::set_tracing(true);
+    trace::clear();
+
+    let cold_value = store.attr(chain.leaf, attr);
+    let cold_spans = trace::take_spans();
+    let warm_value = store.attr(chain.leaf, attr);
+    let warm_spans = trace::take_spans();
+
+    trace::set_tracing(was_tracing);
+    trace::set_sample_rate(prev_rate);
+
+    let value = cold_value.map_err(internal)?;
+    let _ = warm_value;
+
+    if json {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"type\": \"{}\", ", json_escape(type_name)));
+        out.push_str(&format!("\"attr\": \"{}\", ", json_escape(attr)));
+        out.push_str(&format!("\"object\": {}, ", chain.leaf.0));
+        out.push_str(&format!(
+            "\"value\": \"{}\", ",
+            json_escape(&value.to_string())
+        ));
+        out.push_str(&format!("\"hops\": {}, ", chain.hops.len()));
+        out.push_str(&format!("\"cold\": {}, ", spans_json(&cold_spans)));
+        out.push_str(&format!("\"warm\": {}", spans_json(&warm_spans)));
+        out.push_str("}\n");
+        return Ok(out);
+    }
+
+    let mut out = format!("explain {type_name}.{attr}\n\n");
+    out.push_str(&format!(
+        "object {} ({type_name}) — built {} inheritance hop(s):\n",
+        chain.leaf.0,
+        chain.hops.len()
+    ));
+    for (i, (rel, t)) in chain.hops.iter().enumerate() {
+        out.push_str(&format!(
+            "  hop {}: via {rel} to transmitter object {}\n",
+            i + 1,
+            t.0
+        ));
+    }
+    out.push_str(&format!("\n{type_name}.{attr} = {value}\n\n"));
+    out.push_str("cold resolution (walks the binding chain):\n");
+    render_trees(&cold_spans, &mut out);
+    out.push_str("\nwarm resolution (answered by the resolution cache):\n");
+    render_trees(&warm_spans, &mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Tracing state is process-global; serialize with other trace users.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    const SCHEMA: &str = r#"
+        obj-type If =
+            attributes: Length: integer;
+        end If;
+        inher-rel-type AllOf_If =
+            transmitter: object-of-type If;
+            inheritor: object;
+            inheriting: Length;
+        end AllOf_If;
+        obj-type Impl =
+            inheritor-in: AllOf_If;
+            attributes: Cost: integer;
+        end Impl;
+    "#;
+
+    #[test]
+    fn explain_shows_hop_with_permeability_and_cache() {
+        let _g = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        let out = cmd_explain(SCHEMA, "Impl", "Length", false).unwrap();
+        assert!(out.contains("Impl.Length = 7"), "{out}");
+        assert!(out.contains("core.attr.hop"), "{out}");
+        assert!(out.contains("via_rel=AllOf_If"), "{out}");
+        assert!(out.contains("permeable=yes"), "{out}");
+        assert!(out.contains("rescache=miss"), "{out}");
+        assert!(out.contains("rescache=hit"), "{out}");
+    }
+
+    #[test]
+    fn explain_local_attribute_has_no_hops() {
+        let _g = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        let out = cmd_explain(SCHEMA, "Impl", "Cost", false).unwrap();
+        assert!(out.contains("built 0 inheritance hop(s)"), "{out}");
+        assert!(!out.contains("core.attr.hop"), "{out}");
+    }
+
+    #[test]
+    fn explain_json_is_parseable() {
+        let _g = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        let out = cmd_explain(SCHEMA, "Impl", "Length", true).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+        assert_eq!(v["type"].as_str(), Some("Impl"));
+        assert_eq!(v["hops"].as_i64(), Some(1));
+        assert!(v["cold"].as_array().unwrap().len() >= 2, "{out}");
+        assert_eq!(v["warm"].as_array().unwrap().len(), 1, "{out}");
+    }
+
+    #[test]
+    fn explain_unknown_attribute_fails() {
+        let _g = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        assert!(cmd_explain(SCHEMA, "Impl", "Ghost", false).is_err());
+    }
+}

@@ -10,15 +10,23 @@
 //!   (local + inherited items with their provenance);
 //! - `ccdb render <file>` — normalize: compile and render back to source;
 //! - `ccdb stats <file> [--json]` — run a synthetic workload over the schema
-//!   and dump the process-global metrics snapshot ([`stats`]).
+//!   and dump the process-global metrics snapshot ([`stats`]);
+//! - `ccdb explain <file> <type> <attr> [--json]` — resolve one attribute
+//!   with tracing forced on and print the causal span tree ([`explain`]).
 //!
 //! The functions are exposed as a library so they are unit-testable; the
 //! binary is a thin wrapper.
+//!
+//! Setting the environment variable `CCDB_SLOW_OP_NS` to a nanosecond
+//! threshold turns on the slow-operation log for the process: traced root
+//! operations at least that slow are mirrored as `obs.slow_op` events.
 
 use ccdb_core::schema::{Catalog, ItemSource};
 use ccdb_lang::{compile_str, render};
 
+pub mod explain;
 pub mod stats;
+pub use explain::cmd_explain;
 pub use stats::cmd_stats;
 
 /// CLI failure: message for stderr + suggested exit code.
@@ -158,7 +166,16 @@ pub fn cmd_render(source: &str) -> Result<String, CliError> {
 
 /// Dispatch `argv[1..]`; returns the stdout text.
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    let usage = "usage: ccdb <check|effective|render|stats> <schema-file> [type|--json]";
+    let usage = "usage: ccdb <check|effective|render|stats|explain> <schema-file> \
+                 [type [attr]] [--json]";
+    // Opt-in slow-op log: traced roots slower than this are mirrored as
+    // `obs.slow_op` events through the installed subscriber.
+    if let Some(ns) = std::env::var("CCDB_SLOW_OP_NS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        ccdb_obs::trace::set_slow_op_threshold_ns(ns);
+    }
     let cmd = args.first().map(String::as_str).unwrap_or("");
     let read = |path: &str| -> Result<String, CliError> {
         std::fs::read_to_string(path).map_err(|e| CliError {
@@ -196,6 +213,17 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 Some(_) => return fail(usage, 2),
             };
             cmd_stats(&read(path)?, json)
+        }
+        "explain" => {
+            let (Some(path), Some(ty), Some(attr)) = (args.get(1), args.get(2), args.get(3)) else {
+                return fail(usage, 2);
+            };
+            let json = match args.get(4).map(String::as_str) {
+                None => false,
+                Some("--json") => true,
+                Some(_) => return fail(usage, 2),
+            };
+            cmd_explain(&read(path)?, ty, attr, json)
         }
         _ => fail(usage, 2),
     }

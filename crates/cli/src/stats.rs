@@ -37,7 +37,9 @@ fn internal(e: impl std::fmt::Display) -> CliError {
 }
 
 /// Synthesize a value conforming to `domain` (deterministic, seeded by `n`).
-fn synth(domain: &Domain, n: i64) -> Value {
+/// Shared with `ccdb explain`, which sets one synthetic value at the head
+/// of its demonstration chain.
+pub(crate) fn synth(domain: &Domain, n: i64) -> Value {
     match domain {
         Domain::Int => Value::Int(n),
         Domain::Real => Value::Real(n as f64 * 0.5),
@@ -239,8 +241,12 @@ fn storage_workload() -> Result<(), CliError> {
     Ok(())
 }
 
-/// `stats`: run the synthetic workload and render the metrics snapshot as
-/// Prometheus text (or JSON when `json` is set).
+/// `stats`: run the synthetic workload and render the metrics snapshot.
+///
+/// Text output is the quantile summary (`count`/`sum`/`p50`/`p95`/`p99`
+/// per histogram, derived from the bucket counts) rather than raw bucket
+/// dumps; JSON output carries the same quantile estimates alongside the
+/// buckets for machine consumers.
 pub fn cmd_stats(source: &str, json: bool) -> Result<String, CliError> {
     let catalog = load_catalog(source)?;
     let registry = ccdb_obs::global();
@@ -251,7 +257,7 @@ pub fn cmd_stats(source: &str, json: bool) -> Result<String, CliError> {
     Ok(if json {
         registry.render_json()
     } else {
-        registry.render_prometheus()
+        registry.render_text_summary()
     })
 }
 
@@ -286,11 +292,11 @@ mod tests {
         for series in [
             "ccdb_core_resolution_local_reads_total",
             "ccdb_core_resolution_inherited_reads_total",
-            "ccdb_core_resolution_hops_bucket",
+            "ccdb_core_resolution_hops",
             "ccdb_core_rescache_hits_total",
             "ccdb_core_rescache_misses_total",
             "ccdb_core_rescache_invalidations_total",
-            "ccdb_txn_lock_acquire_latency_ns_bucket",
+            "ccdb_txn_lock_acquire_latency_ns",
             "ccdb_txn_lock_timeouts_total",
             "ccdb_storage_wal_appends_total",
             "ccdb_storage_wal_syncs_total",
@@ -300,6 +306,13 @@ mod tests {
         ] {
             assert!(out.contains(series), "missing {series} in:\n{out}");
         }
+        // Histograms render as quantile summaries, never raw bucket dumps.
+        assert!(
+            out.contains("ccdb_txn_lock_acquire_latency_ns count="),
+            "{out}"
+        );
+        assert!(out.contains(" p95="), "{out}");
+        assert!(!out.contains("_bucket"), "{out}");
     }
 
     #[test]

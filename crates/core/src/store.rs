@@ -15,7 +15,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use ccdb_obs::{event, Counter, Event, FieldValue};
+use ccdb_obs::{event, trace, Counter, Event, FieldValue};
 use parking_lot::{Mutex, RwLock};
 
 use crate::error::{CoreError, CoreResult};
@@ -219,17 +219,27 @@ impl ObjectStore {
         if !self.res_cache_enabled.load(Ordering::Relaxed) {
             return;
         }
+        let mut tspan = trace::span("core.rescache.invalidate");
+        if let Some(s) = &mut tspan {
+            s.u64("root", root.0);
+            match item {
+                Some(name) => s.field("item", FieldValue::Owned(name.to_string())),
+                None => s.str("item", "*"),
+            }
+        }
         let mut cache = self.res_cache.write();
         if cache.is_empty() {
             return;
         }
         let mut removed = 0u64;
+        let mut swept = 0u64;
         let mut frontier = vec![root];
         let mut seen = HashSet::new();
         while let Some(t) = frontier.pop() {
             if !seen.insert(t) {
                 continue;
             }
+            swept += 1;
             match item {
                 Some(name) => {
                     if let Some(per_obj) = cache.get_mut(&t) {
@@ -262,6 +272,10 @@ impl ObjectStore {
             }
         }
         drop(cache);
+        if let Some(s) = &mut tspan {
+            s.u64("swept", swept);
+            s.u64("removed", removed);
+        }
         if removed > 0 {
             self.rescache_invalidations.add(removed);
             core_metrics().rescache_invalidations.add(removed);
@@ -634,6 +648,12 @@ impl ObjectStore {
         inheritor: Surrogate,
         rel_attrs: Vec<(&str, Value)>,
     ) -> CoreResult<Surrogate> {
+        let mut tspan = trace::span("core.bind");
+        if let Some(s) = &mut tspan {
+            s.field("rel_type", FieldValue::Owned(rel_type.to_string()));
+            s.u64("transmitter", transmitter.0);
+            s.u64("inheritor", inheritor.0);
+        }
         let def = self.catalog.inher_rel_type(rel_type)?.clone();
         let trans_ty = self.object(transmitter)?.type_name.clone();
         if trans_ty != def.transmitter_type {
@@ -712,6 +732,10 @@ impl ObjectStore {
 
     /// Remove an inheritance binding given its relationship object.
     pub fn unbind(&mut self, rel_obj: Surrogate) -> CoreResult<()> {
+        let mut tspan = trace::span("core.unbind");
+        if let Some(s) = &mut tspan {
+            s.u64("rel_obj", rel_obj.0);
+        }
         let (transmitter, inheritor, rel_ty) = {
             let o = self.object(rel_obj)?;
             match &o.kind {
@@ -870,6 +894,14 @@ impl ObjectStore {
     /// binding chain to the transmitter. An *unbound* inheritor yields
     /// [`Value::Missing`] — it inherits only the structure (§4.1).
     pub fn attr(&self, obj: Surrogate, name: &str) -> CoreResult<Value> {
+        // One relaxed load and a branch when tracing is off (the same
+        // quiescent pattern as SpanTimer); hop spans below are only
+        // attempted when this root span exists.
+        let mut tspan = trace::span("core.attr");
+        if let Some(s) = &mut tspan {
+            s.u64("object", obj.0);
+            s.field("attr", FieldValue::Owned(name.to_string()));
+        }
         let caching = self.res_cache_enabled.load(Ordering::Relaxed);
         if caching {
             // Hits take only the shared lock, so concurrent cached readers
@@ -882,6 +914,9 @@ impl ObjectStore {
             {
                 self.rescache_hits.inc();
                 core_metrics().rescache_hits.inc();
+                if let Some(s) = &mut tspan {
+                    s.str("rescache", "hit");
+                }
                 return Ok(v.clone());
             }
         }
@@ -903,11 +938,30 @@ impl ObjectStore {
                     inherited = true;
                     match o.bindings.get(via_rel) {
                         Some(rel_obj) => {
+                            let from = cur;
                             cur = self
                                 .object(*rel_obj)?
                                 .transmitter()
                                 .ok_or_else(|| CoreError::EvalError("corrupt binding".into()))?;
                             depth += 1;
+                            if tspan.is_some() {
+                                let mut hop = trace::span("core.attr.hop");
+                                if let Some(h) = &mut hop {
+                                    h.u64("hop", depth);
+                                    h.u64("from", from.0);
+                                    h.field("via_rel", FieldValue::Owned(via_rel.clone()));
+                                    h.u64("rel_obj", rel_obj.0);
+                                    h.u64("transmitter", cur.0);
+                                    h.str(
+                                        "permeable",
+                                        if self.catalog.is_permeable(via_rel, name) {
+                                            "yes"
+                                        } else {
+                                            "no"
+                                        },
+                                    );
+                                }
+                            }
                             if depth > MAX_RESOLUTION_DEPTH {
                                 return Err(CoreError::EvalError(format!(
                                     "resolution of `{name}` on {obj} exceeded \
@@ -916,7 +970,12 @@ impl ObjectStore {
                                 )));
                             }
                         }
-                        None => break Value::Missing, // unbound inheritor (§4.1)
+                        None => {
+                            if let Some(s) = &mut tspan {
+                                s.str("unbound", "yes");
+                            }
+                            break Value::Missing; // unbound inheritor (§4.1)
+                        }
                     }
                 }
                 Some((_, ItemSource::Local)) => unreachable!("local handled above"),
@@ -928,6 +987,13 @@ impl ObjectStore {
                 }
             }
         };
+        if let Some(s) = &mut tspan {
+            if caching {
+                s.str("rescache", "miss");
+            }
+            s.u64("hops", depth);
+            s.u64("resolved_from", cur.0);
+        }
         if caching {
             self.rescache_misses.inc();
             core_metrics().rescache_misses.inc();
@@ -1083,6 +1149,11 @@ impl ObjectStore {
         if !self.adaptation_enabled {
             return Ok(());
         }
+        let mut tspan = trace::span("core.adaptation.propagate");
+        if let Some(s) = &mut tspan {
+            s.u64("transmitter", transmitter.0);
+            s.field("item", FieldValue::Owned(item.to_string()));
+        }
         let mut flagged = 0u64;
         let mut frontier = vec![transmitter];
         let mut seen = HashSet::new();
@@ -1118,9 +1189,21 @@ impl ObjectStore {
                 });
                 core_metrics().adaptation_events.inc();
                 flagged += 1;
+                if tspan.is_some() {
+                    let mut flag = trace::span("core.adaptation.flag");
+                    if let Some(fs) = &mut flag {
+                        fs.u64("rel_obj", rel.0);
+                        fs.u64("transmitter", t.0);
+                        fs.u64("inheritor", inheritor.0);
+                        fs.field("via_rel", FieldValue::Owned(rel_ty.clone()));
+                    }
+                }
                 // The inheritor may re-transmit the same item further up.
                 frontier.push(inheritor);
             }
+        }
+        if let Some(s) = &mut tspan {
+            s.u64("fanout", flagged);
         }
         if flagged > 0 && ccdb_obs::enabled() {
             core_metrics().adaptation_fanout.observe(flagged);

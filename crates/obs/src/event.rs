@@ -10,7 +10,7 @@
 //! quiescent cost on hot paths is one relaxed atomic load.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{SystemTime, UNIX_EPOCH};
 
@@ -88,10 +88,17 @@ pub trait Subscriber: Send + Sync {
 }
 
 /// A bounded in-memory subscriber retaining the most recent events.
+///
+/// At capacity the oldest event is overwritten, **never silently**: every
+/// overwrite is tallied in [`RingBuffer::dropped_events`]. The count is
+/// updated under the same lock that rotates the queue, so concurrent
+/// publishers cannot lose drops (`len() + dropped_events()` always equals
+/// the number of events published since the last drain... plus drains).
 #[derive(Debug)]
 pub struct RingBuffer {
     capacity: usize,
     events: Mutex<VecDeque<Event>>,
+    dropped: AtomicU64,
 }
 
 impl RingBuffer {
@@ -100,12 +107,19 @@ impl RingBuffer {
         RingBuffer {
             capacity: capacity.max(1),
             events: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
         }
     }
 
     /// Number of events currently retained.
     pub fn len(&self) -> usize {
         self.events.lock().unwrap().len()
+    }
+
+    /// Events overwritten on wraparound since creation. Monotonic; not
+    /// reset by [`RingBuffer::drain`].
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Whether no events are retained.
@@ -129,6 +143,9 @@ impl Subscriber for RingBuffer {
         let mut q = self.events.lock().unwrap();
         if q.len() == self.capacity {
             q.pop_front();
+            // Counted while holding the queue lock: a concurrent publisher
+            // cannot interleave between the overwrite and its tally.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         q.push_back(event.clone());
     }
@@ -172,11 +189,42 @@ mod tests {
         for i in 0..3u64 {
             rb.on_event(&Event::now("e", vec![("i", FieldValue::U64(i))]));
         }
+        assert_eq!(rb.dropped_events(), 1);
         let events = rb.drain();
         assert_eq!(events.len(), 2);
         assert_eq!(events[0].field("i"), Some(&FieldValue::U64(1)));
         assert_eq!(events[1].field("i"), Some(&FieldValue::U64(2)));
         assert!(rb.is_empty());
+    }
+
+    #[test]
+    fn drop_count_is_lossless_under_concurrent_publishers() {
+        const THREADS: u64 = 8;
+        const EVENTS: u64 = 500;
+        const CAPACITY: usize = 16;
+        let rb = Arc::new(RingBuffer::new(CAPACITY));
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let rb = Arc::clone(&rb);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..EVENTS {
+                    rb.on_event(&Event::now(
+                        "e",
+                        vec![("i", FieldValue::U64(t * EVENTS + i))],
+                    ));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Every published event is either retained or accounted as dropped.
+        assert_eq!(rb.len(), CAPACITY);
+        assert_eq!(
+            rb.len() as u64 + rb.dropped_events(),
+            THREADS * EVENTS,
+            "drops lost under concurrency"
+        );
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //! - [`span`] — RAII timers recording elapsed nanoseconds into histograms;
 //! - [`event`] — optional structured-event sink (ring buffer, pluggable
 //!   [`Subscriber`]) for tracing resolution chains, lock waits, WAL syncs,
-//!   buffer-pool evictions, and recovery replay.
+//!   buffer-pool evictions, and recovery replay;
+//! - [`trace`] — causal trace trees: per-operation spans with trace/span
+//!   ids and parent links, a bounded sampled buffer, Chrome-trace/JSONL
+//!   exporters, and a slow-operation log.
 //!
 //! ## Naming scheme
 //!
@@ -32,11 +35,13 @@ pub mod event;
 pub mod metrics;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use event::{Event, FieldValue, RingBuffer, Subscriber};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{global, Registry};
 pub use span::SpanTimer;
+pub use trace::{SpanGuard, SpanId, SpanRecord, TraceId};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

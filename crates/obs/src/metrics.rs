@@ -138,6 +138,45 @@ pub struct HistogramSnapshot {
     pub count: u64,
 }
 
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`q` in `[0.0, 1.0]`) from the bucket
+    /// counts, Prometheus `histogram_quantile`-style: find the bucket the
+    /// target rank falls in, then interpolate linearly between its bounds.
+    /// Ranks landing in the `+Inf` bucket report the largest finite bound
+    /// (the histogram cannot resolve beyond it). Returns `None` for an
+    /// empty histogram or an out-of-range `q`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = q * self.count as f64;
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if (seen as f64) < rank {
+                continue;
+            }
+            if i >= self.bounds.len() {
+                // +Inf bucket: saturate at the largest finite bound.
+                return self.bounds.last().map(|b| *b as f64);
+            }
+            let upper = self.bounds[i] as f64;
+            let lower = if i == 0 {
+                0.0
+            } else {
+                self.bounds[i - 1] as f64
+            };
+            let bucket_count = *n as f64;
+            if bucket_count == 0.0 {
+                return Some(upper);
+            }
+            let into_bucket = rank - (seen - n) as f64;
+            return Some(lower + (upper - lower) * (into_bucket / bucket_count));
+        }
+        self.bounds.last().map(|b| *b as f64)
+    }
+}
+
 impl Histogram {
     /// Creates a histogram with the given inclusive upper bounds, which
     /// must be strictly increasing and non-empty.
@@ -282,6 +321,35 @@ mod tests {
     #[should_panic(expected = "must increase")]
     fn histogram_rejects_unsorted_bounds() {
         let _ = Histogram::new(&[5, 5]);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let h = Histogram::new(&[10, 20, 40]);
+        // 10 observations in (10, 20]: ranks spread over one bucket.
+        for _ in 0..10 {
+            h.observe(15);
+        }
+        let s = h.snapshot();
+        // p50 → rank 5 of 10 in the (10, 20] bucket → 10 + 10·(5/10) = 15.
+        assert_eq!(s.quantile(0.5), Some(15.0));
+        assert_eq!(s.quantile(1.0), Some(20.0));
+        // First-bucket ranks interpolate from 0.
+        let h2 = Histogram::new(&[100]);
+        h2.observe(1);
+        h2.observe(1);
+        assert_eq!(h2.snapshot().quantile(0.5), Some(50.0));
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let h = Histogram::new(&[10, 20]);
+        assert_eq!(h.snapshot().quantile(0.5), None, "empty histogram");
+        h.observe(1_000); // +Inf bucket
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.99), Some(20.0), "saturates at last bound");
+        assert_eq!(s.quantile(-0.1), None);
+        assert_eq!(s.quantile(1.1), None);
     }
 
     #[test]

@@ -127,8 +127,10 @@ impl Registry {
     /// Renders every metric as a JSON object:
     /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}` with
     /// each histogram as `{"bounds": [...], "buckets": [...], "sum": n,
-    /// "count": n}`. Keys are sorted (BTreeMap order), so output is
-    /// deterministic. Hand-rolled to keep this crate dependency-free.
+    /// "count": n, "p50": x, "p95": x, "p99": x}` (quantiles estimated
+    /// from the buckets; `null` when empty). Keys are sorted (BTreeMap
+    /// order), so output is deterministic. Hand-rolled to keep this crate
+    /// dependency-free.
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\n  \"counters\": {");
         let counters = self.counters.lock().unwrap();
@@ -157,10 +159,51 @@ impl Registry {
             for (j, n) in s.buckets.iter().enumerate() {
                 let _ = write!(out, "{}{n}", if j == 0 { "" } else { ", " });
             }
-            let _ = write!(out, "], \"sum\": {}, \"count\": {}}}", s.sum, s.count);
+            let _ = write!(out, "], \"sum\": {}, \"count\": {}", s.sum, s.count);
+            for (label, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+                match s.quantile(q) {
+                    Some(v) => {
+                        let _ = write!(out, ", \"{label}\": {v:.1}");
+                    }
+                    None => {
+                        let _ = write!(out, ", \"{label}\": null");
+                    }
+                }
+            }
+            out.push('}');
         }
         drop(histograms);
         out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Renders a human-oriented summary: counters and gauges as
+    /// `name value`, histograms as one line with `count`, `sum`, and
+    /// p50/p95/p99 estimates derived from the buckets — no raw bucket
+    /// dumps (use [`Registry::render_prometheus`] for scrapers).
+    pub fn render_text_summary(&self) -> String {
+        let mut out = String::new();
+        for (name, c) in self.counters.lock().unwrap().iter() {
+            let _ = writeln!(out, "{name} {}", c.get());
+        }
+        for (name, g) in self.gauges.lock().unwrap().iter() {
+            let _ = writeln!(out, "{name} {}", g.get());
+        }
+        for (name, h) in self.histograms.lock().unwrap().iter() {
+            let s = h.snapshot();
+            let _ = write!(out, "{name} count={} sum={}", s.count, s.sum);
+            for (label, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+                match s.quantile(q) {
+                    Some(v) => {
+                        let _ = write!(out, " {label}={v:.1}");
+                    }
+                    None => {
+                        let _ = write!(out, " {label}=-");
+                    }
+                }
+            }
+            out.push('\n');
+        }
         out
     }
 }
@@ -229,6 +272,39 @@ mod tests {
         // Must parse as JSON (via the workspace serde shim in integration
         // tests; here a structural sanity check suffices).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn text_summary_has_quantiles_not_buckets() {
+        let r = Registry::new();
+        r.counter("ccdb_test_ops_total").add(3);
+        let h = r.histogram("ccdb_test_lat_ns", &[100]);
+        h.observe(50);
+        h.observe(50);
+        let text = r.render_text_summary();
+        assert!(text.contains("ccdb_test_ops_total 3"));
+        assert!(
+            text.contains("ccdb_test_lat_ns count=2 sum=100 p50=50.0 p95=95.0 p99=99.0"),
+            "{text}"
+        );
+        assert!(!text.contains("_bucket"), "{text}");
+        // Empty histograms render placeholder quantiles.
+        let r2 = Registry::new();
+        r2.histogram("ccdb_test_empty", &[1]);
+        assert!(r2.render_text_summary().contains("p50=- p95=- p99=-"));
+    }
+
+    #[test]
+    fn json_includes_quantile_estimates() {
+        let r = Registry::new();
+        let h = r.histogram("h", &[10]);
+        h.observe(5);
+        let json = r.render_json();
+        assert!(json.contains("\"p50\": 5.0"), "{json}");
+        assert!(json.contains("\"p99\": 9.9"), "{json}");
+        let r2 = Registry::new();
+        r2.histogram("h", &[10]);
+        assert!(r2.render_json().contains("\"p50\": null"));
     }
 
     #[test]

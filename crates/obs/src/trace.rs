@@ -1,0 +1,742 @@
+//! Causal trace trees: per-operation structured tracing.
+//!
+//! Where [`crate::span`] records *aggregate* latency histograms and
+//! [`crate::event`] streams flat events, this module captures the **causal
+//! structure** of one operation: an attribute resolution with every
+//! inheritance hop it walked, a lock acquisition with its wait, a buffer
+//! fetch with the eviction it forced. Each traced operation becomes a tree
+//! of [`SpanRecord`]s linked by `(trace, parent)` ids, collected into a
+//! bounded in-memory buffer for post-hoc inspection (`ccdb explain`, tests,
+//! the slow-op log).
+//!
+//! ## Cost model
+//!
+//! [`span`] is the only call sites pay. When tracing is off it is a single
+//! relaxed atomic load and a branch — the same quiescent pattern as
+//! [`crate::SpanTimer::start`] — and the closure-free API means no field
+//! formatting happens either (callers guard annotations on the returned
+//! `Option`). When tracing is on, a root span consults the sampler; an
+//! unsampled root *suppresses* its whole subtree via the thread-local span
+//! stack, so child spans of a dropped trace never allocate.
+//!
+//! ## Sampling
+//!
+//! [`set_sample_rate`] takes a rate in `[0.0, 1.0]`. The sampler is
+//! deterministic (a global trace counter, not an RNG): rate `r` keeps a
+//! trace whenever the integer part of `n·r` advances, so rate `1.0` keeps
+//! every trace, `0.0` keeps none, and `0.25` keeps exactly one in four.
+//!
+//! ## Slow-operation log
+//!
+//! A finished **root** span whose duration exceeds the configured
+//! [`set_slow_op_threshold_ns`] threshold is also emitted as an
+//! `obs.slow_op` [`crate::Event`] through the regular subscriber sink, so
+//! the existing [`crate::RingBuffer`] doubles as the slow-query log.
+//!
+//! ## Exporters
+//!
+//! [`export_chrome_trace`] renders a span set as Chrome-trace JSON (load it
+//! in `chrome://tracing` or Perfetto); [`export_jsonl`] renders one JSON
+//! object per line for machine diffing.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use crate::event::{self, Event, FieldValue};
+
+/// Identifies one traced operation (a tree of spans).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TraceId(pub u64);
+
+/// Identifies one span within the process (unique across traces).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct SpanId(pub u64);
+
+/// One finished span: a named, timed node of a trace tree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRecord {
+    /// The trace this span belongs to.
+    pub trace: TraceId,
+    /// This span's id.
+    pub span: SpanId,
+    /// Parent span id; `None` for the trace root.
+    pub parent: Option<SpanId>,
+    /// Span name, e.g. `"core.attr"` or `"txn.lock.acquire"`.
+    pub name: &'static str,
+    /// Wall-clock start, nanoseconds since the Unix epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Key=value annotations, in insertion order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl SpanRecord {
+    /// Returns the value of the first field named `key`, if any.
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Global tracer state
+// ---------------------------------------------------------------------
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+/// Sample rate as fixed-point parts-per-million (1_000_000 = keep all).
+static SAMPLE_PPM: AtomicU64 = AtomicU64::new(1_000_000);
+/// Monotonic would-be-trace counter driving the deterministic sampler.
+static TRACE_SEQ: AtomicU64 = AtomicU64::new(0);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+/// Root spans slower than this (ns) are mirrored as `obs.slow_op` events;
+/// `0` disables the slow-op log.
+static SLOW_OP_THRESHOLD_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Whether trace collection is currently active.
+///
+/// One relaxed load; always `false` without the `enabled` feature, so the
+/// optimizer strips traced paths entirely in gated builds.
+#[inline(always)]
+pub fn tracing() -> bool {
+    cfg!(feature = "enabled") && TRACING.load(Ordering::Relaxed)
+}
+
+/// Turns trace collection on or off process-wide. Orthogonal to
+/// [`crate::set_enabled`]: metrics can stay on while tracing is off (the
+/// usual production configuration).
+pub fn set_tracing(on: bool) {
+    TRACING.store(on, Ordering::Relaxed);
+}
+
+/// Sets the trace sample rate, clamped to `[0.0, 1.0]`. `1.0` keeps every
+/// trace, `0.0` keeps none; intermediate rates keep a deterministic,
+/// evenly spaced subset of root spans.
+pub fn set_sample_rate(rate: f64) {
+    let rate = rate.clamp(0.0, 1.0);
+    SAMPLE_PPM.store((rate * 1_000_000.0).round() as u64, Ordering::Relaxed);
+}
+
+/// The configured sample rate.
+pub fn sample_rate() -> f64 {
+    SAMPLE_PPM.load(Ordering::Relaxed) as f64 / 1_000_000.0
+}
+
+/// Sets the slow-operation threshold in nanoseconds; a finished root span
+/// at least this slow is emitted as an `obs.slow_op` event through the
+/// installed [`crate::Subscriber`]. `0` (the default) disables the log.
+pub fn set_slow_op_threshold_ns(ns: u64) {
+    SLOW_OP_THRESHOLD_NS.store(ns, Ordering::Relaxed);
+}
+
+/// The configured slow-operation threshold (ns); `0` = disabled.
+pub fn slow_op_threshold_ns() -> u64 {
+    SLOW_OP_THRESHOLD_NS.load(Ordering::Relaxed)
+}
+
+/// Deterministic sampler: keep trace `n` iff `floor(n·r)` advanced over
+/// `floor((n-1)·r)` in parts-per-million arithmetic.
+fn sample_next_trace() -> bool {
+    let ppm = SAMPLE_PPM.load(Ordering::Relaxed);
+    if ppm == 0 {
+        return false;
+    }
+    if ppm >= 1_000_000 {
+        return true;
+    }
+    let n = TRACE_SEQ.fetch_add(1, Ordering::Relaxed) + 1;
+    (n * ppm) / 1_000_000 > ((n - 1) * ppm) / 1_000_000
+}
+
+// ---------------------------------------------------------------------
+// Trace buffer
+// ---------------------------------------------------------------------
+
+struct BufferState {
+    spans: VecDeque<SpanRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+fn buffer() -> &'static Mutex<BufferState> {
+    static BUF: OnceLock<Mutex<BufferState>> = OnceLock::new();
+    BUF.get_or_init(|| {
+        Mutex::new(BufferState {
+            spans: VecDeque::new(),
+            capacity: DEFAULT_BUFFER_CAPACITY,
+            dropped: 0,
+        })
+    })
+}
+
+/// Default capacity of the in-memory span buffer.
+pub const DEFAULT_BUFFER_CAPACITY: usize = 4096;
+
+fn push_span(rec: SpanRecord) {
+    let mut b = buffer().lock().unwrap();
+    if b.spans.len() == b.capacity {
+        b.spans.pop_front();
+        b.dropped += 1;
+    }
+    b.spans.push_back(rec);
+}
+
+/// Resizes the span buffer (min 1). Shrinking drops the oldest spans,
+/// counting them as dropped.
+pub fn set_buffer_capacity(capacity: usize) {
+    let mut b = buffer().lock().unwrap();
+    b.capacity = capacity.max(1);
+    while b.spans.len() > b.capacity {
+        b.spans.pop_front();
+        b.dropped += 1;
+    }
+}
+
+/// Spans evicted from the buffer (or lost to shrinking) so far.
+pub fn dropped_spans() -> u64 {
+    buffer().lock().unwrap().dropped
+}
+
+/// Copies out every buffered span, oldest first, without clearing.
+pub fn snapshot_spans() -> Vec<SpanRecord> {
+    buffer().lock().unwrap().spans.iter().cloned().collect()
+}
+
+/// Removes and returns every buffered span, oldest first.
+pub fn take_spans() -> Vec<SpanRecord> {
+    buffer().lock().unwrap().spans.drain(..).collect()
+}
+
+/// The buffered spans of one trace, oldest first.
+pub fn spans_for(trace: TraceId) -> Vec<SpanRecord> {
+    buffer()
+        .lock()
+        .unwrap()
+        .spans
+        .iter()
+        .filter(|s| s.trace == trace)
+        .cloned()
+        .collect()
+}
+
+/// Clears the buffer and zeroes the dropped-span count (tests, `explain`).
+pub fn clear() {
+    let mut b = buffer().lock().unwrap();
+    b.spans.clear();
+    b.dropped = 0;
+}
+
+// ---------------------------------------------------------------------
+// Span guards and the thread-local stack
+// ---------------------------------------------------------------------
+
+/// Thread-local stack entry: an active span to parent children under, or a
+/// suppression marker (unsampled root) that mutes the whole subtree.
+#[derive(Clone, Copy)]
+enum StackEntry {
+    Active { trace: TraceId, span: SpanId },
+    Suppressed,
+}
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<StackEntry>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for one span. Dropping finishes the span and commits it to
+/// the trace buffer (unless the trace was sampled out).
+pub struct SpanGuard {
+    /// `None` for suppressed guards, which never read the clock.
+    start: Option<Instant>,
+    /// `None` when this guard only marks a suppressed (unsampled) subtree.
+    rec: Option<SpanRecord>,
+}
+
+impl SpanGuard {
+    /// Whether this guard records anything (false inside unsampled traces).
+    pub fn is_recording(&self) -> bool {
+        self.rec.is_some()
+    }
+
+    /// This span's trace id, when recording.
+    pub fn trace_id(&self) -> Option<TraceId> {
+        self.rec.as_ref().map(|r| r.trace)
+    }
+
+    /// Attaches a `key=value` annotation.
+    #[inline]
+    pub fn field(&mut self, key: &'static str, value: FieldValue) {
+        if let Some(rec) = &mut self.rec {
+            rec.fields.push((key, value));
+        }
+    }
+
+    /// Attaches an unsigned-integer annotation.
+    #[inline]
+    pub fn u64(&mut self, key: &'static str, value: u64) {
+        self.field(key, FieldValue::U64(value));
+    }
+
+    /// Attaches a static-string annotation.
+    #[inline]
+    pub fn str(&mut self, key: &'static str, value: &'static str) {
+        self.field(key, FieldValue::Str(value));
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        if let Some(mut rec) = self.rec.take() {
+            let elapsed = self.start.map(|s| s.elapsed().as_nanos()).unwrap_or(0);
+            rec.dur_ns = u64::try_from(elapsed).unwrap_or(u64::MAX);
+            let is_root = rec.parent.is_none();
+            if is_root {
+                let threshold = SLOW_OP_THRESHOLD_NS.load(Ordering::Relaxed);
+                if threshold > 0 && rec.dur_ns >= threshold {
+                    let name = rec.name;
+                    let trace = rec.trace.0;
+                    let dur = rec.dur_ns;
+                    event::emit(|| {
+                        Event::now(
+                            "obs.slow_op",
+                            vec![
+                                ("op", FieldValue::Str(name)),
+                                ("trace", FieldValue::U64(trace)),
+                                ("dur_ns", FieldValue::U64(dur)),
+                            ],
+                        )
+                    });
+                }
+            }
+            push_span(rec);
+        }
+    }
+}
+
+fn now_unix_ns() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// Opens a span named `name`.
+///
+/// Returns `None` when tracing is off — one relaxed load and a branch, no
+/// other work. When tracing is on: inside an active trace the span becomes
+/// a child of the innermost open span on this thread; otherwise it is a
+/// trace *root* and consults the sampler (an unsampled root returns a
+/// non-recording guard so its descendants stay muted rather than becoming
+/// spurious roots).
+#[inline]
+pub fn span(name: &'static str) -> Option<SpanGuard> {
+    if !tracing() {
+        return None;
+    }
+    Some(span_slow(name))
+}
+
+#[cold]
+fn span_slow(name: &'static str) -> SpanGuard {
+    SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let (entry, rec) = match stack.last() {
+            Some(StackEntry::Suppressed) => (StackEntry::Suppressed, None),
+            Some(StackEntry::Active { trace, span }) => {
+                let trace = *trace;
+                let parent = *span;
+                let id = SpanId(NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed));
+                (
+                    StackEntry::Active { trace, span: id },
+                    Some(SpanRecord {
+                        trace,
+                        span: id,
+                        parent: Some(parent),
+                        name,
+                        start_ns: now_unix_ns(),
+                        dur_ns: 0,
+                        fields: Vec::new(),
+                    }),
+                )
+            }
+            None => {
+                if sample_next_trace() {
+                    let trace = TraceId(NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed));
+                    let id = SpanId(NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed));
+                    (
+                        StackEntry::Active { trace, span: id },
+                        Some(SpanRecord {
+                            trace,
+                            span: id,
+                            parent: None,
+                            name,
+                            start_ns: now_unix_ns(),
+                            dur_ns: 0,
+                            fields: Vec::new(),
+                        }),
+                    )
+                } else {
+                    (StackEntry::Suppressed, None)
+                }
+            }
+        };
+        stack.push(entry);
+        SpanGuard {
+            // Suppressed guards skip the clock read: their only job is to
+            // hold the stack marker that mutes the subtree.
+            start: rec.is_some().then(Instant::now),
+            rec,
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_field_value(v: &FieldValue, out: &mut String) {
+    match v {
+        FieldValue::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        FieldValue::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        FieldValue::Str(s) => {
+            out.push('"');
+            escape_json(s, out);
+            out.push('"');
+        }
+        FieldValue::Owned(s) => {
+            out.push('"');
+            escape_json(s, out);
+            out.push('"');
+        }
+    }
+}
+
+fn write_args_object(rec: &SpanRecord, out: &mut String) {
+    out.push('{');
+    for (i, (k, v)) in rec.fields.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push('"');
+        escape_json(k, out);
+        out.push_str("\": ");
+        write_field_value(v, out);
+    }
+    out.push('}');
+}
+
+/// Renders spans in the Chrome-trace (`chrome://tracing` / Perfetto) JSON
+/// format: complete (`"ph": "X"`) events with microsecond timestamps, one
+/// `tid` per trace so concurrent operations land on separate tracks.
+pub fn export_chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut out = String::from("{\"traceEvents\": [");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {\"name\": \"");
+        escape_json(s.name, &mut out);
+        let _ = write!(
+            out,
+            "\", \"cat\": \"ccdb\", \"ph\": \"X\", \"ts\": {}.{:03}, \"dur\": {}.{:03}, \
+             \"pid\": 1, \"tid\": {}, \"id\": {}, \"args\": ",
+            s.start_ns / 1_000,
+            s.start_ns % 1_000,
+            s.dur_ns / 1_000,
+            s.dur_ns % 1_000,
+            s.trace.0,
+            s.span.0,
+        );
+        write_args_object(s, &mut out);
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Renders one span as a single-line JSON object.
+pub fn span_to_json(s: &SpanRecord) -> String {
+    let mut out = String::from("{\"trace\": ");
+    let _ = write!(out, "{}", s.trace.0);
+    let _ = write!(out, ", \"span\": {}", s.span.0);
+    match s.parent {
+        Some(p) => {
+            let _ = write!(out, ", \"parent\": {}", p.0);
+        }
+        None => out.push_str(", \"parent\": null"),
+    }
+    out.push_str(", \"name\": \"");
+    escape_json(s.name, &mut out);
+    let _ = write!(
+        out,
+        "\", \"start_ns\": {}, \"dur_ns\": {}, \"fields\": ",
+        s.start_ns, s.dur_ns
+    );
+    write_args_object(s, &mut out);
+    out.push('}');
+    out
+}
+
+/// Renders spans as JSONL: one JSON object per line, oldest first.
+pub fn export_jsonl(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for s in spans {
+        out.push_str(&span_to_json(s));
+        out.push('\n');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Tree construction (for pretty-printers and tests)
+// ---------------------------------------------------------------------
+
+/// One node of a reconstructed trace tree.
+#[derive(Debug)]
+pub struct TraceNode {
+    /// The span at this node.
+    pub record: SpanRecord,
+    /// Child nodes, in buffer (= completion) order.
+    pub children: Vec<TraceNode>,
+}
+
+/// Rebuilds the span trees contained in `spans` (roots in buffer order).
+/// Spans whose parent is missing from the set are treated as roots, so a
+/// partially evicted trace still renders.
+pub fn build_trees(spans: &[SpanRecord]) -> Vec<TraceNode> {
+    // Index spans by id, then attach children to parents bottom-up.
+    fn attach(node_span: &SpanRecord, spans: &[SpanRecord]) -> TraceNode {
+        let children = spans
+            .iter()
+            .filter(|s| s.parent == Some(node_span.span) && s.trace == node_span.trace)
+            .map(|s| attach(s, spans))
+            .collect();
+        TraceNode {
+            record: node_span.clone(),
+            children,
+        }
+    }
+    let ids: std::collections::HashSet<SpanId> = spans.iter().map(|s| s.span).collect();
+    spans
+        .iter()
+        .filter(|s| match s.parent {
+            None => true,
+            Some(p) => !ids.contains(&p),
+        })
+        .map(|s| attach(s, spans))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    /// Tracing state (enable flag, sampler, buffer) is process-global;
+    /// serialize the tests that touch it.
+    pub(super) static SERIAL: StdMutex<()> = StdMutex::new(());
+
+    struct TraceSession;
+
+    impl TraceSession {
+        fn start(rate: f64) -> Self {
+            set_sample_rate(rate);
+            set_tracing(true);
+            clear();
+            TraceSession
+        }
+    }
+
+    impl Drop for TraceSession {
+        fn drop(&mut self) {
+            set_tracing(false);
+            set_sample_rate(1.0);
+            set_slow_op_threshold_ns(0);
+            clear();
+        }
+    }
+
+    #[test]
+    fn disabled_tracing_records_nothing() {
+        let _g = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        set_tracing(false);
+        clear();
+        assert!(span("quiet").is_none());
+        assert!(take_spans().is_empty());
+    }
+
+    #[test]
+    fn nested_spans_link_parents() {
+        let _g = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        let _s = TraceSession::start(1.0);
+        {
+            let mut root = span("op.root").unwrap();
+            root.u64("object", 42);
+            {
+                let mut child = span("op.child").unwrap();
+                child.str("kind", "first");
+                let _grand = span("op.grandchild").unwrap();
+            }
+            let _sibling = span("op.child2").unwrap();
+        }
+        let spans = take_spans();
+        assert_eq!(spans.len(), 4);
+        // Completion order: grandchild, child, child2, root.
+        let root = spans.iter().find(|s| s.name == "op.root").unwrap();
+        let child = spans.iter().find(|s| s.name == "op.child").unwrap();
+        let grand = spans.iter().find(|s| s.name == "op.grandchild").unwrap();
+        let sib = spans.iter().find(|s| s.name == "op.child2").unwrap();
+        assert_eq!(root.parent, None);
+        assert_eq!(child.parent, Some(root.span));
+        assert_eq!(grand.parent, Some(child.span));
+        assert_eq!(sib.parent, Some(root.span));
+        assert!(spans.iter().all(|s| s.trace == root.trace));
+        assert_eq!(root.field("object"), Some(&FieldValue::U64(42)));
+
+        let trees = build_trees(&spans);
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].record.name, "op.root");
+        assert_eq!(trees[0].children.len(), 2);
+        assert_eq!(trees[0].children[0].record.name, "op.child");
+        assert_eq!(trees[0].children[0].children.len(), 1);
+    }
+
+    #[test]
+    fn sample_rate_zero_suppresses_subtrees() {
+        let _g = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        let _s = TraceSession::start(0.0);
+        {
+            let root = span("op.root").unwrap();
+            assert!(!root.is_recording());
+            // A child under a suppressed root must not become a root.
+            let child = span("op.child").unwrap();
+            assert!(!child.is_recording());
+        }
+        assert!(take_spans().is_empty());
+    }
+
+    #[test]
+    fn sample_rate_one_keeps_every_trace() {
+        let _g = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        let _s = TraceSession::start(1.0);
+        for _ in 0..5 {
+            let _ = span("op").unwrap();
+        }
+        assert_eq!(take_spans().len(), 5);
+    }
+
+    #[test]
+    fn fractional_sampling_keeps_proportional_subset() {
+        let _g = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        let _s = TraceSession::start(0.25);
+        let mut kept = 0;
+        for _ in 0..100 {
+            if let Some(g) = span("op") {
+                if g.is_recording() {
+                    kept += 1;
+                }
+            }
+        }
+        assert_eq!(kept, 25, "deterministic 1-in-4 sampler");
+    }
+
+    #[test]
+    fn buffer_bounds_and_counts_drops() {
+        let _g = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        let _s = TraceSession::start(1.0);
+        set_buffer_capacity(4);
+        let dropped_before = dropped_spans();
+        for _ in 0..10 {
+            let _ = span("op").unwrap();
+        }
+        assert_eq!(snapshot_spans().len(), 4);
+        assert_eq!(dropped_spans() - dropped_before, 6);
+        set_buffer_capacity(DEFAULT_BUFFER_CAPACITY);
+    }
+
+    #[test]
+    fn slow_op_threshold_mirrors_roots_to_events() {
+        let _g = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        let _s = TraceSession::start(1.0);
+        let rb = std::sync::Arc::new(crate::RingBuffer::new(16));
+        event::set_subscriber(Some(rb.clone()));
+        set_slow_op_threshold_ns(1); // every op is "slow"
+        {
+            let _root = span("slow.root").unwrap();
+            let _child = span("fast.child").unwrap();
+            std::hint::black_box(0);
+        }
+        event::set_subscriber(None);
+        let events = rb.drain();
+        let slow: Vec<_> = events.iter().filter(|e| e.name == "obs.slow_op").collect();
+        // Only the root is mirrored, not the child.
+        assert_eq!(slow.len(), 1, "{events:?}");
+        assert_eq!(slow[0].field("op"), Some(&FieldValue::Str("slow.root")));
+        assert!(slow[0].field("dur_ns").is_some());
+    }
+
+    #[test]
+    fn exporters_render_ids_and_fields() {
+        let fixture = vec![
+            SpanRecord {
+                trace: TraceId(7),
+                span: SpanId(1),
+                parent: None,
+                name: "core.attr",
+                start_ns: 1_000,
+                dur_ns: 2_500,
+                fields: vec![
+                    ("object", FieldValue::U64(3)),
+                    ("attr", FieldValue::Owned("Len\"gth".into())),
+                ],
+            },
+            SpanRecord {
+                trace: TraceId(7),
+                span: SpanId(2),
+                parent: Some(SpanId(1)),
+                name: "core.attr.hop",
+                start_ns: 1_200,
+                dur_ns: 800,
+                fields: vec![("permeable", FieldValue::Str("yes"))],
+            },
+        ];
+        let jsonl = export_jsonl(&fixture);
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.contains("\"parent\": null"));
+        assert!(jsonl.contains("\"parent\": 1"));
+        assert!(jsonl.contains("\\\"gth")); // escaped quote survives
+        let chrome = export_chrome_trace(&fixture);
+        assert!(chrome.starts_with("{\"traceEvents\": ["));
+        assert!(chrome.contains("\"ph\": \"X\""));
+        assert!(chrome.contains("\"ts\": 1.000"));
+        assert!(chrome.contains("\"dur\": 2.500"));
+        assert_eq!(chrome.matches('{').count(), chrome.matches('}').count());
+    }
+}

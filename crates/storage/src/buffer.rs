@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use ccdb_obs::{event, Counter, Event, FieldValue};
+use ccdb_obs::{event, trace, Counter, Event, FieldValue};
 use parking_lot::{Mutex, RwLock};
 
 use crate::disk::DiskManager;
@@ -95,16 +95,26 @@ impl BufferPool {
     /// Fetch (and pin) the frame for `id`, loading from disk on a miss and
     /// evicting an unpinned LRU frame if at capacity.
     fn pin(&self, id: PageId) -> StorageResult<Arc<Frame>> {
+        let mut tspan = trace::span("storage.buffer.pin");
+        if let Some(s) = &mut tspan {
+            s.u64("page", u64::from(id.0));
+        }
         let mut map = self.frames.lock();
         if let Some(frame) = map.get(&id) {
             self.hits.inc();
             storage_metrics().buffer_hits.inc();
             frame.pins.fetch_add(1, Ordering::Relaxed);
             self.touch(frame);
+            if let Some(s) = &mut tspan {
+                s.str("cache", "hit");
+            }
             return Ok(Arc::clone(frame));
         }
         self.misses.inc();
         storage_metrics().buffer_misses.inc();
+        if let Some(s) = &mut tspan {
+            s.str("cache", "miss");
+        }
         if map.len() >= self.capacity {
             self.evict_one(&mut map)?;
         }
@@ -121,6 +131,7 @@ impl BufferPool {
     }
 
     fn evict_one(&self, map: &mut HashMap<PageId, Arc<Frame>>) -> StorageResult<()> {
+        let mut tspan = trace::span("storage.buffer.evict");
         let victim = map
             .iter()
             .filter(|(_, f)| f.pins.load(Ordering::Relaxed) == 0)
@@ -142,6 +153,10 @@ impl BufferPool {
         map.remove(&vid);
         self.evictions.inc();
         storage_metrics().buffer_evictions.inc();
+        if let Some(s) = &mut tspan {
+            s.u64("page", u64::from(vid.0));
+            s.str("dirty", if was_dirty { "yes" } else { "no" });
+        }
         event::emit(|| {
             Event::now(
                 "storage.buffer.evict",

@@ -14,7 +14,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
-use ccdb_obs::SpanTimer;
+use ccdb_obs::{trace, SpanTimer};
 use parking_lot::Mutex;
 
 use crate::checksum::crc32;
@@ -242,13 +242,20 @@ impl Wal {
     /// Append a record; returns its LSN. The record is buffered; call
     /// [`Wal::sync`] to force it to stable storage (done at commit).
     pub fn append(&self, rec: &WalRecord) -> StorageResult<Lsn> {
+        let mut tspan = trace::span("storage.wal.append");
         let payload = rec.encode();
+        if let Some(s) = &mut tspan {
+            s.u64("bytes", 8 + payload.len() as u64);
+        }
         let mut g = self.inner.lock();
         let lsn = Lsn(g.end);
         g.writer.write_all(&(payload.len() as u32).to_le_bytes())?;
         g.writer.write_all(&crc32(&payload).to_le_bytes())?;
         g.writer.write_all(&payload)?;
         g.end += 8 + payload.len() as u64;
+        if let Some(s) = &mut tspan {
+            s.u64("lsn", lsn.0);
+        }
         storage_metrics().wal_appends.inc();
         storage_metrics()
             .wal_appended_bytes
@@ -261,6 +268,7 @@ impl Wal {
         // Records into ccdb_storage_wal_sync_latency_ns on drop; None when
         // instrumentation is disabled.
         let _latency = SpanTimer::start(&storage_metrics().wal_sync_latency);
+        let _tspan = trace::span("storage.wal.sync");
         let mut g = self.inner.lock();
         g.writer.flush()?;
         g.writer.get_ref().sync_data()?;

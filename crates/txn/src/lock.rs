@@ -17,7 +17,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use ccdb_core::Surrogate;
-use ccdb_obs::{event, Event, FieldValue, SpanTimer};
+use ccdb_obs::{event, trace, Event, FieldValue, SpanTimer};
 use parking_lot::{Condvar, Mutex};
 
 use crate::metrics::txn_metrics;
@@ -65,6 +65,18 @@ impl LockMode {
             (IX, IX) | (IX, IS) => true,
             (IS, IS) => true,
             _ => self == other,
+        }
+    }
+
+    /// Short static name, for trace fields and logs.
+    pub fn name(self) -> &'static str {
+        use LockMode::*;
+        match self {
+            IS => "IS",
+            IX => "IX",
+            S => "S",
+            SIX => "SIX",
+            X => "X",
         }
     }
 
@@ -279,10 +291,22 @@ impl LockManager {
     }
 
     fn acquire_flat(&self, txn: TxnId, res: Resource, mode: LockMode) -> Result<(), LockError> {
+        // One relaxed load when tracing is off; when on, the span records
+        // the requested resource/mode and how the request ended (granted,
+        // deadlock, timeout) plus whether it had to wait at all.
+        let mut tspan = trace::span("txn.lock.acquire");
+        if let Some(s) = &mut tspan {
+            s.u64("txn", txn.0);
+            s.field("resource", FieldValue::Owned(res.to_string()));
+            s.str("mode", mode.name());
+        }
         let mut st = self.state.lock();
         // Already strong enough?
         if let Some(m) = st.held.get(&res).and_then(|h| h.get(&txn)) {
             if m.covers(mode) {
+                if let Some(s) = &mut tspan {
+                    s.str("outcome", "held");
+                }
                 return Ok(());
             }
         }
@@ -296,6 +320,10 @@ impl LockManager {
             if blockers.is_empty() {
                 st.grant(&res, txn, request);
                 st.waits_for.remove(&txn);
+                if let Some(s) = &mut tspan {
+                    s.str("outcome", "granted");
+                    s.str("waited", if waited { "yes" } else { "no" });
+                }
                 return Ok(());
             }
             if st.would_deadlock(txn, &blockers) {
@@ -311,6 +339,10 @@ impl LockManager {
                         ],
                     )
                 });
+                if let Some(s) = &mut tspan {
+                    s.str("outcome", "deadlock");
+                    s.u64("blockers", blockers.len() as u64);
+                }
                 return Err(LockError::Deadlock {
                     txn,
                     on: res.to_string(),
@@ -345,6 +377,9 @@ impl LockManager {
                         ],
                     )
                 });
+                if let Some(s) = &mut tspan {
+                    s.str("outcome", "timeout");
+                }
                 return Err(LockError::Timeout {
                     txn,
                     on: res.to_string(),
