@@ -1,4 +1,4 @@
-//! Run the E1–E11 experiment suite and print the result tables.
+//! Run the E1–E12 experiment suite and print the result tables.
 //!
 //! Usage: `experiments [--quick] [--json] [--out <dir>]`
 //!
@@ -54,7 +54,7 @@ fn main() {
     }
     writeln!(
         out,
-        "ccdb experiment suite (E1–E11){}\n",
+        "ccdb experiment suite (E1–E12){}\n",
         if quick { " — quick mode" } else { "" }
     )
     .unwrap();

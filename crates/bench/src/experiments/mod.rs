@@ -1,4 +1,4 @@
-//! The quantitative experiment suite (E1–E11).
+//! The quantitative experiment suite (E1–E12).
 //!
 //! The paper presents no measurements (it is a data-model paper), so each
 //! experiment operationalizes one of its *qualitative* claims; the mapping
@@ -8,6 +8,7 @@
 
 pub mod e10_configuration;
 pub mod e11_rescache;
+pub mod e12_server;
 pub mod e1_propagation;
 pub mod e2_resolution;
 pub mod e3_permeability;
@@ -35,6 +36,7 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e10_configuration::run(quick),
         e11_rescache::run(quick),
         e11_rescache::run_threads(quick),
+        e12_server::run(quick),
     ]
 }
 

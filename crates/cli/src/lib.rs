@@ -12,7 +12,11 @@
 //! - `ccdb stats <file> [--json]` — run a synthetic workload over the schema
 //!   and dump the process-global metrics snapshot ([`stats`]);
 //! - `ccdb explain <file> <type> <attr> [--json]` — resolve one attribute
-//!   with tracing forced on and print the causal span tree ([`explain`]).
+//!   with tracing forced on and print the causal span tree ([`explain`]);
+//! - `ccdb serve <file> [--addr A] [--threads N] [--queue-depth N]` — serve
+//!   the schema's store over TCP until a client sends `shutdown` ([`serve`]);
+//! - `ccdb bench-net <file> [--clients N] [--requests N] [--addr A]` — drive
+//!   the wire protocol with concurrent closed-loop clients ([`serve`]).
 //!
 //! The functions are exposed as a library so they are unit-testable; the
 //! binary is a thin wrapper.
@@ -25,8 +29,10 @@ use ccdb_core::schema::{Catalog, ItemSource};
 use ccdb_lang::{compile_str, render};
 
 pub mod explain;
+pub mod serve;
 pub mod stats;
 pub use explain::cmd_explain;
+pub use serve::{cmd_bench_net, cmd_serve, ServeFlags};
 pub use stats::cmd_stats;
 
 /// CLI failure: message for stderr + suggested exit code.
@@ -166,8 +172,9 @@ pub fn cmd_render(source: &str) -> Result<String, CliError> {
 
 /// Dispatch `argv[1..]`; returns the stdout text.
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    let usage = "usage: ccdb <check|effective|render|stats|explain> <schema-file> \
-                 [type [attr]] [--json]";
+    let usage = "usage: ccdb <check|effective|render|stats|explain|serve|bench-net> \
+                 <schema-file> [type [attr]] [--json] [--addr A] [--threads N] \
+                 [--queue-depth N] [--clients N] [--requests N]";
     // Opt-in slow-op log: traced roots slower than this are mirrored as
     // `obs.slow_op` events through the installed subscriber.
     if let Some(ns) = std::env::var("CCDB_SLOW_OP_NS")
@@ -224,6 +231,20 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 Some(_) => return fail(usage, 2),
             };
             cmd_explain(&read(path)?, ty, attr, json)
+        }
+        "serve" => {
+            let Some(path) = args.get(1) else {
+                return fail(usage, 2);
+            };
+            let flags = serve::ServeFlags::parse(&args[2..])?;
+            cmd_serve(&read(path)?, &flags)
+        }
+        "bench-net" => {
+            let Some(path) = args.get(1) else {
+                return fail(usage, 2);
+            };
+            let flags = serve::ServeFlags::parse(&args[2..])?;
+            cmd_bench_net(&read(path)?, &flags)
         }
         _ => fail(usage, 2),
     }

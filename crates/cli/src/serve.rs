@@ -1,0 +1,406 @@
+//! `ccdb serve`: expose a schema's store over TCP, and `ccdb bench-net`:
+//! a closed-loop load generator against that wire protocol.
+//!
+//! `serve` compiles the schema into a fresh [`SharedStore`] and blocks in
+//! the server's drain loop until some client sends the `shutdown` verb
+//! (there is no signal handling — the wire is the control plane, which
+//! keeps the smoke tests portable).
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ccdb_core::schema::Catalog;
+use ccdb_core::shared::SharedStore;
+use ccdb_core::Value;
+use ccdb_server::{Client, Server, ServerConfig};
+
+use crate::{load_catalog, CliError};
+
+fn internal(e: impl std::fmt::Display) -> CliError {
+    CliError {
+        message: e.to_string(),
+        code: 1,
+    }
+}
+
+/// Flags shared by `serve` and accepted by `bench-net` where meaningful.
+#[derive(Debug)]
+pub struct ServeFlags {
+    /// Bind address (`serve`) or target address (`bench-net`, optional).
+    pub addr: Option<String>,
+    /// Worker-pool size.
+    pub threads: Option<usize>,
+    /// Bounded queue capacity.
+    pub queue_depth: Option<usize>,
+    /// `bench-net`: concurrent client connections.
+    pub clients: Option<usize>,
+    /// `bench-net`: requests per client.
+    pub requests: Option<u64>,
+}
+
+impl ServeFlags {
+    /// Parses `--addr A --threads N --queue-depth N --clients N
+    /// --requests N` in any order; rejects unknown flags and bad numbers.
+    pub fn parse(args: &[String]) -> Result<ServeFlags, CliError> {
+        let mut flags = ServeFlags {
+            addr: None,
+            threads: None,
+            queue_depth: None,
+            clients: None,
+            requests: None,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut num = |name: &str| -> Result<u64, CliError> {
+                let v = it.next().ok_or_else(|| CliError {
+                    message: format!("{name} requires a value"),
+                    code: 2,
+                })?;
+                v.parse().map_err(|_| CliError {
+                    message: format!("{name}: `{v}` is not a positive integer"),
+                    code: 2,
+                })
+            };
+            match flag.as_str() {
+                "--addr" => {
+                    flags.addr = Some(
+                        it.next()
+                            .ok_or_else(|| CliError {
+                                message: "--addr requires a value".into(),
+                                code: 2,
+                            })?
+                            .clone(),
+                    )
+                }
+                "--threads" => flags.threads = Some(num("--threads")?.max(1) as usize),
+                "--queue-depth" => flags.queue_depth = Some(num("--queue-depth")?.max(1) as usize),
+                "--clients" => flags.clients = Some(num("--clients")?.max(1) as usize),
+                "--requests" => flags.requests = Some(num("--requests")?.max(1)),
+                other => {
+                    return Err(CliError {
+                        message: format!("unknown flag `{other}`"),
+                        code: 2,
+                    })
+                }
+            }
+        }
+        Ok(flags)
+    }
+
+    fn config(&self, default_addr: &str) -> ServerConfig {
+        ServerConfig {
+            addr: self.addr.clone().unwrap_or_else(|| default_addr.into()),
+            workers: self.threads.unwrap_or(4),
+            queue_depth: self.queue_depth.unwrap_or(64),
+            ..ServerConfig::default()
+        }
+    }
+}
+
+/// `serve`: bind, announce, block until a client sends `shutdown`.
+pub fn cmd_serve(source: &str, flags: &ServeFlags) -> Result<String, CliError> {
+    let catalog = load_catalog(source)?;
+    let store = SharedStore::new(catalog).map_err(internal)?;
+    let cfg = flags.config("127.0.0.1:7878");
+    let server = Server::start(cfg.clone(), store).map_err(|e| CliError {
+        message: format!("cannot bind `{}`: {e}", cfg.addr),
+        code: 2,
+    })?;
+    // Announce before blocking so scripted callers (CI smoke) can wait for
+    // this line, then connect.
+    println!(
+        "ccdb-server listening on {} ({} workers, queue depth {})",
+        server.local_addr(),
+        cfg.workers,
+        cfg.queue_depth
+    );
+    let _ = std::io::stdout().flush();
+    server.run_until_shutdown();
+    Ok("shutdown complete\n".to_string())
+}
+
+/// The transmitter/relationship/inheritor triple `bench-net` drives:
+/// the first inheritance relationship whose transmitter declares an
+/// integer permeable attribute (the adaptation path the paper cares
+/// about), plus any type that can be its inheritor.
+fn bench_triple(catalog: &Catalog) -> Result<(String, String, String, String), CliError> {
+    for rel in catalog.inher_rel_type_names() {
+        let def = catalog.inher_rel_type(rel).map_err(internal)?;
+        let t_def = catalog
+            .object_type(&def.transmitter_type)
+            .map_err(internal)?;
+        let Some(attr) = def.inheriting.iter().find(|item| {
+            t_def
+                .attributes
+                .iter()
+                .any(|a| &a.name == *item && matches!(a.domain, ccdb_core::domain::Domain::Int))
+        }) else {
+            continue;
+        };
+        let Some(inh_ty) = catalog
+            .object_type_names()
+            .into_iter()
+            .find(|t| {
+                catalog
+                    .object_type(t)
+                    .map(|d| d.inheritor_in.iter().any(|r| r == rel))
+                    .unwrap_or(false)
+            })
+            .map(str::to_string)
+        else {
+            continue;
+        };
+        return Ok((
+            def.transmitter_type.clone(),
+            rel.to_string(),
+            inh_ty,
+            attr.clone(),
+        ));
+    }
+    Err(CliError {
+        message: "bench-net: schema has no inheritance relationship with an integer \
+                  permeable attribute"
+            .into(),
+        code: 1,
+    })
+}
+
+/// One client's closed loop: create its own transmitter/inheritor pair,
+/// then alternate resolved reads with occasional transmitter writes.
+/// Returns (latencies ns, overloaded retries).
+fn bench_client(
+    addr: std::net::SocketAddr,
+    triple: &(String, String, String, String),
+    requests: u64,
+    seed: u64,
+) -> Result<(Vec<u64>, u64), String> {
+    let (t_ty, rel, inh_ty, attr) = triple;
+    let mut c = Client::connect(addr).map_err(|e| e.to_string())?;
+    c.set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| e.to_string())?;
+    let mut overloaded = 0u64;
+    let mut with_retry =
+        |f: &mut dyn FnMut(&mut Client) -> Result<(), ccdb_server::ClientError>,
+         c: &mut Client|
+         -> Result<(), String> {
+            loop {
+                match f(c) {
+                    Ok(()) => return Ok(()),
+                    Err(e) if e.is_overloaded() => {
+                        overloaded += 1;
+                        thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(e) => return Err(e.to_string()),
+                }
+            }
+        };
+
+    let mut transmitter = None;
+    with_retry(
+        &mut |c| {
+            transmitter = Some(c.create(t_ty, &[(attr, Value::Int(seed as i64))])?);
+            Ok(())
+        },
+        &mut c,
+    )?;
+    let transmitter = transmitter.unwrap();
+    let mut inheritor = None;
+    with_retry(
+        &mut |c| {
+            inheritor = Some(c.create(inh_ty, &[])?);
+            Ok(())
+        },
+        &mut c,
+    )?;
+    let inheritor = inheritor.unwrap();
+    with_retry(
+        &mut |c| c.bind(rel, transmitter, inheritor).map(|_| ()),
+        &mut c,
+    )?;
+
+    let mut latencies = Vec::with_capacity(requests as usize);
+    for n in 0..requests {
+        let start = Instant::now();
+        if n % 10 == 9 {
+            // 10% writes: the adaptation path (transmitter update).
+            with_retry(
+                &mut |c| c.set_attr(transmitter, attr, Value::Int((seed + n) as i64)),
+                &mut c,
+            )?;
+        } else {
+            // 90% resolved reads through the inheritance binding.
+            with_retry(&mut |c| c.attr(inheritor, attr).map(|_| ()), &mut c)?;
+        }
+        latencies.push(start.elapsed().as_nanos() as u64);
+    }
+    Ok((latencies, overloaded))
+}
+
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// `bench-net`: drive the wire protocol with N concurrent clients.
+///
+/// Without `--addr` an in-process server is started on an ephemeral port
+/// (self-contained benchmark); with `--addr` an already-running `ccdb
+/// serve` is the target.
+pub fn cmd_bench_net(source: &str, flags: &ServeFlags) -> Result<String, CliError> {
+    let catalog = load_catalog(source)?;
+    let triple = bench_triple(&catalog)?;
+    let clients = flags.clients.unwrap_or(8);
+    let requests = flags.requests.unwrap_or(200);
+
+    // Own server only when no target was given.
+    let (addr, server) = match &flags.addr {
+        Some(a) => {
+            let addr = a.parse().map_err(|_| CliError {
+                message: format!("--addr: `{a}` is not a socket address"),
+                code: 2,
+            })?;
+            (addr, None)
+        }
+        None => {
+            let store = SharedStore::new(catalog.clone()).map_err(internal)?;
+            let mut cfg = flags.config("127.0.0.1:0");
+            cfg.addr = "127.0.0.1:0".into(); // never collide on a fixed port
+            let server = Server::start(cfg, store).map_err(internal)?;
+            (server.local_addr(), Some(server))
+        }
+    };
+
+    let total_overloaded = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|i| {
+            let triple = triple.clone();
+            let total_overloaded = Arc::clone(&total_overloaded);
+            thread::spawn(move || -> Result<Vec<u64>, String> {
+                let (lat, over) = bench_client(addr, &triple, requests, i as u64 * 1000)?;
+                total_overloaded.fetch_add(over, Ordering::Relaxed);
+                Ok(lat)
+            })
+        })
+        .collect();
+
+    let mut all = Vec::with_capacity(clients * requests as usize);
+    let mut errors = 0usize;
+    for h in handles {
+        match h.join() {
+            Ok(Ok(lat)) => all.extend(lat),
+            Ok(Err(msg)) => {
+                errors += 1;
+                eprintln!("ccdb: bench-net client failed: {msg}");
+            }
+            Err(_) => errors += 1,
+        }
+    }
+    let elapsed = started.elapsed();
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    if errors > 0 {
+        return Err(CliError {
+            message: format!("bench-net: {errors} client(s) failed"),
+            code: 1,
+        });
+    }
+
+    all.sort_unstable();
+    let total = all.len() as u64;
+    let rps = total as f64 / elapsed.as_secs_f64().max(1e-9);
+    let (t_ty, rel, inh_ty, attr) = &triple;
+    Ok(format!(
+        "bench-net: {clients} clients x {requests} requests ({t_ty} -[{rel}]-> {inh_ty}, attr {attr})\n\
+           requests   : {total}\n\
+           elapsed    : {:.3}s\n\
+           throughput : {rps:.0} req/s\n\
+           latency    : p50={} p95={} p99={} (ns)\n\
+           overloaded : {} (retried)\n",
+        elapsed.as_secs_f64(),
+        quantile(&all, 0.50),
+        quantile(&all, 0.95),
+        quantile(&all, 0.99),
+        total_overloaded.load(Ordering::Relaxed),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCHEMA: &str = r#"
+        obj-type If =
+            attributes: Length: integer;
+        end If;
+        inher-rel-type AllOf_If =
+            transmitter: object-of-type If;
+            inheritor: object;
+            inheriting: Length;
+        end AllOf_If;
+        obj-type Impl =
+            inheritor-in: AllOf_If;
+            attributes: Cost: integer;
+        end Impl;
+    "#;
+
+    #[test]
+    fn flags_parse_and_reject() {
+        let f = ServeFlags::parse(&[
+            "--addr".into(),
+            "127.0.0.1:9999".into(),
+            "--threads".into(),
+            "2".into(),
+            "--queue-depth".into(),
+            "8".into(),
+        ])
+        .unwrap();
+        assert_eq!(f.addr.as_deref(), Some("127.0.0.1:9999"));
+        assert_eq!(f.threads, Some(2));
+        assert_eq!(f.queue_depth, Some(8));
+
+        assert_eq!(ServeFlags::parse(&["--bogus".into()]).unwrap_err().code, 2);
+        assert_eq!(
+            ServeFlags::parse(&["--threads".into(), "lots".into()])
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(
+            ServeFlags::parse(&["--threads".into()]).unwrap_err().code,
+            2
+        );
+    }
+
+    #[test]
+    fn bench_triple_discovers_the_inheritance_path() {
+        let catalog = crate::load_catalog(SCHEMA).unwrap();
+        let (t, rel, i, attr) = bench_triple(&catalog).unwrap();
+        assert_eq!(t, "If");
+        assert_eq!(rel, "AllOf_If");
+        assert_eq!(i, "Impl");
+        assert_eq!(attr, "Length");
+    }
+
+    #[test]
+    fn bench_net_runs_self_contained() {
+        let flags = ServeFlags {
+            addr: None,
+            threads: Some(2),
+            queue_depth: Some(16),
+            clients: Some(4),
+            requests: Some(20),
+        };
+        let out = cmd_bench_net(SCHEMA, &flags).unwrap();
+        assert!(out.contains("4 clients x 20 requests"), "{out}");
+        assert!(out.contains("throughput"), "{out}");
+        assert!(out.contains("p95="), "{out}");
+    }
+}

@@ -17,6 +17,14 @@
 //! [`SharedStore::par_select`] and [`SharedStore::par_check_all`] fan a
 //! scan out over scoped threads, each holding its own shared guard — the
 //! multi-threaded read path measured by experiment E11.
+//!
+//! **Lock poisoning**: a panic inside a `read`/`write` closure must not
+//! brick the store for every other handle — the server wraps this type, and
+//! one bad request taking down all sessions would be an availability bug.
+//! The `parking_lot` lock recovers the guard instead of propagating a
+//! poison error, so later readers and writers proceed normally; the
+//! panicking closure's own invariants are its caller's problem (the server
+//! additionally isolates handler panics with `catch_unwind`).
 
 use std::sync::Arc;
 use std::thread;
@@ -305,6 +313,27 @@ mod tests {
         for &i in &imps {
             assert_eq!(shared.attr(i, "X").unwrap(), Value::Int(199));
         }
+    }
+
+    #[test]
+    fn panic_inside_write_does_not_poison_the_store() {
+        let (shared, interface, imps) = populated(2);
+        // A handler panics while holding the exclusive lock...
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shared.write(|_st| panic!("handler bug while holding the write lock"));
+        }));
+        assert!(result.is_err(), "the panic must propagate to the caller");
+        // ...and every other handle still gets full service: reads,
+        // writes, and reads-after-writes all succeed.
+        assert_eq!(shared.attr(imps[0], "X").unwrap(), Value::Int(7));
+        shared.set_attr(interface, "X", Value::Int(42)).unwrap();
+        assert_eq!(shared.attr(imps[1], "X").unwrap(), Value::Int(42));
+        // Same for a panic under the shared lock.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shared.read(|_st| panic!("reader bug while holding the read lock"));
+        }));
+        assert!(result.is_err());
+        assert_eq!(shared.attr(imps[0], "X").unwrap(), Value::Int(42));
     }
 
     #[test]

@@ -113,7 +113,7 @@ impl RingBuffer {
 
     /// Number of events currently retained.
     pub fn len(&self) -> usize {
-        self.events.lock().unwrap().len()
+        self.events.lock().unwrap_or_else(|p| p.into_inner()).len()
     }
 
     /// Events overwritten on wraparound since creation. Monotonic; not
@@ -129,18 +129,27 @@ impl RingBuffer {
 
     /// Removes and returns all retained events, oldest first.
     pub fn drain(&self) -> Vec<Event> {
-        self.events.lock().unwrap().drain(..).collect()
+        self.events
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .drain(..)
+            .collect()
     }
 
     /// Copies out all retained events without clearing, oldest first.
     pub fn snapshot(&self) -> Vec<Event> {
-        self.events.lock().unwrap().iter().cloned().collect()
+        self.events
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .cloned()
+            .collect()
     }
 }
 
 impl Subscriber for RingBuffer {
     fn on_event(&self, event: &Event) {
-        let mut q = self.events.lock().unwrap();
+        let mut q = self.events.lock().unwrap_or_else(|p| p.into_inner());
         if q.len() == self.capacity {
             q.pop_front();
             // Counted while holding the queue lock: a concurrent publisher
@@ -161,7 +170,7 @@ fn subscriber_slot() -> &'static Mutex<Option<Arc<dyn Subscriber>>> {
 /// Installs the process-wide subscriber, replacing any previous one.
 /// Pass `None` to uninstall.
 pub fn set_subscriber(sub: Option<Arc<dyn Subscriber>>) {
-    let mut slot = subscriber_slot().lock().unwrap();
+    let mut slot = subscriber_slot().lock().unwrap_or_else(|p| p.into_inner());
     HAS_SUBSCRIBER.store(sub.is_some(), Ordering::Relaxed);
     *slot = sub;
 }
@@ -173,7 +182,10 @@ pub fn emit(f: impl FnOnce() -> Event) {
     if !crate::enabled() || !HAS_SUBSCRIBER.load(Ordering::Relaxed) {
         return;
     }
-    let sub = subscriber_slot().lock().unwrap().clone();
+    let sub = subscriber_slot()
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .clone();
     if let Some(sub) = sub {
         sub.on_event(&f());
     }

@@ -4,6 +4,12 @@
 //! report into. Metrics are created lazily on first access and live for
 //! the process lifetime; handles are `Arc`s, so instrumented code caches
 //! them in statics and pays only the atomic update on the hot path.
+//!
+//! Every lock here recovers from poisoning (`unwrap_or_else(into_inner)`):
+//! the maps only ever gain entries, so a panic mid-insert leaves them
+//! structurally sound, and observability must keep working in exactly the
+//! situations (a surviving handler panic in the server) where some thread
+//! has already panicked.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -30,7 +36,7 @@ impl Registry {
 
     /// Returns the counter registered under `name`, creating it if absent.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut map = self.counters.lock().unwrap();
+        let mut map = self.counters.lock().unwrap_or_else(|p| p.into_inner());
         if let Some(c) = map.get(name) {
             return Arc::clone(c);
         }
@@ -41,7 +47,7 @@ impl Registry {
 
     /// Returns the gauge registered under `name`, creating it if absent.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut map = self.gauges.lock().unwrap();
+        let mut map = self.gauges.lock().unwrap_or_else(|p| p.into_inner());
         if let Some(g) = map.get(name) {
             return Arc::clone(g);
         }
@@ -55,7 +61,7 @@ impl Registry {
     /// callers get the existing histogram regardless of the bounds they
     /// pass.
     pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
-        let mut map = self.histograms.lock().unwrap();
+        let mut map = self.histograms.lock().unwrap_or_else(|p| p.into_inner());
         if let Some(h) = map.get(name) {
             return Arc::clone(h);
         }
@@ -66,30 +72,57 @@ impl Registry {
 
     /// Looks up an existing counter without creating it.
     pub fn find_counter(&self, name: &str) -> Option<Arc<Counter>> {
-        self.counters.lock().unwrap().get(name).cloned()
+        self.counters
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(name)
+            .cloned()
     }
 
     /// Looks up an existing gauge without creating it.
     pub fn find_gauge(&self, name: &str) -> Option<Arc<Gauge>> {
-        self.gauges.lock().unwrap().get(name).cloned()
+        self.gauges
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(name)
+            .cloned()
     }
 
     /// Looks up an existing histogram without creating it.
     pub fn find_histogram(&self, name: &str) -> Option<Arc<Histogram>> {
-        self.histograms.lock().unwrap().get(name).cloned()
+        self.histograms
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(name)
+            .cloned()
     }
 
     /// Zeroes every registered metric. Handles held by instrumented code
     /// stay valid; only the values reset. Used by the CLI and benches to
     /// scope a snapshot to one workload.
     pub fn reset_all(&self) {
-        for c in self.counters.lock().unwrap().values() {
+        for c in self
+            .counters
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .values()
+        {
             c.reset();
         }
-        for g in self.gauges.lock().unwrap().values() {
+        for g in self
+            .gauges
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .values()
+        {
             g.set(0);
         }
-        for h in self.histograms.lock().unwrap().values() {
+        for h in self
+            .histograms
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .values()
+        {
             h.reset();
         }
     }
@@ -100,15 +133,25 @@ impl Registry {
     /// `_sum` and `_count`, matching what a Prometheus scraper expects.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
-        for (name, c) in self.counters.lock().unwrap().iter() {
+        for (name, c) in self
+            .counters
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+        {
             let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name} {}", c.get());
         }
-        for (name, g) in self.gauges.lock().unwrap().iter() {
+        for (name, g) in self.gauges.lock().unwrap_or_else(|p| p.into_inner()).iter() {
             let _ = writeln!(out, "# TYPE {name} gauge");
             let _ = writeln!(out, "{name} {}", g.get());
         }
-        for (name, h) in self.histograms.lock().unwrap().iter() {
+        for (name, h) in self
+            .histograms
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+        {
             let s = h.snapshot();
             let _ = writeln!(out, "# TYPE {name} histogram");
             let mut cumulative = 0u64;
@@ -133,21 +176,21 @@ impl Registry {
     /// dependency-free.
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\n  \"counters\": {");
-        let counters = self.counters.lock().unwrap();
+        let counters = self.counters.lock().unwrap_or_else(|p| p.into_inner());
         for (i, (name, c)) in counters.iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
             let _ = write!(out, "{sep}\n    \"{name}\": {}", c.get());
         }
         drop(counters);
         out.push_str("\n  },\n  \"gauges\": {");
-        let gauges = self.gauges.lock().unwrap();
+        let gauges = self.gauges.lock().unwrap_or_else(|p| p.into_inner());
         for (i, (name, g)) in gauges.iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
             let _ = write!(out, "{sep}\n    \"{name}\": {}", g.get());
         }
         drop(gauges);
         out.push_str("\n  },\n  \"histograms\": {");
-        let histograms = self.histograms.lock().unwrap();
+        let histograms = self.histograms.lock().unwrap_or_else(|p| p.into_inner());
         for (i, (name, h)) in histograms.iter().enumerate() {
             let s = h.snapshot();
             let sep = if i == 0 { "" } else { "," };
@@ -183,13 +226,23 @@ impl Registry {
     /// dumps (use [`Registry::render_prometheus`] for scrapers).
     pub fn render_text_summary(&self) -> String {
         let mut out = String::new();
-        for (name, c) in self.counters.lock().unwrap().iter() {
+        for (name, c) in self
+            .counters
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+        {
             let _ = writeln!(out, "{name} {}", c.get());
         }
-        for (name, g) in self.gauges.lock().unwrap().iter() {
+        for (name, g) in self.gauges.lock().unwrap_or_else(|p| p.into_inner()).iter() {
             let _ = writeln!(out, "{name} {}", g.get());
         }
-        for (name, h) in self.histograms.lock().unwrap().iter() {
+        for (name, h) in self
+            .histograms
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+        {
             let s = h.snapshot();
             let _ = write!(out, "{name} count={} sum={}", s.count, s.sum);
             for (label, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {

@@ -177,7 +177,7 @@ fn buffer() -> &'static Mutex<BufferState> {
 pub const DEFAULT_BUFFER_CAPACITY: usize = 4096;
 
 fn push_span(rec: SpanRecord) {
-    let mut b = buffer().lock().unwrap();
+    let mut b = buffer().lock().unwrap_or_else(|p| p.into_inner());
     if b.spans.len() == b.capacity {
         b.spans.pop_front();
         b.dropped += 1;
@@ -188,7 +188,7 @@ fn push_span(rec: SpanRecord) {
 /// Resizes the span buffer (min 1). Shrinking drops the oldest spans,
 /// counting them as dropped.
 pub fn set_buffer_capacity(capacity: usize) {
-    let mut b = buffer().lock().unwrap();
+    let mut b = buffer().lock().unwrap_or_else(|p| p.into_inner());
     b.capacity = capacity.max(1);
     while b.spans.len() > b.capacity {
         b.spans.pop_front();
@@ -198,17 +198,28 @@ pub fn set_buffer_capacity(capacity: usize) {
 
 /// Spans evicted from the buffer (or lost to shrinking) so far.
 pub fn dropped_spans() -> u64 {
-    buffer().lock().unwrap().dropped
+    buffer().lock().unwrap_or_else(|p| p.into_inner()).dropped
 }
 
 /// Copies out every buffered span, oldest first, without clearing.
 pub fn snapshot_spans() -> Vec<SpanRecord> {
-    buffer().lock().unwrap().spans.iter().cloned().collect()
+    buffer()
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .spans
+        .iter()
+        .cloned()
+        .collect()
 }
 
 /// Removes and returns every buffered span, oldest first.
 pub fn take_spans() -> Vec<SpanRecord> {
-    buffer().lock().unwrap().spans.drain(..).collect()
+    buffer()
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .spans
+        .drain(..)
+        .collect()
 }
 
 /// The buffered spans of one trace, oldest first.
@@ -225,7 +236,7 @@ pub fn spans_for(trace: TraceId) -> Vec<SpanRecord> {
 
 /// Clears the buffer and zeroes the dropped-span count (tests, `explain`).
 pub fn clear() {
-    let mut b = buffer().lock().unwrap();
+    let mut b = buffer().lock().unwrap_or_else(|p| p.into_inner());
     b.spans.clear();
     b.dropped = 0;
 }

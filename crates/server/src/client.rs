@@ -1,0 +1,334 @@
+//! A blocking client for the ccdb wire protocol.
+//!
+//! One [`Client`] owns one TCP connection (= one server session) and
+//! issues lock-step request/response pairs. It is deliberately simple —
+//! tests, the `ccdb bench-net` load generator, and the E12 harness all
+//! drive the server through this type, so any protocol drift breaks them
+//! first.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use ccdb_core::{Surrogate, Value};
+use serde_json::Value as Json;
+
+use crate::proto::{read_frame, write_frame, FrameError, Request, MAX_FRAME_BYTES};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The response frame/JSON was malformed or mismatched.
+    Protocol(String),
+    /// The server answered with an error response.
+    Server {
+        /// Machine-matchable kind (`"overloaded"`, `"core"`, ...).
+        kind: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl ClientError {
+    /// Whether the server refused this request at admission (backpressure).
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self, ClientError::Server { kind, .. } if kind == "overloaded")
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Server { kind, message } => write!(f, "server [{kind}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Result alias for client calls.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// A blocking connection to a ccdb server.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream, next_id: 1 })
+    }
+
+    /// Sets the read timeout for responses (`None` blocks forever).
+    pub fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(t)
+    }
+
+    /// Sends one raw payload without waiting for the response. Test-only
+    /// building block for pipelined / malformed-traffic scenarios.
+    pub fn send_raw(&mut self, payload: &[u8]) -> io::Result<()> {
+        write_frame(&mut self.stream, payload)
+    }
+
+    /// Reads one raw response frame.
+    pub fn recv_raw(&mut self) -> Result<Vec<u8>, FrameError> {
+        read_frame(&mut self.stream, MAX_FRAME_BYTES)
+    }
+
+    fn next_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Issues `verb` with `params`, returning the response's `result`.
+    pub fn request(&mut self, verb: &str, params: Json) -> ClientResult<Json> {
+        let id = self.next_id();
+        let req = Request {
+            id,
+            verb: verb.into(),
+            params,
+        };
+        let payload = req.to_json().to_json_string().into_bytes();
+        write_frame(&mut self.stream, &payload)?;
+        let raw = match read_frame(&mut self.stream, MAX_FRAME_BYTES) {
+            Ok(r) => r,
+            Err(FrameError::Io(e)) => return Err(ClientError::Io(e)),
+            Err(e) => return Err(ClientError::Protocol(e.to_string())),
+        };
+        let text = std::str::from_utf8(&raw)
+            .map_err(|_| ClientError::Protocol("response is not UTF-8".into()))?;
+        let v: Json = serde_json::from_str(text)
+            .map_err(|e| ClientError::Protocol(format!("bad response JSON: {e}")))?;
+        let got_id = v.get("id").and_then(Json::as_u64).unwrap_or(0);
+        if got_id != id {
+            return Err(ClientError::Protocol(format!(
+                "response id {got_id} does not match request id {id}"
+            )));
+        }
+        match v.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(v.get("result").cloned().unwrap_or(Json::Null)),
+            Some(false) => {
+                let err = v.get("error");
+                Err(ClientError::Server {
+                    kind: err
+                        .and_then(|e| e.get("kind"))
+                        .and_then(Json::as_str)
+                        .unwrap_or("unknown")
+                        .to_string(),
+                    message: err
+                        .and_then(|e| e.get("message"))
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                })
+            }
+            None => Err(ClientError::Protocol("response missing `ok`".into())),
+        }
+    }
+
+    /// `ping` → "pong".
+    pub fn ping(&mut self) -> ClientResult<()> {
+        self.request("ping", Json::Object(vec![])).map(|_| ())
+    }
+
+    /// `ping` with an artificial service delay (drain/load tests).
+    pub fn ping_delay_ms(&mut self, ms: u64) -> ClientResult<()> {
+        self.request(
+            "ping",
+            Json::Object(vec![("delay_ms".into(), Json::UInt(ms))]),
+        )
+        .map(|_| ())
+    }
+
+    /// Creates an object of `ty` with initial attributes.
+    pub fn create(&mut self, ty: &str, attrs: &[(&str, Value)]) -> ClientResult<Surrogate> {
+        let encoded = Json::Object(
+            attrs
+                .iter()
+                .map(|(n, v)| (n.to_string(), serde_json::to_value(v)))
+                .collect(),
+        );
+        let params = Json::Object(vec![
+            ("type".into(), Json::String(ty.into())),
+            ("attrs".into(), encoded),
+        ]);
+        let r = self.request("create", params)?;
+        r.as_u64()
+            .map(Surrogate)
+            .ok_or_else(|| ClientError::Protocol("create: non-integer surrogate".into()))
+    }
+
+    /// Resolved attribute read.
+    pub fn attr(&mut self, obj: Surrogate, name: &str) -> ClientResult<Value> {
+        let params = Json::Object(vec![
+            ("obj".into(), Json::UInt(obj.0)),
+            ("name".into(), Json::String(name.into())),
+        ]);
+        let r = self.request("attr", params)?;
+        serde_json::from_value(&r)
+            .map_err(|e| ClientError::Protocol(format!("attr: bad value encoding: {e}")))
+    }
+
+    /// Local attribute write.
+    pub fn set_attr(&mut self, obj: Surrogate, name: &str, value: Value) -> ClientResult<()> {
+        let params = Json::Object(vec![
+            ("obj".into(), Json::UInt(obj.0)),
+            ("name".into(), Json::String(name.into())),
+            ("value".into(), serde_json::to_value(&value)),
+        ]);
+        self.request("set_attr", params).map(|_| ())
+    }
+
+    /// Binds `inheritor` to `transmitter` in `rel`; returns the
+    /// relationship object's surrogate.
+    pub fn bind(
+        &mut self,
+        rel: &str,
+        transmitter: Surrogate,
+        inheritor: Surrogate,
+    ) -> ClientResult<Surrogate> {
+        let params = Json::Object(vec![
+            ("rel".into(), Json::String(rel.into())),
+            ("transmitter".into(), Json::UInt(transmitter.0)),
+            ("inheritor".into(), Json::UInt(inheritor.0)),
+        ]);
+        let r = self.request("bind", params)?;
+        r.as_u64()
+            .map(Surrogate)
+            .ok_or_else(|| ClientError::Protocol("bind: non-integer surrogate".into()))
+    }
+
+    /// Dissolves an inheritance binding.
+    pub fn unbind(&mut self, rel_obj: Surrogate) -> ClientResult<()> {
+        let params = Json::Object(vec![("rel_obj".into(), Json::UInt(rel_obj.0))]);
+        self.request("unbind", params).map(|_| ())
+    }
+
+    /// Selects objects of `ty` matching the `where` expression source
+    /// (`None` selects all).
+    pub fn select(&mut self, ty: &str, where_src: Option<&str>) -> ClientResult<Vec<Surrogate>> {
+        let mut params = vec![("type".to_string(), Json::String(ty.into()))];
+        if let Some(src) = where_src {
+            params.push(("where".into(), Json::String(src.into())));
+        }
+        let r = self.request("select", Json::Object(params))?;
+        r.as_array()
+            .map(|items| {
+                items
+                    .iter()
+                    .filter_map(Json::as_u64)
+                    .map(Surrogate)
+                    .collect()
+            })
+            .ok_or_else(|| ClientError::Protocol("select: non-array result".into()))
+    }
+
+    /// Constraint-checks every object; returns `(object, constraint)` pairs.
+    pub fn check_all(&mut self) -> ClientResult<Vec<(Surrogate, String)>> {
+        let r = self.request("check_all", Json::Object(vec![]))?;
+        r.as_array()
+            .map(|items| {
+                items
+                    .iter()
+                    .filter_map(|v| {
+                        Some((
+                            Surrogate(v.get("object")?.as_u64()?),
+                            v.get("constraint")?.as_str()?.to_string(),
+                        ))
+                    })
+                    .collect()
+            })
+            .ok_or_else(|| ClientError::Protocol("check_all: non-array result".into()))
+    }
+
+    /// A type's effective schema with provenance.
+    pub fn effective(&mut self, ty: &str) -> ClientResult<Json> {
+        self.request(
+            "effective",
+            Json::Object(vec![("type".into(), Json::String(ty.into()))]),
+        )
+    }
+
+    /// The inheritance chain `ty.attr` resolves through.
+    pub fn explain(&mut self, ty: &str, attr: &str) -> ClientResult<Json> {
+        self.request(
+            "explain",
+            Json::Object(vec![
+                ("type".into(), Json::String(ty.into())),
+                ("attr".into(), Json::String(attr.into())),
+            ]),
+        )
+    }
+
+    /// The server's metrics snapshot as JSON.
+    pub fn stats(&mut self) -> ClientResult<Json> {
+        self.request("stats", Json::Object(vec![]))
+    }
+
+    /// The plaintext Prometheus scrape.
+    pub fn metrics(&mut self) -> ClientResult<String> {
+        let r = self.request("metrics", Json::Object(vec![]))?;
+        r.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Protocol("metrics: non-string result".into()))
+    }
+
+    /// This connection's session info.
+    pub fn session(&mut self) -> ClientResult<Json> {
+        self.request("session", Json::Object(vec![]))
+    }
+
+    /// Asks the server to drain and stop.
+    pub fn shutdown_server(&mut self) -> ClientResult<()> {
+        self.request("shutdown", Json::Object(vec![])).map(|_| ())
+    }
+
+    /// Reads one frame directly (after `send_raw`); exposed for tests.
+    pub fn read_response_json(&mut self) -> ClientResult<Json> {
+        let raw = match self.recv_raw() {
+            Ok(r) => r,
+            Err(FrameError::Io(e)) => return Err(ClientError::Io(e)),
+            Err(e) => return Err(ClientError::Protocol(e.to_string())),
+        };
+        let text = std::str::from_utf8(&raw)
+            .map_err(|_| ClientError::Protocol("response is not UTF-8".into()))?;
+        serde_json::from_str(text)
+            .map_err(|e| ClientError::Protocol(format!("bad response JSON: {e}")))
+    }
+
+    /// The underlying stream (tests use this to half-close or mangle it).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+}
+
+/// Blanket `Read`/`Write` passthrough so tests can speak raw bytes.
+impl Write for Client {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.stream.write(buf)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        self.stream.flush()
+    }
+}
+
+impl Read for Client {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.stream.read(buf)
+    }
+}

@@ -1,0 +1,437 @@
+//! Verb dispatch: one parsed request against the shared store.
+//!
+//! Handlers are pure request → `Result<Json, (ErrorKind, message)>`
+//! functions over [`SharedStore`]; the threading, framing, and response
+//! writing live in [`crate::server`]. Read verbs take the store's shared
+//! lock (many in parallel across workers), write verbs the exclusive one —
+//! so a transmitter update by one session is visible to every other
+//! session's next read, which is the paper's instant-visibility semantics
+//! carried over the wire.
+
+use ccdb_core::expr::Expr;
+use ccdb_core::schema::{Catalog, ItemSource};
+use ccdb_core::shared::SharedStore;
+use ccdb_core::{CoreError, Surrogate, Value};
+use serde_json::Value as Json;
+
+use crate::proto::ErrorKind;
+
+/// Handler failure: wire error kind plus client-safe message.
+pub(crate) type HandlerError = (ErrorKind, String);
+pub(crate) type HandlerResult = Result<Json, HandlerError>;
+
+fn bad(msg: impl Into<String>) -> HandlerError {
+    (ErrorKind::BadRequest, msg.into())
+}
+
+fn core_err(e: CoreError) -> HandlerError {
+    (ErrorKind::Core, e.to_string())
+}
+
+fn param<'a>(params: &'a Json, key: &str) -> Result<&'a Json, HandlerError> {
+    params
+        .get(key)
+        .ok_or_else(|| bad(format!("missing parameter `{key}`")))
+}
+
+fn surrogate_param(params: &Json, key: &str) -> Result<Surrogate, HandlerError> {
+    param(params, key)?
+        .as_u64()
+        .map(Surrogate)
+        .ok_or_else(|| bad(format!("parameter `{key}` must be an unsigned surrogate")))
+}
+
+fn str_param<'a>(params: &'a Json, key: &str) -> Result<&'a str, HandlerError> {
+    param(params, key)?
+        .as_str()
+        .ok_or_else(|| bad(format!("parameter `{key}` must be a string")))
+}
+
+fn value_param(params: &Json, key: &str) -> Result<Value, HandlerError> {
+    let raw = param(params, key)?;
+    serde_json::from_value::<Value>(raw).map_err(|e| {
+        bad(format!(
+            "parameter `{key}` is not a valid value encoding: {e}"
+        ))
+    })
+}
+
+/// Decodes an optional `{name: <value encoding>}` object into attr pairs.
+fn attrs_param(params: &Json, key: &str) -> Result<Vec<(String, Value)>, HandlerError> {
+    let Some(raw) = params.get(key) else {
+        return Ok(vec![]);
+    };
+    if raw.is_null() {
+        return Ok(vec![]);
+    }
+    let pairs = raw
+        .as_object_slice()
+        .ok_or_else(|| bad(format!("parameter `{key}` must be an object of attributes")))?;
+    pairs
+        .iter()
+        .map(|(name, v)| {
+            serde_json::from_value::<Value>(v)
+                .map(|val| (name.clone(), val))
+                .map_err(|e| {
+                    bad(format!(
+                        "attribute `{name}` has invalid value encoding: {e}"
+                    ))
+                })
+        })
+        .collect()
+}
+
+fn surrogates_json(items: &[Surrogate]) -> Json {
+    Json::Array(items.iter().map(|s| Json::UInt(s.0)).collect())
+}
+
+fn item_source_json(source: &ItemSource) -> Json {
+    match source {
+        ItemSource::Local => Json::String("local".into()),
+        ItemSource::Inherited { via_rel, from_type } => Json::Object(vec![
+            ("via_rel".into(), Json::String(via_rel.clone())),
+            ("from_type".into(), Json::String(from_type.clone())),
+        ]),
+    }
+}
+
+/// `effective`: a type's effective schema with provenance, as JSON.
+fn handle_effective(catalog: &Catalog, params: &Json) -> HandlerResult {
+    let ty = str_param(params, "type")?;
+    let eff = catalog.effective_schema(ty).map_err(core_err)?;
+    let attrs = eff
+        .attrs
+        .iter()
+        .map(|(name, domain, source)| {
+            Json::Object(vec![
+                ("name".into(), Json::String(name.clone())),
+                ("domain".into(), Json::String(domain.describe())),
+                ("source".into(), item_source_json(source)),
+            ])
+        })
+        .collect();
+    let subclasses = eff
+        .subclasses
+        .iter()
+        .map(|(name, elem, source)| {
+            Json::Object(vec![
+                ("name".into(), Json::String(name.clone())),
+                ("element_type".into(), Json::String(elem.clone())),
+                ("source".into(), item_source_json(source)),
+            ])
+        })
+        .collect();
+    Ok(Json::Object(vec![
+        ("type".into(), Json::String(ty.into())),
+        ("attrs".into(), Json::Array(attrs)),
+        ("subclasses".into(), Json::Array(subclasses)),
+    ]))
+}
+
+/// `explain`: synthesize the inheritance chain an attribute resolves
+/// through, from effective-schema provenance (type level; no instances).
+fn handle_explain(catalog: &Catalog, params: &Json) -> HandlerResult {
+    let ty = str_param(params, "type")?;
+    let attr = str_param(params, "attr")?;
+    let mut hops = Vec::new();
+    let mut cur_ty = ty.to_string();
+    let domain = loop {
+        let eff = catalog.effective_schema(&cur_ty).map_err(core_err)?;
+        match eff.attr(attr) {
+            None => {
+                return Err((
+                    ErrorKind::Core,
+                    format!("type `{cur_ty}` has no attribute `{attr}`"),
+                ))
+            }
+            Some((domain, ItemSource::Local)) => break domain.describe(),
+            Some((_, ItemSource::Inherited { via_rel, from_type })) => {
+                hops.push(Json::Object(vec![
+                    ("inheritor_type".into(), Json::String(cur_ty.clone())),
+                    ("via_rel".into(), Json::String(via_rel.clone())),
+                    ("transmitter_type".into(), Json::String(from_type.clone())),
+                    (
+                        "permeable".into(),
+                        Json::Bool(catalog.is_permeable(via_rel, attr)),
+                    ),
+                ]));
+                cur_ty = from_type.clone();
+            }
+        }
+    };
+    Ok(Json::Object(vec![
+        ("type".into(), Json::String(ty.into())),
+        ("attr".into(), Json::String(attr.into())),
+        ("owner_type".into(), Json::String(cur_ty)),
+        ("domain".into(), Json::String(domain)),
+        ("hops".into(), Json::Array(hops)),
+    ]))
+}
+
+/// Dispatches one verb. `debug_verbs` additionally enables the
+/// test-only `boom` verb (panics inside the handler, exercising the
+/// worker's panic isolation).
+pub(crate) fn handle_verb(
+    store: &SharedStore,
+    catalog: &Catalog,
+    verb: &str,
+    params: &Json,
+    debug_verbs: bool,
+) -> HandlerResult {
+    match verb {
+        "ping" => {
+            // Optional artificial service time (capped); used by the drain
+            // and overload tests and the latency harness.
+            if let Some(ms) = params.get("delay_ms").and_then(Json::as_u64) {
+                std::thread::sleep(std::time::Duration::from_millis(ms.min(1_000)));
+            }
+            Ok(Json::String("pong".into()))
+        }
+        "create" => {
+            let ty = str_param(params, "type")?;
+            let attrs = attrs_param(params, "attrs")?;
+            let owned: Vec<(&str, Value)> =
+                attrs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+            let s = store
+                .write(|st| st.create_object(ty, owned))
+                .map_err(core_err)?;
+            Ok(Json::UInt(s.0))
+        }
+        "attr" => {
+            let obj = surrogate_param(params, "obj")?;
+            let name = str_param(params, "name")?;
+            let value = store.attr(obj, name).map_err(core_err)?;
+            Ok(serde_json::to_value(&value))
+        }
+        "set_attr" => {
+            let obj = surrogate_param(params, "obj")?;
+            let name = str_param(params, "name")?;
+            let value = value_param(params, "value")?;
+            store.set_attr(obj, name, value).map_err(core_err)?;
+            Ok(Json::Null)
+        }
+        "bind" => {
+            let rel = str_param(params, "rel")?;
+            let transmitter = surrogate_param(params, "transmitter")?;
+            let inheritor = surrogate_param(params, "inheritor")?;
+            let attrs = attrs_param(params, "attrs")?;
+            let borrowed: Vec<(&str, Value)> =
+                attrs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+            let rel_obj = store
+                .bind(rel, transmitter, inheritor, borrowed)
+                .map_err(core_err)?;
+            Ok(Json::UInt(rel_obj.0))
+        }
+        "unbind" => {
+            let rel_obj = surrogate_param(params, "rel_obj")?;
+            store.unbind(rel_obj).map_err(core_err)?;
+            Ok(Json::Null)
+        }
+        "select" => {
+            let ty = str_param(params, "type")?;
+            let predicate = match params.get("where").and_then(Json::as_str) {
+                Some(src) => ccdb_lang::compile_expr(src, catalog)
+                    .map_err(|e| bad(format!("invalid `where` expression: {e}")))?,
+                // No predicate: match everything.
+                None => Expr::eq(Expr::int(0), Expr::int(0)),
+            };
+            let hits = store
+                .read(|st| st.select(ty, &predicate))
+                .map_err(core_err)?;
+            Ok(surrogates_json(&hits))
+        }
+        "check_all" => {
+            let violations = store.read(|st| st.check_all()).map_err(core_err)?;
+            Ok(Json::Array(
+                violations
+                    .iter()
+                    .map(|v| {
+                        Json::Object(vec![
+                            ("object".into(), Json::UInt(v.object.0)),
+                            ("constraint".into(), Json::String(v.constraint.clone())),
+                            (
+                                "detail".into(),
+                                v.detail
+                                    .as_ref()
+                                    .map(|d| Json::String(d.clone()))
+                                    .unwrap_or(Json::Null),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ))
+        }
+        "effective" => handle_effective(catalog, params),
+        "explain" => handle_explain(catalog, params),
+        "stats" => {
+            let json = ccdb_obs::global().render_json();
+            serde_json::from_str(&json)
+                .map_err(|e| (ErrorKind::Internal, format!("stats render: {e}")))
+        }
+        "metrics" => {
+            // The plaintext Prometheus scrape, `GET /metrics`-style, so the
+            // PR 1 exporter is reachable over the network.
+            Ok(Json::String(ccdb_obs::global().render_prometheus()))
+        }
+        "boom" if debug_verbs => panic!("boom: requested handler panic"),
+        other => Err(bad(format!("unknown verb `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccdb_core::domain::Domain;
+    use ccdb_core::schema::{AttrDef, InherRelTypeDef, ObjectTypeDef};
+    use serde_json::json;
+
+    fn fixture() -> (SharedStore, Catalog) {
+        let mut c = Catalog::new();
+        c.register_object_type(ObjectTypeDef {
+            name: "If".into(),
+            attributes: vec![AttrDef::new("X", Domain::Int)],
+            ..Default::default()
+        })
+        .unwrap();
+        c.register_inher_rel_type(InherRelTypeDef {
+            name: "AllOf_If".into(),
+            transmitter_type: "If".into(),
+            inheritor_type: None,
+            inheriting: vec!["X".into()],
+            attributes: vec![],
+            constraints: vec![],
+        })
+        .unwrap();
+        c.register_object_type(ObjectTypeDef {
+            name: "Impl".into(),
+            inheritor_in: vec!["AllOf_If".into()],
+            attributes: vec![AttrDef::new("Local", Domain::Int)],
+            ..Default::default()
+        })
+        .unwrap();
+        (SharedStore::new(c.clone()).unwrap(), c)
+    }
+
+    fn call(store: &SharedStore, catalog: &Catalog, verb: &str, params: Json) -> HandlerResult {
+        handle_verb(store, catalog, verb, &params, false)
+    }
+
+    #[test]
+    fn create_bind_read_write_roundtrip() {
+        let (store, catalog) = fixture();
+        let interface = call(
+            &store,
+            &catalog,
+            "create",
+            json!({"type": "If", "attrs": {"X": {"Int": 7}}}),
+        )
+        .unwrap()
+        .as_u64()
+        .unwrap();
+        let imp = call(&store, &catalog, "create", json!({"type": "Impl"}))
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        call(
+            &store,
+            &catalog,
+            "bind",
+            json!({"rel": "AllOf_If", "transmitter": interface, "inheritor": imp}),
+        )
+        .unwrap();
+        let v = call(&store, &catalog, "attr", json!({"obj": imp, "name": "X"})).unwrap();
+        assert_eq!(v.get("Int").and_then(Json::as_i64), Some(7));
+        call(
+            &store,
+            &catalog,
+            "set_attr",
+            json!({"obj": interface, "name": "X", "value": {"Int": 41}}),
+        )
+        .unwrap();
+        let v = call(&store, &catalog, "attr", json!({"obj": imp, "name": "X"})).unwrap();
+        assert_eq!(v.get("Int").and_then(Json::as_i64), Some(41));
+    }
+
+    #[test]
+    fn select_with_and_without_predicate() {
+        let (store, catalog) = fixture();
+        for k in 0..4 {
+            call(
+                &store,
+                &catalog,
+                "create",
+                json!({"type": "Impl", "attrs": {"Local": {"Int": k}}}),
+            )
+            .unwrap();
+        }
+        let all = call(&store, &catalog, "select", json!({"type": "Impl"})).unwrap();
+        assert_eq!(all.as_array().unwrap().len(), 4);
+        let some = call(
+            &store,
+            &catalog,
+            "select",
+            json!({"type": "Impl", "where": "Local < 2"}),
+        )
+        .unwrap();
+        assert_eq!(some.as_array().unwrap().len(), 2);
+        let err = call(
+            &store,
+            &catalog,
+            "select",
+            json!({"type": "Impl", "where": "][ not an expr"}),
+        )
+        .unwrap_err();
+        assert_eq!(err.0, ErrorKind::BadRequest);
+    }
+
+    #[test]
+    fn explain_reports_chain_and_effective_reports_provenance() {
+        let (store, catalog) = fixture();
+        let out = call(
+            &store,
+            &catalog,
+            "explain",
+            json!({"type": "Impl", "attr": "X"}),
+        )
+        .unwrap();
+        assert_eq!(out.get("owner_type").and_then(Json::as_str), Some("If"));
+        let hops = out.get("hops").and_then(|h| h.as_array()).unwrap();
+        assert_eq!(hops.len(), 1);
+        assert_eq!(
+            hops[0].get("via_rel").and_then(Json::as_str),
+            Some("AllOf_If")
+        );
+        assert_eq!(hops[0].get("permeable").and_then(Json::as_bool), Some(true));
+
+        let eff = call(&store, &catalog, "effective", json!({"type": "Impl"})).unwrap();
+        let attrs = eff.get("attrs").and_then(|a| a.as_array()).unwrap();
+        assert!(attrs.iter().any(|a| {
+            a.get("name").and_then(Json::as_str) == Some("X")
+                && a.get("source").and_then(|s| s.get("via_rel")).is_some()
+        }));
+    }
+
+    #[test]
+    fn errors_map_to_kinds() {
+        let (store, catalog) = fixture();
+        let e = call(&store, &catalog, "attr", json!({"obj": 999, "name": "X"})).unwrap_err();
+        assert_eq!(e.0, ErrorKind::Core);
+        let e = call(&store, &catalog, "attr", json!({"name": "X"})).unwrap_err();
+        assert_eq!(e.0, ErrorKind::BadRequest);
+        let e = call(&store, &catalog, "warp", json!({})).unwrap_err();
+        assert_eq!(e.0, ErrorKind::BadRequest);
+        // `boom` is hidden unless debug verbs are enabled.
+        let e = call(&store, &catalog, "boom", json!({})).unwrap_err();
+        assert_eq!(e.0, ErrorKind::BadRequest);
+    }
+
+    #[test]
+    fn stats_and_metrics_are_scrapeable() {
+        let (store, catalog) = fixture();
+        let stats = call(&store, &catalog, "stats", json!({})).unwrap();
+        assert!(stats.get("counters").is_some());
+        let text = call(&store, &catalog, "metrics", json!({})).unwrap();
+        let text = text.as_str().unwrap();
+        assert!(text.contains("# TYPE"), "{text}");
+    }
+}

@@ -1,0 +1,117 @@
+//! Process-global `ccdb_server_*` metrics, registered in the
+//! [`ccdb_obs::global`] registry so they show up in the `stats`/`metrics`
+//! verbs and the Prometheus scrape alongside the core/txn/storage series.
+
+use std::sync::{Arc, OnceLock};
+
+use ccdb_obs::metrics::LATENCY_BUCKETS_NS;
+use ccdb_obs::{Counter, Gauge, Histogram};
+
+/// The verbs the per-verb request counters are pre-registered for.
+pub(crate) const VERBS: &[&str] = &[
+    "ping",
+    "session",
+    "create",
+    "attr",
+    "set_attr",
+    "bind",
+    "unbind",
+    "select",
+    "check_all",
+    "effective",
+    "explain",
+    "stats",
+    "metrics",
+    "shutdown",
+];
+
+pub(crate) struct ServerMetrics {
+    /// `ccdb_server_connections_total` — accepted TCP connections.
+    pub connections: Arc<Counter>,
+    /// `ccdb_server_sessions_active` — live sessions right now.
+    pub sessions_active: Arc<Gauge>,
+    /// `ccdb_server_requests_total` — every parsed request, any outcome.
+    pub requests: Arc<Counter>,
+    /// `ccdb_server_requests_<verb>_total`, parallel to [`VERBS`].
+    pub requests_by_verb: Vec<(&'static str, Arc<Counter>)>,
+    /// `ccdb_server_bytes_in_total` — request payload bytes read.
+    pub bytes_in: Arc<Counter>,
+    /// `ccdb_server_bytes_out_total` — response payload bytes written.
+    pub bytes_out: Arc<Counter>,
+    /// `ccdb_server_overloaded_total` — requests refused at admission.
+    pub overloaded: Arc<Counter>,
+    /// `ccdb_server_malformed_total` — bad frames / JSON / versions.
+    pub malformed: Arc<Counter>,
+    /// `ccdb_server_internal_errors_total` — handler panics survived.
+    pub internal_errors: Arc<Counter>,
+    /// `ccdb_server_idle_closed_total` — connections closed by idle timeout.
+    pub idle_closed: Arc<Counter>,
+    /// `ccdb_server_queue_depth` — jobs waiting for a worker.
+    pub queue_depth: Arc<Gauge>,
+    /// `ccdb_server_request_latency_ns` — admission to response written.
+    pub request_latency: Arc<Histogram>,
+}
+
+impl ServerMetrics {
+    /// The per-verb counter, or the catch-all `requests` counter for verbs
+    /// outside [`VERBS`] (unknown verbs are still counted once globally).
+    pub fn verb_counter(&self, verb: &str) -> Option<&Arc<Counter>> {
+        self.requests_by_verb
+            .iter()
+            .find(|(name, _)| *name == verb)
+            .map(|(_, c)| c)
+    }
+}
+
+pub(crate) fn server_metrics() -> &'static ServerMetrics {
+    static METRICS: OnceLock<ServerMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = ccdb_obs::global();
+        ServerMetrics {
+            connections: r.counter("ccdb_server_connections_total"),
+            sessions_active: r.gauge("ccdb_server_sessions_active"),
+            requests: r.counter("ccdb_server_requests_total"),
+            requests_by_verb: VERBS
+                .iter()
+                .map(|v| (*v, r.counter(&format!("ccdb_server_requests_{v}_total"))))
+                .collect(),
+            bytes_in: r.counter("ccdb_server_bytes_in_total"),
+            bytes_out: r.counter("ccdb_server_bytes_out_total"),
+            overloaded: r.counter("ccdb_server_overloaded_total"),
+            malformed: r.counter("ccdb_server_malformed_total"),
+            internal_errors: r.counter("ccdb_server_internal_errors_total"),
+            idle_closed: r.counter("ccdb_server_idle_closed_total"),
+            queue_depth: r.gauge("ccdb_server_queue_depth"),
+            request_latency: r.histogram("ccdb_server_request_latency_ns", LATENCY_BUCKETS_NS),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verb_counters_cover_every_verb() {
+        let m = server_metrics();
+        for v in VERBS {
+            assert!(m.verb_counter(v).is_some(), "no counter for {v}");
+        }
+        assert!(m.verb_counter("no_such_verb").is_none());
+    }
+
+    #[test]
+    fn series_appear_in_the_global_registry() {
+        let _ = server_metrics();
+        let text = ccdb_obs::global().render_prometheus();
+        for series in [
+            "ccdb_server_requests_total",
+            "ccdb_server_requests_attr_total",
+            "ccdb_server_overloaded_total",
+            "ccdb_server_queue_depth",
+            "ccdb_server_request_latency_ns",
+        ] {
+            assert!(text.contains(series), "missing {series}");
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! The ccdb wire protocol: length-prefixed JSON frames.
+//!
+//! A frame is a 4-byte big-endian payload length followed by that many
+//! bytes of UTF-8 JSON. Both directions use the same framing.
+//!
+//! **Request** objects carry `{"v": 1, "id": <u64>, "verb": "<name>",
+//! "params": {...}}`. `v` is the protocol version and must equal
+//! [`PROTOCOL_VERSION`]; `id` is chosen by the client and echoed verbatim
+//! in the response so pipelined requests can be matched.
+//!
+//! **Response** objects are `{"id": <u64>, "ok": true, "result": ...}` on
+//! success and `{"id": <u64>, "ok": false, "error": {"kind": "...",
+//! "message": "..."}}` on failure. The error `kind` is machine-matchable
+//! ([`ErrorKind`]); `"overloaded"` in particular is the server's explicit
+//! backpressure signal — the request was *rejected at admission*, not
+//! queued, and the client should back off and retry.
+//!
+//! Attribute values travel in the serde encoding of
+//! [`ccdb_core::Value`]: unit variants as strings (`"Missing"`),
+//! data-carrying variants as single-key objects (`{"Int": 5}`,
+//! `{"Point": {"x": 1, "y": 2}}`).
+
+use std::io::{self, Read, Write};
+
+use serde_json::Value as Json;
+
+/// Version tag every request must carry; bumped on incompatible changes.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Default cap on a single frame's payload, in bytes. A length prefix
+/// above the server's cap is answered with a `protocol` error and the
+/// connection is closed *without reading the body* — a hostile or corrupt
+/// prefix cannot make the server allocate.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Why reading a frame failed.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Clean end-of-stream at a frame boundary.
+    Closed,
+    /// The stream ended mid-prefix or mid-payload (truncated frame).
+    Truncated,
+    /// The length prefix exceeded the frame cap.
+    TooLarge(usize),
+    /// Underlying socket error (including read timeouts).
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Truncated => write!(f, "truncated frame"),
+            FrameError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds cap"),
+            FrameError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl FrameError {
+    /// Whether this is a read timeout (idle connection), not a dead one.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            FrameError::Io(e) if e.kind() == io::ErrorKind::WouldBlock
+                || e.kind() == io::ErrorKind::TimedOut
+        )
+    }
+}
+
+/// Writes one frame: big-endian length prefix + payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload, enforcing `max` on the length prefix.
+///
+/// EOF before the first prefix byte is a clean [`FrameError::Closed`];
+/// EOF anywhere later is [`FrameError::Truncated`].
+pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Vec<u8>, FrameError> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    while got < prefix.len() {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) => {
+                return Err(if got == 0 {
+                    FrameError::Closed
+                } else {
+                    FrameError::Truncated
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > max {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0;
+    while got < len {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(payload)
+}
+
+/// Machine-matchable response error categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Malformed frame/JSON or unsupported protocol version.
+    Protocol,
+    /// Well-formed request with missing/invalid verb or parameters.
+    BadRequest,
+    /// Rejected at admission: the bounded request queue is full.
+    Overloaded,
+    /// The server is draining; no new requests are admitted.
+    Shutdown,
+    /// The store rejected the operation (a `CoreError`).
+    Core,
+    /// A handler panicked; the request died but the server did not.
+    Internal,
+}
+
+impl ErrorKind {
+    /// Wire string for this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Protocol => "protocol",
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Shutdown => "shutdown",
+            ErrorKind::Core => "core",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// A parsed request envelope.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Operation name.
+    pub verb: String,
+    /// Verb parameters (an object; `{}` when absent).
+    pub params: Json,
+}
+
+impl Request {
+    /// Serializes a request envelope.
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("v".into(), Json::UInt(PROTOCOL_VERSION)),
+            ("id".into(), Json::UInt(self.id)),
+            ("verb".into(), Json::String(self.verb.clone())),
+            ("params".into(), self.params.clone()),
+        ])
+    }
+
+    /// Parses and validates a request envelope (including the version
+    /// check). The error string is safe to echo to the client.
+    pub fn parse(payload: &[u8]) -> Result<Request, String> {
+        let text = std::str::from_utf8(payload).map_err(|_| "payload is not UTF-8".to_string())?;
+        let v: Json = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        let version = v
+            .get("v")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "missing protocol version `v`".to_string())?;
+        if version != PROTOCOL_VERSION {
+            return Err(format!(
+                "unsupported protocol version {version} (server speaks {PROTOCOL_VERSION})"
+            ));
+        }
+        let id = v
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "missing request `id`".to_string())?;
+        let verb = v
+            .get("verb")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing `verb`".to_string())?
+            .to_string();
+        let params = v.get("params").cloned().unwrap_or(Json::Object(vec![]));
+        Ok(Request { id, verb, params })
+    }
+}
+
+/// Builds a success response.
+pub fn ok_response(id: u64, result: Json) -> Json {
+    Json::Object(vec![
+        ("id".into(), Json::UInt(id)),
+        ("ok".into(), Json::Bool(true)),
+        ("result".into(), result),
+    ])
+}
+
+/// Builds an error response.
+pub fn err_response(id: u64, kind: ErrorKind, message: &str) -> Json {
+    Json::Object(vec![
+        ("id".into(), Json::UInt(id)),
+        ("ok".into(), Json::Bool(false)),
+        (
+            "error".into(),
+            Json::Object(vec![
+                ("kind".into(), Json::String(kind.as_str().into())),
+                ("message".into(), Json::String(message.into())),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        assert_eq!(&buf[..4], &[0, 0, 0, 5]);
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r, 64).unwrap(), b"hello");
+        assert!(matches!(read_frame(&mut r, 64), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn oversized_prefix_rejected_without_reading_body() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(1_000_000u32).to_be_bytes());
+        let mut r = &buf[..];
+        assert!(matches!(
+            read_frame(&mut r, 1024),
+            Err(FrameError::TooLarge(1_000_000))
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_detected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(10u32).to_be_bytes());
+        buf.extend_from_slice(b"abc");
+        let mut r = &buf[..];
+        assert!(matches!(read_frame(&mut r, 64), Err(FrameError::Truncated)));
+        // Truncation inside the prefix itself.
+        let short = [0u8, 0];
+        assert!(matches!(
+            read_frame(&mut &short[..], 64),
+            Err(FrameError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn request_roundtrip_and_version_check() {
+        let req = Request {
+            id: 9,
+            verb: "attr".into(),
+            params: Json::Object(vec![("obj".into(), Json::UInt(3))]),
+        };
+        let bytes = serde_json::to_vec(&req.to_json()).unwrap();
+        let back = Request::parse(&bytes).unwrap();
+        assert_eq!(back.id, 9);
+        assert_eq!(back.verb, "attr");
+        assert_eq!(back.params.get("obj").and_then(Json::as_u64), Some(3));
+
+        let bad = br#"{"v": 99, "id": 1, "verb": "ping"}"#;
+        let err = Request::parse(bad).unwrap_err();
+        assert!(err.contains("version 99"), "{err}");
+        assert!(Request::parse(b"not json").is_err());
+        assert!(Request::parse(br#"{"v": 1, "id": 1}"#).is_err());
+    }
+
+    #[test]
+    fn response_shapes() {
+        let ok = ok_response(4, Json::String("pong".into()));
+        assert_eq!(ok.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(ok.get("id").and_then(Json::as_u64), Some(4));
+        let err = err_response(4, ErrorKind::Overloaded, "queue full");
+        assert_eq!(err.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            err.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("overloaded")
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! Bounded MPMC request queue — the server's admission controller.
+//!
+//! `push` never blocks: when the queue is at capacity the caller gets the
+//! job back and turns it into an explicit `Overloaded` response, so memory
+//! stays bounded under any offered load (backpressure instead of buffering).
+//! `pop` blocks workers until a job or close. After [`BoundedQueue::close`],
+//! pushes are refused but **queued jobs still drain** — `pop` returns
+//! `None` only once the queue is both closed and empty, which is what
+//! graceful shutdown relies on to finish in-flight requests.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// At capacity; the job is handed back for an `Overloaded` reply.
+    Full(T),
+    /// Queue closed (server draining); handed back for a `Shutdown` reply.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity FIFO shared by connection readers (producers) and the
+/// worker pool (consumers).
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue admitting at most `capacity` jobs at once.
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity.max(1)),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        // Recover from poisoning: a panicking worker must not wedge the
+        // queue for every other connection.
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Admits a job, or refuses immediately when full/closed.
+    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut s = self.lock();
+        if s.closed {
+            return Err(PushError::Closed(item));
+        }
+        if s.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once the queue is closed **and**
+    /// fully drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.lock();
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.not_empty.wait(s).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Stops admission and wakes every blocked consumer.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Jobs currently queued (for the depth gauge).
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn refuses_when_full_and_hands_item_back() {
+        let q = BoundedQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        match q.push(3) {
+            Err(PushError::Full(3)) => {}
+            other => panic!("expected Full(3), got {other:?}"),
+        }
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn drains_after_close_then_reports_none() {
+        let q = BoundedQueue::new(4);
+        q.push("a").unwrap();
+        q.push("b").unwrap();
+        q.close();
+        assert!(matches!(q.push("c"), Err(PushError::Closed("c"))));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || q2.pop());
+        thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_preserve_every_item() {
+        let q = Arc::new(BoundedQueue::new(1024));
+        let total: u64 = thread::scope(|s| {
+            let consumers: Vec<_> = (0..4)
+                .map(|_| {
+                    let q = Arc::clone(&q);
+                    s.spawn(move || {
+                        let mut sum = 0u64;
+                        while let Some(v) = q.pop() {
+                            sum += v;
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            for chunk in 0..4 {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for v in (chunk * 100)..(chunk * 100 + 100) {
+                        q.push(v as u64).unwrap();
+                    }
+                });
+            }
+            thread::sleep(std::time::Duration::from_millis(50));
+            q.close();
+            consumers.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(total, (0u64..400).sum());
+    }
+}

@@ -1,0 +1,513 @@
+//! The TCP server: acceptor + per-connection readers + worker pool.
+//!
+//! ```text
+//!            accept            frames              bounded queue
+//!  clients ─────────▶ acceptor ──────▶ reader (1/conn) ─────▶ workers (N)
+//!                                        │   admission: full ⇒ Overloaded │
+//!                                        ▼                                ▼
+//!                                   per-conn session          SharedStore (RwLock:
+//!                                   state + write half         readers ∥, writers ×)
+//! ```
+//!
+//! Production-shaping behaviors, in one place:
+//!
+//! - **Admission control**: readers push parsed requests into a
+//!   [`BoundedQueue`]; at capacity the request is answered `Overloaded`
+//!   immediately — offered load beyond capacity costs one response, never
+//!   unbounded memory.
+//! - **Idle/read timeouts**: a connection that sends nothing for the
+//!   configured window is closed (counted in `ccdb_server_idle_closed_total`).
+//! - **Malformed-frame hardening**: oversized length prefixes are refused
+//!   before any allocation, truncated frames and bad JSON/versions are
+//!   counted and answered (or the connection dropped) without panicking.
+//! - **Panic isolation**: a handler panic is caught in the worker, answered
+//!   as an `internal` error, and the worker keeps serving — one bad request
+//!   cannot take down the server.
+//! - **Graceful shutdown**: draining stops admission, lets queued requests
+//!   finish and their responses flush, then unblocks and joins every
+//!   thread.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use ccdb_core::schema::Catalog;
+use ccdb_core::shared::SharedStore;
+use serde_json::Value as Json;
+
+use crate::handler::handle_verb;
+use crate::metrics::server_metrics;
+use crate::proto::{
+    err_response, ok_response, read_frame, write_frame, ErrorKind, FrameError, Request,
+    MAX_FRAME_BYTES,
+};
+use crate::queue::{BoundedQueue, PushError};
+
+/// Server tuning knobs. `Default` is sized for tests and small
+/// deployments; the CLI exposes the production-relevant ones as flags.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (`:0` for an ephemeral port).
+    pub addr: String,
+    /// Worker threads executing requests against the store.
+    pub workers: usize,
+    /// Bounded request-queue capacity (admission control).
+    pub queue_depth: usize,
+    /// Per-frame payload cap in bytes.
+    pub max_frame_bytes: usize,
+    /// Close connections idle longer than this.
+    pub idle_timeout: Duration,
+    /// Enable test-only verbs (`boom`); never set in production.
+    pub debug_verbs: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_depth: 64,
+            max_frame_bytes: MAX_FRAME_BYTES,
+            idle_timeout: Duration::from_secs(30),
+            debug_verbs: false,
+        }
+    }
+}
+
+/// Per-connection session state (the paper's "designer at a workstation").
+struct Session {
+    id: u64,
+    peer: String,
+    /// Exclusive write half; workers serialize whole frames through it so
+    /// concurrent responses to one pipelined client never interleave.
+    writer: Mutex<TcpStream>,
+    requests: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    started: Instant,
+}
+
+impl Session {
+    fn info_json(&self) -> Json {
+        Json::Object(vec![
+            ("session".into(), Json::UInt(self.id)),
+            ("peer".into(), Json::String(self.peer.clone())),
+            (
+                "requests".into(),
+                Json::UInt(self.requests.load(Ordering::Relaxed)),
+            ),
+            (
+                "bytes_in".into(),
+                Json::UInt(self.bytes_in.load(Ordering::Relaxed)),
+            ),
+            (
+                "bytes_out".into(),
+                Json::UInt(self.bytes_out.load(Ordering::Relaxed)),
+            ),
+            (
+                "uptime_ms".into(),
+                Json::UInt(self.started.elapsed().as_millis() as u64),
+            ),
+        ])
+    }
+
+    /// Writes one response frame (serialized, byte-counted). Write errors
+    /// are swallowed: the peer may have gone away, which is its problem.
+    fn send(&self, response: &Json) {
+        let payload = response.to_json_string().into_bytes();
+        let mut w = self.writer.lock().unwrap_or_else(|p| p.into_inner());
+        if write_frame(&mut *w, &payload).is_ok() {
+            self.bytes_out
+                .fetch_add(payload.len() as u64, Ordering::Relaxed);
+            server_metrics().bytes_out.add(payload.len() as u64);
+        }
+    }
+}
+
+/// A unit of admitted work: request + the session to answer.
+struct Job {
+    request: Request,
+    session: Arc<Session>,
+    admitted: Instant,
+}
+
+struct Inner {
+    cfg: ServerConfig,
+    store: SharedStore,
+    catalog: Catalog,
+    queue: BoundedQueue<Job>,
+    draining: AtomicBool,
+    drain_cv: (Mutex<bool>, Condvar),
+    sessions: Mutex<HashMap<u64, Arc<Session>>>,
+    next_session: AtomicU64,
+    reader_handles: Mutex<Vec<JoinHandle<()>>>,
+    local_addr: SocketAddr,
+}
+
+impl Inner {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Flips the server into draining mode and wakes the acceptor.
+    fn begin_shutdown(&self) {
+        if self.draining.swap(true, Ordering::SeqCst) {
+            return; // already draining
+        }
+        let (lock, cv) = &self.drain_cv;
+        *lock.lock().unwrap_or_else(|p| p.into_inner()) = true;
+        cv.notify_all();
+        // Unblock the acceptor's blocking accept().
+        let _ = TcpStream::connect(self.local_addr);
+    }
+}
+
+/// A handle that can trigger shutdown from any thread (used by the CLI's
+/// signalless smoke flow: a client sends the `shutdown` verb).
+#[derive(Clone)]
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+}
+
+impl ServerHandle {
+    /// Starts draining; returns immediately.
+    pub fn begin_shutdown(&self) {
+        self.inner.begin_shutdown();
+    }
+}
+
+/// A running server. Dropping it without [`Server::shutdown`] leaks the
+/// threads until process exit; call `shutdown` (or `run_until_shutdown`)
+/// for a clean stop.
+pub struct Server {
+    inner: Arc<Inner>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the acceptor and worker pool, and returns immediately.
+    pub fn start(cfg: ServerConfig, store: SharedStore) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let catalog = store.read(|st| st.catalog().clone());
+        let inner = Arc::new(Inner {
+            queue: BoundedQueue::new(cfg.queue_depth),
+            cfg,
+            store,
+            catalog,
+            draining: AtomicBool::new(false),
+            drain_cv: (Mutex::new(false), Condvar::new()),
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+            reader_handles: Mutex::new(Vec::new()),
+            local_addr,
+        });
+
+        let workers = (0..inner.cfg.workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            thread::spawn(move || accept_loop(&listener, &inner))
+        };
+        Ok(Server {
+            inner,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral `:0` bind).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.local_addr
+    }
+
+    /// A cloneable shutdown trigger.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Live session count.
+    pub fn session_count(&self) -> usize {
+        self.inner
+            .sessions
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .len()
+    }
+
+    /// Blocks until some client/handle triggers shutdown, then drains and
+    /// joins everything. This is what `ccdb serve` sits in.
+    pub fn run_until_shutdown(mut self) {
+        {
+            let (lock, cv) = &self.inner.drain_cv;
+            let mut fired = lock.lock().unwrap_or_else(|p| p.into_inner());
+            while !*fired {
+                fired = cv.wait(fired).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+        self.drain_and_join();
+    }
+
+    /// Triggers shutdown and performs the full drain (see module docs).
+    pub fn shutdown(mut self) {
+        self.inner.begin_shutdown();
+        self.drain_and_join();
+    }
+
+    fn drain_and_join(&mut self) {
+        // 1. Acceptor exits (woken by begin_shutdown's self-connect).
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        // 2. Stop admission; queued jobs still drain. Workers run each
+        //    remaining job, write its response, then exit.
+        self.inner.queue.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // 3. Every response is flushed; now unblock readers stuck in
+        //    read() and join them.
+        let sessions: Vec<Arc<Session>> = {
+            let map = self
+                .inner
+                .sessions
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            map.values().cloned().collect()
+        };
+        for s in sessions {
+            let w = s.writer.lock().unwrap_or_else(|p| p.into_inner());
+            let _ = w.shutdown(Shutdown::Both);
+        }
+        let handles: Vec<JoinHandle<()>> = {
+            let mut v = self
+                .inner
+                .reader_handles
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            v.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                if inner.draining() {
+                    // The shutdown self-connect (or a late client): refuse.
+                    drop(stream);
+                    break;
+                }
+                spawn_reader(inner, stream, peer.to_string());
+            }
+            Err(_) => {
+                if inner.draining() {
+                    break;
+                }
+                // Transient accept error (e.g. EMFILE): keep serving.
+                thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn spawn_reader(inner: &Arc<Inner>, stream: TcpStream, peer: String) {
+    let m = server_metrics();
+    m.connections.inc();
+    let _ = stream.set_read_timeout(Some(inner.cfg.idle_timeout));
+    let _ = stream.set_nodelay(true);
+    let writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return, // dead on arrival
+    };
+    let id = inner.next_session.fetch_add(1, Ordering::Relaxed);
+    let session = Arc::new(Session {
+        id,
+        peer,
+        writer: Mutex::new(writer),
+        requests: AtomicU64::new(0),
+        bytes_in: AtomicU64::new(0),
+        bytes_out: AtomicU64::new(0),
+        started: Instant::now(),
+    });
+    inner
+        .sessions
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .insert(id, Arc::clone(&session));
+    m.sessions_active.add(1);
+
+    let inner2 = Arc::clone(inner);
+    let handle = thread::spawn(move || {
+        reader_loop(&inner2, stream, &session);
+        inner2
+            .sessions
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&session.id);
+        server_metrics().sessions_active.add(-1);
+    });
+    inner
+        .reader_handles
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .push(handle);
+}
+
+fn reader_loop(inner: &Arc<Inner>, mut stream: TcpStream, session: &Arc<Session>) {
+    let m = server_metrics();
+    loop {
+        let payload = match read_frame(&mut stream, inner.cfg.max_frame_bytes) {
+            Ok(p) => p,
+            Err(FrameError::Closed) => return,
+            Err(FrameError::Truncated) => {
+                // Peer died mid-frame; nothing to answer on a broken stream.
+                m.malformed.inc();
+                return;
+            }
+            Err(FrameError::TooLarge(n)) => {
+                m.malformed.inc();
+                session.send(&err_response(
+                    0,
+                    ErrorKind::Protocol,
+                    &format!(
+                        "frame of {n} bytes exceeds cap of {}",
+                        inner.cfg.max_frame_bytes
+                    ),
+                ));
+                return; // framing is unrecoverable: the body was never read
+            }
+            Err(e) if e.is_timeout() => {
+                if !inner.draining() {
+                    m.idle_closed.inc();
+                }
+                return;
+            }
+            Err(FrameError::Io(_)) => return,
+        };
+        session
+            .bytes_in
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        m.bytes_in.add(payload.len() as u64);
+
+        let request = match Request::parse(&payload) {
+            Ok(r) => r,
+            Err(msg) => {
+                // Framing is intact; answer and keep the connection.
+                m.malformed.inc();
+                session.send(&err_response(0, ErrorKind::Protocol, &msg));
+                continue;
+            }
+        };
+        m.requests.inc();
+        if let Some(c) = m.verb_counter(&request.verb) {
+            c.inc();
+        }
+        session.requests.fetch_add(1, Ordering::Relaxed);
+
+        // Session introspection never touches the store or the queue.
+        if request.verb == "session" {
+            session.send(&ok_response(request.id, session.info_json()));
+            continue;
+        }
+        if inner.draining() {
+            session.send(&err_response(
+                request.id,
+                ErrorKind::Shutdown,
+                "server is draining",
+            ));
+            continue;
+        }
+        let id = request.id;
+        let job = Job {
+            request,
+            session: Arc::clone(session),
+            admitted: Instant::now(),
+        };
+        match inner.queue.push(job) {
+            Ok(()) => m.queue_depth.set(inner.queue.len() as i64),
+            Err(PushError::Full(job)) => {
+                m.overloaded.inc();
+                job.session.send(&err_response(
+                    id,
+                    ErrorKind::Overloaded,
+                    &format!(
+                        "request queue full (depth {}); back off and retry",
+                        inner.cfg.queue_depth
+                    ),
+                ));
+            }
+            Err(PushError::Closed(job)) => {
+                job.session
+                    .send(&err_response(id, ErrorKind::Shutdown, "server is draining"));
+            }
+        }
+    }
+}
+
+fn worker_loop(inner: &Arc<Inner>) {
+    let m = server_metrics();
+    while let Some(job) = inner.queue.pop() {
+        m.queue_depth.set(inner.queue.len() as i64);
+        let Job {
+            request,
+            session,
+            admitted,
+        } = job;
+
+        let mut span = ccdb_obs::trace::span("server.request");
+        if let Some(s) = span.as_mut() {
+            if let Some(verb) = crate::metrics::VERBS.iter().find(|v| **v == request.verb) {
+                s.str("verb", verb);
+            }
+            s.u64("session", session.id);
+        }
+
+        let response = if request.verb == "shutdown" {
+            inner.begin_shutdown();
+            ok_response(request.id, Json::String("draining".into()))
+        } else {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                handle_verb(
+                    &inner.store,
+                    &inner.catalog,
+                    &request.verb,
+                    &request.params,
+                    inner.cfg.debug_verbs,
+                )
+            }));
+            match outcome {
+                Ok(Ok(result)) => ok_response(request.id, result),
+                Ok(Err((kind, msg))) => err_response(request.id, kind, &msg),
+                Err(_) => {
+                    m.internal_errors.inc();
+                    err_response(
+                        request.id,
+                        ErrorKind::Internal,
+                        "request handler panicked; see server logs",
+                    )
+                }
+            }
+        };
+        session.send(&response);
+        m.request_latency
+            .observe(admitted.elapsed().as_nanos() as u64);
+        drop(span);
+    }
+}

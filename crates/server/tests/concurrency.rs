@@ -1,0 +1,121 @@
+//! Shutdown-drain and multi-session behavior of one server process.
+
+mod common;
+
+use std::thread;
+use std::time::Duration;
+
+use ccdb_core::Value;
+use ccdb_server::{Client, ClientError, ServerConfig};
+
+/// A request already admitted when shutdown begins still gets its
+/// response: drain means "finish what you accepted", not "drop it".
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let server = common::start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    let handle = server.handle();
+
+    let in_flight = thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        // 300ms of service time: shutdown fires while this runs.
+        c.ping_delay_ms(300)
+    });
+    // Give the slow ping time to be admitted, then start draining.
+    thread::sleep(Duration::from_millis(100));
+    handle.begin_shutdown();
+
+    let result = in_flight.join().unwrap();
+    assert!(
+        result.is_ok(),
+        "admitted request must complete through drain: {result:?}"
+    );
+    server.shutdown();
+}
+
+/// Requests arriving after drain begins are refused with `shutdown`,
+/// not silently dropped.
+#[test]
+fn requests_after_drain_begins_get_shutdown_errors() {
+    let server = common::start_default();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    c.ping().unwrap();
+
+    server.handle().begin_shutdown();
+    // The reader answers `shutdown` until the socket is torn down; the
+    // teardown race means we accept either outcome, but never a hang.
+    match c.ping() {
+        Err(ClientError::Server { kind, .. }) => assert_eq!(kind, "shutdown"),
+        Err(ClientError::Io(_)) | Err(ClientError::Protocol(_)) => {}
+        Ok(()) => panic!("post-drain request must not be served"),
+    }
+    server.shutdown();
+}
+
+/// The `shutdown` verb over the wire is answered before the server
+/// stops, and `run_until_shutdown` then returns.
+#[test]
+fn wire_shutdown_verb_is_acknowledged_and_stops_the_server() {
+    let server = common::start_default();
+    let addr = server.local_addr();
+    let mut c = Client::connect(addr).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    c.shutdown_server().expect("shutdown verb acknowledged");
+
+    // run_until_shutdown must observe the drain and join everything.
+    let runner = thread::spawn(move || server.run_until_shutdown());
+    runner.join().expect("run_until_shutdown returns");
+
+    // The port is no longer served.
+    let gone = Client::connect(addr)
+        .map(|mut c| {
+            c.set_read_timeout(Some(Duration::from_millis(500)))
+                .unwrap();
+            c.ping().is_err()
+        })
+        .unwrap_or(true);
+    assert!(gone, "server still serving after shutdown");
+}
+
+/// Two sessions share one store: a write through one connection is
+/// visible to reads through another (the wire preserves the paper's
+/// instant-visibility semantics).
+#[test]
+fn writes_on_one_session_are_visible_to_another() {
+    let server = common::start_default();
+    let mut writer = Client::connect(server.local_addr()).unwrap();
+    let mut reader = Client::connect(server.local_addr()).unwrap();
+
+    let interface = writer.create("If", &[("X", Value::Int(1))]).unwrap();
+    let imp = writer.create("Impl", &[]).unwrap();
+    writer.bind("AllOf_If", interface, imp).unwrap();
+
+    assert_eq!(reader.attr(imp, "X").unwrap(), Value::Int(1));
+    writer.set_attr(interface, "X", Value::Int(2)).unwrap();
+    assert_eq!(reader.attr(imp, "X").unwrap(), Value::Int(2));
+    server.shutdown();
+}
+
+/// Sessions disappear from the registry when their connection closes.
+#[test]
+fn closed_connections_unregister_their_sessions() {
+    let server = common::start_default();
+    {
+        let mut a = Client::connect(server.local_addr()).unwrap();
+        let mut b = Client::connect(server.local_addr()).unwrap();
+        a.ping().unwrap();
+        b.ping().unwrap();
+        assert_eq!(server.session_count(), 2);
+    } // both clients dropped → readers see Closed
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.session_count() > 0 && std::time::Instant::now() < deadline {
+        thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.session_count(), 0, "sessions not unregistered");
+    server.shutdown();
+}
