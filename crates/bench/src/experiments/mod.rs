@@ -1,4 +1,4 @@
-//! The quantitative experiment suite (E1–E12).
+//! The quantitative experiment suite (E1–E13).
 //!
 //! The paper presents no measurements (it is a data-model paper), so each
 //! experiment operationalizes one of its *qualitative* claims; the mapping
@@ -9,6 +9,7 @@
 pub mod e10_configuration;
 pub mod e11_rescache;
 pub mod e12_server;
+pub mod e13_readpath;
 pub mod e1_propagation;
 pub mod e2_resolution;
 pub mod e3_permeability;
@@ -37,6 +38,9 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e11_rescache::run(quick),
         e11_rescache::run_threads(quick),
         e12_server::run(quick),
+        e13_readpath::run(quick),
+        e13_readpath::run_select(quick),
+        e13_readpath::run_batch(quick),
     ]
 }
 

@@ -55,7 +55,26 @@ pub fn fanout_store(
     n_attrs: usize,
     permeable: usize,
 ) -> (ObjectStore, Surrogate, Vec<Surrogate>) {
-    let mut st = ObjectStore::new(fanout_catalog(n_attrs, permeable)).unwrap();
+    fanout_store_with_shards(
+        n,
+        n_attrs,
+        permeable,
+        ccdb_core::rescache::DEFAULT_RESOLUTION_CACHE_SHARDS,
+    )
+}
+
+/// [`fanout_store`] with an explicit resolution-cache shard count, for
+/// experiments that compare lock-striping configurations (E13a). `1`
+/// reproduces the pre-striping single-lock cache shape.
+pub fn fanout_store_with_shards(
+    n: usize,
+    n_attrs: usize,
+    permeable: usize,
+    shards: usize,
+) -> (ObjectStore, Surrogate, Vec<Surrogate>) {
+    let mut st =
+        ObjectStore::with_resolution_cache_shards(fanout_catalog(n_attrs, permeable), shards)
+            .unwrap();
     let attrs: Vec<(String, Value)> = (0..n_attrs)
         .map(|i| (format!("A{i}"), Value::Int(i as i64)))
         .collect();
@@ -120,6 +139,34 @@ pub fn chain_store(depth: usize) -> (ObjectStore, Surrogate, Surrogate) {
         leaf = o;
     }
     (st, leaf, root)
+}
+
+/// A store populated with `n_types` unrelated object types (`T0..`), each
+/// holding `per_type` objects whose integer attribute `V` is its creation
+/// index. The shape class-extent indexing is for: selecting one type out
+/// of a store dominated by *other* types' objects. Returns the store and
+/// the type names.
+pub fn multitype_store(n_types: usize, per_type: usize) -> (ObjectStore, Vec<String>) {
+    let mut c = Catalog::new();
+    let names: Vec<String> = (0..n_types).map(|k| format!("T{k}")).collect();
+    for name in &names {
+        c.register_object_type(ObjectTypeDef {
+            name: name.clone(),
+            attributes: vec![AttrDef::new("V", Domain::Int)],
+            ..Default::default()
+        })
+        .unwrap();
+    }
+    let mut st = ObjectStore::new(c).unwrap();
+    // Interleave creation so no type's extent is contiguous in surrogate
+    // order (the index, not allocation luck, must provide the locality).
+    for v in 0..per_type {
+        for name in &names {
+            st.create_object(name, vec![("V", Value::Int(v as i64))])
+                .unwrap();
+        }
+    }
+    (st, names)
 }
 
 /// Zipf-ish popularity sampler over `n` items (rank-1/r weights).
@@ -422,6 +469,24 @@ mod tests {
         assert_eq!(st.attr(leaf, "X").unwrap(), Value::Int(7));
         assert_eq!(st.stats().hops, 4);
         assert_ne!(leaf, root);
+    }
+
+    #[test]
+    fn multitype_store_partitions_extents() {
+        let (st, names) = multitype_store(4, 8);
+        assert_eq!(names.len(), 4);
+        assert_eq!(st.object_count(), 32);
+        for name in &names {
+            assert_eq!(st.extent_of(name).len(), 8);
+        }
+        assert!(st.verify_integrity().is_empty());
+    }
+
+    #[test]
+    fn fanout_store_with_one_shard_still_resolves() {
+        let (st, _interface, imps) = fanout_store_with_shards(4, 2, 2, 1);
+        assert_eq!(st.resolution_cache_shards(), 1);
+        assert_eq!(st.attr(imps[0], "A1").unwrap(), Value::Int(1));
     }
 
     #[test]

@@ -15,8 +15,10 @@
 //!   with tracing forced on and print the causal span tree ([`explain`]);
 //! - `ccdb serve <file> [--addr A] [--threads N] [--queue-depth N]` — serve
 //!   the schema's store over TCP until a client sends `shutdown` ([`serve`]);
-//! - `ccdb bench-net <file> [--clients N] [--requests N] [--addr A]` — drive
-//!   the wire protocol with concurrent closed-loop clients ([`serve`]).
+//! - `ccdb bench-net <file> [--clients N] [--requests N] [--batch N]
+//!   [--addr A]` — drive the wire protocol with concurrent closed-loop
+//!   clients, optionally shipping `--batch` sub-requests per frame
+//!   ([`serve`]).
 //!
 //! The functions are exposed as a library so they are unit-testable; the
 //! binary is a thin wrapper.
@@ -174,7 +176,7 @@ pub fn cmd_render(source: &str) -> Result<String, CliError> {
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let usage = "usage: ccdb <check|effective|render|stats|explain|serve|bench-net> \
                  <schema-file> [type [attr]] [--json] [--addr A] [--threads N] \
-                 [--queue-depth N] [--clients N] [--requests N]";
+                 [--queue-depth N] [--clients N] [--requests N] [--batch N]";
     // Opt-in slow-op log: traced roots slower than this are mirrored as
     // `obs.slow_op` events through the installed subscriber.
     if let Some(ns) = std::env::var("CCDB_SLOW_OP_NS")

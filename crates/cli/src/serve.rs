@@ -16,6 +16,7 @@ use ccdb_core::schema::Catalog;
 use ccdb_core::shared::SharedStore;
 use ccdb_core::Value;
 use ccdb_server::{Client, Server, ServerConfig};
+use serde_json::Value as Json;
 
 use crate::{load_catalog, CliError};
 
@@ -39,11 +40,14 @@ pub struct ServeFlags {
     pub clients: Option<usize>,
     /// `bench-net`: requests per client.
     pub requests: Option<u64>,
+    /// `bench-net`: sub-requests per `batch` frame (1 = plain frames).
+    pub batch: Option<u64>,
 }
 
 impl ServeFlags {
     /// Parses `--addr A --threads N --queue-depth N --clients N
-    /// --requests N` in any order; rejects unknown flags and bad numbers.
+    /// --requests N --batch N` in any order; rejects unknown flags and
+    /// bad numbers.
     pub fn parse(args: &[String]) -> Result<ServeFlags, CliError> {
         let mut flags = ServeFlags {
             addr: None,
@@ -51,6 +55,7 @@ impl ServeFlags {
             queue_depth: None,
             clients: None,
             requests: None,
+            batch: None,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -79,6 +84,7 @@ impl ServeFlags {
                 "--queue-depth" => flags.queue_depth = Some(num("--queue-depth")?.max(1) as usize),
                 "--clients" => flags.clients = Some(num("--clients")?.max(1) as usize),
                 "--requests" => flags.requests = Some(num("--requests")?.max(1)),
+                "--batch" => flags.batch = Some(num("--batch")?.max(1)),
                 other => {
                     return Err(CliError {
                         message: format!("unknown flag `{other}`"),
@@ -170,11 +176,14 @@ fn bench_triple(catalog: &Catalog) -> Result<(String, String, String, String), C
 
 /// One client's closed loop: create its own transmitter/inheritor pair,
 /// then alternate resolved reads with occasional transmitter writes.
-/// Returns (latencies ns, overloaded retries).
+/// With `batch > 1` the same operation mix is shipped as `batch`
+/// sub-requests per wire frame (one admission, one guard per frame).
+/// Returns (per-frame latencies ns, overloaded retries).
 fn bench_client(
     addr: std::net::SocketAddr,
     triple: &(String, String, String, String),
     requests: u64,
+    batch: u64,
     seed: u64,
 ) -> Result<(Vec<u64>, u64), String> {
     let (t_ty, rel, inh_ty, attr) = triple;
@@ -221,20 +230,65 @@ fn bench_client(
         &mut c,
     )?;
 
-    let mut latencies = Vec::with_capacity(requests as usize);
-    for n in 0..requests {
-        let start = Instant::now();
+    // The n-th operation of the mix: 90% resolved reads through the
+    // binding, 10% transmitter writes (the adaptation path). Shared by
+    // the plain and batched loops so both ship the identical workload.
+    let op_params = |n: u64| -> (&'static str, Json) {
         if n % 10 == 9 {
-            // 10% writes: the adaptation path (transmitter update).
+            (
+                "set_attr",
+                Json::Object(vec![
+                    ("obj".into(), Json::UInt(transmitter.0)),
+                    ("name".into(), Json::String(attr.clone())),
+                    (
+                        "value".into(),
+                        serde_json::to_value(&Value::Int((seed + n) as i64)),
+                    ),
+                ]),
+            )
+        } else {
+            (
+                "attr",
+                Json::Object(vec![
+                    ("obj".into(), Json::UInt(inheritor.0)),
+                    ("name".into(), Json::String(attr.clone())),
+                ]),
+            )
+        }
+    };
+
+    let mut latencies = Vec::with_capacity(requests.div_ceil(batch.max(1)) as usize);
+    if batch <= 1 {
+        for n in 0..requests {
+            let start = Instant::now();
+            if n % 10 == 9 {
+                with_retry(
+                    &mut |c| c.set_attr(transmitter, attr, Value::Int((seed + n) as i64)),
+                    &mut c,
+                )?;
+            } else {
+                with_retry(&mut |c| c.attr(inheritor, attr).map(|_| ()), &mut c)?;
+            }
+            latencies.push(start.elapsed().as_nanos() as u64);
+        }
+    } else {
+        let mut n = 0;
+        while n < requests {
+            let frame: Vec<u64> = (n..(n + batch).min(requests)).collect();
+            let start = Instant::now();
             with_retry(
-                &mut |c| c.set_attr(transmitter, attr, Value::Int((seed + n) as i64)),
+                &mut |c| {
+                    let subs = frame.iter().map(|&k| op_params(k)).collect();
+                    for slot in c.batch(subs)? {
+                        slot?;
+                    }
+                    Ok(())
+                },
                 &mut c,
             )?;
-        } else {
-            // 90% resolved reads through the inheritance binding.
-            with_retry(&mut |c| c.attr(inheritor, attr).map(|_| ()), &mut c)?;
+            latencies.push(start.elapsed().as_nanos() as u64);
+            n += batch;
         }
-        latencies.push(start.elapsed().as_nanos() as u64);
     }
     Ok((latencies, overloaded))
 }
@@ -257,6 +311,7 @@ pub fn cmd_bench_net(source: &str, flags: &ServeFlags) -> Result<String, CliErro
     let triple = bench_triple(&catalog)?;
     let clients = flags.clients.unwrap_or(8);
     let requests = flags.requests.unwrap_or(200);
+    let batch = flags.batch.unwrap_or(1);
 
     // Own server only when no target was given.
     let (addr, server) = match &flags.addr {
@@ -283,7 +338,7 @@ pub fn cmd_bench_net(source: &str, flags: &ServeFlags) -> Result<String, CliErro
             let triple = triple.clone();
             let total_overloaded = Arc::clone(&total_overloaded);
             thread::spawn(move || -> Result<Vec<u64>, String> {
-                let (lat, over) = bench_client(addr, &triple, requests, i as u64 * 1000)?;
+                let (lat, over) = bench_client(addr, &triple, requests, batch, i as u64 * 1000)?;
                 total_overloaded.fetch_add(over, Ordering::Relaxed);
                 Ok(lat)
             })
@@ -314,15 +369,19 @@ pub fn cmd_bench_net(source: &str, flags: &ServeFlags) -> Result<String, CliErro
     }
 
     all.sort_unstable();
-    let total = all.len() as u64;
-    let rps = total as f64 / elapsed.as_secs_f64().max(1e-9);
+    let frames = all.len() as u64;
+    // Throughput counts operations (sub-requests), so batched and plain
+    // runs are directly comparable; latency quantiles are per frame.
+    let ops = clients as u64 * requests;
+    let rps = ops as f64 / elapsed.as_secs_f64().max(1e-9);
     let (t_ty, rel, inh_ty, attr) = &triple;
     Ok(format!(
         "bench-net: {clients} clients x {requests} requests ({t_ty} -[{rel}]-> {inh_ty}, attr {attr})\n\
-           requests   : {total}\n\
+           requests   : {ops}\n\
+           batching   : {batch} sub-requests/frame ({frames} frames)\n\
            elapsed    : {:.3}s\n\
            throughput : {rps:.0} req/s\n\
-           latency    : p50={} p95={} p99={} (ns)\n\
+           latency    : p50={} p95={} p99={} (ns/frame)\n\
            overloaded : {} (retried)\n",
         elapsed.as_secs_f64(),
         quantile(&all, 0.50),
@@ -360,11 +419,14 @@ mod tests {
             "2".into(),
             "--queue-depth".into(),
             "8".into(),
+            "--batch".into(),
+            "32".into(),
         ])
         .unwrap();
         assert_eq!(f.addr.as_deref(), Some("127.0.0.1:9999"));
         assert_eq!(f.threads, Some(2));
         assert_eq!(f.queue_depth, Some(8));
+        assert_eq!(f.batch, Some(32));
 
         assert_eq!(ServeFlags::parse(&["--bogus".into()]).unwrap_err().code, 2);
         assert_eq!(
@@ -397,10 +459,28 @@ mod tests {
             queue_depth: Some(16),
             clients: Some(4),
             requests: Some(20),
+            batch: None,
         };
         let out = cmd_bench_net(SCHEMA, &flags).unwrap();
         assert!(out.contains("4 clients x 20 requests"), "{out}");
+        assert!(out.contains("requests   : 80"), "{out}");
         assert!(out.contains("throughput"), "{out}");
         assert!(out.contains("p95="), "{out}");
+    }
+
+    #[test]
+    fn bench_net_batched_ships_the_same_ops_in_fewer_frames() {
+        let flags = ServeFlags {
+            addr: None,
+            threads: Some(2),
+            queue_depth: Some(16),
+            clients: Some(2),
+            requests: Some(20),
+            batch: Some(8),
+        };
+        let out = cmd_bench_net(SCHEMA, &flags).unwrap();
+        assert!(out.contains("requests   : 40"), "{out}");
+        // 20 ops at 8/frame = 3 frames per client, 2 clients.
+        assert!(out.contains("8 sub-requests/frame (6 frames)"), "{out}");
     }
 }

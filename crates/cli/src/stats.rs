@@ -15,7 +15,10 @@
 //! - **storage** — a transactional put/abort workload against a [`DurableKv`]
 //!   in a temporary directory with a tiny buffer pool (hits, misses,
 //!   evictions, WAL appends/syncs), then a simulated crash + reopen so
-//!   recovery replay counters move.
+//!   recovery replay counters move;
+//! - **serving** — an in-process server answering a plain ping and one
+//!   batched frame, so the `ccdb_server_*` request and batch series are
+//!   present in the snapshot.
 
 use std::sync::Arc;
 use std::thread;
@@ -241,6 +244,36 @@ fn storage_workload() -> Result<(), CliError> {
     Ok(())
 }
 
+/// Wire workload: an in-process server on an ephemeral port answers one
+/// plain ping and one batched frame, so the `ccdb_server_*` series
+/// (request counters, batch frame/sub-request/size series) move.
+fn server_workload(catalog: &Catalog) -> Result<(), CliError> {
+    use ccdb_core::shared::SharedStore;
+    use ccdb_server::{Client, Server, ServerConfig};
+
+    let store = SharedStore::new(catalog.clone()).map_err(internal)?;
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(cfg, store).map_err(internal)?;
+    let mut c = Client::connect(server.local_addr()).map_err(internal)?;
+    c.set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(internal)?;
+    c.ping().map_err(internal)?;
+    let slots = c
+        .batch(vec![
+            ("ping", serde_json::Value::Object(vec![])),
+            ("check_all", serde_json::Value::Object(vec![])),
+        ])
+        .map_err(internal)?;
+    for slot in slots {
+        slot.map_err(internal)?;
+    }
+    server.shutdown();
+    Ok(())
+}
+
 /// `stats`: run the synthetic workload and render the metrics snapshot.
 ///
 /// Text output is the quantile summary (`count`/`sum`/`p50`/`p95`/`p99`
@@ -254,6 +287,7 @@ pub fn cmd_stats(source: &str, json: bool) -> Result<String, CliError> {
     core_workload(&catalog)?;
     lock_workload()?;
     storage_workload()?;
+    server_workload(&catalog)?;
     Ok(if json {
         registry.render_json()
     } else {
@@ -296,6 +330,8 @@ mod tests {
             "ccdb_core_rescache_hits_total",
             "ccdb_core_rescache_misses_total",
             "ccdb_core_rescache_invalidations_total",
+            "ccdb_core_rescache_shard_count",
+            "ccdb_core_rescache_shard_sweeps_total",
             "ccdb_txn_lock_acquire_latency_ns",
             "ccdb_txn_lock_timeouts_total",
             "ccdb_storage_wal_appends_total",
@@ -303,6 +339,11 @@ mod tests {
             "ccdb_storage_buffer_hits_total",
             "ccdb_storage_buffer_misses_total",
             "ccdb_storage_buffer_evictions_total",
+            "ccdb_server_requests_total",
+            "ccdb_server_requests_batch_total",
+            "ccdb_server_batch_frames_total",
+            "ccdb_server_batch_subrequests_total",
+            "ccdb_server_batch_size",
         ] {
             assert!(out.contains(series), "missing {series} in:\n{out}");
         }
@@ -340,6 +381,13 @@ mod tests {
             value("ccdb_core_rescache_invalidations_total") >= 1.0,
             "{out}"
         );
+        assert!(value("ccdb_core_rescache_shard_count") >= 1.0, "{out}");
+        assert!(
+            value("ccdb_core_rescache_shard_sweeps_total") >= 1.0,
+            "{out}"
+        );
+        assert!(value("ccdb_server_batch_frames_total") >= 1.0, "{out}");
+        assert!(value("ccdb_server_batch_subrequests_total") >= 2.0, "{out}");
         assert!(value("ccdb_txn_lock_timeouts_total") >= 1.0, "{out}");
         assert!(value("ccdb_txn_lock_waits_total") >= 2.0, "{out}");
         assert!(value("ccdb_storage_wal_appends_total") >= 96.0, "{out}");

@@ -74,6 +74,7 @@ pub mod expr;
 pub(crate) mod metrics;
 pub mod object;
 pub mod persist;
+pub mod rescache;
 pub mod schema;
 pub mod shared;
 pub mod store;
@@ -87,6 +88,7 @@ pub mod prelude {
     pub use crate::error::{CoreError, CoreResult};
     pub use crate::expr::{BinOp, Env, Expr, ObjectView, PathExpr, PathRoot, ELEM_VAR, REL_VAR};
     pub use crate::object::{ObjectData, ObjectKind, Owner};
+    pub use crate::rescache::DEFAULT_RESOLUTION_CACHE_SHARDS;
     pub use crate::schema::{
         AttrDef, Catalog, Constraint, InherRelTypeDef, ItemSource, ObjectTypeDef, ParticipantSpec,
         RelTypeDef, SubclassSpec, SubrelSpec,

@@ -8,7 +8,7 @@
 
 use std::sync::{Arc, OnceLock};
 
-use ccdb_obs::{metrics::HOP_BUCKETS, Counter, Histogram};
+use ccdb_obs::{metrics::HOP_BUCKETS, Counter, Gauge, Histogram};
 
 pub(crate) struct CoreMetrics {
     /// `ccdb_core_resolution_local_reads_total`
@@ -41,6 +41,13 @@ pub(crate) struct CoreMetrics {
     /// `ccdb_core_rescache_invalidations_total` — cache entries dropped by
     /// write-path invalidation.
     pub rescache_invalidations: Arc<Counter>,
+    /// `ccdb_core_rescache_shard_count` — stripes in the most recently
+    /// constructed store's resolution cache.
+    pub rescache_shard_count: Arc<Gauge>,
+    /// `ccdb_core_rescache_shard_sweeps_total` — shards locked by
+    /// invalidation sweeps (the single-lock design would count one full
+    /// cache lock per sweep here).
+    pub rescache_shard_sweeps: Arc<Counter>,
 }
 
 pub(crate) fn core_metrics() -> &'static CoreMetrics {
@@ -61,6 +68,8 @@ pub(crate) fn core_metrics() -> &'static CoreMetrics {
             rescache_hits: r.counter("ccdb_core_rescache_hits_total"),
             rescache_misses: r.counter("ccdb_core_rescache_misses_total"),
             rescache_invalidations: r.counter("ccdb_core_rescache_invalidations_total"),
+            rescache_shard_count: r.gauge("ccdb_core_rescache_shard_count"),
+            rescache_shard_sweeps: r.counter("ccdb_core_rescache_shard_sweeps_total"),
         }
     })
 }

@@ -1,0 +1,264 @@
+//! Lock-striped resolution value cache.
+//!
+//! The read path of the store is dominated by memoized [`crate::ObjectStore::attr`]
+//! lookups; with a single `RwLock` around the whole memo table, every
+//! concurrent cache hit still contends on one lock word. This module
+//! stripes the table into N shards keyed by a surrogate hash, so hits on
+//! different objects take different locks and scale with cores, while
+//! invalidation sweeps lock **only the shards the affected closure maps
+//! to** instead of the whole cache.
+//!
+//! Enable/disable semantics are atomic with respect to concurrent fills:
+//! a fill re-checks the enabled flag *under its shard's write lock*, and
+//! `set_enabled(false)` clears every shard under that same lock, so once
+//! disable returns no entry exists and no in-flight fill can resurrect
+//! one (see [`ShardedResCache::set_enabled`]).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use crate::surrogate::Surrogate;
+use crate::value::Value;
+
+/// surrogate → attribute → memoized resolved value (one shard's view).
+type ShardMap = HashMap<Surrogate, HashMap<String, Value>>;
+
+/// Default shard count for [`ShardedResCache`] (rounded up to a power of
+/// two). Sixteen shards keep contention negligible for the thread counts
+/// the E13 sweep covers while costing nothing measurable at one thread.
+pub const DEFAULT_RESOLUTION_CACHE_SHARDS: usize = 16;
+
+/// A resolution value cache striped over N `RwLock`-guarded shards.
+pub(crate) struct ShardedResCache {
+    shards: Box<[RwLock<ShardMap>]>,
+    /// `shards.len() - 1`; the count is always a power of two.
+    mask: u64,
+    enabled: AtomicBool,
+    /// Exact live entry count, maintained under the shard locks; lets the
+    /// write path skip the inheritor-closure traversal when the cache is
+    /// empty without touching any shard lock.
+    entries: AtomicU64,
+}
+
+impl ShardedResCache {
+    /// Build a cache with `shards` stripes (clamped to ≥ 1, rounded up to
+    /// the next power of two so shard selection is a mask, not a modulo).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        ShardedResCache {
+            shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+            mask: (n - 1) as u64,
+            enabled: AtomicBool::new(true),
+            entries: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard `s` maps to. Fibonacci hashing scatters the sequential
+    /// surrogates a store issues across shards instead of clustering them.
+    #[inline]
+    pub fn shard_of(&self, s: Surrogate) -> usize {
+        ((s.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) & self.mask) as usize
+    }
+
+    /// Is caching currently enabled?
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enable or disable the cache. Disabling is **atomic with respect to
+    /// concurrent fills**: the flag is stored first, then every shard is
+    /// cleared under its write lock. A fill that raced ahead of the flag
+    /// store holds its shard lock while inserting, so the clear (which
+    /// waits for that lock) removes the entry; a fill that acquires its
+    /// shard lock after the clear re-reads the flag under the lock and
+    /// aborts. Either way, when this returns no stale entry is readable
+    /// and none can appear later.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::SeqCst);
+        if !enabled {
+            for shard in self.shards.iter() {
+                let mut map = shard.write();
+                let dropped: u64 = map.values().map(|per| per.len() as u64).sum();
+                map.clear();
+                self.entries.fetch_sub(dropped, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Cached value for `(obj, name)`, taking only the owning shard's
+    /// shared lock — concurrent hits on other shards never contend.
+    pub fn get(&self, obj: Surrogate, name: &str) -> Option<Value> {
+        self.shards[self.shard_of(obj)]
+            .read()
+            .get(&obj)
+            .and_then(|per_obj| per_obj.get(name))
+            .cloned()
+    }
+
+    /// Memoize `(obj, name) → value`. No-op when disabled; the flag is
+    /// re-checked under the shard write lock (see [`Self::set_enabled`]).
+    pub fn fill(&self, obj: Surrogate, name: &str, value: &Value) {
+        let mut shard = self.shards[self.shard_of(obj)].write();
+        if !self.enabled.load(Ordering::SeqCst) {
+            return;
+        }
+        if shard
+            .entry(obj)
+            .or_default()
+            .insert(name.to_string(), value.clone())
+            .is_none()
+        {
+            self.entries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drop the memoized entries of every surrogate in `closure` — all of
+    /// them for `item: None`, only that attribute's for `Some(name)`.
+    /// Locks only the shards the closure maps to, each exactly once.
+    /// Returns `(entries_removed, shards_locked)`.
+    pub fn invalidate(&self, closure: &[Surrogate], item: Option<&str>) -> (u64, u64) {
+        let mut by_shard: Vec<Vec<Surrogate>> = vec![Vec::new(); self.shards.len()];
+        for &s in closure {
+            by_shard[self.shard_of(s)].push(s);
+        }
+        let mut removed = 0u64;
+        let mut locked = 0u64;
+        for (idx, members) in by_shard.iter().enumerate() {
+            if members.is_empty() {
+                continue;
+            }
+            locked += 1;
+            let mut shard = self.shards[idx].write();
+            for s in members {
+                match item {
+                    Some(name) => {
+                        if let Some(per_obj) = shard.get_mut(s) {
+                            if per_obj.remove(name).is_some() {
+                                removed += 1;
+                            }
+                            if per_obj.is_empty() {
+                                shard.remove(s);
+                            }
+                        }
+                    }
+                    None => {
+                        if let Some(per_obj) = shard.remove(s) {
+                            removed += per_obj.len() as u64;
+                        }
+                    }
+                }
+            }
+        }
+        self.entries.fetch_sub(removed, Ordering::Relaxed);
+        (removed, locked)
+    }
+
+    /// Total memoized entries. Snapshots one shard length at a time — no
+    /// point during the sum is more than one shard lock held, so heavy
+    /// read traffic on other shards proceeds unimpeded.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().values().map(HashMap::len).sum::<usize>())
+            .sum()
+    }
+
+    /// Cheap emptiness check off the exact entry counter (no locks).
+    pub fn is_empty(&self) -> bool {
+        self.entries.load(Ordering::Relaxed) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn v(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    #[test]
+    fn shard_count_rounds_up_to_power_of_two() {
+        assert_eq!(ShardedResCache::new(0).shard_count(), 1);
+        assert_eq!(ShardedResCache::new(1).shard_count(), 1);
+        assert_eq!(ShardedResCache::new(3).shard_count(), 4);
+        assert_eq!(ShardedResCache::new(16).shard_count(), 16);
+        assert_eq!(ShardedResCache::new(17).shard_count(), 32);
+    }
+
+    #[test]
+    fn fill_get_invalidate_roundtrip() {
+        let c = ShardedResCache::new(4);
+        assert!(c.is_empty());
+        for i in 0..32u64 {
+            c.fill(Surrogate(i), "A", &v(i as i64));
+            c.fill(Surrogate(i), "B", &v(-(i as i64)));
+        }
+        assert_eq!(c.len(), 64);
+        assert!(!c.is_empty());
+        assert_eq!(c.get(Surrogate(7), "A"), Some(v(7)));
+        assert_eq!(c.get(Surrogate(7), "C"), None);
+
+        // Attribute-scoped invalidation drops only that attribute.
+        let (removed, locked) = c.invalidate(&[Surrogate(7)], Some("A"));
+        assert_eq!(removed, 1);
+        assert_eq!(locked, 1);
+        assert_eq!(c.get(Surrogate(7), "A"), None);
+        assert_eq!(c.get(Surrogate(7), "B"), Some(v(-7)));
+
+        // Whole-object invalidation drops everything for the closure.
+        let all: Vec<Surrogate> = (0..32).map(Surrogate).collect();
+        let (removed, locked) = c.invalidate(&all, None);
+        assert_eq!(removed, 63);
+        assert!(locked <= 4);
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn sequential_surrogates_scatter_across_shards() {
+        let c = ShardedResCache::new(8);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64u64 {
+            seen.insert(c.shard_of(Surrogate(i)));
+        }
+        assert!(seen.len() >= 4, "only {} shards used", seen.len());
+    }
+
+    #[test]
+    fn disable_is_atomic_with_concurrent_fills() {
+        // Hammer fills while toggling the cache off; after every disable
+        // returns, the cache must be observably empty (no resurrected
+        // entry), which is exactly the double-check-under-lock contract.
+        let c = Arc::new(ShardedResCache::new(4));
+        thread::scope(|scope| {
+            let filler = {
+                let c = Arc::clone(&c);
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        c.fill(Surrogate(i % 64), "A", &v(i as i64));
+                    }
+                })
+            };
+            for _ in 0..50 {
+                c.set_enabled(false);
+                assert_eq!(c.len(), 0, "entry survived or reappeared after disable");
+                c.set_enabled(true);
+            }
+            filler.join().unwrap();
+        });
+        // Counter bookkeeping stayed exact through the churn.
+        c.set_enabled(false);
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+    }
+}

@@ -116,19 +116,15 @@ impl SharedStore {
         predicate: &Expr,
         threads: usize,
     ) -> CoreResult<Vec<Surrogate>> {
-        let candidates: Vec<Surrogate> = {
+        let mut candidates: Vec<Surrogate> = {
             let g = self.inner.read();
             g.catalog().object_type(type_name)?;
-            g.surrogates()
-                .filter(|s| {
-                    g.object(*s)
-                        .map(|o| o.type_name == type_name)
-                        .unwrap_or(false)
-                })
-                .collect()
+            g.extent_of(type_name)
             // Guard dropped before fan-out: a queued writer must not be able
             // to wedge itself between this guard and the workers' guards.
         };
+        // The extent is unordered; sort so the chunks are deterministic.
+        candidates.sort();
         let chunks = partition(&candidates, threads);
         let mut hits: Vec<Surrogate> = thread::scope(|scope| {
             let handles: Vec<_> = chunks

@@ -16,12 +16,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use ccdb_obs::{event, trace, Counter, Event, FieldValue};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 
 use crate::error::{CoreError, CoreResult};
-use crate::expr::{eval, Env, Expr, ObjectView, REL_VAR};
+use crate::expr::{eval, BinOp, Env, Expr, ObjectView, PathRoot, REL_VAR};
 use crate::metrics::core_metrics;
 use crate::object::{ObjectData, ObjectKind, Owner};
+use crate::rescache::{ShardedResCache, DEFAULT_RESOLUTION_CACHE_SHARDS};
 use crate::schema::{
     Catalog, Constraint, EffectiveSchema, ItemSource, ParticipantSpec, SubrelSpec,
 };
@@ -125,14 +126,21 @@ pub struct ObjectStore {
     /// ablation.
     eff_cache: Mutex<HashMap<String, Arc<EffectiveSchema>>>,
     cache_enabled: AtomicBool,
-    /// Memoized [`ObjectStore::attr`] results: surrogate → attr → value.
-    /// Invalidated *precisely* on writes — the written object's entries plus
-    /// the transitive inheritor closure, the same traversal
-    /// [`ObjectStore::propagate_adaptation`] walks — so transmitter updates
-    /// stay instantly visible (§4 view semantics). Disable with
+    /// Memoized [`ObjectStore::attr`] results, lock-striped by surrogate
+    /// hash so concurrent hits on different objects never contend
+    /// ([`crate::rescache`]). Invalidated *precisely* on writes — the
+    /// written object's entries plus the transitive inheritor closure, the
+    /// same traversal [`ObjectStore::propagate_adaptation`] walks — so
+    /// transmitter updates stay instantly visible (§4 view semantics), and
+    /// a sweep locks only the shards the closure maps to. Disable with
     /// [`ObjectStore::set_resolution_cache`] for the E11 ablation.
-    res_cache: RwLock<HashMap<Surrogate, HashMap<String, Value>>>,
-    res_cache_enabled: AtomicBool,
+    res_cache: ShardedResCache,
+    /// Class-extent secondary index: type name → live surrogates of that
+    /// exact type. Maintained by [`ObjectStore::index_object`] /
+    /// [`ObjectStore::unindex_object`], which wrap every insertion into and
+    /// removal from `objects`, so `select` iterates one type's extent
+    /// instead of the whole store.
+    extent: HashMap<String, HashSet<Surrogate>>,
     /// Ablation switch for E1: when off, transmitter updates skip the
     /// adaptation-flag walk (losing the paper's notification semantics).
     adaptation_enabled: bool,
@@ -147,9 +155,24 @@ pub struct ObjectStore {
 }
 
 impl ObjectStore {
-    /// Create a store over a validated catalog.
+    /// Create a store over a validated catalog, with the default
+    /// resolution-cache shard count
+    /// ([`DEFAULT_RESOLUTION_CACHE_SHARDS`]).
     pub fn new(catalog: Catalog) -> CoreResult<Self> {
+        Self::with_resolution_cache_shards(catalog, DEFAULT_RESOLUTION_CACHE_SHARDS)
+    }
+
+    /// Create a store whose resolution value cache is striped over
+    /// `shards` locks (clamped to ≥ 1 and rounded up to a power of two).
+    /// Shard count is a pure performance knob — the E13 sweep compares
+    /// counts, and the shadow-store property test runs at 1/4/16 to show
+    /// resolution semantics are identical at every count.
+    pub fn with_resolution_cache_shards(catalog: Catalog, shards: usize) -> CoreResult<Self> {
         catalog.validate()?;
+        let res_cache = ShardedResCache::new(shards);
+        core_metrics()
+            .rescache_shard_count
+            .set(res_cache.shard_count() as i64);
         Ok(ObjectStore {
             catalog,
             gen: SurrogateGen::new(),
@@ -161,8 +184,8 @@ impl ObjectStore {
             clock: 0,
             eff_cache: Mutex::new(HashMap::new()),
             cache_enabled: AtomicBool::new(true),
-            res_cache: RwLock::new(HashMap::new()),
-            res_cache_enabled: AtomicBool::new(true),
+            res_cache,
+            extent: HashMap::new(),
             adaptation_enabled: true,
             local_reads: Counter::new(),
             inherited_reads: Counter::new(),
@@ -187,24 +210,38 @@ impl ObjectStore {
     }
 
     /// Enable/disable the resolution value cache (ablation for experiment
-    /// E11). Disabling clears it; re-enabling starts cold. Correctness is
-    /// unaffected either way — with the cache off every read walks the
-    /// binding chain, exactly the paper's resolved-not-materialized model.
+    /// E11). Disabling clears it *atomically with respect to concurrent
+    /// fills* — the fill path re-checks the flag under the shard write
+    /// lock, so once this returns no stale entry is readable and none can
+    /// reappear ([`crate::rescache::ShardedResCache::set_enabled`]).
+    /// Re-enabling starts cold. Correctness is unaffected either way —
+    /// with the cache off every read walks the binding chain, exactly the
+    /// paper's resolved-not-materialized model.
     pub fn set_resolution_cache(&self, enabled: bool) {
-        self.res_cache_enabled.store(enabled, Ordering::Relaxed);
-        if !enabled {
-            self.res_cache.write().clear();
-        }
+        self.res_cache.set_enabled(enabled);
     }
 
     /// Is the resolution value cache currently enabled?
     pub fn resolution_cache_enabled(&self) -> bool {
-        self.res_cache_enabled.load(Ordering::Relaxed)
+        self.res_cache.enabled()
     }
 
-    /// Number of memoized resolution entries (tests/diagnostics).
+    /// Number of memoized resolution entries (tests/diagnostics). Sums
+    /// per-shard snapshots one lock at a time, so heavy read traffic on
+    /// the other shards is never stalled behind the sum.
     pub fn resolution_cache_len(&self) -> usize {
-        self.res_cache.read().values().map(HashMap::len).sum()
+        self.res_cache.len()
+    }
+
+    /// Number of stripes in the resolution value cache (a power of two).
+    pub fn resolution_cache_shards(&self) -> usize {
+        self.res_cache.shard_count()
+    }
+
+    /// Which cache stripe `s` maps to (tests/diagnostics — lets a test
+    /// pick inheritors that provably live in different shards).
+    pub fn resolution_cache_shard_of(&self, s: Surrogate) -> usize {
+        self.res_cache.shard_of(s)
     }
 
     /// Drop the memoized resolutions of `root` and of every object that
@@ -216,7 +253,7 @@ impl ObjectStore {
     /// changed) it follows every binding and drops every entry of the
     /// closure.
     fn invalidate_resolution(&self, root: Surrogate, item: Option<&str>) {
-        if !self.res_cache_enabled.load(Ordering::Relaxed) {
+        if !self.res_cache.enabled() || self.res_cache.is_empty() {
             return;
         }
         let mut tspan = trace::span("core.rescache.invalidate");
@@ -227,36 +264,17 @@ impl ObjectStore {
                 None => s.str("item", "*"),
             }
         }
-        let mut cache = self.res_cache.write();
-        if cache.is_empty() {
-            return;
-        }
-        let mut removed = 0u64;
-        let mut swept = 0u64;
+        // Collect the affected closure first — a read-only traversal of the
+        // binding graph holding no cache locks — then sweep only the shards
+        // that closure maps to, each locked exactly once.
+        let mut closure = Vec::new();
         let mut frontier = vec![root];
         let mut seen = HashSet::new();
         while let Some(t) = frontier.pop() {
             if !seen.insert(t) {
                 continue;
             }
-            swept += 1;
-            match item {
-                Some(name) => {
-                    if let Some(per_obj) = cache.get_mut(&t) {
-                        if per_obj.remove(name).is_some() {
-                            removed += 1;
-                        }
-                        if per_obj.is_empty() {
-                            cache.remove(&t);
-                        }
-                    }
-                }
-                None => {
-                    if let Some(per_obj) = cache.remove(&t) {
-                        removed += per_obj.len() as u64;
-                    }
-                }
-            }
+            closure.push(t);
             for rel in self.inheritors_of.get(&t).map(Vec::as_slice).unwrap_or(&[]) {
                 let Some(o) = self.objects.get(rel) else {
                     continue;
@@ -271,11 +289,13 @@ impl ObjectStore {
                 }
             }
         }
-        drop(cache);
+        let (removed, shards_locked) = self.res_cache.invalidate(&closure, item);
         if let Some(s) = &mut tspan {
-            s.u64("swept", swept);
+            s.u64("swept", closure.len() as u64);
             s.u64("removed", removed);
+            s.u64("shards", shards_locked);
         }
+        core_metrics().rescache_shard_sweeps.add(shards_locked);
         if removed > 0 {
             self.rescache_invalidations.add(removed);
             core_metrics().rescache_invalidations.add(removed);
@@ -411,6 +431,39 @@ impl ObjectStore {
     // Object creation
     // ------------------------------------------------------------------
 
+    /// The one way objects enter `self.objects`: inserts the object and
+    /// records it in its type's extent index, so the two can never
+    /// disagree ([`ObjectStore::verify_integrity`] cross-checks them).
+    fn insert_object(&mut self, obj: ObjectData) {
+        self.extent
+            .entry(obj.type_name.clone())
+            .or_default()
+            .insert(obj.surrogate);
+        self.objects.insert(obj.surrogate, obj);
+    }
+
+    /// The one way objects leave `self.objects`: removes the object and
+    /// drops it from its type's extent index.
+    fn remove_object(&mut self, s: Surrogate) -> Option<ObjectData> {
+        let obj = self.objects.remove(&s)?;
+        if let Some(members) = self.extent.get_mut(&obj.type_name) {
+            members.remove(&s);
+            if members.is_empty() {
+                self.extent.remove(&obj.type_name);
+            }
+        }
+        Some(obj)
+    }
+
+    /// Live surrogates of exactly `type_name` (the class-extent index),
+    /// in unspecified order. Empty if the type has no live objects.
+    pub fn extent_of(&self, type_name: &str) -> Vec<Surrogate> {
+        self.extent
+            .get(type_name)
+            .map(|m| m.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
     /// Create a top-level object of `type_name` with initial local
     /// attribute values.
     pub fn create_object(
@@ -421,7 +474,7 @@ impl ObjectStore {
         self.catalog.object_type(type_name)?;
         let s = self.gen.issue();
         let obj = ObjectData::plain(s, type_name);
-        self.objects.insert(s, obj);
+        self.insert_object(obj);
         for (name, value) in attrs {
             self.set_attr(s, name, value)?;
         }
@@ -483,7 +536,7 @@ impl ObjectStore {
             parent,
             subclass: subclass.to_string(),
         });
-        self.objects.insert(s, obj);
+        self.insert_object(obj);
         self.object_mut(parent)?
             .subclasses
             .entry(subclass.to_string())
@@ -510,7 +563,7 @@ impl ObjectStore {
         self.check_participants(rel_type, &specs, &map)?;
         let s = self.gen.issue();
         let obj = ObjectData::relationship(s, rel_type, map.clone());
-        self.objects.insert(s, obj);
+        self.insert_object(obj);
         for members in map.values() {
             for m in members {
                 self.participant_in.entry(*m).or_default().push(s);
@@ -577,7 +630,7 @@ impl ObjectStore {
             parent: rel_obj,
             subclass: subclass.to_string(),
         });
-        self.objects.insert(s, obj);
+        self.insert_object(obj);
         self.object_mut(rel_obj)?
             .subclasses
             .entry(subclass.to_string())
@@ -705,7 +758,7 @@ impl ObjectStore {
         }
         let s = self.gen.issue();
         let obj = ObjectData::inheritance(s, rel_type, transmitter, inheritor);
-        self.objects.insert(s, obj);
+        self.insert_object(obj);
         self.object_mut(inheritor)?
             .bindings
             .insert(rel_type.to_string(), s);
@@ -762,7 +815,7 @@ impl ObjectStore {
         if let Some(inh) = self.objects.get_mut(&inheritor) {
             inh.bindings.remove(&rel_ty);
         }
-        self.objects.remove(&rel_obj);
+        self.remove_object(rel_obj);
         // The inheritor (and its transitive inheritors) lost a resolution
         // path; the relationship object's own attrs are gone too.
         self.invalidate_resolution(inheritor, None);
@@ -902,22 +955,18 @@ impl ObjectStore {
             s.u64("object", obj.0);
             s.field("attr", FieldValue::Owned(name.to_string()));
         }
-        let caching = self.res_cache_enabled.load(Ordering::Relaxed);
+        let caching = self.res_cache.enabled();
         if caching {
-            // Hits take only the shared lock, so concurrent cached readers
-            // (SharedStore::par_select, E11b) proceed without serializing.
-            if let Some(v) = self
-                .res_cache
-                .read()
-                .get(&obj)
-                .and_then(|per_obj| per_obj.get(name))
-            {
+            // Hits take only the owning shard's shared lock, so concurrent
+            // cached readers (SharedStore::par_select, E11b/E13a) neither
+            // serialize nor contend across shards.
+            if let Some(v) = self.res_cache.get(obj, name) {
                 self.rescache_hits.inc();
                 core_metrics().rescache_hits.inc();
                 if let Some(s) = &mut tspan {
                     s.str("rescache", "hit");
                 }
-                return Ok(v.clone());
+                return Ok(v);
             }
         }
         // Iterative chain walk with *batched* counter updates: bookkeeping
@@ -997,11 +1046,7 @@ impl ObjectStore {
         if caching {
             self.rescache_misses.inc();
             core_metrics().rescache_misses.inc();
-            self.res_cache
-                .write()
-                .entry(obj)
-                .or_default()
-                .insert(name.to_string(), value.clone());
+            self.res_cache.fill(obj, name, &value);
         }
         let m = core_metrics();
         if inherited {
@@ -1339,8 +1384,8 @@ impl ObjectStore {
     pub fn undelete(&mut self, rec: DeletionRecord) -> CoreResult<()> {
         let mut restored: Vec<Surrogate> = Vec::new();
         for o in &rec.objects {
-            if let std::collections::hash_map::Entry::Vacant(e) = self.objects.entry(o.surrogate) {
-                e.insert(o.clone());
+            if !self.objects.contains_key(&o.surrogate) {
+                self.insert_object(o.clone());
                 restored.push(o.surrogate);
             }
         }
@@ -1521,7 +1566,7 @@ impl ObjectStore {
         for c in self.classes.values_mut() {
             c.members.retain(|m| *m != obj);
         }
-        self.objects.remove(&obj);
+        self.remove_object(obj);
         self.invalidate_resolution(obj, None);
         Ok(())
     }
@@ -1599,15 +1644,37 @@ impl ObjectStore {
     /// All objects of `type_name` whose effective data satisfies the
     /// boolean predicate (used for top-down component selection, §6, and
     /// ad-hoc queries). Results are in surrogate order.
+    ///
+    /// Iterates only the type's class-extent index, not the whole store,
+    /// so the cost scales with that type's population (E13b). A pure
+    /// equality predicate `Attr = literal` on an effective-schema
+    /// attribute additionally skips the expression interpreter and
+    /// compares resolved values directly.
     pub fn select(&self, type_name: &str, predicate: &Expr) -> CoreResult<Vec<Surrogate>> {
         self.catalog.object_type(type_name)?;
+        let Some(extent) = self.extent.get(type_name) else {
+            return Ok(Vec::new());
+        };
         let mut hits: Vec<Surrogate> = Vec::new();
-        for (s, o) in &self.objects {
-            if o.type_name != type_name {
-                continue;
+        if let Some((name, lit)) = eq_attr_literal(predicate) {
+            // Equivalence to the interpreted path: `eval` resolves a
+            // single-segment self path through the same `attr` call and
+            // `BinOp::Eq` is plain `Value == Value`. Gated on the attribute
+            // existing in the effective schema so unknown attributes still
+            // surface the interpreter's `NoSuchAttribute`.
+            if self.effective(type_name)?.attr(name).is_some() {
+                for &s in extent {
+                    if self.attr(s, name)? == *lit {
+                        hits.push(s);
+                    }
+                }
+                hits.sort();
+                return Ok(hits);
             }
-            if let Value::Bool(true) = eval(self, *s, &mut Env::new(), predicate)? {
-                hits.push(*s);
+        }
+        for &s in extent {
+            if let Value::Bool(true) = eval(self, s, &mut Env::new(), predicate)? {
+                hits.push(s);
             }
         }
         hits.sort();
@@ -1630,7 +1697,8 @@ impl ObjectStore {
     /// subclass members exist and back-link their owner; bindings point to
     /// live inheritance-relationship objects naming this object as
     /// inheritor; the `inheritors_of`/`participant_in` indexes agree with
-    /// the objects; class members exist and have the class's type.
+    /// the objects; class members exist and have the class's type; the
+    /// class-extent index and the live objects agree in both directions.
     pub fn verify_integrity(&self) -> Vec<String> {
         let mut problems = Vec::new();
         for (s, o) in &self.objects {
@@ -1726,6 +1794,28 @@ impl ObjectStore {
                 problems.push(format!("{s} lies on an inheritance-binding cycle"));
             }
         }
+        // Class-extent index ↔ objects agreement (both directions).
+        for (s, o) in &self.objects {
+            let indexed = self
+                .extent
+                .get(&o.type_name)
+                .map(|m| m.contains(s))
+                .unwrap_or(false);
+            if !indexed {
+                problems.push(format!("extent[{}] misses {s}", o.type_name));
+            }
+        }
+        for (ty, members) in &self.extent {
+            for m in members {
+                match self.objects.get(m) {
+                    None => problems.push(format!("extent[{ty}] lists dead {m}")),
+                    Some(o) if &o.type_name != ty => {
+                        problems.push(format!("extent[{ty}] lists {m} of type {}", o.type_name))
+                    }
+                    _ => {}
+                }
+            }
+        }
         problems
     }
 
@@ -1772,13 +1862,34 @@ impl ObjectStore {
                 }
                 ObjectKind::Plain => {}
             }
-            store.objects.insert(o.surrogate, o);
+            store.insert_object(o);
         }
         for (name, type_name, members) in classes {
             store.classes.insert(name, ClassDef { type_name, members });
         }
         store.gen = SurrogateGen::resume_after(max);
         Ok(store)
+    }
+}
+
+/// Matches the [`ObjectStore::select`] fast-path shape: an equality between
+/// a single-segment `self` path and a literal (either operand order).
+fn eq_attr_literal(predicate: &Expr) -> Option<(&str, &Value)> {
+    let Expr::Binary {
+        op: BinOp::Eq,
+        lhs,
+        rhs,
+    } = predicate
+    else {
+        return None;
+    };
+    match (lhs.as_ref(), rhs.as_ref()) {
+        (Expr::Path(p), Expr::Lit(v)) | (Expr::Lit(v), Expr::Path(p))
+            if p.root == PathRoot::SelfObject && p.segments.len() == 1 =>
+        {
+            Some((p.segments[0].as_str(), v))
+        }
+        _ => None,
     }
 }
 

@@ -1441,3 +1441,130 @@ fn healthy_steel_store_passes_integrity_check() {
     .unwrap();
     assert!(st.verify_integrity().is_empty());
 }
+
+// ----------------------------------------------------------------------
+// Sharded resolution cache + class-extent index
+// ----------------------------------------------------------------------
+
+#[test]
+fn resolution_cache_shard_count_is_configurable_and_semantics_identical() {
+    for shards in [1usize, 3, 16] {
+        let mut st = ObjectStore::with_resolution_cache_shards(chip_catalog(), shards).unwrap();
+        assert_eq!(st.resolution_cache_shards(), shards.next_power_of_two());
+        let (i, _, _) = make_interface(&mut st, 10);
+        let imp = st.create_object("GateImplementation", vec![]).unwrap();
+        st.bind("AllOf_GateInterface", i, imp, vec![]).unwrap();
+        // warm → hit → invalidate → re-resolve, at every shard count.
+        assert_eq!(st.attr(imp, "Length").unwrap(), Value::Int(10));
+        assert_eq!(st.attr(imp, "Length").unwrap(), Value::Int(10));
+        st.set_attr(i, "Length", Value::Int(11)).unwrap();
+        assert_eq!(st.attr(imp, "Length").unwrap(), Value::Int(11));
+        assert!(st.stats().rescache_hits >= 1);
+        assert!(st.stats().rescache_invalidations >= 1);
+    }
+}
+
+#[test]
+fn transmitter_update_invalidates_inheritors_in_different_shards() {
+    let mut st = store();
+    let (i, _, _) = make_interface(&mut st, 10);
+    // Bind enough implementations that at least two provably land in
+    // different cache shards (16 shards, Fibonacci-hashed surrogates).
+    let imps: Vec<Surrogate> = (0..24)
+        .map(|_| {
+            let imp = st.create_object("GateImplementation", vec![]).unwrap();
+            st.bind("AllOf_GateInterface", i, imp, vec![]).unwrap();
+            imp
+        })
+        .collect();
+    let shards: std::collections::HashSet<usize> = imps
+        .iter()
+        .map(|s| st.resolution_cache_shard_of(*s))
+        .collect();
+    assert!(
+        shards.len() >= 2,
+        "fixture must spread inheritors over shards, got {shards:?}"
+    );
+    // Warm every inheritor's cache entry, then update the transmitter:
+    // the sweep must reach all of them, across every shard.
+    for &imp in &imps {
+        assert_eq!(st.attr(imp, "Length").unwrap(), Value::Int(10));
+    }
+    st.set_attr(i, "Length", Value::Int(77)).unwrap();
+    for &imp in &imps {
+        assert_eq!(
+            st.attr(imp, "Length").unwrap(),
+            Value::Int(77),
+            "stale cached value survived a cross-shard invalidation"
+        );
+    }
+}
+
+#[test]
+fn extent_index_tracks_create_delete_and_undelete() {
+    let mut st = store();
+    let (i, _, _) = make_interface(&mut st, 9);
+    let imp = st.create_object("GateImplementation", vec![]).unwrap();
+    st.bind("AllOf_GateInterface", i, imp, vec![]).unwrap();
+    assert_eq!(st.extent_of("GateImplementation"), vec![imp]);
+    assert_eq!(st.extent_of("GateInterface"), vec![i]);
+    assert!(st.verify_integrity().is_empty());
+
+    let rec = st.delete_recorded(imp).unwrap();
+    assert!(st.extent_of("GateImplementation").is_empty());
+    assert!(st.verify_integrity().is_empty());
+
+    st.undelete(rec).unwrap();
+    assert_eq!(st.extent_of("GateImplementation"), vec![imp]);
+    assert!(st.verify_integrity().is_empty());
+    // select over the restored extent still resolves inherited values.
+    let by_len = st
+        .select(
+            "GateImplementation",
+            &Expr::eq(Expr::Path(PathExpr::self_path(&["Length"])), Expr::int(9)),
+        )
+        .unwrap();
+    assert_eq!(by_len, vec![imp]);
+}
+
+#[test]
+fn select_equality_fast_path_matches_interpreter() {
+    let mut st = store();
+    for k in 0..10 {
+        st.create_object(
+            "GateInterface",
+            vec![("Length", Value::Int(k % 3)), ("Width", Value::Int(4))],
+        )
+        .unwrap();
+        st.create_object("GateInterface_I", vec![]).unwrap(); // other-type noise
+    }
+    let path = Expr::Path(PathExpr::self_path(&["Length"]));
+    let fast = st
+        .select("GateInterface", &Expr::eq(path.clone(), Expr::int(1)))
+        .unwrap();
+    // Literal-on-the-left takes the same fast path.
+    let flipped = st
+        .select("GateInterface", &Expr::eq(Expr::int(1), path.clone()))
+        .unwrap();
+    // Force the interpreter with a shape the fast path does not match.
+    let interpreted = st
+        .select(
+            "GateInterface",
+            &Expr::Not(Box::new(Expr::Not(Box::new(Expr::eq(
+                path.clone(),
+                Expr::int(1),
+            ))))),
+        )
+        .unwrap();
+    assert_eq!(fast, interpreted);
+    assert_eq!(flipped, interpreted);
+    assert_eq!(fast.len(), 3);
+    // Unknown attribute still errors exactly like the interpreter.
+    let missing = Expr::eq(Expr::Path(PathExpr::self_path(&["Nope"])), Expr::int(1));
+    assert!(st.select("GateInterface", &missing).is_err());
+    // A type with no live objects selects empty without erroring.
+    assert!(st
+        .select("GateImplementation", &Expr::eq(path, Expr::int(1)))
+        .unwrap()
+        .is_empty());
+}

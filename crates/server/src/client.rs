@@ -288,6 +288,55 @@ impl Client {
             .ok_or_else(|| ClientError::Protocol("metrics: non-string result".into()))
     }
 
+    /// Issues `sub_requests` — `(verb, params)` pairs — as **one** `batch`
+    /// frame, executed by the server under a single store guard
+    /// acquisition. Returns one result per sub-request, in order; a
+    /// failing sub-request yields an `Err` in its slot without aborting
+    /// the rest (per-entry isolation). The outer `Err` covers
+    /// frame/admission failures — notably `overloaded`, which rejects the
+    /// whole batch as one queue job.
+    pub fn batch(
+        &mut self,
+        sub_requests: Vec<(&str, Json)>,
+    ) -> ClientResult<Vec<Result<Json, ClientError>>> {
+        let requests = Json::Array(
+            sub_requests
+                .into_iter()
+                .map(|(verb, params)| {
+                    Json::Object(vec![
+                        ("verb".into(), Json::String(verb.into())),
+                        ("params".into(), params),
+                    ])
+                })
+                .collect(),
+        );
+        let r = self.request("batch", Json::Object(vec![("requests".into(), requests)]))?;
+        let slots = r
+            .as_array()
+            .ok_or_else(|| ClientError::Protocol("batch: non-array result".into()))?;
+        Ok(slots
+            .iter()
+            .map(|slot| match slot.get("ok").and_then(Json::as_bool) {
+                Some(true) => Ok(slot.get("result").cloned().unwrap_or(Json::Null)),
+                _ => {
+                    let err = slot.get("error");
+                    Err(ClientError::Server {
+                        kind: err
+                            .and_then(|e| e.get("kind"))
+                            .and_then(Json::as_str)
+                            .unwrap_or("unknown")
+                            .to_string(),
+                        message: err
+                            .and_then(|e| e.get("message"))
+                            .and_then(Json::as_str)
+                            .unwrap_or("")
+                            .to_string(),
+                    })
+                }
+            })
+            .collect())
+    }
+
     /// This connection's session info.
     pub fn session(&mut self) -> ClientResult<Json> {
         self.request("session", Json::Object(vec![]))

@@ -168,16 +168,25 @@ fn handle_explain(catalog: &Catalog, params: &Json) -> HandlerResult {
     ]))
 }
 
-/// Dispatches one verb. `debug_verbs` additionally enables the
-/// test-only `boom` verb (panics inside the handler, exercising the
-/// worker's panic isolation).
-pub(crate) fn handle_verb(
-    store: &SharedStore,
+/// Verbs that take the store's exclusive lock.
+fn is_write_verb(verb: &str) -> bool {
+    matches!(verb, "create" | "set_attr" | "bind" | "unbind")
+}
+
+/// Verbs that take the store's shared lock.
+fn is_read_verb(verb: &str) -> bool {
+    matches!(verb, "attr" | "select" | "check_all")
+}
+
+/// Verbs that never touch the store (so a batch can run them under
+/// whichever guard it already holds, and a lone `ping` holds no guard at
+/// all). Returns `None` for store verbs.
+fn storeless_verb(
     catalog: &Catalog,
     verb: &str,
     params: &Json,
     debug_verbs: bool,
-) -> HandlerResult {
+) -> Option<HandlerResult> {
     match verb {
         "ping" => {
             // Optional artificial service time (capped); used by the drain
@@ -185,47 +194,37 @@ pub(crate) fn handle_verb(
             if let Some(ms) = params.get("delay_ms").and_then(Json::as_u64) {
                 std::thread::sleep(std::time::Duration::from_millis(ms.min(1_000)));
             }
-            Ok(Json::String("pong".into()))
+            Some(Ok(Json::String("pong".into())))
         }
-        "create" => {
-            let ty = str_param(params, "type")?;
-            let attrs = attrs_param(params, "attrs")?;
-            let owned: Vec<(&str, Value)> =
-                attrs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
-            let s = store
-                .write(|st| st.create_object(ty, owned))
-                .map_err(core_err)?;
-            Ok(Json::UInt(s.0))
+        "effective" => Some(handle_effective(catalog, params)),
+        "explain" => Some(handle_explain(catalog, params)),
+        "stats" => Some(
+            serde_json::from_str(&ccdb_obs::global().render_json())
+                .map_err(|e| (ErrorKind::Internal, format!("stats render: {e}"))),
+        ),
+        "metrics" => {
+            // The plaintext Prometheus scrape, `GET /metrics`-style, so the
+            // PR 1 exporter is reachable over the network.
+            Some(Ok(Json::String(ccdb_obs::global().render_prometheus())))
         }
+        "boom" if debug_verbs => panic!("boom: requested handler panic"),
+        _ => None,
+    }
+}
+
+/// One read verb against an already-acquired shared guard.
+fn store_read_verb(
+    st: &ccdb_core::ObjectStore,
+    catalog: &Catalog,
+    verb: &str,
+    params: &Json,
+) -> HandlerResult {
+    match verb {
         "attr" => {
             let obj = surrogate_param(params, "obj")?;
             let name = str_param(params, "name")?;
-            let value = store.attr(obj, name).map_err(core_err)?;
+            let value = st.attr(obj, name).map_err(core_err)?;
             Ok(serde_json::to_value(&value))
-        }
-        "set_attr" => {
-            let obj = surrogate_param(params, "obj")?;
-            let name = str_param(params, "name")?;
-            let value = value_param(params, "value")?;
-            store.set_attr(obj, name, value).map_err(core_err)?;
-            Ok(Json::Null)
-        }
-        "bind" => {
-            let rel = str_param(params, "rel")?;
-            let transmitter = surrogate_param(params, "transmitter")?;
-            let inheritor = surrogate_param(params, "inheritor")?;
-            let attrs = attrs_param(params, "attrs")?;
-            let borrowed: Vec<(&str, Value)> =
-                attrs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
-            let rel_obj = store
-                .bind(rel, transmitter, inheritor, borrowed)
-                .map_err(core_err)?;
-            Ok(Json::UInt(rel_obj.0))
-        }
-        "unbind" => {
-            let rel_obj = surrogate_param(params, "rel_obj")?;
-            store.unbind(rel_obj).map_err(core_err)?;
-            Ok(Json::Null)
         }
         "select" => {
             let ty = str_param(params, "type")?;
@@ -235,13 +234,11 @@ pub(crate) fn handle_verb(
                 // No predicate: match everything.
                 None => Expr::eq(Expr::int(0), Expr::int(0)),
             };
-            let hits = store
-                .read(|st| st.select(ty, &predicate))
-                .map_err(core_err)?;
+            let hits = st.select(ty, &predicate).map_err(core_err)?;
             Ok(surrogates_json(&hits))
         }
         "check_all" => {
-            let violations = store.read(|st| st.check_all()).map_err(core_err)?;
+            let violations = st.check_all().map_err(core_err)?;
             Ok(Json::Array(
                 violations
                     .iter()
@@ -261,20 +258,184 @@ pub(crate) fn handle_verb(
                     .collect(),
             ))
         }
-        "effective" => handle_effective(catalog, params),
-        "explain" => handle_explain(catalog, params),
-        "stats" => {
-            let json = ccdb_obs::global().render_json();
-            serde_json::from_str(&json)
-                .map_err(|e| (ErrorKind::Internal, format!("stats render: {e}")))
-        }
-        "metrics" => {
-            // The plaintext Prometheus scrape, `GET /metrics`-style, so the
-            // PR 1 exporter is reachable over the network.
-            Ok(Json::String(ccdb_obs::global().render_prometheus()))
-        }
-        "boom" if debug_verbs => panic!("boom: requested handler panic"),
         other => Err(bad(format!("unknown verb `{other}`"))),
+    }
+}
+
+/// One write verb against an already-acquired exclusive guard.
+fn store_write_verb(st: &mut ccdb_core::ObjectStore, verb: &str, params: &Json) -> HandlerResult {
+    match verb {
+        "create" => {
+            let ty = str_param(params, "type")?;
+            let attrs = attrs_param(params, "attrs")?;
+            let owned: Vec<(&str, Value)> =
+                attrs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+            let s = st.create_object(ty, owned).map_err(core_err)?;
+            Ok(Json::UInt(s.0))
+        }
+        "set_attr" => {
+            let obj = surrogate_param(params, "obj")?;
+            let name = str_param(params, "name")?;
+            let value = value_param(params, "value")?;
+            st.set_attr(obj, name, value).map_err(core_err)?;
+            Ok(Json::Null)
+        }
+        "bind" => {
+            let rel = str_param(params, "rel")?;
+            let transmitter = surrogate_param(params, "transmitter")?;
+            let inheritor = surrogate_param(params, "inheritor")?;
+            let attrs = attrs_param(params, "attrs")?;
+            let borrowed: Vec<(&str, Value)> =
+                attrs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+            let rel_obj = st
+                .bind(rel, transmitter, inheritor, borrowed)
+                .map_err(core_err)?;
+            Ok(Json::UInt(rel_obj.0))
+        }
+        "unbind" => {
+            let rel_obj = surrogate_param(params, "rel_obj")?;
+            st.unbind(rel_obj).map_err(core_err)?;
+            Ok(Json::Null)
+        }
+        other => Err(bad(format!("unknown verb `{other}`"))),
+    }
+}
+
+/// One pre-parsed batch entry: verb + params, or a parse error carried to
+/// its response slot.
+enum BatchEntry<'a> {
+    Run { verb: &'a str, params: &'a Json },
+    Malformed(String),
+}
+
+/// Encodes a sub-request outcome into its positional response slot.
+fn batch_slot(result: HandlerResult) -> Json {
+    match result {
+        Ok(v) => Json::Object(vec![("ok".into(), Json::Bool(true)), ("result".into(), v)]),
+        Err((kind, message)) => Json::Object(vec![
+            ("ok".into(), Json::Bool(false)),
+            (
+                "error".into(),
+                Json::Object(vec![
+                    ("kind".into(), Json::String(kind.as_str().into())),
+                    ("message".into(), Json::String(message)),
+                ]),
+            ),
+        ]),
+    }
+}
+
+/// `batch`: execute `params.requests` (an array of `{verb, params}`
+/// objects) under **one** store guard acquisition, returning one result
+/// slot per entry in order. A failing entry fills its slot with an error
+/// and later entries still execute (per-entry isolation); the store guard
+/// is exclusive iff any entry is a write verb. Nested batches are
+/// rejected per entry — one frame, one guard, no recursion.
+fn handle_batch(
+    store: &SharedStore,
+    catalog: &Catalog,
+    params: &Json,
+    debug_verbs: bool,
+) -> HandlerResult {
+    let subs = param(params, "requests")?
+        .as_array()
+        .ok_or_else(|| bad("`requests` must be an array"))?;
+    let m = crate::metrics::server_metrics();
+    m.batch_frames.inc();
+    m.batch_subrequests.add(subs.len() as u64);
+    m.batch_size.observe(subs.len() as u64);
+    if subs.is_empty() {
+        return Ok(Json::Array(vec![]));
+    }
+    let empty = Json::Object(vec![]);
+    let entries: Vec<BatchEntry> = subs
+        .iter()
+        .map(|sub| {
+            let Some(verb) = sub.get("verb").and_then(Json::as_str) else {
+                return BatchEntry::Malformed("sub-request missing `verb`".into());
+            };
+            if verb == "batch" {
+                return BatchEntry::Malformed("nested `batch` is not allowed".into());
+            }
+            BatchEntry::Run {
+                verb,
+                params: sub.get("params").unwrap_or(&empty),
+            }
+        })
+        .collect();
+    let needs_write = entries
+        .iter()
+        .any(|e| matches!(e, BatchEntry::Run { verb, .. } if is_write_verb(verb)));
+    let slots: Vec<Json> = if needs_write {
+        store.write(|st| {
+            entries
+                .iter()
+                .map(|e| {
+                    batch_slot(match e {
+                        BatchEntry::Malformed(msg) => Err(bad(msg.clone())),
+                        BatchEntry::Run { verb, params } => {
+                            if let Some(r) = storeless_verb(catalog, verb, params, debug_verbs) {
+                                r
+                            } else if is_write_verb(verb) {
+                                store_write_verb(st, verb, params)
+                            } else if is_read_verb(verb) {
+                                store_read_verb(st, catalog, verb, params)
+                            } else {
+                                Err(bad(format!("unknown verb `{verb}`")))
+                            }
+                        }
+                    })
+                })
+                .collect()
+        })
+    } else {
+        store.read(|st| {
+            entries
+                .iter()
+                .map(|e| {
+                    batch_slot(match e {
+                        BatchEntry::Malformed(msg) => Err(bad(msg.clone())),
+                        BatchEntry::Run { verb, params } => {
+                            if let Some(r) = storeless_verb(catalog, verb, params, debug_verbs) {
+                                r
+                            } else if is_read_verb(verb) {
+                                store_read_verb(st, catalog, verb, params)
+                            } else {
+                                Err(bad(format!("unknown verb `{verb}`")))
+                            }
+                        }
+                    })
+                })
+                .collect()
+        })
+    };
+    Ok(Json::Array(slots))
+}
+
+/// Dispatches one verb. `debug_verbs` additionally enables the
+/// test-only `boom` verb (panics inside the handler, exercising the
+/// worker's panic isolation). Store verbs acquire exactly one guard —
+/// shared for reads, exclusive for writes, and for a `batch` frame one
+/// guard covering every sub-request.
+pub(crate) fn handle_verb(
+    store: &SharedStore,
+    catalog: &Catalog,
+    verb: &str,
+    params: &Json,
+    debug_verbs: bool,
+) -> HandlerResult {
+    if verb == "batch" {
+        return handle_batch(store, catalog, params, debug_verbs);
+    }
+    if let Some(result) = storeless_verb(catalog, verb, params, debug_verbs) {
+        return result;
+    }
+    if is_write_verb(verb) {
+        store.write(|st| store_write_verb(st, verb, params))
+    } else if is_read_verb(verb) {
+        store.read(|st| store_read_verb(st, catalog, verb, params))
+    } else {
+        Err(bad(format!("unknown verb `{verb}`")))
     }
 }
 
@@ -433,5 +594,126 @@ mod tests {
         let text = call(&store, &catalog, "metrics", json!({})).unwrap();
         let text = text.as_str().unwrap();
         assert!(text.contains("# TYPE"), "{text}");
+    }
+
+    fn slot_ok(slot: &Json) -> bool {
+        slot.get("ok").and_then(Json::as_bool) == Some(true)
+    }
+
+    fn slot_error_kind(slot: &Json) -> Option<&str> {
+        slot.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str)
+    }
+
+    #[test]
+    fn batch_empty_is_an_empty_array_and_non_array_requests_is_rejected() {
+        let (store, catalog) = fixture();
+        let out = call(&store, &catalog, "batch", json!({"requests": []})).unwrap();
+        assert_eq!(out.as_array().unwrap().len(), 0);
+
+        let e = call(&store, &catalog, "batch", json!({"requests": 3})).unwrap_err();
+        assert_eq!(e.0, ErrorKind::BadRequest);
+        let e = call(&store, &catalog, "batch", json!({})).unwrap_err();
+        assert_eq!(e.0, ErrorKind::BadRequest);
+    }
+
+    #[test]
+    fn batch_failing_entry_fills_its_slot_and_later_entries_still_run() {
+        let (store, catalog) = fixture();
+        let out = call(
+            &store,
+            &catalog,
+            "batch",
+            json!({"requests": [
+                {"verb": "create", "params": {"type": "If", "attrs": {"X": {"Int": 5}}}},
+                {"verb": "attr", "params": {"obj": 424242, "name": "X"}},
+                {"verb": "create", "params": {"type": "Impl"}},
+            ]}),
+        )
+        .unwrap();
+        let slots = out.as_array().unwrap();
+        assert_eq!(slots.len(), 3);
+        assert!(slot_ok(&slots[0]));
+        assert_eq!(slot_error_kind(&slots[1]), Some("core"));
+        assert!(slot_ok(&slots[2]), "entry after a failure must execute");
+
+        // Both creates landed despite the failing middle entry.
+        let interface = slots[0].get("result").and_then(Json::as_u64).unwrap();
+        let imp = slots[2].get("result").and_then(Json::as_u64).unwrap();
+        let out = call(
+            &store,
+            &catalog,
+            "batch",
+            json!({"requests": [
+                {"verb": "bind",
+                 "params": {"rel": "AllOf_If", "transmitter": interface, "inheritor": imp}},
+                {"verb": "attr", "params": {"obj": imp, "name": "X"}},
+            ]}),
+        )
+        .unwrap();
+        let slots = out.as_array().unwrap();
+        assert!(slot_ok(&slots[0]) && slot_ok(&slots[1]));
+        let v = slots[1].get("result").unwrap();
+        assert_eq!(v.get("Int").and_then(Json::as_i64), Some(5));
+    }
+
+    #[test]
+    fn batch_rejects_nested_batches_and_missing_verbs_per_entry() {
+        let (store, catalog) = fixture();
+        let out = call(
+            &store,
+            &catalog,
+            "batch",
+            json!({"requests": [
+                {"verb": "batch", "params": {"requests": []}},
+                {"params": {"delay_ms": 0}},
+                {"verb": "ping"},
+            ]}),
+        )
+        .unwrap();
+        let slots = out.as_array().unwrap();
+        assert_eq!(slot_error_kind(&slots[0]), Some("bad_request"));
+        assert_eq!(slot_error_kind(&slots[1]), Some("bad_request"));
+        assert!(slot_ok(&slots[2]), "well-formed entry after malformed ones");
+    }
+
+    #[test]
+    fn read_only_batch_runs_under_the_shared_guard() {
+        // A batch of pure reads takes the shared guard, so it completes
+        // even while another thread is sitting inside a read section. (A
+        // write-guard batch would block here and the test would hang.)
+        let (store, catalog) = fixture();
+        call(&store, &catalog, "create", json!({"type": "Impl"})).unwrap();
+
+        let (held_tx, held_rx) = std::sync::mpsc::channel();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let reader_store = store.clone();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                reader_store.read(|_guard| {
+                    held_tx.send(()).unwrap();
+                    // Hold the shared guard until the batch has finished.
+                    done_rx
+                        .recv_timeout(std::time::Duration::from_secs(10))
+                        .unwrap();
+                });
+            });
+            held_rx.recv().unwrap();
+            let out = call(
+                &store,
+                &catalog,
+                "batch",
+                json!({"requests": [
+                    {"verb": "select", "params": {"type": "Impl"}},
+                    {"verb": "ping", "params": {}},
+                ]}),
+            )
+            .unwrap();
+            let slots = out.as_array().unwrap();
+            assert!(slot_ok(&slots[0]) && slot_ok(&slots[1]));
+            assert_eq!(slots[0].get("result").unwrap().as_array().unwrap().len(), 1);
+            done_tx.send(()).unwrap();
+        });
     }
 }

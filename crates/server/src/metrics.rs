@@ -4,7 +4,7 @@
 
 use std::sync::{Arc, OnceLock};
 
-use ccdb_obs::metrics::LATENCY_BUCKETS_NS;
+use ccdb_obs::metrics::{HOP_BUCKETS, LATENCY_BUCKETS_NS};
 use ccdb_obs::{Counter, Gauge, Histogram};
 
 /// The verbs the per-verb request counters are pre-registered for.
@@ -22,6 +22,7 @@ pub(crate) const VERBS: &[&str] = &[
     "explain",
     "stats",
     "metrics",
+    "batch",
     "shutdown",
 ];
 
@@ -50,6 +51,13 @@ pub(crate) struct ServerMetrics {
     pub queue_depth: Arc<Gauge>,
     /// `ccdb_server_request_latency_ns` — admission to response written.
     pub request_latency: Arc<Histogram>,
+    /// `ccdb_server_batch_frames_total` — `batch` frames handled.
+    pub batch_frames: Arc<Counter>,
+    /// `ccdb_server_batch_subrequests_total` — sub-requests carried inside
+    /// batch frames.
+    pub batch_subrequests: Arc<Counter>,
+    /// `ccdb_server_batch_size` — sub-requests per batch frame.
+    pub batch_size: Arc<Histogram>,
 }
 
 impl ServerMetrics {
@@ -83,6 +91,9 @@ pub(crate) fn server_metrics() -> &'static ServerMetrics {
             idle_closed: r.counter("ccdb_server_idle_closed_total"),
             queue_depth: r.gauge("ccdb_server_queue_depth"),
             request_latency: r.histogram("ccdb_server_request_latency_ns", LATENCY_BUCKETS_NS),
+            batch_frames: r.counter("ccdb_server_batch_frames_total"),
+            batch_subrequests: r.counter("ccdb_server_batch_subrequests_total"),
+            batch_size: r.histogram("ccdb_server_batch_size", HOP_BUCKETS),
         }
     })
 }
@@ -110,6 +121,9 @@ mod tests {
             "ccdb_server_overloaded_total",
             "ccdb_server_queue_depth",
             "ccdb_server_request_latency_ns",
+            "ccdb_server_requests_batch_total",
+            "ccdb_server_batch_frames_total",
+            "ccdb_server_batch_size",
         ] {
             assert!(text.contains(series), "missing {series}");
         }

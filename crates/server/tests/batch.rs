@@ -1,0 +1,179 @@
+//! Wire-level behavior of the `batch` verb: one frame, one admission
+//! queue job, one store guard; per-entry error isolation inside the
+//! frame; clean interleaving with pipelined non-batch frames.
+
+mod common;
+
+use std::time::Duration;
+
+use ccdb_core::Value;
+use ccdb_server::{Client, ClientError, ServerConfig};
+use serde_json::{json, Value as Json};
+
+#[test]
+fn empty_batch_roundtrips_as_an_empty_slot_array() {
+    let server = common::start_default();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let slots = c.batch(vec![]).unwrap();
+    assert!(slots.is_empty());
+    // The connection is still perfectly usable afterwards.
+    c.ping().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn failing_sub_request_does_not_abort_the_rest_of_the_batch() {
+    let server = common::start_default();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+
+    let slots = c
+        .batch(vec![
+            ("create", json!({"type": "If", "attrs": {"X": {"Int": 9}}})),
+            ("attr", json!({"obj": 424242, "name": "X"})), // no such object
+            ("create", json!({"type": "Impl"})),
+        ])
+        .unwrap();
+    assert_eq!(slots.len(), 3);
+    let interface = slots[0].as_ref().unwrap().as_u64().unwrap();
+    match &slots[1] {
+        Err(ClientError::Server { kind, .. }) => assert_eq!(kind, "core"),
+        other => panic!("expected core error slot, got {other:?}"),
+    }
+    let imp = slots[2]
+        .as_ref()
+        .expect("entry after a failing one must still execute")
+        .as_u64()
+        .unwrap();
+
+    // Both creates really landed: a follow-up mixed batch binds them and
+    // reads the transmitted value back under the same exclusive guard.
+    let slots = c
+        .batch(vec![
+            (
+                "bind",
+                json!({"rel": "AllOf_If", "transmitter": interface, "inheritor": imp}),
+            ),
+            ("attr", json!({"obj": imp, "name": "X"})),
+        ])
+        .unwrap();
+    let v = slots[1].as_ref().unwrap();
+    assert_eq!(v.get("Int").and_then(Json::as_i64), Some(9));
+    server.shutdown();
+}
+
+/// A batch is admitted as **one** queue job: when the admission queue is
+/// full, the whole frame is refused with `overloaded` — no partial
+/// execution, no per-entry admission.
+#[test]
+fn full_admission_queue_rejects_the_whole_batch_as_one_job() {
+    let server = common::start(ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    // Saturate the single worker and the depth-1 queue with slow pings,
+    // then pipeline a batch behind them. The frames arrive microseconds
+    // apart while each ping takes 200ms, so the batch is evaluated at
+    // admission while the queue is still full.
+    for id in 1..=4u64 {
+        let req =
+            format!(r#"{{"v": 1, "id": {id}, "verb": "ping", "params": {{"delay_ms": 200}}}}"#);
+        c.send_raw(req.as_bytes()).unwrap();
+    }
+    let batch = r#"{"v": 1, "id": 99, "verb": "batch", "params": {"requests": [
+        {"verb": "ping", "params": {}},
+        {"verb": "select", "params": {"type": "Impl"}}
+    ]}}"#;
+    c.send_raw(batch.as_bytes()).unwrap();
+
+    let mut batch_kind = None;
+    for _ in 0..5 {
+        let resp = c.read_response_json().unwrap();
+        if resp.get("id").and_then(Json::as_u64) == Some(99) {
+            assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+            batch_kind = resp
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str)
+                .map(str::to_string);
+        }
+    }
+    assert_eq!(
+        batch_kind.as_deref(),
+        Some("overloaded"),
+        "batch behind a full queue must be refused whole"
+    );
+
+    // After the backlog drains, batches are admitted again.
+    let slots = c.batch(vec![("ping", json!({}))]).unwrap();
+    assert!(slots[0].is_ok());
+    server.shutdown();
+}
+
+/// Batch frames pipeline like any other frame: plain requests sent
+/// before and after a batch on one connection all get their responses,
+/// matched by id, with the batch's slots intact.
+#[test]
+fn batch_frames_interleave_with_pipelined_plain_frames() {
+    let server = common::start_default();
+    let addr = server.local_addr();
+
+    // Seed one Impl so the reads below have something to see.
+    let mut seed = Client::connect(addr).unwrap();
+    let imp = seed.create("Impl", &[("Local", Value::Int(3))]).unwrap();
+
+    let mut c = Client::connect(addr).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let plain_before = format!(
+        r#"{{"v": 1, "id": 1, "verb": "attr", "params": {{"obj": {}, "name": "Local"}}}}"#,
+        imp.0
+    );
+    let batch = format!(
+        r#"{{"v": 1, "id": 2, "verb": "batch", "params": {{"requests": [
+            {{"verb": "select", "params": {{"type": "Impl"}}}},
+            {{"verb": "attr", "params": {{"obj": {}, "name": "Local"}}}}
+        ]}}}}"#,
+        imp.0
+    );
+    let plain_after = r#"{"v": 1, "id": 3, "verb": "ping", "params": {}}"#.to_string();
+    for frame in [&plain_before, &batch, &plain_after] {
+        c.send_raw(frame.as_bytes()).unwrap();
+    }
+
+    let mut by_id = std::collections::HashMap::new();
+    for _ in 0..3 {
+        let resp = c.read_response_json().unwrap();
+        let id = resp.get("id").and_then(Json::as_u64).unwrap();
+        assert!(by_id.insert(id, resp).is_none(), "duplicate id");
+    }
+    for id in 1..=3u64 {
+        let resp = &by_id[&id];
+        assert_eq!(
+            resp.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "response {id}: {resp:?}"
+        );
+    }
+    let slots = by_id[&2].get("result").and_then(|r| r.as_array()).unwrap();
+    assert_eq!(slots.len(), 2);
+    assert_eq!(
+        slots[0]
+            .get("result")
+            .and_then(|r| r.as_array())
+            .map(<[Json]>::len),
+        Some(1)
+    );
+    assert_eq!(
+        slots[1]
+            .get("result")
+            .and_then(|r| r.get("Int"))
+            .and_then(Json::as_i64),
+        Some(3)
+    );
+    server.shutdown();
+}

@@ -135,30 +135,39 @@ proptest! {
     fn cached_store_always_agrees_with_uncached(
         ops in proptest::collection::vec((0usize..5, 0usize..2, -100i64..100), 1..50)
     ) {
-        let mut cached = ObjectStore::new(catalog()).unwrap();
-        let mut shadow = ObjectStore::new(catalog()).unwrap();
-        shadow.set_resolution_cache(false);
-        prop_assert!(cached.resolution_cache_enabled());
+        // Shard count is a pure performance knob: the same stream must
+        // agree with the cache-disabled shadow at one shard (the old
+        // single-lock shape), a few, and the default-scale sixteen.
+        for shards in [1usize, 4, 16] {
+            let mut cached =
+                ObjectStore::with_resolution_cache_shards(catalog(), shards).unwrap();
+            let mut shadow = ObjectStore::new(catalog()).unwrap();
+            shadow.set_resolution_cache(false);
+            prop_assert!(cached.resolution_cache_enabled());
+            prop_assert_eq!(cached.resolution_cache_shards(), shards);
 
-        // Deterministic surrogate generation keeps the two populations
-        // aligned: the k-th create in each store yields the same surrogate.
-        let p_cached = populate(&mut cached);
-        let p_shadow = populate(&mut shadow);
-        prop_assert_eq!(&p_cached.ifs, &p_shadow.ifs);
-        prop_assert_eq!(&p_cached.leafs, &p_shadow.leafs);
+            // Deterministic surrogate generation keeps the two populations
+            // aligned: the k-th create in each store yields the same
+            // surrogate.
+            let p_cached = populate(&mut cached);
+            let p_shadow = populate(&mut shadow);
+            prop_assert_eq!(&p_cached.ifs, &p_shadow.ifs);
+            prop_assert_eq!(&p_cached.leafs, &p_shadow.leafs);
 
-        for (op, t, v) in ops {
-            apply(&mut cached, &p_cached, op, t, v);
-            apply(&mut shadow, &p_shadow, op, t, v);
-            prop_assert_eq!(
-                observe(&cached, &p_cached),
-                observe(&shadow, &p_shadow),
-                "divergence after op {} on target {}", op, t
-            );
+            for (op, t, v) in &ops {
+                apply(&mut cached, &p_cached, *op, *t, *v);
+                apply(&mut shadow, &p_shadow, *op, *t, *v);
+                prop_assert_eq!(
+                    observe(&cached, &p_cached),
+                    observe(&shadow, &p_shadow),
+                    "divergence after op {} on target {} with {} shards", op, t, shards
+                );
+            }
+            prop_assert!(cached.verify_integrity().is_empty());
+            // The shadow never cached anything; the cached store's stats
+            // add up.
+            prop_assert_eq!(shadow.stats().rescache_hits, 0);
+            prop_assert_eq!(shadow.stats().rescache_misses, 0);
         }
-        prop_assert!(cached.verify_integrity().is_empty());
-        // The shadow never cached anything; the cached store's stats add up.
-        prop_assert_eq!(shadow.stats().rescache_hits, 0);
-        prop_assert_eq!(shadow.stats().rescache_misses, 0);
     }
 }
