@@ -18,7 +18,12 @@
 //! - `ccdb bench-net <file> [--clients N] [--requests N] [--batch N]
 //!   [--addr A]` — drive the wire protocol with concurrent closed-loop
 //!   clients, optionally shipping `--batch` sub-requests per frame
-//!   ([`serve`]).
+//!   ([`serve`]);
+//! - `ccdb top <addr> [--once] [--interval-ms N]` — refreshing latency
+//!   dashboard for a running server: req/s, per-verb quantiles, phase
+//!   decomposition, store-lock contention ([`top`]);
+//! - `ccdb flight <addr> [--json]` — dump the server's flight recorder:
+//!   slowest and most recent requests with per-phase timelines ([`top`]).
 //!
 //! The functions are exposed as a library so they are unit-testable; the
 //! binary is a thin wrapper.
@@ -33,9 +38,11 @@ use ccdb_lang::{compile_str, render};
 pub mod explain;
 pub mod serve;
 pub mod stats;
+pub mod top;
 pub use explain::cmd_explain;
 pub use serve::{cmd_bench_net, cmd_serve, ServeFlags};
 pub use stats::cmd_stats;
+pub use top::{cmd_flight, cmd_top};
 
 /// CLI failure: message for stderr + suggested exit code.
 #[derive(Debug)]
@@ -176,7 +183,9 @@ pub fn cmd_render(source: &str) -> Result<String, CliError> {
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let usage = "usage: ccdb <check|effective|render|stats|explain|serve|bench-net> \
                  <schema-file> [type [attr]] [--json] [--addr A] [--threads N] \
-                 [--queue-depth N] [--clients N] [--requests N] [--batch N]";
+                 [--queue-depth N] [--clients N] [--requests N] [--batch N] | \
+                 ccdb top <addr> [--once] [--interval-ms N] | \
+                 ccdb flight <addr> [--json]";
     // Opt-in slow-op log: traced roots slower than this are mirrored as
     // `obs.slow_op` events through the installed subscriber.
     if let Some(ns) = std::env::var("CCDB_SLOW_OP_NS")
@@ -247,6 +256,41 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             };
             let flags = serve::ServeFlags::parse(&args[2..])?;
             cmd_bench_net(&read(path)?, &flags)
+        }
+        "top" => {
+            let Some(addr) = args.get(1) else {
+                return fail(usage, 2);
+            };
+            let mut once = false;
+            let mut interval_ms = 1000u64;
+            let mut it = args[2..].iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--once" => once = true,
+                    "--interval-ms" => {
+                        interval_ms =
+                            it.next()
+                                .and_then(|v| v.parse().ok())
+                                .ok_or_else(|| CliError {
+                                    message: usage.into(),
+                                    code: 2,
+                                })?;
+                    }
+                    _ => return fail(usage, 2),
+                }
+            }
+            cmd_top(addr, once, interval_ms)
+        }
+        "flight" => {
+            let Some(addr) = args.get(1) else {
+                return fail(usage, 2);
+            };
+            let json = match args.get(2).map(String::as_str) {
+                None => false,
+                Some("--json") => true,
+                Some(_) => return fail(usage, 2),
+            };
+            cmd_flight(addr, json)
         }
         _ => fail(usage, 2),
     }

@@ -178,29 +178,40 @@ fn bench_triple(catalog: &Catalog) -> Result<(String, String, String, String), C
 /// then alternate resolved reads with occasional transmitter writes.
 /// With `batch > 1` the same operation mix is shipped as `batch`
 /// sub-requests per wire frame (one admission, one guard per frame).
-/// Returns (per-frame latencies ns, overloaded retries).
+/// Returns (per-frame latencies ns, overloaded retries, server errors).
+///
+/// Error accounting: `overloaded` responses are retried (backpressure is
+/// not a failure); any other *server* error response is counted and the
+/// loop moves on — a healthy run reports zero. Transport failures (socket
+/// or protocol) abort the client.
 fn bench_client(
     addr: std::net::SocketAddr,
     triple: &(String, String, String, String),
     requests: u64,
     batch: u64,
     seed: u64,
-) -> Result<(Vec<u64>, u64), String> {
+) -> Result<(Vec<u64>, u64, u64), String> {
     let (t_ty, rel, inh_ty, attr) = triple;
     let mut c = Client::connect(addr).map_err(|e| e.to_string())?;
     c.set_read_timeout(Some(Duration::from_secs(30)))
         .map_err(|e| e.to_string())?;
     let mut overloaded = 0u64;
+    let mut errors = 0u64;
+    // Ok(true) = succeeded; Ok(false) = server rejected the op (counted).
     let mut with_retry =
         |f: &mut dyn FnMut(&mut Client) -> Result<(), ccdb_server::ClientError>,
          c: &mut Client|
-         -> Result<(), String> {
+         -> Result<bool, String> {
             loop {
                 match f(c) {
-                    Ok(()) => return Ok(()),
+                    Ok(()) => return Ok(true),
                     Err(e) if e.is_overloaded() => {
                         overloaded += 1;
                         thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(ccdb_server::ClientError::Server { .. }) => {
+                        errors += 1;
+                        return Ok(false);
                     }
                     Err(e) => return Err(e.to_string()),
                 }
@@ -208,27 +219,33 @@ fn bench_client(
         };
 
     let mut transmitter = None;
-    with_retry(
+    if !with_retry(
         &mut |c| {
             transmitter = Some(c.create(t_ty, &[(attr, Value::Int(seed as i64))])?);
             Ok(())
         },
         &mut c,
-    )?;
+    )? {
+        return Err("bench-net: setup create rejected by server".into());
+    }
     let transmitter = transmitter.unwrap();
     let mut inheritor = None;
-    with_retry(
+    if !with_retry(
         &mut |c| {
             inheritor = Some(c.create(inh_ty, &[])?);
             Ok(())
         },
         &mut c,
-    )?;
+    )? {
+        return Err("bench-net: setup create rejected by server".into());
+    }
     let inheritor = inheritor.unwrap();
-    with_retry(
+    if !with_retry(
         &mut |c| c.bind(rel, transmitter, inheritor).map(|_| ()),
         &mut c,
-    )?;
+    )? {
+        return Err("bench-net: setup bind rejected by server".into());
+    }
 
     // The n-th operation of the mix: 90% resolved reads through the
     // binding, 10% transmitter writes (the adaptation path). Shared by
@@ -290,7 +307,7 @@ fn bench_client(
             n += batch;
         }
     }
-    Ok((latencies, overloaded))
+    Ok((latencies, overloaded, errors))
 }
 
 fn quantile(sorted: &[u64], q: f64) -> u64 {
@@ -332,38 +349,42 @@ pub fn cmd_bench_net(source: &str, flags: &ServeFlags) -> Result<String, CliErro
     };
 
     let total_overloaded = Arc::new(AtomicU64::new(0));
+    let total_errors = Arc::new(AtomicU64::new(0));
     let started = Instant::now();
     let handles: Vec<_> = (0..clients)
         .map(|i| {
             let triple = triple.clone();
             let total_overloaded = Arc::clone(&total_overloaded);
+            let total_errors = Arc::clone(&total_errors);
             thread::spawn(move || -> Result<Vec<u64>, String> {
-                let (lat, over) = bench_client(addr, &triple, requests, batch, i as u64 * 1000)?;
+                let (lat, over, errs) =
+                    bench_client(addr, &triple, requests, batch, i as u64 * 1000)?;
                 total_overloaded.fetch_add(over, Ordering::Relaxed);
+                total_errors.fetch_add(errs, Ordering::Relaxed);
                 Ok(lat)
             })
         })
         .collect();
 
     let mut all = Vec::with_capacity(clients * requests as usize);
-    let mut errors = 0usize;
+    let mut failed = 0usize;
     for h in handles {
         match h.join() {
             Ok(Ok(lat)) => all.extend(lat),
             Ok(Err(msg)) => {
-                errors += 1;
+                failed += 1;
                 eprintln!("ccdb: bench-net client failed: {msg}");
             }
-            Err(_) => errors += 1,
+            Err(_) => failed += 1,
         }
     }
     let elapsed = started.elapsed();
     if let Some(server) = server {
         server.shutdown();
     }
-    if errors > 0 {
+    if failed > 0 {
         return Err(CliError {
-            message: format!("bench-net: {errors} client(s) failed"),
+            message: format!("bench-net: {failed} client(s) failed"),
             code: 1,
         });
     }
@@ -382,12 +403,14 @@ pub fn cmd_bench_net(source: &str, flags: &ServeFlags) -> Result<String, CliErro
            elapsed    : {:.3}s\n\
            throughput : {rps:.0} req/s\n\
            latency    : p50={} p95={} p99={} (ns/frame)\n\
-           overloaded : {} (retried)\n",
+           overloaded : {} (retried)\n\
+           errors     : {} (server error responses)\n",
         elapsed.as_secs_f64(),
         quantile(&all, 0.50),
         quantile(&all, 0.95),
         quantile(&all, 0.99),
         total_overloaded.load(Ordering::Relaxed),
+        total_errors.load(Ordering::Relaxed),
     ))
 }
 
@@ -466,6 +489,10 @@ mod tests {
         assert!(out.contains("requests   : 80"), "{out}");
         assert!(out.contains("throughput"), "{out}");
         assert!(out.contains("p95="), "{out}");
+        assert!(
+            out.contains("errors     : 0"),
+            "healthy run must report zero server errors: {out}"
+        );
     }
 
     #[test]

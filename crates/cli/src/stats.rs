@@ -288,6 +288,15 @@ pub fn cmd_stats(source: &str, json: bool) -> Result<String, CliError> {
     lock_workload()?;
     storage_workload()?;
     server_workload(&catalog)?;
+    // Trace-buffer health, mirrored into the registry so the snapshot
+    // shows whether the sampled span buffer overflowed and how many
+    // slow-op events fired (both process-lifetime values, not reset).
+    registry
+        .gauge("ccdb_obs_trace_dropped_spans")
+        .set(ccdb_obs::trace::dropped_spans() as i64);
+    registry
+        .gauge("ccdb_obs_trace_slow_ops")
+        .set(ccdb_obs::trace::slow_op_count() as i64);
     Ok(if json {
         registry.render_json()
     } else {
@@ -344,6 +353,8 @@ mod tests {
             "ccdb_server_batch_frames_total",
             "ccdb_server_batch_subrequests_total",
             "ccdb_server_batch_size",
+            "ccdb_obs_trace_dropped_spans",
+            "ccdb_obs_trace_slow_ops",
         ] {
             assert!(out.contains(series), "missing {series} in:\n{out}");
         }

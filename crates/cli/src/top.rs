@@ -1,0 +1,473 @@
+//! `ccdb top` and `ccdb flight`: live latency decomposition for a running
+//! server, over the regular wire protocol (no side channel).
+//!
+//! - [`cmd_top`] scrapes the `metrics` verb (Prometheus text) twice per
+//!   frame, reconstructs the histograms by de-cumulating the `_bucket`
+//!   lines, and renders a refreshing text dashboard: request rate,
+//!   per-verb p50/p95/p99, the seven-phase time bar, store-lock wait/hold
+//!   quantiles, queue depth, and resolution-cache hit rate. `--once`
+//!   prints a single frame (CI smoke); otherwise it refreshes until the
+//!   connection drops.
+//! - [`cmd_flight`] dumps the server's flight recorder (`flight` verb):
+//!   the slowest-N and most-recent-M completed requests with their
+//!   per-phase timelines.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use ccdb_server::Client;
+use serde_json::Value as Json;
+
+use crate::CliError;
+
+fn net(e: impl std::fmt::Display) -> CliError {
+    CliError {
+        message: format!("cannot reach server: {e}"),
+        code: 1,
+    }
+}
+
+/// One histogram reconstructed from a Prometheus scrape: per-bucket
+/// (upper bound, non-cumulative count), plus sum and count.
+#[derive(Debug, Clone, Default)]
+pub struct ScrapedHist {
+    bounds: Vec<f64>,
+    buckets: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl ScrapedHist {
+    /// Quantile estimate: upper bound of the bucket where the q-th sample
+    /// falls (the same estimator the registry uses). `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (bound, n) in self.bounds.iter().zip(&self.buckets) {
+            cum += n;
+            if cum >= target {
+                return Some(*bound);
+            }
+        }
+        // Overflow bucket: all we know is "above the largest bound".
+        self.bounds.last().copied()
+    }
+}
+
+/// A parsed Prometheus-text scrape: scalar series (counters and gauges)
+/// plus reconstructed histograms.
+#[derive(Debug, Clone, Default)]
+pub struct Scrape {
+    scalars: BTreeMap<String, f64>,
+    hists: BTreeMap<String, ScrapedHist>,
+}
+
+impl Scrape {
+    /// Parses the Prometheus text exposition format the server's
+    /// `metrics` verb returns. `_bucket{le="..."}` series are
+    /// de-cumulated back into per-bucket counts under the base name;
+    /// `_sum`/`_count` attach to the same histogram; everything else is a
+    /// scalar.
+    pub fn parse(text: &str) -> Scrape {
+        let mut s = Scrape::default();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((series, value)) = line.rsplit_once(' ') else {
+                continue;
+            };
+            let Ok(value) = value.parse::<f64>() else {
+                continue;
+            };
+            if let Some((name, rest)) = series.split_once("_bucket{le=\"") {
+                let Some(bound) = rest.strip_suffix("\"}") else {
+                    continue;
+                };
+                if bound == "+Inf" {
+                    continue; // implied by _count
+                }
+                let Ok(bound) = bound.parse::<f64>() else {
+                    continue;
+                };
+                let h = s.hists.entry(name.to_string()).or_default();
+                h.bounds.push(bound);
+                h.buckets.push(value as u64); // cumulative for now
+            } else if let Some(name) = series.strip_suffix("_sum") {
+                if s.hists.contains_key(name) {
+                    s.hists.entry(name.to_string()).or_default().sum = value;
+                } else {
+                    s.scalars.insert(series.to_string(), value);
+                }
+            } else if let Some(name) = series.strip_suffix("_count") {
+                if s.hists.contains_key(name) {
+                    s.hists.entry(name.to_string()).or_default().count = value as u64;
+                } else {
+                    s.scalars.insert(series.to_string(), value);
+                }
+            } else {
+                s.scalars.insert(series.to_string(), value);
+            }
+        }
+        // De-cumulate the bucket counts.
+        for h in s.hists.values_mut() {
+            let mut prev = 0u64;
+            for b in h.buckets.iter_mut() {
+                let cum = *b;
+                *b = cum.saturating_sub(prev);
+                prev = cum;
+            }
+        }
+        s
+    }
+
+    /// Scalar value, 0 when absent.
+    pub fn scalar(&self, name: &str) -> f64 {
+        self.scalars.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Histogram by base name, if scraped.
+    pub fn hist(&self, name: &str) -> Option<&ScrapedHist> {
+        self.hists.get(name)
+    }
+}
+
+/// Formats nanoseconds compactly (`950ns`, `12.3µs`, `4.5ms`, `1.2s`).
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.1}µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.1}ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns / 1_000_000_000.0)
+    }
+}
+
+fn fmt_q(h: Option<&ScrapedHist>, q: f64) -> String {
+    match h.and_then(|h| h.quantile(q)) {
+        Some(v) => fmt_ns(v),
+        None => "-".into(),
+    }
+}
+
+/// The verbs that have non-zero phase totals in this scrape, derived from
+/// the series names themselves so the CLI needs no verb list of its own.
+fn active_verbs(s: &Scrape) -> Vec<String> {
+    s.hists
+        .keys()
+        .filter_map(|k| {
+            k.strip_prefix("ccdb_server_phase_")
+                .and_then(|r| r.strip_suffix("_total_ns"))
+        })
+        .filter(|v| *v != "all")
+        .filter(|v| {
+            s.hist(&format!("ccdb_server_phase_{v}_total_ns"))
+                .map(|h| h.count > 0)
+                .unwrap_or(false)
+        })
+        .map(str::to_string)
+        .collect()
+}
+
+/// Renders one dashboard frame from two scrapes `dt_secs` apart. Pure —
+/// unit tests feed synthetic scrapes.
+pub fn render_frame(addr: &str, info: &Json, prev: &Scrape, cur: &Scrape, dt_secs: f64) -> String {
+    let mut out = String::new();
+    let gets = |k: &str| {
+        info.get(k)
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    let getu = |k: &str| info.get(k).and_then(Json::as_u64).unwrap_or(0);
+    out.push_str(&format!(
+        "ccdb top — {addr} | v{} up {:.0}s | workers {} | queue cap {} | rescache shards {}\n",
+        gets("version"),
+        getu("uptime_ms") as f64 / 1000.0,
+        getu("workers"),
+        getu("queue_depth"),
+        getu("rescache_shards"),
+    ));
+
+    let d_req =
+        cur.scalar("ccdb_server_requests_total") - prev.scalar("ccdb_server_requests_total");
+    let rate = if dt_secs > 0.0 { d_req / dt_secs } else { 0.0 };
+    let hits = cur.scalar("ccdb_core_rescache_hits_total");
+    let misses = cur.scalar("ccdb_core_rescache_misses_total");
+    let hit_rate = if hits + misses > 0.0 {
+        100.0 * hits / (hits + misses)
+    } else {
+        0.0
+    };
+    out.push_str(&format!(
+        "req/s {rate:.1} | queue depth {} | overloaded {} | rescache hit rate {hit_rate:.1}%\n",
+        cur.scalar("ccdb_server_queue_depth"),
+        cur.scalar("ccdb_server_overloaded_total"),
+    ));
+
+    // Store-lock contention probes (ccdb_core::lockprobe).
+    out.push_str("store lock: ");
+    for mode in ["shared", "exclusive"] {
+        let wait = cur.hist(&format!("ccdb_core_storelock_{mode}_wait_ns"));
+        let hold = cur.hist(&format!("ccdb_core_storelock_{mode}_hold_ns"));
+        out.push_str(&format!(
+            "{mode} wait p95 {} hold p95 {} (contended {}) | ",
+            fmt_q(wait, 0.95),
+            fmt_q(hold, 0.95),
+            cur.scalar(&format!("ccdb_core_storelock_{mode}_contended_total")),
+        ));
+    }
+    out.push_str(&format!(
+        "waiters now {}\n",
+        cur.scalar("ccdb_core_storelock_waiters")
+    ));
+
+    // Phase decomposition across all verbs: p95 per phase + a share-of-sum
+    // bar that shows where the time actually goes.
+    let phase_sums: Vec<(&str, f64)> = ccdb_obs::flight::PHASE_NAMES
+        .iter()
+        .map(|p| {
+            (
+                *p,
+                cur.hist(&format!("ccdb_server_phase_all_{p}_ns"))
+                    .map(|h| h.sum)
+                    .unwrap_or(0.0),
+            )
+        })
+        .collect();
+    let total_sum: f64 = phase_sums.iter().map(|(_, s)| s).sum();
+    out.push_str("phase p95: ");
+    for p in ccdb_obs::flight::PHASE_NAMES {
+        out.push_str(&format!(
+            "{p} {} | ",
+            fmt_q(cur.hist(&format!("ccdb_server_phase_all_{p}_ns")), 0.95)
+        ));
+    }
+    out.push('\n');
+    if total_sum > 0.0 {
+        out.push_str("phase share: ");
+        for (p, s) in &phase_sums {
+            let pct = 100.0 * s / total_sum;
+            let ticks = (pct / 2.5).round() as usize; // 40 chars = 100%
+            out.push_str(&format!("{p} {pct:.0}% {} ", "#".repeat(ticks)));
+        }
+        out.push('\n');
+    }
+
+    // Per-verb latency table (first byte → response written).
+    out.push_str(&format!(
+        "{:<10} {:>10} {:>9} {:>9} {:>9}\n",
+        "verb", "count", "p50", "p95", "p99"
+    ));
+    let mut verbs = active_verbs(cur);
+    verbs.sort();
+    for v in verbs {
+        let h = cur.hist(&format!("ccdb_server_phase_{v}_total_ns"));
+        let count = h.map(|h| h.count).unwrap_or(0);
+        out.push_str(&format!(
+            "{v:<10} {count:>10} {:>9} {:>9} {:>9}\n",
+            fmt_q(h, 0.5),
+            fmt_q(h, 0.95),
+            fmt_q(h, 0.99),
+        ));
+    }
+    out
+}
+
+fn scrape(c: &mut Client) -> Result<Scrape, CliError> {
+    Ok(Scrape::parse(&c.metrics().map_err(net)?))
+}
+
+/// `top`: refreshing dashboard over the `metrics` verb. `--once` renders a
+/// single frame and returns it; otherwise frames stream to stdout every
+/// `interval_ms` until the connection drops.
+pub fn cmd_top(addr: &str, once: bool, interval_ms: u64) -> Result<String, CliError> {
+    let mut c = Client::connect(addr).map_err(net)?;
+    c.set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(net)?;
+    let info = c.ping_info().map_err(net)?;
+    let mut prev = scrape(&mut c)?;
+    let dt = Duration::from_millis(interval_ms.max(100));
+    loop {
+        std::thread::sleep(dt);
+        let cur = scrape(&mut c)?;
+        let frame = render_frame(addr, &info, &prev, &cur, dt.as_secs_f64());
+        if once {
+            return Ok(frame);
+        }
+        // ANSI clear + home, then the frame.
+        print!("\x1b[2J\x1b[H{frame}");
+        use std::io::Write;
+        let _ = std::io::stdout().flush();
+        prev = cur;
+    }
+}
+
+/// Renders a flight-recorder dump (the `flight` verb's result) as text.
+/// Pure — unit tests feed a synthetic payload.
+pub fn render_flight(r: &Json) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "flight recorder: {} recorded | recent cap {} | slowest cap {}\n",
+        r.get("recorded").and_then(Json::as_u64).unwrap_or(0),
+        r.get("recent_cap").and_then(Json::as_u64).unwrap_or(0),
+        r.get("slowest_cap").and_then(Json::as_u64).unwrap_or(0),
+    ));
+    for section in ["slowest", "recent"] {
+        let records = r
+            .get(section)
+            .and_then(Json::as_array)
+            .map(|a| a.to_vec())
+            .unwrap_or_default();
+        out.push_str(&format!("\n{section} ({}):\n", records.len()));
+        out.push_str(&format!(
+            "  {:<10} {:<10} {:>9}  {}\n",
+            "verb", "outcome", "total", "phases"
+        ));
+        for rec in &records {
+            let verb = rec.get("verb").and_then(Json::as_str).unwrap_or("?");
+            let outcome = rec.get("outcome").and_then(Json::as_str).unwrap_or("?");
+            let total = rec.get("total_ns").and_then(Json::as_u64).unwrap_or(0);
+            let phases = rec.get("phases");
+            let mut parts = Vec::new();
+            for p in ccdb_obs::flight::PHASE_NAMES {
+                let ns = phases
+                    .and_then(|ph| ph.get(p))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0);
+                parts.push(format!("{p} {}", fmt_ns(ns as f64)));
+            }
+            let trace = rec
+                .get("trace")
+                .and_then(Json::as_u64)
+                .map(|t| format!(" trace={t}"))
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "  {verb:<10} {outcome:<10} {:>9}  {}{trace}\n",
+                fmt_ns(total as f64),
+                parts.join(" | "),
+            ));
+        }
+    }
+    out
+}
+
+/// `flight`: dump the server's flight recorder, as text or raw JSON.
+pub fn cmd_flight(addr: &str, json: bool) -> Result<String, CliError> {
+    let mut c = Client::connect(addr).map_err(net)?;
+    c.set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(net)?;
+    let r = c.flight().map_err(net)?;
+    Ok(if json {
+        r.to_json_string()
+    } else {
+        render_flight(&r)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCRAPE: &str = "\
+# TYPE ccdb_server_requests_total counter
+ccdb_server_requests_total 100
+# TYPE ccdb_server_queue_depth gauge
+ccdb_server_queue_depth 2
+# TYPE ccdb_core_rescache_hits_total counter
+ccdb_core_rescache_hits_total 90
+ccdb_core_rescache_misses_total 10
+# TYPE ccdb_server_phase_attr_total_ns histogram
+ccdb_server_phase_attr_total_ns_bucket{le=\"1000\"} 5
+ccdb_server_phase_attr_total_ns_bucket{le=\"10000\"} 9
+ccdb_server_phase_attr_total_ns_bucket{le=\"+Inf\"} 10
+ccdb_server_phase_attr_total_ns_sum 50000
+ccdb_server_phase_attr_total_ns_count 10
+ccdb_server_phase_all_handle_ns_bucket{le=\"1000\"} 10
+ccdb_server_phase_all_handle_ns_sum 9000
+ccdb_server_phase_all_handle_ns_count 10
+";
+
+    #[test]
+    fn scrape_parses_scalars_and_decumulates_buckets() {
+        let s = Scrape::parse(SCRAPE);
+        assert_eq!(s.scalar("ccdb_server_requests_total"), 100.0);
+        assert_eq!(s.scalar("ccdb_server_queue_depth"), 2.0);
+        let h = s.hist("ccdb_server_phase_attr_total_ns").unwrap();
+        assert_eq!(h.buckets, vec![5, 4]); // de-cumulated, +Inf implied
+        assert_eq!(h.count, 10);
+        assert_eq!(h.sum, 50000.0);
+        // p50 of 10 samples → 5th sample → first bucket's bound.
+        assert_eq!(h.quantile(0.5), Some(1000.0));
+        assert_eq!(h.quantile(0.95), Some(10000.0));
+    }
+
+    #[test]
+    fn counter_sum_suffixes_stay_scalars() {
+        // `_sum`-suffixed counters without buckets must not become
+        // phantom histograms.
+        let s = Scrape::parse("my_weird_sum 7\nmy_weird_count 3\n");
+        assert_eq!(s.scalar("my_weird_sum"), 7.0);
+        assert_eq!(s.scalar("my_weird_count"), 3.0);
+        assert!(s.hist("my_weird").is_none());
+    }
+
+    #[test]
+    fn frame_renders_rate_table_and_lock_lines() {
+        let prev = Scrape::parse("ccdb_server_requests_total 50\n");
+        let cur = Scrape::parse(SCRAPE);
+        let info = serde_json::from_str(
+            r#"{"version": "0.1.0", "uptime_ms": 5000, "workers": 4,
+                "queue_depth": 64, "rescache_shards": 16}"#,
+        )
+        .unwrap();
+        let frame = render_frame("127.0.0.1:7878", &info, &prev, &cur, 1.0);
+        assert!(frame.contains("req/s 50.0"), "{frame}");
+        assert!(frame.contains("rescache hit rate 90.0%"), "{frame}");
+        assert!(frame.contains("store lock:"), "{frame}");
+        assert!(frame.contains("workers 4"), "{frame}");
+        // attr appears in the verb table with its scraped count.
+        assert!(
+            frame
+                .lines()
+                .any(|l| l.starts_with("attr") && l.contains("10")),
+            "{frame}"
+        );
+        // The phase share bar covers the handle phase we fed in.
+        assert!(frame.contains("handle 100%"), "{frame}");
+    }
+
+    #[test]
+    fn flight_render_shows_phases_and_trace() {
+        let payload = serde_json::from_str(
+            r#"{"recorded": 3, "recent_cap": 128, "slowest_cap": 64,
+                "slowest": [{"verb": "attr", "outcome": "ok", "total_ns": 12345,
+                             "phases": {"recv": 100, "parse": 200, "queue": 300,
+                                        "lock": 400, "handle": 10000,
+                                        "serialize": 500, "write": 845},
+                             "trace": 42, "session": 1}],
+                "recent": []}"#,
+        )
+        .unwrap();
+        let out = render_flight(&payload);
+        assert!(out.contains("3 recorded"), "{out}");
+        assert!(out.contains("attr"), "{out}");
+        assert!(out.contains("handle 10.0µs"), "{out}");
+        assert!(out.contains("trace=42"), "{out}");
+        assert!(out.contains("12.3µs"), "{out}");
+    }
+
+    #[test]
+    fn ns_formatting_scales() {
+        assert_eq!(fmt_ns(950.0), "950ns");
+        assert_eq!(fmt_ns(1_500.0), "1.5µs");
+        assert_eq!(fmt_ns(2_500_000.0), "2.5ms");
+        assert_eq!(fmt_ns(1_200_000_000.0), "1.20s");
+    }
+}

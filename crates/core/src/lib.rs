@@ -71,6 +71,7 @@ pub mod domain;
 pub mod error;
 pub mod expand;
 pub mod expr;
+pub mod lockprobe;
 pub(crate) mod metrics;
 pub mod object;
 pub mod persist;

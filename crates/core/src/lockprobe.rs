@@ -1,0 +1,339 @@
+//! Instrumented acquisition of the [`crate::shared::SharedStore`] lock.
+//!
+//! E12/E13 could only *infer* that the global store `RwLock` is the
+//! server's bottleneck; this module makes the lock observable. Every
+//! [`SharedStore`](crate::shared::SharedStore) guard acquisition is routed
+//! through [`probed_read`] / [`probed_write`], which record — per access
+//! mode — wait-time and hold-time histograms, acquisition and contended
+//! counters, and a live waiters gauge, and open a `core.storelock` trace
+//! span so contention shows up inside request trace trees.
+//!
+//! Cost model (the probes must not become the contention they measure):
+//!
+//! - metrics disabled ([`ccdb_obs::enabled`] is false): plain lock call,
+//!   zero probe work;
+//! - uncontended acquisition (the `try_` fast path succeeds): two relaxed
+//!   counter adds; the clock is only read on a 1-in-[`SAMPLE_INTERVAL`]
+//!   per-thread sample, so the shared-read hot path almost never pays for
+//!   `Instant::now`;
+//! - contended acquisition (the `try_` fast path fails): always fully
+//!   clocked — contended waits are exactly the events worth measuring, and
+//!   the blocking acquire dwarfs the probe cost. The wait is also charged
+//!   to a per-thread accumulator ([`thread_lock_wait_ns`]) that the server
+//!   reads around a request handler to attribute its store-lock phase.
+
+use std::cell::Cell;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use ccdb_obs::metrics::LATENCY_BUCKETS_NS;
+use ccdb_obs::trace::{span, SpanGuard};
+use ccdb_obs::{Counter, Gauge, Histogram};
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Uncontended acquisitions between clocked samples on each thread.
+pub const SAMPLE_INTERVAL: u64 = 256;
+
+/// Access mode of one lock acquisition.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LockMode {
+    /// Shared (read) access.
+    Shared,
+    /// Exclusive (write) access.
+    Exclusive,
+}
+
+impl LockMode {
+    /// Metric-label spelling of the mode.
+    pub fn name(self) -> &'static str {
+        match self {
+            LockMode::Shared => "shared",
+            LockMode::Exclusive => "exclusive",
+        }
+    }
+}
+
+pub(crate) struct LockProbeMetrics {
+    /// `ccdb_core_storelock_shared_wait_ns` / `..._exclusive_wait_ns`
+    pub wait: [Arc<Histogram>; 2],
+    /// `ccdb_core_storelock_shared_hold_ns` / `..._exclusive_hold_ns`
+    pub hold: [Arc<Histogram>; 2],
+    /// `ccdb_core_storelock_{shared,exclusive}_acquisitions_total`
+    pub acquisitions: [Arc<Counter>; 2],
+    /// `ccdb_core_storelock_{shared,exclusive}_contended_total` — the
+    /// try-lock fast path failed and the caller blocked.
+    pub contended: [Arc<Counter>; 2],
+    /// `ccdb_core_storelock_waiters` — threads currently blocked on the
+    /// store lock.
+    pub waiters: Arc<Gauge>,
+}
+
+fn idx(mode: LockMode) -> usize {
+    match mode {
+        LockMode::Shared => 0,
+        LockMode::Exclusive => 1,
+    }
+}
+
+pub(crate) fn lockprobe_metrics() -> &'static LockProbeMetrics {
+    static METRICS: OnceLock<LockProbeMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = ccdb_obs::global();
+        LockProbeMetrics {
+            wait: [
+                r.histogram("ccdb_core_storelock_shared_wait_ns", LATENCY_BUCKETS_NS),
+                r.histogram("ccdb_core_storelock_exclusive_wait_ns", LATENCY_BUCKETS_NS),
+            ],
+            hold: [
+                r.histogram("ccdb_core_storelock_shared_hold_ns", LATENCY_BUCKETS_NS),
+                r.histogram("ccdb_core_storelock_exclusive_hold_ns", LATENCY_BUCKETS_NS),
+            ],
+            acquisitions: [
+                r.counter("ccdb_core_storelock_shared_acquisitions_total"),
+                r.counter("ccdb_core_storelock_exclusive_acquisitions_total"),
+            ],
+            contended: [
+                r.counter("ccdb_core_storelock_shared_contended_total"),
+                r.counter("ccdb_core_storelock_exclusive_contended_total"),
+            ],
+            waiters: r.gauge("ccdb_core_storelock_waiters"),
+        }
+    })
+}
+
+thread_local! {
+    /// Per-thread acquisition tick driving the uncontended clock sampling.
+    static SAMPLE_TICK: Cell<u64> = const { Cell::new(0) };
+    /// Nanoseconds this thread has spent blocked on the store lock.
+    static LOCK_WAIT_NS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Total time (ns) the calling thread has spent *blocked* on contended
+/// store-lock acquisitions, monotonically accumulating for the thread's
+/// life. Read it before and after a unit of work (the server does this per
+/// request) and the delta is that work's store-lock wait.
+pub fn thread_lock_wait_ns() -> u64 {
+    LOCK_WAIT_NS.with(Cell::get)
+}
+
+fn charge_thread_wait(ns: u64) {
+    LOCK_WAIT_NS.with(|c| c.set(c.get().saturating_add(ns)));
+}
+
+/// True on 1 of every [`SAMPLE_INTERVAL`] calls per thread.
+fn sample_this_acquisition() -> bool {
+    SAMPLE_TICK.with(|t| {
+        let n = t.get();
+        t.set(n.wrapping_add(1));
+        n % SAMPLE_INTERVAL == 0
+    })
+}
+
+/// A lock guard plus the probe state that finishes the measurement when the
+/// guard is released. Derefs to the protected value.
+pub(crate) struct Probed<G> {
+    // Declaration order is load-bearing: the lock guard must drop *before*
+    // the probe so hold time and the span cover until the actual release.
+    guard: G,
+    _probe: Option<HoldProbe>,
+}
+
+struct HoldProbe {
+    acquired: Instant,
+    mode: LockMode,
+    /// Observe hold time into the histogram on drop (sampled/contended).
+    record_hold: bool,
+    /// `core.storelock` span covering wait + hold; drops after `guard`.
+    _span: Option<SpanGuard>,
+}
+
+impl Drop for HoldProbe {
+    fn drop(&mut self) {
+        if self.record_hold {
+            let ns = u64::try_from(self.acquired.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            lockprobe_metrics().hold[idx(self.mode)].observe(ns);
+        }
+        // `self._span` drops here, closing the trace span at lock release.
+    }
+}
+
+impl<G: std::ops::Deref> std::ops::Deref for Probed<G> {
+    type Target = G::Target;
+    fn deref(&self) -> &G::Target {
+        &self.guard
+    }
+}
+
+impl<G: std::ops::DerefMut> std::ops::DerefMut for Probed<G> {
+    fn deref_mut(&mut self) -> &mut G::Target {
+        &mut self.guard
+    }
+}
+
+/// Shared (read) acquisition through the probe.
+pub(crate) fn probed_read<T>(lock: &RwLock<T>) -> Probed<RwLockReadGuard<'_, T>> {
+    acquire(LockMode::Shared, || lock.try_read(), || lock.read())
+}
+
+/// Exclusive (write) acquisition through the probe.
+pub(crate) fn probed_write<T>(lock: &RwLock<T>) -> Probed<RwLockWriteGuard<'_, T>> {
+    acquire(LockMode::Exclusive, || lock.try_write(), || lock.write())
+}
+
+fn acquire<G>(
+    mode: LockMode,
+    try_fast: impl FnOnce() -> Option<G>,
+    block: impl FnOnce() -> G,
+) -> Probed<G> {
+    if !ccdb_obs::enabled() {
+        return Probed {
+            guard: block(),
+            _probe: None,
+        };
+    }
+    let m = lockprobe_metrics();
+    let i = idx(mode);
+    m.acquisitions[i].inc();
+    // Exclusive acquisitions are rare (writes); clock them all. Shared
+    // acquisitions are the hot path; clock a per-thread sample.
+    let clocked = mode == LockMode::Exclusive || sample_this_acquisition();
+    let mut span = span("core.storelock");
+    if let Some(s) = span.as_mut() {
+        s.str("mode", mode.name());
+    }
+    let started = clocked.then(Instant::now);
+    let (guard, wait_ns) = match try_fast() {
+        Some(guard) => {
+            // Uncontended: the wait is the try-lock call itself.
+            let wait_ns = started.map(|t| u64::try_from(t.elapsed().as_nanos()).unwrap_or(0));
+            (guard, wait_ns)
+        }
+        None => {
+            // Contended: always clock the blocking wait — these are the
+            // events the probe exists for.
+            let t0 = started.unwrap_or_else(Instant::now);
+            m.contended[i].inc();
+            m.waiters.inc();
+            let guard = block();
+            m.waiters.dec();
+            let wait_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            m.wait[i].observe(wait_ns);
+            charge_thread_wait(wait_ns);
+            if let Some(s) = span.as_mut() {
+                s.u64("wait_ns", wait_ns);
+                s.str("contended", "yes");
+            }
+            return Probed {
+                guard,
+                _probe: Some(HoldProbe {
+                    acquired: Instant::now(),
+                    mode,
+                    record_hold: true,
+                    _span: span,
+                }),
+            };
+        }
+    };
+    if let Some(ns) = wait_ns {
+        m.wait[i].observe(ns);
+    }
+    let probe = if clocked || span.is_some() {
+        Some(HoldProbe {
+            acquired: Instant::now(),
+            mode,
+            record_hold: clocked,
+            _span: span,
+        })
+    } else {
+        None
+    };
+    Probed {
+        guard,
+        _probe: probe,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn uncontended_acquisitions_count_without_contention() {
+        let m = lockprobe_metrics();
+        let lock = RwLock::new(0u32);
+        let acq0 = m.acquisitions[0].get();
+        let cont0 = m.contended[0].get();
+        for _ in 0..10 {
+            let g = probed_read(&lock);
+            assert_eq!(*g, 0);
+        }
+        assert_eq!(m.acquisitions[0].get(), acq0 + 10);
+        assert_eq!(m.contended[0].get(), cont0, "no writer, so no contention");
+    }
+
+    #[test]
+    fn contended_write_is_counted_and_charged_to_the_thread() {
+        let m = lockprobe_metrics();
+        let lock = StdArc::new(RwLock::new(0u32));
+        let cont0 = m.contended[1].get();
+        let wait_count0 = m.wait[1].snapshot().count;
+        let reader = StdArc::clone(&lock);
+        let held = StdArc::new(std::sync::Barrier::new(2));
+        let held2 = StdArc::clone(&held);
+        let h = thread::spawn(move || {
+            let _g = reader.read();
+            held2.wait();
+            thread::sleep(Duration::from_millis(30));
+        });
+        held.wait();
+        let waiters0 = m.waiters.get();
+        let writer = StdArc::clone(&lock);
+        let wt = thread::spawn(move || {
+            let before = thread_lock_wait_ns();
+            {
+                let mut g = probed_write(&writer);
+                *g += 1;
+            }
+            thread_lock_wait_ns() - before
+        });
+        // While the writer is blocked behind the reader, the gauge must
+        // show at least one waiter. (Polled: the writer needs a moment to
+        // reach the blocking acquire.)
+        let mut saw_waiter = false;
+        for _ in 0..200 {
+            if m.waiters.get() > waiters0 {
+                saw_waiter = true;
+                break;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        let waited = wt.join().unwrap();
+        h.join().unwrap();
+        assert!(
+            saw_waiter,
+            "waiters gauge never rose while a writer blocked"
+        );
+        assert!(m.contended[1].get() > cont0, "blocked write counted");
+        assert!(m.wait[1].snapshot().count > wait_count0);
+        assert!(
+            waited >= 10_000_000,
+            "~30ms block must charge the thread accumulator, got {waited}ns"
+        );
+        assert_eq!(*lock.read(), 1);
+    }
+
+    #[test]
+    fn exclusive_holds_are_always_clocked() {
+        let m = lockprobe_metrics();
+        let lock = RwLock::new(0u32);
+        let hold0 = m.hold[1].snapshot().count;
+        for _ in 0..3 {
+            let mut g = probed_write(&lock);
+            *g += 1;
+        }
+        assert_eq!(m.hold[1].snapshot().count, hold0 + 3);
+    }
+}

@@ -29,10 +29,11 @@
 use std::sync::Arc;
 use std::thread;
 
-use parking_lot::RwLock;
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::error::CoreResult;
 use crate::expr::{eval, Env, Expr};
+use crate::lockprobe::{self, Probed};
 use crate::schema::Catalog;
 use crate::store::{ObjectStore, Violation};
 use crate::surrogate::Surrogate;
@@ -58,14 +59,26 @@ impl SharedStore {
         }
     }
 
+    /// Shared guard acquisition through the lock probe
+    /// ([`crate::lockprobe`]): wait/hold histograms, contention counters
+    /// and a `core.storelock` span come for free on every call site.
+    fn guard_read(&self) -> Probed<RwLockReadGuard<'_, ObjectStore>> {
+        lockprobe::probed_read(&self.inner)
+    }
+
+    /// Exclusive guard acquisition through the lock probe.
+    fn guard_write(&self) -> Probed<RwLockWriteGuard<'_, ObjectStore>> {
+        lockprobe::probed_write(&self.inner)
+    }
+
     /// Run `f` with shared (read) access. Many readers proceed in parallel.
     pub fn read<R>(&self, f: impl FnOnce(&ObjectStore) -> R) -> R {
-        f(&self.inner.read())
+        f(&self.guard_read())
     }
 
     /// Run `f` with exclusive (write) access.
     pub fn write<R>(&self, f: impl FnOnce(&mut ObjectStore) -> R) -> R {
-        f(&mut self.inner.write())
+        f(&mut self.guard_write())
     }
 
     /// Recover the inner store if this is the last handle.
@@ -78,14 +91,14 @@ impl SharedStore {
 
     /// Resolved attribute read (shared lock; cached reads cost one lookup).
     pub fn attr(&self, obj: Surrogate, name: &str) -> CoreResult<Value> {
-        self.inner.read().attr(obj, name)
+        self.guard_read().attr(obj, name)
     }
 
     /// Local attribute write (exclusive lock; invalidates the resolution
     /// cache for the written object and its inheritor closure before the
     /// lock is released).
     pub fn set_attr(&self, obj: Surrogate, name: &str, value: Value) -> CoreResult<()> {
-        self.inner.write().set_attr(obj, name, value)
+        self.guard_write().set_attr(obj, name, value)
     }
 
     /// Bind an inheritor to a transmitter (exclusive lock).
@@ -96,14 +109,13 @@ impl SharedStore {
         inheritor: Surrogate,
         rel_attrs: Vec<(&str, Value)>,
     ) -> CoreResult<Surrogate> {
-        self.inner
-            .write()
+        self.guard_write()
             .bind(rel_type, transmitter, inheritor, rel_attrs)
     }
 
     /// Dissolve an inheritance binding (exclusive lock).
     pub fn unbind(&self, rel_obj: Surrogate) -> CoreResult<()> {
-        self.inner.write().unbind(rel_obj)
+        self.guard_write().unbind(rel_obj)
     }
 
     /// Parallel [`ObjectStore::select`]: evaluate `predicate` over all
@@ -117,7 +129,7 @@ impl SharedStore {
         threads: usize,
     ) -> CoreResult<Vec<Surrogate>> {
         let mut candidates: Vec<Surrogate> = {
-            let g = self.inner.read();
+            let g = self.guard_read();
             g.catalog().object_type(type_name)?;
             g.extent_of(type_name)
             // Guard dropped before fan-out: a queued writer must not be able
@@ -131,7 +143,7 @@ impl SharedStore {
                 .into_iter()
                 .map(|part| {
                     scope.spawn(move || -> CoreResult<Vec<Surrogate>> {
-                        let g = self.inner.read();
+                        let g = self.guard_read();
                         let mut out = Vec::new();
                         for s in part {
                             if let Value::Bool(true) = eval(&*g, s, &mut Env::new(), predicate)? {
@@ -159,7 +171,7 @@ impl SharedStore {
     /// (surrogate) order as the sequential check.
     pub fn par_check_all(&self, threads: usize) -> CoreResult<Vec<Violation>> {
         let mut surrogates: Vec<Surrogate> = {
-            let g = self.inner.read();
+            let g = self.guard_read();
             g.surrogates().collect()
         };
         surrogates.sort();
@@ -169,7 +181,7 @@ impl SharedStore {
                 .into_iter()
                 .map(|part| {
                     scope.spawn(move || -> CoreResult<Vec<Violation>> {
-                        let g = self.inner.read();
+                        let g = self.guard_read();
                         let mut out = Vec::new();
                         for s in part {
                             out.extend(g.check_constraints(s)?);
@@ -330,6 +342,34 @@ mod tests {
         }));
         assert!(result.is_err());
         assert_eq!(shared.attr(imps[0], "X").unwrap(), Value::Int(42));
+    }
+
+    #[test]
+    fn storelock_span_appears_in_traces() {
+        use ccdb_obs::trace;
+        let (shared, _, imps) = populated(1);
+        trace::set_sample_rate(1.0);
+        trace::set_tracing(true);
+        assert_eq!(shared.attr(imps[0], "X").unwrap(), Value::Int(7));
+        shared.write(|_st| {});
+        trace::set_tracing(false);
+        let spans = trace::snapshot_spans();
+        let modes: Vec<&str> = spans
+            .iter()
+            .filter(|s| s.name == "core.storelock")
+            .filter_map(|s| match s.field("mode") {
+                Some(ccdb_obs::FieldValue::Str(m)) => Some(*m),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            modes.contains(&"shared"),
+            "read acquisition traced: {modes:?}"
+        );
+        assert!(
+            modes.contains(&"exclusive"),
+            "write acquisition traced: {modes:?}"
+        );
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //!   buffer-pool evictions, and recovery replay;
 //! - [`trace`] — causal trace trees: per-operation spans with trace/span
 //!   ids and parent links, a bounded sampled buffer, Chrome-trace/JSONL
-//!   exporters, and a slow-operation log.
+//!   exporters, and a slow-operation log;
+//! - [`flight`] — a bounded flight recorder of completed request phase
+//!   timelines, retaining the slowest-N and most-recent-M.
 //!
 //! ## Naming scheme
 //!
@@ -32,12 +34,14 @@
 //! without the `enabled` feature folds the gate to constant `false`.
 
 pub mod event;
+pub mod flight;
 pub mod metrics;
 pub mod registry;
 pub mod span;
 pub mod trace;
 
 pub use event::{Event, FieldValue, RingBuffer, Subscriber};
+pub use flight::{FlightRecord, FlightSnapshot};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{global, Registry};
 pub use span::SpanTimer;

@@ -96,6 +96,8 @@ static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
 /// Root spans slower than this (ns) are mirrored as `obs.slow_op` events;
 /// `0` disables the slow-op log.
 static SLOW_OP_THRESHOLD_NS: AtomicU64 = AtomicU64::new(0);
+/// `obs.slow_op` events emitted so far (see [`slow_op_count`]).
+static SLOW_OP_COUNT: AtomicU64 = AtomicU64::new(0);
 
 /// Whether trace collection is currently active.
 ///
@@ -136,6 +138,15 @@ pub fn set_slow_op_threshold_ns(ns: u64) {
 /// The configured slow-operation threshold (ns); `0` = disabled.
 pub fn slow_op_threshold_ns() -> u64 {
     SLOW_OP_THRESHOLD_NS.load(Ordering::Relaxed)
+}
+
+/// How many `obs.slow_op` events the slow-op log has emitted so far.
+///
+/// Unlike the event ring buffer (which evicts), this count is monotonic
+/// for the life of the process — `ccdb stats` surfaces it so operators can
+/// tell "no slow ops" apart from "slow ops scrolled out of the buffer".
+pub fn slow_op_count() -> u64 {
+    SLOW_OP_COUNT.load(Ordering::Relaxed)
 }
 
 /// Deterministic sampler: keep trace `n` iff `floor(n·r)` advanced over
@@ -234,11 +245,13 @@ pub fn spans_for(trace: TraceId) -> Vec<SpanRecord> {
         .collect()
 }
 
-/// Clears the buffer and zeroes the dropped-span count (tests, `explain`).
+/// Clears the buffer and zeroes the dropped-span and slow-op counts
+/// (tests, `explain`).
 pub fn clear() {
     let mut b = buffer().lock().unwrap_or_else(|p| p.into_inner());
     b.spans.clear();
     b.dropped = 0;
+    SLOW_OP_COUNT.store(0, Ordering::Relaxed);
 }
 
 // ---------------------------------------------------------------------
@@ -313,6 +326,7 @@ impl Drop for SpanGuard {
                     let name = rec.name;
                     let trace = rec.trace.0;
                     let dur = rec.dur_ns;
+                    SLOW_OP_COUNT.fetch_add(1, Ordering::Relaxed);
                     event::emit(|| {
                         Event::now(
                             "obs.slow_op",
@@ -351,6 +365,49 @@ pub fn span(name: &'static str) -> Option<SpanGuard> {
         return None;
     }
     Some(span_slow(name))
+}
+
+/// Opens a span inside a *caller-supplied* trace, bypassing the sampler.
+///
+/// This is the continuation point for distributed traces: a client stamps
+/// its trace id on a wire frame, and the server opens the frame's handling
+/// span with [`span_in_trace`] so both halves share one trace id and the
+/// server-side subtree is never sampled away. With no enclosing span on
+/// this thread the span is a root of `trace`; inside an enclosing span of
+/// the *same* trace it nests normally (other traces' spans are ignored —
+/// worker threads are reused across unrelated requests). Returns `None`
+/// when tracing is off.
+#[inline]
+pub fn span_in_trace(name: &'static str, trace: TraceId) -> Option<SpanGuard> {
+    if !tracing() {
+        return None;
+    }
+    Some(span_in_trace_slow(name, trace))
+}
+
+#[cold]
+fn span_in_trace_slow(name: &'static str, trace: TraceId) -> SpanGuard {
+    SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let parent = match stack.last() {
+            Some(StackEntry::Active { trace: t, span }) if *t == trace => Some(*span),
+            _ => None,
+        };
+        let id = SpanId(NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed));
+        stack.push(StackEntry::Active { trace, span: id });
+        SpanGuard {
+            start: Some(Instant::now()),
+            rec: Some(SpanRecord {
+                trace,
+                span: id,
+                parent,
+                name,
+                start_ns: now_unix_ns(),
+                dur_ns: 0,
+                fields: Vec::new(),
+            }),
+        }
+    })
 }
 
 #[cold]

@@ -63,6 +63,7 @@ pub type ClientResult<T> = Result<T, ClientError>;
 pub struct Client {
     stream: TcpStream,
     next_id: u64,
+    trace: Option<u64>,
 }
 
 impl Client {
@@ -70,7 +71,18 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
-        Ok(Client { stream, next_id: 1 })
+        Ok(Client {
+            stream,
+            next_id: 1,
+            trace: None,
+        })
+    }
+
+    /// Stamps every subsequent request with `trace` (`None` stops). The
+    /// server opens its handling span inside that trace id, so a client
+    /// trace continues into the server's span tree.
+    pub fn set_trace(&mut self, trace: Option<u64>) {
+        self.trace = trace;
     }
 
     /// Sets the read timeout for responses (`None` blocks forever).
@@ -102,6 +114,7 @@ impl Client {
             id,
             verb: verb.into(),
             params,
+            trace: self.trace,
         };
         let payload = req.to_json().to_json_string().into_bytes();
         write_frame(&mut self.stream, &payload)?;
@@ -141,9 +154,24 @@ impl Client {
         }
     }
 
-    /// `ping` → "pong".
+    /// `ping` → `{"pong": true, "server_info": {...}}`.
     pub fn ping(&mut self) -> ClientResult<()> {
         self.request("ping", Json::Object(vec![])).map(|_| ())
+    }
+
+    /// `ping`, returning the `server_info` object (version, uptime,
+    /// workers, queue depth, rescache shards).
+    pub fn ping_info(&mut self) -> ClientResult<Json> {
+        let r = self.request("ping", Json::Object(vec![]))?;
+        r.get("server_info")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("ping: missing server_info".into()))
+    }
+
+    /// The server's flight-recorder snapshot (recent + slowest requests
+    /// with per-phase timelines).
+    pub fn flight(&mut self) -> ClientResult<Json> {
+        self.request("flight", Json::Object(vec![]))
     }
 
     /// `ping` with an artificial service delay (drain/load tests).

@@ -8,6 +8,8 @@
 //! session's next read, which is the paper's instant-visibility semantics
 //! carried over the wire.
 
+use std::time::Instant;
+
 use ccdb_core::expr::Expr;
 use ccdb_core::schema::{Catalog, ItemSource};
 use ccdb_core::shared::SharedStore;
@@ -19,6 +21,91 @@ use crate::proto::ErrorKind;
 /// Handler failure: wire error kind plus client-safe message.
 pub(crate) type HandlerError = (ErrorKind, String);
 pub(crate) type HandlerResult = Result<Json, HandlerError>;
+
+/// Static facts about the serving process, echoed in the `ping` reply as
+/// `server_info` so dashboards (`ccdb top`) can label what they scrape.
+pub(crate) struct ServerContext {
+    /// When the server started (uptime reference).
+    pub started: Instant,
+    /// Configured worker-thread count.
+    pub workers: usize,
+    /// Configured admission-queue capacity.
+    pub queue_depth: usize,
+    /// Resolution-cache shard count of the served store.
+    pub rescache_shards: usize,
+}
+
+impl Default for ServerContext {
+    fn default() -> Self {
+        ServerContext {
+            started: Instant::now(),
+            workers: 1,
+            queue_depth: 0,
+            rescache_shards: 0,
+        }
+    }
+}
+
+impl ServerContext {
+    fn info_json(&self) -> Json {
+        Json::Object(vec![
+            (
+                "version".into(),
+                Json::String(env!("CARGO_PKG_VERSION").into()),
+            ),
+            (
+                "uptime_ms".into(),
+                Json::UInt(self.started.elapsed().as_millis() as u64),
+            ),
+            ("workers".into(), Json::UInt(self.workers as u64)),
+            ("queue_depth".into(), Json::UInt(self.queue_depth as u64)),
+            (
+                "rescache_shards".into(),
+                Json::UInt(self.rescache_shards as u64),
+            ),
+        ])
+    }
+}
+
+/// Renders one flight-recorder entry for the `flight` verb.
+fn flight_record_json(r: &ccdb_obs::FlightRecord) -> Json {
+    let phases = ccdb_obs::flight::PHASE_NAMES
+        .iter()
+        .zip(r.phases.iter())
+        .map(|(name, ns)| ((*name).to_string(), Json::UInt(*ns)))
+        .collect();
+    Json::Object(vec![
+        ("verb".into(), Json::String(r.verb.clone())),
+        ("outcome".into(), Json::String(r.outcome.clone())),
+        ("end_unix_ns".into(), Json::UInt(r.end_unix_ns)),
+        ("total_ns".into(), Json::UInt(r.total_ns)),
+        ("phases".into(), Json::Object(phases)),
+        (
+            "trace".into(),
+            r.trace.map(Json::UInt).unwrap_or(Json::Null),
+        ),
+        ("session".into(), Json::UInt(r.session)),
+    ])
+}
+
+/// `flight`: dump the flight recorder (most-recent + slowest retained
+/// request timelines).
+fn handle_flight() -> HandlerResult {
+    let s = ccdb_obs::flight::snapshot();
+    Ok(Json::Object(vec![
+        (
+            "recent".into(),
+            Json::Array(s.recent.iter().map(flight_record_json).collect()),
+        ),
+        (
+            "slowest".into(),
+            Json::Array(s.slowest.iter().map(flight_record_json).collect()),
+        ),
+        ("recent_cap".into(), Json::UInt(s.recent_cap as u64)),
+        ("slowest_cap".into(), Json::UInt(s.slowest_cap as u64)),
+        ("recorded".into(), Json::UInt(s.recorded)),
+    ]))
+}
 
 fn bad(msg: impl Into<String>) -> HandlerError {
     (ErrorKind::BadRequest, msg.into())
@@ -183,6 +270,7 @@ fn is_read_verb(verb: &str) -> bool {
 /// all). Returns `None` for store verbs.
 fn storeless_verb(
     catalog: &Catalog,
+    ctx: &ServerContext,
     verb: &str,
     params: &Json,
     debug_verbs: bool,
@@ -194,7 +282,10 @@ fn storeless_verb(
             if let Some(ms) = params.get("delay_ms").and_then(Json::as_u64) {
                 std::thread::sleep(std::time::Duration::from_millis(ms.min(1_000)));
             }
-            Some(Ok(Json::String("pong".into())))
+            Some(Ok(Json::Object(vec![
+                ("pong".into(), Json::Bool(true)),
+                ("server_info".into(), ctx.info_json()),
+            ])))
         }
         "effective" => Some(handle_effective(catalog, params)),
         "explain" => Some(handle_explain(catalog, params)),
@@ -207,6 +298,7 @@ fn storeless_verb(
             // PR 1 exporter is reachable over the network.
             Some(Ok(Json::String(ccdb_obs::global().render_prometheus())))
         }
+        "flight" => Some(handle_flight()),
         "boom" if debug_verbs => panic!("boom: requested handler panic"),
         _ => None,
     }
@@ -334,6 +426,7 @@ fn batch_slot(result: HandlerResult) -> Json {
 fn handle_batch(
     store: &SharedStore,
     catalog: &Catalog,
+    ctx: &ServerContext,
     params: &Json,
     debug_verbs: bool,
 ) -> HandlerResult {
@@ -374,7 +467,8 @@ fn handle_batch(
                     batch_slot(match e {
                         BatchEntry::Malformed(msg) => Err(bad(msg.clone())),
                         BatchEntry::Run { verb, params } => {
-                            if let Some(r) = storeless_verb(catalog, verb, params, debug_verbs) {
+                            if let Some(r) = storeless_verb(catalog, ctx, verb, params, debug_verbs)
+                            {
                                 r
                             } else if is_write_verb(verb) {
                                 store_write_verb(st, verb, params)
@@ -396,7 +490,8 @@ fn handle_batch(
                     batch_slot(match e {
                         BatchEntry::Malformed(msg) => Err(bad(msg.clone())),
                         BatchEntry::Run { verb, params } => {
-                            if let Some(r) = storeless_verb(catalog, verb, params, debug_verbs) {
+                            if let Some(r) = storeless_verb(catalog, ctx, verb, params, debug_verbs)
+                            {
                                 r
                             } else if is_read_verb(verb) {
                                 store_read_verb(st, catalog, verb, params)
@@ -420,14 +515,15 @@ fn handle_batch(
 pub(crate) fn handle_verb(
     store: &SharedStore,
     catalog: &Catalog,
+    ctx: &ServerContext,
     verb: &str,
     params: &Json,
     debug_verbs: bool,
 ) -> HandlerResult {
     if verb == "batch" {
-        return handle_batch(store, catalog, params, debug_verbs);
+        return handle_batch(store, catalog, ctx, params, debug_verbs);
     }
-    if let Some(result) = storeless_verb(catalog, verb, params, debug_verbs) {
+    if let Some(result) = storeless_verb(catalog, ctx, verb, params, debug_verbs) {
         return result;
     }
     if is_write_verb(verb) {
@@ -474,7 +570,14 @@ mod tests {
     }
 
     fn call(store: &SharedStore, catalog: &Catalog, verb: &str, params: Json) -> HandlerResult {
-        handle_verb(store, catalog, verb, &params, false)
+        handle_verb(
+            store,
+            catalog,
+            &ServerContext::default(),
+            verb,
+            &params,
+            false,
+        )
     }
 
     #[test]

@@ -4,6 +4,7 @@
 
 use std::sync::{Arc, OnceLock};
 
+use ccdb_obs::flight::PHASE_NAMES;
 use ccdb_obs::metrics::{HOP_BUCKETS, LATENCY_BUCKETS_NS};
 use ccdb_obs::{Counter, Gauge, Histogram};
 
@@ -22,9 +23,19 @@ pub(crate) const VERBS: &[&str] = &[
     "explain",
     "stats",
     "metrics",
+    "flight",
     "batch",
     "shutdown",
 ];
+
+/// Phase histograms for one verb: the seven per-phase series plus the
+/// first-byte-to-response-written total.
+pub(crate) struct VerbPhases {
+    /// `ccdb_server_phase_<verb>_<phase>_ns`, indexed like [`PHASE_NAMES`].
+    pub phases: [Arc<Histogram>; 7],
+    /// `ccdb_server_phase_<verb>_total_ns`.
+    pub total: Arc<Histogram>,
+}
 
 pub(crate) struct ServerMetrics {
     /// `ccdb_server_connections_total` — accepted TCP connections.
@@ -58,6 +69,14 @@ pub(crate) struct ServerMetrics {
     pub batch_subrequests: Arc<Counter>,
     /// `ccdb_server_batch_size` — sub-requests per batch frame.
     pub batch_size: Arc<Histogram>,
+    /// `ccdb_server_phase_all_<phase>_ns` — per-phase time across every
+    /// verb (the `ccdb top` phase bar).
+    pub phase_all: [Arc<Histogram>; 7],
+    /// `ccdb_server_phase_all_total_ns` — first byte read to response
+    /// written, across every verb.
+    pub phase_all_total: Arc<Histogram>,
+    /// Per-verb phase histograms, parallel to [`VERBS`].
+    pub phase_by_verb: Vec<(&'static str, VerbPhases)>,
 }
 
 impl ServerMetrics {
@@ -68,6 +87,14 @@ impl ServerMetrics {
             .iter()
             .find(|(name, _)| *name == verb)
             .map(|(_, c)| c)
+    }
+
+    /// The phase histograms for `verb`, when it is a known verb.
+    pub fn verb_phases(&self, verb: &str) -> Option<&VerbPhases> {
+        self.phase_by_verb
+            .iter()
+            .find(|(name, _)| *name == verb)
+            .map(|(_, p)| p)
     }
 }
 
@@ -94,6 +121,33 @@ pub(crate) fn server_metrics() -> &'static ServerMetrics {
             batch_frames: r.counter("ccdb_server_batch_frames_total"),
             batch_subrequests: r.counter("ccdb_server_batch_subrequests_total"),
             batch_size: r.histogram("ccdb_server_batch_size", HOP_BUCKETS),
+            phase_all: PHASE_NAMES.map(|phase| {
+                r.histogram(
+                    &format!("ccdb_server_phase_all_{phase}_ns"),
+                    LATENCY_BUCKETS_NS,
+                )
+            }),
+            phase_all_total: r.histogram("ccdb_server_phase_all_total_ns", LATENCY_BUCKETS_NS),
+            phase_by_verb: VERBS
+                .iter()
+                .map(|v| {
+                    (
+                        *v,
+                        VerbPhases {
+                            phases: PHASE_NAMES.map(|phase| {
+                                r.histogram(
+                                    &format!("ccdb_server_phase_{v}_{phase}_ns"),
+                                    LATENCY_BUCKETS_NS,
+                                )
+                            }),
+                            total: r.histogram(
+                                &format!("ccdb_server_phase_{v}_total_ns"),
+                                LATENCY_BUCKETS_NS,
+                            ),
+                        },
+                    )
+                })
+                .collect(),
         }
     })
 }
@@ -124,8 +178,24 @@ mod tests {
             "ccdb_server_requests_batch_total",
             "ccdb_server_batch_frames_total",
             "ccdb_server_batch_size",
+            "ccdb_server_phase_all_lock_ns",
+            "ccdb_server_phase_attr_total_ns",
+            "ccdb_server_phase_set_attr_queue_ns",
+            "ccdb_server_requests_flight_total",
         ] {
             assert!(text.contains(series), "missing {series}");
         }
+    }
+
+    #[test]
+    fn phase_histograms_cover_every_verb_and_phase() {
+        let m = server_metrics();
+        for v in VERBS {
+            let p = m
+                .verb_phases(v)
+                .unwrap_or_else(|| panic!("no phases for {v}"));
+            assert_eq!(p.phases.len(), PHASE_NAMES.len());
+        }
+        assert!(m.verb_phases("no_such_verb").is_none());
     }
 }

@@ -6,7 +6,10 @@
 //! **Request** objects carry `{"v": 1, "id": <u64>, "verb": "<name>",
 //! "params": {...}}`. `v` is the protocol version and must equal
 //! [`PROTOCOL_VERSION`]; `id` is chosen by the client and echoed verbatim
-//! in the response so pipelined requests can be matched.
+//! in the response so pipelined requests can be matched. An optional
+//! `"trace": <u64>` field carries a client-chosen trace id: the server
+//! opens its handling span inside that trace (bypassing the sampler), so
+//! a client-side trace continues into the server's span tree.
 //!
 //! **Response** objects are `{"id": <u64>, "ok": true, "result": ...}` on
 //! success and `{"id": <u64>, "ok": false, "error": {"kind": "...",
@@ -82,8 +85,21 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
 /// EOF before the first prefix byte is a clean [`FrameError::Closed`];
 /// EOF anywhere later is [`FrameError::Truncated`].
 pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Vec<u8>, FrameError> {
+    read_frame_timed(r, max).map(|(payload, _)| payload)
+}
+
+/// [`read_frame`], additionally stamping the instant the *first* bytes of
+/// the frame arrived. The server's `recv` phase is measured from that
+/// stamp to frame completion — time spent blocked waiting for a client to
+/// send anything at all (think time between requests) is not part of any
+/// request and must not be charged to one.
+pub fn read_frame_timed(
+    r: &mut impl Read,
+    max: usize,
+) -> Result<(Vec<u8>, std::time::Instant), FrameError> {
     let mut prefix = [0u8; 4];
     let mut got = 0;
+    let mut first_byte = None;
     while got < prefix.len() {
         match r.read(&mut prefix[got..]) {
             Ok(0) => {
@@ -93,7 +109,12 @@ pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Vec<u8>, FrameError> 
                     FrameError::Truncated
                 })
             }
-            Ok(n) => got += n,
+            Ok(n) => {
+                if first_byte.is_none() {
+                    first_byte = Some(std::time::Instant::now());
+                }
+                got += n;
+            }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(FrameError::Io(e)),
         }
@@ -112,7 +133,8 @@ pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Vec<u8>, FrameError> 
             Err(e) => return Err(FrameError::Io(e)),
         }
     }
-    Ok(payload)
+    let first_byte = first_byte.unwrap_or_else(std::time::Instant::now);
+    Ok((payload, first_byte))
 }
 
 /// Machine-matchable response error categories.
@@ -155,17 +177,23 @@ pub struct Request {
     pub verb: String,
     /// Verb parameters (an object; `{}` when absent).
     pub params: Json,
+    /// Client-supplied trace id to continue server-side, if any.
+    pub trace: Option<u64>,
 }
 
 impl Request {
     /// Serializes a request envelope.
     pub fn to_json(&self) -> Json {
-        Json::Object(vec![
+        let mut fields = vec![
             ("v".into(), Json::UInt(PROTOCOL_VERSION)),
             ("id".into(), Json::UInt(self.id)),
             ("verb".into(), Json::String(self.verb.clone())),
             ("params".into(), self.params.clone()),
-        ])
+        ];
+        if let Some(t) = self.trace {
+            fields.push(("trace".into(), Json::UInt(t)));
+        }
+        Json::Object(fields)
     }
 
     /// Parses and validates a request envelope (including the version
@@ -192,7 +220,13 @@ impl Request {
             .ok_or_else(|| "missing `verb`".to_string())?
             .to_string();
         let params = v.get("params").cloned().unwrap_or(Json::Object(vec![]));
-        Ok(Request { id, verb, params })
+        let trace = v.get("trace").and_then(Json::as_u64);
+        Ok(Request {
+            id,
+            verb,
+            params,
+            trace,
+        })
     }
 }
 
@@ -266,12 +300,22 @@ mod tests {
             id: 9,
             verb: "attr".into(),
             params: Json::Object(vec![("obj".into(), Json::UInt(3))]),
+            trace: None,
         };
         let bytes = serde_json::to_vec(&req.to_json()).unwrap();
         let back = Request::parse(&bytes).unwrap();
         assert_eq!(back.id, 9);
         assert_eq!(back.verb, "attr");
         assert_eq!(back.params.get("obj").and_then(Json::as_u64), Some(3));
+        assert_eq!(back.trace, None);
+
+        // A trace id survives the round trip; absent stays absent.
+        let traced = Request {
+            trace: Some(777),
+            ..req
+        };
+        let bytes = serde_json::to_vec(&traced.to_json()).unwrap();
+        assert_eq!(Request::parse(&bytes).unwrap().trace, Some(777));
 
         let bad = br#"{"v": 99, "id": 1, "verb": "ping"}"#;
         let err = Request::parse(bad).unwrap_err();

@@ -36,14 +36,17 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use ccdb_core::lockprobe;
 use ccdb_core::schema::Catalog;
 use ccdb_core::shared::SharedStore;
+use ccdb_obs::flight::FlightRecord;
+use ccdb_obs::TraceId;
 use serde_json::Value as Json;
 
-use crate::handler::handle_verb;
+use crate::handler::{handle_verb, ServerContext};
 use crate::metrics::server_metrics;
 use crate::proto::{
-    err_response, ok_response, read_frame, write_frame, ErrorKind, FrameError, Request,
+    err_response, ok_response, read_frame_timed, write_frame, ErrorKind, FrameError, Request,
     MAX_FRAME_BYTES,
 };
 use crate::queue::{BoundedQueue, PushError};
@@ -119,9 +122,15 @@ impl Session {
     /// Writes one response frame (serialized, byte-counted). Write errors
     /// are swallowed: the peer may have gone away, which is its problem.
     fn send(&self, response: &Json) {
-        let payload = response.to_json_string().into_bytes();
+        self.send_bytes(response.to_json_string().as_bytes());
+    }
+
+    /// Writes one already-serialized response frame. Split from [`send`]
+    /// so the worker can time serialization and the socket write as
+    /// separate phases.
+    fn send_bytes(&self, payload: &[u8]) {
         let mut w = self.writer.lock().unwrap_or_else(|p| p.into_inner());
-        if write_frame(&mut *w, &payload).is_ok() {
+        if write_frame(&mut *w, payload).is_ok() {
             self.bytes_out
                 .fetch_add(payload.len() as u64, Ordering::Relaxed);
             server_metrics().bytes_out.add(payload.len() as u64);
@@ -129,17 +138,25 @@ impl Session {
     }
 }
 
-/// A unit of admitted work: request + the session to answer.
+/// A unit of admitted work: request + the session to answer, plus the
+/// reader-side phase timings already banked for it.
 struct Job {
     request: Request,
     session: Arc<Session>,
     admitted: Instant,
+    /// When the frame's first byte arrived — origin of the phase timeline.
+    first_byte: Instant,
+    /// First byte to complete frame, ns.
+    recv_ns: u64,
+    /// JSON parse + envelope validation, ns.
+    parse_ns: u64,
 }
 
 struct Inner {
     cfg: ServerConfig,
     store: SharedStore,
     catalog: Catalog,
+    ctx: ServerContext,
     queue: BoundedQueue<Job>,
     draining: AtomicBool,
     drain_cv: (Mutex<bool>, Condvar),
@@ -196,11 +213,18 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
         let catalog = store.read(|st| st.catalog().clone());
+        let ctx = ServerContext {
+            started: Instant::now(),
+            workers: cfg.workers.max(1),
+            queue_depth: cfg.queue_depth,
+            rescache_shards: store.read(|st| st.resolution_cache_shards()),
+        };
         let inner = Arc::new(Inner {
             queue: BoundedQueue::new(cfg.queue_depth),
             cfg,
             store,
             catalog,
+            ctx,
             draining: AtomicBool::new(false),
             drain_cv: (Mutex::new(false), Condvar::new()),
             sessions: Mutex::new(HashMap::new()),
@@ -373,7 +397,7 @@ fn spawn_reader(inner: &Arc<Inner>, stream: TcpStream, peer: String) {
 fn reader_loop(inner: &Arc<Inner>, mut stream: TcpStream, session: &Arc<Session>) {
     let m = server_metrics();
     loop {
-        let payload = match read_frame(&mut stream, inner.cfg.max_frame_bytes) {
+        let (payload, first_byte) = match read_frame_timed(&mut stream, inner.cfg.max_frame_bytes) {
             Ok(p) => p,
             Err(FrameError::Closed) => return,
             Err(FrameError::Truncated) => {
@@ -401,11 +425,13 @@ fn reader_loop(inner: &Arc<Inner>, mut stream: TcpStream, session: &Arc<Session>
             }
             Err(FrameError::Io(_)) => return,
         };
+        let recv_ns = first_byte.elapsed().as_nanos() as u64;
         session
             .bytes_in
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
         m.bytes_in.add(payload.len() as u64);
 
+        let parse_start = Instant::now();
         let request = match Request::parse(&payload) {
             Ok(r) => r,
             Err(msg) => {
@@ -415,6 +441,7 @@ fn reader_loop(inner: &Arc<Inner>, mut stream: TcpStream, session: &Arc<Session>
                 continue;
             }
         };
+        let parse_ns = parse_start.elapsed().as_nanos() as u64;
         m.requests.inc();
         if let Some(c) = m.verb_counter(&request.verb) {
             c.inc();
@@ -439,6 +466,9 @@ fn reader_loop(inner: &Arc<Inner>, mut stream: TcpStream, session: &Arc<Session>
             request,
             session: Arc::clone(session),
             admitted: Instant::now(),
+            first_byte,
+            recv_ns,
+            parse_ns,
         };
         match inner.queue.push(job) {
             Ok(()) => m.queue_depth.set(inner.queue.len() as i64),
@@ -465,13 +495,24 @@ fn worker_loop(inner: &Arc<Inner>) {
     let m = server_metrics();
     while let Some(job) = inner.queue.pop() {
         m.queue_depth.set(inner.queue.len() as i64);
+        let popped = Instant::now();
         let Job {
             request,
             session,
             admitted,
+            first_byte,
+            recv_ns,
+            parse_ns,
         } = job;
+        let queue_ns = popped.duration_since(admitted).as_nanos() as u64;
 
-        let mut span = ccdb_obs::trace::span("server.request");
+        // A client-stamped trace id continues the client's trace tree into
+        // the server span, bypassing the sampler; otherwise the span is
+        // subject to normal sampling.
+        let mut span = match request.trace {
+            Some(t) => ccdb_obs::trace::span_in_trace("server.request", TraceId(t)),
+            None => ccdb_obs::trace::span("server.request"),
+        };
         if let Some(s) = span.as_mut() {
             if let Some(verb) = crate::metrics::VERBS.iter().find(|v| **v == request.verb) {
                 s.str("verb", verb);
@@ -479,33 +520,89 @@ fn worker_loop(inner: &Arc<Inner>) {
             s.u64("session", session.id);
         }
 
-        let response = if request.verb == "shutdown" {
+        let handle_start = Instant::now();
+        let wait0 = lockprobe::thread_lock_wait_ns();
+        let (response, outcome) = if request.verb == "shutdown" {
             inner.begin_shutdown();
-            ok_response(request.id, Json::String("draining".into()))
+            (
+                ok_response(request.id, Json::String("draining".into())),
+                "ok",
+            )
         } else {
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 handle_verb(
                     &inner.store,
                     &inner.catalog,
+                    &inner.ctx,
                     &request.verb,
                     &request.params,
                     inner.cfg.debug_verbs,
                 )
             }));
             match outcome {
-                Ok(Ok(result)) => ok_response(request.id, result),
-                Ok(Err((kind, msg))) => err_response(request.id, kind, &msg),
+                Ok(Ok(result)) => (ok_response(request.id, result), "ok"),
+                Ok(Err((kind, msg))) => (err_response(request.id, kind, &msg), kind.as_str()),
                 Err(_) => {
                     m.internal_errors.inc();
-                    err_response(
-                        request.id,
-                        ErrorKind::Internal,
-                        "request handler panicked; see server logs",
+                    (
+                        err_response(
+                            request.id,
+                            ErrorKind::Internal,
+                            "request handler panicked; see server logs",
+                        ),
+                        ErrorKind::Internal.as_str(),
                     )
                 }
             }
         };
-        session.send(&response);
+        let handled = Instant::now();
+        let handler_ns = handled.duration_since(handle_start).as_nanos() as u64;
+        // Store-lock wait is charged to this thread by the lock probe;
+        // the delta across the handler is this request's `lock` phase
+        // (clamped: sampled hold clocks can't overrun the handler time).
+        let lock_ns = lockprobe::thread_lock_wait_ns()
+            .saturating_sub(wait0)
+            .min(handler_ns);
+        let handle_ns = handler_ns - lock_ns;
+
+        let payload = response.to_json_string().into_bytes();
+        let serialized = Instant::now();
+        let serialize_ns = serialized.duration_since(handled).as_nanos() as u64;
+        session.send_bytes(&payload);
+        let write_ns = serialized.elapsed().as_nanos() as u64;
+
+        let total_ns = first_byte.elapsed().as_nanos() as u64;
+        let phases = [
+            recv_ns,
+            parse_ns,
+            queue_ns,
+            lock_ns,
+            handle_ns,
+            serialize_ns,
+            write_ns,
+        ];
+        for (h, ns) in m.phase_all.iter().zip(phases) {
+            h.observe(ns);
+        }
+        m.phase_all_total.observe(total_ns);
+        if let Some(vp) = m.verb_phases(&request.verb) {
+            for (h, ns) in vp.phases.iter().zip(phases) {
+                h.observe(ns);
+            }
+            vp.total.observe(total_ns);
+        }
+        ccdb_obs::flight::record(FlightRecord {
+            verb: request.verb,
+            outcome: outcome.into(),
+            end_unix_ns: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0),
+            total_ns,
+            phases,
+            trace: request.trace,
+            session: session.id,
+        });
         m.request_latency
             .observe(admitted.elapsed().as_nanos() as u64);
         drop(span);

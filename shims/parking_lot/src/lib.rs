@@ -133,6 +133,17 @@ impl<T: ?Sized> RwLock<T> {
         RwLockReadGuard { inner }
     }
 
+    /// Attempts to acquire shared read access without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(inner) => Some(RwLockReadGuard { inner }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(RwLockReadGuard {
+                inner: p.into_inner(),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Acquires exclusive write access, blocking until available.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         let inner = match self.inner.write() {
@@ -140,6 +151,17 @@ impl<T: ?Sized> RwLock<T> {
             Err(p) => p.into_inner(),
         };
         RwLockWriteGuard { inner }
+    }
+
+    /// Attempts to acquire exclusive write access without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(inner) => Some(RwLockWriteGuard { inner }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(RwLockWriteGuard {
+                inner: p.into_inner(),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
     }
 
     /// Returns a mutable reference to the inner value (no locking needed).
@@ -276,6 +298,25 @@ mod tests {
         assert_eq!(l.read().len(), 2);
         l.write().push(3);
         assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rwlock_try_variants() {
+        let l = RwLock::new(5);
+        {
+            let r = l.try_read().expect("uncontended try_read succeeds");
+            assert_eq!(*r, 5);
+            // A second reader coexists; a writer does not.
+            assert!(l.try_read().is_some());
+            assert!(l.try_write().is_none());
+        }
+        {
+            let mut w = l.try_write().expect("uncontended try_write succeeds");
+            *w = 6;
+            assert!(l.try_read().is_none());
+            assert!(l.try_write().is_none());
+        }
+        assert_eq!(*l.read(), 6);
     }
 
     #[test]
