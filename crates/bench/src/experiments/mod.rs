@@ -1,4 +1,4 @@
-//! The quantitative experiment suite (E1–E14).
+//! The quantitative experiment suite (E1–E15).
 //!
 //! The paper presents no measurements (it is a data-model paper), so each
 //! experiment operationalizes one of its *qualitative* claims; the mapping
@@ -11,6 +11,7 @@ pub mod e11_rescache;
 pub mod e12_server;
 pub mod e13_readpath;
 pub mod e14_phases;
+pub mod e15_wire;
 pub mod e1_propagation;
 pub mod e2_resolution;
 pub mod e3_permeability;
@@ -43,6 +44,8 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e13_readpath::run_select(quick),
         e13_readpath::run_batch(quick),
         e14_phases::run(quick),
+        e15_wire::run(quick),
+        e15_wire::run_idle(quick),
     ]
 }
 

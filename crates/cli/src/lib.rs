@@ -13,12 +13,14 @@
 //!   and dump the process-global metrics snapshot ([`stats`]);
 //! - `ccdb explain <file> <type> <attr> [--json]` — resolve one attribute
 //!   with tracing forced on and print the causal span tree ([`explain`]);
-//! - `ccdb serve <file> [--addr A] [--threads N] [--queue-depth N]` — serve
-//!   the schema's store over TCP until a client sends `shutdown` ([`serve`]);
-//! - `ccdb bench-net <file> [--clients N] [--requests N] [--batch N]
-//!   [--addr A]` — drive the wire protocol with concurrent closed-loop
-//!   clients, optionally shipping `--batch` sub-requests per frame
+//! - `ccdb serve <file> [--addr A] [--threads N] [--queue-depth N]
+//!   [--proto v1|v2]` — serve the schema's store over TCP until a client
+//!   sends `shutdown`; `--proto v1` pins the server to the JSON dialect
 //!   ([`serve`]);
+//! - `ccdb bench-net <file> [--clients N] [--requests N] [--batch N]
+//!   [--addr A] [--proto v1|v2]` — drive the wire protocol with concurrent
+//!   closed-loop clients, optionally shipping `--batch` sub-requests per
+//!   frame, over the binary v2 framing (default) or v1 JSON ([`serve`]);
 //! - `ccdb top <addr> [--once] [--interval-ms N]` — refreshing latency
 //!   dashboard for a running server: req/s, per-verb quantiles, phase
 //!   decomposition, store-lock contention ([`top`]);
@@ -183,7 +185,8 @@ pub fn cmd_render(source: &str) -> Result<String, CliError> {
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let usage = "usage: ccdb <check|effective|render|stats|explain|serve|bench-net> \
                  <schema-file> [type [attr]] [--json] [--addr A] [--threads N] \
-                 [--queue-depth N] [--clients N] [--requests N] [--batch N] | \
+                 [--queue-depth N] [--clients N] [--requests N] [--batch N] \
+                 [--proto v1|v2] | \
                  ccdb top <addr> [--once] [--interval-ms N] | \
                  ccdb flight <addr> [--json]";
     // Opt-in slow-op log: traced roots slower than this are mirrored as

@@ -42,12 +42,15 @@ pub struct ServeFlags {
     pub requests: Option<u64>,
     /// `bench-net`: sub-requests per `batch` frame (1 = plain frames).
     pub batch: Option<u64>,
+    /// Wire protocol: `serve` pins the server's maximum (1 = JSON only),
+    /// `bench-net` selects the client dialect. Default: v2.
+    pub proto: Option<u8>,
 }
 
 impl ServeFlags {
     /// Parses `--addr A --threads N --queue-depth N --clients N
-    /// --requests N --batch N` in any order; rejects unknown flags and
-    /// bad numbers.
+    /// --requests N --batch N --proto v1|v2` in any order; rejects
+    /// unknown flags and bad numbers.
     pub fn parse(args: &[String]) -> Result<ServeFlags, CliError> {
         let mut flags = ServeFlags {
             addr: None,
@@ -56,6 +59,7 @@ impl ServeFlags {
             clients: None,
             requests: None,
             batch: None,
+            proto: None,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -85,6 +89,22 @@ impl ServeFlags {
                 "--clients" => flags.clients = Some(num("--clients")?.max(1) as usize),
                 "--requests" => flags.requests = Some(num("--requests")?.max(1)),
                 "--batch" => flags.batch = Some(num("--batch")?.max(1)),
+                "--proto" => {
+                    let v = it.next().ok_or_else(|| CliError {
+                        message: "--proto requires a value (v1 or v2)".into(),
+                        code: 2,
+                    })?;
+                    flags.proto = Some(match v.as_str() {
+                        "v1" | "1" => 1,
+                        "v2" | "2" => 2,
+                        other => {
+                            return Err(CliError {
+                                message: format!("--proto: `{other}` is not v1 or v2"),
+                                code: 2,
+                            })
+                        }
+                    });
+                }
                 other => {
                     return Err(CliError {
                         message: format!("unknown flag `{other}`"),
@@ -101,6 +121,7 @@ impl ServeFlags {
             addr: self.addr.clone().unwrap_or_else(|| default_addr.into()),
             workers: self.threads.unwrap_or(4),
             queue_depth: self.queue_depth.unwrap_or(64),
+            max_proto: self.proto.unwrap_or(ccdb_server::PROTOCOL_V2),
             ..ServerConfig::default()
         }
     }
@@ -118,10 +139,11 @@ pub fn cmd_serve(source: &str, flags: &ServeFlags) -> Result<String, CliError> {
     // Announce before blocking so scripted callers (CI smoke) can wait for
     // this line, then connect.
     println!(
-        "ccdb-server listening on {} ({} workers, queue depth {})",
+        "ccdb-server listening on {} ({} workers, queue depth {}, max proto v{})",
         server.local_addr(),
         cfg.workers,
-        cfg.queue_depth
+        cfg.queue_depth,
+        cfg.max_proto
     );
     let _ = std::io::stdout().flush();
     server.run_until_shutdown();
@@ -174,40 +196,58 @@ fn bench_triple(catalog: &Catalog) -> Result<(String, String, String, String), C
     })
 }
 
+/// Backoff window for `overloaded` retries starts here, doubles per
+/// consecutive rejection, and is capped at [`BACKOFF_CAP_US`]. The actual
+/// sleep is drawn uniformly from the window ("full jitter"), so a herd of
+/// rejected clients does not re-arrive in lockstep and hammer the queue.
+const BACKOFF_BASE_US: u64 = 500;
+const BACKOFF_CAP_US: u64 = 50_000;
+
 /// One client's closed loop: create its own transmitter/inheritor pair,
 /// then alternate resolved reads with occasional transmitter writes.
 /// With `batch > 1` the same operation mix is shipped as `batch`
 /// sub-requests per wire frame (one admission, one guard per frame).
 /// Returns (per-frame latencies ns, overloaded retries, server errors).
 ///
-/// Error accounting: `overloaded` responses are retried (backpressure is
-/// not a failure); any other *server* error response is counted and the
-/// loop moves on — a healthy run reports zero. Transport failures (socket
-/// or protocol) abort the client.
+/// Error accounting: `overloaded` responses are retried after a capped
+/// exponential backoff with jitter (backpressure is not a failure); any
+/// other *server* error response is counted and the loop moves on — a
+/// healthy run reports zero. Transport failures (socket or protocol)
+/// abort the client.
 fn bench_client(
     addr: std::net::SocketAddr,
     triple: &(String, String, String, String),
     requests: u64,
     batch: u64,
+    proto: u8,
     seed: u64,
 ) -> Result<(Vec<u64>, u64, u64), String> {
     let (t_ty, rel, inh_ty, attr) = triple;
-    let mut c = Client::connect(addr).map_err(|e| e.to_string())?;
+    let mut c = Client::connect_proto(addr, proto).map_err(|e| e.to_string())?;
     c.set_read_timeout(Some(Duration::from_secs(30)))
         .map_err(|e| e.to_string())?;
     let mut overloaded = 0u64;
     let mut errors = 0u64;
+    // Cheap xorshift64 for the backoff jitter; seeded per client so the
+    // sleep sequences decorrelate without pulling in an RNG dependency.
+    let mut jitter = (seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1;
     // Ok(true) = succeeded; Ok(false) = server rejected the op (counted).
     let mut with_retry =
         |f: &mut dyn FnMut(&mut Client) -> Result<(), ccdb_server::ClientError>,
          c: &mut Client|
          -> Result<bool, String> {
+            let mut attempt = 0u32;
             loop {
                 match f(c) {
                     Ok(()) => return Ok(true),
                     Err(e) if e.is_overloaded() => {
                         overloaded += 1;
-                        thread::sleep(Duration::from_millis(1));
+                        let window = (BACKOFF_BASE_US << attempt.min(16)).min(BACKOFF_CAP_US);
+                        jitter ^= jitter << 13;
+                        jitter ^= jitter >> 7;
+                        jitter ^= jitter << 17;
+                        thread::sleep(Duration::from_micros(1 + jitter % window));
+                        attempt += 1;
                     }
                     Err(ccdb_server::ClientError::Server { .. }) => {
                         errors += 1;
@@ -329,6 +369,7 @@ pub fn cmd_bench_net(source: &str, flags: &ServeFlags) -> Result<String, CliErro
     let clients = flags.clients.unwrap_or(8);
     let requests = flags.requests.unwrap_or(200);
     let batch = flags.batch.unwrap_or(1);
+    let proto = flags.proto.unwrap_or(ccdb_server::PROTOCOL_V2);
 
     // Own server only when no target was given.
     let (addr, server) = match &flags.addr {
@@ -358,7 +399,7 @@ pub fn cmd_bench_net(source: &str, flags: &ServeFlags) -> Result<String, CliErro
             let total_errors = Arc::clone(&total_errors);
             thread::spawn(move || -> Result<Vec<u64>, String> {
                 let (lat, over, errs) =
-                    bench_client(addr, &triple, requests, batch, i as u64 * 1000)?;
+                    bench_client(addr, &triple, requests, batch, proto, i as u64 * 1000)?;
                 total_overloaded.fetch_add(over, Ordering::Relaxed);
                 total_errors.fetch_add(errs, Ordering::Relaxed);
                 Ok(lat)
@@ -398,13 +439,15 @@ pub fn cmd_bench_net(source: &str, flags: &ServeFlags) -> Result<String, CliErro
     let (t_ty, rel, inh_ty, attr) = &triple;
     Ok(format!(
         "bench-net: {clients} clients x {requests} requests ({t_ty} -[{rel}]-> {inh_ty}, attr {attr})\n\
+           protocol   : v{proto} ({})\n\
            requests   : {ops}\n\
            batching   : {batch} sub-requests/frame ({frames} frames)\n\
            elapsed    : {:.3}s\n\
            throughput : {rps:.0} req/s\n\
            latency    : p50={} p95={} p99={} (ns/frame)\n\
-           overloaded : {} (retried)\n\
+           retries    : {} (overloaded, capped exp backoff + jitter)\n\
            errors     : {} (server error responses)\n",
+        if proto >= 2 { "binary framing" } else { "JSON framing" },
         elapsed.as_secs_f64(),
         quantile(&all, 0.50),
         quantile(&all, 0.95),
@@ -444,12 +487,25 @@ mod tests {
             "8".into(),
             "--batch".into(),
             "32".into(),
+            "--proto".into(),
+            "v1".into(),
         ])
         .unwrap();
         assert_eq!(f.addr.as_deref(), Some("127.0.0.1:9999"));
         assert_eq!(f.threads, Some(2));
         assert_eq!(f.queue_depth, Some(8));
         assert_eq!(f.batch, Some(32));
+        assert_eq!(f.proto, Some(1));
+
+        let f = ServeFlags::parse(&["--proto".into(), "2".into()]).unwrap();
+        assert_eq!(f.proto, Some(2));
+        assert_eq!(
+            ServeFlags::parse(&["--proto".into(), "v3".into()])
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(ServeFlags::parse(&["--proto".into()]).unwrap_err().code, 2);
 
         assert_eq!(ServeFlags::parse(&["--bogus".into()]).unwrap_err().code, 2);
         assert_eq!(
@@ -483,9 +539,11 @@ mod tests {
             clients: Some(4),
             requests: Some(20),
             batch: None,
+            proto: None,
         };
         let out = cmd_bench_net(SCHEMA, &flags).unwrap();
         assert!(out.contains("4 clients x 20 requests"), "{out}");
+        assert!(out.contains("protocol   : v2"), "{out}");
         assert!(out.contains("requests   : 80"), "{out}");
         assert!(out.contains("throughput"), "{out}");
         assert!(out.contains("p95="), "{out}");
@@ -493,6 +551,22 @@ mod tests {
             out.contains("errors     : 0"),
             "healthy run must report zero server errors: {out}"
         );
+    }
+
+    #[test]
+    fn bench_net_still_speaks_v1_when_pinned() {
+        let flags = ServeFlags {
+            addr: None,
+            threads: Some(2),
+            queue_depth: Some(16),
+            clients: Some(2),
+            requests: Some(10),
+            batch: None,
+            proto: Some(1),
+        };
+        let out = cmd_bench_net(SCHEMA, &flags).unwrap();
+        assert!(out.contains("protocol   : v1"), "{out}");
+        assert!(out.contains("errors     : 0"), "{out}");
     }
 
     #[test]
@@ -504,6 +578,7 @@ mod tests {
             clients: Some(2),
             requests: Some(20),
             batch: Some(8),
+            proto: None,
         };
         let out = cmd_bench_net(SCHEMA, &flags).unwrap();
         assert!(out.contains("requests   : 40"), "{out}");

@@ -210,6 +210,12 @@ pub fn render_frame(addr: &str, info: &Json, prev: &Scrape, cur: &Scrape, dt_sec
         cur.scalar("ccdb_server_queue_depth"),
         cur.scalar("ccdb_server_overloaded_total"),
     ));
+    out.push_str(&format!(
+        "sessions: {} (v1 json {}, v2 binary {})\n",
+        cur.scalar("ccdb_server_sessions_active"),
+        cur.scalar("ccdb_server_sessions_v1"),
+        cur.scalar("ccdb_server_sessions_v2"),
+    ));
 
     // Store-lock contention probes (ccdb_core::lockprobe).
     out.push_str("store lock: ");
@@ -380,6 +386,9 @@ mod tests {
 ccdb_server_requests_total 100
 # TYPE ccdb_server_queue_depth gauge
 ccdb_server_queue_depth 2
+ccdb_server_sessions_active 3
+ccdb_server_sessions_v1 1
+ccdb_server_sessions_v2 2
 # TYPE ccdb_core_rescache_hits_total counter
 ccdb_core_rescache_hits_total 90
 ccdb_core_rescache_misses_total 10
@@ -432,6 +441,10 @@ ccdb_server_phase_all_handle_ns_count 10
         assert!(frame.contains("rescache hit rate 90.0%"), "{frame}");
         assert!(frame.contains("store lock:"), "{frame}");
         assert!(frame.contains("workers 4"), "{frame}");
+        assert!(
+            frame.contains("sessions: 3 (v1 json 1, v2 binary 2)"),
+            "{frame}"
+        );
         // attr appears in the verb table with its scraped count.
         assert!(
             frame

@@ -57,6 +57,8 @@ pub struct FlightRecord {
     pub trace: Option<u64>,
     /// Server session the request arrived on.
     pub session: u64,
+    /// Wire protocol the session had negotiated (1 = JSON, 2 = binary).
+    pub proto: u8,
 }
 
 /// A copied-out view of the recorder.
@@ -173,6 +175,7 @@ mod tests {
             phases: [total_ns / 7; 7],
             trace: None,
             session: 1,
+            proto: 1,
         }
     }
 

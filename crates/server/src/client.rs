@@ -13,7 +13,10 @@ use std::time::Duration;
 use ccdb_core::{Surrogate, Value};
 use serde_json::Value as Json;
 
-use crate::proto::{read_frame, write_frame, FrameError, Request, MAX_FRAME_BYTES};
+use crate::proto::{
+    decode_response_v2, read_frame, write_frame, FrameError, Request, HELLO_V2, MAX_FRAME_BYTES,
+    PROTOCOL_V2,
+};
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -64,10 +67,11 @@ pub struct Client {
     stream: TcpStream,
     next_id: u64,
     trace: Option<u64>,
+    proto: u8,
 }
 
 impl Client {
-    /// Connects to `addr`.
+    /// Connects to `addr`, speaking v1 JSON (no handshake needed).
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
@@ -75,7 +79,55 @@ impl Client {
             stream,
             next_id: 1,
             trace: None,
+            proto: 1,
         })
+    }
+
+    /// Connects to `addr` and negotiates protocol v2 (binary framing):
+    /// sends the raw [`HELLO_V2`] magic and expects it echoed back. A
+    /// v1-pinned server answers with a v1 JSON `protocol` error instead,
+    /// which surfaces here as [`ClientError::Server`].
+    pub fn connect_v2(addr: impl ToSocketAddrs) -> ClientResult<Client> {
+        let mut client = Client::connect(addr)?;
+        client.stream.write_all(&HELLO_V2)?;
+        let mut ack = [0u8; 4];
+        client.stream.read_exact(&mut ack)?;
+        if ack == HELLO_V2 {
+            client.proto = PROTOCOL_V2;
+            return Ok(client);
+        }
+        if ack[0] == 0 {
+            // Not the ack but a v1 length prefix: the server refused the
+            // hello and framed a JSON error. Read it out and surface it.
+            let len = u32::from_be_bytes(ack) as usize;
+            if len > MAX_FRAME_BYTES {
+                return Err(ClientError::Protocol(format!(
+                    "refusal frame of {len} bytes exceeds cap"
+                )));
+            }
+            let mut payload = vec![0u8; len];
+            client.stream.read_exact(&mut payload)?;
+            let v = parse_v1_envelope(&payload)?;
+            return Err(envelope_error(&v));
+        }
+        Err(ClientError::Protocol(format!(
+            "unexpected hello ack {ack:02x?}"
+        )))
+    }
+
+    /// Connects speaking the given protocol (`1` or `2`); anything else
+    /// is rejected. Convenience for flag-driven callers (`--proto`).
+    pub fn connect_proto(addr: impl ToSocketAddrs, proto: u8) -> ClientResult<Client> {
+        match proto {
+            1 => Ok(Client::connect(addr)?),
+            p if p == PROTOCOL_V2 => Client::connect_v2(addr),
+            p => Err(ClientError::Protocol(format!("unsupported protocol v{p}"))),
+        }
+    }
+
+    /// The wire protocol this connection negotiated (1 or 2).
+    pub fn proto(&self) -> u8 {
+        self.proto
     }
 
     /// Stamps every subsequent request with `trace` (`None` stops). The
@@ -108,6 +160,8 @@ impl Client {
     }
 
     /// Issues `verb` with `params`, returning the response's `result`.
+    /// The request and response travel in whichever dialect the
+    /// connection negotiated; the envelope semantics are identical.
     pub fn request(&mut self, verb: &str, params: Json) -> ClientResult<Json> {
         let id = self.next_id();
         let req = Request {
@@ -116,17 +170,13 @@ impl Client {
             params,
             trace: self.trace,
         };
-        let payload = req.to_json().to_json_string().into_bytes();
-        write_frame(&mut self.stream, &payload)?;
-        let raw = match read_frame(&mut self.stream, MAX_FRAME_BYTES) {
-            Ok(r) => r,
-            Err(FrameError::Io(e)) => return Err(ClientError::Io(e)),
-            Err(e) => return Err(ClientError::Protocol(e.to_string())),
+        let payload = if self.proto == PROTOCOL_V2 {
+            req.encode_v2().map_err(ClientError::Protocol)?
+        } else {
+            req.to_json().to_json_string().into_bytes()
         };
-        let text = std::str::from_utf8(&raw)
-            .map_err(|_| ClientError::Protocol("response is not UTF-8".into()))?;
-        let v: Json = serde_json::from_str(text)
-            .map_err(|e| ClientError::Protocol(format!("bad response JSON: {e}")))?;
+        write_frame(&mut self.stream, &payload)?;
+        let v = self.read_response_json()?;
         let got_id = v.get("id").and_then(Json::as_u64).unwrap_or(0);
         if got_id != id {
             return Err(ClientError::Protocol(format!(
@@ -135,21 +185,7 @@ impl Client {
         }
         match v.get("ok").and_then(Json::as_bool) {
             Some(true) => Ok(v.get("result").cloned().unwrap_or(Json::Null)),
-            Some(false) => {
-                let err = v.get("error");
-                Err(ClientError::Server {
-                    kind: err
-                        .and_then(|e| e.get("kind"))
-                        .and_then(Json::as_str)
-                        .unwrap_or("unknown")
-                        .to_string(),
-                    message: err
-                        .and_then(|e| e.get("message"))
-                        .and_then(Json::as_str)
-                        .unwrap_or("")
-                        .to_string(),
-                })
-            }
+            Some(false) => Err(envelope_error(&v)),
             None => Err(ClientError::Protocol("response missing `ok`".into())),
         }
     }
@@ -375,22 +411,49 @@ impl Client {
         self.request("shutdown", Json::Object(vec![])).map(|_| ())
     }
 
-    /// Reads one frame directly (after `send_raw`); exposed for tests.
+    /// Reads one frame directly (after `send_raw`) and decodes it into
+    /// the response envelope in this connection's dialect; exposed for
+    /// tests.
     pub fn read_response_json(&mut self) -> ClientResult<Json> {
         let raw = match self.recv_raw() {
             Ok(r) => r,
             Err(FrameError::Io(e)) => return Err(ClientError::Io(e)),
             Err(e) => return Err(ClientError::Protocol(e.to_string())),
         };
-        let text = std::str::from_utf8(&raw)
-            .map_err(|_| ClientError::Protocol("response is not UTF-8".into()))?;
-        serde_json::from_str(text)
-            .map_err(|e| ClientError::Protocol(format!("bad response JSON: {e}")))
+        if self.proto == PROTOCOL_V2 {
+            decode_response_v2(&raw).map_err(ClientError::Protocol)
+        } else {
+            parse_v1_envelope(&raw)
+        }
     }
 
     /// The underlying stream (tests use this to half-close or mangle it).
     pub fn stream(&self) -> &TcpStream {
         &self.stream
+    }
+}
+
+/// Parses a v1 JSON response payload into the envelope value.
+fn parse_v1_envelope(raw: &[u8]) -> ClientResult<Json> {
+    let text = std::str::from_utf8(raw)
+        .map_err(|_| ClientError::Protocol("response is not UTF-8".into()))?;
+    serde_json::from_str(text).map_err(|e| ClientError::Protocol(format!("bad response JSON: {e}")))
+}
+
+/// Lifts an `ok: false` envelope into [`ClientError::Server`].
+fn envelope_error(v: &Json) -> ClientError {
+    let err = v.get("error");
+    ClientError::Server {
+        kind: err
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string(),
+        message: err
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string(),
     }
 }
 

@@ -33,6 +33,8 @@ pub(crate) struct ServerContext {
     pub queue_depth: usize,
     /// Resolution-cache shard count of the served store.
     pub rescache_shards: usize,
+    /// Highest wire protocol this server negotiates (1 = pinned to v1).
+    pub max_proto: u8,
 }
 
 impl Default for ServerContext {
@@ -42,6 +44,7 @@ impl Default for ServerContext {
             workers: 1,
             queue_depth: 0,
             rescache_shards: 0,
+            max_proto: crate::proto::PROTOCOL_V2,
         }
     }
 }
@@ -63,6 +66,7 @@ impl ServerContext {
                 "rescache_shards".into(),
                 Json::UInt(self.rescache_shards as u64),
             ),
+            ("max_proto".into(), Json::UInt(self.max_proto as u64)),
         ])
     }
 }
@@ -85,6 +89,7 @@ fn flight_record_json(r: &ccdb_obs::FlightRecord) -> Json {
             r.trace.map(Json::UInt).unwrap_or(Json::Null),
         ),
         ("session".into(), Json::UInt(r.session)),
+        ("proto".into(), Json::UInt(r.proto as u64)),
     ])
 }
 

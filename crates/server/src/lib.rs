@@ -84,5 +84,7 @@ pub mod queue;
 pub mod server;
 
 pub use client::{Client, ClientError, ClientResult};
-pub use proto::{ErrorKind, FrameError, Request, MAX_FRAME_BYTES, PROTOCOL_VERSION};
+pub use proto::{
+    ErrorKind, FrameError, Request, HELLO_V2, MAX_FRAME_BYTES, PROTOCOL_V2, PROTOCOL_VERSION,
+};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -8,25 +8,10 @@ use ccdb_obs::flight::PHASE_NAMES;
 use ccdb_obs::metrics::{HOP_BUCKETS, LATENCY_BUCKETS_NS};
 use ccdb_obs::{Counter, Gauge, Histogram};
 
-/// The verbs the per-verb request counters are pre-registered for.
-pub(crate) const VERBS: &[&str] = &[
-    "ping",
-    "session",
-    "create",
-    "attr",
-    "set_attr",
-    "bind",
-    "unbind",
-    "select",
-    "check_all",
-    "effective",
-    "explain",
-    "stats",
-    "metrics",
-    "flight",
-    "batch",
-    "shutdown",
-];
+/// The verbs the per-verb request counters are pre-registered for: the
+/// wire protocol's verb table, so the metrics surface and the v2 verb-id
+/// space can never drift apart.
+pub(crate) use crate::proto::VERBS;
 
 /// Phase histograms for one verb: the seven per-phase series plus the
 /// first-byte-to-response-written total.
@@ -42,6 +27,10 @@ pub(crate) struct ServerMetrics {
     pub connections: Arc<Counter>,
     /// `ccdb_server_sessions_active` — live sessions right now.
     pub sessions_active: Arc<Gauge>,
+    /// `ccdb_server_sessions_v1` — live sessions speaking v1 JSON.
+    pub sessions_v1: Arc<Gauge>,
+    /// `ccdb_server_sessions_v2` — live sessions that negotiated v2 binary.
+    pub sessions_v2: Arc<Gauge>,
     /// `ccdb_server_requests_total` — every parsed request, any outcome.
     pub requests: Arc<Counter>,
     /// `ccdb_server_requests_<verb>_total`, parallel to [`VERBS`].
@@ -105,6 +94,8 @@ pub(crate) fn server_metrics() -> &'static ServerMetrics {
         ServerMetrics {
             connections: r.counter("ccdb_server_connections_total"),
             sessions_active: r.gauge("ccdb_server_sessions_active"),
+            sessions_v1: r.gauge("ccdb_server_sessions_v1"),
+            sessions_v2: r.gauge("ccdb_server_sessions_v2"),
             requests: r.counter("ccdb_server_requests_total"),
             requests_by_verb: VERBS
                 .iter()
@@ -172,6 +163,8 @@ mod tests {
         for series in [
             "ccdb_server_requests_total",
             "ccdb_server_requests_attr_total",
+            "ccdb_server_sessions_v1",
+            "ccdb_server_sessions_v2",
             "ccdb_server_overloaded_total",
             "ccdb_server_queue_depth",
             "ccdb_server_request_latency_ns",

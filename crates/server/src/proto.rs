@@ -1,7 +1,18 @@
-//! The ccdb wire protocol: length-prefixed JSON frames.
+//! The ccdb wire protocol: length-prefixed frames in two dialects.
 //!
-//! A frame is a 4-byte big-endian payload length followed by that many
-//! bytes of UTF-8 JSON. Both directions use the same framing.
+//! **v1 (JSON)**: a frame is a 4-byte big-endian payload length followed
+//! by that many bytes of UTF-8 JSON. Both directions use the same
+//! framing.
+//!
+//! **v2 (binary)**: same 4-byte length prefix, but the payload is a fixed
+//! binary header (version byte, verb id / status byte, flags, request id,
+//! optional trace id) followed by a length-delimited binary value
+//! encoding ("bval") of the params/result. A connection opts into v2 by
+//! sending the 4-byte [`HELLO_V2`] magic immediately after connect; the
+//! server echoes it back as the ack. The magic's first byte (`0xCC`)
+//! cannot collide with a legal v1 frame: v1 payloads cap at
+//! [`MAX_FRAME_BYTES`] (1 MiB), so the first byte of every valid v1
+//! length prefix is `0x00`. See DESIGN.md §10 for the layout.
 //!
 //! **Request** objects carry `{"v": 1, "id": <u64>, "verb": "<name>",
 //! "params": {...}}`. `v` is the protocol version and must equal
@@ -27,8 +38,17 @@ use std::io::{self, Read, Write};
 
 use serde_json::Value as Json;
 
-/// Version tag every request must carry; bumped on incompatible changes.
+/// Version tag every v1 request must carry; bumped on incompatible changes.
 pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Version byte stamped into every v2 binary frame header.
+pub const PROTOCOL_V2: u8 = 2;
+
+/// The 4-byte magic a v2 client sends raw (unframed) immediately after
+/// connect, and the server echoes back as the acceptance ack. Layout:
+/// `0xCC 0xDB <version> 0x00`. A v1-pinned server answers the hello with
+/// a v1 JSON `protocol` error instead of the ack.
+pub const HELLO_V2: [u8; 4] = [0xCC, 0xDB, PROTOCOL_V2, 0x00];
 
 /// Default cap on a single frame's payload, in bytes. A length prefix
 /// above the server's cap is answered with a `protocol` error and the
@@ -61,23 +81,64 @@ impl std::fmt::Display for FrameError {
 }
 
 impl FrameError {
-    /// Whether this is a read timeout (idle connection), not a dead one.
+    /// Whether the platform reported a genuine read timeout
+    /// (`TimedOut`) — the connection is idle, not dead.
+    ///
+    /// This used to also match `WouldBlock`, which conflated two
+    /// meanings: on a *blocking* socket with `SO_RCVTIMEO`, Linux reports
+    /// the timeout as `EAGAIN`/`WouldBlock`, but on a *nonblocking*
+    /// socket the very same kind means "no data buffered yet" and the
+    /// connection is very much alive. Under a readiness event loop that
+    /// conflation reaps live connections, so the meanings are split:
+    /// blocking `SO_RCVTIMEO` callers must check
+    /// `is_timeout() || is_would_block()`, nonblocking callers treat
+    /// [`is_would_block`] as "retry after the next readiness event" and
+    /// leave idle detection to the event loop's own deadlines.
+    ///
+    /// [`is_would_block`]: FrameError::is_would_block
     pub fn is_timeout(&self) -> bool {
         matches!(
             self,
+            FrameError::Io(e) if e.kind() == io::ErrorKind::TimedOut
+        )
+    }
+
+    /// Whether this is `WouldBlock`: on a nonblocking socket the kernel
+    /// simply has no bytes right now and the read should be retried after
+    /// the next readiness event; on a blocking socket with `SO_RCVTIMEO`,
+    /// Linux uses this same kind for the idle timeout.
+    pub fn is_would_block(&self) -> bool {
+        matches!(
+            self,
             FrameError::Io(e) if e.kind() == io::ErrorKind::WouldBlock
-                || e.kind() == io::ErrorKind::TimedOut
         )
     }
 }
 
-/// Writes one frame: big-endian length prefix + payload.
+/// Writes one frame: big-endian length prefix + payload, coalesced into a
+/// single `write_all` call. Issuing the prefix and payload as two
+/// separate writes on a `TCP_NODELAY` socket can put the 4-byte prefix on
+/// the wire as its own segment — one extra syscall and, at worst, one
+/// extra packet per frame.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     let len = u32::try_from(payload.len())
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
-    w.write_all(&len.to_be_bytes())?;
-    w.write_all(payload)?;
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&len.to_be_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)?;
     w.flush()
+}
+
+/// Appends one frame (length prefix + payload) to `out` without any I/O.
+/// The event loop and batched writers use this to build a single flush
+/// buffer covering several responses.
+pub fn append_frame(out: &mut Vec<u8>, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    out.extend_from_slice(&len.to_be_bytes());
+    out.extend_from_slice(payload);
+    Ok(())
 }
 
 /// Reads one frame's payload, enforcing `max` on the length prefix.
@@ -155,7 +216,7 @@ pub enum ErrorKind {
 }
 
 impl ErrorKind {
-    /// Wire string for this kind.
+    /// Wire string for this kind (v1 JSON responses).
     pub fn as_str(self) -> &'static str {
         match self {
             ErrorKind::Protocol => "protocol",
@@ -165,6 +226,44 @@ impl ErrorKind {
             ErrorKind::Core => "core",
             ErrorKind::Internal => "internal",
         }
+    }
+
+    /// Parses the v1 wire string back into a kind.
+    pub fn from_wire(s: &str) -> Option<ErrorKind> {
+        Some(match s {
+            "protocol" => ErrorKind::Protocol,
+            "bad_request" => ErrorKind::BadRequest,
+            "overloaded" => ErrorKind::Overloaded,
+            "shutdown" => ErrorKind::Shutdown,
+            "core" => ErrorKind::Core,
+            "internal" => ErrorKind::Internal,
+            _ => return None,
+        })
+    }
+
+    /// Status byte for v2 response headers (`0` is reserved for success).
+    pub fn code(self) -> u8 {
+        match self {
+            ErrorKind::Protocol => 1,
+            ErrorKind::BadRequest => 2,
+            ErrorKind::Overloaded => 3,
+            ErrorKind::Shutdown => 4,
+            ErrorKind::Core => 5,
+            ErrorKind::Internal => 6,
+        }
+    }
+
+    /// Inverse of [`code`](ErrorKind::code).
+    pub fn from_code(code: u8) -> Option<ErrorKind> {
+        Some(match code {
+            1 => ErrorKind::Protocol,
+            2 => ErrorKind::BadRequest,
+            3 => ErrorKind::Overloaded,
+            4 => ErrorKind::Shutdown,
+            5 => ErrorKind::Core,
+            6 => ErrorKind::Internal,
+            _ => return None,
+        })
     }
 }
 
@@ -254,6 +353,357 @@ pub fn err_response(id: u64, kind: ErrorKind, message: &str) -> Json {
     ])
 }
 
+// ---------------------------------------------------------------------------
+// Protocol v2: binary framing
+// ---------------------------------------------------------------------------
+
+/// Every public verb the server speaks, in wire-id order: the v2 verb id
+/// is `index + 1`. Metrics pre-register per-verb counters from this list.
+pub const VERBS: &[&str] = &[
+    "ping",
+    "session",
+    "create",
+    "attr",
+    "set_attr",
+    "bind",
+    "unbind",
+    "select",
+    "check_all",
+    "effective",
+    "explain",
+    "stats",
+    "metrics",
+    "flight",
+    "batch",
+    "shutdown",
+];
+
+/// Debug-only verb id (the `boom` panic probe, enabled by
+/// `ServerConfig::debug_verbs`). Kept far from the public range so new
+/// public verbs never collide with it.
+const VERB_ID_BOOM: u8 = 0xF0;
+
+/// The v2 verb id for `verb`, when it has one.
+pub fn verb_id(verb: &str) -> Option<u8> {
+    if verb == "boom" {
+        return Some(VERB_ID_BOOM);
+    }
+    VERBS.iter().position(|v| *v == verb).map(|i| (i + 1) as u8)
+}
+
+/// The verb named by a v2 verb id, when the id is assigned.
+pub fn verb_name(id: u8) -> Option<&'static str> {
+    if id == VERB_ID_BOOM {
+        return Some("boom");
+    }
+    (id as usize)
+        .checked_sub(1)
+        .and_then(|i| VERBS.get(i).copied())
+}
+
+/// v2 header flag: an 8-byte trace id follows the fixed header.
+pub const V2_FLAG_TRACE: u8 = 0x01;
+
+/// Fixed v2 header length: version, kind, flags, reserved, 8-byte id.
+pub const V2_HEADER_LEN: usize = 12;
+
+// bval type tags. Strings/arrays/objects carry a u32 big-endian
+// count/length; objects repeat (key-string-without-tag, value).
+const BV_NULL: u8 = 0x00;
+const BV_FALSE: u8 = 0x01;
+const BV_TRUE: u8 = 0x02;
+const BV_INT: u8 = 0x03; // i64 BE
+const BV_UINT: u8 = 0x04; // u64 BE
+const BV_FLOAT: u8 = 0x05; // f64 bits BE
+const BV_STR: u8 = 0x06;
+const BV_ARRAY: u8 = 0x07;
+const BV_OBJECT: u8 = 0x08;
+
+/// Nesting cap for bval decoding; deeper input is hostile, not data.
+const BV_MAX_DEPTH: u32 = 64;
+
+/// Appends the bval encoding of `v` to `out`.
+pub fn bval_encode(v: &Json, out: &mut Vec<u8>) {
+    match v {
+        Json::Null => out.push(BV_NULL),
+        Json::Bool(false) => out.push(BV_FALSE),
+        Json::Bool(true) => out.push(BV_TRUE),
+        Json::Int(i) => {
+            out.push(BV_INT);
+            out.extend_from_slice(&i.to_be_bytes());
+        }
+        Json::UInt(u) => {
+            out.push(BV_UINT);
+            out.extend_from_slice(&u.to_be_bytes());
+        }
+        Json::Float(f) => {
+            out.push(BV_FLOAT);
+            out.extend_from_slice(&f.to_bits().to_be_bytes());
+        }
+        Json::String(s) => {
+            out.push(BV_STR);
+            bval_put_str(out, s);
+        }
+        Json::Array(items) => {
+            out.push(BV_ARRAY);
+            out.extend_from_slice(&(items.len() as u32).to_be_bytes());
+            for item in items {
+                bval_encode(item, out);
+            }
+        }
+        Json::Object(pairs) => {
+            out.push(BV_OBJECT);
+            out.extend_from_slice(&(pairs.len() as u32).to_be_bytes());
+            for (k, val) in pairs {
+                bval_put_str(out, k);
+                bval_encode(val, out);
+            }
+        }
+    }
+}
+
+fn bval_put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_be_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Streaming bval reader over a borrowed byte slice. Counts claimed by
+/// the input never drive allocation directly: capacities are clamped to
+/// what the remaining bytes could actually hold, so a hostile
+/// `count = u32::MAX` header fails on truncation instead of reserving
+/// gigabytes.
+struct BvalReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BvalReader<'a> {
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.remaining() < n {
+            return Err("truncated bval payload".to_string());
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_string)
+            .map_err(|_| "bval string is not UTF-8".to_string())
+    }
+
+    fn value(&mut self, depth: u32) -> Result<Json, String> {
+        if depth > BV_MAX_DEPTH {
+            return Err("bval nesting too deep".to_string());
+        }
+        match self.u8()? {
+            BV_NULL => Ok(Json::Null),
+            BV_FALSE => Ok(Json::Bool(false)),
+            BV_TRUE => Ok(Json::Bool(true)),
+            BV_INT => Ok(Json::Int(i64::from_be_bytes(
+                self.take(8)?.try_into().unwrap(),
+            ))),
+            BV_UINT => Ok(Json::UInt(self.u64()?)),
+            BV_FLOAT => Ok(Json::Float(f64::from_bits(self.u64()?))),
+            BV_STR => Ok(Json::String(self.str()?)),
+            BV_ARRAY => {
+                let count = self.u32()? as usize;
+                // Each element costs at least its one tag byte.
+                let mut items = Vec::with_capacity(count.min(self.remaining()));
+                for _ in 0..count {
+                    items.push(self.value(depth + 1)?);
+                }
+                Ok(Json::Array(items))
+            }
+            BV_OBJECT => {
+                let count = self.u32()? as usize;
+                // Each pair costs at least 4 (key length) + 1 (tag) bytes.
+                let mut pairs = Vec::with_capacity(count.min(self.remaining() / 5));
+                for _ in 0..count {
+                    let key = self.str()?;
+                    let val = self.value(depth + 1)?;
+                    pairs.push((key, val));
+                }
+                Ok(Json::Object(pairs))
+            }
+            tag => Err(format!("unknown bval tag 0x{tag:02x}")),
+        }
+    }
+}
+
+/// Decodes one bval value, requiring the input to be fully consumed.
+pub fn bval_decode(bytes: &[u8]) -> Result<Json, String> {
+    let mut r = BvalReader { bytes, pos: 0 };
+    let v = r.value(0)?;
+    if r.remaining() != 0 {
+        return Err(format!("{} trailing bytes after bval value", r.remaining()));
+    }
+    Ok(v)
+}
+
+impl Request {
+    /// Encodes this request as a v2 frame payload (header + bval params).
+    /// Fails only for verbs without an assigned v2 id.
+    pub fn encode_v2(&self) -> Result<Vec<u8>, String> {
+        let verb =
+            verb_id(&self.verb).ok_or_else(|| format!("verb `{}` has no v2 id", self.verb))?;
+        let mut out = Vec::with_capacity(V2_HEADER_LEN + 16);
+        out.push(PROTOCOL_V2);
+        out.push(verb);
+        out.push(if self.trace.is_some() {
+            V2_FLAG_TRACE
+        } else {
+            0
+        });
+        out.push(0);
+        out.extend_from_slice(&self.id.to_be_bytes());
+        if let Some(t) = self.trace {
+            out.extend_from_slice(&t.to_be_bytes());
+        }
+        bval_encode(&self.params, &mut out);
+        Ok(out)
+    }
+
+    /// Parses a v2 frame payload into a request envelope. All validation
+    /// (version byte, verb id, header length, params shape) happens
+    /// against the borrowed slice before anything request-sized is
+    /// allocated; the error string is safe to echo to the client.
+    pub fn parse_v2(payload: &[u8]) -> Result<Request, String> {
+        if payload.len() < V2_HEADER_LEN {
+            return Err(format!(
+                "v2 header needs {V2_HEADER_LEN} bytes, got {}",
+                payload.len()
+            ));
+        }
+        if payload[0] != PROTOCOL_V2 {
+            return Err(format!(
+                "unsupported protocol version {} (connection negotiated {PROTOCOL_V2})",
+                payload[0]
+            ));
+        }
+        let verb = verb_name(payload[1])
+            .ok_or_else(|| format!("unknown v2 verb id {}", payload[1]))?
+            .to_string();
+        let flags = payload[2];
+        if flags & !V2_FLAG_TRACE != 0 {
+            return Err(format!("unknown v2 flags 0x{flags:02x}"));
+        }
+        let id = u64::from_be_bytes(payload[4..12].try_into().unwrap());
+        let mut rest = &payload[V2_HEADER_LEN..];
+        let trace = if flags & V2_FLAG_TRACE != 0 {
+            if rest.len() < 8 {
+                return Err("v2 header truncated before trace id".to_string());
+            }
+            let t = u64::from_be_bytes(rest[..8].try_into().unwrap());
+            rest = &rest[8..];
+            Some(t)
+        } else {
+            None
+        };
+        let params = if rest.is_empty() {
+            Json::Object(vec![])
+        } else {
+            match bval_decode(rest)? {
+                Json::Null => Json::Object(vec![]),
+                obj @ Json::Object(_) => obj,
+                other => {
+                    return Err(format!(
+                        "v2 params must be an object, got {}",
+                        other.type_name()
+                    ))
+                }
+            }
+        };
+        Ok(Request {
+            id,
+            verb,
+            params,
+            trace,
+        })
+    }
+}
+
+/// Encodes a response envelope (the same [`ok_response`]/[`err_response`]
+/// shape v1 serializes as JSON) into a v2 frame payload: fixed header
+/// with a status byte (`0` = ok, else [`ErrorKind::code`]), then the bval
+/// result (ok) or bval error-message string (error). Malformed envelopes
+/// degrade to an `internal` error frame rather than panicking a worker.
+pub fn encode_response_v2(resp: &Json) -> Vec<u8> {
+    let id = resp.get("id").and_then(Json::as_u64).unwrap_or(0);
+    let ok = resp.get("ok").and_then(Json::as_bool).unwrap_or(false);
+    let mut out = Vec::with_capacity(V2_HEADER_LEN + 16);
+    out.push(PROTOCOL_V2);
+    if ok {
+        out.push(0);
+        out.push(0);
+        out.push(0);
+        out.extend_from_slice(&id.to_be_bytes());
+        bval_encode(resp.get("result").unwrap_or(&Json::Null), &mut out);
+    } else {
+        let kind = resp
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str)
+            .and_then(ErrorKind::from_wire)
+            .unwrap_or(ErrorKind::Internal);
+        let message = resp
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap_or("malformed error envelope");
+        out.push(kind.code());
+        out.push(0);
+        out.push(0);
+        out.extend_from_slice(&id.to_be_bytes());
+        bval_encode(&Json::String(message.to_string()), &mut out);
+    }
+    out
+}
+
+/// Decodes a v2 response frame payload back into the v1-shaped envelope
+/// (`{"id", "ok", "result"}` / `{"id", "ok", "error": {...}}`), so
+/// clients can share one response-matching path across both protocols.
+pub fn decode_response_v2(payload: &[u8]) -> Result<Json, String> {
+    if payload.len() < V2_HEADER_LEN {
+        return Err(format!(
+            "v2 response header needs {V2_HEADER_LEN} bytes, got {}",
+            payload.len()
+        ));
+    }
+    if payload[0] != PROTOCOL_V2 {
+        return Err(format!("unsupported response version {}", payload[0]));
+    }
+    let status = payload[1];
+    let id = u64::from_be_bytes(payload[4..12].try_into().unwrap());
+    let body = bval_decode(&payload[V2_HEADER_LEN..])?;
+    if status == 0 {
+        return Ok(ok_response(id, body));
+    }
+    let kind =
+        ErrorKind::from_code(status).ok_or_else(|| format!("unknown v2 status code {status}"))?;
+    let message = body.as_str().unwrap_or("").to_string();
+    Ok(err_response(id, kind, &message))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,5 +787,225 @@ mod tests {
                 .and_then(Json::as_str),
             Some("overloaded")
         );
+    }
+
+    #[test]
+    fn timeout_and_would_block_are_distinct() {
+        let wb = FrameError::Io(io::Error::new(io::ErrorKind::WouldBlock, "no data"));
+        let to = FrameError::Io(io::Error::new(io::ErrorKind::TimedOut, "idle"));
+        assert!(wb.is_would_block() && !wb.is_timeout());
+        assert!(to.is_timeout() && !to.is_would_block());
+        assert!(!FrameError::Closed.is_timeout());
+        assert!(!FrameError::Closed.is_would_block());
+    }
+
+    #[test]
+    fn write_frame_is_a_single_write_call() {
+        // A writer that counts write() calls: the prefix and payload must
+        // arrive coalesced (one syscall on a real socket).
+        struct Counting {
+            calls: usize,
+            bytes: Vec<u8>,
+        }
+        impl Write for Counting {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.calls += 1;
+                self.bytes.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = Counting {
+            calls: 0,
+            bytes: Vec::new(),
+        };
+        write_frame(&mut w, b"payload").unwrap();
+        assert_eq!(w.calls, 1, "prefix and payload must be one write");
+        assert_eq!(&w.bytes[..4], &[0, 0, 0, 7]);
+        assert_eq!(&w.bytes[4..], b"payload");
+    }
+
+    #[test]
+    fn verb_ids_are_stable_and_bijective() {
+        for (i, v) in VERBS.iter().enumerate() {
+            let id = verb_id(v).unwrap_or_else(|| panic!("no id for {v}"));
+            assert_eq!(id, (i + 1) as u8);
+            assert_eq!(verb_name(id), Some(*v));
+        }
+        assert_eq!(verb_id("boom"), Some(VERB_ID_BOOM));
+        assert_eq!(verb_name(VERB_ID_BOOM), Some("boom"));
+        assert_eq!(verb_id("no_such_verb"), None);
+        assert_eq!(verb_name(0), None);
+        assert_eq!(verb_name(99), None);
+    }
+
+    #[test]
+    fn bval_roundtrips_every_shape() {
+        let v = Json::Object(vec![
+            ("null".into(), Json::Null),
+            ("t".into(), Json::Bool(true)),
+            ("f".into(), Json::Bool(false)),
+            ("neg".into(), Json::Int(-42)),
+            ("big".into(), Json::UInt(u64::MAX)),
+            ("pi".into(), Json::Float(3.25)),
+            ("s".into(), Json::String("héllo\n".into())),
+            (
+                "arr".into(),
+                Json::Array(vec![Json::Int(1), Json::String("x".into()), Json::Null]),
+            ),
+            (
+                "nested".into(),
+                Json::Object(vec![("k".into(), Json::Array(vec![]))]),
+            ),
+        ]);
+        let mut buf = Vec::new();
+        bval_encode(&v, &mut buf);
+        assert_eq!(bval_decode(&buf).unwrap(), v);
+    }
+
+    #[test]
+    fn bval_rejects_hostile_input_without_huge_allocation() {
+        // Array claiming u32::MAX elements with no bytes behind it.
+        let mut buf = vec![BV_ARRAY];
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(bval_decode(&buf).unwrap_err().contains("truncated"));
+
+        // Object claiming a huge pair count.
+        let mut buf = vec![BV_OBJECT];
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(bval_decode(&buf).is_err());
+
+        // String length running past the end.
+        let mut buf = vec![BV_STR];
+        buf.extend_from_slice(&1_000_000u32.to_be_bytes());
+        buf.push(b'x');
+        assert!(bval_decode(&buf).is_err());
+
+        // Nesting bomb: deeper than BV_MAX_DEPTH arrays of one element.
+        let mut buf = Vec::new();
+        for _ in 0..(BV_MAX_DEPTH + 2) {
+            buf.push(BV_ARRAY);
+            buf.extend_from_slice(&1u32.to_be_bytes());
+        }
+        buf.push(BV_NULL);
+        assert!(bval_decode(&buf).unwrap_err().contains("deep"));
+
+        // Unknown tag and trailing garbage.
+        assert!(bval_decode(&[0x7F]).unwrap_err().contains("tag"));
+        assert!(bval_decode(&[BV_NULL, BV_NULL])
+            .unwrap_err()
+            .contains("trailing"));
+        assert!(bval_decode(&[]).is_err());
+    }
+
+    #[test]
+    fn v2_request_roundtrip() {
+        let req = Request {
+            id: 0xDEAD_BEEF_u64,
+            verb: "set_attr".into(),
+            params: Json::Object(vec![
+                ("obj".into(), Json::UInt(3)),
+                ("name".into(), Json::String("X".into())),
+                (
+                    "value".into(),
+                    Json::Object(vec![("Int".into(), Json::Int(12))]),
+                ),
+            ]),
+            trace: None,
+        };
+        let payload = req.encode_v2().unwrap();
+        assert_eq!(payload[0], PROTOCOL_V2);
+        assert_eq!(payload[1], verb_id("set_attr").unwrap());
+        let back = Request::parse_v2(&payload).unwrap();
+        assert_eq!(back.id, req.id);
+        assert_eq!(back.verb, "set_attr");
+        assert_eq!(back.params, req.params);
+        assert_eq!(back.trace, None);
+
+        // Trace id flag + extension bytes.
+        let traced = Request {
+            trace: Some(0x1234_5678),
+            ..req
+        };
+        let payload = traced.encode_v2().unwrap();
+        assert_eq!(payload[2] & V2_FLAG_TRACE, V2_FLAG_TRACE);
+        assert_eq!(
+            Request::parse_v2(&payload).unwrap().trace,
+            Some(0x1234_5678)
+        );
+    }
+
+    #[test]
+    fn v2_request_rejects_malformed_headers() {
+        // Too short for the fixed header.
+        assert!(Request::parse_v2(&[PROTOCOL_V2, 1, 0]).is_err());
+        // Wrong version byte.
+        let mut p = Request {
+            id: 1,
+            verb: "ping".into(),
+            params: Json::Object(vec![]),
+            trace: None,
+        }
+        .encode_v2()
+        .unwrap();
+        p[0] = 9;
+        assert!(Request::parse_v2(&p).unwrap_err().contains("version 9"));
+        // Unknown verb id.
+        p[0] = PROTOCOL_V2;
+        p[1] = 0xEE;
+        assert!(Request::parse_v2(&p).unwrap_err().contains("verb id"));
+        // Unknown flag bits.
+        p[1] = 1;
+        p[2] = 0x80;
+        assert!(Request::parse_v2(&p).unwrap_err().contains("flags"));
+        // Trace flag set but no trace bytes.
+        let mut short = vec![PROTOCOL_V2, 1, V2_FLAG_TRACE, 0];
+        short.extend_from_slice(&7u64.to_be_bytes());
+        assert!(Request::parse_v2(&short).unwrap_err().contains("trace"));
+        // Params must be an object.
+        let mut bad = vec![PROTOCOL_V2, 1, 0, 0];
+        bad.extend_from_slice(&7u64.to_be_bytes());
+        bad.push(BV_INT);
+        bad.extend_from_slice(&5i64.to_be_bytes());
+        assert!(Request::parse_v2(&bad).unwrap_err().contains("object"));
+    }
+
+    #[test]
+    fn v2_response_roundtrip_both_outcomes() {
+        let ok = ok_response(42, Json::Array(vec![Json::UInt(1), Json::UInt(2)]));
+        let payload = encode_response_v2(&ok);
+        assert_eq!(payload[1], 0);
+        assert_eq!(decode_response_v2(&payload).unwrap(), ok);
+
+        let err = err_response(43, ErrorKind::Overloaded, "queue full");
+        let payload = encode_response_v2(&err);
+        assert_eq!(payload[1], ErrorKind::Overloaded.code());
+        assert_eq!(decode_response_v2(&payload).unwrap(), err);
+
+        // Every kind survives the code round trip.
+        for kind in [
+            ErrorKind::Protocol,
+            ErrorKind::BadRequest,
+            ErrorKind::Overloaded,
+            ErrorKind::Shutdown,
+            ErrorKind::Core,
+            ErrorKind::Internal,
+        ] {
+            assert_eq!(ErrorKind::from_code(kind.code()), Some(kind));
+            assert_eq!(ErrorKind::from_wire(kind.as_str()), Some(kind));
+        }
+        assert_eq!(ErrorKind::from_code(0), None);
+        assert_eq!(ErrorKind::from_code(200), None);
+    }
+
+    #[test]
+    fn hello_magic_cannot_be_a_v1_prefix() {
+        // Any valid v1 frame's first prefix byte is 0x00 (cap is 1 MiB),
+        // so 0xCC unambiguously marks the v2 hello.
+        const { assert!(MAX_FRAME_BYTES < (1 << 24)) };
+        assert_eq!(HELLO_V2[0], 0xCC);
+        assert_eq!(HELLO_V2[2], PROTOCOL_V2);
     }
 }

@@ -1,37 +1,60 @@
-//! The TCP server: acceptor + per-connection readers + worker pool.
+//! The TCP server: a poll-based event loop + worker pool.
 //!
 //! ```text
-//!            accept            frames              bounded queue
-//!  clients ─────────▶ acceptor ──────▶ reader (1/conn) ─────▶ workers (N)
-//!                                        │   admission: full ⇒ Overloaded │
-//!                                        ▼                                ▼
-//!                                   per-conn session          SharedStore (RwLock:
-//!                                   state + write half         readers ∥, writers ×)
+//!            accept / readiness               bounded queue
+//!  clients ──────────────▶ event loop (1 thread) ─────▶ workers (N)
+//!                │  poll(2) over listener + every conn   │
+//!                │  framing, negotiation, admission      ▼
+//!                ▼                              SharedStore (RwLock:
+//!          per-conn session state                readers ∥, writers ×)
+//!          + write half (workers flush
+//!            responses through it)
 //! ```
+//!
+//! Connections used to get a pinned reader thread each; thousands of
+//! mostly-idle CAD sessions (the paper's designers parked at
+//! workstations) made that the dominant cost — a thread's stack and a
+//! context switch per frame for connections that talk once a minute. The
+//! event loop registers every connection in one `poll(2)` interest set
+//! instead: an idle session costs one fd and ~a hundred bytes of buffer,
+//! and the thread count is `1 + workers` no matter how many clients are
+//! parked.
 //!
 //! Production-shaping behaviors, in one place:
 //!
-//! - **Admission control**: readers push parsed requests into a
-//!   [`BoundedQueue`]; at capacity the request is answered `Overloaded`
-//!   immediately — offered load beyond capacity costs one response, never
-//!   unbounded memory.
-//! - **Idle/read timeouts**: a connection that sends nothing for the
-//!   configured window is closed (counted in `ccdb_server_idle_closed_total`).
+//! - **Protocol negotiation**: a v2 client leads with the raw
+//!   [`HELLO_V2`] magic and gets it echoed back; anything else is a v1
+//!   length prefix and the connection stays JSON. A server pinned to v1
+//!   (`max_proto = 1`) refuses the hello with a clean v1 `protocol`
+//!   error.
+//! - **Admission control**: parsed requests go into a [`BoundedQueue`];
+//!   at capacity the request is answered `Overloaded` immediately —
+//!   offered load beyond capacity costs one response, never unbounded
+//!   memory.
+//! - **Idle timeouts**: the event loop sweeps connection deadlines with
+//!   its poll timeout; a connection that sends nothing for the window is
+//!   closed (counted in `ccdb_server_idle_closed_total`). `WouldBlock`
+//!   on these nonblocking sockets means "no data yet", never "idle" —
+//!   see [`FrameError::is_would_block`].
 //! - **Malformed-frame hardening**: oversized length prefixes are refused
-//!   before any allocation, truncated frames and bad JSON/versions are
-//!   counted and answered (or the connection dropped) without panicking.
-//! - **Panic isolation**: a handler panic is caught in the worker, answered
-//!   as an `internal` error, and the worker keeps serving — one bad request
-//!   cannot take down the server.
-//! - **Graceful shutdown**: draining stops admission, lets queued requests
-//!   finish and their responses flush, then unblocks and joins every
-//!   thread.
+//!   before any allocation, truncated frames and bad JSON/bval/versions
+//!   are counted and answered (or the connection dropped) without
+//!   panicking.
+//! - **Panic isolation**: a handler panic is caught in the worker,
+//!   answered as an `internal` error, and the worker keeps serving.
+//! - **Graceful shutdown**: draining stops the event loop (no new reads),
+//!   lets queued requests finish and their responses flush through the
+//!   sessions' write halves, then unblocks and joins every thread.
+//!
+//! [`HELLO_V2`]: crate::proto::HELLO_V2
+//! [`FrameError::is_would_block`]: crate::proto::FrameError::is_would_block
 
 use std::collections::HashMap;
-use std::io;
+use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -46,8 +69,8 @@ use serde_json::Value as Json;
 use crate::handler::{handle_verb, ServerContext};
 use crate::metrics::server_metrics;
 use crate::proto::{
-    err_response, ok_response, read_frame_timed, write_frame, ErrorKind, FrameError, Request,
-    MAX_FRAME_BYTES,
+    encode_response_v2, err_response, ok_response, ErrorKind, Request, HELLO_V2, MAX_FRAME_BYTES,
+    PROTOCOL_V2,
 };
 use crate::queue::{BoundedQueue, PushError};
 
@@ -67,6 +90,10 @@ pub struct ServerConfig {
     pub idle_timeout: Duration,
     /// Enable test-only verbs (`boom`); never set in production.
     pub debug_verbs: bool,
+    /// Highest wire protocol the server will negotiate: `2` (default)
+    /// accepts both dialects, `1` pins the server to v1 JSON and refuses
+    /// the v2 hello with a `protocol` error.
+    pub max_proto: u8,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +105,7 @@ impl Default for ServerConfig {
             max_frame_bytes: MAX_FRAME_BYTES,
             idle_timeout: Duration::from_secs(30),
             debug_verbs: false,
+            max_proto: PROTOCOL_V2,
         }
     }
 }
@@ -86,8 +114,13 @@ impl Default for ServerConfig {
 struct Session {
     id: u64,
     peer: String,
+    /// Negotiated wire protocol (1 until a v2 hello upgrades it).
+    proto: AtomicU8,
     /// Exclusive write half; workers serialize whole frames through it so
-    /// concurrent responses to one pipelined client never interleave.
+    /// concurrent responses to one pipelined client never interleave. The
+    /// fd is nonblocking (it shares the open file description with the
+    /// event loop's read half), so writes park on `POLLOUT` when the
+    /// kernel buffer is full.
     writer: Mutex<TcpStream>,
     requests: AtomicU64,
     bytes_in: AtomicU64,
@@ -96,10 +129,15 @@ struct Session {
 }
 
 impl Session {
+    fn proto(&self) -> u8 {
+        self.proto.load(Ordering::Relaxed)
+    }
+
     fn info_json(&self) -> Json {
         Json::Object(vec![
             ("session".into(), Json::UInt(self.id)),
             ("peer".into(), Json::String(self.peer.clone())),
+            ("proto".into(), Json::UInt(self.proto() as u64)),
             (
                 "requests".into(),
                 Json::UInt(self.requests.load(Ordering::Relaxed)),
@@ -119,18 +157,32 @@ impl Session {
         ])
     }
 
+    /// Serializes a response envelope in this session's negotiated
+    /// dialect: v1 compact JSON or a v2 binary frame payload.
+    fn encode(&self, response: &Json) -> Vec<u8> {
+        if self.proto() == PROTOCOL_V2 {
+            encode_response_v2(response)
+        } else {
+            response.to_json_string().into_bytes()
+        }
+    }
+
     /// Writes one response frame (serialized, byte-counted). Write errors
     /// are swallowed: the peer may have gone away, which is its problem.
     fn send(&self, response: &Json) {
-        self.send_bytes(response.to_json_string().as_bytes());
+        self.send_bytes(&self.encode(response));
     }
 
     /// Writes one already-serialized response frame. Split from [`send`]
     /// so the worker can time serialization and the socket write as
     /// separate phases.
     fn send_bytes(&self, payload: &[u8]) {
+        let mut frame = Vec::with_capacity(4 + payload.len());
+        if crate::proto::append_frame(&mut frame, payload).is_err() {
+            return;
+        }
         let mut w = self.writer.lock().unwrap_or_else(|p| p.into_inner());
-        if write_frame(&mut *w, payload).is_ok() {
+        if write_all_nonblocking(&mut w, &frame).is_ok() {
             self.bytes_out
                 .fetch_add(payload.len() as u64, Ordering::Relaxed);
             server_metrics().bytes_out.add(payload.len() as u64);
@@ -138,8 +190,34 @@ impl Session {
     }
 }
 
+/// How long a writer will park on `POLLOUT` for a client that stopped
+/// draining its receive buffer before giving up on the response.
+const WRITE_STALL_TIMEOUT_MS: i32 = 5_000;
+
+/// `write_all` for a nonblocking socket: `WouldBlock` parks on `POLLOUT`
+/// instead of failing, bounded by [`WRITE_STALL_TIMEOUT_MS`].
+fn write_all_nonblocking(stream: &mut TcpStream, mut buf: &[u8]) -> io::Result<()> {
+    while !buf.is_empty() {
+        match stream.write(buf) {
+            Ok(0) => return Err(io::Error::new(io::ErrorKind::WriteZero, "write returned 0")),
+            Ok(n) => buf = &buf[n..],
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if !polling::wait_writable(stream.as_raw_fd(), WRITE_STALL_TIMEOUT_MS)? {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "peer stopped draining responses",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    stream.flush()
+}
+
 /// A unit of admitted work: request + the session to answer, plus the
-/// reader-side phase timings already banked for it.
+/// phase timings the event loop already banked for it.
 struct Job {
     request: Request,
     session: Arc<Session>,
@@ -148,7 +226,7 @@ struct Job {
     first_byte: Instant,
     /// First byte to complete frame, ns.
     recv_ns: u64,
-    /// JSON parse + envelope validation, ns.
+    /// JSON/bval parse + envelope validation, ns.
     parse_ns: u64,
 }
 
@@ -162,7 +240,6 @@ struct Inner {
     drain_cv: (Mutex<bool>, Condvar),
     sessions: Mutex<HashMap<u64, Arc<Session>>>,
     next_session: AtomicU64,
-    reader_handles: Mutex<Vec<JoinHandle<()>>>,
     local_addr: SocketAddr,
 }
 
@@ -171,7 +248,7 @@ impl Inner {
         self.draining.load(Ordering::SeqCst)
     }
 
-    /// Flips the server into draining mode and wakes the acceptor.
+    /// Flips the server into draining mode and wakes the event loop.
     fn begin_shutdown(&self) {
         if self.draining.swap(true, Ordering::SeqCst) {
             return; // already draining
@@ -179,7 +256,7 @@ impl Inner {
         let (lock, cv) = &self.drain_cv;
         *lock.lock().unwrap_or_else(|p| p.into_inner()) = true;
         cv.notify_all();
-        // Unblock the acceptor's blocking accept().
+        // Make the listener readable so the event loop's poll() returns.
         let _ = TcpStream::connect(self.local_addr);
     }
 }
@@ -203,14 +280,16 @@ impl ServerHandle {
 /// for a clean stop.
 pub struct Server {
     inner: Arc<Inner>,
-    acceptor: Option<JoinHandle<()>>,
+    event_loop: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds, spawns the acceptor and worker pool, and returns immediately.
+    /// Binds, spawns the event loop and worker pool, and returns
+    /// immediately.
     pub fn start(cfg: ServerConfig, store: SharedStore) -> io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let catalog = store.read(|st| st.catalog().clone());
         let ctx = ServerContext {
@@ -218,6 +297,7 @@ impl Server {
             workers: cfg.workers.max(1),
             queue_depth: cfg.queue_depth,
             rescache_shards: store.read(|st| st.resolution_cache_shards()),
+            max_proto: cfg.max_proto,
         };
         let inner = Arc::new(Inner {
             queue: BoundedQueue::new(cfg.queue_depth),
@@ -229,7 +309,6 @@ impl Server {
             drain_cv: (Mutex::new(false), Condvar::new()),
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(1),
-            reader_handles: Mutex::new(Vec::new()),
             local_addr,
         });
 
@@ -239,13 +318,13 @@ impl Server {
                 thread::spawn(move || worker_loop(&inner))
             })
             .collect();
-        let acceptor = {
+        let event_loop = {
             let inner = Arc::clone(&inner);
-            thread::spawn(move || accept_loop(&listener, &inner))
+            thread::spawn(move || EventLoop::new(listener, inner).run())
         };
         Ok(Server {
             inner,
-            acceptor: Some(acceptor),
+            event_loop: Some(event_loop),
             workers,
         })
     }
@@ -291,8 +370,10 @@ impl Server {
     }
 
     fn drain_and_join(&mut self) {
-        // 1. Acceptor exits (woken by begin_shutdown's self-connect).
-        if let Some(h) = self.acceptor.take() {
+        // 1. Event loop exits (woken by begin_shutdown's self-connect):
+        //    no more reads are admitted, but sessions and their write
+        //    halves stay alive for in-flight responses.
+        if let Some(h) = self.event_loop.take() {
             let _ = h.join();
         }
         // 2. Stop admission; queued jobs still drain. Workers run each
@@ -301,194 +382,461 @@ impl Server {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
-        // 3. Every response is flushed; now unblock readers stuck in
-        //    read() and join them.
+        // 3. Every response is flushed; now shut the sockets so clients
+        //    see EOF instead of a hang.
         let sessions: Vec<Arc<Session>> = {
-            let map = self
+            let mut map = self
                 .inner
                 .sessions
                 .lock()
                 .unwrap_or_else(|p| p.into_inner());
-            map.values().cloned().collect()
+            map.drain().map(|(_, s)| s).collect()
         };
+        let m = server_metrics();
         for s in sessions {
+            release_session_gauges(m, s.proto());
             let w = s.writer.lock().unwrap_or_else(|p| p.into_inner());
             let _ = w.shutdown(Shutdown::Both);
         }
-        let handles: Vec<JoinHandle<()>> = {
-            let mut v = self
-                .inner
-                .reader_handles
-                .lock()
-                .unwrap_or_else(|p| p.into_inner());
-            v.drain(..).collect()
+    }
+}
+
+fn release_session_gauges(m: &crate::metrics::ServerMetrics, proto: u8) {
+    m.sessions_active.add(-1);
+    match proto {
+        p if p == PROTOCOL_V2 => m.sessions_v2.add(-1),
+        _ => m.sessions_v1.add(-1),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------------
+
+/// What dialect a connection's bytes are in right now.
+enum ConnMode {
+    /// No bytes seen yet: the first byte decides (0xCC ⇒ v2 hello,
+    /// anything else ⇒ a v1 length prefix).
+    Negotiating,
+    /// v1 JSON frames.
+    V1,
+    /// v2 binary frames (hello exchanged).
+    V2,
+}
+
+/// Per-connection event-loop state. Cheap on purpose: an idle session is
+/// this struct + an empty `Vec` + one poll slot.
+struct Conn {
+    stream: TcpStream,
+    session: Arc<Session>,
+    mode: ConnMode,
+    /// Received-but-unconsumed bytes (partial frames across reads).
+    buf: Vec<u8>,
+    /// When the first byte of the frame currently being accumulated
+    /// arrived; `None` while the buffer is empty (idle between frames).
+    frame_start: Option<Instant>,
+    last_activity: Instant,
+}
+
+/// Result of servicing one connection's readiness.
+enum ConnAfter {
+    Keep,
+    Close,
+}
+
+struct EventLoop {
+    listener: TcpListener,
+    inner: Arc<Inner>,
+    conns: HashMap<u64, Conn>,
+    scratch: Box<[u8; 64 * 1024]>,
+}
+
+impl EventLoop {
+    fn new(listener: TcpListener, inner: Arc<Inner>) -> EventLoop {
+        EventLoop {
+            listener,
+            inner,
+            conns: HashMap::new(),
+            scratch: Box::new([0u8; 64 * 1024]),
+        }
+    }
+
+    fn run(mut self) {
+        let m = server_metrics();
+        let mut poll_set: Vec<polling::PollFd> = Vec::new();
+        let mut ready_ids: Vec<u64> = Vec::new();
+        loop {
+            if self.inner.draining() {
+                // Leave sessions registered: workers may still be
+                // flushing responses; drain_and_join tears them down.
+                return;
+            }
+            poll_set.clear();
+            poll_set.push(polling::PollFd::new(
+                self.listener.as_raw_fd(),
+                polling::POLLIN,
+            ));
+            // Stable iteration: poll slot i+1 belongs to ids[i].
+            let ids: Vec<u64> = self.conns.keys().copied().collect();
+            for id in &ids {
+                poll_set.push(polling::PollFd::new(
+                    self.conns[id].stream.as_raw_fd(),
+                    polling::POLLIN,
+                ));
+            }
+            let timeout_ms = self.poll_timeout_ms();
+            let n = match polling::poll_fds(&mut poll_set, timeout_ms) {
+                Ok(n) => n,
+                Err(_) => {
+                    // poll() itself failing is not a per-conn condition;
+                    // back off briefly rather than spin.
+                    thread::sleep(Duration::from_millis(5));
+                    continue;
+                }
+            };
+            if self.inner.draining() {
+                return;
+            }
+            if n > 0 {
+                if poll_set[0].ready(polling::POLLIN) {
+                    self.accept_ready();
+                }
+                ready_ids.clear();
+                ready_ids.extend(
+                    ids.iter()
+                        .zip(&poll_set[1..])
+                        .filter(|(_, p)| p.ready(polling::POLLIN) || p.failed())
+                        .map(|(id, _)| *id),
+                );
+                for id in &ready_ids {
+                    let after = match self.conns.get_mut(id) {
+                        Some(conn) => service_conn(&self.inner, conn, &mut self.scratch[..]),
+                        None => continue,
+                    };
+                    if let ConnAfter::Close = after {
+                        self.close_conn(*id);
+                    }
+                }
+            }
+            // Idle sweep: close connections whose silence outlived the
+            // window. WouldBlock never triggers this — only the clock.
+            let idle_ids: Vec<u64> = self
+                .conns
+                .iter()
+                .filter(|(_, c)| c.last_activity.elapsed() >= self.inner.cfg.idle_timeout)
+                .map(|(id, _)| *id)
+                .collect();
+            for id in idle_ids {
+                m.idle_closed.inc();
+                self.close_conn(id);
+            }
+        }
+    }
+
+    /// Poll timeout: the soonest idle deadline, capped so drain checks
+    /// and deadline sweeps stay responsive even with no traffic.
+    fn poll_timeout_ms(&self) -> i32 {
+        let idle = self.inner.cfg.idle_timeout;
+        let next = self
+            .conns
+            .values()
+            .map(|c| idle.saturating_sub(c.last_activity.elapsed()))
+            .min()
+            .unwrap_or(idle);
+        next.as_millis().min(500) as i32 + 1
+    }
+
+    fn accept_ready(&mut self) {
+        // Drain the accept backlog; nonblocking accept ends with WouldBlock.
+        loop {
+            match self.listener.accept() {
+                Ok((stream, peer)) => {
+                    if self.inner.draining() {
+                        return;
+                    }
+                    self.register_conn(stream, peer.to_string());
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    // Transient accept error (e.g. EMFILE): yield briefly,
+                    // keep serving existing connections.
+                    thread::sleep(Duration::from_millis(10));
+                    return;
+                }
+            }
+        }
+    }
+
+    fn register_conn(&mut self, stream: TcpStream, peer: String) {
+        let m = server_metrics();
+        m.connections.inc();
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => return, // dead on arrival
         };
-        for h in handles {
-            let _ = h.join();
-        }
-    }
-}
-
-fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
-    loop {
-        match listener.accept() {
-            Ok((stream, peer)) => {
-                if inner.draining() {
-                    // The shutdown self-connect (or a late client): refuse.
-                    drop(stream);
-                    break;
-                }
-                spawn_reader(inner, stream, peer.to_string());
-            }
-            Err(_) => {
-                if inner.draining() {
-                    break;
-                }
-                // Transient accept error (e.g. EMFILE): keep serving.
-                thread::sleep(Duration::from_millis(10));
-            }
-        }
-    }
-}
-
-fn spawn_reader(inner: &Arc<Inner>, stream: TcpStream, peer: String) {
-    let m = server_metrics();
-    m.connections.inc();
-    let _ = stream.set_read_timeout(Some(inner.cfg.idle_timeout));
-    let _ = stream.set_nodelay(true);
-    let writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return, // dead on arrival
-    };
-    let id = inner.next_session.fetch_add(1, Ordering::Relaxed);
-    let session = Arc::new(Session {
-        id,
-        peer,
-        writer: Mutex::new(writer),
-        requests: AtomicU64::new(0),
-        bytes_in: AtomicU64::new(0),
-        bytes_out: AtomicU64::new(0),
-        started: Instant::now(),
-    });
-    inner
-        .sessions
-        .lock()
-        .unwrap_or_else(|p| p.into_inner())
-        .insert(id, Arc::clone(&session));
-    m.sessions_active.add(1);
-
-    let inner2 = Arc::clone(inner);
-    let handle = thread::spawn(move || {
-        reader_loop(&inner2, stream, &session);
-        inner2
+        let id = self.inner.next_session.fetch_add(1, Ordering::Relaxed);
+        let session = Arc::new(Session {
+            id,
+            peer,
+            proto: AtomicU8::new(1),
+            writer: Mutex::new(writer),
+            requests: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            started: Instant::now(),
+        });
+        self.inner
             .sessions
             .lock()
             .unwrap_or_else(|p| p.into_inner())
-            .remove(&session.id);
-        server_metrics().sessions_active.add(-1);
-    });
-    inner
-        .reader_handles
-        .lock()
-        .unwrap_or_else(|p| p.into_inner())
-        .push(handle);
+            .insert(id, Arc::clone(&session));
+        m.sessions_active.add(1);
+        // Counted as v1 until a hello upgrades it (v1 needs no handshake).
+        m.sessions_v1.add(1);
+        self.conns.insert(
+            id,
+            Conn {
+                stream,
+                session,
+                mode: ConnMode::Negotiating,
+                buf: Vec::new(),
+                frame_start: None,
+                last_activity: Instant::now(),
+            },
+        );
+    }
+
+    fn close_conn(&mut self, id: u64) {
+        let Some(conn) = self.conns.remove(&id) else {
+            return;
+        };
+        self.inner
+            .sessions
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&id);
+        release_session_gauges(server_metrics(), conn.session.proto());
+        // Force the FIN out even if a queued job still holds the session
+        // (its late write will just fail, which is already tolerated).
+        let _ = conn.stream.shutdown(Shutdown::Both);
+    }
 }
 
-fn reader_loop(inner: &Arc<Inner>, mut stream: TcpStream, session: &Arc<Session>) {
+/// Reads whatever the kernel has buffered for `conn` and processes every
+/// complete frame in it.
+fn service_conn(inner: &Arc<Inner>, conn: &mut Conn, scratch: &mut [u8]) -> ConnAfter {
     let m = server_metrics();
     loop {
-        let (payload, first_byte) = match read_frame_timed(&mut stream, inner.cfg.max_frame_bytes) {
-            Ok(p) => p,
-            Err(FrameError::Closed) => return,
-            Err(FrameError::Truncated) => {
-                // Peer died mid-frame; nothing to answer on a broken stream.
-                m.malformed.inc();
-                return;
-            }
-            Err(FrameError::TooLarge(n)) => {
-                m.malformed.inc();
-                session.send(&err_response(
-                    0,
-                    ErrorKind::Protocol,
-                    &format!(
-                        "frame of {n} bytes exceeds cap of {}",
-                        inner.cfg.max_frame_bytes
-                    ),
-                ));
-                return; // framing is unrecoverable: the body was never read
-            }
-            Err(e) if e.is_timeout() => {
-                if !inner.draining() {
-                    m.idle_closed.inc();
+        match conn.stream.read(scratch) {
+            Ok(0) => {
+                // EOF. Mid-frame it is a truncation worth counting.
+                if !conn.buf.is_empty() {
+                    m.malformed.inc();
                 }
-                return;
+                return ConnAfter::Close;
             }
-            Err(FrameError::Io(_)) => return,
-        };
-        let recv_ns = first_byte.elapsed().as_nanos() as u64;
-        session
-            .bytes_in
-            .fetch_add(payload.len() as u64, Ordering::Relaxed);
-        m.bytes_in.add(payload.len() as u64);
-
-        let parse_start = Instant::now();
-        let request = match Request::parse(&payload) {
-            Ok(r) => r,
-            Err(msg) => {
-                // Framing is intact; answer and keep the connection.
-                m.malformed.inc();
-                session.send(&err_response(0, ErrorKind::Protocol, &msg));
-                continue;
+            Ok(n) => {
+                conn.last_activity = Instant::now();
+                if conn.frame_start.is_none() {
+                    conn.frame_start = Some(conn.last_activity);
+                }
+                conn.buf.extend_from_slice(&scratch[..n]);
+                match process_buffer(inner, conn) {
+                    ConnAfter::Keep => {}
+                    close => return close,
+                }
+                if n < scratch.len() {
+                    // Short read: the kernel buffer is drained.
+                    return ConnAfter::Keep;
+                }
             }
-        };
-        let parse_ns = parse_start.elapsed().as_nanos() as u64;
-        m.requests.inc();
-        if let Some(c) = m.verb_counter(&request.verb) {
-            c.inc();
-        }
-        session.requests.fetch_add(1, Ordering::Relaxed);
-
-        // Session introspection never touches the store or the queue.
-        if request.verb == "session" {
-            session.send(&ok_response(request.id, session.info_json()));
-            continue;
-        }
-        if inner.draining() {
-            session.send(&err_response(
-                request.id,
-                ErrorKind::Shutdown,
-                "server is draining",
-            ));
-            continue;
-        }
-        let id = request.id;
-        let job = Job {
-            request,
-            session: Arc::clone(session),
-            admitted: Instant::now(),
-            first_byte,
-            recv_ns,
-            parse_ns,
-        };
-        match inner.queue.push(job) {
-            Ok(()) => m.queue_depth.set(inner.queue.len() as i64),
-            Err(PushError::Full(job)) => {
-                m.overloaded.inc();
-                job.session.send(&err_response(
-                    id,
-                    ErrorKind::Overloaded,
-                    &format!(
-                        "request queue full (depth {}); back off and retry",
-                        inner.cfg.queue_depth
-                    ),
-                ));
-            }
-            Err(PushError::Closed(job)) => {
-                job.session
-                    .send(&err_response(id, ErrorKind::Shutdown, "server is draining"));
-            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return ConnAfter::Keep,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return ConnAfter::Close,
         }
     }
+}
+
+/// Consumes every complete unit (hello or frame) in `conn.buf`.
+fn process_buffer(inner: &Arc<Inner>, conn: &mut Conn) -> ConnAfter {
+    let m = server_metrics();
+    loop {
+        if let ConnMode::Negotiating = conn.mode {
+            let Some(&first) = conn.buf.first() else {
+                return ConnAfter::Keep;
+            };
+            if first != HELLO_V2[0] {
+                // A v1 length prefix (its first byte is always 0x00 under
+                // the 1 MiB cap; anything non-0xCC gets v1's strict
+                // framing checks below).
+                conn.mode = ConnMode::V1;
+            } else {
+                if conn.buf.len() < HELLO_V2.len() {
+                    return ConnAfter::Keep; // partial hello
+                }
+                if conn.buf[..HELLO_V2.len()] != HELLO_V2 {
+                    m.malformed.inc();
+                    conn.session.send(&err_response(
+                        0,
+                        ErrorKind::Protocol,
+                        &format!("bad hello magic (expected {:02x?})", &HELLO_V2[..]),
+                    ));
+                    return ConnAfter::Close;
+                }
+                if inner.cfg.max_proto < PROTOCOL_V2 {
+                    m.malformed.inc();
+                    conn.session.send(&err_response(
+                        0,
+                        ErrorKind::Protocol,
+                        "protocol v2 not supported (server pinned to v1)",
+                    ));
+                    return ConnAfter::Close;
+                }
+                // Accept: echo the magic raw (unframed) and switch modes.
+                conn.buf.drain(..HELLO_V2.len());
+                conn.frame_start = if conn.buf.is_empty() {
+                    None
+                } else {
+                    Some(Instant::now())
+                };
+                conn.session.proto.store(PROTOCOL_V2, Ordering::Relaxed);
+                m.sessions_v1.add(-1);
+                m.sessions_v2.add(1);
+                {
+                    let mut w = conn
+                        .session
+                        .writer
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner());
+                    if write_all_nonblocking(&mut w, &HELLO_V2).is_err() {
+                        return ConnAfter::Close;
+                    }
+                }
+                conn.mode = ConnMode::V2;
+                continue;
+            }
+        }
+
+        // Framed modes: extract one length-prefixed frame.
+        if conn.buf.len() < 4 {
+            return ConnAfter::Keep;
+        }
+        let len = u32::from_be_bytes(conn.buf[..4].try_into().unwrap()) as usize;
+        if len > inner.cfg.max_frame_bytes {
+            // Refused before the body is ever buffered past what already
+            // arrived; framing is unrecoverable after this.
+            m.malformed.inc();
+            conn.session.send(&err_response(
+                0,
+                ErrorKind::Protocol,
+                &format!(
+                    "frame of {len} bytes exceeds cap of {}",
+                    inner.cfg.max_frame_bytes
+                ),
+            ));
+            return ConnAfter::Close;
+        }
+        if conn.buf.len() < 4 + len {
+            return ConnAfter::Keep; // partial frame
+        }
+        let payload: Vec<u8> = conn.buf[4..4 + len].to_vec();
+        conn.buf.drain(..4 + len);
+        let first_byte = conn.frame_start.take().unwrap_or_else(Instant::now);
+        conn.frame_start = if conn.buf.is_empty() {
+            None
+        } else {
+            Some(Instant::now())
+        };
+        let recv_ns = first_byte.elapsed().as_nanos() as u64;
+        if let close @ ConnAfter::Close = handle_frame(inner, conn, payload, first_byte, recv_ns) {
+            return close;
+        }
+    }
+}
+
+/// One complete frame: parse in the connection's dialect, answer
+/// session-local verbs inline, admit the rest to the worker queue.
+fn handle_frame(
+    inner: &Arc<Inner>,
+    conn: &mut Conn,
+    payload: Vec<u8>,
+    first_byte: Instant,
+    recv_ns: u64,
+) -> ConnAfter {
+    let m = server_metrics();
+    let session = &conn.session;
+    session
+        .bytes_in
+        .fetch_add(payload.len() as u64, Ordering::Relaxed);
+    m.bytes_in.add(payload.len() as u64);
+
+    let parse_start = Instant::now();
+    let parsed = match conn.mode {
+        ConnMode::V2 => Request::parse_v2(&payload),
+        _ => Request::parse(&payload),
+    };
+    let request = match parsed {
+        Ok(r) => r,
+        Err(msg) => {
+            // Framing is intact; answer and keep the connection.
+            m.malformed.inc();
+            session.send(&err_response(0, ErrorKind::Protocol, &msg));
+            return ConnAfter::Keep;
+        }
+    };
+    let parse_ns = parse_start.elapsed().as_nanos() as u64;
+    m.requests.inc();
+    if let Some(c) = m.verb_counter(&request.verb) {
+        c.inc();
+    }
+    session.requests.fetch_add(1, Ordering::Relaxed);
+
+    // Session introspection never touches the store or the queue.
+    if request.verb == "session" {
+        session.send(&ok_response(request.id, session.info_json()));
+        return ConnAfter::Keep;
+    }
+    if inner.draining() {
+        session.send(&err_response(
+            request.id,
+            ErrorKind::Shutdown,
+            "server is draining",
+        ));
+        return ConnAfter::Keep;
+    }
+    let id = request.id;
+    let job = Job {
+        request,
+        session: Arc::clone(session),
+        admitted: Instant::now(),
+        first_byte,
+        recv_ns,
+        parse_ns,
+    };
+    match inner.queue.push(job) {
+        Ok(()) => m.queue_depth.set(inner.queue.len() as i64),
+        Err(PushError::Full(job)) => {
+            m.overloaded.inc();
+            job.session.send(&err_response(
+                id,
+                ErrorKind::Overloaded,
+                &format!(
+                    "request queue full (depth {}); back off and retry",
+                    inner.cfg.queue_depth
+                ),
+            ));
+        }
+        Err(PushError::Closed(job)) => {
+            job.session
+                .send(&err_response(id, ErrorKind::Shutdown, "server is draining"));
+        }
+    }
+    ConnAfter::Keep
 }
 
 fn worker_loop(inner: &Arc<Inner>) {
@@ -565,7 +913,7 @@ fn worker_loop(inner: &Arc<Inner>) {
             .min(handler_ns);
         let handle_ns = handler_ns - lock_ns;
 
-        let payload = response.to_json_string().into_bytes();
+        let payload = session.encode(&response);
         let serialized = Instant::now();
         let serialize_ns = serialized.duration_since(handled).as_nanos() as u64;
         session.send_bytes(&payload);
@@ -602,6 +950,7 @@ fn worker_loop(inner: &Arc<Inner>) {
             phases,
             trace: request.trace,
             session: session.id,
+            proto: session.proto(),
         });
         m.request_latency
             .observe(admitted.elapsed().as_nanos() as u64);

@@ -1,0 +1,270 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for readiness polling: a thin, `std`-only wrapper over
+//! the `poll(2)` syscall (plus the `getrlimit`/`setrlimit` pair the file-
+//! descriptor-heavy benchmarks need). Like every other shim in this
+//! workspace it links nothing beyond libc symbols the Rust standard
+//! library already pulls in — no crates.io access required.
+//!
+//! The API is deliberately tiny:
+//!
+//! - [`PollFd`] / [`poll_fds`] — the raw readiness sweep an event loop
+//!   builds each iteration (interest sets in, ready sets out);
+//! - [`wait_readable`] / [`wait_writable`] — single-fd conveniences for
+//!   code that must block on one socket (e.g. a worker flushing a response
+//!   to a nonblocking fd);
+//! - [`raise_nofile_limit`] / [`nofile_limit`] — `RLIMIT_NOFILE`
+//!   introspection so a 10k-connection experiment can size itself to what
+//!   the process may actually open.
+//!
+//! Only Unix is supported (the rest of the workspace's serving layer is
+//! `std::net` + raw fds); on other platforms every call returns
+//! [`std::io::ErrorKind::Unsupported`].
+
+use std::io;
+
+/// Raw file descriptor, as used by `poll(2)`.
+pub type Fd = i32;
+
+/// Readable data is available (or a listener has a pending connection).
+pub const POLLIN: i16 = 0x001;
+/// Writing is possible without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (revents only).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (revents only).
+pub const POLLHUP: i16 = 0x010;
+/// Fd is not open (revents only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of a `poll(2)` interest set, layout-compatible with the
+/// kernel's `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The descriptor to watch (negative entries are skipped by the kernel).
+    pub fd: Fd,
+    /// Requested events ([`POLLIN`] | [`POLLOUT`]).
+    pub events: i16,
+    /// Returned events, filled by [`poll_fds`].
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// Interest entry for `fd` watching `events`.
+    pub fn new(fd: Fd, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Whether any of `mask` came back in `revents`.
+    pub fn ready(&self, mask: i16) -> bool {
+        self.revents & mask != 0
+    }
+
+    /// Whether the fd reported an error/hangup/invalid condition.
+    pub fn failed(&self) -> bool {
+        self.revents & (POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    use super::PollFd;
+    use std::io;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+        fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+    }
+
+    #[repr(C)]
+    struct RLimit {
+        cur: u64,
+        max: u64,
+    }
+
+    #[cfg(target_os = "macos")]
+    const RLIMIT_NOFILE: i32 = 8;
+    #[cfg(not(target_os = "macos"))]
+    const RLIMIT_NOFILE: i32 = 7;
+
+    pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = io::Error::last_os_error();
+            // EINTR: retry without adjusting the timeout — callers that
+            // care about deadlines recompute them per iteration anyway.
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+
+    pub fn nofile_limit() -> io::Result<(u64, u64)> {
+        let mut lim = RLimit { cur: 0, max: 0 };
+        if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok((lim.cur, lim.max))
+    }
+
+    pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+        let (cur, max) = nofile_limit()?;
+        if cur >= want {
+            return Ok(cur);
+        }
+        // Try the full ask first (root may raise the hard limit), then
+        // fall back to the current hard limit.
+        for target in [want.max(max), max] {
+            let lim = RLimit {
+                cur: want.min(target),
+                max: target,
+            };
+            if unsafe { setrlimit(RLIMIT_NOFILE, &lim) } == 0 {
+                return Ok(lim.cur);
+            }
+        }
+        Ok(cur)
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    use super::PollFd;
+    use std::io;
+
+    fn unsupported<T>() -> io::Result<T> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "polling shim supports Unix only",
+        ))
+    }
+
+    pub fn poll_fds(_fds: &mut [PollFd], _timeout_ms: i32) -> io::Result<usize> {
+        unsupported()
+    }
+
+    pub fn nofile_limit() -> io::Result<(u64, u64)> {
+        unsupported()
+    }
+
+    pub fn raise_nofile_limit(_want: u64) -> io::Result<u64> {
+        unsupported()
+    }
+}
+
+/// Sweeps `fds` once: blocks up to `timeout_ms` (negative = forever,
+/// 0 = nonblocking probe) and returns how many entries have non-zero
+/// `revents`. `EINTR` is retried internally.
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    sys::poll_fds(fds, timeout_ms)
+}
+
+/// Blocks until `fd` is readable (or error/hangup). `Ok(false)` = timeout.
+pub fn wait_readable(fd: Fd, timeout_ms: i32) -> io::Result<bool> {
+    wait_single(fd, POLLIN, timeout_ms)
+}
+
+/// Blocks until `fd` is writable (or error/hangup). `Ok(false)` = timeout.
+pub fn wait_writable(fd: Fd, timeout_ms: i32) -> io::Result<bool> {
+    wait_single(fd, POLLOUT, timeout_ms)
+}
+
+fn wait_single(fd: Fd, events: i16, timeout_ms: i32) -> io::Result<bool> {
+    let mut set = [PollFd::new(fd, events)];
+    let n = poll_fds(&mut set, timeout_ms)?;
+    // POLLERR/POLLHUP count as "ready": the next read/write surfaces the
+    // real error instead of this call guessing at it.
+    Ok(n > 0)
+}
+
+/// The process's `RLIMIT_NOFILE` as `(soft, hard)`.
+pub fn nofile_limit() -> io::Result<(u64, u64)> {
+    sys::nofile_limit()
+}
+
+/// Best-effort raise of the soft (and, when permitted, hard)
+/// `RLIMIT_NOFILE` toward `want`; returns the soft limit now in effect.
+/// Never lowers the limit.
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    sys::raise_nofile_limit(want)
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn poll_reports_readable_after_write_and_timeout_before() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+
+        // Nothing sent yet: a zero-timeout probe finds nothing.
+        assert!(!wait_readable(server.as_raw_fd(), 0).unwrap());
+
+        client.write_all(b"x").unwrap();
+        assert!(wait_readable(server.as_raw_fd(), 2_000).unwrap());
+        let mut b = [0u8; 1];
+        server.read_exact(&mut b).unwrap();
+        assert_eq!(&b, b"x");
+
+        // A fresh socket with empty send buffer is writable immediately.
+        assert!(wait_writable(client.as_raw_fd(), 2_000).unwrap());
+    }
+
+    #[test]
+    fn poll_sweep_flags_only_the_ready_fd() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut a_client = TcpStream::connect(addr).unwrap();
+        let (a_srv, _) = listener.accept().unwrap();
+        let b_client = TcpStream::connect(addr).unwrap();
+        let (b_srv, _) = listener.accept().unwrap();
+
+        a_client.write_all(b"hello").unwrap();
+        let mut set = [
+            PollFd::new(a_srv.as_raw_fd(), POLLIN),
+            PollFd::new(b_srv.as_raw_fd(), POLLIN),
+        ];
+        let n = poll_fds(&mut set, 2_000).unwrap();
+        assert_eq!(n, 1);
+        assert!(set[0].ready(POLLIN));
+        assert!(!set[1].ready(POLLIN));
+        drop(b_client);
+    }
+
+    #[test]
+    fn hangup_is_reported() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (srv, _) = listener.accept().unwrap();
+        drop(client);
+        let mut set = [PollFd::new(srv.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut set, 2_000).unwrap();
+        assert_eq!(n, 1);
+        // EOF shows as POLLIN (read returns 0) and/or POLLHUP.
+        assert!(set[0].ready(POLLIN) || set[0].failed());
+    }
+
+    #[test]
+    fn nofile_limit_is_sane_and_raise_never_lowers() {
+        let (soft, hard) = nofile_limit().unwrap();
+        assert!(soft > 0 && hard >= soft);
+        let now = raise_nofile_limit(soft).unwrap();
+        assert!(now >= soft);
+    }
+}
