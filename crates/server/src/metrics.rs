@@ -47,6 +47,9 @@ pub(crate) struct ServerMetrics {
     pub internal_errors: Arc<Counter>,
     /// `ccdb_server_idle_closed_total` — connections closed by idle timeout.
     pub idle_closed: Arc<Counter>,
+    /// `ccdb_server_write_stalled_closed_total` — connections killed
+    /// because the peer stopped draining buffered responses.
+    pub write_stalled_closed: Arc<Counter>,
     /// `ccdb_server_queue_depth` — jobs waiting for a worker.
     pub queue_depth: Arc<Gauge>,
     /// `ccdb_server_request_latency_ns` — admission to response written.
@@ -107,6 +110,7 @@ pub(crate) fn server_metrics() -> &'static ServerMetrics {
             malformed: r.counter("ccdb_server_malformed_total"),
             internal_errors: r.counter("ccdb_server_internal_errors_total"),
             idle_closed: r.counter("ccdb_server_idle_closed_total"),
+            write_stalled_closed: r.counter("ccdb_server_write_stalled_closed_total"),
             queue_depth: r.gauge("ccdb_server_queue_depth"),
             request_latency: r.histogram("ccdb_server_request_latency_ns", LATENCY_BUCKETS_NS),
             batch_frames: r.counter("ccdb_server_batch_frames_total"),
@@ -166,6 +170,7 @@ mod tests {
             "ccdb_server_sessions_v1",
             "ccdb_server_sessions_v2",
             "ccdb_server_overloaded_total",
+            "ccdb_server_write_stalled_closed_total",
             "ccdb_server_queue_depth",
             "ccdb_server_request_latency_ns",
             "ccdb_server_requests_batch_total",

@@ -7,8 +7,9 @@
 //!                │  framing, negotiation, admission      ▼
 //!                ▼                              SharedStore (RwLock:
 //!          per-conn session state                readers ∥, writers ×)
-//!          + write half (workers flush
-//!            responses through it)
+//!          + outbound buffer (workers and
+//!            the loop append frames; flushed
+//!            nonblockingly, drained on POLLOUT)
 //! ```
 //!
 //! Connections used to get a pinned reader thread each; thousands of
@@ -36,6 +37,13 @@
 //!   closed (counted in `ccdb_server_idle_closed_total`). `WouldBlock`
 //!   on these nonblocking sockets means "no data yet", never "idle" —
 //!   see [`FrameError::is_would_block`].
+//! - **Stalled writers**: no thread ever blocks writing to a client.
+//!   Responses are appended to a per-session [`OutBuf`] and flushed as
+//!   far as the kernel allows; residual bytes drain on `POLLOUT`
+//!   readiness. A peer that stops reading its socket is killed once its
+//!   backlog outlives the stall window or exceeds the backlog cap
+//!   (counted in `ccdb_server_write_stalled_closed_total`) — it can never
+//!   stall the event loop, a worker, or any other connection.
 //! - **Malformed-frame hardening**: oversized length prefixes are refused
 //!   before any allocation, truncated frames and bad JSON/bval/versions
 //!   are counted and answered (or the connection dropped) without
@@ -88,6 +96,9 @@ pub struct ServerConfig {
     pub max_frame_bytes: usize,
     /// Close connections idle longer than this.
     pub idle_timeout: Duration,
+    /// Kill connections whose peer has not drained buffered response
+    /// bytes for this long (a client that stopped reading its socket).
+    pub write_stall_timeout: Duration,
     /// Enable test-only verbs (`boom`); never set in production.
     pub debug_verbs: bool,
     /// Highest wire protocol the server will negotiate: `2` (default)
@@ -104,6 +115,7 @@ impl Default for ServerConfig {
             queue_depth: 64,
             max_frame_bytes: MAX_FRAME_BYTES,
             idle_timeout: Duration::from_secs(30),
+            write_stall_timeout: WRITE_STALL_TIMEOUT,
             debug_verbs: false,
             max_proto: PROTOCOL_V2,
         }
@@ -116,16 +128,82 @@ struct Session {
     peer: String,
     /// Negotiated wire protocol (1 until a v2 hello upgrades it).
     proto: AtomicU8,
-    /// Exclusive write half; workers serialize whole frames through it so
-    /// concurrent responses to one pipelined client never interleave. The
-    /// fd is nonblocking (it shares the open file description with the
-    /// event loop's read half), so writes park on `POLLOUT` when the
-    /// kernel buffer is full.
-    writer: Mutex<TcpStream>,
+    /// Outbound write half. Workers and the event loop append whole
+    /// frames under the lock and flush them without ever blocking; see
+    /// [`OutBuf`] for the stall/desync story.
+    out: Mutex<OutBuf>,
+    /// Lock-free mirror of "`out.pending` is non-empty": the event loop
+    /// reads it each iteration to decide `POLLOUT` interest without
+    /// touching every connection's mutex.
+    has_pending: AtomicBool,
+    /// Write end of the event loop's wake channel; a byte is nudged in
+    /// when a flush first leaves residual bytes so the loop registers
+    /// `POLLOUT` now instead of at its next poll timeout.
+    wake: Arc<TcpStream>,
+    /// Cap on buffered-but-unsent response bytes; a backlog beyond it
+    /// means the peer stopped draining and the connection is killed.
+    out_cap: usize,
     requests: AtomicU64,
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
     started: Instant,
+}
+
+/// The outbound half of a connection.
+///
+/// Every write — worker responses and the event loop's inline errors and
+/// acks alike — appends whole frames here and then flushes as far as the
+/// kernel will take without blocking. Residual bytes stay queued (a frame
+/// is never abandoned mid-write, so the length-prefixed stream cannot
+/// desync) and are pushed out by the event loop on `POLLOUT` readiness.
+/// Nothing ever parks on this socket: a peer that stops draining is
+/// caught by the stall deadline or the backlog cap and the socket is shut
+/// down, which the event loop observes as readiness and reaps.
+struct OutBuf {
+    stream: TcpStream,
+    /// Bytes accepted but not yet written to the kernel.
+    pending: Vec<u8>,
+    /// When `pending` last became non-empty — origin of the stall
+    /// deadline. `None` whenever the buffer is drained.
+    stalled_since: Option<Instant>,
+    /// A write failed or the stall budget ran out: the socket has been
+    /// shut down and every later send is dropped.
+    dead: bool,
+}
+
+impl OutBuf {
+    /// Writes as much of `pending` as the kernel will take right now.
+    /// Never blocks; `WouldBlock` leaves the rest queued.
+    fn flush(&mut self) {
+        while !self.pending.is_empty() && !self.dead {
+            match self.stream.write(&self.pending) {
+                Ok(0) => return self.kill(),
+                Ok(n) => {
+                    self.pending.drain(..n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(_) => return self.kill(),
+            }
+        }
+        if self.pending.is_empty() && !self.dead {
+            self.stalled_since = None;
+            if self.pending.capacity() > BUF_RETAIN_CAP {
+                self.pending = Vec::new();
+            }
+            let _ = self.stream.flush();
+        }
+    }
+
+    /// Declares the write half unusable and forces the socket closed, so
+    /// the event loop reaps the connection via readiness (EOF/`POLLERR`)
+    /// instead of anyone ever writing onto a desynced stream.
+    fn kill(&mut self) {
+        self.dead = true;
+        self.pending = Vec::new();
+        self.stalled_since = None;
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
 }
 
 impl Session {
@@ -181,40 +259,115 @@ impl Session {
         if crate::proto::append_frame(&mut frame, payload).is_err() {
             return;
         }
-        let mut w = self.writer.lock().unwrap_or_else(|p| p.into_inner());
-        if write_all_nonblocking(&mut w, &frame).is_ok() {
+        if self.enqueue_raw(&frame) {
             self.bytes_out
                 .fetch_add(payload.len() as u64, Ordering::Relaxed);
             server_metrics().bytes_out.add(payload.len() as u64);
         }
     }
-}
 
-/// How long a writer will park on `POLLOUT` for a client that stopped
-/// draining its receive buffer before giving up on the response.
-const WRITE_STALL_TIMEOUT_MS: i32 = 5_000;
+    /// Queues `bytes` on the write half and flushes what the kernel will
+    /// take, never blocking. Returns `false` when the write half is (or
+    /// just became) dead — the bytes were dropped.
+    fn enqueue_raw(&self, bytes: &[u8]) -> bool {
+        let mut o = self.out.lock().unwrap_or_else(|p| p.into_inner());
+        if o.dead {
+            return false;
+        }
+        if o.pending.len() > self.out_cap {
+            // The peer stopped draining and the backlog hit the cap:
+            // buffering more is unbounded memory, not kindness.
+            o.kill();
+            self.has_pending.store(false, Ordering::Release);
+            return false;
+        }
+        o.pending.extend_from_slice(bytes);
+        o.flush();
+        self.note_flush_state(&mut o)
+    }
 
-/// `write_all` for a nonblocking socket: `WouldBlock` parks on `POLLOUT`
-/// instead of failing, bounded by [`WRITE_STALL_TIMEOUT_MS`].
-fn write_all_nonblocking(stream: &mut TcpStream, mut buf: &[u8]) -> io::Result<()> {
-    while !buf.is_empty() {
-        match stream.write(buf) {
-            Ok(0) => return Err(io::Error::new(io::ErrorKind::WriteZero, "write returned 0")),
-            Ok(n) => buf = &buf[n..],
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                if !polling::wait_writable(stream.as_raw_fd(), WRITE_STALL_TIMEOUT_MS)? {
-                    return Err(io::Error::new(
-                        io::ErrorKind::TimedOut,
-                        "peer stopped draining responses",
-                    ));
-                }
+    /// Flushes any buffered output (event loop, on `POLLOUT` readiness or
+    /// a wake). Returns `false` when the write half is dead.
+    fn flush_pending(&self) -> bool {
+        let mut o = self.out.lock().unwrap_or_else(|p| p.into_inner());
+        o.flush();
+        self.note_flush_state(&mut o)
+    }
+
+    /// Post-flush bookkeeping shared by every flush site: keeps the
+    /// lock-free `has_pending` mirror in sync (all updates happen under
+    /// the `out` lock), arms the stall deadline, and nudges the event
+    /// loop's wake channel on the empty→non-empty transition.
+    fn note_flush_state(&self, o: &mut OutBuf) -> bool {
+        if o.dead {
+            self.has_pending.store(false, Ordering::Release);
+            return false;
+        }
+        if o.pending.is_empty() {
+            self.has_pending.store(false, Ordering::Release);
+        } else {
+            if o.stalled_since.is_none() {
+                o.stalled_since = Some(Instant::now());
             }
-            Err(e) => return Err(e),
+            if !self.has_pending.swap(true, Ordering::AcqRel) {
+                let _ = (&*self.wake).write(&[1]);
+            }
+        }
+        true
+    }
+
+    /// How long the oldest buffered response byte has waited on a peer
+    /// that is not draining its socket, if any wait is in progress.
+    fn stalled_for(&self) -> Option<Duration> {
+        let o = self.out.lock().unwrap_or_else(|p| p.into_inner());
+        o.stalled_since.map(|t| t.elapsed())
+    }
+
+    /// Drain-path flush: parks on `POLLOUT` (bounded by `budget`) so
+    /// in-flight responses reach slow-but-live clients. Only called from
+    /// shutdown, after the event loop has exited — nothing else may block
+    /// on a client.
+    fn flush_blocking(&self, budget: Duration) {
+        let deadline = Instant::now() + budget;
+        let mut o = self.out.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            o.flush();
+            if o.dead || o.pending.is_empty() {
+                return;
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return;
+            }
+            match polling::wait_writable(o.stream.as_raw_fd(), left.as_millis() as i32 + 1) {
+                Ok(true) => {}
+                Ok(false) | Err(_) => return,
+            }
         }
     }
-    stream.flush()
+
+    /// Shuts the socket down (both halves), dropping anything still
+    /// buffered. Late writes from workers holding the `Arc` just die.
+    fn close(&self) {
+        let mut o = self.out.lock().unwrap_or_else(|p| p.into_inner());
+        o.kill();
+        self.has_pending.store(false, Ordering::Release);
+    }
 }
+
+/// How long buffered response bytes may sit undrained (the peer is not
+/// reading its socket) before the connection is declared stalled and
+/// killed. Also the total budget shutdown spends flushing stragglers.
+const WRITE_STALL_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Outbound backlog cap, as a multiple of the frame-size cap.
+const OUT_CAP_FRAMES: usize = 4;
+
+/// Retained-capacity ceiling for drained per-connection buffers: an
+/// allocation that outgrew this during a burst is freed once empty, so an
+/// idle session goes back to costing ~nothing instead of pinning the
+/// largest frame it ever saw.
+const BUF_RETAIN_CAP: usize = 8 * 1024;
 
 /// A unit of admitted work: request + the session to answer, plus the
 /// phase timings the event loop already banked for it.
@@ -318,9 +471,10 @@ impl Server {
                 thread::spawn(move || worker_loop(&inner))
             })
             .collect();
+        let (wake_tx, wake_rx) = wake_pair()?;
         let event_loop = {
             let inner = Arc::clone(&inner);
-            thread::spawn(move || EventLoop::new(listener, inner).run())
+            thread::spawn(move || EventLoop::new(listener, inner, wake_tx, wake_rx).run())
         };
         Ok(Server {
             inner,
@@ -382,8 +536,10 @@ impl Server {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
-        // 3. Every response is flushed; now shut the sockets so clients
-        //    see EOF instead of a hang.
+        // 3. Every response is written or buffered; flush stragglers to
+        //    slow-but-live clients (one shared budget — healthy sockets
+        //    cost nothing), then shut the sockets so clients see EOF
+        //    instead of a hang.
         let sessions: Vec<Arc<Session>> = {
             let mut map = self
                 .inner
@@ -393,12 +549,32 @@ impl Server {
             map.drain().map(|(_, s)| s).collect()
         };
         let m = server_metrics();
+        let deadline = Instant::now() + WRITE_STALL_TIMEOUT;
         for s in sessions {
             release_session_gauges(m, s.proto());
-            let w = s.writer.lock().unwrap_or_else(|p| p.into_inner());
-            let _ = w.shutdown(Shutdown::Both);
+            s.flush_blocking(deadline.saturating_duration_since(Instant::now()));
+            s.close();
         }
     }
+}
+
+/// A connected loopback socket pair used as the event loop's wake channel
+/// (a std-only stand-in for a self-pipe): sessions write a byte to the
+/// `tx` end when a flush leaves residual output, the loop polls `rx`.
+fn wake_pair() -> io::Result<(Arc<TcpStream>, TcpStream)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let tx = TcpStream::connect(listener.local_addr()?)?;
+    let (rx, peer) = listener.accept()?;
+    if peer != tx.local_addr()? {
+        return Err(io::Error::new(
+            io::ErrorKind::ConnectionRefused,
+            "wake pair hijacked by a foreign connection",
+        ));
+    }
+    tx.set_nonblocking(true)?;
+    rx.set_nonblocking(true)?;
+    let _ = tx.set_nodelay(true);
+    Ok((Arc::new(tx), rx))
 }
 
 fn release_session_gauges(m: &crate::metrics::ServerMetrics, proto: u8) {
@@ -436,12 +612,19 @@ struct Conn {
     /// arrived; `None` while the buffer is empty (idle between frames).
     frame_start: Option<Instant>,
     last_activity: Instant,
+    /// Lame-duck: no more reads; close as soon as buffered output (a
+    /// final error response, typically) is flushed or the stall deadline
+    /// passes.
+    closing: bool,
 }
 
 /// Result of servicing one connection's readiness.
 enum ConnAfter {
     Keep,
     Close,
+    /// Close, but only after any buffered output (the error response just
+    /// queued) has reached the kernel — never block to get it there.
+    CloseAfterFlush,
 }
 
 struct EventLoop {
@@ -449,15 +632,26 @@ struct EventLoop {
     inner: Arc<Inner>,
     conns: HashMap<u64, Conn>,
     scratch: Box<[u8; 64 * 1024]>,
+    /// Read end of the wake channel; see [`wake_pair`].
+    wake_rx: TcpStream,
+    /// Write end, cloned into every session.
+    wake_tx: Arc<TcpStream>,
 }
 
 impl EventLoop {
-    fn new(listener: TcpListener, inner: Arc<Inner>) -> EventLoop {
+    fn new(
+        listener: TcpListener,
+        inner: Arc<Inner>,
+        wake_tx: Arc<TcpStream>,
+        wake_rx: TcpStream,
+    ) -> EventLoop {
         EventLoop {
             listener,
             inner,
             conns: HashMap::new(),
             scratch: Box::new([0u8; 64 * 1024]),
+            wake_rx,
+            wake_tx,
         }
     }
 
@@ -476,13 +670,19 @@ impl EventLoop {
                 self.listener.as_raw_fd(),
                 polling::POLLIN,
             ));
-            // Stable iteration: poll slot i+1 belongs to ids[i].
+            poll_set.push(polling::PollFd::new(
+                self.wake_rx.as_raw_fd(),
+                polling::POLLIN,
+            ));
+            // Stable iteration: poll slot i+2 belongs to ids[i].
             let ids: Vec<u64> = self.conns.keys().copied().collect();
             for id in &ids {
-                poll_set.push(polling::PollFd::new(
-                    self.conns[id].stream.as_raw_fd(),
-                    polling::POLLIN,
-                ));
+                let c = &self.conns[id];
+                let mut events = if c.closing { 0 } else { polling::POLLIN };
+                if c.session.has_pending.load(Ordering::Acquire) {
+                    events |= polling::POLLOUT;
+                }
+                poll_set.push(polling::PollFd::new(c.stream.as_raw_fd(), events));
             }
             let timeout_ms = self.poll_timeout_ms();
             let n = match polling::poll_fds(&mut poll_set, timeout_ms) {
@@ -501,35 +701,108 @@ impl EventLoop {
                 if poll_set[0].ready(polling::POLLIN) {
                     self.accept_ready();
                 }
+                if poll_set[1].ready(polling::POLLIN) {
+                    self.drain_wake();
+                }
                 ready_ids.clear();
                 ready_ids.extend(
                     ids.iter()
-                        .zip(&poll_set[1..])
+                        .zip(&poll_set[2..])
                         .filter(|(_, p)| p.ready(polling::POLLIN) || p.failed())
                         .map(|(id, _)| *id),
                 );
                 for id in &ready_ids {
                     let after = match self.conns.get_mut(id) {
-                        Some(conn) => service_conn(&self.inner, conn, &mut self.scratch[..]),
-                        None => continue,
+                        Some(conn) if !conn.closing => {
+                            service_conn(&self.inner, conn, &mut self.scratch[..])
+                        }
+                        _ => continue,
                     };
-                    if let ConnAfter::Close = after {
-                        self.close_conn(*id);
+                    match after {
+                        ConnAfter::Keep => {}
+                        ConnAfter::Close => self.close_conn(*id),
+                        ConnAfter::CloseAfterFlush => self.begin_close(*id),
                     }
                 }
             }
-            // Idle sweep: close connections whose silence outlived the
-            // window. WouldBlock never triggers this — only the clock.
-            let idle_ids: Vec<u64> = self
+            // Flush pass: push buffered output for every session that has
+            // any (POLLOUT readiness and wake nudges both land here). The
+            // per-conn check is one atomic load; the mutex is only taken
+            // for connections that actually owe bytes.
+            let flush_ids: Vec<u64> = self
                 .conns
                 .iter()
-                .filter(|(_, c)| c.last_activity.elapsed() >= self.inner.cfg.idle_timeout)
+                .filter(|(_, c)| c.closing || c.session.has_pending.load(Ordering::Acquire))
                 .map(|(id, _)| *id)
                 .collect();
-            for id in idle_ids {
-                m.idle_closed.inc();
+            for id in flush_ids {
+                let Some(conn) = self.conns.get(&id) else {
+                    continue;
+                };
+                let alive = conn.session.flush_pending();
+                let drained = !conn.session.has_pending.load(Ordering::Acquire);
+                if !alive || (conn.closing && drained) {
+                    self.close_conn(id);
+                }
+            }
+            // Sweeps, driven by the clock alone (WouldBlock never gets a
+            // connection here): silence beyond the idle window, or
+            // buffered output the peer has not drained within the stall
+            // window (it stopped reading its socket).
+            let idle = self.inner.cfg.idle_timeout;
+            let stall = self.inner.cfg.write_stall_timeout;
+            let dead_ids: Vec<(u64, bool)> = self
+                .conns
+                .iter()
+                .filter_map(|(id, c)| {
+                    let stalled = c.session.has_pending.load(Ordering::Acquire)
+                        && matches!(c.session.stalled_for(), Some(d) if d >= stall);
+                    if stalled {
+                        Some((*id, true))
+                    } else if c.last_activity.elapsed() >= idle {
+                        Some((*id, false))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            for (id, stalled) in dead_ids {
+                if stalled {
+                    m.write_stalled_closed.inc();
+                } else {
+                    m.idle_closed.inc();
+                }
                 self.close_conn(id);
             }
+        }
+    }
+
+    /// Empties the wake channel; the actual work happens in the flush
+    /// pass, keyed off each session's `has_pending` flag.
+    fn drain_wake(&mut self) {
+        loop {
+            match self.wake_rx.read(&mut self.scratch[..]) {
+                Ok(0) => return, // tx end closed: server is tearing down
+                Ok(n) if n < self.scratch.len() => return,
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return, // WouldBlock: drained
+            }
+        }
+    }
+
+    /// Starts a lame-duck close: flush what is already writable now, keep
+    /// the connection (write side only) while output remains, close as
+    /// soon as it drains. The stall sweep bounds how long that lasts.
+    fn begin_close(&mut self, id: u64) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        let alive = conn.session.flush_pending();
+        if !alive || !conn.session.has_pending.load(Ordering::Acquire) {
+            self.close_conn(id);
+        } else {
+            conn.closing = true;
         }
     }
 
@@ -584,7 +857,19 @@ impl EventLoop {
             id,
             peer,
             proto: AtomicU8::new(1),
-            writer: Mutex::new(writer),
+            out: Mutex::new(OutBuf {
+                stream: writer,
+                pending: Vec::new(),
+                stalled_since: None,
+                dead: false,
+            }),
+            has_pending: AtomicBool::new(false),
+            wake: Arc::clone(&self.wake_tx),
+            out_cap: self
+                .inner
+                .cfg
+                .max_frame_bytes
+                .saturating_mul(OUT_CAP_FRAMES),
             requests: AtomicU64::new(0),
             bytes_in: AtomicU64::new(0),
             bytes_out: AtomicU64::new(0),
@@ -607,6 +892,7 @@ impl EventLoop {
                 buf: Vec::new(),
                 frame_start: None,
                 last_activity: Instant::now(),
+                closing: false,
             },
         );
     }
@@ -623,13 +909,24 @@ impl EventLoop {
         release_session_gauges(server_metrics(), conn.session.proto());
         // Force the FIN out even if a queued job still holds the session
         // (its late write will just fail, which is already tolerated).
-        let _ = conn.stream.shutdown(Shutdown::Both);
+        conn.session.close();
     }
 }
 
 /// Reads whatever the kernel has buffered for `conn` and processes every
 /// complete frame in it.
 fn service_conn(inner: &Arc<Inner>, conn: &mut Conn, scratch: &mut [u8]) -> ConnAfter {
+    let after = service_conn_io(inner, conn, scratch);
+    // A connection retains only a small receive buffer between frames; a
+    // one-off large frame must not pin its allocation for the session's
+    // lifetime.
+    if conn.buf.is_empty() && conn.buf.capacity() > BUF_RETAIN_CAP {
+        conn.buf = Vec::new();
+    }
+    after
+}
+
+fn service_conn_io(inner: &Arc<Inner>, conn: &mut Conn, scratch: &mut [u8]) -> ConnAfter {
     let m = server_metrics();
     loop {
         match conn.stream.read(scratch) {
@@ -637,8 +934,15 @@ fn service_conn(inner: &Arc<Inner>, conn: &mut Conn, scratch: &mut [u8]) -> Conn
                 // EOF. Mid-frame it is a truncation worth counting.
                 if !conn.buf.is_empty() {
                     m.malformed.inc();
+                    return ConnAfter::Close;
                 }
-                return ConnAfter::Close;
+                // A clean half-close may still be waiting on buffered
+                // pipelined responses; let those drain first.
+                return if conn.session.has_pending.load(Ordering::Acquire) {
+                    ConnAfter::CloseAfterFlush
+                } else {
+                    ConnAfter::Close
+                };
             }
             Ok(n) => {
                 conn.last_activity = Instant::now();
@@ -686,7 +990,7 @@ fn process_buffer(inner: &Arc<Inner>, conn: &mut Conn) -> ConnAfter {
                         ErrorKind::Protocol,
                         &format!("bad hello magic (expected {:02x?})", &HELLO_V2[..]),
                     ));
-                    return ConnAfter::Close;
+                    return ConnAfter::CloseAfterFlush;
                 }
                 if inner.cfg.max_proto < PROTOCOL_V2 {
                     m.malformed.inc();
@@ -695,7 +999,7 @@ fn process_buffer(inner: &Arc<Inner>, conn: &mut Conn) -> ConnAfter {
                         ErrorKind::Protocol,
                         "protocol v2 not supported (server pinned to v1)",
                     ));
-                    return ConnAfter::Close;
+                    return ConnAfter::CloseAfterFlush;
                 }
                 // Accept: echo the magic raw (unframed) and switch modes.
                 conn.buf.drain(..HELLO_V2.len());
@@ -707,15 +1011,10 @@ fn process_buffer(inner: &Arc<Inner>, conn: &mut Conn) -> ConnAfter {
                 conn.session.proto.store(PROTOCOL_V2, Ordering::Relaxed);
                 m.sessions_v1.add(-1);
                 m.sessions_v2.add(1);
-                {
-                    let mut w = conn
-                        .session
-                        .writer
-                        .lock()
-                        .unwrap_or_else(|p| p.into_inner());
-                    if write_all_nonblocking(&mut w, &HELLO_V2).is_err() {
-                        return ConnAfter::Close;
-                    }
+                // The ack is queued ahead of any response to pipelined v2
+                // frames already in `buf`, preserving stream order.
+                if !conn.session.enqueue_raw(&HELLO_V2) {
+                    return ConnAfter::Close;
                 }
                 conn.mode = ConnMode::V2;
                 continue;
@@ -739,7 +1038,7 @@ fn process_buffer(inner: &Arc<Inner>, conn: &mut Conn) -> ConnAfter {
                     inner.cfg.max_frame_bytes
                 ),
             ));
-            return ConnAfter::Close;
+            return ConnAfter::CloseAfterFlush;
         }
         if conn.buf.len() < 4 + len {
             return ConnAfter::Keep; // partial frame

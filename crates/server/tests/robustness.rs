@@ -210,6 +210,64 @@ fn idle_connections_are_closed_by_the_read_timeout() {
 }
 
 #[test]
+fn nonreading_client_is_killed_and_cannot_stall_the_server() {
+    // Regression: inline responses (the `session` verb is answered on the
+    // event-loop thread) once went through a blocking write that parked
+    // up to 5s on POLLOUT, so one client that pipelined requests without
+    // ever reading its socket froze accepts and reads for everyone. Now
+    // responses land in a bounded outbound buffer and the stalled peer is
+    // killed, while other clients get clean service throughout.
+    let server = common::start(ServerConfig {
+        // A small frame cap keeps the outbound backlog cap (a multiple of
+        // it) small, so the abuser dies soon after kernel buffers fill.
+        max_frame_bytes: 1024,
+        write_stall_timeout: Duration::from_millis(200),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    let mut pig = TcpStream::connect(addr).unwrap();
+    pig.set_nodelay(true).unwrap();
+    let frame = {
+        let payload: &[u8] = br#"{"v": 1, "id": 7, "verb": "session"}"#;
+        let mut f = (payload.len() as u32).to_be_bytes().to_vec();
+        f.extend_from_slice(payload);
+        f
+    };
+    // Pipeline requests and never read a byte of the responses. The
+    // server shuts the socket once the response backlog hits its cap or
+    // stall deadline; our writes then fail on the reset connection.
+    let mut killed = false;
+    'pump: for burst in 0..2_000 {
+        for _ in 0..64 {
+            if pig.write_all(&frame).is_err() {
+                killed = true;
+                break 'pump;
+            }
+        }
+        if burst % 100 == 0 {
+            // Liveness while the abuser backlogs: a well-behaved client
+            // is served promptly the whole time.
+            assert_alive(addr);
+        }
+    }
+    if !killed {
+        // Backlog built slower than the pump; the stall deadline (200ms)
+        // must still get the connection reaped.
+        for _ in 0..100 {
+            std::thread::sleep(Duration::from_millis(50));
+            if pig.write_all(&frame).is_err() {
+                killed = true;
+                break;
+            }
+        }
+    }
+    assert!(killed, "non-reading client was never disconnected");
+    assert_alive(addr);
+    server.shutdown();
+}
+
+#[test]
 fn session_verb_reports_per_connection_state() {
     let server = common::start_default();
     let mut a = Client::connect(server.local_addr()).unwrap();

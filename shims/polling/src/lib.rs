@@ -11,8 +11,8 @@
 //! - [`PollFd`] / [`poll_fds`] — the raw readiness sweep an event loop
 //!   builds each iteration (interest sets in, ready sets out);
 //! - [`wait_readable`] / [`wait_writable`] — single-fd conveniences for
-//!   code that must block on one socket (e.g. a worker flushing a response
-//!   to a nonblocking fd);
+//!   code that may block on one socket (e.g. the shutdown drain flushing
+//!   a final response to a nonblocking fd);
 //! - [`raise_nofile_limit`] / [`nofile_limit`] — `RLIMIT_NOFILE`
 //!   introspection so a 10k-connection experiment can size itself to what
 //!   the process may actually open.
@@ -76,16 +76,42 @@ mod sys {
     use super::PollFd;
     use std::io;
 
+    /// `nfds_t`: `unsigned long` per POSIX (glibc/musl), but `unsigned
+    /// int` on Darwin — a fixed `u64` would be an ABI mismatch on 32-bit
+    /// Unix targets.
+    #[cfg(target_os = "macos")]
+    type NFds = u32;
+    #[cfg(not(target_os = "macos"))]
+    type NFds = std::os::raw::c_ulong;
+
+    /// `rlim_t`: 64-bit on every supported target except 32-bit glibc,
+    /// where the plain `getrlimit`/`setrlimit` symbols take the 32-bit
+    /// `unsigned long` flavor.
+    #[cfg(all(target_env = "gnu", target_pointer_width = "32"))]
+    type RLim = std::os::raw::c_ulong;
+    #[cfg(not(all(target_env = "gnu", target_pointer_width = "32")))]
+    type RLim = u64;
+
     extern "C" {
-        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+        fn poll(fds: *mut PollFd, nfds: NFds, timeout: i32) -> i32;
         fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
         fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
     }
 
     #[repr(C)]
     struct RLimit {
-        cur: u64,
-        max: u64,
+        cur: RLim,
+        max: RLim,
+    }
+
+    fn to_rlim(v: u64) -> RLim {
+        RLim::try_from(v).unwrap_or(RLim::MAX)
+    }
+
+    // The cast is lossless on 64-bit targets and widening on 32-bit glibc.
+    #[allow(clippy::unnecessary_cast)]
+    fn from_rlim(v: RLim) -> u64 {
+        v as u64
     }
 
     #[cfg(target_os = "macos")]
@@ -95,7 +121,7 @@ mod sys {
 
     pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
         loop {
-            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NFds, timeout_ms) };
             if rc >= 0 {
                 return Ok(rc as usize);
             }
@@ -113,7 +139,7 @@ mod sys {
         if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
             return Err(io::Error::last_os_error());
         }
-        Ok((lim.cur, lim.max))
+        Ok((from_rlim(lim.cur), from_rlim(lim.max)))
     }
 
     pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
@@ -125,11 +151,11 @@ mod sys {
         // fall back to the current hard limit.
         for target in [want.max(max), max] {
             let lim = RLimit {
-                cur: want.min(target),
-                max: target,
+                cur: to_rlim(want.min(target)),
+                max: to_rlim(target),
             };
             if unsafe { setrlimit(RLIMIT_NOFILE, &lim) } == 0 {
-                return Ok(lim.cur);
+                return Ok(from_rlim(lim.cur));
             }
         }
         Ok(cur)
