@@ -22,8 +22,14 @@
 //!   closed-loop clients, optionally shipping `--batch` sub-requests per
 //!   frame, over the binary v2 framing (default) or v1 JSON ([`serve`]);
 //! - `ccdb top <addr> [--once] [--interval-ms N]` — refreshing latency
-//!   dashboard for a running server: req/s, per-verb quantiles, phase
-//!   decomposition, store-lock contention ([`top`]);
+//!   dashboard for a running server, computed server-side from the
+//!   telemetry ring: req/s and queue-depth sparklines, worker
+//!   utilization, per-verb windowed quantiles, phase decomposition,
+//!   wakeup latency, store-lock contention ([`top`]);
+//! - `ccdb monitor <addr> [--record F] [--interval-ms N] [--duration-ms N]
+//!   [--series p1,p2] [--proto v1|v2]` — subscribe to the server's
+//!   `watch` stream and dump each telemetry frame as JSONL;
+//!   `ccdb monitor --replay F` digests a recording offline ([`monitor`]);
 //! - `ccdb flight <addr> [--json]` — dump the server's flight recorder:
 //!   slowest and most recent requests with per-phase timelines ([`top`]).
 //!
@@ -38,10 +44,12 @@ use ccdb_core::schema::{Catalog, ItemSource};
 use ccdb_lang::{compile_str, render};
 
 pub mod explain;
+pub mod monitor;
 pub mod serve;
 pub mod stats;
 pub mod top;
 pub use explain::cmd_explain;
+pub use monitor::{cmd_monitor, MonitorFlags};
 pub use serve::{cmd_bench_net, cmd_serve, ServeFlags};
 pub use stats::cmd_stats;
 pub use top::{cmd_flight, cmd_top};
@@ -188,6 +196,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                  [--queue-depth N] [--clients N] [--requests N] [--batch N] \
                  [--proto v1|v2] | \
                  ccdb top <addr> [--once] [--interval-ms N] | \
+                 ccdb monitor <addr|--replay F> [--record F] [--interval-ms N] \
+                 [--duration-ms N] [--series p1,p2] [--proto v1|v2] | \
                  ccdb flight <addr> [--json]";
     // Opt-in slow-op log: traced roots slower than this are mirrored as
     // `obs.slow_op` events through the installed subscriber.
@@ -283,6 +293,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 }
             }
             cmd_top(addr, once, interval_ms)
+        }
+        "monitor" => {
+            let flags = MonitorFlags::parse(&args[1..])?;
+            cmd_monitor(&flags)
         }
         "flight" => {
             let Some(addr) = args.get(1) else {

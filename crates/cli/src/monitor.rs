@@ -1,0 +1,306 @@
+//! `ccdb monitor`: dump or replay a server's telemetry stream.
+//!
+//! - `ccdb monitor <addr> [--record <file>] [--interval-ms N]
+//!   [--duration-ms N] [--series p1,p2] [--proto v1|v2]` subscribes with
+//!   the `watch` verb and writes each streamed frame as one JSON line.
+//!   Without `--record` the JSONL goes to stdout (pipe it to `jq`); with
+//!   `--record` it goes to the file and stdout gets a one-line summary.
+//! - `ccdb monitor --replay <file>` reads a recorded JSONL stream back
+//!   and prints a per-frame digest plus totals — post-mortem analysis of
+//!   a capture without a live server.
+//!
+//! Frames are the server's incremental telemetry deltas (see the `watch`
+//! verb): what arrived on the wire is exactly what lands in the file, so
+//! a recording replays byte-for-byte into any JSONL tooling.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+use ccdb_server::Client;
+use serde_json::Value as Json;
+
+use crate::CliError;
+
+fn net(e: impl std::fmt::Display) -> CliError {
+    CliError {
+        message: format!("cannot reach server: {e}"),
+        code: 1,
+    }
+}
+
+/// Parsed `monitor` arguments.
+pub struct MonitorFlags {
+    /// Replay path (`--replay`); mutually exclusive with a live address.
+    pub replay: Option<String>,
+    /// Live server address.
+    pub addr: Option<String>,
+    /// Record frames into this file instead of stdout.
+    pub record: Option<String>,
+    /// Requested frame interval.
+    pub interval_ms: u64,
+    /// Stop after this long (run until the connection drops when absent).
+    pub duration_ms: Option<u64>,
+    /// Series name patterns to subscribe to (server default when empty).
+    pub series: Vec<String>,
+    /// Wire protocol to speak (1 or 2).
+    pub proto: u8,
+}
+
+impl MonitorFlags {
+    /// Parses `monitor` args: either `--replay <file>` or
+    /// `<addr> [flags]`.
+    pub fn parse(args: &[String]) -> Result<MonitorFlags, CliError> {
+        let mut f = MonitorFlags {
+            replay: None,
+            addr: None,
+            record: None,
+            interval_ms: 500,
+            duration_ms: None,
+            series: Vec::new(),
+            proto: 2,
+        };
+        let bad = |m: &str| CliError {
+            message: format!("monitor: {m}"),
+            code: 2,
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--replay" => {
+                    f.replay = Some(
+                        it.next()
+                            .ok_or_else(|| bad("--replay needs a file"))?
+                            .clone(),
+                    )
+                }
+                "--record" => {
+                    f.record = Some(
+                        it.next()
+                            .ok_or_else(|| bad("--record needs a file"))?
+                            .clone(),
+                    )
+                }
+                "--interval-ms" => {
+                    f.interval_ms = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| bad("--interval-ms needs a number"))?
+                }
+                "--duration-ms" => {
+                    f.duration_ms = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| bad("--duration-ms needs a number"))?,
+                    )
+                }
+                "--series" => {
+                    let list = it.next().ok_or_else(|| bad("--series needs patterns"))?;
+                    f.series = list.split(',').map(str::to_string).collect();
+                }
+                "--proto" => {
+                    f.proto = match it.next().map(String::as_str) {
+                        Some("v1") | Some("1") => 1,
+                        Some("v2") | Some("2") => 2,
+                        _ => return Err(bad("--proto must be v1 or v2")),
+                    }
+                }
+                other if f.addr.is_none() && !other.starts_with("--") => {
+                    f.addr = Some(other.to_string())
+                }
+                other => return Err(bad(&format!("unknown flag `{other}`"))),
+            }
+        }
+        if f.replay.is_none() && f.addr.is_none() {
+            return Err(bad("need a server address or --replay <file>"));
+        }
+        Ok(f)
+    }
+}
+
+/// Live capture: subscribe, stream frames as JSONL, stop after
+/// `duration_ms` (or when the connection drops).
+fn monitor_live(f: &MonitorFlags) -> Result<String, CliError> {
+    let addr = f.addr.as_deref().expect("checked by parse");
+    let mut c = Client::connect_proto(addr, f.proto).map_err(net)?;
+    c.set_read_timeout(Some(Duration::from_millis(f.interval_ms * 2 + 5_000)))
+        .map_err(net)?;
+    let patterns: Vec<&str> = f.series.iter().map(String::as_str).collect();
+    let ack = c.watch(f.interval_ms, &patterns).map_err(net)?;
+    if ack.get("watching").and_then(Json::as_bool) != Some(true) {
+        return Err(net(format!("watch not acknowledged: {ack:?}")));
+    }
+
+    let mut sink: Box<dyn std::io::Write> = match &f.record {
+        Some(path) => Box::new(std::fs::File::create(path).map_err(|e| CliError {
+            message: format!("cannot create `{path}`: {e}"),
+            code: 2,
+        })?),
+        None => Box::new(std::io::stdout()),
+    };
+    let deadline = f
+        .duration_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let mut frames = 0u64;
+    loop {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            break;
+        }
+        let frame = match c.recv_watch_frame() {
+            Ok(frame) => frame,
+            // The server went away (shutdown, stall-kill): stop cleanly
+            // with whatever was captured.
+            Err(_) if frames > 0 => break,
+            Err(e) => return Err(net(e)),
+        };
+        writeln!(sink, "{}", frame.to_json_string()).map_err(|e| CliError {
+            message: format!("write failed: {e}"),
+            code: 1,
+        })?;
+        frames += 1;
+    }
+    let _ = sink.flush();
+    let _ = c.watch_stop();
+    Ok(match &f.record {
+        Some(path) => format!("recorded {frames} frames to {path}\n"),
+        None => String::new(),
+    })
+}
+
+/// Renders a recorded JSONL stream back into a per-frame digest. Pure —
+/// unit tests feed captured text.
+pub fn render_replay(content: &str) -> Result<String, CliError> {
+    let mut out = String::new();
+    let mut frames = 0u64;
+    let mut first_ms = None;
+    let mut last_ms = 0u64;
+    let mut total_series = 0u64;
+    for (lineno, line) in content.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let frame: Json = serde_json::from_str(line).map_err(|e| CliError {
+            message: format!("replay: line {} is not a frame: {e}", lineno + 1),
+            code: 1,
+        })?;
+        let seq = frame.get("seq").and_then(Json::as_u64).unwrap_or(0);
+        let tick = frame.get("tick").and_then(Json::as_u64).unwrap_or(0);
+        let unix_ms = frame.get("unix_ms").and_then(Json::as_u64).unwrap_or(0);
+        let series = frame
+            .get("series")
+            .and_then(Json::as_array)
+            .map(|a| a.len())
+            .unwrap_or(0);
+        let rel_ms = match first_ms {
+            None => {
+                first_ms = Some(unix_ms);
+                0
+            }
+            Some(f) => unix_ms.saturating_sub(f),
+        };
+        last_ms = unix_ms;
+        total_series += series as u64;
+        frames += 1;
+        // The request counter's delta is the one number every capture
+        // wants at a glance.
+        let req = frame
+            .get("series")
+            .and_then(Json::as_array)
+            .and_then(|a| {
+                a.iter().find(|s| {
+                    s.get("name").and_then(Json::as_str) == Some("ccdb_server_requests_total")
+                })
+            })
+            .and_then(|s| s.get("delta"))
+            .and_then(Json::as_u64);
+        out.push_str(&format!(
+            "+{:>6}ms seq {seq:>4} tick {tick:>6} series {series:>3}{}\n",
+            rel_ms,
+            req.map(|d| format!(" req +{d}")).unwrap_or_default(),
+        ));
+    }
+    if frames == 0 {
+        return Err(CliError {
+            message: "replay: no frames in file".into(),
+            code: 1,
+        });
+    }
+    let span_ms = first_ms.map(|f| last_ms.saturating_sub(f)).unwrap_or(0);
+    out.push_str(&format!(
+        "{frames} frames over {:.1}s, {:.1} series/frame\n",
+        span_ms as f64 / 1000.0,
+        total_series as f64 / frames as f64,
+    ));
+    Ok(out)
+}
+
+/// `monitor`: live capture or replay, per the flags.
+pub fn cmd_monitor(f: &MonitorFlags) -> Result<String, CliError> {
+    match &f.replay {
+        Some(path) => {
+            let content = std::fs::read_to_string(path).map_err(|e| CliError {
+                message: format!("cannot read `{path}`: {e}"),
+                code: 2,
+            })?;
+            render_replay(&content)
+        }
+        None => monitor_live(f),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_live_flags() {
+        let f = MonitorFlags::parse(&[
+            "127.0.0.1:7878".into(),
+            "--record".into(),
+            "out.jsonl".into(),
+            "--interval-ms".into(),
+            "100".into(),
+            "--duration-ms".into(),
+            "2000".into(),
+            "--series".into(),
+            "ccdb_server_*,ccdb_core_*".into(),
+            "--proto".into(),
+            "v1".into(),
+        ])
+        .unwrap();
+        assert_eq!(f.addr.as_deref(), Some("127.0.0.1:7878"));
+        assert_eq!(f.record.as_deref(), Some("out.jsonl"));
+        assert_eq!(f.interval_ms, 100);
+        assert_eq!(f.duration_ms, Some(2000));
+        assert_eq!(f.series, vec!["ccdb_server_*", "ccdb_core_*"]);
+        assert_eq!(f.proto, 1);
+    }
+
+    #[test]
+    fn parse_requires_addr_or_replay() {
+        assert!(MonitorFlags::parse(&[]).is_err());
+        assert!(MonitorFlags::parse(&["--replay".into(), "f.jsonl".into()]).is_ok());
+        assert!(MonitorFlags::parse(&["--bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn replay_digests_recorded_frames() {
+        let capture = concat!(
+            r#"{"watch": true, "seq": 1, "from_tick": 0, "tick": 4, "interval_ms": 500, "window_ms": 2000, "unix_ms": 1000, "series": [{"name": "ccdb_server_requests_total", "kind": "counter", "delta": 42, "rate": 21.0}]}"#,
+            "\n",
+            r#"{"watch": true, "seq": 2, "from_tick": 4, "tick": 6, "interval_ms": 500, "window_ms": 1000, "unix_ms": 1500, "series": []}"#,
+            "\n",
+        );
+        let out = render_replay(capture).unwrap();
+        assert!(out.contains("seq    1"), "{out}");
+        assert!(out.contains("req +42"), "{out}");
+        assert!(out.contains("+   500ms"), "{out}");
+        assert!(out.contains("2 frames over 0.5s"), "{out}");
+    }
+
+    #[test]
+    fn replay_rejects_garbage() {
+        assert!(render_replay("not json\n").is_err());
+        assert!(render_replay("").is_err());
+    }
+}

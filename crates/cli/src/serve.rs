@@ -350,6 +350,39 @@ fn bench_client(
     Ok((latencies, overloaded, errors))
 }
 
+/// Queries the target's telemetry ring for the scheduler's
+/// enqueue→dequeue wakeup-latency digest over (at least) the bench
+/// window. Returns a ready-to-print fragment; a server whose sampler has
+/// not ticked yet (very short runs) reports that instead of numbers.
+fn wakeup_summary(addr: std::net::SocketAddr, elapsed: Duration) -> String {
+    let digest = (|| -> Result<Json, ccdb_server::ClientError> {
+        let mut c = Client::connect(addr)?;
+        c.set_read_timeout(Some(Duration::from_secs(5)))?;
+        c.telemetry(serde_json::json!({
+            "window_ms": (elapsed.as_millis() as u64).max(1_000),
+            "series": &["ccdb_server_wakeup_latency_ns"][..],
+        }))
+    })();
+    let fmt = |w: &Json, f: &str| {
+        w.get(f)
+            .and_then(Json::as_f64)
+            .map(|v| format!("{v:.0}"))
+            .unwrap_or_else(|| "-".into())
+    };
+    match digest {
+        Ok(t) => match t.get("wakeup") {
+            Some(w) if w.get("count").and_then(Json::as_u64).unwrap_or(0) > 0 => format!(
+                "p50={} p95={} (ns enqueue→dequeue, {} dequeues sampled)",
+                fmt(w, "p50_ns"),
+                fmt(w, "p95_ns"),
+                w.get("count").and_then(Json::as_u64).unwrap_or(0),
+            ),
+            _ => "no samples in window (sampler idle or run shorter than one tick)".into(),
+        },
+        Err(e) => format!("unavailable ({e})"),
+    }
+}
+
 fn quantile(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
@@ -420,6 +453,10 @@ pub fn cmd_bench_net(source: &str, flags: &ServeFlags) -> Result<String, CliErro
         }
     }
     let elapsed = started.elapsed();
+    // Pull the scheduler's wakeup-latency digest while the server is
+    // still up: it comes from the server-side telemetry ring, not from
+    // anything the clients measured.
+    let wakeup = wakeup_summary(addr, elapsed);
     if let Some(server) = server {
         server.shutdown();
     }
@@ -446,7 +483,8 @@ pub fn cmd_bench_net(source: &str, flags: &ServeFlags) -> Result<String, CliErro
            throughput : {rps:.0} req/s\n\
            latency    : p50={} p95={} p99={} (ns/frame)\n\
            retries    : {} (overloaded, capped exp backoff + jitter)\n\
-           errors     : {} (server error responses)\n",
+           errors     : {} (server error responses)\n\
+           wakeup     : {wakeup}\n",
         if proto >= 2 { "binary framing" } else { "JSON framing" },
         elapsed.as_secs_f64(),
         quantile(&all, 0.50),
@@ -551,6 +589,9 @@ mod tests {
             out.contains("errors     : 0"),
             "healthy run must report zero server errors: {out}"
         );
+        // The wakeup line is always present; short runs may report that
+        // the sampler has not ticked rather than numbers.
+        assert!(out.contains("wakeup     :"), "{out}");
     }
 
     #[test]

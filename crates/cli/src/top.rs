@@ -1,18 +1,18 @@
 //! `ccdb top` and `ccdb flight`: live latency decomposition for a running
 //! server, over the regular wire protocol (no side channel).
 //!
-//! - [`cmd_top`] scrapes the `metrics` verb (Prometheus text) twice per
-//!   frame, reconstructs the histograms by de-cumulating the `_bucket`
-//!   lines, and renders a refreshing text dashboard: request rate,
-//!   per-verb p50/p95/p99, the seven-phase time bar, store-lock wait/hold
-//!   quantiles, queue depth, and resolution-cache hit rate. `--once`
-//!   prints a single frame (CI smoke); otherwise it refreshes until the
-//!   connection drops.
+//! - [`cmd_top`] queries the server's `telemetry` verb each frame: the
+//!   server computes windowed rates and quantiles from its own sampler
+//!   ring, so the dashboard needs no client-side scrape-diffing and every
+//!   number is a *windowed* figure, not a since-boot cumulative. Counter
+//!   and gauge series come back with per-tick point vectors, rendered as
+//!   sparklines (req/s, queue depth, worker utilization, rescache hit
+//!   rate). `--once` prints a single frame (CI smoke); otherwise it
+//!   refreshes until the connection drops.
 //! - [`cmd_flight`] dumps the server's flight recorder (`flight` verb):
 //!   the slowest-N and most-recent-M completed requests with their
 //!   per-phase timelines.
 
-use std::collections::BTreeMap;
 use std::time::Duration;
 
 use ccdb_server::Client;
@@ -24,115 +24,6 @@ fn net(e: impl std::fmt::Display) -> CliError {
     CliError {
         message: format!("cannot reach server: {e}"),
         code: 1,
-    }
-}
-
-/// One histogram reconstructed from a Prometheus scrape: per-bucket
-/// (upper bound, non-cumulative count), plus sum and count.
-#[derive(Debug, Clone, Default)]
-pub struct ScrapedHist {
-    bounds: Vec<f64>,
-    buckets: Vec<u64>,
-    sum: f64,
-    count: u64,
-}
-
-impl ScrapedHist {
-    /// Quantile estimate: upper bound of the bucket where the q-th sample
-    /// falls (the same estimator the registry uses). `None` when empty.
-    pub fn quantile(&self, q: f64) -> Option<f64> {
-        if self.count == 0 {
-            return None;
-        }
-        let target = (q * self.count as f64).ceil().max(1.0) as u64;
-        let mut cum = 0u64;
-        for (bound, n) in self.bounds.iter().zip(&self.buckets) {
-            cum += n;
-            if cum >= target {
-                return Some(*bound);
-            }
-        }
-        // Overflow bucket: all we know is "above the largest bound".
-        self.bounds.last().copied()
-    }
-}
-
-/// A parsed Prometheus-text scrape: scalar series (counters and gauges)
-/// plus reconstructed histograms.
-#[derive(Debug, Clone, Default)]
-pub struct Scrape {
-    scalars: BTreeMap<String, f64>,
-    hists: BTreeMap<String, ScrapedHist>,
-}
-
-impl Scrape {
-    /// Parses the Prometheus text exposition format the server's
-    /// `metrics` verb returns. `_bucket{le="..."}` series are
-    /// de-cumulated back into per-bucket counts under the base name;
-    /// `_sum`/`_count` attach to the same histogram; everything else is a
-    /// scalar.
-    pub fn parse(text: &str) -> Scrape {
-        let mut s = Scrape::default();
-        for line in text.lines() {
-            let line = line.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
-            let Some((series, value)) = line.rsplit_once(' ') else {
-                continue;
-            };
-            let Ok(value) = value.parse::<f64>() else {
-                continue;
-            };
-            if let Some((name, rest)) = series.split_once("_bucket{le=\"") {
-                let Some(bound) = rest.strip_suffix("\"}") else {
-                    continue;
-                };
-                if bound == "+Inf" {
-                    continue; // implied by _count
-                }
-                let Ok(bound) = bound.parse::<f64>() else {
-                    continue;
-                };
-                let h = s.hists.entry(name.to_string()).or_default();
-                h.bounds.push(bound);
-                h.buckets.push(value as u64); // cumulative for now
-            } else if let Some(name) = series.strip_suffix("_sum") {
-                if s.hists.contains_key(name) {
-                    s.hists.entry(name.to_string()).or_default().sum = value;
-                } else {
-                    s.scalars.insert(series.to_string(), value);
-                }
-            } else if let Some(name) = series.strip_suffix("_count") {
-                if s.hists.contains_key(name) {
-                    s.hists.entry(name.to_string()).or_default().count = value as u64;
-                } else {
-                    s.scalars.insert(series.to_string(), value);
-                }
-            } else {
-                s.scalars.insert(series.to_string(), value);
-            }
-        }
-        // De-cumulate the bucket counts.
-        for h in s.hists.values_mut() {
-            let mut prev = 0u64;
-            for b in h.buckets.iter_mut() {
-                let cum = *b;
-                *b = cum.saturating_sub(prev);
-                prev = cum;
-            }
-        }
-        s
-    }
-
-    /// Scalar value, 0 when absent.
-    pub fn scalar(&self, name: &str) -> f64 {
-        self.scalars.get(name).copied().unwrap_or(0.0)
-    }
-
-    /// Histogram by base name, if scraped.
-    pub fn hist(&self, name: &str) -> Option<&ScrapedHist> {
-        self.hists.get(name)
     }
 }
 
@@ -149,35 +40,96 @@ pub fn fmt_ns(ns: f64) -> String {
     }
 }
 
-fn fmt_q(h: Option<&ScrapedHist>, q: f64) -> String {
-    match h.and_then(|h| h.quantile(q)) {
+const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders per-tick points as a sparkline scaled to the window maximum
+/// (an all-zero window renders as a flat baseline).
+pub fn sparkline(points: &[f64]) -> String {
+    let max = points.iter().copied().fold(0.0_f64, f64::max);
+    points
+        .iter()
+        .map(|p| {
+            if max <= 0.0 || *p <= 0.0 {
+                SPARK[0]
+            } else {
+                SPARK[(((p / max) * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Finds a series entry by name in a `telemetry` response.
+fn series<'a>(t: &'a Json, name: &str) -> Option<&'a Json> {
+    t.get("series")?
+        .as_array()?
+        .iter()
+        .find(|s| s.get("name").and_then(Json::as_str) == Some(name))
+}
+
+/// A counter/gauge series' per-tick point vector, as f64.
+fn points_f64(t: &Json, name: &str) -> Vec<f64> {
+    series(t, name)
+        .and_then(|s| s.get("points"))
+        .and_then(Json::as_array)
+        .map(|pts| pts.iter().filter_map(Json::as_f64).collect())
+        .unwrap_or_default()
+}
+
+/// A counter series' windowed delta (0 when absent).
+fn counter_delta(t: &Json, name: &str) -> f64 {
+    series(t, name)
+        .and_then(|s| s.get("delta"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0)
+}
+
+/// A counter series' windowed per-second rate (0 when absent).
+fn counter_rate(t: &Json, name: &str) -> f64 {
+    series(t, name)
+        .and_then(|s| s.get("rate"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0)
+}
+
+/// A gauge series' latest value (0 when absent).
+fn gauge_value(t: &Json, name: &str) -> f64 {
+    series(t, name)
+        .and_then(|s| s.get("value"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0)
+}
+
+/// A windowed histogram field (`p50`/`p95`/`p99`/`sum`), `-` when absent.
+fn hist_field(t: &Json, name: &str, field: &str) -> Option<f64> {
+    series(t, name)
+        .and_then(|s| s.get(field))
+        .and_then(Json::as_f64)
+}
+
+fn fmt_q(t: &Json, name: &str, field: &str) -> String {
+    match hist_field(t, name, field) {
         Some(v) => fmt_ns(v),
         None => "-".into(),
     }
 }
 
-/// The verbs that have non-zero phase totals in this scrape, derived from
-/// the series names themselves so the CLI needs no verb list of its own.
-fn active_verbs(s: &Scrape) -> Vec<String> {
-    s.hists
-        .keys()
-        .filter_map(|k| {
-            k.strip_prefix("ccdb_server_phase_")
-                .and_then(|r| r.strip_suffix("_total_ns"))
+/// Per-tick ratio sparkline: `num[i] / (num[i] + den[i])`, in percent.
+fn ratio_points(num: &[f64], den: &[f64]) -> Vec<f64> {
+    num.iter()
+        .zip(den)
+        .map(|(n, d)| {
+            if n + d > 0.0 {
+                100.0 * n / (n + d)
+            } else {
+                0.0
+            }
         })
-        .filter(|v| *v != "all")
-        .filter(|v| {
-            s.hist(&format!("ccdb_server_phase_{v}_total_ns"))
-                .map(|h| h.count > 0)
-                .unwrap_or(false)
-        })
-        .map(str::to_string)
         .collect()
 }
 
-/// Renders one dashboard frame from two scrapes `dt_secs` apart. Pure —
-/// unit tests feed synthetic scrapes.
-pub fn render_frame(addr: &str, info: &Json, prev: &Scrape, cur: &Scrape, dt_secs: f64) -> String {
+/// Renders one dashboard frame from a `ping` info object and a
+/// `telemetry` response. Pure — unit tests feed synthetic payloads.
+pub fn render_top(addr: &str, info: &Json, t: &Json) -> String {
     let mut out = String::new();
     let gets = |k: &str| {
         info.get(k)
@@ -186,6 +138,8 @@ pub fn render_frame(addr: &str, info: &Json, prev: &Scrape, cur: &Scrape, dt_sec
             .to_string()
     };
     let getu = |k: &str| info.get(k).and_then(Json::as_u64).unwrap_or(0);
+    let window_ms = t.get("window_ms").and_then(Json::as_u64).unwrap_or(0);
+    let interval_ms = t.get("interval_ms").and_then(Json::as_u64).unwrap_or(0);
     out.push_str(&format!(
         "ccdb top — {addr} | v{} up {:.0}s | workers {} | queue cap {} | rescache shards {}\n",
         gets("version"),
@@ -194,56 +148,106 @@ pub fn render_frame(addr: &str, info: &Json, prev: &Scrape, cur: &Scrape, dt_sec
         getu("queue_depth"),
         getu("rescache_shards"),
     ));
+    out.push_str(&format!(
+        "window {:.1}s @ {interval_ms}ms samples (server-side ring, tick {})\n",
+        window_ms as f64 / 1000.0,
+        t.get("tick").and_then(Json::as_u64).unwrap_or(0),
+    ));
 
-    let d_req =
-        cur.scalar("ccdb_server_requests_total") - prev.scalar("ccdb_server_requests_total");
-    let rate = if dt_secs > 0.0 { d_req / dt_secs } else { 0.0 };
-    let hits = cur.scalar("ccdb_core_rescache_hits_total");
-    let misses = cur.scalar("ccdb_core_rescache_misses_total");
+    if t.get("sampler_running").and_then(Json::as_bool) == Some(false) {
+        out.push_str("telemetry sampler disabled on this server — numbers below are empty\n");
+    }
+
+    // Headline rates with per-tick sparklines.
+    let req_pts = points_f64(t, "ccdb_server_requests_total");
+    out.push_str(&format!(
+        "req/s {:>8.1} {}\n",
+        counter_rate(t, "ccdb_server_requests_total"),
+        sparkline(&req_pts),
+    ));
+    let depth_pts = points_f64(t, "ccdb_server_queue_depth");
+    out.push_str(&format!(
+        "queue depth {:>3.0} {}  overloaded/s {:.1}\n",
+        gauge_value(t, "ccdb_server_queue_depth"),
+        sparkline(&depth_pts),
+        counter_rate(t, "ccdb_server_overloaded_total"),
+    ));
+
+    // Worker utilization: busy ns / (busy + idle) ns, windowed and per tick.
+    let busy_pts = points_f64(t, "ccdb_server_workers_busy_ns_total");
+    let idle_pts = points_f64(t, "ccdb_server_workers_idle_ns_total");
+    let busy = counter_delta(t, "ccdb_server_workers_busy_ns_total");
+    let idle = counter_delta(t, "ccdb_server_workers_idle_ns_total");
+    let util = if busy + idle > 0.0 {
+        100.0 * busy / (busy + idle)
+    } else {
+        0.0
+    };
+    out.push_str(&format!(
+        "workers {util:>5.1}% busy {}  busy now {:.0}\n",
+        sparkline(&ratio_points(&busy_pts, &idle_pts)),
+        gauge_value(t, "ccdb_server_workers_busy"),
+    ));
+
+    // Resolution-cache hit rate over the window, with a per-tick sparkline.
+    let hit_pts = points_f64(t, "ccdb_core_rescache_hits_total");
+    let miss_pts = points_f64(t, "ccdb_core_rescache_misses_total");
+    let hits = counter_delta(t, "ccdb_core_rescache_hits_total");
+    let misses = counter_delta(t, "ccdb_core_rescache_misses_total");
     let hit_rate = if hits + misses > 0.0 {
         100.0 * hits / (hits + misses)
     } else {
         0.0
     };
     out.push_str(&format!(
-        "req/s {rate:.1} | queue depth {} | overloaded {} | rescache hit rate {hit_rate:.1}%\n",
-        cur.scalar("ccdb_server_queue_depth"),
-        cur.scalar("ccdb_server_overloaded_total"),
-    ));
-    out.push_str(&format!(
-        "sessions: {} (v1 json {}, v2 binary {})\n",
-        cur.scalar("ccdb_server_sessions_active"),
-        cur.scalar("ccdb_server_sessions_v1"),
-        cur.scalar("ccdb_server_sessions_v2"),
+        "rescache hit rate {hit_rate:>5.1}% {}\n",
+        sparkline(&ratio_points(&hit_pts, &miss_pts)),
     ));
 
-    // Store-lock contention probes (ccdb_core::lockprobe).
-    out.push_str("store lock: ");
-    for mode in ["shared", "exclusive"] {
-        let wait = cur.hist(&format!("ccdb_core_storelock_{mode}_wait_ns"));
-        let hold = cur.hist(&format!("ccdb_core_storelock_{mode}_hold_ns"));
+    out.push_str(&format!(
+        "sessions: {} (v1 json {}, v2 binary {}) | watch subs {} frames/s {:.1}\n",
+        gauge_value(t, "ccdb_server_sessions_active"),
+        gauge_value(t, "ccdb_server_sessions_v1"),
+        gauge_value(t, "ccdb_server_sessions_v2"),
+        gauge_value(t, "ccdb_server_watch_subscribers"),
+        counter_rate(t, "ccdb_server_watch_frames_total"),
+    ));
+
+    // Scheduler wakeup latency: the queue's own enqueue→dequeue histogram.
+    if let Some(w) = t.get("wakeup").filter(|w| !matches!(w, Json::Null)) {
+        let q = |f: &str| {
+            w.get(f)
+                .and_then(Json::as_f64)
+                .map(fmt_ns)
+                .unwrap_or_else(|| "-".into())
+        };
         out.push_str(&format!(
-            "{mode} wait p95 {} hold p95 {} (contended {}) | ",
-            fmt_q(wait, 0.95),
-            fmt_q(hold, 0.95),
-            cur.scalar(&format!("ccdb_core_storelock_{mode}_contended_total")),
+            "wakeup latency: {} dequeues | p50 {} p95 {} p99 {}\n",
+            w.get("count").and_then(Json::as_u64).unwrap_or(0),
+            q("p50_ns"),
+            q("p95_ns"),
+            q("p99_ns"),
         ));
     }
-    out.push_str(&format!(
-        "waiters now {}\n",
-        cur.scalar("ccdb_core_storelock_waiters")
-    ));
 
-    // Phase decomposition across all verbs: p95 per phase + a share-of-sum
-    // bar that shows where the time actually goes.
+    // Store-lock contention probes, windowed.
+    out.push_str("store lock: ");
+    for mode in ["shared", "exclusive"] {
+        out.push_str(&format!(
+            "{mode} wait p95 {} hold p95 {} | ",
+            fmt_q(t, &format!("ccdb_core_storelock_{mode}_wait_ns"), "p95"),
+            fmt_q(t, &format!("ccdb_core_storelock_{mode}_hold_ns"), "p95"),
+        ));
+    }
+    out.push('\n');
+
+    // Phase decomposition across all verbs, from the windowed sums.
     let phase_sums: Vec<(&str, f64)> = ccdb_obs::flight::PHASE_NAMES
         .iter()
         .map(|p| {
             (
                 *p,
-                cur.hist(&format!("ccdb_server_phase_all_{p}_ns"))
-                    .map(|h| h.sum)
-                    .unwrap_or(0.0),
+                hist_field(t, &format!("ccdb_server_phase_all_{p}_ns"), "sum").unwrap_or(0.0),
             )
         })
         .collect();
@@ -252,7 +256,7 @@ pub fn render_frame(addr: &str, info: &Json, prev: &Scrape, cur: &Scrape, dt_sec
     for p in ccdb_obs::flight::PHASE_NAMES {
         out.push_str(&format!(
             "{p} {} | ",
-            fmt_q(cur.hist(&format!("ccdb_server_phase_all_{p}_ns")), 0.95)
+            fmt_q(t, &format!("ccdb_server_phase_all_{p}_ns"), "p95")
         ));
     }
     out.push('\n');
@@ -266,44 +270,63 @@ pub fn render_frame(addr: &str, info: &Json, prev: &Scrape, cur: &Scrape, dt_sec
         out.push('\n');
     }
 
-    // Per-verb latency table (first byte → response written).
+    // Per-verb latency table, computed server-side over the same window.
     out.push_str(&format!(
         "{:<10} {:>10} {:>9} {:>9} {:>9}\n",
         "verb", "count", "p50", "p95", "p99"
     ));
-    let mut verbs = active_verbs(cur);
-    verbs.sort();
+    let mut verbs: Vec<&Json> = t
+        .get("verbs")
+        .and_then(Json::as_array)
+        .map(|a| a.iter().collect())
+        .unwrap_or_default();
+    verbs.sort_by_key(|v| v.get("verb").and_then(Json::as_str).unwrap_or(""));
     for v in verbs {
-        let h = cur.hist(&format!("ccdb_server_phase_{v}_total_ns"));
-        let count = h.map(|h| h.count).unwrap_or(0);
+        let name = v.get("verb").and_then(Json::as_str).unwrap_or("?");
+        let count = v.get("count").and_then(Json::as_u64).unwrap_or(0);
+        let q = |f: &str| {
+            v.get(f)
+                .and_then(Json::as_f64)
+                .map(fmt_ns)
+                .unwrap_or_else(|| "-".into())
+        };
         out.push_str(&format!(
-            "{v:<10} {count:>10} {:>9} {:>9} {:>9}\n",
-            fmt_q(h, 0.5),
-            fmt_q(h, 0.95),
-            fmt_q(h, 0.99),
+            "{name:<10} {count:>10} {:>9} {:>9} {:>9}\n",
+            q("p50_ns"),
+            q("p95_ns"),
+            q("p99_ns"),
         ));
     }
     out
 }
 
-fn scrape(c: &mut Client) -> Result<Scrape, CliError> {
-    Ok(Scrape::parse(&c.metrics().map_err(net)?))
+/// The series patterns `ccdb top` asks the server to digest: the server's
+/// own metrics plus the core-layer cache and lock probes.
+const TOP_SERIES: &[&str] = &[
+    "ccdb_server_*",
+    "ccdb_core_rescache_*",
+    "ccdb_core_storelock_*",
+];
+
+fn query_telemetry(c: &mut Client, points: u64) -> Result<Json, CliError> {
+    c.telemetry(serde_json::json!({
+        "points": points,
+        "series": TOP_SERIES,
+    }))
+    .map_err(net)
 }
 
-/// `top`: refreshing dashboard over the `metrics` verb. `--once` renders a
-/// single frame and returns it; otherwise frames stream to stdout every
-/// `interval_ms` until the connection drops.
+/// `top`: refreshing dashboard over the `telemetry` verb. `--once`
+/// renders a single frame and returns it; otherwise frames stream to
+/// stdout every `interval_ms` until the connection drops.
 pub fn cmd_top(addr: &str, once: bool, interval_ms: u64) -> Result<String, CliError> {
     let mut c = Client::connect(addr).map_err(net)?;
     c.set_read_timeout(Some(Duration::from_secs(10)))
         .map_err(net)?;
     let info = c.ping_info().map_err(net)?;
-    let mut prev = scrape(&mut c)?;
-    let dt = Duration::from_millis(interval_ms.max(100));
     loop {
-        std::thread::sleep(dt);
-        let cur = scrape(&mut c)?;
-        let frame = render_frame(addr, &info, &prev, &cur, dt.as_secs_f64());
+        let t = query_telemetry(&mut c, 32)?;
+        let frame = render_top(addr, &info, &t);
         if once {
             return Ok(frame);
         }
@@ -311,7 +334,7 @@ pub fn cmd_top(addr: &str, once: bool, interval_ms: u64) -> Result<String, CliEr
         print!("\x1b[2J\x1b[H{frame}");
         use std::io::Write;
         let _ = std::io::stdout().flush();
-        prev = cur;
+        std::thread::sleep(Duration::from_millis(interval_ms.max(100)));
     }
 }
 
@@ -381,79 +404,105 @@ pub fn cmd_flight(addr: &str, json: bool) -> Result<String, CliError> {
 mod tests {
     use super::*;
 
-    const SCRAPE: &str = "\
-# TYPE ccdb_server_requests_total counter
-ccdb_server_requests_total 100
-# TYPE ccdb_server_queue_depth gauge
-ccdb_server_queue_depth 2
-ccdb_server_sessions_active 3
-ccdb_server_sessions_v1 1
-ccdb_server_sessions_v2 2
-# TYPE ccdb_core_rescache_hits_total counter
-ccdb_core_rescache_hits_total 90
-ccdb_core_rescache_misses_total 10
-# TYPE ccdb_server_phase_attr_total_ns histogram
-ccdb_server_phase_attr_total_ns_bucket{le=\"1000\"} 5
-ccdb_server_phase_attr_total_ns_bucket{le=\"10000\"} 9
-ccdb_server_phase_attr_total_ns_bucket{le=\"+Inf\"} 10
-ccdb_server_phase_attr_total_ns_sum 50000
-ccdb_server_phase_attr_total_ns_count 10
-ccdb_server_phase_all_handle_ns_bucket{le=\"1000\"} 10
-ccdb_server_phase_all_handle_ns_sum 9000
-ccdb_server_phase_all_handle_ns_count 10
-";
-
-    #[test]
-    fn scrape_parses_scalars_and_decumulates_buckets() {
-        let s = Scrape::parse(SCRAPE);
-        assert_eq!(s.scalar("ccdb_server_requests_total"), 100.0);
-        assert_eq!(s.scalar("ccdb_server_queue_depth"), 2.0);
-        let h = s.hist("ccdb_server_phase_attr_total_ns").unwrap();
-        assert_eq!(h.buckets, vec![5, 4]); // de-cumulated, +Inf implied
-        assert_eq!(h.count, 10);
-        assert_eq!(h.sum, 50000.0);
-        // p50 of 10 samples → 5th sample → first bucket's bound.
-        assert_eq!(h.quantile(0.5), Some(1000.0));
-        assert_eq!(h.quantile(0.95), Some(10000.0));
+    /// A synthetic `telemetry` response in the server's shape.
+    fn payload() -> Json {
+        serde_json::from_str(
+            r#"{
+            "tick": 40, "interval_ms": 250, "retention": 512,
+            "points": 8, "window_ms": 2000, "window_samples": 8,
+            "sampler_running": true,
+            "series": [
+                {"name": "ccdb_server_requests_total", "kind": "counter",
+                 "delta": 100, "rate": 50.0,
+                 "points": [0, 5, 10, 20, 25, 20, 15, 5]},
+                {"name": "ccdb_server_queue_depth", "kind": "gauge",
+                 "value": 2, "points": [0, 0, 1, 3, 4, 3, 2, 2]},
+                {"name": "ccdb_server_sessions_active", "kind": "gauge",
+                 "value": 3, "points": [3]},
+                {"name": "ccdb_server_sessions_v1", "kind": "gauge",
+                 "value": 1, "points": [1]},
+                {"name": "ccdb_server_sessions_v2", "kind": "gauge",
+                 "value": 2, "points": [2]},
+                {"name": "ccdb_server_workers_busy_ns_total", "kind": "counter",
+                 "delta": 900, "rate": 450.0,
+                 "points": [100, 100, 100, 100, 100, 100, 100, 200]},
+                {"name": "ccdb_server_workers_idle_ns_total", "kind": "counter",
+                 "delta": 100, "rate": 50.0,
+                 "points": [10, 10, 10, 10, 10, 10, 10, 30]},
+                {"name": "ccdb_core_rescache_hits_total", "kind": "counter",
+                 "delta": 90, "rate": 45.0, "points": [10, 10, 10, 15]},
+                {"name": "ccdb_core_rescache_misses_total", "kind": "counter",
+                 "delta": 10, "rate": 5.0, "points": [2, 1, 1, 1]},
+                {"name": "ccdb_core_storelock_shared_wait_ns", "kind": "histogram",
+                 "count": 40, "sum": 40000, "p50": 500.0, "p95": 2000.0, "p99": 4000.0},
+                {"name": "ccdb_server_phase_all_handle_ns", "kind": "histogram",
+                 "count": 100, "sum": 90000, "p50": 700.0, "p95": 1000.0, "p99": 1500.0}
+            ],
+            "verbs": [
+                {"verb": "attr", "count": 80,
+                 "p50_ns": 4000.0, "p95_ns": 9000.0, "p99_ns": 20000.0},
+                {"verb": "ping", "count": 20,
+                 "p50_ns": 1000.0, "p95_ns": 2000.0, "p99_ns": 2500.0}
+            ],
+            "wakeup": {"count": 100, "p50_ns": 1500.0,
+                       "p95_ns": 8000.0, "p99_ns": 16000.0}
+        }"#,
+        )
+        .unwrap()
     }
 
-    #[test]
-    fn counter_sum_suffixes_stay_scalars() {
-        // `_sum`-suffixed counters without buckets must not become
-        // phantom histograms.
-        let s = Scrape::parse("my_weird_sum 7\nmy_weird_count 3\n");
-        assert_eq!(s.scalar("my_weird_sum"), 7.0);
-        assert_eq!(s.scalar("my_weird_count"), 3.0);
-        assert!(s.hist("my_weird").is_none());
-    }
-
-    #[test]
-    fn frame_renders_rate_table_and_lock_lines() {
-        let prev = Scrape::parse("ccdb_server_requests_total 50\n");
-        let cur = Scrape::parse(SCRAPE);
-        let info = serde_json::from_str(
+    fn info() -> Json {
+        serde_json::from_str(
             r#"{"version": "0.1.0", "uptime_ms": 5000, "workers": 4,
                 "queue_depth": 64, "rescache_shards": 16}"#,
         )
-        .unwrap();
-        let frame = render_frame("127.0.0.1:7878", &info, &prev, &cur, 1.0);
-        assert!(frame.contains("req/s 50.0"), "{frame}");
-        assert!(frame.contains("rescache hit rate 90.0%"), "{frame}");
-        assert!(frame.contains("store lock:"), "{frame}");
-        assert!(frame.contains("workers 4"), "{frame}");
-        assert!(
-            frame.contains("sessions: 3 (v1 json 1, v2 binary 2)"),
-            "{frame}"
-        );
-        // attr appears in the verb table with its scraped count.
+        .unwrap()
+    }
+
+    #[test]
+    fn sparkline_scales_to_window_max() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 4.0, 8.0]);
+        assert_eq!(s.chars().count(), 5);
+        assert!(s.starts_with('▁'), "{s}");
+        assert!(s.ends_with('█'), "{s}");
+        // All-zero windows render flat instead of dividing by zero.
+        assert_eq!(sparkline(&[0.0, 0.0]), "▁▁");
+    }
+
+    #[test]
+    fn frame_renders_server_side_rates_sparklines_and_verbs() {
+        let frame = render_top("127.0.0.1:7878", &info(), &payload());
+        assert!(frame.contains("ccdb top"), "{frame}");
+        assert!(frame.contains("req/s     50.0"), "{frame}");
+        assert!(frame.contains('█'), "no sparkline in frame: {frame}");
+        assert!(frame.contains("rescache hit rate  90.0%"), "{frame}");
+        assert!(frame.contains("workers  90.0% busy"), "{frame}");
+        // The per-verb table comes straight from the server-side digest.
         assert!(
             frame
                 .lines()
-                .any(|l| l.starts_with("attr") && l.contains("10")),
+                .any(|l| l.starts_with("attr") && l.contains("80") && l.contains("4.0µs")),
             "{frame}"
         );
-        // The phase share bar covers the handle phase we fed in.
-        assert!(frame.contains("handle 100%"), "{frame}");
+        // Scheduler wakeup latency is surfaced.
+        assert!(
+            frame.contains("wakeup latency: 100 dequeues | p50 1.5µs"),
+            "{frame}"
+        );
+        assert!(frame.contains("shared wait p95 2.0µs"), "{frame}");
+        assert!(frame.contains("window 2.0s @ 250ms samples"), "{frame}");
+    }
+
+    #[test]
+    fn frame_flags_a_disabled_sampler() {
+        let t = serde_json::from_str(
+            r#"{"tick": 0, "interval_ms": 250, "window_ms": 0,
+                "sampler_running": false, "series": [], "verbs": [],
+                "wakeup": null}"#,
+        )
+        .unwrap();
+        let frame = render_top("x", &info(), &t);
+        assert!(frame.contains("sampler disabled"), "{frame}");
     }
 
     #[test]

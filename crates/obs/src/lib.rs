@@ -17,7 +17,10 @@
 //!   ids and parent links, a bounded sampled buffer, Chrome-trace/JSONL
 //!   exporters, and a slow-operation log;
 //! - [`flight`] — a bounded flight recorder of completed request phase
-//!   timelines, retaining the slowest-N and most-recent-M.
+//!   timelines, retaining the slowest-N and most-recent-M;
+//! - [`timeseries`] — a background sampler materializing every registered
+//!   metric's history into bounded delta-encoded rings, with windowed
+//!   rate/quantile queries and incremental frames for streaming.
 //!
 //! ## Naming scheme
 //!
@@ -38,13 +41,15 @@ pub mod flight;
 pub mod metrics;
 pub mod registry;
 pub mod span;
+pub mod timeseries;
 pub mod trace;
 
 pub use event::{Event, FieldValue, RingBuffer, Subscriber};
 pub use flight::{FlightRecord, FlightSnapshot};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
-pub use registry::{global, Registry};
+pub use registry::{global, Registry, RegistrySnapshot};
 pub use span::SpanTimer;
+pub use timeseries::{global_series, SeriesDelta, SeriesKind, TelemetryFrame, TimeSeries};
 pub use trace::{SpanGuard, SpanId, SpanRecord, TraceId};
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -15,7 +15,22 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex, OnceLock};
 
-use crate::metrics::{Counter, Gauge, Histogram};
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+/// A point-in-time copy of every metric in a [`Registry`], taken in a
+/// single pass per metric kind with no rendering work done under the
+/// registry locks. All exporters (`metrics` verb, Prometheus scrape, the
+/// time-series sampler) read through this type, so a counter and a gauge
+/// derived from it can never be observed torn across one reply.
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    /// `(name, value)` for every counter, in name order.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge, in name order.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, snapshot)` for every histogram, in name order.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
 
 /// A process-global (or test-local) collection of named metrics.
 ///
@@ -127,32 +142,50 @@ impl Registry {
         }
     }
 
+    /// Copies every metric's current value out in one pass per metric
+    /// kind. Values are read back-to-back under each map lock — no
+    /// formatting, no allocation beyond the output vectors — so the
+    /// snapshot is as close to a consistent cut as the relaxed-atomic
+    /// metrics allow. Renderers format from the snapshot after the locks
+    /// are released.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let counters = {
+            let map = self.counters.lock().unwrap_or_else(|p| p.into_inner());
+            map.iter().map(|(n, c)| (n.clone(), c.get())).collect()
+        };
+        let gauges = {
+            let map = self.gauges.lock().unwrap_or_else(|p| p.into_inner());
+            map.iter().map(|(n, g)| (n.clone(), g.get())).collect()
+        };
+        let histograms = {
+            let map = self.histograms.lock().unwrap_or_else(|p| p.into_inner());
+            map.iter().map(|(n, h)| (n.clone(), h.snapshot())).collect()
+        };
+        RegistrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
     /// Renders every metric in the Prometheus text exposition format.
     ///
     /// Histograms render cumulative `_bucket{le="..."}` series plus
     /// `_sum` and `_count`, matching what a Prometheus scraper expects.
+    /// Values come from one [`Registry::snapshot`], so a single scrape is
+    /// internally consistent.
     pub fn render_prometheus(&self) -> String {
+        let snap = self.snapshot();
         let mut out = String::new();
-        for (name, c) in self
-            .counters
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .iter()
-        {
+        for (name, v) in &snap.counters {
             let _ = writeln!(out, "# TYPE {name} counter");
-            let _ = writeln!(out, "{name} {}", c.get());
+            let _ = writeln!(out, "{name} {v}");
         }
-        for (name, g) in self.gauges.lock().unwrap_or_else(|p| p.into_inner()).iter() {
+        for (name, v) in &snap.gauges {
             let _ = writeln!(out, "# TYPE {name} gauge");
-            let _ = writeln!(out, "{name} {}", g.get());
+            let _ = writeln!(out, "{name} {v}");
         }
-        for (name, h) in self
-            .histograms
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .iter()
-        {
-            let s = h.snapshot();
+        for (name, s) in &snap.histograms {
             let _ = writeln!(out, "# TYPE {name} histogram");
             let mut cumulative = 0u64;
             for (bound, n) in s.bounds.iter().zip(&s.buckets) {
@@ -175,24 +208,19 @@ impl Registry {
     /// order), so output is deterministic. Hand-rolled to keep this crate
     /// dependency-free.
     pub fn render_json(&self) -> String {
+        let snap = self.snapshot();
         let mut out = String::from("{\n  \"counters\": {");
-        let counters = self.counters.lock().unwrap_or_else(|p| p.into_inner());
-        for (i, (name, c)) in counters.iter().enumerate() {
+        for (i, (name, v)) in snap.counters.iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
-            let _ = write!(out, "{sep}\n    \"{name}\": {}", c.get());
+            let _ = write!(out, "{sep}\n    \"{name}\": {v}");
         }
-        drop(counters);
         out.push_str("\n  },\n  \"gauges\": {");
-        let gauges = self.gauges.lock().unwrap_or_else(|p| p.into_inner());
-        for (i, (name, g)) in gauges.iter().enumerate() {
+        for (i, (name, v)) in snap.gauges.iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
-            let _ = write!(out, "{sep}\n    \"{name}\": {}", g.get());
+            let _ = write!(out, "{sep}\n    \"{name}\": {v}");
         }
-        drop(gauges);
         out.push_str("\n  },\n  \"histograms\": {");
-        let histograms = self.histograms.lock().unwrap_or_else(|p| p.into_inner());
-        for (i, (name, h)) in histograms.iter().enumerate() {
-            let s = h.snapshot();
+        for (i, (name, s)) in snap.histograms.iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
             let _ = write!(out, "{sep}\n    \"{name}\": {{\"bounds\": [");
             for (j, b) in s.bounds.iter().enumerate() {
@@ -215,7 +243,6 @@ impl Registry {
             }
             out.push('}');
         }
-        drop(histograms);
         out.push_str("\n  }\n}\n");
         out
     }
@@ -225,25 +252,15 @@ impl Registry {
     /// p50/p95/p99 estimates derived from the buckets — no raw bucket
     /// dumps (use [`Registry::render_prometheus`] for scrapers).
     pub fn render_text_summary(&self) -> String {
+        let snap = self.snapshot();
         let mut out = String::new();
-        for (name, c) in self
-            .counters
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .iter()
-        {
-            let _ = writeln!(out, "{name} {}", c.get());
+        for (name, v) in &snap.counters {
+            let _ = writeln!(out, "{name} {v}");
         }
-        for (name, g) in self.gauges.lock().unwrap_or_else(|p| p.into_inner()).iter() {
-            let _ = writeln!(out, "{name} {}", g.get());
+        for (name, v) in &snap.gauges {
+            let _ = writeln!(out, "{name} {v}");
         }
-        for (name, h) in self
-            .histograms
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .iter()
-        {
-            let s = h.snapshot();
+        for (name, s) in &snap.histograms {
             let _ = write!(out, "{name} count={} sum={}", s.count, s.sum);
             for (label, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
                 match s.quantile(q) {
@@ -372,6 +389,25 @@ mod tests {
         assert_eq!(h.count(), 0);
         c.inc();
         assert_eq!(r.counter("c_total").get(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_one_pass_and_sorted() {
+        let r = Registry::new();
+        r.counter("b_total").add(2);
+        r.counter("a_total").add(1);
+        r.gauge("g").set(-7);
+        r.histogram("h", &[10]).observe(3);
+        let s = r.snapshot();
+        assert_eq!(
+            s.counters,
+            vec![("a_total".into(), 1), ("b_total".into(), 2)]
+        );
+        assert_eq!(s.gauges, vec![("g".into(), -7)]);
+        assert_eq!(s.histograms.len(), 1);
+        assert_eq!(s.histograms[0].0, "h");
+        assert_eq!(s.histograms[0].1.count, 1);
+        assert_eq!(s.histograms[0].1.sum, 3);
     }
 
     #[test]

@@ -1,0 +1,695 @@
+//! Telemetry time-series: a background sampler that materializes the
+//! history of every registered metric server-side.
+//!
+//! The [`TimeSeries`] store keeps one bounded ring per metric. Rings are
+//! **delta-encoded**: each sampler tick appends the change since the
+//! previous tick, not the absolute value —
+//!
+//! - counters store the per-tick increment (`u64`),
+//! - gauges store the sampled value (`i64`; gauges are already levels),
+//! - histograms store per-bucket count deltas, or a one-word `None` when
+//!   the histogram did not move, so hundreds of idle series cost almost
+//!   nothing per tick.
+//!
+//! Windowed queries (rates, sparkline point vectors, windowed quantiles)
+//! are served directly from the rings: a rate is a sum of counter deltas
+//! divided by the window, and a windowed quantile interpolates over the
+//! summed bucket deltas — no client-side diffing of cumulative scrapes.
+//!
+//! The [global sampler](start_global_sampler) is a single background
+//! thread snapshotting the [`crate::global`] registry into
+//! [`global_series`] every `interval_ms` via one
+//! [`Registry::snapshot`](crate::Registry::snapshot) pass. Retention
+//! defaults to [`DEFAULT_RETENTION`] samples of
+//! [`DEFAULT_INTERVAL_MS`] ms (≈ 2 minutes of history).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, SystemTime};
+
+use crate::metrics::HistogramSnapshot;
+use crate::registry::{Registry, RegistrySnapshot};
+
+/// Default sampler interval in milliseconds.
+pub const DEFAULT_INTERVAL_MS: u64 = 250;
+
+/// Default ring retention, in samples.
+pub const DEFAULT_RETENTION: usize = 512;
+
+/// What kind of metric a series tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// Monotonic counter; ring holds per-tick deltas.
+    Counter,
+    /// Level; ring holds sampled values.
+    Gauge,
+    /// Fixed-bucket histogram; ring holds per-tick bucket deltas.
+    Histogram,
+}
+
+impl SeriesKind {
+    /// Lower-case wire name (`counter` / `gauge` / `histogram`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SeriesKind::Counter => "counter",
+            SeriesKind::Gauge => "gauge",
+            SeriesKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One series' change over a query window, as returned by
+/// [`TimeSeries::frame_since`].
+#[derive(Debug, Clone)]
+pub enum SeriesDelta {
+    /// Counter increment over the window.
+    Counter {
+        /// Total increment across the window's ticks.
+        delta: u64,
+    },
+    /// Gauge level at the window's end.
+    Gauge {
+        /// Most recently sampled value.
+        value: i64,
+    },
+    /// Histogram movement over the window.
+    Histogram {
+        /// Bucket deltas summed across the window (same shape as a
+        /// cumulative snapshot, so [`HistogramSnapshot::quantile`] works
+        /// on it directly).
+        delta: HistogramSnapshot,
+    },
+}
+
+/// An incremental telemetry frame: every selected series' change between
+/// two ticks. This is what the server's `watch` verb streams.
+#[derive(Debug, Clone)]
+pub struct TelemetryFrame {
+    /// First tick covered (exclusive; the frame covers `(from_tick, tick]`).
+    pub from_tick: u64,
+    /// Last tick covered (the store's current tick).
+    pub tick: u64,
+    /// Sampler interval the ticks were taken at, in milliseconds.
+    pub interval_ms: u64,
+    /// Wall-clock time of the last covered sample (ms since Unix epoch).
+    pub unix_ms: u64,
+    /// `(name, delta)` per selected series, in name order. Counters with
+    /// zero delta and histograms that did not move are omitted; gauges are
+    /// always present (a level is news even when unchanged).
+    pub series: Vec<(String, SeriesDelta)>,
+}
+
+struct CounterRing {
+    prev: u64,
+    deltas: VecDeque<u64>,
+}
+
+struct GaugeRing {
+    values: VecDeque<i64>,
+}
+
+/// Per-tick histogram movement; `None` in the ring means "no change".
+/// The count is not stored — queries derive it by summing the buckets.
+struct HistDelta {
+    buckets: Box<[u64]>,
+    sum: u64,
+}
+
+struct HistRing {
+    bounds: Arc<Vec<u64>>,
+    prev_buckets: Vec<u64>,
+    prev_sum: u64,
+    deltas: VecDeque<Option<HistDelta>>,
+}
+
+struct Rings {
+    counters: BTreeMap<String, CounterRing>,
+    gauges: BTreeMap<String, GaugeRing>,
+    hists: BTreeMap<String, HistRing>,
+    /// Total samples taken since process start (not capped by retention).
+    tick: u64,
+    /// Wall clock of the latest sample, ms since the Unix epoch.
+    last_unix_ms: u64,
+    interval_ms: u64,
+    retention: usize,
+}
+
+/// Bounded, delta-encoded store of metric history. One instance exists
+/// per process ([`global_series`]); tests may build their own.
+pub struct TimeSeries {
+    rings: Mutex<Rings>,
+}
+
+impl TimeSeries {
+    /// Creates an empty store with the given sampling interval and ring
+    /// retention. `interval_ms` is clamped to ≥ 1, `retention` to ≥ 2.
+    pub fn new(interval_ms: u64, retention: usize) -> Self {
+        TimeSeries {
+            rings: Mutex::new(Rings {
+                counters: BTreeMap::new(),
+                gauges: BTreeMap::new(),
+                hists: BTreeMap::new(),
+                tick: 0,
+                last_unix_ms: 0,
+                interval_ms: interval_ms.max(1),
+                retention: retention.max(2),
+            }),
+        }
+    }
+
+    /// Reconfigures interval and retention. Existing rings are trimmed to
+    /// the new retention; history is otherwise kept.
+    pub fn configure(&self, interval_ms: u64, retention: usize) {
+        let mut r = self.lock();
+        r.interval_ms = interval_ms.max(1);
+        r.retention = retention.max(2);
+        let cap = r.retention;
+        for s in r.counters.values_mut() {
+            while s.deltas.len() > cap {
+                s.deltas.pop_front();
+            }
+        }
+        for s in r.gauges.values_mut() {
+            while s.values.len() > cap {
+                s.values.pop_front();
+            }
+        }
+        for s in r.hists.values_mut() {
+            while s.deltas.len() > cap {
+                s.deltas.pop_front();
+            }
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Rings> {
+        self.rings.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Sampler interval in milliseconds.
+    pub fn interval_ms(&self) -> u64 {
+        self.lock().interval_ms
+    }
+
+    /// Ring retention in samples.
+    pub fn retention(&self) -> usize {
+        self.lock().retention
+    }
+
+    /// Samples taken so far.
+    pub fn tick(&self) -> u64 {
+        self.lock().tick
+    }
+
+    /// Takes one sample: a single [`Registry::snapshot`] pass folded into
+    /// the rings. Called by the background sampler; callable directly in
+    /// tests and benches for deterministic ticks.
+    pub fn sample(&self, registry: &Registry) {
+        let snap = registry.snapshot();
+        self.ingest(&snap);
+    }
+
+    /// Folds an already-taken registry snapshot into the rings.
+    pub fn ingest(&self, snap: &RegistrySnapshot) {
+        let unix_ms = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let mut r = self.lock();
+        let cap = r.retention;
+        for (name, value) in &snap.counters {
+            let s = r.counters.entry(name.clone()).or_insert(CounterRing {
+                // First sight: baseline at the current value so history
+                // accumulated before the series was tracked does not show
+                // up as one giant spike.
+                prev: *value,
+                deltas: VecDeque::with_capacity(cap.min(64)),
+            });
+            // saturating: a reset_all() between ticks floors the delta at 0.
+            s.deltas.push_back(value.saturating_sub(s.prev));
+            s.prev = *value;
+            if s.deltas.len() > cap {
+                s.deltas.pop_front();
+            }
+        }
+        for (name, value) in &snap.gauges {
+            let s = r.gauges.entry(name.clone()).or_insert(GaugeRing {
+                values: VecDeque::with_capacity(cap.min(64)),
+            });
+            s.values.push_back(*value);
+            if s.values.len() > cap {
+                s.values.pop_front();
+            }
+        }
+        for (name, hs) in &snap.histograms {
+            let s = r.hists.entry(name.clone()).or_insert(HistRing {
+                bounds: Arc::new(hs.bounds.clone()),
+                prev_buckets: hs.buckets.clone(),
+                prev_sum: hs.sum,
+                deltas: VecDeque::with_capacity(cap.min(16)),
+            });
+            let moved = hs.buckets != s.prev_buckets;
+            let entry = if moved {
+                let buckets: Box<[u64]> = hs
+                    .buckets
+                    .iter()
+                    .zip(s.prev_buckets.iter().chain(std::iter::repeat(&0)))
+                    .map(|(now, prev)| now.saturating_sub(*prev))
+                    .collect();
+                Some(HistDelta {
+                    buckets,
+                    sum: hs.sum.saturating_sub(s.prev_sum),
+                })
+            } else {
+                None
+            };
+            s.deltas.push_back(entry);
+            s.prev_buckets = hs.buckets.clone();
+            s.prev_sum = hs.sum;
+            if s.deltas.len() > cap {
+                s.deltas.pop_front();
+            }
+        }
+        r.tick += 1;
+        r.last_unix_ms = unix_ms;
+    }
+
+    /// Per-tick counter increments for the last `n` samples, oldest
+    /// first. `None` if the counter has never been sampled.
+    pub fn counter_points(&self, name: &str, n: usize) -> Option<Vec<u64>> {
+        let r = self.lock();
+        let s = r.counters.get(name)?;
+        let take = n.min(s.deltas.len());
+        Some(
+            s.deltas
+                .iter()
+                .skip(s.deltas.len() - take)
+                .copied()
+                .collect(),
+        )
+    }
+
+    /// Total counter increment over the last `n` samples.
+    pub fn counter_delta(&self, name: &str, n: usize) -> Option<u64> {
+        self.counter_points(name, n).map(|p| p.iter().sum())
+    }
+
+    /// Sampled gauge values for the last `n` samples, oldest first.
+    pub fn gauge_points(&self, name: &str, n: usize) -> Option<Vec<i64>> {
+        let r = self.lock();
+        let s = r.gauges.get(name)?;
+        let take = n.min(s.values.len());
+        Some(
+            s.values
+                .iter()
+                .skip(s.values.len() - take)
+                .copied()
+                .collect(),
+        )
+    }
+
+    /// Histogram movement over the last `n` samples, as a snapshot whose
+    /// buckets are the summed deltas — quantiles over it describe only
+    /// the window, not process lifetime. `None` if never sampled.
+    pub fn hist_window(&self, name: &str, n: usize) -> Option<HistogramSnapshot> {
+        let r = self.lock();
+        let s = r.hists.get(name)?;
+        let take = n.min(s.deltas.len());
+        let mut buckets = vec![0u64; s.prev_buckets.len()];
+        let mut sum = 0u64;
+        for d in s.deltas.iter().skip(s.deltas.len() - take).flatten() {
+            for (acc, b) in buckets.iter_mut().zip(d.buckets.iter()) {
+                *acc += b;
+            }
+            sum += d.sum;
+        }
+        let count = buckets.iter().sum();
+        Some(HistogramSnapshot {
+            bounds: s.bounds.as_ref().clone(),
+            buckets,
+            sum,
+            count,
+        })
+    }
+
+    /// All series names matching `patterns` (see [`name_matches`]), with
+    /// their kinds, in name order.
+    pub fn names_matching(&self, patterns: &[String]) -> Vec<(String, SeriesKind)> {
+        let r = self.lock();
+        let mut out = Vec::new();
+        for name in r.counters.keys() {
+            if patterns.iter().any(|p| name_matches(p, name)) {
+                out.push((name.clone(), SeriesKind::Counter));
+            }
+        }
+        for name in r.gauges.keys() {
+            if patterns.iter().any(|p| name_matches(p, name)) {
+                out.push((name.clone(), SeriesKind::Gauge));
+            }
+        }
+        for name in r.hists.keys() {
+            if patterns.iter().any(|p| name_matches(p, name)) {
+                out.push((name.clone(), SeriesKind::Histogram));
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Builds an incremental frame covering `(from_tick, current tick]`
+    /// for every series matching `patterns`. The number of ring samples
+    /// summed per series is `tick - from_tick`, capped by what the ring
+    /// still holds. Quiet counters/histograms are omitted (that is the
+    /// point of delta frames); gauges always report their level.
+    pub fn frame_since(&self, from_tick: u64, patterns: &[String]) -> TelemetryFrame {
+        let r = self.lock();
+        let tick = r.tick;
+        let window = (tick.saturating_sub(from_tick)) as usize;
+        let mut series: Vec<(String, SeriesDelta)> = Vec::new();
+        for (name, s) in &r.counters {
+            if !patterns.iter().any(|p| name_matches(p, name)) {
+                continue;
+            }
+            let take = window.min(s.deltas.len());
+            let delta: u64 = s.deltas.iter().skip(s.deltas.len() - take).sum();
+            if delta > 0 {
+                series.push((name.clone(), SeriesDelta::Counter { delta }));
+            }
+        }
+        for (name, s) in &r.gauges {
+            if !patterns.iter().any(|p| name_matches(p, name)) {
+                continue;
+            }
+            let value = s.values.back().copied().unwrap_or(0);
+            series.push((name.clone(), SeriesDelta::Gauge { value }));
+        }
+        for (name, s) in &r.hists {
+            if !patterns.iter().any(|p| name_matches(p, name)) {
+                continue;
+            }
+            let take = window.min(s.deltas.len());
+            let mut buckets = vec![0u64; s.prev_buckets.len()];
+            let mut sum = 0u64;
+            let mut moved = false;
+            for d in s.deltas.iter().skip(s.deltas.len() - take).flatten() {
+                moved = true;
+                for (acc, b) in buckets.iter_mut().zip(d.buckets.iter()) {
+                    *acc += b;
+                }
+                sum += d.sum;
+            }
+            if moved {
+                let count = buckets.iter().sum();
+                series.push((
+                    name.clone(),
+                    SeriesDelta::Histogram {
+                        delta: HistogramSnapshot {
+                            bounds: s.bounds.as_ref().clone(),
+                            buckets,
+                            sum,
+                            count,
+                        },
+                    },
+                ));
+            }
+        }
+        series.sort_by(|a, b| a.0.cmp(&b.0));
+        TelemetryFrame {
+            from_tick,
+            tick,
+            interval_ms: r.interval_ms,
+            unix_ms: r.last_unix_ms,
+            series,
+        }
+    }
+}
+
+/// Series-name pattern match: exact, or prefix when the pattern ends in
+/// `*` (`"ccdb_server_*"` matches every server series; `"*"` matches
+/// everything).
+pub fn name_matches(pattern: &str, name: &str) -> bool {
+    match pattern.strip_suffix('*') {
+        Some(prefix) => name.starts_with(prefix),
+        None => pattern == name,
+    }
+}
+
+/// The process-global time-series store the global sampler feeds.
+pub fn global_series() -> &'static TimeSeries {
+    static STORE: OnceLock<TimeSeries> = OnceLock::new();
+    STORE.get_or_init(|| TimeSeries::new(DEFAULT_INTERVAL_MS, DEFAULT_RETENTION))
+}
+
+struct SamplerState {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+fn sampler_slot() -> &'static Mutex<Option<SamplerState>> {
+    static SAMPLER: OnceLock<Mutex<Option<SamplerState>>> = OnceLock::new();
+    SAMPLER.get_or_init(|| Mutex::new(None))
+}
+
+/// Starts the global sampler thread if it is not already running:
+/// every `interval_ms` it folds one snapshot of [`crate::global`] into
+/// [`global_series`]. Idempotent — a second caller (another in-process
+/// server) joins the running sampler and its configuration. Returns
+/// `true` if this call started the thread.
+pub fn start_global_sampler(interval_ms: u64, retention: usize) -> bool {
+    let mut slot = sampler_slot().lock().unwrap_or_else(|p| p.into_inner());
+    if slot.is_some() {
+        return false;
+    }
+    global_series().configure(interval_ms, retention);
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread_stop = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("ccdb-sampler".into())
+        .spawn(move || {
+            let interval = Duration::from_millis(interval_ms.max(1));
+            while !thread_stop.load(Ordering::Relaxed) {
+                if crate::enabled() {
+                    global_series().sample(crate::global());
+                }
+                std::thread::sleep(interval);
+            }
+        })
+        .expect("spawn sampler thread");
+    *slot = Some(SamplerState {
+        stop,
+        handle: Some(handle),
+    });
+    true
+}
+
+/// Stops and joins the global sampler thread, if running. History in
+/// [`global_series`] is kept. Used by benches that need a sampler-off
+/// baseline; servers normally leave the sampler running for the process
+/// lifetime.
+pub fn stop_global_sampler() {
+    let state = {
+        let mut slot = sampler_slot().lock().unwrap_or_else(|p| p.into_inner());
+        slot.take()
+    };
+    if let Some(mut state) = state {
+        state.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = state.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Whether the global sampler thread is currently running.
+pub fn global_sampler_running() -> bool {
+    sampler_slot()
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_rings_are_delta_encoded() {
+        let reg = Registry::new();
+        let ts = TimeSeries::new(100, 8);
+        let c = reg.counter("ops_total");
+        c.add(10);
+        ts.sample(&reg); // first sight baselines at 10 → delta 0
+        c.add(3);
+        ts.sample(&reg);
+        c.add(7);
+        ts.sample(&reg);
+        assert_eq!(ts.counter_points("ops_total", 10), Some(vec![0, 3, 7]));
+        assert_eq!(ts.counter_delta("ops_total", 2), Some(10));
+        assert_eq!(ts.counter_delta("ops_total", 1), Some(7));
+        assert_eq!(ts.tick(), 3);
+    }
+
+    #[test]
+    fn gauge_rings_hold_levels() {
+        let reg = Registry::new();
+        let ts = TimeSeries::new(100, 8);
+        let g = reg.gauge("depth");
+        g.set(5);
+        ts.sample(&reg);
+        g.set(-2);
+        ts.sample(&reg);
+        assert_eq!(ts.gauge_points("depth", 10), Some(vec![5, -2]));
+        assert_eq!(ts.gauge_points("missing", 10), None);
+    }
+
+    #[test]
+    fn hist_windows_sum_bucket_deltas() {
+        let reg = Registry::new();
+        let ts = TimeSeries::new(100, 8);
+        let h = reg.histogram("lat_ns", &[10, 20]);
+        h.observe(5);
+        ts.sample(&reg); // baseline: first sight, delta None
+        h.observe(15);
+        h.observe(15);
+        ts.sample(&reg);
+        ts.sample(&reg); // idle tick → None in ring
+        let w = ts.hist_window("lat_ns", 2).unwrap();
+        assert_eq!(w.count, 2);
+        assert_eq!(w.buckets, vec![0, 2, 0]);
+        assert_eq!(w.sum, 30);
+        // p50 of the window interpolates inside (10, 20].
+        assert_eq!(w.quantile(0.5), Some(15.0));
+        // Window of 1 covers only the idle tick.
+        assert_eq!(ts.hist_window("lat_ns", 1).unwrap().count, 0);
+    }
+
+    #[test]
+    fn retention_bounds_the_rings() {
+        let reg = Registry::new();
+        let ts = TimeSeries::new(100, 4);
+        let c = reg.counter("ops_total");
+        for _ in 0..10 {
+            c.inc();
+            ts.sample(&reg);
+        }
+        let points = ts.counter_points("ops_total", 100).unwrap();
+        assert_eq!(points.len(), 4);
+        assert!(points.iter().all(|&d| d == 1));
+        assert_eq!(ts.tick(), 10);
+    }
+
+    #[test]
+    fn reset_between_ticks_floors_deltas_at_zero() {
+        let reg = Registry::new();
+        let ts = TimeSeries::new(100, 8);
+        let c = reg.counter("ops_total");
+        c.add(5);
+        ts.sample(&reg);
+        reg.reset_all();
+        ts.sample(&reg);
+        c.add(2);
+        ts.sample(&reg);
+        assert_eq!(ts.counter_points("ops_total", 10), Some(vec![0, 0, 2]));
+    }
+
+    #[test]
+    fn frames_carry_only_movement() {
+        let reg = Registry::new();
+        let ts = TimeSeries::new(100, 16);
+        let busy = reg.counter("busy_total");
+        let quiet = reg.counter("quiet_total");
+        let g = reg.gauge("depth");
+        let h = reg.histogram("lat_ns", &[10]);
+        busy.add(1);
+        quiet.add(1);
+        ts.sample(&reg);
+        let t0 = ts.tick();
+        busy.add(4);
+        g.set(9);
+        h.observe(3);
+        ts.sample(&reg);
+        ts.sample(&reg);
+        let frame = ts.frame_since(t0, &["*".into()]);
+        assert_eq!(frame.from_tick, t0);
+        assert_eq!(frame.tick, t0 + 2);
+        let names: Vec<&str> = frame.series.iter().map(|(n, _)| n.as_str()).collect();
+        // busy moved, quiet did not; the gauge always reports; the
+        // histogram moved.
+        assert!(names.contains(&"busy_total"), "{names:?}");
+        assert!(!names.contains(&"quiet_total"), "{names:?}");
+        assert!(names.contains(&"depth"), "{names:?}");
+        assert!(names.contains(&"lat_ns"), "{names:?}");
+        for (name, d) in &frame.series {
+            match (name.as_str(), d) {
+                ("busy_total", SeriesDelta::Counter { delta }) => assert_eq!(*delta, 4),
+                ("depth", SeriesDelta::Gauge { value }) => assert_eq!(*value, 9),
+                ("lat_ns", SeriesDelta::Histogram { delta }) => {
+                    assert_eq!(delta.count, 1);
+                    assert_eq!(delta.sum, 3);
+                }
+                other => panic!("unexpected series {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn frame_patterns_filter_by_prefix() {
+        let reg = Registry::new();
+        let ts = TimeSeries::new(100, 8);
+        reg.counter("ccdb_server_requests_total").add(1);
+        reg.counter("ccdb_core_hops_total").add(1);
+        ts.sample(&reg);
+        reg.counter("ccdb_server_requests_total").add(2);
+        reg.counter("ccdb_core_hops_total").add(2);
+        ts.sample(&reg);
+        let frame = ts.frame_since(0, &["ccdb_server_*".into()]);
+        assert_eq!(frame.series.len(), 1);
+        assert_eq!(frame.series[0].0, "ccdb_server_requests_total");
+    }
+
+    #[test]
+    fn name_matching_rules() {
+        assert!(name_matches("a_total", "a_total"));
+        assert!(!name_matches("a_total", "a_total_2"));
+        assert!(name_matches("a_*", "a_total"));
+        assert!(name_matches("*", "anything"));
+        assert!(!name_matches("b_*", "a_total"));
+    }
+
+    #[test]
+    fn global_sampler_starts_and_stops() {
+        // Serialize against other tests that may toggle the sampler.
+        let started = start_global_sampler(10, 32);
+        assert!(global_sampler_running());
+        // Second start is a no-op join.
+        assert!(!start_global_sampler(10, 32));
+        std::thread::sleep(Duration::from_millis(50));
+        stop_global_sampler();
+        assert!(!global_sampler_running());
+        if !started {
+            // Another component owned the sampler; leave it stopped — the
+            // owner restarts lazily.
+            return;
+        }
+        assert!(global_series().tick() > 0);
+    }
+
+    #[test]
+    fn names_matching_reports_kinds() {
+        let reg = Registry::new();
+        let ts = TimeSeries::new(100, 8);
+        reg.counter("c_total").inc();
+        reg.gauge("g");
+        reg.histogram("h_ns", &[1]);
+        ts.sample(&reg);
+        let names = ts.names_matching(&["*".into()]);
+        assert_eq!(
+            names,
+            vec![
+                ("c_total".to_string(), SeriesKind::Counter),
+                ("g".to_string(), SeriesKind::Gauge),
+                ("h_ns".to_string(), SeriesKind::Histogram),
+            ]
+        );
+    }
+}

@@ -352,6 +352,56 @@ impl Client {
             .ok_or_else(|| ClientError::Protocol("metrics: non-string result".into()))
     }
 
+    /// Windowed time-series query: per-series points/rates/quantiles plus
+    /// the per-verb latency and wakeup-latency digests, computed
+    /// server-side from the telemetry ring. `params` carries the optional
+    /// `points` / `window_ms` / `series` knobs (empty object for
+    /// defaults).
+    pub fn telemetry(&mut self, params: Json) -> ClientResult<Json> {
+        self.request("telemetry", params)
+    }
+
+    /// Subscribes this connection to streamed telemetry frames every
+    /// `interval_ms`, filtered to `series` name patterns (empty → server
+    /// default). Returns the acknowledgement object (`tick`,
+    /// `interval_ms` as clamped, `series` matched now). After this call
+    /// the server pushes unsolicited frames; drain them with
+    /// [`Client::recv_watch_frame`]. The lock-step [`Client::request`]
+    /// path must not be used while a watch is live — an interleaved frame
+    /// would be mistaken for the response.
+    pub fn watch(&mut self, interval_ms: u64, series: &[&str]) -> ClientResult<Json> {
+        let mut params = vec![("interval_ms".to_string(), Json::UInt(interval_ms))];
+        if !series.is_empty() {
+            params.push((
+                "series".into(),
+                Json::Array(series.iter().map(|s| Json::String((*s).into())).collect()),
+            ));
+        }
+        self.request("watch", Json::Object(params))
+    }
+
+    /// Cancels this connection's watch subscription. Frames already in
+    /// flight may still arrive before the acknowledgement; callers should
+    /// drain until they see the `watching: false` ack envelope.
+    pub fn watch_stop(&mut self) -> ClientResult<Json> {
+        self.request(
+            "watch",
+            Json::Object(vec![("stop".into(), Json::Bool(true))]),
+        )
+    }
+
+    /// Reads one streamed telemetry frame (the `result` of the pushed
+    /// envelope). Only meaningful after [`Client::watch`]; respects the
+    /// configured read timeout.
+    pub fn recv_watch_frame(&mut self) -> ClientResult<Json> {
+        let v = self.read_response_json()?;
+        match v.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(v.get("result").cloned().unwrap_or(Json::Null)),
+            Some(false) => Err(envelope_error(&v)),
+            None => Err(ClientError::Protocol("frame missing `ok`".into())),
+        }
+    }
+
     /// Issues `sub_requests` — `(verb, params)` pairs — as **one** `batch`
     /// frame, executed by the server under a single store guard
     /// acquisition. Returns one result per sub-request, in order; a

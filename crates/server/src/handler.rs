@@ -93,6 +93,147 @@ fn flight_record_json(r: &ccdb_obs::FlightRecord) -> Json {
     ])
 }
 
+/// `telemetry`: windowed queries over the server-side time-series ring.
+///
+/// Params (all optional): `points` — sparkline length in samples
+/// (default 32); `window_ms` — quantile/rate window (default
+/// `points × sampler interval`); `series` — names or trailing-`*`
+/// prefixes (default `ccdb_server_*`).
+///
+/// Returns per-series data (counter per-tick deltas + windowed rate,
+/// gauge point vectors, histogram windowed count/p50/p95/p99), plus two
+/// convenience blocks dashboards want pre-digested: `verbs` (per-verb
+/// windowed total-latency quantiles, from the ring — not from cumulative
+/// scrapes, so they track the window instead of skewing after long
+/// uptimes) and `wakeup` (the scheduler's enqueue→dequeue histogram over
+/// the same window).
+fn handle_telemetry(params: &Json) -> HandlerResult {
+    let ts = ccdb_obs::global_series();
+    let interval_ms = ts.interval_ms().max(1);
+    let retention = ts.retention();
+    let points = params
+        .get("points")
+        .and_then(Json::as_u64)
+        .unwrap_or(32)
+        .clamp(1, retention as u64) as usize;
+    let window_ms = params
+        .get("window_ms")
+        .and_then(Json::as_u64)
+        .unwrap_or(points as u64 * interval_ms)
+        .max(interval_ms);
+    let window_samples = (window_ms.div_ceil(interval_ms) as usize).clamp(1, retention);
+    let window_secs = (window_samples as u64 * interval_ms) as f64 / 1_000.0;
+    let patterns = {
+        let named: Vec<String> = params
+            .get("series")
+            .and_then(Json::as_array)
+            .map(|items| {
+                items
+                    .iter()
+                    .filter_map(|v| v.as_str().map(String::from))
+                    .collect()
+            })
+            .unwrap_or_default();
+        if named.is_empty() {
+            vec!["ccdb_server_*".to_string()]
+        } else {
+            named
+        }
+    };
+
+    let mut series = Vec::new();
+    for (name, kind) in ts.names_matching(&patterns) {
+        let mut fields = vec![
+            ("name".into(), Json::String(name.clone())),
+            ("kind".into(), Json::String(kind.as_str().into())),
+        ];
+        match kind {
+            ccdb_obs::SeriesKind::Counter => {
+                let pts = ts.counter_points(&name, points).unwrap_or_default();
+                let delta = ts.counter_delta(&name, window_samples).unwrap_or(0);
+                fields.push(("delta".into(), Json::UInt(delta)));
+                fields.push(("rate".into(), Json::Float(delta as f64 / window_secs)));
+                fields.push((
+                    "points".into(),
+                    Json::Array(pts.into_iter().map(Json::UInt).collect()),
+                ));
+            }
+            ccdb_obs::SeriesKind::Gauge => {
+                let pts = ts.gauge_points(&name, points).unwrap_or_default();
+                fields.push(("value".into(), Json::Int(pts.last().copied().unwrap_or(0))));
+                fields.push((
+                    "points".into(),
+                    Json::Array(pts.into_iter().map(Json::Int).collect()),
+                ));
+            }
+            ccdb_obs::SeriesKind::Histogram => {
+                if let Some(w) = ts.hist_window(&name, window_samples) {
+                    fields.push(("count".into(), Json::UInt(w.count)));
+                    fields.push(("sum".into(), Json::UInt(w.sum)));
+                    for (label, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+                        fields.push((
+                            label.into(),
+                            w.quantile(q).map(Json::Float).unwrap_or(Json::Null),
+                        ));
+                    }
+                }
+            }
+        }
+        series.push(Json::Object(fields));
+    }
+
+    let verbs: Vec<Json> = crate::proto::VERBS
+        .iter()
+        .filter_map(|v| {
+            let w = ts.hist_window(&format!("ccdb_server_phase_{v}_total_ns"), window_samples)?;
+            if w.count == 0 {
+                return None;
+            }
+            let mut fields = vec![
+                ("verb".into(), Json::String((*v).into())),
+                ("count".into(), Json::UInt(w.count)),
+            ];
+            for (label, q) in [("p50_ns", 0.5), ("p95_ns", 0.95), ("p99_ns", 0.99)] {
+                fields.push((
+                    label.into(),
+                    w.quantile(q).map(Json::Float).unwrap_or(Json::Null),
+                ));
+            }
+            Some(Json::Object(fields))
+        })
+        .collect();
+
+    let wakeup = match ts.hist_window("ccdb_server_wakeup_latency_ns", window_samples) {
+        Some(w) => {
+            let mut fields = vec![("count".into(), Json::UInt(w.count))];
+            for (label, q) in [("p50_ns", 0.5), ("p95_ns", 0.95), ("p99_ns", 0.99)] {
+                fields.push((
+                    label.into(),
+                    w.quantile(q).map(Json::Float).unwrap_or(Json::Null),
+                ));
+            }
+            Json::Object(fields)
+        }
+        None => Json::Null,
+    };
+
+    Ok(Json::Object(vec![
+        ("tick".into(), Json::UInt(ts.tick())),
+        ("interval_ms".into(), Json::UInt(interval_ms)),
+        ("retention".into(), Json::UInt(retention as u64)),
+        ("points".into(), Json::UInt(points as u64)),
+        ("window_ms".into(), Json::UInt(window_ms)),
+        ("window_samples".into(), Json::UInt(window_samples as u64)),
+        (
+            "sampler_running".into(),
+            Json::Bool(ccdb_obs::timeseries::global_sampler_running()),
+        ),
+        ("series".into(), Json::Array(series)),
+        ("verbs".into(), Json::Array(verbs)),
+        ("wakeup".into(), wakeup),
+    ]))
+}
+
 /// `flight`: dump the flight recorder (most-recent + slowest retained
 /// request timelines).
 fn handle_flight() -> HandlerResult {
@@ -304,6 +445,7 @@ fn storeless_verb(
             Some(Ok(Json::String(ccdb_obs::global().render_prometheus())))
         }
         "flight" => Some(handle_flight()),
+        "telemetry" => Some(handle_telemetry(params)),
         "boom" if debug_verbs => panic!("boom: requested handler panic"),
         _ => None,
     }

@@ -52,6 +52,28 @@ pub(crate) struct ServerMetrics {
     pub write_stalled_closed: Arc<Counter>,
     /// `ccdb_server_queue_depth` — jobs waiting for a worker.
     pub queue_depth: Arc<Gauge>,
+    /// `ccdb_server_wakeup_latency_ns` — enqueue→dequeue delta measured
+    /// by the admission queue itself: how long an admitted job sat before
+    /// a worker picked it up. Distinct from the per-request `queue` phase
+    /// number (which is attributed into the phase timeline); this one is
+    /// the scheduler's own histogram, sampled into the telemetry ring as
+    /// the "before" baseline for admission/MVCC work.
+    pub wakeup_latency: Arc<Histogram>,
+    /// `ccdb_server_workers_busy` — workers executing a job right now.
+    pub workers_busy: Arc<Gauge>,
+    /// `ccdb_server_workers_busy_ns_total` — ns spent in handlers, summed
+    /// over all workers (utilization numerator).
+    pub workers_busy_ns: Arc<Counter>,
+    /// `ccdb_server_workers_idle_ns_total` — ns spent parked on the queue,
+    /// summed over all workers (utilization denominator with busy).
+    pub workers_idle_ns: Arc<Counter>,
+    /// `ccdb_server_watch_subscribers` — live `watch` subscriptions.
+    pub watch_subscribers: Arc<Gauge>,
+    /// `ccdb_server_watch_frames_total` — telemetry frames streamed.
+    pub watch_frames: Arc<Counter>,
+    /// `ccdb_server_watch_dropped_total` — subscriptions removed because
+    /// the subscriber's write half died (stall-killed or disconnected).
+    pub watch_dropped: Arc<Counter>,
     /// `ccdb_server_request_latency_ns` — admission to response written.
     pub request_latency: Arc<Histogram>,
     /// `ccdb_server_batch_frames_total` — `batch` frames handled.
@@ -112,6 +134,13 @@ pub(crate) fn server_metrics() -> &'static ServerMetrics {
             idle_closed: r.counter("ccdb_server_idle_closed_total"),
             write_stalled_closed: r.counter("ccdb_server_write_stalled_closed_total"),
             queue_depth: r.gauge("ccdb_server_queue_depth"),
+            wakeup_latency: r.histogram("ccdb_server_wakeup_latency_ns", LATENCY_BUCKETS_NS),
+            workers_busy: r.gauge("ccdb_server_workers_busy"),
+            workers_busy_ns: r.counter("ccdb_server_workers_busy_ns_total"),
+            workers_idle_ns: r.counter("ccdb_server_workers_idle_ns_total"),
+            watch_subscribers: r.gauge("ccdb_server_watch_subscribers"),
+            watch_frames: r.counter("ccdb_server_watch_frames_total"),
+            watch_dropped: r.counter("ccdb_server_watch_dropped_total"),
             request_latency: r.histogram("ccdb_server_request_latency_ns", LATENCY_BUCKETS_NS),
             batch_frames: r.counter("ccdb_server_batch_frames_total"),
             batch_subrequests: r.counter("ccdb_server_batch_subrequests_total"),
@@ -180,6 +209,14 @@ mod tests {
             "ccdb_server_phase_attr_total_ns",
             "ccdb_server_phase_set_attr_queue_ns",
             "ccdb_server_requests_flight_total",
+            "ccdb_server_wakeup_latency_ns",
+            "ccdb_server_workers_busy",
+            "ccdb_server_workers_busy_ns_total",
+            "ccdb_server_workers_idle_ns_total",
+            "ccdb_server_watch_subscribers",
+            "ccdb_server_watch_frames_total",
+            "ccdb_server_requests_telemetry_total",
+            "ccdb_server_requests_watch_total",
         ] {
             assert!(text.contains(series), "missing {series}");
         }

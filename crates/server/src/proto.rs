@@ -376,6 +376,10 @@ pub const VERBS: &[&str] = &[
     "flight",
     "batch",
     "shutdown",
+    // Appended in PR 8 — ids must stay append-only so v1↔v2 verb ids
+    // never drift between releases.
+    "telemetry",
+    "watch",
 ];
 
 /// Debug-only verb id (the `boom` panic probe, enabled by

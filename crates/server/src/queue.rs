@@ -9,7 +9,10 @@
 //! graceful shutdown relies on to finish in-flight requests.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use ccdb_obs::Histogram;
 
 /// Why a push was refused.
 #[derive(Debug)]
@@ -21,21 +24,35 @@ pub enum PushError<T> {
 }
 
 struct State<T> {
-    items: VecDeque<T>,
+    /// Items with their admission stamp; the stamp feeds the queue's own
+    /// wakeup-latency histogram at pop time.
+    items: VecDeque<(Instant, T)>,
     closed: bool,
 }
 
 /// A fixed-capacity FIFO shared by connection readers (producers) and the
 /// worker pool (consumers).
+///
+/// The queue is its own probe: every item is stamped at `push` and the
+/// enqueue→dequeue delta is observed into the optional wakeup histogram
+/// at `pop`, so scheduler wait is measured at the source instead of being
+/// reconstructed from per-request phase timelines.
 pub struct BoundedQueue<T> {
     state: Mutex<State<T>>,
     not_empty: Condvar,
     capacity: usize,
+    wakeup: Option<Arc<Histogram>>,
 }
 
 impl<T> BoundedQueue<T> {
     /// Creates a queue admitting at most `capacity` jobs at once.
     pub fn new(capacity: usize) -> Self {
+        Self::with_wakeup_histogram(capacity, None)
+    }
+
+    /// Creates a queue that also observes each item's enqueue→dequeue
+    /// latency into `wakeup`.
+    pub fn with_wakeup_histogram(capacity: usize, wakeup: Option<Arc<Histogram>>) -> Self {
         BoundedQueue {
             state: Mutex::new(State {
                 items: VecDeque::with_capacity(capacity.max(1)),
@@ -43,6 +60,7 @@ impl<T> BoundedQueue<T> {
             }),
             not_empty: Condvar::new(),
             capacity: capacity.max(1),
+            wakeup,
         }
     }
 
@@ -61,7 +79,7 @@ impl<T> BoundedQueue<T> {
         if s.items.len() >= self.capacity {
             return Err(PushError::Full(item));
         }
-        s.items.push_back(item);
+        s.items.push_back((Instant::now(), item));
         drop(s);
         self.not_empty.notify_one();
         Ok(())
@@ -72,7 +90,11 @@ impl<T> BoundedQueue<T> {
     pub fn pop(&self) -> Option<T> {
         let mut s = self.lock();
         loop {
-            if let Some(item) = s.items.pop_front() {
+            if let Some((enqueued, item)) = s.items.pop_front() {
+                drop(s);
+                if let Some(h) = &self.wakeup {
+                    h.observe(enqueued.elapsed().as_nanos() as u64);
+                }
                 return Some(item);
             }
             if s.closed {
@@ -127,6 +149,21 @@ mod tests {
         assert_eq!(q.pop(), Some("a"));
         assert_eq!(q.pop(), Some("b"));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn wakeup_histogram_observes_enqueue_to_dequeue() {
+        let h = Arc::new(Histogram::latency_ns());
+        let q = BoundedQueue::with_wakeup_histogram(4, Some(Arc::clone(&h)));
+        q.push(1).unwrap();
+        thread::sleep(std::time::Duration::from_millis(5));
+        q.push(2).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        // The first item waited ≥ 5 ms before its dequeue.
+        assert!(s.sum >= 5_000_000, "sum {}", s.sum);
     }
 
     #[test]

@@ -71,6 +71,7 @@ use ccdb_core::lockprobe;
 use ccdb_core::schema::Catalog;
 use ccdb_core::shared::SharedStore;
 use ccdb_obs::flight::FlightRecord;
+use ccdb_obs::timeseries::{self, SeriesDelta, TelemetryFrame};
 use ccdb_obs::TraceId;
 use serde_json::Value as Json;
 
@@ -105,6 +106,12 @@ pub struct ServerConfig {
     /// accepts both dialects, `1` pins the server to v1 JSON and refuses
     /// the v2 hello with a `protocol` error.
     pub max_proto: u8,
+    /// Telemetry sampler interval in ms (`0` disables the sampler and the
+    /// `watch` verb). The sampler is process-global; the first server to
+    /// start it fixes the cadence for the process lifetime.
+    pub sample_interval_ms: u64,
+    /// Telemetry ring retention, in samples per series.
+    pub sample_retention: usize,
 }
 
 impl Default for ServerConfig {
@@ -118,6 +125,8 @@ impl Default for ServerConfig {
             write_stall_timeout: WRITE_STALL_TIMEOUT,
             debug_verbs: false,
             max_proto: PROTOCOL_V2,
+            sample_interval_ms: timeseries::DEFAULT_INTERVAL_MS,
+            sample_retention: timeseries::DEFAULT_RETENTION,
         }
     }
 }
@@ -323,6 +332,12 @@ impl Session {
         o.stalled_since.map(|t| t.elapsed())
     }
 
+    /// Whether the write half has been killed (stall/backlog/error). The
+    /// streamer uses this to drop subscriptions to reaped connections.
+    fn is_dead(&self) -> bool {
+        self.out.lock().unwrap_or_else(|p| p.into_inner()).dead
+    }
+
     /// Drain-path flush: parks on `POLLOUT` (bounded by `budget`) so
     /// in-flight responses reach slow-but-live clients. Only called from
     /// shutdown, after the event loop has exited — nothing else may block
@@ -369,6 +384,40 @@ const OUT_CAP_FRAMES: usize = 4;
 /// largest frame it ever saw.
 const BUF_RETAIN_CAP: usize = 8 * 1024;
 
+/// Default `watch` frame interval when the subscriber names none.
+const WATCH_DEFAULT_INTERVAL_MS: u64 = 500;
+
+/// Fastest frame interval a subscriber may request.
+const WATCH_MIN_INTERVAL_MS: u64 = 20;
+
+/// Slowest frame interval a subscriber may request.
+const WATCH_MAX_INTERVAL_MS: u64 = 60_000;
+
+/// Streamer scheduling granularity: how often due subscriptions are
+/// checked. Bounds how late a frame can be, and how long shutdown waits
+/// for the streamer to notice the drain flag.
+const WATCH_TICK: Duration = Duration::from_millis(25);
+
+/// Series selected when a `watch`/`telemetry` request names none.
+const DEFAULT_SERIES_PATTERNS: &[&str] = &["ccdb_server_*"];
+
+/// One live `watch` subscription. Owned by the streamer thread's map;
+/// frames ride the session's ordinary outbound buffer, so backpressure
+/// (backlog cap, stall kill) is exactly the request-path machinery.
+struct WatchSub {
+    session: Arc<Session>,
+    /// The `watch` request's id — every streamed frame echoes it, so a
+    /// pipelining client can tell frames from its own request/response
+    /// traffic.
+    request_id: u64,
+    interval: Duration,
+    patterns: Vec<String>,
+    /// Ring tick already reported; the next frame covers `(last_tick, now]`.
+    last_tick: u64,
+    seq: u64,
+    next_due: Instant,
+}
+
 /// A unit of admitted work: request + the session to answer, plus the
 /// phase timings the event loop already banked for it.
 struct Job {
@@ -392,6 +441,9 @@ struct Inner {
     draining: AtomicBool,
     drain_cv: (Mutex<bool>, Condvar),
     sessions: Mutex<HashMap<u64, Arc<Session>>>,
+    /// Live `watch` subscriptions, keyed by session id (one per session;
+    /// a re-`watch` replaces the previous subscription).
+    watchers: Mutex<HashMap<u64, WatchSub>>,
     next_session: AtomicU64,
     local_addr: SocketAddr,
 }
@@ -434,6 +486,7 @@ impl ServerHandle {
 pub struct Server {
     inner: Arc<Inner>,
     event_loop: Option<JoinHandle<()>>,
+    streamer: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -453,7 +506,10 @@ impl Server {
             max_proto: cfg.max_proto,
         };
         let inner = Arc::new(Inner {
-            queue: BoundedQueue::new(cfg.queue_depth),
+            queue: BoundedQueue::with_wakeup_histogram(
+                cfg.queue_depth,
+                Some(Arc::clone(&server_metrics().wakeup_latency)),
+            ),
             cfg,
             store,
             catalog,
@@ -461,16 +517,27 @@ impl Server {
             draining: AtomicBool::new(false),
             drain_cv: (Mutex::new(false), Condvar::new()),
             sessions: Mutex::new(HashMap::new()),
+            watchers: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(1),
             local_addr,
         });
 
+        if inner.cfg.sample_interval_ms > 0 {
+            timeseries::start_global_sampler(
+                inner.cfg.sample_interval_ms,
+                inner.cfg.sample_retention,
+            );
+        }
         let workers = (0..inner.cfg.workers.max(1))
-            .map(|_| {
+            .map(|w| {
                 let inner = Arc::clone(&inner);
-                thread::spawn(move || worker_loop(&inner))
+                thread::spawn(move || worker_loop(&inner, w))
             })
             .collect();
+        let streamer = {
+            let inner = Arc::clone(&inner);
+            thread::spawn(move || streamer_loop(&inner))
+        };
         let (wake_tx, wake_rx) = wake_pair()?;
         let event_loop = {
             let inner = Arc::clone(&inner);
@@ -479,6 +546,7 @@ impl Server {
         Ok(Server {
             inner,
             event_loop: Some(event_loop),
+            streamer: Some(streamer),
             workers,
         })
     }
@@ -529,6 +597,20 @@ impl Server {
         //    halves stay alive for in-flight responses.
         if let Some(h) = self.event_loop.take() {
             let _ = h.join();
+        }
+        // The streamer polls the drain flag every tick; join it and drop
+        // its subscriptions so no telemetry frame races the final flush.
+        if let Some(h) = self.streamer.take() {
+            let _ = h.join();
+        }
+        {
+            let mut w = self
+                .inner
+                .watchers
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            server_metrics().watch_subscribers.add(-(w.len() as i64));
+            w.clear();
         }
         // 2. Stop admission; queued jobs still drain. Workers run each
         //    remaining job, write its response, then exit.
@@ -906,6 +988,19 @@ impl EventLoop {
             .lock()
             .unwrap_or_else(|p| p.into_inner())
             .remove(&id);
+        if self
+            .inner
+            .watchers
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&id)
+            .is_some()
+        {
+            // A subscription that dies with its connection (stall-killed
+            // or peer disconnect) is a drop, not a cancel.
+            server_metrics().watch_subscribers.add(-1);
+            server_metrics().watch_dropped.inc();
+        }
         release_session_gauges(server_metrics(), conn.session.proto());
         // Force the FIN out even if a queued job still holds the session
         // (its late write will just fail, which is already tolerated).
@@ -1100,6 +1195,13 @@ fn handle_frame(
         session.send(&ok_response(request.id, session.info_json()));
         return ConnAfter::Keep;
     }
+    // `watch` is connection-level (it binds a stream to this session), so
+    // it is answered inline like `session`; frames are pushed later by the
+    // streamer thread through the session's ordinary outbound buffer.
+    if request.verb == "watch" {
+        session.send(&register_watch(inner, session, &request));
+        return ConnAfter::Keep;
+    }
     if inner.draining() {
         session.send(&err_response(
             request.id,
@@ -1138,9 +1240,219 @@ fn handle_frame(
     ConnAfter::Keep
 }
 
-fn worker_loop(inner: &Arc<Inner>) {
+/// Handles a `watch` request: registers (or replaces, or with
+/// `stop: true` cancels) this session's telemetry subscription and
+/// returns the ack envelope. Streaming itself happens on the streamer
+/// thread.
+fn register_watch(inner: &Arc<Inner>, session: &Arc<Session>, request: &Request) -> Json {
     let m = server_metrics();
+    let p = &request.params;
+    if p.get("stop").and_then(Json::as_bool) == Some(true) {
+        let removed = inner
+            .watchers
+            .lock()
+            .unwrap_or_else(|q| q.into_inner())
+            .remove(&session.id)
+            .is_some();
+        if removed {
+            m.watch_subscribers.add(-1);
+        }
+        return ok_response(
+            request.id,
+            Json::Object(vec![("watching".into(), Json::Bool(false))]),
+        );
+    }
+    if inner.cfg.sample_interval_ms == 0 {
+        return err_response(
+            request.id,
+            ErrorKind::BadRequest,
+            "telemetry sampler disabled on this server (sample_interval_ms = 0)",
+        );
+    }
+    let interval_ms = p
+        .get("interval_ms")
+        .and_then(Json::as_u64)
+        .unwrap_or(WATCH_DEFAULT_INTERVAL_MS)
+        .clamp(WATCH_MIN_INTERVAL_MS, WATCH_MAX_INTERVAL_MS);
+    let patterns = series_patterns(p);
+    let tick = timeseries::global_series().tick();
+    let sub = WatchSub {
+        session: Arc::clone(session),
+        request_id: request.id,
+        interval: Duration::from_millis(interval_ms),
+        patterns: patterns.clone(),
+        last_tick: tick,
+        seq: 0,
+        next_due: Instant::now() + Duration::from_millis(interval_ms),
+    };
+    let replaced = inner
+        .watchers
+        .lock()
+        .unwrap_or_else(|q| q.into_inner())
+        .insert(session.id, sub)
+        .is_some();
+    if !replaced {
+        m.watch_subscribers.add(1);
+    }
+    ok_response(
+        request.id,
+        Json::Object(vec![
+            ("watching".into(), Json::Bool(true)),
+            ("interval_ms".into(), Json::UInt(interval_ms)),
+            ("tick".into(), Json::UInt(tick)),
+            (
+                "sampler_interval_ms".into(),
+                Json::UInt(timeseries::global_series().interval_ms()),
+            ),
+            (
+                "series".into(),
+                Json::Array(patterns.into_iter().map(Json::String).collect()),
+            ),
+        ]),
+    )
+}
+
+/// Extracts the `series` name/pattern list from request params, falling
+/// back to [`DEFAULT_SERIES_PATTERNS`].
+fn series_patterns(params: &Json) -> Vec<String> {
+    let named: Vec<String> = params
+        .get("series")
+        .and_then(Json::as_array)
+        .map(|items| {
+            items
+                .iter()
+                .filter_map(|v| v.as_str().map(String::from))
+                .collect()
+        })
+        .unwrap_or_default();
+    if named.is_empty() {
+        DEFAULT_SERIES_PATTERNS
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect()
+    } else {
+        named
+    }
+}
+
+/// Renders one series delta as the wire object shared by `watch` frames
+/// and the `telemetry` verb. `window_secs` converts counter deltas to
+/// rates.
+fn series_delta_json(name: &str, delta: &SeriesDelta, window_secs: f64) -> Json {
+    let mut fields = vec![("name".into(), Json::String(name.to_string()))];
+    match delta {
+        SeriesDelta::Counter { delta } => {
+            fields.push(("kind".into(), Json::String("counter".into())));
+            fields.push(("delta".into(), Json::UInt(*delta)));
+            fields.push((
+                "rate".into(),
+                Json::Float(*delta as f64 / window_secs.max(1e-9)),
+            ));
+        }
+        SeriesDelta::Gauge { value } => {
+            fields.push(("kind".into(), Json::String("gauge".into())));
+            fields.push(("value".into(), Json::Int(*value)));
+        }
+        SeriesDelta::Histogram { delta } => {
+            fields.push(("kind".into(), Json::String("histogram".into())));
+            fields.push(("count".into(), Json::UInt(delta.count)));
+            fields.push(("sum".into(), Json::UInt(delta.sum)));
+            for (label, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+                fields.push((
+                    label.into(),
+                    delta.quantile(q).map(Json::Float).unwrap_or(Json::Null),
+                ));
+            }
+        }
+    }
+    Json::Object(fields)
+}
+
+/// Renders one incremental telemetry frame for the wire.
+fn watch_frame_json(frame: &TelemetryFrame, seq: u64) -> Json {
+    let window_ms = frame.tick.saturating_sub(frame.from_tick) * frame.interval_ms;
+    let window_secs = (window_ms as f64 / 1_000.0).max(frame.interval_ms as f64 / 1_000.0);
+    Json::Object(vec![
+        ("watch".into(), Json::Bool(true)),
+        ("seq".into(), Json::UInt(seq)),
+        ("from_tick".into(), Json::UInt(frame.from_tick)),
+        ("tick".into(), Json::UInt(frame.tick)),
+        ("interval_ms".into(), Json::UInt(frame.interval_ms)),
+        ("window_ms".into(), Json::UInt(window_ms)),
+        ("unix_ms".into(), Json::UInt(frame.unix_ms)),
+        (
+            "series".into(),
+            Json::Array(
+                frame
+                    .series
+                    .iter()
+                    .map(|(name, d)| series_delta_json(name, d, window_secs))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// The streamer thread: every [`WATCH_TICK`] it sends each due
+/// subscription an incremental frame built from the telemetry ring.
+/// Frames go through [`Session::send`] — the same never-blocking
+/// outbound buffer as responses — so a subscriber that stops reading is
+/// killed by the stall sweep or backlog cap exactly like any other slow
+/// peer, without the streamer (or anyone else) ever blocking on it.
+fn streamer_loop(inner: &Arc<Inner>) {
+    let m = server_metrics();
+    loop {
+        thread::sleep(WATCH_TICK);
+        if inner.draining() {
+            return;
+        }
+        let now = Instant::now();
+        let mut watchers = inner.watchers.lock().unwrap_or_else(|p| p.into_inner());
+        let mut dead: Vec<u64> = Vec::new();
+        for (id, sub) in watchers.iter_mut() {
+            if sub.session.is_dead() {
+                dead.push(*id);
+                continue;
+            }
+            if now < sub.next_due {
+                continue;
+            }
+            let frame = timeseries::global_series().frame_since(sub.last_tick, &sub.patterns);
+            sub.seq += 1;
+            sub.last_tick = frame.tick;
+            sub.next_due = now + sub.interval;
+            sub.session.send(&ok_response(
+                sub.request_id,
+                watch_frame_json(&frame, sub.seq),
+            ));
+            m.watch_frames.inc();
+            if sub.session.is_dead() {
+                dead.push(*id);
+            }
+        }
+        for id in dead {
+            watchers.remove(&id);
+            m.watch_subscribers.add(-1);
+            m.watch_dropped.inc();
+        }
+    }
+}
+
+fn worker_loop(inner: &Arc<Inner>, worker_idx: usize) {
+    let m = server_metrics();
+    // Per-worker utilization counters, plus the pool-wide aggregates:
+    // Δbusy / (Δbusy + Δidle) over a ring window is the utilization the
+    // dashboards show.
+    let r = ccdb_obs::global();
+    let w_busy = r.counter(&format!("ccdb_server_worker{worker_idx}_busy_ns_total"));
+    let w_idle = r.counter(&format!("ccdb_server_worker{worker_idx}_idle_ns_total"));
+    let mut idle_since = Instant::now();
     while let Some(job) = inner.queue.pop() {
+        let idle_ns = idle_since.elapsed().as_nanos() as u64;
+        w_idle.add(idle_ns);
+        m.workers_idle_ns.add(idle_ns);
+        m.workers_busy.inc();
+        let busy_start = Instant::now();
         m.queue_depth.set(inner.queue.len() as i64);
         let popped = Instant::now();
         let Job {
@@ -1254,5 +1566,10 @@ fn worker_loop(inner: &Arc<Inner>) {
         m.request_latency
             .observe(admitted.elapsed().as_nanos() as u64);
         drop(span);
+        let busy_ns = busy_start.elapsed().as_nanos() as u64;
+        w_busy.add(busy_ns);
+        m.workers_busy_ns.add(busy_ns);
+        m.workers_busy.dec();
+        idle_since = Instant::now();
     }
 }

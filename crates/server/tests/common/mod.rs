@@ -37,6 +37,9 @@ pub fn start(cfg: ServerConfig) -> Server {
     Server::start(cfg, SharedStore::new(catalog()).unwrap()).expect("server binds")
 }
 
+// Each integration-test binary compiles this module separately and uses
+// a different subset of the helpers.
+#[allow(dead_code)]
 pub fn start_default() -> Server {
     start(ServerConfig::default())
 }

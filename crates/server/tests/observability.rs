@@ -156,6 +156,52 @@ fn flight_recorder_catches_slow_requests_with_phase_timelines() {
 }
 
 #[test]
+fn flight_recorder_attributes_v2_requests_with_proto_phases_and_trace() {
+    let server = common::start_default();
+    let addr = server.local_addr();
+    let mut c = Client::connect_proto(addr, 2).expect("v2 handshake");
+    c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    assert_eq!(c.proto(), 2);
+
+    // A traced, deliberately slow request over the binary dialect: slow
+    // enough to be retained in the slowest view whatever else this test
+    // binary has recorded, traced so the record links to the client.
+    c.set_trace(Some(424_242_424));
+    c.ping_delay_ms(450).unwrap();
+    c.set_trace(None);
+
+    let f = c.flight().unwrap();
+    let slowest = f
+        .get("slowest")
+        .and_then(Json::as_array)
+        .expect("flight payload has a slowest array");
+    let rec = slowest
+        .iter()
+        .find(|r| r.get("trace").and_then(Json::as_u64) == Some(424_242_424))
+        .unwrap_or_else(|| panic!("traced v2 ping not retained: {f:?}"));
+
+    // The record names the dialect it arrived on...
+    assert_eq!(rec.get("proto").and_then(Json::as_u64), Some(2));
+    assert_eq!(rec.get("verb").and_then(Json::as_str), Some("ping"));
+    // ...carries the full seven-phase timeline...
+    let phases = rec.get("phases").expect("record has phases");
+    for name in ccdb_obs::flight::PHASE_NAMES {
+        assert!(
+            phases.get(name).and_then(Json::as_u64).is_some(),
+            "phase `{name}` missing from v2 record: {rec:?}"
+        );
+    }
+    assert!(
+        phases.get("handle").and_then(Json::as_u64).unwrap() >= 400_000_000,
+        "delay not attributed to handle phase: {rec:?}"
+    );
+    // ...and non-trivial framing work was actually measured (the v2
+    // decode path feeds the parse phase, so it must at least be stamped).
+    assert!(rec.get("session").and_then(Json::as_u64).is_some());
+    server.shutdown();
+}
+
+#[test]
 fn client_trace_ids_continue_into_server_spans() {
     ccdb_obs::trace::set_tracing(true);
     let server = common::start_default();

@@ -1,0 +1,266 @@
+//! Streaming telemetry over the wire: `watch` subscriptions must deliver
+//! incremental frames in both protocol dialects, the `telemetry` verb
+//! must answer windowed queries from the server-side ring, and a
+//! subscriber that stops draining its socket must be killed by the
+//! write-stall path without perturbing any other session.
+
+mod common;
+
+use std::io::Read;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ccdb_server::{Client, ServerConfig};
+use serde_json::Value as Json;
+
+/// Every server in this binary samples fast: the telemetry sampler is
+/// process-global and the first server to start it fixes the cadence, so
+/// all tests here agree on 25 ms.
+fn fast_cfg() -> ServerConfig {
+    ServerConfig {
+        sample_interval_ms: 25,
+        ..ServerConfig::default()
+    }
+}
+
+/// Extracts a scalar value from a Prometheus-text scrape.
+fn scrape_value(text: &str, name: &str) -> Option<u64> {
+    text.lines()
+        .find(|l| l.split_whitespace().next() == Some(name))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse::<f64>().ok())
+        .map(|v| v as u64)
+}
+
+#[test]
+fn watch_streams_incremental_frames_over_both_dialects() {
+    let server = common::start(fast_cfg());
+    let addr = server.local_addr();
+
+    for proto in [1u8, 2u8] {
+        let mut sub = Client::connect_proto(addr, proto).unwrap();
+        sub.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+        // Traffic on a second connection so counters actually move.
+        let stop = Arc::new(AtomicBool::new(false));
+        let pinger = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                while !stop.load(Ordering::Relaxed) {
+                    c.ping().unwrap();
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            })
+        };
+
+        let ack = sub.watch(50, &["ccdb_server_*"]).unwrap();
+        assert_eq!(
+            ack.get("watching").and_then(Json::as_bool),
+            Some(true),
+            "[v{proto}] bad ack: {ack:?}"
+        );
+        assert_eq!(ack.get("interval_ms").and_then(Json::as_u64), Some(50));
+
+        let mut last_tick = 0u64;
+        let mut last_seq = 0u64;
+        let mut saw_requests_delta = false;
+        for i in 0..4 {
+            let f = sub.recv_watch_frame().unwrap();
+            assert_eq!(
+                f.get("watch").and_then(Json::as_bool),
+                Some(true),
+                "[v{proto}] frame {i} is not a watch frame: {f:?}"
+            );
+            let seq = f.get("seq").and_then(Json::as_u64).unwrap();
+            let tick = f.get("tick").and_then(Json::as_u64).unwrap();
+            assert!(seq > last_seq, "[v{proto}] seq not increasing");
+            assert!(tick >= last_tick, "[v{proto}] tick went backwards");
+            last_seq = seq;
+            last_tick = tick;
+            let series = f.get("series").and_then(Json::as_array).unwrap();
+            // The pinger guarantees the request counter moves between
+            // frames, so the incremental encoding must carry it.
+            if series.iter().any(|s| {
+                s.get("name").and_then(Json::as_str) == Some("ccdb_server_requests_total")
+                    && s.get("delta").and_then(Json::as_u64).unwrap_or(0) > 0
+            }) {
+                saw_requests_delta = true;
+            }
+        }
+        assert!(
+            saw_requests_delta,
+            "[v{proto}] no frame carried a ccdb_server_requests_total delta"
+        );
+
+        // Cancel: frames already in flight may precede the ack.
+        sub.watch_stop().ok();
+        stop.store(true, Ordering::Relaxed);
+        pinger.join().unwrap();
+    }
+    server.shutdown();
+}
+
+#[test]
+fn telemetry_verb_answers_windowed_queries_from_the_ring() {
+    let server = common::start(fast_cfg());
+    let addr = server.local_addr();
+    let mut c = Client::connect(addr).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    // Generate load, then poll until the sampler has visibly ticked and
+    // the windowed per-verb digest covers the pings.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let t = loop {
+        for _ in 0..20 {
+            c.ping().unwrap();
+        }
+        let t = c.telemetry(serde_json::json!({"points": 16})).unwrap();
+        let tick = t.get("tick").and_then(Json::as_u64).unwrap_or(0);
+        let has_ping_digest = t
+            .get("verbs")
+            .and_then(Json::as_array)
+            .is_some_and(|verbs| {
+                verbs.iter().any(|v| {
+                    v.get("verb").and_then(Json::as_str) == Some("ping")
+                        && v.get("count").and_then(Json::as_u64).unwrap_or(0) > 0
+                        && v.get("p50_ns").and_then(Json::as_f64).is_some()
+                })
+            });
+        if tick >= 2 && has_ping_digest {
+            break t;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "sampler never produced a ping digest: {t:?}"
+        );
+        std::thread::sleep(Duration::from_millis(30));
+    };
+
+    assert_eq!(t.get("sampler_running").and_then(Json::as_bool), Some(true));
+    assert!(t.get("interval_ms").and_then(Json::as_u64).unwrap() >= 1);
+
+    // The request counter series carries a per-tick point vector for
+    // sparklines plus a windowed rate.
+    let series = t.get("series").and_then(Json::as_array).unwrap();
+    let requests = series
+        .iter()
+        .find(|s| s.get("name").and_then(Json::as_str) == Some("ccdb_server_requests_total"))
+        .expect("requests series present");
+    assert_eq!(requests.get("kind").and_then(Json::as_str), Some("counter"));
+    let points = requests.get("points").and_then(Json::as_array).unwrap();
+    assert!(!points.is_empty() && points.len() <= 16, "{points:?}");
+    assert!(requests.get("rate").and_then(Json::as_f64).is_some());
+
+    // The scheduler's own wakeup histogram is populated under load and
+    // digested over the same window.
+    let wakeup = t.get("wakeup").expect("wakeup block present");
+    assert!(
+        wakeup.get("count").and_then(Json::as_u64).unwrap_or(0) > 0,
+        "wakeup histogram empty: {wakeup:?}"
+    );
+    assert!(wakeup.get("p50_ns").and_then(Json::as_f64).is_some());
+    server.shutdown();
+}
+
+#[test]
+fn watch_is_refused_when_the_sampler_is_disabled() {
+    let server = common::start(ServerConfig {
+        sample_interval_ms: 0,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    let mut c = Client::connect(addr).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let err = c.watch(100, &[]).unwrap_err();
+    assert!(
+        matches!(&err, ccdb_server::ClientError::Server { kind, .. } if kind == "bad_request"),
+        "expected bad_request, got {err}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn stalled_watch_subscriber_is_killed_without_perturbing_other_sessions() {
+    // Small frame cap → small outbound backlog cap (4×), short stall
+    // timeout → the kill fires seconds, not minutes, after the subscriber
+    // stops reading.
+    let server = common::start(ServerConfig {
+        write_stall_timeout: Duration::from_millis(300),
+        max_frame_bytes: 16 * 1024,
+        ..fast_cfg()
+    });
+    let addr = server.local_addr();
+
+    let mut healthy = Client::connect(addr).unwrap();
+    healthy
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let baseline_stalled = scrape_value(
+        &healthy.metrics().unwrap(),
+        "ccdb_server_write_stalled_closed_total",
+    )
+    .unwrap_or(0);
+
+    // The victim subscribes to *everything* at the fastest interval, then
+    // never reads its socket again.
+    let mut victim = Client::connect(addr).unwrap();
+    victim
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let ack = victim.watch(20, &["*"]).unwrap();
+    assert_eq!(ack.get("watching").and_then(Json::as_bool), Some(true));
+
+    // Load keeps histograms moving so every frame carries real payload
+    // (and exercises the sessions that must NOT be perturbed).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut killed = false;
+    while Instant::now() < deadline {
+        for _ in 0..50 {
+            healthy.ping().expect("healthy session must keep working");
+        }
+        let stalled = scrape_value(
+            &healthy.metrics().unwrap(),
+            "ccdb_server_write_stalled_closed_total",
+        )
+        .unwrap_or(0);
+        if stalled > baseline_stalled {
+            killed = true;
+            break;
+        }
+    }
+    assert!(killed, "stalled subscriber was never write-stall killed");
+
+    // The victim's socket is dead: its next read hits EOF or reset.
+    let mut buf = [0u8; 4096];
+    let sock_dead = loop {
+        match victim.read(&mut buf) {
+            Ok(0) => break true,
+            Ok(_) => continue, // draining frames buffered before the kill
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break false,
+            Err(e) if e.kind() == std::io::ErrorKind::TimedOut => break false,
+            Err(_) => break true,
+        }
+    };
+    assert!(sock_dead, "victim socket still open after stall kill");
+
+    // And the healthy session never noticed: lock-step requests still
+    // round-trip and the subscription bookkeeping recorded the drop.
+    healthy.ping().unwrap();
+    let drop_deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let dropped = scrape_value(
+            &healthy.metrics().unwrap(),
+            "ccdb_server_watch_dropped_total",
+        )
+        .unwrap_or(0);
+        if dropped >= 1 {
+            break;
+        }
+        assert!(Instant::now() < drop_deadline, "watch_dropped not recorded");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    server.shutdown();
+}
