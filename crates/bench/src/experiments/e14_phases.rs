@@ -1,7 +1,7 @@
 //! E14 — latency decomposition: where does a wire request's time go?
 //!
-//! The serving layer stamps every request's seven phases (recv → parse →
-//! queue → lock → handle → serialize → write) into the
+//! The serving layer stamps every request's eight phases (recv → parse →
+//! queue → snapshot → lock → handle → serialize → write) into the
 //! `ccdb_server_phase_*` histograms. E14 runs the E12 workload shape (an
 //! in-process server, closed-loop clients at 90% resolved reads / 10%
 //! transmitter writes) and renders the *attribution table*: how much of
@@ -11,7 +11,7 @@
 //! Two invariants are asserted by the test:
 //!
 //! - zero server errors (the decomposition must not perturb correctness);
-//! - **coverage**: the seven phase sums add up to ≥95% of the measured
+//! - **coverage**: the eight phase sums add up to ≥95% of the measured
 //!   first-byte-to-response-written total — the timeline has no
 //!   unaccounted gap.
 //!

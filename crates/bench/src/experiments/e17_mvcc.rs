@@ -1,0 +1,142 @@
+//! E17 — MVCC snapshot reads: reader threads are never blocked by writers.
+//!
+//! Pre-MVCC, the shared store was one `RwLock<ObjectStore>`: a write cycle
+//! excluded every reader for its whole duration, so the E12 mixed load
+//! showed shared-mode store-lock *wait* growing with writer pressure. The
+//! snapshot store publishes immutable `Arc<ObjectStore>` versions instead:
+//! a reader pins the current snapshot with one probed read (nanoseconds)
+//! and then resolves against it lock-free, no matter how long the writer's
+//! copy-on-write cycle runs.
+//!
+//! E17 sweeps reader-thread counts under the E12 mixed shape — continuous
+//! transmitter writes racing resolved reads — and decomposes each reader's
+//! time with the thread-local snapshot-wait probe. The acceptance bar is
+//! the MVCC claim itself: mean snapshot-acquire wait per read stays ~0
+//! (microseconds at worst) while the writer publishes versions as fast as
+//! it can, and read throughput scales with reader threads instead of
+//! flat-lining behind the writer's exclusive lock.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::thread;
+use std::time::Instant;
+
+use ccdb_core::shared::SharedStore;
+use ccdb_core::{lockprobe, Value};
+
+use crate::table::Table;
+use crate::workload::fanout_store;
+
+/// Run E17: snapshot-acquire wait and read throughput vs reader threads,
+/// with a saturating writer publishing versions throughout.
+pub fn run(quick: bool) -> Table {
+    let reader_counts: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8, 16] };
+    let reads_per_thread: u64 = if quick { 2_000 } else { 20_000 };
+    let n_imps = if quick { 64 } else { 256 };
+
+    let (st, interface, imps) = fanout_store(n_imps, 4, 4);
+    let shared = SharedStore::from_store(st);
+
+    let mut t = Table::new(
+        "E17: MVCC snapshot reads vs a saturating writer (snapshot-acquire wait per read)",
+        &[
+            "readers",
+            "reads",
+            "reads/s",
+            "snapwait mean",
+            "snapwait worst-thread",
+            "versions published",
+        ],
+    );
+    for &readers in reader_counts {
+        let stop = AtomicBool::new(false);
+        let total_wait = AtomicU64::new(0);
+        let worst_wait = AtomicU64::new(0);
+        let v_before = shared.published_version();
+        let start = Instant::now();
+        thread::scope(|scope| {
+            // The writer: continuous transmitter updates, each a full
+            // copy-on-write publish cycle invalidating the imps' chains.
+            let writer_store = shared.clone();
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut n = 0i64;
+                while !stop.load(Ordering::Relaxed) {
+                    writer_store
+                        .set_attr(interface, "A0", Value::Int(n))
+                        .unwrap();
+                    n += 1;
+                    // Quick mode runs inside the parallel test suite; a
+                    // core-saturating spin would perturb the other perf
+                    // guards (E16's overhead arms), and version churn is
+                    // all the readers need. Full runs saturate for real.
+                    if quick {
+                        thread::sleep(std::time::Duration::from_micros(200));
+                    }
+                }
+            });
+            let handles: Vec<_> = (0..readers)
+                .map(|r| {
+                    let store = shared.clone();
+                    let imps = &imps;
+                    let (total_wait, worst_wait) = (&total_wait, &worst_wait);
+                    scope.spawn(move || {
+                        let wait0 = lockprobe::thread_snapshot_wait_ns();
+                        for n in 0..reads_per_thread {
+                            let imp = imps[(r as u64 * 7919 + n) as usize % imps.len()];
+                            let v = store.attr(imp, "A0").unwrap();
+                            assert!(matches!(v, Value::Int(_)));
+                        }
+                        let waited = lockprobe::thread_snapshot_wait_ns() - wait0;
+                        total_wait.fetch_add(waited, Ordering::Relaxed);
+                        worst_wait.fetch_max(waited, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            // Keep the writer publishing until every reader is done, so
+            // all reads really do race live copy-on-write cycles.
+            for h in handles {
+                h.join().unwrap();
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        let elapsed = start.elapsed();
+
+        let reads = readers as u64 * reads_per_thread;
+        let mean_wait = total_wait.load(Ordering::Relaxed) as f64 / reads as f64;
+        let worst = worst_wait.load(Ordering::Relaxed) as f64 / reads_per_thread as f64;
+        t.row(vec![
+            readers.to_string(),
+            reads.to_string(),
+            format!("{:.0}", reads as f64 / elapsed.as_secs_f64().max(1e-9)),
+            format!("{mean_wait:.0} ns/read"),
+            format!("{worst:.0} ns/read"),
+            (shared.published_version() - v_before).to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_wait_stays_negligible_under_writer_pressure() {
+        let t = run(true);
+        assert_eq!(t.rows.len(), 3);
+        for row in &t.rows {
+            let readers: u64 = row[0].parse().unwrap();
+            let reads: u64 = row[1].parse().unwrap();
+            assert_eq!(reads, readers * 2_000, "lost reads: {row:?}");
+            // The MVCC claim: pinning a snapshot costs nanoseconds even
+            // while a writer publishes continuously. The bound is loose
+            // (50µs/read) to stay robust on loaded CI machines — the
+            // pre-MVCC RwLock shape measured *milliseconds* here.
+            let mean: f64 = row[3].strip_suffix(" ns/read").unwrap().parse().unwrap();
+            assert!(mean < 50_000.0, "snapshot-acquire wait is not ~0: {row:?}");
+            // The writer was never starved: versions kept publishing.
+            let published: u64 = row[5].parse().unwrap();
+            assert!(published > 0, "writer published nothing: {row:?}");
+        }
+    }
+}

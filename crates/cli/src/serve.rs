@@ -42,6 +42,9 @@ pub struct ServeFlags {
     pub requests: Option<u64>,
     /// `bench-net`: sub-requests per `batch` frame (1 = plain frames).
     pub batch: Option<u64>,
+    /// `bench-net`: percentage of operations that are transmitter writes
+    /// (0–100; the rest are resolved reads). Default 10.
+    pub write_pct: Option<u8>,
     /// Wire protocol: `serve` pins the server's maximum (1 = JSON only),
     /// `bench-net` selects the client dialect. Default: v2.
     pub proto: Option<u8>,
@@ -49,8 +52,8 @@ pub struct ServeFlags {
 
 impl ServeFlags {
     /// Parses `--addr A --threads N --queue-depth N --clients N
-    /// --requests N --batch N --proto v1|v2` in any order; rejects
-    /// unknown flags and bad numbers.
+    /// --requests N --batch N --write-pct N --proto v1|v2` in any order;
+    /// rejects unknown flags and bad numbers.
     pub fn parse(args: &[String]) -> Result<ServeFlags, CliError> {
         let mut flags = ServeFlags {
             addr: None,
@@ -59,6 +62,7 @@ impl ServeFlags {
             clients: None,
             requests: None,
             batch: None,
+            write_pct: None,
             proto: None,
         };
         let mut it = args.iter();
@@ -89,6 +93,16 @@ impl ServeFlags {
                 "--clients" => flags.clients = Some(num("--clients")?.max(1) as usize),
                 "--requests" => flags.requests = Some(num("--requests")?.max(1)),
                 "--batch" => flags.batch = Some(num("--batch")?.max(1)),
+                "--write-pct" => {
+                    let pct = num("--write-pct")?;
+                    if pct > 100 {
+                        return Err(CliError {
+                            message: format!("--write-pct: `{pct}` is not in 0..=100"),
+                            code: 2,
+                        });
+                    }
+                    flags.write_pct = Some(pct as u8);
+                }
                 "--proto" => {
                     let v = it.next().ok_or_else(|| CliError {
                         message: "--proto requires a value (v1 or v2)".into(),
@@ -219,6 +233,7 @@ fn bench_client(
     triple: &(String, String, String, String),
     requests: u64,
     batch: u64,
+    write_pct: u8,
     proto: u8,
     seed: u64,
 ) -> Result<(Vec<u64>, u64, u64), String> {
@@ -287,11 +302,13 @@ fn bench_client(
         return Err("bench-net: setup bind rejected by server".into());
     }
 
-    // The n-th operation of the mix: 90% resolved reads through the
-    // binding, 10% transmitter writes (the adaptation path). Shared by
-    // the plain and batched loops so both ship the identical workload.
+    // The n-th operation of the mix: `write_pct`% transmitter writes (the
+    // adaptation path), the rest resolved reads through the binding.
+    // Shared by the plain and batched loops so both ship the identical
+    // workload.
+    let is_write = move |n: u64| n % 100 < write_pct as u64;
     let op_params = |n: u64| -> (&'static str, Json) {
-        if n % 10 == 9 {
+        if is_write(n) {
             (
                 "set_attr",
                 Json::Object(vec![
@@ -318,7 +335,7 @@ fn bench_client(
     if batch <= 1 {
         for n in 0..requests {
             let start = Instant::now();
-            if n % 10 == 9 {
+            if is_write(n) {
                 with_retry(
                     &mut |c| c.set_attr(transmitter, attr, Value::Int((seed + n) as i64)),
                     &mut c,
@@ -402,6 +419,7 @@ pub fn cmd_bench_net(source: &str, flags: &ServeFlags) -> Result<String, CliErro
     let clients = flags.clients.unwrap_or(8);
     let requests = flags.requests.unwrap_or(200);
     let batch = flags.batch.unwrap_or(1);
+    let write_pct = flags.write_pct.unwrap_or(10);
     let proto = flags.proto.unwrap_or(ccdb_server::PROTOCOL_V2);
 
     // Own server only when no target was given.
@@ -431,8 +449,15 @@ pub fn cmd_bench_net(source: &str, flags: &ServeFlags) -> Result<String, CliErro
             let total_overloaded = Arc::clone(&total_overloaded);
             let total_errors = Arc::clone(&total_errors);
             thread::spawn(move || -> Result<Vec<u64>, String> {
-                let (lat, over, errs) =
-                    bench_client(addr, &triple, requests, batch, proto, i as u64 * 1000)?;
+                let (lat, over, errs) = bench_client(
+                    addr,
+                    &triple,
+                    requests,
+                    batch,
+                    write_pct,
+                    proto,
+                    i as u64 * 1000,
+                )?;
                 total_overloaded.fetch_add(over, Ordering::Relaxed);
                 total_errors.fetch_add(errs, Ordering::Relaxed);
                 Ok(lat)
@@ -478,6 +503,7 @@ pub fn cmd_bench_net(source: &str, flags: &ServeFlags) -> Result<String, CliErro
         "bench-net: {clients} clients x {requests} requests ({t_ty} -[{rel}]-> {inh_ty}, attr {attr})\n\
            protocol   : v{proto} ({})\n\
            requests   : {ops}\n\
+           mix        : {write_pct}% writes / {}% resolved reads\n\
            batching   : {batch} sub-requests/frame ({frames} frames)\n\
            elapsed    : {:.3}s\n\
            throughput : {rps:.0} req/s\n\
@@ -486,6 +512,7 @@ pub fn cmd_bench_net(source: &str, flags: &ServeFlags) -> Result<String, CliErro
            errors     : {} (server error responses)\n\
            wakeup     : {wakeup}\n",
         if proto >= 2 { "binary framing" } else { "JSON framing" },
+        100 - write_pct as u64,
         elapsed.as_secs_f64(),
         quantile(&all, 0.50),
         quantile(&all, 0.95),
@@ -525,6 +552,8 @@ mod tests {
             "8".into(),
             "--batch".into(),
             "32".into(),
+            "--write-pct".into(),
+            "40".into(),
             "--proto".into(),
             "v1".into(),
         ])
@@ -533,7 +562,18 @@ mod tests {
         assert_eq!(f.threads, Some(2));
         assert_eq!(f.queue_depth, Some(8));
         assert_eq!(f.batch, Some(32));
+        assert_eq!(f.write_pct, Some(40));
         assert_eq!(f.proto, Some(1));
+
+        // 0 is a legal mix (pure reads); 101 is not a percentage.
+        let f = ServeFlags::parse(&["--write-pct".into(), "0".into()]).unwrap();
+        assert_eq!(f.write_pct, Some(0));
+        assert_eq!(
+            ServeFlags::parse(&["--write-pct".into(), "101".into()])
+                .unwrap_err()
+                .code,
+            2
+        );
 
         let f = ServeFlags::parse(&["--proto".into(), "2".into()]).unwrap();
         assert_eq!(f.proto, Some(2));
@@ -577,6 +617,7 @@ mod tests {
             clients: Some(4),
             requests: Some(20),
             batch: None,
+            write_pct: None,
             proto: None,
         };
         let out = cmd_bench_net(SCHEMA, &flags).unwrap();
@@ -603,6 +644,7 @@ mod tests {
             clients: Some(2),
             requests: Some(10),
             batch: None,
+            write_pct: None,
             proto: Some(1),
         };
         let out = cmd_bench_net(SCHEMA, &flags).unwrap();
@@ -619,6 +661,7 @@ mod tests {
             clients: Some(2),
             requests: Some(20),
             batch: Some(8),
+            write_pct: None,
             proto: None,
         };
         let out = cmd_bench_net(SCHEMA, &flags).unwrap();

@@ -241,6 +241,20 @@ pub fn render_top(addr: &str, info: &Json, t: &Json) -> String {
     }
     out.push('\n');
 
+    // MVCC snapshot health: reader-visible staleness, publish cost, and
+    // the windowed publish rate.
+    out.push_str(&format!(
+        "snapshot: v{:.0} age {:.0}ms | publish p95 {} ({:.1}/s) | txn begin/commit/abort/conflict {:.0}/{:.0}/{:.0}/{:.0}\n",
+        gauge_value(t, "ccdb_core_snapshot_version"),
+        gauge_value(t, "ccdb_core_snapshot_age_ms"),
+        fmt_q(t, "ccdb_core_snapshot_publish_ns", "p95"),
+        counter_rate(t, "ccdb_core_snapshot_publishes_total"),
+        counter_delta(t, "ccdb_txn_wire_begins_total"),
+        counter_delta(t, "ccdb_txn_wire_commits_total"),
+        counter_delta(t, "ccdb_txn_wire_aborts_total"),
+        counter_delta(t, "ccdb_txn_wire_conflicts_total"),
+    ));
+
     // Phase decomposition across all verbs, from the windowed sums.
     let phase_sums: Vec<(&str, f64)> = ccdb_obs::flight::PHASE_NAMES
         .iter()
@@ -306,6 +320,8 @@ const TOP_SERIES: &[&str] = &[
     "ccdb_server_*",
     "ccdb_core_rescache_*",
     "ccdb_core_storelock_*",
+    "ccdb_core_snapshot_*",
+    "ccdb_txn_wire_*",
 ];
 
 fn query_telemetry(c: &mut Client, points: u64) -> Result<Json, CliError> {
@@ -435,6 +451,22 @@ mod tests {
                  "delta": 10, "rate": 5.0, "points": [2, 1, 1, 1]},
                 {"name": "ccdb_core_storelock_shared_wait_ns", "kind": "histogram",
                  "count": 40, "sum": 40000, "p50": 500.0, "p95": 2000.0, "p99": 4000.0},
+                {"name": "ccdb_core_snapshot_version", "kind": "gauge",
+                 "value": 17, "points": [17]},
+                {"name": "ccdb_core_snapshot_age_ms", "kind": "gauge",
+                 "value": 12, "points": [12]},
+                {"name": "ccdb_core_snapshot_publish_ns", "kind": "histogram",
+                 "count": 9, "sum": 90000, "p50": 6000.0, "p95": 30000.0, "p99": 50000.0},
+                {"name": "ccdb_core_snapshot_publishes_total", "kind": "counter",
+                 "delta": 9, "rate": 4.5, "points": [1, 1, 2, 5]},
+                {"name": "ccdb_txn_wire_begins_total", "kind": "counter",
+                 "delta": 6, "rate": 3.0, "points": [6]},
+                {"name": "ccdb_txn_wire_commits_total", "kind": "counter",
+                 "delta": 4, "rate": 2.0, "points": [4]},
+                {"name": "ccdb_txn_wire_aborts_total", "kind": "counter",
+                 "delta": 2, "rate": 1.0, "points": [2]},
+                {"name": "ccdb_txn_wire_conflicts_total", "kind": "counter",
+                 "delta": 1, "rate": 0.5, "points": [1]},
                 {"name": "ccdb_server_phase_all_handle_ns", "kind": "histogram",
                  "count": 100, "sum": 90000, "p50": 700.0, "p95": 1000.0, "p99": 1500.0}
             ],
@@ -491,6 +523,16 @@ mod tests {
         );
         assert!(frame.contains("shared wait p95 2.0µs"), "{frame}");
         assert!(frame.contains("window 2.0s @ 250ms samples"), "{frame}");
+        // MVCC snapshot health line: version, age, publish p95 + rate,
+        // and the wire-transaction counters.
+        assert!(
+            frame.contains("snapshot: v17 age 12ms | publish p95 30.0µs (4.5/s)"),
+            "{frame}"
+        );
+        assert!(
+            frame.contains("txn begin/commit/abort/conflict 6/4/2/1"),
+            "{frame}"
+        );
     }
 
     #[test]

@@ -78,6 +78,7 @@ pub mod persist;
 pub mod rescache;
 pub mod schema;
 pub mod shared;
+pub mod snapshot;
 pub mod store;
 pub mod surrogate;
 pub mod trigger;

@@ -104,20 +104,44 @@ pub(crate) fn lockprobe_metrics() -> &'static LockProbeMetrics {
 thread_local! {
     /// Per-thread acquisition tick driving the uncontended clock sampling.
     static SAMPLE_TICK: Cell<u64> = const { Cell::new(0) };
-    /// Nanoseconds this thread has spent blocked on the store lock.
+    /// Nanoseconds this thread has spent blocked on *exclusive* (write /
+    /// transaction) lock acquisitions.
     static LOCK_WAIT_NS: Cell<u64> = const { Cell::new(0) };
+    /// Nanoseconds this thread has spent blocked acquiring a read snapshot
+    /// (shared-mode acquisitions — under MVCC these are snapshot pins).
+    static SNAPSHOT_WAIT_NS: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Total time (ns) the calling thread has spent *blocked* on contended
-/// store-lock acquisitions, monotonically accumulating for the thread's
-/// life. Read it before and after a unit of work (the server does this per
-/// request) and the delta is that work's store-lock wait.
+/// exclusive store-lock or transaction-lock acquisitions, monotonically
+/// accumulating for the thread's life. Read it before and after a unit of
+/// work (the server does this per request) and the delta is that work's
+/// write/txn-lock wait — the `lock` phase of the request timeline.
 pub fn thread_lock_wait_ns() -> u64 {
     LOCK_WAIT_NS.with(Cell::get)
 }
 
-fn charge_thread_wait(ns: u64) {
+/// Total time (ns) the calling thread has spent *blocked* acquiring read
+/// snapshots (shared-mode acquisitions). Under MVCC this is the
+/// snapshot-pin wait — the `snapshot` phase of the request timeline — and
+/// stays ~0 because the publish critical section is a pointer swap.
+pub fn thread_snapshot_wait_ns() -> u64 {
+    SNAPSHOT_WAIT_NS.with(Cell::get)
+}
+
+/// Charge externally-measured exclusive-lock wait (e.g. a `ccdb-txn`
+/// lock-manager acquisition made on behalf of a request) to the calling
+/// thread's [`thread_lock_wait_ns`] accumulator, so the server's phase
+/// decomposition attributes it to the `lock` phase.
+pub fn charge_exclusive_wait(ns: u64) {
     LOCK_WAIT_NS.with(|c| c.set(c.get().saturating_add(ns)));
+}
+
+fn charge_thread_wait(mode: LockMode, ns: u64) {
+    match mode {
+        LockMode::Shared => SNAPSHOT_WAIT_NS.with(|c| c.set(c.get().saturating_add(ns))),
+        LockMode::Exclusive => LOCK_WAIT_NS.with(|c| c.set(c.get().saturating_add(ns))),
+    }
 }
 
 /// True on 1 of every [`SAMPLE_INTERVAL`] calls per thread.
@@ -218,7 +242,7 @@ fn acquire<G>(
             m.waiters.dec();
             let wait_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
             m.wait[i].observe(wait_ns);
-            charge_thread_wait(wait_ns);
+            charge_thread_wait(mode, wait_ns);
             if let Some(s) = span.as_mut() {
                 s.u64("wait_ns", wait_ns);
                 s.str("contended", "yes");
@@ -323,6 +347,46 @@ mod tests {
             "~30ms block must charge the thread accumulator, got {waited}ns"
         );
         assert_eq!(*lock.read(), 1);
+    }
+
+    #[test]
+    fn contended_read_charges_the_snapshot_accumulator_not_the_lock_one() {
+        let lock = StdArc::new(RwLock::new(0u32));
+        let writer = StdArc::clone(&lock);
+        let held = StdArc::new(std::sync::Barrier::new(2));
+        let held2 = StdArc::clone(&held);
+        let h = thread::spawn(move || {
+            let _g = writer.write();
+            held2.wait();
+            thread::sleep(Duration::from_millis(30));
+        });
+        held.wait();
+        let reader = StdArc::clone(&lock);
+        let rt = thread::spawn(move || {
+            let snap0 = thread_snapshot_wait_ns();
+            let lock0 = thread_lock_wait_ns();
+            {
+                let _g = probed_read(&reader);
+            }
+            (
+                thread_snapshot_wait_ns() - snap0,
+                thread_lock_wait_ns() - lock0,
+            )
+        });
+        let (snap_ns, lock_ns) = rt.join().unwrap();
+        h.join().unwrap();
+        assert!(
+            snap_ns >= 10_000_000,
+            "~30ms blocked read must charge the snapshot accumulator, got {snap_ns}ns"
+        );
+        assert_eq!(lock_ns, 0, "shared wait must not leak into the lock phase");
+    }
+
+    #[test]
+    fn charge_exclusive_wait_feeds_the_lock_accumulator() {
+        let before = thread_lock_wait_ns();
+        charge_exclusive_wait(1234);
+        assert_eq!(thread_lock_wait_ns() - before, 1234);
     }
 
     #[test]

@@ -48,6 +48,19 @@ pub(crate) struct CoreMetrics {
     /// invalidation sweeps (the single-lock design would count one full
     /// cache lock per sweep here).
     pub rescache_shard_sweeps: Arc<Counter>,
+    /// `ccdb_core_snapshot_age_ms` — milliseconds since the most recent
+    /// snapshot publication (refreshed on every snapshot pin and publish).
+    pub snapshot_age_ms: Arc<Gauge>,
+    /// `ccdb_core_snapshot_publish_ns` — time to build (COW-clone) and
+    /// publish one store version.
+    pub snapshot_publish_ns: Arc<Histogram>,
+    /// `ccdb_core_snapshot_publishes_total` — versions published.
+    pub snapshot_publishes: Arc<Counter>,
+    /// `ccdb_core_snapshot_version` — most recently published version.
+    pub snapshot_version: Arc<Gauge>,
+    /// `ccdb_core_snapshot_rollbacks_total` — write cycles that panicked
+    /// and were rolled back to the last published version.
+    pub snapshot_rollbacks: Arc<Counter>,
 }
 
 pub(crate) fn core_metrics() -> &'static CoreMetrics {
@@ -70,6 +83,14 @@ pub(crate) fn core_metrics() -> &'static CoreMetrics {
             rescache_invalidations: r.counter("ccdb_core_rescache_invalidations_total"),
             rescache_shard_count: r.gauge("ccdb_core_rescache_shard_count"),
             rescache_shard_sweeps: r.counter("ccdb_core_rescache_shard_sweeps_total"),
+            snapshot_age_ms: r.gauge("ccdb_core_snapshot_age_ms"),
+            snapshot_publish_ns: r.histogram(
+                "ccdb_core_snapshot_publish_ns",
+                ccdb_obs::metrics::LATENCY_BUCKETS_NS,
+            ),
+            snapshot_publishes: r.counter("ccdb_core_snapshot_publishes_total"),
+            snapshot_version: r.gauge("ccdb_core_snapshot_version"),
+            snapshot_rollbacks: r.counter("ccdb_core_snapshot_rollbacks_total"),
         }
     })
 }

@@ -1,4 +1,4 @@
-//! Lock-striped resolution value cache.
+//! Lock-striped, version-stamped resolution value cache.
 //!
 //! The read path of the store is dominated by memoized [`crate::ObjectStore::attr`]
 //! lookups; with a single `RwLock` around the whole memo table, every
@@ -13,6 +13,26 @@
 //! `set_enabled(false)` clears every shard under that same lock, so once
 //! disable returns no entry exists and no in-flight fill can resurrect
 //! one (see [`ShardedResCache::set_enabled`]).
+//!
+//! ## MVCC versioning
+//!
+//! Since the cache is shared across every live snapshot of a
+//! [`crate::shared::SharedStore`] (it is a memo, not versioned state), two
+//! stamps keep readers pinned to old snapshots from observing — or
+//! poisoning — newer data:
+//!
+//! * every entry records the **store version it was computed at**; a reader
+//!   only accepts entries stamped at or below its own snapshot version, so
+//!   a value filled by the in-progress write cycle is invisible until that
+//!   cycle publishes;
+//! * every shard records an **invalidation watermark** — the highest
+//!   version whose write-path sweep touched the shard; a fill stamped
+//!   below the watermark is rejected, so a reader that resolved a value
+//!   from an old snapshot *after* a newer write swept the shard cannot
+//!   re-insert the stale value.
+//!
+//! A standalone (non-shared) store always runs at version 0, for which both
+//! checks degenerate to the unversioned behavior.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -22,8 +42,15 @@ use parking_lot::RwLock;
 use crate::surrogate::Surrogate;
 use crate::value::Value;
 
-/// surrogate → attribute → memoized resolved value (one shard's view).
-type ShardMap = HashMap<Surrogate, HashMap<String, Value>>;
+/// One shard: surrogate → attribute → (memoized resolved value, version it
+/// was resolved at), plus the shard's invalidation watermark.
+#[derive(Default)]
+struct Shard {
+    map: HashMap<Surrogate, HashMap<String, (Value, u64)>>,
+    /// Highest store version whose invalidation sweep locked this shard.
+    /// Fills stamped below it raced with a newer write and are rejected.
+    watermark: u64,
+}
 
 /// Default shard count for [`ShardedResCache`] (rounded up to a power of
 /// two). Sixteen shards keep contention negligible for the thread counts
@@ -32,7 +59,7 @@ pub const DEFAULT_RESOLUTION_CACHE_SHARDS: usize = 16;
 
 /// A resolution value cache striped over N `RwLock`-guarded shards.
 pub(crate) struct ShardedResCache {
-    shards: Box<[RwLock<ShardMap>]>,
+    shards: Box<[RwLock<Shard>]>,
     /// `shards.len() - 1`; the count is always a power of two.
     mask: u64,
     enabled: AtomicBool,
@@ -48,7 +75,7 @@ impl ShardedResCache {
     pub fn new(shards: usize) -> Self {
         let n = shards.max(1).next_power_of_two();
         ShardedResCache {
-            shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..n).map(|_| RwLock::new(Shard::default())).collect(),
             mask: (n - 1) as u64,
             enabled: AtomicBool::new(true),
             entries: AtomicU64::new(0),
@@ -83,47 +110,75 @@ impl ShardedResCache {
     pub fn set_enabled(&self, enabled: bool) {
         self.enabled.store(enabled, Ordering::SeqCst);
         if !enabled {
-            for shard in self.shards.iter() {
-                let mut map = shard.write();
-                let dropped: u64 = map.values().map(|per| per.len() as u64).sum();
-                map.clear();
-                self.entries.fetch_sub(dropped, Ordering::Relaxed);
-            }
+            self.clear();
         }
     }
 
-    /// Cached value for `(obj, name)`, taking only the owning shard's
-    /// shared lock — concurrent hits on other shards never contend.
-    pub fn get(&self, obj: Surrogate, name: &str) -> Option<Value> {
-        self.shards[self.shard_of(obj)]
-            .read()
-            .get(&obj)
-            .and_then(|per_obj| per_obj.get(name))
-            .cloned()
+    /// Drop every entry in every shard (watermarks are kept). Used by the
+    /// disable path and by [`crate::shared::SharedStore`]'s write-cycle
+    /// rollback, where fills made by the aborted cycle must not survive.
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            let mut shard = shard.write();
+            let dropped: u64 = shard.map.values().map(|per| per.len() as u64).sum();
+            shard.map.clear();
+            self.entries.fetch_sub(dropped, Ordering::Relaxed);
+        }
     }
 
-    /// Memoize `(obj, name) → value`. No-op when disabled; the flag is
-    /// re-checked under the shard write lock (see [`Self::set_enabled`]).
-    pub fn fill(&self, obj: Surrogate, name: &str, value: &Value) {
+    /// Cached value for `(obj, name)` as seen from store version
+    /// `reader_version`, taking only the owning shard's shared lock —
+    /// concurrent hits on other shards never contend. Entries stamped
+    /// above the reader's version (filled by a not-yet-published write
+    /// cycle) are invisible.
+    pub fn get(&self, obj: Surrogate, name: &str, reader_version: u64) -> Option<Value> {
+        self.shards[self.shard_of(obj)]
+            .read()
+            .map
+            .get(&obj)
+            .and_then(|per_obj| per_obj.get(name))
+            .filter(|(_, v)| *v <= reader_version)
+            .map(|(value, _)| value.clone())
+    }
+
+    /// Memoize `(obj, name) → value` as resolved at store version
+    /// `version`. No-op when disabled (the flag is re-checked under the
+    /// shard write lock, see [`Self::set_enabled`]), when a newer write's
+    /// invalidation already swept the shard (`version < watermark`), or
+    /// when a newer-stamped entry is already present.
+    pub fn fill(&self, obj: Surrogate, name: &str, value: &Value, version: u64) {
         let mut shard = self.shards[self.shard_of(obj)].write();
         if !self.enabled.load(Ordering::SeqCst) {
             return;
         }
-        if shard
-            .entry(obj)
-            .or_default()
-            .insert(name.to_string(), value.clone())
-            .is_none()
-        {
-            self.entries.fetch_add(1, Ordering::Relaxed);
+        if version < shard.watermark {
+            return;
+        }
+        let per_obj = shard.map.entry(obj).or_default();
+        match per_obj.get(name) {
+            Some((_, existing)) if *existing > version => {}
+            Some(_) => {
+                per_obj.insert(name.to_string(), (value.clone(), version));
+            }
+            None => {
+                per_obj.insert(name.to_string(), (value.clone(), version));
+                self.entries.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
     /// Drop the memoized entries of every surrogate in `closure` — all of
-    /// them for `item: None`, only that attribute's for `Some(name)`.
-    /// Locks only the shards the closure maps to, each exactly once.
-    /// Returns `(entries_removed, shards_locked)`.
-    pub fn invalidate(&self, closure: &[Surrogate], item: Option<&str>) -> (u64, u64) {
+    /// them for `item: None`, only that attribute's for `Some(name)` — and
+    /// raise each touched shard's watermark to `version` so stale re-fills
+    /// from older snapshots are rejected afterwards. Locks only the shards
+    /// the closure maps to, each exactly once. Returns
+    /// `(entries_removed, shards_locked)`.
+    pub fn invalidate(
+        &self,
+        closure: &[Surrogate],
+        item: Option<&str>,
+        version: u64,
+    ) -> (u64, u64) {
         let mut by_shard: Vec<Vec<Surrogate>> = vec![Vec::new(); self.shards.len()];
         for &s in closure {
             by_shard[self.shard_of(s)].push(s);
@@ -136,20 +191,21 @@ impl ShardedResCache {
             }
             locked += 1;
             let mut shard = self.shards[idx].write();
+            shard.watermark = shard.watermark.max(version);
             for s in members {
                 match item {
                     Some(name) => {
-                        if let Some(per_obj) = shard.get_mut(s) {
+                        if let Some(per_obj) = shard.map.get_mut(s) {
                             if per_obj.remove(name).is_some() {
                                 removed += 1;
                             }
                             if per_obj.is_empty() {
-                                shard.remove(s);
+                                shard.map.remove(s);
                             }
                         }
                     }
                     None => {
-                        if let Some(per_obj) = shard.remove(s) {
+                        if let Some(per_obj) = shard.map.remove(s) {
                             removed += per_obj.len() as u64;
                         }
                     }
@@ -166,7 +222,7 @@ impl ShardedResCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().values().map(HashMap::len).sum::<usize>())
+            .map(|s| s.read().map.values().map(HashMap::len).sum::<usize>())
             .sum()
     }
 
@@ -200,24 +256,24 @@ mod tests {
         let c = ShardedResCache::new(4);
         assert!(c.is_empty());
         for i in 0..32u64 {
-            c.fill(Surrogate(i), "A", &v(i as i64));
-            c.fill(Surrogate(i), "B", &v(-(i as i64)));
+            c.fill(Surrogate(i), "A", &v(i as i64), 0);
+            c.fill(Surrogate(i), "B", &v(-(i as i64)), 0);
         }
         assert_eq!(c.len(), 64);
         assert!(!c.is_empty());
-        assert_eq!(c.get(Surrogate(7), "A"), Some(v(7)));
-        assert_eq!(c.get(Surrogate(7), "C"), None);
+        assert_eq!(c.get(Surrogate(7), "A", 0), Some(v(7)));
+        assert_eq!(c.get(Surrogate(7), "C", 0), None);
 
         // Attribute-scoped invalidation drops only that attribute.
-        let (removed, locked) = c.invalidate(&[Surrogate(7)], Some("A"));
+        let (removed, locked) = c.invalidate(&[Surrogate(7)], Some("A"), 0);
         assert_eq!(removed, 1);
         assert_eq!(locked, 1);
-        assert_eq!(c.get(Surrogate(7), "A"), None);
-        assert_eq!(c.get(Surrogate(7), "B"), Some(v(-7)));
+        assert_eq!(c.get(Surrogate(7), "A", 0), None);
+        assert_eq!(c.get(Surrogate(7), "B", 0), Some(v(-7)));
 
         // Whole-object invalidation drops everything for the closure.
         let all: Vec<Surrogate> = (0..32).map(Surrogate).collect();
-        let (removed, locked) = c.invalidate(&all, None);
+        let (removed, locked) = c.invalidate(&all, None, 0);
         assert_eq!(removed, 63);
         assert!(locked <= 4);
         assert!(c.is_empty());
@@ -235,6 +291,39 @@ mod tests {
     }
 
     #[test]
+    fn entries_from_the_future_are_invisible_to_old_readers() {
+        let c = ShardedResCache::new(1);
+        // The in-progress write cycle (version 5) fills a value.
+        c.fill(Surrogate(1), "A", &v(50), 5);
+        // A reader pinned to the already-published version 4 must not see
+        // it; readers at or after 5 do.
+        assert_eq!(c.get(Surrogate(1), "A", 4), None);
+        assert_eq!(c.get(Surrogate(1), "A", 5), Some(v(50)));
+        assert_eq!(c.get(Surrogate(1), "A", 9), Some(v(50)));
+    }
+
+    #[test]
+    fn watermark_rejects_stale_refills_and_keeps_newer_entries() {
+        let c = ShardedResCache::new(1);
+        // Write cycle 7 invalidates the object (value changed at v7).
+        c.invalidate(&[Surrogate(1)], Some("A"), 7);
+        // A reader still pinned to snapshot 3 resolved the old value from
+        // its old snapshot and tries to memoize it: rejected.
+        c.fill(Surrogate(1), "A", &v(30), 3);
+        assert_eq!(c.get(Surrogate(1), "A", 3), None);
+        assert_eq!(c.get(Surrogate(1), "A", 7), None);
+        // The write cycle itself (or any reader at ≥ 7) may fill.
+        c.fill(Surrogate(1), "A", &v(70), 7);
+        assert_eq!(c.get(Surrogate(1), "A", 7), Some(v(70)));
+        // An older-stamped fill never replaces a newer-stamped entry.
+        c.fill(Surrogate(1), "A", &v(30), 7);
+        c.fill(Surrogate(1), "B", &v(99), 9);
+        c.fill(Surrogate(1), "B", &v(11), 8);
+        assert_eq!(c.get(Surrogate(1), "B", 9), Some(v(99)));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
     fn disable_is_atomic_with_concurrent_fills() {
         // Hammer fills while toggling the cache off; after every disable
         // returns, the cache must be observably empty (no resurrected
@@ -245,7 +334,7 @@ mod tests {
                 let c = Arc::clone(&c);
                 scope.spawn(move || {
                     for i in 0..10_000u64 {
-                        c.fill(Surrogate(i % 64), "A", &v(i as i64));
+                        c.fill(Surrogate(i % 64), "A", &v(i as i64), 0);
                     }
                 })
             };

@@ -1,49 +1,81 @@
-//! A thread-safe, shareable front-end over [`ObjectStore`].
+//! A thread-safe, shareable MVCC front-end over [`ObjectStore`].
 //!
 //! The paper's value-inheritance model is read-dominated: every `attr()`
 //! read walks the binding chain (§4), while writes are comparatively rare
-//! transmitter updates. [`SharedStore`] exploits that shape:
+//! transmitter updates. Earlier revisions shared one `Arc<RwLock<_>>`, so
+//! every read still serialized on the lock word under load (E12). This
+//! version removes the reader/writer lock from the read path entirely:
 //!
-//! - the store lives behind an `Arc<RwLock<_>>`, so **readers run fully in
-//!   parallel** (shared lock) and writers serialize (exclusive lock);
-//! - reads go through the store's resolution value cache
-//!   ([`ObjectStore::attr`] memoization), so a hot cached read under the
-//!   shared lock costs one map lookup — the store-level lock itself is
-//!   never exclusive on the read path;
-//! - cache **invalidation happens inside the store's write methods**, under
-//!   the same exclusive lock as the write, so no reader can observe a stale
-//!   value after a writer's lock is released.
+//! - the store is **epoch-published**: [`SharedStore::snapshot`] pins the
+//!   current immutable `Arc<ObjectStore>` with one (probed) read-lock of a
+//!   pointer-sized cell — held for nanoseconds — and the reader then runs
+//!   against that snapshot for as long as it likes, never blocking and
+//!   never being blocked by writers;
+//! - writers serialize on a **master copy** behind an exclusive lock,
+//!   stamp the cycle with a fresh monotonic version, mutate, then publish
+//!   `Arc::new(master.clone())` — a structural-sharing clone
+//!   ([`crate::snapshot`]) whose cost is bounded by shard/chunk counts,
+//!   not store size. Publish latency and snapshot age are recorded as
+//!   `ccdb_core_snapshot_*` metrics;
+//! - the resolution value cache is **shared across snapshots** and stays
+//!   correct via version stamps and per-shard invalidation watermarks
+//!   ([`crate::rescache`]), so cached reads stay one map lookup;
+//! - a **panic inside a write closure rolls the master back** to the last
+//!   published version (cheap COW clone) and clears the resolution cache,
+//!   so no torn write cycle is ever published; the panic then propagates
+//!   to the caller while every other handle keeps full service.
+//!
+//! Visibility guarantee: `write` publishes before returning, and every
+//! subsequent `read`/`snapshot` pins the newest published version — so a
+//! thread always reads its own completed writes, and concurrent readers
+//! see each write atomically (all of a cycle's mutations or none).
 //!
 //! [`SharedStore::par_select`] and [`SharedStore::par_check_all`] fan a
-//! scan out over scoped threads, each holding its own shared guard — the
-//! multi-threaded read path measured by experiment E11.
-//!
-//! **Lock poisoning**: a panic inside a `read`/`write` closure must not
-//! brick the store for every other handle — the server wraps this type, and
-//! one bad request taking down all sessions would be an availability bug.
-//! The `parking_lot` lock recovers the guard instead of propagating a
-//! poison error, so later readers and writers proceed normally; the
-//! panicking closure's own invariants are its caller's problem (the server
-//! additionally isolates handler panics with `catch_unwind`).
+//! scan out over scoped threads sharing **one** pinned snapshot — the
+//! multi-threaded read path measured by experiments E11/E17.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::Instant;
 
-use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use parking_lot::RwLock;
 
 use crate::error::CoreResult;
 use crate::expr::{eval, Env, Expr};
-use crate::lockprobe::{self, Probed};
+use crate::lockprobe;
+use crate::metrics::core_metrics;
 use crate::schema::Catalog;
 use crate::store::{ObjectStore, Violation};
 use crate::surrogate::Surrogate;
 use crate::value::Value;
 
+struct Shared {
+    /// The published snapshot. Readers take the (probed) shared lock only
+    /// long enough to clone the `Arc`; the writer's publish step takes the
+    /// exclusive lock only long enough to swap the pointer. Shared-mode
+    /// wait on this lock is therefore the MVCC "snapshot acquire" cost and
+    /// stays ~0 under any load.
+    published: RwLock<Arc<ObjectStore>>,
+    /// The master copy writers mutate, serialized by its (probed,
+    /// exclusive-only) lock.
+    master: RwLock<ObjectStore>,
+    /// Next write-cycle version. Monotonic and never reused — a rolled-back
+    /// cycle burns its version, so stale rescache fills stamped with an
+    /// aborted version can never be mistaken for published data.
+    next_version: AtomicU64,
+    /// Time origin for the snapshot-age gauge.
+    created: Instant,
+    /// Nanoseconds (since `created`) of the most recent publish.
+    last_publish_ns: AtomicU64,
+}
+
 /// A cloneable handle to a store shared across threads. All clones see the
 /// same store; dropping the last clone drops the store.
 #[derive(Clone)]
 pub struct SharedStore {
-    inner: Arc<RwLock<ObjectStore>>,
+    inner: Arc<Shared>,
 }
 
 impl SharedStore {
@@ -52,56 +84,114 @@ impl SharedStore {
         Ok(SharedStore::from_store(ObjectStore::new(catalog)?))
     }
 
-    /// Wrap an already-populated store.
+    /// Wrap an already-populated store. The store's current contents become
+    /// version 0 (published immediately); the first write cycle is
+    /// version 1.
     pub fn from_store(store: ObjectStore) -> Self {
         SharedStore {
-            inner: Arc::new(RwLock::new(store)),
+            inner: Arc::new(Shared {
+                published: RwLock::new(Arc::new(store.clone())),
+                master: RwLock::new(store),
+                next_version: AtomicU64::new(1),
+                created: Instant::now(),
+                last_publish_ns: AtomicU64::new(0),
+            }),
         }
     }
 
-    /// Shared guard acquisition through the lock probe
-    /// ([`crate::lockprobe`]): wait/hold histograms, contention counters
-    /// and a `core.storelock` span come for free on every call site.
-    fn guard_read(&self) -> Probed<RwLockReadGuard<'_, ObjectStore>> {
-        lockprobe::probed_read(&self.inner)
+    /// Pin the currently-published snapshot. One probed shared-lock
+    /// acquisition (mode `shared` in the `core.storelock` metrics/spans,
+    /// charged to [`lockprobe::thread_snapshot_wait_ns`]) plus one `Arc`
+    /// clone; the returned snapshot is immutable and valid for as long as
+    /// the caller holds it, entirely outside any lock.
+    pub fn snapshot(&self) -> Arc<ObjectStore> {
+        let snap = Arc::clone(&lockprobe::probed_read(&self.inner.published));
+        if ccdb_obs::enabled() {
+            let now = ns_since(self.inner.created);
+            let last = self.inner.last_publish_ns.load(Ordering::Relaxed);
+            core_metrics()
+                .snapshot_age_ms
+                .set((now.saturating_sub(last) / 1_000_000) as i64);
+        }
+        snap
     }
 
-    /// Exclusive guard acquisition through the lock probe.
-    fn guard_write(&self) -> Probed<RwLockWriteGuard<'_, ObjectStore>> {
-        lockprobe::probed_write(&self.inner)
+    /// The version of the currently-published snapshot.
+    pub fn published_version(&self) -> u64 {
+        self.inner.published.read().version()
     }
 
-    /// Run `f` with shared (read) access. Many readers proceed in parallel.
+    /// Run `f` against a pinned snapshot. Readers never block writers and
+    /// are never blocked by them; the snapshot is immutable for the whole
+    /// closure ([`SharedStore::snapshot`] semantics).
     pub fn read<R>(&self, f: impl FnOnce(&ObjectStore) -> R) -> R {
-        f(&self.guard_read())
+        f(&self.snapshot())
     }
 
-    /// Run `f` with exclusive (write) access.
+    /// Run `f` as one exclusive write cycle: serialize on the master lock,
+    /// stamp a fresh version, mutate, publish. If `f` panics the master is
+    /// rolled back to the last published version, the resolution cache is
+    /// cleared (fills stamped with the aborted version must not survive),
+    /// and the panic propagates — nothing of the torn cycle is ever
+    /// published.
     pub fn write<R>(&self, f: impl FnOnce(&mut ObjectStore) -> R) -> R {
-        f(&mut self.guard_write())
+        let mut guard = lockprobe::probed_write(&self.inner.master);
+        let version = self.inner.next_version.fetch_add(1, Ordering::Relaxed);
+        guard.set_version(version);
+        match catch_unwind(AssertUnwindSafe(|| f(&mut guard))) {
+            Ok(out) => {
+                let t0 = Instant::now();
+                let snap = Arc::new(guard.clone());
+                *self.inner.published.write() = snap;
+                drop(guard);
+                self.inner
+                    .last_publish_ns
+                    .store(ns_since(self.inner.created), Ordering::Relaxed);
+                if ccdb_obs::enabled() {
+                    let m = core_metrics();
+                    m.snapshot_publish_ns
+                        .observe(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                    m.snapshot_publishes.inc();
+                    m.snapshot_version.set(version as i64);
+                    m.snapshot_age_ms.set(0);
+                }
+                out
+            }
+            Err(payload) => {
+                let last_good = Arc::clone(&self.inner.published.read());
+                *guard = (*last_good).clone();
+                guard.clear_resolution_cache();
+                core_metrics().snapshot_rollbacks.inc();
+                drop(guard);
+                resume_unwind(payload)
+            }
+        }
     }
 
-    /// Recover the inner store if this is the last handle.
+    /// Recover the inner store if this is the last handle. Snapshots still
+    /// pinned elsewhere keep their (structurally shared) versions alive but
+    /// cannot observe the returned master.
     pub fn try_into_inner(self) -> Result<ObjectStore, SharedStore> {
         match Arc::try_unwrap(self.inner) {
-            Ok(lock) => Ok(lock.into_inner()),
+            Ok(shared) => Ok(shared.master.into_inner()),
             Err(inner) => Err(SharedStore { inner }),
         }
     }
 
-    /// Resolved attribute read (shared lock; cached reads cost one lookup).
+    /// Resolved attribute read against a pinned snapshot (cached reads cost
+    /// one lookup; no store-wide lock is held while resolving).
     pub fn attr(&self, obj: Surrogate, name: &str) -> CoreResult<Value> {
-        self.guard_read().attr(obj, name)
+        self.read(|st| st.attr(obj, name))
     }
 
-    /// Local attribute write (exclusive lock; invalidates the resolution
-    /// cache for the written object and its inheritor closure before the
-    /// lock is released).
+    /// Local attribute write (one write cycle; the resolution cache for the
+    /// written object and its inheritor closure is invalidated before the
+    /// new version is published).
     pub fn set_attr(&self, obj: Surrogate, name: &str, value: Value) -> CoreResult<()> {
-        self.guard_write().set_attr(obj, name, value)
+        self.write(|st| st.set_attr(obj, name, value))
     }
 
-    /// Bind an inheritor to a transmitter (exclusive lock).
+    /// Bind an inheritor to a transmitter (one write cycle).
     pub fn bind(
         &self,
         rel_type: &str,
@@ -109,44 +199,41 @@ impl SharedStore {
         inheritor: Surrogate,
         rel_attrs: Vec<(&str, Value)>,
     ) -> CoreResult<Surrogate> {
-        self.guard_write()
-            .bind(rel_type, transmitter, inheritor, rel_attrs)
+        self.write(|st| st.bind(rel_type, transmitter, inheritor, rel_attrs))
     }
 
-    /// Dissolve an inheritance binding (exclusive lock).
+    /// Dissolve an inheritance binding (one write cycle).
     pub fn unbind(&self, rel_obj: Surrogate) -> CoreResult<()> {
-        self.guard_write().unbind(rel_obj)
+        self.write(|st| st.unbind(rel_obj))
     }
 
     /// Parallel [`ObjectStore::select`]: evaluate `predicate` over all
-    /// objects of `type_name` on up to `threads` scoped threads, each under
-    /// its own shared guard. Results are in surrogate order, identical to
-    /// the sequential scan.
+    /// objects of `type_name` on up to `threads` scoped threads, all
+    /// sharing **one** pinned snapshot — the scan is consistent by
+    /// construction, writers proceed concurrently, and results are in
+    /// surrogate order, identical to the sequential scan.
     pub fn par_select(
         &self,
         type_name: &str,
         predicate: &Expr,
         threads: usize,
     ) -> CoreResult<Vec<Surrogate>> {
-        let mut candidates: Vec<Surrogate> = {
-            let g = self.guard_read();
-            g.catalog().object_type(type_name)?;
-            g.extent_of(type_name)
-            // Guard dropped before fan-out: a queued writer must not be able
-            // to wedge itself between this guard and the workers' guards.
-        };
+        let snap = self.snapshot();
+        snap.catalog().object_type(type_name)?;
         // The extent is unordered; sort so the chunks are deterministic.
+        let mut candidates = snap.extent_of(type_name);
         candidates.sort();
         let chunks = partition(&candidates, threads);
         let mut hits: Vec<Surrogate> = thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
                 .map(|part| {
+                    let snap = &snap;
                     scope.spawn(move || -> CoreResult<Vec<Surrogate>> {
-                        let g = self.guard_read();
                         let mut out = Vec::new();
                         for s in part {
-                            if let Value::Bool(true) = eval(&*g, s, &mut Env::new(), predicate)? {
+                            if let Value::Bool(true) = eval(&**snap, s, &mut Env::new(), predicate)?
+                            {
                                 out.push(s);
                             }
                         }
@@ -167,24 +254,23 @@ impl SharedStore {
     }
 
     /// Parallel [`ObjectStore::check_all`]: constraint-check every object on
-    /// up to `threads` scoped threads. Violations come back in the same
-    /// (surrogate) order as the sequential check.
+    /// up to `threads` scoped threads sharing one pinned snapshot.
+    /// Violations come back in the same (surrogate) order as the sequential
+    /// check.
     pub fn par_check_all(&self, threads: usize) -> CoreResult<Vec<Violation>> {
-        let mut surrogates: Vec<Surrogate> = {
-            let g = self.guard_read();
-            g.surrogates().collect()
-        };
+        let snap = self.snapshot();
+        let mut surrogates: Vec<Surrogate> = snap.surrogates().collect();
         surrogates.sort();
         let chunks = partition(&surrogates, threads);
         let out = thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
                 .map(|part| {
+                    let snap = &snap;
                     scope.spawn(move || -> CoreResult<Vec<Violation>> {
-                        let g = self.guard_read();
                         let mut out = Vec::new();
                         for s in part {
-                            out.extend(g.check_constraints(s)?);
+                            out.extend(snap.check_constraints(s)?);
                         }
                         Ok(out)
                     })
@@ -197,6 +283,10 @@ impl SharedStore {
         })?;
         Ok(out.into_iter().flatten().collect())
     }
+}
+
+fn ns_since(origin: Instant) -> u64 {
+    u64::try_from(origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Split `items` into at most `threads` contiguous, order-preserving chunks.
@@ -317,7 +407,8 @@ mod tests {
             writer.join().unwrap();
         });
         // After the writer finished, every inheritor resolves the final
-        // value — the invalidation left no stale entry behind.
+        // value — each write published its version before returning, and a
+        // fresh read pins the newest snapshot.
         for &i in &imps {
             assert_eq!(shared.attr(i, "X").unwrap(), Value::Int(199));
         }
@@ -326,9 +417,9 @@ mod tests {
     #[test]
     fn panic_inside_write_does_not_poison_the_store() {
         let (shared, interface, imps) = populated(2);
-        // A handler panics while holding the exclusive lock...
+        // A handler panics in the middle of a write cycle...
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            shared.write(|_st| panic!("handler bug while holding the write lock"));
+            shared.write(|_st| panic!("handler bug inside the write cycle"));
         }));
         assert!(result.is_err(), "the panic must propagate to the caller");
         // ...and every other handle still gets full service: reads,
@@ -336,12 +427,33 @@ mod tests {
         assert_eq!(shared.attr(imps[0], "X").unwrap(), Value::Int(7));
         shared.set_attr(interface, "X", Value::Int(42)).unwrap();
         assert_eq!(shared.attr(imps[1], "X").unwrap(), Value::Int(42));
-        // Same for a panic under the shared lock.
+        // Same for a panic on the (lock-free) read path.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            shared.read(|_st| panic!("reader bug while holding the read lock"));
+            shared.read(|_st| panic!("reader bug against a pinned snapshot"));
         }));
         assert!(result.is_err());
         assert_eq!(shared.attr(imps[0], "X").unwrap(), Value::Int(42));
+    }
+
+    #[test]
+    fn panic_mid_write_publishes_nothing_from_the_torn_cycle() {
+        let (shared, interface, imps) = populated(2);
+        let before = shared.published_version();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shared.write(|st| {
+                // First mutation lands, then the handler dies: neither may
+                // become visible.
+                st.set_attr(interface, "X", Value::Int(666)).unwrap();
+                panic!("die after a partial mutation");
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(shared.published_version(), before, "nothing published");
+        assert_eq!(shared.attr(imps[0], "X").unwrap(), Value::Int(7));
+        // The rolled-back master keeps serving writes with fresh versions.
+        shared.set_attr(interface, "X", Value::Int(8)).unwrap();
+        assert!(shared.published_version() > before);
+        assert_eq!(shared.attr(imps[0], "X").unwrap(), Value::Int(8));
     }
 
     #[test]
@@ -364,12 +476,31 @@ mod tests {
             .collect();
         assert!(
             modes.contains(&"shared"),
-            "read acquisition traced: {modes:?}"
+            "snapshot acquisition traced: {modes:?}"
         );
         assert!(
             modes.contains(&"exclusive"),
             "write acquisition traced: {modes:?}"
         );
+    }
+
+    #[test]
+    fn pinned_snapshot_is_immutable_while_writes_proceed() {
+        let (shared, interface, imps) = populated(2);
+        assert_eq!(shared.attr(imps[0], "X").unwrap(), Value::Int(7));
+        let pinned = shared.snapshot();
+        let v0 = pinned.version();
+        for v in 0..5 {
+            shared
+                .set_attr(interface, "X", Value::Int(100 + v))
+                .unwrap();
+        }
+        // The pinned snapshot still resolves the old value (its rescache
+        // view is version-gated), while fresh reads see the newest.
+        assert_eq!(pinned.attr(imps[0], "X").unwrap(), Value::Int(7));
+        assert_eq!(pinned.version(), v0);
+        assert_eq!(shared.attr(imps[0], "X").unwrap(), Value::Int(104));
+        assert!(shared.published_version() > v0);
     }
 
     #[test]

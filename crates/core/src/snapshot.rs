@@ -1,0 +1,380 @@
+//! Copy-on-write building blocks for the MVCC snapshot store.
+//!
+//! [`crate::shared::SharedStore`] publishes the store as an immutable
+//! `Arc<ObjectStore>` per version; readers pin one snapshot for a whole
+//! request and never block behind writers. For that to be cheap the store's
+//! big collections must clone in O(touched), not O(everything) — which is
+//! what these two containers provide:
+//!
+//! * [`CowMap`] — a hash map striped over `Arc`-shared shards. Cloning the
+//!   map bumps one refcount per shard; the first mutation of a shard after a
+//!   clone copies only that shard (`Arc::make_mut`), so untouched objects
+//!   are shared structurally between every live version.
+//! * [`AppendLog`] — an append-only vector in `Arc`-shared chunks of
+//!   [`CHUNK_CAP`]. Cloning bumps one refcount per chunk; appending to a
+//!   shared tail copies at most one chunk.
+//!
+//! Neither container is concurrent — they are plain single-writer values
+//! inside the master store, made cheap to *clone* so publishing a version is
+//! a bounded amount of copying regardless of store size.
+
+use std::borrow::Borrow;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Default shard count for [`CowMap`] (power of two).
+pub const DEFAULT_COW_SHARDS: usize = 64;
+
+/// Entries per sealed [`AppendLog`] chunk.
+pub const CHUNK_CAP: usize = 256;
+
+/// A persistent hash map with `Arc`-shared shards.
+///
+/// `clone()` is O(shards); the first mutation of a shard after a clone pays
+/// a copy of that shard only. Lookup cost is a hash plus one `HashMap` probe,
+/// same asymptotics as a plain `HashMap`.
+#[derive(Clone, Debug)]
+pub struct CowMap<K, V> {
+    shards: Vec<Arc<HashMap<K, Arc<V>>>>,
+    len: usize,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Default for CowMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> CowMap<K, V> {
+    /// Empty map with [`DEFAULT_COW_SHARDS`] shards.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_COW_SHARDS)
+    }
+
+    /// Empty map with `shards` stripes (clamped to ≥ 1, rounded up to a
+    /// power of two).
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        CowMap {
+            shards: (0..n).map(|_| Arc::new(HashMap::new())).collect(),
+            len: 0,
+        }
+    }
+
+    // `Borrow`'s contract guarantees `hash(k.borrow()) == hash(k)`, so a
+    // borrowed lookup lands on the same shard the owned key was filed under.
+    fn shard_of<Q>(&self, k: &Q) -> usize
+    where
+        Q: Hash + ?Sized,
+    {
+        let mut h = DefaultHasher::new();
+        k.hash(&mut h);
+        (h.finish() as usize) & (self.shards.len() - 1)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the map empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Shared lookup.
+    pub fn get<Q>(&self, k: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.shards[self.shard_of(k)].get(k).map(|a| &**a)
+    }
+
+    /// Is `k` present?
+    pub fn contains_key<Q>(&self, k: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.shards[self.shard_of(k)].contains_key(k)
+    }
+
+    /// Mutable lookup. Unshares the owning shard and (separately) the value
+    /// — both copies are skipped when this map is the only owner.
+    pub fn get_mut<Q>(&mut self, k: &Q) -> Option<&mut V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let i = self.shard_of(k);
+        if !self.shards[i].contains_key(k) {
+            return None;
+        }
+        let shard = Arc::make_mut(&mut self.shards[i]);
+        shard.get_mut(k).map(Arc::make_mut)
+    }
+
+    /// Insert, replacing any previous value.
+    pub fn insert(&mut self, k: K, v: V) {
+        let i = self.shard_of(&k);
+        let shard = Arc::make_mut(&mut self.shards[i]);
+        if shard.insert(k, Arc::new(v)).is_none() {
+            self.len += 1;
+        }
+    }
+
+    /// Remove and return the value (unsharing it if other versions still
+    /// hold it).
+    pub fn remove<Q>(&mut self, k: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let i = self.shard_of(k);
+        if !self.shards[i].contains_key(k) {
+            return None;
+        }
+        let a = Arc::make_mut(&mut self.shards[i]).remove(k)?;
+        self.len -= 1;
+        Some(Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone()))
+    }
+
+    /// Mutable reference to `k`'s value, inserting `V::default()` first if
+    /// absent (the `entry().or_default()` idiom).
+    pub fn entry_or_default(&mut self, k: K) -> &mut V
+    where
+        V: Default,
+    {
+        let i = self.shard_of(&k);
+        if !self.shards[i].contains_key(&k) {
+            Arc::make_mut(&mut self.shards[i]).insert(k.clone(), Arc::new(V::default()));
+            self.len += 1;
+        }
+        let shard = Arc::make_mut(&mut self.shards[i]);
+        Arc::make_mut(shard.get_mut(&k).expect("just ensured"))
+    }
+
+    /// Iterate `(&key, &value)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> + '_ {
+        self.shards
+            .iter()
+            .flat_map(|s| s.iter().map(|(k, v)| (k, &**v)))
+    }
+
+    /// Iterate keys in unspecified order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> + '_ {
+        self.shards.iter().flat_map(|s| s.keys())
+    }
+
+    /// Iterate values in unspecified order.
+    pub fn values(&self) -> impl Iterator<Item = &V> + '_ {
+        self.shards.iter().flat_map(|s| s.values().map(|a| &**a))
+    }
+
+    /// Unshare and iterate every value mutably. Copies every shard that is
+    /// still shared — use only on cold paths (cascade delete bookkeeping).
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> + '_ {
+        self.shards
+            .iter_mut()
+            .flat_map(|s| Arc::make_mut(s).values_mut().map(Arc::make_mut))
+    }
+}
+
+/// An append-only persistent vector in `Arc`-shared chunks.
+///
+/// Every chunk except possibly the last holds exactly [`CHUNK_CAP`] items,
+/// so random access is index arithmetic. `clone()` is O(chunks); a push onto
+/// a tail shared with an older version copies at most [`CHUNK_CAP`] items.
+#[derive(Clone, Debug)]
+pub struct AppendLog<T> {
+    chunks: Vec<Arc<Vec<T>>>,
+    len: usize,
+}
+
+impl<T: Clone> Default for AppendLog<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone> AppendLog<T> {
+    /// Empty log.
+    pub fn new() -> Self {
+        AppendLog {
+            chunks: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append one item, unsharing (copying) the tail chunk if an older
+    /// version still holds it.
+    pub fn push(&mut self, item: T) {
+        match self.chunks.last_mut() {
+            Some(tail) if tail.len() < CHUNK_CAP => match Arc::get_mut(tail) {
+                Some(v) => v.push(item),
+                None => {
+                    let mut copy = Vec::with_capacity(CHUNK_CAP);
+                    copy.extend(tail.iter().cloned());
+                    copy.push(item);
+                    *tail = Arc::new(copy);
+                }
+            },
+            _ => {
+                let mut v = Vec::with_capacity(CHUNK_CAP);
+                v.push(item);
+                self.chunks.push(Arc::new(v));
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Random access.
+    pub fn get(&self, i: usize) -> Option<&T> {
+        if i >= self.len {
+            return None;
+        }
+        self.chunks[i / CHUNK_CAP].get(i % CHUNK_CAP)
+    }
+
+    /// Last item.
+    pub fn last(&self) -> Option<&T> {
+        self.len.checked_sub(1).and_then(|i| self.get(i))
+    }
+
+    /// Iterate in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
+        self.chunks.iter().flat_map(|c| c.iter())
+    }
+
+    /// First index at which `pred` is false, assuming the log is partitioned
+    /// (all `true` items precede all `false` items) — same contract as
+    /// `slice::partition_point`.
+    pub fn partition_point(&self, mut pred: impl FnMut(&T) -> bool) -> usize {
+        let (mut lo, mut hi) = (0usize, self.len);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if pred(self.get(mid).expect("mid < len")) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Clone out the suffix starting at index `from`.
+    pub fn tail_from(&self, from: usize) -> Vec<T> {
+        (from..self.len)
+            .map(|i| self.get(i).expect("index < len").clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cowmap_basic_ops() {
+        let mut m: CowMap<u64, String> = CowMap::with_shards(4);
+        assert!(m.is_empty());
+        m.insert(1, "a".into());
+        m.insert(2, "b".into());
+        m.insert(1, "a2".into());
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(&1).map(String::as_str), Some("a2"));
+        assert!(m.contains_key(&2));
+        assert_eq!(m.remove(&2), Some("b".to_string()));
+        assert_eq!(m.remove(&2), None);
+        assert_eq!(m.len(), 1);
+        *m.get_mut(&1).unwrap() = "a3".into();
+        assert_eq!(m.get(&1).map(String::as_str), Some("a3"));
+        assert_eq!(m.iter().count(), 1);
+    }
+
+    #[test]
+    fn cowmap_clone_is_isolated_both_ways() {
+        let mut a: CowMap<u64, Vec<u64>> = CowMap::new();
+        for i in 0..100 {
+            a.insert(i, vec![i]);
+        }
+        let b = a.clone();
+        // Mutations on `a` after the clone are invisible in `b`.
+        a.insert(7, vec![700]);
+        a.remove(&8).unwrap();
+        a.entry_or_default(9).push(900);
+        a.entry_or_default(1000).push(1);
+        assert_eq!(b.get(&7), Some(&vec![7]));
+        assert_eq!(b.get(&8), Some(&vec![8]));
+        assert_eq!(b.get(&9), Some(&vec![9]));
+        assert!(!b.contains_key(&1000));
+        assert_eq!(b.len(), 100);
+        assert_eq!(a.get(&7), Some(&vec![700]));
+        assert_eq!(a.get(&9), Some(&vec![9, 900]));
+        assert_eq!(a.len(), 100, "one removed, one inserted");
+        // Untouched entries still point at the same allocation (structural
+        // sharing): compare addresses through the shared reference.
+        assert!(std::ptr::eq(a.get(&50).unwrap(), b.get(&50).unwrap()));
+    }
+
+    #[test]
+    fn cowmap_values_mut_unshares() {
+        let mut a: CowMap<u64, Vec<u64>> = CowMap::with_shards(2);
+        a.insert(1, vec![1]);
+        a.insert(2, vec![2]);
+        let b = a.clone();
+        for v in a.values_mut() {
+            v.push(99);
+        }
+        assert!(a.values().all(|v| v.ends_with(&[99])));
+        assert!(b.values().all(|v| v.len() == 1));
+    }
+
+    #[test]
+    fn appendlog_push_get_iter_across_chunks() {
+        let mut log = AppendLog::new();
+        let n = CHUNK_CAP * 2 + 10;
+        for i in 0..n {
+            log.push(i);
+        }
+        assert_eq!(log.len(), n);
+        assert_eq!(log.get(0), Some(&0));
+        assert_eq!(log.get(CHUNK_CAP), Some(&CHUNK_CAP));
+        assert_eq!(log.get(n - 1), Some(&(n - 1)));
+        assert_eq!(log.get(n), None);
+        assert_eq!(log.last(), Some(&(n - 1)));
+        let all: Vec<usize> = log.iter().copied().collect();
+        assert_eq!(all, (0..n).collect::<Vec<_>>());
+        assert_eq!(log.partition_point(|&x| x < 300), 300);
+        assert_eq!(log.tail_from(n - 3), vec![n - 3, n - 2, n - 1]);
+    }
+
+    #[test]
+    fn appendlog_clone_shares_then_diverges() {
+        let mut a = AppendLog::new();
+        for i in 0..CHUNK_CAP + 5 {
+            a.push(i);
+        }
+        let b = a.clone();
+        a.push(777);
+        assert_eq!(a.len(), CHUNK_CAP + 6);
+        assert_eq!(b.len(), CHUNK_CAP + 5);
+        assert_eq!(b.get(CHUNK_CAP + 5), None);
+        assert_eq!(a.last(), Some(&777));
+        // The sealed first chunk stays shared between the two versions.
+        assert!(std::ptr::eq(a.get(0).unwrap(), b.get(0).unwrap()));
+    }
+}

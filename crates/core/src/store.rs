@@ -26,6 +26,7 @@ use crate::rescache::{ShardedResCache, DEFAULT_RESOLUTION_CACHE_SHARDS};
 use crate::schema::{
     Catalog, Constraint, EffectiveSchema, ItemSource, ParticipantSpec, SubrelSpec,
 };
+use crate::snapshot::{AppendLog, CowMap};
 use crate::surrogate::{Surrogate, SurrogateGen};
 use crate::value::Value;
 
@@ -110,22 +111,40 @@ impl DeletionRecord {
 
 /// The in-memory object store. Persistence is provided by
 /// [`crate::persist`]; concurrency control by `ccdb-txn` on top.
+///
+/// The big collections are copy-on-write ([`crate::snapshot`]): cloning the
+/// store shares every untouched object/index/log chunk with the clone, which
+/// is what makes [`crate::shared::SharedStore`]'s per-write snapshot
+/// publication cheap. The schema memo, resolution value cache, and stats
+/// counters are `Arc`-shared across clones (they are caches/telemetry over
+/// immutable schema, not versioned data).
 pub struct ObjectStore {
-    catalog: Catalog,
+    catalog: Arc<Catalog>,
     gen: SurrogateGen,
-    objects: HashMap<Surrogate, ObjectData>,
+    objects: CowMap<Surrogate, ObjectData>,
     classes: BTreeMap<String, ClassDef>,
     /// transmitter → inheritance-relationship objects it feeds.
-    inheritors_of: HashMap<Surrogate, Vec<Surrogate>>,
+    inheritors_of: CowMap<Surrogate, Vec<Surrogate>>,
     /// object → relationship objects having it as a participant.
-    participant_in: HashMap<Surrogate, Vec<Surrogate>>,
-    adaptation_log: Vec<AdaptationEvent>,
+    participant_in: CowMap<Surrogate, Vec<Surrogate>>,
+    adaptation_log: AppendLog<AdaptationEvent>,
     clock: u64,
+    /// MVCC version stamp: 0 for a standalone store; set by
+    /// [`crate::shared::SharedStore`] to the (monotonic, never-reused)
+    /// version a write cycle is building. Resolution-cache entries are
+    /// stamped with it and snapshot readers only accept entries at or below
+    /// their own version.
+    version: u64,
+    /// Per-object `attr → version` stamps of transactional-visible writes,
+    /// consulted by commit-time write-write conflict detection
+    /// ([`ObjectStore::write_stamp`]). Only maintained once the store is
+    /// version-managed (`version > 0`).
+    write_stamps: CowMap<Surrogate, HashMap<String, u64>>,
     /// Memoized effective schemas (the catalog is immutable once the store
     /// exists). Disable with [`ObjectStore::set_schema_cache`] for the E2
     /// ablation.
-    eff_cache: Mutex<HashMap<String, Arc<EffectiveSchema>>>,
-    cache_enabled: AtomicBool,
+    eff_cache: Arc<Mutex<HashMap<String, Arc<EffectiveSchema>>>>,
+    cache_enabled: Arc<AtomicBool>,
     /// Memoized [`ObjectStore::attr`] results, lock-striped by surrogate
     /// hash so concurrent hits on different objects never contend
     /// ([`crate::rescache`]). Invalidated *precisely* on writes — the
@@ -134,24 +153,58 @@ pub struct ObjectStore {
     /// transmitter updates stay instantly visible (§4 view semantics), and
     /// a sweep locks only the shards the closure maps to. Disable with
     /// [`ObjectStore::set_resolution_cache`] for the E11 ablation.
-    res_cache: ShardedResCache,
+    res_cache: Arc<ShardedResCache>,
     /// Class-extent secondary index: type name → live surrogates of that
     /// exact type. Maintained by [`ObjectStore::index_object`] /
     /// [`ObjectStore::unindex_object`], which wrap every insertion into and
     /// removal from `objects`, so `select` iterates one type's extent
     /// instead of the whole store.
-    extent: HashMap<String, HashSet<Surrogate>>,
+    extent: CowMap<String, HashSet<Surrogate>>,
     /// Ablation switch for E1: when off, transmitter updates skip the
     /// adaptation-flag walk (losing the paper's notification semantics).
     adaptation_enabled: bool,
-    // Per-instance resolution counters (the `StoreStats` view). Global
+    // Per-instance resolution counters (the `StoreStats` view), Arc-shared
+    // across COW clones so snapshot reads feed the same stats. Global
     // `ccdb_core_*` registry metrics are dual-written via `core_metrics()`.
-    local_reads: Counter,
-    inherited_reads: Counter,
-    hops: Counter,
-    rescache_hits: Counter,
-    rescache_misses: Counter,
-    rescache_invalidations: Counter,
+    local_reads: Arc<Counter>,
+    inherited_reads: Arc<Counter>,
+    hops: Arc<Counter>,
+    rescache_hits: Arc<Counter>,
+    rescache_misses: Arc<Counter>,
+    rescache_invalidations: Arc<Counter>,
+}
+
+impl Clone for ObjectStore {
+    /// O(shards + chunks + classes) structural-sharing clone — the snapshot
+    /// publication step. The clone shares the schema memo, the resolution
+    /// value cache, and the stats counters with the original (they are
+    /// caches over immutable schema / process telemetry, not versioned
+    /// state); all object data is copy-on-write.
+    fn clone(&self) -> Self {
+        ObjectStore {
+            catalog: Arc::clone(&self.catalog),
+            gen: self.gen.clone(),
+            objects: self.objects.clone(),
+            classes: self.classes.clone(),
+            inheritors_of: self.inheritors_of.clone(),
+            participant_in: self.participant_in.clone(),
+            adaptation_log: self.adaptation_log.clone(),
+            clock: self.clock,
+            version: self.version,
+            write_stamps: self.write_stamps.clone(),
+            eff_cache: Arc::clone(&self.eff_cache),
+            cache_enabled: Arc::clone(&self.cache_enabled),
+            res_cache: Arc::clone(&self.res_cache),
+            extent: self.extent.clone(),
+            adaptation_enabled: self.adaptation_enabled,
+            local_reads: Arc::clone(&self.local_reads),
+            inherited_reads: Arc::clone(&self.inherited_reads),
+            hops: Arc::clone(&self.hops),
+            rescache_hits: Arc::clone(&self.rescache_hits),
+            rescache_misses: Arc::clone(&self.rescache_misses),
+            rescache_invalidations: Arc::clone(&self.rescache_invalidations),
+        }
+    }
 }
 
 impl ObjectStore {
@@ -169,36 +222,65 @@ impl ObjectStore {
     /// resolution semantics are identical at every count.
     pub fn with_resolution_cache_shards(catalog: Catalog, shards: usize) -> CoreResult<Self> {
         catalog.validate()?;
-        let res_cache = ShardedResCache::new(shards);
+        let res_cache = Arc::new(ShardedResCache::new(shards));
         core_metrics()
             .rescache_shard_count
             .set(res_cache.shard_count() as i64);
         Ok(ObjectStore {
-            catalog,
+            catalog: Arc::new(catalog),
             gen: SurrogateGen::new(),
-            objects: HashMap::new(),
+            objects: CowMap::new(),
             classes: BTreeMap::new(),
-            inheritors_of: HashMap::new(),
-            participant_in: HashMap::new(),
-            adaptation_log: Vec::new(),
+            inheritors_of: CowMap::new(),
+            participant_in: CowMap::new(),
+            adaptation_log: AppendLog::new(),
             clock: 0,
-            eff_cache: Mutex::new(HashMap::new()),
-            cache_enabled: AtomicBool::new(true),
+            version: 0,
+            write_stamps: CowMap::new(),
+            eff_cache: Arc::new(Mutex::new(HashMap::new())),
+            cache_enabled: Arc::new(AtomicBool::new(true)),
             res_cache,
-            extent: HashMap::new(),
+            extent: CowMap::new(),
             adaptation_enabled: true,
-            local_reads: Counter::new(),
-            inherited_reads: Counter::new(),
-            hops: Counter::new(),
-            rescache_hits: Counter::new(),
-            rescache_misses: Counter::new(),
-            rescache_invalidations: Counter::new(),
+            local_reads: Arc::new(Counter::new()),
+            inherited_reads: Arc::new(Counter::new()),
+            hops: Arc::new(Counter::new()),
+            rescache_hits: Arc::new(Counter::new()),
+            rescache_misses: Arc::new(Counter::new()),
+            rescache_invalidations: Arc::new(Counter::new()),
         })
     }
 
     /// The catalog this store was created with.
     pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+        self.catalog.as_ref()
+    }
+
+    /// The MVCC version this store instance represents: 0 for a standalone
+    /// store, otherwise the version stamp assigned by
+    /// [`crate::shared::SharedStore`] (monotonic, never reused — an aborted
+    /// write cycle burns its version).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Stamp the version the next mutations belong to. Called by
+    /// [`crate::shared::SharedStore`] at the start of every write cycle,
+    /// before any mutation runs.
+    pub fn set_version(&mut self, v: u64) {
+        self.version = v;
+    }
+
+    /// The version of the last version-managed write to `attr` of `obj`
+    /// (0 = never written under version management). Commit-time
+    /// write-write conflict detection compares this against a
+    /// transaction's begin version (first committer wins).
+    pub fn write_stamp(&self, obj: Surrogate, attr: &str) -> u64 {
+        self.write_stamps
+            .get(&obj)
+            .and_then(|m| m.get(attr))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Enable/disable the effective-schema memo (ablation for experiment E2).
@@ -242,6 +324,22 @@ impl ObjectStore {
     /// pick inheritors that provably live in different shards).
     pub fn resolution_cache_shard_of(&self, s: Surrogate) -> usize {
         self.res_cache.shard_of(s)
+    }
+
+    /// Drop every memoized resolution (watermarks survive). Used by the
+    /// MVCC rollback path: fills stamped with an aborted write-cycle
+    /// version must not outlive the rollback.
+    pub(crate) fn clear_resolution_cache(&self) {
+        self.res_cache.clear();
+    }
+
+    /// Replace this store's resolution value cache with a private, empty
+    /// one. A COW clone shares the cache with its origin by default —
+    /// transaction workspaces call this so speculative fills and
+    /// invalidations from uncommitted writes never touch the published
+    /// store's shared cache.
+    pub fn detach_resolution_cache(&mut self) {
+        self.res_cache = Arc::new(ShardedResCache::new(8));
     }
 
     /// Drop the memoized resolutions of `root` and of every object that
@@ -289,7 +387,7 @@ impl ObjectStore {
                 }
             }
         }
-        let (removed, shards_locked) = self.res_cache.invalidate(&closure, item);
+        let (removed, shards_locked) = self.res_cache.invalidate(&closure, item, self.version);
         if let Some(s) = &mut tspan {
             s.u64("swept", closure.len() as u64);
             s.u64("removed", removed);
@@ -436,8 +534,7 @@ impl ObjectStore {
     /// disagree ([`ObjectStore::verify_integrity`] cross-checks them).
     fn insert_object(&mut self, obj: ObjectData) {
         self.extent
-            .entry(obj.type_name.clone())
-            .or_default()
+            .entry_or_default(obj.type_name.clone())
             .insert(obj.surrogate);
         self.objects.insert(obj.surrogate, obj);
     }
@@ -566,7 +663,7 @@ impl ObjectStore {
         self.insert_object(obj);
         for members in map.values() {
             for m in members {
-                self.participant_in.entry(*m).or_default().push(s);
+                self.participant_in.entry_or_default(*m).push(s);
             }
         }
         for (name, value) in attrs {
@@ -762,7 +859,7 @@ impl ObjectStore {
         self.object_mut(inheritor)?
             .bindings
             .insert(rel_type.to_string(), s);
-        self.inheritors_of.entry(transmitter).or_default().push(s);
+        self.inheritors_of.entry_or_default(transmitter).push(s);
         for (name, value) in rel_attrs {
             self.set_attr(s, name, value)?;
         }
@@ -960,7 +1057,7 @@ impl ObjectStore {
             // Hits take only the owning shard's shared lock, so concurrent
             // cached readers (SharedStore::par_select, E11b/E13a) neither
             // serialize nor contend across shards.
-            if let Some(v) = self.res_cache.get(obj, name) {
+            if let Some(v) = self.res_cache.get(obj, name, self.version) {
                 self.rescache_hits.inc();
                 core_metrics().rescache_hits.inc();
                 if let Some(s) = &mut tspan {
@@ -1046,7 +1143,7 @@ impl ObjectStore {
         if caching {
             self.rescache_misses.inc();
             core_metrics().rescache_misses.inc();
-            self.res_cache.fill(obj, name, &value);
+            self.res_cache.fill(obj, name, &value, self.version);
         }
         let m = core_metrics();
         if inherited {
@@ -1158,6 +1255,11 @@ impl ObjectStore {
                     });
                 }
                 self.object_mut(obj)?.attrs.insert(name.to_string(), value);
+                if self.version > 0 {
+                    self.write_stamps
+                        .entry_or_default(obj)
+                        .insert(name.to_string(), self.version);
+                }
                 core_metrics().set_attr.inc();
                 self.invalidate_resolution(obj, Some(name));
                 self.propagate_adaptation(obj, name)?;
@@ -1267,14 +1369,14 @@ impl ObjectStore {
     }
 
     /// Adaptation events since a given logical time.
-    pub fn adaptation_events_since(&self, at: u64) -> &[AdaptationEvent] {
+    pub fn adaptation_events_since(&self, at: u64) -> Vec<AdaptationEvent> {
         let idx = self.adaptation_log.partition_point(|e| e.at <= at);
-        &self.adaptation_log[idx..]
+        self.adaptation_log.tail_from(idx)
     }
 
     /// All adaptation events.
-    pub fn adaptation_log(&self) -> &[AdaptationEvent] {
-        &self.adaptation_log
+    pub fn adaptation_log(&self) -> Vec<AdaptationEvent> {
+        self.adaptation_log.iter().cloned().collect()
     }
 
     /// Current logical time.
@@ -1397,7 +1499,7 @@ impl ObjectStore {
                     inheritor,
                     ..
                 } => {
-                    let list = self.inheritors_of.entry(*transmitter).or_default();
+                    let list = self.inheritors_of.entry_or_default(*transmitter);
                     if !list.contains(s) {
                         list.push(*s);
                     }
@@ -1411,7 +1513,7 @@ impl ObjectStore {
                 ObjectKind::Relationship { participants } => {
                     for members in participants.values() {
                         for m in members {
-                            let list = self.participant_in.entry(*m).or_default();
+                            let list = self.participant_in.entry_or_default(*m);
                             if !list.contains(s) {
                                 list.push(*s);
                             }
@@ -1701,7 +1803,7 @@ impl ObjectStore {
     /// class-extent index and the live objects agree in both directions.
     pub fn verify_integrity(&self) -> Vec<String> {
         let mut problems = Vec::new();
-        for (s, o) in &self.objects {
+        for (s, o) in self.objects.iter() {
             for (subclass, members) in &o.subclasses {
                 for m in members {
                     match self.objects.get(m) {
@@ -1762,7 +1864,7 @@ impl ObjectStore {
                 }
             }
         }
-        for (t, rels) in &self.inheritors_of {
+        for (t, rels) in self.inheritors_of.iter() {
             for rel in rels {
                 let ok = self
                     .objects
@@ -1789,13 +1891,13 @@ impl ObjectStore {
         // Object-level binding cycles: `bind` refuses to create them, but a
         // corrupt or hand-edited persisted store can contain one, which
         // would (absent the resolution depth cap) loop reads forever.
-        for (s, o) in &self.objects {
+        for (s, o) in self.objects.iter() {
             if !o.bindings.is_empty() && self.transitively_inherits_from(*s, *s).unwrap_or(false) {
                 problems.push(format!("{s} lies on an inheritance-binding cycle"));
             }
         }
         // Class-extent index ↔ objects agreement (both directions).
-        for (s, o) in &self.objects {
+        for (s, o) in self.objects.iter() {
             let indexed = self
                 .extent
                 .get(&o.type_name)
@@ -1805,7 +1907,7 @@ impl ObjectStore {
                 problems.push(format!("extent[{}] misses {s}", o.type_name));
             }
         }
-        for (ty, members) in &self.extent {
+        for (ty, members) in self.extent.iter() {
             for m in members {
                 match self.objects.get(m) {
                     None => problems.push(format!("extent[{ty}] lists dead {m}")),
@@ -1823,8 +1925,8 @@ impl ObjectStore {
     // Internals shared with persistence
     // ------------------------------------------------------------------
 
-    pub(crate) fn objects_map(&self) -> &HashMap<Surrogate, ObjectData> {
-        &self.objects
+    pub(crate) fn objects_map(&self) -> impl Iterator<Item = (&Surrogate, &ObjectData)> + '_ {
+        self.objects.iter()
     }
 
     pub(crate) fn classes_map(&self) -> &BTreeMap<String, ClassDef> {
@@ -1845,18 +1947,13 @@ impl ObjectStore {
                 ObjectKind::InheritanceRel { transmitter, .. } => {
                     store
                         .inheritors_of
-                        .entry(*transmitter)
-                        .or_default()
+                        .entry_or_default(*transmitter)
                         .push(o.surrogate);
                 }
                 ObjectKind::Relationship { participants } => {
                     for members in participants.values() {
                         for m in members {
-                            store
-                                .participant_in
-                                .entry(*m)
-                                .or_default()
-                                .push(o.surrogate);
+                            store.participant_in.entry_or_default(*m).push(o.surrogate);
                         }
                     }
                 }

@@ -675,7 +675,8 @@ fn delete_force_dissolves_bindings_with_notification() {
         Value::Missing,
         "now unbound"
     );
-    let last = st.adaptation_log().last().unwrap();
+    let log = st.adaptation_log();
+    let last = log.last().unwrap();
     assert_eq!(last.item, "<deleted>");
     assert_eq!(last.inheritor, imp);
 }

@@ -79,7 +79,7 @@ impl TriggerRegistry {
     /// Consume all adaptation events since the last run, dispatching each to
     /// the handler registered for its relationship type.
     pub fn process(&mut self, store: &mut ObjectStore) -> CoreResult<ProcessReport> {
-        let events: Vec<AdaptationEvent> = store.adaptation_events_since(self.cursor).to_vec();
+        let events: Vec<AdaptationEvent> = store.adaptation_events_since(self.cursor);
         self.cursor = store.now();
         let mut report = ProcessReport {
             events: events.len(),

@@ -2,8 +2,9 @@
 //! ring that answers "what did the slowest recent requests spend their
 //! time on?" *after the fact*, without tracing having been enabled.
 //!
-//! Each entry is one finished request's phase timeline (the seven server
-//! phases: recv → parse → queue → lock → handle → serialize → write) plus
+//! Each entry is one finished request's phase timeline (the eight server
+//! phases: recv → parse → queue → snapshot → lock → handle → serialize →
+//! write) plus
 //! its verb, outcome, and — when the client stamped one — the trace id
 //! linking it to a span tree in the trace buffer.
 //!
@@ -23,12 +24,15 @@
 use std::collections::VecDeque;
 use std::sync::{Mutex, OnceLock};
 
-/// Names of the seven request phases, in timeline order. Indexes into
-/// [`FlightRecord::phases`].
-pub const PHASE_NAMES: [&str; 7] = [
+/// Names of the eight request phases, in timeline order. Indexes into
+/// [`FlightRecord::phases`]. `snapshot` is MVCC snapshot acquisition
+/// (shared-mode store pin); `lock` is exclusive write-lock and
+/// transaction-lock wait.
+pub const PHASE_NAMES: [&str; 8] = [
     "recv",
     "parse",
     "queue",
+    "snapshot",
     "lock",
     "handle",
     "serialize",
@@ -52,7 +56,7 @@ pub struct FlightRecord {
     /// First byte read to response written, ns.
     pub total_ns: u64,
     /// Per-phase ns, indexed like [`PHASE_NAMES`].
-    pub phases: [u64; 7],
+    pub phases: [u64; 8],
     /// Client-supplied trace id, when the frame carried one.
     pub trace: Option<u64>,
     /// Server session the request arrived on.
@@ -172,7 +176,7 @@ mod tests {
             outcome: "ok".into(),
             end_unix_ns: 0,
             total_ns,
-            phases: [total_ns / 7; 7],
+            phases: [total_ns / 8; 8],
             trace: None,
             session: 1,
             proto: 1,

@@ -39,6 +39,14 @@ impl ClientError {
     pub fn is_overloaded(&self) -> bool {
         matches!(self, ClientError::Server { kind, .. } if kind == "overloaded")
     }
+
+    /// Whether this failure is a transaction conflict (lock
+    /// timeout/deadlock or first-committer-wins rejection). The
+    /// transaction is already aborted server-side — retry from a fresh
+    /// `begin`.
+    pub fn is_conflict(&self) -> bool {
+        matches!(self, ClientError::Server { kind, .. } if kind == "conflict")
+    }
 }
 
 impl std::fmt::Display for ClientError {
@@ -246,6 +254,43 @@ impl Client {
         let r = self.request("attr", params)?;
         serde_json::from_value(&r)
             .map_err(|e| ClientError::Protocol(format!("attr: bad value encoding: {e}")))
+    }
+
+    /// `begin`: opens a wire transaction on this connection's session.
+    /// Returns `(txn_id, snapshot_version)` — the published version the
+    /// transaction's reads are pinned to.
+    pub fn begin(&mut self) -> ClientResult<(u64, u64)> {
+        let r = self.request("begin", Json::Object(vec![]))?;
+        match (
+            r.get("txn").and_then(Json::as_u64),
+            r.get("snapshot_version").and_then(Json::as_u64),
+        ) {
+            (Some(txn), Some(v)) => Ok((txn, v)),
+            _ => Err(ClientError::Protocol("begin: malformed result".into())),
+        }
+    }
+
+    /// `commit`: validates and publishes the transaction's buffered
+    /// writes. Returns `(version, writes)`; version 0 means the
+    /// transaction was read-only and published nothing.
+    pub fn commit(&mut self) -> ClientResult<(u64, u64)> {
+        let r = self.request("commit", Json::Object(vec![]))?;
+        match (
+            r.get("version").and_then(Json::as_u64),
+            r.get("writes").and_then(Json::as_u64),
+        ) {
+            (Some(version), Some(writes)) => Ok((version, writes)),
+            _ => Err(ClientError::Protocol("commit: malformed result".into())),
+        }
+    }
+
+    /// `abort`: discards the transaction's workspace and buffered writes.
+    /// Returns the number of locks released (inherited S-locks included).
+    pub fn abort(&mut self) -> ClientResult<u64> {
+        let r = self.request("abort", Json::Object(vec![]))?;
+        r.get("released")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol("abort: malformed result".into()))
     }
 
     /// Local attribute write.

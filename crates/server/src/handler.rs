@@ -14,6 +14,7 @@ use ccdb_core::expr::Expr;
 use ccdb_core::schema::{Catalog, ItemSource};
 use ccdb_core::shared::SharedStore;
 use ccdb_core::{CoreError, Surrogate, Value};
+use ccdb_txn::{SessionError, TxnRegistry};
 use serde_json::Value as Json;
 
 use crate::proto::ErrorKind;
@@ -261,6 +262,20 @@ fn core_err(e: CoreError) -> HandlerError {
     (ErrorKind::Core, e.to_string())
 }
 
+/// Maps a wire-transaction failure onto the wire error kinds: lock
+/// conflicts and first-committer-wins rejections are `conflict` (the
+/// transaction is already aborted when these surface — the client should
+/// retry from a fresh `begin`); bookkeeping misuse is `bad_request`.
+fn session_err(e: SessionError) -> HandlerError {
+    match e {
+        SessionError::Lock(_) | SessionError::WriteConflict { .. } => {
+            (ErrorKind::Conflict, e.to_string())
+        }
+        SessionError::Core(e) => core_err(e),
+        SessionError::NoTxn | SessionError::AlreadyInTxn => bad(e.to_string()),
+    }
+}
+
 fn param<'a>(params: &'a Json, key: &str) -> Result<&'a Json, HandlerError> {
     params
         .get(key)
@@ -404,6 +419,79 @@ fn handle_explain(catalog: &Catalog, params: &Json) -> HandlerResult {
 /// Verbs that take the store's exclusive lock.
 fn is_write_verb(verb: &str) -> bool {
     matches!(verb, "create" | "set_attr" | "bind" | "unbind")
+}
+
+/// Session-level transaction verbs: they mutate per-connection state, so
+/// they are never allowed inside a `batch` frame.
+fn is_txn_verb(verb: &str) -> bool {
+    matches!(verb, "begin" | "commit" | "abort")
+}
+
+/// `begin`/`commit`/`abort` against the session's wire transaction.
+fn handle_txn_verb(
+    store: &SharedStore,
+    txns: &TxnRegistry,
+    session: u64,
+    verb: &str,
+) -> HandlerResult {
+    match verb {
+        "begin" => {
+            let (txn, snapshot_version) = txns.begin(session, store).map_err(session_err)?;
+            Ok(Json::Object(vec![
+                ("txn".into(), Json::UInt(txn)),
+                ("snapshot_version".into(), Json::UInt(snapshot_version)),
+            ]))
+        }
+        "commit" => {
+            let info = txns.commit(session, store).map_err(session_err)?;
+            Ok(Json::Object(vec![
+                ("version".into(), Json::UInt(info.version)),
+                ("writes".into(), Json::UInt(info.writes as u64)),
+            ]))
+        }
+        "abort" => {
+            let released = txns.abort(session).map_err(session_err)?;
+            Ok(Json::Object(vec![(
+                "released".into(),
+                Json::UInt(released as u64),
+            )]))
+        }
+        other => Err(bad(format!("unknown verb `{other}`"))),
+    }
+}
+
+/// A verb on a session with an open transaction. `attr` and `set_attr`
+/// run against the transaction's workspace under §6 lock inheritance;
+/// the structural write verbs and `batch` are refused (the wire
+/// transaction's scope is item values — structure changes go through
+/// plain writes outside a transaction); everything else falls through to
+/// normal dispatch (reads see the published store, not the workspace).
+fn handle_in_txn(
+    txns: &TxnRegistry,
+    session: u64,
+    verb: &str,
+    params: &Json,
+) -> Option<HandlerResult> {
+    match verb {
+        "attr" => Some((|| {
+            let obj = surrogate_param(params, "obj")?;
+            let name = str_param(params, "name")?;
+            let value = txns.read_attr(session, obj, name).map_err(session_err)?;
+            Ok(serde_json::to_value(&value))
+        })()),
+        "set_attr" => Some((|| {
+            let obj = surrogate_param(params, "obj")?;
+            let name = str_param(params, "name")?;
+            let value = value_param(params, "value")?;
+            txns.set_attr(session, obj, name, value)
+                .map_err(session_err)?;
+            Ok(Json::Null)
+        })()),
+        "create" | "bind" | "unbind" | "batch" => Some(Err(bad(format!(
+            "verb `{verb}` is not allowed inside a transaction; commit or abort first"
+        )))),
+        _ => None,
+    }
 }
 
 /// Verbs that take the store's shared lock.
@@ -597,6 +685,11 @@ fn handle_batch(
             if verb == "batch" {
                 return BatchEntry::Malformed("nested `batch` is not allowed".into());
             }
+            if is_txn_verb(verb) {
+                return BatchEntry::Malformed(format!(
+                    "transaction verb `{verb}` is not allowed inside `batch`"
+                ));
+            }
             BatchEntry::Run {
                 verb,
                 params: sub.get("params").unwrap_or(&empty),
@@ -657,16 +750,29 @@ fn handle_batch(
 /// Dispatches one verb. `debug_verbs` additionally enables the
 /// test-only `boom` verb (panics inside the handler, exercising the
 /// worker's panic isolation). Store verbs acquire exactly one guard —
-/// shared for reads, exclusive for writes, and for a `batch` frame one
-/// guard covering every sub-request.
+/// a snapshot pin for reads, the exclusive master lock for writes, and
+/// for a `batch` frame one guard covering every sub-request.
+/// `begin`/`commit`/`abort` manage the session's wire transaction in
+/// `txns`; while one is open, `attr`/`set_attr` route through it.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn handle_verb(
     store: &SharedStore,
     catalog: &Catalog,
     ctx: &ServerContext,
+    txns: &TxnRegistry,
+    session: u64,
     verb: &str,
     params: &Json,
     debug_verbs: bool,
 ) -> HandlerResult {
+    if is_txn_verb(verb) {
+        return handle_txn_verb(store, txns, session, verb);
+    }
+    if txns.in_txn(session) {
+        if let Some(result) = handle_in_txn(txns, session, verb, params) {
+            return result;
+        }
+    }
     if verb == "batch" {
         return handle_batch(store, catalog, ctx, params, debug_verbs);
     }
@@ -717,10 +823,25 @@ mod tests {
     }
 
     fn call(store: &SharedStore, catalog: &Catalog, verb: &str, params: Json) -> HandlerResult {
+        call_s(store, catalog, &TxnRegistry::new(), 0, verb, params)
+    }
+
+    /// Like [`call`], with an explicit registry + session id so tests can
+    /// exercise transactional state across calls.
+    fn call_s(
+        store: &SharedStore,
+        catalog: &Catalog,
+        txns: &TxnRegistry,
+        session: u64,
+        verb: &str,
+        params: Json,
+    ) -> HandlerResult {
         handle_verb(
             store,
             catalog,
             &ServerContext::default(),
+            txns,
+            session,
             verb,
             &params,
             false,
@@ -926,6 +1047,163 @@ mod tests {
         assert_eq!(slot_error_kind(&slots[0]), Some("bad_request"));
         assert_eq!(slot_error_kind(&slots[1]), Some("bad_request"));
         assert!(slot_ok(&slots[2]), "well-formed entry after malformed ones");
+    }
+
+    /// Creates If{X=7} bound to an Impl{Local=1}; returns their surrogates.
+    fn seeded(store: &SharedStore, catalog: &Catalog) -> (u64, u64) {
+        let interface = call(
+            store,
+            catalog,
+            "create",
+            json!({"type": "If", "attrs": {"X": {"Int": 7}}}),
+        )
+        .unwrap()
+        .as_u64()
+        .unwrap();
+        let imp = call(
+            store,
+            catalog,
+            "create",
+            json!({"type": "Impl", "attrs": {"Local": {"Int": 1}}}),
+        )
+        .unwrap()
+        .as_u64()
+        .unwrap();
+        call(
+            store,
+            catalog,
+            "bind",
+            json!({"rel": "AllOf_If", "transmitter": interface, "inheritor": imp}),
+        )
+        .unwrap();
+        (interface, imp)
+    }
+
+    #[test]
+    fn txn_verbs_roundtrip_with_isolation_and_conflict_mapping() {
+        let (store, catalog) = fixture();
+        let (interface, imp) = seeded(&store, &catalog);
+        let txns = TxnRegistry::new();
+
+        let out = call_s(&store, &catalog, &txns, 1, "begin", json!({})).unwrap();
+        assert!(out.get("txn").and_then(Json::as_u64).is_some());
+        call_s(
+            &store,
+            &catalog,
+            &txns,
+            1,
+            "set_attr",
+            json!({"obj": interface, "name": "X", "value": {"Int": 50}}),
+        )
+        .unwrap();
+        // Session 2 (no txn) still reads the published value...
+        let v = call_s(
+            &store,
+            &catalog,
+            &txns,
+            2,
+            "attr",
+            json!({"obj": imp, "name": "X"}),
+        )
+        .unwrap();
+        assert_eq!(v.get("Int").and_then(Json::as_i64), Some(7));
+        // ...while session 1 reads its own write through inheritance.
+        let v = call_s(
+            &store,
+            &catalog,
+            &txns,
+            1,
+            "attr",
+            json!({"obj": imp, "name": "X"}),
+        )
+        .unwrap();
+        assert_eq!(v.get("Int").and_then(Json::as_i64), Some(50));
+
+        let out = call_s(&store, &catalog, &txns, 1, "commit", json!({})).unwrap();
+        assert_eq!(out.get("writes").and_then(Json::as_u64), Some(1));
+        let v = call(&store, &catalog, "attr", json!({"obj": imp, "name": "X"})).unwrap();
+        assert_eq!(v.get("Int").and_then(Json::as_i64), Some(50));
+
+        // First-committer-wins surfaces as the `conflict` wire kind.
+        call_s(&store, &catalog, &txns, 1, "begin", json!({})).unwrap();
+        call_s(
+            &store,
+            &catalog,
+            &txns,
+            1,
+            "set_attr",
+            json!({"obj": interface, "name": "X", "value": {"Int": 60}}),
+        )
+        .unwrap();
+        call(
+            &store,
+            &catalog,
+            "set_attr",
+            json!({"obj": interface, "name": "X", "value": {"Int": 61}}),
+        )
+        .unwrap();
+        let e = call_s(&store, &catalog, &txns, 1, "commit", json!({})).unwrap_err();
+        assert_eq!(e.0, ErrorKind::Conflict);
+    }
+
+    #[test]
+    fn txn_bookkeeping_and_scope_rules() {
+        let (store, catalog) = fixture();
+        let (interface, _) = seeded(&store, &catalog);
+        let txns = TxnRegistry::new();
+
+        // commit/abort without a txn, double begin.
+        let e = call_s(&store, &catalog, &txns, 1, "commit", json!({})).unwrap_err();
+        assert_eq!(e.0, ErrorKind::BadRequest);
+        let e = call_s(&store, &catalog, &txns, 1, "abort", json!({})).unwrap_err();
+        assert_eq!(e.0, ErrorKind::BadRequest);
+        call_s(&store, &catalog, &txns, 1, "begin", json!({})).unwrap();
+        let e = call_s(&store, &catalog, &txns, 1, "begin", json!({})).unwrap_err();
+        assert_eq!(e.0, ErrorKind::BadRequest);
+
+        // Structural writes and batch are refused inside a transaction.
+        for (verb, params) in [
+            ("create", json!({"type": "Impl"})),
+            ("batch", json!({"requests": []})),
+        ] {
+            let e = call_s(&store, &catalog, &txns, 1, verb, params).unwrap_err();
+            assert_eq!(e.0, ErrorKind::BadRequest, "{verb} must be refused in-txn");
+        }
+        // Storeless verbs still work mid-transaction.
+        call_s(&store, &catalog, &txns, 1, "ping", json!({})).unwrap();
+
+        // Abort discards the buffered write and reports released locks.
+        call_s(
+            &store,
+            &catalog,
+            &txns,
+            1,
+            "set_attr",
+            json!({"obj": interface, "name": "X", "value": {"Int": 99}}),
+        )
+        .unwrap();
+        let out = call_s(&store, &catalog, &txns, 1, "abort", json!({})).unwrap();
+        assert!(out.get("released").and_then(Json::as_u64).unwrap() >= 1);
+        let v = call(
+            &store,
+            &catalog,
+            "attr",
+            json!({"obj": interface, "name": "X"}),
+        )
+        .unwrap();
+        assert_eq!(v.get("Int").and_then(Json::as_i64), Some(7));
+
+        // Txn verbs are per-session state: they never ride inside a batch.
+        let out = call(
+            &store,
+            &catalog,
+            "batch",
+            json!({"requests": [{"verb": "begin"}, {"verb": "ping"}]}),
+        )
+        .unwrap();
+        let slots = out.as_array().unwrap();
+        assert_eq!(slot_error_kind(&slots[0]), Some("bad_request"));
+        assert!(slot_ok(&slots[1]));
     }
 
     #[test]

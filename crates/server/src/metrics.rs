@@ -13,11 +13,11 @@ use ccdb_obs::{Counter, Gauge, Histogram};
 /// space can never drift apart.
 pub(crate) use crate::proto::VERBS;
 
-/// Phase histograms for one verb: the seven per-phase series plus the
+/// Phase histograms for one verb: the eight per-phase series plus the
 /// first-byte-to-response-written total.
 pub(crate) struct VerbPhases {
     /// `ccdb_server_phase_<verb>_<phase>_ns`, indexed like [`PHASE_NAMES`].
-    pub phases: [Arc<Histogram>; 7],
+    pub phases: [Arc<Histogram>; 8],
     /// `ccdb_server_phase_<verb>_total_ns`.
     pub total: Arc<Histogram>,
 }
@@ -85,7 +85,7 @@ pub(crate) struct ServerMetrics {
     pub batch_size: Arc<Histogram>,
     /// `ccdb_server_phase_all_<phase>_ns` — per-phase time across every
     /// verb (the `ccdb top` phase bar).
-    pub phase_all: [Arc<Histogram>; 7],
+    pub phase_all: [Arc<Histogram>; 8],
     /// `ccdb_server_phase_all_total_ns` — first byte read to response
     /// written, across every verb.
     pub phase_all_total: Arc<Histogram>,

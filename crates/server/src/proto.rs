@@ -213,6 +213,10 @@ pub enum ErrorKind {
     Core,
     /// A handler panicked; the request died but the server did not.
     Internal,
+    /// Transaction conflict: a lock wait timed out or deadlocked, or
+    /// commit-time first-committer-wins validation failed. The session's
+    /// transaction has been aborted; the client should retry it.
+    Conflict,
 }
 
 impl ErrorKind {
@@ -225,6 +229,7 @@ impl ErrorKind {
             ErrorKind::Shutdown => "shutdown",
             ErrorKind::Core => "core",
             ErrorKind::Internal => "internal",
+            ErrorKind::Conflict => "conflict",
         }
     }
 
@@ -237,6 +242,7 @@ impl ErrorKind {
             "shutdown" => ErrorKind::Shutdown,
             "core" => ErrorKind::Core,
             "internal" => ErrorKind::Internal,
+            "conflict" => ErrorKind::Conflict,
             _ => return None,
         })
     }
@@ -250,6 +256,7 @@ impl ErrorKind {
             ErrorKind::Shutdown => 4,
             ErrorKind::Core => 5,
             ErrorKind::Internal => 6,
+            ErrorKind::Conflict => 7,
         }
     }
 
@@ -262,6 +269,7 @@ impl ErrorKind {
             4 => ErrorKind::Shutdown,
             5 => ErrorKind::Core,
             6 => ErrorKind::Internal,
+            7 => ErrorKind::Conflict,
             _ => return None,
         })
     }
@@ -380,6 +388,10 @@ pub const VERBS: &[&str] = &[
     // never drift between releases.
     "telemetry",
     "watch",
+    // Appended in PR 9: wire transactions (ids 19, 20, 21).
+    "begin",
+    "commit",
+    "abort",
 ];
 
 /// Debug-only verb id (the `boom` panic probe, enabled by
@@ -996,6 +1008,7 @@ mod tests {
             ErrorKind::Shutdown,
             ErrorKind::Core,
             ErrorKind::Internal,
+            ErrorKind::Conflict,
         ] {
             assert_eq!(ErrorKind::from_code(kind.code()), Some(kind));
             assert_eq!(ErrorKind::from_wire(kind.as_str()), Some(kind));

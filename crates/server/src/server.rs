@@ -73,6 +73,7 @@ use ccdb_core::shared::SharedStore;
 use ccdb_obs::flight::FlightRecord;
 use ccdb_obs::timeseries::{self, SeriesDelta, TelemetryFrame};
 use ccdb_obs::TraceId;
+use ccdb_txn::TxnRegistry;
 use serde_json::Value as Json;
 
 use crate::handler::{handle_verb, ServerContext};
@@ -112,6 +113,17 @@ pub struct ServerConfig {
     pub sample_interval_ms: u64,
     /// Telemetry ring retention, in samples per series.
     pub sample_retention: usize,
+    /// How long a wire transaction waits for a contended §6 item lock
+    /// before its acquire fails with `conflict` (and the transaction is
+    /// aborted).
+    pub txn_lock_timeout: Duration,
+    /// Kernel send-buffer size (`SO_SNDBUF`) requested for accepted
+    /// sockets; `None` leaves the OS auto-tuned default. Auto-tuned
+    /// loopback buffers run to megabytes, so a peer that stops reading
+    /// can absorb minutes of output before the write-stall machinery
+    /// even sees queued bytes — tests (and memory-tight deployments)
+    /// clamp this to make backpressure visible quickly.
+    pub send_buffer_bytes: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -127,6 +139,8 @@ impl Default for ServerConfig {
             max_proto: PROTOCOL_V2,
             sample_interval_ms: timeseries::DEFAULT_INTERVAL_MS,
             sample_retention: timeseries::DEFAULT_RETENTION,
+            txn_lock_timeout: Duration::from_secs(5),
+            send_buffer_bytes: None,
         }
     }
 }
@@ -285,9 +299,14 @@ impl Session {
         }
         if o.pending.len() > self.out_cap {
             // The peer stopped draining and the backlog hit the cap:
-            // buffering more is unbounded memory, not kindness.
+            // buffering more is unbounded memory, not kindness. This is
+            // the same failure the timed stall sweep hunts — count it
+            // there (the sweep can't: `kill` clears `pending`, so by the
+            // time it looks this connection is indistinguishable from an
+            // idle one).
             o.kill();
             self.has_pending.store(false, Ordering::Release);
+            server_metrics().write_stalled_closed.inc();
             return false;
         }
         o.pending.extend_from_slice(bytes);
@@ -444,6 +463,10 @@ struct Inner {
     /// Live `watch` subscriptions, keyed by session id (one per session;
     /// a re-`watch` replaces the previous subscription).
     watchers: Mutex<HashMap<u64, WatchSub>>,
+    /// Per-session wire transactions (`begin`/`commit`/`abort`), keyed by
+    /// session id. Sessions that disconnect mid-transaction are aborted in
+    /// `close_conn` so their §6 inherited locks never outlive the socket.
+    txns: TxnRegistry,
     next_session: AtomicU64,
     local_addr: SocketAddr,
 }
@@ -505,6 +528,7 @@ impl Server {
             rescache_shards: store.read(|st| st.resolution_cache_shards()),
             max_proto: cfg.max_proto,
         };
+        let txns = TxnRegistry::with_timeout(cfg.txn_lock_timeout);
         let inner = Arc::new(Inner {
             queue: BoundedQueue::with_wakeup_histogram(
                 cfg.queue_depth,
@@ -518,6 +542,7 @@ impl Server {
             drain_cv: (Mutex::new(false), Condvar::new()),
             sessions: Mutex::new(HashMap::new()),
             watchers: Mutex::new(HashMap::new()),
+            txns,
             next_session: AtomicU64::new(1),
             local_addr,
         });
@@ -633,6 +658,9 @@ impl Server {
         let m = server_metrics();
         let deadline = Instant::now() + WRITE_STALL_TIMEOUT;
         for s in sessions {
+            // Uncommitted wire transactions die with the server: abort so
+            // their locks are accounted for (mirrors close_conn).
+            self.inner.txns.abort_if_any(s.id);
             release_session_gauges(m, s.proto());
             s.flush_blocking(deadline.saturating_duration_since(Instant::now()));
             s.close();
@@ -927,6 +955,9 @@ impl EventLoop {
         let m = server_metrics();
         m.connections.inc();
         let _ = stream.set_nodelay(true);
+        if let Some(bytes) = self.inner.cfg.send_buffer_bytes {
+            let _ = polling::set_send_buffer(stream.as_raw_fd(), bytes);
+        }
         if stream.set_nonblocking(true).is_err() {
             return;
         }
@@ -983,6 +1014,9 @@ impl EventLoop {
         let Some(conn) = self.conns.remove(&id) else {
             return;
         };
+        // A transaction must not outlive its connection: its inherited
+        // locks would block every other session until the lock timeout.
+        self.inner.txns.abort_if_any(id);
         self.inner
             .sessions
             .lock()
@@ -1480,7 +1514,8 @@ fn worker_loop(inner: &Arc<Inner>, worker_idx: usize) {
         }
 
         let handle_start = Instant::now();
-        let wait0 = lockprobe::thread_lock_wait_ns();
+        let wait0_lock = lockprobe::thread_lock_wait_ns();
+        let wait0_snap = lockprobe::thread_snapshot_wait_ns();
         let (response, outcome) = if request.verb == "shutdown" {
             inner.begin_shutdown();
             (
@@ -1493,6 +1528,8 @@ fn worker_loop(inner: &Arc<Inner>, worker_idx: usize) {
                     &inner.store,
                     &inner.catalog,
                     &inner.ctx,
+                    &inner.txns,
+                    session.id,
                     &request.verb,
                     &request.params,
                     inner.cfg.debug_verbs,
@@ -1516,13 +1553,18 @@ fn worker_loop(inner: &Arc<Inner>, worker_idx: usize) {
         };
         let handled = Instant::now();
         let handler_ns = handled.duration_since(handle_start).as_nanos() as u64;
-        // Store-lock wait is charged to this thread by the lock probe;
-        // the delta across the handler is this request's `lock` phase
-        // (clamped: sampled hold clocks can't overrun the handler time).
+        // Store-lock wait is charged to this thread by the lock probe,
+        // split by mode: exclusive master-lock + txn-lock wait becomes the
+        // `lock` phase, shared snapshot-pin wait the `snapshot` phase. The
+        // deltas across the handler are this request's numbers (clamped:
+        // sampled hold clocks can't overrun the handler time).
         let lock_ns = lockprobe::thread_lock_wait_ns()
-            .saturating_sub(wait0)
+            .saturating_sub(wait0_lock)
             .min(handler_ns);
-        let handle_ns = handler_ns - lock_ns;
+        let snapshot_ns = lockprobe::thread_snapshot_wait_ns()
+            .saturating_sub(wait0_snap)
+            .min(handler_ns - lock_ns);
+        let handle_ns = handler_ns - lock_ns - snapshot_ns;
 
         let payload = session.encode(&response);
         let serialized = Instant::now();
@@ -1535,6 +1577,7 @@ fn worker_loop(inner: &Arc<Inner>, worker_idx: usize) {
             recv_ns,
             parse_ns,
             queue_ns,
+            snapshot_ns,
             lock_ns,
             handle_ns,
             serialize_ns,

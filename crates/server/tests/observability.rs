@@ -183,7 +183,7 @@ fn flight_recorder_attributes_v2_requests_with_proto_phases_and_trace() {
     // The record names the dialect it arrived on...
     assert_eq!(rec.get("proto").and_then(Json::as_u64), Some(2));
     assert_eq!(rec.get("verb").and_then(Json::as_str), Some("ping"));
-    // ...carries the full seven-phase timeline...
+    // ...carries the full eight-phase timeline...
     let phases = rec.get("phases").expect("record has phases");
     for name in ccdb_obs::flight::PHASE_NAMES {
         assert!(

@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use ccdb_core::Value;
 use ccdb_server::{Client, ServerConfig};
 use serde_json::Value as Json;
 
@@ -185,11 +186,14 @@ fn watch_is_refused_when_the_sampler_is_disabled() {
 #[test]
 fn stalled_watch_subscriber_is_killed_without_perturbing_other_sessions() {
     // Small frame cap → small outbound backlog cap (4×), short stall
-    // timeout → the kill fires seconds, not minutes, after the subscriber
-    // stops reading.
+    // timeout, and a clamped kernel send buffer — without the clamp,
+    // auto-tuned loopback buffering absorbs minutes of telemetry frames
+    // before the server ever sees queued bytes, and the kill can't fire
+    // inside any reasonable test deadline.
     let server = common::start(ServerConfig {
         write_stall_timeout: Duration::from_millis(300),
         max_frame_bytes: 16 * 1024,
+        send_buffer_bytes: Some(8 * 1024),
         ..fast_cfg()
     });
     let addr = server.local_addr();
@@ -214,18 +218,33 @@ fn stalled_watch_subscriber_is_killed_without_perturbing_other_sessions() {
     assert_eq!(ack.get("watching").and_then(Json::as_bool), Some(true));
 
     // Load keeps histograms moving so every frame carries real payload
-    // (and exercises the sessions that must NOT be perturbed).
+    // (and exercises the sessions that must NOT be perturbed). Writes
+    // are the heavy payload source: every publish cycle moves the
+    // snapshot/storelock/rescache/resolution series on top of the
+    // per-verb phase histograms, so each sampler tick ships a frame fat
+    // enough to fill the victim's kernel buffers in seconds — a
+    // ping-only loop once needed ~20 s to trip the backlog cap, which
+    // made this test miss its deadline on loaded single-core CI boxes.
+    let interface = healthy.create("If", &[("X", Value::Int(0))]).unwrap();
+    let imp = healthy.create("Impl", &[]).unwrap();
+    healthy.bind("AllOf_If", interface, imp).unwrap();
     let deadline = Instant::now() + Duration::from_secs(30);
     let mut killed = false;
+    let mut n = 0i64;
     while Instant::now() < deadline {
-        for _ in 0..50 {
+        for _ in 0..10 {
             healthy.ping().expect("healthy session must keep working");
+            healthy
+                .set_attr(interface, "X", Value::Int(n))
+                .expect("healthy writes must keep publishing");
+            assert_eq!(
+                healthy.attr(imp, "X").expect("resolved read"),
+                Value::Int(n)
+            );
+            n += 1;
         }
-        let stalled = scrape_value(
-            &healthy.metrics().unwrap(),
-            "ccdb_server_write_stalled_closed_total",
-        )
-        .unwrap_or(0);
+        let scrape = healthy.metrics().unwrap();
+        let stalled = scrape_value(&scrape, "ccdb_server_write_stalled_closed_total").unwrap_or(0);
         if stalled > baseline_stalled {
             killed = true;
             break;

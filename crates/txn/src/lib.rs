@@ -15,7 +15,11 @@
 //!   protected standard cells);
 //! - relationship-based [`conflict`] detection between update transactions;
 //! - optimistic long **design transactions** with private workspaces
-//!   ([`design`]).
+//!   ([`design`]);
+//! - a [`session::TxnRegistry`] exposing `begin`/`commit`/`abort` wire
+//!   transactions over an MVCC [`ccdb_core::shared::SharedStore`] —
+//!   §6 lock inheritance on the pessimistic side, first-committer-wins
+//!   snapshot validation against lock-free plain writers.
 
 pub mod access;
 pub mod conflict;
@@ -23,6 +27,7 @@ pub mod design;
 pub mod lock;
 pub(crate) mod metrics;
 pub mod persistent;
+pub mod session;
 pub mod txn;
 
 pub use access::{AccessControl, Right};
@@ -30,4 +35,5 @@ pub use conflict::{potential_conflicts, ConflictKind, PotentialConflict};
 pub use design::{DesignError, DesignTxn, StampRegistry};
 pub use lock::{LockError, LockManager, LockMode, LockStats, Resource, TxnId};
 pub use persistent::PersistentDatabase;
+pub use session::{CommitInfo, SessionError, TxnRegistry};
 pub use txn::{Database, PersistenceDelta, TxnError, TxnHandle, TxnResult};

@@ -22,6 +22,16 @@ pub(crate) struct TxnMetrics {
     pub released: Arc<Counter>,
     /// `ccdb_txn_lock_acquire_latency_ns` — blocking acquire() latency.
     pub acquire_latency: Arc<Histogram>,
+    /// `ccdb_txn_wire_begins_total` — wire transactions opened.
+    pub wire_begins: Arc<Counter>,
+    /// `ccdb_txn_wire_commits_total` — wire transactions committed.
+    pub wire_commits: Arc<Counter>,
+    /// `ccdb_txn_wire_aborts_total` — wire transactions aborted (explicit,
+    /// disconnect, lock failure, or commit conflict).
+    pub wire_aborts: Arc<Counter>,
+    /// `ccdb_txn_wire_conflicts_total` — commits refused by
+    /// first-committer-wins validation.
+    pub wire_conflicts: Arc<Counter>,
 }
 
 pub(crate) fn txn_metrics() -> &'static TxnMetrics {
@@ -38,6 +48,10 @@ pub(crate) fn txn_metrics() -> &'static TxnMetrics {
                 "ccdb_txn_lock_acquire_latency_ns",
                 ccdb_obs::metrics::LATENCY_BUCKETS_NS,
             ),
+            wire_begins: r.counter("ccdb_txn_wire_begins_total"),
+            wire_commits: r.counter("ccdb_txn_wire_commits_total"),
+            wire_aborts: r.counter("ccdb_txn_wire_aborts_total"),
+            wire_conflicts: r.counter("ccdb_txn_wire_conflicts_total"),
         }
     })
 }

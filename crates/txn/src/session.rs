@@ -1,0 +1,550 @@
+//! Wire-transaction sessions: `begin`/`commit`/`abort` for server
+//! connections over a [`SharedStore`].
+//!
+//! The [`crate::txn::Database`] API is handle-based and designed for
+//! embedded callers; a network server instead needs transactions keyed by
+//! *session* (one per connection) with crash-safe cleanup when the peer
+//! disappears. [`TxnRegistry`] provides that layer, combining the two
+//! mechanisms this codebase has for §6 semantics:
+//!
+//! - **Pessimistic item locks with lock inheritance** (paper §6): an
+//!   in-transaction read S-locks every `(object, item)` pair of the
+//!   attribute's resolution chain — the permeability-filtered closure a
+//!   composite's read actually depends on — and an in-transaction write
+//!   X-locks the written item. Lock requests from other transactions on
+//!   any part of that closure conflict exactly as the paper prescribes,
+//!   with deadlock detection and timeouts from [`crate::LockManager`].
+//! - **First-committer-wins validation against the begin snapshot**
+//!   (MVCC): plain, non-transactional writers bypass the lock manager
+//!   entirely, so at commit each buffered write is validated against the
+//!   store's per-`(object, attr)` write stamps — if anyone published a
+//!   newer version of an item this transaction wrote, the commit fails
+//!   with a conflict and the transaction aborts.
+//!
+//! A transaction executes against a private **workspace**: a
+//! copy-on-write clone of the begin snapshot (structural sharing makes
+//! this cheap) with a detached resolution cache, so the transaction reads
+//! its own uncommitted writes with full inheritance semantics while the
+//! published store never sees them. Commit replays the buffered writes as
+//! one atomic write cycle — validated first on a scratch clone, so a
+//! half-applied commit is impossible — and the new version is published
+//! before the commit reply is sent.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ccdb_core::error::CoreError;
+use ccdb_core::shared::SharedStore;
+use ccdb_core::store::ObjectStore;
+use ccdb_core::{lockprobe, Surrogate, Value};
+use parking_lot::Mutex;
+
+use crate::lock::{LockError, LockManager, LockMode, Resource, TxnId};
+use crate::metrics::txn_metrics;
+
+/// Why a wire-transaction operation failed.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The session has no open transaction.
+    NoTxn,
+    /// The session already has an open transaction.
+    AlreadyInTxn,
+    /// Lock acquisition failed (deadlock or timeout); the transaction has
+    /// been aborted and all its locks released.
+    Lock(LockError),
+    /// Object-model error (the transaction stays open).
+    Core(CoreError),
+    /// First-committer-wins validation failed: another session published a
+    /// newer version of an item this transaction wrote. The transaction
+    /// has been aborted.
+    WriteConflict {
+        /// The contended object.
+        obj: Surrogate,
+        /// The contended attribute.
+        attr: String,
+        /// The version that beat this transaction to the item.
+        committed_version: u64,
+    },
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::NoTxn => write!(f, "no transaction is open on this session"),
+            SessionError::AlreadyInTxn => {
+                write!(f, "a transaction is already open on this session")
+            }
+            SessionError::Lock(e) => write!(f, "{e}"),
+            SessionError::Core(e) => write!(f, "{e}"),
+            SessionError::WriteConflict {
+                obj,
+                attr,
+                committed_version,
+            } => write!(
+                f,
+                "write-write conflict on {obj}.{attr}: version {committed_version} \
+                 committed after this transaction began"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<CoreError> for SessionError {
+    fn from(e: CoreError) -> Self {
+        SessionError::Core(e)
+    }
+}
+
+/// Outcome of a successful [`TxnRegistry::commit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitInfo {
+    /// The store version this commit published (0 for a read-only
+    /// transaction, which publishes nothing).
+    pub version: u64,
+    /// Buffered writes replayed.
+    pub writes: usize,
+}
+
+/// State of one open wire transaction.
+struct SessionTxn {
+    id: TxnId,
+    begin_version: u64,
+    /// COW clone of the begin snapshot with the transaction's own writes
+    /// applied (read-your-own-writes with full resolution semantics).
+    workspace: ObjectStore,
+    /// Buffered writes in arrival order, replayed at commit.
+    writes: Vec<(Surrogate, String, Value)>,
+}
+
+/// Per-server registry of wire transactions, keyed by session id.
+///
+/// The outer map lock is held only for entry bookkeeping; each session's
+/// state sits behind its own mutex, so one session blocked in a lock wait
+/// never stalls another session's begin/commit/abort.
+pub struct TxnRegistry {
+    locks: Arc<LockManager>,
+    next: AtomicU64,
+    sessions: Mutex<HashMap<u64, Arc<Mutex<SessionTxn>>>>,
+}
+
+impl Default for TxnRegistry {
+    fn default() -> Self {
+        TxnRegistry::new()
+    }
+}
+
+impl TxnRegistry {
+    /// Registry with the lock manager's default wait timeout.
+    pub fn new() -> Self {
+        TxnRegistry::with_lock_manager(LockManager::new())
+    }
+
+    /// Registry with a custom lock-wait timeout (a server usually wants a
+    /// shorter leash than an embedded caller).
+    pub fn with_timeout(timeout: Duration) -> Self {
+        TxnRegistry::with_lock_manager(LockManager::with_timeout(timeout))
+    }
+
+    /// Registry over an externally-constructed lock manager.
+    pub fn with_lock_manager(locks: LockManager) -> Self {
+        TxnRegistry {
+            locks: Arc::new(locks),
+            next: AtomicU64::new(1),
+            sessions: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying lock manager (stats/diagnostics).
+    pub fn locks(&self) -> &LockManager {
+        &self.locks
+    }
+
+    /// Number of open wire transactions.
+    pub fn active(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    /// Does `session` have an open transaction?
+    pub fn in_txn(&self, session: u64) -> bool {
+        self.sessions.lock().contains_key(&session)
+    }
+
+    fn entry(&self, session: u64) -> Result<Arc<Mutex<SessionTxn>>, SessionError> {
+        self.sessions
+            .lock()
+            .get(&session)
+            .cloned()
+            .ok_or(SessionError::NoTxn)
+    }
+
+    /// Acquire a lock for the transaction, charging the wait to the worker
+    /// thread's `lock` phase accumulator. On failure the whole transaction
+    /// is dead by 2PL rules, so the caller must abort it.
+    fn acquire(&self, txn: TxnId, res: Resource, mode: LockMode) -> Result<(), LockError> {
+        let t0 = Instant::now();
+        let out = self.locks.acquire(txn, res, mode);
+        lockprobe::charge_exclusive_wait(
+            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
+        out
+    }
+
+    /// Open a transaction on `session`, pinning the current published
+    /// version as its begin snapshot. Returns `(txn_id, begin_version)`.
+    pub fn begin(&self, session: u64, store: &SharedStore) -> Result<(u64, u64), SessionError> {
+        let mut sessions = self.sessions.lock();
+        if sessions.contains_key(&session) {
+            return Err(SessionError::AlreadyInTxn);
+        }
+        let snap = store.snapshot();
+        let begin_version = snap.version();
+        let mut workspace = (*snap).clone();
+        workspace.detach_resolution_cache();
+        let id = TxnId(self.next.fetch_add(1, Ordering::Relaxed));
+        sessions.insert(
+            session,
+            Arc::new(Mutex::new(SessionTxn {
+                id,
+                begin_version,
+                workspace,
+                writes: Vec::new(),
+            })),
+        );
+        txn_metrics().wire_begins.inc();
+        Ok((id.0, begin_version))
+    }
+
+    /// In-transaction attribute read under §6 lock inheritance: S-locks
+    /// every `(object, item)` of the resolution chain — computed on the
+    /// workspace, so it follows the transaction's own uncommitted
+    /// bindings — then resolves against the workspace.
+    pub fn read_attr(
+        &self,
+        session: u64,
+        obj: Surrogate,
+        attr: &str,
+    ) -> Result<Value, SessionError> {
+        let entry = self.entry(session)?;
+        let st = entry.lock();
+        let chain = st.workspace.resolution_chain(obj, attr)?;
+        for (o, item) in &chain {
+            if let Err(e) = self.acquire(st.id, Resource::Item(*o, item.clone()), LockMode::S) {
+                drop(st);
+                self.abort(session).ok();
+                return Err(SessionError::Lock(e));
+            }
+        }
+        Ok(st.workspace.attr(obj, attr)?)
+    }
+
+    /// In-transaction local write: X-locks the written item, applies the
+    /// write to the workspace (visible to this session's later reads),
+    /// and buffers it for replay at commit.
+    pub fn set_attr(
+        &self,
+        session: u64,
+        obj: Surrogate,
+        attr: &str,
+        value: Value,
+    ) -> Result<(), SessionError> {
+        let entry = self.entry(session)?;
+        let mut st = entry.lock();
+        if let Err(e) = self.acquire(st.id, Resource::Item(obj, attr.to_string()), LockMode::X) {
+            drop(st);
+            self.abort(session).ok();
+            return Err(SessionError::Lock(e));
+        }
+        st.workspace.set_attr(obj, attr, value.clone())?;
+        st.writes.push((obj, attr.to_string(), value));
+        Ok(())
+    }
+
+    /// Commit: validate every buffered write against the master's write
+    /// stamps (first-committer-wins vs. the begin version), replay them as
+    /// one atomic write cycle, publish, and release all locks — including
+    /// the inherited S-locks along every resolution chain this transaction
+    /// read. On conflict the transaction is aborted and nothing is
+    /// published from it.
+    pub fn commit(&self, session: u64, store: &SharedStore) -> Result<CommitInfo, SessionError> {
+        let Some(entry) = self.sessions.lock().remove(&session) else {
+            return Err(SessionError::NoTxn);
+        };
+        let st = entry.lock();
+        if st.writes.is_empty() {
+            // Read-only: nothing to validate or publish.
+            self.locks.release_all(st.id);
+            txn_metrics().wire_commits.inc();
+            return Ok(CommitInfo {
+                version: 0,
+                writes: 0,
+            });
+        }
+        let outcome: Result<u64, SessionError> = store.write(|master| {
+            for (obj, attr, _) in &st.writes {
+                let stamped = master.write_stamp(*obj, attr);
+                if stamped > st.begin_version {
+                    return Err(SessionError::WriteConflict {
+                        obj: *obj,
+                        attr: attr.clone(),
+                        committed_version: stamped,
+                    });
+                }
+            }
+            // Dry-run on a scratch COW clone so a failing write (object
+            // deleted since begin, domain violation through a rebind, ...)
+            // rejects the whole commit with the master untouched.
+            let mut scratch = master.clone();
+            scratch.detach_resolution_cache();
+            for (obj, attr, value) in &st.writes {
+                scratch.set_attr(*obj, attr, value.clone())?;
+            }
+            for (obj, attr, value) in &st.writes {
+                master
+                    .set_attr(*obj, attr, value.clone())
+                    .expect("validated on scratch clone");
+            }
+            Ok(master.version())
+        });
+        self.locks.release_all(st.id);
+        match outcome {
+            Ok(version) => {
+                txn_metrics().wire_commits.inc();
+                Ok(CommitInfo {
+                    version,
+                    writes: st.writes.len(),
+                })
+            }
+            Err(e) => {
+                if matches!(e, SessionError::WriteConflict { .. }) {
+                    txn_metrics().wire_conflicts.inc();
+                }
+                txn_metrics().wire_aborts.inc();
+                Err(e)
+            }
+        }
+    }
+
+    /// Abort: discard the workspace and buffered writes, release all locks
+    /// (including inherited ones). Returns the number of locks released.
+    pub fn abort(&self, session: u64) -> Result<usize, SessionError> {
+        let Some(entry) = self.sessions.lock().remove(&session) else {
+            return Err(SessionError::NoTxn);
+        };
+        let st = entry.lock();
+        let held = self.locks.held_count(st.id);
+        self.locks.release_all(st.id);
+        txn_metrics().wire_aborts.inc();
+        Ok(held)
+    }
+
+    /// Abort `session`'s transaction if it has one — the disconnect/drain
+    /// hook. Returns whether a transaction was open.
+    pub fn abort_if_any(&self, session: u64) -> bool {
+        self.abort(session).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccdb_core::domain::Domain;
+    use ccdb_core::schema::{AttrDef, Catalog, InherRelTypeDef, ObjectTypeDef};
+
+    fn fixture() -> (SharedStore, Surrogate, Surrogate) {
+        let mut c = Catalog::new();
+        c.register_object_type(ObjectTypeDef {
+            name: "If".into(),
+            attributes: vec![AttrDef::new("X", Domain::Int)],
+            ..Default::default()
+        })
+        .unwrap();
+        c.register_inher_rel_type(InherRelTypeDef {
+            name: "AllOf_If".into(),
+            transmitter_type: "If".into(),
+            inheritor_type: None,
+            inheriting: vec!["X".into()],
+            attributes: vec![],
+            constraints: vec![],
+        })
+        .unwrap();
+        c.register_object_type(ObjectTypeDef {
+            name: "Impl".into(),
+            inheritor_in: vec!["AllOf_If".into()],
+            attributes: vec![AttrDef::new("Local", Domain::Int)],
+            ..Default::default()
+        })
+        .unwrap();
+        let mut st = ObjectStore::new(c).unwrap();
+        let interface = st.create_object("If", vec![("X", Value::Int(7))]).unwrap();
+        let imp = st
+            .create_object("Impl", vec![("Local", Value::Int(1))])
+            .unwrap();
+        st.bind("AllOf_If", interface, imp, vec![]).unwrap();
+        (SharedStore::from_store(st), interface, imp)
+    }
+
+    fn quick_registry() -> TxnRegistry {
+        TxnRegistry::with_timeout(Duration::from_millis(100))
+    }
+
+    #[test]
+    fn begin_set_commit_publishes_one_version() {
+        let (store, interface, imp) = fixture();
+        let reg = quick_registry();
+        let before = store.published_version();
+        let (_, begin_v) = reg.begin(1, &store).unwrap();
+        assert_eq!(begin_v, before);
+        reg.set_attr(1, interface, "X", Value::Int(50)).unwrap();
+        // Uncommitted: published readers still see the old value...
+        assert_eq!(store.attr(imp, "X").unwrap(), Value::Int(7));
+        // ...while the transaction reads its own write through inheritance.
+        assert_eq!(reg.read_attr(1, imp, "X").unwrap(), Value::Int(50));
+        let info = reg.commit(1, &store).unwrap();
+        assert_eq!(info.writes, 1);
+        assert!(info.version > before);
+        assert_eq!(store.attr(imp, "X").unwrap(), Value::Int(50));
+        assert_eq!(reg.active(), 0);
+    }
+
+    #[test]
+    fn abort_discards_writes_and_releases_inherited_locks() {
+        let (store, interface, imp) = fixture();
+        let reg = quick_registry();
+        let (tid, _) = reg.begin(1, &store).unwrap();
+        // The read S-locks the whole resolution chain (§6): the
+        // transmitter's item is part of the inherited closure.
+        reg.read_attr(1, imp, "X").unwrap();
+        reg.set_attr(1, imp, "Local", Value::Int(9)).unwrap();
+        assert!(
+            reg.locks().held_count(TxnId(tid)) >= 2,
+            "chain S-locks + write X-lock"
+        );
+        let released = reg.abort(1).unwrap();
+        assert!(released >= 2);
+        assert_eq!(reg.locks().held_count(TxnId(tid)), 0);
+        assert_eq!(store.attr(imp, "Local").unwrap(), Value::Int(1));
+        // The transmitter item is immediately lockable by someone else.
+        let (store2, _, _) = (store.clone(), interface, imp);
+        reg.begin(2, &store2).unwrap();
+        reg.set_attr(2, interface, "X", Value::Int(8)).unwrap();
+        reg.commit(2, &store2).unwrap();
+        assert_eq!(store.attr(imp, "X").unwrap(), Value::Int(8));
+    }
+
+    #[test]
+    fn component_write_conflicts_with_composite_read_lock() {
+        let (store, interface, imp) = fixture();
+        let reg = quick_registry();
+        // Session 1 reads the component's inherited attr: S-locks the
+        // transmitter's permeable item along the chain.
+        reg.begin(1, &store).unwrap();
+        reg.read_attr(1, imp, "X").unwrap();
+        // Session 2 tries to write that transmitter item: X conflicts with
+        // the inherited S lock and times out.
+        reg.begin(2, &store).unwrap();
+        let err = reg.set_attr(2, interface, "X", Value::Int(0)).unwrap_err();
+        assert!(matches!(err, SessionError::Lock(LockError::Timeout { .. })));
+        // The failed acquire aborted session 2.
+        assert!(!reg.in_txn(2));
+        // After session 1 ends, the item is free again.
+        reg.abort(1).unwrap();
+        reg.begin(3, &store).unwrap();
+        reg.set_attr(3, interface, "X", Value::Int(3)).unwrap();
+        reg.commit(3, &store).unwrap();
+    }
+
+    #[test]
+    fn first_committer_wins_against_plain_writers() {
+        let (store, interface, imp) = fixture();
+        let reg = quick_registry();
+        let (tid, begin_v) = reg.begin(1, &store).unwrap();
+        reg.set_attr(1, interface, "X", Value::Int(100)).unwrap();
+        // A plain (non-transactional) writer slips in after begin — it
+        // takes no locks, so only commit-time validation can catch it.
+        store.set_attr(interface, "X", Value::Int(55)).unwrap();
+        let err = reg.commit(1, &store).unwrap_err();
+        match err {
+            SessionError::WriteConflict {
+                obj,
+                attr,
+                committed_version,
+            } => {
+                assert_eq!(obj, interface);
+                assert_eq!(attr, "X");
+                assert!(committed_version > begin_v);
+            }
+            other => panic!("expected WriteConflict, got {other}"),
+        }
+        // The losing transaction is gone and published nothing.
+        assert!(!reg.in_txn(1));
+        assert_eq!(store.attr(imp, "X").unwrap(), Value::Int(55));
+        assert_eq!(reg.locks().held_count(TxnId(tid)), 0);
+    }
+
+    #[test]
+    fn failing_write_rejects_the_whole_commit_atomically() {
+        let (store, interface, imp) = fixture();
+        let reg = quick_registry();
+        reg.begin(1, &store).unwrap();
+        reg.set_attr(1, interface, "X", Value::Int(1)).unwrap();
+        reg.set_attr(1, imp, "Local", Value::Int(2)).unwrap();
+        // Sabotage the second write: delete the object after begin. (No
+        // write stamp is bumped by delete, so stamp validation alone would
+        // miss it — the scratch dry-run must catch it.)
+        store.write(|st| st.delete_force(imp)).unwrap();
+        let err = reg.commit(1, &store).unwrap_err();
+        assert!(matches!(err, SessionError::Core(_)), "got {err}");
+        // Neither write landed.
+        assert_eq!(store.attr(interface, "X").unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn session_bookkeeping_errors() {
+        let (store, interface, _) = fixture();
+        let reg = quick_registry();
+        assert!(matches!(reg.abort(9), Err(SessionError::NoTxn)));
+        assert!(matches!(reg.commit(9, &store), Err(SessionError::NoTxn)));
+        assert!(matches!(
+            reg.set_attr(9, interface, "X", Value::Int(0)),
+            Err(SessionError::NoTxn)
+        ));
+        reg.begin(9, &store).unwrap();
+        assert!(matches!(
+            reg.begin(9, &store),
+            Err(SessionError::AlreadyInTxn)
+        ));
+        assert!(reg.abort_if_any(9));
+        assert!(!reg.abort_if_any(9));
+    }
+
+    #[test]
+    fn read_only_commit_publishes_nothing() {
+        let (store, _, imp) = fixture();
+        let reg = quick_registry();
+        let before = store.published_version();
+        reg.begin(1, &store).unwrap();
+        assert_eq!(reg.read_attr(1, imp, "X").unwrap(), Value::Int(7));
+        let info = reg.commit(1, &store).unwrap();
+        assert_eq!(info.writes, 0);
+        assert_eq!(store.published_version(), before);
+    }
+
+    #[test]
+    fn txn_reads_are_repeatable_against_the_begin_snapshot() {
+        let (store, interface, imp) = fixture();
+        let reg = TxnRegistry::new();
+        reg.begin(1, &store).unwrap();
+        assert_eq!(reg.read_attr(1, imp, "X").unwrap(), Value::Int(7));
+        // The S lock from the read blocks transactional writers, and the
+        // workspace pins the snapshot against plain writers: even after a
+        // plain write publishes X=77, this transaction still reads 7.
+        store.set_attr(interface, "X", Value::Int(77)).unwrap();
+        assert_eq!(reg.read_attr(1, imp, "X").unwrap(), Value::Int(7));
+        reg.commit(1, &store).unwrap();
+        assert_eq!(store.attr(imp, "X").unwrap(), Value::Int(77));
+    }
+}

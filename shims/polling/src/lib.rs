@@ -15,7 +15,11 @@
 //!   a final response to a nonblocking fd);
 //! - [`raise_nofile_limit`] / [`nofile_limit`] — `RLIMIT_NOFILE`
 //!   introspection so a 10k-connection experiment can size itself to what
-//!   the process may actually open.
+//!   the process may actually open;
+//! - [`set_send_buffer`] — `SO_SNDBUF` clamping, so tests exercising the
+//!   write-stall path can shrink a socket's kernel buffering from
+//!   megabytes (auto-tuned loopback) to something a slow subscriber
+//!   fills in milliseconds.
 //!
 //! Only Unix is supported (the rest of the workspace's serving layer is
 //! `std::net` + raw fds); on other platforms every call returns
@@ -96,6 +100,39 @@ mod sys {
         fn poll(fds: *mut PollFd, nfds: NFds, timeout: i32) -> i32;
         fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
         fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+        fn setsockopt(
+            fd: i32,
+            level: i32,
+            optname: i32,
+            optval: *const std::os::raw::c_void,
+            optlen: u32,
+        ) -> i32;
+    }
+
+    #[cfg(target_os = "macos")]
+    const SOL_SOCKET: i32 = 0xffff;
+    #[cfg(not(target_os = "macos"))]
+    const SOL_SOCKET: i32 = 1;
+    #[cfg(target_os = "macos")]
+    const SO_SNDBUF: i32 = 0x1001;
+    #[cfg(not(target_os = "macos"))]
+    const SO_SNDBUF: i32 = 7;
+
+    pub fn set_send_buffer(fd: i32, bytes: usize) -> io::Result<()> {
+        let val = i32::try_from(bytes).unwrap_or(i32::MAX);
+        let rc = unsafe {
+            setsockopt(
+                fd,
+                SOL_SOCKET,
+                SO_SNDBUF,
+                (&val as *const i32).cast(),
+                std::mem::size_of::<i32>() as u32,
+            )
+        };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
     }
 
     #[repr(C)]
@@ -185,6 +222,10 @@ mod sys {
     pub fn raise_nofile_limit(_want: u64) -> io::Result<u64> {
         unsupported()
     }
+
+    pub fn set_send_buffer(_fd: i32, _bytes: usize) -> io::Result<()> {
+        unsupported()
+    }
 }
 
 /// Sweeps `fds` once: blocks up to `timeout_ms` (negative = forever,
@@ -222,6 +263,14 @@ pub fn nofile_limit() -> io::Result<(u64, u64)> {
 /// Never lowers the limit.
 pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
     sys::raise_nofile_limit(want)
+}
+
+/// Requests a kernel send-buffer size (`SO_SNDBUF`) for `fd`. The kernel
+/// may round the value (Linux doubles it and enforces a floor); the point
+/// is shrinking multi-megabyte auto-tuned buffers down to a bounded size,
+/// not hitting an exact byte count.
+pub fn set_send_buffer(fd: Fd, bytes: usize) -> io::Result<()> {
+    sys::set_send_buffer(fd, bytes)
 }
 
 #[cfg(all(test, unix))]
@@ -292,5 +341,14 @@ mod tests {
         assert!(soft > 0 && hard >= soft);
         let now = raise_nofile_limit(soft).unwrap();
         assert!(now >= soft);
+    }
+
+    #[test]
+    fn send_buffer_can_be_shrunk() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        set_send_buffer(client.as_raw_fd(), 8 * 1024).unwrap();
+        // A bogus fd must surface the OS error, not be swallowed.
+        assert!(set_send_buffer(-1, 8 * 1024).is_err());
     }
 }
