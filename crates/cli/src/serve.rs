@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 use ccdb_core::schema::Catalog;
 use ccdb_core::shared::SharedStore;
 use ccdb_core::Value;
-use ccdb_server::{Client, Server, ServerConfig};
+use ccdb_server::{Client, PollBackend, Server, ServerConfig};
 use serde_json::Value as Json;
 
 use crate::{load_catalog, CliError};
@@ -48,12 +48,18 @@ pub struct ServeFlags {
     /// Wire protocol: `serve` pins the server's maximum (1 = JSON only),
     /// `bench-net` selects the client dialect. Default: v2.
     pub proto: Option<u8>,
+    /// Event-loop readiness backend (`poll`, `epoll`, or `auto`).
+    pub backend: Option<PollBackend>,
+    /// `bench-net`: idle v2 sessions parked on the server for the whole
+    /// measurement (the E15 "designers at workstations" crowd).
+    pub idle_sessions: Option<usize>,
 }
 
 impl ServeFlags {
     /// Parses `--addr A --threads N --queue-depth N --clients N
-    /// --requests N --batch N --write-pct N --proto v1|v2` in any order;
-    /// rejects unknown flags and bad numbers.
+    /// --requests N --batch N --write-pct N --proto v1|v2
+    /// --backend poll|epoll|auto --idle-sessions N` in any order; rejects
+    /// unknown flags and bad numbers.
     pub fn parse(args: &[String]) -> Result<ServeFlags, CliError> {
         let mut flags = ServeFlags {
             addr: None,
@@ -64,6 +70,8 @@ impl ServeFlags {
             batch: None,
             write_pct: None,
             proto: None,
+            backend: None,
+            idle_sessions: None,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -103,6 +111,17 @@ impl ServeFlags {
                     }
                     flags.write_pct = Some(pct as u8);
                 }
+                "--backend" => {
+                    let v = it.next().ok_or_else(|| CliError {
+                        message: "--backend requires a value (poll, epoll, or auto)".into(),
+                        code: 2,
+                    })?;
+                    flags.backend = Some(PollBackend::parse(v).ok_or_else(|| CliError {
+                        message: format!("--backend: `{v}` is not poll, epoll, or auto"),
+                        code: 2,
+                    })?);
+                }
+                "--idle-sessions" => flags.idle_sessions = Some(num("--idle-sessions")? as usize),
                 "--proto" => {
                     let v = it.next().ok_or_else(|| CliError {
                         message: "--proto requires a value (v1 or v2)".into(),
@@ -136,6 +155,7 @@ impl ServeFlags {
             workers: self.threads.unwrap_or(4),
             queue_depth: self.queue_depth.unwrap_or(64),
             max_proto: self.proto.unwrap_or(ccdb_server::PROTOCOL_V2),
+            poll_backend: self.backend.unwrap_or_default(),
             ..ServerConfig::default()
         }
     }
@@ -153,11 +173,12 @@ pub fn cmd_serve(source: &str, flags: &ServeFlags) -> Result<String, CliError> {
     // Announce before blocking so scripted callers (CI smoke) can wait for
     // this line, then connect.
     println!(
-        "ccdb-server listening on {} ({} workers, queue depth {}, max proto v{})",
+        "ccdb-server listening on {} ({} workers, queue depth {}, max proto v{}, {} backend)",
         server.local_addr(),
         cfg.workers,
         cfg.queue_depth,
-        cfg.max_proto
+        cfg.max_proto,
+        server.backend()
     );
     let _ = std::io::stdout().flush();
     server.run_until_shutdown();
@@ -400,6 +421,42 @@ fn wakeup_summary(addr: std::net::SocketAddr, elapsed: Duration) -> String {
     }
 }
 
+/// Parks `n` idle v2 sessions on the target: each completes the HELLO_V2
+/// exchange and then sits silent, so the event loop carries their
+/// registered-but-never-ready fds for the whole measurement (the E15
+/// "designers at idle workstations" crowd, reproducible from one
+/// command). Returns the held sockets — dropping them ends the crowd —
+/// plus the count of connect/handshake failures.
+fn park_idle_sessions(addr: std::net::SocketAddr, n: usize) -> (Vec<std::net::TcpStream>, usize) {
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    // Headroom over the crowd: each session is one fd here plus one
+    // server-side, and the bench clients need their own on top.
+    let _ = polling::raise_nofile_limit((n as u64 * 3) + 2_000);
+    let mut held = Vec::with_capacity(n);
+    let mut failures = 0usize;
+    for _ in 0..n {
+        match std::net::TcpStream::connect(addr) {
+            Ok(mut s) => {
+                let handshake = s
+                    .set_read_timeout(Some(Duration::from_secs(5)))
+                    .and_then(|()| s.write_all(&ccdb_server::HELLO_V2))
+                    .and_then(|()| {
+                        let mut ack = [0u8; 4];
+                        std::io::Read::read_exact(&mut s, &mut ack)
+                    });
+                match handshake {
+                    Ok(()) => held.push(s),
+                    Err(_) => failures += 1,
+                }
+            }
+            Err(_) => failures += 1,
+        }
+    }
+    (held, failures)
+}
+
 fn quantile(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
@@ -439,6 +496,12 @@ pub fn cmd_bench_net(source: &str, flags: &ServeFlags) -> Result<String, CliErro
             (server.local_addr(), Some(server))
         }
     };
+
+    // The idle crowd must be in place before measurement starts: its
+    // point is to load the event loop's readiness scan while the timed
+    // clients run.
+    let idle_requested = flags.idle_sessions.unwrap_or(0);
+    let (idle_crowd, idle_failures) = park_idle_sessions(addr, idle_requested);
 
     let total_overloaded = Arc::new(AtomicU64::new(0));
     let total_errors = Arc::new(AtomicU64::new(0));
@@ -480,8 +543,11 @@ pub fn cmd_bench_net(source: &str, flags: &ServeFlags) -> Result<String, CliErro
     let elapsed = started.elapsed();
     // Pull the scheduler's wakeup-latency digest while the server is
     // still up: it comes from the server-side telemetry ring, not from
-    // anything the clients measured.
+    // anything the clients measured. The idle crowd stays parked until
+    // after the clock stops so it loads the whole measurement.
     let wakeup = wakeup_summary(addr, elapsed);
+    let idle_parked = idle_crowd.len();
+    drop(idle_crowd);
     if let Some(server) = server {
         server.shutdown();
     }
@@ -510,6 +576,7 @@ pub fn cmd_bench_net(source: &str, flags: &ServeFlags) -> Result<String, CliErro
            latency    : p50={} p95={} p99={} (ns/frame)\n\
            retries    : {} (overloaded, capped exp backoff + jitter)\n\
            errors     : {} (server error responses)\n\
+           idle crowd : {idle_parked} parked sessions ({idle_failures} connect failures)\n\
            wakeup     : {wakeup}\n",
         if proto >= 2 { "binary framing" } else { "JSON framing" },
         100 - write_pct as u64,
@@ -556,6 +623,10 @@ mod tests {
             "40".into(),
             "--proto".into(),
             "v1".into(),
+            "--backend".into(),
+            "epoll".into(),
+            "--idle-sessions".into(),
+            "128".into(),
         ])
         .unwrap();
         assert_eq!(f.addr.as_deref(), Some("127.0.0.1:9999"));
@@ -564,6 +635,29 @@ mod tests {
         assert_eq!(f.batch, Some(32));
         assert_eq!(f.write_pct, Some(40));
         assert_eq!(f.proto, Some(1));
+        assert_eq!(f.backend, Some(PollBackend::Epoll));
+        assert_eq!(f.idle_sessions, Some(128));
+
+        let f = ServeFlags::parse(&["--backend".into(), "poll".into()]).unwrap();
+        assert_eq!(f.backend, Some(PollBackend::Poll));
+        let f = ServeFlags::parse(&["--backend".into(), "auto".into()]).unwrap();
+        assert_eq!(f.backend, Some(PollBackend::Auto));
+        assert_eq!(
+            ServeFlags::parse(&["--backend".into(), "kqueue".into()])
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(
+            ServeFlags::parse(&["--backend".into()]).unwrap_err().code,
+            2
+        );
+        assert_eq!(
+            ServeFlags::parse(&["--idle-sessions".into(), "some".into()])
+                .unwrap_err()
+                .code,
+            2
+        );
 
         // 0 is a legal mix (pure reads); 101 is not a percentage.
         let f = ServeFlags::parse(&["--write-pct".into(), "0".into()]).unwrap();
@@ -619,6 +713,8 @@ mod tests {
             batch: None,
             write_pct: None,
             proto: None,
+            backend: None,
+            idle_sessions: None,
         };
         let out = cmd_bench_net(SCHEMA, &flags).unwrap();
         assert!(out.contains("4 clients x 20 requests"), "{out}");
@@ -630,9 +726,32 @@ mod tests {
             out.contains("errors     : 0"),
             "healthy run must report zero server errors: {out}"
         );
+        assert!(out.contains("idle crowd : 0 parked sessions"), "{out}");
         // The wakeup line is always present; short runs may report that
         // the sampler has not ticked rather than numbers.
         assert!(out.contains("wakeup     :"), "{out}");
+    }
+
+    #[test]
+    fn bench_net_parks_an_idle_crowd_for_the_whole_run() {
+        let flags = ServeFlags {
+            addr: None,
+            threads: Some(2),
+            queue_depth: Some(16),
+            clients: Some(2),
+            requests: Some(20),
+            batch: None,
+            write_pct: None,
+            proto: None,
+            backend: None,
+            idle_sessions: Some(32),
+        };
+        let out = cmd_bench_net(SCHEMA, &flags).unwrap();
+        assert!(
+            out.contains("idle crowd : 32 parked sessions (0 connect failures)"),
+            "{out}"
+        );
+        assert!(out.contains("errors     : 0"), "{out}");
     }
 
     #[test]
@@ -646,6 +765,8 @@ mod tests {
             batch: None,
             write_pct: None,
             proto: Some(1),
+            backend: None,
+            idle_sessions: None,
         };
         let out = cmd_bench_net(SCHEMA, &flags).unwrap();
         assert!(out.contains("protocol   : v1"), "{out}");
@@ -663,6 +784,8 @@ mod tests {
             batch: Some(8),
             write_pct: None,
             proto: None,
+            backend: None,
+            idle_sessions: None,
         };
         let out = cmd_bench_net(SCHEMA, &flags).unwrap();
         assert!(out.contains("requests   : 40"), "{out}");

@@ -213,6 +213,59 @@ pub fn render_top(addr: &str, info: &Json, t: &Json) -> String {
         counter_rate(t, "ccdb_server_watch_frames_total"),
     ));
 
+    // Dispatch tiers: readiness backend and event-loop iteration rate,
+    // the inline fast path's share of the request stream, and per-worker
+    // steal rates from the sharded queue.
+    let inline = counter_delta(t, "ccdb_server_inline_requests_total");
+    let reqs = counter_delta(t, "ccdb_server_requests_total");
+    let inline_share = if reqs > 0.0 {
+        100.0 * inline / reqs
+    } else {
+        0.0
+    };
+    let mut steal_parts: Vec<String> = Vec::new();
+    if let Some(all) = t.get("series").and_then(Json::as_array) {
+        let mut workers: Vec<(usize, f64)> = all
+            .iter()
+            .filter_map(|s| {
+                let name = s.get("name").and_then(Json::as_str)?;
+                let idx: usize = name
+                    .strip_prefix("ccdb_server_worker")?
+                    .strip_suffix("_steals_total")?
+                    .parse()
+                    .ok()?;
+                Some((idx, s.get("rate").and_then(Json::as_f64).unwrap_or(0.0)))
+            })
+            .collect();
+        workers.sort_unstable_by_key(|(i, _)| *i);
+        steal_parts = workers
+            .iter()
+            .map(|(i, r)| format!("w{i} {r:.1}"))
+            .collect();
+    }
+    out.push_str(&format!(
+        "dispatch: {} backend (inline reads {}) | loop {:.0} iters/s | \
+         inline {inline_share:.1}% of requests ({:.1}/s fallback) | steals/s {:.1}{}\n",
+        gets("backend"),
+        if info
+            .get("inline_reads")
+            .and_then(Json::as_bool)
+            .unwrap_or(false)
+        {
+            "on"
+        } else {
+            "off"
+        },
+        counter_rate(t, "ccdb_server_eventloop_iterations_total"),
+        counter_rate(t, "ccdb_server_inline_fallback_total"),
+        counter_rate(t, "ccdb_server_steals_total"),
+        if steal_parts.is_empty() {
+            String::new()
+        } else {
+            format!(" [{}]", steal_parts.join(" "))
+        },
+    ));
+
     // Scheduler wakeup latency: the queue's own enqueue→dequeue histogram.
     if let Some(w) = t.get("wakeup").filter(|w| !matches!(w, Json::Null)) {
         let q = |f: &str| {
@@ -468,7 +521,19 @@ mod tests {
                 {"name": "ccdb_txn_wire_conflicts_total", "kind": "counter",
                  "delta": 1, "rate": 0.5, "points": [1]},
                 {"name": "ccdb_server_phase_all_handle_ns", "kind": "histogram",
-                 "count": 100, "sum": 90000, "p50": 700.0, "p95": 1000.0, "p99": 1500.0}
+                 "count": 100, "sum": 90000, "p50": 700.0, "p95": 1000.0, "p99": 1500.0},
+                {"name": "ccdb_server_eventloop_iterations_total", "kind": "counter",
+                 "delta": 2400, "rate": 1200.0, "points": [300, 300, 300, 300]},
+                {"name": "ccdb_server_inline_requests_total", "kind": "counter",
+                 "delta": 60, "rate": 30.0, "points": [15, 15, 15, 15]},
+                {"name": "ccdb_server_inline_fallback_total", "kind": "counter",
+                 "delta": 4, "rate": 2.0, "points": [1, 1, 1, 1]},
+                {"name": "ccdb_server_steals_total", "kind": "counter",
+                 "delta": 12, "rate": 6.0, "points": [3, 3, 3, 3]},
+                {"name": "ccdb_server_worker0_steals_total", "kind": "counter",
+                 "delta": 8, "rate": 4.0, "points": [2, 2, 2, 2]},
+                {"name": "ccdb_server_worker1_steals_total", "kind": "counter",
+                 "delta": 4, "rate": 2.0, "points": [1, 1, 1, 1]}
             ],
             "verbs": [
                 {"verb": "attr", "count": 80,
@@ -486,7 +551,8 @@ mod tests {
     fn info() -> Json {
         serde_json::from_str(
             r#"{"version": "0.1.0", "uptime_ms": 5000, "workers": 4,
-                "queue_depth": 64, "rescache_shards": 16}"#,
+                "queue_depth": 64, "rescache_shards": 16,
+                "backend": "epoll", "inline_reads": true}"#,
         )
         .unwrap()
     }
@@ -521,6 +587,18 @@ mod tests {
             frame.contains("wakeup latency: 100 dequeues | p50 1.5µs"),
             "{frame}"
         );
+        // Dispatch line: resolved backend, loop iteration rate, inline
+        // share of the request stream, and per-worker steal rates.
+        assert!(
+            frame.contains("dispatch: epoll backend (inline reads on)"),
+            "{frame}"
+        );
+        assert!(frame.contains("loop 1200 iters/s"), "{frame}");
+        assert!(
+            frame.contains("inline 60.0% of requests (2.0/s fallback)"),
+            "{frame}"
+        );
+        assert!(frame.contains("steals/s 6.0 [w0 4.0 w1 2.0]"), "{frame}");
         assert!(frame.contains("shared wait p95 2.0µs"), "{frame}");
         assert!(frame.contains("window 2.0s @ 250ms samples"), "{frame}");
         // MVCC snapshot health line: version, age, publish p95 + rate,

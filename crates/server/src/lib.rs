@@ -15,9 +15,14 @@
 //!
 //! Production-shaping concerns are first-class:
 //!
-//! - **admission control** — a bounded request queue ([`queue`]); beyond
-//!   capacity the server answers `Overloaded` instead of buffering
-//!   (explicit backpressure, bounded memory);
+//! - **admission control** — sharded per-worker bounded queues with work
+//!   stealing ([`queue`]); beyond the global cap the server answers
+//!   `Overloaded` instead of buffering (explicit backpressure, bounded
+//!   memory);
+//! - **dispatch fast paths** — the event loop multiplexes connections
+//!   with `poll(2)` or epoll ([`server::PollBackend`]) and executes
+//!   read-only snapshot verbs inline against a pinned MVCC snapshot when
+//!   the queue is shallow, skipping the worker hop entirely;
 //! - **per-connection sessions** — id, peer, request/byte counters,
 //!   introspectable via the `session` verb;
 //! - **timeouts & hardening** — idle/read timeouts, frame-size caps
@@ -87,4 +92,4 @@ pub use client::{Client, ClientError, ClientResult};
 pub use proto::{
     ErrorKind, FrameError, Request, HELLO_V2, MAX_FRAME_BYTES, PROTOCOL_V2, PROTOCOL_VERSION,
 };
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{PollBackend, Server, ServerConfig, ServerHandle};

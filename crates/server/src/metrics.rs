@@ -59,6 +59,21 @@ pub(crate) struct ServerMetrics {
     /// the scheduler's own histogram, sampled into the telemetry ring as
     /// the "before" baseline for admission/MVCC work.
     pub wakeup_latency: Arc<Histogram>,
+    /// `ccdb_server_inline_requests_total` — read-only requests executed
+    /// on the event-loop thread against a pinned snapshot, skipping the
+    /// queue hop entirely (queue phase = 0 in their timeline).
+    pub inline_requests: Arc<Counter>,
+    /// `ccdb_server_inline_fallback_total` — inline-eligible requests
+    /// enqueued anyway because the queue was deep or the loop's
+    /// per-iteration inline budget was spent.
+    pub inline_fallback: Arc<Counter>,
+    /// `ccdb_server_steals_total` — jobs a worker took from another
+    /// worker's shard (per-worker counts are
+    /// `ccdb_server_worker<i>_steals_total`).
+    pub steals: Arc<Counter>,
+    /// `ccdb_server_eventloop_iterations_total` — event-loop wakeups, any
+    /// backend (`ccdb top` derives the iteration rate from its delta).
+    pub eventloop_iterations: Arc<Counter>,
     /// `ccdb_server_workers_busy` — workers executing a job right now.
     pub workers_busy: Arc<Gauge>,
     /// `ccdb_server_workers_busy_ns_total` — ns spent in handlers, summed
@@ -135,6 +150,10 @@ pub(crate) fn server_metrics() -> &'static ServerMetrics {
             write_stalled_closed: r.counter("ccdb_server_write_stalled_closed_total"),
             queue_depth: r.gauge("ccdb_server_queue_depth"),
             wakeup_latency: r.histogram("ccdb_server_wakeup_latency_ns", LATENCY_BUCKETS_NS),
+            inline_requests: r.counter("ccdb_server_inline_requests_total"),
+            inline_fallback: r.counter("ccdb_server_inline_fallback_total"),
+            steals: r.counter("ccdb_server_steals_total"),
+            eventloop_iterations: r.counter("ccdb_server_eventloop_iterations_total"),
             workers_busy: r.gauge("ccdb_server_workers_busy"),
             workers_busy_ns: r.counter("ccdb_server_workers_busy_ns_total"),
             workers_idle_ns: r.counter("ccdb_server_workers_idle_ns_total"),
@@ -210,6 +229,10 @@ mod tests {
             "ccdb_server_phase_set_attr_queue_ns",
             "ccdb_server_requests_flight_total",
             "ccdb_server_wakeup_latency_ns",
+            "ccdb_server_inline_requests_total",
+            "ccdb_server_inline_fallback_total",
+            "ccdb_server_steals_total",
+            "ccdb_server_eventloop_iterations_total",
             "ccdb_server_workers_busy",
             "ccdb_server_workers_busy_ns_total",
             "ccdb_server_workers_idle_ns_total",

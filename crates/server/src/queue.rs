@@ -1,18 +1,50 @@
-//! Bounded MPMC request queue — the server's admission controller.
+//! Sharded bounded MPMC request queue — the server's admission controller.
 //!
-//! `push` never blocks: when the queue is at capacity the caller gets the
-//! job back and turns it into an explicit `Overloaded` response, so memory
-//! stays bounded under any offered load (backpressure instead of buffering).
-//! `pop` blocks workers until a job or close. After [`BoundedQueue::close`],
-//! pushes are refused but **queued jobs still drain** — `pop` returns
-//! `None` only once the queue is both closed and empty, which is what
-//! graceful shutdown relies on to finish in-flight requests.
+//! One bounded queue per worker ("shard"), with work stealing, replacing
+//! the single Mutex+Condvar `BoundedQueue` whose one lock every producer
+//! and every consumer serialized through (E16 measured its enqueue→dequeue
+//! wakeup at p50 ~59 µs). The contract the server relies on is unchanged:
+//!
+//! - `push` never blocks: the **global** admission cap (summed across
+//!   shards) is enforced atomically, and at capacity the caller gets the
+//!   job back for an explicit `Overloaded` response — backpressure
+//!   instead of buffering, memory bounded under any offered load.
+//! - `pop` blocks workers until a job or close. After
+//!   [`ShardedQueue::close`], pushes are refused but **queued jobs still
+//!   drain** — `pop` returns `None` only once the queue is both closed
+//!   and empty (across every shard), which graceful shutdown relies on to
+//!   finish in-flight requests.
+//!
+//! Wakeup discipline (this is where the old design was subtly wrong —
+//! `push` did one `notify_one` against a pool of sleepers, so a
+//! notification delivered to a consumer that was already running was
+//! simply lost and the job sat until the *next* push):
+//!
+//! - a push targets a **sleeping** worker's shard when one exists (its
+//!   `notify_one` wakes exactly that worker — targeted, no herd), else
+//!   round-robins;
+//! - a worker whose own shard is empty **steals** from the other shards
+//!   before parking;
+//! - parking is raceless by a Dekker-style handshake on two `SeqCst`
+//!   locations: the worker publishes `sleeping = true` and then re-checks
+//!   the global depth before waiting; the pusher bumps the depth *before*
+//!   reading `sleeping`. Whichever order the two interleave in, either
+//!   the worker sees the reserved depth and rescans instead of sleeping,
+//!   or the pusher sees `sleeping` and pokes that worker under its shard
+//!   mutex (`poked` is part of the wait predicate, so the poke cannot be
+//!   lost). A job can therefore never strand while any worker is parked.
+//!
+//! The queue stays its own probe: every item is stamped at `push` and the
+//! enqueue→dequeue delta is observed at `pop` into the pooled wakeup
+//! histogram plus the dequeuing shard's own, and cross-shard steals feed
+//! pooled + per-worker steal counters.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
-use ccdb_obs::Histogram;
+use ccdb_obs::{Counter, Histogram};
 
 /// Why a push was refused.
 #[derive(Debug)]
@@ -23,96 +55,241 @@ pub enum PushError<T> {
     Closed(T),
 }
 
-struct State<T> {
-    /// Items with their admission stamp; the stamp feeds the queue's own
-    /// wakeup-latency histogram at pop time.
+/// Optional measurement hooks, wired by the server into the process-global
+/// registry. Empty/`None` entries observe nothing.
+#[derive(Default)]
+pub struct QueueObservers {
+    /// Pooled enqueue→dequeue latency (`ccdb_server_wakeup_latency_ns`).
+    pub wakeup: Option<Arc<Histogram>>,
+    /// Per-shard enqueue→dequeue latency, indexed by shard.
+    pub wakeup_per_shard: Vec<Arc<Histogram>>,
+    /// Pooled cross-shard steal count.
+    pub steals: Option<Arc<Counter>>,
+    /// Steals performed *by* each worker, indexed by worker.
+    pub steals_per_worker: Vec<Arc<Counter>>,
+}
+
+struct Shard<T> {
     items: VecDeque<(Instant, T)>,
-    closed: bool,
+    /// Set under the shard mutex by a pusher that saw this worker
+    /// sleeping; part of the wait predicate so the wake cannot be lost.
+    poked: bool,
 }
 
-/// A fixed-capacity FIFO shared by connection readers (producers) and the
-/// worker pool (consumers).
-///
-/// The queue is its own probe: every item is stamped at `push` and the
-/// enqueue→dequeue delta is observed into the optional wakeup histogram
-/// at `pop`, so scheduler wait is measured at the source instead of being
-/// reconstructed from per-request phase timelines.
-pub struct BoundedQueue<T> {
-    state: Mutex<State<T>>,
+struct ShardSlot<T> {
+    state: Mutex<Shard<T>>,
     not_empty: Condvar,
-    capacity: usize,
-    wakeup: Option<Arc<Histogram>>,
+    /// Published (SeqCst) by the shard's worker around its condvar wait;
+    /// pushers use it for targeted wakeup and the poke backstop.
+    sleeping: AtomicBool,
 }
 
-impl<T> BoundedQueue<T> {
-    /// Creates a queue admitting at most `capacity` jobs at once.
-    pub fn new(capacity: usize) -> Self {
-        Self::with_wakeup_histogram(capacity, None)
-    }
-
-    /// Creates a queue that also observes each item's enqueue→dequeue
-    /// latency into `wakeup`.
-    pub fn with_wakeup_histogram(capacity: usize, wakeup: Option<Arc<Histogram>>) -> Self {
-        BoundedQueue {
-            state: Mutex::new(State {
-                items: VecDeque::with_capacity(capacity.max(1)),
-                closed: false,
-            }),
-            not_empty: Condvar::new(),
-            capacity: capacity.max(1),
-            wakeup,
-        }
-    }
-
-    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+impl<T> ShardSlot<T> {
+    fn lock(&self) -> MutexGuard<'_, Shard<T>> {
         // Recover from poisoning: a panicking worker must not wedge the
         // queue for every other connection.
         self.state.lock().unwrap_or_else(|p| p.into_inner())
     }
+}
+
+/// Per-worker bounded FIFOs under one global admission cap, shared by
+/// connection readers (producers) and the worker pool (consumers).
+pub struct ShardedQueue<T> {
+    shards: Vec<ShardSlot<T>>,
+    capacity: usize,
+    /// Admitted-but-not-yet-dequeued items across all shards. Reserved
+    /// (SeqCst) *before* the item lands in a shard — the pusher half of
+    /// the sleep/wake handshake — and released at dequeue.
+    depth: AtomicUsize,
+    closed: AtomicBool,
+    /// Round-robin cursor for pushes when no worker is sleeping.
+    cursor: AtomicUsize,
+    obs: QueueObservers,
+}
+
+impl<T> ShardedQueue<T> {
+    /// A queue of `shards` per-worker FIFOs admitting at most `capacity`
+    /// jobs at once in total.
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        Self::with_observers(shards, capacity, QueueObservers::default())
+    }
+
+    /// Like [`new`](Self::new), with measurement hooks.
+    pub fn with_observers(shards: usize, capacity: usize, obs: QueueObservers) -> Self {
+        let shards = shards.max(1);
+        ShardedQueue {
+            shards: (0..shards)
+                .map(|_| ShardSlot {
+                    state: Mutex::new(Shard {
+                        items: VecDeque::new(),
+                        poked: false,
+                    }),
+                    not_empty: Condvar::new(),
+                    sleeping: AtomicBool::new(false),
+                })
+                .collect(),
+            capacity: capacity.max(1),
+            depth: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
+            cursor: AtomicUsize::new(0),
+            obs,
+        }
+    }
+
+    /// Number of shards (== workers the queue was sized for).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
 
     /// Admits a job, or refuses immediately when full/closed.
     pub fn push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut s = self.lock();
-        if s.closed {
+        if self.closed.load(Ordering::SeqCst) {
             return Err(PushError::Closed(item));
         }
-        if s.items.len() >= self.capacity {
+        // Reserve a depth slot first (the global admission cap), then
+        // re-check closed: a push that reserved after close released its
+        // slot again, so no job can slip in once workers have drained to
+        // zero and exited.
+        if self.depth.fetch_add(1, Ordering::SeqCst) >= self.capacity {
+            self.depth.fetch_sub(1, Ordering::SeqCst);
             return Err(PushError::Full(item));
         }
-        s.items.push_back((Instant::now(), item));
-        drop(s);
-        self.not_empty.notify_one();
+        if self.closed.load(Ordering::SeqCst) {
+            self.depth.fetch_sub(1, Ordering::SeqCst);
+            return Err(PushError::Closed(item));
+        }
+        // Target a sleeping worker's shard when one exists (it will run
+        // the job the moment its notify lands), else round-robin.
+        let n = self.shards.len();
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed) % n;
+        let mut target = start;
+        for k in 0..n {
+            let i = (start + k) % n;
+            if self.shards[i].sleeping.load(Ordering::SeqCst) {
+                target = i;
+                break;
+            }
+        }
+        {
+            let mut s = self.shards[target].lock();
+            s.items.push_back((Instant::now(), item));
+        }
+        self.shards[target].not_empty.notify_one();
+        // Poke backstop: the depth reservation above happens-before this
+        // read, so any worker that decided to sleep against depth == 0 is
+        // visible here — wake one so it can steal the job instead of
+        // waiting out the target worker's current request.
+        if !self.shards[target].sleeping.load(Ordering::SeqCst) {
+            for k in 1..n {
+                let i = (target + k) % n;
+                if self.shards[i].sleeping.load(Ordering::SeqCst) {
+                    let mut s = self.shards[i].lock();
+                    s.poked = true;
+                    drop(s);
+                    self.shards[i].not_empty.notify_one();
+                    break;
+                }
+            }
+        }
         Ok(())
     }
 
-    /// Blocks for the next job; `None` once the queue is closed **and**
-    /// fully drained.
-    pub fn pop(&self) -> Option<T> {
-        let mut s = self.lock();
+    /// Dequeues the front of `shard` if any, releasing its depth slot and
+    /// observing its wakeup latency.
+    fn try_take(&self, shard: usize) -> Option<T> {
+        let (enqueued, item) = {
+            let mut s = self.shards[shard].lock();
+            s.items.pop_front()?
+        };
+        self.depth.fetch_sub(1, Ordering::SeqCst);
+        let ns = enqueued.elapsed().as_nanos() as u64;
+        if let Some(h) = &self.obs.wakeup {
+            h.observe(ns);
+        }
+        if let Some(h) = self.obs.wakeup_per_shard.get(shard) {
+            h.observe(ns);
+        }
+        Some(item)
+    }
+
+    /// Blocks `worker` for the next job — its own shard first, then a
+    /// steal sweep over the others; `None` once the queue is closed
+    /// **and** fully drained.
+    pub fn pop(&self, worker: usize) -> Option<T> {
+        let n = self.shards.len();
+        let own = worker % n;
         loop {
-            if let Some((enqueued, item)) = s.items.pop_front() {
-                drop(s);
-                if let Some(h) = &self.wakeup {
-                    h.observe(enqueued.elapsed().as_nanos() as u64);
-                }
+            if let Some(item) = self.try_take(own) {
                 return Some(item);
             }
-            if s.closed {
-                return None;
+            for k in 1..n {
+                let j = (own + k) % n;
+                if let Some(item) = self.try_take(j) {
+                    if let Some(c) = &self.obs.steals {
+                        c.inc();
+                    }
+                    if let Some(c) = self.obs.steals_per_worker.get(own) {
+                        c.inc();
+                    }
+                    return Some(item);
+                }
             }
-            s = self.not_empty.wait(s).unwrap_or_else(|p| p.into_inner());
+            // Nothing anywhere: park on the own shard's condvar.
+            let slot = &self.shards[own];
+            let mut spin = false;
+            let mut s = slot.lock();
+            loop {
+                if !s.items.is_empty() {
+                    break; // outer loop takes it (and observes latency)
+                }
+                if s.poked {
+                    s.poked = false;
+                    break; // a pusher saw us sleeping; rescan and steal
+                }
+                if self.closed.load(Ordering::SeqCst) && self.depth.load(Ordering::SeqCst) == 0 {
+                    return None;
+                }
+                slot.sleeping.store(true, Ordering::SeqCst);
+                // Dekker handshake with push: depth is reserved before the
+                // pusher reads `sleeping`, so either we see the reserved
+                // slot here (and rescan — the item is in, or nanoseconds
+                // from, a shard), or the pusher sees `sleeping` and pokes
+                // us under this mutex. Sleeping through a push is
+                // impossible either way.
+                if self.depth.load(Ordering::SeqCst) > 0 {
+                    slot.sleeping.store(false, Ordering::SeqCst);
+                    spin = true;
+                    break;
+                }
+                s = slot.not_empty.wait(s).unwrap_or_else(|p| p.into_inner());
+                slot.sleeping.store(false, Ordering::SeqCst);
+            }
+            drop(s);
+            if spin {
+                // The reserved item may still be mid-push; yield rather
+                // than hammer the shard locks.
+                std::thread::yield_now();
+            }
         }
     }
 
-    /// Stops admission and wakes every blocked consumer.
+    /// Stops admission and wakes every parked consumer. Queued jobs still
+    /// drain (see [`pop`](Self::pop)).
     pub fn close(&self) {
-        self.lock().closed = true;
-        self.not_empty.notify_all();
+        self.closed.store(true, Ordering::SeqCst);
+        for slot in &self.shards {
+            let mut s = slot.lock();
+            // Force waiters through a full rescan so they observe closed
+            // (and steal any remaining drain work) instead of re-parking.
+            s.poked = true;
+            drop(s);
+            slot.not_empty.notify_all();
+        }
     }
 
-    /// Jobs currently queued (for the depth gauge).
+    /// Jobs currently admitted across all shards (for the depth gauge).
     pub fn len(&self) -> usize {
-        self.lock().items.len()
+        self.depth.load(Ordering::SeqCst)
     }
 
     /// Whether the queue is empty.
@@ -126,10 +303,11 @@ mod tests {
     use super::*;
     use std::sync::Arc;
     use std::thread;
+    use std::time::Duration;
 
     #[test]
     fn refuses_when_full_and_hands_item_back() {
-        let q = BoundedQueue::new(2);
+        let q = ShardedQueue::new(2, 2);
         q.push(1).unwrap();
         q.push(2).unwrap();
         match q.push(3) {
@@ -141,51 +319,129 @@ mod tests {
 
     #[test]
     fn drains_after_close_then_reports_none() {
-        let q = BoundedQueue::new(4);
+        let q = ShardedQueue::new(2, 4);
         q.push("a").unwrap();
         q.push("b").unwrap();
         q.close();
         assert!(matches!(q.push("c"), Err(PushError::Closed("c"))));
-        assert_eq!(q.pop(), Some("a"));
-        assert_eq!(q.pop(), Some("b"));
-        assert_eq!(q.pop(), None);
+        // One worker drains both shards (steal-on-empty), then sees
+        // closed+empty.
+        let mut drained = vec![q.pop(0).unwrap(), q.pop(0).unwrap()];
+        drained.sort();
+        assert_eq!(drained, vec!["a", "b"]);
+        assert_eq!(q.pop(0), None);
+        assert_eq!(q.pop(1), None);
     }
 
     #[test]
-    fn wakeup_histogram_observes_enqueue_to_dequeue() {
-        let h = Arc::new(Histogram::latency_ns());
-        let q = BoundedQueue::with_wakeup_histogram(4, Some(Arc::clone(&h)));
+    fn wakeup_histograms_observe_enqueue_to_dequeue_pooled_and_per_shard() {
+        let pooled = Arc::new(Histogram::latency_ns());
+        let per: Vec<Arc<Histogram>> = (0..2).map(|_| Arc::new(Histogram::latency_ns())).collect();
+        let q = ShardedQueue::with_observers(
+            2,
+            4,
+            QueueObservers {
+                wakeup: Some(Arc::clone(&pooled)),
+                wakeup_per_shard: per.clone(),
+                ..QueueObservers::default()
+            },
+        );
         q.push(1).unwrap();
-        thread::sleep(std::time::Duration::from_millis(5));
+        thread::sleep(Duration::from_millis(5));
         q.push(2).unwrap();
-        assert_eq!(q.pop(), Some(1));
-        assert_eq!(q.pop(), Some(2));
-        let s = h.snapshot();
+        assert!(q.pop(0).is_some());
+        assert!(q.pop(0).is_some());
+        let s = pooled.snapshot();
         assert_eq!(s.count, 2);
         // The first item waited ≥ 5 ms before its dequeue.
         assert!(s.sum >= 5_000_000, "sum {}", s.sum);
+        let per_total: u64 = per.iter().map(|h| h.snapshot().count).sum();
+        assert_eq!(per_total, 2, "per-shard histograms must cover every pop");
     }
 
     #[test]
     fn close_wakes_blocked_consumers() {
-        let q = Arc::new(BoundedQueue::<u32>::new(1));
-        let q2 = Arc::clone(&q);
-        let h = thread::spawn(move || q2.pop());
-        thread::sleep(std::time::Duration::from_millis(20));
+        let q = Arc::new(ShardedQueue::<u32>::new(3, 4));
+        let handles: Vec<_> = (0..3)
+            .map(|w| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.pop(w))
+            })
+            .collect();
+        thread::sleep(Duration::from_millis(20));
         q.close();
-        assert_eq!(h.join().unwrap(), None);
+        for h in handles {
+            assert_eq!(h.join().unwrap(), None);
+        }
+    }
+
+    /// Regression for the old `BoundedQueue` pairing bug: `push` did one
+    /// `notify_one` against a pool of sleepers, so a wakeup delivered to a
+    /// consumer that was already running was lost and the job sat until
+    /// the *next* push. Here the only popping worker owns shard 1; pushes
+    /// spaced so the worker parks between them must each wake it (targeted
+    /// notify + poke backstop), and items round-robined onto shard 0
+    /// before the worker exists (its "worker" never pops — the
+    /// consumed-then-dropped / stuck-worker shape) must drain via steals.
+    #[test]
+    fn jobs_never_strand_while_an_idle_worker_exists() {
+        let steals = Arc::new(Counter::new());
+        let q = Arc::new(ShardedQueue::with_observers(
+            2,
+            64,
+            QueueObservers {
+                steals: Some(Arc::clone(&steals)),
+                ..QueueObservers::default()
+            },
+        ));
+        // No consumer yet ⇒ no sleeper to target ⇒ round-robin lands half
+        // of these on shard 0, which only stealing can ever drain.
+        for v in 0..10 {
+            q.push(v).unwrap();
+        }
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut got = 0u64;
+                while q.pop(1).is_some() {
+                    got += 1;
+                }
+                got
+            })
+        };
+        for v in 10..50 {
+            q.push(v).unwrap();
+            // Space the pushes out so the consumer parks between them —
+            // the exact shape that lost wakeups under the old design.
+            if v % 10 == 0 {
+                thread::sleep(Duration::from_millis(2));
+            }
+        }
+        // Every item must drain without close() bailing anyone out.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !q.is_empty() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "items stranded: {} still queued",
+                q.len()
+            );
+            thread::sleep(Duration::from_millis(1));
+        }
+        q.close();
+        assert_eq!(consumer.join().unwrap(), 50);
+        assert!(steals.get() > 0, "shard-0 items can only drain via steals");
     }
 
     #[test]
     fn concurrent_producers_and_consumers_preserve_every_item() {
-        let q = Arc::new(BoundedQueue::new(1024));
+        let q = Arc::new(ShardedQueue::new(4, 1024));
         let total: u64 = thread::scope(|s| {
             let consumers: Vec<_> = (0..4)
-                .map(|_| {
+                .map(|w| {
                     let q = Arc::clone(&q);
                     s.spawn(move || {
                         let mut sum = 0u64;
-                        while let Some(v) = q.pop() {
+                        while let Some(v) = q.pop(w) {
                             sum += v;
                         }
                         sum
@@ -200,7 +456,7 @@ mod tests {
                     }
                 });
             }
-            thread::sleep(std::time::Duration::from_millis(50));
+            thread::sleep(Duration::from_millis(50));
             q.close();
             consumers.into_iter().map(|h| h.join().unwrap()).sum()
         });

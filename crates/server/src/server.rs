@@ -1,12 +1,14 @@
-//! The TCP server: a poll-based event loop + worker pool.
+//! The TCP server: an event loop (poll(2) or epoll) + worker pool, with
+//! an inline fast path for read-only snapshot verbs.
 //!
 //! ```text
-//!            accept / readiness               bounded queue
+//!            accept / readiness              sharded queues (1/worker)
 //!  clients ──────────────▶ event loop (1 thread) ─────▶ workers (N)
-//!                │  poll(2) over listener + every conn   │
+//!                │  poll(2)/epoll over listener + conns  │ steal-on-empty
 //!                │  framing, negotiation, admission      ▼
-//!                ▼                              SharedStore (RwLock:
-//!          per-conn session state                readers ∥, writers ×)
+//!                │  + inline reads on a pinned   SharedStore (MVCC:
+//!                ▼    MVCC snapshot               readers pin snapshots,
+//!          per-conn session state                 writers publish)
 //!          + outbound buffer (workers and
 //!            the loop append frames; flushed
 //!            nonblockingly, drained on POLLOUT)
@@ -28,10 +30,18 @@
 //!   length prefix and the connection stays JSON. A server pinned to v1
 //!   (`max_proto = 1`) refuses the hello with a clean v1 `protocol`
 //!   error.
-//! - **Admission control**: parsed requests go into a [`BoundedQueue`];
-//!   at capacity the request is answered `Overloaded` immediately —
-//!   offered load beyond capacity costs one response, never unbounded
-//!   memory.
+//! - **Admission control**: parsed requests go into a [`ShardedQueue`]
+//!   (one bounded FIFO per worker, global cap, work stealing); at
+//!   capacity the request is answered `Overloaded` immediately — offered
+//!   load beyond capacity costs one response, never unbounded memory.
+//! - **Inline fast path**: read-only snapshot verbs (`ping`, `attr`,
+//!   `select`, `effective`, `check_all`, `stats`, `metrics`,
+//!   `telemetry`, `flight`) execute directly on the event-loop thread
+//!   against a pinned MVCC snapshot when the queue is shallow — no
+//!   enqueue, no worker wakeup. Write verbs, txn verbs, batches, and
+//!   in-transaction sessions always go to workers, and a per-iteration
+//!   time budget falls back to the queue under load so the loop cannot
+//!   starve its readiness duties.
 //! - **Idle timeouts**: the event loop sweeps connection deadlines with
 //!   its poll timeout; a connection that sends nothing for the window is
 //!   closed (counted in `ccdb_server_idle_closed_total`). `WouldBlock`
@@ -82,7 +92,7 @@ use crate::proto::{
     encode_response_v2, err_response, ok_response, ErrorKind, Request, HELLO_V2, MAX_FRAME_BYTES,
     PROTOCOL_V2,
 };
-use crate::queue::{BoundedQueue, PushError};
+use crate::queue::{PushError, QueueObservers, ShardedQueue};
 
 /// Server tuning knobs. `Default` is sized for tests and small
 /// deployments; the CLI exposes the production-relevant ones as flags.
@@ -124,6 +134,83 @@ pub struct ServerConfig {
     /// even sees queued bytes — tests (and memory-tight deployments)
     /// clamp this to make backpressure visible quickly.
     pub send_buffer_bytes: Option<usize>,
+    /// Event-loop readiness backend. `Auto` (the default) honors the
+    /// `CCDB_POLL_BACKEND` env var (`poll`/`epoll`) and otherwise picks
+    /// epoll where the platform has it, `poll(2)` elsewhere. Explicitly
+    /// requesting `Epoll` on a platform without it fails `Server::start`.
+    pub poll_backend: PollBackend,
+    /// Whether the event loop may execute read-only snapshot verbs
+    /// inline (see module docs). On by default; the dispatch experiment
+    /// turns it off to measure the queue hop it removes.
+    pub inline_reads: bool,
+}
+
+/// Which readiness primitive the event loop multiplexes connections with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PollBackend {
+    /// `CCDB_POLL_BACKEND` env override if set, else epoll when
+    /// available, else `poll(2)`.
+    #[default]
+    Auto,
+    /// Portable `poll(2)`: the interest set is rebuilt and scanned every
+    /// iteration — O(registered fds) per wakeup.
+    Poll,
+    /// Linux `epoll(7)`: the kernel holds the interest set and reports
+    /// only ready fds — O(ready fds) per wakeup.
+    Epoll,
+}
+
+impl PollBackend {
+    /// Parses a CLI/env spelling (`auto`/`poll`/`epoll`).
+    pub fn parse(s: &str) -> Option<PollBackend> {
+        match s {
+            "auto" => Some(PollBackend::Auto),
+            "poll" => Some(PollBackend::Poll),
+            "epoll" => Some(PollBackend::Epoll),
+            _ => None,
+        }
+    }
+}
+
+/// The backend actually in use after auto-detection.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    Poll,
+    Epoll,
+}
+
+impl Backend {
+    fn name(self) -> &'static str {
+        match self {
+            Backend::Poll => "poll",
+            Backend::Epoll => "epoll",
+        }
+    }
+}
+
+/// Resolves the configured backend to a concrete one, or refuses an
+/// explicit `Epoll` request the platform cannot honor.
+fn resolve_backend(requested: PollBackend) -> io::Result<Backend> {
+    let requested = match requested {
+        PollBackend::Auto => match std::env::var("CCDB_POLL_BACKEND").ok().as_deref() {
+            Some(s) => PollBackend::parse(s).unwrap_or(PollBackend::Auto),
+            None => PollBackend::Auto,
+        },
+        explicit => explicit,
+    };
+    match requested {
+        PollBackend::Poll => Ok(Backend::Poll),
+        PollBackend::Epoll if polling::epoll_supported() => Ok(Backend::Epoll),
+        PollBackend::Epoll => Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "epoll backend requested but not available on this platform",
+        )),
+        PollBackend::Auto => Ok(if polling::epoll_supported() {
+            Backend::Epoll
+        } else {
+            Backend::Poll
+        }),
+    }
 }
 
 impl Default for ServerConfig {
@@ -141,6 +228,8 @@ impl Default for ServerConfig {
             sample_retention: timeseries::DEFAULT_RETENTION,
             txn_lock_timeout: Duration::from_secs(5),
             send_buffer_bytes: None,
+            poll_backend: PollBackend::Auto,
+            inline_reads: true,
         }
     }
 }
@@ -456,7 +545,12 @@ struct Inner {
     store: SharedStore,
     catalog: Catalog,
     ctx: ServerContext,
-    queue: BoundedQueue<Job>,
+    queue: ShardedQueue<Job>,
+    /// Resolved readiness backend the event loop runs on.
+    backend: Backend,
+    /// Nanoseconds of inline handler execution this event-loop iteration
+    /// (reset by the loop each wakeup); the fast path's starvation guard.
+    inline_spent_ns: AtomicU64,
     draining: AtomicBool,
     drain_cv: (Mutex<bool>, Condvar),
     sessions: Mutex<HashMap<u64, Arc<Session>>>,
@@ -517,23 +611,46 @@ impl Server {
     /// Binds, spawns the event loop and worker pool, and returns
     /// immediately.
     pub fn start(cfg: ServerConfig, store: SharedStore) -> io::Result<Server> {
+        let backend = resolve_backend(cfg.poll_backend)?;
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let catalog = store.read(|st| st.catalog().clone());
+        let workers_n = cfg.workers.max(1);
         let ctx = ServerContext {
             started: Instant::now(),
-            workers: cfg.workers.max(1),
+            workers: workers_n,
             queue_depth: cfg.queue_depth,
             rescache_shards: store.read(|st| st.resolution_cache_shards()),
             max_proto: cfg.max_proto,
+            backend: backend.name(),
+            inline_reads: cfg.inline_reads,
         };
         let txns = TxnRegistry::with_timeout(cfg.txn_lock_timeout);
+        let registry = ccdb_obs::global();
+        let m = server_metrics();
         let inner = Arc::new(Inner {
-            queue: BoundedQueue::with_wakeup_histogram(
+            queue: ShardedQueue::with_observers(
+                workers_n,
                 cfg.queue_depth,
-                Some(Arc::clone(&server_metrics().wakeup_latency)),
+                QueueObservers {
+                    wakeup: Some(Arc::clone(&m.wakeup_latency)),
+                    wakeup_per_shard: (0..workers_n)
+                        .map(|i| {
+                            registry.histogram(
+                                &format!("ccdb_server_shard{i}_wakeup_latency_ns"),
+                                ccdb_obs::metrics::LATENCY_BUCKETS_NS,
+                            )
+                        })
+                        .collect(),
+                    steals: Some(Arc::clone(&m.steals)),
+                    steals_per_worker: (0..workers_n)
+                        .map(|i| registry.counter(&format!("ccdb_server_worker{i}_steals_total")))
+                        .collect(),
+                },
             ),
+            backend,
+            inline_spent_ns: AtomicU64::new(0),
             cfg,
             store,
             catalog,
@@ -579,6 +696,11 @@ impl Server {
     /// The bound address (useful with an ephemeral `:0` bind).
     pub fn local_addr(&self) -> SocketAddr {
         self.inner.local_addr
+    }
+
+    /// The readiness backend resolved at startup (`"poll"` or `"epoll"`).
+    pub fn backend(&self) -> &'static str {
+        self.inner.backend.name()
     }
 
     /// A cloneable shutdown trigger.
@@ -726,6 +848,9 @@ struct Conn {
     /// final error response, typically) is flushed or the stall deadline
     /// passes.
     closing: bool,
+    /// Event mask currently registered with the kernel (epoll backend
+    /// only; the poll backend rebuilds its interest set every iteration).
+    interest: i16,
 }
 
 /// Result of servicing one connection's readiness.
@@ -746,7 +871,24 @@ struct EventLoop {
     wake_rx: TcpStream,
     /// Write end, cloned into every session.
     wake_tx: Arc<TcpStream>,
+    /// Kernel-held interest set (epoll backend only).
+    epoll: Option<polling::Epoll>,
 }
+
+/// Epoll token for the listener socket.
+const TOKEN_LISTENER: u64 = 0;
+/// Epoll token for the wake channel's read end.
+const TOKEN_WAKE: u64 = 1;
+/// Connection tokens are `session id + TOKEN_CONN_BASE`.
+const TOKEN_CONN_BASE: u64 = 2;
+
+/// How often the epoll loop runs its idle/stall deadline sweep (and the
+/// upper bound on its wait timeout). The poll loop sweeps every
+/// iteration — it already walks all connections to rebuild its interest
+/// set — but under epoll an O(connections) sweep per request would give
+/// back the O(ready) win, so deadlines are checked on this cadence
+/// instead (timeouts are seconds-scale; 100 ms of slack is noise).
+const EPOLL_SWEEP_INTERVAL: Duration = Duration::from_millis(100);
 
 impl EventLoop {
     fn new(
@@ -762,10 +904,160 @@ impl EventLoop {
             scratch: Box::new([0u8; 64 * 1024]),
             wake_rx,
             wake_tx,
+            epoll: None,
         }
     }
 
     fn run(mut self) {
+        match self.inner.backend {
+            Backend::Poll => self.run_poll(),
+            Backend::Epoll => self.run_epoll(),
+        }
+    }
+
+    /// The epoll backend: the kernel holds the interest set, so a wakeup
+    /// costs O(ready fds) instead of rebuilding and scanning every
+    /// registered connection. Deadline sweeps (the only per-connection
+    /// work left) run on [`EPOLL_SWEEP_INTERVAL`].
+    fn run_epoll(&mut self) {
+        let m = server_metrics();
+        let ep = match polling::Epoll::new() {
+            Ok(ep) => ep,
+            // resolve_backend said epoll exists; if creation still fails
+            // (fd exhaustion, say), serve on poll(2) rather than die.
+            Err(_) => return self.run_poll(),
+        };
+        if ep
+            .add(self.listener.as_raw_fd(), polling::POLLIN, TOKEN_LISTENER)
+            .is_err()
+            || ep
+                .add(self.wake_rx.as_raw_fd(), polling::POLLIN, TOKEN_WAKE)
+                .is_err()
+        {
+            return self.run_poll();
+        }
+        self.epoll = Some(ep);
+        let mut events: Vec<polling::Event> = Vec::new();
+        let mut last_sweep = Instant::now();
+        loop {
+            if self.inner.draining() {
+                // Leave sessions registered: workers may still be
+                // flushing responses; drain_and_join tears them down.
+                return;
+            }
+            m.eventloop_iterations.inc();
+            self.inner.inline_spent_ns.store(0, Ordering::Relaxed);
+            let timeout_ms = EPOLL_SWEEP_INTERVAL
+                .saturating_sub(last_sweep.elapsed())
+                .as_millis() as i32
+                + 1;
+            let wait = {
+                let ep = self.epoll.as_ref().expect("epoll installed above");
+                ep.wait(&mut events, timeout_ms)
+            };
+            if wait.is_err() {
+                thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            if self.inner.draining() {
+                return;
+            }
+            let mut wake_fired = false;
+            for ev in &events {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKE => wake_fired = true,
+                    token => {
+                        let id = token - TOKEN_CONN_BASE;
+                        if ev.ready(polling::POLLIN) || ev.failed() {
+                            let after = match self.conns.get_mut(&id) {
+                                Some(conn) if !conn.closing => {
+                                    service_conn(&self.inner, conn, &mut self.scratch[..])
+                                }
+                                _ => continue,
+                            };
+                            match after {
+                                ConnAfter::Keep => {}
+                                ConnAfter::Close => {
+                                    self.close_conn(id);
+                                    continue;
+                                }
+                                ConnAfter::CloseAfterFlush => {
+                                    self.begin_close(id);
+                                    continue;
+                                }
+                            }
+                        }
+                        self.flush_and_sync(id);
+                    }
+                }
+            }
+            if wake_fired {
+                // A session's outbound buffer went empty→non-empty (a
+                // worker response didn't fully flush): find the owing
+                // sessions and register POLLOUT for them. Wakes only
+                // happen on that transition, so this scan is off the
+                // per-request path.
+                self.drain_wake();
+                let pending_ids: Vec<u64> = self
+                    .conns
+                    .iter()
+                    .filter(|(_, c)| c.closing || c.session.has_pending.load(Ordering::Acquire))
+                    .map(|(id, _)| *id)
+                    .collect();
+                for id in pending_ids {
+                    self.flush_and_sync(id);
+                }
+            }
+            if last_sweep.elapsed() >= EPOLL_SWEEP_INTERVAL {
+                last_sweep = Instant::now();
+                self.sweep_deadlines();
+            }
+        }
+    }
+
+    /// Flushes a connection that may owe bytes, closes it if its write
+    /// half died (or a lame-duck drain finished), and re-syncs its kernel
+    /// interest mask. Epoll backend only.
+    fn flush_and_sync(&mut self, id: u64) {
+        let Some(conn) = self.conns.get(&id) else {
+            return;
+        };
+        if conn.closing || conn.session.has_pending.load(Ordering::Acquire) {
+            let alive = conn.session.flush_pending();
+            let drained = !conn.session.has_pending.load(Ordering::Acquire);
+            if !alive || (conn.closing && drained) {
+                self.close_conn(id);
+                return;
+            }
+        }
+        self.sync_interest(id);
+    }
+
+    /// Reconciles a connection's kernel event mask with what it needs now
+    /// (`POLLIN` unless lame-duck, `POLLOUT` while output is buffered).
+    /// One `epoll_ctl` only when the mask actually changed.
+    fn sync_interest(&mut self, id: u64) {
+        let Some(ep) = &self.epoll else { return };
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        let mut want = if conn.closing { 0 } else { polling::POLLIN };
+        if conn.session.has_pending.load(Ordering::Acquire) {
+            want |= polling::POLLOUT;
+        }
+        if want != conn.interest
+            && ep
+                .modify(conn.stream.as_raw_fd(), want, TOKEN_CONN_BASE + id)
+                .is_ok()
+        {
+            conn.interest = want;
+        }
+    }
+
+    /// The portable poll(2) backend: rebuilds the interest set and scans
+    /// every registered connection each iteration.
+    fn run_poll(&mut self) {
         let m = server_metrics();
         let mut poll_set: Vec<polling::PollFd> = Vec::new();
         let mut ready_ids: Vec<u64> = Vec::new();
@@ -775,6 +1067,8 @@ impl EventLoop {
                 // flushing responses; drain_and_join tears them down.
                 return;
             }
+            m.eventloop_iterations.inc();
+            self.inner.inline_spent_ns.store(0, Ordering::Relaxed);
             poll_set.clear();
             poll_set.push(polling::PollFd::new(
                 self.listener.as_raw_fd(),
@@ -855,35 +1149,42 @@ impl EventLoop {
                     self.close_conn(id);
                 }
             }
-            // Sweeps, driven by the clock alone (WouldBlock never gets a
-            // connection here): silence beyond the idle window, or
-            // buffered output the peer has not drained within the stall
-            // window (it stopped reading its socket).
-            let idle = self.inner.cfg.idle_timeout;
-            let stall = self.inner.cfg.write_stall_timeout;
-            let dead_ids: Vec<(u64, bool)> = self
-                .conns
-                .iter()
-                .filter_map(|(id, c)| {
-                    let stalled = c.session.has_pending.load(Ordering::Acquire)
-                        && matches!(c.session.stalled_for(), Some(d) if d >= stall);
-                    if stalled {
-                        Some((*id, true))
-                    } else if c.last_activity.elapsed() >= idle {
-                        Some((*id, false))
-                    } else {
-                        None
-                    }
-                })
-                .collect();
-            for (id, stalled) in dead_ids {
+            // Deadline sweep runs every iteration: this loop already
+            // walks all connections to rebuild the interest set.
+            self.sweep_deadlines();
+        }
+    }
+
+    /// Sweeps connection deadlines, driven by the clock alone
+    /// (WouldBlock never gets a connection here): silence beyond the
+    /// idle window, or buffered output the peer has not drained within
+    /// the stall window (it stopped reading its socket).
+    fn sweep_deadlines(&mut self) {
+        let m = server_metrics();
+        let idle = self.inner.cfg.idle_timeout;
+        let stall = self.inner.cfg.write_stall_timeout;
+        let dead_ids: Vec<(u64, bool)> = self
+            .conns
+            .iter()
+            .filter_map(|(id, c)| {
+                let stalled = c.session.has_pending.load(Ordering::Acquire)
+                    && matches!(c.session.stalled_for(), Some(d) if d >= stall);
                 if stalled {
-                    m.write_stalled_closed.inc();
+                    Some((*id, true))
+                } else if c.last_activity.elapsed() >= idle {
+                    Some((*id, false))
                 } else {
-                    m.idle_closed.inc();
+                    None
                 }
-                self.close_conn(id);
+            })
+            .collect();
+        for (id, stalled) in dead_ids {
+            if stalled {
+                m.write_stalled_closed.inc();
+            } else {
+                m.idle_closed.inc();
             }
+            self.close_conn(id);
         }
     }
 
@@ -996,6 +1297,7 @@ impl EventLoop {
         m.sessions_active.add(1);
         // Counted as v1 until a hello upgrades it (v1 needs no handshake).
         m.sessions_v1.add(1);
+        let fd = stream.as_raw_fd();
         self.conns.insert(
             id,
             Conn {
@@ -1006,14 +1308,28 @@ impl EventLoop {
                 frame_start: None,
                 last_activity: Instant::now(),
                 closing: false,
+                interest: polling::POLLIN,
             },
         );
+        if let Some(ep) = &self.epoll {
+            if ep.add(fd, polling::POLLIN, TOKEN_CONN_BASE + id).is_err() {
+                // Unregisterable connection is unservable; drop it.
+                self.close_conn(id);
+            }
+        }
     }
 
     fn close_conn(&mut self, id: u64) {
         let Some(conn) = self.conns.remove(&id) else {
             return;
         };
+        if let Some(ep) = &self.epoll {
+            // Explicit deregistration is required: the session's OutBuf
+            // holds a dup of this socket, and epoll tracks the open file
+            // *description* — dropping `conn.stream` alone would leave
+            // the registration (and its token) alive.
+            let _ = ep.del(conn.stream.as_raw_fd());
+        }
         // A transaction must not outlive its connection: its inherited
         // locks would block every other session until the lock timeout.
         self.inner.txns.abort_if_any(id);
@@ -1244,6 +1560,38 @@ fn handle_frame(
         ));
         return ConnAfter::Keep;
     }
+    // Inline fast path: a read-only snapshot verb from a session that is
+    // not in a transaction can run right here against a pinned MVCC
+    // snapshot — no enqueue, no worker wakeup, response through the same
+    // never-blocking OutBuf. Gated on a shallow queue (when workers are
+    // behind, queue-jumping reads would starve admitted writes of CPU)
+    // and a per-iteration time budget (the loop's readiness duties come
+    // first).
+    if inner.cfg.inline_reads && is_inline_verb(&request) && !inner.txns.in_txn(session.id) {
+        if inner.queue.len() <= inner.ctx.workers
+            && inner.inline_spent_ns.load(Ordering::Relaxed) < INLINE_BUDGET_NS
+        {
+            let started = Instant::now();
+            run_request(
+                inner,
+                Job {
+                    request,
+                    session: Arc::clone(session),
+                    admitted: started,
+                    first_byte,
+                    recv_ns,
+                    parse_ns,
+                },
+                0,
+            );
+            m.inline_requests.inc();
+            inner
+                .inline_spent_ns
+                .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            return ConnAfter::Keep;
+        }
+        m.inline_fallback.inc();
+    }
     let id = request.id;
     let job = Job {
         request,
@@ -1272,6 +1620,36 @@ fn handle_frame(
         }
     }
     ConnAfter::Keep
+}
+
+/// Verbs the event loop may execute inline: read-only against a pinned
+/// MVCC snapshot (or touching no store at all), and never blocking.
+/// Write verbs, txn verbs, `batch` (it may carry writes), `shutdown`,
+/// and debug verbs are deliberately absent — they always take the queue.
+const INLINE_VERBS: &[&str] = &[
+    "ping",
+    "attr",
+    "select",
+    "effective",
+    "check_all",
+    "stats",
+    "metrics",
+    "telemetry",
+    "flight",
+];
+
+/// Inline-execution budget per event-loop iteration: once inline
+/// handlers have consumed this much of an iteration, further eligible
+/// requests are enqueued instead, so a read burst cannot starve the
+/// loop's accept/read/flush duties.
+const INLINE_BUDGET_NS: u64 = 1_000_000;
+
+/// Whether this request may run on the event-loop thread. A `ping`
+/// carrying `delay_ms` is an artificial sleep (drain/overload tests) and
+/// must park a worker, never the loop.
+fn is_inline_verb(request: &Request) -> bool {
+    INLINE_VERBS.contains(&request.verb.as_str())
+        && !(request.verb == "ping" && request.params.get("delay_ms").is_some())
 }
 
 /// Handles a `watch` request: registers (or replaces, or with
@@ -1481,138 +1859,147 @@ fn worker_loop(inner: &Arc<Inner>, worker_idx: usize) {
     let w_busy = r.counter(&format!("ccdb_server_worker{worker_idx}_busy_ns_total"));
     let w_idle = r.counter(&format!("ccdb_server_worker{worker_idx}_idle_ns_total"));
     let mut idle_since = Instant::now();
-    while let Some(job) = inner.queue.pop() {
+    while let Some(job) = inner.queue.pop(worker_idx) {
         let idle_ns = idle_since.elapsed().as_nanos() as u64;
         w_idle.add(idle_ns);
         m.workers_idle_ns.add(idle_ns);
         m.workers_busy.inc();
         let busy_start = Instant::now();
         m.queue_depth.set(inner.queue.len() as i64);
-        let popped = Instant::now();
-        let Job {
-            request,
-            session,
-            admitted,
-            first_byte,
-            recv_ns,
-            parse_ns,
-        } = job;
-        let queue_ns = popped.duration_since(admitted).as_nanos() as u64;
-
-        // A client-stamped trace id continues the client's trace tree into
-        // the server span, bypassing the sampler; otherwise the span is
-        // subject to normal sampling.
-        let mut span = match request.trace {
-            Some(t) => ccdb_obs::trace::span_in_trace("server.request", TraceId(t)),
-            None => ccdb_obs::trace::span("server.request"),
-        };
-        if let Some(s) = span.as_mut() {
-            if let Some(verb) = crate::metrics::VERBS.iter().find(|v| **v == request.verb) {
-                s.str("verb", verb);
-            }
-            s.u64("session", session.id);
-        }
-
-        let handle_start = Instant::now();
-        let wait0_lock = lockprobe::thread_lock_wait_ns();
-        let wait0_snap = lockprobe::thread_snapshot_wait_ns();
-        let (response, outcome) = if request.verb == "shutdown" {
-            inner.begin_shutdown();
-            (
-                ok_response(request.id, Json::String("draining".into())),
-                "ok",
-            )
-        } else {
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                handle_verb(
-                    &inner.store,
-                    &inner.catalog,
-                    &inner.ctx,
-                    &inner.txns,
-                    session.id,
-                    &request.verb,
-                    &request.params,
-                    inner.cfg.debug_verbs,
-                )
-            }));
-            match outcome {
-                Ok(Ok(result)) => (ok_response(request.id, result), "ok"),
-                Ok(Err((kind, msg))) => (err_response(request.id, kind, &msg), kind.as_str()),
-                Err(_) => {
-                    m.internal_errors.inc();
-                    (
-                        err_response(
-                            request.id,
-                            ErrorKind::Internal,
-                            "request handler panicked; see server logs",
-                        ),
-                        ErrorKind::Internal.as_str(),
-                    )
-                }
-            }
-        };
-        let handled = Instant::now();
-        let handler_ns = handled.duration_since(handle_start).as_nanos() as u64;
-        // Store-lock wait is charged to this thread by the lock probe,
-        // split by mode: exclusive master-lock + txn-lock wait becomes the
-        // `lock` phase, shared snapshot-pin wait the `snapshot` phase. The
-        // deltas across the handler are this request's numbers (clamped:
-        // sampled hold clocks can't overrun the handler time).
-        let lock_ns = lockprobe::thread_lock_wait_ns()
-            .saturating_sub(wait0_lock)
-            .min(handler_ns);
-        let snapshot_ns = lockprobe::thread_snapshot_wait_ns()
-            .saturating_sub(wait0_snap)
-            .min(handler_ns - lock_ns);
-        let handle_ns = handler_ns - lock_ns - snapshot_ns;
-
-        let payload = session.encode(&response);
-        let serialized = Instant::now();
-        let serialize_ns = serialized.duration_since(handled).as_nanos() as u64;
-        session.send_bytes(&payload);
-        let write_ns = serialized.elapsed().as_nanos() as u64;
-
-        let total_ns = first_byte.elapsed().as_nanos() as u64;
-        let phases = [
-            recv_ns,
-            parse_ns,
-            queue_ns,
-            snapshot_ns,
-            lock_ns,
-            handle_ns,
-            serialize_ns,
-            write_ns,
-        ];
-        for (h, ns) in m.phase_all.iter().zip(phases) {
-            h.observe(ns);
-        }
-        m.phase_all_total.observe(total_ns);
-        if let Some(vp) = m.verb_phases(&request.verb) {
-            for (h, ns) in vp.phases.iter().zip(phases) {
-                h.observe(ns);
-            }
-            vp.total.observe(total_ns);
-        }
-        ccdb_obs::flight::record(FlightRecord {
-            verb: request.verb,
-            outcome: outcome.into(),
-            end_unix_ns: std::time::SystemTime::now()
-                .duration_since(std::time::UNIX_EPOCH)
-                .map(|d| d.as_nanos() as u64)
-                .unwrap_or(0),
-            total_ns,
-            phases,
-            trace: request.trace,
-            session: session.id,
-            proto: session.proto(),
-        });
-        m.request_latency
-            .observe(admitted.elapsed().as_nanos() as u64);
-        drop(span);
+        let queue_ns = Instant::now().duration_since(job.admitted).as_nanos() as u64;
+        run_request(inner, job, queue_ns);
         let busy_ns = busy_start.elapsed().as_nanos() as u64;
         w_busy.add(busy_ns);
         m.workers_busy_ns.add(busy_ns);
         m.workers_busy.dec();
         idle_since = Instant::now();
     }
+}
+
+/// Executes one admitted request end to end — handler dispatch, phase
+/// attribution, flight record, response — on whichever thread calls it:
+/// a worker (passing the measured queue wait) or the event loop's inline
+/// fast path (`queue_ns == 0`; the request never saw the queue, and its
+/// timeline says so).
+fn run_request(inner: &Arc<Inner>, job: Job, queue_ns: u64) {
+    let m = server_metrics();
+    let Job {
+        request,
+        session,
+        admitted,
+        first_byte,
+        recv_ns,
+        parse_ns,
+    } = job;
+
+    // A client-stamped trace id continues the client's trace tree into
+    // the server span, bypassing the sampler; otherwise the span is
+    // subject to normal sampling.
+    let mut span = match request.trace {
+        Some(t) => ccdb_obs::trace::span_in_trace("server.request", TraceId(t)),
+        None => ccdb_obs::trace::span("server.request"),
+    };
+    if let Some(s) = span.as_mut() {
+        if let Some(verb) = crate::metrics::VERBS.iter().find(|v| **v == request.verb) {
+            s.str("verb", verb);
+        }
+        s.u64("session", session.id);
+    }
+
+    let handle_start = Instant::now();
+    let wait0_lock = lockprobe::thread_lock_wait_ns();
+    let wait0_snap = lockprobe::thread_snapshot_wait_ns();
+    let (response, outcome) = if request.verb == "shutdown" {
+        inner.begin_shutdown();
+        (
+            ok_response(request.id, Json::String("draining".into())),
+            "ok",
+        )
+    } else {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            handle_verb(
+                &inner.store,
+                &inner.catalog,
+                &inner.ctx,
+                &inner.txns,
+                session.id,
+                &request.verb,
+                &request.params,
+                inner.cfg.debug_verbs,
+            )
+        }));
+        match outcome {
+            Ok(Ok(result)) => (ok_response(request.id, result), "ok"),
+            Ok(Err((kind, msg))) => (err_response(request.id, kind, &msg), kind.as_str()),
+            Err(_) => {
+                m.internal_errors.inc();
+                (
+                    err_response(
+                        request.id,
+                        ErrorKind::Internal,
+                        "request handler panicked; see server logs",
+                    ),
+                    ErrorKind::Internal.as_str(),
+                )
+            }
+        }
+    };
+    let handled = Instant::now();
+    let handler_ns = handled.duration_since(handle_start).as_nanos() as u64;
+    // Store-lock wait is charged to this thread by the lock probe,
+    // split by mode: exclusive master-lock + txn-lock wait becomes the
+    // `lock` phase, shared snapshot-pin wait the `snapshot` phase. The
+    // deltas across the handler are this request's numbers (clamped:
+    // sampled hold clocks can't overrun the handler time).
+    let lock_ns = lockprobe::thread_lock_wait_ns()
+        .saturating_sub(wait0_lock)
+        .min(handler_ns);
+    let snapshot_ns = lockprobe::thread_snapshot_wait_ns()
+        .saturating_sub(wait0_snap)
+        .min(handler_ns - lock_ns);
+    let handle_ns = handler_ns - lock_ns - snapshot_ns;
+
+    let payload = session.encode(&response);
+    let serialized = Instant::now();
+    let serialize_ns = serialized.duration_since(handled).as_nanos() as u64;
+    session.send_bytes(&payload);
+    let write_ns = serialized.elapsed().as_nanos() as u64;
+
+    let total_ns = first_byte.elapsed().as_nanos() as u64;
+    let phases = [
+        recv_ns,
+        parse_ns,
+        queue_ns,
+        snapshot_ns,
+        lock_ns,
+        handle_ns,
+        serialize_ns,
+        write_ns,
+    ];
+    for (h, ns) in m.phase_all.iter().zip(phases) {
+        h.observe(ns);
+    }
+    m.phase_all_total.observe(total_ns);
+    if let Some(vp) = m.verb_phases(&request.verb) {
+        for (h, ns) in vp.phases.iter().zip(phases) {
+            h.observe(ns);
+        }
+        vp.total.observe(total_ns);
+    }
+    ccdb_obs::flight::record(FlightRecord {
+        verb: request.verb,
+        outcome: outcome.into(),
+        end_unix_ns: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0),
+        total_ns,
+        phases,
+        trace: request.trace,
+        session: session.id,
+        proto: session.proto(),
+    });
+    m.request_latency
+        .observe(admitted.elapsed().as_nanos() as u64);
+    drop(span);
 }

@@ -116,7 +116,11 @@ fn telemetry_verb_answers_windowed_queries_from_the_ring() {
     let deadline = Instant::now() + Duration::from_secs(10);
     let t = loop {
         for _ in 0..20 {
-            c.ping().unwrap();
+            // delay_ms (even 0) makes the ping ineligible for the inline
+            // fast path, so this load exercises the worker queue and
+            // populates the scheduler's wakeup histogram below.
+            c.request("ping", serde_json::json!({"delay_ms": 0}))
+                .unwrap();
         }
         let t = c.telemetry(serde_json::json!({"points": 16})).unwrap();
         let tick = t.get("tick").and_then(Json::as_u64).unwrap_or(0);
@@ -130,7 +134,16 @@ fn telemetry_verb_answers_windowed_queries_from_the_ring() {
                         && v.get("p50_ns").and_then(Json::as_f64).is_some()
                 })
             });
-        if tick >= 2 && has_ping_digest {
+        // Inline pings never touch the queue, so the wakeup digest only
+        // fills in once the sampler ticks past this loop's delayed
+        // (queued) pings — wait for that too.
+        let has_wakeup = t
+            .get("wakeup")
+            .and_then(|w| w.get("count"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            > 0;
+        if tick >= 2 && has_ping_digest && has_wakeup {
             break t;
         }
         assert!(

@@ -19,7 +19,18 @@
 //! - [`set_send_buffer`] — `SO_SNDBUF` clamping, so tests exercising the
 //!   write-stall path can shrink a socket's kernel buffering from
 //!   megabytes (auto-tuned loopback) to something a slow subscriber
-//!   fills in milliseconds.
+//!   fills in milliseconds;
+//! - [`Epoll`] — a registration-based readiness interface over Linux
+//!   `epoll(7)`. `poll(2)` re-scans every registered fd per call (the
+//!   kernel walks the whole interest array each sweep), so an event loop
+//!   over N mostly-idle connections pays O(N) per iteration; epoll keeps
+//!   the interest set in the kernel and [`Epoll::wait`] returns only the
+//!   ready fds. The interest masks reuse [`POLLIN`]/[`POLLOUT`] and ready
+//!   events answer the same [`ready`](Event::ready)/[`failed`](Event::failed)
+//!   questions as [`PollFd`], so an event loop can treat the two backends
+//!   uniformly. On non-Linux platforms [`Epoll::new`] returns
+//!   [`std::io::ErrorKind::Unsupported`] (use [`epoll_supported`] to
+//!   auto-detect and fall back to [`poll_fds`]).
 //!
 //! Only Unix is supported (the rest of the workspace's serving layer is
 //! `std::net` + raw fds); on other platforms every call returns
@@ -72,6 +83,260 @@ impl PollFd {
     /// Whether the fd reported an error/hangup/invalid condition.
     pub fn failed(&self) -> bool {
         self.revents & (POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+}
+
+/// One ready notification from [`Epoll::wait`]: the token the fd was
+/// registered under plus its ready condition, answering the same
+/// questions as [`PollFd::ready`]/[`PollFd::failed`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The caller-chosen token passed to [`Epoll::add`].
+    pub token: u64,
+    /// Ready mask in [`POLLIN`]/[`POLLOUT`] terms.
+    pub events: i16,
+}
+
+impl Event {
+    /// Whether any of `mask` is ready.
+    pub fn ready(&self, mask: i16) -> bool {
+        self.events & mask != 0
+    }
+
+    /// Whether the fd reported an error/hangup condition.
+    pub fn failed(&self) -> bool {
+        self.events & (POLLERR | POLLHUP) != 0
+    }
+}
+
+/// A kernel-resident readiness set (Linux `epoll(7)`).
+///
+/// Register each fd once with [`add`](Epoll::add) under a caller-chosen
+/// token, adjust interest with [`modify`](Epoll::modify) when it changes,
+/// and [`wait`](Epoll::wait) returns only the fds with pending events —
+/// no per-iteration interest-array rebuild and no kernel-side scan of
+/// idle registrations.
+///
+/// Level-triggered (the default epoll mode), matching `poll(2)` semantics
+/// exactly: a readable fd keeps reporting readable until drained, so the
+/// two backends are drop-in interchangeable for the same event loop.
+///
+/// One caveat inherited from the syscall: epoll registers the *open file
+/// description*, not the fd number. A `try_clone`d socket keeps the
+/// registration alive after the registered fd is closed, so owners of
+/// duplicated fds must [`del`](Epoll::del) explicitly before dropping.
+pub struct Epoll {
+    inner: sys_epoll::Epoll,
+}
+
+impl Epoll {
+    /// Creates an epoll instance (`EPOLL_CLOEXEC`). `Unsupported` off Linux.
+    pub fn new() -> io::Result<Epoll> {
+        Ok(Epoll {
+            inner: sys_epoll::Epoll::new()?,
+        })
+    }
+
+    /// Registers `fd` for `events` ([`POLLIN`] | [`POLLOUT`]) under `token`.
+    pub fn add(&self, fd: Fd, events: i16, token: u64) -> io::Result<()> {
+        self.inner.ctl(sys_epoll::EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Replaces the interest mask of an already-registered `fd`.
+    pub fn modify(&self, fd: Fd, events: i16, token: u64) -> io::Result<()> {
+        self.inner.ctl(sys_epoll::EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Removes `fd` from the interest set.
+    pub fn del(&self, fd: Fd) -> io::Result<()> {
+        self.inner.ctl(sys_epoll::EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Blocks up to `timeout_ms` (negative = forever, 0 = probe) and
+    /// appends one [`Event`] per ready registration to `out` (cleared
+    /// first). Returns how many were ready. `EINTR` is retried.
+    pub fn wait(&self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+        self.inner.wait(out, timeout_ms)
+    }
+}
+
+/// Whether [`Epoll`] works on this platform (used by backend auto-detect).
+pub fn epoll_supported() -> bool {
+    sys_epoll::supported()
+}
+
+#[cfg(target_os = "linux")]
+mod sys_epoll {
+    use super::{Event, Fd, POLLERR, POLLHUP, POLLIN, POLLOUT};
+    use std::io;
+
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+
+    /// The kernel's `struct epoll_event`: packed on x86-64 (the original
+    /// i386 layout was kept for compat), naturally aligned elsewhere.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    fn to_epoll_mask(events: i16) -> u32 {
+        let mut m = 0u32;
+        if events & POLLIN != 0 {
+            m |= EPOLLIN;
+        }
+        if events & POLLOUT != 0 {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+
+    fn from_epoll_mask(events: u32) -> i16 {
+        let mut m = 0i16;
+        if events & EPOLLIN != 0 {
+            m |= POLLIN;
+        }
+        if events & EPOLLOUT != 0 {
+            m |= POLLOUT;
+        }
+        if events & EPOLLERR != 0 {
+            m |= POLLERR;
+        }
+        if events & EPOLLHUP != 0 {
+            m |= POLLHUP;
+        }
+        m
+    }
+
+    pub struct Epoll {
+        epfd: i32,
+        /// Reused kernel-facing event buffer (behind a lock only because
+        /// `wait` takes `&self`; the event loop is single-threaded).
+        buf: std::sync::Mutex<Vec<EpollEvent>>,
+    }
+
+    impl Epoll {
+        pub fn new() -> io::Result<Epoll> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Epoll {
+                epfd,
+                buf: std::sync::Mutex::new(vec![EpollEvent { events: 0, data: 0 }; 256]),
+            })
+        }
+
+        pub fn ctl(&self, op: i32, fd: Fd, events: i16, token: u64) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: to_epoll_mask(events),
+                data: token,
+            };
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn wait(&self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+            out.clear();
+            let mut buf = self.buf.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                let rc = unsafe {
+                    epoll_wait(self.epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms)
+                };
+                if rc >= 0 {
+                    let n = rc as usize;
+                    for ev in &buf[..n] {
+                        out.push(Event {
+                            token: ev.data,
+                            events: from_epoll_mask(ev.events),
+                        });
+                    }
+                    // A full buffer means more may be pending; grow so the
+                    // next wait drains larger ready sets in one call.
+                    if n == buf.len() {
+                        let len = buf.len() * 2;
+                        buf.resize(len, EpollEvent { events: 0, data: 0 });
+                    }
+                    return Ok(n);
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            }
+        }
+    }
+
+    impl Drop for Epoll {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+
+    pub fn supported() -> bool {
+        true
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys_epoll {
+    use super::{Event, Fd};
+    use std::io;
+
+    #[allow(dead_code)]
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    #[allow(dead_code)]
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    #[allow(dead_code)]
+    pub const EPOLL_CTL_MOD: i32 = 3;
+
+    pub struct Epoll;
+
+    fn unsupported<T>() -> io::Result<T> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "epoll is Linux-only; use the poll backend",
+        ))
+    }
+
+    impl Epoll {
+        pub fn new() -> io::Result<Epoll> {
+            unsupported()
+        }
+
+        pub fn ctl(&self, _op: i32, _fd: Fd, _events: i16, _token: u64) -> io::Result<()> {
+            unsupported()
+        }
+
+        pub fn wait(&self, _out: &mut Vec<Event>, _timeout_ms: i32) -> io::Result<usize> {
+            unsupported()
+        }
+    }
+
+    pub fn supported() -> bool {
+        false
     }
 }
 
@@ -333,6 +598,71 @@ mod tests {
         assert_eq!(n, 1);
         // EOF shows as POLLIN (read returns 0) and/or POLLHUP.
         assert!(set[0].ready(POLLIN) || set[0].failed());
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn epoll_reports_only_ready_registrations_and_honors_modify() {
+        assert!(epoll_supported());
+        let ep = Epoll::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut a_client = TcpStream::connect(addr).unwrap();
+        let (a_srv, _) = listener.accept().unwrap();
+        let b_client = TcpStream::connect(addr).unwrap();
+        let (b_srv, _) = listener.accept().unwrap();
+
+        ep.add(a_srv.as_raw_fd(), POLLIN, 10).unwrap();
+        ep.add(b_srv.as_raw_fd(), POLLIN, 20).unwrap();
+
+        // Nothing sent: a zero-timeout probe finds nothing.
+        let mut events = Vec::new();
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+
+        a_client.write_all(b"hello").unwrap();
+        let n = ep.wait(&mut events, 2_000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 10);
+        assert!(events[0].ready(POLLIN));
+
+        // Add POLLOUT interest on b: an empty send buffer is writable now.
+        ep.modify(b_srv.as_raw_fd(), POLLIN | POLLOUT, 21).unwrap();
+        let n = ep.wait(&mut events, 2_000).unwrap();
+        assert_eq!(n, 2);
+        let b_ev = events.iter().find(|e| e.token == 21).unwrap();
+        assert!(b_ev.ready(POLLOUT) && !b_ev.ready(POLLIN));
+
+        // Deregister a: its pending data stops being reported.
+        ep.del(a_srv.as_raw_fd()).unwrap();
+        let n = ep.wait(&mut events, 100).unwrap();
+        assert!(events.iter().all(|e| e.token != 10), "{n} events");
+        drop(b_client);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn epoll_reports_hangup() {
+        let ep = Epoll::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (srv, _) = listener.accept().unwrap();
+        ep.add(srv.as_raw_fd(), POLLIN, 7).unwrap();
+        drop(client);
+        let mut events = Vec::new();
+        let n = ep.wait(&mut events, 2_000).unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].ready(POLLIN) || events[0].failed());
+    }
+
+    #[test]
+    #[cfg(not(target_os = "linux"))]
+    fn epoll_is_cleanly_unsupported() {
+        assert!(!epoll_supported());
+        assert_eq!(
+            Epoll::new().unwrap_err().kind(),
+            std::io::ErrorKind::Unsupported
+        );
     }
 
     #[test]
